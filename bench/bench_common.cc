@@ -1,0 +1,78 @@
+#include "bench/bench_common.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace kamel::bench {
+
+namespace {
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  return std::atoll(value);
+}
+}  // namespace
+
+size_t TestLimit() {
+  return static_cast<size_t>(EnvInt("KAMEL_BENCH_TEST_LIMIT", 24));
+}
+
+std::vector<double> SparsenessSweep() {
+  const int64_t steps = EnvInt("KAMEL_BENCH_SPARSE_STEPS", 0);
+  if (steps > 0) {
+    // Thinned sweep: endpoints plus evenly spaced interior values.
+    std::vector<double> out;
+    for (int64_t i = 0; i < steps; ++i) {
+      out.push_back(500.0 + (4000.0 - 500.0) * i /
+                                std::max<int64_t>(1, steps - 1));
+    }
+    return out;
+  }
+  return {500, 1000, 1500, 2000, 2500, 3000, 3500, 4000};
+}
+
+TrajectoryDataset LimitedTest(const TrajectoryDataset& test) {
+  TrajectoryDataset out;
+  const size_t limit = TestLimit();
+  for (size_t i = 0; i < test.trajectories.size() && i < limit; ++i) {
+    out.trajectories.push_back(test.trajectories[i]);
+  }
+  return out;
+}
+
+KamelOptions BenchOptionsFor(const ScenarioSpec& spec) {
+  KamelOptions options = BenchKamelOptions();
+  if (spec.name.find("jakarta") != std::string::npos) {
+    options.bert.train.steps = 1800;
+    options.model_token_threshold = 3600;
+  }
+  return options;
+}
+
+KamelOptions VariantBenchOptions() {
+  KamelOptions options = BenchKamelOptions();
+  options.bert.train.steps = 1800;
+  options.pyramid_height = 0;
+  options.pyramid_levels = 1;
+  return options;
+}
+
+double DefaultDelta(const std::string& scenario_name) {
+  return scenario_name.find("jakarta") != std::string::npos ? 25.0 : 50.0;
+}
+
+void Emit(const Table& table, const std::string& slug) {
+  table.Print();
+  std::fputs("\n", stdout);
+  const char* dir = std::getenv("KAMEL_BENCH_CSV_DIR");
+  if (dir != nullptr && dir[0] != '\0') {
+    const std::string path = std::string(dir) + "/" + slug + ".csv";
+    const Status status = table.WriteCsv(path);
+    if (!status.ok()) {
+      KAMEL_LOG(Warning) << "csv write failed: " << status.ToString();
+    }
+  }
+}
+
+}  // namespace kamel::bench

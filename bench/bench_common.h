@@ -1,0 +1,49 @@
+#ifndef KAMEL_BENCH_BENCH_COMMON_H_
+#define KAMEL_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "eval/evaluator.h"
+#include "eval/scenario.h"
+
+namespace kamel::bench {
+
+/// Number of test trajectories each figure harness imputes per
+/// configuration point ($KAMEL_BENCH_TEST_LIMIT, default 30). Raising it
+/// tightens the estimates at linear cost.
+size_t TestLimit();
+
+/// The sparseness sweep of Figure 9 ($KAMEL_BENCH_SPARSE_STEPS can thin
+/// it): 500..4000 m.
+std::vector<double> SparsenessSweep();
+
+/// First `TestLimit()` trajectories of a test set.
+TrajectoryDataset LimitedTest(const TrajectoryDataset& test);
+
+/// Default accuracy threshold per scenario (paper: 50 m Porto, 25 m
+/// Jakarta).
+double DefaultDelta(const std::string& scenario_name);
+
+/// Options for the Figure-12 variant sweeps (grid type, training size,
+/// training density): a shortened training schedule and a single
+/// root-level model, so each of a figure's 2-4 *internally compared*
+/// variants trains in about a minute. Figures whose subject is the
+/// partitioning itself (the ablation) override the pyramid back.
+KamelOptions VariantBenchOptions();
+
+/// Per-scenario base options: Porto uses the full BenchKamelOptions();
+/// Jakarta's long 48-token statements make each training step ~2.5x more
+/// expensive, so its base configuration shortens the schedule and raises
+/// the model threshold (5 models instead of 9) to keep the bench suite's
+/// wall clock within reason on one core.
+KamelOptions BenchOptionsFor(const ScenarioSpec& spec);
+
+/// Prints the table and appends its CSV to
+/// $KAMEL_BENCH_CSV_DIR/<slug>.csv when that directory is set.
+void Emit(const Table& table, const std::string& slug);
+
+}  // namespace kamel::bench
+
+#endif  // KAMEL_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,57 @@
+// Figure 3(d) + Section 3.2: accuracy vs hexagon cell size. Runs the
+// auto-tuner's sweep on a reduced Porto-style workload and reports the
+// optimum it would pick — both extremes of the size spectrum should lose
+// to a middle value.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "eval/cell_size_tuner.h"
+
+namespace kamel::bench {
+namespace {
+
+int Run() {
+  // A reduced city so the 25 m candidate's vocabulary stays trainable in
+  // bench time.
+  ScenarioSpec spec = PortoLikeSpec(/*seed=*/23);
+  spec.name = "porto-lite";
+  spec.network.width_m = 1700.0;
+  spec.network.height_m = 1700.0;
+  spec.trips.num_trips = 260;
+  spec.trips.min_trip_m = 1000.0;
+  const SimScenario scenario = BuildScenario(spec);
+
+  CellSizeTunerOptions tuner;
+  tuner.candidate_edges_m = {25.0, 50.0, 75.0, 100.0, 150.0, 200.0};
+  tuner.base = BenchKamelOptions();
+  tuner.base.bert.train.steps = 300;
+  tuner.base.pyramid_height = 0;
+  tuner.base.pyramid_levels = 1;
+  tuner.base.model_token_threshold = 250;
+  tuner.sample_fraction = 0.6;
+  tuner.sparse_distance_m = 800.0;
+  tuner.delta_m = 50.0;
+
+  TrajectoryDataset validation = LimitedTest(scenario.test);
+  auto results = TuneCellSize(scenario.train, validation, tuner);
+  if (!results.ok()) {
+    std::fprintf(stderr, "tuner failed: %s\n",
+                 results.status().ToString().c_str());
+    return 1;
+  }
+
+  Table table("Figure 3(d): accuracy vs cell size",
+              {"hex_edge_m", "recall", "precision", "distinct_tokens"});
+  for (const CellSizeResult& r : *results) {
+    table.AddRow({Table::Num(r.edge_m, 0), Table::Num(r.recall),
+                  Table::Num(r.precision), std::to_string(r.vocab_cells)});
+  }
+  Emit(table, "fig03_cell_size");
+  std::printf("auto-tuner picks H = %.0f m\n", PickBestCellSize(*results));
+  return 0;
+}
+
+}  // namespace
+}  // namespace kamel::bench
+
+int main() { return kamel::bench::Run(); }

@@ -1,0 +1,48 @@
+// Figure 9: impact of data sparseness on recall, precision, and failure
+// rate, for both datasets and all four methods.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace kamel::bench {
+namespace {
+
+int Run() {
+  Table table("Figure 9: recall/precision/failure vs sparseness",
+              {"dataset", "sparseness_m", "method", "recall", "precision",
+               "failure_rate"});
+  for (const ScenarioSpec& spec : {PortoLikeSpec(), JakartaLikeSpec()}) {
+    auto systems = PrepareBenchSystems(spec, BenchOptionsFor(spec));
+    if (!systems.ok()) {
+      std::fprintf(stderr, "setup failed: %s\n",
+                   systems.status().ToString().c_str());
+      return 1;
+    }
+    const TrajectoryDataset test = LimitedTest(systems->sim.test);
+    Evaluator evaluator(systems->sim.projection.get());
+    ScoreConfig score;
+    score.delta_m = DefaultDelta(spec.name);
+
+    for (double sparseness : SparsenessSweep()) {
+      for (ImputationMethod* method : systems->AllMethods()) {
+        auto run = evaluator.RunMethod(method, test, sparseness);
+        if (!run.ok()) {
+          std::fprintf(stderr, "%s failed: %s\n", method->name().c_str(),
+                       run.status().ToString().c_str());
+          return 1;
+        }
+        const EvalResult result = evaluator.Score(*run, score);
+        table.AddRow({spec.name, Table::Num(sparseness, 0), method->name(),
+                      Table::Num(result.recall), Table::Num(result.precision),
+                      Table::Num(result.failure_rate)});
+      }
+    }
+  }
+  Emit(table, "fig09_sparseness");
+  return 0;
+}
+
+}  // namespace
+}  // namespace kamel::bench
+
+int main() { return kamel::bench::Run(); }

@@ -1,0 +1,50 @@
+// Figure 10: impact of the accuracy threshold delta on recall and
+// precision (one imputation run per method, scored at every delta).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace kamel::bench {
+namespace {
+
+int Run() {
+  const std::vector<double> deltas = {5, 10, 25, 50, 75, 100};
+  const double sparseness = 1000.0;  // paper default
+
+  Table table("Figure 10: recall/precision vs accuracy threshold",
+              {"dataset", "delta_m", "method", "recall", "precision"});
+  for (const ScenarioSpec& spec : {PortoLikeSpec(), JakartaLikeSpec()}) {
+    auto systems = PrepareBenchSystems(spec, BenchOptionsFor(spec));
+    if (!systems.ok()) {
+      std::fprintf(stderr, "setup failed: %s\n",
+                   systems.status().ToString().c_str());
+      return 1;
+    }
+    const TrajectoryDataset test = LimitedTest(systems->sim.test);
+    Evaluator evaluator(systems->sim.projection.get());
+
+    for (ImputationMethod* method : systems->AllMethods()) {
+      auto run = evaluator.RunMethod(method, test, sparseness);
+      if (!run.ok()) {
+        std::fprintf(stderr, "%s failed: %s\n", method->name().c_str(),
+                     run.status().ToString().c_str());
+        return 1;
+      }
+      for (double delta : deltas) {
+        ScoreConfig score;
+        score.delta_m = delta;
+        const EvalResult result = evaluator.Score(*run, score);
+        table.AddRow({spec.name, Table::Num(delta, 0), method->name(),
+                      Table::Num(result.recall),
+                      Table::Num(result.precision)});
+      }
+    }
+  }
+  Emit(table, "fig10_threshold");
+  return 0;
+}
+
+}  // namespace
+}  // namespace kamel::bench
+
+int main() { return kamel::bench::Run(); }

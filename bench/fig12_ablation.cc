@@ -1,0 +1,107 @@
+// Figure 12-VI: ablation study — full KAMEL vs No Partitioning, No
+// Spatial Constraints, No Multipoint Imputation (Section 8.7). The
+// constraint and multipoint ablations are imputation-time toggles and
+// reuse the full system's trained models; No Part. trains one global
+// model for the whole space.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace kamel::bench {
+namespace {
+
+// The ablation's subject includes the partitioning module, so unlike the
+// other variant figures it keeps a real pyramid — with a raised model
+// threshold so the "full" system still trains a handful of models rather
+// than all nine, and a shortened schedule shared by every variant.
+KamelOptions AblationOptions() {
+  KamelOptions options = BenchKamelOptions();
+  options.bert.train.steps = 1800;
+  options.model_token_threshold = 3600;
+  return options;
+}
+
+int Run() {
+  const ScenarioSpec spec = JakartaLikeSpec();
+  const double delta = DefaultDelta(spec.name);
+
+  struct Variant {
+    const char* label;
+    KamelOptions options;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"KAMEL", AblationOptions()});
+  {
+    KamelOptions o = AblationOptions();
+    o.enable_partitioning = false;
+    variants.push_back({"NoPart", o});
+  }
+  {
+    KamelOptions o = AblationOptions();
+    o.enable_constraints = false;
+    variants.push_back({"NoConst", o});
+  }
+  {
+    KamelOptions o = AblationOptions();
+    o.enable_multipoint = false;
+    variants.push_back({"NoMulti", o});
+  }
+
+  Table sweep_table("Figure 12-VI(a-c): ablation vs sparseness",
+                    {"variant", "sparseness_m", "recall", "precision",
+                     "failure_rate"});
+  Table delta_table("Figure 12-VI(d-e): ablation vs threshold",
+                    {"variant", "delta_m", "recall", "precision"});
+
+  for (const Variant& variant : variants) {
+    auto systems = PrepareBenchSystems(spec, variant.options);
+    if (!systems.ok()) {
+      std::fprintf(stderr, "setup failed: %s\n",
+                   systems.status().ToString().c_str());
+      return 1;
+    }
+    const TrajectoryDataset test = LimitedTest(systems->sim.test);
+    Evaluator evaluator(systems->sim.projection.get());
+
+    for (double sparseness : SparsenessSweep()) {
+      auto run = evaluator.RunMethod(systems->kamel_method.get(), test,
+                                     sparseness);
+      if (!run.ok()) {
+        std::fprintf(stderr, "run failed: %s\n",
+                     run.status().ToString().c_str());
+        return 1;
+      }
+      ScoreConfig score;
+      score.delta_m = delta;
+      const EvalResult result = evaluator.Score(*run, score);
+      sweep_table.AddRow({variant.label, Table::Num(sparseness, 0),
+                          Table::Num(result.recall),
+                          Table::Num(result.precision),
+                          Table::Num(result.failure_rate)});
+    }
+
+    auto run = evaluator.RunMethod(systems->kamel_method.get(), test,
+                                   /*sparse=*/1000.0);
+    if (!run.ok()) {
+      std::fprintf(stderr, "run failed: %s\n",
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    for (double d : {10.0, 25.0, 50.0, 75.0, 100.0}) {
+      ScoreConfig score;
+      score.delta_m = d;
+      const EvalResult result = evaluator.Score(*run, score);
+      delta_table.AddRow({variant.label, Table::Num(d, 0),
+                          Table::Num(result.recall),
+                          Table::Num(result.precision)});
+    }
+  }
+  Emit(sweep_table, "fig12_ablation_sparseness");
+  Emit(delta_table, "fig12_ablation_threshold");
+  return 0;
+}
+
+}  // namespace
+}  // namespace kamel::bench
+
+int main() { return kamel::bench::Run(); }

@@ -1,0 +1,75 @@
+// Figure 12-V: impact of training data density — the dense Jakarta-style
+// feed (1 s) resampled to 15, 30 and 60 s before training.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace kamel::bench {
+namespace {
+
+int Run() {
+  const ScenarioSpec spec = JakartaLikeSpec();
+  const double delta = DefaultDelta(spec.name);
+
+  Table sweep_table("Figure 12-V(a-c): training density vs sparseness",
+                    {"sampling", "sparseness_m", "recall", "precision",
+                     "failure_rate"});
+  Table delta_table("Figure 12-V(d-e): training density vs threshold",
+                    {"sampling", "delta_m", "recall", "precision"});
+
+  for (double interval : {1.0, 15.0, 30.0, 60.0}) {
+    BenchVariant variant;
+    if (interval > 1.0) variant.resample_interval_s = interval;
+    auto systems =
+        PrepareBenchSystems(spec, VariantBenchOptions(), variant);
+    if (!systems.ok()) {
+      std::fprintf(stderr, "setup failed: %s\n",
+                   systems.status().ToString().c_str());
+      return 1;
+    }
+    const TrajectoryDataset test = LimitedTest(systems->sim.test);
+    Evaluator evaluator(systems->sim.projection.get());
+    const std::string label = Table::Num(interval, 0) + "s";
+
+    for (double sparseness : SparsenessSweep()) {
+      auto run = evaluator.RunMethod(systems->kamel_method.get(), test,
+                                     sparseness);
+      if (!run.ok()) {
+        std::fprintf(stderr, "run failed: %s\n",
+                     run.status().ToString().c_str());
+        return 1;
+      }
+      ScoreConfig score;
+      score.delta_m = delta;
+      const EvalResult result = evaluator.Score(*run, score);
+      sweep_table.AddRow({label, Table::Num(sparseness, 0),
+                          Table::Num(result.recall),
+                          Table::Num(result.precision),
+                          Table::Num(result.failure_rate)});
+    }
+
+    auto run = evaluator.RunMethod(systems->kamel_method.get(), test,
+                                   /*sparse=*/1000.0);
+    if (!run.ok()) {
+      std::fprintf(stderr, "run failed: %s\n",
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    for (double d : {10.0, 25.0, 50.0, 75.0, 100.0}) {
+      ScoreConfig score;
+      score.delta_m = d;
+      const EvalResult result = evaluator.Score(*run, score);
+      delta_table.AddRow({label, Table::Num(d, 0),
+                          Table::Num(result.recall),
+                          Table::Num(result.precision)});
+    }
+  }
+  Emit(sweep_table, "fig12_density_sparseness");
+  Emit(delta_table, "fig12_density_threshold");
+  return 0;
+}
+
+}  // namespace
+}  // namespace kamel::bench
+
+int main() { return kamel::bench::Run(); }

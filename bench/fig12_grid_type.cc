@@ -1,0 +1,80 @@
+// Figure 12-III: hexagons (H3-style) vs squares (S2-style) tokenization.
+// The square edge is derived for equal cell area (the paper's 120 m
+// squares vs 75 m hexagons).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace kamel::bench {
+namespace {
+
+int Run() {
+  const ScenarioSpec spec = JakartaLikeSpec();
+  const double delta = DefaultDelta(spec.name);
+
+  struct Variant {
+    const char* label;
+    GridType grid;
+  };
+  Table sweep_table("Figure 12-III(a-c): grid type vs sparseness",
+                    {"grid", "sparseness_m", "recall", "precision",
+                     "failure_rate"});
+  Table delta_table("Figure 12-III(d-e): grid type vs threshold",
+                    {"grid", "delta_m", "recall", "precision"});
+
+  for (const Variant& variant :
+       {Variant{"hex(H3)", GridType::kHex},
+        Variant{"square(S2)", GridType::kSquare}}) {
+    KamelOptions options = VariantBenchOptions();
+    options.grid_type = variant.grid;
+    auto systems = PrepareBenchSystems(spec, options);
+    if (!systems.ok()) {
+      std::fprintf(stderr, "setup failed: %s\n",
+                   systems.status().ToString().c_str());
+      return 1;
+    }
+    const TrajectoryDataset test = LimitedTest(systems->sim.test);
+    Evaluator evaluator(systems->sim.projection.get());
+
+    for (double sparseness : SparsenessSweep()) {
+      auto run = evaluator.RunMethod(systems->kamel_method.get(), test,
+                                     sparseness);
+      if (!run.ok()) {
+        std::fprintf(stderr, "run failed: %s\n",
+                     run.status().ToString().c_str());
+        return 1;
+      }
+      ScoreConfig score;
+      score.delta_m = delta;
+      const EvalResult result = evaluator.Score(*run, score);
+      sweep_table.AddRow({variant.label, Table::Num(sparseness, 0),
+                          Table::Num(result.recall),
+                          Table::Num(result.precision),
+                          Table::Num(result.failure_rate)});
+    }
+
+    auto run = evaluator.RunMethod(systems->kamel_method.get(), test,
+                                   /*sparse=*/1000.0);
+    if (!run.ok()) {
+      std::fprintf(stderr, "run failed: %s\n",
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    for (double d : {10.0, 25.0, 50.0, 75.0, 100.0}) {
+      ScoreConfig score;
+      score.delta_m = d;
+      const EvalResult result = evaluator.Score(*run, score);
+      delta_table.AddRow({variant.label, Table::Num(d, 0),
+                          Table::Num(result.recall),
+                          Table::Num(result.precision)});
+    }
+  }
+  Emit(sweep_table, "fig12_grid_type_sparseness");
+  Emit(delta_table, "fig12_grid_type_threshold");
+  return 0;
+}
+
+}  // namespace
+}  // namespace kamel::bench
+
+int main() { return kamel::bench::Run(); }

@@ -1,0 +1,83 @@
+// Figure 12-I/II: straight vs curved segments — the sparseness and
+// threshold sweeps restricted by road type (Jakarta scenario, as in the
+// paper; Porto behaves alike).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace kamel::bench {
+namespace {
+
+const char* ClassName(SegmentClass c) {
+  return c == SegmentClass::kStraight ? "straight" : "curved";
+}
+
+int Run() {
+  const ScenarioSpec spec = JakartaLikeSpec();
+  auto systems = PrepareBenchSystems(spec, BenchOptionsFor(spec));
+  if (!systems.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 systems.status().ToString().c_str());
+    return 1;
+  }
+  const TrajectoryDataset test = LimitedTest(systems->sim.test);
+  Evaluator evaluator(systems->sim.projection.get());
+  const double delta = DefaultDelta(systems->sim.name);
+
+  Table sweep_table("Figure 12-I/II(a-c): road type vs sparseness",
+                    {"road_type", "sparseness_m", "method", "recall",
+                     "precision", "failure_rate"});
+  for (double sparseness : SparsenessSweep()) {
+    for (ImputationMethod* method : systems->AllMethods()) {
+      auto run = evaluator.RunMethod(method, test, sparseness);
+      if (!run.ok()) {
+        std::fprintf(stderr, "%s failed: %s\n", method->name().c_str(),
+                     run.status().ToString().c_str());
+        return 1;
+      }
+      for (SegmentClass cls :
+           {SegmentClass::kStraight, SegmentClass::kCurved}) {
+        ScoreConfig score;
+        score.delta_m = delta;
+        score.segment_class = cls;
+        const EvalResult result = evaluator.Score(*run, score);
+        sweep_table.AddRow({ClassName(cls), Table::Num(sparseness, 0),
+                            method->name(), Table::Num(result.recall),
+                            Table::Num(result.precision),
+                            Table::Num(result.failure_rate)});
+      }
+    }
+  }
+  Emit(sweep_table, "fig12_road_type_sparseness");
+
+  Table delta_table("Figure 12-I/II(d-e): road type vs threshold",
+                    {"road_type", "delta_m", "method", "recall",
+                     "precision"});
+  for (ImputationMethod* method : systems->AllMethods()) {
+    auto run = evaluator.RunMethod(method, test, /*sparse=*/1000.0);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", method->name().c_str(),
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    for (double d : {10.0, 25.0, 50.0, 75.0, 100.0}) {
+      for (SegmentClass cls :
+           {SegmentClass::kStraight, SegmentClass::kCurved}) {
+        ScoreConfig score;
+        score.delta_m = d;
+        score.segment_class = cls;
+        const EvalResult result = evaluator.Score(*run, score);
+        delta_table.AddRow({ClassName(cls), Table::Num(d, 0),
+                            method->name(), Table::Num(result.recall),
+                            Table::Num(result.precision)});
+      }
+    }
+  }
+  Emit(delta_table, "fig12_road_type_threshold");
+  return 0;
+}
+
+}  // namespace
+}  // namespace kamel::bench
+
+int main() { return kamel::bench::Run(); }

@@ -1,0 +1,75 @@
+// Figure 12-IV: impact of training data size — KAMEL trained on 100%,
+// 75%, 50% and 25% of the available training trajectories.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace kamel::bench {
+namespace {
+
+int Run() {
+  const ScenarioSpec spec = JakartaLikeSpec();
+  const double delta = DefaultDelta(spec.name);
+
+  Table sweep_table("Figure 12-IV(a-c): training size vs sparseness",
+                    {"train_size", "sparseness_m", "recall", "precision",
+                     "failure_rate"});
+  Table delta_table("Figure 12-IV(d-e): training size vs threshold",
+                    {"train_size", "delta_m", "recall", "precision"});
+
+  for (double fraction : {1.0, 0.75, 0.5, 0.25}) {
+    BenchVariant variant;
+    variant.train_subsample = fraction;
+    auto systems =
+        PrepareBenchSystems(spec, VariantBenchOptions(), variant);
+    if (!systems.ok()) {
+      std::fprintf(stderr, "setup failed: %s\n",
+                   systems.status().ToString().c_str());
+      return 1;
+    }
+    const TrajectoryDataset test = LimitedTest(systems->sim.test);
+    Evaluator evaluator(systems->sim.projection.get());
+    const std::string label = Table::Num(100.0 * fraction, 0) + "%";
+
+    for (double sparseness : SparsenessSweep()) {
+      auto run = evaluator.RunMethod(systems->kamel_method.get(), test,
+                                     sparseness);
+      if (!run.ok()) {
+        std::fprintf(stderr, "run failed: %s\n",
+                     run.status().ToString().c_str());
+        return 1;
+      }
+      ScoreConfig score;
+      score.delta_m = delta;
+      const EvalResult result = evaluator.Score(*run, score);
+      sweep_table.AddRow({label, Table::Num(sparseness, 0),
+                          Table::Num(result.recall),
+                          Table::Num(result.precision),
+                          Table::Num(result.failure_rate)});
+    }
+
+    auto run = evaluator.RunMethod(systems->kamel_method.get(), test,
+                                   /*sparse=*/1000.0);
+    if (!run.ok()) {
+      std::fprintf(stderr, "run failed: %s\n",
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    for (double d : {10.0, 25.0, 50.0, 75.0, 100.0}) {
+      ScoreConfig score;
+      score.delta_m = d;
+      const EvalResult result = evaluator.Score(*run, score);
+      delta_table.AddRow({label, Table::Num(d, 0),
+                          Table::Num(result.recall),
+                          Table::Num(result.precision)});
+    }
+  }
+  Emit(sweep_table, "fig12_train_size_sparseness");
+  Emit(delta_table, "fig12_train_size_threshold");
+  return 0;
+}
+
+}  // namespace
+}  // namespace kamel::bench
+
+int main() { return kamel::bench::Run(); }

@@ -1,0 +1,53 @@
+// Microbenchmarks of the tokenization substrate: point->cell conversion
+// (the paper stresses it is constant-time, Section 3.1), neighbor and
+// disk enumeration, and grid distance, for both grid families.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "grid/hex_grid.h"
+#include "grid/square_grid.h"
+
+namespace kamel {
+namespace {
+
+template <typename Grid>
+void BM_CellOf(benchmark::State& state) {
+  Grid grid(75.0);
+  Rng rng(2);
+  std::vector<Vec2> points;
+  for (int i = 0; i < 1024; ++i) {
+    points.push_back({rng.NextDouble(-5000, 5000),
+                      rng.NextDouble(-5000, 5000)});
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grid.CellOf(points[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_CellOf<HexGrid>);
+BENCHMARK(BM_CellOf<SquareGrid>);
+
+void BM_HexDisk(benchmark::State& state) {
+  HexGrid grid(75.0);
+  const CellId center = grid.CellOf({0.0, 0.0});
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grid.Disk(center, k));
+  }
+}
+BENCHMARK(BM_HexDisk)->Arg(2)->Arg(5)->Arg(10);
+
+void BM_HexGridDistance(benchmark::State& state) {
+  HexGrid grid(75.0);
+  const CellId a = grid.CellOf({-3000.0, 1200.0});
+  const CellId b = grid.CellOf({2500.0, -700.0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grid.GridDistance(a, b));
+  }
+}
+BENCHMARK(BM_HexGridDistance);
+
+}  // namespace
+}  // namespace kamel
+
+BENCHMARK_MAIN();

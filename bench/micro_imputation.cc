@@ -1,0 +1,123 @@
+// Microbenchmarks of the imputation pipeline pieces that run per segment:
+// spatial-constraint filtering, cycle detection, and iterative-vs-beam
+// imputation against a deterministic candidate source (no model noise, so
+// the numbers isolate the algorithms of Section 6).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "core/imputer.h"
+#include "core/spatial_constraints.h"
+#include "grid/hex_grid.h"
+
+namespace kamel {
+namespace {
+
+// Candidate source that walks straight toward the destination: proposes
+// the neighbors of the last left-context cell, ranked by how much closer
+// they get to the first right-context cell.
+class StraightLineSource final : public CandidateSource {
+ public:
+  explicit StraightLineSource(const GridSystem* grid) : grid_(grid) {}
+
+  std::vector<Candidate> PredictMasked(const std::vector<CellId>& left,
+                                       const std::vector<CellId>& right,
+                                       int top_k) override {
+    std::vector<Candidate> out;
+    const Vec2 target = grid_->Centroid(right.front());
+    std::vector<CellId> options = grid_->EdgeNeighbors(left.back());
+    std::sort(options.begin(), options.end(),
+              [&](CellId a, CellId b) {
+                return Distance(grid_->Centroid(a), target) <
+                       Distance(grid_->Centroid(b), target);
+              });
+    double prob = 0.5;
+    for (CellId cell : options) {
+      if (static_cast<int>(out.size()) >= top_k) break;
+      out.push_back({cell, prob});
+      prob *= 0.5;
+    }
+    return out;
+  }
+
+ private:
+  const GridSystem* grid_;
+};
+
+KamelOptions MicroOptions() {
+  KamelOptions options;
+  options.max_speed_mps = 30.0;
+  options.beam_size = 5;
+  options.top_k = 6;
+  return options;
+}
+
+SegmentContext MakeContext(const HexGrid& grid, double gap_m) {
+  SegmentContext context;
+  context.s = {grid.CellOf({0.0, 0.0}), 0.0, {0.0, 0.0}, 0.0};
+  context.d = {grid.CellOf({gap_m, 0.0}), gap_m / 10.0, {gap_m, 0.0}, 0.0};
+  return context;
+}
+
+void BM_IterativeImpute(benchmark::State& state) {
+  HexGrid grid(75.0);
+  const KamelOptions options = MicroOptions();
+  SpatialConstraints constraints(&grid, options);
+  constraints.set_max_speed_mps(30.0);
+  IterativeBertImputer imputer(&grid, &constraints, options);
+  StraightLineSource source(&grid);
+  const SegmentContext context =
+      MakeContext(grid, static_cast<double>(state.range(0)));
+  for (auto _ : state) {
+    ImputedSegment segment = imputer.Impute(&source, context);
+    benchmark::DoNotOptimize(segment.cells.data());
+  }
+}
+BENCHMARK(BM_IterativeImpute)->Arg(500)->Arg(1000)->Arg(2000);
+
+void BM_BeamImpute(benchmark::State& state) {
+  HexGrid grid(75.0);
+  const KamelOptions options = MicroOptions();
+  SpatialConstraints constraints(&grid, options);
+  constraints.set_max_speed_mps(30.0);
+  BeamSearchImputer imputer(&grid, &constraints, options);
+  StraightLineSource source(&grid);
+  const SegmentContext context =
+      MakeContext(grid, static_cast<double>(state.range(0)));
+  for (auto _ : state) {
+    ImputedSegment segment = imputer.Impute(&source, context);
+    benchmark::DoNotOptimize(segment.cells.data());
+  }
+}
+BENCHMARK(BM_BeamImpute)->Arg(500)->Arg(1000);
+
+void BM_ConstraintFilter(benchmark::State& state) {
+  HexGrid grid(75.0);
+  const KamelOptions options = MicroOptions();
+  SpatialConstraints constraints(&grid, options);
+  constraints.set_max_speed_mps(30.0);
+  const SegmentContext context = MakeContext(grid, 1000.0);
+  std::vector<Candidate> candidates;
+  for (CellId cell : grid.Disk(context.s.cell, 3)) {
+    candidates.push_back({cell, 0.1});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(constraints.Filter(context, candidates));
+  }
+}
+BENCHMARK(BM_ConstraintFilter);
+
+void BM_CycleDetection(benchmark::State& state) {
+  std::vector<CellId> cells;
+  for (int i = 0; i < 40; ++i) cells.push_back(static_cast<CellId>(i % 17));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SpatialConstraints::DetectCycleAround(cells, cells.size() / 2, 6));
+  }
+}
+BENCHMARK(BM_CycleDetection);
+
+}  // namespace
+}  // namespace kamel
+
+BENCHMARK_MAIN();

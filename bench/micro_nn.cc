@@ -1,0 +1,105 @@
+// Microbenchmarks of the neural substrate: SGEMM kernels, transformer
+// forward/backward, and one full MLM training step, at the shapes KAMEL's
+// bench models actually use.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "nn/blas.h"
+#include "nn/mlm_trainer.h"
+#include "nn/tensor.h"
+#include "nn/transformer.h"
+
+namespace kamel::nn {
+namespace {
+
+void BM_SgemmNN(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, &rng);
+  Tensor b = Tensor::Randn({n, n}, &rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    Sgemm(false, false, n, n, n, 1.0f, a.data(), n, b.data(), n, 0.0f,
+          c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_SgemmNN)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SgemmTransposed(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, &rng);
+  Tensor b = Tensor::Randn({n, n}, &rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    Sgemm(true, false, n, n, n, 1.0f, a.data(), n, b.data(), n, 0.0f,
+          c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_SgemmTransposed)->Arg(64)->Arg(128);
+
+BertConfig BenchConfig(int64_t vocab) {
+  BertConfig config;
+  config.vocab_size = vocab;
+  config.d_model = 48;
+  config.num_heads = 4;
+  config.num_layers = 2;
+  config.ffn_dim = 192;
+  config.max_seq_len = 48;
+  config.dropout = 0.0;
+  return config;
+}
+
+void BM_BertForward(benchmark::State& state) {
+  const int64_t vocab = state.range(0);
+  BertModel model(BenchConfig(vocab), /*seed=*/3);
+  const int64_t seq = 32;
+  std::vector<int32_t> ids(static_cast<size_t>(seq), 7);
+  ids[10] = 4;  // a mask token
+  const std::vector<float> mask(static_cast<size_t>(seq), 1.0f);
+  for (auto _ : state) {
+    Tensor logits = model.Forward(ids, mask, 1, seq, /*train=*/false);
+    benchmark::DoNotOptimize(logits.data());
+  }
+}
+BENCHMARK(BM_BertForward)->Arg(300)->Arg(1000)->Arg(2000);
+
+void BM_MlmTrainStep(benchmark::State& state) {
+  const int64_t vocab = state.range(0);
+  BertModel model(BenchConfig(vocab), /*seed=*/3);
+  Rng rng(5);
+  std::vector<std::vector<int32_t>> corpus;
+  for (int s = 0; s < 32; ++s) {
+    std::vector<int32_t> seq;
+    for (int t = 0; t < 24; ++t) {
+      seq.push_back(static_cast<int32_t>(
+          5 + rng.NextUint64(static_cast<uint64_t>(vocab - 5))));
+    }
+    corpus.push_back(std::move(seq));
+  }
+  MlmTrainOptions options;
+  options.batch_size = 16;
+  MlmTokenLayout layout{0, 4, 5};
+  AdamOptimizer optimizer(model.Params());
+  for (auto _ : state) {
+    MlmBatch batch = BuildMlmBatch(corpus, layout, options,
+                                   model.config().max_seq_len, vocab, &rng);
+    model.ZeroGrads();
+    Tensor logits =
+        model.Forward(batch.ids, batch.key_mask, batch.batch, batch.seq_len,
+                      /*train=*/true);
+    const double loss = model.LossAndBackward(logits, batch.labels);
+    optimizer.Step(1e-3);
+    benchmark::DoNotOptimize(loss);
+  }
+}
+BENCHMARK(BM_MlmTrainStep)->Arg(300)->Arg(1000);
+
+}  // namespace
+}  // namespace kamel::nn
+
+BENCHMARK_MAIN();

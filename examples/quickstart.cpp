@@ -1,0 +1,82 @@
+// Quickstart: train KAMEL on a small synthetic city and impute one sparse
+// trajectory. Demonstrates the minimal public API surface:
+//   BuildScenario -> Kamel::Train -> Sparsify -> Kamel::Impute.
+#include <cstdio>
+
+#include "core/kamel.h"
+#include "eval/evaluator.h"
+#include "eval/scenario.h"
+#include "sim/datasets.h"
+#include "sim/sparsifier.h"
+
+namespace {
+
+kamel::KamelOptions QuickstartOptions() {
+  kamel::KamelOptions options = kamel::BenchKamelOptions();
+  // Shrink everything: the quickstart city is tiny (a few hundred
+  // tokens), so a single root-level model is appropriate.
+  options.bert.encoder.d_model = 32;
+  options.bert.encoder.ffn_dim = 128;
+  options.bert.train.steps = 900;
+  options.pyramid_height = 0;
+  options.pyramid_levels = 1;
+  options.model_token_threshold = 200;
+  return options;
+}
+
+}  // namespace
+
+int main() {
+  // 1. A synthetic city with simulated GPS trips (stand-in for your own
+  //    trajectory data; KAMEL never sees the underlying road network).
+  const kamel::SimScenario scenario =
+      kamel::BuildScenario(kamel::MiniSpec());
+  std::printf("city: %d road nodes, %zu train trips, %zu test trips\n",
+              scenario.network->num_nodes(),
+              scenario.train.trajectories.size(),
+              scenario.test.trajectories.size());
+
+  // 2. Train the system (offline; builds BERT models + token clusters).
+  kamel::Kamel system(QuickstartOptions());
+  const kamel::Status trained = system.Train(scenario.train);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 trained.ToString().c_str());
+    return 1;
+  }
+  std::printf("trained: %d models, %.1fs, speed bound %.1f m/s\n",
+              system.repository().num_models(),
+              system.total_train_seconds(), system.max_speed_mps());
+
+  // 3. Take a dense test trajectory, punch 400 m gaps into it, impute.
+  const kamel::Trajectory& dense = scenario.test.trajectories.front();
+  const kamel::Trajectory sparse = kamel::Sparsify(dense, 400.0);
+  auto imputed = system.Impute(sparse);
+  if (!imputed.ok()) {
+    std::fprintf(stderr, "imputation failed: %s\n",
+                 imputed.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("dense ground truth: %zu points\n", dense.points.size());
+  std::printf("sparsified input:   %zu points\n", sparse.points.size());
+  std::printf("imputed output:     %zu points (%d segments, %d failed, "
+              "%lld BERT calls)\n",
+              imputed->trajectory.points.size(), imputed->stats.segments,
+              imputed->stats.failed_segments,
+              static_cast<long long>(imputed->stats.bert_calls));
+
+  // 4. Score against the ground truth.
+  kamel::Evaluator evaluator(scenario.projection.get());
+  kamel::KamelMethod method(&system);
+  kamel::TrajectoryDataset one;
+  one.trajectories.push_back(dense);
+  auto run = evaluator.RunMethod(&method, one, 400.0);
+  if (run.ok()) {
+    kamel::ScoreConfig score;
+    score.delta_m = 50.0;
+    const kamel::EvalResult result = evaluator.Score(*run, score);
+    std::printf("recall=%.3f precision=%.3f failure_rate=%.3f\n",
+                result.recall, result.precision, result.failure_rate);
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+#ifndef KAMEL_BASELINES_IMPUTATION_METHOD_H_
+#define KAMEL_BASELINES_IMPUTATION_METHOD_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/kamel.h"
+#include "geo/trajectory.h"
+
+namespace kamel {
+
+/// Uniform interface over every imputation technique in the evaluation
+/// (Section 8): KAMEL itself, TrImpute, linear interpolation, and the
+/// map-matching reference. The experiment harness trains and runs all of
+/// them through this.
+class ImputationMethod {
+ public:
+  virtual ~ImputationMethod() = default;
+
+  /// Display name used in result tables ("KAMEL", "TrImpute", ...).
+  virtual std::string name() const = 0;
+
+  /// Offline training / preparation on dense historical trajectories.
+  virtual Status Train(const TrajectoryDataset& data) = 0;
+
+  /// Imputes one sparse trajectory.
+  virtual Result<ImputedTrajectory> Impute(const Trajectory& sparse) = 0;
+
+  /// Cumulative offline training time, seconds (Figure 11a).
+  virtual double train_seconds() const = 0;
+};
+
+/// Adapts a Kamel instance to the common interface.
+class KamelMethod final : public ImputationMethod {
+ public:
+  /// Takes ownership of nothing: `system` must outlive the method.
+  explicit KamelMethod(Kamel* system, std::string display_name = "KAMEL")
+      : system_(system), name_(std::move(display_name)) {}
+
+  std::string name() const override { return name_; }
+  Status Train(const TrajectoryDataset& data) override {
+    return system_->Train(data);
+  }
+  Result<ImputedTrajectory> Impute(const Trajectory& sparse) override {
+    return system_->Impute(sparse);
+  }
+  double train_seconds() const override {
+    return system_->total_train_seconds();
+  }
+
+ private:
+  Kamel* system_;
+  std::string name_;
+};
+
+}  // namespace kamel
+
+#endif  // KAMEL_BASELINES_IMPUTATION_METHOD_H_

@@ -1,0 +1,112 @@
+#include "baselines/kinematic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stopwatch.h"
+
+namespace kamel {
+
+Status KinematicInterpolation::Train(const TrajectoryDataset& data) {
+  // Training-free; only anchors the local frame.
+  if (projection_ == nullptr) {
+    for (const auto& trajectory : data.trajectories) {
+      if (!trajectory.points.empty()) {
+        projection_ =
+            std::make_unique<LocalProjection>(trajectory.points[0].pos);
+        return Status::OK();
+      }
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Endpoint velocity estimated from the adjacent observation when one
+// exists; zero (straight-line fall-back) otherwise.
+Vec2 VelocityAt(const std::vector<Vec2>& pts,
+                const std::vector<double>& times, size_t index,
+                bool forward) {
+  if (forward && index + 1 < pts.size()) {
+    const double dt = times[index + 1] - times[index];
+    if (dt > 1e-9) return (pts[index + 1] - pts[index]) * (1.0 / dt);
+  }
+  if (!forward && index > 0) {
+    const double dt = times[index] - times[index - 1];
+    if (dt > 1e-9) return (pts[index] - pts[index - 1]) * (1.0 / dt);
+  }
+  return {0.0, 0.0};
+}
+
+}  // namespace
+
+Result<ImputedTrajectory> KinematicInterpolation::Impute(
+    const Trajectory& sparse) {
+  Stopwatch watch;
+  ImputedTrajectory out;
+  out.trajectory.id = sparse.id;
+  if (sparse.points.empty()) {
+    out.stats.seconds = watch.ElapsedSeconds();
+    return out;
+  }
+  if (projection_ == nullptr) {
+    projection_ = std::make_unique<LocalProjection>(sparse.points[0].pos);
+  }
+
+  std::vector<Vec2> pts;
+  std::vector<double> times;
+  pts.reserve(sparse.points.size());
+  for (const auto& point : sparse.points) {
+    pts.push_back(projection_->Project(point.pos));
+    times.push_back(point.time);
+  }
+
+  for (size_t i = 0; i < pts.size(); ++i) {
+    out.trajectory.points.push_back(sparse.points[i]);
+    if (i + 1 >= pts.size()) break;
+    const double gap = Distance(pts[i], pts[i + 1]);
+    if (gap <= gap_trigger_m_) continue;
+    ++out.stats.segments;
+    out.stats.outcomes.push_back(
+        {sparse.points[i].time, sparse.points[i + 1].time, false});
+
+    const double duration = times[i + 1] - times[i];
+    if (duration <= 1e-9) continue;
+    // Hermite basis over normalized time u in (0,1); tangents are the
+    // endpoint velocities scaled by the gap duration. Using the *prior*
+    // observed leg at S and the *next* observed leg at D mirrors how the
+    // vehicle actually entered and left the gap.
+    const Vec2 v0 = VelocityAt(pts, times, i, /*forward=*/false) * duration;
+    const Vec2 v1 =
+        VelocityAt(pts, times, i + 1, /*forward=*/true) * duration;
+    // Clamp runaway tangents: a tangent much longer than the chord makes
+    // the curve loop.
+    auto clamp_tangent = [gap](const Vec2& t) {
+      const double len = t.Norm();
+      const double limit = 2.0 * gap;
+      return len > limit ? t * (limit / len) : t;
+    };
+    const Vec2 t0 = clamp_tangent(v0);
+    const Vec2 t1 = clamp_tangent(v1);
+
+    const int steps = std::max(
+        1, static_cast<int>(std::floor(gap / max_gap_m_)));
+    for (int k = 1; k <= steps; ++k) {
+      const double u = static_cast<double>(k) / (steps + 1);
+      const double u2 = u * u;
+      const double u3 = u2 * u;
+      const double h00 = 2 * u3 - 3 * u2 + 1;
+      const double h10 = u3 - 2 * u2 + u;
+      const double h01 = -2 * u3 + 3 * u2;
+      const double h11 = u3 - u2;
+      const Vec2 p = pts[i] * h00 + t0 * h10 + pts[i + 1] * h01 + t1 * h11;
+      out.trajectory.points.push_back(
+          {projection_->Unproject(p), times[i] + u * duration});
+    }
+  }
+  out.stats.seconds = watch.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace kamel

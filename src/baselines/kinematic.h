@@ -1,0 +1,39 @@
+#ifndef KAMEL_BASELINES_KINEMATIC_H_
+#define KAMEL_BASELINES_KINEMATIC_H_
+
+#include <memory>
+
+#include "baselines/imputation_method.h"
+#include "geo/projection.h"
+
+namespace kamel {
+
+/// Kinematic (Hermite) interpolation — the classical physics-based
+/// imputation the paper's related work cites (Long, "Kinematic
+/// Interpolation of Movement Data" [39]): each gap is filled with a cubic
+/// curve matching the positions *and velocities* at both endpoints, so
+/// the path bends the way a vehicle that was already turning would.
+///
+/// Like linear interpolation it uses no historical data and cannot know
+/// about roads, but it beats straight lines on smooth curves — a stronger
+/// training-free baseline for the evaluation harness.
+class KinematicInterpolation final : public ImputationMethod {
+ public:
+  explicit KinematicInterpolation(double max_gap_m = 100.0,
+                                  double gap_trigger_m = 150.0)
+      : max_gap_m_(max_gap_m), gap_trigger_m_(gap_trigger_m) {}
+
+  std::string name() const override { return "Kinematic"; }
+  Status Train(const TrajectoryDataset& data) override;
+  Result<ImputedTrajectory> Impute(const Trajectory& sparse) override;
+  double train_seconds() const override { return 0.0; }
+
+ private:
+  double max_gap_m_;
+  double gap_trigger_m_;
+  std::unique_ptr<LocalProjection> projection_;
+};
+
+}  // namespace kamel
+
+#endif  // KAMEL_BASELINES_KINEMATIC_H_

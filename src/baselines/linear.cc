@@ -1,0 +1,43 @@
+#include "baselines/linear.h"
+
+#include <cmath>
+
+#include "common/stopwatch.h"
+
+namespace kamel {
+
+Status LinearInterpolation::Train(const TrajectoryDataset& /*data*/) {
+  // Linear interpolation is training-free.
+  return Status::OK();
+}
+
+Result<ImputedTrajectory> LinearInterpolation::Impute(
+    const Trajectory& sparse) {
+  Stopwatch watch;
+  ImputedTrajectory out;
+  out.trajectory.id = sparse.id;
+  for (size_t i = 0; i < sparse.points.size(); ++i) {
+    out.trajectory.points.push_back(sparse.points[i]);
+    if (i + 1 >= sparse.points.size()) break;
+    const TrajPoint& a = sparse.points[i];
+    const TrajPoint& b = sparse.points[i + 1];
+    const double gap = HaversineMeters(a.pos, b.pos);
+    if (gap <= gap_trigger_m_) continue;
+
+    ++out.stats.segments;
+    ++out.stats.failed_segments;  // a linear fill is a failure by definition
+    out.stats.outcomes.push_back({a.time, b.time, true});
+    const int steps = static_cast<int>(std::floor(gap / max_gap_m_));
+    for (int k = 1; k <= steps; ++k) {
+      const double t = static_cast<double>(k) / (steps + 1);
+      out.trajectory.points.push_back(
+          {{a.pos.lat + t * (b.pos.lat - a.pos.lat),
+            a.pos.lng + t * (b.pos.lng - a.pos.lng)},
+           a.time + t * (b.time - a.time)});
+    }
+  }
+  out.stats.seconds = watch.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace kamel

@@ -1,0 +1,30 @@
+#ifndef KAMEL_BASELINES_LINEAR_H_
+#define KAMEL_BASELINES_LINEAR_H_
+
+#include "baselines/imputation_method.h"
+
+namespace kamel {
+
+/// The paper's baseline (Section 8): every gap is imputed by a straight
+/// line with one point every `max_gap_m`. By definition its failure rate
+/// is 100% — a "failure" in the paper's metric *is* a linear fill.
+class LinearInterpolation final : public ImputationMethod {
+ public:
+  explicit LinearInterpolation(double max_gap_m = 100.0,
+                               double gap_trigger_m = 150.0)
+      : max_gap_m_(max_gap_m), gap_trigger_m_(gap_trigger_m) {}
+
+  std::string name() const override { return "Linear"; }
+  Status Train(const TrajectoryDataset& data) override;
+  Result<ImputedTrajectory> Impute(const Trajectory& sparse) override;
+  double train_seconds() const override { return 0.0; }
+
+ private:
+  double max_gap_m_;
+  /// Consecutive points farther apart than this count as a gap segment.
+  double gap_trigger_m_;
+};
+
+}  // namespace kamel
+
+#endif  // KAMEL_BASELINES_LINEAR_H_

@@ -1,0 +1,224 @@
+#include "baselines/map_matching.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "geo/polyline.h"
+
+namespace kamel {
+
+MapMatching::MapMatching(const RoadNetwork* network,
+                         const LocalProjection* projection,
+                         MapMatchingOptions options)
+    : network_(network), projection_(projection), options_(options) {
+  KAMEL_CHECK(network != nullptr && projection != nullptr);
+  planner_ = std::make_unique<RoutePlanner>(network_,
+                                            RoutePlanner::Cost::kDistance);
+}
+
+Status MapMatching::Train(const TrajectoryDataset& /*data*/) {
+  // Map matching needs no trajectory training: it is handed the map.
+  return Status::OK();
+}
+
+std::vector<MapMatching::MatchCandidate> MapMatching::CandidatesFor(
+    const Vec2& reading) const {
+  // Score every undirected road once, keep the nearest few, then emit both
+  // directed candidates per kept road (direction matters for routing).
+  struct Scored {
+    int undirected_edge;
+    double distance;
+    Vec2 point;
+    double offset;  // along the even (forward) direction
+  };
+  std::vector<Scored> scored;
+  const auto& edges = network_->edges();
+  for (size_t i = 0; i < edges.size(); i += 2) {
+    const RoadEdge& e = edges[i];
+    const Vec2& a = network_->NodePosition(e.from);
+    const Vec2& b = network_->NodePosition(e.to);
+    const Vec2 ab = b - a;
+    const double len2 = ab.SquaredNorm();
+    double t = len2 > 0.0 ? (reading - a).Dot(ab) / len2 : 0.0;
+    t = std::clamp(t, 0.0, 1.0);
+    const Vec2 q = a + ab * t;
+    const double d = Distance(reading, q);
+    if (d > options_.candidate_radius_m) continue;
+    scored.push_back({static_cast<int>(i), d, q, t * e.length});
+  }
+  const size_t keep = std::min<size_t>(
+      scored.size(), static_cast<size_t>(options_.candidates_per_point));
+  std::partial_sort(scored.begin(), scored.begin() + keep, scored.end(),
+                    [](const Scored& a, const Scored& b) {
+                      return a.distance < b.distance;
+                    });
+  scored.resize(keep);
+
+  std::vector<MatchCandidate> out;
+  out.reserve(keep * 2);
+  const double inv_2s2 = 1.0 / (2.0 * options_.gps_sigma_m *
+                                options_.gps_sigma_m);
+  for (const Scored& s : scored) {
+    const double emission = -s.distance * s.distance * inv_2s2;
+    const double length = edges[static_cast<size_t>(s.undirected_edge)].length;
+    out.push_back({s.undirected_edge, s.point, s.offset, emission});
+    out.push_back(
+        {s.undirected_edge + 1, s.point, length - s.offset, emission});
+  }
+  return out;
+}
+
+double MapMatching::RouteDistance(const MatchCandidate& a,
+                                  const MatchCandidate& b) const {
+  const RoadEdge& ea = network_->Edge(a.edge);
+  const RoadEdge& eb = network_->Edge(b.edge);
+  if (a.edge == b.edge && b.offset >= a.offset) {
+    return b.offset - a.offset;
+  }
+  const double head = ea.length - a.offset;  // reach ea.to
+  const double tail = b.offset;              // from eb.from
+  auto it = distance_cache_.find(ea.to);
+  if (it == distance_cache_.end()) {
+    it = distance_cache_.emplace(ea.to, planner_->AllDistances(ea.to)).first;
+  }
+  const double middle = it->second[static_cast<size_t>(eb.from)];
+  return head + middle + tail;
+}
+
+std::vector<Vec2> MapMatching::RoutePolyline(const MatchCandidate& a,
+                                             const MatchCandidate& b) const {
+  if (a.edge == b.edge && b.offset >= a.offset) {
+    return {a.point, b.point};
+  }
+  const RoadEdge& ea = network_->Edge(a.edge);
+  const RoadEdge& eb = network_->Edge(b.edge);
+  const std::vector<int> path = planner_->ShortestPath(ea.to, eb.from);
+  if (path.empty()) return {};
+  std::vector<Vec2> out = {a.point};
+  for (int node : path) out.push_back(network_->NodePosition(node));
+  out.push_back(b.point);
+  return polyline::DropConsecutiveDuplicates(out);
+}
+
+Result<ImputedTrajectory> MapMatching::Impute(const Trajectory& sparse) {
+  Stopwatch watch;
+  distance_cache_.clear();
+  ImputedTrajectory out;
+  out.trajectory.id = sparse.id;
+  const size_t n = sparse.points.size();
+  if (n == 0) {
+    out.stats.seconds = watch.ElapsedSeconds();
+    return out;
+  }
+
+  std::vector<Vec2> readings;
+  readings.reserve(n);
+  for (const auto& point : sparse.points) {
+    readings.push_back(projection_->Project(point.pos));
+  }
+
+  // Viterbi over per-reading candidates.
+  std::vector<std::vector<MatchCandidate>> candidates(n);
+  for (size_t i = 0; i < n; ++i) candidates[i] = CandidatesFor(readings[i]);
+
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> score(n);
+  std::vector<std::vector<int>> back(n);
+  for (size_t i = 0; i < n; ++i) {
+    score[i].assign(candidates[i].size(), kNegInf);
+    back[i].assign(candidates[i].size(), -1);
+  }
+  for (size_t c = 0; c < candidates[0].size(); ++c) {
+    score[0][c] = candidates[0][c].emission_log;
+  }
+  for (size_t i = 1; i < n; ++i) {
+    const double straight = Distance(readings[i - 1], readings[i]);
+    for (size_t c = 0; c < candidates[i].size(); ++c) {
+      for (size_t p = 0; p < candidates[i - 1].size(); ++p) {
+        if (score[i - 1][p] == kNegInf) continue;
+        const double route =
+            RouteDistance(candidates[i - 1][p], candidates[i][c]);
+        if (!std::isfinite(route)) continue;
+        // Newson–Krumm transition: routes much longer than the great-
+        // circle distance are implausible.
+        const double transition =
+            -std::fabs(route - straight) / options_.transition_beta_m;
+        const double total = score[i - 1][p] + transition +
+                             candidates[i][c].emission_log;
+        if (total > score[i][c]) {
+          score[i][c] = total;
+          back[i][c] = static_cast<int>(p);
+        }
+      }
+      // Stranded reading (no candidates or unreachable): restart the
+      // chain here so the rest of the trajectory still matches.
+      if (score[i][c] == kNegInf && !candidates[i].empty()) {
+        score[i][c] = candidates[i][c].emission_log;
+        back[i][c] = -1;
+      }
+    }
+  }
+
+  // Backtrack the best chain.
+  std::vector<int> chosen(n, -1);
+  for (size_t i = n; i-- > 0;) {
+    if (i + 1 < n && chosen[i + 1] >= 0 &&
+        back[i + 1][static_cast<size_t>(chosen[i + 1])] >= 0) {
+      chosen[i] = back[i + 1][static_cast<size_t>(chosen[i + 1])];
+      continue;
+    }
+    int best = -1;
+    for (size_t c = 0; c < candidates[i].size(); ++c) {
+      if (score[i][c] != kNegInf &&
+          (best < 0 || score[i][c] > score[i][static_cast<size_t>(best)])) {
+        best = static_cast<int>(c);
+      }
+    }
+    chosen[i] = best;
+  }
+
+  // Emit: original readings plus route interiors for sparse gaps.
+  for (size_t i = 0; i < n; ++i) {
+    out.trajectory.points.push_back(sparse.points[i]);
+    if (i + 1 >= n) break;
+    const double gap = Distance(readings[i], readings[i + 1]);
+    if (gap <= options_.max_gap_m * 1.5) continue;
+    ++out.stats.segments;
+    out.stats.outcomes.push_back(
+        {sparse.points[i].time, sparse.points[i + 1].time, false});
+
+    std::vector<Vec2> route;
+    if (chosen[i] >= 0 && chosen[i + 1] >= 0 &&
+        back[i + 1][static_cast<size_t>(chosen[i + 1])] ==
+            chosen[i]) {
+      route = RoutePolyline(candidates[i][static_cast<size_t>(chosen[i])],
+                            candidates[i + 1][static_cast<size_t>(
+                                chosen[i + 1])]);
+    }
+    if (route.size() < 2) {
+      ++out.stats.failed_segments;
+      out.stats.outcomes.back().failed = true;
+      route = {readings[i], readings[i + 1]};
+    }
+    const std::vector<Vec2> samples =
+        polyline::ResampleEvery(route, options_.max_gap_m);
+    const double total_len = polyline::Length(route);
+    double walked = 0.0;
+    for (size_t k = 1; k + 1 < samples.size(); ++k) {
+      walked += Distance(samples[k - 1], samples[k]);
+      const double t = total_len > 0.0 ? walked / total_len : 0.0;
+      out.trajectory.points.push_back(
+          {projection_->Unproject(samples[k]),
+           sparse.points[i].time +
+               t * (sparse.points[i + 1].time - sparse.points[i].time)});
+    }
+  }
+  out.stats.seconds = watch.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace kamel

@@ -1,0 +1,75 @@
+#ifndef KAMEL_BASELINES_MAP_MATCHING_H_
+#define KAMEL_BASELINES_MAP_MATCHING_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/imputation_method.h"
+#include "geo/projection.h"
+#include "sim/road_network.h"
+#include "sim/route_planner.h"
+
+namespace kamel {
+
+/// HMM map-matching tunables (Newson–Krumm style, as in FMM [74]).
+struct MapMatchingOptions {
+  /// Emission model: GPS error standard deviation, meters.
+  double gps_sigma_m = 25.0;
+  /// Transition model: scale of |route - great-circle| penalty, meters.
+  double transition_beta_m = 200.0;
+  /// Candidate edges per point.
+  int candidates_per_point = 4;
+  /// Candidates farther than this from the reading are ignored, meters.
+  double candidate_radius_m = 250.0;
+  /// Output spacing along matched routes, meters.
+  double max_gap_m = 100.0;
+};
+
+/// Map matching + shortest-path gap filling — the paper's reference line
+/// (Section 8: "techniques that rely on road networks"). It is handed the
+/// *true* simulator network, so it upper-bounds what any network-less
+/// method can achieve; the paper's headline is that KAMEL gets close to it
+/// without ever seeing the map.
+class MapMatching final : public ImputationMethod {
+ public:
+  /// `network` and `projection` are borrowed and must outlive the method.
+  MapMatching(const RoadNetwork* network, const LocalProjection* projection,
+              MapMatchingOptions options = {});
+
+  std::string name() const override { return "MapMatch"; }
+  Status Train(const TrajectoryDataset& data) override;
+  Result<ImputedTrajectory> Impute(const Trajectory& sparse) override;
+  double train_seconds() const override { return train_seconds_; }
+
+ private:
+  struct MatchCandidate {
+    int edge = -1;        // directed edge index
+    Vec2 point;           // projection of the reading onto the edge
+    double offset = 0.0;  // meters from edge start
+    double emission_log = 0.0;
+  };
+
+  std::vector<MatchCandidate> CandidatesFor(const Vec2& reading) const;
+
+  /// Network route distance between two candidates; +inf if unreachable.
+  double RouteDistance(const MatchCandidate& a,
+                       const MatchCandidate& b) const;
+
+  /// Route polyline between two candidates (including both match points).
+  std::vector<Vec2> RoutePolyline(const MatchCandidate& a,
+                                  const MatchCandidate& b) const;
+
+  const RoadNetwork* network_;
+  const LocalProjection* projection_;
+  MapMatchingOptions options_;
+  std::unique_ptr<RoutePlanner> planner_;
+  double train_seconds_ = 0.0;
+  /// Per-source Dijkstra results, reused across Viterbi transitions of one
+  /// Impute call (cleared at call start).
+  mutable std::unordered_map<int, std::vector<double>> distance_cache_;
+};
+
+}  // namespace kamel
+
+#endif  // KAMEL_BASELINES_MAP_MATCHING_H_

@@ -1,0 +1,208 @@
+#include "baselines/trimpute.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/stopwatch.h"
+
+namespace kamel {
+
+TrImpute::TrImpute(TrImputeOptions options) : options_(options) {}
+
+int64_t TrImpute::IndexKey(const Vec2& p) const {
+  const auto ix =
+      static_cast<int32_t>(std::floor(p.x / options_.index_cell_m));
+  const auto iy =
+      static_cast<int32_t>(std::floor(p.y / options_.index_cell_m));
+  return (static_cast<int64_t>(ix) << 32) |
+         static_cast<int64_t>(static_cast<uint32_t>(iy));
+}
+
+Status TrImpute::Train(const TrajectoryDataset& data) {
+  Stopwatch watch;
+  if (projection_ == nullptr) {
+    // Anchor at the first point seen; any city-scale anchor works.
+    for (const auto& trajectory : data.trajectories) {
+      if (!trajectory.points.empty()) {
+        projection_ =
+            std::make_unique<LocalProjection>(trajectory.points[0].pos);
+        break;
+      }
+    }
+    if (projection_ == nullptr) {
+      return Status::InvalidArgument("TrImpute training data is empty");
+    }
+  }
+  for (const auto& trajectory : data.trajectories) {
+    std::vector<Vec2> pts;
+    pts.reserve(trajectory.points.size());
+    for (const auto& point : trajectory.points) {
+      pts.push_back(projection_->Project(point.pos));
+    }
+    for (size_t i = 0; i < pts.size(); ++i) {
+      double heading = 0.0;
+      if (i + 1 < pts.size()) {
+        heading = HeadingRadians(pts[i], pts[i + 1]);
+      } else if (i > 0) {
+        heading = HeadingRadians(pts[i - 1], pts[i]);
+      }
+      index_[IndexKey(pts[i])].push_back({pts[i], heading});
+      ++num_points_;
+    }
+  }
+  train_seconds_ += watch.ElapsedSeconds();
+  return Status::OK();
+}
+
+std::vector<const TrImpute::HistoricalPoint*> TrImpute::Near(
+    const Vec2& p, double radius) const {
+  std::vector<const HistoricalPoint*> out;
+  const int span =
+      static_cast<int>(std::ceil(radius / options_.index_cell_m));
+  const auto cx =
+      static_cast<int32_t>(std::floor(p.x / options_.index_cell_m));
+  const auto cy =
+      static_cast<int32_t>(std::floor(p.y / options_.index_cell_m));
+  const double r2 = radius * radius;
+  for (int dx = -span; dx <= span; ++dx) {
+    for (int dy = -span; dy <= span; ++dy) {
+      const int64_t key =
+          (static_cast<int64_t>(cx + dx) << 32) |
+          static_cast<int64_t>(static_cast<uint32_t>(cy + dy));
+      auto it = index_.find(key);
+      if (it == index_.end()) continue;
+      for (const HistoricalPoint& hp : it->second) {
+        if ((hp.position - p).SquaredNorm() <= r2) out.push_back(&hp);
+      }
+    }
+  }
+  return out;
+}
+
+bool TrImpute::Step(const Vec2& from, const Vec2& target,
+                    double last_heading, Vec2* next) const {
+  // The frontier advances by ~step_m towards the target; the crowd near
+  // the naive next position votes on where the road actually is.
+  const Vec2 to_target = target - from;
+  const double remaining = to_target.Norm();
+  if (remaining < 1e-9) return false;
+  const double stride = std::min(options_.step_m, remaining);
+  const Vec2 naive = from + to_target * (stride / remaining);
+  const double travel_heading = std::atan2(to_target.y, to_target.x);
+  const double tolerance = DegToRad(options_.heading_tolerance_deg);
+
+  const std::vector<const HistoricalPoint*> crowd =
+      Near(naive, options_.search_radius_m);
+  Vec2 vote{0.0, 0.0};
+  double weight_sum = 0.0;
+  int support = 0;
+  for (const HistoricalPoint* hp : crowd) {
+    double misalign = AngleDifference(hp->heading, travel_heading);
+    if (!std::isnan(last_heading)) {
+      // A road bending away from the straight-to-target bearing is fine
+      // as long as it agrees with the walk's own momentum.
+      misalign = std::min(misalign,
+                          AngleDifference(hp->heading, last_heading));
+    }
+    if (misalign > tolerance) continue;
+    // Must make forward progress relative to the frontier.
+    if ((hp->position - from).Dot(to_target) <= 0.0) continue;
+    const double w = (1.0 + std::cos(misalign)) /
+                     (1.0 + Distance(hp->position, naive));
+    vote = vote + hp->position * w;
+    weight_sum += w;
+    ++support;
+  }
+  if (support < options_.min_support || weight_sum <= 0.0) return false;
+  *next = vote * (1.0 / weight_sum);
+  // Degenerate votes that do not advance stall the walk: reject them.
+  if (Distance(*next, from) < options_.step_m * 0.2) return false;
+  return true;
+}
+
+Result<ImputedTrajectory> TrImpute::Impute(const Trajectory& sparse) {
+  if (projection_ == nullptr) {
+    return Status::FailedPrecondition("TrImpute::Impute before Train");
+  }
+  Stopwatch watch;
+  ImputedTrajectory out;
+  out.trajectory.id = sparse.id;
+
+  std::vector<Vec2> pts;
+  pts.reserve(sparse.points.size());
+  for (const auto& point : sparse.points) {
+    pts.push_back(projection_->Project(point.pos));
+  }
+
+  auto append_linear = [&](size_t i) {
+    const double gap = Distance(pts[i], pts[i + 1]);
+    const int steps = static_cast<int>(std::floor(gap / options_.max_gap_m));
+    for (int k = 1; k <= steps; ++k) {
+      const double t = static_cast<double>(k) / (steps + 1);
+      const Vec2 p = pts[i] + (pts[i + 1] - pts[i]) * t;
+      out.trajectory.points.push_back(
+          {projection_->Unproject(p),
+           sparse.points[i].time +
+               t * (sparse.points[i + 1].time - sparse.points[i].time)});
+    }
+  };
+
+  for (size_t i = 0; i < pts.size(); ++i) {
+    out.trajectory.points.push_back(sparse.points[i]);
+    if (i + 1 >= pts.size()) break;
+    const double gap = Distance(pts[i], pts[i + 1]);
+    if (gap <= options_.max_gap_m * 1.5) continue;
+
+    ++out.stats.segments;
+    out.stats.outcomes.push_back(
+        {sparse.points[i].time, sparse.points[i + 1].time, false});
+    // Crowd-guided walk from S to D.
+    std::vector<Vec2> walked;
+    Vec2 cursor = pts[i];
+    double last_heading = std::numeric_limits<double>::quiet_NaN();
+    bool ok = true;
+    int steps = 0;
+    while (Distance(cursor, pts[i + 1]) > options_.max_gap_m) {
+      if (++steps > options_.max_steps) {
+        ok = false;
+        break;
+      }
+      Vec2 next;
+      if (!Step(cursor, pts[i + 1], last_heading, &next)) {
+        ok = false;
+        break;
+      }
+      last_heading = HeadingRadians(cursor, next);
+      walked.push_back(next);
+      cursor = next;
+    }
+    if (!ok) {
+      ++out.stats.failed_segments;
+      out.stats.outcomes.back().failed = true;
+      append_linear(i);
+      continue;
+    }
+    // Timestamps linear in arc length.
+    std::vector<Vec2> path = {pts[i]};
+    path.insert(path.end(), walked.begin(), walked.end());
+    path.push_back(pts[i + 1]);
+    double total = 0.0;
+    for (size_t k = 1; k < path.size(); ++k) {
+      total += Distance(path[k - 1], path[k]);
+    }
+    double acc = 0.0;
+    for (size_t k = 1; k + 1 < path.size(); ++k) {
+      acc += Distance(path[k - 1], path[k]);
+      const double t = total > 0.0 ? acc / total : 0.0;
+      out.trajectory.points.push_back(
+          {projection_->Unproject(path[k]),
+           sparse.points[i].time +
+               t * (sparse.points[i + 1].time - sparse.points[i].time)});
+    }
+  }
+  out.stats.seconds = watch.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace kamel

@@ -1,0 +1,81 @@
+#ifndef KAMEL_BASELINES_TRIMPUTE_H_
+#define KAMEL_BASELINES_TRIMPUTE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/imputation_method.h"
+#include "geo/projection.h"
+
+namespace kamel {
+
+/// TrImpute tunables.
+struct TrImputeOptions {
+  /// Crowd-wisdom search radius around the walking frontier, meters.
+  double search_radius_m = 120.0;
+  /// Preferred stride per imputed step, meters.
+  double step_m = 100.0;
+  /// Historical headings must align with the step direction within this
+  /// angle, degrees.
+  double heading_tolerance_deg = 60.0;
+  /// Minimum supporting historical points for a step (the "crowd").
+  int min_support = 3;
+  /// Give up after this many steps per segment.
+  int max_steps = 200;
+  /// Output spacing (for failure-fallback lines), meters.
+  double max_gap_m = 100.0;
+  /// Index cell size, meters.
+  double index_cell_m = 60.0;
+};
+
+/// Reimplementation of TrImpute [20] (Elshrif, Isufaj, Mokbel,
+/// SIGSPATIAL 2022), the paper's state-of-the-art competitor: network-less
+/// imputation guided by the "crowd wisdom" of historical GPS points.
+///
+/// Training indexes all historical readings (position + heading) in a
+/// uniform grid. Imputing a gap S->D walks a frontier from S towards D;
+/// each step moves to the position voted by historical points near the
+/// frontier whose headings agree with the direction of travel. When the
+/// crowd is absent (sparse history — TrImpute's documented weakness) the
+/// segment fails and falls back to a straight line.
+class TrImpute final : public ImputationMethod {
+ public:
+  explicit TrImpute(TrImputeOptions options = {});
+
+  std::string name() const override { return "TrImpute"; }
+  Status Train(const TrajectoryDataset& data) override;
+  Result<ImputedTrajectory> Impute(const Trajectory& sparse) override;
+  double train_seconds() const override { return train_seconds_; }
+
+  size_t num_indexed_points() const { return num_points_; }
+
+ private:
+  struct HistoricalPoint {
+    Vec2 position;
+    double heading;
+  };
+
+  int64_t IndexKey(const Vec2& p) const;
+  std::vector<const HistoricalPoint*> Near(const Vec2& p,
+                                           double radius) const;
+
+  /// One crowd-guided step from `from` towards `target`; returns false
+  /// when the crowd is too thin. `last_heading` is the walk's previous
+  /// step direction (NaN on the first step): historical points may align
+  /// with either the straight-to-target bearing or the current momentum,
+  /// so the walk can follow a road that bends away from the target.
+  bool Step(const Vec2& from, const Vec2& target, double last_heading,
+            Vec2* next) const;
+
+  TrImputeOptions options_;
+  std::unique_ptr<LocalProjection> projection_;
+  std::unordered_map<int64_t, std::vector<HistoricalPoint>> index_;
+  size_t num_points_ = 0;
+  double train_seconds_ = 0.0;
+};
+
+}  // namespace kamel
+
+#endif  // KAMEL_BASELINES_TRIMPUTE_H_

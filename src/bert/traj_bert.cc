@@ -1,0 +1,144 @@
+#include "bert/traj_bert.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace kamel {
+
+std::vector<int32_t> MakeStatement(const std::vector<CellId>& cells,
+                                   const Vocab& vocab) {
+  std::vector<int32_t> statement;
+  statement.reserve(cells.size() + 2);
+  statement.push_back(Vocab::kClsId);
+  for (CellId cell : cells) statement.push_back(vocab.TokenOf(cell));
+  statement.push_back(Vocab::kSepId);
+  return statement;
+}
+
+Result<std::unique_ptr<TrajBert>> TrajBert::Train(
+    const std::vector<std::vector<CellId>>& corpus,
+    const TrajBertOptions& options, uint64_t seed) {
+  if (corpus.empty()) {
+    return Status::InvalidArgument("TrajBert training needs a corpus");
+  }
+  auto bert = std::unique_ptr<TrajBert>(new TrajBert());
+  for (const auto& sequence : corpus) {
+    for (CellId cell : sequence) bert->vocab_.AddCell(cell);
+  }
+
+  nn::BertConfig config = options.encoder;
+  config.vocab_size = bert->vocab_.size();
+  bert->model_ = std::make_unique<nn::BertModel>(config, seed);
+
+  std::vector<std::vector<int32_t>> statements;
+  statements.reserve(corpus.size());
+  for (const auto& sequence : corpus) {
+    if (sequence.empty()) continue;
+    statements.push_back(MakeStatement(sequence, bert->vocab_));
+  }
+  if (statements.empty()) {
+    return Status::InvalidArgument("corpus contains only empty sequences");
+  }
+
+  nn::MlmTokenLayout layout;
+  layout.pad_id = Vocab::kPadId;
+  layout.mask_id = Vocab::kMaskId;
+  layout.first_content_id = Vocab::kFirstContentId;
+
+  KAMEL_ASSIGN_OR_RETURN(
+      bert->train_stats_,
+      nn::TrainMlm(bert->model_.get(), statements, layout, options.train));
+  return bert;
+}
+
+std::vector<Candidate> TrajBert::PredictMasked(
+    const std::vector<CellId>& left, const std::vector<CellId>& right,
+    int top_k) {
+  KAMEL_CHECK(top_k > 0, "top_k must be positive");
+  ++num_predict_calls_;
+
+  // Assemble [CLS] left... [MASK] right... [SEP].
+  std::vector<int32_t> ids;
+  ids.reserve(left.size() + right.size() + 3);
+  ids.push_back(Vocab::kClsId);
+  for (CellId cell : left) ids.push_back(vocab_.TokenOf(cell));
+  const int64_t mask_pos_full = static_cast<int64_t>(ids.size());
+  ids.push_back(Vocab::kMaskId);
+  for (CellId cell : right) ids.push_back(vocab_.TokenOf(cell));
+  ids.push_back(Vocab::kSepId);
+
+  // Crop a window around the mask when the statement is too long; the
+  // nearest context dominates the prediction anyway.
+  const int64_t max_len = model_->config().max_seq_len;
+  int64_t begin = 0;
+  if (static_cast<int64_t>(ids.size()) > max_len) {
+    begin = mask_pos_full - max_len / 2;
+    begin = std::clamp<int64_t>(begin, 0,
+                                static_cast<int64_t>(ids.size()) - max_len);
+    ids = std::vector<int32_t>(ids.begin() + begin,
+                               ids.begin() + begin + max_len);
+  }
+  const int64_t mask_pos = mask_pos_full - begin;
+  const int64_t seq_len = static_cast<int64_t>(ids.size());
+
+  const std::vector<float> key_mask(static_cast<size_t>(seq_len), 1.0f);
+  nn::Tensor logits =
+      model_->Forward(ids, key_mask, /*batch=*/1, seq_len, /*train=*/false);
+  std::vector<float> probs = model_->PositionProbabilities(logits, mask_pos);
+
+  // Keep content tokens only and renormalize.
+  double content_mass = 0.0;
+  for (int32_t tok = Vocab::kFirstContentId; tok < vocab_.size(); ++tok) {
+    content_mass += probs[static_cast<size_t>(tok)];
+  }
+  if (content_mass <= 0.0) return {};
+
+  std::vector<int32_t> order;
+  order.reserve(static_cast<size_t>(vocab_.size() - Vocab::kFirstContentId));
+  for (int32_t tok = Vocab::kFirstContentId; tok < vocab_.size(); ++tok) {
+    order.push_back(tok);
+  }
+  const int keep = std::min<int>(top_k, static_cast<int>(order.size()));
+  std::partial_sort(order.begin(), order.begin() + keep, order.end(),
+                    [&probs](int32_t a, int32_t b) {
+                      return probs[static_cast<size_t>(a)] >
+                             probs[static_cast<size_t>(b)];
+                    });
+  std::vector<Candidate> out;
+  out.reserve(static_cast<size_t>(keep));
+  for (int i = 0; i < keep; ++i) {
+    const int32_t tok = order[static_cast<size_t>(i)];
+    out.push_back({vocab_.CellOf(tok),
+                   probs[static_cast<size_t>(tok)] / content_mass});
+  }
+  return out;
+}
+
+void TrajBert::Save(BinaryWriter* writer) const {
+  writer->WriteString("kamel-trajbert-v1");
+  vocab_.Save(writer);
+  writer->WriteF64(train_stats_.seconds);
+  writer->WriteF64(train_stats_.final_loss);
+  writer->WriteI64(train_stats_.steps);
+  model_->Save(writer);
+}
+
+Result<std::unique_ptr<TrajBert>> TrajBert::Load(BinaryReader* reader) {
+  KAMEL_ASSIGN_OR_RETURN(std::string magic, reader->ReadString());
+  if (magic != "kamel-trajbert-v1") {
+    return Status::IOError("bad trajbert magic: " + magic);
+  }
+  auto bert = std::unique_ptr<TrajBert>(new TrajBert());
+  KAMEL_ASSIGN_OR_RETURN(bert->vocab_, Vocab::Load(reader));
+  KAMEL_ASSIGN_OR_RETURN(bert->train_stats_.seconds, reader->ReadF64());
+  KAMEL_ASSIGN_OR_RETURN(bert->train_stats_.final_loss, reader->ReadF64());
+  KAMEL_ASSIGN_OR_RETURN(bert->train_stats_.steps, reader->ReadI64());
+  KAMEL_ASSIGN_OR_RETURN(bert->model_, nn::BertModel::Load(reader));
+  if (bert->model_->config().vocab_size != bert->vocab_.size()) {
+    return Status::IOError("vocab/model size mismatch in trajbert file");
+  }
+  return bert;
+}
+
+}  // namespace kamel

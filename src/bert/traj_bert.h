@@ -1,0 +1,98 @@
+#ifndef KAMEL_BERT_TRAJ_BERT_H_
+#define KAMEL_BERT_TRAJ_BERT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bert/vocab.h"
+#include "common/result.h"
+#include "grid/cell_id.h"
+#include "nn/mlm_trainer.h"
+#include "nn/transformer.h"
+
+namespace kamel {
+
+/// One candidate imputed token with its model probability — the unit the
+/// Partitioning module passes to Spatial Constraints (Figure 1).
+struct Candidate {
+  CellId cell = kInvalidCellId;
+  double prob = 0.0;
+};
+
+/// The "BERT black box" interface of Figure 1: anything that can propose
+/// top-k candidates for one [MASK] between two cell contexts. TrajBert is
+/// the production implementation; tests plug in deterministic fakes.
+class CandidateSource {
+ public:
+  virtual ~CandidateSource() = default;
+
+  /// Candidates for [CLS] left... [MASK] right... [SEP], most probable
+  /// first, at most `top_k` of them.
+  virtual std::vector<Candidate> PredictMasked(
+      const std::vector<CellId>& left, const std::vector<CellId>& right,
+      int top_k) = 0;
+};
+
+/// Hyperparameters for one trajectory-BERT model.
+struct TrajBertOptions {
+  /// Encoder shape; vocab_size is filled in from the corpus.
+  nn::BertConfig encoder;
+  /// Masked-LM training schedule.
+  nn::MlmTrainOptions train;
+};
+
+/// A BERT model trained on trajectory statements (Section 1's language
+/// analogy): each statement is [CLS] t1 t2 ... tn [SEP] where ti are cell
+/// tokens. This class is the unit stored in the model repository — one
+/// TrajBert per pyramid cell (single-cell model) or per cell pair
+/// (neighbor-cells model).
+class TrajBert final : public CandidateSource {
+ public:
+  /// Builds the vocabulary from `corpus` (sequences of cell ids with
+  /// consecutive duplicates already collapsed by the Tokenization module)
+  /// and trains the encoder with the masked-LM objective.
+  /// Returns InvalidArgument on an empty corpus.
+  static Result<std::unique_ptr<TrajBert>> Train(
+      const std::vector<std::vector<CellId>>& corpus,
+      const TrajBertOptions& options, uint64_t seed);
+
+  /// Predicts candidates for one [MASK] inserted between `left` and
+  /// `right` context cells: the statement is
+  /// [CLS] left... [MASK] right... [SEP], cropped around the mask when it
+  /// exceeds max_seq_len. Returns up to `top_k` content-token candidates
+  /// with probabilities, most probable first. Probabilities are
+  /// renormalized over content tokens only.
+  std::vector<Candidate> PredictMasked(const std::vector<CellId>& left,
+                                       const std::vector<CellId>& right,
+                                       int top_k) override;
+
+  const Vocab& vocab() const { return vocab_; }
+  const nn::BertConfig& config() const { return model_->config(); }
+  const nn::MlmTrainStats& train_stats() const { return train_stats_; }
+
+  /// Total BERT forward calls served since construction (paper's "number
+  /// of BERT calls" accounting in Section 6).
+  int64_t num_predict_calls() const { return num_predict_calls_; }
+
+  void Save(BinaryWriter* writer) const;
+  static Result<std::unique_ptr<TrajBert>> Load(BinaryReader* reader);
+
+ private:
+  TrajBert() = default;
+
+  Vocab vocab_;
+  std::unique_ptr<nn::BertModel> model_;
+  nn::MlmTrainStats train_stats_;
+  int64_t num_predict_calls_ = 0;
+};
+
+/// Converts a cell sequence into a model statement:
+/// [CLS] tokens [SEP], using the given vocabulary.
+std::vector<int32_t> MakeStatement(const std::vector<CellId>& cells,
+                                   const Vocab& vocab);
+
+}  // namespace kamel
+
+#endif  // KAMEL_BERT_TRAJ_BERT_H_

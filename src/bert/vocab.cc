@@ -1,0 +1,37 @@
+#include "bert/vocab.h"
+
+namespace kamel {
+
+int32_t Vocab::AddCell(CellId cell) {
+  auto [it, inserted] = cell_to_token_.try_emplace(
+      cell, kFirstContentId + static_cast<int32_t>(cells_.size()));
+  if (inserted) cells_.push_back(cell);
+  return it->second;
+}
+
+int32_t Vocab::TokenOf(CellId cell) const {
+  auto it = cell_to_token_.find(cell);
+  return it == cell_to_token_.end() ? kUnkId : it->second;
+}
+
+CellId Vocab::CellOf(int32_t token) const {
+  if (!IsContentToken(token)) return kInvalidCellId;
+  return cells_[static_cast<size_t>(token - kFirstContentId)];
+}
+
+void Vocab::Save(BinaryWriter* writer) const {
+  writer->WriteU32(static_cast<uint32_t>(cells_.size()));
+  for (CellId cell : cells_) writer->WriteU64(cell);
+}
+
+Result<Vocab> Vocab::Load(BinaryReader* reader) {
+  KAMEL_ASSIGN_OR_RETURN(uint32_t count, reader->ReadU32());
+  Vocab vocab;
+  for (uint32_t i = 0; i < count; ++i) {
+    KAMEL_ASSIGN_OR_RETURN(uint64_t cell, reader->ReadU64());
+    vocab.AddCell(cell);
+  }
+  return vocab;
+}
+
+}  // namespace kamel

@@ -1,0 +1,63 @@
+#ifndef KAMEL_BERT_VOCAB_H_
+#define KAMEL_BERT_VOCAB_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/result.h"
+#include "grid/cell_id.h"
+
+namespace kamel {
+
+/// Bidirectional mapping between grid cells (KAMEL's "words") and the
+/// dense token indices the BERT encoder consumes.
+///
+/// Index layout: [PAD]=0, [UNK]=1, [CLS]=2, [SEP]=3, [MASK]=4, then one
+/// index per distinct cell observed in the training data, in insertion
+/// order. A cell never seen in training maps to [UNK] at inference time —
+/// mirroring out-of-vocabulary words in NLP.
+class Vocab {
+ public:
+  static constexpr int32_t kPadId = 0;
+  static constexpr int32_t kUnkId = 1;
+  static constexpr int32_t kClsId = 2;
+  static constexpr int32_t kSepId = 3;
+  static constexpr int32_t kMaskId = 4;
+  static constexpr int32_t kFirstContentId = 5;
+
+  Vocab() = default;
+
+  /// Registers a cell (idempotent); returns its token index.
+  int32_t AddCell(CellId cell);
+
+  /// Token index of a cell, or kUnkId for unseen cells.
+  int32_t TokenOf(CellId cell) const;
+
+  /// Cell of a content token, or kInvalidCellId for special tokens.
+  CellId CellOf(int32_t token) const;
+
+  bool IsContentToken(int32_t token) const {
+    return token >= kFirstContentId && token < size();
+  }
+
+  /// Total number of token indices (special + content).
+  int32_t size() const {
+    return kFirstContentId + static_cast<int32_t>(cells_.size());
+  }
+
+  /// Number of distinct cells.
+  int32_t num_cells() const { return static_cast<int32_t>(cells_.size()); }
+
+  void Save(BinaryWriter* writer) const;
+  static Result<Vocab> Load(BinaryReader* reader);
+
+ private:
+  std::unordered_map<CellId, int32_t> cell_to_token_;
+  std::vector<CellId> cells_;  // content index -> cell
+};
+
+}  // namespace kamel
+
+#endif  // KAMEL_BERT_VOCAB_H_

@@ -1,0 +1,128 @@
+#include "common/binary_io.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace kamel {
+
+namespace {
+
+template <typename T>
+void AppendRaw(std::vector<uint8_t>* buffer, T value) {
+  // Host is little-endian on all supported platforms; memcpy keeps this
+  // free of strict-aliasing issues.
+  uint8_t bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  buffer->insert(buffer->end(), bytes, bytes + sizeof(T));
+}
+
+}  // namespace
+
+void BinaryWriter::WriteU8(uint8_t v) { AppendRaw(&buffer_, v); }
+void BinaryWriter::WriteU32(uint32_t v) { AppendRaw(&buffer_, v); }
+void BinaryWriter::WriteU64(uint64_t v) { AppendRaw(&buffer_, v); }
+void BinaryWriter::WriteI32(int32_t v) { AppendRaw(&buffer_, v); }
+void BinaryWriter::WriteI64(int64_t v) { AppendRaw(&buffer_, v); }
+void BinaryWriter::WriteF32(float v) { AppendRaw(&buffer_, v); }
+void BinaryWriter::WriteF64(double v) { AppendRaw(&buffer_, v); }
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU32(static_cast<uint32_t>(s.size()));
+  buffer_.insert(buffer_.end(), s.begin(), s.end());
+}
+
+void BinaryWriter::WriteF32Array(const float* data, size_t count) {
+  WriteU64(count);
+  const auto* bytes = reinterpret_cast<const uint8_t*>(data);
+  buffer_.insert(buffer_.end(), bytes, bytes + count * sizeof(float));
+}
+
+Status BinaryWriter::FlushToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out.write(reinterpret_cast<const char*>(buffer_.data()),
+            static_cast<std::streamsize>(buffer_.size()));
+  if (!out) return Status::IOError("short write: " + path);
+  return Status::OK();
+}
+
+Result<BinaryReader> BinaryReader::FromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<uint8_t> data(static_cast<size_t>(size));
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(data.data()), size)) {
+    return Status::IOError("short read: " + path);
+  }
+  return BinaryReader(std::move(data));
+}
+
+Status BinaryReader::Require(size_t bytes) {
+  if (pos_ + bytes > data_.size()) {
+    return Status::IOError("truncated input: need " + std::to_string(bytes) +
+                           " bytes at offset " + std::to_string(pos_) +
+                           " of " + std::to_string(data_.size()));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+template <typename T>
+Result<T> ReadRaw(const std::vector<uint8_t>& data, size_t* pos,
+                  Status bounds) {
+  if (!bounds.ok()) return bounds;
+  T value;
+  std::memcpy(&value, data.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return value;
+}
+
+}  // namespace
+
+Result<uint8_t> BinaryReader::ReadU8() {
+  return ReadRaw<uint8_t>(data_, &pos_, Require(sizeof(uint8_t)));
+}
+Result<uint32_t> BinaryReader::ReadU32() {
+  return ReadRaw<uint32_t>(data_, &pos_, Require(sizeof(uint32_t)));
+}
+Result<uint64_t> BinaryReader::ReadU64() {
+  return ReadRaw<uint64_t>(data_, &pos_, Require(sizeof(uint64_t)));
+}
+Result<int32_t> BinaryReader::ReadI32() {
+  return ReadRaw<int32_t>(data_, &pos_, Require(sizeof(int32_t)));
+}
+Result<int64_t> BinaryReader::ReadI64() {
+  return ReadRaw<int64_t>(data_, &pos_, Require(sizeof(int64_t)));
+}
+Result<float> BinaryReader::ReadF32() {
+  return ReadRaw<float>(data_, &pos_, Require(sizeof(float)));
+}
+Result<double> BinaryReader::ReadF64() {
+  return ReadRaw<double>(data_, &pos_, Require(sizeof(double)));
+}
+
+Result<std::string> BinaryReader::ReadString() {
+  KAMEL_ASSIGN_OR_RETURN(uint32_t len, ReadU32());
+  KAMEL_RETURN_NOT_OK(Require(len));
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+Status BinaryReader::ReadF32Array(float* out, size_t count) {
+  KAMEL_ASSIGN_OR_RETURN(uint64_t stored, ReadU64());
+  if (stored != count) {
+    return Status::IOError("array length mismatch: stored " +
+                           std::to_string(stored) + ", expected " +
+                           std::to_string(count));
+  }
+  KAMEL_RETURN_NOT_OK(Require(count * sizeof(float)));
+  std::memcpy(out, data_.data() + pos_, count * sizeof(float));
+  pos_ += count * sizeof(float);
+  return Status::OK();
+}
+
+}  // namespace kamel

@@ -1,0 +1,70 @@
+#ifndef KAMEL_COMMON_BINARY_IO_H_
+#define KAMEL_COMMON_BINARY_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace kamel {
+
+/// Little-endian binary serializer used for model files (the disk-based
+/// model repository of Section 4 stores BERT weights and detokenizer
+/// cluster metadata through this writer).
+class BinaryWriter {
+ public:
+  void WriteU8(uint8_t v);
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteI32(int32_t v);
+  void WriteI64(int64_t v);
+  void WriteF32(float v);
+  void WriteF64(double v);
+  void WriteString(const std::string& s);
+  void WriteF32Array(const float* data, size_t count);
+
+  const std::vector<uint8_t>& buffer() const { return buffer_; }
+
+  /// Writes the accumulated buffer to a file, replacing its contents.
+  Status FlushToFile(const std::string& path) const;
+
+ private:
+  std::vector<uint8_t> buffer_;
+};
+
+/// Reader counterpart of BinaryWriter. All reads are bounds-checked and
+/// return Status on truncated input (a corrupt model file must not crash
+/// the serving path).
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::vector<uint8_t> data)
+      : data_(std::move(data)) {}
+
+  /// Loads the whole file into memory.
+  static Result<BinaryReader> FromFile(const std::string& path);
+
+  Result<uint8_t> ReadU8();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<int32_t> ReadI32();
+  Result<int64_t> ReadI64();
+  Result<float> ReadF32();
+  Result<double> ReadF64();
+  Result<std::string> ReadString();
+  Status ReadF32Array(float* out, size_t count);
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  Status Require(size_t bytes);
+
+  std::vector<uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace kamel
+
+#endif  // KAMEL_COMMON_BINARY_IO_H_

@@ -1,0 +1,41 @@
+#ifndef KAMEL_COMMON_CHECK_H_
+#define KAMEL_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace kamel::internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "KAMEL_CHECK failed at %s:%d: (%s) %s\n", file, line,
+               expr, message.c_str());
+  std::abort();
+}
+
+}  // namespace kamel::internal_check
+
+/// Aborts with a diagnostic when `cond` is false. For programming errors
+/// (broken invariants), not for recoverable conditions — those return
+/// Status. Enabled in all build types: invariant violations in a database
+/// engine must never be silently ignored.
+#define KAMEL_CHECK(cond, ...)                                        \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::kamel::internal_check::CheckFailed(__FILE__, __LINE__, #cond, \
+                                           std::string(__VA_ARGS__)); \
+    }                                                                 \
+  } while (false)
+
+/// Debug-only variant for hot paths.
+#ifdef NDEBUG
+#define KAMEL_DCHECK(cond, ...) \
+  do {                          \
+  } while (false)
+#else
+#define KAMEL_DCHECK(cond, ...) KAMEL_CHECK(cond, ##__VA_ARGS__)
+#endif
+
+#endif  // KAMEL_COMMON_CHECK_H_

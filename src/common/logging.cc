@@ -1,0 +1,42 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace kamel {
+
+namespace {
+LogLevel g_min_level = LogLevel::kInfo;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_min_level = level; }
+LogLevel GetLogLevel() { return g_min_level; }
+
+namespace internal_logging {
+
+void Emit(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[kamel %s] %s\n", LevelTag(level), message.c_str());
+}
+
+LogMessage::LogMessage(LogLevel level, const char* /*file*/, int /*line*/)
+    : level_(level), enabled_(level >= GetLogLevel()) {}
+
+LogMessage::~LogMessage() {
+  if (enabled_) Emit(level_, stream_.str());
+}
+
+}  // namespace internal_logging
+}  // namespace kamel

@@ -1,0 +1,48 @@
+#ifndef KAMEL_COMMON_LOGGING_H_
+#define KAMEL_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace kamel {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+/// Defaults to kInfo. Not synchronized — set it once at startup.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+void Emit(LogLevel level, const std::string& message);
+
+/// Stream-style collector that emits on destruction (LOG(INFO) << ... idiom).
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace kamel
+
+#define KAMEL_LOG(level)                                      \
+  ::kamel::internal_logging::LogMessage(                      \
+      ::kamel::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // KAMEL_COMMON_LOGGING_H_

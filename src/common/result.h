@@ -1,0 +1,78 @@
+#ifndef KAMEL_COMMON_RESULT_H_
+#define KAMEL_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace kamel {
+
+/// Value-or-Status, the return type of fallible producing operations
+/// (Arrow's arrow::Result idiom).
+///
+/// A Result is either a value of type T or a non-OK Status; it is never
+/// both and never an OK Status without a value. Accessing the value of an
+/// errored Result aborts (programming error).
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit so `return value;` works).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (implicit so
+  /// `return Status::NotFound(...)` works). Aborts if the status is OK.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    KAMEL_CHECK(!std::get<Status>(repr_).ok(),
+                "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The status: OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Borrows the held value. Requires ok().
+  const T& value() const& {
+    KAMEL_CHECK(ok(), "Result::value() on error: " + status().ToString());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    KAMEL_CHECK(ok(), "Result::value() on error: " + status().ToString());
+    return std::get<T>(repr_);
+  }
+
+  /// Moves the held value out. Requires ok().
+  T&& value() && {
+    KAMEL_CHECK(ok(), "Result::value() on error: " + status().ToString());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace kamel
+
+/// Unwraps a Result into `lhs`, propagating errors to the caller.
+#define KAMEL_ASSIGN_OR_RETURN(lhs, expr)               \
+  KAMEL_ASSIGN_OR_RETURN_IMPL(                          \
+      KAMEL_CONCAT_NAME(_result_, __LINE__), lhs, expr)
+
+#define KAMEL_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define KAMEL_CONCAT_NAME(x, y) KAMEL_CONCAT_NAME_INNER(x, y)
+#define KAMEL_CONCAT_NAME_INNER(x, y) x##y
+
+#endif  // KAMEL_COMMON_RESULT_H_

@@ -1,0 +1,31 @@
+#ifndef KAMEL_COMMON_STOPWATCH_H_
+#define KAMEL_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace kamel {
+
+/// Wall-clock stopwatch for timing experiments (Section 8.3 of the paper).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement window.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace kamel
+
+#endif  // KAMEL_COMMON_STOPWATCH_H_

@@ -1,0 +1,52 @@
+#ifndef KAMEL_COMMON_TABLE_H_
+#define KAMEL_COMMON_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kamel {
+
+/// Row/column table used by the benchmark harnesses to print the series of
+/// each paper figure and to dump them as CSV for plotting.
+class Table {
+ public:
+  /// Creates a table with the given title and column headers.
+  Table(std::string title, std::vector<std::string> headers);
+
+  /// Appends a row of already-formatted cells. Short rows are padded with
+  /// empty cells; long rows are a programming error.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Formats a double with the given precision (helper for AddRow).
+  static std::string Num(double v, int precision = 3);
+
+  /// Renders the table with aligned columns.
+  std::string ToString() const;
+
+  /// Renders as RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  std::string ToCsv() const;
+
+  /// Prints ToString() to stdout.
+  void Print() const;
+
+  /// Writes ToCsv() to a file.
+  Status WriteCsv(const std::string& path) const;
+
+  const std::string& title() const { return title_; }
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return headers_.size(); }
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::string>& row(size_t i) const { return rows_[i]; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace kamel
+
+#endif  // KAMEL_COMMON_TABLE_H_

@@ -1,0 +1,47 @@
+#include "core/dbscan.h"
+
+#include <deque>
+
+namespace kamel {
+
+std::vector<int> Dbscan(
+    size_t n, const std::function<double(size_t, size_t)>& distance,
+    double eps, int min_points) {
+  constexpr int kUnvisited = -2;
+  std::vector<int> labels(n, kUnvisited);
+
+  auto neighbors_of = [&](size_t i) {
+    std::vector<size_t> out;
+    for (size_t j = 0; j < n; ++j) {
+      if (distance(i, j) <= eps) out.push_back(j);
+    }
+    return out;
+  };
+
+  int next_cluster = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (labels[i] != kUnvisited) continue;
+    std::vector<size_t> seeds = neighbors_of(i);
+    if (static_cast<int>(seeds.size()) < min_points) {
+      labels[i] = kDbscanNoise;
+      continue;
+    }
+    const int cluster = next_cluster++;
+    labels[i] = cluster;
+    std::deque<size_t> frontier(seeds.begin(), seeds.end());
+    while (!frontier.empty()) {
+      const size_t j = frontier.front();
+      frontier.pop_front();
+      if (labels[j] == kDbscanNoise) labels[j] = cluster;  // border point
+      if (labels[j] != kUnvisited) continue;
+      labels[j] = cluster;
+      std::vector<size_t> reach = neighbors_of(j);
+      if (static_cast<int>(reach.size()) >= min_points) {
+        frontier.insert(frontier.end(), reach.begin(), reach.end());
+      }
+    }
+  }
+  return labels;
+}
+
+}  // namespace kamel

@@ -1,0 +1,26 @@
+#ifndef KAMEL_CORE_DBSCAN_H_
+#define KAMEL_CORE_DBSCAN_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace kamel {
+
+/// Point label produced by Dbscan: >= 0 is a cluster index, kDbscanNoise
+/// marks outliers.
+inline constexpr int kDbscanNoise = -1;
+
+/// Classical DBSCAN [21] over an abstract metric: `distance(i, j)` returns
+/// the distance between points i and j. O(n^2) neighborhood queries —
+/// KAMEL runs it per grid cell where n is small (Section 7).
+///
+/// Returns one label per point. `min_points` counts the point itself,
+/// matching the original formulation.
+std::vector<int> Dbscan(size_t n,
+                        const std::function<double(size_t, size_t)>& distance,
+                        double eps, int min_points);
+
+}  // namespace kamel
+
+#endif  // KAMEL_CORE_DBSCAN_H_

@@ -1,0 +1,193 @@
+#include "core/detokenizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "core/dbscan.h"
+
+namespace kamel {
+
+Detokenizer::Detokenizer(const GridSystem* grid,
+                         const DbscanOptions& options)
+    : grid_(grid), options_(options) {
+  KAMEL_CHECK(grid != nullptr);
+}
+
+void Detokenizer::AddObservations(const TokenizedTrajectory& tokens) {
+  for (const TokenPoint& token : tokens) {
+    observations_[token.cell].push_back({token.position, token.heading});
+    ++num_observations_;
+  }
+}
+
+namespace {
+
+double CircularMeanHeading(const std::vector<double>& headings) {
+  double s = 0.0;
+  double c = 0.0;
+  for (double h : headings) {
+    s += std::sin(h);
+    c += std::cos(h);
+  }
+  return std::atan2(s, c);
+}
+
+}  // namespace
+
+void Detokenizer::Refit() {
+  clusters_.clear();
+  const double eps = DegToRad(options_.eps_heading_deg);
+  for (const auto& [cell, points] : observations_) {
+    const size_t n = points.size();
+    // Heading-space DBSCAN: points driving the same direction cluster
+    // together; opposite lanes and crossing roads separate (Figure 8a).
+    std::vector<int> labels =
+        Dbscan(n,
+               [&points](size_t i, size_t j) {
+                 return AngleDifference(points[i].heading,
+                                        points[j].heading);
+               },
+               eps, options_.min_points);
+
+    int num_clusters = 0;
+    for (int label : labels) num_clusters = std::max(num_clusters, label + 1);
+
+    std::vector<TokenCluster> cell_clusters;
+    if (num_clusters == 0) {
+      // Figure 8b: not enough data for distinct clusters -> all points as
+      // one cluster around the data centroid.
+      Vec2 centroid{0.0, 0.0};
+      std::vector<double> headings;
+      headings.reserve(n);
+      for (const Observation& o : points) {
+        centroid = centroid + o.position;
+        headings.push_back(o.heading);
+      }
+      centroid = centroid * (1.0 / static_cast<double>(n));
+      cell_clusters.push_back({centroid, CircularMeanHeading(headings),
+                               static_cast<int32_t>(n)});
+    } else {
+      for (int cluster = 0; cluster < num_clusters; ++cluster) {
+        Vec2 centroid{0.0, 0.0};
+        std::vector<double> headings;
+        for (size_t i = 0; i < n; ++i) {
+          if (labels[i] != cluster) continue;
+          centroid = centroid + points[i].position;
+          headings.push_back(points[i].heading);
+        }
+        if (headings.empty()) continue;
+        centroid = centroid * (1.0 / static_cast<double>(headings.size()));
+        cell_clusters.push_back({centroid, CircularMeanHeading(headings),
+                                 static_cast<int32_t>(headings.size())});
+      }
+    }
+    clusters_[cell] = std::move(cell_clusters);
+  }
+}
+
+const std::vector<TokenCluster>& Detokenizer::ClustersOf(CellId cell) const {
+  static const std::vector<TokenCluster> kEmpty;
+  auto it = clusters_.find(cell);
+  return it == clusters_.end() ? kEmpty : it->second;
+}
+
+Vec2 Detokenizer::PointOf(CellId cell,
+                          std::optional<double> direction) const {
+  const std::vector<TokenCluster>& cell_clusters = ClustersOf(cell);
+  if (cell_clusters.empty()) {
+    // Figure 8c: nothing known about this token -> cell centroid.
+    return grid_->Centroid(cell);
+  }
+  if (cell_clusters.size() == 1 || !direction.has_value()) {
+    // Figure 8b, or no direction context: the densest cluster.
+    const TokenCluster* best = &cell_clusters[0];
+    for (const TokenCluster& c : cell_clusters) {
+      if (c.count > best->count) best = &c;
+    }
+    return best->centroid;
+  }
+  // Figure 8a: the cluster whose heading best matches the local segment
+  // direction.
+  const TokenCluster* best = &cell_clusters[0];
+  double best_diff = AngleDifference(best->heading, *direction);
+  for (const TokenCluster& c : cell_clusters) {
+    const double diff = AngleDifference(c.heading, *direction);
+    if (diff < best_diff) {
+      best_diff = diff;
+      best = &c;
+    }
+  }
+  return best->centroid;
+}
+
+std::vector<Vec2> Detokenizer::DetokenizeInterior(
+    const std::vector<CellId>& cells, const Vec2& s_pos,
+    const Vec2& d_pos) const {
+  std::vector<Vec2> out;
+  if (cells.size() <= 2) return out;
+
+  // Anchor positions for direction estimation: raw endpoints plus cell
+  // centroids for the interior.
+  std::vector<Vec2> anchors(cells.size());
+  anchors.front() = s_pos;
+  anchors.back() = d_pos;
+  for (size_t i = 1; i + 1 < cells.size(); ++i) {
+    anchors[i] = grid_->Centroid(cells[i]);
+  }
+
+  out.reserve(cells.size() - 2);
+  for (size_t i = 1; i + 1 < cells.size(); ++i) {
+    // Token direction = average of the incoming and outgoing angles
+    // (Section 7, online detokenization).
+    const double incoming = HeadingRadians(anchors[i - 1], anchors[i]);
+    const double outgoing = HeadingRadians(anchors[i], anchors[i + 1]);
+    const double direction =
+        std::atan2(std::sin(incoming) + std::sin(outgoing),
+                   std::cos(incoming) + std::cos(outgoing));
+    out.push_back(PointOf(cells[i], direction));
+  }
+  return out;
+}
+
+void Detokenizer::Save(BinaryWriter* writer) const {
+  writer->WriteString("kamel-detok-v1");
+  writer->WriteU64(num_observations_);
+  writer->WriteU32(static_cast<uint32_t>(clusters_.size()));
+  for (const auto& [cell, cell_clusters] : clusters_) {
+    writer->WriteU64(cell);
+    writer->WriteU32(static_cast<uint32_t>(cell_clusters.size()));
+    for (const TokenCluster& c : cell_clusters) {
+      writer->WriteF64(c.centroid.x);
+      writer->WriteF64(c.centroid.y);
+      writer->WriteF64(c.heading);
+      writer->WriteI32(c.count);
+    }
+  }
+}
+
+Status Detokenizer::Load(BinaryReader* reader) {
+  KAMEL_ASSIGN_OR_RETURN(std::string magic, reader->ReadString());
+  if (magic != "kamel-detok-v1") {
+    return Status::IOError("bad detokenizer magic: " + magic);
+  }
+  clusters_.clear();
+  observations_.clear();
+  KAMEL_ASSIGN_OR_RETURN(num_observations_, reader->ReadU64());
+  KAMEL_ASSIGN_OR_RETURN(uint32_t num_cells, reader->ReadU32());
+  for (uint32_t i = 0; i < num_cells; ++i) {
+    KAMEL_ASSIGN_OR_RETURN(uint64_t cell, reader->ReadU64());
+    KAMEL_ASSIGN_OR_RETURN(uint32_t count, reader->ReadU32());
+    std::vector<TokenCluster> cell_clusters(count);
+    for (uint32_t j = 0; j < count; ++j) {
+      KAMEL_ASSIGN_OR_RETURN(cell_clusters[j].centroid.x, reader->ReadF64());
+      KAMEL_ASSIGN_OR_RETURN(cell_clusters[j].centroid.y, reader->ReadF64());
+      KAMEL_ASSIGN_OR_RETURN(cell_clusters[j].heading, reader->ReadF64());
+      KAMEL_ASSIGN_OR_RETURN(cell_clusters[j].count, reader->ReadI32());
+    }
+    clusters_[cell] = std::move(cell_clusters);
+  }
+  return Status::OK();
+}
+
+}  // namespace kamel

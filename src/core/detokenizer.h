@@ -1,0 +1,83 @@
+#ifndef KAMEL_CORE_DETOKENIZER_H_
+#define KAMEL_CORE_DETOKENIZER_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "core/options.h"
+#include "core/tokenizer.h"
+#include "grid/grid_system.h"
+
+namespace kamel {
+
+/// One direction-coherent cluster of training points inside a token
+/// (Figure 8a): where traffic flowing in `heading` actually drives within
+/// the cell.
+struct TokenCluster {
+  Vec2 centroid;
+  double heading = 0.0;  // circular mean of member headings, radians
+  int32_t count = 0;
+};
+
+/// The Detokenization module (Section 7): converts imputed tokens back to
+/// GPS points using per-token DBSCAN clusters learned offline.
+///
+/// Offline: every training observation (position + travel heading) is
+/// grouped by token and clustered by heading. Online: each imputed token
+/// is replaced by the centroid of the cluster whose heading best matches
+/// the local segment direction; a token with one cluster returns that
+/// cluster's centroid; a token never seen in training falls back to the
+/// cell centroid (Figure 8's three cases).
+class Detokenizer {
+ public:
+  /// `grid` is borrowed and must outlive this object.
+  Detokenizer(const GridSystem* grid, const DbscanOptions& options);
+
+  /// Accumulates per-point training observations (Tokenizer::
+  /// TokenizePerPoint output). Call Refit() after adding batches.
+  void AddObservations(const TokenizedTrajectory& per_point_tokens);
+
+  /// (Re)clusters all accumulated observations.
+  void Refit();
+
+  /// Representative point for `cell` given the local travel direction
+  /// (radians); no direction -> densest cluster. Implements the
+  /// three-case rule of Figure 8.
+  Vec2 PointOf(CellId cell, std::optional<double> direction) const;
+
+  /// Converts the interior tokens of an imputed segment to points.
+  /// `cells` must be the full segment S..D; `s_pos` and `d_pos` are the
+  /// raw endpoint observations used both as anchors for direction
+  /// computation and excluded from the output (only interior points are
+  /// returned, in order).
+  std::vector<Vec2> DetokenizeInterior(const std::vector<CellId>& cells,
+                                       const Vec2& s_pos,
+                                       const Vec2& d_pos) const;
+
+  /// Clusters currently stored for a cell (empty if unseen).
+  const std::vector<TokenCluster>& ClustersOf(CellId cell) const;
+
+  size_t num_tokens_with_clusters() const { return clusters_.size(); }
+  size_t num_observations() const { return num_observations_; }
+
+  void Save(BinaryWriter* writer) const;
+  Status Load(BinaryReader* reader);
+
+ private:
+  struct Observation {
+    Vec2 position;
+    double heading;
+  };
+
+  const GridSystem* grid_;
+  DbscanOptions options_;
+  std::unordered_map<CellId, std::vector<Observation>> observations_;
+  std::unordered_map<CellId, std::vector<TokenCluster>> clusters_;
+  size_t num_observations_ = 0;
+};
+
+}  // namespace kamel
+
+#endif  // KAMEL_CORE_DETOKENIZER_H_

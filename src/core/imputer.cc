@@ -1,0 +1,248 @@
+#include "core/imputer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace kamel {
+
+Imputer::Imputer(const GridSystem* grid,
+                 const SpatialConstraints* constraints,
+                 const KamelOptions& options)
+    : grid_(grid), constraints_(constraints), options_(options) {
+  KAMEL_CHECK(grid != nullptr && constraints != nullptr);
+  max_gap_cells_ = std::max(
+      1, static_cast<int>(
+             std::floor(options.max_gap_m / grid->NeighborSpacingMeters())));
+}
+
+int Imputer::FindFirstGap(const std::vector<CellId>& cells) const {
+  for (size_t i = 0; i + 1 < cells.size(); ++i) {
+    if (grid_->GridDistance(cells[i], cells[i + 1]) > max_gap_cells_) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+std::vector<int> Imputer::FindGaps(const std::vector<CellId>& cells) const {
+  std::vector<int> out;
+  for (size_t i = 0; i + 1 < cells.size(); ++i) {
+    if (grid_->GridDistance(cells[i], cells[i + 1]) > max_gap_cells_) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+ImputedSegment Failure(const SegmentContext& context, int bert_calls) {
+  ImputedSegment out;
+  out.cells = {context.s.cell, context.d.cell};
+  out.failed = true;
+  out.probability = 0.0;
+  out.normalized_score = 0.0;
+  out.bert_calls = bert_calls;
+  return out;
+}
+
+std::vector<CellId> Left(const std::vector<CellId>& cells, int gap) {
+  return {cells.begin(), cells.begin() + gap + 1};
+}
+std::vector<CellId> Right(const std::vector<CellId>& cells, int gap) {
+  return {cells.begin() + gap + 1, cells.end()};
+}
+
+double NormalizedScore(double prob, size_t total_cells, double alpha) {
+  // |S| = number of imputed tokens (total minus the two endpoints).
+  const double imputed =
+      static_cast<double>(total_cells >= 2 ? total_cells - 2 : 0);
+  return prob * std::pow(std::max(1.0, imputed), alpha);
+}
+
+}  // namespace
+
+ImputedSegment IterativeBertImputer::Impute(CandidateSource* model,
+                                            const SegmentContext& context) {
+  // Algorithm 1. Segment starts as {S, D}; each iteration inserts the top
+  // surviving candidate at the first gap until no gap remains.
+  std::vector<CellId> cells = {context.s.cell, context.d.cell};
+  double probability = 1.0;
+  int calls = 0;
+  int gap = FindFirstGap(cells);
+  while (gap >= 0) {
+    if (calls >= options_.max_bert_calls_per_segment) {
+      return Failure(context, calls);
+    }
+    std::vector<Candidate> candidates =
+        model->PredictMasked(Left(cells, gap), Right(cells, gap),
+                             options_.top_k);
+    ++calls;
+    candidates = constraints_->Filter(context, candidates);
+
+    bool inserted = false;
+    for (const Candidate& candidate : candidates) {
+      std::vector<CellId> attempt = cells;
+      attempt.insert(attempt.begin() + gap + 1, candidate.cell);
+      if (SpatialConstraints::DetectCycleAround(
+              attempt, static_cast<size_t>(gap + 1),
+              options_.cycle_window) > 0) {
+        continue;  // Section 5.2: reject cycle-forming outcomes.
+      }
+      cells = std::move(attempt);
+      probability *= candidate.prob;
+      inserted = true;
+      break;
+    }
+    if (!inserted) return Failure(context, calls);
+    gap = FindFirstGap(cells);
+  }
+
+  ImputedSegment out;
+  out.cells = std::move(cells);
+  out.probability = probability;
+  out.normalized_score = NormalizedScore(probability, out.cells.size(),
+                                         options_.length_norm_alpha);
+  out.bert_calls = calls;
+  return out;
+}
+
+ImputedSegment BeamSearchImputer::Impute(CandidateSource* model,
+                                         const SegmentContext& context) {
+  // Algorithm 2. A "gap item" is one partial segment plus one of its gap
+  // pointers; every iteration expands all gap items with one BERT call
+  // each, then keeps the top-B new segments overall.
+  struct BeamSegment {
+    std::vector<CellId> cells;
+    double prob = 1.0;
+  };
+  const int beam = std::max(1, options_.beam_size);
+  const double alpha = options_.length_norm_alpha;
+
+  BeamSegment initial{{context.s.cell, context.d.cell}, 1.0};
+  if (FindFirstGap(initial.cells) < 0) {
+    // Nothing to impute: the endpoints are already close enough.
+    ImputedSegment out;
+    out.cells = initial.cells;
+    out.normalized_score = NormalizedScore(1.0, 2, alpha);
+    return out;
+  }
+
+  std::vector<std::pair<BeamSegment, int>> all_gaps = {
+      {initial, FindFirstGap(initial.cells)}};
+  bool have_answer = false;
+  BeamSegment best;
+  double best_norm = 0.0;
+  int calls = 0;
+
+  while (!all_gaps.empty() && calls < options_.max_bert_calls_per_segment) {
+    std::vector<BeamSegment> new_segments;
+    for (const auto& [segment, gap] : all_gaps) {
+      if (calls >= options_.max_bert_calls_per_segment) break;
+      std::vector<Candidate> candidates = model->PredictMasked(
+          Left(segment.cells, gap), Right(segment.cells, gap),
+          std::max(options_.top_k, beam));
+      ++calls;
+      candidates = constraints_->Filter(context, candidates);
+      int taken = 0;
+      for (const Candidate& candidate : candidates) {
+        if (taken >= beam) break;
+        std::vector<CellId> cells = segment.cells;
+        cells.insert(cells.begin() + gap + 1, candidate.cell);
+        if (SpatialConstraints::DetectCycleAround(
+                cells, static_cast<size_t>(gap + 1),
+                options_.cycle_window) > 0) {
+          continue;
+        }
+        new_segments.push_back(
+            {std::move(cells), segment.prob * candidate.prob});
+        ++taken;
+      }
+    }
+
+    // Dedupe identical segments (different gap items can produce the same
+    // insertion), keeping the higher probability.
+    std::sort(new_segments.begin(), new_segments.end(),
+              [](const BeamSegment& a, const BeamSegment& b) {
+                if (a.cells != b.cells) return a.cells < b.cells;
+                return a.prob > b.prob;
+              });
+    new_segments.erase(
+        std::unique(new_segments.begin(), new_segments.end(),
+                    [](const BeamSegment& a, const BeamSegment& b) {
+                      return a.cells == b.cells;
+                    }),
+        new_segments.end());
+
+    // Keep the top B by probability, bounded below by the best completed
+    // normalized score (the paper's ProbLimit, Figure 7's "nothing less
+    // than 0.12 is considered any further").
+    std::sort(new_segments.begin(), new_segments.end(),
+              [](const BeamSegment& a, const BeamSegment& b) {
+                return a.prob > b.prob;
+              });
+    if (static_cast<int>(new_segments.size()) > beam) {
+      new_segments.resize(static_cast<size_t>(beam));
+    }
+
+    all_gaps.clear();
+    for (BeamSegment& segment : new_segments) {
+      const std::vector<int> gaps = FindGaps(segment.cells);
+      const double norm =
+          NormalizedScore(segment.prob, segment.cells.size(), alpha);
+      if (gaps.empty()) {
+        if (!have_answer || norm > best_norm) {
+          have_answer = true;
+          best_norm = norm;
+          best = std::move(segment);
+        }
+        continue;
+      }
+      if (have_answer && norm <= best_norm) continue;  // pruned by limit
+      for (int gap : gaps) all_gaps.push_back({segment, gap});
+    }
+  }
+
+  if (!have_answer) return Failure(context, calls);
+  ImputedSegment out;
+  out.cells = std::move(best.cells);
+  out.probability = best.prob;
+  out.normalized_score = best_norm;
+  out.bert_calls = calls;
+  return out;
+}
+
+ImputedSegment SinglePointImputer::Impute(CandidateSource* model,
+                                          const SegmentContext& context) {
+  std::vector<CellId> cells = {context.s.cell, context.d.cell};
+  const int gap = FindFirstGap(cells);
+  if (gap < 0) {
+    ImputedSegment out;
+    out.cells = std::move(cells);
+    out.normalized_score = 1.0;
+    return out;
+  }
+  std::vector<Candidate> candidates = model->PredictMasked(
+      {context.s.cell}, {context.d.cell}, options_.top_k);
+  candidates = constraints_->Filter(context, candidates);
+  if (candidates.empty()) return Failure(context, /*bert_calls=*/1);
+
+  cells = {context.s.cell, candidates.front().cell, context.d.cell};
+  ImputedSegment out;
+  out.cells = std::move(cells);
+  out.probability = candidates.front().prob;
+  out.bert_calls = 1;
+  // A single token rarely closes the whole gap; the leftover distance is
+  // implicitly a straight line, which the paper counts as failure.
+  out.failed = FindFirstGap(out.cells) >= 0;
+  out.normalized_score =
+      out.failed ? 0.0
+                 : NormalizedScore(out.probability, out.cells.size(),
+                                   options_.length_norm_alpha);
+  return out;
+}
+
+}  // namespace kamel

@@ -1,0 +1,92 @@
+#ifndef KAMEL_CORE_IMPUTER_H_
+#define KAMEL_CORE_IMPUTER_H_
+
+#include <vector>
+
+#include "bert/traj_bert.h"
+#include "core/options.h"
+#include "core/spatial_constraints.h"
+#include "grid/grid_system.h"
+
+namespace kamel {
+
+/// Result of imputing one trajectory segment (between two consecutive
+/// sparse points). `cells` always starts at S and ends at D.
+struct ImputedSegment {
+  std::vector<CellId> cells;
+  /// True when the imputation gave up and the segment must be drawn as a
+  /// straight line — the paper's failure event (Sections 6 and 8).
+  bool failed = false;
+  /// Product of the chosen candidates' probabilities.
+  double probability = 1.0;
+  /// Length-normalized score P * |S|^alpha (Section 6.2); 0 when failed.
+  double normalized_score = 0.0;
+  /// BERT calls consumed by this segment.
+  int bert_calls = 0;
+};
+
+/// Strategy interface of the Multipoint Imputation module (Section 6).
+class Imputer {
+ public:
+  /// `grid` and `constraints` are borrowed and must outlive the imputer.
+  Imputer(const GridSystem* grid, const SpatialConstraints* constraints,
+          const KamelOptions& options);
+  virtual ~Imputer() = default;
+
+  /// Fills the gap described by `context` using `model`. Never returns an
+  /// empty cell list: on failure, cells = {S, D} with failed = true.
+  virtual ImputedSegment Impute(CandidateSource* model,
+                                const SegmentContext& context) = 0;
+
+  /// Gap threshold in grid steps: consecutive output tokens must be within
+  /// this many cells of each other. Derived from max_gap_m, but never
+  /// below 1 cell (adjacent cells can be farther apart in meters than
+  /// max_gap_m when the cell size is large).
+  int max_gap_cells() const { return max_gap_cells_; }
+
+  /// Index i of the first pair (cells[i], cells[i+1]) farther apart than
+  /// the gap threshold; -1 when the segment is fully dense.
+  int FindFirstGap(const std::vector<CellId>& cells) const;
+
+  /// All such indices.
+  std::vector<int> FindGaps(const std::vector<CellId>& cells) const;
+
+ protected:
+  const GridSystem* grid_;
+  const SpatialConstraints* constraints_;
+  KamelOptions options_;
+  int max_gap_cells_;
+};
+
+/// Section 6.1: greedy iterative BERT calling (Algorithm 1). At each step
+/// the top surviving candidate is inserted at the first remaining gap.
+class IterativeBertImputer final : public Imputer {
+ public:
+  using Imputer::Imputer;
+  ImputedSegment Impute(CandidateSource* model,
+                        const SegmentContext& context) override;
+};
+
+/// Section 6.2: bidirectional beam search (Algorithm 2) with length
+/// normalization P * |S|^alpha. Tracks the best completed segment and
+/// prunes in-flight segments whose normalized score falls below it.
+class BeamSearchImputer final : public Imputer {
+ public:
+  using Imputer::Imputer;
+  ImputedSegment Impute(CandidateSource* model,
+                        const SegmentContext& context) override;
+};
+
+/// Ablation "No Multi." (Section 8.7): one BERT call per gap, one imputed
+/// token; the rest of the gap stays unfilled and the segment counts as
+/// failed when a gap remains.
+class SinglePointImputer final : public Imputer {
+ public:
+  using Imputer::Imputer;
+  ImputedSegment Impute(CandidateSource* model,
+                        const SegmentContext& context) override;
+};
+
+}  // namespace kamel
+
+#endif  // KAMEL_CORE_IMPUTER_H_

@@ -1,0 +1,167 @@
+#ifndef KAMEL_CORE_KAMEL_H_
+#define KAMEL_CORE_KAMEL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/detokenizer.h"
+#include "core/imputer.h"
+#include "core/model_repository.h"
+#include "core/options.h"
+#include "core/tokenizer.h"
+#include "core/trajectory_store.h"
+#include "geo/trajectory.h"
+
+namespace kamel {
+
+/// Outcome of one imputed segment, keyed by its endpoint observation
+/// times (the evaluation joins these with ground truth to compute per-
+/// road-type failure rates, Figure 12-I/II).
+struct SegmentOutcome {
+  double s_time = 0.0;
+  double d_time = 0.0;
+  bool failed = false;
+};
+
+/// Per-trajectory imputation accounting (Section 8 metrics need the
+/// failure rate and timing; Section 6 caps BERT calls).
+struct ImputeStats {
+  int segments = 0;          // sparse gaps that needed imputation
+  int failed_segments = 0;   // drawn as straight lines
+  int no_model_segments = 0; // failures caused by missing model coverage
+  int64_t bert_calls = 0;
+  double seconds = 0.0;
+  std::vector<SegmentOutcome> outcomes;  // one per imputed segment
+};
+
+/// The imputed dense trajectory plus its accounting.
+struct ImputedTrajectory {
+  Trajectory trajectory;
+  ImputeStats stats;
+};
+
+/// KAMEL: the scalable BERT-based trajectory imputation system (Figure 1).
+///
+/// Lifecycle: construct with options, feed training batches through
+/// Train() (offline, may be slow — it trains BERT models), then impute
+/// sparse trajectories with Impute() (online, model inference only; no
+/// trajectory data is scanned). The first Train() call anchors the local
+/// projection and the pyramid world from the batch's extent.
+///
+/// Not thread-safe: one Kamel instance per thread.
+class Kamel {
+ public:
+  explicit Kamel(const KamelOptions& options);
+  ~Kamel();
+
+  Kamel(const Kamel&) = delete;
+  Kamel& operator=(const Kamel&) = delete;
+
+  /// Offline training path of Figure 1: tokenize, store, infer the speed
+  /// bound, maintain the model repository, refit the detokenizer.
+  /// Later batches enrich the system (Section 4.2).
+  Status Train(const TrajectoryDataset& data);
+
+  /// Online imputation of one sparse trajectory.
+  /// FailedPrecondition if Train() has not succeeded yet.
+  Result<ImputedTrajectory> Impute(const Trajectory& sparse);
+
+  /// Bulk offline mode: imputes every trajectory of the batch.
+  Result<std::vector<ImputedTrajectory>> ImputeBatch(
+      const TrajectoryDataset& batch);
+
+  bool trained() const { return trained_; }
+  const KamelOptions& options() const { return options_; }
+  const GridSystem& grid() const { return *grid_; }
+  const LocalProjection& projection() const { return *projection_; }
+  const ModelRepository& repository() const { return *repository_; }
+  const Detokenizer& detokenizer() const { return *detokenizer_; }
+  const TrajectoryStore& store() const { return *store_; }
+  const Tokenizer& tokenizer() const { return *tokenizer_; }
+
+  /// Speed bound used by the ellipse constraint, m/s (inferred from
+  /// training data unless fixed in the options).
+  double max_speed_mps() const;
+
+  /// Cumulative offline training time (tokenization + model building +
+  /// clustering), seconds — Figure 11(a).
+  double total_train_seconds() const { return total_train_seconds_; }
+
+  /// Persists the trained state (projection anchor, world box, speed,
+  /// models, clusters). Options are not stored: load with a Kamel
+  /// constructed from the same options.
+  Status SaveToFile(const std::string& path) const;
+  Status LoadFromFile(const std::string& path);
+
+ private:
+  /// Lazily builds projection, grid, pyramid, and all modules from the
+  /// first training batch's extent.
+  Status InitializeGeometry(const TrajectoryDataset& data);
+
+  /// 95th-percentile consecutive-point speed of the batch, slack-scaled
+  /// (Section 5.1: "fixed speed inferred from its training data").
+  void UpdateSpeedBound(const TrajectoryDataset& data);
+
+  /// Imputes one gap; appends interior points (or a straight line on
+  /// failure) to `out_points`.
+  void ImputeSegment(TrajBert* model, const SegmentContext& context,
+                     std::vector<TrajPoint>* out_points, ImputeStats* stats);
+
+  void AppendLinearFallback(const SegmentContext& context,
+                            std::vector<TrajPoint>* out_points) const;
+
+  KamelOptions options_;
+  bool trained_ = false;
+  double total_train_seconds_ = 0.0;
+  double inferred_speed_mps_ = 0.0;
+
+  std::unique_ptr<LocalProjection> projection_;
+  std::unique_ptr<GridSystem> grid_;
+  std::unique_ptr<Tokenizer> tokenizer_;
+  std::unique_ptr<TrajectoryStore> store_;
+  std::unique_ptr<Pyramid> pyramid_;
+  std::unique_ptr<ModelRepository> repository_;
+  std::unique_ptr<SpatialConstraints> constraints_;
+  std::unique_ptr<Imputer> imputer_;
+  std::unique_ptr<Detokenizer> detokenizer_;
+};
+
+/// Online streaming front-end (Figure 1's "Batch/Online Stream" input):
+/// GPS readings arrive one at a time per moving object; a trajectory is
+/// closed and imputed when EndTrajectory is called or when a reading gap
+/// exceeds `session_timeout_seconds`.
+class StreamingSession {
+ public:
+  using Callback = std::function<void(int64_t object_id, ImputedTrajectory)>;
+
+  /// `system` is borrowed and must outlive the session and be trained.
+  StreamingSession(Kamel* system, Callback on_imputed,
+                   double session_timeout_seconds = 300.0);
+
+  /// Feeds one reading; may trigger imputation of a timed-out trajectory.
+  Status Push(int64_t object_id, const TrajPoint& point);
+
+  /// Closes one object's trajectory and imputes it.
+  Status EndTrajectory(int64_t object_id);
+
+  /// Closes all open trajectories.
+  Status Flush();
+
+  size_t open_trajectories() const { return buffers_.size(); }
+
+ private:
+  Status Emit(int64_t object_id, Trajectory trajectory);
+
+  Kamel* system_;
+  Callback on_imputed_;
+  double timeout_;
+  std::unordered_map<int64_t, Trajectory> buffers_;
+};
+
+}  // namespace kamel
+
+#endif  // KAMEL_CORE_KAMEL_H_

@@ -1,0 +1,35 @@
+#include "core/maintenance.h"
+
+#include "common/check.h"
+
+namespace kamel {
+
+MaintenanceScheduler::MaintenanceScheduler(Kamel* system,
+                                           MaintenanceOptions options)
+    : system_(system), options_(options) {
+  KAMEL_CHECK(system != nullptr);
+  KAMEL_CHECK(options.min_batch_trajectories > 0,
+              "batch threshold must be positive");
+}
+
+Status MaintenanceScheduler::Submit(Trajectory trajectory) {
+  pending_points_ += trajectory.points.size();
+  pending_.trajectories.push_back(std::move(trajectory));
+  if (pending_.trajectories.size() >= options_.min_batch_trajectories ||
+      pending_points_ >= options_.min_batch_points) {
+    return Flush();
+  }
+  return Status::OK();
+}
+
+Status MaintenanceScheduler::Flush() {
+  if (pending_.trajectories.empty()) return Status::OK();
+  TrajectoryDataset batch;
+  batch.trajectories.swap(pending_.trajectories);
+  pending_points_ = 0;
+  KAMEL_RETURN_NOT_OK(system_->Train(batch));
+  ++batches_trained_;
+  return Status::OK();
+}
+
+}  // namespace kamel

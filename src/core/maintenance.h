@@ -1,0 +1,58 @@
+#ifndef KAMEL_CORE_MAINTENANCE_H_
+#define KAMEL_CORE_MAINTENANCE_H_
+
+#include <cstddef>
+
+#include "core/kamel.h"
+
+namespace kamel {
+
+/// Batching policy for deferred model maintenance.
+struct MaintenanceOptions {
+  /// Train once this many trajectories are pending.
+  size_t min_batch_trajectories = 64;
+  /// ... or once this many GPS points are pending, whichever first.
+  size_t min_batch_points = 20000;
+};
+
+/// Deferred maintenance front-end for the model repository (Section 4.2:
+/// "this does not need to happen for every single trajectory. Instead, it
+/// is scheduled as a background process when needed for a batch of new
+/// trajectories, without causing any downtime").
+///
+/// Incoming training trajectories are buffered; Kamel::Train — the
+/// expensive model (re)building — runs only when a batch threshold is met
+/// or Flush() is called. Between batches the system keeps serving
+/// imputations from its existing models, which is exactly the paper's
+/// no-downtime property (in this single-threaded reproduction "background"
+/// becomes "deferred": training happens inside the Submit call that
+/// crosses the threshold).
+class MaintenanceScheduler {
+ public:
+  /// `system` is borrowed and must outlive the scheduler.
+  MaintenanceScheduler(Kamel* system, MaintenanceOptions options = {});
+
+  /// Buffers one training trajectory; triggers a training batch when a
+  /// threshold is crossed. Returns the training status in that case.
+  Status Submit(Trajectory trajectory);
+
+  /// Trains on whatever is pending (no-op when nothing is).
+  Status Flush();
+
+  size_t pending_trajectories() const {
+    return pending_.trajectories.size();
+  }
+  size_t pending_points() const { return pending_points_; }
+  int batches_trained() const { return batches_trained_; }
+
+ private:
+  Kamel* system_;
+  MaintenanceOptions options_;
+  TrajectoryDataset pending_;
+  size_t pending_points_ = 0;
+  int batches_trained_ = 0;
+};
+
+}  // namespace kamel
+
+#endif  // KAMEL_CORE_MAINTENANCE_H_

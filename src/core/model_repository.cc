@@ -1,0 +1,338 @@
+#include "core/model_repository.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace kamel {
+
+namespace {
+
+// Deterministic per-cell seed salt so rebuilding the same repository from
+// the same data yields identical models.
+uint64_t CellSalt(const PyramidCell& cell, uint64_t kind) {
+  return (static_cast<uint64_t>(cell.level) << 48) ^
+         (static_cast<uint64_t>(static_cast<uint32_t>(cell.x)) << 24) ^
+         static_cast<uint32_t>(cell.y) ^ (kind << 60);
+}
+
+}  // namespace
+
+ModelRepository::ModelRepository(const Pyramid& pyramid,
+                                 const KamelOptions& options,
+                                 const TrajectoryStore* store)
+    : pyramid_(pyramid), options_(options), store_(store) {
+  KAMEL_CHECK(store != nullptr);
+}
+
+std::unique_ptr<TrajBert> ModelRepository::TrainOn(const BBox& bounds,
+                                                   uint64_t salt,
+                                                   ModelInfo* info,
+                                                   const char* kind) {
+  const std::vector<size_t> indices = store_->FullyEnclosed(bounds);
+  std::vector<std::vector<CellId>> statements = store_->Statements(indices);
+  // Statements with fewer than two tokens carry no transition signal.
+  std::erase_if(statements,
+                [](const std::vector<CellId>& s) { return s.size() < 2; });
+  if (statements.empty()) return nullptr;
+
+  int64_t tokens = 0;
+  for (const auto& s : statements) tokens += static_cast<int64_t>(s.size());
+
+  auto result = TrajBert::Train(statements, options_.bert,
+                                options_.seed ^ salt);
+  if (!result.ok()) {
+    KAMEL_LOG(Warning) << "model training failed (" << kind
+                       << "): " << result.status().ToString();
+    return nullptr;
+  }
+  info->kind = kind;
+  info->tokens_at_build = tokens;
+  info->statements_at_build = static_cast<int64_t>(statements.size());
+  info->build_count += 1;
+  info->train_seconds = (*result)->train_stats().seconds;
+  total_train_seconds_ += info->train_seconds;
+  KAMEL_LOG(Debug) << "built " << kind << " model: "
+                   << statements.size() << " statements, " << tokens
+                   << " tokens, loss "
+                   << (*result)->train_stats().final_loss;
+  return std::move(result).value();
+}
+
+void ModelRepository::MaybeBuildSingle(const PyramidCell& cell) {
+  const BBox bounds = pyramid_.CellBounds(cell);
+  const int64_t tokens = store_->CountTokensIn(bounds);
+  if (tokens <
+      pyramid_.ModelThreshold(cell.level, options_.model_token_threshold)) {
+    return;
+  }
+  Entry& entry = entries_[cell];
+  auto model =
+      TrainOn(bounds, CellSalt(cell, 1), &entry.single_info, "single");
+  if (model != nullptr) {
+    if (entry.single == nullptr) ++num_single_;
+    entry.single = std::move(model);
+  }
+}
+
+void ModelRepository::MaybeBuildNeighbors(const PyramidCell& cell,
+                                          PairSet* built) {
+  const BBox bounds = pyramid_.CellBounds(cell);
+  const int64_t own_tokens = store_->CountTokensIn(bounds);
+  for (const PyramidCell& neighbor : pyramid_.EdgeNeighbors(cell)) {
+    const BBox nb_bounds = pyramid_.CellBounds(neighbor);
+    const int64_t combined = own_tokens + store_->CountTokensIn(nb_bounds);
+    // Neighbor-cell models double the single-cell threshold (Section 4.1).
+    if (combined < 2 * pyramid_.ModelThreshold(
+                           cell.level, options_.model_token_threshold)) {
+      continue;
+    }
+    BBox pair_bounds = bounds;
+    pair_bounds.Extend(nb_bounds);
+
+    // The model lives at the west cell of an east-west pair and at the
+    // north cell of a north-south pair. A batch may visit both endpoints;
+    // `built` keeps each pair from being trained twice per batch.
+    if (neighbor.y == cell.y) {
+      const PyramidCell west = neighbor.x < cell.x ? neighbor : cell;
+      if (!built->insert({west, /*south=*/false}).second) continue;
+      Entry& entry = entries_[west];
+      auto model = TrainOn(pair_bounds, CellSalt(west, 2), &entry.east_info,
+                           "east-pair");
+      if (model != nullptr) {
+        if (entry.east_pair == nullptr) ++num_neighbor_;
+        entry.east_pair = std::move(model);
+      }
+    } else {
+      const PyramidCell north = neighbor.y > cell.y ? neighbor : cell;
+      if (!built->insert({north, /*south=*/true}).second) continue;
+      Entry& entry = entries_[north];
+      auto model = TrainOn(pair_bounds, CellSalt(north, 3),
+                           &entry.south_info, "south-pair");
+      if (model != nullptr) {
+        if (entry.south_pair == nullptr) ++num_neighbor_;
+        entry.south_pair = std::move(model);
+      }
+    }
+  }
+}
+
+Status ModelRepository::AddTrainingBatch(
+    const std::vector<size_t>& new_indices) {
+  if (!options_.enable_partitioning) {
+    // Ablation "No Part.": one BERT model for the entire data (Section 8.7).
+    auto model = TrainOn(pyramid_.world().Expanded(1.0), /*salt=*/0xA11,
+                         &global_info_, "global");
+    if (model == nullptr) {
+      return Status::InvalidArgument(
+          "no trainable statements in the store for the global model");
+    }
+    global_model_ = std::move(model);
+    return Status::OK();
+  }
+
+  BBox batch_mbr;
+  for (size_t index : new_indices) batch_mbr.Extend(store_->MbrOf(index));
+  if (batch_mbr.Empty()) return Status::OK();
+
+  const PyramidCell anchor = pyramid_.SmallestEnclosing(batch_mbr);
+
+  // Collect every cell whose models steps (1)-(4) of Section 4.2 may
+  // build, then train each at most once, deterministically ordered.
+  std::unordered_set<PyramidCell, PyramidCellHash> cells;
+
+  // Steps (1), (2) and (4): the anchor and its warranted descendants.
+  // Descend while a child could still reach the minimum (leaf) threshold.
+  std::vector<PyramidCell> stack = {anchor};
+  while (!stack.empty()) {
+    const PyramidCell cell = stack.back();
+    stack.pop_back();
+    cells.insert(cell);
+    if (cell.level >= pyramid_.height()) continue;
+    for (const PyramidCell& child : pyramid_.Children(cell)) {
+      if (store_->CountTokensIn(pyramid_.CellBounds(child)) >=
+          options_.model_token_threshold) {
+        stack.push_back(child);
+      }
+    }
+  }
+
+  // Step (3): ancestors up to the lowest maintained level.
+  PyramidCell cursor = anchor;
+  while (cursor.level > pyramid_.lowest_maintained_level()) {
+    cursor = pyramid_.Parent(cursor);
+    if (!pyramid_.IsMaintained(cursor.level)) break;
+    cells.insert(cursor);
+  }
+
+  std::vector<PyramidCell> ordered(cells.begin(), cells.end());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const PyramidCell& a, const PyramidCell& b) {
+              if (a.level != b.level) return a.level > b.level;
+              if (a.y != b.y) return a.y < b.y;
+              return a.x < b.x;
+            });
+  PairSet built_pairs;
+  for (const PyramidCell& cell : ordered) {
+    if (!pyramid_.IsMaintained(cell.level)) continue;
+    MaybeBuildSingle(cell);
+    MaybeBuildNeighbors(cell, &built_pairs);
+  }
+  return Status::OK();
+}
+
+TrajBert* ModelRepository::LookupSingle(const PyramidCell& cell) const {
+  auto it = entries_.find(cell);
+  return it == entries_.end() ? nullptr : it->second.single.get();
+}
+
+TrajBert* ModelRepository::LookupPair(const PyramidCell& a,
+                                      const PyramidCell& b) const {
+  if (a.level != b.level) return nullptr;
+  if (a.y == b.y && std::abs(a.x - b.x) == 1) {
+    const PyramidCell& west = a.x < b.x ? a : b;
+    auto it = entries_.find(west);
+    return it == entries_.end() ? nullptr : it->second.east_pair.get();
+  }
+  if (a.x == b.x && std::abs(a.y - b.y) == 1) {
+    const PyramidCell& north = a.y > b.y ? a : b;
+    auto it = entries_.find(north);
+    return it == entries_.end() ? nullptr : it->second.south_pair.get();
+  }
+  return nullptr;
+}
+
+TrajBert* ModelRepository::SelectModel(const BBox& mbr) const {
+  if (!options_.enable_partitioning) return global_model_.get();
+  if (mbr.Empty()) return nullptr;
+  for (int level = pyramid_.height();
+       level >= pyramid_.lowest_maintained_level(); --level) {
+    const PyramidCell lo = pyramid_.CellAt(level, {mbr.min_x, mbr.min_y});
+    const PyramidCell hi = pyramid_.CellAt(level, {mbr.max_x, mbr.max_y});
+    if (lo == hi) {
+      if (!pyramid_.CellBounds(lo).Contains(mbr)) continue;
+      if (TrajBert* model = LookupSingle(lo)) return model;
+    } else if ((lo.x == hi.x && std::abs(lo.y - hi.y) == 1) ||
+               (lo.y == hi.y && std::abs(lo.x - hi.x) == 1)) {
+      BBox pair = pyramid_.CellBounds(lo);
+      pair.Extend(pyramid_.CellBounds(hi));
+      if (!pair.Contains(mbr)) continue;
+      if (TrajBert* model = LookupPair(lo, hi)) return model;
+    }
+  }
+  return nullptr;
+}
+
+int ModelRepository::num_models() const {
+  return num_single_ + num_neighbor_ + (global_model_ != nullptr ? 1 : 0);
+}
+
+std::vector<ModelInfo> ModelRepository::ModelInfos() const {
+  std::vector<ModelInfo> out;
+  if (global_model_ != nullptr) out.push_back(global_info_);
+  for (const auto& [cell, entry] : entries_) {
+    if (entry.single != nullptr) out.push_back(entry.single_info);
+    if (entry.east_pair != nullptr) out.push_back(entry.east_info);
+    if (entry.south_pair != nullptr) out.push_back(entry.south_info);
+  }
+  return out;
+}
+
+namespace {
+
+void SaveInfo(BinaryWriter* writer, const ModelInfo& info) {
+  writer->WriteString(info.kind);
+  writer->WriteI64(info.tokens_at_build);
+  writer->WriteI64(info.statements_at_build);
+  writer->WriteI64(info.build_count);
+  writer->WriteF64(info.train_seconds);
+}
+
+Status LoadInfo(BinaryReader* reader, ModelInfo* info) {
+  KAMEL_ASSIGN_OR_RETURN(info->kind, reader->ReadString());
+  KAMEL_ASSIGN_OR_RETURN(info->tokens_at_build, reader->ReadI64());
+  KAMEL_ASSIGN_OR_RETURN(info->statements_at_build, reader->ReadI64());
+  KAMEL_ASSIGN_OR_RETURN(info->build_count, reader->ReadI64());
+  KAMEL_ASSIGN_OR_RETURN(info->train_seconds, reader->ReadF64());
+  return Status::OK();
+}
+
+}  // namespace
+
+void ModelRepository::Save(BinaryWriter* writer) const {
+  writer->WriteString("kamel-repo-v1");
+  writer->WriteU8(global_model_ != nullptr ? 1 : 0);
+  if (global_model_ != nullptr) {
+    SaveInfo(writer, global_info_);
+    global_model_->Save(writer);
+  }
+  writer->WriteU32(static_cast<uint32_t>(entries_.size()));
+  for (const auto& [cell, entry] : entries_) {
+    writer->WriteI32(cell.level);
+    writer->WriteI32(cell.x);
+    writer->WriteI32(cell.y);
+    uint8_t flags = 0;
+    if (entry.single != nullptr) flags |= 1;
+    if (entry.east_pair != nullptr) flags |= 2;
+    if (entry.south_pair != nullptr) flags |= 4;
+    writer->WriteU8(flags);
+    if (entry.single != nullptr) {
+      SaveInfo(writer, entry.single_info);
+      entry.single->Save(writer);
+    }
+    if (entry.east_pair != nullptr) {
+      SaveInfo(writer, entry.east_info);
+      entry.east_pair->Save(writer);
+    }
+    if (entry.south_pair != nullptr) {
+      SaveInfo(writer, entry.south_info);
+      entry.south_pair->Save(writer);
+    }
+  }
+  writer->WriteF64(total_train_seconds_);
+}
+
+Status ModelRepository::Load(BinaryReader* reader) {
+  KAMEL_ASSIGN_OR_RETURN(std::string magic, reader->ReadString());
+  if (magic != "kamel-repo-v1") {
+    return Status::IOError("bad repository magic: " + magic);
+  }
+  entries_.clear();
+  num_single_ = num_neighbor_ = 0;
+  global_model_.reset();
+
+  KAMEL_ASSIGN_OR_RETURN(uint8_t has_global, reader->ReadU8());
+  if (has_global != 0) {
+    KAMEL_RETURN_NOT_OK(LoadInfo(reader, &global_info_));
+    KAMEL_ASSIGN_OR_RETURN(global_model_, TrajBert::Load(reader));
+  }
+  KAMEL_ASSIGN_OR_RETURN(uint32_t count, reader->ReadU32());
+  for (uint32_t i = 0; i < count; ++i) {
+    PyramidCell cell;
+    KAMEL_ASSIGN_OR_RETURN(cell.level, reader->ReadI32());
+    KAMEL_ASSIGN_OR_RETURN(cell.x, reader->ReadI32());
+    KAMEL_ASSIGN_OR_RETURN(cell.y, reader->ReadI32());
+    KAMEL_ASSIGN_OR_RETURN(uint8_t flags, reader->ReadU8());
+    Entry& entry = entries_[cell];
+    if (flags & 1) {
+      KAMEL_RETURN_NOT_OK(LoadInfo(reader, &entry.single_info));
+      KAMEL_ASSIGN_OR_RETURN(entry.single, TrajBert::Load(reader));
+      ++num_single_;
+    }
+    if (flags & 2) {
+      KAMEL_RETURN_NOT_OK(LoadInfo(reader, &entry.east_info));
+      KAMEL_ASSIGN_OR_RETURN(entry.east_pair, TrajBert::Load(reader));
+      ++num_neighbor_;
+    }
+    if (flags & 4) {
+      KAMEL_RETURN_NOT_OK(LoadInfo(reader, &entry.south_info));
+      KAMEL_ASSIGN_OR_RETURN(entry.south_pair, TrajBert::Load(reader));
+      ++num_neighbor_;
+    }
+  }
+  KAMEL_ASSIGN_OR_RETURN(total_train_seconds_, reader->ReadF64());
+  return Status::OK();
+}
+
+}  // namespace kamel

@@ -1,0 +1,123 @@
+#ifndef KAMEL_CORE_MODEL_REPOSITORY_H_
+#define KAMEL_CORE_MODEL_REPOSITORY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bert/traj_bert.h"
+#include "common/result.h"
+#include "core/options.h"
+#include "core/pyramid.h"
+#include "core/trajectory_store.h"
+
+namespace kamel {
+
+/// Bookkeeping for one trained model in the repository (the paper's
+/// per-model "metadata": statistics and last update, Section 4.1).
+struct ModelInfo {
+  std::string kind;            // "single", "east-pair", "south-pair", "global"
+  int64_t tokens_at_build = 0;
+  int64_t statements_at_build = 0;
+  int64_t build_count = 0;
+  double train_seconds = 0.0;
+};
+
+/// The model repository of the Partitioning module (Section 4): a pyramid
+/// of single-cell and neighbor-cells BERT models, built offline from the
+/// trajectory store and consulted online for imputation.
+///
+/// Single-cell models live at their cell. A neighbor-cells model for an
+/// east-west pair is stored at the west cell; for a north-south pair at
+/// the north cell — the other cell conceptually holds a pointer to it
+/// (Section 4.1), which here is the lookup in SelectModel.
+class ModelRepository {
+ public:
+  /// `store` is borrowed and must outlive the repository.
+  ModelRepository(const Pyramid& pyramid, const KamelOptions& options,
+                  const TrajectoryStore* store);
+
+  /// Section 4.2 maintenance: integrates a batch of newly stored training
+  /// trajectories (given by store indices), building or refreshing every
+  /// model whose token threshold is now met. With partitioning disabled
+  /// (ablation "No Part.") it trains one global model on the whole store.
+  Status AddTrainingBatch(const std::vector<size_t>& new_indices);
+
+  /// Section 4.1 retrieval: the model of the smallest single cell or
+  /// neighbor-cell pair fully enclosing `mbr`; nullptr when no maintained
+  /// model covers it (callers then split the trajectory or fall back to a
+  /// straight line).
+  TrajBert* SelectModel(const BBox& mbr) const;
+
+  /// Number of trained models currently held.
+  int num_models() const;
+  int num_single_models() const { return num_single_; }
+  int num_neighbor_models() const { return num_neighbor_; }
+
+  /// Cumulative offline training time, seconds (Figure 11a).
+  double total_train_seconds() const { return total_train_seconds_; }
+
+  /// Info records of all models, for inspection and reporting.
+  std::vector<ModelInfo> ModelInfos() const;
+
+  const Pyramid& pyramid() const { return pyramid_; }
+
+  void Save(BinaryWriter* writer) const;
+  Status Load(BinaryReader* reader);
+
+ private:
+  struct Entry {
+    std::unique_ptr<TrajBert> single;
+    ModelInfo single_info;
+    std::unique_ptr<TrajBert> east_pair;   // this cell + its east neighbor
+    ModelInfo east_info;
+    std::unique_ptr<TrajBert> south_pair;  // this cell + its south neighbor
+    ModelInfo south_info;
+  };
+
+  /// Trains a TrajBert on all store trajectories fully enclosed in
+  /// `bounds`; returns nullptr when the corpus is empty.
+  std::unique_ptr<TrajBert> TrainOn(const BBox& bounds, uint64_t salt,
+                                    ModelInfo* info, const char* kind);
+
+  /// Identifies one neighbor-pair model by its storage cell and axis.
+  struct PairKey {
+    PyramidCell cell;
+    bool south = false;
+    bool operator==(const PairKey&) const = default;
+  };
+  struct PairKeyHash {
+    size_t operator()(const PairKey& k) const {
+      return PyramidCellHash()(k.cell) * 2 + (k.south ? 1 : 0);
+    }
+  };
+  using PairSet = std::unordered_set<PairKey, PairKeyHash>;
+
+  /// Builds/refreshes the single-cell model at `cell` if warranted.
+  void MaybeBuildSingle(const PyramidCell& cell);
+
+  /// Builds/refreshes neighbor-pair models between `cell` and each of its
+  /// in-bounds neighbors if warranted (threshold doubled, Section 4.1).
+  /// `built` dedupes pairs within one training batch.
+  void MaybeBuildNeighbors(const PyramidCell& cell, PairSet* built);
+
+  TrajBert* LookupSingle(const PyramidCell& cell) const;
+  TrajBert* LookupPair(const PyramidCell& a, const PyramidCell& b) const;
+
+  Pyramid pyramid_;
+  KamelOptions options_;
+  const TrajectoryStore* store_;
+  std::unordered_map<PyramidCell, Entry, PyramidCellHash> entries_;
+  std::unique_ptr<TrajBert> global_model_;  // "No Part." ablation
+  ModelInfo global_info_;
+  int num_single_ = 0;
+  int num_neighbor_ = 0;
+  double total_train_seconds_ = 0.0;
+};
+
+}  // namespace kamel
+
+#endif  // KAMEL_CORE_MODEL_REPOSITORY_H_

@@ -1,0 +1,91 @@
+#ifndef KAMEL_CORE_OPTIONS_H_
+#define KAMEL_CORE_OPTIONS_H_
+
+#include <cstdint>
+
+#include "bert/traj_bert.h"
+
+namespace kamel {
+
+/// Grid family used by the Tokenization module (Section 8.5 compares both).
+enum class GridType { kHex, kSquare };
+
+/// Multipoint imputation strategy (Section 6).
+enum class ImputeMethod { kIterativeBert, kBidirectionalBeam };
+
+/// DBSCAN parameters for the Detokenization module (Section 7). Points in
+/// one token are clustered by travel direction.
+struct DbscanOptions {
+  /// Neighborhood radius in heading space, degrees.
+  double eps_heading_deg = 30.0;
+  /// Minimum neighbors (incl. the point) to seed a cluster.
+  int min_points = 5;
+};
+
+/// All tunables of a KAMEL instance. Defaults follow Section 8 of the
+/// paper ("Default values and parameter tuning") except where the value is
+/// scale-dependent — those are set per scenario (see src/eval/scenario.h).
+struct KamelOptions {
+  // -- Tokenization (Section 3) -------------------------------------------
+  GridType grid_type = GridType::kHex;
+  /// Hexagon edge length H in meters (paper default 75 m).
+  double hex_edge_m = 75.0;
+  /// Square edge in meters; <= 0 derives the equal-area edge from
+  /// hex_edge_m (the paper's 120 m for 75 m hexes).
+  double square_edge_m = 0.0;
+
+  // -- Partitioning (Section 4) -------------------------------------------
+  bool enable_partitioning = true;
+  /// Pyramid height H: levels run 0 (root) .. H (leaves). Paper default 10;
+  /// scenarios use smaller spaces and heights.
+  int pyramid_height = 10;
+  /// Number of lowest maintained levels L (paper default 3).
+  int pyramid_levels = 3;
+  /// Minimum token count k to build a model at a leaf cell (threshold at
+  /// level l is k * 4^(H - l)); neighbor-cell models need double.
+  /// Paper default 20,000.
+  int64_t model_token_threshold = 20000;
+
+  // -- Spatial constraints (Section 5) ------------------------------------
+  bool enable_constraints = true;
+  /// Maximum vehicle speed in m/s for the speed-ellipse; <= 0 infers it
+  /// from the training data (paper: "fixed speed inferred from its
+  /// training trajectory data").
+  double max_speed_mps = 0.0;
+  /// Safety multiplier applied to the inferred speed.
+  double speed_slack_factor = 1.5;
+  /// Direction-cone half-angle in degrees (paper default 45).
+  double direction_cone_deg = 45.0;
+  /// Cycle-detection window x (paper default 6).
+  int cycle_window = 6;
+
+  // -- Multipoint imputation (Section 6) ----------------------------------
+  bool enable_multipoint = true;
+  ImputeMethod method = ImputeMethod::kBidirectionalBeam;
+  /// Maximum allowed gap between consecutive output tokens, meters
+  /// (paper default 100 m; converted to a grid-distance threshold of at
+  /// least one cell).
+  double max_gap_m = 100.0;
+  /// Candidates requested from BERT per call.
+  int top_k = 10;
+  /// Beam width B (paper default 10).
+  int beam_size = 10;
+  /// Length-normalization strength alpha in [0, 1] (paper default 1).
+  double length_norm_alpha = 1.0;
+  /// Hard budget of BERT calls per segment; exceeded -> declared failure
+  /// and linear fallback (Section 6).
+  int max_bert_calls_per_segment = 96;
+
+  // -- BERT encoder and training ------------------------------------------
+  TrajBertOptions bert;
+
+  // -- Detokenization (Section 7) -----------------------------------------
+  DbscanOptions dbscan;
+
+  /// Master seed for weight init, masking, and every stochastic choice.
+  uint64_t seed = 42;
+};
+
+}  // namespace kamel
+
+#endif  // KAMEL_CORE_OPTIONS_H_

@@ -1,0 +1,89 @@
+#include "core/pyramid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace kamel {
+
+Pyramid::Pyramid(const BBox& world, int height, int maintained_levels)
+    : height_(height), maintained_levels_(maintained_levels) {
+  KAMEL_CHECK(!world.Empty(), "pyramid world box must be non-empty");
+  KAMEL_CHECK(height >= 0, "pyramid height must be >= 0");
+  KAMEL_CHECK(maintained_levels >= 1 && maintained_levels <= height + 1,
+              "maintained levels out of range");
+  // Square the world up around its min corner so all cells are square.
+  const double side = std::max(world.Width(), world.Height());
+  world_ = BBox::FromCorners({world.min_x, world.min_y},
+                             {world.min_x + side, world.min_y + side});
+}
+
+BBox Pyramid::CellBounds(const PyramidCell& cell) const {
+  const double side = world_.Width() / static_cast<double>(1 << cell.level);
+  const double x0 = world_.min_x + side * cell.x;
+  const double y0 = world_.min_y + side * cell.y;
+  return BBox::FromCorners({x0, y0}, {x0 + side, y0 + side});
+}
+
+PyramidCell Pyramid::CellAt(int level, const Vec2& p) const {
+  KAMEL_CHECK(level >= 0 && level <= height_, "level out of range");
+  const int n = 1 << level;
+  const double side = world_.Width() / static_cast<double>(n);
+  int x = static_cast<int>(std::floor((p.x - world_.min_x) / side));
+  int y = static_cast<int>(std::floor((p.y - world_.min_y) / side));
+  x = std::clamp(x, 0, n - 1);
+  y = std::clamp(y, 0, n - 1);
+  return {level, x, y};
+}
+
+PyramidCell Pyramid::SmallestEnclosing(const BBox& box) const {
+  KAMEL_CHECK(!box.Empty(), "smallest-enclosing of empty box");
+  for (int level = height_; level > 0; --level) {
+    const PyramidCell lo = CellAt(level, {box.min_x, box.min_y});
+    const PyramidCell hi = CellAt(level, {box.max_x, box.max_y});
+    if (lo == hi && CellBounds(lo).Contains(box)) return lo;
+  }
+  return {0, 0, 0};
+}
+
+PyramidCell Pyramid::Parent(const PyramidCell& cell) const {
+  KAMEL_CHECK(cell.level > 0, "root has no parent");
+  return {cell.level - 1, cell.x / 2, cell.y / 2};
+}
+
+std::array<PyramidCell, 4> Pyramid::Children(const PyramidCell& cell) const {
+  KAMEL_CHECK(cell.level < height_, "leaf has no children");
+  const int l = cell.level + 1;
+  const int x = cell.x * 2;
+  const int y = cell.y * 2;
+  return {PyramidCell{l, x, y}, PyramidCell{l, x + 1, y},
+          PyramidCell{l, x, y + 1}, PyramidCell{l, x + 1, y + 1}};
+}
+
+std::vector<PyramidCell> Pyramid::EdgeNeighbors(
+    const PyramidCell& cell) const {
+  const int n = 1 << cell.level;
+  std::vector<PyramidCell> out;
+  const int dx[4] = {1, 0, -1, 0};
+  const int dy[4] = {0, 1, 0, -1};
+  for (int i = 0; i < 4; ++i) {
+    const int x = cell.x + dx[i];
+    const int y = cell.y + dy[i];
+    if (x >= 0 && x < n && y >= 0 && y < n) {
+      out.push_back({cell.level, x, y});
+    }
+  }
+  return out;
+}
+
+int64_t Pyramid::ModelThreshold(int level, int64_t k) const {
+  const int exponent = height_ - level;
+  const double threshold =
+      static_cast<double>(k) * std::pow(4.0, static_cast<double>(exponent));
+  if (threshold >= 9.0e18) return std::numeric_limits<int64_t>::max();
+  return static_cast<int64_t>(threshold);
+}
+
+}  // namespace kamel

@@ -1,0 +1,85 @@
+#ifndef KAMEL_CORE_PYRAMID_H_
+#define KAMEL_CORE_PYRAMID_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "geo/bbox.h"
+
+namespace kamel {
+
+/// Address of one pyramid cell: level 0 is the root (whole space); level l
+/// splits space into 2^l x 2^l equal cells; x grows east, y grows north.
+struct PyramidCell {
+  int level = 0;
+  int x = 0;
+  int y = 0;
+
+  bool operator==(const PyramidCell&) const = default;
+};
+
+/// Hash functor so PyramidCell can key unordered containers.
+struct PyramidCellHash {
+  size_t operator()(const PyramidCell& c) const {
+    uint64_t h = static_cast<uint64_t>(c.level) << 58;
+    h ^= static_cast<uint64_t>(static_cast<uint32_t>(c.x)) << 29;
+    h ^= static_cast<uint32_t>(c.y);
+    return std::hash<uint64_t>()(h * 0x9E3779B97F4A7C15ULL);
+  }
+};
+
+/// Geometry of the disk-based hierarchical pyramid structure [5] backing
+/// the model repository (Section 4.1). Only the lowest `maintained_levels`
+/// levels hold models; the geometry still answers queries at any level.
+class Pyramid {
+ public:
+  /// `world` is squared up (padded to its longer side) so cells stay
+  /// square. Requires height >= 0 and 1 <= maintained_levels <= height+1.
+  Pyramid(const BBox& world, int height, int maintained_levels);
+
+  int height() const { return height_; }
+
+  /// Lowest (coarsest) level that maintains models: H - L + 1.
+  int lowest_maintained_level() const {
+    return height_ - maintained_levels_ + 1;
+  }
+
+  bool IsMaintained(int level) const {
+    return level >= lowest_maintained_level() && level <= height_;
+  }
+
+  /// Spatial extent of a cell.
+  BBox CellBounds(const PyramidCell& cell) const;
+
+  /// Cell containing `p` at `level` (coordinates clamped into the world).
+  PyramidCell CellAt(int level, const Vec2& p) const;
+
+  /// Deepest cell fully containing `box` (root if nothing deeper does).
+  PyramidCell SmallestEnclosing(const BBox& box) const;
+
+  PyramidCell Parent(const PyramidCell& cell) const;
+  std::array<PyramidCell, 4> Children(const PyramidCell& cell) const;
+
+  /// In-bounds edge neighbors (east, north, west, south order, skipping
+  /// cells outside the world).
+  std::vector<PyramidCell> EdgeNeighbors(const PyramidCell& cell) const;
+
+  /// Token-count threshold for building a model at `level`:
+  /// k * 4^(height - level) (Section 4.1), saturating instead of
+  /// overflowing.
+  int64_t ModelThreshold(int level, int64_t k) const;
+
+  const BBox& world() const { return world_; }
+
+ private:
+  BBox world_;
+  int height_;
+  int maintained_levels_;
+};
+
+}  // namespace kamel
+
+#endif  // KAMEL_CORE_PYRAMID_H_

@@ -1,0 +1,126 @@
+#include "core/spatial_constraints.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace kamel {
+
+SpatialConstraints::SpatialConstraints(const GridSystem* grid,
+                                       const KamelOptions& options)
+    : grid_(grid),
+      enabled_(options.enable_constraints),
+      cone_rad_(DegToRad(options.direction_cone_deg)),
+      max_speed_mps_(options.max_speed_mps) {
+  KAMEL_CHECK(grid != nullptr);
+}
+
+bool SpatialConstraints::SatisfiesSpeed(const SegmentContext& context,
+                                        CellId candidate) const {
+  if (max_speed_mps_ <= 0.0) return true;  // speed unknown: no constraint
+  const double dt = std::fabs(context.d.time - context.s.time);
+  const Vec2 c = grid_->Centroid(candidate);
+  // Ellipse slack: a candidate centroid can sit up to one cell spacing
+  // away from the true path even for a perfect prediction.
+  const double budget =
+      max_speed_mps_ * dt + 2.0 * grid_->NeighborSpacingMeters();
+  const double focal_sum =
+      Distance(c, context.s.position) + Distance(c, context.d.position);
+  return focal_sum <= budget;
+}
+
+namespace {
+
+// True when `candidate` lies within `cone` radians of the ray from
+// `apex` towards `towards`.
+bool InCone(const Vec2& apex, const Vec2& towards, const Vec2& candidate,
+            double cone) {
+  const Vec2 axis = towards - apex;
+  const Vec2 dir = candidate - apex;
+  if (axis.Norm() < 1e-9 || dir.Norm() < 1e-9) return false;
+  const double angle = AngleDifference(std::atan2(axis.y, axis.x),
+                                       std::atan2(dir.y, dir.x));
+  return angle <= cone;
+}
+
+}  // namespace
+
+bool SpatialConstraints::SatisfiesDirection(const SegmentContext& context,
+                                            CellId candidate) const {
+  const Vec2 c = grid_->Centroid(candidate);
+  const Vec2 s = context.s.position;
+  const Vec2 d = context.d.position;
+
+  // Backward cone at S: from S towards its previous token t1; when t1 is
+  // unknown, the natural "backwards" is away from D.
+  const Vec2 back_ref = context.prev.has_value()
+                            ? context.prev->position
+                            : s + (s - d);
+  if (InCone(s, back_ref, c, cone_rad_)) return false;
+
+  // Forward-overshoot cone at D: from D towards its next token t2; when t2
+  // is unknown, overshoot means continuing past D away from S.
+  const Vec2 ahead_ref = context.next.has_value()
+                             ? context.next->position
+                             : d + (d - s);
+  if (InCone(d, ahead_ref, c, cone_rad_)) return false;
+  return true;
+}
+
+std::vector<Candidate> SpatialConstraints::Filter(
+    const SegmentContext& context,
+    const std::vector<Candidate>& candidates) const {
+  if (!enabled_) return candidates;
+  std::vector<Candidate> out;
+  out.reserve(candidates.size());
+  for (const Candidate& candidate : candidates) {
+    if (!SatisfiesSpeed(context, candidate.cell)) continue;
+    if (!SatisfiesDirection(context, candidate.cell)) continue;
+    out.push_back(candidate);
+  }
+  return out;
+}
+
+int SpatialConstraints::DetectSuffixCycle(const std::vector<CellId>& cells,
+                                          int window) {
+  const size_t n = cells.size();
+  for (int x = 1; x <= window; ++x) {
+    const size_t len = static_cast<size_t>(x);
+    if (n < 2 * len) break;
+    bool repeated = true;
+    for (size_t i = 0; i < len; ++i) {
+      if (cells[n - len + i] != cells[n - 2 * len + i]) {
+        repeated = false;
+        break;
+      }
+    }
+    if (repeated) return x;
+  }
+  return 0;
+}
+
+int SpatialConstraints::DetectCycleAround(const std::vector<CellId>& cells,
+                                          size_t pos, int window) {
+  const size_t n = cells.size();
+  for (int x = 1; x <= window; ++x) {
+    const size_t len = static_cast<size_t>(x);
+    if (n < 2 * len) break;
+    // Any adjacent repeat [j, j+len) == [j+len, j+2len) covering `pos`.
+    const size_t j_min = pos >= 2 * len - 1 ? pos - (2 * len - 1) : 0;
+    const size_t j_max = std::min(pos, n - 2 * len);
+    for (size_t j = j_min; j <= j_max && j + 2 * len <= n; ++j) {
+      bool repeated = true;
+      for (size_t i = 0; i < len; ++i) {
+        if (cells[j + i] != cells[j + len + i]) {
+          repeated = false;
+          break;
+        }
+      }
+      if (repeated) return x;
+    }
+  }
+  return 0;
+}
+
+}  // namespace kamel

@@ -1,0 +1,78 @@
+#ifndef KAMEL_CORE_SPATIAL_CONSTRAINTS_H_
+#define KAMEL_CORE_SPATIAL_CONSTRAINTS_H_
+
+#include <optional>
+#include <vector>
+
+#include "bert/traj_bert.h"
+#include "core/options.h"
+#include "core/tokenizer.h"
+#include "grid/grid_system.h"
+
+namespace kamel {
+
+/// Everything the Spatial Constraints module needs to know about the
+/// trajectory segment being imputed (Figure 5): the endpoint tokens S and
+/// D with their observation times, plus the tokens just before S (t1) and
+/// just after D (t2) when they exist.
+struct SegmentContext {
+  TokenPoint s;
+  TokenPoint d;
+  std::optional<TokenPoint> prev;  // t1, before S
+  std::optional<TokenPoint> next;  // t2, after D
+};
+
+/// The Spatial Constraints module (Section 5): filters BERT candidate
+/// tokens through the speed-ellipse and direction-cone rules, and detects
+/// cycles in partially imputed segments.
+///
+/// With `enable_constraints` false (ablation "No Const.") Filter is a
+/// pass-through.
+class SpatialConstraints {
+ public:
+  /// `grid` is borrowed and must outlive this object.
+  SpatialConstraints(const GridSystem* grid, const KamelOptions& options);
+
+  /// Sets the maximum speed used by the ellipse; called by the facade once
+  /// the speed has been inferred from training data (Section 5.1).
+  void set_max_speed_mps(double mps) { max_speed_mps_ = mps; }
+  double max_speed_mps() const { return max_speed_mps_; }
+
+  /// Drops candidates violating the speed or direction constraints.
+  /// Relative order is preserved.
+  std::vector<Candidate> Filter(const SegmentContext& context,
+                                const std::vector<Candidate>& candidates) const;
+
+  /// Speed constraint only: the candidate centroid must lie inside the
+  /// ellipse whose foci are S and D and whose focal-distance sum is
+  /// max_speed * (d.time - s.time), padded by one cell spacing so the
+  /// ellipse is never thinner than the tokenization resolution.
+  bool SatisfiesSpeed(const SegmentContext& context, CellId candidate) const;
+
+  /// Direction constraint only: the candidate must not fall within the
+  /// cone of `direction_cone_deg` degrees from S towards t1, nor from D
+  /// towards t2 (Figure 5's red tokens).
+  bool SatisfiesDirection(const SegmentContext& context,
+                          CellId candidate) const;
+
+  /// True when the last tokens of `cells` repeat as a block of length x
+  /// for any 1 <= x <= window — the paper's cycle rule (Section 5.2).
+  /// A result > 0 is the detected cycle length; 0 means no cycle.
+  static int DetectSuffixCycle(const std::vector<CellId>& cells, int window);
+
+  /// Cycle test around an interior insertion point: looks for any adjacent
+  /// repeated block of length <= window that covers position `pos`.
+  /// Needed because iterative imputation inserts mid-segment.
+  static int DetectCycleAround(const std::vector<CellId>& cells, size_t pos,
+                               int window);
+
+ private:
+  const GridSystem* grid_;
+  bool enabled_;
+  double cone_rad_;
+  double max_speed_mps_;
+};
+
+}  // namespace kamel
+
+#endif  // KAMEL_CORE_SPATIAL_CONSTRAINTS_H_

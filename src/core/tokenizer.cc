@@ -1,0 +1,61 @@
+#include "core/tokenizer.h"
+
+#include "common/check.h"
+
+namespace kamel {
+
+Tokenizer::Tokenizer(const GridSystem* grid,
+                     const LocalProjection* projection)
+    : grid_(grid), projection_(projection) {
+  KAMEL_CHECK(grid != nullptr && projection != nullptr);
+}
+
+namespace {
+
+// Travel heading at each point: direction to the next point; the last
+// point inherits its predecessor's heading.
+std::vector<double> Headings(const std::vector<Vec2>& pts) {
+  std::vector<double> headings(pts.size(), 0.0);
+  for (size_t i = 0; i + 1 < pts.size(); ++i) {
+    headings[i] = HeadingRadians(pts[i], pts[i + 1]);
+  }
+  if (pts.size() >= 2) headings.back() = headings[pts.size() - 2];
+  return headings;
+}
+
+}  // namespace
+
+TokenizedTrajectory Tokenizer::Tokenize(const Trajectory& trajectory) const {
+  TokenizedTrajectory out;
+  out.reserve(trajectory.points.size());
+  const std::vector<Vec2> pts = trajectory.ProjectedPoints(*projection_);
+  const std::vector<double> headings = Headings(pts);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    const CellId cell = grid_->CellOf(pts[i]);
+    if (!out.empty() && out.back().cell == cell) continue;
+    out.push_back({cell, trajectory.points[i].time, pts[i], headings[i]});
+  }
+  return out;
+}
+
+TokenizedTrajectory Tokenizer::TokenizePerPoint(
+    const Trajectory& trajectory) const {
+  TokenizedTrajectory out;
+  out.reserve(trajectory.points.size());
+  const std::vector<Vec2> pts = trajectory.ProjectedPoints(*projection_);
+  const std::vector<double> headings = Headings(pts);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    out.push_back({grid_->CellOf(pts[i]), trajectory.points[i].time, pts[i],
+                   headings[i]});
+  }
+  return out;
+}
+
+std::vector<CellId> Tokenizer::Cells(const TokenizedTrajectory& tokens) {
+  std::vector<CellId> cells;
+  cells.reserve(tokens.size());
+  for (const auto& t : tokens) cells.push_back(t.cell);
+  return cells;
+}
+
+}  // namespace kamel

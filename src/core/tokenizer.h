@@ -1,0 +1,58 @@
+#ifndef KAMEL_CORE_TOKENIZER_H_
+#define KAMEL_CORE_TOKENIZER_H_
+
+#include <memory>
+#include <vector>
+
+#include "geo/projection.h"
+#include "geo/trajectory.h"
+#include "grid/grid_system.h"
+
+namespace kamel {
+
+/// One tokenized trajectory element: the cell (token) plus the raw
+/// observation that produced it. Timestamps feed the speed constraints
+/// (Section 5.1); positions and headings feed detokenizer clustering
+/// (Section 7).
+struct TokenPoint {
+  CellId cell = kInvalidCellId;
+  double time = 0.0;
+  Vec2 position;
+  double heading = 0.0;  // radians, travel direction at this observation
+};
+
+/// A trajectory expressed as tokens (the output of Figure 2).
+using TokenizedTrajectory = std::vector<TokenPoint>;
+
+/// The Tokenization module (Section 3): gateway converting GPS points to
+/// grid-cell tokens. Consecutive points falling in the same cell collapse
+/// into one token so a statement never stutters
+/// ("t1 t1 t1 t2" -> "t1 t2"), which is what raises the training-data
+/// factor (Section 1, challenge 2).
+class Tokenizer {
+ public:
+  /// Neither pointer is owned; both must outlive the tokenizer.
+  Tokenizer(const GridSystem* grid, const LocalProjection* projection);
+
+  /// Tokenizes one trajectory, collapsing consecutive duplicates. Each
+  /// token keeps the first observation of its run.
+  TokenizedTrajectory Tokenize(const Trajectory& trajectory) const;
+
+  /// Tokenizes without collapsing: one TokenPoint per GPS reading. Used by
+  /// the Detokenization module to learn per-token point clusters.
+  TokenizedTrajectory TokenizePerPoint(const Trajectory& trajectory) const;
+
+  /// The cell sequence of a tokenized trajectory (the "statement").
+  static std::vector<CellId> Cells(const TokenizedTrajectory& tokens);
+
+  const GridSystem& grid() const { return *grid_; }
+  const LocalProjection& projection() const { return *projection_; }
+
+ private:
+  const GridSystem* grid_;
+  const LocalProjection* projection_;
+};
+
+}  // namespace kamel
+
+#endif  // KAMEL_CORE_TOKENIZER_H_

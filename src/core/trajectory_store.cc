@@ -1,0 +1,43 @@
+#include "core/trajectory_store.h"
+
+namespace kamel {
+
+size_t TrajectoryStore::Add(TokenizedTrajectory trajectory) {
+  BBox mbr;
+  for (const auto& token : trajectory) mbr.Extend(token.position);
+  total_tokens_ += static_cast<int64_t>(trajectory.size());
+  trajectories_.push_back(std::move(trajectory));
+  mbrs_.push_back(mbr);
+  return trajectories_.size() - 1;
+}
+
+std::vector<size_t> TrajectoryStore::FullyEnclosed(const BBox& bounds) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < trajectories_.size(); ++i) {
+    if (bounds.Contains(mbrs_[i])) out.push_back(i);
+  }
+  return out;
+}
+
+int64_t TrajectoryStore::CountTokensIn(const BBox& bounds) const {
+  int64_t count = 0;
+  for (size_t i = 0; i < trajectories_.size(); ++i) {
+    if (!bounds.Intersects(mbrs_[i])) continue;
+    for (const auto& token : trajectories_[i]) {
+      if (bounds.Contains(token.position)) ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<std::vector<CellId>> TrajectoryStore::Statements(
+    const std::vector<size_t>& indices) const {
+  std::vector<std::vector<CellId>> out;
+  out.reserve(indices.size());
+  for (size_t index : indices) {
+    out.push_back(Tokenizer::Cells(trajectories_[index]));
+  }
+  return out;
+}
+
+}  // namespace kamel

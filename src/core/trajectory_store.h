@@ -1,0 +1,51 @@
+#ifndef KAMEL_CORE_TRAJECTORY_STORE_H_
+#define KAMEL_CORE_TRAJECTORY_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tokenizer.h"
+#include "geo/bbox.h"
+
+namespace kamel {
+
+/// The raw trajectory store of Section 4 [18, 62]: keeps every tokenized
+/// training trajectory so the Partitioning module can enrich new batches
+/// with historical data and (re)build models for any pyramid cell.
+///
+/// The store answers two queries: trajectories fully enclosed in a
+/// rectangle, and the number of tokens inside a rectangle. Both are
+/// MBR-indexed linear scans — ample for the city-scale workloads KAMEL
+/// targets, where model (re)building is an offline batch job.
+class TrajectoryStore {
+ public:
+  /// Adds one tokenized trajectory; returns its store index.
+  size_t Add(TokenizedTrajectory trajectory);
+
+  size_t size() const { return trajectories_.size(); }
+  int64_t total_tokens() const { return total_tokens_; }
+
+  const TokenizedTrajectory& Get(size_t index) const {
+    return trajectories_[index];
+  }
+  const BBox& MbrOf(size_t index) const { return mbrs_[index]; }
+
+  /// Indices of trajectories whose MBR lies entirely inside `bounds`.
+  std::vector<size_t> FullyEnclosed(const BBox& bounds) const;
+
+  /// Number of tokens whose position lies inside `bounds`.
+  int64_t CountTokensIn(const BBox& bounds) const;
+
+  /// Cell sequences ("statements") of the given trajectory indices.
+  std::vector<std::vector<CellId>> Statements(
+      const std::vector<size_t>& indices) const;
+
+ private:
+  std::vector<TokenizedTrajectory> trajectories_;
+  std::vector<BBox> mbrs_;
+  int64_t total_tokens_ = 0;
+};
+
+}  // namespace kamel
+
+#endif  // KAMEL_CORE_TRAJECTORY_STORE_H_

@@ -1,0 +1,87 @@
+#include "eval/bootstrap.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace kamel {
+
+namespace {
+
+IntervalEstimate Summarize(double point, std::vector<double>* samples,
+                           double confidence) {
+  IntervalEstimate estimate;
+  estimate.value = point;
+  if (samples->empty()) {
+    estimate.lo = estimate.hi = point;
+    return estimate;
+  }
+  std::sort(samples->begin(), samples->end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  const auto pick = [&](double q) {
+    const double idx = q * (static_cast<double>(samples->size()) - 1.0);
+    const size_t lo = static_cast<size_t>(std::floor(idx));
+    const size_t hi = std::min(samples->size() - 1, lo + 1);
+    const double frac = idx - static_cast<double>(lo);
+    return (*samples)[lo] * (1.0 - frac) + (*samples)[hi] * frac;
+  };
+  estimate.lo = pick(alpha);
+  estimate.hi = pick(1.0 - alpha);
+  return estimate;
+}
+
+}  // namespace
+
+ScoredWithIntervals ScoreWithBootstrap(const Evaluator& evaluator,
+                                       const RunOutput& run,
+                                       const ScoreConfig& config,
+                                       const BootstrapOptions& options) {
+  KAMEL_CHECK(options.resamples > 0, "resamples must be positive");
+  KAMEL_CHECK(options.confidence > 0.0 && options.confidence < 1.0,
+              "confidence must be in (0,1)");
+  const EvalResult point = evaluator.Score(run, config);
+
+  ScoredWithIntervals out;
+  out.resamples = options.resamples;
+  if (run.runs.empty()) {
+    out.recall = {point.recall, point.recall, point.recall};
+    out.precision = {point.precision, point.precision, point.precision};
+    out.failure_rate = {point.failure_rate, point.failure_rate,
+                        point.failure_rate};
+    return out;
+  }
+
+  Rng rng(options.seed);
+  std::vector<double> recalls;
+  std::vector<double> precisions;
+  std::vector<double> failures;
+  recalls.reserve(static_cast<size_t>(options.resamples));
+  precisions.reserve(static_cast<size_t>(options.resamples));
+  failures.reserve(static_cast<size_t>(options.resamples));
+
+  RunOutput resample;
+  for (int r = 0; r < options.resamples; ++r) {
+    resample.runs.clear();
+    resample.trajectories = run.trajectories;
+    resample.impute_seconds = run.impute_seconds;
+    resample.bert_calls = run.bert_calls;
+    for (size_t i = 0; i < run.runs.size(); ++i) {
+      resample.runs.push_back(
+          run.runs[rng.NextUint64(run.runs.size())]);
+    }
+    const EvalResult scored = evaluator.Score(resample, config);
+    recalls.push_back(scored.recall);
+    precisions.push_back(scored.precision);
+    failures.push_back(scored.failure_rate);
+  }
+
+  out.recall = Summarize(point.recall, &recalls, options.confidence);
+  out.precision =
+      Summarize(point.precision, &precisions, options.confidence);
+  out.failure_rate =
+      Summarize(point.failure_rate, &failures, options.confidence);
+  return out;
+}
+
+}  // namespace kamel

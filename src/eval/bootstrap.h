@@ -1,0 +1,48 @@
+#ifndef KAMEL_EVAL_BOOTSTRAP_H_
+#define KAMEL_EVAL_BOOTSTRAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "eval/evaluator.h"
+
+namespace kamel {
+
+/// A metric estimate with a bootstrap confidence interval.
+struct IntervalEstimate {
+  double value = 0.0;  // point estimate over the whole run
+  double lo = 0.0;     // lower CI bound
+  double hi = 0.0;     // upper CI bound
+};
+
+/// Recall/precision/failure estimates with confidence intervals.
+struct ScoredWithIntervals {
+  IntervalEstimate recall;
+  IntervalEstimate precision;
+  IntervalEstimate failure_rate;
+  int resamples = 0;
+};
+
+/// Options for the bootstrap.
+struct BootstrapOptions {
+  /// Number of trajectory-level resamples.
+  int resamples = 200;
+  /// Two-sided confidence level (0.95 -> the 2.5/97.5 percentiles).
+  double confidence = 0.95;
+  uint64_t seed = 1234;
+};
+
+/// Trajectory-level bootstrap over a stored run: resamples whole
+/// trajectories with replacement and rescoring each resample, which
+/// respects the strong within-trajectory correlation of the paper's
+/// pooled point metrics. Gives the uncertainty the figure tables omit —
+/// essential at reproduction scale where test sets are small.
+ScoredWithIntervals ScoreWithBootstrap(const Evaluator& evaluator,
+                                       const RunOutput& run,
+                                       const ScoreConfig& config,
+                                       const BootstrapOptions& options = {});
+
+}  // namespace kamel
+
+#endif  // KAMEL_EVAL_BOOTSTRAP_H_

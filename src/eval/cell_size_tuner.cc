@@ -1,0 +1,83 @@
+#include "eval/cell_size_tuner.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "baselines/imputation_method.h"
+#include "common/check.h"
+#include "common/logging.h"
+#include "core/kamel.h"
+
+namespace kamel {
+
+Result<std::vector<CellSizeResult>> TuneCellSize(
+    const TrajectoryDataset& train, const TrajectoryDataset& validation,
+    const CellSizeTunerOptions& options) {
+  if (train.trajectories.empty() || validation.trajectories.empty()) {
+    return Status::InvalidArgument("tuner needs train and validation data");
+  }
+  // Deterministic sample: every k-th trajectory.
+  TrajectoryDataset sample;
+  const double fraction =
+      std::min(1.0, std::max(0.05, options.sample_fraction));
+  const size_t stride = static_cast<size_t>(1.0 / fraction);
+  for (size_t i = 0; i < train.trajectories.size(); i += stride) {
+    sample.trajectories.push_back(train.trajectories[i]);
+  }
+
+  std::vector<CellSizeResult> results;
+  results.reserve(options.candidate_edges_m.size());
+  for (double edge : options.candidate_edges_m) {
+    KamelOptions candidate = options.base;
+    candidate.hex_edge_m = edge;
+
+    Kamel system(candidate);
+    KAMEL_RETURN_NOT_OK(system.Train(sample));
+
+    Evaluator evaluator(&system.projection());
+    KamelMethod method(&system);
+    KAMEL_ASSIGN_OR_RETURN(
+        RunOutput run,
+        evaluator.RunMethod(&method, validation,
+                            options.sparse_distance_m));
+    ScoreConfig score;
+    score.delta_m = options.delta_m;
+    score.max_gap_m = candidate.max_gap_m;
+    const EvalResult eval = evaluator.Score(run, score);
+
+    CellSizeResult result;
+    result.edge_m = edge;
+    result.recall = eval.recall;
+    result.precision = eval.precision;
+    // Distinct tokens at this size (the x-axis driver of Figure 3d).
+    result.vocab_cells = 0;
+    {
+      std::unordered_set<CellId> distinct;
+      for (size_t i = 0; i < system.store().size(); ++i) {
+        for (const TokenPoint& token : system.store().Get(i)) {
+          distinct.insert(token.cell);
+        }
+      }
+      result.vocab_cells = static_cast<int>(distinct.size());
+    }
+    KAMEL_LOG(Info) << "cell size " << edge << "m: recall=" << result.recall
+                    << " precision=" << result.precision
+                    << " cells=" << result.vocab_cells;
+    results.push_back(result);
+  }
+  return results;
+}
+
+double PickBestCellSize(const std::vector<CellSizeResult>& results) {
+  KAMEL_CHECK(!results.empty(), "no tuning results");
+  const CellSizeResult* best = &results[0];
+  for (const CellSizeResult& r : results) {
+    if (r.recall > best->recall ||
+        (r.recall == best->recall && r.precision > best->precision)) {
+      best = &r;
+    }
+  }
+  return best->edge_m;
+}
+
+}  // namespace kamel

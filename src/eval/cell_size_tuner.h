@@ -1,0 +1,46 @@
+#ifndef KAMEL_EVAL_CELL_SIZE_TUNER_H_
+#define KAMEL_EVAL_CELL_SIZE_TUNER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/options.h"
+#include "eval/evaluator.h"
+#include "geo/trajectory.h"
+
+namespace kamel {
+
+/// Options of the cell-size auto-tuning pass (Section 3.2): sample the
+/// training data, train a model per candidate hexagon size, and pick the
+/// size with the best validation accuracy (the optimum of Figure 3d).
+struct CellSizeTunerOptions {
+  std::vector<double> candidate_edges_m = {25.0, 50.0, 75.0, 100.0, 150.0,
+                                           200.0};
+  /// Fraction of training trajectories used per candidate.
+  double sample_fraction = 0.5;
+  /// Validation sparsity and threshold.
+  double sparse_distance_m = 1000.0;
+  double delta_m = 50.0;
+  /// Base system configuration; the tuner overrides hex_edge_m.
+  KamelOptions base;
+};
+
+/// One candidate's outcome.
+struct CellSizeResult {
+  double edge_m = 0.0;
+  double recall = 0.0;
+  double precision = 0.0;
+  int vocab_cells = 0;  // distinct tokens at this size (Figure 3 tradeoff)
+};
+
+/// Runs the sweep. `validation` should be dense held-out trajectories.
+Result<std::vector<CellSizeResult>> TuneCellSize(
+    const TrajectoryDataset& train, const TrajectoryDataset& validation,
+    const CellSizeTunerOptions& options);
+
+/// The edge with the highest recall (ties -> higher precision).
+double PickBestCellSize(const std::vector<CellSizeResult>& results);
+
+}  // namespace kamel
+
+#endif  // KAMEL_EVAL_CELL_SIZE_TUNER_H_

@@ -1,0 +1,136 @@
+#include "eval/evaluator.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "geo/polyline.h"
+#include "sim/sparsifier.h"
+
+namespace kamel {
+
+Evaluator::Evaluator(const LocalProjection* projection)
+    : projection_(projection) {
+  KAMEL_CHECK(projection != nullptr);
+}
+
+Result<RunOutput> Evaluator::RunMethod(ImputationMethod* method,
+                                       const TrajectoryDataset& dense_test,
+                                       double sparse_distance_m) const {
+  RunOutput output;
+  output.runs.reserve(dense_test.trajectories.size());
+  for (const Trajectory& dense : dense_test.trajectories) {
+    if (dense.points.size() < 2) continue;
+    const Trajectory sparse = Sparsify(dense, sparse_distance_m);
+    KAMEL_ASSIGN_OR_RETURN(ImputedTrajectory imputed,
+                           method->Impute(sparse));
+
+    TrajRun run;
+    run.dense.reserve(dense.points.size());
+    run.dense_times.reserve(dense.points.size());
+    for (const TrajPoint& p : dense.points) {
+      run.dense.push_back(projection_->Project(p.pos));
+      run.dense_times.push_back(p.time);
+    }
+    run.imputed.reserve(imputed.trajectory.points.size());
+    run.imputed_times.reserve(imputed.trajectory.points.size());
+    for (const TrajPoint& p : imputed.trajectory.points) {
+      run.imputed.push_back(projection_->Project(p.pos));
+      run.imputed_times.push_back(p.time);
+    }
+    run.sparse_times.reserve(sparse.points.size());
+    for (const TrajPoint& p : sparse.points) {
+      run.sparse_times.push_back(p.time);
+    }
+    run.outcomes = imputed.stats.outcomes;
+
+    output.impute_seconds += imputed.stats.seconds;
+    output.bert_calls += imputed.stats.bert_calls;
+    ++output.trajectories;
+    output.runs.push_back(std::move(run));
+  }
+  return output;
+}
+
+namespace {
+
+// Dense sub-polyline whose timestamps fall in [t0, t1].
+void SliceByTime(const std::vector<Vec2>& points,
+                 const std::vector<double>& times, double t0, double t1,
+                 std::vector<Vec2>* out) {
+  out->clear();
+  constexpr double kEps = 1e-9;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (times[i] >= t0 - kEps && times[i] <= t1 + kEps) {
+      out->push_back(points[i]);
+    }
+  }
+}
+
+}  // namespace
+
+EvalResult Evaluator::Score(const RunOutput& run,
+                            const ScoreConfig& config) const {
+  RatioCount recall;
+  RatioCount precision;
+  int segments = 0;
+  int failed = 0;
+
+  std::vector<Vec2> gt_slice;
+  std::vector<Vec2> imputed_slice;
+  for (const TrajRun& traj : run.runs) {
+    for (size_t s = 0; s + 1 < traj.sparse_times.size(); ++s) {
+      const double t0 = traj.sparse_times[s];
+      const double t1 = traj.sparse_times[s + 1];
+      SliceByTime(traj.dense, traj.dense_times, t0, t1, &gt_slice);
+      if (gt_slice.size() < 2) continue;
+
+      // Road-type classification (Section 8.4): straight segments have
+      // ground-truth path length ~= endpoint Euclidean distance.
+      if (config.segment_class != SegmentClass::kAll) {
+        const double path_len = polyline::Length(gt_slice);
+        const double direct = Distance(gt_slice.front(), gt_slice.back());
+        const bool straight =
+            path_len - direct <= config.straightness_tolerance_m;
+        if (config.segment_class == SegmentClass::kStraight && !straight) {
+          continue;
+        }
+        if (config.segment_class == SegmentClass::kCurved && straight) {
+          continue;
+        }
+      }
+
+      recall.Accumulate(RecallCount(gt_slice, traj.imputed,
+                                    config.max_gap_m, config.delta_m));
+      SliceByTime(traj.imputed, traj.imputed_times, t0, t1, &imputed_slice);
+      if (imputed_slice.size() >= 2) {
+        precision.Accumulate(PrecisionCount(imputed_slice, traj.dense,
+                                            config.max_gap_m,
+                                            config.delta_m));
+      }
+
+      // Failure accounting joins on the segment's start time.
+      for (const SegmentOutcome& outcome : traj.outcomes) {
+        if (std::fabs(outcome.s_time - t0) < 1e-6) {
+          ++segments;
+          if (outcome.failed) ++failed;
+          break;
+        }
+      }
+    }
+  }
+
+  EvalResult result;
+  result.recall = recall.Ratio();
+  result.precision = precision.Ratio();
+  result.segments = segments;
+  result.failed_segments = failed;
+  result.failure_rate =
+      segments == 0 ? 0.0 : static_cast<double>(failed) / segments;
+  result.impute_seconds = run.impute_seconds;
+  result.avg_impute_seconds_per_trajectory =
+      run.trajectories == 0 ? 0.0 : run.impute_seconds / run.trajectories;
+  result.bert_calls = run.bert_calls;
+  return result;
+}
+
+}  // namespace kamel

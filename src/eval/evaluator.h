@@ -1,0 +1,81 @@
+#ifndef KAMEL_EVAL_EVALUATOR_H_
+#define KAMEL_EVAL_EVALUATOR_H_
+
+#include <vector>
+
+#include "baselines/imputation_method.h"
+#include "eval/metrics.h"
+#include "geo/projection.h"
+#include "geo/trajectory.h"
+
+namespace kamel {
+
+/// Road-type restriction for Figure 12-I/II.
+enum class SegmentClass { kAll, kStraight, kCurved };
+
+/// Scoring knobs — applied to a stored run, so one (expensive) imputation
+/// run can be scored at many accuracy thresholds (Figure 10) and segment
+/// classes without re-imputing.
+struct ScoreConfig {
+  double delta_m = 50.0;
+  double max_gap_m = 100.0;
+  SegmentClass segment_class = SegmentClass::kAll;
+  /// A segment is "straight" when its along-path ground-truth length is
+  /// within this of the endpoint Euclidean distance (the paper uses 5 m on
+  /// noise-free network distance; noisy GPS paths need a looser bound).
+  double straightness_tolerance_m = 25.0;
+};
+
+/// One trajectory's imputation run, everything projected to the local
+/// frame.
+struct TrajRun {
+  std::vector<Vec2> dense;           // ground truth
+  std::vector<double> dense_times;
+  std::vector<Vec2> imputed;
+  std::vector<double> imputed_times;
+  std::vector<double> sparse_times;  // kept-point times (segment bounds)
+  std::vector<SegmentOutcome> outcomes;
+};
+
+/// A full pass of one method over the test set at one sparsity level.
+struct RunOutput {
+  std::vector<TrajRun> runs;
+  double impute_seconds = 0.0;   // sum of per-trajectory imputation time
+  int64_t bert_calls = 0;
+  int trajectories = 0;
+};
+
+/// Aggregate scores (the y-axes of Figures 9, 10 and 12).
+struct EvalResult {
+  double recall = 0.0;
+  double precision = 0.0;
+  double failure_rate = 0.0;
+  int segments = 0;
+  int failed_segments = 0;
+  double impute_seconds = 0.0;
+  double avg_impute_seconds_per_trajectory = 0.0;
+  int64_t bert_calls = 0;
+};
+
+/// Runs methods over sparsified test data and scores stored runs.
+class Evaluator {
+ public:
+  /// `projection` is borrowed; it must be the frame the scenario uses.
+  explicit Evaluator(const LocalProjection* projection);
+
+  /// Sparsifies every dense test trajectory at `sparse_distance_m`,
+  /// imputes it with `method`, and stores everything needed for scoring.
+  Result<RunOutput> RunMethod(ImputationMethod* method,
+                              const TrajectoryDataset& dense_test,
+                              double sparse_distance_m) const;
+
+  /// Scores a stored run under the given configuration.
+  EvalResult Score(const RunOutput& run, const ScoreConfig& config) const;
+
+ private:
+  const LocalProjection* projection_;
+};
+
+}  // namespace kamel
+
+#endif  // KAMEL_EVAL_EVALUATOR_H_

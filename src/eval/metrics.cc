@@ -1,0 +1,39 @@
+#include "eval/metrics.h"
+
+#include "geo/polyline.h"
+
+namespace kamel {
+
+namespace {
+
+RatioCount CountWithin(const std::vector<Vec2>& discretized,
+                       const std::vector<Vec2>& reference, double delta_m) {
+  RatioCount count;
+  count.total = static_cast<int64_t>(discretized.size());
+  for (const Vec2& p : discretized) {
+    if (polyline::PointToPolylineDistance(p, reference) <= delta_m) {
+      ++count.hits;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+RatioCount RecallCount(const std::vector<Vec2>& ground_truth,
+                       const std::vector<Vec2>& imputed, double max_gap_m,
+                       double delta_m) {
+  if (ground_truth.empty()) return {};
+  return CountWithin(polyline::ResampleEvery(ground_truth, max_gap_m),
+                     imputed, delta_m);
+}
+
+RatioCount PrecisionCount(const std::vector<Vec2>& imputed,
+                          const std::vector<Vec2>& ground_truth,
+                          double max_gap_m, double delta_m) {
+  if (imputed.empty()) return {};
+  return CountWithin(polyline::ResampleEvery(imputed, max_gap_m),
+                     ground_truth, delta_m);
+}
+
+}  // namespace kamel

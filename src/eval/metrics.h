@@ -1,0 +1,40 @@
+#ifndef KAMEL_EVAL_METRICS_H_
+#define KAMEL_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/latlng.h"
+
+namespace kamel {
+
+/// Hit/total counts behind a ratio metric; pooled across trajectories.
+struct RatioCount {
+  int64_t hits = 0;
+  int64_t total = 0;
+
+  double Ratio() const {
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+  void Accumulate(const RatioCount& other) {
+    hits += other.hits;
+    total += other.total;
+  }
+};
+
+/// The paper's recall building block (Section 8, "Performance metrics"):
+/// discretize `ground_truth` with one point every `max_gap_m`, count those
+/// within `delta_m` of the `imputed` polyline.
+RatioCount RecallCount(const std::vector<Vec2>& ground_truth,
+                       const std::vector<Vec2>& imputed, double max_gap_m,
+                       double delta_m);
+
+/// The precision counterpart: discretize `imputed`, count points within
+/// `delta_m` of the `ground_truth` polyline.
+RatioCount PrecisionCount(const std::vector<Vec2>& imputed,
+                          const std::vector<Vec2>& ground_truth,
+                          double max_gap_m, double delta_m);
+
+}  // namespace kamel
+
+#endif  // KAMEL_EVAL_METRICS_H_

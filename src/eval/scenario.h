@@ -1,0 +1,68 @@
+#ifndef KAMEL_EVAL_SCENARIO_H_
+#define KAMEL_EVAL_SCENARIO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/imputation_method.h"
+#include "baselines/linear.h"
+#include "baselines/map_matching.h"
+#include "baselines/trimpute.h"
+#include "core/kamel.h"
+#include "sim/datasets.h"
+
+namespace kamel {
+
+/// Everything a figure bench needs: the simulated scenario plus all four
+/// trained methods of Section 8 (KAMEL, TrImpute, Linear, MapMatch).
+struct BenchSystems {
+  SimScenario sim;
+  KamelOptions kamel_options;
+  std::unique_ptr<Kamel> kamel;
+  std::unique_ptr<KamelMethod> kamel_method;
+  std::unique_ptr<TrImpute> trimpute;
+  std::unique_ptr<LinearInterpolation> linear;
+  std::unique_ptr<MapMatching> map_matching;
+
+  /// Methods in the paper's table order.
+  std::vector<ImputationMethod*> AllMethods();
+};
+
+/// KAMEL options sized for the single-CPU benchmark harness: a small
+/// encoder (2 layers / 48 dims / 4 heads), a 3-level pyramid over the
+/// scenario extent, and a narrower beam. Paper-default behaviour knobs
+/// (hex 75 m, 45-degree cone, cycle window 6, alpha 1, max_gap 100 m) are
+/// kept.
+KamelOptions BenchKamelOptions();
+
+/// Training-data modification applied before training (Figure 12-IV/V
+/// ablations). Identity by default.
+struct BenchVariant {
+  /// Fraction of training trajectories used (Figure 12-IV: 1.0/0.75/...).
+  double train_subsample = 1.0;
+  /// > 0: resample training readings to this period (Figure 12-V:
+  /// 15/30/60 s variants of the dense feed).
+  double resample_interval_s = 0.0;
+};
+
+/// Builds the scenario, trains (or cache-loads) KAMEL, trains TrImpute,
+/// and wires the baselines. KAMEL training state is cached on disk under
+/// CacheDir(), keyed by every training-relevant option, so repeated bench
+/// binaries in one session train each distinct configuration once —
+/// mirroring the paper's "training is offline" deployment (Section 4).
+Result<BenchSystems> PrepareBenchSystems(const ScenarioSpec& spec,
+                                         const KamelOptions& options,
+                                         const BenchVariant& variant = {});
+
+/// Cache directory: $KAMEL_CACHE_DIR or /tmp/kamel_cache.
+std::string CacheDir();
+
+/// Cache key of a (scenario, options, variant) triple — exposed for tests.
+std::string TrainingCacheKey(const ScenarioSpec& spec,
+                             const KamelOptions& options,
+                             const BenchVariant& variant = {});
+
+}  // namespace kamel
+
+#endif  // KAMEL_EVAL_SCENARIO_H_

@@ -1,0 +1,87 @@
+#ifndef KAMEL_GEO_BBOX_H_
+#define KAMEL_GEO_BBOX_H_
+
+#include <algorithm>
+#include <limits>
+
+#include "geo/latlng.h"
+
+namespace kamel {
+
+/// Axis-aligned bounding box in the local metric frame.
+///
+/// Used for trajectory minimum bounding rectangles (Section 4.1: model
+/// retrieval picks the smallest pyramid cell enclosing the trajectory MBR)
+/// and for pyramid cell extents. A default-constructed box is empty.
+struct BBox {
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+
+  static BBox FromCorners(Vec2 lo, Vec2 hi) {
+    BBox b;
+    b.min_x = std::min(lo.x, hi.x);
+    b.min_y = std::min(lo.y, hi.y);
+    b.max_x = std::max(lo.x, hi.x);
+    b.max_y = std::max(lo.y, hi.y);
+    return b;
+  }
+
+  bool Empty() const { return min_x > max_x || min_y > max_y; }
+
+  void Extend(const Vec2& p) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+
+  void Extend(const BBox& other) {
+    if (other.Empty()) return;
+    min_x = std::min(min_x, other.min_x);
+    min_y = std::min(min_y, other.min_y);
+    max_x = std::max(max_x, other.max_x);
+    max_y = std::max(max_y, other.max_y);
+  }
+
+  bool Contains(const Vec2& p) const {
+    return !Empty() && p.x >= min_x && p.x <= max_x && p.y >= min_y &&
+           p.y <= max_y;
+  }
+
+  /// True when `other` lies entirely inside this box (boundaries count).
+  bool Contains(const BBox& other) const {
+    return !Empty() && !other.Empty() && other.min_x >= min_x &&
+           other.max_x <= max_x && other.min_y >= min_y &&
+           other.max_y <= max_y;
+  }
+
+  bool Intersects(const BBox& other) const {
+    return !Empty() && !other.Empty() && other.min_x <= max_x &&
+           other.max_x >= min_x && other.min_y <= max_y &&
+           other.max_y >= min_y;
+  }
+
+  double Width() const { return Empty() ? 0.0 : max_x - min_x; }
+  double Height() const { return Empty() ? 0.0 : max_y - min_y; }
+
+  Vec2 Center() const {
+    return {(min_x + max_x) / 2.0, (min_y + max_y) / 2.0};
+  }
+
+  /// Grows the box by `margin` meters on every side.
+  BBox Expanded(double margin) const {
+    BBox b = *this;
+    if (b.Empty()) return b;
+    b.min_x -= margin;
+    b.min_y -= margin;
+    b.max_x += margin;
+    b.max_y += margin;
+    return b;
+  }
+};
+
+}  // namespace kamel
+
+#endif  // KAMEL_GEO_BBOX_H_

@@ -1,0 +1,36 @@
+#include "geo/latlng.h"
+
+#include <algorithm>
+
+namespace kamel {
+
+double HaversineMeters(const LatLng& a, const LatLng& b) {
+  const double lat1 = DegToRad(a.lat);
+  const double lat2 = DegToRad(b.lat);
+  const double dlat = lat2 - lat1;
+  const double dlng = DegToRad(b.lng - a.lng);
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlng / 2.0);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusMeters *
+         std::asin(std::sqrt(std::min(1.0, h)));
+}
+
+double HeadingRadians(const Vec2& a, const Vec2& b) {
+  const Vec2 d = b - a;
+  if (d.x == 0.0 && d.y == 0.0) return 0.0;
+  return std::atan2(d.y, d.x);
+}
+
+double AngleDifference(double a, double b) {
+  double d = std::fabs(NormalizeAngle(a - b));
+  return d;
+}
+
+double NormalizeAngle(double a) {
+  while (a <= -M_PI) a += 2.0 * M_PI;
+  while (a > M_PI) a -= 2.0 * M_PI;
+  return a;
+}
+
+}  // namespace kamel

@@ -1,0 +1,62 @@
+#ifndef KAMEL_GEO_LATLNG_H_
+#define KAMEL_GEO_LATLNG_H_
+
+#include <cmath>
+
+namespace kamel {
+
+/// Mean Earth radius in meters (spherical model; adequate at city scale).
+inline constexpr double kEarthRadiusMeters = 6371008.8;
+
+inline constexpr double DegToRad(double deg) { return deg * M_PI / 180.0; }
+inline constexpr double RadToDeg(double rad) { return rad * 180.0 / M_PI; }
+
+/// Geographic coordinate in degrees (WGS84 latitude/longitude, spherical
+/// geometry).
+struct LatLng {
+  double lat = 0.0;
+  double lng = 0.0;
+
+  bool operator==(const LatLng& other) const = default;
+};
+
+/// Point in a local planar frame, meters east (x) and north (y) of a
+/// projection origin.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  Vec2 operator*(double s) const { return {x * s, y * s}; }
+  bool operator==(const Vec2& other) const = default;
+
+  double Dot(const Vec2& o) const { return x * o.x + y * o.y; }
+  /// 2D cross product (z-component); >0 when `o` is counter-clockwise.
+  double Cross(const Vec2& o) const { return x * o.y - y * o.x; }
+  double Norm() const { return std::hypot(x, y); }
+  double SquaredNorm() const { return x * x + y * y; }
+};
+
+/// Euclidean distance in the local frame.
+inline double Distance(const Vec2& a, const Vec2& b) {
+  return (a - b).Norm();
+}
+
+/// Great-circle distance in meters between two geographic points.
+double HaversineMeters(const LatLng& a, const LatLng& b);
+
+/// Heading of the displacement a->b, radians in (-pi, pi], measured
+/// counter-clockwise from east (standard math convention in the local
+/// frame). Returns 0 for coincident points.
+double HeadingRadians(const Vec2& a, const Vec2& b);
+
+/// Smallest absolute difference between two angles, in [0, pi].
+double AngleDifference(double a, double b);
+
+/// Normalizes an angle into (-pi, pi].
+double NormalizeAngle(double a);
+
+}  // namespace kamel
+
+#endif  // KAMEL_GEO_LATLNG_H_

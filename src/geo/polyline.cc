@@ -1,0 +1,86 @@
+#include "geo/polyline.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace kamel::polyline {
+
+double Length(const std::vector<Vec2>& line) {
+  double total = 0.0;
+  for (size_t i = 1; i < line.size(); ++i) {
+    total += Distance(line[i - 1], line[i]);
+  }
+  return total;
+}
+
+double PointToSegmentDistance(const Vec2& p, const Vec2& a, const Vec2& b) {
+  const Vec2 ab = b - a;
+  const double len2 = ab.SquaredNorm();
+  if (len2 == 0.0) return Distance(p, a);
+  double t = (p - a).Dot(ab) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  return Distance(p, a + ab * t);
+}
+
+double PointToPolylineDistance(const Vec2& p, const std::vector<Vec2>& line) {
+  if (line.empty()) return std::numeric_limits<double>::infinity();
+  if (line.size() == 1) return Distance(p, line[0]);
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 1; i < line.size(); ++i) {
+    best = std::min(best, PointToSegmentDistance(p, line[i - 1], line[i]));
+  }
+  return best;
+}
+
+std::vector<Vec2> ResampleEvery(const std::vector<Vec2>& line,
+                                double spacing) {
+  KAMEL_CHECK(spacing > 0.0, "resample spacing must be positive");
+  if (line.empty()) return {};
+  if (line.size() == 1) return {line[0]};
+  std::vector<Vec2> out = {line[0]};
+  double carried = 0.0;  // distance already walked inside the current step
+  for (size_t i = 1; i < line.size(); ++i) {
+    Vec2 prev = line[i - 1];
+    const Vec2 next = line[i];
+    double seg_len = Distance(prev, next);
+    while (carried + seg_len >= spacing) {
+      const double need = spacing - carried;
+      const double t = need / seg_len;
+      const Vec2 sample = prev + (next - prev) * t;
+      out.push_back(sample);
+      prev = sample;
+      seg_len -= need;
+      carried = 0.0;
+    }
+    carried += seg_len;
+  }
+  if (carried > 1e-9 || out.size() == 1) out.push_back(line.back());
+  return out;
+}
+
+Vec2 Interpolate(const std::vector<Vec2>& line, double s) {
+  KAMEL_CHECK(!line.empty(), "interpolate on empty polyline");
+  if (s <= 0.0 || line.size() == 1) return line.front();
+  for (size_t i = 1; i < line.size(); ++i) {
+    const double seg = Distance(line[i - 1], line[i]);
+    if (s <= seg) {
+      if (seg == 0.0) return line[i];
+      return line[i - 1] + (line[i] - line[i - 1]) * (s / seg);
+    }
+    s -= seg;
+  }
+  return line.back();
+}
+
+std::vector<Vec2> DropConsecutiveDuplicates(const std::vector<Vec2>& line) {
+  std::vector<Vec2> out;
+  out.reserve(line.size());
+  for (const auto& p : line) {
+    if (out.empty() || !(out.back() == p)) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace kamel::polyline

@@ -1,0 +1,42 @@
+#ifndef KAMEL_GEO_POLYLINE_H_
+#define KAMEL_GEO_POLYLINE_H_
+
+#include <vector>
+
+#include "geo/latlng.h"
+
+namespace kamel {
+
+/// Planar polyline utilities in the local metric frame.
+///
+/// These back the paper's evaluation metrics (Section 8): ground-truth and
+/// imputed trajectories are discretized every max_gap meters and matched
+/// within the accuracy threshold delta by point-to-polyline distance.
+namespace polyline {
+
+/// Along-path length in meters.
+double Length(const std::vector<Vec2>& line);
+
+/// Distance from `p` to the segment [a, b].
+double PointToSegmentDistance(const Vec2& p, const Vec2& a, const Vec2& b);
+
+/// Shortest distance from `p` to any segment of `line`. A single-vertex
+/// line degenerates to point distance; an empty line yields +infinity.
+double PointToPolylineDistance(const Vec2& p, const std::vector<Vec2>& line);
+
+/// Resamples `line` with one point every `spacing` meters of arc length,
+/// always including both endpoints. This is the paper's discretization
+/// operator for recall/precision. Requires spacing > 0.
+std::vector<Vec2> ResampleEvery(const std::vector<Vec2>& line,
+                                double spacing);
+
+/// Point at arc-length `s` along the line (clamped to the ends).
+Vec2 Interpolate(const std::vector<Vec2>& line, double s);
+
+/// Removes exact consecutive duplicates.
+std::vector<Vec2> DropConsecutiveDuplicates(const std::vector<Vec2>& line);
+
+}  // namespace polyline
+}  // namespace kamel
+
+#endif  // KAMEL_GEO_POLYLINE_H_

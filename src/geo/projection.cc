@@ -1,0 +1,21 @@
+#include "geo/projection.h"
+
+namespace kamel {
+
+LocalProjection::LocalProjection(const LatLng& origin) : origin_(origin) {
+  meters_per_deg_lat_ = DegToRad(1.0) * kEarthRadiusMeters;
+  meters_per_deg_lng_ =
+      DegToRad(1.0) * kEarthRadiusMeters * std::cos(DegToRad(origin.lat));
+}
+
+Vec2 LocalProjection::Project(const LatLng& p) const {
+  return {(p.lng - origin_.lng) * meters_per_deg_lng_,
+          (p.lat - origin_.lat) * meters_per_deg_lat_};
+}
+
+LatLng LocalProjection::Unproject(const Vec2& v) const {
+  return {origin_.lat + v.y / meters_per_deg_lat_,
+          origin_.lng + v.x / meters_per_deg_lng_};
+}
+
+}  // namespace kamel

@@ -1,0 +1,36 @@
+#ifndef KAMEL_GEO_PROJECTION_H_
+#define KAMEL_GEO_PROJECTION_H_
+
+#include "geo/latlng.h"
+
+namespace kamel {
+
+/// Equirectangular projection around a fixed origin.
+///
+/// At city scale (tens of kilometers) the distortion versus true
+/// great-circle distances is far below the GPS noise floor, which is why
+/// KAMEL performs all grid, constraint, and metric computations in this
+/// local metric frame. The projection is exact-inverse: Unproject(Project(p))
+/// round-trips to double precision.
+class LocalProjection {
+ public:
+  /// Creates a projection centered at `origin` (maps to Vec2{0,0}).
+  explicit LocalProjection(const LatLng& origin);
+
+  /// Geographic -> local meters.
+  Vec2 Project(const LatLng& p) const;
+
+  /// Local meters -> geographic.
+  LatLng Unproject(const Vec2& v) const;
+
+  const LatLng& origin() const { return origin_; }
+
+ private:
+  LatLng origin_;
+  double meters_per_deg_lat_;
+  double meters_per_deg_lng_;
+};
+
+}  // namespace kamel
+
+#endif  // KAMEL_GEO_PROJECTION_H_

@@ -1,0 +1,44 @@
+#include "geo/trajectory.h"
+
+namespace kamel {
+
+double Trajectory::LengthMeters() const {
+  double total = 0.0;
+  for (size_t i = 1; i < points.size(); ++i) {
+    total += HaversineMeters(points[i - 1].pos, points[i].pos);
+  }
+  return total;
+}
+
+double Trajectory::DurationSeconds() const {
+  if (points.size() < 2) return 0.0;
+  return points.back().time - points.front().time;
+}
+
+BBox Trajectory::Mbr(const LocalProjection& proj) const {
+  BBox box;
+  for (const auto& p : points) box.Extend(proj.Project(p.pos));
+  return box;
+}
+
+std::vector<Vec2> Trajectory::ProjectedPoints(
+    const LocalProjection& proj) const {
+  std::vector<Vec2> out;
+  out.reserve(points.size());
+  for (const auto& p : points) out.push_back(proj.Project(p.pos));
+  return out;
+}
+
+size_t TrajectoryDataset::TotalPoints() const {
+  size_t n = 0;
+  for (const auto& t : trajectories) n += t.size();
+  return n;
+}
+
+BBox TrajectoryDataset::Mbr(const LocalProjection& proj) const {
+  BBox box;
+  for (const auto& t : trajectories) box.Extend(t.Mbr(proj));
+  return box;
+}
+
+}  // namespace kamel

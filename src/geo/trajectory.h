@@ -1,0 +1,54 @@
+#ifndef KAMEL_GEO_TRAJECTORY_H_
+#define KAMEL_GEO_TRAJECTORY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/bbox.h"
+#include "geo/latlng.h"
+#include "geo/projection.h"
+
+namespace kamel {
+
+/// One GPS reading: geographic position plus a timestamp in seconds.
+struct TrajPoint {
+  LatLng pos;
+  double time = 0.0;
+};
+
+/// An ordered sequence of GPS readings for one moving object.
+///
+/// KAMEL treats a trajectory as a "statement" whose "words" are the spatial
+/// tokens of its points (Section 1 of the paper).
+struct Trajectory {
+  int64_t id = 0;
+  std::vector<TrajPoint> points;
+
+  size_t size() const { return points.size(); }
+  bool empty() const { return points.empty(); }
+
+  /// Total along-path length in meters (haversine between readings).
+  double LengthMeters() const;
+
+  /// Time span covered, seconds (0 for fewer than 2 points).
+  double DurationSeconds() const;
+
+  /// Minimum bounding rectangle in the given local frame.
+  BBox Mbr(const LocalProjection& proj) const;
+
+  /// The point positions projected into the local frame.
+  std::vector<Vec2> ProjectedPoints(const LocalProjection& proj) const;
+};
+
+/// A set of trajectories plus the projection that anchors their local frame.
+struct TrajectoryDataset {
+  std::vector<Trajectory> trajectories;
+
+  size_t TotalPoints() const;
+  BBox Mbr(const LocalProjection& proj) const;
+};
+
+}  // namespace kamel
+
+#endif  // KAMEL_GEO_TRAJECTORY_H_

@@ -1,0 +1,34 @@
+#ifndef KAMEL_GRID_CELL_ID_H_
+#define KAMEL_GRID_CELL_ID_H_
+
+#include <cstdint>
+
+namespace kamel {
+
+/// Opaque 64-bit identifier of one grid cell (a "token" in KAMEL's
+/// language analogy). Cell ids are only meaningful relative to the
+/// GridSystem that produced them.
+using CellId = uint64_t;
+
+/// Sentinel for "no cell".
+inline constexpr CellId kInvalidCellId = ~static_cast<CellId>(0);
+
+/// Packs two signed 32-bit grid coordinates into a CellId.
+inline constexpr CellId PackCellId(int32_t a, int32_t b) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+         static_cast<uint64_t>(static_cast<uint32_t>(b));
+}
+
+/// First packed coordinate.
+inline constexpr int32_t CellIdHigh(CellId id) {
+  return static_cast<int32_t>(static_cast<uint32_t>(id >> 32));
+}
+
+/// Second packed coordinate.
+inline constexpr int32_t CellIdLow(CellId id) {
+  return static_cast<int32_t>(static_cast<uint32_t>(id & 0xFFFFFFFFULL));
+}
+
+}  // namespace kamel
+
+#endif  // KAMEL_GRID_CELL_ID_H_

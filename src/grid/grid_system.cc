@@ -1,0 +1,28 @@
+#include "grid/grid_system.h"
+
+#include <unordered_set>
+
+namespace kamel {
+
+std::vector<CellId> GridSystem::Disk(CellId center, int k) const {
+  // Breadth-first expansion over edge neighbors; exact for any grid whose
+  // GridDistance equals BFS hop count (true for both shipped grids).
+  std::vector<CellId> frontier = {center};
+  std::unordered_set<CellId> seen = {center};
+  std::vector<CellId> out = {center};
+  for (int step = 0; step < k; ++step) {
+    std::vector<CellId> next;
+    for (CellId id : frontier) {
+      for (CellId nb : EdgeNeighbors(id)) {
+        if (seen.insert(nb).second) {
+          next.push_back(nb);
+          out.push_back(nb);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return out;
+}
+
+}  // namespace kamel

@@ -1,0 +1,54 @@
+#ifndef KAMEL_GRID_GRID_SYSTEM_H_
+#define KAMEL_GRID_GRID_SYSTEM_H_
+
+#include <string>
+#include <vector>
+
+#include "geo/latlng.h"
+#include "grid/cell_id.h"
+
+namespace kamel {
+
+/// Space tessellation used by the Tokenization module (Section 3).
+///
+/// A GridSystem partitions the local plane into non-overlapping congruent
+/// cells; each cell id is a token. KAMEL ships a hexagonal grid (the
+/// H3-style default, Section 3.1) and a square grid (the S2-style
+/// alternative compared in Section 8.5). Implementations are immutable and
+/// thread-compatible.
+class GridSystem {
+ public:
+  virtual ~GridSystem() = default;
+
+  /// Grid family name, e.g. "hex" or "square".
+  virtual std::string name() const = 0;
+
+  /// Cell containing `p`. Constant time (paper Section 3.1).
+  virtual CellId CellOf(const Vec2& p) const = 0;
+
+  /// Centroid of the cell in the local frame.
+  virtual Vec2 Centroid(CellId id) const = 0;
+
+  /// Ids of the cells sharing an edge with `id` (6 for hexes, 4 for
+  /// squares), in a fixed deterministic order.
+  virtual std::vector<CellId> EdgeNeighbors(CellId id) const = 0;
+
+  /// Minimum number of edge-neighbor steps between two cells.
+  virtual int GridDistance(CellId a, CellId b) const = 0;
+
+  /// Cell area in square meters (identical for all cells).
+  virtual double CellAreaM2() const = 0;
+
+  /// Distance in meters between centroids of edge-adjacent cells. For the
+  /// hexagonal grid this is the same for all 6 neighbors — the uniformity
+  /// property the paper credits for better learnability (Section 3.1).
+  virtual double NeighborSpacingMeters() const = 0;
+
+  /// All cells whose grid distance from `center` is at most `k`
+  /// (the filled disk, including `center` itself).
+  std::vector<CellId> Disk(CellId center, int k) const;
+};
+
+}  // namespace kamel
+
+#endif  // KAMEL_GRID_GRID_SYSTEM_H_

@@ -1,0 +1,89 @@
+#include "grid/hex_grid.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace kamel {
+
+namespace {
+
+// Axial offsets of the six edge neighbors, counter-clockwise from east.
+constexpr int kHexDirections[6][2] = {
+    {1, 0}, {0, 1}, {-1, 1}, {-1, 0}, {0, -1}, {1, -1},
+};
+
+}  // namespace
+
+HexGrid::HexGrid(double edge_meters) : edge_(edge_meters) {
+  KAMEL_CHECK(edge_ > 0.0, "hex edge length must be positive");
+}
+
+CellId HexGrid::CellOf(const Vec2& p) const {
+  // Pointy-top axial transform (Red Blob Games convention), then cube
+  // rounding to the nearest hex center.
+  const double qf = (std::sqrt(3.0) / 3.0 * p.x - 1.0 / 3.0 * p.y) / edge_;
+  const double rf = (2.0 / 3.0 * p.y) / edge_;
+  const double sf = -qf - rf;
+
+  double q = std::round(qf);
+  double r = std::round(rf);
+  double s = std::round(sf);
+  const double dq = std::fabs(q - qf);
+  const double dr = std::fabs(r - rf);
+  const double ds = std::fabs(s - sf);
+  if (dq > dr && dq > ds) {
+    q = -r - s;
+  } else if (dr > ds) {
+    r = -q - s;
+  }
+  return PackCellId(static_cast<int32_t>(q), static_cast<int32_t>(r));
+}
+
+Vec2 HexGrid::Centroid(CellId id) const {
+  const double q = CellIdHigh(id);
+  const double r = CellIdLow(id);
+  return {edge_ * std::sqrt(3.0) * (q + r / 2.0), edge_ * 1.5 * r};
+}
+
+std::vector<CellId> HexGrid::EdgeNeighbors(CellId id) const {
+  const int32_t q = CellIdHigh(id);
+  const int32_t r = CellIdLow(id);
+  std::vector<CellId> out;
+  out.reserve(6);
+  for (const auto& d : kHexDirections) {
+    out.push_back(PackCellId(q + d[0], r + d[1]));
+  }
+  return out;
+}
+
+int HexGrid::GridDistance(CellId a, CellId b) const {
+  const int64_t dq = static_cast<int64_t>(CellIdHigh(a)) - CellIdHigh(b);
+  const int64_t dr = static_cast<int64_t>(CellIdLow(a)) - CellIdLow(b);
+  return static_cast<int>(
+      (std::llabs(dq) + std::llabs(dr) + std::llabs(dq + dr)) / 2);
+}
+
+double HexGrid::CellAreaM2() const {
+  return 3.0 * std::sqrt(3.0) / 2.0 * edge_ * edge_;
+}
+
+double HexGrid::NeighborSpacingMeters() const {
+  return std::sqrt(3.0) * edge_;
+}
+
+std::vector<Vec2> HexGrid::CellBoundary(CellId id) const {
+  const Vec2 c = Centroid(id);
+  std::vector<Vec2> verts;
+  verts.reserve(6);
+  for (int i = 0; i < 6; ++i) {
+    // Pointy-top vertices start at 30 degrees.
+    const double angle = M_PI / 180.0 * (60.0 * i + 30.0);
+    verts.push_back({c.x + edge_ * std::cos(angle),
+                     c.y + edge_ * std::sin(angle)});
+  }
+  return verts;
+}
+
+}  // namespace kamel

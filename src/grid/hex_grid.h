@@ -1,0 +1,46 @@
+#ifndef KAMEL_GRID_HEX_GRID_H_
+#define KAMEL_GRID_HEX_GRID_H_
+
+#include <string>
+#include <vector>
+
+#include "grid/grid_system.h"
+
+namespace kamel {
+
+/// Flat hexagonal tessellation with pointy-top hexagons of edge length H,
+/// addressed by axial coordinates (q, r) packed into the CellId.
+///
+/// This is KAMEL's H3 substitute (see DESIGN.md): it keeps the three
+/// properties the paper relies on — congruent non-overlapping hexes,
+/// constant-time point<->cell conversion, and six edge neighbors all at the
+/// same centroid distance sqrt(3)*H with equal shared-border length.
+/// Unlike H3 it tessellates a local plane rather than the sphere, which is
+/// exact at city scale where KAMEL operates.
+class HexGrid final : public GridSystem {
+ public:
+  /// Creates a grid with hexagon edge length `edge_meters` (the paper's H;
+  /// default 75 m, Section 8). Requires edge_meters > 0.
+  explicit HexGrid(double edge_meters);
+
+  std::string name() const override { return "hex"; }
+  CellId CellOf(const Vec2& p) const override;
+  Vec2 Centroid(CellId id) const override;
+  std::vector<CellId> EdgeNeighbors(CellId id) const override;
+  int GridDistance(CellId a, CellId b) const override;
+  double CellAreaM2() const override;
+  double NeighborSpacingMeters() const override;
+
+  double edge_meters() const { return edge_; }
+
+  /// The six vertices of a cell, counter-clockwise (for visualization and
+  /// containment tests).
+  std::vector<Vec2> CellBoundary(CellId id) const;
+
+ private:
+  double edge_;
+};
+
+}  // namespace kamel
+
+#endif  // KAMEL_GRID_HEX_GRID_H_

@@ -1,0 +1,54 @@
+#include "grid/square_grid.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace kamel {
+
+SquareGrid::SquareGrid(double edge_meters) : edge_(edge_meters) {
+  KAMEL_CHECK(edge_ > 0.0, "square edge length must be positive");
+}
+
+double SquareGrid::EdgeForEqualHexArea(double hex_edge_meters) {
+  // Hex area = 3*sqrt(3)/2 * H^2; set E^2 equal to it.
+  return std::sqrt(3.0 * std::sqrt(3.0) / 2.0) * hex_edge_meters;
+}
+
+CellId SquareGrid::CellOf(const Vec2& p) const {
+  const auto ix = static_cast<int32_t>(std::floor(p.x / edge_));
+  const auto iy = static_cast<int32_t>(std::floor(p.y / edge_));
+  return PackCellId(ix, iy);
+}
+
+Vec2 SquareGrid::Centroid(CellId id) const {
+  const double ix = CellIdHigh(id);
+  const double iy = CellIdLow(id);
+  return {(ix + 0.5) * edge_, (iy + 0.5) * edge_};
+}
+
+std::vector<CellId> SquareGrid::EdgeNeighbors(CellId id) const {
+  const int32_t ix = CellIdHigh(id);
+  const int32_t iy = CellIdLow(id);
+  return {
+      PackCellId(ix + 1, iy),
+      PackCellId(ix, iy + 1),
+      PackCellId(ix - 1, iy),
+      PackCellId(ix, iy - 1),
+  };
+}
+
+int SquareGrid::GridDistance(CellId a, CellId b) const {
+  // Edge-neighbor steps only (4-connectivity) -> Manhattan distance,
+  // matching the BFS semantics of GridSystem::Disk.
+  const int64_t dx = static_cast<int64_t>(CellIdHigh(a)) - CellIdHigh(b);
+  const int64_t dy = static_cast<int64_t>(CellIdLow(a)) - CellIdLow(b);
+  return static_cast<int>(std::llabs(dx) + std::llabs(dy));
+}
+
+double SquareGrid::CellAreaM2() const { return edge_ * edge_; }
+
+double SquareGrid::NeighborSpacingMeters() const { return edge_; }
+
+}  // namespace kamel

@@ -1,0 +1,43 @@
+#ifndef KAMEL_GRID_SQUARE_GRID_H_
+#define KAMEL_GRID_SQUARE_GRID_H_
+
+#include <string>
+#include <vector>
+
+#include "grid/grid_system.h"
+
+namespace kamel {
+
+/// Square tessellation with cells of edge length E, the S2-style
+/// alternative tokenization compared against hexagons in Section 8.5.
+///
+/// Neighbor properties are intentionally non-uniform (4 edge neighbors at
+/// distance E, 4 corner neighbors at distance E*sqrt(2)) — this is exactly
+/// the asymmetry the paper argues makes squares harder for BERT to learn.
+class SquareGrid final : public GridSystem {
+ public:
+  /// Creates a grid with square edge `edge_meters`. Requires > 0.
+  explicit SquareGrid(double edge_meters);
+
+  /// Edge length that gives squares the same area as hexagons of edge
+  /// `hex_edge_meters` — the paper's matched-coverage setting (75 m hexes
+  /// vs ~120 m squares, Section 8.5).
+  static double EdgeForEqualHexArea(double hex_edge_meters);
+
+  std::string name() const override { return "square"; }
+  CellId CellOf(const Vec2& p) const override;
+  Vec2 Centroid(CellId id) const override;
+  std::vector<CellId> EdgeNeighbors(CellId id) const override;
+  int GridDistance(CellId a, CellId b) const override;
+  double CellAreaM2() const override;
+  double NeighborSpacingMeters() const override;
+
+  double edge_meters() const { return edge_; }
+
+ private:
+  double edge_;
+};
+
+}  // namespace kamel
+
+#endif  // KAMEL_GRID_SQUARE_GRID_H_

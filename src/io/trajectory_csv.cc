@@ -1,0 +1,173 @@
+#include "io/trajectory_csv.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+namespace kamel::io {
+
+namespace {
+
+std::string FormatRow(int64_t id, const TrajPoint& point) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%lld,%.7f,%.7f,%.3f\n",
+                static_cast<long long>(id), point.pos.lat, point.pos.lng,
+                point.time);
+  return buf;
+}
+
+// Splits one CSV line on commas (no quoting — the format is numeric).
+std::vector<std::string> SplitFields(const std::string& line) {
+  std::vector<std::string> out;
+  std::string field;
+  for (char ch : line) {
+    if (ch == ',') {
+      out.push_back(field);
+      field.clear();
+    } else if (ch != '\r') {
+      field += ch;
+    }
+  }
+  out.push_back(field);
+  return out;
+}
+
+Result<double> ParseDouble(const std::string& field, int line_no,
+                           const char* what) {
+  char* end = nullptr;
+  const double value = std::strtod(field.c_str(), &end);
+  if (end == field.c_str() || *end != '\0') {
+    return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                   ": bad " + what + " value '" + field +
+                                   "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string WriteCsvString(const TrajectoryDataset& data) {
+  std::string out = "trajectory_id,lat,lng,time\n";
+  for (const Trajectory& trajectory : data.trajectories) {
+    for (const TrajPoint& point : trajectory.points) {
+      out += FormatRow(trajectory.id, point);
+    }
+  }
+  return out;
+}
+
+Status WriteCsvFile(const TrajectoryDataset& data, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << WriteCsvString(data);
+  if (!out) return Status::IOError("short write: " + path);
+  return Status::OK();
+}
+
+Result<TrajectoryDataset> ReadCsvString(const std::string& text) {
+  TrajectoryDataset data;
+  std::unordered_set<int64_t> finished_ids;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line == "\r") continue;
+    if (!saw_header) {
+      // The header is mandatory; it guards against column-order mistakes.
+      if (line.find("trajectory_id") == std::string::npos) {
+        return Status::InvalidArgument(
+            "line 1: expected header 'trajectory_id,lat,lng,time'");
+      }
+      saw_header = true;
+      continue;
+    }
+    const std::vector<std::string> fields = SplitFields(line);
+    if (fields.size() != 4) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": expected 4 fields, found " +
+                                     std::to_string(fields.size()));
+    }
+    KAMEL_ASSIGN_OR_RETURN(const double id_raw,
+                           ParseDouble(fields[0], line_no, "trajectory_id"));
+    KAMEL_ASSIGN_OR_RETURN(const double lat,
+                           ParseDouble(fields[1], line_no, "lat"));
+    KAMEL_ASSIGN_OR_RETURN(const double lng,
+                           ParseDouble(fields[2], line_no, "lng"));
+    KAMEL_ASSIGN_OR_RETURN(const double time,
+                           ParseDouble(fields[3], line_no, "time"));
+    if (lat < -90.0 || lat > 90.0 || lng < -180.0 || lng > 180.0) {
+      return Status::OutOfRange("line " + std::to_string(line_no) +
+                                ": coordinates out of range");
+    }
+    const auto id = static_cast<int64_t>(id_raw);
+
+    if (data.trajectories.empty() || data.trajectories.back().id != id) {
+      if (!finished_ids.insert(id).second) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_no) + ": trajectory " +
+            std::to_string(id) + " reappears non-contiguously");
+      }
+      Trajectory trajectory;
+      trajectory.id = id;
+      data.trajectories.push_back(std::move(trajectory));
+    }
+    Trajectory& current = data.trajectories.back();
+    if (!current.points.empty() && time < current.points.back().time) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": timestamps must be non-decreasing");
+    }
+    current.points.push_back({{lat, lng}, time});
+  }
+  if (!saw_header) {
+    return Status::InvalidArgument("empty input: missing header");
+  }
+  return data;
+}
+
+Result<TrajectoryDataset> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ReadCsvString(buffer.str());
+}
+
+std::string WriteGeoJsonString(const TrajectoryDataset& data) {
+  std::string out =
+      "{\"type\":\"FeatureCollection\",\"features\":[";
+  bool first_feature = true;
+  for (const Trajectory& trajectory : data.trajectories) {
+    if (!first_feature) out += ',';
+    first_feature = false;
+    out += "{\"type\":\"Feature\",\"properties\":{\"id\":" +
+           std::to_string(trajectory.id) +
+           ",\"points\":" + std::to_string(trajectory.points.size()) +
+           "},\"geometry\":{\"type\":\"LineString\",\"coordinates\":[";
+    for (size_t i = 0; i < trajectory.points.size(); ++i) {
+      if (i > 0) out += ',';
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "[%.7f,%.7f]",
+                    trajectory.points[i].pos.lng,
+                    trajectory.points[i].pos.lat);
+      out += buf;
+    }
+    out += "]}}";
+  }
+  out += "]}";
+  return out;
+}
+
+Status WriteGeoJsonFile(const TrajectoryDataset& data,
+                        const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << WriteGeoJsonString(data);
+  if (!out) return Status::IOError("short write: " + path);
+  return Status::OK();
+}
+
+}  // namespace kamel::io

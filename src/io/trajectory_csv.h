@@ -1,0 +1,45 @@
+#ifndef KAMEL_IO_TRAJECTORY_CSV_H_
+#define KAMEL_IO_TRAJECTORY_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "geo/trajectory.h"
+
+namespace kamel {
+
+/// Reads/writes trajectory datasets as CSV with the header
+/// `trajectory_id,lat,lng,time` — the interchange format of the CLI and
+/// the simplest way to feed real GPS data into KAMEL.
+///
+/// Rows of one trajectory must be contiguous and time-ordered; the reader
+/// validates both and fails with a line-numbered error otherwise. Blank
+/// lines and `#` comments are skipped.
+namespace io {
+
+/// Serializes a dataset; points are written with 7 decimal digits
+/// (~1 cm at city scale).
+std::string WriteCsvString(const TrajectoryDataset& data);
+
+/// Writes a dataset to a CSV file.
+Status WriteCsvFile(const TrajectoryDataset& data, const std::string& path);
+
+/// Parses a dataset from CSV text.
+Result<TrajectoryDataset> ReadCsvString(const std::string& text);
+
+/// Reads a dataset from a CSV file.
+Result<TrajectoryDataset> ReadCsvFile(const std::string& path);
+
+/// Exports trajectories as a GeoJSON FeatureCollection of LineStrings
+/// (one feature per trajectory, id + point count in `properties`) for
+/// inspection in any web map.
+std::string WriteGeoJsonString(const TrajectoryDataset& data);
+
+/// Writes the GeoJSON export to a file.
+Status WriteGeoJsonFile(const TrajectoryDataset& data,
+                        const std::string& path);
+
+}  // namespace io
+}  // namespace kamel
+
+#endif  // KAMEL_IO_TRAJECTORY_CSV_H_

@@ -1,0 +1,74 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace kamel::nn {
+
+AdamOptimizer::AdamOptimizer(std::vector<Param*> params, AdamOptions options)
+    : params_(std::move(params)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Param* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void AdamOptimizer::Step(double lr) {
+  ++step_;
+
+  if (options_.clip_norm > 0.0) {
+    double sq = 0.0;
+    for (Param* p : params_) {
+      for (int64_t i = 0; i < p->grad.size(); ++i) {
+        sq += static_cast<double>(p->grad[i]) * p->grad[i];
+      }
+    }
+    const double norm = std::sqrt(sq);
+    if (norm > options_.clip_norm) {
+      const float scale = static_cast<float>(options_.clip_norm / norm);
+      for (Param* p : params_) {
+        for (int64_t i = 0; i < p->grad.size(); ++i) p->grad[i] *= scale;
+      }
+    }
+  }
+
+  const double bc1 = 1.0 - std::pow(options_.beta1, step_);
+  const double bc2 = 1.0 - std::pow(options_.beta2, step_);
+  for (size_t j = 0; j < params_.size(); ++j) {
+    Param* p = params_[j];
+    Tensor& m = m_[j];
+    Tensor& v = v_[j];
+    for (int64_t i = 0; i < p->value.size(); ++i) {
+      const double g = p->grad[i];
+      m[i] = static_cast<float>(options_.beta1 * m[i] +
+                                (1.0 - options_.beta1) * g);
+      v[i] = static_cast<float>(options_.beta2 * v[i] +
+                                (1.0 - options_.beta2) * g * g);
+      const double m_hat = m[i] / bc1;
+      const double v_hat = v[i] / bc2;
+      double update = m_hat / (std::sqrt(v_hat) + options_.eps);
+      if (options_.weight_decay > 0.0) {
+        update += options_.weight_decay * p->value[i];
+      }
+      p->value[i] -= static_cast<float>(lr * update);
+    }
+  }
+}
+
+double WarmupLinearDecay(double peak_lr, int64_t step, int64_t warmup_steps,
+                         int64_t total_steps) {
+  KAMEL_CHECK(total_steps > 0, "total_steps must be positive");
+  if (warmup_steps > 0 && step < warmup_steps) {
+    return peak_lr * static_cast<double>(step + 1) /
+           static_cast<double>(warmup_steps);
+  }
+  const double remaining = static_cast<double>(total_steps - step) /
+                           static_cast<double>(
+                               std::max<int64_t>(1, total_steps - warmup_steps));
+  return peak_lr * std::max(0.0, remaining);
+}
+
+}  // namespace kamel::nn

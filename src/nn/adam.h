@@ -1,0 +1,51 @@
+#ifndef KAMEL_NN_ADAM_H_
+#define KAMEL_NN_ADAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace kamel::nn {
+
+/// Adam optimizer hyperparameters (Kingma & Ba), the optimizer used by the
+/// original BERT release.
+struct AdamOptions {
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  /// Decoupled L2 weight decay (AdamW); 0 disables.
+  double weight_decay = 0.0;
+  /// Global-norm gradient clipping; <= 0 disables.
+  double clip_norm = 1.0;
+};
+
+/// Adam over a fixed parameter list. The parameter list is captured at
+/// construction; moments are keyed by position, so the list must not
+/// change between steps.
+class AdamOptimizer {
+ public:
+  AdamOptimizer(std::vector<Param*> params, AdamOptions options = {});
+
+  /// Applies one update with the given learning rate, then leaves grads
+  /// untouched (callers zero them before the next accumulation).
+  void Step(double lr);
+
+  int64_t step_count() const { return step_; }
+
+ private:
+  std::vector<Param*> params_;
+  AdamOptions options_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  int64_t step_ = 0;
+};
+
+/// Linear warmup followed by linear decay to zero — BERT's schedule.
+/// Returns the learning rate for `step` in [0, total_steps).
+double WarmupLinearDecay(double peak_lr, int64_t step, int64_t warmup_steps,
+                         int64_t total_steps);
+
+}  // namespace kamel::nn
+
+#endif  // KAMEL_NN_ADAM_H_

@@ -1,0 +1,176 @@
+#include "nn/attention.h"
+
+#include <cmath>
+#include <vector>
+
+#include "nn/blas.h"
+#include "nn/ops.h"
+
+namespace kamel::nn {
+
+MultiHeadAttention::MultiHeadAttention(std::string name, int64_t d_model,
+                                       int64_t num_heads, Rng* rng)
+    : d_model_(d_model),
+      num_heads_(num_heads),
+      head_dim_(d_model / num_heads),
+      qkv_(name + ".qkv", d_model, 3 * d_model, rng),
+      proj_(name + ".proj", d_model, d_model, rng) {
+  KAMEL_CHECK(d_model % num_heads == 0,
+              "d_model must be divisible by num_heads");
+}
+
+namespace {
+
+// Copies the (b, h) head slice of a [B*T, stride] matrix into a packed
+// [T, head_dim] buffer. `col0` selects Q (0), K (D) or V (2D) blocks.
+void GatherHead(const float* src, int64_t stride, int64_t b, int64_t t_len,
+                int64_t col0, int64_t head_dim, float* dst) {
+  for (int64_t t = 0; t < t_len; ++t) {
+    const float* row = src + (b * t_len + t) * stride + col0;
+    for (int64_t c = 0; c < head_dim; ++c) dst[t * head_dim + c] = row[c];
+  }
+}
+
+// Adds a packed [T, head_dim] buffer back into the (b, h) head slice.
+void ScatterHeadAdd(const float* src, int64_t t_len, int64_t head_dim,
+                    int64_t b, int64_t col0, int64_t stride, float* dst) {
+  for (int64_t t = 0; t < t_len; ++t) {
+    float* row = dst + (b * t_len + t) * stride + col0;
+    for (int64_t c = 0; c < head_dim; ++c) row[c] += src[t * head_dim + c];
+  }
+}
+
+}  // namespace
+
+Tensor MultiHeadAttention::Forward(const Tensor& x,
+                                   const std::vector<float>& key_mask,
+                                   int64_t batch, int64_t seq_len) {
+  KAMEL_CHECK(x.rank() == 2 && x.dim(0) == batch * seq_len &&
+                  x.dim(1) == d_model_,
+              "attention input shape mismatch");
+  KAMEL_CHECK(static_cast<int64_t>(key_mask.size()) == batch * seq_len,
+              "attention mask size mismatch");
+  batch_ = batch;
+  seq_len_ = seq_len;
+
+  qkv_cache_ = qkv_.Forward(x);  // [B*T, 3D]
+  probs_cache_ = Tensor({batch * num_heads_ * seq_len_ * seq_len_});
+
+  Tensor ctx({batch * seq_len, d_model_});
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+  std::vector<float> q(static_cast<size_t>(seq_len * head_dim_));
+  std::vector<float> k(q.size());
+  std::vector<float> v(q.size());
+  std::vector<float> scores(static_cast<size_t>(seq_len * seq_len));
+  std::vector<float> head_ctx(q.size());
+
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t h = 0; h < num_heads_; ++h) {
+      const int64_t col = h * head_dim_;
+      GatherHead(qkv_cache_.data(), 3 * d_model_, b, seq_len, col, head_dim_,
+                 q.data());
+      GatherHead(qkv_cache_.data(), 3 * d_model_, b, seq_len,
+                 d_model_ + col, head_dim_, k.data());
+      GatherHead(qkv_cache_.data(), 3 * d_model_, b, seq_len,
+                 2 * d_model_ + col, head_dim_, v.data());
+
+      // scores = Q K^T * scale
+      Sgemm(false, true, seq_len, seq_len, head_dim_, scale, q.data(),
+            head_dim_, k.data(), head_dim_, 0.0f, scores.data(), seq_len);
+
+      float* probs = probs_cache_.data() +
+                     ((b * num_heads_ + h) * seq_len_) * seq_len_;
+      for (int64_t t = 0; t < seq_len; ++t) {
+        float* row = scores.data() + t * seq_len;
+        for (int64_t u = 0; u < seq_len; ++u) {
+          if (key_mask[static_cast<size_t>(b * seq_len + u)] == 0.0f) {
+            row[u] = -1e9f;
+          }
+        }
+        SoftmaxRow(row, probs + t * seq_len, seq_len);
+      }
+
+      // ctx_h = P V
+      Sgemm(false, false, seq_len, head_dim_, seq_len, 1.0f, probs, seq_len,
+            v.data(), head_dim_, 0.0f, head_ctx.data(), head_dim_);
+      for (int64_t t = 0; t < seq_len; ++t) {
+        float* dst = ctx.data() + (b * seq_len + t) * d_model_ + col;
+        const float* src = head_ctx.data() + t * head_dim_;
+        for (int64_t c = 0; c < head_dim_; ++c) dst[c] = src[c];
+      }
+    }
+  }
+  return proj_.Forward(ctx);
+}
+
+Tensor MultiHeadAttention::Backward(const Tensor& grad_out) {
+  const int64_t batch = batch_;
+  const int64_t seq_len = seq_len_;
+  const Tensor gctx = proj_.Backward(grad_out);  // [B*T, D]
+
+  Tensor gqkv({batch * seq_len, 3 * d_model_});
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+  std::vector<float> q(static_cast<size_t>(seq_len * head_dim_));
+  std::vector<float> k(q.size());
+  std::vector<float> v(q.size());
+  std::vector<float> g_head(q.size());
+  std::vector<float> g_probs(static_cast<size_t>(seq_len * seq_len));
+  std::vector<float> g_scores(g_probs.size());
+  std::vector<float> gq(q.size());
+  std::vector<float> gk(q.size());
+  std::vector<float> gv(q.size());
+
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t h = 0; h < num_heads_; ++h) {
+      const int64_t col = h * head_dim_;
+      GatherHead(qkv_cache_.data(), 3 * d_model_, b, seq_len, col, head_dim_,
+                 q.data());
+      GatherHead(qkv_cache_.data(), 3 * d_model_, b, seq_len,
+                 d_model_ + col, head_dim_, k.data());
+      GatherHead(qkv_cache_.data(), 3 * d_model_, b, seq_len,
+                 2 * d_model_ + col, head_dim_, v.data());
+      GatherHead(gctx.data(), d_model_, b, seq_len, col, head_dim_,
+                 g_head.data());
+
+      const float* probs = probs_cache_.data() +
+                           ((b * num_heads_ + h) * seq_len_) * seq_len_;
+
+      // dP = g_head V^T ;  dV = P^T g_head
+      Sgemm(false, true, seq_len, seq_len, head_dim_, 1.0f, g_head.data(),
+            head_dim_, v.data(), head_dim_, 0.0f, g_probs.data(), seq_len);
+      Sgemm(true, false, seq_len, head_dim_, seq_len, 1.0f, probs, seq_len,
+            g_head.data(), head_dim_, 0.0f, gv.data(), head_dim_);
+
+      // Softmax backward per row. Masked (-1e9) columns carry ~0
+      // probability, so their gradient contribution vanishes naturally.
+      for (int64_t t = 0; t < seq_len; ++t) {
+        SoftmaxBackwardRow(probs + t * seq_len, g_probs.data() + t * seq_len,
+                           g_scores.data() + t * seq_len, seq_len);
+      }
+
+      // dQ = dS K * scale ;  dK = dS^T Q * scale
+      Sgemm(false, false, seq_len, head_dim_, seq_len, scale,
+            g_scores.data(), seq_len, k.data(), head_dim_, 0.0f, gq.data(),
+            head_dim_);
+      Sgemm(true, false, seq_len, head_dim_, seq_len, scale, g_scores.data(),
+            seq_len, q.data(), head_dim_, 0.0f, gk.data(), head_dim_);
+
+      ScatterHeadAdd(gq.data(), seq_len, head_dim_, b, col, 3 * d_model_,
+                     gqkv.data());
+      ScatterHeadAdd(gk.data(), seq_len, head_dim_, b, d_model_ + col,
+                     3 * d_model_, gqkv.data());
+      ScatterHeadAdd(gv.data(), seq_len, head_dim_, b, 2 * d_model_ + col,
+                     3 * d_model_, gqkv.data());
+    }
+  }
+  return qkv_.Backward(gqkv);
+}
+
+void MultiHeadAttention::CollectParams(std::vector<Param*>* out) {
+  qkv_.CollectParams(out);
+  proj_.CollectParams(out);
+}
+
+}  // namespace kamel::nn

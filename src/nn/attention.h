@@ -1,0 +1,54 @@
+#ifndef KAMEL_NN_ATTENTION_H_
+#define KAMEL_NN_ATTENTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "nn/tensor.h"
+
+namespace kamel::nn {
+
+/// Multi-head scaled-dot-product self-attention (Vaswani et al.),
+/// bidirectional as in BERT.
+///
+/// Input/output tensors are [B*T, D] (flattened batch of sequences);
+/// `key_mask` has one float per (batch, position): 1 for real tokens, 0 for
+/// padding. Padded keys receive -inf scores before the softmax, so no
+/// probability mass ever attends to padding.
+class MultiHeadAttention {
+ public:
+  MultiHeadAttention(std::string name, int64_t d_model, int64_t num_heads,
+                     Rng* rng);
+
+  /// x: [B*T, D]; key_mask: B*T entries. Caches everything Backward needs.
+  Tensor Forward(const Tensor& x, const std::vector<float>& key_mask,
+                 int64_t batch, int64_t seq_len);
+
+  /// grad_out: [B*T, D] -> gradient w.r.t. x; accumulates weight grads.
+  Tensor Backward(const Tensor& grad_out);
+
+  void CollectParams(std::vector<Param*>* out);
+
+  int64_t num_heads() const { return num_heads_; }
+  int64_t head_dim() const { return head_dim_; }
+
+ private:
+  int64_t d_model_;
+  int64_t num_heads_;
+  int64_t head_dim_;
+  Linear qkv_;   // [D, 3D]
+  Linear proj_;  // [D, D]
+
+  // Forward caches.
+  int64_t batch_ = 0;
+  int64_t seq_len_ = 0;
+  Tensor qkv_cache_;    // [B*T, 3D]
+  Tensor probs_cache_;  // [B*H*T*T] attention probabilities
+};
+
+}  // namespace kamel::nn
+
+#endif  // KAMEL_NN_ATTENTION_H_

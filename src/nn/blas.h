@@ -1,0 +1,24 @@
+#ifndef KAMEL_NN_BLAS_H_
+#define KAMEL_NN_BLAS_H_
+
+#include <cstdint>
+
+namespace kamel::nn {
+
+/// Single-precision matrix multiply: C = alpha * op(A) * op(B) + beta * C.
+///
+/// op(A) is m x k, op(B) is k x n, C is m x n; all matrices are dense
+/// row-major with the given leading dimensions (row strides). This is the
+/// single compute kernel behind every layer in the nn library; the
+/// no-transpose path uses an i-k-j loop ordering that GCC/Clang vectorize
+/// well at -O3, which is sufficient for KAMEL's CPU-scale models.
+void Sgemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+           float alpha, const float* a, int64_t lda, const float* b,
+           int64_t ldb, float beta, float* c, int64_t ldc);
+
+/// y += x, both of length n.
+void Saxpy(int64_t n, float alpha, const float* x, float* y);
+
+}  // namespace kamel::nn
+
+#endif  // KAMEL_NN_BLAS_H_

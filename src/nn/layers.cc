@@ -1,0 +1,193 @@
+#include "nn/layers.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "nn/blas.h"
+
+namespace kamel::nn {
+
+Linear::Linear(std::string name, int64_t in_features, int64_t out_features,
+               Rng* rng)
+    : weight_(name + ".weight",
+              Tensor::Randn({in_features, out_features}, rng,
+                            // Xavier-ish fan-in scaling keeps activations
+                            // O(1) at init for any layer width.
+                            1.0 / std::sqrt(static_cast<double>(in_features)))),
+      bias_(name + ".bias", Tensor::Zeros({out_features})) {}
+
+Tensor Linear::Forward(const Tensor& x) {
+  KAMEL_CHECK(x.rank() == 2 && x.dim(1) == in_features(),
+              "Linear input shape mismatch: " + x.ShapeString());
+  const int64_t n = x.dim(0);
+  const int64_t out = out_features();
+  Tensor y({n, out});
+  Sgemm(false, false, n, out, in_features(), 1.0f, x.data(), in_features(),
+        weight_.value.data(), out, 0.0f, y.data(), out);
+  for (int64_t r = 0; r < n; ++r) {
+    Saxpy(out, 1.0f, bias_.value.data(), y.data() + r * out);
+  }
+  x_cache_ = x;
+  return y;
+}
+
+Tensor Linear::Backward(const Tensor& grad_out) {
+  const int64_t n = x_cache_.dim(0);
+  const int64_t in = in_features();
+  const int64_t out = out_features();
+  KAMEL_CHECK(grad_out.rank() == 2 && grad_out.dim(0) == n &&
+                  grad_out.dim(1) == out,
+              "Linear grad shape mismatch");
+  // dW += x^T * gout
+  Sgemm(true, false, in, out, n, 1.0f, x_cache_.data(), in, grad_out.data(),
+        out, 1.0f, weight_.grad.data(), out);
+  // db += column sums of gout
+  for (int64_t r = 0; r < n; ++r) {
+    Saxpy(out, 1.0f, grad_out.data() + r * out, bias_.grad.data());
+  }
+  // dx = gout * W^T
+  Tensor dx({n, in});
+  Sgemm(false, true, n, in, out, 1.0f, grad_out.data(), out,
+        weight_.value.data(), out, 0.0f, dx.data(), in);
+  return dx;
+}
+
+void Linear::CollectParams(std::vector<Param*>* out) {
+  out->push_back(&weight_);
+  out->push_back(&bias_);
+}
+
+LayerNorm::LayerNorm(std::string name, int64_t dim, float eps)
+    : gamma_(name + ".gamma", Tensor::Full({dim}, 1.0f)),
+      beta_(name + ".beta", Tensor::Zeros({dim})),
+      eps_(eps) {}
+
+Tensor LayerNorm::Forward(const Tensor& x) {
+  const int64_t d = gamma_.value.dim(0);
+  KAMEL_CHECK(x.rank() == 2 && x.dim(1) == d, "LayerNorm shape mismatch");
+  const int64_t n = x.dim(0);
+  Tensor y({n, d});
+  xhat_cache_ = Tensor({n, d});
+  inv_std_cache_.assign(static_cast<size_t>(n), 0.0f);
+  for (int64_t r = 0; r < n; ++r) {
+    const float* xr = x.data() + r * d;
+    double mean = 0.0;
+    for (int64_t c = 0; c < d; ++c) mean += xr[c];
+    mean /= static_cast<double>(d);
+    double var = 0.0;
+    for (int64_t c = 0; c < d; ++c) {
+      const double diff = xr[c] - mean;
+      var += diff * diff;
+    }
+    var /= static_cast<double>(d);
+    const float inv_std = static_cast<float>(1.0 / std::sqrt(var + eps_));
+    inv_std_cache_[static_cast<size_t>(r)] = inv_std;
+    float* xhat = xhat_cache_.data() + r * d;
+    float* yr = y.data() + r * d;
+    const float meanf = static_cast<float>(mean);
+    for (int64_t c = 0; c < d; ++c) {
+      xhat[c] = (xr[c] - meanf) * inv_std;
+      yr[c] = xhat[c] * gamma_.value[c] + beta_.value[c];
+    }
+  }
+  return y;
+}
+
+Tensor LayerNorm::Backward(const Tensor& grad_out) {
+  const int64_t d = gamma_.value.dim(0);
+  const int64_t n = xhat_cache_.dim(0);
+  KAMEL_CHECK(grad_out.rank() == 2 && grad_out.dim(0) == n &&
+                  grad_out.dim(1) == d,
+              "LayerNorm grad shape mismatch");
+  Tensor dx({n, d});
+  for (int64_t r = 0; r < n; ++r) {
+    const float* g = grad_out.data() + r * d;
+    const float* xhat = xhat_cache_.data() + r * d;
+    const float inv_std = inv_std_cache_[static_cast<size_t>(r)];
+    double sum_dxhat = 0.0;
+    double sum_dxhat_xhat = 0.0;
+    for (int64_t c = 0; c < d; ++c) {
+      const double dxhat = static_cast<double>(g[c]) * gamma_.value[c];
+      sum_dxhat += dxhat;
+      sum_dxhat_xhat += dxhat * xhat[c];
+      gamma_.grad[c] += g[c] * xhat[c];
+      beta_.grad[c] += g[c];
+    }
+    float* dxr = dx.data() + r * d;
+    const double inv_d = 1.0 / static_cast<double>(d);
+    for (int64_t c = 0; c < d; ++c) {
+      const double dxhat = static_cast<double>(g[c]) * gamma_.value[c];
+      dxr[c] = static_cast<float>(
+          inv_std * (dxhat - inv_d * sum_dxhat -
+                     static_cast<double>(xhat[c]) * inv_d * sum_dxhat_xhat));
+    }
+  }
+  return dx;
+}
+
+void LayerNorm::CollectParams(std::vector<Param*>* out) {
+  out->push_back(&gamma_);
+  out->push_back(&beta_);
+}
+
+Tensor Dropout::Forward(const Tensor& x, bool train, Rng* rng) {
+  if (!train || p_ <= 0.0) {
+    identity_ = true;
+    return x;
+  }
+  identity_ = false;
+  const float scale = static_cast<float>(1.0 / (1.0 - p_));
+  Tensor y(x.shape());
+  kept_.assign(static_cast<size_t>(x.size()), 0);
+  for (int64_t i = 0; i < x.size(); ++i) {
+    if (!rng->NextBernoulli(p_)) {
+      kept_[static_cast<size_t>(i)] = 1;
+      y[i] = x[i] * scale;
+    }
+  }
+  return y;
+}
+
+Tensor Dropout::Backward(const Tensor& grad_out) {
+  if (identity_) return grad_out;
+  const float scale = static_cast<float>(1.0 / (1.0 - p_));
+  Tensor dx(grad_out.shape());
+  for (int64_t i = 0; i < grad_out.size(); ++i) {
+    dx[i] = kept_[static_cast<size_t>(i)] ? grad_out[i] * scale : 0.0f;
+  }
+  return dx;
+}
+
+Embedding::Embedding(std::string name, int64_t vocab, int64_t dim, Rng* rng)
+    : table_(name + ".table", Tensor::Randn({vocab, dim}, rng, 0.02)) {}
+
+Tensor Embedding::Forward(const std::vector<int32_t>& ids) {
+  const int64_t d = dim();
+  Tensor y({static_cast<int64_t>(ids.size()), d});
+  for (size_t i = 0; i < ids.size(); ++i) {
+    KAMEL_DCHECK(ids[i] >= 0 && ids[i] < vocab_size(),
+                 "embedding id out of range");
+    std::memcpy(y.data() + static_cast<int64_t>(i) * d,
+                table_.value.data() + static_cast<int64_t>(ids[i]) * d,
+                static_cast<size_t>(d) * sizeof(float));
+  }
+  ids_cache_ = ids;
+  return y;
+}
+
+void Embedding::Backward(const Tensor& grad_out) {
+  const int64_t d = dim();
+  KAMEL_CHECK(grad_out.rank() == 2 && grad_out.dim(1) == d &&
+                  grad_out.dim(0) == static_cast<int64_t>(ids_cache_.size()),
+              "Embedding grad shape mismatch");
+  for (size_t i = 0; i < ids_cache_.size(); ++i) {
+    Saxpy(d, 1.0f, grad_out.data() + static_cast<int64_t>(i) * d,
+          table_.grad.data() + static_cast<int64_t>(ids_cache_[i]) * d);
+  }
+}
+
+void Embedding::CollectParams(std::vector<Param*>* out) {
+  out->push_back(&table_);
+}
+
+}  // namespace kamel::nn

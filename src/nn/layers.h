@@ -1,0 +1,111 @@
+#ifndef KAMEL_NN_LAYERS_H_
+#define KAMEL_NN_LAYERS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/tensor.h"
+
+namespace kamel::nn {
+
+/// A trainable tensor with its gradient accumulator.
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Param() = default;
+  Param(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+};
+
+/// Affine map y = x W + b on rank-2 inputs [N, in] -> [N, out].
+///
+/// Layers in this library follow a cache-and-replay contract: Forward
+/// stores whatever activations Backward needs, Backward consumes the most
+/// recent Forward and *accumulates* parameter gradients (callers zero grads
+/// between optimizer steps).
+class Linear {
+ public:
+  Linear(std::string name, int64_t in_features, int64_t out_features,
+         Rng* rng);
+
+  /// x: [N, in] -> [N, out].
+  Tensor Forward(const Tensor& x);
+
+  /// grad_out: [N, out] -> gradient w.r.t. x [N, in]; accumulates into
+  /// the weight and bias gradients.
+  Tensor Backward(const Tensor& grad_out);
+
+  void CollectParams(std::vector<Param*>* out);
+
+  int64_t in_features() const { return weight_.value.dim(0); }
+  int64_t out_features() const { return weight_.value.dim(1); }
+
+ private:
+  Param weight_;  // [in, out]
+  Param bias_;    // [out]
+  Tensor x_cache_;
+};
+
+/// Layer normalization over the last dimension of [N, D] inputs.
+class LayerNorm {
+ public:
+  LayerNorm(std::string name, int64_t dim, float eps = 1e-5f);
+
+  Tensor Forward(const Tensor& x);
+  Tensor Backward(const Tensor& grad_out);
+  void CollectParams(std::vector<Param*>* out);
+
+ private:
+  Param gamma_;  // [D]
+  Param beta_;   // [D]
+  float eps_;
+  Tensor xhat_cache_;     // [N, D]
+  std::vector<float> inv_std_cache_;  // [N]
+};
+
+/// Inverted dropout. In train mode zeroes each element with probability p
+/// and scales survivors by 1/(1-p); in eval mode it is the identity.
+class Dropout {
+ public:
+  explicit Dropout(double p) : p_(p) {}
+
+  Tensor Forward(const Tensor& x, bool train, Rng* rng);
+  Tensor Backward(const Tensor& grad_out);
+
+  double p() const { return p_; }
+
+ private:
+  double p_;
+  bool identity_ = true;
+  std::vector<uint8_t> kept_;
+};
+
+/// Token embedding lookup table [vocab, D].
+class Embedding {
+ public:
+  Embedding(std::string name, int64_t vocab, int64_t dim, Rng* rng);
+
+  /// ids: N token indices -> [N, D].
+  Tensor Forward(const std::vector<int32_t>& ids);
+
+  /// Accumulates row gradients; returns nothing (ids are not
+  /// differentiable).
+  void Backward(const Tensor& grad_out);
+
+  void CollectParams(std::vector<Param*>* out);
+
+  int64_t vocab_size() const { return table_.value.dim(0); }
+  int64_t dim() const { return table_.value.dim(1); }
+
+ private:
+  Param table_;  // [vocab, D]
+  std::vector<int32_t> ids_cache_;
+};
+
+}  // namespace kamel::nn
+
+#endif  // KAMEL_NN_LAYERS_H_

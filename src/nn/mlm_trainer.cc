@@ -1,0 +1,181 @@
+#include "nn/mlm_trainer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace kamel::nn {
+
+MlmBatch BuildMlmBatch(const std::vector<std::vector<int32_t>>& sequences,
+                       const MlmTokenLayout& layout,
+                       const MlmTrainOptions& options, int64_t max_seq_len,
+                       int64_t vocab_size, Rng* rng) {
+  KAMEL_CHECK(!sequences.empty(), "empty corpus");
+  const int64_t batch = options.batch_size;
+
+  // Sample, crop, and find the batch's padded length.
+  std::vector<std::vector<int32_t>> chosen;
+  chosen.reserve(static_cast<size_t>(batch));
+  int64_t seq_len = 1;
+  for (int64_t b = 0; b < batch; ++b) {
+    const auto& full = sequences[rng->NextUint64(sequences.size())];
+    int64_t len = static_cast<int64_t>(full.size());
+    int64_t window = std::min(len, max_seq_len);
+    // Randomly shorten the window sometimes so the model also learns from
+    // contexts as short as the online imputation queries.
+    if (window > options.min_crop_len &&
+        rng->NextBernoulli(options.crop_prob)) {
+      window = options.min_crop_len +
+               static_cast<int64_t>(rng->NextUint64(
+                   static_cast<uint64_t>(window - options.min_crop_len) + 1));
+    }
+    int64_t offset = 0;
+    if (len > window) {
+      offset = static_cast<int64_t>(
+          rng->NextUint64(static_cast<uint64_t>(len - window) + 1));
+    }
+    chosen.emplace_back(full.begin() + offset,
+                        full.begin() + offset + window);
+    seq_len = std::max(seq_len, window);
+  }
+
+  MlmBatch out;
+  out.batch = batch;
+  out.seq_len = seq_len;
+  out.ids.assign(static_cast<size_t>(batch * seq_len), layout.pad_id);
+  out.key_mask.assign(static_cast<size_t>(batch * seq_len), 0.0f);
+  out.labels.assign(static_cast<size_t>(batch * seq_len), -1);
+  out.position_offsets.assign(static_cast<size_t>(batch), 0);
+  for (int64_t b = 0; b < batch; ++b) {
+    const int64_t slack = max_seq_len - seq_len;
+    if (slack > 0) {
+      out.position_offsets[static_cast<size_t>(b)] = static_cast<int32_t>(
+          rng->NextUint64(static_cast<uint64_t>(slack) + 1));
+    }
+  }
+
+  const int64_t content_vocab = vocab_size - layout.first_content_id;
+  for (int64_t b = 0; b < batch; ++b) {
+    auto& seq = chosen[static_cast<size_t>(b)];
+
+    // Gap-deletion example: remove a contiguous content run, put one
+    // [MASK] in its place, and ask for one of the run's endpoints — the
+    // Multipoint Imputation subproblem (Section 6).
+    if (rng->NextBernoulli(options.gap_deletion_prob)) {
+      // Find the contiguous content region [lo, hi).
+      int64_t lo = 0;
+      int64_t hi = static_cast<int64_t>(seq.size());
+      while (lo < hi && seq[static_cast<size_t>(lo)] <
+                            layout.first_content_id) {
+        ++lo;
+      }
+      while (hi > lo && seq[static_cast<size_t>(hi - 1)] <
+                            layout.first_content_id) {
+        --hi;
+      }
+      // Need at least one context token on each side of the gap.
+      const int64_t content = hi - lo;
+      if (content >= options.gap_min_len + 2) {
+        const int64_t max_len =
+            std::min(options.gap_max_len, content - 2);
+        const int64_t gap_len =
+            options.gap_min_len +
+            static_cast<int64_t>(rng->NextUint64(static_cast<uint64_t>(
+                max_len - options.gap_min_len) + 1));
+        const int64_t start =
+            lo + 1 +
+            static_cast<int64_t>(rng->NextUint64(
+                static_cast<uint64_t>(content - gap_len - 1)));
+        const int32_t label =
+            rng->NextBernoulli(0.5)
+                ? seq[static_cast<size_t>(start)]
+                : seq[static_cast<size_t>(start + gap_len - 1)];
+        std::vector<int32_t> collapsed(seq.begin(), seq.begin() + start);
+        collapsed.push_back(layout.mask_id);
+        const int64_t mask_pos = static_cast<int64_t>(collapsed.size()) - 1;
+        collapsed.insert(collapsed.end(), seq.begin() + start + gap_len,
+                         seq.end());
+        const int64_t idx0 = b * seq_len;
+        for (size_t t = 0; t < collapsed.size(); ++t) {
+          out.ids[static_cast<size_t>(idx0) + t] = collapsed[t];
+          out.key_mask[static_cast<size_t>(idx0) + t] = 1.0f;
+        }
+        out.labels[static_cast<size_t>(idx0 + mask_pos)] = label;
+        continue;
+      }
+      // Too short for a gap: fall through to standard masking.
+    }
+    int64_t masked_here = 0;
+    // Guarantee at least one mask per statement: remember one eligible
+    // position to force-mask if the Bernoulli draws select none.
+    int64_t fallback_pos = -1;
+    for (size_t t = 0; t < seq.size(); ++t) {
+      const int64_t idx = b * seq_len + static_cast<int64_t>(t);
+      out.ids[static_cast<size_t>(idx)] = seq[t];
+      out.key_mask[static_cast<size_t>(idx)] = 1.0f;
+      if (seq[t] < layout.first_content_id) continue;
+      if (fallback_pos < 0 || rng->NextBernoulli(0.3)) fallback_pos = idx;
+      if (!rng->NextBernoulli(options.mask_prob)) continue;
+      out.labels[static_cast<size_t>(idx)] = seq[t];
+      ++masked_here;
+      const double roll = rng->NextDouble();
+      if (roll < options.mask_token_frac) {
+        out.ids[static_cast<size_t>(idx)] = layout.mask_id;
+      } else if (roll < options.mask_token_frac + options.random_token_frac &&
+                 content_vocab > 0) {
+        out.ids[static_cast<size_t>(idx)] =
+            layout.first_content_id +
+            static_cast<int32_t>(rng->NextUint64(
+                static_cast<uint64_t>(content_vocab)));
+      }  // else: keep the original token.
+    }
+    if (masked_here == 0 && fallback_pos >= 0) {
+      out.labels[static_cast<size_t>(fallback_pos)] =
+          out.ids[static_cast<size_t>(fallback_pos)];
+      out.ids[static_cast<size_t>(fallback_pos)] = layout.mask_id;
+    }
+  }
+  return out;
+}
+
+Result<MlmTrainStats> TrainMlm(
+    BertModel* model, const std::vector<std::vector<int32_t>>& sequences,
+    const MlmTokenLayout& layout, const MlmTrainOptions& options) {
+  if (sequences.empty()) {
+    return Status::InvalidArgument("MLM training needs a non-empty corpus");
+  }
+  Rng rng(options.seed);
+  AdamOptimizer optimizer(model->Params(), options.adam);
+  Stopwatch watch;
+
+  double ema_loss = 0.0;
+  bool ema_init = false;
+  for (int64_t step = 0; step < options.steps; ++step) {
+    MlmBatch batch = BuildMlmBatch(sequences, layout, options,
+                                   model->config().max_seq_len,
+                                   model->config().vocab_size, &rng);
+    model->ZeroGrads();
+    Tensor logits =
+        model->Forward(batch.ids, batch.key_mask, batch.batch,
+                       batch.seq_len, /*train=*/true,
+                       &batch.position_offsets);
+    const double loss = model->LossAndBackward(logits, batch.labels);
+    optimizer.Step(WarmupLinearDecay(options.peak_lr, step,
+                                     options.warmup_steps, options.steps));
+    ema_loss = ema_init ? 0.98 * ema_loss + 0.02 * loss : loss;
+    ema_init = true;
+    if (options.log_every > 0 && (step + 1) % options.log_every == 0) {
+      KAMEL_LOG(Info) << "mlm step " << (step + 1) << "/" << options.steps
+                      << " loss=" << ema_loss;
+    }
+  }
+
+  MlmTrainStats stats;
+  stats.steps = options.steps;
+  stats.final_loss = ema_loss;
+  stats.seconds = watch.ElapsedSeconds();
+  return stats;
+}
+
+}  // namespace kamel::nn

@@ -1,0 +1,97 @@
+#ifndef KAMEL_NN_MLM_TRAINER_H_
+#define KAMEL_NN_MLM_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/adam.h"
+#include "nn/transformer.h"
+
+namespace kamel::nn {
+
+/// Masked-language-model training options (BERT's pretraining recipe
+/// applied to trajectory statements).
+struct MlmTrainOptions {
+  int64_t steps = 1200;
+  int64_t batch_size = 16;
+  double peak_lr = 1e-3;
+  int64_t warmup_steps = 100;
+  /// Fraction of maskable positions selected per statement.
+  double mask_prob = 0.15;
+  /// Of the selected positions: 80% -> [MASK], 10% -> random token,
+  /// 10% -> kept, exactly as in the original BERT.
+  double mask_token_frac = 0.8;
+  double random_token_frac = 0.1;
+  /// Probability of training on a random-length window of a statement
+  /// instead of the whole statement. Imputation queries are short
+  /// ([CLS] left [MASK] right [SEP]), so the model must also see short
+  /// contexts during training.
+  double crop_prob = 0.5;
+  /// Minimum window length when cropping.
+  int64_t min_crop_len = 4;
+  /// Probability that a statement becomes a *gap-deletion* example
+  /// instead of a standard masked one: a contiguous run of
+  /// [gap_min_len, gap_max_len] content tokens is removed and replaced by
+  /// a single [MASK], whose label is the first or last deleted token
+  /// (chosen at random). This is exactly the subproblem the Multipoint
+  /// Imputation module poses at inference ("which token extends the left
+  /// or right side of this gap?"), which plain BERT masking never
+  /// generates — plain masks always keep their immediate neighbors
+  /// visible, so the model otherwise learns continuation without any
+  /// pull toward the far gap endpoint.
+  double gap_deletion_prob = 0.5;
+  int64_t gap_min_len = 2;
+  int64_t gap_max_len = 8;
+  uint64_t seed = 7;
+  AdamOptions adam;
+  /// Log the loss every N steps; 0 disables.
+  int64_t log_every = 0;
+};
+
+/// Token-id layout the trainer must know about.
+struct MlmTokenLayout {
+  int32_t pad_id = 0;
+  int32_t mask_id = 0;
+  /// Ids >= first_content_id are real content tokens: only they are
+  /// masked, and random replacements are drawn from them.
+  int32_t first_content_id = 0;
+};
+
+/// Outcome of a training run.
+struct MlmTrainStats {
+  int64_t steps = 0;
+  double final_loss = 0.0;  // EMA of the masked-LM loss
+  double seconds = 0.0;
+};
+
+/// One training batch: padded ids, key mask, MLM labels (-1 = ignore),
+/// and one random position-embedding offset per row (so the model cannot
+/// tie tokens to absolute positions — trajectory statements repeat far
+/// more than language sentences).
+struct MlmBatch {
+  std::vector<int32_t> ids;
+  std::vector<float> key_mask;
+  std::vector<int32_t> labels;
+  std::vector<int32_t> position_offsets;
+  int64_t batch = 0;
+  int64_t seq_len = 0;
+};
+
+/// Builds a masked batch from `batch` randomly sampled sequences.
+/// Sequences longer than the model's max_seq_len are cropped with a random
+/// offset so all parts of long trajectories contribute.
+MlmBatch BuildMlmBatch(const std::vector<std::vector<int32_t>>& sequences,
+                       const MlmTokenLayout& layout,
+                       const MlmTrainOptions& options, int64_t max_seq_len,
+                       int64_t vocab_size, Rng* rng);
+
+/// Runs the full masked-LM training loop on `model`.
+/// Returns InvalidArgument when `sequences` is empty.
+Result<MlmTrainStats> TrainMlm(
+    BertModel* model, const std::vector<std::vector<int32_t>>& sequences,
+    const MlmTokenLayout& layout, const MlmTrainOptions& options);
+
+}  // namespace kamel::nn
+
+#endif  // KAMEL_NN_MLM_TRAINER_H_

@@ -1,0 +1,52 @@
+#include "nn/ops.h"
+
+#include <cmath>
+
+namespace kamel::nn {
+
+namespace {
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+constexpr float kGeluA = 0.044715f;
+}  // namespace
+
+void GeluForward(const float* x, float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    const float v = x[i];
+    const float u = kGeluC * (v + kGeluA * v * v * v);
+    y[i] = 0.5f * v * (1.0f + std::tanh(u));
+  }
+}
+
+void GeluBackward(const float* x, const float* dy, float* dx, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    const float v = x[i];
+    const float u = kGeluC * (v + kGeluA * v * v * v);
+    const float t = std::tanh(u);
+    const float du = kGeluC * (1.0f + 3.0f * kGeluA * v * v);
+    const float grad = 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du;
+    dx[i] = dy[i] * grad;
+  }
+}
+
+void SoftmaxRow(const float* x, float* y, int64_t n) {
+  float max_v = x[0];
+  for (int64_t i = 1; i < n; ++i) max_v = std::max(max_v, x[i]);
+  double sum = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const float e = std::exp(x[i] - max_v);
+    y[i] = e;
+    sum += e;
+  }
+  const float inv = static_cast<float>(1.0 / sum);
+  for (int64_t i = 0; i < n; ++i) y[i] *= inv;
+}
+
+void SoftmaxBackwardRow(const float* p, const float* dy, float* dx,
+                        int64_t n) {
+  double dot = 0.0;
+  for (int64_t i = 0; i < n; ++i) dot += static_cast<double>(dy[i]) * p[i];
+  const float dotf = static_cast<float>(dot);
+  for (int64_t i = 0; i < n; ++i) dx[i] = p[i] * (dy[i] - dotf);
+}
+
+}  // namespace kamel::nn

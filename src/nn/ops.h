@@ -1,0 +1,28 @@
+#ifndef KAMEL_NN_OPS_H_
+#define KAMEL_NN_OPS_H_
+
+#include <cstdint>
+
+namespace kamel::nn {
+
+/// GELU activation (tanh approximation, as in the original BERT release),
+/// applied elementwise: y[i] = gelu(x[i]).
+void GeluForward(const float* x, float* y, int64_t n);
+
+/// Elementwise GELU gradient: dx[i] = dy[i] * gelu'(x[i]).
+/// `x` must be the forward input.
+void GeluBackward(const float* x, const float* dy, float* dx, int64_t n);
+
+/// Numerically stable softmax over one row of length n, in place allowed
+/// (y may alias x).
+void SoftmaxRow(const float* x, float* y, int64_t n);
+
+/// Softmax Jacobian-vector product for one row:
+/// dx[j] = p[j] * (dy[j] - sum_k dy[k] * p[k]), where p is the forward
+/// softmax output.
+void SoftmaxBackwardRow(const float* p, const float* dy, float* dx,
+                        int64_t n);
+
+}  // namespace kamel::nn
+
+#endif  // KAMEL_NN_OPS_H_

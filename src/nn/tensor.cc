@@ -1,0 +1,75 @@
+#include "nn/tensor.h"
+
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+namespace kamel::nn {
+
+namespace {
+int64_t ElementCount(const std::vector<int64_t>& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    KAMEL_CHECK(d > 0, "tensor extents must be positive");
+    n *= d;
+  }
+  return n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<int64_t> shape) : shape_(std::move(shape)) {
+  data_.assign(static_cast<size_t>(ElementCount(shape_)), 0.0f);
+}
+
+Tensor Tensor::Zeros(std::vector<int64_t> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::Randn(std::vector<int64_t> shape, Rng* rng, double stddev) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng->NextGaussian(0.0, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.size(); ++i) t[i] = value;
+  return t;
+}
+
+void Tensor::SetZero() {
+  std::memset(data_.data(), 0, data_.size() * sizeof(float));
+}
+
+void Tensor::Reshape(std::vector<int64_t> shape) {
+  KAMEL_CHECK(ElementCount(shape) == size(),
+              "reshape must preserve element count");
+  shape_ = std::move(shape);
+}
+
+double Tensor::Sum() const {
+  return std::accumulate(data_.begin(), data_.end(), 0.0);
+}
+
+float Tensor::AbsMax() const {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+std::string Tensor::ShapeString() const {
+  std::string s = "f32[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += std::to_string(shape_[i]);
+  }
+  return s + "]";
+}
+
+bool SameShape(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape();
+}
+
+}  // namespace kamel::nn

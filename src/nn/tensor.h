@@ -1,0 +1,86 @@
+#ifndef KAMEL_NN_TENSOR_H_
+#define KAMEL_NN_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace kamel::nn {
+
+/// Dense row-major float32 tensor.
+///
+/// The nn library keeps tensors deliberately simple: contiguous storage, no
+/// views, no broadcasting, no reference counting. All layer code operates on
+/// explicit shapes; reshapes are metadata-only. This is the numerical
+/// substrate for KAMEL's BERT component.
+class Tensor {
+ public:
+  /// Empty (rank-0, zero elements) tensor.
+  Tensor() = default;
+
+  /// Allocates a zero-initialized tensor of the given shape. All extents
+  /// must be positive.
+  explicit Tensor(std::vector<int64_t> shape);
+
+  /// Zero-initialized tensor (alias of the shape constructor, reads better
+  /// at call sites).
+  static Tensor Zeros(std::vector<int64_t> shape);
+
+  /// I.i.d. normal entries with the given standard deviation.
+  static Tensor Randn(std::vector<int64_t> shape, Rng* rng,
+                      double stddev = 0.02);
+
+  /// Filled with a constant.
+  static Tensor Full(std::vector<int64_t> shape, float value);
+
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int64_t rank() const { return static_cast<int64_t>(shape_.size()); }
+  int64_t dim(int i) const { return shape_[static_cast<size_t>(i)]; }
+  int64_t size() const { return static_cast<int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+  float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+  /// Element at (row, col) of a rank-2 tensor.
+  float& At(int64_t r, int64_t c) {
+    KAMEL_DCHECK(rank() == 2);
+    return data_[static_cast<size_t>(r * shape_[1] + c)];
+  }
+  float At(int64_t r, int64_t c) const {
+    KAMEL_DCHECK(rank() == 2);
+    return data_[static_cast<size_t>(r * shape_[1] + c)];
+  }
+
+  /// Sets every element to zero (keeps the allocation).
+  void SetZero();
+
+  /// Changes the shape metadata; the element count must be preserved.
+  void Reshape(std::vector<int64_t> shape);
+
+  /// Sum of all elements (float64 accumulator).
+  double Sum() const;
+
+  /// Largest absolute element, 0 for empty tensors.
+  float AbsMax() const;
+
+  /// "f32[2, 3]"-style description.
+  std::string ShapeString() const;
+
+ private:
+  std::vector<int64_t> shape_;
+  std::vector<float> data_;
+};
+
+/// True when shapes are identical.
+bool SameShape(const Tensor& a, const Tensor& b);
+
+}  // namespace kamel::nn
+
+#endif  // KAMEL_NN_TENSOR_H_

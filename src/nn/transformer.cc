@@ -1,0 +1,250 @@
+#include "nn/transformer.h"
+
+#include <cmath>
+
+#include "nn/blas.h"
+#include "nn/ops.h"
+
+namespace kamel::nn {
+
+int64_t BertConfig::NumParameters() const {
+  int64_t n = vocab_size * d_model;       // token embeddings
+  n += max_seq_len * d_model;             // position embeddings
+  const int64_t per_block = 2 * (2 * d_model)                // two LayerNorms
+                            + d_model * 3 * d_model + 3 * d_model  // qkv
+                            + d_model * d_model + d_model          // proj
+                            + d_model * ffn_dim + ffn_dim          // fc1
+                            + ffn_dim * d_model + d_model;         // fc2
+  n += num_layers * per_block;
+  n += 2 * d_model;                       // final LayerNorm
+  n += d_model * vocab_size + vocab_size; // MLM head
+  return n;
+}
+
+EncoderBlock::EncoderBlock(const std::string& name, const BertConfig& config,
+                           Rng* rng)
+    : ln1_(name + ".ln1", config.d_model),
+      attention_(name + ".attn", config.d_model, config.num_heads, rng),
+      attn_dropout_(config.dropout),
+      ln2_(name + ".ln2", config.d_model),
+      fc1_(name + ".fc1", config.d_model, config.ffn_dim, rng),
+      fc2_(name + ".fc2", config.ffn_dim, config.d_model, rng),
+      ffn_dropout_(config.dropout) {}
+
+Tensor EncoderBlock::Forward(const Tensor& x,
+                             const std::vector<float>& key_mask,
+                             int64_t batch, int64_t seq_len, bool train,
+                             Rng* rng) {
+  // x1 = x + Dropout(MHA(LN1(x)))
+  Tensor attn_out = attn_dropout_.Forward(
+      attention_.Forward(ln1_.Forward(x), key_mask, batch, seq_len), train,
+      rng);
+  Tensor x1(x.shape());
+  for (int64_t i = 0; i < x.size(); ++i) x1[i] = x[i] + attn_out[i];
+
+  // x2 = x1 + Dropout(fc2(gelu(fc1(LN2(x1)))))
+  gelu_in_cache_ = fc1_.Forward(ln2_.Forward(x1));
+  Tensor gelu_out(gelu_in_cache_.shape());
+  GeluForward(gelu_in_cache_.data(), gelu_out.data(), gelu_out.size());
+  Tensor ffn_out = ffn_dropout_.Forward(fc2_.Forward(gelu_out), train, rng);
+  Tensor x2(x1.shape());
+  for (int64_t i = 0; i < x1.size(); ++i) x2[i] = x1[i] + ffn_out[i];
+  return x2;
+}
+
+Tensor EncoderBlock::Backward(const Tensor& grad_out) {
+  // Through the FFN residual branch.
+  Tensor g_ffn = ffn_dropout_.Backward(grad_out);
+  Tensor g_gelu_out = fc2_.Backward(g_ffn);
+  Tensor g_gelu_in(g_gelu_out.shape());
+  GeluBackward(gelu_in_cache_.data(), g_gelu_out.data(), g_gelu_in.data(),
+               g_gelu_in.size());
+  Tensor g_x1 = ln2_.Backward(fc1_.Backward(g_gelu_in));
+  // Residual: total gradient at x1 is branch + skip.
+  for (int64_t i = 0; i < g_x1.size(); ++i) g_x1[i] += grad_out[i];
+
+  // Through the attention residual branch.
+  Tensor g_attn = attn_dropout_.Backward(g_x1);
+  Tensor g_x = ln1_.Backward(attention_.Backward(g_attn));
+  for (int64_t i = 0; i < g_x.size(); ++i) g_x[i] += g_x1[i];
+  return g_x;
+}
+
+void EncoderBlock::CollectParams(std::vector<Param*>* out) {
+  ln1_.CollectParams(out);
+  attention_.CollectParams(out);
+  ln2_.CollectParams(out);
+  fc1_.CollectParams(out);
+  fc2_.CollectParams(out);
+}
+
+BertModel::BertModel(const BertConfig& config, uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      token_embedding_("embed.token", config.vocab_size, config.d_model,
+                       &rng_),
+      position_embedding_("embed.position",
+                          Tensor::Randn({config.max_seq_len, config.d_model},
+                                        &rng_, 0.02)),
+      embedding_dropout_(config.dropout),
+      final_ln_("final_ln", config.d_model),
+      mlm_head_("mlm_head", config.d_model, config.vocab_size, &rng_) {
+  KAMEL_CHECK(config.vocab_size > 0, "vocab_size must be set");
+  for (int64_t l = 0; l < config.num_layers; ++l) {
+    blocks_.push_back(std::make_unique<EncoderBlock>(
+        "block" + std::to_string(l), config, &rng_));
+  }
+}
+
+Tensor BertModel::Forward(const std::vector<int32_t>& ids,
+                          const std::vector<float>& key_mask, int64_t batch,
+                          int64_t seq_len, bool train,
+                          const std::vector<int32_t>* position_offsets) {
+  KAMEL_CHECK(static_cast<int64_t>(ids.size()) == batch * seq_len,
+              "ids size mismatch");
+  KAMEL_CHECK(seq_len <= config_.max_seq_len,
+              "sequence longer than max_seq_len");
+  batch_ = batch;
+  seq_len_ = seq_len;
+  if (position_offsets != nullptr) {
+    KAMEL_CHECK(static_cast<int64_t>(position_offsets->size()) == batch,
+                "one position offset per batch row required");
+    position_offsets_ = *position_offsets;
+  } else {
+    position_offsets_.assign(static_cast<size_t>(batch), 0);
+  }
+
+  Tensor x = token_embedding_.Forward(ids);
+  for (int64_t b = 0; b < batch; ++b) {
+    const int64_t offset = position_offsets_[static_cast<size_t>(b)];
+    KAMEL_CHECK(offset >= 0 && offset + seq_len <= config_.max_seq_len,
+                "position offset out of range");
+    for (int64_t t = 0; t < seq_len; ++t) {
+      Saxpy(config_.d_model, 1.0f,
+            position_embedding_.value.data() +
+                (offset + t) * config_.d_model,
+            x.data() + (b * seq_len + t) * config_.d_model);
+    }
+  }
+  x = embedding_dropout_.Forward(x, train, &rng_);
+  for (auto& block : blocks_) {
+    x = block->Forward(x, key_mask, batch, seq_len, train, &rng_);
+  }
+  x = final_ln_.Forward(x);
+  return mlm_head_.Forward(x);
+}
+
+double BertModel::LossAndBackward(const Tensor& logits,
+                                  const std::vector<int32_t>& labels) {
+  const int64_t n = logits.dim(0);
+  const int64_t v = logits.dim(1);
+  KAMEL_CHECK(static_cast<int64_t>(labels.size()) == n,
+              "labels size mismatch");
+
+  int64_t num_masked = 0;
+  for (int32_t label : labels) {
+    if (label >= 0) ++num_masked;
+  }
+  Tensor dlogits({n, v});
+  if (num_masked == 0) return 0.0;
+
+  double loss = 0.0;
+  std::vector<float> probs(static_cast<size_t>(v));
+  const float inv_masked = 1.0f / static_cast<float>(num_masked);
+  for (int64_t r = 0; r < n; ++r) {
+    const int32_t label = labels[static_cast<size_t>(r)];
+    if (label < 0) continue;
+    SoftmaxRow(logits.data() + r * v, probs.data(), v);
+    loss -= std::log(std::max(1e-12, static_cast<double>(
+                                         probs[static_cast<size_t>(label)])));
+    float* dst = dlogits.data() + r * v;
+    for (int64_t c = 0; c < v; ++c) dst[c] = probs[c] * inv_masked;
+    dst[label] -= inv_masked;
+  }
+
+  Tensor g = final_ln_.Backward(mlm_head_.Backward(dlogits));
+  for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+  g = embedding_dropout_.Backward(g);
+  // Position embedding gradient (respecting the forward offsets).
+  for (int64_t b = 0; b < batch_; ++b) {
+    const int64_t offset = position_offsets_[static_cast<size_t>(b)];
+    for (int64_t t = 0; t < seq_len_; ++t) {
+      Saxpy(config_.d_model, 1.0f,
+            g.data() + (b * seq_len_ + t) * config_.d_model,
+            position_embedding_.grad.data() +
+                (offset + t) * config_.d_model);
+    }
+  }
+  token_embedding_.Backward(g);
+  return loss / static_cast<double>(num_masked);
+}
+
+std::vector<float> BertModel::PositionProbabilities(const Tensor& logits,
+                                                    int64_t position) const {
+  const int64_t v = logits.dim(1);
+  KAMEL_CHECK(position >= 0 && position < logits.dim(0),
+              "position out of range");
+  std::vector<float> probs(static_cast<size_t>(v));
+  SoftmaxRow(logits.data() + position * v, probs.data(), v);
+  return probs;
+}
+
+std::vector<Param*> BertModel::Params() {
+  std::vector<Param*> out;
+  token_embedding_.CollectParams(&out);
+  out.push_back(&position_embedding_);
+  for (auto& block : blocks_) block->CollectParams(&out);
+  final_ln_.CollectParams(&out);
+  mlm_head_.CollectParams(&out);
+  return out;
+}
+
+void BertModel::ZeroGrads() {
+  for (Param* p : Params()) p->grad.SetZero();
+}
+
+void BertModel::Save(BinaryWriter* writer) {
+  writer->WriteString("kamel-bert-v1");
+  writer->WriteI64(config_.vocab_size);
+  writer->WriteI64(config_.d_model);
+  writer->WriteI64(config_.num_heads);
+  writer->WriteI64(config_.num_layers);
+  writer->WriteI64(config_.ffn_dim);
+  writer->WriteI64(config_.max_seq_len);
+  writer->WriteF64(config_.dropout);
+  for (Param* p : Params()) {
+    writer->WriteString(p->name);
+    writer->WriteF32Array(p->value.data(), static_cast<size_t>(
+                                               p->value.size()));
+  }
+}
+
+Result<std::unique_ptr<BertModel>> BertModel::Load(BinaryReader* reader) {
+  KAMEL_ASSIGN_OR_RETURN(std::string magic, reader->ReadString());
+  if (magic != "kamel-bert-v1") {
+    return Status::IOError("bad model magic: " + magic);
+  }
+  BertConfig config;
+  KAMEL_ASSIGN_OR_RETURN(config.vocab_size, reader->ReadI64());
+  KAMEL_ASSIGN_OR_RETURN(config.d_model, reader->ReadI64());
+  KAMEL_ASSIGN_OR_RETURN(config.num_heads, reader->ReadI64());
+  KAMEL_ASSIGN_OR_RETURN(config.num_layers, reader->ReadI64());
+  KAMEL_ASSIGN_OR_RETURN(config.ffn_dim, reader->ReadI64());
+  KAMEL_ASSIGN_OR_RETURN(config.max_seq_len, reader->ReadI64());
+  KAMEL_ASSIGN_OR_RETURN(config.dropout, reader->ReadF64());
+  auto model = std::make_unique<BertModel>(config, /*seed=*/0);
+  for (Param* p : model->Params()) {
+    KAMEL_ASSIGN_OR_RETURN(std::string name, reader->ReadString());
+    if (name != p->name) {
+      return Status::IOError("parameter order mismatch: expected " +
+                             p->name + ", found " + name);
+    }
+    KAMEL_RETURN_NOT_OK(reader->ReadF32Array(
+        p->value.data(), static_cast<size_t>(p->value.size())));
+  }
+  return model;
+}
+
+}  // namespace kamel::nn

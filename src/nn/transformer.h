@@ -1,0 +1,135 @@
+#ifndef KAMEL_NN_TRANSFORMER_H_
+#define KAMEL_NN_TRANSFORMER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "nn/tensor.h"
+
+namespace kamel::nn {
+
+/// Hyperparameters of a BERT encoder.
+///
+/// The paper trains Google's original BERT-Base (768/12/12, Section 8);
+/// KAMEL's reproduction defaults to a proportionally smaller encoder that
+/// trains on one CPU core (see DESIGN.md substitution table). The
+/// architecture family is identical: learned token+position embeddings,
+/// multi-head self-attention blocks with GELU feed-forward nets, and a
+/// masked-language-model head.
+struct BertConfig {
+  int64_t vocab_size = 0;
+  int64_t d_model = 64;
+  int64_t num_heads = 4;
+  int64_t num_layers = 2;
+  int64_t ffn_dim = 256;
+  int64_t max_seq_len = 48;
+  double dropout = 0.1;
+
+  /// Number of trainable scalars for this configuration.
+  int64_t NumParameters() const;
+};
+
+/// One pre-LN transformer encoder block:
+/// x <- x + MHA(LN1(x)); x <- x + FFN(LN2(x)).
+///
+/// Pre-LN (rather than the original post-LN) keeps small-model training
+/// stable without long warmup schedules; the representational family is
+/// unchanged.
+class EncoderBlock {
+ public:
+  EncoderBlock(const std::string& name, const BertConfig& config, Rng* rng);
+
+  Tensor Forward(const Tensor& x, const std::vector<float>& key_mask,
+                 int64_t batch, int64_t seq_len, bool train, Rng* rng);
+  Tensor Backward(const Tensor& grad_out);
+  void CollectParams(std::vector<Param*>* out);
+
+ private:
+  LayerNorm ln1_;
+  MultiHeadAttention attention_;
+  Dropout attn_dropout_;
+  LayerNorm ln2_;
+  Linear fc1_;
+  Linear fc2_;
+  Dropout ffn_dropout_;
+  Tensor gelu_in_cache_;
+};
+
+/// A BERT-style bidirectional encoder with a masked-LM head.
+///
+/// This is the "BERT black box" at the bottom of the paper's Figure 1.
+/// Inputs are padded token-id batches; the model predicts a distribution
+/// over the vocabulary at every position; the KAMEL modules around it only
+/// consume top-k predictions at [MASK] positions.
+class BertModel {
+ public:
+  BertModel(const BertConfig& config, uint64_t seed);
+
+  /// Forward pass.
+  /// ids:  batch*seq_len token ids (row-major, padded).
+  /// key_mask: 1.0 for real tokens, 0.0 for padding, same length.
+  /// position_offsets: optional per-row shift added to every position
+  /// index (so row b's token t uses position embedding offset[b] + t).
+  /// The MLM trainer randomizes these so the model cannot memorize
+  /// absolute statement positions and must rely on context — essential
+  /// for trajectory statements, which are far more repetitive than
+  /// natural language. Must satisfy offset[b] + seq_len <= max_seq_len.
+  /// Returns logits [batch*seq_len, vocab].
+  Tensor Forward(const std::vector<int32_t>& ids,
+                 const std::vector<float>& key_mask, int64_t batch,
+                 int64_t seq_len, bool train,
+                 const std::vector<int32_t>* position_offsets = nullptr);
+
+  /// Masked-LM loss and full backward pass.
+  /// labels: one per position; -1 means "not masked, ignore".
+  /// Returns mean cross-entropy over the masked positions (0 if none) and
+  /// accumulates gradients on all parameters.
+  double LossAndBackward(const Tensor& logits,
+                         const std::vector<int32_t>& labels);
+
+  /// Softmax probabilities over the vocabulary at one position of a single
+  /// sequence (batch must have been 1 in the preceding Forward call).
+  std::vector<float> PositionProbabilities(const Tensor& logits,
+                                           int64_t position) const;
+
+  /// All trainable parameters (stable order; used by the optimizer and the
+  /// serializer).
+  std::vector<Param*> Params();
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrads();
+
+  const BertConfig& config() const { return config_; }
+
+  /// Serializes config + weights.
+  void Save(BinaryWriter* writer);
+
+  /// Restores a model saved with Save().
+  static Result<std::unique_ptr<BertModel>> Load(BinaryReader* reader);
+
+ private:
+  BertConfig config_;
+  Rng rng_;  // dropout noise
+  Embedding token_embedding_;
+  Param position_embedding_;  // [max_seq_len, d_model]
+  Dropout embedding_dropout_;
+  std::vector<std::unique_ptr<EncoderBlock>> blocks_;
+  LayerNorm final_ln_;
+  Linear mlm_head_;
+
+  // Forward caches.
+  int64_t batch_ = 0;
+  int64_t seq_len_ = 0;
+  std::vector<int32_t> position_offsets_;
+};
+
+}  // namespace kamel::nn
+
+#endif  // KAMEL_NN_TRANSFORMER_H_

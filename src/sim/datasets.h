@@ -1,0 +1,56 @@
+#ifndef KAMEL_SIM_DATASETS_H_
+#define KAMEL_SIM_DATASETS_H_
+
+#include <memory>
+#include <string>
+
+#include "geo/projection.h"
+#include "geo/trajectory.h"
+#include "sim/gps_simulator.h"
+#include "sim/network_generator.h"
+#include "sim/road_network.h"
+
+namespace kamel {
+
+/// A fully materialized synthetic evaluation scenario: the hidden road
+/// network, the projection anchoring it to geography, and an 80/20
+/// train/test split of dense simulated trips (the paper's protocol,
+/// Section 8: train on 80%, sparsify and impute the remaining 20%).
+struct SimScenario {
+  std::string name;
+  std::shared_ptr<RoadNetwork> network;
+  std::shared_ptr<LocalProjection> projection;
+  TrajectoryDataset train;
+  TrajectoryDataset test;
+};
+
+/// Recipe for a scenario.
+struct ScenarioSpec {
+  std::string name = "scenario";
+  LatLng origin{45.0, -93.25};
+  NetworkGenConfig network;
+  TripConfig trips;
+  double train_fraction = 0.8;
+};
+
+/// Generates network + trips and splits them.
+SimScenario BuildScenario(const ScenarioSpec& spec);
+
+/// Porto-style workload (Section 8 "Datasets"): a dense irregular city
+/// grid with many *short* taxi trips at a coarse sampling rate. Scaled to
+/// single-CPU trainability; the load shape (short statements, many trips)
+/// matches the original.
+ScenarioSpec PortoLikeSpec(uint64_t seed = 11);
+
+/// Jakarta-style workload: a sparser road mesh with fewer but *long and
+/// densely sampled* ride-sharing trips (the paper credits the long
+/// statements for Jakarta's stronger results, Section 8.1).
+ScenarioSpec JakartaLikeSpec(uint64_t seed = 13);
+
+/// Tiny smoke-test scenario for unit tests: small grid, few trips,
+/// seconds to build.
+ScenarioSpec MiniSpec(uint64_t seed = 17);
+
+}  // namespace kamel
+
+#endif  // KAMEL_SIM_DATASETS_H_

@@ -1,0 +1,153 @@
+#include "sim/gps_simulator.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "geo/polyline.h"
+
+namespace kamel {
+
+GpsSimulator::GpsSimulator(const RoadNetwork* network,
+                           const LocalProjection* projection)
+    : network_(network), projection_(projection) {
+  KAMEL_CHECK(network != nullptr && projection != nullptr);
+}
+
+Trajectory GpsSimulator::SimulateTrip(const std::vector<int>& route,
+                                      const TripConfig& config, int64_t id,
+                                      Rng* rng) const {
+  Trajectory trajectory;
+  trajectory.id = id;
+  if (route.size() < 2) return trajectory;
+
+  // Drive edge by edge; emit a reading whenever the clock crosses the next
+  // sampling instant. One speed factor per trip models driver variance.
+  const double speed_factor =
+      rng->NextDouble(config.speed_factor_lo, config.speed_factor_hi);
+  double clock = 0.0;
+  double next_sample = 0.0;
+
+  auto emit = [&](const Vec2& position, double time) {
+    const Vec2 noisy{
+        position.x + rng->NextGaussian(0.0, config.noise_stddev_m),
+        position.y + rng->NextGaussian(0.0, config.noise_stddev_m)};
+    trajectory.points.push_back({projection_->Unproject(noisy), time});
+  };
+
+  emit(network_->NodePosition(route.front()), 0.0);
+  next_sample = config.sampling_interval_s;
+
+  for (size_t leg = 1; leg < route.size(); ++leg) {
+    const Vec2 a = network_->NodePosition(route[leg - 1]);
+    const Vec2 b = network_->NodePosition(route[leg]);
+    // Find this leg's speed from the connecting edge.
+    double speed_limit = 13.9;
+    for (int edge_index : network_->OutEdges(route[leg - 1])) {
+      const RoadEdge& e = network_->Edge(edge_index);
+      if (e.to == route[leg]) {
+        speed_limit = e.speed_mps;
+        break;
+      }
+    }
+    const double speed = std::max(1.0, speed_limit * speed_factor);
+    const double leg_len = Distance(a, b);
+    const double leg_time = leg_len / speed;
+    while (next_sample <= clock + leg_time) {
+      const double t = (next_sample - clock) / leg_time;
+      emit(a + (b - a) * t, next_sample);
+      next_sample += config.sampling_interval_s;
+    }
+    clock += leg_time;
+  }
+  emit(network_->NodePosition(route.back()), clock);
+  return trajectory;
+}
+
+TrajectoryDataset GpsSimulator::GenerateTrips(const TripConfig& config,
+                                              int64_t id_offset) const {
+  Rng rng(config.seed);
+  RoutePlanner planner(network_, RoutePlanner::Cost::kTravelTime);
+  TrajectoryDataset data;
+  data.trajectories.reserve(static_cast<size_t>(config.num_trips));
+
+  int generated = 0;
+  int attempts = 0;
+  const int max_attempts = config.num_trips * 50;
+  while (generated < config.num_trips && attempts < max_attempts) {
+    ++attempts;
+    // Route through `num_waypoints` random intermediates (ride-sharing
+    // style meandering trips) or straight origin->destination.
+    std::vector<int> stops;
+    stops.push_back(static_cast<int>(
+        rng.NextUint64(static_cast<uint64_t>(network_->num_nodes()))));
+    for (int w = 0; w <= config.num_waypoints; ++w) {
+      stops.push_back(static_cast<int>(
+          rng.NextUint64(static_cast<uint64_t>(network_->num_nodes()))));
+    }
+    std::vector<int> route;
+    bool routable = true;
+    for (size_t s = 1; s < stops.size(); ++s) {
+      if (stops[s - 1] == stops[s]) {
+        routable = false;
+        break;
+      }
+      const std::vector<int> leg = planner.ShortestPath(stops[s - 1], stops[s]);
+      if (leg.empty()) {
+        routable = false;
+        break;
+      }
+      if (route.empty()) {
+        route = leg;
+      } else {
+        route.insert(route.end(), leg.begin() + 1, leg.end());
+      }
+    }
+    if (!routable || route.size() < 2) continue;
+    if (polyline::Length(planner.PathPolyline(route)) < config.min_trip_m) {
+      continue;
+    }
+    Rng trip_rng = rng.Fork();
+    Trajectory trip =
+        SimulateTrip(route, config, id_offset + generated, &trip_rng);
+    if (trip.points.size() < 3) continue;
+    data.trajectories.push_back(std::move(trip));
+    ++generated;
+  }
+  if (generated < config.num_trips) {
+    KAMEL_LOG(Warning) << "trip generation exhausted attempts: "
+                       << generated << "/" << config.num_trips;
+  }
+  return data;
+}
+
+Trajectory ResampleByInterval(const Trajectory& trajectory,
+                              double interval_s) {
+  KAMEL_CHECK(interval_s > 0.0, "resample interval must be positive");
+  Trajectory out;
+  out.id = trajectory.id;
+  if (trajectory.points.empty()) return out;
+  out.points.push_back(trajectory.points.front());
+  for (size_t i = 1; i + 1 < trajectory.points.size(); ++i) {
+    if (trajectory.points[i].time - out.points.back().time >=
+        interval_s - 1e-9) {
+      out.points.push_back(trajectory.points[i]);
+    }
+  }
+  if (trajectory.points.size() > 1) {
+    out.points.push_back(trajectory.points.back());
+  }
+  return out;
+}
+
+TrajectoryDataset ResampleDataset(const TrajectoryDataset& data,
+                                  double interval_s) {
+  TrajectoryDataset out;
+  out.trajectories.reserve(data.trajectories.size());
+  for (const auto& trajectory : data.trajectories) {
+    out.trajectories.push_back(ResampleByInterval(trajectory, interval_s));
+  }
+  return out;
+}
+
+}  // namespace kamel

@@ -1,0 +1,68 @@
+#ifndef KAMEL_SIM_GPS_SIMULATOR_H_
+#define KAMEL_SIM_GPS_SIMULATOR_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "geo/projection.h"
+#include "geo/trajectory.h"
+#include "sim/road_network.h"
+#include "sim/route_planner.h"
+
+namespace kamel {
+
+/// Trip generation parameters.
+struct TripConfig {
+  int num_trips = 500;
+  /// GPS reading period in seconds (Porto ~15 s; Jakarta ~1 s; Section 8).
+  double sampling_interval_s = 15.0;
+  /// Standard deviation of isotropic Gaussian GPS noise, meters.
+  double noise_stddev_m = 6.0;
+  /// Reject trips whose route is shorter than this.
+  double min_trip_m = 1200.0;
+  /// Vehicles drive at speed_limit * Uniform(speed_factor_lo, hi).
+  double speed_factor_lo = 0.6;
+  double speed_factor_hi = 1.0;
+  /// Random intermediate waypoints per trip; > 0 produces the long
+  /// meandering trips of ride-sharing data (Jakarta-style trajectories
+  /// average ~1000 points, Section 8.1).
+  int num_waypoints = 0;
+  uint64_t seed = 2;
+};
+
+/// Simulates GPS trips over a road network: random origin/destination
+/// node pairs, shortest-path routes, constant-ish speed driving, periodic
+/// noisy readings. This is the stand-in for the paper's Porto and Jakarta
+/// GPS datasets (see DESIGN.md substitutions).
+class GpsSimulator {
+ public:
+  /// Both pointers are borrowed and must outlive the simulator.
+  GpsSimulator(const RoadNetwork* network, const LocalProjection* projection);
+
+  /// Generates a dataset; trajectory ids are 0..n-1 offset by `id_offset`.
+  TrajectoryDataset GenerateTrips(const TripConfig& config,
+                                  int64_t id_offset = 0) const;
+
+  /// Simulates one trip along `route` (node ids). Exposed for tests.
+  Trajectory SimulateTrip(const std::vector<int>& route,
+                          const TripConfig& config, int64_t id,
+                          Rng* rng) const;
+
+ private:
+  const RoadNetwork* network_;
+  const LocalProjection* projection_;
+};
+
+/// Resamples a trajectory to one point every `interval_s` seconds (keeps
+/// first and last readings) — used by the training-density ablation
+/// (Figure 12-V, 1/15/30/60 s variants).
+Trajectory ResampleByInterval(const Trajectory& trajectory,
+                              double interval_s);
+
+/// Applies ResampleByInterval to a whole dataset.
+TrajectoryDataset ResampleDataset(const TrajectoryDataset& data,
+                                  double interval_s);
+
+}  // namespace kamel
+
+#endif  // KAMEL_SIM_GPS_SIMULATOR_H_

@@ -1,0 +1,189 @@
+#include "sim/network_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace kamel {
+
+namespace {
+
+// True when the undirected edge list connects all nodes.
+bool IsConnected(int num_nodes, const std::vector<std::pair<int, int>>& edges) {
+  if (num_nodes == 0) return true;
+  std::vector<std::vector<int>> adj(static_cast<size_t>(num_nodes));
+  for (const auto& [a, b] : edges) {
+    adj[static_cast<size_t>(a)].push_back(b);
+    adj[static_cast<size_t>(b)].push_back(a);
+  }
+  std::vector<bool> seen(static_cast<size_t>(num_nodes), false);
+  std::vector<int> stack = {0};
+  seen[0] = true;
+  int count = 1;
+  while (!stack.empty()) {
+    const int n = stack.back();
+    stack.pop_back();
+    for (int m : adj[static_cast<size_t>(n)]) {
+      if (!seen[static_cast<size_t>(m)]) {
+        seen[static_cast<size_t>(m)] = true;
+        ++count;
+        stack.push_back(m);
+      }
+    }
+  }
+  return count == num_nodes;
+}
+
+// Nearest node among ids [0, limit).
+int NearestNodeBelow(const RoadNetwork& net, const Vec2& p, int limit) {
+  int best = -1;
+  double best_d2 = 1e300;
+  for (int i = 0; i < limit; ++i) {
+    const double d2 = (net.NodePosition(i) - p).SquaredNorm();
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = i;
+    }
+  }
+  return best;
+}
+
+// Adds a polyline road of `verts` at `speed`, connecting every
+// `junction_stride`-th vertex (and both ends) to the nearest grid node.
+// Crossings between the polyline and grid streets share no node —
+// they behave as overpasses (Figure 5d).
+void AddSpecialRoad(RoadNetwork* net, const std::vector<Vec2>& verts,
+                    double speed, double connector_speed, int grid_nodes,
+                    int junction_stride) {
+  if (verts.size() < 2) return;
+  std::vector<int> ids;
+  ids.reserve(verts.size());
+  for (const Vec2& v : verts) ids.push_back(net->AddNode(v));
+  for (size_t k = 1; k < ids.size(); ++k) {
+    net->AddRoad(ids[k - 1], ids[k], speed);
+  }
+  for (size_t k = 0; k < ids.size(); ++k) {
+    const bool is_junction = k % static_cast<size_t>(junction_stride) == 0 ||
+                             k + 1 == ids.size();
+    if (!is_junction) continue;
+    const int grid = NearestNodeBelow(*net, verts[k], grid_nodes);
+    if (grid >= 0 && Distance(net->NodePosition(grid), verts[k]) > 1.0) {
+      net->AddRoad(ids[k], grid, connector_speed);
+    }
+  }
+}
+
+}  // namespace
+
+RoadNetwork GenerateNetwork(const NetworkGenConfig& config) {
+  KAMEL_CHECK(config.block_m > 0.0 && config.width_m > 0.0 &&
+                  config.height_m > 0.0,
+              "network dimensions must be positive");
+  Rng rng(config.seed);
+
+  const int nx = std::max(2, static_cast<int>(
+                                 std::round(config.width_m / config.block_m)));
+  const int ny = std::max(2, static_cast<int>(std::round(
+                                 config.height_m / config.block_m)));
+  const double dx = config.width_m / nx;
+  const double dy = config.height_m / ny;
+
+  // Grid nodes and candidate streets.
+  const int grid_nodes = (nx + 1) * (ny + 1);
+  auto node_id = [nx](int i, int j) { return j * (nx + 1) + i; };
+  std::vector<std::pair<int, int>> streets;
+  for (int j = 0; j <= ny; ++j) {
+    for (int i = 0; i <= nx; ++i) {
+      if (i < nx) streets.push_back({node_id(i, j), node_id(i + 1, j)});
+      if (j < ny) streets.push_back({node_id(i, j), node_id(i, j + 1)});
+    }
+  }
+
+  // Randomly remove streets while preserving connectivity, making the
+  // city irregular the way real grids are.
+  const int to_drop =
+      static_cast<int>(config.drop_fraction * streets.size());
+  rng.Shuffle(&streets);
+  std::vector<std::pair<int, int>> kept = streets;
+  int dropped = 0;
+  for (size_t i = 0; i < streets.size() && dropped < to_drop; ++i) {
+    std::vector<std::pair<int, int>> attempt = kept;
+    const auto target = streets[i];
+    std::erase(attempt, target);
+    if (IsConnected(grid_nodes, attempt)) {
+      kept = std::move(attempt);
+      ++dropped;
+    }
+  }
+
+  RoadNetwork net;
+  for (int j = 0; j <= ny; ++j) {
+    for (int i = 0; i <= nx; ++i) {
+      net.AddNode({i * dx, j * dy});
+    }
+  }
+  for (const auto& [a, b] : kept) {
+    net.AddRoad(a, b, config.grid_speed_mps);
+  }
+
+  // Diagonal avenues corner-to-corner, offset per index.
+  for (int d = 0; d < config.num_diagonals; ++d) {
+    const double offset =
+        config.width_m * 0.25 * (d - (config.num_diagonals - 1) / 2.0);
+    std::vector<Vec2> verts;
+    const int steps = static_cast<int>(
+        std::hypot(config.width_m, config.height_m) / 60.0);
+    for (int k = 0; k <= steps; ++k) {
+      const double t = static_cast<double>(k) / steps;
+      Vec2 v{t * config.width_m + offset, t * config.height_m};
+      if (v.x < 0.0 || v.x > config.width_m) continue;
+      verts.push_back(v);
+    }
+    AddSpecialRoad(&net, verts, config.avenue_speed_mps,
+                   config.grid_speed_mps, grid_nodes,
+                   config.junction_stride);
+  }
+
+  // Curved ring road.
+  if (config.ring_road) {
+    const Vec2 center{config.width_m / 2.0, config.height_m / 2.0};
+    const double radius =
+        0.35 * std::min(config.width_m, config.height_m);
+    std::vector<Vec2> verts;
+    const int steps = 64;
+    for (int k = 0; k <= steps; ++k) {
+      const double a = 2.0 * M_PI * k / steps;
+      verts.push_back(
+          {center.x + radius * std::cos(a), center.y + radius * std::sin(a)});
+    }
+    AddSpecialRoad(&net, verts, config.avenue_speed_mps,
+                   config.grid_speed_mps, grid_nodes,
+                   config.junction_stride);
+  }
+
+  // Winding (sine) roads: strongly curved segments for Figure 12-II.
+  for (int w = 0; w < config.num_winding_roads; ++w) {
+    const double base_y =
+        config.height_m * (0.25 + 0.5 * (w + 1.0) /
+                                      (config.num_winding_roads + 1.0));
+    const double amplitude = config.height_m * 0.08;
+    const double wavelength = config.width_m / 3.0;
+    std::vector<Vec2> verts;
+    const int steps = static_cast<int>(config.width_m / 50.0);
+    for (int k = 0; k <= steps; ++k) {
+      const double x = config.width_m * k / steps;
+      verts.push_back(
+          {x, base_y + amplitude * std::sin(2.0 * M_PI * x / wavelength)});
+    }
+    AddSpecialRoad(&net, verts, config.grid_speed_mps,
+                   config.grid_speed_mps, grid_nodes,
+                   config.junction_stride);
+  }
+
+  return net;
+}
+
+}  // namespace kamel

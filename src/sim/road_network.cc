@@ -1,0 +1,80 @@
+#include "sim/road_network.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "geo/polyline.h"
+
+namespace kamel {
+
+int RoadNetwork::AddNode(const Vec2& position) {
+  nodes_.push_back(position);
+  adjacency_.emplace_back();
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void RoadNetwork::AddRoad(int a, int b, double speed_mps) {
+  KAMEL_CHECK(a >= 0 && a < num_nodes() && b >= 0 && b < num_nodes(),
+              "road endpoints must be existing nodes");
+  KAMEL_CHECK(a != b, "self-loop roads are not allowed");
+  const double length = Distance(nodes_[static_cast<size_t>(a)],
+                                 nodes_[static_cast<size_t>(b)]);
+  edges_.push_back({a, b, length, speed_mps});
+  adjacency_[static_cast<size_t>(a)].push_back(
+      static_cast<int>(edges_.size()) - 1);
+  edges_.push_back({b, a, length, speed_mps});
+  adjacency_[static_cast<size_t>(b)].push_back(
+      static_cast<int>(edges_.size()) - 1);
+}
+
+double RoadNetwork::TotalRoadLength() const {
+  double total = 0.0;
+  for (const RoadEdge& e : edges_) total += e.length;
+  return total / 2.0;
+}
+
+BBox RoadNetwork::Bounds() const {
+  BBox box;
+  for (const Vec2& node : nodes_) box.Extend(node);
+  return box;
+}
+
+int RoadNetwork::NearestNode(const Vec2& p) const {
+  int best = -1;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const double d2 = (nodes_[i] - p).SquaredNorm();
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+RoadNetwork::EdgeProjection RoadNetwork::ProjectToNetwork(
+    const Vec2& p) const {
+  EdgeProjection best;
+  best.distance = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < edges_.size(); i += 2) {  // one direction suffices
+    const RoadEdge& e = edges_[i];
+    const Vec2& a = nodes_[static_cast<size_t>(e.from)];
+    const Vec2& b = nodes_[static_cast<size_t>(e.to)];
+    const Vec2 ab = b - a;
+    const double len2 = ab.SquaredNorm();
+    double t = len2 > 0.0 ? (p - a).Dot(ab) / len2 : 0.0;
+    t = std::clamp(t, 0.0, 1.0);
+    const Vec2 q = a + ab * t;
+    const double d = Distance(p, q);
+    if (d < best.distance) {
+      best.distance = d;
+      best.edge = static_cast<int>(i);
+      best.point = q;
+      best.offset = t * e.length;
+    }
+  }
+  return best;
+}
+
+}  // namespace kamel

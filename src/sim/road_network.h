@@ -1,0 +1,78 @@
+#ifndef KAMEL_SIM_ROAD_NETWORK_H_
+#define KAMEL_SIM_ROAD_NETWORK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/bbox.h"
+#include "geo/latlng.h"
+
+namespace kamel {
+
+/// One directed road edge.
+struct RoadEdge {
+  int from = 0;
+  int to = 0;
+  double length = 0.0;     // meters
+  double speed_mps = 13.9; // free-flow speed
+};
+
+/// A road network in the local metric frame: nodes with positions and
+/// directed edges (every road is added in both directions).
+///
+/// This substrate exists only inside the simulator and the map-matching
+/// reference baseline — KAMEL itself never sees it (the paper's whole
+/// premise, Section 1).
+class RoadNetwork {
+ public:
+  /// Adds a node; returns its id.
+  int AddNode(const Vec2& position);
+
+  /// Adds a bidirectional road between existing nodes.
+  void AddRoad(int a, int b, double speed_mps);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  size_t num_edges() const { return edges_.size(); }
+
+  const Vec2& NodePosition(int node) const {
+    return nodes_[static_cast<size_t>(node)];
+  }
+  const std::vector<RoadEdge>& edges() const { return edges_; }
+
+  /// Outgoing edge indices of a node.
+  const std::vector<int>& OutEdges(int node) const {
+    return adjacency_[static_cast<size_t>(node)];
+  }
+  const RoadEdge& Edge(int index) const {
+    return edges_[static_cast<size_t>(index)];
+  }
+
+  /// Total directed edge length / 2 (roads counted once), meters.
+  double TotalRoadLength() const;
+
+  /// Bounding box of all nodes.
+  BBox Bounds() const;
+
+  /// Nearest node to `p` (linear scan; the generator-scale networks are
+  /// small). Returns -1 on an empty network.
+  int NearestNode(const Vec2& p) const;
+
+  /// Distance from `p` to the closest point of any edge, plus that edge's
+  /// index. Used by the map-matching baseline's emission model.
+  struct EdgeProjection {
+    int edge = -1;
+    double distance = 0.0;
+    Vec2 point;      // closest point on the edge
+    double offset = 0.0;  // meters from edge start
+  };
+  EdgeProjection ProjectToNetwork(const Vec2& p) const;
+
+ private:
+  std::vector<Vec2> nodes_;
+  std::vector<RoadEdge> edges_;
+  std::vector<std::vector<int>> adjacency_;
+};
+
+}  // namespace kamel
+
+#endif  // KAMEL_SIM_ROAD_NETWORK_H_

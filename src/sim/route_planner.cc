@@ -1,0 +1,88 @@
+#include "sim/route_planner.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/check.h"
+
+namespace kamel {
+
+RoutePlanner::RoutePlanner(const RoadNetwork* network, Cost cost)
+    : network_(network), cost_(cost) {
+  KAMEL_CHECK(network != nullptr);
+}
+
+RoutePlanner::SearchResult RoutePlanner::Search(int from, int to) const {
+  const int n = network_->num_nodes();
+  SearchResult result;
+  result.dist.assign(static_cast<size_t>(n),
+                     std::numeric_limits<double>::infinity());
+  result.prev_edge.assign(static_cast<size_t>(n), -1);
+  if (from < 0 || from >= n) return result;
+
+  using Item = std::pair<double, int>;  // (distance, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  result.dist[static_cast<size_t>(from)] = 0.0;
+  heap.push({0.0, from});
+  while (!heap.empty()) {
+    const auto [d, node] = heap.top();
+    heap.pop();
+    if (d > result.dist[static_cast<size_t>(node)]) continue;
+    if (node == to) break;  // early exit: target settled
+    for (int edge_index : network_->OutEdges(node)) {
+      const RoadEdge& e = network_->Edge(edge_index);
+      const double w = cost_ == Cost::kDistance
+                           ? e.length
+                           : e.length / std::max(0.1, e.speed_mps);
+      const double nd = d + w;
+      if (nd < result.dist[static_cast<size_t>(e.to)]) {
+        result.dist[static_cast<size_t>(e.to)] = nd;
+        result.prev_edge[static_cast<size_t>(e.to)] = edge_index;
+        heap.push({nd, e.to});
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<int> RoutePlanner::ShortestPath(int from, int to) const {
+  if (from == to) return {from};
+  const SearchResult result = Search(from, to);
+  if (to < 0 || to >= network_->num_nodes() ||
+      result.prev_edge[static_cast<size_t>(to)] < 0) {
+    return {};
+  }
+  std::vector<int> path;
+  int cursor = to;
+  while (cursor != from) {
+    path.push_back(cursor);
+    cursor = network_->Edge(result.prev_edge[static_cast<size_t>(cursor)]).from;
+  }
+  path.push_back(from);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+double RoutePlanner::PathDistance(int from, int to) const {
+  if (from == to) return 0.0;
+  const SearchResult result = Search(from, to);
+  if (to < 0 || to >= network_->num_nodes()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return result.dist[static_cast<size_t>(to)];
+}
+
+std::vector<double> RoutePlanner::AllDistances(int from) const {
+  return Search(from, /*to=*/-1).dist;
+}
+
+std::vector<Vec2> RoutePlanner::PathPolyline(
+    const std::vector<int>& path) const {
+  std::vector<Vec2> out;
+  out.reserve(path.size());
+  for (int node : path) out.push_back(network_->NodePosition(node));
+  return out;
+}
+
+}  // namespace kamel

@@ -1,0 +1,48 @@
+#ifndef KAMEL_SIM_ROUTE_PLANNER_H_
+#define KAMEL_SIM_ROUTE_PLANNER_H_
+
+#include <vector>
+
+#include "sim/road_network.h"
+
+namespace kamel {
+
+/// Dijkstra shortest paths over a road network, by distance or travel
+/// time. Used by the trip simulator (vehicles follow shortest routes) and
+/// by the map-matching baseline's gap filling.
+class RoutePlanner {
+ public:
+  enum class Cost { kDistance, kTravelTime };
+
+  /// `network` is borrowed and must outlive the planner.
+  explicit RoutePlanner(const RoadNetwork* network,
+                        Cost cost = Cost::kDistance);
+
+  /// Node sequence from `from` to `to` (inclusive); empty when
+  /// unreachable.
+  std::vector<int> ShortestPath(int from, int to) const;
+
+  /// Shortest-path length in meters; +infinity when unreachable.
+  double PathDistance(int from, int to) const;
+
+  /// Costs from `from` to every node (full Dijkstra, no early exit).
+  /// Callers that query many targets per source should cache this.
+  std::vector<double> AllDistances(int from) const;
+
+  /// Node positions of a path.
+  std::vector<Vec2> PathPolyline(const std::vector<int>& path) const;
+
+ private:
+  struct SearchResult {
+    std::vector<double> dist;
+    std::vector<int> prev_edge;
+  };
+  SearchResult Search(int from, int to) const;
+
+  const RoadNetwork* network_;
+  Cost cost_;
+};
+
+}  // namespace kamel
+
+#endif  // KAMEL_SIM_ROUTE_PLANNER_H_

@@ -1,0 +1,39 @@
+#include "sim/sparsifier.h"
+
+#include "common/check.h"
+
+namespace kamel {
+
+Trajectory Sparsify(const Trajectory& dense, double sparse_distance_m) {
+  KAMEL_CHECK(sparse_distance_m > 0.0, "sparse distance must be positive");
+  Trajectory out;
+  out.id = dense.id;
+  if (dense.points.empty()) return out;
+
+  out.points.push_back(dense.points.front());
+  double walked = 0.0;  // along-path distance since the last kept point
+  for (size_t i = 1; i < dense.points.size(); ++i) {
+    walked += HaversineMeters(dense.points[i - 1].pos, dense.points[i].pos);
+    if (walked >= sparse_distance_m) {
+      out.points.push_back(dense.points[i]);
+      walked = 0.0;
+    }
+  }
+  if (dense.points.size() > 1 &&
+      !(out.points.back().time == dense.points.back().time)) {
+    out.points.push_back(dense.points.back());
+  }
+  return out;
+}
+
+TrajectoryDataset SparsifyDataset(const TrajectoryDataset& dense,
+                                  double sparse_distance_m) {
+  TrajectoryDataset out;
+  out.trajectories.reserve(dense.trajectories.size());
+  for (const auto& trajectory : dense.trajectories) {
+    out.trajectories.push_back(Sparsify(trajectory, sparse_distance_m));
+  }
+  return out;
+}
+
+}  // namespace kamel

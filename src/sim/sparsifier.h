@@ -1,0 +1,21 @@
+#ifndef KAMEL_SIM_SPARSIFIER_H_
+#define KAMEL_SIM_SPARSIFIER_H_
+
+#include "geo/trajectory.h"
+
+namespace kamel {
+
+/// Imposes gaps on a dense trajectory exactly as the paper's evaluation
+/// does (Section 8, "Datasets"): keep the first point, remove every point
+/// within `sparse_distance_m` of it along the path, keep the next point,
+/// and so on. The final point is always kept so the trajectory's extent
+/// is preserved.
+Trajectory Sparsify(const Trajectory& dense, double sparse_distance_m);
+
+/// Applies Sparsify to every trajectory of the dataset.
+TrajectoryDataset SparsifyDataset(const TrajectoryDataset& dense,
+                                  double sparse_distance_m);
+
+}  // namespace kamel
+
+#endif  // KAMEL_SIM_SPARSIFIER_H_

@@ -1,0 +1,174 @@
+// Baseline method tests: linear interpolation, TrImpute's crowd-guided
+// walk, and HMM map matching against a known network.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/linear.h"
+#include "baselines/map_matching.h"
+#include "baselines/trimpute.h"
+#include "eval/metrics.h"
+#include "geo/polyline.h"
+#include "sim/datasets.h"
+#include "sim/sparsifier.h"
+
+namespace kamel {
+namespace {
+
+TEST(LinearTest, FillsGapWithEvenSpacing) {
+  LinearInterpolation linear(100.0, 150.0);
+  ASSERT_TRUE(linear.Train({}).ok());
+  Trajectory sparse;
+  sparse.points = {{{45.0, -93.0}, 0.0}, {{45.009, -93.0}, 100.0}};
+  // ~1 km apart.
+  auto result = linear.Impute(sparse);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.segments, 1);
+  EXPECT_EQ(result->stats.failed_segments, 1);  // by definition
+  const auto& points = result->trajectory.points;
+  EXPECT_GT(points.size(), 8u);
+  for (size_t i = 1; i < points.size(); ++i) {
+    const double gap = HaversineMeters(points[i - 1].pos, points[i].pos);
+    EXPECT_LE(gap, 110.0);
+    EXPECT_GT(points[i].time, points[i - 1].time);
+  }
+}
+
+TEST(LinearTest, LeavesDensePartsUntouched) {
+  LinearInterpolation linear(100.0, 150.0);
+  Trajectory dense;
+  for (int i = 0; i < 5; ++i) {
+    dense.points.push_back({{45.0, -93.0 + i * 0.0005}, i * 10.0});
+  }
+  auto result = linear.Impute(dense);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->trajectory.points.size(), 5u);
+  EXPECT_EQ(result->stats.segments, 0);
+}
+
+class TrImputeTest : public testing::Test {
+ protected:
+  // History: many trips along an L-shaped road (east 1 km, then north
+  // 1 km) with slight noise — dense crowd wisdom.
+  static TrajectoryDataset LHistory() {
+    TrajectoryDataset data;
+    const LocalProjection proj({45.0, -93.0});
+    Rng rng(3);
+    for (int t = 0; t < 40; ++t) {
+      Trajectory trip;
+      double time = 0.0;
+      auto emit = [&](double x, double y) {
+        const Vec2 p{x + rng.NextGaussian(0, 3), y + rng.NextGaussian(0, 3)};
+        trip.points.push_back({proj.Unproject(p), time});
+        time += 5.0;
+      };
+      for (double x = 0.0; x <= 1000.0; x += 50.0) emit(x, 0.0);
+      for (double y = 50.0; y <= 1000.0; y += 50.0) emit(1000.0, y);
+      data.trajectories.push_back(std::move(trip));
+    }
+    return data;
+  }
+};
+
+TEST_F(TrImputeTest, RecoversLShapedPathFromDenseHistory) {
+  TrImpute trimpute;
+  ASSERT_TRUE(trimpute.Train(LHistory()).ok());
+  EXPECT_GT(trimpute.num_indexed_points(), 1000u);
+  EXPECT_GT(trimpute.train_seconds(), 0.0);
+
+  const LocalProjection proj({45.0, -93.0});
+  Trajectory sparse;
+  sparse.points = {{proj.Unproject({0, 0}), 0.0},
+                   {proj.Unproject({1000, 1000}), 200.0}};
+  auto result = trimpute.Impute(sparse);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.failed_segments, 0);
+  ASSERT_GT(result->trajectory.points.size(), 10u);
+
+  // The walk must hug the L, not the diagonal: the corner point
+  // (1000, 0) must be approached.
+  double best_to_corner = 1e18;
+  for (const TrajPoint& p : result->trajectory.points) {
+    best_to_corner =
+        std::min(best_to_corner, Distance(proj.Project(p.pos), {1000, 0}));
+  }
+  EXPECT_LT(best_to_corner, 150.0);
+}
+
+TEST_F(TrImputeTest, FailsWithoutNearbyHistory) {
+  TrImpute trimpute;
+  ASSERT_TRUE(trimpute.Train(LHistory()).ok());
+  const LocalProjection proj({45.0, -93.0});
+  // A segment 5 km away from any history.
+  Trajectory sparse;
+  sparse.points = {{proj.Unproject({5000, 5000}), 0.0},
+                   {proj.Unproject({6000, 5000}), 100.0}};
+  auto result = trimpute.Impute(sparse);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.segments, 1);
+  EXPECT_EQ(result->stats.failed_segments, 1);
+}
+
+TEST_F(TrImputeTest, ImputeBeforeTrainFails) {
+  TrImpute trimpute;
+  Trajectory sparse;
+  sparse.points = {{{45.0, -93.0}, 0.0}};
+  EXPECT_EQ(trimpute.Impute(sparse).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+class MapMatchingTest : public testing::Test {
+ protected:
+  MapMatchingTest() {
+    spec_ = MiniSpec(31);
+    spec_.trips.num_trips = 12;
+    spec_.trips.noise_stddev_m = 5.0;
+    scenario_ = BuildScenario(spec_);
+    matcher_ = std::make_unique<MapMatching>(scenario_.network.get(),
+                                             scenario_.projection.get());
+  }
+
+  ScenarioSpec spec_;
+  SimScenario scenario_;
+  std::unique_ptr<MapMatching> matcher_;
+};
+
+TEST_F(MapMatchingTest, RecoversRouteThroughSparseGaps) {
+  // With the true network in hand, map matching should reconstruct the
+  // path with high recall — the paper's reference line.
+  ASSERT_TRUE(matcher_->Train(scenario_.train).ok());
+  RatioCount recall;
+  for (const Trajectory& dense : scenario_.test.trajectories) {
+    const Trajectory sparse = Sparsify(dense, 400.0);
+    auto result = matcher_->Impute(sparse);
+    ASSERT_TRUE(result.ok());
+    std::vector<Vec2> gt;
+    for (const auto& p : dense.points) {
+      gt.push_back(scenario_.projection->Project(p.pos));
+    }
+    std::vector<Vec2> imputed;
+    for (const auto& p : result->trajectory.points) {
+      imputed.push_back(scenario_.projection->Project(p.pos));
+    }
+    recall.Accumulate(RecallCount(gt, imputed, 100.0, 50.0));
+  }
+  EXPECT_GT(recall.Ratio(), 0.85);
+}
+
+TEST_F(MapMatchingTest, OutputsDensePointsInGaps) {
+  const Trajectory sparse =
+      Sparsify(scenario_.test.trajectories[0], 500.0);
+  auto result = matcher_->Impute(sparse);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->trajectory.points.size(), sparse.points.size());
+  EXPECT_GT(result->stats.segments, 0);
+}
+
+TEST_F(MapMatchingTest, EmptyTrajectoryIsNoop) {
+  auto result = matcher_->Impute(Trajectory{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->trajectory.points.empty());
+}
+
+}  // namespace
+}  // namespace kamel

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/binary_io.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/table.h"
+
+namespace kamel {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status status = Status::NotFound("model x");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "model x");
+  EXPECT_EQ(status.ToString(), "NotFound: model x");
+}
+
+TEST(StatusTest, EveryCodeHasName) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+        StatusCode::kFailedPrecondition, StatusCode::kResourceExhausted,
+        StatusCode::kIOError, StatusCode::kInternal,
+        StatusCode::kUnimplemented}) {
+    EXPECT_STRNE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    KAMEL_RETURN_NOT_OK(Status::IOError("disk"));
+    return Status::OK();
+  };
+  EXPECT_EQ(fails().code(), StatusCode::kIOError);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = Status::InvalidArgument("bad");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto producer = [](bool ok) -> Result<int> {
+    if (!ok) return Status::NotFound("nope");
+    return 7;
+  };
+  auto consumer = [&](bool ok) -> Result<int> {
+    KAMEL_ASSIGN_OR_RETURN(int value, producer(ok));
+    return value * 2;
+  };
+  EXPECT_EQ(*consumer(true), 14);
+  EXPECT_EQ(consumer(false).status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> result(std::make_unique<int>(5));
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> owned = std::move(result).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextUint64() == b.NextUint64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BoundedDrawsInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextUint64(10), 10u);
+    const int64_t v = rng.NextInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsHalf) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+  EXPECT_FALSE(rng.NextBernoulli(0.0));
+  EXPECT_TRUE(rng.NextBernoulli(1.0));
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, ForkIsIndependentStream) {
+  Rng parent(21);
+  Rng child = parent.Fork();
+  // The child stream should not mirror the parent.
+  int same = 0;
+  for (int i = 0; i < 32; ++i) {
+    same += (parent.NextUint64() == child.NextUint64());
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(BinaryIoTest, RoundTripsAllTypes) {
+  BinaryWriter writer;
+  writer.WriteU8(250);
+  writer.WriteU32(123456789u);
+  writer.WriteU64(0xDEADBEEFCAFEBABEULL);
+  writer.WriteI32(-42);
+  writer.WriteI64(-1234567890123LL);
+  writer.WriteF32(3.5f);
+  writer.WriteF64(-2.25);
+  writer.WriteString("kamel");
+  const float arr[3] = {1.0f, 2.0f, 3.0f};
+  writer.WriteF32Array(arr, 3);
+
+  BinaryReader reader(writer.buffer());
+  EXPECT_EQ(*reader.ReadU8(), 250);
+  EXPECT_EQ(*reader.ReadU32(), 123456789u);
+  EXPECT_EQ(*reader.ReadU64(), 0xDEADBEEFCAFEBABEULL);
+  EXPECT_EQ(*reader.ReadI32(), -42);
+  EXPECT_EQ(*reader.ReadI64(), -1234567890123LL);
+  EXPECT_EQ(*reader.ReadF32(), 3.5f);
+  EXPECT_EQ(*reader.ReadF64(), -2.25);
+  EXPECT_EQ(*reader.ReadString(), "kamel");
+  float out[3] = {};
+  ASSERT_TRUE(reader.ReadF32Array(out, 3).ok());
+  EXPECT_EQ(out[2], 3.0f);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(BinaryIoTest, TruncatedReadFails) {
+  BinaryWriter writer;
+  writer.WriteU32(7);
+  BinaryReader reader(writer.buffer());
+  EXPECT_TRUE(reader.ReadU32().ok());
+  EXPECT_FALSE(reader.ReadU32().ok());
+}
+
+TEST(BinaryIoTest, ArrayLengthMismatchFails) {
+  BinaryWriter writer;
+  const float arr[2] = {1.0f, 2.0f};
+  writer.WriteF32Array(arr, 2);
+  BinaryReader reader(writer.buffer());
+  float out[3];
+  EXPECT_FALSE(reader.ReadF32Array(out, 3).ok());
+}
+
+TEST(BinaryIoTest, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/kamel_binary_io_test.bin";
+  BinaryWriter writer;
+  writer.WriteString("persisted");
+  ASSERT_TRUE(writer.FlushToFile(path).ok());
+  auto reader = BinaryReader::FromFile(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(*reader->ReadString(), "persisted");
+}
+
+TEST(BinaryIoTest, MissingFileFails) {
+  EXPECT_FALSE(BinaryReader::FromFile("/no/such/kamel/file").ok());
+}
+
+TEST(TableTest, AlignedRendering) {
+  Table table("demo", {"a", "long_header", "c"});
+  table.AddRow({"1", "2"});
+  table.AddRow({"wide_cell", "x", "y"});
+  const std::string text = table.ToString();
+  EXPECT_NE(text.find("demo"), std::string::npos);
+  EXPECT_NE(text.find("long_header"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.row(0)[2], "");  // padded
+}
+
+TEST(TableTest, CsvEscaping) {
+  Table table("csv", {"x"});
+  table.AddRow({"a,b"});
+  table.AddRow({"say \"hi\""});
+  const std::string csv = table.ToCsv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TableTest, NumFormatting) {
+  EXPECT_EQ(Table::Num(1.23456, 3), "1.235");
+  EXPECT_EQ(Table::Num(10.0, 0), "10");
+}
+
+}  // namespace
+}  // namespace kamel

@@ -1,0 +1,173 @@
+// Spatial Constraints module tests: speed ellipse, direction cones on the
+// paper's four road cases (Figure 5), and cycle prevention (Section 5.2).
+#include <gtest/gtest.h>
+
+#include "core/spatial_constraints.h"
+#include "grid/hex_grid.h"
+
+namespace kamel {
+namespace {
+
+class ConstraintsTest : public testing::Test {
+ protected:
+  ConstraintsTest() : grid_(75.0) {
+    options_.direction_cone_deg = 45.0;
+    options_.cycle_window = 6;
+    constraints_ =
+        std::make_unique<SpatialConstraints>(&grid_, options_);
+    constraints_->set_max_speed_mps(20.0);
+  }
+
+  SegmentContext HorizontalSegment(double gap_m, double duration_s) const {
+    SegmentContext context;
+    context.s = {grid_.CellOf({0.0, 0.0}), 0.0, {0.0, 0.0}, 0.0};
+    context.d = {grid_.CellOf({gap_m, 0.0}), duration_s, {gap_m, 0.0}, 0.0};
+    return context;
+  }
+
+  HexGrid grid_;
+  KamelOptions options_;
+  std::unique_ptr<SpatialConstraints> constraints_;
+};
+
+TEST_F(ConstraintsTest, SpeedEllipseAcceptsOnPathPoints) {
+  // 20 m/s for 60 s = 1200 m budget; the segment is 800 m: mid-path
+  // points are reachable.
+  const SegmentContext ctx = HorizontalSegment(800.0, 60.0);
+  EXPECT_TRUE(constraints_->SatisfiesSpeed(ctx, grid_.CellOf({400.0, 0.0})));
+  EXPECT_TRUE(
+      constraints_->SatisfiesSpeed(ctx, grid_.CellOf({400.0, 300.0})));
+}
+
+TEST_F(ConstraintsTest, SpeedEllipseRejectsUnreachable) {
+  const SegmentContext ctx = HorizontalSegment(800.0, 60.0);
+  // 400, 1500: focal sum ~ 1552+1676 >> 1200 + slack.
+  EXPECT_FALSE(
+      constraints_->SatisfiesSpeed(ctx, grid_.CellOf({400.0, 1500.0})));
+}
+
+TEST_F(ConstraintsTest, SpeedDisabledWhenUnknown) {
+  constraints_->set_max_speed_mps(0.0);
+  const SegmentContext ctx = HorizontalSegment(800.0, 1.0);
+  EXPECT_TRUE(
+      constraints_->SatisfiesSpeed(ctx, grid_.CellOf({400.0, 9000.0})));
+}
+
+TEST_F(ConstraintsTest, DirectionConeRejectsBehindS) {
+  // t1 is west of S (the vehicle came from the west): candidates west of
+  // S are "going backwards".
+  SegmentContext ctx = HorizontalSegment(600.0, 60.0);
+  ctx.prev = TokenPoint{grid_.CellOf({-300.0, 0.0}), -30.0,
+                        {-300.0, 0.0}, 0.0};
+  EXPECT_FALSE(
+      constraints_->SatisfiesDirection(ctx, grid_.CellOf({-200.0, 0.0})));
+  // Within the 45-degree cone around the back direction: also rejected.
+  EXPECT_FALSE(
+      constraints_->SatisfiesDirection(ctx, grid_.CellOf({-200.0, 150.0})));
+  // Perpendicular escape is fine.
+  EXPECT_TRUE(
+      constraints_->SatisfiesDirection(ctx, grid_.CellOf({100.0, 400.0})));
+  // And so is the path towards D.
+  EXPECT_TRUE(
+      constraints_->SatisfiesDirection(ctx, grid_.CellOf({300.0, 0.0})));
+}
+
+TEST_F(ConstraintsTest, DirectionConeRejectsBeyondD) {
+  // t2 is east of D (the vehicle continues east): candidates past D
+  // toward t2 jump ahead.
+  SegmentContext ctx = HorizontalSegment(600.0, 60.0);
+  ctx.next = TokenPoint{grid_.CellOf({900.0, 0.0}), 90.0, {900.0, 0.0}, 0.0};
+  EXPECT_FALSE(
+      constraints_->SatisfiesDirection(ctx, grid_.CellOf({800.0, 0.0})));
+  EXPECT_TRUE(
+      constraints_->SatisfiesDirection(ctx, grid_.CellOf({300.0, 0.0})));
+}
+
+TEST_F(ConstraintsTest, UTurnKeepsMidCandidates) {
+  // Figure 5(c): a U-turn — t1 and t2 lie on the same side; the far end
+  // of the hairpin must stay acceptable.
+  SegmentContext ctx;
+  ctx.s = {grid_.CellOf({0.0, 0.0}), 0.0, {0.0, 0.0}, 0.0};
+  ctx.d = {grid_.CellOf({0.0, -150.0}), 60.0, {0.0, -150.0}, 0.0};
+  ctx.prev = TokenPoint{grid_.CellOf({-400.0, 0.0}), -40.0,
+                        {-400.0, 0.0}, 0.0};
+  ctx.next = TokenPoint{grid_.CellOf({-400.0, -150.0}), 100.0,
+                        {-400.0, -150.0}, 0.0};
+  // The turn apex east of S/D is allowed...
+  EXPECT_TRUE(
+      constraints_->SatisfiesDirection(ctx, grid_.CellOf({250.0, -75.0})));
+  // ...but going back along the incoming road is not.
+  EXPECT_FALSE(
+      constraints_->SatisfiesDirection(ctx, grid_.CellOf({-250.0, 0.0})));
+}
+
+TEST_F(ConstraintsTest, FilterDropsViolatorsKeepsOrder) {
+  SegmentContext ctx = HorizontalSegment(600.0, 60.0);
+  ctx.prev = TokenPoint{grid_.CellOf({-300.0, 0.0}), -30.0,
+                        {-300.0, 0.0}, 0.0};
+  const std::vector<Candidate> candidates = {
+      {grid_.CellOf({150.0, 0.0}), 0.5},    // good
+      {grid_.CellOf({-200.0, 0.0}), 0.3},   // behind S
+      {grid_.CellOf({300.0, 0.0}), 0.2},    // good
+      {grid_.CellOf({400.0, 5000.0}), 0.1}, // outside ellipse
+  };
+  const std::vector<Candidate> kept =
+      constraints_->Filter(ctx, candidates);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].cell, candidates[0].cell);
+  EXPECT_EQ(kept[1].cell, candidates[2].cell);
+}
+
+TEST_F(ConstraintsTest, FilterPassThroughWhenDisabled) {
+  KamelOptions disabled = options_;
+  disabled.enable_constraints = false;
+  SpatialConstraints off(&grid_, disabled);
+  off.set_max_speed_mps(20.0);
+  SegmentContext ctx = HorizontalSegment(600.0, 60.0);
+  const std::vector<Candidate> candidates = {
+      {grid_.CellOf({400.0, 5000.0}), 0.1}};
+  EXPECT_EQ(off.Filter(ctx, candidates).size(), 1u);
+}
+
+TEST(CycleTest, TrivialRepeatIsDetected) {
+  // x=1: the same token twice in a row.
+  EXPECT_EQ(SpatialConstraints::DetectSuffixCycle({1, 2, 3, 3}, 6), 1);
+  EXPECT_EQ(SpatialConstraints::DetectSuffixCycle({1, 2, 3}, 6), 0);
+}
+
+TEST(CycleTest, LongerCyclesDetected) {
+  // x=2: ...5 6 5 6.
+  EXPECT_EQ(SpatialConstraints::DetectSuffixCycle({1, 5, 6, 5, 6}, 6), 2);
+  // x=3: ...2 3 4 2 3 4.
+  EXPECT_EQ(
+      SpatialConstraints::DetectSuffixCycle({9, 2, 3, 4, 2, 3, 4}, 6), 3);
+}
+
+TEST(CycleTest, WindowBoundsDetection) {
+  // A length-4 cycle is invisible with window 3.
+  const std::vector<CellId> cells = {1, 2, 3, 4, 1, 2, 3, 4};
+  EXPECT_EQ(SpatialConstraints::DetectSuffixCycle(cells, 3), 0);
+  EXPECT_EQ(SpatialConstraints::DetectSuffixCycle(cells, 6), 4);
+}
+
+TEST(CycleTest, OverpassRevisitIsNotACycle) {
+  // Figure 5(d): a token may appear twice without any repeated block —
+  // the overpass route S t3 t6 t7 t3' D where t3 recurs non-adjacently.
+  const std::vector<CellId> route = {100, 3, 6, 7, 8, 3, 9};
+  EXPECT_EQ(SpatialConstraints::DetectSuffixCycle(route, 6), 0);
+  for (size_t pos = 0; pos < route.size(); ++pos) {
+    EXPECT_EQ(SpatialConstraints::DetectCycleAround(route, pos, 6), 0);
+  }
+}
+
+TEST(CycleTest, DetectAroundInteriorInsertion) {
+  // Inserting mid-sequence creates an adjacent repeat not at the suffix.
+  const std::vector<CellId> cells = {1, 2, 3, 2, 3, 9, 8};
+  // The repeat [2,3][2,3] covers positions 1..4.
+  EXPECT_GT(SpatialConstraints::DetectCycleAround(cells, 3, 6), 0);
+  // Far from the repeat, nothing is reported.
+  EXPECT_EQ(SpatialConstraints::DetectCycleAround(cells, 6, 2), 0);
+}
+
+}  // namespace
+}  // namespace kamel

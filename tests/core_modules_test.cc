@@ -1,0 +1,200 @@
+// Unit tests for the Tokenization module, the trajectory store, and the
+// pyramid geometry.
+#include <gtest/gtest.h>
+
+#include "core/pyramid.h"
+#include "core/tokenizer.h"
+#include "core/trajectory_store.h"
+#include "grid/hex_grid.h"
+
+namespace kamel {
+namespace {
+
+class TokenizerTest : public testing::Test {
+ protected:
+  TokenizerTest()
+      : projection_({45.0, -93.0}), grid_(75.0),
+        tokenizer_(&grid_, &projection_) {}
+
+  Trajectory MakeTrajectory(const std::vector<Vec2>& points,
+                            double dt = 5.0) const {
+    Trajectory t;
+    for (size_t i = 0; i < points.size(); ++i) {
+      t.points.push_back(
+          {projection_.Unproject(points[i]), static_cast<double>(i) * dt});
+    }
+    return t;
+  }
+
+  LocalProjection projection_;
+  HexGrid grid_;
+  Tokenizer tokenizer_;
+};
+
+TEST_F(TokenizerTest, CollapsesConsecutiveDuplicates) {
+  // Three points in the same hex, then one far away.
+  const Trajectory t =
+      MakeTrajectory({{0, 0}, {5, 5}, {-5, 3}, {400, 0}});
+  const TokenizedTrajectory tokens = tokenizer_.Tokenize(t);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].cell, grid_.CellOf({0, 0}));
+  EXPECT_EQ(tokens[1].cell, grid_.CellOf({400, 0}));
+  // The collapsed token keeps its first observation.
+  EXPECT_EQ(tokens[0].time, 0.0);
+  EXPECT_NEAR(tokens[0].position.x, 0.0, 1e-6);
+}
+
+TEST_F(TokenizerTest, PerPointKeepsEveryReading) {
+  const Trajectory t = MakeTrajectory({{0, 0}, {5, 5}, {400, 0}});
+  EXPECT_EQ(tokenizer_.TokenizePerPoint(t).size(), 3u);
+}
+
+TEST_F(TokenizerTest, HeadingsFollowMovement) {
+  const Trajectory t = MakeTrajectory({{0, 0}, {300, 0}, {300, 300}});
+  const TokenizedTrajectory tokens = tokenizer_.TokenizePerPoint(t);
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_NEAR(tokens[0].heading, 0.0, 0.02);          // east
+  EXPECT_NEAR(tokens[1].heading, M_PI / 2, 0.02);     // north
+  EXPECT_NEAR(tokens[2].heading, tokens[1].heading, 1e-9);  // inherited
+}
+
+TEST_F(TokenizerTest, CellsExtraction) {
+  const Trajectory t = MakeTrajectory({{0, 0}, {400, 0}});
+  const TokenizedTrajectory tokens = tokenizer_.Tokenize(t);
+  const std::vector<CellId> cells = Tokenizer::Cells(tokens);
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0], tokens[0].cell);
+}
+
+TEST_F(TokenizerTest, EmptyTrajectory) {
+  EXPECT_TRUE(tokenizer_.Tokenize(Trajectory{}).empty());
+}
+
+TEST(TrajectoryStoreTest, AddAndQuery) {
+  TrajectoryStore store;
+  TokenizedTrajectory a = {{1, 0.0, {0, 0}, 0.0}, {2, 1.0, {100, 0}, 0.0}};
+  TokenizedTrajectory b = {{3, 0.0, {1000, 1000}, 0.0},
+                           {4, 1.0, {1100, 1000}, 0.0},
+                           {5, 2.0, {1200, 1000}, 0.0}};
+  store.Add(a);
+  store.Add(b);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.total_tokens(), 5);
+
+  const BBox near_origin = BBox::FromCorners({-10, -10}, {200, 200});
+  const std::vector<size_t> enclosed = store.FullyEnclosed(near_origin);
+  ASSERT_EQ(enclosed.size(), 1u);
+  EXPECT_EQ(enclosed[0], 0u);
+
+  EXPECT_EQ(store.CountTokensIn(near_origin), 2);
+  EXPECT_EQ(store.CountTokensIn(BBox::FromCorners({900, 900}, {1150, 1100})),
+            2);
+
+  const auto statements = store.Statements({1});
+  ASSERT_EQ(statements.size(), 1u);
+  EXPECT_EQ(statements[0], (std::vector<CellId>{3, 4, 5}));
+}
+
+TEST(TrajectoryStoreTest, PartialOverlapIsNotEnclosed) {
+  TrajectoryStore store;
+  store.Add({{1, 0.0, {0, 0}, 0.0}, {2, 1.0, {500, 0}, 0.0}});
+  EXPECT_TRUE(
+      store.FullyEnclosed(BBox::FromCorners({-10, -10}, {100, 100})).empty());
+}
+
+class PyramidTest : public testing::Test {
+ protected:
+  PyramidTest()
+      : world_(BBox::FromCorners({0, 0}, {1000, 1000})),
+        pyramid_(world_, /*height=*/3, /*maintained_levels=*/2) {}
+
+  BBox world_;
+  Pyramid pyramid_;
+};
+
+TEST_F(PyramidTest, RootCoversWorld) {
+  const BBox root = pyramid_.CellBounds({0, 0, 0});
+  EXPECT_TRUE(root.Contains(world_));
+  EXPECT_EQ(root.Width(), 1000.0);
+}
+
+TEST_F(PyramidTest, MaintainedLevels) {
+  EXPECT_EQ(pyramid_.lowest_maintained_level(), 2);
+  EXPECT_FALSE(pyramid_.IsMaintained(0));
+  EXPECT_FALSE(pyramid_.IsMaintained(1));
+  EXPECT_TRUE(pyramid_.IsMaintained(2));
+  EXPECT_TRUE(pyramid_.IsMaintained(3));
+}
+
+TEST_F(PyramidTest, CellAtAndBounds) {
+  const PyramidCell cell = pyramid_.CellAt(3, {130.0, 870.0});
+  EXPECT_EQ(cell.level, 3);
+  EXPECT_EQ(cell.x, 1);  // 130 / 125
+  EXPECT_EQ(cell.y, 6);  // 870 / 125
+  EXPECT_TRUE(pyramid_.CellBounds(cell).Contains(Vec2{130.0, 870.0}));
+}
+
+TEST_F(PyramidTest, CellAtClampsOutOfWorld) {
+  const PyramidCell low = pyramid_.CellAt(2, {-50.0, -50.0});
+  EXPECT_EQ(low.x, 0);
+  EXPECT_EQ(low.y, 0);
+  const PyramidCell high = pyramid_.CellAt(2, {5000.0, 5000.0});
+  EXPECT_EQ(high.x, 3);
+  EXPECT_EQ(high.y, 3);
+}
+
+TEST_F(PyramidTest, SmallestEnclosingPicksDeepestCell) {
+  // A tiny box deep inside one leaf.
+  const PyramidCell leaf =
+      pyramid_.SmallestEnclosing(BBox::FromCorners({10, 10}, {20, 20}));
+  EXPECT_EQ(leaf.level, 3);
+  // A box straddling the vertical midline only fits the root.
+  const PyramidCell root =
+      pyramid_.SmallestEnclosing(BBox::FromCorners({400, 10}, {600, 20}));
+  EXPECT_EQ(root.level, 0);
+  // A box crossing a level-2 boundary (y=250) but inside level-1 cell
+  // (0,0).
+  const PyramidCell mid =
+      pyramid_.SmallestEnclosing(BBox::FromCorners({10, 200}, {20, 300}));
+  EXPECT_EQ(mid.level, 1);
+}
+
+TEST_F(PyramidTest, ParentChildRelations) {
+  const PyramidCell cell{3, 5, 6};
+  const PyramidCell parent = pyramid_.Parent(cell);
+  EXPECT_EQ(parent.level, 2);
+  EXPECT_EQ(parent.x, 2);
+  EXPECT_EQ(parent.y, 3);
+  bool found = false;
+  for (const PyramidCell& child : pyramid_.Children(parent)) {
+    EXPECT_TRUE(
+        pyramid_.CellBounds(parent).Contains(pyramid_.CellBounds(child)));
+    if (child == cell) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(PyramidTest, EdgeNeighborsRespectBounds) {
+  EXPECT_EQ(pyramid_.EdgeNeighbors({1, 0, 0}).size(), 2u);  // corner
+  EXPECT_EQ(pyramid_.EdgeNeighbors({2, 1, 0}).size(), 3u);  // border
+  EXPECT_EQ(pyramid_.EdgeNeighbors({2, 1, 1}).size(), 4u);  // interior
+  EXPECT_TRUE(pyramid_.EdgeNeighbors({0, 0, 0}).empty());   // root
+}
+
+TEST_F(PyramidTest, ModelThresholdScalesByLevel) {
+  // k * 4^(H - l) with H=3 (Section 4.1).
+  EXPECT_EQ(pyramid_.ModelThreshold(3, 100), 100);
+  EXPECT_EQ(pyramid_.ModelThreshold(2, 100), 400);
+  EXPECT_EQ(pyramid_.ModelThreshold(1, 100), 1600);
+  EXPECT_EQ(pyramid_.ModelThreshold(0, 100), 6400);
+}
+
+TEST(PyramidShapeTest, NonSquareWorldIsSquaredUp) {
+  const Pyramid pyramid(BBox::FromCorners({0, 0}, {2000, 500}), 2, 1);
+  const BBox world = pyramid.world();
+  EXPECT_EQ(world.Width(), world.Height());
+  EXPECT_EQ(world.Width(), 2000.0);
+}
+
+}  // namespace
+}  // namespace kamel

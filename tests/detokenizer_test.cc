@@ -1,0 +1,185 @@
+// Detokenization module tests (Section 7): DBSCAN, direction-aware
+// cluster selection, and the three fallback cases of Figure 8.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/dbscan.h"
+#include "core/detokenizer.h"
+#include "grid/hex_grid.h"
+
+namespace kamel {
+namespace {
+
+TEST(DbscanTest, TwoBlobsOneNoisePoint) {
+  // 1D points: blob at 0, blob at 10, outlier at 100.
+  const std::vector<double> xs = {0.0, 0.1, 0.2, 0.15, 10.0, 10.1,
+                                  10.2, 10.05, 100.0};
+  auto dist = [&xs](size_t i, size_t j) {
+    return std::fabs(xs[i] - xs[j]);
+  };
+  const std::vector<int> labels = Dbscan(xs.size(), dist, 0.5, 3);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[0], labels[3]);
+  EXPECT_EQ(labels[4], labels[7]);
+  EXPECT_NE(labels[0], labels[4]);
+  EXPECT_EQ(labels[8], kDbscanNoise);
+}
+
+TEST(DbscanTest, AllNoiseWhenSparse) {
+  const std::vector<double> xs = {0.0, 10.0, 20.0};
+  auto dist = [&xs](size_t i, size_t j) {
+    return std::fabs(xs[i] - xs[j]);
+  };
+  for (int label : Dbscan(xs.size(), dist, 1.0, 2)) {
+    EXPECT_EQ(label, kDbscanNoise);
+  }
+}
+
+TEST(DbscanTest, BorderPointJoinsCluster) {
+  // A chain where the tail point is density-reachable but not core.
+  const std::vector<double> xs = {0.0, 0.4, 0.8, 1.2, 1.6, 2.4};
+  auto dist = [&xs](size_t i, size_t j) {
+    return std::fabs(xs[i] - xs[j]);
+  };
+  const std::vector<int> labels = Dbscan(xs.size(), dist, 0.5, 3);
+  EXPECT_EQ(labels[0], 0);
+  EXPECT_EQ(labels[4], 0);
+}
+
+TEST(DbscanTest, EmptyInput) {
+  EXPECT_TRUE(Dbscan(0, [](size_t, size_t) { return 0.0; }, 1.0, 2).empty());
+}
+
+class DetokenizerTest : public testing::Test {
+ protected:
+  DetokenizerTest() : grid_(75.0) {
+    options_.eps_heading_deg = 30.0;
+    options_.min_points = 4;
+    detokenizer_ = std::make_unique<Detokenizer>(&grid_, options_);
+  }
+
+  // Adds `count` observations in the cell containing `base`, jittered
+  // around `offset` from the cell centroid, all heading `heading`.
+  void AddCluster(const Vec2& base, const Vec2& offset, double heading,
+                  int count) {
+    const Vec2 centroid = grid_.Centroid(grid_.CellOf(base));
+    TokenizedTrajectory tokens;
+    Rng rng(static_cast<uint64_t>(heading * 1000) + count);
+    for (int i = 0; i < count; ++i) {
+      const Vec2 p{centroid.x + offset.x + rng.NextDouble(-3, 3),
+                   centroid.y + offset.y + rng.NextDouble(-3, 3)};
+      tokens.push_back({grid_.CellOf(base), static_cast<double>(i), p,
+                        heading + rng.NextDouble(-0.05, 0.05)});
+    }
+    detokenizer_->AddObservations(tokens);
+  }
+
+  HexGrid grid_;
+  DbscanOptions options_;
+  std::unique_ptr<Detokenizer> detokenizer_;
+};
+
+TEST_F(DetokenizerTest, UnseenTokenFallsBackToCellCentroid) {
+  detokenizer_->Refit();
+  const CellId cell = grid_.CellOf({500.0, 500.0});
+  const Vec2 p = detokenizer_->PointOf(cell, 0.0);
+  EXPECT_EQ(p, grid_.Centroid(cell));  // Figure 8(c)
+}
+
+TEST_F(DetokenizerTest, SingleClusterReturnsDataCentroid) {
+  // Figure 8(b): one coherent flow through the cell.
+  AddCluster({0, 0}, {15.0, -10.0}, 0.0, 12);
+  detokenizer_->Refit();
+  const CellId cell = grid_.CellOf({0, 0});
+  ASSERT_EQ(detokenizer_->ClustersOf(cell).size(), 1u);
+  const Vec2 p = detokenizer_->PointOf(cell, 0.0);
+  const Vec2 centroid = grid_.Centroid(cell);
+  EXPECT_NEAR(p.x, centroid.x + 15.0, 3.0);
+  EXPECT_NEAR(p.y, centroid.y - 10.0, 3.0);
+}
+
+TEST_F(DetokenizerTest, DirectionSelectsAmongClusters) {
+  // Figure 8(a): a right-turn cell — eastbound traffic drives south of
+  // the centroid, northbound traffic drives east of it.
+  AddCluster({0, 0}, {0.0, -20.0}, 0.0, 12);        // eastbound flow
+  AddCluster({0, 0}, {20.0, 0.0}, M_PI / 2, 12);    // northbound flow
+  detokenizer_->Refit();
+  const CellId cell = grid_.CellOf({0, 0});
+  ASSERT_EQ(detokenizer_->ClustersOf(cell).size(), 2u);
+
+  const Vec2 east = detokenizer_->PointOf(cell, 0.05);
+  const Vec2 north = detokenizer_->PointOf(cell, M_PI / 2 - 0.05);
+  const Vec2 centroid = grid_.Centroid(cell);
+  EXPECT_LT(east.y, centroid.y - 10.0);
+  EXPECT_GT(north.x, centroid.x + 10.0);
+}
+
+TEST_F(DetokenizerTest, NoDirectionPicksDensestCluster) {
+  AddCluster({0, 0}, {0.0, -20.0}, 0.0, 20);
+  AddCluster({0, 0}, {20.0, 0.0}, M_PI / 2, 6);
+  detokenizer_->Refit();
+  const CellId cell = grid_.CellOf({0, 0});
+  const Vec2 p = detokenizer_->PointOf(cell, std::nullopt);
+  EXPECT_LT(p.y, grid_.Centroid(cell).y - 10.0);  // the 20-point cluster
+}
+
+TEST_F(DetokenizerTest, OppositeLanesSeparate) {
+  // Eastbound and westbound traffic differ by pi: distinct clusters even
+  // though they are spatially interleaved.
+  AddCluster({0, 0}, {0.0, -8.0}, 0.0, 10);
+  AddCluster({0, 0}, {0.0, 8.0}, M_PI, 10);
+  detokenizer_->Refit();
+  EXPECT_EQ(detokenizer_->ClustersOf(grid_.CellOf({0, 0})).size(), 2u);
+}
+
+TEST_F(DetokenizerTest, DetokenizeInteriorUsesSegmentDirection) {
+  // Build a 3-cell eastward chain with direction-dependent clusters in
+  // the middle cell.
+  const CellId mid = grid_.CellOf({0, 0});
+  AddCluster({0, 0}, {0.0, -20.0}, 0.0, 12);      // eastbound lane
+  AddCluster({0, 0}, {0.0, 20.0}, M_PI, 12);      // westbound lane
+  detokenizer_->Refit();
+
+  const Vec2 centroid = grid_.Centroid(mid);
+  const Vec2 west{centroid.x - 130.0, centroid.y};
+  const Vec2 east{centroid.x + 130.0, centroid.y};
+  const std::vector<CellId> cells = {grid_.CellOf(west), mid,
+                                     grid_.CellOf(east)};
+  // Travelling west -> east picks the eastbound lane (south offset).
+  const std::vector<Vec2> forward =
+      detokenizer_->DetokenizeInterior(cells, west, east);
+  ASSERT_EQ(forward.size(), 1u);
+  EXPECT_LT(forward[0].y, centroid.y);
+  // Travelling east -> west picks the westbound lane.
+  const std::vector<CellId> rcells = {cells[2], cells[1], cells[0]};
+  const std::vector<Vec2> backward =
+      detokenizer_->DetokenizeInterior(rcells, east, west);
+  ASSERT_EQ(backward.size(), 1u);
+  EXPECT_GT(backward[0].y, centroid.y);
+}
+
+TEST_F(DetokenizerTest, DetokenizeInteriorEmptyForShortSegments) {
+  EXPECT_TRUE(detokenizer_->DetokenizeInterior({1, 2}, {0, 0}, {1, 1})
+                  .empty());
+}
+
+TEST_F(DetokenizerTest, SaveLoadRoundTrip) {
+  AddCluster({0, 0}, {10.0, 0.0}, 0.0, 8);
+  AddCluster({300, 0}, {0.0, 10.0}, 1.0, 8);
+  detokenizer_->Refit();
+
+  BinaryWriter writer;
+  detokenizer_->Save(&writer);
+  Detokenizer loaded(&grid_, options_);
+  BinaryReader reader(writer.buffer());
+  ASSERT_TRUE(loaded.Load(&reader).ok());
+  EXPECT_EQ(loaded.num_tokens_with_clusters(),
+            detokenizer_->num_tokens_with_clusters());
+  const CellId cell = grid_.CellOf({0, 0});
+  EXPECT_EQ(loaded.PointOf(cell, 0.0), detokenizer_->PointOf(cell, 0.0));
+}
+
+}  // namespace
+}  // namespace kamel

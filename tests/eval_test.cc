@@ -1,0 +1,190 @@
+// Evaluation harness tests: the paper's recall/precision discretization
+// metrics, the evaluator's segment slicing, road-type classification, and
+// failure-rate joins.
+#include <gtest/gtest.h>
+
+#include "baselines/linear.h"
+#include "eval/evaluator.h"
+#include "eval/metrics.h"
+#include "eval/scenario.h"
+#include "sim/datasets.h"
+
+namespace kamel {
+namespace {
+
+TEST(MetricsTest, PerfectImputationScoresOne) {
+  const std::vector<Vec2> truth = {{0, 0}, {1000, 0}};
+  EXPECT_EQ(RecallCount(truth, truth, 100.0, 10.0).Ratio(), 1.0);
+  EXPECT_EQ(PrecisionCount(truth, truth, 100.0, 10.0).Ratio(), 1.0);
+}
+
+TEST(MetricsTest, OffsetBeyondDeltaScoresZero) {
+  const std::vector<Vec2> truth = {{0, 0}, {1000, 0}};
+  const std::vector<Vec2> imputed = {{0, 100}, {1000, 100}};
+  EXPECT_EQ(RecallCount(truth, imputed, 100.0, 50.0).Ratio(), 0.0);
+  EXPECT_EQ(RecallCount(truth, imputed, 100.0, 100.0).Ratio(), 1.0);
+}
+
+TEST(MetricsTest, PartialCoverageIsFractional) {
+  // Imputed covers only the first half of the truth.
+  const std::vector<Vec2> truth = {{0, 0}, {1000, 0}};
+  const std::vector<Vec2> imputed = {{0, 0}, {500, 0}};
+  const RatioCount recall = RecallCount(truth, imputed, 100.0, 25.0);
+  EXPECT_NEAR(recall.Ratio(), 0.55, 0.1);  // ~6 of 11 samples
+  // Precision of the half-line against the full truth stays perfect.
+  EXPECT_EQ(PrecisionCount(imputed, truth, 100.0, 25.0).Ratio(), 1.0);
+}
+
+TEST(MetricsTest, RecallDetectsCutCorners) {
+  // Truth goes around an L; a straight-line imputation misses the corner.
+  const std::vector<Vec2> truth = {{0, 0}, {1000, 0}, {1000, 1000}};
+  const std::vector<Vec2> diagonal = {{0, 0}, {1000, 1000}};
+  const double recall = RecallCount(truth, diagonal, 100.0, 50.0).Ratio();
+  EXPECT_LT(recall, 0.35);
+  const double precision =
+      PrecisionCount(diagonal, truth, 100.0, 50.0).Ratio();
+  EXPECT_LT(precision, 0.35);
+}
+
+TEST(MetricsTest, EmptyInputs) {
+  EXPECT_EQ(RecallCount({}, {{0, 0}}, 100.0, 50.0).total, 0);
+  const RatioCount recall = RecallCount({{0, 0}, {200, 0}}, {}, 100.0, 50.0);
+  EXPECT_GT(recall.total, 0);
+  EXPECT_EQ(recall.hits, 0);
+}
+
+TEST(RatioCountTest, Accumulation) {
+  RatioCount a{3, 10};
+  const RatioCount b{2, 10};
+  a.Accumulate(b);
+  EXPECT_EQ(a.hits, 5);
+  EXPECT_EQ(a.total, 20);
+  EXPECT_DOUBLE_EQ(a.Ratio(), 0.25);
+  EXPECT_EQ(RatioCount{}.Ratio(), 0.0);
+}
+
+class EvaluatorTest : public testing::Test {
+ protected:
+  EvaluatorTest() : projection_({45.0, -93.0}) {}
+
+  // A dense trajectory along an L (east then north), 50 m / 5 s steps.
+  Trajectory LTrajectory() const {
+    Trajectory t;
+    double time = 0.0;
+    for (double x = 0.0; x <= 1000.0; x += 50.0) {
+      t.points.push_back({projection_.Unproject({x, 0.0}), time});
+      time += 5.0;
+    }
+    for (double y = 50.0; y <= 1000.0; y += 50.0) {
+      t.points.push_back({projection_.Unproject({1000.0, y}), time});
+      time += 5.0;
+    }
+    return t;
+  }
+
+  LocalProjection projection_;
+};
+
+TEST_F(EvaluatorTest, LinearBaselineScoresMatchExpectations) {
+  Evaluator evaluator(&projection_);
+  LinearInterpolation linear(100.0);
+  TrajectoryDataset test;
+  test.trajectories.push_back(LTrajectory());
+  auto run = evaluator.RunMethod(&linear, test, 800.0);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->trajectories, 1);
+
+  ScoreConfig score;
+  score.delta_m = 50.0;
+  const EvalResult result = evaluator.Score(*run, score);
+  // Straight fills cut the corner: recall well below 1 but above 0.
+  EXPECT_GT(result.recall, 0.2);
+  EXPECT_LT(result.recall, 0.95);
+  EXPECT_EQ(result.failure_rate, 1.0);
+  EXPECT_GT(result.segments, 0);
+
+  // A huge delta forgives everything.
+  score.delta_m = 2000.0;
+  EXPECT_EQ(evaluator.Score(*run, score).recall, 1.0);
+}
+
+TEST_F(EvaluatorTest, RoadTypeClassificationSplitsSegments) {
+  Evaluator evaluator(&projection_);
+  LinearInterpolation linear(100.0);
+  TrajectoryDataset test;
+  test.trajectories.push_back(LTrajectory());
+  // Sparsity 1200 m: the first segment wraps the corner (curved); the
+  // second lies on the north leg (straight).
+  auto run = evaluator.RunMethod(&linear, test, 1200.0);
+  ASSERT_TRUE(run.ok());
+
+  ScoreConfig straight;
+  straight.delta_m = 50.0;
+  straight.segment_class = SegmentClass::kStraight;
+  ScoreConfig curved = straight;
+  curved.segment_class = SegmentClass::kCurved;
+  const EvalResult straight_result = evaluator.Score(*run, straight);
+  const EvalResult curved_result = evaluator.Score(*run, curved);
+
+  // Both classes must be present, and linear interpolation is perfect on
+  // straight segments but poor on the corner.
+  EXPECT_GT(straight_result.segments + curved_result.segments, 0);
+  EXPECT_GT(curved_result.segments, 0);
+  EXPECT_GT(straight_result.recall, 0.95);
+  EXPECT_LT(curved_result.recall, 0.8);
+
+  // The two classes partition the overall sample counts.
+  ScoreConfig all;
+  all.delta_m = 50.0;
+  const EvalResult all_result = evaluator.Score(*run, all);
+  EXPECT_EQ(all_result.segments,
+            straight_result.segments + curved_result.segments);
+}
+
+TEST_F(EvaluatorTest, TimingIsAggregated) {
+  Evaluator evaluator(&projection_);
+  LinearInterpolation linear(100.0);
+  TrajectoryDataset test;
+  test.trajectories.push_back(LTrajectory());
+  test.trajectories.push_back(LTrajectory());
+  auto run = evaluator.RunMethod(&linear, test, 500.0);
+  ASSERT_TRUE(run.ok());
+  const EvalResult result = evaluator.Score(*run, ScoreConfig{});
+  EXPECT_GE(result.impute_seconds, 0.0);
+  EXPECT_GE(result.avg_impute_seconds_per_trajectory, 0.0);
+}
+
+TEST(ScenarioCacheKeyTest, SensitiveToTrainingOptionsOnly) {
+  const ScenarioSpec spec = MiniSpec();
+  const KamelOptions base = BenchKamelOptions();
+
+  // Imputation-time knobs do not change the key (ablations reuse cache).
+  KamelOptions beam = base;
+  beam.beam_size = 99;
+  beam.enable_constraints = false;
+  beam.enable_multipoint = false;
+  EXPECT_EQ(TrainingCacheKey(spec, base), TrainingCacheKey(spec, beam));
+
+  // Training-relevant knobs do.
+  KamelOptions grid = base;
+  grid.grid_type = GridType::kSquare;
+  EXPECT_NE(TrainingCacheKey(spec, base), TrainingCacheKey(spec, grid));
+  KamelOptions steps = base;
+  steps.bert.train.steps += 1;
+  EXPECT_NE(TrainingCacheKey(spec, base), TrainingCacheKey(spec, steps));
+  KamelOptions part = base;
+  part.enable_partitioning = false;
+  EXPECT_NE(TrainingCacheKey(spec, base), TrainingCacheKey(spec, part));
+
+  // Different scenarios and variants differ.
+  ScenarioSpec other = MiniSpec(99);
+  other.network.seed = 999;
+  EXPECT_NE(TrainingCacheKey(spec, base), TrainingCacheKey(other, base));
+  BenchVariant subsample;
+  subsample.train_subsample = 0.5;
+  EXPECT_NE(TrainingCacheKey(spec, base),
+            TrainingCacheKey(spec, base, subsample));
+}
+
+}  // namespace
+}  // namespace kamel

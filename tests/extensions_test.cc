@@ -1,0 +1,221 @@
+// Tests for the extension components: kinematic interpolation baseline,
+// bootstrap confidence intervals, and the maintenance scheduler.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/kinematic.h"
+#include "baselines/linear.h"
+#include "core/maintenance.h"
+#include "eval/bootstrap.h"
+#include "eval/evaluator.h"
+#include "sim/datasets.h"
+
+namespace kamel {
+namespace {
+
+TEST(KinematicTest, StraightGapStaysStraight) {
+  // Endpoints moving in the same direction: the Hermite curve is the
+  // straight line.
+  KinematicInterpolation kinematic(100.0, 150.0);
+  const LocalProjection proj({45.0, -93.0});
+  Trajectory sparse;
+  for (double x : {0.0, 100.0, 1100.0, 1200.0}) {
+    sparse.points.push_back({proj.Unproject({x, 0.0}), x / 10.0});
+  }
+  ASSERT_TRUE(kinematic.Train(TrajectoryDataset{{sparse}}).ok());
+  auto result = kinematic.Impute(sparse);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.segments, 1);
+  ASSERT_GT(result->trajectory.points.size(), sparse.points.size());
+  for (const TrajPoint& p : result->trajectory.points) {
+    EXPECT_NEAR(proj.Project(p.pos).y, 0.0, 1.0);
+  }
+}
+
+TEST(KinematicTest, CurvedEntryBendsTheFill) {
+  // The vehicle enters the gap heading north and leaves heading east:
+  // the curve must bulge, unlike a straight line.
+  KinematicInterpolation kinematic(100.0, 150.0);
+  const LocalProjection proj({45.0, -93.0});
+  Trajectory sparse;
+  sparse.points.push_back({proj.Unproject({0.0, -200.0}), 0.0});
+  sparse.points.push_back({proj.Unproject({0.0, 0.0}), 20.0});     // S
+  sparse.points.push_back({proj.Unproject({800.0, 800.0}), 120.0}); // D
+  sparse.points.push_back({proj.Unproject({1000.0, 800.0}), 140.0});
+  ASSERT_TRUE(kinematic.Train(TrajectoryDataset{{sparse}}).ok());
+  auto result = kinematic.Impute(sparse);
+  ASSERT_TRUE(result.ok());
+  double max_off_diagonal = 0.0;
+  for (const TrajPoint& p : result->trajectory.points) {
+    const Vec2 v = proj.Project(p.pos);
+    if (v.y <= 0.0 || v.y >= 800.0) continue;
+    // Signed distance from the S->D diagonal.
+    const double off = std::fabs(v.y - v.x) / std::sqrt(2.0);
+    max_off_diagonal = std::max(max_off_diagonal, off);
+  }
+  EXPECT_GT(max_off_diagonal, 40.0) << "curve did not bend";
+}
+
+TEST(KinematicTest, SegmentsAreNotCountedAsFailures) {
+  // Kinematic interpolation always produces an answer; unlike Linear its
+  // segments are genuine attempts, so failure stays at 0 and the metric
+  // judges its geometry instead.
+  KinematicInterpolation kinematic(100.0, 150.0);
+  const LocalProjection proj({45.0, -93.0});
+  Trajectory sparse;
+  sparse.points = {{proj.Unproject({0, 0}), 0.0},
+                   {proj.Unproject({1000, 0}), 100.0}};
+  auto result = kinematic.Impute(sparse);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.segments, 1);
+  EXPECT_EQ(result->stats.failed_segments, 0);
+}
+
+class BootstrapTest : public testing::Test {
+ protected:
+  // A run where half the trajectories score recall 1 and half score 0
+  // (imputed far away), giving a wide, easily-checked spread.
+  static RunOutput MixedRun() {
+    RunOutput run;
+    for (int i = 0; i < 12; ++i) {
+      TrajRun traj;
+      traj.dense = {{0, 0}, {500, 0}};
+      traj.dense_times = {0.0, 50.0};
+      traj.sparse_times = {0.0, 50.0};
+      if (i % 2 == 0) {
+        traj.imputed = traj.dense;  // perfect
+        traj.imputed_times = traj.dense_times;
+      } else {
+        traj.imputed = {{0, 4000}, {500, 4000}};  // hopeless
+        traj.imputed_times = traj.dense_times;
+      }
+      run.runs.push_back(std::move(traj));
+      ++run.trajectories;
+    }
+    return run;
+  }
+};
+
+TEST_F(BootstrapTest, PointEstimateMatchesPlainScore) {
+  const LocalProjection proj({45.0, -93.0});
+  const Evaluator evaluator(&proj);
+  const RunOutput run = MixedRun();
+  ScoreConfig config;
+  config.delta_m = 50.0;
+  const EvalResult plain = evaluator.Score(run, config);
+  const ScoredWithIntervals scored =
+      ScoreWithBootstrap(evaluator, run, config);
+  EXPECT_DOUBLE_EQ(scored.recall.value, plain.recall);
+  EXPECT_DOUBLE_EQ(scored.precision.value, plain.precision);
+}
+
+TEST_F(BootstrapTest, IntervalCoversPointAndHasSpread) {
+  const LocalProjection proj({45.0, -93.0});
+  const Evaluator evaluator(&proj);
+  const RunOutput run = MixedRun();
+  ScoreConfig config;
+  config.delta_m = 50.0;
+  BootstrapOptions options;
+  options.resamples = 300;
+  const ScoredWithIntervals scored =
+      ScoreWithBootstrap(evaluator, run, config, options);
+  EXPECT_LE(scored.recall.lo, scored.recall.value);
+  EXPECT_GE(scored.recall.hi, scored.recall.value);
+  // Half the trajectories at 0, half at 1 -> the CI must be clearly wide.
+  EXPECT_GT(scored.recall.hi - scored.recall.lo, 0.15);
+  EXPECT_NEAR(scored.recall.value, 0.5, 0.01);
+}
+
+TEST_F(BootstrapTest, DeterministicForSeed) {
+  const LocalProjection proj({45.0, -93.0});
+  const Evaluator evaluator(&proj);
+  const RunOutput run = MixedRun();
+  const ScoreConfig config;
+  const ScoredWithIntervals a = ScoreWithBootstrap(evaluator, run, config);
+  const ScoredWithIntervals b = ScoreWithBootstrap(evaluator, run, config);
+  EXPECT_DOUBLE_EQ(a.recall.lo, b.recall.lo);
+  EXPECT_DOUBLE_EQ(a.recall.hi, b.recall.hi);
+}
+
+TEST_F(BootstrapTest, EmptyRunDegeneratesGracefully) {
+  const LocalProjection proj({45.0, -93.0});
+  const Evaluator evaluator(&proj);
+  const RunOutput run;
+  const ScoredWithIntervals scored =
+      ScoreWithBootstrap(evaluator, run, ScoreConfig{});
+  EXPECT_EQ(scored.recall.lo, scored.recall.hi);
+}
+
+TEST(MaintenanceTest, BatchesUntilThreshold) {
+  KamelOptions options;
+  options.pyramid_height = 0;
+  options.pyramid_levels = 1;
+  options.model_token_threshold = 40;
+  options.bert.encoder.d_model = 8;
+  options.bert.encoder.num_heads = 2;
+  options.bert.encoder.num_layers = 1;
+  options.bert.encoder.ffn_dim = 16;
+  options.bert.encoder.max_seq_len = 16;
+  options.bert.train.steps = 30;
+  options.bert.train.batch_size = 4;
+  Kamel system(options);
+
+  MaintenanceOptions policy;
+  policy.min_batch_trajectories = 8;
+  policy.min_batch_points = 100000;
+  MaintenanceScheduler scheduler(&system, policy);
+
+  const SimScenario scenario = BuildScenario(MiniSpec(51));
+  // Seven submissions: still pending, system untrained.
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(
+        scheduler.Submit(scenario.train.trajectories[i]).ok());
+  }
+  EXPECT_EQ(scheduler.pending_trajectories(), 7u);
+  EXPECT_FALSE(system.trained());
+  EXPECT_EQ(scheduler.batches_trained(), 0);
+
+  // The eighth crosses the threshold: one training batch fires.
+  ASSERT_TRUE(scheduler.Submit(scenario.train.trajectories[7]).ok());
+  EXPECT_EQ(scheduler.pending_trajectories(), 0u);
+  EXPECT_TRUE(system.trained());
+  EXPECT_EQ(scheduler.batches_trained(), 1);
+
+  // Flush trains the remainder.
+  ASSERT_TRUE(scheduler.Submit(scenario.train.trajectories[8]).ok());
+  ASSERT_TRUE(scheduler.Flush().ok());
+  EXPECT_EQ(scheduler.batches_trained(), 2);
+  ASSERT_TRUE(scheduler.Flush().ok());  // no-op
+  EXPECT_EQ(scheduler.batches_trained(), 2);
+}
+
+TEST(MaintenanceTest, PointThresholdAlsoTriggers) {
+  KamelOptions options;
+  options.pyramid_height = 0;
+  options.pyramid_levels = 1;
+  options.model_token_threshold = 10;
+  options.bert.encoder.d_model = 8;
+  options.bert.encoder.num_heads = 2;
+  options.bert.encoder.num_layers = 1;
+  options.bert.encoder.ffn_dim = 16;
+  options.bert.encoder.max_seq_len = 16;
+  options.bert.train.steps = 20;
+  options.bert.train.batch_size = 4;
+  Kamel system(options);
+  MaintenanceOptions policy;
+  policy.min_batch_trajectories = 1000;
+  policy.min_batch_points = 30;  // tiny: a couple of trips cross it
+  MaintenanceScheduler scheduler(&system, policy);
+  const SimScenario scenario = BuildScenario(MiniSpec(53));
+  int i = 0;
+  while (scheduler.batches_trained() == 0 &&
+         i < static_cast<int>(scenario.train.trajectories.size())) {
+    ASSERT_TRUE(scheduler.Submit(scenario.train.trajectories[i++]).ok());
+  }
+  EXPECT_EQ(scheduler.batches_trained(), 1);
+  EXPECT_EQ(scheduler.pending_points(), 0u);
+}
+
+}  // namespace
+}  // namespace kamel

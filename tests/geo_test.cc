@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geo/bbox.h"
+#include "geo/latlng.h"
+#include "geo/polyline.h"
+#include "geo/projection.h"
+#include "geo/trajectory.h"
+
+namespace kamel {
+namespace {
+
+TEST(HaversineTest, ZeroForSamePoint) {
+  const LatLng p{45.0, -93.0};
+  EXPECT_DOUBLE_EQ(HaversineMeters(p, p), 0.0);
+}
+
+TEST(HaversineTest, OneDegreeLatitudeIsAbout111Km) {
+  const double d = HaversineMeters({45.0, -93.0}, {46.0, -93.0});
+  EXPECT_NEAR(d, 111195.0, 200.0);
+}
+
+TEST(HaversineTest, LongitudeShrinksWithLatitude) {
+  const double at_equator = HaversineMeters({0.0, 0.0}, {0.0, 1.0});
+  const double at_60 = HaversineMeters({60.0, 0.0}, {60.0, 1.0});
+  EXPECT_NEAR(at_60 / at_equator, 0.5, 0.01);
+}
+
+TEST(HaversineTest, Symmetric) {
+  const LatLng a{41.15, -8.61};
+  const LatLng b{41.18, -8.65};
+  EXPECT_DOUBLE_EQ(HaversineMeters(a, b), HaversineMeters(b, a));
+}
+
+TEST(ProjectionTest, OriginMapsToZero) {
+  const LocalProjection proj({41.15, -8.61});
+  const Vec2 v = proj.Project({41.15, -8.61});
+  EXPECT_NEAR(v.x, 0.0, 1e-9);
+  EXPECT_NEAR(v.y, 0.0, 1e-9);
+}
+
+TEST(ProjectionTest, RoundTripsExactly) {
+  const LocalProjection proj({45.0, -93.25});
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const LatLng p{45.0 + rng.NextDouble(-0.05, 0.05),
+                   -93.25 + rng.NextDouble(-0.05, 0.05)};
+    const LatLng back = proj.Unproject(proj.Project(p));
+    EXPECT_NEAR(back.lat, p.lat, 1e-12);
+    EXPECT_NEAR(back.lng, p.lng, 1e-12);
+  }
+}
+
+TEST(ProjectionTest, DistancesMatchHaversineAtCityScale) {
+  const LocalProjection proj({45.0, -93.25});
+  const LatLng a{45.01, -93.26};
+  const LatLng b{44.99, -93.22};
+  const double planar = Distance(proj.Project(a), proj.Project(b));
+  const double sphere = HaversineMeters(a, b);
+  EXPECT_NEAR(planar / sphere, 1.0, 1e-3);
+}
+
+TEST(AngleTest, HeadingCardinalDirections) {
+  EXPECT_NEAR(HeadingRadians({0, 0}, {1, 0}), 0.0, 1e-12);
+  EXPECT_NEAR(HeadingRadians({0, 0}, {0, 1}), M_PI / 2, 1e-12);
+  EXPECT_NEAR(HeadingRadians({0, 0}, {-1, 0}), M_PI, 1e-12);
+  EXPECT_NEAR(HeadingRadians({0, 0}, {0, -1}), -M_PI / 2, 1e-12);
+  EXPECT_EQ(HeadingRadians({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(AngleTest, DifferenceWrapsAround) {
+  EXPECT_NEAR(AngleDifference(0.1, -0.1), 0.2, 1e-12);
+  EXPECT_NEAR(AngleDifference(M_PI - 0.05, -M_PI + 0.05), 0.1, 1e-12);
+  EXPECT_NEAR(AngleDifference(0.0, M_PI), M_PI, 1e-12);
+}
+
+TEST(AngleTest, NormalizeIntoHalfOpenRange) {
+  EXPECT_NEAR(NormalizeAngle(3 * M_PI), M_PI, 1e-12);
+  EXPECT_NEAR(NormalizeAngle(-3 * M_PI + 0.2), -M_PI + 0.2, 1e-12);
+  EXPECT_NEAR(NormalizeAngle(0.5), 0.5, 1e-12);
+}
+
+TEST(BBoxTest, EmptyAndExtend) {
+  BBox box;
+  EXPECT_TRUE(box.Empty());
+  box.Extend(Vec2{1.0, 2.0});
+  EXPECT_FALSE(box.Empty());
+  EXPECT_EQ(box.Width(), 0.0);
+  box.Extend(Vec2{-1.0, 5.0});
+  EXPECT_EQ(box.Width(), 2.0);
+  EXPECT_EQ(box.Height(), 3.0);
+  EXPECT_TRUE(box.Contains(Vec2{0.0, 3.0}));
+  EXPECT_FALSE(box.Contains(Vec2{0.0, 6.0}));
+}
+
+TEST(BBoxTest, ContainsAndIntersects) {
+  const BBox outer = BBox::FromCorners({0, 0}, {10, 10});
+  const BBox inner = BBox::FromCorners({2, 2}, {4, 4});
+  const BBox overlapping = BBox::FromCorners({8, 8}, {12, 12});
+  const BBox disjoint = BBox::FromCorners({20, 20}, {30, 30});
+  EXPECT_TRUE(outer.Contains(inner));
+  EXPECT_FALSE(inner.Contains(outer));
+  EXPECT_TRUE(outer.Intersects(overlapping));
+  EXPECT_FALSE(outer.Contains(overlapping));
+  EXPECT_FALSE(outer.Intersects(disjoint));
+}
+
+TEST(BBoxTest, ExpandedAndCenter) {
+  const BBox box = BBox::FromCorners({0, 0}, {4, 2});
+  const BBox grown = box.Expanded(1.0);
+  EXPECT_EQ(grown.Width(), 6.0);
+  EXPECT_EQ(grown.Height(), 4.0);
+  EXPECT_EQ(box.Center().x, 2.0);
+  EXPECT_EQ(box.Center().y, 1.0);
+}
+
+TEST(PolylineTest, Length) {
+  EXPECT_EQ(polyline::Length({}), 0.0);
+  EXPECT_EQ(polyline::Length({{0, 0}}), 0.0);
+  EXPECT_NEAR(polyline::Length({{0, 0}, {3, 4}, {3, 14}}), 15.0, 1e-12);
+}
+
+TEST(PolylineTest, PointToSegmentDistance) {
+  EXPECT_NEAR(polyline::PointToSegmentDistance({0, 1}, {-1, 0}, {1, 0}),
+              1.0, 1e-12);
+  // Beyond the end: distance to the endpoint.
+  EXPECT_NEAR(polyline::PointToSegmentDistance({3, 4}, {-1, 0}, {0, 0}),
+              5.0, 1e-12);
+  // Degenerate segment.
+  EXPECT_NEAR(polyline::PointToSegmentDistance({3, 4}, {0, 0}, {0, 0}),
+              5.0, 1e-12);
+}
+
+TEST(PolylineTest, PointToPolylineDistance) {
+  const std::vector<Vec2> line = {{0, 0}, {10, 0}, {10, 10}};
+  EXPECT_NEAR(polyline::PointToPolylineDistance({5, 2}, line), 2.0, 1e-12);
+  EXPECT_NEAR(polyline::PointToPolylineDistance({12, 5}, line), 2.0, 1e-12);
+  EXPECT_TRUE(std::isinf(polyline::PointToPolylineDistance({0, 0}, {})));
+}
+
+TEST(PolylineTest, ResampleKeepsEndpointsAndSpacing) {
+  const std::vector<Vec2> line = {{0, 0}, {100, 0}};
+  const std::vector<Vec2> samples = polyline::ResampleEvery(line, 30.0);
+  ASSERT_GE(samples.size(), 2u);
+  EXPECT_EQ(samples.front(), (Vec2{0, 0}));
+  EXPECT_EQ(samples.back(), (Vec2{100, 0}));
+  for (size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_LE(Distance(samples[i - 1], samples[i]), 30.0 + 1e-9);
+  }
+}
+
+class ResampleSpacingTest : public testing::TestWithParam<double> {};
+
+TEST_P(ResampleSpacingTest, PropertySpacingNeverExceeded) {
+  // Property: on a randomized polyline, consecutive resampled points are
+  // never farther apart than the requested spacing.
+  const double spacing = GetParam();
+  Rng rng(static_cast<uint64_t>(spacing * 1000));
+  std::vector<Vec2> line = {{0, 0}};
+  for (int i = 0; i < 30; ++i) {
+    line.push_back({line.back().x + rng.NextDouble(-50, 80),
+                    line.back().y + rng.NextDouble(-50, 80)});
+  }
+  const std::vector<Vec2> samples = polyline::ResampleEvery(line, spacing);
+  for (size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_LE(Distance(samples[i - 1], samples[i]), spacing + 1e-6);
+  }
+  EXPECT_EQ(samples.front(), line.front());
+  EXPECT_EQ(samples.back(), line.back());
+  // All samples lie on the original line.
+  for (const Vec2& s : samples) {
+    EXPECT_LE(polyline::PointToPolylineDistance(s, line), 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Spacings, ResampleSpacingTest,
+                         testing::Values(5.0, 17.0, 50.0, 120.0));
+
+TEST(PolylineTest, Interpolate) {
+  const std::vector<Vec2> line = {{0, 0}, {10, 0}, {10, 10}};
+  EXPECT_EQ(polyline::Interpolate(line, -1.0), (Vec2{0, 0}));
+  EXPECT_EQ(polyline::Interpolate(line, 5.0), (Vec2{5, 0}));
+  EXPECT_EQ(polyline::Interpolate(line, 15.0), (Vec2{10, 5}));
+  EXPECT_EQ(polyline::Interpolate(line, 99.0), (Vec2{10, 10}));
+}
+
+TEST(PolylineTest, DropConsecutiveDuplicates) {
+  const std::vector<Vec2> line = {{0, 0}, {0, 0}, {1, 1}, {1, 1}, {0, 0}};
+  const std::vector<Vec2> out = polyline::DropConsecutiveDuplicates(line);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(TrajectoryTest, LengthAndDuration) {
+  Trajectory t;
+  t.points = {{{45.0, -93.0}, 0.0}, {{45.001, -93.0}, 10.0},
+              {{45.002, -93.0}, 25.0}};
+  EXPECT_NEAR(t.LengthMeters(), 2 * 111.195, 1.0);
+  EXPECT_DOUBLE_EQ(t.DurationSeconds(), 25.0);
+  Trajectory empty;
+  EXPECT_EQ(empty.DurationSeconds(), 0.0);
+}
+
+TEST(TrajectoryTest, MbrAndProjection) {
+  const LocalProjection proj({45.0, -93.0});
+  Trajectory t;
+  t.points = {{{45.0, -93.0}, 0.0}, {{45.001, -93.001}, 1.0}};
+  const BBox mbr = t.Mbr(proj);
+  EXPECT_FALSE(mbr.Empty());
+  EXPECT_GT(mbr.Width(), 0.0);
+  EXPECT_EQ(t.ProjectedPoints(proj).size(), 2u);
+}
+
+TEST(TrajectoryDatasetTest, TotalsAndMbr) {
+  const LocalProjection proj({45.0, -93.0});
+  TrajectoryDataset data;
+  Trajectory a;
+  a.points = {{{45.0, -93.0}, 0.0}};
+  Trajectory b;
+  b.points = {{{45.01, -93.01}, 0.0}, {{45.02, -93.02}, 5.0}};
+  data.trajectories = {a, b};
+  EXPECT_EQ(data.TotalPoints(), 3u);
+  EXPECT_TRUE(data.Mbr(proj).Contains(proj.Project({45.015, -93.015})));
+}
+
+}  // namespace
+}  // namespace kamel

@@ -1,0 +1,356 @@
+// Multipoint Imputation tests (Section 6) against deterministic fake
+// candidate sources — no trained model noise.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/imputer.h"
+#include "grid/hex_grid.h"
+
+namespace kamel {
+namespace {
+
+// Proposes neighbors of the last left-context cell ranked by proximity to
+// the first right-context cell — a perfect straight driver.
+class StraightSource final : public CandidateSource {
+ public:
+  explicit StraightSource(const GridSystem* grid) : grid_(grid) {}
+
+  std::vector<Candidate> PredictMasked(const std::vector<CellId>& left,
+                                       const std::vector<CellId>& right,
+                                       int top_k) override {
+    ++calls;
+    const Vec2 target = grid_->Centroid(right.front());
+    std::vector<CellId> options = grid_->EdgeNeighbors(left.back());
+    std::sort(options.begin(), options.end(), [&](CellId a, CellId b) {
+      return Distance(grid_->Centroid(a), target) <
+             Distance(grid_->Centroid(b), target);
+    });
+    std::vector<Candidate> out;
+    double prob = 0.6;
+    for (CellId cell : options) {
+      if (static_cast<int>(out.size()) >= top_k) break;
+      out.push_back({cell, prob});
+      prob *= 0.5;
+    }
+    return out;
+  }
+
+  int calls = 0;
+
+ private:
+  const GridSystem* grid_;
+};
+
+// Always proposes the same single cell — forces trivial cycles.
+class StuckSource final : public CandidateSource {
+ public:
+  explicit StuckSource(CellId cell) : cell_(cell) {}
+  std::vector<Candidate> PredictMasked(const std::vector<CellId>&,
+                                       const std::vector<CellId>&,
+                                       int) override {
+    return {{cell_, 0.9}};
+  }
+
+ private:
+  CellId cell_;
+};
+
+// Returns nothing — a model with no usable candidates.
+class EmptySource final : public CandidateSource {
+ public:
+  std::vector<Candidate> PredictMasked(const std::vector<CellId>&,
+                                       const std::vector<CellId>&,
+                                       int) override {
+    return {};
+  }
+};
+
+class ImputerTest : public testing::Test {
+ protected:
+  ImputerTest() : grid_(75.0) {
+    options_.max_gap_m = 100.0;
+    options_.top_k = 6;
+    options_.beam_size = 4;
+    options_.max_bert_calls_per_segment = 200;
+    options_.max_speed_mps = 30.0;
+    constraints_ = std::make_unique<SpatialConstraints>(&grid_, options_);
+    constraints_->set_max_speed_mps(30.0);
+  }
+
+  SegmentContext Segment(double gap_m) const {
+    SegmentContext context;
+    context.s = {grid_.CellOf({0.0, 0.0}), 0.0, {0.0, 0.0}, 0.0};
+    context.d = {grid_.CellOf({gap_m, 0.0}), gap_m / 12.0,
+                 {gap_m, 0.0}, 0.0};
+    return context;
+  }
+
+  // Max centroid distance between consecutive cells of a segment.
+  double MaxHop(const std::vector<CellId>& cells) const {
+    double max_hop = 0.0;
+    for (size_t i = 1; i < cells.size(); ++i) {
+      max_hop = std::max(max_hop, Distance(grid_.Centroid(cells[i - 1]),
+                                           grid_.Centroid(cells[i])));
+    }
+    return max_hop;
+  }
+
+  HexGrid grid_;
+  KamelOptions options_;
+  std::unique_ptr<SpatialConstraints> constraints_;
+};
+
+TEST_F(ImputerTest, GapThresholdIsAtLeastOneCell) {
+  // 100 m max_gap with 75 m hexes (130 m spacing) must clamp to 1 cell.
+  IterativeBertImputer imputer(&grid_, constraints_.get(), options_);
+  EXPECT_EQ(imputer.max_gap_cells(), 1);
+  KamelOptions wide = options_;
+  wide.max_gap_m = 500.0;
+  IterativeBertImputer wide_imputer(&grid_, constraints_.get(), wide);
+  EXPECT_EQ(wide_imputer.max_gap_cells(), 3);  // floor(500 / 129.9)
+}
+
+TEST_F(ImputerTest, FindGapsIdentifiesSparsePairs) {
+  IterativeBertImputer imputer(&grid_, constraints_.get(), options_);
+  const CellId a = grid_.CellOf({0, 0});
+  const CellId b = grid_.CellOf({1000, 0});
+  const std::vector<CellId> near = grid_.EdgeNeighbors(a);
+  EXPECT_EQ(imputer.FindFirstGap({a, near[0]}), -1);
+  EXPECT_EQ(imputer.FindFirstGap({a, b}), 0);
+  EXPECT_EQ(imputer.FindGaps({a, b, grid_.CellOf({2000, 0})}).size(), 2u);
+}
+
+TEST_F(ImputerTest, IterativeFillsStraightGap) {
+  IterativeBertImputer imputer(&grid_, constraints_.get(), options_);
+  StraightSource source(&grid_);
+  const SegmentContext context = Segment(1000.0);
+  const ImputedSegment segment = imputer.Impute(&source, context);
+  ASSERT_FALSE(segment.failed);
+  EXPECT_EQ(segment.cells.front(), context.s.cell);
+  EXPECT_EQ(segment.cells.back(), context.d.cell);
+  EXPECT_GT(segment.cells.size(), 5u);  // ~8 cells over 1 km
+  // No remaining gap anywhere.
+  EXPECT_EQ(imputer.FindFirstGap(segment.cells), -1);
+  EXPECT_LE(MaxHop(segment.cells), grid_.NeighborSpacingMeters() + 1e-6);
+  EXPECT_EQ(segment.bert_calls, source.calls);
+  EXPECT_GT(segment.probability, 0.0);
+}
+
+TEST_F(ImputerTest, IterativeFailsOnEmptyCandidates) {
+  IterativeBertImputer imputer(&grid_, constraints_.get(), options_);
+  EmptySource source;
+  const ImputedSegment segment = imputer.Impute(&source, Segment(1000.0));
+  EXPECT_TRUE(segment.failed);
+  EXPECT_EQ(segment.cells.size(), 2u);
+}
+
+TEST_F(ImputerTest, IterativeRejectsStuckCycle) {
+  IterativeBertImputer imputer(&grid_, constraints_.get(), options_);
+  // The stuck cell is adjacent to S so it passes constraints once, but a
+  // second insertion would be a trivial cycle.
+  StuckSource source(grid_.EdgeNeighbors(grid_.CellOf({0, 0}))[0]);
+  const ImputedSegment segment = imputer.Impute(&source, Segment(1000.0));
+  EXPECT_TRUE(segment.failed);
+}
+
+TEST_F(ImputerTest, IterativeRespectsCallBudget) {
+  KamelOptions tight = options_;
+  tight.max_bert_calls_per_segment = 2;
+  IterativeBertImputer imputer(&grid_, constraints_.get(), tight);
+  StraightSource source(&grid_);
+  const ImputedSegment segment = imputer.Impute(&source, Segment(3000.0));
+  EXPECT_TRUE(segment.failed);
+  EXPECT_LE(segment.bert_calls, 2);
+}
+
+TEST_F(ImputerTest, BeamFillsStraightGap) {
+  BeamSearchImputer imputer(&grid_, constraints_.get(), options_);
+  StraightSource source(&grid_);
+  const SegmentContext context = Segment(1000.0);
+  const ImputedSegment segment = imputer.Impute(&source, context);
+  ASSERT_FALSE(segment.failed);
+  EXPECT_EQ(segment.cells.front(), context.s.cell);
+  EXPECT_EQ(segment.cells.back(), context.d.cell);
+  EXPECT_EQ(imputer.FindFirstGap(segment.cells), -1);
+  EXPECT_GT(segment.normalized_score, 0.0);
+}
+
+TEST_F(ImputerTest, BeamNoGapReturnsImmediately) {
+  BeamSearchImputer imputer(&grid_, constraints_.get(), options_);
+  EmptySource source;
+  SegmentContext context;
+  const CellId s = grid_.CellOf({0, 0});
+  context.s = {s, 0.0, {0, 0}, 0.0};
+  const CellId d = grid_.EdgeNeighbors(s)[0];
+  context.d = {d, 10.0, grid_.Centroid(d), 0.0};
+  const ImputedSegment segment = imputer.Impute(&source, context);
+  EXPECT_FALSE(segment.failed);
+  EXPECT_EQ(segment.cells.size(), 2u);
+  EXPECT_EQ(segment.bert_calls, 0);
+}
+
+TEST_F(ImputerTest, BeamFailsWithoutCandidates) {
+  BeamSearchImputer imputer(&grid_, constraints_.get(), options_);
+  EmptySource source;
+  const ImputedSegment segment = imputer.Impute(&source, Segment(1000.0));
+  EXPECT_TRUE(segment.failed);
+}
+
+TEST_F(ImputerTest, BeamLengthNormalization) {
+  BeamSearchImputer imputer(&grid_, constraints_.get(), options_);
+  StraightSource source(&grid_);
+  const ImputedSegment segment = imputer.Impute(&source, Segment(800.0));
+  ASSERT_FALSE(segment.failed);
+  const double imputed_tokens =
+      static_cast<double>(segment.cells.size() - 2);
+  EXPECT_NEAR(segment.normalized_score,
+              segment.probability * imputed_tokens, 1e-9);
+}
+
+TEST_F(ImputerTest, SinglePointInsertsExactlyOne) {
+  SinglePointImputer imputer(&grid_, constraints_.get(), options_);
+  StraightSource source(&grid_);
+  const ImputedSegment segment = imputer.Impute(&source, Segment(1000.0));
+  EXPECT_EQ(segment.cells.size(), 3u);
+  EXPECT_EQ(segment.bert_calls, 1);
+  // One token cannot close a 1 km gap: counted as failure (Section 8.7).
+  EXPECT_TRUE(segment.failed);
+}
+
+TEST_F(ImputerTest, SinglePointSucceedsOnTinyGap) {
+  KamelOptions wide = options_;
+  wide.max_gap_m = 300.0;  // 2-cell threshold
+  SinglePointImputer imputer(&grid_, constraints_.get(), wide);
+  StraightSource source(&grid_);
+  // Gap of 3 cells: one midpoint insertion brings every hop within 2.
+  SegmentContext context;
+  context.s = {grid_.CellOf({0.0, 0.0}), 0.0, {0.0, 0.0}, 0.0};
+  context.d = {grid_.CellOf({390.0, 0.0}), 30.0, {390.0, 0.0}, 0.0};
+  const ImputedSegment segment = imputer.Impute(&source, context);
+  EXPECT_FALSE(segment.failed);
+  EXPECT_EQ(segment.cells.size(), 3u);
+}
+
+// Two roads from S to D; the greedy-preferred one is a trap (its final
+// link toward D is never proposed), the slightly-less-probable one goes
+// through. This is the paper's Figure 6-vs-7 argument in miniature: the
+// topmost token per call is not the best sequence.
+class ForkTrapSource final : public CandidateSource {
+ public:
+  ForkTrapSource(const GridSystem* grid, CellId destination)
+      : grid_(grid), destination_(destination) {}
+
+  std::vector<Candidate> PredictMasked(const std::vector<CellId>& left,
+                                       const std::vector<CellId>& right,
+                                       int top_k) override {
+    (void)right;
+    const Vec2 here = grid_->Centroid(left.back());
+    const Vec2 target = grid_->Centroid(destination_);
+    std::vector<Candidate> out;
+    for (CellId nb : grid_->EdgeNeighbors(left.back())) {
+      const Vec2 c = grid_->Centroid(nb);
+      if (c.x <= here.x + 1.0) continue;  // only eastward progress
+      // Exactly one row on each side: the hex row just south of the axis
+      // (the trap) and the row just north of it (goes through).
+      const bool on_trap_road = c.y < -10.0 && c.y > -150.0;
+      const bool on_good_road = c.y > 10.0 && c.y < 150.0;
+      // The trap road is preferred by one-step probability but is a dead
+      // end: it stops existing half-way to D, and mid-way axis cells are
+      // never proposed, so a walk committed to it cannot recover.
+      if (on_trap_road && c.x < 350.0) out.push_back({nb, 0.5});
+      if (on_good_road) out.push_back({nb, 0.35});
+      (void)target;
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.prob > b.prob;
+              });
+    if (static_cast<int>(out.size()) > top_k) {
+      out.resize(static_cast<size_t>(top_k));
+    }
+    return out;
+  }
+
+ private:
+  const GridSystem* grid_;
+  CellId destination_;
+};
+
+TEST_F(ImputerTest, BeamEscapesGreedyTrap) {
+  // Hex rows: y = 0 (S/D axis), y ~ +112.5 (good road), y ~ -112.5
+  // (trap road).
+  const CellId s = grid_.CellOf({0.0, 0.0});
+  const CellId d = grid_.CellOf({5.0 * std::sqrt(3.0) * 75.0, 0.0});
+  SegmentContext context;
+  context.s = {s, 0.0, grid_.Centroid(s), 0.0};
+  context.d = {d, 60.0, grid_.Centroid(d), 0.0};
+
+  KamelOptions options = options_;
+  options.beam_size = 4;
+  options.max_bert_calls_per_segment = 200;
+  ForkTrapSource source(&grid_, d);
+
+  IterativeBertImputer greedy(&grid_, constraints_.get(), options);
+  const ImputedSegment greedy_result = greedy.Impute(&source, context);
+
+  BeamSearchImputer beam(&grid_, constraints_.get(), options);
+  const ImputedSegment beam_result = beam.Impute(&source, context);
+
+  // Greedy follows the 0.5-probability trap road and cannot close the
+  // gap; beam keeps the 0.35 road in its beam and completes.
+  EXPECT_TRUE(greedy_result.failed);
+  ASSERT_FALSE(beam_result.failed);
+  EXPECT_EQ(beam_result.cells.front(), s);
+  EXPECT_EQ(beam_result.cells.back(), d);
+  // The completed path runs along the good (north) road.
+  bool used_good_road = false;
+  for (CellId cell : beam_result.cells) {
+    if (grid_.Centroid(cell).y > 10.0) used_good_road = true;
+  }
+  EXPECT_TRUE(used_good_road);
+}
+
+class BothImputersTest : public testing::TestWithParam<ImputeMethod> {};
+
+TEST_P(BothImputersTest, PropertyOutputEndpointsAndDensity) {
+  // Property shared by both strategies: endpoints preserved and output
+  // dense, across gap lengths and directions.
+  HexGrid grid(75.0);
+  KamelOptions options;
+  options.max_speed_mps = 30.0;
+  options.beam_size = 4;
+  options.max_bert_calls_per_segment = 400;
+  options.method = GetParam();
+  SpatialConstraints constraints(&grid, options);
+  constraints.set_max_speed_mps(30.0);
+  std::unique_ptr<Imputer> imputer;
+  if (GetParam() == ImputeMethod::kIterativeBert) {
+    imputer = std::make_unique<IterativeBertImputer>(&grid, &constraints,
+                                                     options);
+  } else {
+    imputer =
+        std::make_unique<BeamSearchImputer>(&grid, &constraints, options);
+  }
+  StraightSource source(&grid);
+  for (double angle : {0.0, 0.7, 2.1, -1.3}) {
+    for (double gap : {400.0, 900.0, 1600.0}) {
+      SegmentContext context;
+      context.s = {grid.CellOf({0.0, 0.0}), 0.0, {0.0, 0.0}, 0.0};
+      const Vec2 d_pos{gap * std::cos(angle), gap * std::sin(angle)};
+      context.d = {grid.CellOf(d_pos), gap / 12.0, d_pos, 0.0};
+      const ImputedSegment segment = imputer->Impute(&source, context);
+      ASSERT_FALSE(segment.failed) << "angle " << angle << " gap " << gap;
+      EXPECT_EQ(segment.cells.front(), context.s.cell);
+      EXPECT_EQ(segment.cells.back(), context.d.cell);
+      EXPECT_EQ(imputer->FindFirstGap(segment.cells), -1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, BothImputersTest,
+                         testing::Values(ImputeMethod::kIterativeBert,
+                                         ImputeMethod::kBidirectionalBeam));
+
+}  // namespace
+}  // namespace kamel

@@ -1,0 +1,108 @@
+// Trajectory CSV / GeoJSON interchange tests.
+#include <gtest/gtest.h>
+
+#include "io/trajectory_csv.h"
+
+namespace kamel {
+namespace {
+
+TrajectoryDataset SampleData() {
+  TrajectoryDataset data;
+  Trajectory a;
+  a.id = 7;
+  a.points = {{{41.15, -8.61}, 0.0}, {{41.151, -8.612}, 15.0}};
+  Trajectory b;
+  b.id = 9;
+  b.points = {{{41.2, -8.6}, 3.5}};
+  data.trajectories = {a, b};
+  return data;
+}
+
+TEST(TrajectoryCsvTest, RoundTripPreservesEverything) {
+  const TrajectoryDataset data = SampleData();
+  auto parsed = io::ReadCsvString(io::WriteCsvString(data));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->trajectories.size(), 2u);
+  EXPECT_EQ(parsed->trajectories[0].id, 7);
+  EXPECT_EQ(parsed->trajectories[1].id, 9);
+  ASSERT_EQ(parsed->trajectories[0].points.size(), 2u);
+  EXPECT_NEAR(parsed->trajectories[0].points[1].pos.lat, 41.151, 1e-7);
+  EXPECT_NEAR(parsed->trajectories[0].points[1].pos.lng, -8.612, 1e-7);
+  EXPECT_NEAR(parsed->trajectories[0].points[1].time, 15.0, 1e-3);
+}
+
+TEST(TrajectoryCsvTest, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/kamel_io_test.csv";
+  ASSERT_TRUE(io::WriteCsvFile(SampleData(), path).ok());
+  auto parsed = io::ReadCsvFile(path);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->trajectories.size(), 2u);
+}
+
+TEST(TrajectoryCsvTest, SkipsCommentsAndBlankLines) {
+  const std::string text =
+      "trajectory_id,lat,lng,time\n"
+      "# a comment\n"
+      "\n"
+      "1,41.0,-8.0,0\n"
+      "1,41.001,-8.0,10\n";
+  auto parsed = io::ReadCsvString(text);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->trajectories.size(), 1u);
+  EXPECT_EQ(parsed->trajectories[0].points.size(), 2u);
+}
+
+TEST(TrajectoryCsvTest, RejectsMissingHeader) {
+  EXPECT_FALSE(io::ReadCsvString("1,41.0,-8.0,0\n").ok());
+  EXPECT_FALSE(io::ReadCsvString("").ok());
+}
+
+TEST(TrajectoryCsvTest, RejectsMalformedRows) {
+  const std::string header = "trajectory_id,lat,lng,time\n";
+  EXPECT_FALSE(io::ReadCsvString(header + "1,41.0,-8.0\n").ok());
+  EXPECT_FALSE(io::ReadCsvString(header + "1,abc,-8.0,0\n").ok());
+  EXPECT_FALSE(io::ReadCsvString(header + "1,141.0,-8.0,0\n").ok());
+  EXPECT_FALSE(io::ReadCsvString(header + "1,41.0,-481.0,0\n").ok());
+}
+
+TEST(TrajectoryCsvTest, RejectsNonContiguousTrajectories) {
+  const std::string text =
+      "trajectory_id,lat,lng,time\n"
+      "1,41.0,-8.0,0\n"
+      "2,41.0,-8.0,0\n"
+      "1,41.1,-8.0,10\n";
+  EXPECT_FALSE(io::ReadCsvString(text).ok());
+}
+
+TEST(TrajectoryCsvTest, RejectsTimeTravel) {
+  const std::string text =
+      "trajectory_id,lat,lng,time\n"
+      "1,41.0,-8.0,10\n"
+      "1,41.1,-8.0,5\n";
+  EXPECT_FALSE(io::ReadCsvString(text).ok());
+}
+
+TEST(TrajectoryCsvTest, MissingFileFails) {
+  EXPECT_FALSE(io::ReadCsvFile("/no/such/kamel.csv").ok());
+}
+
+TEST(GeoJsonTest, ProducesFeaturePerTrajectory) {
+  const std::string geojson = io::WriteGeoJsonString(SampleData());
+  EXPECT_NE(geojson.find("\"FeatureCollection\""), std::string::npos);
+  EXPECT_NE(geojson.find("\"id\":7"), std::string::npos);
+  EXPECT_NE(geojson.find("\"id\":9"), std::string::npos);
+  EXPECT_NE(geojson.find("LineString"), std::string::npos);
+  // Coordinates are [lng, lat].
+  EXPECT_NE(geojson.find("[-8.6100000,41.1500000]"), std::string::npos);
+  // Balanced braces (cheap well-formedness check).
+  int depth = 0;
+  for (char ch : geojson) {
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+}  // namespace
+}  // namespace kamel

@@ -1,0 +1,281 @@
+// End-to-end tests of the Kamel facade and the streaming front-end on the
+// mini scenario: train -> impute -> verify density, timestamps, accuracy,
+// persistence, and the ablation toggles.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/kamel.h"
+#include "eval/evaluator.h"
+#include "eval/scenario.h"
+#include "sim/datasets.h"
+#include "sim/sparsifier.h"
+
+namespace kamel {
+namespace {
+
+KamelOptions MiniKamelOptions() {
+  KamelOptions options;
+  options.pyramid_height = 0;
+  options.pyramid_levels = 1;
+  options.model_token_threshold = 100;
+  options.bert.encoder.d_model = 32;
+  options.bert.encoder.num_heads = 4;
+  options.bert.encoder.num_layers = 2;
+  options.bert.encoder.ffn_dim = 128;
+  options.bert.encoder.max_seq_len = 32;
+  options.bert.encoder.dropout = 0.1;
+  options.bert.train.steps = 1200;
+  options.bert.train.batch_size = 16;
+  options.bert.train.peak_lr = 1e-3;
+  options.bert.train.warmup_steps = 50;
+  options.beam_size = 4;
+  options.top_k = 6;
+  options.max_bert_calls_per_segment = 200;
+  options.seed = 42;
+  return options;
+}
+
+// One trained system shared by every test in this file (training takes a
+// few seconds; the tests only read it).
+class KamelEndToEndTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scenario_ = new SimScenario(BuildScenario(MiniSpec()));
+    system_ = new Kamel(MiniKamelOptions());
+    ASSERT_TRUE(system_->Train(scenario_->train).ok());
+  }
+  static void TearDownTestSuite() {
+    delete system_;
+    delete scenario_;
+    system_ = nullptr;
+    scenario_ = nullptr;
+  }
+
+  static SimScenario* scenario_;
+  static Kamel* system_;
+};
+
+SimScenario* KamelEndToEndTest::scenario_ = nullptr;
+Kamel* KamelEndToEndTest::system_ = nullptr;
+
+TEST_F(KamelEndToEndTest, TrainingBuildsTheStack) {
+  EXPECT_TRUE(system_->trained());
+  EXPECT_GE(system_->repository().num_models(), 1);
+  EXPECT_GT(system_->max_speed_mps(), 5.0);
+  EXPECT_GT(system_->detokenizer().num_tokens_with_clusters(), 10u);
+  EXPECT_GT(system_->total_train_seconds(), 0.0);
+  EXPECT_GT(system_->store().size(), 0u);
+}
+
+TEST_F(KamelEndToEndTest, ImputeBeforeTrainFails) {
+  Kamel untrained(MiniKamelOptions());
+  EXPECT_EQ(untrained.Impute(scenario_->test.trajectories[0])
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(KamelEndToEndTest, ImputeDensifiesSparseInput) {
+  const Trajectory& dense = scenario_->test.trajectories[0];
+  const Trajectory sparse = Sparsify(dense, 400.0);
+  ASSERT_LT(sparse.points.size(), dense.points.size());
+  auto result = system_->Impute(sparse);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->trajectory.points.size(), sparse.points.size());
+  EXPECT_GT(result->stats.segments, 0);
+  EXPECT_EQ(result->stats.outcomes.size(),
+            static_cast<size_t>(result->stats.segments));
+  // Output timestamps non-decreasing and bounded by the input's range.
+  const auto& points = result->trajectory.points;
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].time, points[i - 1].time - 1e-9);
+  }
+  EXPECT_EQ(points.front().time, sparse.points.front().time);
+  EXPECT_EQ(points.back().time, sparse.points.back().time);
+}
+
+TEST_F(KamelEndToEndTest, OutputHasNoLargeGaps) {
+  const Trajectory sparse =
+      Sparsify(scenario_->test.trajectories[1], 400.0);
+  auto result = system_->Impute(sparse);
+  ASSERT_TRUE(result.ok());
+  if (result->stats.failed_segments > 0) {
+    GTEST_SKIP() << "fallback segments allowed to be sparse";
+  }
+  const auto pts = result->trajectory.ProjectedPoints(system_->projection());
+  for (size_t i = 1; i < pts.size(); ++i) {
+    // Within ~2 hexagon spacings (tokens adjacent + detokenizer offsets).
+    EXPECT_LE(Distance(pts[i - 1], pts[i]), 2.2 * 130.0) << "gap at " << i;
+  }
+}
+
+TEST_F(KamelEndToEndTest, BeatsLinearInterpolationOnRecall) {
+  // The headline claim at mini scale: KAMEL recovers off-the-straight-
+  // line detail that linear interpolation cannot.
+  Evaluator evaluator(scenario_->projection.get());
+  KamelMethod kamel_method(system_);
+  LinearInterpolation linear(100.0);
+  TrajectoryDataset test;
+  for (size_t i = 0; i < 8 && i < scenario_->test.trajectories.size(); ++i) {
+    test.trajectories.push_back(scenario_->test.trajectories[i]);
+  }
+  auto kamel_run = evaluator.RunMethod(&kamel_method, test, 500.0);
+  auto linear_run = evaluator.RunMethod(&linear, test, 500.0);
+  ASSERT_TRUE(kamel_run.ok());
+  ASSERT_TRUE(linear_run.ok());
+  ScoreConfig score;
+  score.delta_m = 50.0;
+  const EvalResult kamel_result = evaluator.Score(*kamel_run, score);
+  const EvalResult linear_result = evaluator.Score(*linear_run, score);
+  EXPECT_GT(kamel_result.recall, 0.55);
+  EXPECT_GE(kamel_result.recall, linear_result.recall);
+  EXPECT_EQ(linear_result.failure_rate, 1.0);
+  EXPECT_LT(kamel_result.failure_rate, 0.6);
+}
+
+TEST_F(KamelEndToEndTest, SaveLoadServesIdenticalImputations) {
+  const std::string path = testing::TempDir() + "/kamel_system_test.bin";
+  ASSERT_TRUE(system_->SaveToFile(path).ok());
+
+  Kamel restored(MiniKamelOptions());
+  ASSERT_TRUE(restored.LoadFromFile(path).ok());
+  EXPECT_TRUE(restored.trained());
+  EXPECT_EQ(restored.repository().num_models(),
+            system_->repository().num_models());
+
+  const Trajectory sparse =
+      Sparsify(scenario_->test.trajectories[2], 400.0);
+  auto original = system_->Impute(sparse);
+  auto reloaded = restored.Impute(sparse);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(reloaded.ok());
+  ASSERT_EQ(original->trajectory.points.size(),
+            reloaded->trajectory.points.size());
+  for (size_t i = 0; i < original->trajectory.points.size(); ++i) {
+    EXPECT_NEAR(original->trajectory.points[i].pos.lat,
+                reloaded->trajectory.points[i].pos.lat, 1e-12);
+    EXPECT_NEAR(original->trajectory.points[i].pos.lng,
+                reloaded->trajectory.points[i].pos.lng, 1e-12);
+  }
+}
+
+TEST_F(KamelEndToEndTest, SaveRequiresTraining) {
+  Kamel untrained(MiniKamelOptions());
+  EXPECT_EQ(untrained.SaveToFile("/tmp/never.bin").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(KamelEndToEndTest, StreamingSessionImputesOnTimeoutAndFlush) {
+  int imputed_count = 0;
+  size_t last_points = 0;
+  StreamingSession session(
+      system_,
+      [&](int64_t, ImputedTrajectory imputed) {
+        ++imputed_count;
+        last_points = imputed.trajectory.points.size();
+      },
+      /*session_timeout_seconds=*/60.0);
+
+  const Trajectory sparse =
+      Sparsify(scenario_->test.trajectories[3], 400.0);
+  for (const TrajPoint& point : sparse.points) {
+    ASSERT_TRUE(session.Push(7, point).ok());
+  }
+  EXPECT_EQ(session.open_trajectories(), 1u);
+  EXPECT_EQ(imputed_count, 0);
+
+  // A reading far in the future closes the previous trip.
+  TrajPoint late = sparse.points.back();
+  late.time += 10000.0;
+  ASSERT_TRUE(session.Push(7, late).ok());
+  EXPECT_EQ(imputed_count, 1);
+  EXPECT_GE(last_points, sparse.points.size());
+
+  ASSERT_TRUE(session.Flush().ok());
+  EXPECT_EQ(imputed_count, 2);
+  EXPECT_EQ(session.open_trajectories(), 0u);
+}
+
+TEST_F(KamelEndToEndTest, StreamingRejectsTimeTravel) {
+  StreamingSession session(system_, nullptr);
+  ASSERT_TRUE(session.Push(1, {{45.0, -93.0}, 100.0}).ok());
+  EXPECT_EQ(session.Push(1, {{45.0, -93.0}, 50.0}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(session.EndTrajectory(99).code(), StatusCode::kNotFound);
+}
+
+TEST(KamelAblationTest, TogglesProduceWorkingSystems) {
+  // Each ablation of Section 8.7 must still train and impute.
+  const SimScenario scenario = BuildScenario(MiniSpec(19));
+  const Trajectory sparse = Sparsify(scenario.test.trajectories[0], 500.0);
+  for (int variant = 0; variant < 3; ++variant) {
+    KamelOptions options = MiniKamelOptions();
+    options.bert.train.steps = 250;  // quality not under test here
+    if (variant == 0) options.enable_partitioning = false;
+    if (variant == 1) options.enable_constraints = false;
+    if (variant == 2) options.enable_multipoint = false;
+    Kamel system(options);
+    ASSERT_TRUE(system.Train(scenario.train).ok()) << variant;
+    auto result = system.Impute(sparse);
+    ASSERT_TRUE(result.ok()) << variant;
+    EXPECT_GE(result->trajectory.points.size(), sparse.points.size());
+  }
+}
+
+TEST(KamelTrainTest, SecondBatchEnrichesTheSystem) {
+  // Section 4.2: a later training batch is merged with the stored data
+  // and refreshes the models rather than replacing the system.
+  KamelOptions options = MiniKamelOptions();
+  options.bert.train.steps = 200;
+  const SimScenario scenario = BuildScenario(MiniSpec(29));
+
+  TrajectoryDataset first_half;
+  TrajectoryDataset second_half;
+  for (size_t i = 0; i < scenario.train.trajectories.size(); ++i) {
+    (i % 2 == 0 ? first_half : second_half)
+        .trajectories.push_back(scenario.train.trajectories[i]);
+  }
+  Kamel system(options);
+  ASSERT_TRUE(system.Train(first_half).ok());
+  const size_t stored_after_first = system.store().size();
+  const size_t clusters_after_first =
+      system.detokenizer().num_observations();
+  ASSERT_TRUE(system.Train(second_half).ok());
+  EXPECT_GT(system.store().size(), stored_after_first);
+  EXPECT_GT(system.detokenizer().num_observations(), clusters_after_first);
+
+  // The enriched model is rebuilt from the union: its info reflects both
+  // batches.
+  int64_t max_statements = 0;
+  for (const ModelInfo& info : system.repository().ModelInfos()) {
+    max_statements = std::max(max_statements, info.statements_at_build);
+  }
+  EXPECT_GT(max_statements,
+            static_cast<int64_t>(first_half.trajectories.size()));
+  // And imputation still works.
+  auto result =
+      system.Impute(Sparsify(scenario.test.trajectories[0], 400.0));
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(KamelTrainTest, RejectsEmptyDataset) {
+  Kamel system(MiniKamelOptions());
+  EXPECT_FALSE(system.Train(TrajectoryDataset{}).ok());
+}
+
+TEST(KamelTrainTest, IterativeMethodAlsoWorks) {
+  KamelOptions options = MiniKamelOptions();
+  options.method = ImputeMethod::kIterativeBert;
+  options.bert.train.steps = 400;
+  const SimScenario scenario = BuildScenario(MiniSpec(23));
+  Kamel system(options);
+  ASSERT_TRUE(system.Train(scenario.train).ok());
+  const Trajectory sparse = Sparsify(scenario.test.trajectories[0], 400.0);
+  auto result = system.Impute(sparse);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->trajectory.points.size(), sparse.points.size());
+}
+
+}  // namespace
+}  // namespace kamel

@@ -1,0 +1,353 @@
+#include <gtest/gtest.h>
+
+#include "bert/traj_bert.h"
+#include "bert/vocab.h"
+#include "nn/mlm_trainer.h"
+
+namespace kamel {
+namespace {
+
+TEST(VocabTest, SpecialTokenLayout) {
+  Vocab vocab;
+  EXPECT_EQ(vocab.size(), Vocab::kFirstContentId);
+  EXPECT_EQ(vocab.num_cells(), 0);
+  EXPECT_FALSE(vocab.IsContentToken(Vocab::kMaskId));
+  EXPECT_EQ(vocab.CellOf(Vocab::kClsId), kInvalidCellId);
+}
+
+TEST(VocabTest, AddIsIdempotentAndOrdered) {
+  Vocab vocab;
+  const int32_t a = vocab.AddCell(100);
+  const int32_t b = vocab.AddCell(200);
+  EXPECT_EQ(vocab.AddCell(100), a);
+  EXPECT_EQ(a, Vocab::kFirstContentId);
+  EXPECT_EQ(b, Vocab::kFirstContentId + 1);
+  EXPECT_EQ(vocab.TokenOf(100), a);
+  EXPECT_EQ(vocab.CellOf(b), 200u);
+  EXPECT_EQ(vocab.size(), Vocab::kFirstContentId + 2);
+}
+
+TEST(VocabTest, UnknownCellMapsToUnk) {
+  Vocab vocab;
+  vocab.AddCell(1);
+  EXPECT_EQ(vocab.TokenOf(999), Vocab::kUnkId);
+}
+
+TEST(VocabTest, SaveLoadRoundTrip) {
+  Vocab vocab;
+  vocab.AddCell(42);
+  vocab.AddCell(7);
+  BinaryWriter writer;
+  vocab.Save(&writer);
+  BinaryReader reader(writer.buffer());
+  auto loaded = Vocab::Load(&reader);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->TokenOf(42), vocab.TokenOf(42));
+  EXPECT_EQ(loaded->TokenOf(7), vocab.TokenOf(7));
+  EXPECT_EQ(loaded->size(), vocab.size());
+}
+
+TEST(MakeStatementTest, WrapsWithClsSep) {
+  Vocab vocab;
+  vocab.AddCell(10);
+  vocab.AddCell(20);
+  const std::vector<int32_t> statement = MakeStatement({10, 20, 10}, vocab);
+  ASSERT_EQ(statement.size(), 5u);
+  EXPECT_EQ(statement.front(), Vocab::kClsId);
+  EXPECT_EQ(statement.back(), Vocab::kSepId);
+  EXPECT_EQ(statement[1], statement[3]);
+}
+
+TEST(MlmBatchTest, InvariantsHold) {
+  Rng rng(1);
+  std::vector<std::vector<int32_t>> sequences;
+  for (int s = 0; s < 10; ++s) {
+    std::vector<int32_t> seq = {2};  // CLS
+    for (int t = 0; t < 12; ++t) seq.push_back(5 + (s + t) % 20);
+    seq.push_back(3);  // SEP
+    sequences.push_back(seq);
+  }
+  nn::MlmTrainOptions options;
+  options.batch_size = 8;
+  options.mask_prob = 0.15;
+  const nn::MlmTokenLayout layout{0, 4, 5};
+  const nn::MlmBatch batch =
+      nn::BuildMlmBatch(sequences, layout, options, 16, 25, &rng);
+
+  EXPECT_EQ(batch.batch, 8);
+  EXPECT_LE(batch.seq_len, 16);
+  int masked = 0;
+  for (int64_t i = 0; i < batch.batch * batch.seq_len; ++i) {
+    const size_t idx = static_cast<size_t>(i);
+    if (batch.key_mask[idx] == 0.0f) {
+      EXPECT_EQ(batch.ids[idx], layout.pad_id);   // padding is PAD
+      EXPECT_EQ(batch.labels[idx], -1);           // and never labeled
+    }
+    if (batch.labels[idx] >= 0) {
+      ++masked;
+      EXPECT_GE(batch.labels[idx], layout.first_content_id)
+          << "only content tokens are masked";
+      // At a labeled position, the visible id is MASK, a random content
+      // token, or the original token — never a special other than MASK.
+      EXPECT_TRUE(batch.ids[idx] == layout.mask_id ||
+                  batch.ids[idx] >= layout.first_content_id);
+    }
+  }
+  EXPECT_GT(masked, 0);
+}
+
+TEST(MlmBatchTest, EveryStatementGetsAtLeastOneMask) {
+  Rng rng(2);
+  std::vector<std::vector<int32_t>> sequences = {{2, 5, 6, 3}};
+  nn::MlmTrainOptions options;
+  options.batch_size = 32;
+  options.mask_prob = 0.0;  // Bernoulli would never mask; fallback must.
+  const nn::MlmTokenLayout layout{0, 4, 5};
+  const nn::MlmBatch batch =
+      nn::BuildMlmBatch(sequences, layout, options, 8, 10, &rng);
+  for (int64_t b = 0; b < batch.batch; ++b) {
+    int masked = 0;
+    for (int64_t t = 0; t < batch.seq_len; ++t) {
+      masked += batch.labels[static_cast<size_t>(b * batch.seq_len + t)] >= 0;
+    }
+    EXPECT_EQ(masked, 1) << "statement " << b;
+  }
+}
+
+TEST(MlmBatchTest, GapDeletionProducesSingleMaskBridges) {
+  Rng rng(5);
+  // One long statement; force gap-deletion on every draw.
+  std::vector<int32_t> seq = {2};
+  for (int t = 0; t < 20; ++t) seq.push_back(5 + t);
+  seq.push_back(3);
+  nn::MlmTrainOptions options;
+  options.batch_size = 16;
+  options.crop_prob = 0.0;
+  options.gap_deletion_prob = 1.0;
+  options.gap_min_len = 2;
+  options.gap_max_len = 6;
+  const nn::MlmTokenLayout layout{0, 4, 5};
+  const nn::MlmBatch batch =
+      nn::BuildMlmBatch({seq}, layout, options, 32, 30, &rng);
+
+  for (int64_t b = 0; b < batch.batch; ++b) {
+    int masks = 0;
+    int labels = 0;
+    int real = 0;
+    int64_t mask_pos = -1;
+    for (int64_t t = 0; t < batch.seq_len; ++t) {
+      const size_t idx = static_cast<size_t>(b * batch.seq_len + t);
+      if (batch.key_mask[idx] == 0.0f) continue;
+      ++real;
+      if (batch.ids[idx] == layout.mask_id) {
+        ++masks;
+        mask_pos = t;
+      }
+      if (batch.labels[idx] >= 0) ++labels;
+    }
+    // Exactly one [MASK], exactly one label, at the same position, and
+    // the statement shrank by gap_len - 1 tokens (2..6 -> 1).
+    EXPECT_EQ(masks, 1) << b;
+    EXPECT_EQ(labels, 1) << b;
+    ASSERT_GE(mask_pos, 0);
+    const size_t mask_idx = static_cast<size_t>(b * batch.seq_len + mask_pos);
+    EXPECT_GE(batch.labels[mask_idx], layout.first_content_id);
+    EXPECT_GE(real, static_cast<int>(seq.size()) - 6 + 1);
+    EXPECT_LE(real, static_cast<int>(seq.size()) - 2 + 1);
+    // The label is one of the two tokens adjacent to the gap in the
+    // original statement: its value must NOT appear in the visible ids
+    // (it was deleted) and must be adjacent to the mask's neighbors in
+    // the original ordering.
+    const int32_t left_of_mask =
+        batch.ids[static_cast<size_t>(b * batch.seq_len + mask_pos - 1)];
+    const int32_t label_value = batch.labels[mask_idx];
+    bool found = false;
+    for (size_t t = 0; t + 1 < seq.size(); ++t) {
+      if (seq[t] == left_of_mask &&
+          (seq[t + 1] == label_value ||
+           (t + 2 < seq.size() && label_value > seq[t + 1]))) {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(MlmBatchTest, GapDeletionFallsBackOnShortStatements) {
+  Rng rng(6);
+  nn::MlmTrainOptions options;
+  options.batch_size = 8;
+  options.gap_deletion_prob = 1.0;  // but statements are too short
+  options.mask_prob = 0.15;
+  const nn::MlmTokenLayout layout{0, 4, 5};
+  const nn::MlmBatch batch =
+      nn::BuildMlmBatch({{2, 5, 6, 3}}, layout, options, 16, 10, &rng);
+  // Standard masking fallback still yields at least one label per row.
+  for (int64_t b = 0; b < batch.batch; ++b) {
+    int labels = 0;
+    for (int64_t t = 0; t < batch.seq_len; ++t) {
+      labels +=
+          batch.labels[static_cast<size_t>(b * batch.seq_len + t)] >= 0;
+    }
+    EXPECT_GE(labels, 1);
+  }
+}
+
+TEST(MlmBatchTest, LongSequencesAreCropped) {
+  Rng rng(3);
+  std::vector<int32_t> long_seq(40);
+  for (size_t i = 0; i < long_seq.size(); ++i) {
+    long_seq[i] = static_cast<int32_t>(5 + i);
+  }
+  nn::MlmTrainOptions options;
+  options.batch_size = 4;
+  const nn::MlmTokenLayout layout{0, 4, 5};
+  const nn::MlmBatch batch =
+      nn::BuildMlmBatch({long_seq}, layout, options, 16, 50, &rng);
+  EXPECT_EQ(batch.seq_len, 16);
+}
+
+TEST(TrainMlmTest, RejectsEmptyCorpus) {
+  nn::BertConfig config;
+  config.vocab_size = 10;
+  config.d_model = 8;
+  config.num_heads = 2;
+  config.num_layers = 1;
+  config.ffn_dim = 16;
+  nn::BertModel model(config, 1);
+  const nn::MlmTokenLayout layout{0, 4, 5};
+  EXPECT_FALSE(nn::TrainMlm(&model, {}, layout, {}).ok());
+}
+
+TEST(TrainMlmTest, LearnsDeterministicPattern) {
+  // Corpus: the fixed cyclic statement 5 6 7 8 9 5 6 7 8 9. A trained
+  // model must assign the true token the top probability at any masked
+  // position.
+  nn::BertConfig config;
+  config.vocab_size = 10;
+  config.d_model = 16;
+  config.num_heads = 2;
+  config.num_layers = 2;
+  config.ffn_dim = 32;
+  config.max_seq_len = 12;
+  config.dropout = 0.0;
+  nn::BertModel model(config, 5);
+
+  std::vector<std::vector<int32_t>> corpus;
+  for (int s = 0; s < 8; ++s) {
+    std::vector<int32_t> seq = {2};
+    for (int t = 0; t < 10; ++t) seq.push_back(5 + t % 5);
+    corpus.push_back(seq);
+  }
+  nn::MlmTrainOptions options;
+  options.steps = 300;
+  options.batch_size = 8;
+  options.peak_lr = 3e-3;
+  options.warmup_steps = 20;
+  const nn::MlmTokenLayout layout{0, 4, 5};
+  auto stats = nn::TrainMlm(&model, corpus, layout, options);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_LT(stats->final_loss, 0.8) << "MLM loss did not drop";
+
+  // Mask position 3 (true token 7): [CLS] 5 6 [MASK] 8 9 ...
+  std::vector<int32_t> ids = {2, 5, 6, 4, 8, 9, 5, 6, 7, 8, 9};
+  const std::vector<float> mask(ids.size(), 1.0f);
+  const nn::Tensor logits = model.Forward(
+      ids, mask, 1, static_cast<int64_t>(ids.size()), false);
+  const std::vector<float> probs = model.PositionProbabilities(logits, 3);
+  int best = 0;
+  for (size_t i = 1; i < probs.size(); ++i) {
+    if (probs[i] > probs[static_cast<size_t>(best)]) {
+      best = static_cast<int>(i);
+    }
+  }
+  EXPECT_EQ(best, 7);
+}
+
+TEST(TrajBertTest, TrainRejectsEmptyCorpus) {
+  TrajBertOptions options;
+  EXPECT_FALSE(TrajBert::Train({}, options, 1).ok());
+}
+
+class TrajBertLineTest : public testing::Test {
+ protected:
+  // Corpus of cell-id walks along a line 100..119 (forward and backward)
+  // — the simplest "road". Predictions between neighbors should stay on
+  // the line.
+  static TrajBertOptions Options() {
+    TrajBertOptions options;
+    options.encoder.d_model = 32;
+    options.encoder.num_heads = 2;
+    options.encoder.num_layers = 2;
+    options.encoder.ffn_dim = 64;
+    options.encoder.max_seq_len = 24;
+    options.encoder.dropout = 0.0;
+    options.train.steps = 1500;
+    options.train.batch_size = 8;
+    options.train.peak_lr = 1e-3;
+    options.train.warmup_steps = 60;
+    return options;
+  }
+
+  static std::vector<std::vector<CellId>> LineCorpus() {
+    std::vector<std::vector<CellId>> corpus;
+    for (int repeat = 0; repeat < 6; ++repeat) {
+      std::vector<CellId> fwd;
+      std::vector<CellId> bwd;
+      for (int c = 0; c < 20; ++c) {
+        fwd.push_back(static_cast<CellId>(100 + c));
+        bwd.push_back(static_cast<CellId>(119 - c));
+      }
+      corpus.push_back(fwd);
+      corpus.push_back(bwd);
+    }
+    return corpus;
+  }
+};
+
+TEST_F(TrajBertLineTest, PredictsTheMissingLineCell) {
+  auto bert = TrajBert::Train(LineCorpus(), Options(), 9);
+  ASSERT_TRUE(bert.ok());
+  EXPECT_EQ((*bert)->vocab().num_cells(), 20);
+
+  // [MASK] between 104 and 106 must be 105.
+  const std::vector<Candidate> candidates =
+      (*bert)->PredictMasked({102, 103, 104}, {106, 107, 108}, 3);
+  ASSERT_FALSE(candidates.empty());
+  EXPECT_EQ(candidates[0].cell, 105u);
+  EXPECT_GT(candidates[0].prob, 0.3);
+  // Probabilities sorted descending.
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    EXPECT_GE(candidates[i - 1].prob, candidates[i].prob);
+  }
+}
+
+TEST_F(TrajBertLineTest, SaveLoadPreservesPredictions) {
+  auto bert = TrajBert::Train(LineCorpus(), Options(), 9);
+  ASSERT_TRUE(bert.ok());
+  BinaryWriter writer;
+  (*bert)->Save(&writer);
+  BinaryReader reader(writer.buffer());
+  auto loaded = TrajBert::Load(&reader);
+  ASSERT_TRUE(loaded.ok());
+
+  const auto before = (*bert)->PredictMasked({104}, {106}, 5);
+  const auto after = (*loaded)->PredictMasked({104}, {106}, 5);
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].cell, after[i].cell);
+    EXPECT_NEAR(before[i].prob, after[i].prob, 1e-6);
+  }
+}
+
+TEST_F(TrajBertLineTest, CountsPredictCalls) {
+  auto bert = TrajBert::Train(LineCorpus(), Options(), 9);
+  ASSERT_TRUE(bert.ok());
+  EXPECT_EQ((*bert)->num_predict_calls(), 0);
+  (*bert)->PredictMasked({104}, {106}, 2);
+  (*bert)->PredictMasked({104}, {106}, 2);
+  EXPECT_EQ((*bert)->num_predict_calls(), 2);
+}
+
+}  // namespace
+}  // namespace kamel

@@ -1,0 +1,179 @@
+// Second-wave nn tests: position offsets, training-dynamics sanity, and
+// determinism guarantees the rest of the system relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "nn/mlm_trainer.h"
+#include "nn/transformer.h"
+
+namespace kamel::nn {
+namespace {
+
+BertConfig SmallConfig() {
+  BertConfig config;
+  config.vocab_size = 12;
+  config.d_model = 8;
+  config.num_heads = 2;
+  config.num_layers = 1;
+  config.ffn_dim = 16;
+  config.max_seq_len = 10;
+  config.dropout = 0.0;
+  return config;
+}
+
+TEST(PositionOffsetTest, OffsetsChangeLogits) {
+  BertModel model(SmallConfig(), 11);
+  const std::vector<int32_t> ids = {2, 5, 6, 3};
+  const std::vector<float> mask(4, 1.0f);
+  const Tensor base = model.Forward(ids, mask, 1, 4, false);
+  const std::vector<int32_t> offsets = {3};
+  const Tensor shifted = model.Forward(ids, mask, 1, 4, false, &offsets);
+  // Different position embeddings -> different logits.
+  double diff = 0.0;
+  for (int64_t i = 0; i < base.size(); ++i) {
+    diff += std::fabs(base[i] - shifted[i]);
+  }
+  EXPECT_GT(diff, 1e-3);
+}
+
+TEST(PositionOffsetTest, ZeroOffsetMatchesDefault) {
+  BertModel model(SmallConfig(), 12);
+  const std::vector<int32_t> ids = {2, 5, 6, 3};
+  const std::vector<float> mask(4, 1.0f);
+  const Tensor base = model.Forward(ids, mask, 1, 4, false);
+  const std::vector<int32_t> offsets = {0};
+  const Tensor same = model.Forward(ids, mask, 1, 4, false, &offsets);
+  for (int64_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(base[i], same[i]);
+  }
+}
+
+TEST(PositionOffsetTest, PerRowOffsetsAreIndependent) {
+  // Two identical rows with different offsets must produce different
+  // logits for the same tokens.
+  BertModel model(SmallConfig(), 13);
+  const std::vector<int32_t> ids = {2, 5, 6, 3, 2, 5, 6, 3};
+  const std::vector<float> mask(8, 1.0f);
+  const std::vector<int32_t> offsets = {0, 4};
+  const Tensor logits = model.Forward(ids, mask, 2, 4, false, &offsets);
+  double diff = 0.0;
+  const int64_t row = 4 * model.config().vocab_size;
+  for (int64_t i = 0; i < row; ++i) {
+    diff += std::fabs(logits[i] - logits[row + i]);
+  }
+  EXPECT_GT(diff, 1e-3);
+}
+
+TEST(ForwardDeterminismTest, EvalModeIsDeterministic) {
+  BertModel model(SmallConfig(), 14);
+  const std::vector<int32_t> ids = {2, 7, 4, 9, 3};
+  const std::vector<float> mask(5, 1.0f);
+  const Tensor a = model.Forward(ids, mask, 1, 5, false);
+  const Tensor b = model.Forward(ids, mask, 1, 5, false);
+  for (int64_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(ForwardDeterminismTest, SameSeedSameModel) {
+  BertModel a(SmallConfig(), 15);
+  BertModel b(SmallConfig(), 15);
+  const std::vector<int32_t> ids = {2, 7, 4, 9, 3};
+  const std::vector<float> mask(5, 1.0f);
+  const Tensor la = a.Forward(ids, mask, 1, 5, false);
+  const Tensor lb = b.Forward(ids, mask, 1, 5, false);
+  for (int64_t i = 0; i < la.size(); ++i) EXPECT_EQ(la[i], lb[i]);
+}
+
+TEST(TrainingDynamicsTest, LossDecreasesOnRandomButLearnableData) {
+  // Bigram-structured corpus: token x is always followed by (x+3) mod 6
+  // within the content range; the model must beat the uniform baseline
+  // log(6) ~ 1.79 clearly.
+  std::vector<std::vector<int32_t>> corpus;
+  Rng rng(55);
+  for (int s = 0; s < 20; ++s) {
+    std::vector<int32_t> seq = {2};
+    int32_t tok = static_cast<int32_t>(5 + rng.NextUint64(6));
+    for (int t = 0; t < 8; ++t) {
+      seq.push_back(tok);
+      tok = 5 + (tok - 5 + 3) % 6;
+    }
+    corpus.push_back(seq);
+  }
+  BertConfig config = SmallConfig();
+  config.d_model = 16;
+  config.ffn_dim = 32;
+  BertModel model(config, 16);
+  MlmTrainOptions options;
+  options.steps = 250;
+  options.batch_size = 8;
+  options.peak_lr = 3e-3;
+  options.warmup_steps = 20;
+  const MlmTokenLayout layout{0, 4, 5};
+  auto stats = TrainMlm(&model, corpus, layout, options);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_LT(stats->final_loss, 1.2);
+  EXPECT_GT(stats->seconds, 0.0);
+  EXPECT_EQ(stats->steps, 250);
+}
+
+TEST(TrainingDynamicsTest, DeterministicGivenSeeds) {
+  std::vector<std::vector<int32_t>> corpus = {
+      {2, 5, 6, 7, 8, 3}, {2, 8, 7, 6, 5, 3}};
+  const MlmTokenLayout layout{0, 4, 5};
+  MlmTrainOptions options;
+  options.steps = 40;
+  options.batch_size = 4;
+
+  BertModel a(SmallConfig(), 20);
+  BertModel b(SmallConfig(), 20);
+  ASSERT_TRUE(TrainMlm(&a, corpus, layout, options).ok());
+  ASSERT_TRUE(TrainMlm(&b, corpus, layout, options).ok());
+  auto pa = a.Params();
+  auto pb = b.Params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i]->value.size(), pb[i]->value.size());
+    for (int64_t j = 0; j < pa[i]->value.size(); ++j) {
+      ASSERT_EQ(pa[i]->value[j], pb[i]->value[j]) << pa[i]->name;
+    }
+  }
+}
+
+TEST(TrainingDynamicsTest, DropoutOnlyAffectsTrainMode) {
+  BertConfig config = SmallConfig();
+  config.dropout = 0.3;
+  BertModel model(config, 21);
+  const std::vector<int32_t> ids = {2, 7, 4, 9, 3};
+  const std::vector<float> mask(5, 1.0f);
+  // Eval is deterministic even with dropout configured.
+  const Tensor a = model.Forward(ids, mask, 1, 5, false);
+  const Tensor b = model.Forward(ids, mask, 1, 5, false);
+  for (int64_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  // Train mode applies noise.
+  const Tensor t1 = model.Forward(ids, mask, 1, 5, true);
+  double diff = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i) diff += std::fabs(a[i] - t1[i]);
+  EXPECT_GT(diff, 1e-3);
+}
+
+TEST(NumParametersTest, MatchesKnownFormulaAtBase) {
+  // Sanity-check the parameter-count formula at a BERT-Base-like shape:
+  // the paper reports ~165M trainable parameters at vocab 80K
+  // (Section 8, with the MLM head tied to the embeddings). Our head is
+  // untied, adding one extra d_model x vocab matrix, so the count lands
+  // somewhat above the paper's.
+  BertConfig config;
+  config.vocab_size = 80000;
+  config.d_model = 768;
+  config.num_heads = 12;
+  config.num_layers = 12;
+  config.ffn_dim = 3072;
+  config.max_seq_len = 512;
+  const double params = static_cast<double>(config.NumParameters());
+  EXPECT_GT(params, 140e6);
+  EXPECT_LT(params, 235e6);
+}
+
+}  // namespace
+}  // namespace kamel::nn

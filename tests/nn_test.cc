@@ -1,0 +1,593 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "nn/adam.h"
+#include "nn/attention.h"
+#include "nn/blas.h"
+#include "nn/layers.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
+#include "nn/transformer.h"
+
+namespace kamel::nn {
+namespace {
+
+TEST(TensorTest, ShapesAndAccess) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6);
+  EXPECT_EQ(t.rank(), 2);
+  t.At(1, 2) = 5.0f;
+  EXPECT_EQ(t[5], 5.0f);
+  t.Reshape({3, 2});
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_EQ(t.ShapeString(), "f32[3, 2]");
+}
+
+TEST(TensorTest, FactoryFunctions) {
+  Rng rng(1);
+  const Tensor z = Tensor::Zeros({4});
+  EXPECT_EQ(z.Sum(), 0.0);
+  const Tensor f = Tensor::Full({4}, 2.5f);
+  EXPECT_EQ(f.Sum(), 10.0);
+  const Tensor r = Tensor::Randn({1000}, &rng, 0.1);
+  EXPECT_NEAR(r.Sum() / 1000.0, 0.0, 0.02);
+  EXPECT_LT(r.AbsMax(), 0.6f);
+}
+
+// Reference triple-loop matmul for validating Sgemm.
+void NaiveGemm(bool ta, bool tb, int64_t m, int64_t n, int64_t k,
+               float alpha, const Tensor& a, const Tensor& b, float beta,
+               Tensor* c) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = ta ? a.At(p, i) : a.At(i, p);
+        const float bv = tb ? b.At(j, p) : b.At(p, j);
+        acc += static_cast<double>(av) * bv;
+      }
+      c->At(i, j) = static_cast<float>(alpha * acc + beta * c->At(i, j));
+    }
+  }
+}
+
+struct GemmCase {
+  bool ta;
+  bool tb;
+  float beta;
+};
+
+class SgemmTest : public testing::TestWithParam<GemmCase> {};
+
+TEST_P(SgemmTest, MatchesNaiveReference) {
+  const GemmCase param = GetParam();
+  Rng rng(33);
+  const int64_t m = 7, n = 5, k = 9;
+  Tensor a = param.ta ? Tensor::Randn({k, m}, &rng, 1.0)
+                      : Tensor::Randn({m, k}, &rng, 1.0);
+  Tensor b = param.tb ? Tensor::Randn({n, k}, &rng, 1.0)
+                      : Tensor::Randn({k, n}, &rng, 1.0);
+  Tensor c = Tensor::Randn({m, n}, &rng, 1.0);
+  Tensor expected = c;
+  NaiveGemm(param.ta, param.tb, m, n, k, 0.75f, a, b, param.beta,
+            &expected);
+  Sgemm(param.ta, param.tb, m, n, k, 0.75f, a.data(), a.dim(1), b.data(),
+        b.dim(1), param.beta, c.data(), n);
+  for (int64_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], expected[i], 1e-4) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransposeCombos, SgemmTest,
+    testing::Values(GemmCase{false, false, 0.0f},
+                    GemmCase{false, false, 1.0f},
+                    GemmCase{true, false, 0.0f},
+                    GemmCase{false, true, 0.0f},
+                    GemmCase{true, true, 0.5f}));
+
+TEST(OpsTest, GeluValues) {
+  float y[3];
+  const float x[3] = {-10.0f, 0.0f, 10.0f};
+  GeluForward(x, y, 3);
+  EXPECT_NEAR(y[0], 0.0f, 1e-4);
+  EXPECT_EQ(y[1], 0.0f);
+  EXPECT_NEAR(y[2], 10.0f, 1e-4);
+}
+
+TEST(OpsTest, GeluGradientMatchesFiniteDifference) {
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    const float x = static_cast<float>(rng.NextDouble(-3.0, 3.0));
+    const float eps = 1e-3f;
+    float lo, hi;
+    float xin = x - eps;
+    GeluForward(&xin, &lo, 1);
+    xin = x + eps;
+    GeluForward(&xin, &hi, 1);
+    const float numeric = (hi - lo) / (2 * eps);
+    float analytic;
+    const float dy = 1.0f;
+    GeluBackward(&x, &dy, &analytic, 1);
+    EXPECT_NEAR(analytic, numeric, 5e-3) << "x=" << x;
+  }
+}
+
+TEST(OpsTest, SoftmaxRowSumsToOneAndIsShiftInvariant) {
+  const float x[4] = {1.0f, 2.0f, 3.0f, 4.0f};
+  float y[4];
+  SoftmaxRow(x, y, 4);
+  double sum = 0.0;
+  for (float v : y) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  EXPECT_GT(y[3], y[2]);
+
+  float shifted[4];
+  const float xs[4] = {101.0f, 102.0f, 103.0f, 104.0f};
+  SoftmaxRow(xs, shifted, 4);
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(shifted[i], y[i], 1e-6);
+}
+
+TEST(OpsTest, SoftmaxHandlesExtremeLogits) {
+  const float x[3] = {-1e9f, 0.0f, 1.0f};
+  float y[3];
+  SoftmaxRow(x, y, 3);
+  EXPECT_NEAR(y[0], 0.0f, 1e-12);
+  EXPECT_NEAR(y[1] + y[2], 1.0f, 1e-6);
+}
+
+TEST(OpsTest, SoftmaxBackwardMatchesFiniteDifference) {
+  Rng rng(6);
+  const int n = 5;
+  float x[n], p[n], dy[n], dx[n];
+  for (int i = 0; i < n; ++i) {
+    x[i] = static_cast<float>(rng.NextDouble(-2, 2));
+    dy[i] = static_cast<float>(rng.NextDouble(-1, 1));
+  }
+  SoftmaxRow(x, p, n);
+  SoftmaxBackwardRow(p, dy, dx, n);
+  for (int i = 0; i < n; ++i) {
+    const float eps = 1e-3f;
+    float xp[n], pp[n], pm[n];
+    std::copy(x, x + n, xp);
+    xp[i] += eps;
+    SoftmaxRow(xp, pp, n);
+    xp[i] -= 2 * eps;
+    SoftmaxRow(xp, pm, n);
+    double numeric = 0.0;
+    for (int j = 0; j < n; ++j) {
+      numeric += static_cast<double>(dy[j]) * (pp[j] - pm[j]) / (2 * eps);
+    }
+    EXPECT_NEAR(dx[i], numeric, 2e-3);
+  }
+}
+
+// Checks analytic parameter gradients of `loss_fn` (a deterministic scalar
+// function that runs forward+backward and leaves grads accumulated)
+// against central finite differences on a sample of entries.
+template <typename LossFn>
+void CheckParamGradients(const std::vector<Param*>& params, LossFn loss_fn,
+                         double tolerance) {
+  for (Param* p : params) p->grad.SetZero();
+  const double base = loss_fn();
+  (void)base;
+  Rng rng(99);
+  for (Param* p : params) {
+    const int64_t samples = std::min<int64_t>(4, p->value.size());
+    for (int64_t s = 0; s < samples; ++s) {
+      const int64_t i = static_cast<int64_t>(
+          rng.NextUint64(static_cast<uint64_t>(p->value.size())));
+      const float analytic = p->grad[i];
+      const float eps = 3e-3f;
+      const float saved = p->value[i];
+      p->value[i] = saved + eps;
+      // Fresh grads so the probe run does not pollute anything.
+      std::vector<Tensor> grad_backup;
+      for (Param* q : params) grad_backup.push_back(q->grad);
+      const double hi = loss_fn();
+      p->value[i] = saved - eps;
+      const double lo = loss_fn();
+      p->value[i] = saved;
+      for (size_t q = 0; q < params.size(); ++q) {
+        params[q]->grad = grad_backup[q];
+      }
+      const double numeric = (hi - lo) / (2.0 * eps);
+      EXPECT_NEAR(analytic, numeric,
+                  tolerance * std::max(1.0, std::fabs(numeric)))
+          << p->name << "[" << i << "]";
+    }
+  }
+}
+
+TEST(LinearTest, ForwardComputesAffineMap) {
+  Rng rng(7);
+  Linear layer("test", 3, 2, &rng);
+  std::vector<Param*> params;
+  layer.CollectParams(&params);
+  ASSERT_EQ(params.size(), 2u);
+  // Set known weights: y = x W + b.
+  Param* w = params[0];
+  Param* b = params[1];
+  for (int64_t i = 0; i < w->value.size(); ++i) {
+    w->value[i] = static_cast<float>(i);
+  }
+  b->value[0] = 1.0f;
+  b->value[1] = -1.0f;
+  Tensor x({1, 3});
+  x[0] = 1.0f;
+  x[1] = 2.0f;
+  x[2] = 3.0f;
+  const Tensor y = layer.Forward(x);
+  // W = [[0,1],[2,3],[4,5]]; y = [0+4+12, 1+6+15] + [1,-1] = [17, 21].
+  EXPECT_NEAR(y[0], 17.0f, 1e-5);
+  EXPECT_NEAR(y[1], 21.0f, 1e-5);
+}
+
+TEST(LinearTest, GradCheck) {
+  Rng rng(8);
+  Linear layer("lin", 4, 3, &rng);
+  Tensor x = Tensor::Randn({2, 4}, &rng, 1.0);
+  Tensor coef = Tensor::Randn({2, 3}, &rng, 1.0);
+  std::vector<Param*> params;
+  layer.CollectParams(&params);
+
+  Tensor dx_analytic;
+  auto loss = [&]() {
+    const Tensor y = layer.Forward(x);
+    double total = 0.0;
+    for (int64_t i = 0; i < y.size(); ++i) {
+      total += static_cast<double>(coef[i]) * y[i];
+    }
+    dx_analytic = layer.Backward(coef);
+    return total;
+  };
+  CheckParamGradients(params, loss, 2e-2);
+
+  // Input gradient check.
+  for (int64_t i = 0; i < x.size(); ++i) {
+    const float eps = 3e-3f;
+    const float saved = x[i];
+    x[i] = saved + eps;
+    const Tensor yh = layer.Forward(x);
+    x[i] = saved - eps;
+    const Tensor yl = layer.Forward(x);
+    x[i] = saved;
+    double numeric = 0.0;
+    for (int64_t j = 0; j < yh.size(); ++j) {
+      numeric += static_cast<double>(coef[j]) * (yh[j] - yl[j]) / (2 * eps);
+    }
+    EXPECT_NEAR(dx_analytic[i], numeric, 2e-2);
+  }
+}
+
+TEST(LayerNormTest, NormalizesRows) {
+  Rng rng(9);
+  LayerNorm layer("ln", 8);
+  Tensor x = Tensor::Randn({3, 8}, &rng, 2.0);
+  const Tensor y = layer.Forward(x);
+  for (int64_t r = 0; r < 3; ++r) {
+    double mean = 0.0, var = 0.0;
+    for (int64_t c = 0; c < 8; ++c) mean += y.At(r, c);
+    mean /= 8;
+    for (int64_t c = 0; c < 8; ++c) {
+      var += (y.At(r, c) - mean) * (y.At(r, c) - mean);
+    }
+    var /= 8;
+    EXPECT_NEAR(mean, 0.0, 1e-5);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(LayerNormTest, GradCheck) {
+  Rng rng(10);
+  LayerNorm layer("ln", 6);
+  std::vector<Param*> params;
+  layer.CollectParams(&params);
+  // Non-trivial gamma/beta so their gradients are exercised.
+  for (Param* p : params) {
+    for (int64_t i = 0; i < p->value.size(); ++i) {
+      p->value[i] += static_cast<float>(rng.NextDouble(-0.2, 0.2));
+    }
+  }
+  Tensor x = Tensor::Randn({2, 6}, &rng, 1.0);
+  Tensor coef = Tensor::Randn({2, 6}, &rng, 1.0);
+
+  Tensor dx_analytic;
+  auto loss = [&]() {
+    const Tensor y = layer.Forward(x);
+    double total = 0.0;
+    for (int64_t i = 0; i < y.size(); ++i) {
+      total += static_cast<double>(coef[i]) * y[i];
+    }
+    dx_analytic = layer.Backward(coef);
+    return total;
+  };
+  CheckParamGradients(params, loss, 2e-2);
+
+  for (int64_t i = 0; i < x.size(); ++i) {
+    const float eps = 3e-3f;
+    const float saved = x[i];
+    x[i] = saved + eps;
+    const Tensor yh = layer.Forward(x);
+    x[i] = saved - eps;
+    const Tensor yl = layer.Forward(x);
+    x[i] = saved;
+    double numeric = 0.0;
+    for (int64_t j = 0; j < yh.size(); ++j) {
+      numeric += static_cast<double>(coef[j]) * (yh[j] - yl[j]) / (2 * eps);
+    }
+    EXPECT_NEAR(dx_analytic[i], numeric,
+                2e-2 * std::max(1.0, std::fabs(numeric)));
+  }
+}
+
+TEST(DropoutTest, EvalModeIsIdentity) {
+  Rng rng(11);
+  Dropout dropout(0.5);
+  Tensor x = Tensor::Randn({4, 4}, &rng, 1.0);
+  const Tensor y = dropout.Forward(x, /*train=*/false, &rng);
+  for (int64_t i = 0; i < x.size(); ++i) EXPECT_EQ(y[i], x[i]);
+}
+
+TEST(DropoutTest, TrainModeZeroesAndScales) {
+  Rng rng(12);
+  Dropout dropout(0.4);
+  Tensor x = Tensor::Full({10000}, 1.0f);
+  const Tensor y = dropout.Forward(x, /*train=*/true, &rng);
+  int zeros = 0;
+  for (int64_t i = 0; i < y.size(); ++i) {
+    if (y[i] == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(y[i], 1.0f / 0.6f, 1e-5);
+    }
+  }
+  EXPECT_NEAR(zeros / 10000.0, 0.4, 0.03);
+  // Expected value preserved (inverted dropout).
+  EXPECT_NEAR(y.Sum() / y.size(), 1.0, 0.05);
+}
+
+TEST(DropoutTest, BackwardUsesSameMask) {
+  Rng rng(13);
+  Dropout dropout(0.5);
+  Tensor x = Tensor::Full({100}, 1.0f);
+  const Tensor y = dropout.Forward(x, /*train=*/true, &rng);
+  Tensor g = Tensor::Full({100}, 1.0f);
+  const Tensor dx = dropout.Backward(g);
+  for (int64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(dx[i] == 0.0f, y[i] == 0.0f);
+  }
+}
+
+TEST(EmbeddingTest, GathersRowsAndScattersGrads) {
+  Rng rng(14);
+  Embedding embedding("emb", 5, 3, &rng);
+  const Tensor y = embedding.Forward({1, 3, 1});
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{3, 3}));
+  // Rows 0 and 2 are the same table row.
+  for (int64_t c = 0; c < 3; ++c) EXPECT_EQ(y.At(0, c), y.At(2, c));
+
+  Tensor g = Tensor::Full({3, 3}, 1.0f);
+  embedding.Backward(g);
+  std::vector<Param*> params;
+  embedding.CollectParams(&params);
+  const Tensor& table_grad = params[0]->grad;
+  // Token 1 used twice -> grad 2; token 3 once -> grad 1; others 0.
+  EXPECT_EQ(table_grad.At(1, 0), 2.0f);
+  EXPECT_EQ(table_grad.At(3, 0), 1.0f);
+  EXPECT_EQ(table_grad.At(0, 0), 0.0f);
+}
+
+TEST(AttentionTest, GradCheck) {
+  Rng rng(15);
+  const int64_t batch = 2, seq = 3, dim = 4;
+  MultiHeadAttention attention("attn", dim, 2, &rng);
+  Tensor x = Tensor::Randn({batch * seq, dim}, &rng, 0.5);
+  Tensor coef = Tensor::Randn({batch * seq, dim}, &rng, 1.0);
+  std::vector<float> mask(static_cast<size_t>(batch * seq), 1.0f);
+  mask[5] = 0.0f;  // one padded position
+  std::vector<Param*> params;
+  attention.CollectParams(&params);
+
+  Tensor dx_analytic;
+  auto loss = [&]() {
+    const Tensor y = attention.Forward(x, mask, batch, seq);
+    double total = 0.0;
+    for (int64_t i = 0; i < y.size(); ++i) {
+      total += static_cast<double>(coef[i]) * y[i];
+    }
+    dx_analytic = attention.Backward(coef);
+    return total;
+  };
+  CheckParamGradients(params, loss, 4e-2);
+
+  for (int64_t i = 0; i < x.size(); ++i) {
+    const float eps = 3e-3f;
+    const float saved = x[i];
+    x[i] = saved + eps;
+    const Tensor yh = attention.Forward(x, mask, batch, seq);
+    x[i] = saved - eps;
+    const Tensor yl = attention.Forward(x, mask, batch, seq);
+    x[i] = saved;
+    double numeric = 0.0;
+    for (int64_t j = 0; j < yh.size(); ++j) {
+      numeric += static_cast<double>(coef[j]) * (yh[j] - yl[j]) / (2 * eps);
+    }
+    EXPECT_NEAR(dx_analytic[i], numeric,
+                4e-2 * std::max(1.0, std::fabs(numeric)))
+        << "x[" << i << "]";
+  }
+}
+
+TEST(AttentionTest, PaddedKeysGetNoAttention) {
+  Rng rng(16);
+  const int64_t batch = 1, seq = 4, dim = 4;
+  MultiHeadAttention attention("attn", dim, 2, &rng);
+  Tensor x = Tensor::Randn({seq, dim}, &rng, 0.5);
+  std::vector<float> mask = {1.0f, 1.0f, 1.0f, 0.0f};
+  const Tensor with_pad = attention.Forward(x, mask, batch, seq);
+  // Change the padded position's content: unpadded outputs must not move.
+  Tensor x2 = x;
+  for (int64_t c = 0; c < dim; ++c) x2.At(3, c) += 10.0f;
+  const Tensor with_pad2 = attention.Forward(x2, mask, batch, seq);
+  for (int64_t t = 0; t < 3; ++t) {
+    for (int64_t c = 0; c < dim; ++c) {
+      EXPECT_NEAR(with_pad.At(t, c), with_pad2.At(t, c), 1e-4);
+    }
+  }
+}
+
+BertConfig TinyConfig(int64_t vocab = 11) {
+  BertConfig config;
+  config.vocab_size = vocab;
+  config.d_model = 8;
+  config.num_heads = 2;
+  config.num_layers = 2;
+  config.ffn_dim = 16;
+  config.max_seq_len = 8;
+  config.dropout = 0.0;  // determinism for grad checks
+  return config;
+}
+
+TEST(BertModelTest, ForwardShapeAndParamCount) {
+  BertModel model(TinyConfig(), 3);
+  const std::vector<int32_t> ids = {2, 5, 4, 6, 3, 0};
+  const std::vector<float> mask = {1, 1, 1, 1, 1, 0};
+  const Tensor logits = model.Forward(ids, mask, 1, 6, false);
+  EXPECT_EQ(logits.shape(), (std::vector<int64_t>{6, 11}));
+
+  int64_t total = 0;
+  for (Param* p : model.Params()) total += p->value.size();
+  EXPECT_EQ(total, model.config().NumParameters());
+}
+
+TEST(BertModelTest, EndToEndGradCheck) {
+  BertModel model(TinyConfig(), 4);
+  const std::vector<int32_t> ids = {2, 5, 4, 6, 3};
+  const std::vector<float> mask(5, 1.0f);
+  const std::vector<int32_t> labels = {-1, -1, 7, -1, -1};
+
+  auto loss = [&]() {
+    const Tensor logits = model.Forward(ids, mask, 1, 5, true);
+    return model.LossAndBackward(logits, labels);
+  };
+  // LossAndBackward accumulates; zero first then run once for analytics.
+  model.ZeroGrads();
+  loss();
+  // Sample-check a few parameters of each tensor against finite diffs.
+  std::vector<Param*> params = model.Params();
+  Rng rng(55);
+  for (Param* p : params) {
+    const int64_t i = static_cast<int64_t>(
+        rng.NextUint64(static_cast<uint64_t>(p->value.size())));
+    const float analytic = p->grad[i];
+    const float eps = 5e-3f;
+    const float saved = p->value[i];
+    Tensor grads_saved = p->grad;
+    p->value[i] = saved + eps;
+    model.ZeroGrads();
+    const double hi = loss();
+    p->value[i] = saved - eps;
+    model.ZeroGrads();
+    const double lo = loss();
+    p->value[i] = saved;
+    p->grad = grads_saved;
+    const double numeric = (hi - lo) / (2.0 * eps);
+    EXPECT_NEAR(analytic, numeric,
+                5e-2 * std::max(0.5, std::fabs(numeric)))
+        << p->name;
+  }
+}
+
+TEST(BertModelTest, LossIgnoresUnmaskedPositions) {
+  BertModel model(TinyConfig(), 5);
+  const std::vector<int32_t> ids = {2, 5, 4, 3};
+  const std::vector<float> mask(4, 1.0f);
+  const Tensor logits = model.Forward(ids, mask, 1, 4, false);
+  const std::vector<int32_t> no_labels(4, -1);
+  EXPECT_EQ(model.LossAndBackward(logits, no_labels), 0.0);
+}
+
+TEST(BertModelTest, PositionProbabilitiesAreDistribution) {
+  BertModel model(TinyConfig(), 6);
+  const std::vector<int32_t> ids = {2, 4, 7, 3};
+  const std::vector<float> mask(4, 1.0f);
+  const Tensor logits = model.Forward(ids, mask, 1, 4, false);
+  const std::vector<float> probs = model.PositionProbabilities(logits, 2);
+  double sum = 0.0;
+  for (float p : probs) {
+    EXPECT_GE(p, 0.0f);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-4);
+}
+
+TEST(BertModelTest, SaveLoadReproducesLogits) {
+  BertModel model(TinyConfig(), 7);
+  const std::vector<int32_t> ids = {2, 5, 4, 8, 3};
+  const std::vector<float> mask(5, 1.0f);
+  const Tensor before = model.Forward(ids, mask, 1, 5, false);
+
+  BinaryWriter writer;
+  model.Save(&writer);
+  BinaryReader reader(writer.buffer());
+  auto loaded = BertModel::Load(&reader);
+  ASSERT_TRUE(loaded.ok());
+  const Tensor after = (*loaded)->Forward(ids, mask, 1, 5, false);
+  ASSERT_EQ(before.size(), after.size());
+  for (int64_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i], after[i]);
+  }
+}
+
+TEST(BertModelTest, LoadRejectsCorruptMagic) {
+  BinaryWriter writer;
+  writer.WriteString("not-a-model");
+  BinaryReader reader(writer.buffer());
+  EXPECT_FALSE(BertModel::Load(&reader).ok());
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Param p("x", Tensor::Full({2}, 10.0f));
+  AdamOptions options;
+  options.clip_norm = 0.0;
+  AdamOptimizer optimizer({&p}, options);
+  for (int step = 0; step < 800; ++step) {
+    p.grad.SetZero();
+    // f = (x0-3)^2 + (x1+2)^2
+    p.grad[0] = 2.0f * (p.value[0] - 3.0f);
+    p.grad[1] = 2.0f * (p.value[1] + 2.0f);
+    optimizer.Step(0.05);
+  }
+  EXPECT_NEAR(p.value[0], 3.0f, 0.05f);
+  EXPECT_NEAR(p.value[1], -2.0f, 0.05f);
+}
+
+TEST(AdamTest, ClippingBoundsGlobalNorm) {
+  Param p("x", Tensor::Full({4}, 0.0f));
+  AdamOptions options;
+  options.clip_norm = 1.0;
+  AdamOptimizer optimizer({&p}, options);
+  for (int64_t i = 0; i < 4; ++i) p.grad[i] = 100.0f;
+  optimizer.Step(1.0);
+  // After clipping, each grad component was 0.5 (norm 1), so Adam's first
+  // step is ~lr in magnitude, not 100.
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_LT(std::fabs(p.value[i]), 1.5f);
+  }
+}
+
+TEST(WarmupScheduleTest, ShapeIsTriangular) {
+  const double peak = 1e-3;
+  EXPECT_LT(WarmupLinearDecay(peak, 0, 100, 1000), peak * 0.02);
+  EXPECT_NEAR(WarmupLinearDecay(peak, 99, 100, 1000), peak, 1e-9);
+  EXPECT_NEAR(WarmupLinearDecay(peak, 550, 100, 1000), peak * 0.5, 1e-6);
+  EXPECT_NEAR(WarmupLinearDecay(peak, 999, 100, 1000), peak / 900.0, 1e-7);
+  // No warmup: starts at peak.
+  EXPECT_NEAR(WarmupLinearDecay(peak, 0, 0, 10), peak, 1e-9);
+}
+
+}  // namespace
+}  // namespace kamel::nn

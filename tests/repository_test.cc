@@ -1,0 +1,218 @@
+// Model repository tests (Section 4): threshold-gated building of
+// single-cell and neighbor-cells models, smallest-enclosing retrieval,
+// the no-partitioning ablation, and persistence.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/model_repository.h"
+#include "grid/hex_grid.h"
+
+namespace kamel {
+namespace {
+
+// Tiny encoder so each model trains in tens of milliseconds.
+KamelOptions TinyOptions() {
+  KamelOptions options;
+  options.pyramid_height = 1;
+  options.pyramid_levels = 2;  // maintain levels 0 and 1
+  options.model_token_threshold = 40;
+  options.bert.encoder.d_model = 8;
+  options.bert.encoder.num_heads = 2;
+  options.bert.encoder.num_layers = 1;
+  options.bert.encoder.ffn_dim = 16;
+  options.bert.encoder.max_seq_len = 16;
+  options.bert.encoder.dropout = 0.0;
+  options.bert.train.steps = 30;
+  options.bert.train.batch_size = 4;
+  options.seed = 5;
+  return options;
+}
+
+class RepositoryTest : public testing::Test {
+ protected:
+  RepositoryTest()
+      : grid_(75.0),
+        world_(BBox::FromCorners({0, 0}, {2000, 2000})) {}
+
+  // Adds a horizontal trajectory of `tokens` cells centered in the given
+  // region (y constant), 130 m apart so every cell is distinct.
+  void AddTrajectory(double x0, double y, int tokens) {
+    TokenizedTrajectory trajectory;
+    for (int i = 0; i < tokens; ++i) {
+      const Vec2 p{x0 + i * 130.0, y};
+      trajectory.push_back(
+          {grid_.CellOf(p), static_cast<double>(i) * 10.0, p, 0.0});
+    }
+    indices_.push_back(store_.Add(std::move(trajectory)));
+  }
+
+  HexGrid grid_;
+  BBox world_;
+  TrajectoryStore store_;
+  std::vector<size_t> indices_;
+};
+
+TEST_F(RepositoryTest, BuildsNothingBelowThreshold) {
+  const KamelOptions options = TinyOptions();
+  Pyramid pyramid(world_, options.pyramid_height, options.pyramid_levels);
+  ModelRepository repo(pyramid, options, &store_);
+  AddTrajectory(100.0, 500.0, 5);  // 5 tokens << 40
+  ASSERT_TRUE(repo.AddTrainingBatch(indices_).ok());
+  EXPECT_EQ(repo.num_models(), 0);
+  EXPECT_EQ(repo.SelectModel(BBox::FromCorners({100, 450}, {300, 550})),
+            nullptr);
+}
+
+TEST_F(RepositoryTest, BuildsSingleCellModelAboveThreshold) {
+  const KamelOptions options = TinyOptions();
+  Pyramid pyramid(world_, options.pyramid_height, options.pyramid_levels);
+  ModelRepository repo(pyramid, options, &store_);
+  // 50 tokens confined to the south-west quadrant (level-1 cell (0,0),
+  // bounds [0,1000)^2). Level-1 threshold = 40; level-0 needs 160.
+  for (int t = 0; t < 10; ++t) {
+    AddTrajectory(100.0, 200.0 + t * 60.0, 5);
+  }
+  ASSERT_TRUE(repo.AddTrainingBatch(indices_).ok());
+  EXPECT_EQ(repo.num_single_models(), 1);
+  EXPECT_EQ(repo.num_neighbor_models(), 0);
+
+  // Retrieval: an MBR inside the quadrant finds it...
+  TrajBert* model =
+      repo.SelectModel(BBox::FromCorners({100, 200}, {600, 700}));
+  EXPECT_NE(model, nullptr);
+  // ...but one spanning all quadrants does not (no root model: only 50
+  // tokens < 160).
+  EXPECT_EQ(repo.SelectModel(BBox::FromCorners({100, 100}, {1900, 1900})),
+            nullptr);
+}
+
+TEST_F(RepositoryTest, BuildsRootAndNeighborModels) {
+  const KamelOptions options = TinyOptions();
+  Pyramid pyramid(world_, options.pyramid_height, options.pyramid_levels);
+  ModelRepository repo(pyramid, options, &store_);
+  // West half: 100 tokens in SW (cell (0,0)), 60 in NW (cell (0,1)).
+  // Thresholds: single 40 at level 1, pair 80, root 160.
+  for (int t = 0; t < 20; ++t) AddTrajectory(120.0, 150.0 + t * 40.0, 5);
+  for (int t = 0; t < 12; ++t) AddTrajectory(120.0, 1150.0 + t * 40.0, 5);
+  ASSERT_TRUE(repo.AddTrainingBatch(indices_).ok());
+
+  // SW and NW singles, the SW-NW vertical pair (and possibly pairs with
+  // empty east cells never meet 2x threshold), plus the root (160 total).
+  EXPECT_GE(repo.num_single_models(), 3);  // SW, NW, root
+  EXPECT_GE(repo.num_neighbor_models(), 1);
+
+  // A segment crossing the SW/NW border retrieves the pair model, which
+  // is smaller than the root.
+  TrajBert* pair =
+      repo.SelectModel(BBox::FromCorners({100, 800}, {400, 1200}));
+  ASSERT_NE(pair, nullptr);
+  TrajBert* root =
+      repo.SelectModel(BBox::FromCorners({100, 100}, {1900, 1900}));
+  ASSERT_NE(root, nullptr);
+  EXPECT_NE(pair, root);
+
+  // Deepest-first: an MBR inside SW picks the SW single, not the root.
+  TrajBert* sw = repo.SelectModel(BBox::FromCorners({100, 150}, {500, 600}));
+  ASSERT_NE(sw, nullptr);
+  EXPECT_NE(sw, root);
+}
+
+TEST_F(RepositoryTest, GlobalModelWhenPartitioningDisabled) {
+  KamelOptions options = TinyOptions();
+  options.enable_partitioning = false;
+  Pyramid pyramid(world_, options.pyramid_height, options.pyramid_levels);
+  ModelRepository repo(pyramid, options, &store_);
+  AddTrajectory(100.0, 500.0, 5);  // way below any threshold
+  ASSERT_TRUE(repo.AddTrainingBatch(indices_).ok());
+  EXPECT_EQ(repo.num_models(), 1);
+  // Everything retrieves the single global model.
+  TrajBert* a = repo.SelectModel(BBox::FromCorners({0, 0}, {50, 50}));
+  TrajBert* b = repo.SelectModel(BBox::FromCorners({0, 0}, {1999, 1999}));
+  EXPECT_NE(a, nullptr);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(RepositoryTest, ModelInfosDescribeBuilds) {
+  const KamelOptions options = TinyOptions();
+  Pyramid pyramid(world_, options.pyramid_height, options.pyramid_levels);
+  ModelRepository repo(pyramid, options, &store_);
+  for (int t = 0; t < 10; ++t) AddTrajectory(100.0, 200.0 + t * 60.0, 5);
+  ASSERT_TRUE(repo.AddTrainingBatch(indices_).ok());
+  const std::vector<ModelInfo> infos = repo.ModelInfos();
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_EQ(infos[0].kind, "single");
+  EXPECT_EQ(infos[0].tokens_at_build, 50);
+  EXPECT_EQ(infos[0].statements_at_build, 10);
+  EXPECT_EQ(infos[0].build_count, 1);
+  EXPECT_GT(repo.total_train_seconds(), 0.0);
+}
+
+TEST_F(RepositoryTest, SecondBatchRefreshesModels) {
+  const KamelOptions options = TinyOptions();
+  Pyramid pyramid(world_, options.pyramid_height, options.pyramid_levels);
+  ModelRepository repo(pyramid, options, &store_);
+  for (int t = 0; t < 10; ++t) AddTrajectory(100.0, 200.0 + t * 60.0, 5);
+  ASSERT_TRUE(repo.AddTrainingBatch(indices_).ok());
+  EXPECT_EQ(repo.num_single_models(), 1);
+
+  indices_.clear();
+  for (int t = 0; t < 10; ++t) AddTrajectory(150.0, 230.0 + t * 60.0, 5);
+  ASSERT_TRUE(repo.AddTrainingBatch(indices_).ok());
+  // The SW single was refreshed in place (not duplicated); the doubled
+  // token count may additionally warrant pair/parent models.
+  EXPECT_GE(repo.num_single_models(), 1);
+  const ModelInfo* sw_info = nullptr;
+  for (const ModelInfo& info : repo.ModelInfos()) {
+    if (info.kind == "single" && info.build_count == 2) sw_info = &info;
+  }
+  ASSERT_NE(sw_info, nullptr) << "refreshed single-cell model not found";
+  EXPECT_EQ(sw_info->tokens_at_build, 100);  // enriched with the store
+}
+
+TEST_F(RepositoryTest, SaveLoadRoundTrip) {
+  const KamelOptions options = TinyOptions();
+  Pyramid pyramid(world_, options.pyramid_height, options.pyramid_levels);
+  ModelRepository repo(pyramid, options, &store_);
+  for (int t = 0; t < 20; ++t) AddTrajectory(120.0, 150.0 + t * 40.0, 5);
+  for (int t = 0; t < 12; ++t) AddTrajectory(120.0, 1150.0 + t * 40.0, 5);
+  ASSERT_TRUE(repo.AddTrainingBatch(indices_).ok());
+
+  BinaryWriter writer;
+  repo.Save(&writer);
+  ModelRepository loaded(pyramid, options, &store_);
+  BinaryReader reader(writer.buffer());
+  ASSERT_TRUE(loaded.Load(&reader).ok());
+  EXPECT_EQ(loaded.num_models(), repo.num_models());
+  EXPECT_EQ(loaded.num_single_models(), repo.num_single_models());
+  EXPECT_EQ(loaded.num_neighbor_models(), repo.num_neighbor_models());
+  EXPECT_DOUBLE_EQ(loaded.total_train_seconds(),
+                   repo.total_train_seconds());
+
+  // A model retrieved from the loaded repository predicts identically.
+  const BBox query = BBox::FromCorners({100, 150}, {500, 600});
+  TrajBert* original = repo.SelectModel(query);
+  TrajBert* restored = loaded.SelectModel(query);
+  ASSERT_NE(original, nullptr);
+  ASSERT_NE(restored, nullptr);
+  const CellId s = grid_.CellOf({120, 150});
+  const CellId d = grid_.CellOf({380, 150});
+  const auto before = original->PredictMasked({s}, {d}, 3);
+  const auto after = restored->PredictMasked({s}, {d}, 3);
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].cell, after[i].cell);
+  }
+}
+
+TEST_F(RepositoryTest, LoadRejectsGarbage) {
+  const KamelOptions options = TinyOptions();
+  Pyramid pyramid(world_, options.pyramid_height, options.pyramid_levels);
+  ModelRepository repo(pyramid, options, &store_);
+  BinaryWriter writer;
+  writer.WriteString("garbage");
+  BinaryReader reader(writer.buffer());
+  EXPECT_FALSE(repo.Load(&reader).ok());
+}
+
+}  // namespace
+}  // namespace kamel

@@ -1,0 +1,304 @@
+// Simulator substrate tests: network generator, Dijkstra router, GPS trip
+// simulator, sparsifier and density resampler.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "geo/polyline.h"
+#include "sim/datasets.h"
+#include "sim/gps_simulator.h"
+#include "sim/network_generator.h"
+#include "sim/road_network.h"
+#include "sim/route_planner.h"
+#include "sim/sparsifier.h"
+
+namespace kamel {
+namespace {
+
+TEST(RoadNetworkTest, AddRoadIsBidirectional) {
+  RoadNetwork net;
+  const int a = net.AddNode({0, 0});
+  const int b = net.AddNode({100, 0});
+  net.AddRoad(a, b, 10.0);
+  EXPECT_EQ(net.num_edges(), 2u);
+  EXPECT_EQ(net.OutEdges(a).size(), 1u);
+  EXPECT_EQ(net.OutEdges(b).size(), 1u);
+  EXPECT_DOUBLE_EQ(net.Edge(net.OutEdges(a)[0]).length, 100.0);
+  EXPECT_DOUBLE_EQ(net.TotalRoadLength(), 100.0);
+}
+
+TEST(RoadNetworkTest, NearestNodeAndProjection) {
+  RoadNetwork net;
+  net.AddNode({0, 0});
+  net.AddNode({100, 0});
+  net.AddNode({0, 100});
+  net.AddRoad(0, 1, 10.0);
+  EXPECT_EQ(net.NearestNode({90, 5}), 1);
+  const auto projection = net.ProjectToNetwork({50, 20});
+  EXPECT_NEAR(projection.distance, 20.0, 1e-9);
+  EXPECT_NEAR(projection.point.x, 50.0, 1e-9);
+  EXPECT_NEAR(projection.offset, 50.0, 1e-9);
+}
+
+TEST(NetworkGeneratorTest, ProducesConnectedCity) {
+  NetworkGenConfig config;
+  config.width_m = 1500.0;
+  config.height_m = 1500.0;
+  config.block_m = 300.0;
+  config.drop_fraction = 0.2;
+  config.seed = 3;
+  const RoadNetwork net = GenerateNetwork(config);
+  ASSERT_GT(net.num_nodes(), 30);
+  ASSERT_GT(net.num_edges(), 0u);
+
+  // Every node reachable from node 0 (special roads connect via
+  // junctions).
+  RoutePlanner planner(&net);
+  const std::vector<double> dist = planner.AllDistances(0);
+  int unreachable = 0;
+  for (double d : dist) unreachable += std::isinf(d);
+  EXPECT_EQ(unreachable, 0);
+}
+
+TEST(NetworkGeneratorTest, DeterministicForSeed) {
+  NetworkGenConfig config;
+  config.seed = 9;
+  const RoadNetwork a = GenerateNetwork(config);
+  const RoadNetwork b = GenerateNetwork(config);
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.NodePosition(5), b.NodePosition(5));
+}
+
+TEST(NetworkGeneratorTest, RingRoadAddsCurvedGeometry) {
+  NetworkGenConfig with;
+  with.ring_road = true;
+  with.num_winding_roads = 0;
+  with.num_diagonals = 0;
+  NetworkGenConfig without = with;
+  without.ring_road = false;
+  EXPECT_GT(GenerateNetwork(with).num_nodes(),
+            GenerateNetwork(without).num_nodes());
+}
+
+TEST(RoutePlannerTest, ShortestPathOnSquare) {
+  // Square with a shortcut diagonal.
+  RoadNetwork net;
+  for (const Vec2 p :
+       {Vec2{0, 0}, Vec2{100, 0}, Vec2{100, 100}, Vec2{0, 100}}) {
+    net.AddNode(p);
+  }
+  net.AddRoad(0, 1, 10.0);
+  net.AddRoad(1, 2, 10.0);
+  net.AddRoad(2, 3, 10.0);
+  net.AddRoad(3, 0, 10.0);
+  RoutePlanner planner(&net);
+  EXPECT_EQ(planner.ShortestPath(0, 2),
+            (std::vector<int>{0, 1, 2}));  // either way is 200; ties stable
+  EXPECT_NEAR(planner.PathDistance(0, 2), 200.0, 1e-9);
+  EXPECT_EQ(planner.ShortestPath(1, 1), (std::vector<int>{1}));
+
+  net.AddRoad(0, 2, 10.0);  // diagonal ~141.4
+  RoutePlanner planner2(&net);
+  EXPECT_NEAR(planner2.PathDistance(0, 2), std::sqrt(2.0) * 100.0, 1e-6);
+  EXPECT_EQ(planner2.ShortestPath(0, 2).size(), 2u);
+}
+
+TEST(RoutePlannerTest, UnreachableReturnsEmpty) {
+  RoadNetwork net;
+  net.AddNode({0, 0});
+  net.AddNode({100, 0});
+  net.AddNode({500, 500});
+  net.AddRoad(0, 1, 10.0);
+  RoutePlanner planner(&net);
+  EXPECT_TRUE(planner.ShortestPath(0, 2).empty());
+  EXPECT_TRUE(std::isinf(planner.PathDistance(0, 2)));
+}
+
+TEST(RoutePlannerTest, TravelTimePrefersFastRoads) {
+  // Two routes 0->2: direct slow road vs detour on fast roads.
+  RoadNetwork net;
+  net.AddNode({0, 0});
+  net.AddNode({100, 100});
+  net.AddNode({200, 0});
+  net.AddRoad(0, 2, 2.0);   // 200 m at 2 m/s = 100 s
+  net.AddRoad(0, 1, 20.0);  // ~141 m at 20 m/s
+  net.AddRoad(1, 2, 20.0);  // total ~14 s
+  RoutePlanner by_distance(&net, RoutePlanner::Cost::kDistance);
+  RoutePlanner by_time(&net, RoutePlanner::Cost::kTravelTime);
+  EXPECT_EQ(by_distance.ShortestPath(0, 2).size(), 2u);
+  EXPECT_EQ(by_time.ShortestPath(0, 2).size(), 3u);
+}
+
+class GpsSimulatorTest : public testing::Test {
+ protected:
+  GpsSimulatorTest() : projection_({45.0, -93.0}) {
+    config_.width_m = 1200.0;
+    config_.height_m = 1200.0;
+    config_.block_m = 300.0;
+    config_.drop_fraction = 0.0;
+    config_.num_diagonals = 0;
+    config_.ring_road = false;
+    config_.num_winding_roads = 0;
+    network_ = GenerateNetwork(config_);
+  }
+
+  NetworkGenConfig config_;
+  RoadNetwork network_;
+  LocalProjection projection_;
+};
+
+TEST_F(GpsSimulatorTest, GeneratesRequestedTrips) {
+  GpsSimulator simulator(&network_, &projection_);
+  TripConfig trips;
+  trips.num_trips = 15;
+  trips.min_trip_m = 500.0;
+  trips.sampling_interval_s = 5.0;
+  trips.seed = 4;
+  const TrajectoryDataset data = simulator.GenerateTrips(trips, 100);
+  ASSERT_EQ(data.trajectories.size(), 15u);
+  EXPECT_EQ(data.trajectories[0].id, 100);
+  for (const Trajectory& t : data.trajectories) {
+    ASSERT_GE(t.points.size(), 3u);
+    EXPECT_GE(t.LengthMeters(), 400.0);  // min length minus noise slack
+    // Timestamps strictly increasing with ~the sampling interval.
+    for (size_t i = 1; i < t.points.size(); ++i) {
+      EXPECT_GT(t.points[i].time, t.points[i - 1].time);
+    }
+  }
+}
+
+TEST_F(GpsSimulatorTest, NoiseMagnitudeMatchesConfig) {
+  GpsSimulator simulator(&network_, &projection_);
+  TripConfig trips;
+  trips.num_trips = 20;
+  trips.noise_stddev_m = 5.0;
+  trips.sampling_interval_s = 2.0;
+  trips.seed = 5;
+  const TrajectoryDataset data = simulator.GenerateTrips(trips);
+  // Every reading should be near the road network.
+  double sum = 0.0;
+  int count = 0;
+  for (const Trajectory& t : data.trajectories) {
+    for (const TrajPoint& p : t.points) {
+      sum += network_.ProjectToNetwork(projection_.Project(p.pos)).distance;
+      ++count;
+    }
+  }
+  ASSERT_GT(count, 100);
+  const double mean = sum / count;
+  // Mean distance of |N(0,5)x2| from a line ~ 5*sqrt(pi/2) ~ 6.3, but the
+  // nearest-edge projection clips it; just bound it loosely.
+  EXPECT_LT(mean, 12.0);
+  EXPECT_GT(mean, 1.0);
+}
+
+TEST_F(GpsSimulatorTest, WaypointsMakeLongerTrips) {
+  GpsSimulator simulator(&network_, &projection_);
+  TripConfig direct;
+  direct.num_trips = 10;
+  direct.min_trip_m = 300.0;
+  direct.seed = 6;
+  TripConfig meander = direct;
+  meander.num_waypoints = 3;
+  double direct_len = 0.0;
+  double meander_len = 0.0;
+  for (const auto& t : simulator.GenerateTrips(direct).trajectories) {
+    direct_len += t.LengthMeters();
+  }
+  for (const auto& t : simulator.GenerateTrips(meander).trajectories) {
+    meander_len += t.LengthMeters();
+  }
+  EXPECT_GT(meander_len, direct_len * 1.5);
+}
+
+TEST(SparsifierTest, EnforcesAlongPathSpacing) {
+  Trajectory dense;
+  for (int i = 0; i <= 100; ++i) {
+    dense.points.push_back({{45.0, -93.0 + i * 0.0002}, i * 1.0});
+  }
+  const double step = HaversineMeters(dense.points[0].pos,
+                                      dense.points[1].pos);
+  const Trajectory sparse = Sparsify(dense, 10 * step);
+  ASSERT_GE(sparse.points.size(), 3u);
+  for (size_t i = 1; i + 1 < sparse.points.size(); ++i) {
+    const double gap = HaversineMeters(sparse.points[i - 1].pos,
+                                       sparse.points[i].pos);
+    EXPECT_GE(gap, 10 * step - step - 1e-6);
+  }
+  EXPECT_EQ(sparse.points.front().time, dense.points.front().time);
+  EXPECT_EQ(sparse.points.back().time, dense.points.back().time);
+}
+
+TEST(SparsifierTest, KeepsEndpointsEvenForHugeDistance) {
+  Trajectory dense;
+  for (int i = 0; i < 20; ++i) {
+    dense.points.push_back({{45.0, -93.0 + i * 0.0001}, i * 1.0});
+  }
+  const Trajectory sparse = Sparsify(dense, 1e9);
+  EXPECT_EQ(sparse.points.size(), 2u);
+}
+
+TEST(SparsifierTest, DatasetVariantAppliesToAll) {
+  TrajectoryDataset data;
+  for (int t = 0; t < 3; ++t) {
+    Trajectory traj;
+    for (int i = 0; i < 50; ++i) {
+      traj.points.push_back({{45.0, -93.0 + i * 0.0002}, i * 1.0});
+    }
+    data.trajectories.push_back(traj);
+  }
+  const TrajectoryDataset sparse = SparsifyDataset(data, 500.0);
+  ASSERT_EQ(sparse.trajectories.size(), 3u);
+  for (const auto& t : sparse.trajectories) {
+    EXPECT_LT(t.points.size(), 50u);
+  }
+}
+
+TEST(ResampleTest, KeepsIntervalAndEndpoints) {
+  Trajectory dense;
+  for (int i = 0; i <= 120; ++i) {
+    dense.points.push_back({{45.0, -93.0 + i * 0.00005}, i * 1.0});
+  }
+  const Trajectory coarse = ResampleByInterval(dense, 15.0);
+  ASSERT_GE(coarse.points.size(), 3u);
+  EXPECT_EQ(coarse.points.front().time, 0.0);
+  EXPECT_EQ(coarse.points.back().time, 120.0);
+  for (size_t i = 1; i + 1 < coarse.points.size(); ++i) {
+    EXPECT_GE(coarse.points[i].time - coarse.points[i - 1].time,
+              15.0 - 1e-9);
+  }
+  // 1s -> 15s keeps ~1/15th of readings.
+  EXPECT_NEAR(static_cast<double>(coarse.points.size()), 121.0 / 15.0, 2.0);
+}
+
+TEST(DatasetsTest, ScenarioSplitsTrainTest) {
+  ScenarioSpec spec = MiniSpec();
+  spec.trips.num_trips = 40;
+  const SimScenario scenario = BuildScenario(spec);
+  EXPECT_EQ(scenario.train.trajectories.size(), 32u);
+  EXPECT_EQ(scenario.test.trajectories.size(), 8u);
+  EXPECT_GT(scenario.network->num_nodes(), 0);
+}
+
+TEST(DatasetsTest, JakartaTripsAreLongAndDense) {
+  // The defining contrast of Section 8.1: Jakarta-like trips carry far
+  // more readings than Porto-like ones.
+  ScenarioSpec porto = PortoLikeSpec();
+  porto.trips.num_trips = 12;
+  ScenarioSpec jakarta = JakartaLikeSpec();
+  jakarta.trips.num_trips = 6;
+  const SimScenario p = BuildScenario(porto);
+  const SimScenario j = BuildScenario(jakarta);
+  const double p_avg =
+      static_cast<double>(p.train.TotalPoints() + p.test.TotalPoints()) /
+      12.0;
+  const double j_avg =
+      static_cast<double>(j.train.TotalPoints() + j.test.TotalPoints()) /
+      6.0;
+  EXPECT_GT(j_avg, 8.0 * p_avg);
+}
+
+}  // namespace
+}  // namespace kamel

@@ -1,0 +1,185 @@
+// Second-wave system tests: batch mode, streaming with interleaved
+// vehicles, map-matching internals, TrImpute indexing, and detokenizer
+// integration details.
+#include <gtest/gtest.h>
+
+#include "baselines/map_matching.h"
+#include "common/table.h"
+#include "baselines/trimpute.h"
+#include "core/kamel.h"
+#include "eval/scenario.h"
+#include "geo/polyline.h"
+#include "sim/datasets.h"
+#include "sim/sparsifier.h"
+
+namespace kamel {
+namespace {
+
+TEST(PolylineEdgeCaseTest, SinglePointResample) {
+  const std::vector<Vec2> one = {{5, 5}};
+  const auto out = polyline::ResampleEvery(one, 10.0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (Vec2{5, 5}));
+}
+
+TEST(TableFileTest, WriteCsvCreatesReadableFile) {
+  Table table("t", {"a", "b"});
+  table.AddRow({"1", "2"});
+  const std::string path = testing::TempDir() + "/kamel_table_test.csv";
+  ASSERT_TRUE(table.WriteCsv(path).ok());
+  auto reader = BinaryReader::FromFile(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_GT(reader->remaining(), 5u);
+}
+
+class SystemExtraTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scenario_ = new SimScenario(BuildScenario(MiniSpec(41)));
+    KamelOptions options;
+    options.pyramid_height = 0;
+    options.pyramid_levels = 1;
+    options.model_token_threshold = 100;
+    options.bert.encoder.d_model = 32;
+    options.bert.encoder.num_heads = 4;
+    options.bert.encoder.num_layers = 2;
+    options.bert.encoder.ffn_dim = 128;
+    options.bert.encoder.max_seq_len = 32;
+    options.bert.train.steps = 500;
+    options.beam_size = 4;
+    system_ = new Kamel(options);
+    ASSERT_TRUE(system_->Train(scenario_->train).ok());
+  }
+  static void TearDownTestSuite() {
+    delete system_;
+    delete scenario_;
+  }
+
+  static SimScenario* scenario_;
+  static Kamel* system_;
+};
+
+SimScenario* SystemExtraTest::scenario_ = nullptr;
+Kamel* SystemExtraTest::system_ = nullptr;
+
+TEST_F(SystemExtraTest, ImputeBatchProcessesWholeDataset) {
+  TrajectoryDataset batch;
+  for (size_t i = 0; i < 4; ++i) {
+    batch.trajectories.push_back(
+        Sparsify(scenario_->test.trajectories[i], 400.0));
+  }
+  auto results = system_->ImputeBatch(batch);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ((*results)[i].trajectory.id, batch.trajectories[i].id);
+    EXPECT_GE((*results)[i].trajectory.points.size(),
+              batch.trajectories[i].points.size());
+  }
+}
+
+TEST_F(SystemExtraTest, StreamingInterleavesVehicles) {
+  std::vector<int64_t> finished;
+  StreamingSession session(
+      system_,
+      [&finished](int64_t id, ImputedTrajectory) { finished.push_back(id); });
+  const Trajectory a = Sparsify(scenario_->test.trajectories[0], 400.0);
+  const Trajectory b = Sparsify(scenario_->test.trajectories[1], 400.0);
+  const size_t n = std::min(a.points.size(), b.points.size());
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(session.Push(1, a.points[i]).ok());
+    ASSERT_TRUE(session.Push(2, b.points[i]).ok());
+  }
+  EXPECT_EQ(session.open_trajectories(), 2u);
+  ASSERT_TRUE(session.EndTrajectory(1).ok());
+  ASSERT_TRUE(session.Flush().ok());
+  ASSERT_EQ(finished.size(), 2u);
+  EXPECT_EQ(finished[0], 1);
+  EXPECT_EQ(finished[1], 2);
+}
+
+TEST_F(SystemExtraTest, NoModelSegmentsAreCountedSeparately) {
+  // A trajectory far outside the trained world: no model covers it.
+  Trajectory remote;
+  const LocalProjection& proj = system_->projection();
+  remote.points = {{proj.Unproject({50000.0, 50000.0}), 0.0},
+                   {proj.Unproject({51000.0, 50000.0}), 100.0}};
+  auto result = system_->Impute(remote);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.segments, 1);
+  EXPECT_EQ(result->stats.no_model_segments, 1);
+  EXPECT_EQ(result->stats.failed_segments, 1);
+  // Straight-line fallback still densifies the output.
+  EXPECT_GT(result->trajectory.points.size(), 2u);
+}
+
+TEST(MapMatchingInternalsTest, SameEdgeRouteIsDirect) {
+  // A single straight road; two readings projected onto the same edge.
+  RoadNetwork net;
+  net.AddNode({0, 0});
+  net.AddNode({1000, 0});
+  net.AddRoad(0, 1, 13.9);
+  LocalProjection proj({45.0, -93.0});
+  MapMatchingOptions options;
+  options.max_gap_m = 100.0;
+  MapMatching matcher(&net, &proj, options);
+  Trajectory sparse;
+  sparse.points = {{proj.Unproject({100.0, 5.0}), 0.0},
+                   {proj.Unproject({900.0, -5.0}), 80.0}};
+  auto result = matcher.Impute(sparse);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.failed_segments, 0);
+  // Interior points lie on the road (y ~ 0), not on the reading offsets.
+  ASSERT_GT(result->trajectory.points.size(), 4u);
+  for (size_t i = 1; i + 1 < result->trajectory.points.size(); ++i) {
+    const Vec2 p = proj.Project(result->trajectory.points[i].pos);
+    EXPECT_NEAR(p.y, 0.0, 1.0);
+    EXPECT_GT(p.x, 50.0);
+    EXPECT_LT(p.x, 950.0);
+  }
+}
+
+TEST(MapMatchingInternalsTest, PicksRoadOverNoise) {
+  // Two parallel roads 300 m apart; readings near the north one.
+  RoadNetwork net;
+  net.AddNode({0, 0});
+  net.AddNode({2000, 0});
+  net.AddNode({0, 300});
+  net.AddNode({2000, 300});
+  net.AddRoad(0, 1, 13.9);
+  net.AddRoad(2, 3, 13.9);
+  net.AddRoad(0, 2, 13.9);
+  LocalProjection proj({45.0, -93.0});
+  MapMatching matcher(&net, &proj);
+  Trajectory sparse;
+  sparse.points = {{proj.Unproject({100.0, 290.0}), 0.0},
+                   {proj.Unproject({1900.0, 310.0}), 150.0}};
+  auto result = matcher.Impute(sparse);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 1; i + 1 < result->trajectory.points.size(); ++i) {
+    const Vec2 p = proj.Project(result->trajectory.points[i].pos);
+    EXPECT_NEAR(p.y, 300.0, 30.0) << "left the north road at " << i;
+  }
+}
+
+TEST(TrImputeIndexTest, FindsNeighborsAcrossIndexCells) {
+  TrImputeOptions options;
+  options.index_cell_m = 60.0;
+  options.search_radius_m = 120.0;
+  options.min_support = 1;
+  TrImpute trimpute(options);
+  // Points straddling index-cell borders near (0,0).
+  TrajectoryDataset data;
+  Trajectory t;
+  const LocalProjection proj({45.0, -93.0});
+  for (double x = -150.0; x <= 150.0; x += 30.0) {
+    t.points.push_back(
+        {proj.Unproject({x, 10.0}), (x + 150.0) / 10.0});
+  }
+  data.trajectories.push_back(t);
+  ASSERT_TRUE(trimpute.Train(data).ok());
+  EXPECT_EQ(trimpute.num_indexed_points(), t.points.size());
+}
+
+}  // namespace
+}  // namespace kamel

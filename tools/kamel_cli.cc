@@ -1,0 +1,248 @@
+// kamel — command-line front-end for the KAMEL trajectory imputation
+// system.
+//
+//   kamel generate --scenario porto --out data/        synthesize a dataset
+//   kamel sparsify --data in.csv --distance 1000 --out sparse.csv
+//   kamel train    --data train.csv --model city.kamel [--steps N]
+//   kamel impute   --model city.kamel --data sparse.csv --out imputed.csv
+//   kamel evaluate --model city.kamel --data dense.csv --sparseness 1000
+//
+// Trajectories are CSV (`trajectory_id,lat,lng,time`); `--geojson` adds a
+// GeoJSON export for map inspection.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/kamel.h"
+#include "eval/bootstrap.h"
+#include "eval/evaluator.h"
+#include "eval/scenario.h"
+#include "io/trajectory_csv.h"
+#include "sim/datasets.h"
+#include "sim/sparsifier.h"
+
+namespace kamel::cli {
+namespace {
+
+// ---- tiny flag parser ------------------------------------------------
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      arg = arg.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "true";
+      }
+    }
+  }
+
+  std::string Get(const std::string& name,
+                  const std::string& fallback = "") const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& name, double fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  int64_t GetInt(const std::string& name, int64_t fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+  }
+  bool Has(const std::string& name) const { return values_.count(name); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+KamelOptions OptionsFromFlags(const Flags& flags) {
+  KamelOptions options = BenchKamelOptions();
+  options.hex_edge_m = flags.GetDouble("hex-edge", options.hex_edge_m);
+  if (flags.Get("grid") == "square") options.grid_type = GridType::kSquare;
+  options.bert.train.steps =
+      flags.GetInt("steps", options.bert.train.steps);
+  options.model_token_threshold =
+      flags.GetInt("model-threshold", options.model_token_threshold);
+  options.pyramid_height = static_cast<int>(
+      flags.GetInt("pyramid-height", options.pyramid_height));
+  options.pyramid_levels = static_cast<int>(
+      flags.GetInt("pyramid-levels", options.pyramid_levels));
+  options.beam_size =
+      static_cast<int>(flags.GetInt("beam", options.beam_size));
+  options.max_gap_m = flags.GetDouble("max-gap", options.max_gap_m);
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  if (flags.Get("method") == "iterative") {
+    options.method = ImputeMethod::kIterativeBert;
+  }
+  return options;
+}
+
+// ---- subcommands -----------------------------------------------------
+
+int Generate(const Flags& flags) {
+  const std::string kind = flags.Get("scenario", "porto");
+  ScenarioSpec spec;
+  if (kind == "porto") {
+    spec = PortoLikeSpec(static_cast<uint64_t>(flags.GetInt("seed", 11)));
+  } else if (kind == "jakarta") {
+    spec = JakartaLikeSpec(static_cast<uint64_t>(flags.GetInt("seed", 13)));
+  } else if (kind == "mini") {
+    spec = MiniSpec(static_cast<uint64_t>(flags.GetInt("seed", 17)));
+  } else {
+    std::fprintf(stderr, "unknown scenario '%s' (porto|jakarta|mini)\n",
+                 kind.c_str());
+    return 1;
+  }
+  if (flags.Has("trips")) {
+    spec.trips.num_trips = static_cast<int>(flags.GetInt("trips", 100));
+  }
+  const std::string out = flags.Get("out", ".");
+  const SimScenario scenario = BuildScenario(spec);
+  Status status =
+      io::WriteCsvFile(scenario.train, out + "/train.csv");
+  if (status.ok()) {
+    status = io::WriteCsvFile(scenario.test, out + "/test.csv");
+  }
+  if (status.ok() && flags.Has("geojson")) {
+    status = io::WriteGeoJsonFile(scenario.test, out + "/test.geojson");
+  }
+  if (!status.ok()) return Fail(status);
+  std::printf("wrote %zu train / %zu test trajectories under %s\n",
+              scenario.train.trajectories.size(),
+              scenario.test.trajectories.size(), out.c_str());
+  return 0;
+}
+
+int SparsifyCmd(const Flags& flags) {
+  auto data = io::ReadCsvFile(flags.Get("data"));
+  if (!data.ok()) return Fail(data.status());
+  const double distance = flags.GetDouble("distance", 1000.0);
+  const TrajectoryDataset sparse = SparsifyDataset(*data, distance);
+  const Status status = io::WriteCsvFile(sparse, flags.Get("out"));
+  if (!status.ok()) return Fail(status);
+  std::printf("sparsified %zu trajectories at %.0f m\n",
+              sparse.trajectories.size(), distance);
+  return 0;
+}
+
+int Train(const Flags& flags) {
+  auto data = io::ReadCsvFile(flags.Get("data"));
+  if (!data.ok()) return Fail(data.status());
+  Kamel system(OptionsFromFlags(flags));
+  const Status trained = system.Train(*data);
+  if (!trained.ok()) return Fail(trained);
+  const Status saved = system.SaveToFile(flags.Get("model", "model.kamel"));
+  if (!saved.ok()) return Fail(saved);
+  std::printf(
+      "trained on %zu trajectories: %d models (%d single, %d neighbor), "
+      "%.1fs, speed bound %.1f m/s\n",
+      data->trajectories.size(), system.repository().num_models(),
+      system.repository().num_single_models(),
+      system.repository().num_neighbor_models(),
+      system.total_train_seconds(), system.max_speed_mps());
+  return 0;
+}
+
+int Impute(const Flags& flags) {
+  Kamel system(OptionsFromFlags(flags));
+  const Status loaded = system.LoadFromFile(flags.Get("model"));
+  if (!loaded.ok()) return Fail(loaded);
+  auto data = io::ReadCsvFile(flags.Get("data"));
+  if (!data.ok()) return Fail(data.status());
+
+  auto results = system.ImputeBatch(*data);
+  if (!results.ok()) return Fail(results.status());
+  TrajectoryDataset imputed;
+  int segments = 0;
+  int failed = 0;
+  for (auto& result : *results) {
+    segments += result.stats.segments;
+    failed += result.stats.failed_segments;
+    imputed.trajectories.push_back(std::move(result.trajectory));
+  }
+  const Status written =
+      io::WriteCsvFile(imputed, flags.Get("out", "imputed.csv"));
+  if (!written.ok()) return Fail(written);
+  if (flags.Has("geojson")) {
+    const Status gj =
+        io::WriteGeoJsonFile(imputed, flags.Get("out") + ".geojson");
+    if (!gj.ok()) return Fail(gj);
+  }
+  std::printf("imputed %zu trajectories: %d gaps, %d failures (%.1f%%)\n",
+              imputed.trajectories.size(), segments, failed,
+              segments > 0 ? 100.0 * failed / segments : 0.0);
+  return 0;
+}
+
+int Evaluate(const Flags& flags) {
+  Kamel system(OptionsFromFlags(flags));
+  const Status loaded = system.LoadFromFile(flags.Get("model"));
+  if (!loaded.ok()) return Fail(loaded);
+  auto dense = io::ReadCsvFile(flags.Get("data"));
+  if (!dense.ok()) return Fail(dense.status());
+
+  const Evaluator evaluator(&system.projection());
+  KamelMethod method(&system);
+  auto run = evaluator.RunMethod(&method, *dense,
+                                 flags.GetDouble("sparseness", 1000.0));
+  if (!run.ok()) return Fail(run.status());
+  ScoreConfig score;
+  score.delta_m = flags.GetDouble("delta", 50.0);
+  score.max_gap_m = flags.GetDouble("max-gap", 100.0);
+  const ScoredWithIntervals scored =
+      ScoreWithBootstrap(evaluator, *run, score);
+  std::printf("recall    %.3f  [%.3f, %.3f]\n", scored.recall.value,
+              scored.recall.lo, scored.recall.hi);
+  std::printf("precision %.3f  [%.3f, %.3f]\n", scored.precision.value,
+              scored.precision.lo, scored.precision.hi);
+  std::printf("failure   %.3f  [%.3f, %.3f]\n", scored.failure_rate.value,
+              scored.failure_rate.lo, scored.failure_rate.hi);
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: kamel <command> [flags]\n"
+      "  generate  --scenario porto|jakarta|mini --out DIR [--trips N]\n"
+      "            [--geojson] [--seed N]\n"
+      "  sparsify  --data in.csv --distance METERS --out out.csv\n"
+      "  train     --data train.csv --model out.kamel [--steps N]\n"
+      "            [--hex-edge M] [--grid hex|square] [--model-threshold N]\n"
+      "            [--pyramid-height H] [--pyramid-levels L]\n"
+      "            (small datasets: --pyramid-height 0 --pyramid-levels 1\n"
+      "             trains one model over the whole area)\n"
+      "  impute    --model m.kamel --data sparse.csv --out imputed.csv\n"
+      "            [--geojson] [--beam N] [--method beam|iterative]\n"
+      "  evaluate  --model m.kamel --data dense.csv [--sparseness M]\n"
+      "            [--delta M]\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Flags flags(argc, argv, 2);
+  if (command == "generate") return Generate(flags);
+  if (command == "sparsify") return SparsifyCmd(flags);
+  if (command == "train") return Train(flags);
+  if (command == "impute") return Impute(flags);
+  if (command == "evaluate") return Evaluate(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace kamel::cli
+
+int main(int argc, char** argv) { return kamel::cli::Main(argc, argv); }
