@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_cell_size.dir/fig03_cell_size.cc.o"
+  "CMakeFiles/fig03_cell_size.dir/fig03_cell_size.cc.o.d"
+  "fig03_cell_size"
+  "fig03_cell_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_cell_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_sparseness.dir/fig09_sparseness.cc.o"
+  "CMakeFiles/fig09_sparseness.dir/fig09_sparseness.cc.o.d"
+  "fig09_sparseness"
+  "fig09_sparseness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_sparseness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

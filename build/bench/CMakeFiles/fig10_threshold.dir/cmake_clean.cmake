@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_threshold.dir/fig10_threshold.cc.o"
+  "CMakeFiles/fig10_threshold.dir/fig10_threshold.cc.o.d"
+  "fig10_threshold"
+  "fig10_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_timing.dir/fig11_timing.cc.o"
+  "CMakeFiles/fig11_timing.dir/fig11_timing.cc.o.d"
+  "fig11_timing"
+  "fig11_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_density.dir/fig12_density.cc.o"
+  "CMakeFiles/fig12_density.dir/fig12_density.cc.o.d"
+  "fig12_density"
+  "fig12_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_grid_type.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_road_type.dir/fig12_road_type.cc.o"
+  "CMakeFiles/fig12_road_type.dir/fig12_road_type.cc.o.d"
+  "fig12_road_type"
+  "fig12_road_type.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_road_type.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

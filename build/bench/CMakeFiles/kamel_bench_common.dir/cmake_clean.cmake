@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kamel_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/kamel_bench_common.dir/bench_common.cc.o.d"
+  "libkamel_bench_common.a"
+  "libkamel_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kamel_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkamel_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_grid.dir/micro_grid.cc.o"
+  "CMakeFiles/micro_grid.dir/micro_grid.cc.o.d"
+  "micro_grid"
+  "micro_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

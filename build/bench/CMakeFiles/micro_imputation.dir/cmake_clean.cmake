@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_imputation.dir/micro_imputation.cc.o"
+  "CMakeFiles/micro_imputation.dir/micro_imputation.cc.o.d"
+  "micro_imputation"
+  "micro_imputation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_imputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/city_scale_imputation.dir/city_scale_imputation.cpp.o"
+  "CMakeFiles/city_scale_imputation.dir/city_scale_imputation.cpp.o.d"
+  "city_scale_imputation"
+  "city_scale_imputation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/city_scale_imputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

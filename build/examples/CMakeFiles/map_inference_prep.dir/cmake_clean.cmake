@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_inference_prep.dir/map_inference_prep.cpp.o"
+  "CMakeFiles/map_inference_prep.dir/map_inference_prep.cpp.o.d"
+  "map_inference_prep"
+  "map_inference_prep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_inference_prep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

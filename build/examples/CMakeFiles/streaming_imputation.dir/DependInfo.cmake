@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/streaming_imputation.cpp" "examples/CMakeFiles/streaming_imputation.dir/streaming_imputation.cpp.o" "gcc" "examples/CMakeFiles/streaming_imputation.dir/streaming_imputation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/kamel_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/kamel_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kamel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/kamel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bert/CMakeFiles/kamel_bert.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/kamel_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/kamel_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/kamel_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kamel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

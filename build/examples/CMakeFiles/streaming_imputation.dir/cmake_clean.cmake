@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_imputation.dir/streaming_imputation.cpp.o"
+  "CMakeFiles/streaming_imputation.dir/streaming_imputation.cpp.o.d"
+  "streaming_imputation"
+  "streaming_imputation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_imputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/kinematic.cc" "src/baselines/CMakeFiles/kamel_baselines.dir/kinematic.cc.o" "gcc" "src/baselines/CMakeFiles/kamel_baselines.dir/kinematic.cc.o.d"
+  "/root/repo/src/baselines/linear.cc" "src/baselines/CMakeFiles/kamel_baselines.dir/linear.cc.o" "gcc" "src/baselines/CMakeFiles/kamel_baselines.dir/linear.cc.o.d"
+  "/root/repo/src/baselines/map_matching.cc" "src/baselines/CMakeFiles/kamel_baselines.dir/map_matching.cc.o" "gcc" "src/baselines/CMakeFiles/kamel_baselines.dir/map_matching.cc.o.d"
+  "/root/repo/src/baselines/trimpute.cc" "src/baselines/CMakeFiles/kamel_baselines.dir/trimpute.cc.o" "gcc" "src/baselines/CMakeFiles/kamel_baselines.dir/trimpute.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/kamel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kamel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/kamel_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kamel_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bert/CMakeFiles/kamel_bert.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/kamel_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/kamel_grid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

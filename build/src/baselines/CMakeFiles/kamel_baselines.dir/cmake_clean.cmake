@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kamel_baselines.dir/kinematic.cc.o"
+  "CMakeFiles/kamel_baselines.dir/kinematic.cc.o.d"
+  "CMakeFiles/kamel_baselines.dir/linear.cc.o"
+  "CMakeFiles/kamel_baselines.dir/linear.cc.o.d"
+  "CMakeFiles/kamel_baselines.dir/map_matching.cc.o"
+  "CMakeFiles/kamel_baselines.dir/map_matching.cc.o.d"
+  "CMakeFiles/kamel_baselines.dir/trimpute.cc.o"
+  "CMakeFiles/kamel_baselines.dir/trimpute.cc.o.d"
+  "libkamel_baselines.a"
+  "libkamel_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kamel_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

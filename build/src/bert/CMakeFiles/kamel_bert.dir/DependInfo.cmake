@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bert/traj_bert.cc" "src/bert/CMakeFiles/kamel_bert.dir/traj_bert.cc.o" "gcc" "src/bert/CMakeFiles/kamel_bert.dir/traj_bert.cc.o.d"
+  "/root/repo/src/bert/vocab.cc" "src/bert/CMakeFiles/kamel_bert.dir/vocab.cc.o" "gcc" "src/bert/CMakeFiles/kamel_bert.dir/vocab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/kamel_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/kamel_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kamel_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/kamel_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

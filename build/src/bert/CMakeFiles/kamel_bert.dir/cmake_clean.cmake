@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kamel_bert.dir/traj_bert.cc.o"
+  "CMakeFiles/kamel_bert.dir/traj_bert.cc.o.d"
+  "CMakeFiles/kamel_bert.dir/vocab.cc.o"
+  "CMakeFiles/kamel_bert.dir/vocab.cc.o.d"
+  "libkamel_bert.a"
+  "libkamel_bert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kamel_bert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for kamel_bert.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kamel_common.dir/binary_io.cc.o"
+  "CMakeFiles/kamel_common.dir/binary_io.cc.o.d"
+  "CMakeFiles/kamel_common.dir/logging.cc.o"
+  "CMakeFiles/kamel_common.dir/logging.cc.o.d"
+  "CMakeFiles/kamel_common.dir/rng.cc.o"
+  "CMakeFiles/kamel_common.dir/rng.cc.o.d"
+  "CMakeFiles/kamel_common.dir/status.cc.o"
+  "CMakeFiles/kamel_common.dir/status.cc.o.d"
+  "CMakeFiles/kamel_common.dir/table.cc.o"
+  "CMakeFiles/kamel_common.dir/table.cc.o.d"
+  "libkamel_common.a"
+  "libkamel_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kamel_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

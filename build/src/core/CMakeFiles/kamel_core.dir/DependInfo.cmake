@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dbscan.cc" "src/core/CMakeFiles/kamel_core.dir/dbscan.cc.o" "gcc" "src/core/CMakeFiles/kamel_core.dir/dbscan.cc.o.d"
+  "/root/repo/src/core/detokenizer.cc" "src/core/CMakeFiles/kamel_core.dir/detokenizer.cc.o" "gcc" "src/core/CMakeFiles/kamel_core.dir/detokenizer.cc.o.d"
+  "/root/repo/src/core/imputer.cc" "src/core/CMakeFiles/kamel_core.dir/imputer.cc.o" "gcc" "src/core/CMakeFiles/kamel_core.dir/imputer.cc.o.d"
+  "/root/repo/src/core/kamel.cc" "src/core/CMakeFiles/kamel_core.dir/kamel.cc.o" "gcc" "src/core/CMakeFiles/kamel_core.dir/kamel.cc.o.d"
+  "/root/repo/src/core/maintenance.cc" "src/core/CMakeFiles/kamel_core.dir/maintenance.cc.o" "gcc" "src/core/CMakeFiles/kamel_core.dir/maintenance.cc.o.d"
+  "/root/repo/src/core/model_repository.cc" "src/core/CMakeFiles/kamel_core.dir/model_repository.cc.o" "gcc" "src/core/CMakeFiles/kamel_core.dir/model_repository.cc.o.d"
+  "/root/repo/src/core/pyramid.cc" "src/core/CMakeFiles/kamel_core.dir/pyramid.cc.o" "gcc" "src/core/CMakeFiles/kamel_core.dir/pyramid.cc.o.d"
+  "/root/repo/src/core/spatial_constraints.cc" "src/core/CMakeFiles/kamel_core.dir/spatial_constraints.cc.o" "gcc" "src/core/CMakeFiles/kamel_core.dir/spatial_constraints.cc.o.d"
+  "/root/repo/src/core/tokenizer.cc" "src/core/CMakeFiles/kamel_core.dir/tokenizer.cc.o" "gcc" "src/core/CMakeFiles/kamel_core.dir/tokenizer.cc.o.d"
+  "/root/repo/src/core/trajectory_store.cc" "src/core/CMakeFiles/kamel_core.dir/trajectory_store.cc.o" "gcc" "src/core/CMakeFiles/kamel_core.dir/trajectory_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bert/CMakeFiles/kamel_bert.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/kamel_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/kamel_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kamel_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/kamel_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kamel_core.dir/dbscan.cc.o"
+  "CMakeFiles/kamel_core.dir/dbscan.cc.o.d"
+  "CMakeFiles/kamel_core.dir/detokenizer.cc.o"
+  "CMakeFiles/kamel_core.dir/detokenizer.cc.o.d"
+  "CMakeFiles/kamel_core.dir/imputer.cc.o"
+  "CMakeFiles/kamel_core.dir/imputer.cc.o.d"
+  "CMakeFiles/kamel_core.dir/kamel.cc.o"
+  "CMakeFiles/kamel_core.dir/kamel.cc.o.d"
+  "CMakeFiles/kamel_core.dir/maintenance.cc.o"
+  "CMakeFiles/kamel_core.dir/maintenance.cc.o.d"
+  "CMakeFiles/kamel_core.dir/model_repository.cc.o"
+  "CMakeFiles/kamel_core.dir/model_repository.cc.o.d"
+  "CMakeFiles/kamel_core.dir/pyramid.cc.o"
+  "CMakeFiles/kamel_core.dir/pyramid.cc.o.d"
+  "CMakeFiles/kamel_core.dir/spatial_constraints.cc.o"
+  "CMakeFiles/kamel_core.dir/spatial_constraints.cc.o.d"
+  "CMakeFiles/kamel_core.dir/tokenizer.cc.o"
+  "CMakeFiles/kamel_core.dir/tokenizer.cc.o.d"
+  "CMakeFiles/kamel_core.dir/trajectory_store.cc.o"
+  "CMakeFiles/kamel_core.dir/trajectory_store.cc.o.d"
+  "libkamel_core.a"
+  "libkamel_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kamel_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

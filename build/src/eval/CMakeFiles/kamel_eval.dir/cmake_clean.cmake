@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kamel_eval.dir/bootstrap.cc.o"
+  "CMakeFiles/kamel_eval.dir/bootstrap.cc.o.d"
+  "CMakeFiles/kamel_eval.dir/cell_size_tuner.cc.o"
+  "CMakeFiles/kamel_eval.dir/cell_size_tuner.cc.o.d"
+  "CMakeFiles/kamel_eval.dir/evaluator.cc.o"
+  "CMakeFiles/kamel_eval.dir/evaluator.cc.o.d"
+  "CMakeFiles/kamel_eval.dir/metrics.cc.o"
+  "CMakeFiles/kamel_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/kamel_eval.dir/scenario.cc.o"
+  "CMakeFiles/kamel_eval.dir/scenario.cc.o.d"
+  "libkamel_eval.a"
+  "libkamel_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kamel_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kamel_geo.dir/latlng.cc.o"
+  "CMakeFiles/kamel_geo.dir/latlng.cc.o.d"
+  "CMakeFiles/kamel_geo.dir/polyline.cc.o"
+  "CMakeFiles/kamel_geo.dir/polyline.cc.o.d"
+  "CMakeFiles/kamel_geo.dir/projection.cc.o"
+  "CMakeFiles/kamel_geo.dir/projection.cc.o.d"
+  "CMakeFiles/kamel_geo.dir/trajectory.cc.o"
+  "CMakeFiles/kamel_geo.dir/trajectory.cc.o.d"
+  "libkamel_geo.a"
+  "libkamel_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kamel_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

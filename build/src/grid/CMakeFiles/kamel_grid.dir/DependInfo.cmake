@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/grid_system.cc" "src/grid/CMakeFiles/kamel_grid.dir/grid_system.cc.o" "gcc" "src/grid/CMakeFiles/kamel_grid.dir/grid_system.cc.o.d"
+  "/root/repo/src/grid/hex_grid.cc" "src/grid/CMakeFiles/kamel_grid.dir/hex_grid.cc.o" "gcc" "src/grid/CMakeFiles/kamel_grid.dir/hex_grid.cc.o.d"
+  "/root/repo/src/grid/square_grid.cc" "src/grid/CMakeFiles/kamel_grid.dir/square_grid.cc.o" "gcc" "src/grid/CMakeFiles/kamel_grid.dir/square_grid.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/kamel_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kamel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

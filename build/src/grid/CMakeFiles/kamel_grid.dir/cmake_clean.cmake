@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kamel_grid.dir/grid_system.cc.o"
+  "CMakeFiles/kamel_grid.dir/grid_system.cc.o.d"
+  "CMakeFiles/kamel_grid.dir/hex_grid.cc.o"
+  "CMakeFiles/kamel_grid.dir/hex_grid.cc.o.d"
+  "CMakeFiles/kamel_grid.dir/square_grid.cc.o"
+  "CMakeFiles/kamel_grid.dir/square_grid.cc.o.d"
+  "libkamel_grid.a"
+  "libkamel_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kamel_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

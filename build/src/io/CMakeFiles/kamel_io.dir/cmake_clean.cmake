@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kamel_io.dir/trajectory_csv.cc.o"
+  "CMakeFiles/kamel_io.dir/trajectory_csv.cc.o.d"
+  "libkamel_io.a"
+  "libkamel_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kamel_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/adam.cc" "src/nn/CMakeFiles/kamel_nn.dir/adam.cc.o" "gcc" "src/nn/CMakeFiles/kamel_nn.dir/adam.cc.o.d"
+  "/root/repo/src/nn/attention.cc" "src/nn/CMakeFiles/kamel_nn.dir/attention.cc.o" "gcc" "src/nn/CMakeFiles/kamel_nn.dir/attention.cc.o.d"
+  "/root/repo/src/nn/blas.cc" "src/nn/CMakeFiles/kamel_nn.dir/blas.cc.o" "gcc" "src/nn/CMakeFiles/kamel_nn.dir/blas.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/nn/CMakeFiles/kamel_nn.dir/layers.cc.o" "gcc" "src/nn/CMakeFiles/kamel_nn.dir/layers.cc.o.d"
+  "/root/repo/src/nn/mlm_trainer.cc" "src/nn/CMakeFiles/kamel_nn.dir/mlm_trainer.cc.o" "gcc" "src/nn/CMakeFiles/kamel_nn.dir/mlm_trainer.cc.o.d"
+  "/root/repo/src/nn/ops.cc" "src/nn/CMakeFiles/kamel_nn.dir/ops.cc.o" "gcc" "src/nn/CMakeFiles/kamel_nn.dir/ops.cc.o.d"
+  "/root/repo/src/nn/tensor.cc" "src/nn/CMakeFiles/kamel_nn.dir/tensor.cc.o" "gcc" "src/nn/CMakeFiles/kamel_nn.dir/tensor.cc.o.d"
+  "/root/repo/src/nn/transformer.cc" "src/nn/CMakeFiles/kamel_nn.dir/transformer.cc.o" "gcc" "src/nn/CMakeFiles/kamel_nn.dir/transformer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kamel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

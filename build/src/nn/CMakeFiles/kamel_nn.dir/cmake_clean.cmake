@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kamel_nn.dir/adam.cc.o"
+  "CMakeFiles/kamel_nn.dir/adam.cc.o.d"
+  "CMakeFiles/kamel_nn.dir/attention.cc.o"
+  "CMakeFiles/kamel_nn.dir/attention.cc.o.d"
+  "CMakeFiles/kamel_nn.dir/blas.cc.o"
+  "CMakeFiles/kamel_nn.dir/blas.cc.o.d"
+  "CMakeFiles/kamel_nn.dir/layers.cc.o"
+  "CMakeFiles/kamel_nn.dir/layers.cc.o.d"
+  "CMakeFiles/kamel_nn.dir/mlm_trainer.cc.o"
+  "CMakeFiles/kamel_nn.dir/mlm_trainer.cc.o.d"
+  "CMakeFiles/kamel_nn.dir/ops.cc.o"
+  "CMakeFiles/kamel_nn.dir/ops.cc.o.d"
+  "CMakeFiles/kamel_nn.dir/tensor.cc.o"
+  "CMakeFiles/kamel_nn.dir/tensor.cc.o.d"
+  "CMakeFiles/kamel_nn.dir/transformer.cc.o"
+  "CMakeFiles/kamel_nn.dir/transformer.cc.o.d"
+  "libkamel_nn.a"
+  "libkamel_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kamel_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

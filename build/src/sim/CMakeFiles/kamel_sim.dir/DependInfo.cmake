@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/datasets.cc" "src/sim/CMakeFiles/kamel_sim.dir/datasets.cc.o" "gcc" "src/sim/CMakeFiles/kamel_sim.dir/datasets.cc.o.d"
+  "/root/repo/src/sim/gps_simulator.cc" "src/sim/CMakeFiles/kamel_sim.dir/gps_simulator.cc.o" "gcc" "src/sim/CMakeFiles/kamel_sim.dir/gps_simulator.cc.o.d"
+  "/root/repo/src/sim/network_generator.cc" "src/sim/CMakeFiles/kamel_sim.dir/network_generator.cc.o" "gcc" "src/sim/CMakeFiles/kamel_sim.dir/network_generator.cc.o.d"
+  "/root/repo/src/sim/road_network.cc" "src/sim/CMakeFiles/kamel_sim.dir/road_network.cc.o" "gcc" "src/sim/CMakeFiles/kamel_sim.dir/road_network.cc.o.d"
+  "/root/repo/src/sim/route_planner.cc" "src/sim/CMakeFiles/kamel_sim.dir/route_planner.cc.o" "gcc" "src/sim/CMakeFiles/kamel_sim.dir/route_planner.cc.o.d"
+  "/root/repo/src/sim/sparsifier.cc" "src/sim/CMakeFiles/kamel_sim.dir/sparsifier.cc.o" "gcc" "src/sim/CMakeFiles/kamel_sim.dir/sparsifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/kamel_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kamel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

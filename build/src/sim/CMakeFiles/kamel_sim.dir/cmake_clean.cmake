@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kamel_sim.dir/datasets.cc.o"
+  "CMakeFiles/kamel_sim.dir/datasets.cc.o.d"
+  "CMakeFiles/kamel_sim.dir/gps_simulator.cc.o"
+  "CMakeFiles/kamel_sim.dir/gps_simulator.cc.o.d"
+  "CMakeFiles/kamel_sim.dir/network_generator.cc.o"
+  "CMakeFiles/kamel_sim.dir/network_generator.cc.o.d"
+  "CMakeFiles/kamel_sim.dir/road_network.cc.o"
+  "CMakeFiles/kamel_sim.dir/road_network.cc.o.d"
+  "CMakeFiles/kamel_sim.dir/route_planner.cc.o"
+  "CMakeFiles/kamel_sim.dir/route_planner.cc.o.d"
+  "CMakeFiles/kamel_sim.dir/sparsifier.cc.o"
+  "CMakeFiles/kamel_sim.dir/sparsifier.cc.o.d"
+  "libkamel_sim.a"
+  "libkamel_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kamel_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for kamel_sim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kamel_integration_tests.dir/baselines_test.cc.o"
+  "CMakeFiles/kamel_integration_tests.dir/baselines_test.cc.o.d"
+  "CMakeFiles/kamel_integration_tests.dir/extensions_test.cc.o"
+  "CMakeFiles/kamel_integration_tests.dir/extensions_test.cc.o.d"
+  "CMakeFiles/kamel_integration_tests.dir/kamel_test.cc.o"
+  "CMakeFiles/kamel_integration_tests.dir/kamel_test.cc.o.d"
+  "CMakeFiles/kamel_integration_tests.dir/repository_test.cc.o"
+  "CMakeFiles/kamel_integration_tests.dir/repository_test.cc.o.d"
+  "CMakeFiles/kamel_integration_tests.dir/system_extra_test.cc.o"
+  "CMakeFiles/kamel_integration_tests.dir/system_extra_test.cc.o.d"
+  "kamel_integration_tests"
+  "kamel_integration_tests.pdb"
+  "kamel_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kamel_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kamel_nn_tests.dir/mlm_bert_test.cc.o"
+  "CMakeFiles/kamel_nn_tests.dir/mlm_bert_test.cc.o.d"
+  "CMakeFiles/kamel_nn_tests.dir/nn_extra_test.cc.o"
+  "CMakeFiles/kamel_nn_tests.dir/nn_extra_test.cc.o.d"
+  "CMakeFiles/kamel_nn_tests.dir/nn_test.cc.o"
+  "CMakeFiles/kamel_nn_tests.dir/nn_test.cc.o.d"
+  "kamel_nn_tests"
+  "kamel_nn_tests.pdb"
+  "kamel_nn_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kamel_nn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

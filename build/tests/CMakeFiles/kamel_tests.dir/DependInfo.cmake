@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/kamel_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/kamel_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/constraints_test.cc" "tests/CMakeFiles/kamel_tests.dir/constraints_test.cc.o" "gcc" "tests/CMakeFiles/kamel_tests.dir/constraints_test.cc.o.d"
+  "/root/repo/tests/core_modules_test.cc" "tests/CMakeFiles/kamel_tests.dir/core_modules_test.cc.o" "gcc" "tests/CMakeFiles/kamel_tests.dir/core_modules_test.cc.o.d"
+  "/root/repo/tests/detokenizer_test.cc" "tests/CMakeFiles/kamel_tests.dir/detokenizer_test.cc.o" "gcc" "tests/CMakeFiles/kamel_tests.dir/detokenizer_test.cc.o.d"
+  "/root/repo/tests/eval_test.cc" "tests/CMakeFiles/kamel_tests.dir/eval_test.cc.o" "gcc" "tests/CMakeFiles/kamel_tests.dir/eval_test.cc.o.d"
+  "/root/repo/tests/geo_test.cc" "tests/CMakeFiles/kamel_tests.dir/geo_test.cc.o" "gcc" "tests/CMakeFiles/kamel_tests.dir/geo_test.cc.o.d"
+  "/root/repo/tests/grid_test.cc" "tests/CMakeFiles/kamel_tests.dir/grid_test.cc.o" "gcc" "tests/CMakeFiles/kamel_tests.dir/grid_test.cc.o.d"
+  "/root/repo/tests/imputer_test.cc" "tests/CMakeFiles/kamel_tests.dir/imputer_test.cc.o" "gcc" "tests/CMakeFiles/kamel_tests.dir/imputer_test.cc.o.d"
+  "/root/repo/tests/io_test.cc" "tests/CMakeFiles/kamel_tests.dir/io_test.cc.o" "gcc" "tests/CMakeFiles/kamel_tests.dir/io_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/kamel_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/kamel_tests.dir/sim_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/kamel_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/kamel_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/kamel_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kamel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/kamel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bert/CMakeFiles/kamel_bert.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/kamel_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/kamel_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/kamel_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kamel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

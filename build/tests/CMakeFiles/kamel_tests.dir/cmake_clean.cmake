@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kamel_tests.dir/common_test.cc.o"
+  "CMakeFiles/kamel_tests.dir/common_test.cc.o.d"
+  "CMakeFiles/kamel_tests.dir/constraints_test.cc.o"
+  "CMakeFiles/kamel_tests.dir/constraints_test.cc.o.d"
+  "CMakeFiles/kamel_tests.dir/core_modules_test.cc.o"
+  "CMakeFiles/kamel_tests.dir/core_modules_test.cc.o.d"
+  "CMakeFiles/kamel_tests.dir/detokenizer_test.cc.o"
+  "CMakeFiles/kamel_tests.dir/detokenizer_test.cc.o.d"
+  "CMakeFiles/kamel_tests.dir/eval_test.cc.o"
+  "CMakeFiles/kamel_tests.dir/eval_test.cc.o.d"
+  "CMakeFiles/kamel_tests.dir/geo_test.cc.o"
+  "CMakeFiles/kamel_tests.dir/geo_test.cc.o.d"
+  "CMakeFiles/kamel_tests.dir/grid_test.cc.o"
+  "CMakeFiles/kamel_tests.dir/grid_test.cc.o.d"
+  "CMakeFiles/kamel_tests.dir/imputer_test.cc.o"
+  "CMakeFiles/kamel_tests.dir/imputer_test.cc.o.d"
+  "CMakeFiles/kamel_tests.dir/io_test.cc.o"
+  "CMakeFiles/kamel_tests.dir/io_test.cc.o.d"
+  "CMakeFiles/kamel_tests.dir/sim_test.cc.o"
+  "CMakeFiles/kamel_tests.dir/sim_test.cc.o.d"
+  "kamel_tests"
+  "kamel_tests.pdb"
+  "kamel_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kamel_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

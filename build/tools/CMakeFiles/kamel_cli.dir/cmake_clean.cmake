@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kamel_cli.dir/kamel_cli.cc.o"
+  "CMakeFiles/kamel_cli.dir/kamel_cli.cc.o.d"
+  "kamel"
+  "kamel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kamel_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
