@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/fault_injection.h"
 
 namespace kamel {
 
@@ -57,6 +58,10 @@ std::vector<Candidate> TrajBert::PredictMasked(
     int top_k) {
   KAMEL_CHECK(top_k > 0, "top_k must be positive");
   ++num_predict_calls_;
+  // An armed `bert.forward` fault yields no candidates, which the imputers
+  // treat as a failed segment — exactly the linear-fallback path a real
+  // inference outage should take.
+  if (!FaultInjector::Instance().Hit("bert.forward").ok()) return {};
 
   // Assemble [CLS] left... [MASK] right... [SEP].
   std::vector<int32_t> ids;

@@ -1,11 +1,24 @@
 #include "common/binary_io.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
+
+#include "common/crc32c.h"
+#include "common/fault_injection.h"
 
 namespace kamel {
 
 namespace {
+
+std::string ErrnoString() {
+  const int err = errno;
+  return err != 0 ? std::string(": ") + std::strerror(err) : std::string();
+}
 
 template <typename T>
 void AppendRaw(std::vector<uint8_t>* buffer, T value) {
@@ -14,6 +27,26 @@ void AppendRaw(std::vector<uint8_t>* buffer, T value) {
   uint8_t bytes[sizeof(T)];
   std::memcpy(bytes, &value, sizeof(T));
   buffer->insert(buffer->end(), bytes, bytes + sizeof(T));
+}
+
+template <typename T>
+void PatchRaw(std::vector<uint8_t>* buffer, size_t offset, T value) {
+  std::memcpy(buffer->data() + offset, &value, sizeof(T));
+}
+
+// Writes all of `data` to `fd`, retrying on short writes and EINTR.
+Status WriteAll(int fd, const uint8_t* data, size_t size,
+                const std::string& path) {
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("write failed: " + path + ErrnoString());
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -37,30 +70,102 @@ void BinaryWriter::WriteF32Array(const float* data, size_t count) {
   buffer_.insert(buffer_.end(), bytes, bytes + count * sizeof(float));
 }
 
+void BinaryWriter::WriteMagicHeader(uint32_t version) {
+  WriteU32(kSnapshotMagic);
+  WriteU32(version);
+}
+
+void BinaryWriter::BeginSection(std::string_view name) {
+  WriteString(std::string(name));
+  open_sections_.push_back(buffer_.size());
+  WriteU64(0);  // payload length, patched by EndSection
+  WriteU32(0);  // payload crc32c, patched by EndSection
+}
+
+void BinaryWriter::EndSection() {
+  KAMEL_CHECK(!open_sections_.empty(),
+              "EndSection without matching BeginSection");
+  const size_t length_offset = open_sections_.back();
+  open_sections_.pop_back();
+  const size_t payload_offset = length_offset + sizeof(uint64_t) +
+                                sizeof(uint32_t);
+  const uint64_t payload_length = buffer_.size() - payload_offset;
+  const uint32_t crc =
+      Crc32c(buffer_.data() + payload_offset, payload_length);
+  PatchRaw(&buffer_, length_offset, payload_length);
+  PatchRaw(&buffer_, length_offset + sizeof(uint64_t), crc);
+}
+
 Status BinaryWriter::FlushToFile(const std::string& path) const {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot open for writing: " + path);
+  if (!out) {
+    return Status::IOError("cannot open for writing: " + path +
+                           ErrnoString());
+  }
   out.write(reinterpret_cast<const char*>(buffer_.data()),
             static_cast<std::streamsize>(buffer_.size()));
-  if (!out) return Status::IOError("short write: " + path);
+  if (!out) return Status::IOError("short write: " + path + ErrnoString());
+  return Status::OK();
+}
+
+Status BinaryWriter::FlushToFileAtomic(const std::string& path) const {
+  const std::string tmp_path =
+      path + ".tmp." + std::to_string(::getpid());
+  const int fd =
+      ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot open for writing: " + tmp_path +
+                           ErrnoString());
+  }
+  Status status = WriteAll(fd, buffer_.data(), buffer_.size(), tmp_path);
+  if (status.ok() && ::fsync(fd) != 0) {
+    status = Status::IOError("fsync failed: " + tmp_path + ErrnoString());
+  }
+  if (::close(fd) != 0 && status.ok()) {
+    status = Status::IOError("close failed: " + tmp_path + ErrnoString());
+  }
+  if (status.ok()) {
+    status = FaultInjector::Instance().Hit("snapshot.write");
+  }
+  if (status.ok() && ::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    status = Status::IOError("rename failed: " + tmp_path + " -> " + path +
+                             ErrnoString());
+  }
+  if (!status.ok()) {
+    ::unlink(tmp_path.c_str());  // never leave a torn temp file behind
+    return status;
+  }
+  // Persist the rename itself: fsync the containing directory.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash + 1);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);  // best-effort: some filesystems refuse dir fsync
+    ::close(dir_fd);
+  }
   return Status::OK();
 }
 
 Result<BinaryReader> BinaryReader::FromFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) return Status::IOError("cannot open for reading: " + path);
+  if (!in) {
+    return Status::IOError("cannot open for reading: " + path +
+                           ErrnoString());
+  }
   const std::streamsize size = in.tellg();
   in.seekg(0);
   std::vector<uint8_t> data(static_cast<size_t>(size));
   if (size > 0 &&
       !in.read(reinterpret_cast<char*>(data.data()), size)) {
-    return Status::IOError("short read: " + path);
+    return Status::IOError("short read: " + path + ErrnoString());
   }
   return BinaryReader(std::move(data));
 }
 
 Status BinaryReader::Require(size_t bytes) {
-  if (pos_ + bytes > data_.size()) {
+  if (bytes > data_.size() - pos_) {
     return Status::IOError("truncated input: need " + std::to_string(bytes) +
                            " bytes at offset " + std::to_string(pos_) +
                            " of " + std::to_string(data_.size()));
@@ -122,6 +227,85 @@ Status BinaryReader::ReadF32Array(float* out, size_t count) {
   KAMEL_RETURN_NOT_OK(Require(count * sizeof(float)));
   std::memcpy(out, data_.data() + pos_, count * sizeof(float));
   pos_ += count * sizeof(float);
+  return Status::OK();
+}
+
+Result<uint32_t> BinaryReader::ReadMagicHeader() {
+  KAMEL_ASSIGN_OR_RETURN(uint32_t magic, ReadU32());
+  if (magic != kSnapshotMagic) {
+    // A version-1 snapshot opened with a length-prefixed magic string
+    // ("kamel-system-v1" and friends); its first u32 is a small length.
+    if (magic < 64) {
+      return Status::IOError(
+          "unsupported legacy (pre-checksum v1) snapshot; re-train and "
+          "re-save with this version");
+    }
+    return Status::IOError("bad snapshot magic: 0x" + [magic] {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%08X", magic);
+      return std::string(buf);
+    }());
+  }
+  KAMEL_ASSIGN_OR_RETURN(uint32_t version, ReadU32());
+  if (version != kSnapshotVersion) {
+    return Status::IOError("unsupported snapshot version " +
+                           std::to_string(version) + " (expected " +
+                           std::to_string(kSnapshotVersion) + ")");
+  }
+  return version;
+}
+
+Result<SectionInfo> BinaryReader::EnterSection() {
+  KAMEL_RETURN_NOT_OK(FaultInjector::Instance().Hit("snapshot.read.section"));
+  SectionInfo info;
+  KAMEL_ASSIGN_OR_RETURN(info.name, ReadString());
+  KAMEL_ASSIGN_OR_RETURN(info.length, ReadU64());
+  KAMEL_ASSIGN_OR_RETURN(info.stored_crc, ReadU32());
+  // A corrupt length field must not send the cursor out of bounds (or
+  // trigger a giant allocation downstream).
+  KAMEL_RETURN_NOT_OK(Require(info.length));
+  info.payload_offset = pos_;
+  info.crc_ok =
+      Crc32c(data_.data() + pos_, info.length) == info.stored_crc;
+  section_ends_.push_back(pos_ + info.length);
+  return info;
+}
+
+Status BinaryReader::EnterSection(std::string_view expected_name) {
+  KAMEL_ASSIGN_OR_RETURN(SectionInfo info, EnterSection());
+  if (info.name != expected_name) {
+    LeaveSection();
+    return Status::IOError("expected section '" +
+                           std::string(expected_name) + "', found '" +
+                           info.name + "'");
+  }
+  if (!info.crc_ok) {
+    LeaveSection();
+    return Status::IOError("checksum mismatch in section '" + info.name +
+                           "' (" + std::to_string(info.length) +
+                           " bytes at offset " +
+                           std::to_string(info.payload_offset) + ")");
+  }
+  return Status::OK();
+}
+
+Status BinaryReader::LeaveSection() {
+  if (section_ends_.empty()) {
+    return Status::FailedPrecondition(
+        "LeaveSection without matching EnterSection");
+  }
+  pos_ = section_ends_.back();
+  section_ends_.pop_back();
+  return Status::OK();
+}
+
+Status BinaryReader::Seek(size_t pos) {
+  if (pos > data_.size()) {
+    return Status::OutOfRange("seek to " + std::to_string(pos) +
+                              " beyond input of " +
+                              std::to_string(data_.size()) + " bytes");
+  }
+  pos_ = pos;
   return Status::OK();
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -10,9 +11,22 @@
 
 namespace kamel {
 
+/// Snapshot file header: 4 magic bytes + a format version. Version 2
+/// introduced per-section framing with CRC32C checksums; version-1 files
+/// (no header, no checksums) are detected and rejected with a descriptive
+/// error.
+inline constexpr uint32_t kSnapshotMagic = 0x4B4D534Eu;  // "KMSN"
+inline constexpr uint32_t kSnapshotVersion = 2;
+
 /// Little-endian binary serializer used for model files (the disk-based
 /// model repository of Section 4 stores BERT weights and detokenizer
 /// cluster metadata through this writer).
+///
+/// Section framing: BeginSection(name)/EndSection() wrap a byte range in a
+/// self-describing frame `name, u64 payload_length, u32 crc32c, payload`.
+/// Frames let a reader CRC-verify each section independently and skip past
+/// a corrupt one, which is what makes partial (quarantining) snapshot
+/// loads possible. Sections may nest.
 class BinaryWriter {
  public:
   void WriteU8(uint8_t v);
@@ -25,13 +39,38 @@ class BinaryWriter {
   void WriteString(const std::string& s);
   void WriteF32Array(const float* data, size_t count);
 
+  /// Writes the snapshot magic + format version (call first).
+  void WriteMagicHeader(uint32_t version = kSnapshotVersion);
+
+  /// Opens a framed section; every byte written until the matching
+  /// EndSection() is covered by the section's CRC.
+  void BeginSection(std::string_view name);
+
+  /// Closes the innermost open section, patching its length and CRC.
+  void EndSection();
+
   const std::vector<uint8_t>& buffer() const { return buffer_; }
 
   /// Writes the accumulated buffer to a file, replacing its contents.
   Status FlushToFile(const std::string& path) const;
 
+  /// Crash-safe variant: writes to a temporary sibling file, fsyncs it,
+  /// then atomically renames over `path` (and fsyncs the directory), so a
+  /// crash mid-save never leaves a torn snapshot at `path`.
+  Status FlushToFileAtomic(const std::string& path) const;
+
  private:
   std::vector<uint8_t> buffer_;
+  std::vector<size_t> open_sections_;  // offsets of the length fields
+};
+
+/// Describes one framed section encountered by BinaryReader::EnterSection.
+struct SectionInfo {
+  std::string name;
+  size_t payload_offset = 0;  // absolute offset of the payload
+  uint64_t length = 0;        // payload bytes
+  uint32_t stored_crc = 0;
+  bool crc_ok = false;
 };
 
 /// Reader counterpart of BinaryWriter. All reads are bounds-checked and
@@ -55,6 +94,28 @@ class BinaryReader {
   Result<std::string> ReadString();
   Status ReadF32Array(float* out, size_t count);
 
+  /// Verifies the snapshot magic and that the version is supported;
+  /// returns the version read. Detects headerless legacy (v1) files.
+  Result<uint32_t> ReadMagicHeader();
+
+  /// Reads one section frame at the cursor and CRC-checks its payload.
+  /// On success the cursor is at the payload start and the section is
+  /// "entered" (LeaveSection jumps past it). `info.crc_ok` is false on a
+  /// checksum mismatch — the frame itself was readable, so the caller can
+  /// still LeaveSection to skip the damaged payload and continue.
+  /// A non-OK status means the frame is unreadable (truncated or insane
+  /// length); recovery within the stream is not possible past it.
+  Result<SectionInfo> EnterSection();
+
+  /// Convenience: EnterSection + name and CRC verification.
+  Status EnterSection(std::string_view expected_name);
+
+  /// Jumps to the end of the innermost entered section.
+  Status LeaveSection();
+
+  size_t Tell() const { return pos_; }
+  Status Seek(size_t pos);
+
   size_t remaining() const { return data_.size() - pos_; }
   bool AtEnd() const { return pos_ == data_.size(); }
 
@@ -63,6 +124,7 @@ class BinaryReader {
 
   std::vector<uint8_t> data_;
   size_t pos_ = 0;
+  std::vector<size_t> section_ends_;  // innermost entered section last
 };
 
 }  // namespace kamel

@@ -1,0 +1,40 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace kamel {
+
+namespace {
+
+constexpr uint32_t kPolynomial = 0x82F63B78u;  // 0x1EDC6F41 reflected
+
+constexpr std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPolynomial : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = BuildTable();
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t seed, const void* data, size_t length) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < length; ++i) {
+    crc = (crc >> 8) ^ kTable[(crc ^ bytes[i]) & 0xFFu];
+  }
+  return ~crc;
+}
+
+uint32_t Crc32c(const void* data, size_t length) {
+  return Crc32cExtend(0, data, length);
+}
+
+}  // namespace kamel

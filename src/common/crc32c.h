@@ -1,0 +1,21 @@
+#ifndef KAMEL_COMMON_CRC32C_H_
+#define KAMEL_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace kamel {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected) — the checksum
+/// used by the snapshot format to detect torn writes and bit rot. Software
+/// table-driven implementation; snapshot sections are cold-path data so no
+/// hardware acceleration is needed.
+uint32_t Crc32c(const void* data, size_t length);
+
+/// Incremental form: extends `seed` (a previous Crc32c result) with more
+/// bytes, as if the two buffers had been checksummed in one call.
+uint32_t Crc32cExtend(uint32_t seed, const void* data, size_t length);
+
+}  // namespace kamel
+
+#endif  // KAMEL_COMMON_CRC32C_H_

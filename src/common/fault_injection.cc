@@ -1,0 +1,75 @@
+#include "common/fault_injection.h"
+
+namespace kamel {
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Arm(const std::string& name, int skip, int count,
+                        StatusCode code) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = armed_.insert_or_assign(
+      name, Armed{skip, count < 0 ? -1 : count, code});
+  (void)it;
+  if (inserted) armed_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (armed_.erase(name) > 0) {
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.clear();
+  hits_.clear();
+  armed_count_.store(0, std::memory_order_relaxed);
+}
+
+Status FaultInjector::Hit(const std::string& name) {
+  // Fast path: nothing armed anywhere, skip the lock and the counter (the
+  // counter is only meaningful during fault-injection runs).
+  if (armed_count_.load(std::memory_order_relaxed) == 0) return Status::OK();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++hits_[name];
+  auto it = armed_.find(name);
+  if (it == armed_.end()) return Status::OK();
+  Armed& armed = it->second;
+  if (armed.skip > 0) {
+    --armed.skip;
+    return Status::OK();
+  }
+  if (armed.remaining == 0) return Status::OK();
+  if (armed.remaining > 0) --armed.remaining;
+  return Status(armed.code, "injected fault at failpoint '" + name + "'");
+}
+
+int64_t FaultInjector::HitCount(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hits_.find(name);
+  return it == hits_.end() ? 0 : it->second;
+}
+
+FaultInjectingReader& FaultInjectingReader::TruncateAt(size_t offset) {
+  if (offset < data_.size()) data_.resize(offset);
+  return *this;
+}
+
+FaultInjectingReader& FaultInjectingReader::FlipBit(size_t offset, int bit) {
+  if (offset < data_.size() && bit >= 0 && bit < 8) {
+    data_[offset] ^= static_cast<uint8_t>(1u << bit);
+  }
+  return *this;
+}
+
+FaultInjectingReader& FaultInjectingReader::FlipByte(size_t offset) {
+  if (offset < data_.size()) data_[offset] ^= 0xFFu;
+  return *this;
+}
+
+}  // namespace kamel

@@ -1,0 +1,92 @@
+#ifndef KAMEL_COMMON_FAULT_INJECTION_H_
+#define KAMEL_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kamel {
+
+/// Registry of named failpoints compiled into the production code so tests
+/// and benchmarks can exercise failure paths deterministically (the fault
+/// injection half of the crash-safety story: every recovery branch must be
+/// reachable on demand).
+///
+/// Failpoints currently wired in:
+///   snapshot.write          Kamel::SaveToFile, before the atomic rename
+///   snapshot.read.section   BinaryReader::EnterSection (forces a bad frame)
+///   bert.forward            TrajBert::PredictMasked (yields no candidates,
+///                           which drives the linear-fallback failure path)
+///   store.append            TrajectoryStore::Append
+///
+/// When nothing is armed, Hit() is a single relaxed atomic load — cheap
+/// enough to leave in serving paths.
+class FaultInjector {
+ public:
+  static FaultInjector& Instance();
+
+  /// Arms `name` to fail with `code` on its next hits: the first `skip`
+  /// hits pass, then `count` hits fail (count < 0 = fail forever).
+  void Arm(const std::string& name, int skip = 0, int count = 1,
+           StatusCode code = StatusCode::kIOError);
+
+  void Disarm(const std::string& name);
+
+  /// Disarms every failpoint and resets all hit counters.
+  void Reset();
+
+  /// Called at the failpoint. Returns non-OK when the armed fault fires.
+  Status Hit(const std::string& name);
+
+  /// Times the failpoint was reached (armed or not) since the last Reset.
+  int64_t HitCount(const std::string& name) const;
+
+ private:
+  struct Armed {
+    int skip = 0;
+    int remaining = 0;  // < 0 = unlimited
+    StatusCode code = StatusCode::kIOError;
+  };
+
+  FaultInjector() = default;
+
+  std::atomic<int> armed_count_{0};
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Armed> armed_;
+  std::unordered_map<std::string, int64_t> hits_;
+};
+
+/// Byte-level corruption harness for snapshot robustness tests: applies
+/// truncations and bit flips to a serialized buffer, modelling torn writes
+/// and media rot at precise offsets.
+class FaultInjectingReader {
+ public:
+  explicit FaultInjectingReader(std::vector<uint8_t> data)
+      : data_(std::move(data)) {}
+
+  /// Drops every byte at and after `offset` (torn write).
+  FaultInjectingReader& TruncateAt(size_t offset);
+
+  /// Flips one bit (`bit` in [0,7]) of the byte at `offset`.
+  FaultInjectingReader& FlipBit(size_t offset, int bit);
+
+  /// Inverts the whole byte at `offset`.
+  FaultInjectingReader& FlipByte(size_t offset);
+
+  const std::vector<uint8_t>& bytes() const { return data_; }
+
+  /// Moves the (mutated) buffer out; the reader is spent afterwards.
+  std::vector<uint8_t> TakeBytes() { return std::move(data_); }
+
+ private:
+  std::vector<uint8_t> data_;
+};
+
+}  // namespace kamel
+
+#endif  // KAMEL_COMMON_FAULT_INJECTION_H_

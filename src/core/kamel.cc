@@ -100,6 +100,11 @@ void Kamel::UpdateSpeedBound(const TrajectoryDataset& data) {
 
 Status Kamel::Train(const TrajectoryDataset& data) {
   Stopwatch watch;
+  // Validate before any geometry is derived: one NaN coordinate would
+  // otherwise poison the projection anchor and the pyramid world.
+  for (const auto& trajectory : data.trajectories) {
+    KAMEL_RETURN_NOT_OK(ValidateTrajectory(trajectory));
+  }
   if (projection_ == nullptr) {
     KAMEL_RETURN_NOT_OK(InitializeGeometry(data));
   }
@@ -110,7 +115,9 @@ Status Kamel::Train(const TrajectoryDataset& data) {
   for (const auto& trajectory : data.trajectories) {
     TokenizedTrajectory tokens = tokenizer_->Tokenize(trajectory);
     if (tokens.size() < 2) continue;
-    new_indices.push_back(store_->Add(std::move(tokens)));
+    size_t index = 0;
+    KAMEL_RETURN_NOT_OK(store_->Append(std::move(tokens), &index));
+    new_indices.push_back(index);
     // Per-point observations feed detokenizer clustering (Section 7).
     detokenizer_->AddObservations(tokenizer_->TokenizePerPoint(trajectory));
   }
@@ -158,11 +165,22 @@ void Kamel::AppendLinearFallback(const SegmentContext& context,
 }
 
 void Kamel::ImputeSegment(TrajBert* model, const SegmentContext& context,
+                          bool deadline_expired,
                           std::vector<TrajPoint>* out_points,
                           ImputeStats* stats) {
   ++stats->segments;
   stats->outcomes.push_back({context.s.time, context.d.time, false});
   SegmentOutcome& outcome = stats->outcomes.back();
+  if (deadline_expired) {
+    // Deadline overrun: remaining gaps take the paper's linear-line
+    // failure path so the call returns promptly instead of piling up
+    // BERT work behind an already-late response.
+    ++stats->failed_segments;
+    ++stats->deadline_segments;
+    outcome.failed = true;
+    AppendLinearFallback(context, out_points);
+    return;
+  }
   if (model == nullptr) {
     // Section 4.1: segments no model covers are imputed by a straight
     // line (and count as failures).
@@ -206,6 +224,7 @@ Result<ImputedTrajectory> Kamel::Impute(const Trajectory& sparse) {
     return Status::FailedPrecondition(
         "Kamel::Impute called before a successful Train()");
   }
+  KAMEL_RETURN_NOT_OK(ValidateTrajectory(sparse));
   Stopwatch watch;
   ImputedTrajectory out;
   out.trajectory.id = sparse.id;
@@ -234,12 +253,17 @@ Result<ImputedTrajectory> Kamel::Impute(const Trajectory& sparse) {
     if (i > 0) context.prev = tokens[i - 1];
     if (i + 2 < tokens.size()) context.next = tokens[i + 2];
 
+    const bool deadline_expired =
+        options_.impute_deadline_seconds > 0.0 &&
+        watch.ElapsedSeconds() > options_.impute_deadline_seconds;
+
     // Section 4.1 retrieval: the model for this segment's extent.
     BBox mbr;
     mbr.Extend(context.s.position);
     mbr.Extend(context.d.position);
-    TrajBert* model = repository_->SelectModel(mbr);
-    ImputeSegment(model, context, out_points, &out.stats);
+    TrajBert* model =
+        deadline_expired ? nullptr : repository_->SelectModel(mbr);
+    ImputeSegment(model, context, deadline_expired, out_points, &out.stats);
   }
   out_points->push_back(
       {projection_->Unproject(tokens.back().position), tokens.back().time});
@@ -271,7 +295,8 @@ Status Kamel::SaveToFile(const std::string& path) const {
     return Status::FailedPrecondition("cannot save an untrained system");
   }
   BinaryWriter writer;
-  writer.WriteString("kamel-system-v1");
+  writer.WriteMagicHeader();
+  writer.BeginSection("meta");
   writer.WriteF64(projection_->origin().lat);
   writer.WriteF64(projection_->origin().lng);
   const BBox& world = pyramid_->world();
@@ -281,17 +306,30 @@ Status Kamel::SaveToFile(const std::string& path) const {
   writer.WriteF64(world.max_y);
   writer.WriteF64(inferred_speed_mps_);
   writer.WriteF64(total_train_seconds_);
+  writer.EndSection();
+  // The outer "repo" frame is the recovery point for repository damage:
+  // its length lets the loader skip even an internally torn repository
+  // and still reach the detokenizer.
+  writer.BeginSection("repo");
   repository_->Save(&writer);
+  writer.EndSection();
+  writer.BeginSection("detok");
   detokenizer_->Save(&writer);
-  return writer.FlushToFile(path);
+  writer.EndSection();
+  return writer.FlushToFileAtomic(path);
 }
 
-Status Kamel::LoadFromFile(const std::string& path) {
+Status Kamel::LoadFromFile(const std::string& path, LoadReport* report) {
+  LoadReport local_report;
+  if (report == nullptr) report = &local_report;
+  *report = LoadReport{};
+
   KAMEL_ASSIGN_OR_RETURN(BinaryReader reader, BinaryReader::FromFile(path));
-  KAMEL_ASSIGN_OR_RETURN(std::string magic, reader.ReadString());
-  if (magic != "kamel-system-v1") {
-    return Status::IOError("bad system magic: " + magic);
-  }
+  KAMEL_RETURN_NOT_OK(reader.ReadMagicHeader().status());
+
+  // Geometry is load-bearing for every module: damage here fails the
+  // whole load (there is nothing sensible to serve without it).
+  KAMEL_RETURN_NOT_OK(reader.EnterSection("meta"));
   LatLng origin;
   KAMEL_ASSIGN_OR_RETURN(origin.lat, reader.ReadF64());
   KAMEL_ASSIGN_OR_RETURN(origin.lng, reader.ReadF64());
@@ -302,6 +340,21 @@ Status Kamel::LoadFromFile(const std::string& path) {
   KAMEL_ASSIGN_OR_RETURN(world.max_y, reader.ReadF64());
   KAMEL_ASSIGN_OR_RETURN(inferred_speed_mps_, reader.ReadF64());
   KAMEL_ASSIGN_OR_RETURN(total_train_seconds_, reader.ReadF64());
+  KAMEL_RETURN_NOT_OK(reader.LeaveSection());
+  if (!std::isfinite(origin.lat) || !std::isfinite(origin.lng) ||
+      origin.lat < -90.0 || origin.lat > 90.0 || origin.lng < -180.0 ||
+      origin.lng > 180.0) {
+    return Status::IOError("snapshot meta: invalid projection origin");
+  }
+  if (!std::isfinite(world.min_x) || !std::isfinite(world.min_y) ||
+      !std::isfinite(world.max_x) || !std::isfinite(world.max_y) ||
+      world.min_x > world.max_x || world.min_y > world.max_y) {
+    return Status::IOError("snapshot meta: invalid world box");
+  }
+  if (!std::isfinite(inferred_speed_mps_) || inferred_speed_mps_ < 0.0 ||
+      !std::isfinite(total_train_seconds_) || total_train_seconds_ < 0.0) {
+    return Status::IOError("snapshot meta: invalid scalar state");
+  }
 
   // Rebuild the component graph around the restored geometry, then load
   // the trained state into it. The trajectory store itself is not
@@ -316,42 +369,182 @@ Status Kamel::LoadFromFile(const std::string& path) {
                                        options_.pyramid_levels);
   repository_ =
       std::make_unique<ModelRepository>(*pyramid_, options_, store_.get());
-  KAMEL_RETURN_NOT_OK(repository_->Load(&reader));
-  KAMEL_RETURN_NOT_OK(detokenizer_->Load(&reader));
+
+  KAMEL_ASSIGN_OR_RETURN(SectionInfo repo_frame, reader.EnterSection());
+  if (repo_frame.name != "repo") {
+    return Status::IOError("snapshot: expected section 'repo', found '" +
+                           repo_frame.name + "'");
+  }
+  const Status repo_loaded = repository_->Load(&reader, report);
+  if (!repo_loaded.ok()) {
+    // The index was unreadable: quarantine the whole repository. The
+    // system still serves — every gap takes the linear fallback.
+    repository_ =
+        std::make_unique<ModelRepository>(*pyramid_, options_, store_.get());
+    report->repository_quarantined = true;
+    report->quarantined.push_back("model repository: " +
+                                  repo_loaded.message());
+  }
+  // Realigns the cursor past the repository no matter how the inner
+  // parse left it.
+  KAMEL_RETURN_NOT_OK(reader.LeaveSection());
+
+  const Status detok_entered = reader.EnterSection("detok");
+  if (detok_entered.ok()) {
+    const Status detok_loaded = detokenizer_->Load(&reader);
+    if (!detok_loaded.ok()) {
+      report->detokenizer_quarantined = true;
+      report->quarantined.push_back("detokenizer: " + detok_loaded.message());
+    }
+    KAMEL_RETURN_NOT_OK(reader.LeaveSection());
+  } else {
+    report->detokenizer_quarantined = true;
+    report->quarantined.push_back("detokenizer: " + detok_entered.message());
+  }
+  if (report->detokenizer_quarantined) {
+    // A fresh detokenizer serves cell centroids (Figure 8's unseen-token
+    // case) — degraded precision, never an abort.
+    detokenizer_ =
+        std::make_unique<Detokenizer>(grid_.get(), options_.dbscan);
+  }
+
   constraints_->set_max_speed_mps(options_.max_speed_mps > 0.0
                                       ? options_.max_speed_mps
                                       : inferred_speed_mps_);
   trained_ = true;
+  if (report->partial()) {
+    KAMEL_LOG(Warning) << "partial snapshot load from " << path << ": "
+                       << report->Summary();
+  }
   return Status::OK();
+}
+
+Result<SnapshotFsckReport> FsckSnapshot(const std::string& path) {
+  KAMEL_ASSIGN_OR_RETURN(BinaryReader reader, BinaryReader::FromFile(path));
+  SnapshotFsckReport report;
+  KAMEL_ASSIGN_OR_RETURN(report.version, reader.ReadMagicHeader());
+
+  // Walks the frames in [cursor, end); the "repo" section is the only one
+  // whose payload nests further frames.
+  const std::function<void(size_t)> walk = [&](size_t end) {
+    while (reader.Tell() < end) {
+      Result<SectionInfo> section = reader.EnterSection();
+      if (!section.ok()) {
+        report.truncation_error = section.status().message();
+        (void)reader.Seek(end);
+        return;
+      }
+      report.sections.push_back({section->name, section->payload_offset,
+                                 section->length, section->crc_ok});
+      if (section->name == "repo") {
+        walk(section->payload_offset + static_cast<size_t>(section->length));
+      }
+      (void)reader.LeaveSection();
+    }
+  };
+  walk(reader.Tell() + reader.remaining());
+  return report;
+}
+
+StreamingSession::StreamingSession(Kamel* system, Callback on_imputed,
+                                   StreamingOptions options)
+    : system_(system),
+      on_imputed_(std::move(on_imputed)),
+      options_(options) {
+  KAMEL_CHECK(system != nullptr);
 }
 
 StreamingSession::StreamingSession(Kamel* system, Callback on_imputed,
                                    double session_timeout_seconds)
-    : system_(system),
-      on_imputed_(std::move(on_imputed)),
-      timeout_(session_timeout_seconds) {
-  KAMEL_CHECK(system != nullptr);
+    : StreamingSession(system, std::move(on_imputed),
+                       StreamingOptions{.session_timeout_seconds =
+                                            session_timeout_seconds}) {}
+
+void StreamingSession::Touch(int64_t object_id, Buffer* buffer) {
+  (void)object_id;
+  lru_.splice(lru_.end(), lru_, buffer->lru_it);
+}
+
+Trajectory StreamingSession::Detach(
+    std::unordered_map<int64_t, Buffer>::iterator it) {
+  Trajectory out = std::move(it->second.trajectory);
+  total_points_ -= out.points.size();
+  lru_.erase(it->second.lru_it);
+  buffers_.erase(it);
+  return out;
+}
+
+Status StreamingSession::EvictOne(int64_t protect) {
+  for (int64_t victim : lru_) {
+    if (victim == protect) continue;
+    auto it = buffers_.find(victim);
+    KAMEL_CHECK(it != buffers_.end(), "LRU list out of sync with buffers");
+    Trajectory finished = Detach(it);
+    ++evictions_;
+    // The evicted trip is imputed and emitted, not dropped: overload
+    // trades session longevity for bounded memory.
+    return Emit(victim, std::move(finished));
+  }
+  return Status::ResourceExhausted("no evictable streaming session");
 }
 
 Status StreamingSession::Push(int64_t object_id, const TrajPoint& point) {
-  Trajectory& buffer = buffers_[object_id];
-  buffer.id = object_id;
-  if (!buffer.points.empty() &&
-      point.time - buffer.points.back().time > timeout_) {
-    // The object went silent long enough to close its trip.
-    Trajectory finished = std::move(buffer);
-    buffers_.erase(object_id);
-    KAMEL_RETURN_NOT_OK(Emit(object_id, std::move(finished)));
-    Trajectory& fresh = buffers_[object_id];
-    fresh.id = object_id;
-    fresh.points.push_back(point);
-    return Status::OK();
+  // Boundary validation: a malformed reading is refused here, before it
+  // can reach geometry code or be buffered.
+  if (!std::isfinite(point.pos.lat) || !std::isfinite(point.pos.lng) ||
+      !std::isfinite(point.time)) {
+    return Status::InvalidArgument("object " + std::to_string(object_id) +
+                                   ": non-finite reading");
   }
-  if (!buffer.points.empty() && point.time < buffer.points.back().time) {
+  if (point.pos.lat < -90.0 || point.pos.lat > 90.0 ||
+      point.pos.lng < -180.0 || point.pos.lng > 180.0) {
+    return Status::InvalidArgument("object " + std::to_string(object_id) +
+                                   ": coordinates out of range");
+  }
+
+  auto it = buffers_.find(object_id);
+  if (it == buffers_.end()) {
+    // Admitting a new object may evict the least-recently-active one.
+    while (buffers_.size() >= options_.max_open_objects) {
+      KAMEL_RETURN_NOT_OK(EvictOne(object_id));
+    }
+    it = buffers_.emplace(object_id, Buffer{}).first;
+    it->second.trajectory.id = object_id;
+    it->second.lru_it = lru_.insert(lru_.end(), object_id);
+  }
+  Buffer& buffer = it->second;
+  const std::vector<TrajPoint>& points = buffer.trajectory.points;
+
+  if (!points.empty() && point.time - points.back().time >
+                             options_.session_timeout_seconds) {
+    // The object went silent long enough to close its trip; the reading
+    // re-enters through the same admission and validation checks.
+    Trajectory finished = Detach(it);
+    KAMEL_RETURN_NOT_OK(Emit(object_id, std::move(finished)));
+    return Push(object_id, point);
+  }
+  if (!points.empty() && point.time < points.back().time) {
     return Status::InvalidArgument(
         "stream timestamps must be non-decreasing per object");
   }
-  buffer.points.push_back(point);
+  if (points.size() >= options_.max_points_per_object) {
+    return Status::ResourceExhausted(
+        "object " + std::to_string(object_id) + ": buffer full at " +
+        std::to_string(points.size()) +
+        " points; EndTrajectory it or raise max_points_per_object");
+  }
+  // Global backpressure: shed other sessions before refusing this feed.
+  while (total_points_ >= options_.max_total_points) {
+    const Status evicted = EvictOne(object_id);
+    if (!evicted.ok()) {
+      return Status::ResourceExhausted(
+          "stream buffer full (" + std::to_string(total_points_) +
+          " points) and nothing evictable");
+    }
+  }
+  buffer.trajectory.points.push_back(point);
+  ++total_points_;
+  Touch(object_id, &buffer);
   return Status::OK();
 }
 
@@ -361,8 +554,7 @@ Status StreamingSession::EndTrajectory(int64_t object_id) {
     return Status::NotFound("no open trajectory for object " +
                             std::to_string(object_id));
   }
-  Trajectory finished = std::move(it->second);
-  buffers_.erase(it);
+  Trajectory finished = Detach(it);
   return Emit(object_id, std::move(finished));
 }
 

@@ -2,6 +2,7 @@
 #define KAMEL_CORE_KAMEL_H_
 
 #include <functional>
+#include <list>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -33,6 +34,7 @@ struct ImputeStats {
   int segments = 0;          // sparse gaps that needed imputation
   int failed_segments = 0;   // drawn as straight lines
   int no_model_segments = 0; // failures caused by missing model coverage
+  int deadline_segments = 0; // failures caused by the per-call deadline
   int64_t bert_calls = 0;
   double seconds = 0.0;
   std::vector<SegmentOutcome> outcomes;  // one per imputed segment
@@ -94,8 +96,20 @@ class Kamel {
   /// Persists the trained state (projection anchor, world box, speed,
   /// models, clusters). Options are not stored: load with a Kamel
   /// constructed from the same options.
+  ///
+  /// The snapshot is crash-safe: bytes go to a temporary sibling file
+  /// which is fsynced and atomically renamed over `path`, and every
+  /// section carries a CRC32C so a later load detects damage.
   Status SaveToFile(const std::string& path) const;
-  Status LoadFromFile(const std::string& path);
+
+  /// Loads a snapshot. Corruption confined to one model (or to the
+  /// detokenizer) is quarantined: the load succeeds, the damaged part is
+  /// dropped, `report` (optional) says what was lost, and serving
+  /// degrades to the linear-line fallback for uncovered segments.
+  /// Damage to the header or geometry section fails the whole load with
+  /// a descriptive Status — never an abort.
+  Status LoadFromFile(const std::string& path,
+                      LoadReport* report = nullptr);
 
  private:
   /// Lazily builds projection, grid, pyramid, and all modules from the
@@ -107,9 +121,11 @@ class Kamel {
   void UpdateSpeedBound(const TrajectoryDataset& data);
 
   /// Imputes one gap; appends interior points (or a straight line on
-  /// failure) to `out_points`.
+  /// failure) to `out_points`. `deadline_expired` forces the linear
+  /// failure path without consulting the model.
   void ImputeSegment(TrajBert* model, const SegmentContext& context,
-                     std::vector<TrajPoint>* out_points, ImputeStats* stats);
+                     bool deadline_expired, std::vector<TrajPoint>* out_points,
+                     ImputeStats* stats);
 
   void AppendLinearFallback(const SegmentContext& context,
                             std::vector<TrajPoint>* out_points) const;
@@ -130,19 +146,47 @@ class Kamel {
   std::unique_ptr<Detokenizer> detokenizer_;
 };
 
+/// Resource limits for the streaming front-end. A public GPS feed is
+/// adversarial: objects that never close, bursts of new object ids, and
+/// garbage points must all degrade gracefully instead of growing buffers
+/// without bound or aborting the server.
+struct StreamingOptions {
+  /// A reading gap beyond this closes the object's trip (seconds).
+  double session_timeout_seconds = 300.0;
+  /// Per-object buffered-point cap; a Push beyond it is refused with
+  /// ResourceExhausted (backpressure: callers should EndTrajectory).
+  size_t max_points_per_object = 100000;
+  /// Total buffered-point cap across all objects; crossing it force-
+  /// closes (imputes and emits) least-recently-active objects first.
+  size_t max_total_points = 1000000;
+  /// Open-object cap; a new object beyond it evicts the least-recently-
+  /// active open object (its trajectory is imputed and emitted, not lost).
+  size_t max_open_objects = 10000;
+};
+
 /// Online streaming front-end (Figure 1's "Batch/Online Stream" input):
 /// GPS readings arrive one at a time per moving object; a trajectory is
 /// closed and imputed when EndTrajectory is called or when a reading gap
-/// exceeds `session_timeout_seconds`.
+/// exceeds the session timeout.
+///
+/// Hardened for untrusted feeds: every reading is validated (finite,
+/// in-range coordinates), buffers are bounded (see StreamingOptions), and
+/// overload evicts sessions in LRU order rather than failing the feed.
 class StreamingSession {
  public:
   using Callback = std::function<void(int64_t object_id, ImputedTrajectory)>;
 
   /// `system` is borrowed and must outlive the session and be trained.
   StreamingSession(Kamel* system, Callback on_imputed,
-                   double session_timeout_seconds = 300.0);
+                   StreamingOptions options = {});
 
-  /// Feeds one reading; may trigger imputation of a timed-out trajectory.
+  /// Back-compat convenience: default limits with a custom timeout.
+  StreamingSession(Kamel* system, Callback on_imputed,
+                   double session_timeout_seconds);
+
+  /// Feeds one reading; may trigger imputation of a timed-out trajectory
+  /// or LRU eviction of other objects. InvalidArgument on malformed
+  /// readings, ResourceExhausted when this object's buffer is full.
   Status Push(int64_t object_id, const TrajPoint& point);
 
   /// Closes one object's trajectory and imputes it.
@@ -152,15 +196,65 @@ class StreamingSession {
   Status Flush();
 
   size_t open_trajectories() const { return buffers_.size(); }
+  size_t total_buffered_points() const { return total_points_; }
+  /// Objects force-closed by LRU eviction since construction.
+  int64_t evictions() const { return evictions_; }
 
  private:
+  struct Buffer {
+    Trajectory trajectory;
+    std::list<int64_t>::iterator lru_it;  // position in lru_ (front = LRU)
+  };
+
   Status Emit(int64_t object_id, Trajectory trajectory);
+
+  /// Moves `object_id` to the most-recently-active end of the LRU list,
+  /// inserting it if new.
+  void Touch(int64_t object_id, Buffer* buffer);
+
+  /// Force-closes the least-recently-active object (skipping `protect`).
+  Status EvictOne(int64_t protect);
+
+  /// Removes the buffer and its LRU entry, returning the trajectory.
+  Trajectory Detach(std::unordered_map<int64_t, Buffer>::iterator it);
 
   Kamel* system_;
   Callback on_imputed_;
-  double timeout_;
-  std::unordered_map<int64_t, Trajectory> buffers_;
+  StreamingOptions options_;
+  std::unordered_map<int64_t, Buffer> buffers_;
+  std::list<int64_t> lru_;  // front = least recently active
+  size_t total_points_ = 0;
+  int64_t evictions_ = 0;
 };
+
+/// Integrity report of one snapshot file, produced without deserializing
+/// any model weights: the header and every section frame are walked and
+/// CRC-verified (`kamel fsck`).
+struct SnapshotFsckReport {
+  struct Section {
+    std::string name;
+    size_t payload_offset = 0;
+    uint64_t length = 0;
+    bool crc_ok = false;
+  };
+  uint32_t version = 0;
+  std::vector<Section> sections;
+  /// Set when the walk could not reach the end of the file (torn frame).
+  std::string truncation_error;
+
+  bool clean() const {
+    if (!truncation_error.empty()) return false;
+    for (const Section& s : sections) {
+      if (!s.crc_ok) return false;
+    }
+    return true;
+  }
+};
+
+/// Walks `path` as a KAMEL snapshot and CRC-checks every section. Returns
+/// non-OK only when the file cannot be opened or its header is invalid;
+/// per-section damage is reported in the result, naming the bad section.
+Result<SnapshotFsckReport> FsckSnapshot(const std::string& path);
 
 }  // namespace kamel
 

@@ -260,52 +260,103 @@ Status LoadInfo(BinaryReader* reader, ModelInfo* info) {
 
 }  // namespace
 
+std::string LoadReport::Summary() const {
+  std::string out = std::to_string(models_loaded) + " models loaded, " +
+                    std::to_string(models_quarantined) + " quarantined";
+  if (repository_quarantined) out += ", repository index quarantined";
+  if (detokenizer_quarantined) out += ", detokenizer quarantined";
+  for (const std::string& note : quarantined) out += "; " + note;
+  return out;
+}
+
+namespace {
+
+std::string Describe(const std::string& kind, const PyramidCell& cell,
+                     int slot) {
+  if (slot == 0) return "global model";
+  return kind + " model at level " + std::to_string(cell.level) +
+         " cell (" + std::to_string(cell.x) + "," + std::to_string(cell.y) +
+         ")";
+}
+
+}  // namespace
+
 void ModelRepository::Save(BinaryWriter* writer) const {
-  writer->WriteString("kamel-repo-v1");
+  // Deterministic order, independent of hash-map iteration: the index and
+  // the model sections that follow must agree.
+  std::vector<std::pair<PyramidCell, const Entry*>> ordered;
+  ordered.reserve(entries_.size());
+  for (const auto& [cell, entry] : entries_) ordered.push_back({cell, &entry});
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first.level != b.first.level) {
+                return a.first.level < b.first.level;
+              }
+              if (a.first.y != b.first.y) return a.first.y < b.first.y;
+              return a.first.x < b.first.x;
+            });
+
+  writer->BeginSection("repo.index");
   writer->WriteU8(global_model_ != nullptr ? 1 : 0);
-  if (global_model_ != nullptr) {
-    SaveInfo(writer, global_info_);
-    global_model_->Save(writer);
-  }
-  writer->WriteU32(static_cast<uint32_t>(entries_.size()));
-  for (const auto& [cell, entry] : entries_) {
+  if (global_model_ != nullptr) SaveInfo(writer, global_info_);
+  writer->WriteU32(static_cast<uint32_t>(ordered.size()));
+  for (const auto& [cell, entry] : ordered) {
     writer->WriteI32(cell.level);
     writer->WriteI32(cell.x);
     writer->WriteI32(cell.y);
     uint8_t flags = 0;
-    if (entry.single != nullptr) flags |= 1;
-    if (entry.east_pair != nullptr) flags |= 2;
-    if (entry.south_pair != nullptr) flags |= 4;
+    if (entry->single != nullptr) flags |= 1;
+    if (entry->east_pair != nullptr) flags |= 2;
+    if (entry->south_pair != nullptr) flags |= 4;
     writer->WriteU8(flags);
-    if (entry.single != nullptr) {
-      SaveInfo(writer, entry.single_info);
-      entry.single->Save(writer);
-    }
-    if (entry.east_pair != nullptr) {
-      SaveInfo(writer, entry.east_info);
-      entry.east_pair->Save(writer);
-    }
-    if (entry.south_pair != nullptr) {
-      SaveInfo(writer, entry.south_info);
-      entry.south_pair->Save(writer);
-    }
+    if (entry->single != nullptr) SaveInfo(writer, entry->single_info);
+    if (entry->east_pair != nullptr) SaveInfo(writer, entry->east_info);
+    if (entry->south_pair != nullptr) SaveInfo(writer, entry->south_info);
   }
   writer->WriteF64(total_train_seconds_);
+  writer->EndSection();
+
+  const auto save_model = [writer](const char* kind, const PyramidCell& cell,
+                                   const TrajBert& model) {
+    writer->BeginSection("model");
+    writer->WriteString(kind);
+    writer->WriteI32(cell.level);
+    writer->WriteI32(cell.x);
+    writer->WriteI32(cell.y);
+    model.Save(writer);
+    writer->EndSection();
+  };
+  if (global_model_ != nullptr) {
+    save_model("global", PyramidCell{}, *global_model_);
+  }
+  for (const auto& [cell, entry] : ordered) {
+    if (entry->single != nullptr) save_model("single", cell, *entry->single);
+    if (entry->east_pair != nullptr) {
+      save_model("east-pair", cell, *entry->east_pair);
+    }
+    if (entry->south_pair != nullptr) {
+      save_model("south-pair", cell, *entry->south_pair);
+    }
+  }
 }
 
-Status ModelRepository::Load(BinaryReader* reader) {
-  KAMEL_ASSIGN_OR_RETURN(std::string magic, reader->ReadString());
-  if (magic != "kamel-repo-v1") {
-    return Status::IOError("bad repository magic: " + magic);
-  }
+Status ModelRepository::Load(BinaryReader* reader, LoadReport* report) {
+  LoadReport local_report;
+  if (report == nullptr) report = &local_report;
   entries_.clear();
   num_single_ = num_neighbor_ = 0;
   global_model_.reset();
 
+  // Without a readable index there is nothing to quarantine against:
+  // the caller decides whether to fail or serve model-less.
+  KAMEL_RETURN_NOT_OK(reader->EnterSection("repo.index"));
+  std::vector<ExpectedModel> expected;
   KAMEL_ASSIGN_OR_RETURN(uint8_t has_global, reader->ReadU8());
   if (has_global != 0) {
-    KAMEL_RETURN_NOT_OK(LoadInfo(reader, &global_info_));
-    KAMEL_ASSIGN_OR_RETURN(global_model_, TrajBert::Load(reader));
+    ExpectedModel e;
+    e.kind = "global";
+    KAMEL_RETURN_NOT_OK(LoadInfo(reader, &e.info));
+    expected.push_back(std::move(e));
   }
   KAMEL_ASSIGN_OR_RETURN(uint32_t count, reader->ReadU32());
   for (uint32_t i = 0; i < count; ++i) {
@@ -314,24 +365,104 @@ Status ModelRepository::Load(BinaryReader* reader) {
     KAMEL_ASSIGN_OR_RETURN(cell.x, reader->ReadI32());
     KAMEL_ASSIGN_OR_RETURN(cell.y, reader->ReadI32());
     KAMEL_ASSIGN_OR_RETURN(uint8_t flags, reader->ReadU8());
-    Entry& entry = entries_[cell];
-    if (flags & 1) {
-      KAMEL_RETURN_NOT_OK(LoadInfo(reader, &entry.single_info));
-      KAMEL_ASSIGN_OR_RETURN(entry.single, TrajBert::Load(reader));
-      ++num_single_;
-    }
-    if (flags & 2) {
-      KAMEL_RETURN_NOT_OK(LoadInfo(reader, &entry.east_info));
-      KAMEL_ASSIGN_OR_RETURN(entry.east_pair, TrajBert::Load(reader));
-      ++num_neighbor_;
-    }
-    if (flags & 4) {
-      KAMEL_RETURN_NOT_OK(LoadInfo(reader, &entry.south_info));
-      KAMEL_ASSIGN_OR_RETURN(entry.south_pair, TrajBert::Load(reader));
-      ++num_neighbor_;
-    }
+    const auto expect = [&](const char* kind, int slot) -> Status {
+      ExpectedModel e;
+      e.kind = kind;
+      e.cell = cell;
+      e.slot = slot;
+      KAMEL_RETURN_NOT_OK(LoadInfo(reader, &e.info));
+      expected.push_back(std::move(e));
+      return Status::OK();
+    };
+    if (flags & 1) KAMEL_RETURN_NOT_OK(expect("single", 1));
+    if (flags & 2) KAMEL_RETURN_NOT_OK(expect("east-pair", 2));
+    if (flags & 4) KAMEL_RETURN_NOT_OK(expect("south-pair", 4));
   }
   KAMEL_ASSIGN_OR_RETURN(total_train_seconds_, reader->ReadF64());
+  KAMEL_RETURN_NOT_OK(reader->LeaveSection());
+
+  const auto quarantine = [report](const ExpectedModel& e,
+                                   const std::string& why) {
+    const std::string who = Describe(e.kind, e.cell, e.slot);
+    ++report->models_quarantined;
+    report->quarantined.push_back(who + ": " + why);
+    KAMEL_LOG(Warning) << "quarantined " << who << ": " << why;
+  };
+
+  for (size_t i = 0; i < expected.size(); ++i) {
+    const ExpectedModel& e = expected[i];
+    Result<SectionInfo> section = reader->EnterSection();
+    if (!section.ok() || section->name != "model") {
+      // The frame stream itself is damaged; everything past this point is
+      // unrecoverable (the caller's outer frame restores the cursor).
+      if (section.ok()) KAMEL_RETURN_NOT_OK(reader->LeaveSection());
+      const std::string why =
+          section.ok() ? "model section stream out of sync"
+                       : "unreadable section frame: " +
+                             section.status().message();
+      for (size_t j = i; j < expected.size(); ++j) {
+        quarantine(expected[j], why);
+      }
+      break;
+    }
+    if (!section->crc_ok) {
+      quarantine(e, "checksum mismatch (" + std::to_string(section->length) +
+                        " bytes at offset " +
+                        std::to_string(section->payload_offset) + ")");
+      KAMEL_RETURN_NOT_OK(reader->LeaveSection());
+      continue;
+    }
+    Status loaded = LoadOneModel(reader, e);
+    if (!loaded.ok()) quarantine(e, loaded.message());
+    else ++report->models_loaded;
+    KAMEL_RETURN_NOT_OK(reader->LeaveSection());
+  }
+  return Status::OK();
+}
+
+Status ModelRepository::LoadOneModel(BinaryReader* reader,
+                                     const ExpectedModel& expected) {
+  KAMEL_ASSIGN_OR_RETURN(std::string kind, reader->ReadString());
+  PyramidCell cell;
+  KAMEL_ASSIGN_OR_RETURN(cell.level, reader->ReadI32());
+  KAMEL_ASSIGN_OR_RETURN(cell.x, reader->ReadI32());
+  KAMEL_ASSIGN_OR_RETURN(cell.y, reader->ReadI32());
+  if (kind != expected.kind ||
+      (expected.slot != 0 && !(cell == expected.cell))) {
+    return Status::IOError("model section does not match the index (found " +
+                           kind + ")");
+  }
+  KAMEL_ASSIGN_OR_RETURN(std::unique_ptr<TrajBert> model,
+                         TrajBert::Load(reader));
+  switch (expected.slot) {
+    case 0:
+      global_model_ = std::move(model);
+      global_info_ = expected.info;
+      break;
+    case 1: {
+      Entry& entry = entries_[expected.cell];
+      entry.single = std::move(model);
+      entry.single_info = expected.info;
+      ++num_single_;
+      break;
+    }
+    case 2: {
+      Entry& entry = entries_[expected.cell];
+      entry.east_pair = std::move(model);
+      entry.east_info = expected.info;
+      ++num_neighbor_;
+      break;
+    }
+    case 4: {
+      Entry& entry = entries_[expected.cell];
+      entry.south_pair = std::move(model);
+      entry.south_info = expected.info;
+      ++num_neighbor_;
+      break;
+    }
+    default:
+      return Status::Internal("bad model slot");
+  }
   return Status::OK();
 }
 

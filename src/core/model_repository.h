@@ -26,6 +26,29 @@ struct ModelInfo {
   double train_seconds = 0.0;
 };
 
+/// Summary of a snapshot load that survived damage. The quarantine policy
+/// (ISSUE: crash-safe snapshots): a model whose section fails its CRC or
+/// does not parse is dropped — the surviving pyramid keeps serving and
+/// uncovered segments take the paper's linear-line failure path — instead
+/// of the whole load failing.
+struct LoadReport {
+  int models_loaded = 0;
+  int models_quarantined = 0;
+  /// The repository index itself was unreadable: every model is lost and
+  /// the system serves pure linear fallback (filled by Kamel).
+  bool repository_quarantined = false;
+  bool detokenizer_quarantined = false;  // filled by Kamel::LoadFromFile
+  /// One human-readable note per casualty, e.g.
+  /// "single model at level 2 cell (3,4): checksum mismatch".
+  std::vector<std::string> quarantined;
+
+  bool partial() const {
+    return models_quarantined > 0 || repository_quarantined ||
+           detokenizer_quarantined;
+  }
+  std::string Summary() const;
+};
+
 /// The model repository of the Partitioning module (Section 4): a pyramid
 /// of single-cell and neighbor-cells BERT models, built offline from the
 /// trajectory store and consulted online for imputation.
@@ -65,8 +88,17 @@ class ModelRepository {
 
   const Pyramid& pyramid() const { return pyramid_; }
 
+  /// Writes the repository as framed sections: one "repo.index" section
+  /// (cell list, flags, metadata) followed by one "model" section per
+  /// trained model, each independently CRC-protected so a reader can
+  /// quarantine a single damaged model.
   void Save(BinaryWriter* writer) const;
-  Status Load(BinaryReader* reader);
+
+  /// Loads what Save wrote. An unreadable or checksum-failing index is a
+  /// non-OK Status (nothing can be recovered without it); an individually
+  /// damaged model section is quarantined — skipped via its frame, noted
+  /// in `report` — and loading continues. `report` may be null.
+  Status Load(BinaryReader* reader, LoadReport* report = nullptr);
 
  private:
   struct Entry {
@@ -106,6 +138,18 @@ class ModelRepository {
 
   TrajBert* LookupSingle(const PyramidCell& cell) const;
   TrajBert* LookupPair(const PyramidCell& a, const PyramidCell& b) const;
+
+  /// One model the snapshot index promises; `slot` selects the Entry
+  /// member (0 global, 1 single, 2 east-pair, 4 south-pair).
+  struct ExpectedModel {
+    std::string kind;
+    PyramidCell cell;
+    ModelInfo info;
+    int slot = 0;
+  };
+
+  /// Parses one CRC-verified "model" section payload and installs it.
+  Status LoadOneModel(BinaryReader* reader, const ExpectedModel& expected);
 
   Pyramid pyramid_;
   KamelOptions options_;

@@ -75,6 +75,11 @@ struct KamelOptions {
   /// Hard budget of BERT calls per segment; exceeded -> declared failure
   /// and linear fallback (Section 6).
   int max_bert_calls_per_segment = 96;
+  /// Per-call wall-clock deadline for Impute, seconds; <= 0 disables.
+  /// Once the deadline is crossed mid-trajectory, every remaining gap
+  /// takes the paper's linear-line failure path instead of calling BERT,
+  /// so an overloaded server degrades accuracy rather than latency.
+  double impute_deadline_seconds = 0.0;
 
   // -- BERT encoder and training ------------------------------------------
   TrajBertOptions bert;

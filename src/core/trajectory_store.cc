@@ -1,5 +1,7 @@
 #include "core/trajectory_store.h"
 
+#include "common/fault_injection.h"
+
 namespace kamel {
 
 size_t TrajectoryStore::Add(TokenizedTrajectory trajectory) {
@@ -9,6 +11,14 @@ size_t TrajectoryStore::Add(TokenizedTrajectory trajectory) {
   trajectories_.push_back(std::move(trajectory));
   mbrs_.push_back(mbr);
   return trajectories_.size() - 1;
+}
+
+Status TrajectoryStore::Append(TokenizedTrajectory trajectory,
+                               size_t* index) {
+  KAMEL_RETURN_NOT_OK(FaultInjector::Instance().Hit("store.append"));
+  const size_t added = Add(std::move(trajectory));
+  if (index != nullptr) *index = added;
+  return Status::OK();
 }
 
 std::vector<size_t> TrajectoryStore::FullyEnclosed(const BBox& bounds) const {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "core/tokenizer.h"
 #include "geo/bbox.h"
 
@@ -21,6 +22,11 @@ class TrajectoryStore {
  public:
   /// Adds one tokenized trajectory; returns its store index.
   size_t Add(TokenizedTrajectory trajectory);
+
+  /// Fallible front-end of Add used by the training path: carries the
+  /// `store.append` failpoint so tests can drive a storage-layer failure
+  /// through Kamel::Train. On success `*index` is the store index.
+  Status Append(TokenizedTrajectory trajectory, size_t* index);
 
   size_t size() const { return trajectories_.size(); }
   int64_t total_tokens() const { return total_tokens_; }

@@ -1,5 +1,7 @@
 #include "geo/trajectory.h"
 
+#include <cmath>
+
 namespace kamel {
 
 double Trajectory::LengthMeters() const {
@@ -27,6 +29,33 @@ std::vector<Vec2> Trajectory::ProjectedPoints(
   out.reserve(points.size());
   for (const auto& p : points) out.push_back(proj.Project(p.pos));
   return out;
+}
+
+Status ValidateTrajectory(const Trajectory& trajectory) {
+  const std::string label = "trajectory " + std::to_string(trajectory.id);
+  for (size_t i = 0; i < trajectory.points.size(); ++i) {
+    const TrajPoint& p = trajectory.points[i];
+    const std::string at = label + " point " + std::to_string(i);
+    if (!std::isfinite(p.pos.lat) || !std::isfinite(p.pos.lng)) {
+      return Status::InvalidArgument(at + ": non-finite coordinates");
+    }
+    if (p.pos.lat < -90.0 || p.pos.lat > 90.0 || p.pos.lng < -180.0 ||
+        p.pos.lng > 180.0) {
+      return Status::InvalidArgument(
+          at + ": coordinates out of range (" + std::to_string(p.pos.lat) +
+          ", " + std::to_string(p.pos.lng) + ")");
+    }
+    if (!std::isfinite(p.time)) {
+      return Status::InvalidArgument(at + ": non-finite timestamp");
+    }
+    if (i > 0 && p.time < trajectory.points[i - 1].time) {
+      return Status::InvalidArgument(
+          at + ": timestamps must be non-decreasing (" +
+          std::to_string(trajectory.points[i - 1].time) + " -> " +
+          std::to_string(p.time) + ")");
+    }
+  }
+  return Status::OK();
 }
 
 size_t TrajectoryDataset::TotalPoints() const {

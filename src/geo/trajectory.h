@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "geo/bbox.h"
 #include "geo/latlng.h"
 #include "geo/projection.h"
@@ -40,6 +41,12 @@ struct Trajectory {
   /// The point positions projected into the local frame.
   std::vector<Vec2> ProjectedPoints(const LocalProjection& proj) const;
 };
+
+/// Ingest-boundary validation: every coordinate finite and within lat/lng
+/// range, every timestamp finite and non-decreasing. Returns
+/// InvalidArgument naming the first offending point; a malformed GPS feed
+/// must degrade into a rejected request, never a serving-path abort.
+Status ValidateTrajectory(const Trajectory& trajectory);
 
 /// A set of trajectories plus the projection that anchors their local frame.
 struct TrajectoryDataset {

@@ -1,5 +1,6 @@
 #include "io/trajectory_csv.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -42,6 +43,13 @@ Result<double> ParseDouble(const std::string& field, int line_no,
     return Status::InvalidArgument("line " + std::to_string(line_no) +
                                    ": bad " + what + " value '" + field +
                                    "'");
+  }
+  // strtod happily parses "nan" and "inf", and NaN then slips through
+  // every range comparison below — refuse it at the parse.
+  if (!std::isfinite(value)) {
+    return Status::InvalidArgument("line " + std::to_string(line_no) + ": " +
+                                   what + " value '" + field +
+                                   "' is not finite");
   }
   return value;
 }

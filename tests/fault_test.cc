@@ -1,0 +1,653 @@
+// Robustness tests: snapshot framing and corruption fuzzing, fault
+// injection, hardened serving boundaries, and streaming resource limits.
+// This binary carries the "robustness" ctest label and is the target of
+// the KAMEL_SANITIZE=address,undefined configuration — every test here
+// must hold under ASan/UBSan (no read past a torn frame, no abort on
+// garbage input).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/crc32c.h"
+#include "common/fault_injection.h"
+#include "core/kamel.h"
+#include "eval/scenario.h"
+#include "sim/sparsifier.h"
+
+namespace kamel {
+namespace {
+
+// ---- CRC32C ----------------------------------------------------------
+
+TEST(Crc32cTest, KnownVector) {
+  // The canonical CRC-32C check value (RFC 3720 appendix B / "123456789").
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+}
+
+TEST(Crc32cTest, ExtendMatchesOneShot) {
+  const std::string data = "kamel snapshot payload";
+  uint32_t rolling = Crc32cExtend(0, data.data(), 5);
+  rolling = Crc32cExtend(rolling, data.data() + 5, data.size() - 5);
+  EXPECT_EQ(rolling, Crc32c(data.data(), data.size()));
+}
+
+// ---- section framing -------------------------------------------------
+
+TEST(SectionFramingTest, NestedRoundTrip) {
+  BinaryWriter writer;
+  writer.WriteMagicHeader();
+  writer.BeginSection("outer");
+  writer.WriteU32(7);
+  writer.BeginSection("inner");
+  writer.WriteString("payload");
+  writer.EndSection();
+  writer.WriteU32(9);
+  writer.EndSection();
+
+  BinaryReader reader(writer.buffer());
+  auto version = reader.ReadMagicHeader();
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(*version, kSnapshotVersion);
+
+  auto outer = reader.EnterSection();
+  ASSERT_TRUE(outer.ok());
+  EXPECT_EQ(outer->name, "outer");
+  EXPECT_TRUE(outer->crc_ok);
+  ASSERT_TRUE(reader.ReadU32().ok());
+  ASSERT_TRUE(reader.EnterSection("inner").ok());
+  auto text = reader.ReadString();
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, "payload");
+  ASSERT_TRUE(reader.LeaveSection().ok());
+  auto tail = reader.ReadU32();
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(*tail, 9u);
+  ASSERT_TRUE(reader.LeaveSection().ok());
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(SectionFramingTest, LeaveSectionSkipsUnreadPayload) {
+  BinaryWriter writer;
+  writer.BeginSection("skipme");
+  for (int i = 0; i < 100; ++i) writer.WriteF64(i);
+  writer.EndSection();
+  writer.WriteU32(42);
+
+  BinaryReader reader(writer.buffer());
+  ASSERT_TRUE(reader.EnterSection("skipme").ok());
+  ASSERT_TRUE(reader.LeaveSection().ok());
+  auto value = reader.ReadU32();
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 42u);
+}
+
+TEST(SectionFramingTest, PayloadDamageFailsCrcButFrameSurvives) {
+  BinaryWriter writer;
+  writer.BeginSection("data");
+  writer.WriteString("important bytes");
+  writer.EndSection();
+  writer.WriteU32(5);
+
+  // Damage a byte squarely inside the payload (after name+len+crc).
+  std::vector<uint8_t> fresh = writer.buffer();
+  const size_t payload_byte = fresh.size() - 6;  // inside the string
+  std::vector<uint8_t> damaged =
+      FaultInjectingReader(std::move(fresh)).FlipByte(payload_byte).TakeBytes();
+
+  BinaryReader reader(std::move(damaged));
+  auto section = reader.EnterSection();
+  ASSERT_TRUE(section.ok());
+  EXPECT_EQ(section->name, "data");
+  EXPECT_FALSE(section->crc_ok);
+  ASSERT_TRUE(reader.LeaveSection().ok());  // skip the damaged payload
+  EXPECT_TRUE(reader.ReadU32().ok());       // and keep reading after it
+}
+
+TEST(SectionFramingTest, TruncatedFrameIsStatusNotCrash) {
+  BinaryWriter writer;
+  writer.BeginSection("data");
+  writer.WriteString("important bytes");
+  writer.EndSection();
+
+  for (size_t keep = 0; keep < writer.buffer().size(); keep += 3) {
+    std::vector<uint8_t> bytes = writer.buffer();
+    bytes = FaultInjectingReader(std::move(bytes)).TruncateAt(keep).TakeBytes();
+    BinaryReader reader(std::move(bytes));
+    auto section = reader.EnterSection();
+    // Every truncation is either an unreadable frame (non-OK) or a frame
+    // whose shortened payload fails its CRC.
+    if (section.ok()) {
+      EXPECT_FALSE(section->crc_ok) << "keep=" << keep;
+    }
+  }
+}
+
+TEST(SectionFramingTest, InsaneLengthIsRejectedBeforeAllocation) {
+  BinaryWriter writer;
+  writer.BeginSection("x");
+  writer.WriteU32(1);
+  writer.EndSection();
+  std::vector<uint8_t> bytes = writer.buffer();
+  // The u64 length field sits right after the name frame (u32 len + 1).
+  for (size_t i = 5; i < 5 + 8 && i < bytes.size(); ++i) bytes[i] = 0xFF;
+  BinaryReader reader(std::move(bytes));
+  EXPECT_FALSE(reader.EnterSection().ok());
+}
+
+TEST(SectionFramingTest, LegacyV1FileIsDetected) {
+  BinaryWriter writer;
+  writer.WriteString("kamel-system-v1");  // how v1 snapshots began
+  BinaryReader reader(writer.buffer());
+  auto version = reader.ReadMagicHeader();
+  ASSERT_FALSE(version.ok());
+  EXPECT_NE(version.status().message().find("legacy"), std::string::npos);
+}
+
+// ---- error message quality -------------------------------------------
+
+TEST(BinaryIoTest, MissingFileNamesPathAndErrno) {
+  auto reader = BinaryReader::FromFile("/nonexistent/kamel-nope.bin");
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.status().message().find("/nonexistent/kamel-nope.bin"),
+            std::string::npos);
+  EXPECT_NE(reader.status().message().find("No such file"),
+            std::string::npos);
+}
+
+TEST(BinaryIoTest, UnwritableFlushNamesPathAndErrno) {
+  BinaryWriter writer;
+  writer.WriteU32(1);
+  const Status status = writer.FlushToFileAtomic("/nonexistent/dir/out.bin");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("/nonexistent/dir/out.bin"),
+            std::string::npos);
+}
+
+// ---- fault injector --------------------------------------------------
+
+TEST(FaultInjectorTest, SkipCountAndReset) {
+  FaultInjector& injector = FaultInjector::Instance();
+  injector.Reset();
+  injector.Arm("test.point", /*skip=*/2, /*count=*/2,
+               StatusCode::kResourceExhausted);
+  EXPECT_TRUE(injector.Hit("test.point").ok());   // skip 1
+  EXPECT_TRUE(injector.Hit("test.point").ok());   // skip 2
+  EXPECT_EQ(injector.Hit("test.point").code(),    // fire 1
+            StatusCode::kResourceExhausted);
+  EXPECT_FALSE(injector.Hit("test.point").ok());  // fire 2
+  EXPECT_TRUE(injector.Hit("test.point").ok());   // exhausted
+  EXPECT_EQ(injector.HitCount("test.point"), 5);
+  EXPECT_TRUE(injector.Hit("other.point").ok());  // unarmed passes
+  injector.Reset();
+  EXPECT_EQ(injector.HitCount("test.point"), 0);
+}
+
+TEST(FaultInjectorTest, ForeverUntilDisarmed) {
+  FaultInjector& injector = FaultInjector::Instance();
+  injector.Reset();
+  injector.Arm("test.forever", 0, /*count=*/-1);
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(injector.Hit("test.forever").ok());
+  injector.Disarm("test.forever");
+  EXPECT_TRUE(injector.Hit("test.forever").ok());
+  injector.Reset();
+}
+
+TEST(FaultInjectingReaderTest, Mutations) {
+  FaultInjectingReader reader(std::vector<uint8_t>{0x00, 0xFF, 0x0F, 0xAA});
+  reader.FlipBit(0, 3).FlipByte(1).TruncateAt(3);
+  const std::vector<uint8_t>& bytes = reader.bytes();
+  ASSERT_EQ(bytes.size(), 3u);
+  EXPECT_EQ(bytes[0], 0x08);
+  EXPECT_EQ(bytes[1], 0x00);
+  EXPECT_EQ(bytes[2], 0x0F);
+}
+
+// ---- trained-system fixture ------------------------------------------
+
+KamelOptions MiniKamelOptions() {
+  KamelOptions options;
+  options.pyramid_height = 0;
+  options.pyramid_levels = 1;
+  options.model_token_threshold = 100;
+  options.bert.encoder.d_model = 32;
+  options.bert.encoder.num_heads = 4;
+  options.bert.encoder.num_layers = 2;
+  options.bert.encoder.ffn_dim = 128;
+  options.bert.encoder.max_seq_len = 32;
+  options.bert.train.steps = 600;
+  options.bert.train.batch_size = 16;
+  options.bert.train.peak_lr = 1e-3;
+  options.bert.train.warmup_steps = 50;
+  options.beam_size = 4;
+  options.top_k = 6;
+  options.max_bert_calls_per_segment = 200;
+  options.seed = 42;
+  return options;
+}
+
+// One trained system + saved snapshot shared by every robustness test
+// (training dominates the suite's runtime; the tests only read them).
+class FaultEndToEndTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scenario_ = new SimScenario(BuildScenario(MiniSpec()));
+    system_ = new Kamel(MiniKamelOptions());
+    ASSERT_TRUE(system_->Train(scenario_->train).ok());
+    snapshot_path_ = new std::string(testing::TempDir() +
+                                     "/kamel_fault_snapshot.bin");
+    ASSERT_TRUE(system_->SaveToFile(*snapshot_path_).ok());
+    snapshot_bytes_ = new std::vector<uint8_t>();
+    std::FILE* f = std::fopen(snapshot_path_->c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    snapshot_bytes_->resize(static_cast<size_t>(std::ftell(f)));
+    std::fseek(f, 0, SEEK_SET);
+    ASSERT_EQ(std::fread(snapshot_bytes_->data(), 1, snapshot_bytes_->size(),
+                         f),
+              snapshot_bytes_->size());
+    std::fclose(f);
+  }
+  static void TearDownTestSuite() {
+    delete system_;
+    delete scenario_;
+    delete snapshot_path_;
+    delete snapshot_bytes_;
+    system_ = nullptr;
+    scenario_ = nullptr;
+    snapshot_path_ = nullptr;
+    snapshot_bytes_ = nullptr;
+  }
+
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+
+  static Trajectory SparseTest(int index, double distance = 400.0) {
+    return Sparsify(scenario_->test.trajectories[index], distance);
+  }
+
+  /// Writes `bytes` to a scratch file and returns its path.
+  static std::string WriteScratch(const std::vector<uint8_t>& bytes) {
+    const std::string path =
+        testing::TempDir() + "/kamel_fault_scratch.bin";
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    EXPECT_NE(f, nullptr);
+    if (!bytes.empty()) {
+      EXPECT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+    }
+    std::fclose(f);
+    return path;
+  }
+
+  static SimScenario* scenario_;
+  static Kamel* system_;
+  static std::string* snapshot_path_;
+  static std::vector<uint8_t>* snapshot_bytes_;
+};
+
+SimScenario* FaultEndToEndTest::scenario_ = nullptr;
+Kamel* FaultEndToEndTest::system_ = nullptr;
+std::string* FaultEndToEndTest::snapshot_path_ = nullptr;
+std::vector<uint8_t>* FaultEndToEndTest::snapshot_bytes_ = nullptr;
+
+// ---- fsck ------------------------------------------------------------
+
+TEST_F(FaultEndToEndTest, FsckReportsCleanFreshSnapshot) {
+  auto report = FsckSnapshot(*snapshot_path_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->version, kSnapshotVersion);
+  EXPECT_TRUE(report->clean());
+  std::vector<std::string> names;
+  for (const auto& section : report->sections) names.push_back(section.name);
+  EXPECT_NE(std::find(names.begin(), names.end(), "meta"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "repo"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "repo.index"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "model"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "detok"), names.end());
+}
+
+TEST_F(FaultEndToEndTest, FsckNamesTheDamagedSection) {
+  auto clean = FsckSnapshot(*snapshot_path_);
+  ASSERT_TRUE(clean.ok());
+  // Damage the first "model" payload byte; fsck must flag exactly it.
+  for (const auto& section : clean->sections) {
+    if (section.name != "model" || section.length == 0) continue;
+    std::vector<uint8_t> bytes = *snapshot_bytes_;
+    bytes = FaultInjectingReader(std::move(bytes))
+                .FlipByte(section.payload_offset + section.length / 2)
+                .TakeBytes();
+    auto damaged = FsckSnapshot(WriteScratch(bytes));
+    ASSERT_TRUE(damaged.ok());
+    EXPECT_FALSE(damaged->clean());
+    int corrupt = 0;
+    for (const auto& s : damaged->sections) {
+      if (!s.crc_ok) {
+        ++corrupt;
+        // The model frame and its enclosing "repo" frame both fail.
+        EXPECT_TRUE(s.name == "model" || s.name == "repo") << s.name;
+      }
+    }
+    EXPECT_GE(corrupt, 1);
+    return;
+  }
+  FAIL() << "snapshot contains no model section";
+}
+
+// ---- atomic save -----------------------------------------------------
+
+TEST_F(FaultEndToEndTest, FailedSaveLeavesPreviousSnapshotIntact) {
+  const std::string path = testing::TempDir() + "/kamel_atomic_test.bin";
+  ASSERT_TRUE(system_->SaveToFile(path).ok());
+
+  FaultInjector::Instance().Arm("snapshot.write");
+  EXPECT_FALSE(system_->SaveToFile(path).ok());
+  FaultInjector::Instance().Reset();
+
+  // The interrupted save must not have torn the previous good snapshot.
+  Kamel restored(MiniKamelOptions());
+  LoadReport report;
+  ASSERT_TRUE(restored.LoadFromFile(path, &report).ok());
+  EXPECT_FALSE(report.partial());
+  EXPECT_EQ(restored.repository().num_models(),
+            system_->repository().num_models());
+}
+
+// ---- quarantine policy -----------------------------------------------
+
+TEST_F(FaultEndToEndTest, DamagedModelIsQuarantinedAndServingDegrades) {
+  auto fsck = FsckSnapshot(*snapshot_path_);
+  ASSERT_TRUE(fsck.ok());
+  const SnapshotFsckReport::Section* model = nullptr;
+  for (const auto& section : fsck->sections) {
+    if (section.name == "model" && section.length > 0) {
+      model = &section;
+      break;
+    }
+  }
+  ASSERT_NE(model, nullptr);
+
+  std::vector<uint8_t> bytes = *snapshot_bytes_;
+  bytes = FaultInjectingReader(std::move(bytes))
+              .FlipBit(model->payload_offset + model->length / 3, 5)
+              .TakeBytes();
+  Kamel restored(MiniKamelOptions());
+  LoadReport report;
+  ASSERT_TRUE(restored.LoadFromFile(WriteScratch(bytes), &report).ok());
+  EXPECT_TRUE(report.partial());
+  EXPECT_GE(report.models_quarantined, 1);
+  EXPECT_LT(restored.repository().num_models(),
+            system_->repository().num_models() + 1);
+  EXPECT_FALSE(report.Summary().empty());
+
+  // The survivor still serves: every gap gets points (model-backed or the
+  // linear fallback), and no call aborts.
+  auto result = restored.Impute(SparseTest(1));
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->trajectory.points.size(), SparseTest(1).points.size());
+}
+
+TEST_F(FaultEndToEndTest, DamagedMetaFailsTheWholeLoad) {
+  auto fsck = FsckSnapshot(*snapshot_path_);
+  ASSERT_TRUE(fsck.ok());
+  for (const auto& section : fsck->sections) {
+    if (section.name != "meta") continue;
+    std::vector<uint8_t> bytes = *snapshot_bytes_;
+    bytes = FaultInjectingReader(std::move(bytes))
+                .FlipByte(section.payload_offset + 3)
+                .TakeBytes();
+    Kamel restored(MiniKamelOptions());
+    EXPECT_FALSE(restored.LoadFromFile(WriteScratch(bytes)).ok());
+    return;
+  }
+  FAIL() << "snapshot contains no meta section";
+}
+
+TEST_F(FaultEndToEndTest, DamagedDetokenizerIsQuarantined) {
+  auto fsck = FsckSnapshot(*snapshot_path_);
+  ASSERT_TRUE(fsck.ok());
+  for (const auto& section : fsck->sections) {
+    if (section.name != "detok" || section.length == 0) continue;
+    std::vector<uint8_t> bytes = *snapshot_bytes_;
+    bytes = FaultInjectingReader(std::move(bytes))
+                .FlipByte(section.payload_offset + section.length / 2)
+                .TakeBytes();
+    Kamel restored(MiniKamelOptions());
+    LoadReport report;
+    ASSERT_TRUE(restored.LoadFromFile(WriteScratch(bytes), &report).ok());
+    EXPECT_TRUE(report.detokenizer_quarantined);
+    // Cell-centroid detokenization still produces a dense output.
+    auto result = restored.Impute(SparseTest(2));
+    ASSERT_TRUE(result.ok());
+    return;
+  }
+  FAIL() << "snapshot contains no detok section";
+}
+
+// Fuzz: flip or truncate bytes across the whole file; every mutation must
+// yield a descriptive Status or a successful (possibly partial) load —
+// never an abort or an out-of-bounds access (ASan enforces the latter).
+TEST_F(FaultEndToEndTest, ByteLevelCorruptionNeverAborts) {
+  const std::vector<uint8_t>& original = *snapshot_bytes_;
+  ASSERT_GT(original.size(), 64u);
+
+  std::vector<std::vector<uint8_t>> mutations;
+  // A bit flip every `stride` bytes covers every section of the file.
+  const size_t stride = std::max<size_t>(1, original.size() / 97);
+  for (size_t offset = 0; offset < original.size(); offset += stride) {
+    mutations.push_back(FaultInjectingReader(original)
+                            .FlipBit(offset, static_cast<int>(offset % 8))
+                            .TakeBytes());
+  }
+  // Torn writes at assorted depths, including mid-header.
+  for (size_t keep :
+       {size_t{0}, size_t{3}, size_t{8}, original.size() / 4,
+        original.size() / 2, original.size() - 1}) {
+    mutations.push_back(
+        FaultInjectingReader(original).TruncateAt(keep).TakeBytes());
+  }
+
+  int quarantined_loads = 0;
+  int rejected_loads = 0;
+  int clean_loads = 0;
+  for (const std::vector<uint8_t>& mutated : mutations) {
+    Kamel restored(MiniKamelOptions());
+    LoadReport report;
+    const Status loaded =
+        restored.LoadFromFile(WriteScratch(mutated), &report);
+    if (!loaded.ok()) {
+      EXPECT_FALSE(loaded.message().empty());
+      ++rejected_loads;
+      continue;
+    }
+    report.partial() ? ++quarantined_loads : ++clean_loads;
+    // A load that succeeded must serve without aborting; spot-check the
+    // quarantined ones (imputing every mutation would dominate runtime).
+    if (report.partial() && quarantined_loads <= 3) {
+      auto result = restored.Impute(SparseTest(0));
+      ASSERT_TRUE(result.ok());
+    }
+  }
+  // The sweep must exercise both recovery regimes.
+  EXPECT_GT(rejected_loads, 0);
+  EXPECT_GT(quarantined_loads, 0);
+  // A single flipped bit can land in framing slack only rarely; nearly
+  // every mutation must be detected.
+  EXPECT_LE(clean_loads, 2);
+}
+
+// ---- serving-path hardening ------------------------------------------
+
+TEST_F(FaultEndToEndTest, ImputeRejectsGarbageTrajectories) {
+  Trajectory nan_point = SparseTest(0);
+  nan_point.points[1].pos.lat = std::nan("");
+  EXPECT_EQ(system_->Impute(nan_point).status().code(),
+            StatusCode::kInvalidArgument);
+
+  Trajectory out_of_world = SparseTest(0);
+  out_of_world.points[0].pos.lng = 400.0;
+  EXPECT_EQ(system_->Impute(out_of_world).status().code(),
+            StatusCode::kInvalidArgument);
+
+  Trajectory time_warp = SparseTest(0);
+  ASSERT_GE(time_warp.points.size(), 2u);
+  std::swap(time_warp.points[0].time, time_warp.points[1].time);
+  EXPECT_EQ(system_->Impute(time_warp).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(FaultEndToEndTest, TrainRejectsGarbageTrajectories) {
+  TrajectoryDataset bad = scenario_->train;
+  bad.trajectories[0].points[0].time =
+      std::numeric_limits<double>::infinity();
+  Kamel fresh(MiniKamelOptions());
+  EXPECT_EQ(fresh.Train(bad).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FaultEndToEndTest, BertFaultDrivesLinearFallback) {
+  FaultInjector::Instance().Arm("bert.forward", 0, /*count=*/-1);
+  auto result = system_->Impute(SparseTest(1));
+  const int64_t forward_hits =
+      FaultInjector::Instance().HitCount("bert.forward");
+  FaultInjector::Instance().Reset();
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->stats.segments, 0);
+  EXPECT_EQ(result->stats.failed_segments, result->stats.segments);
+  EXPECT_GT(forward_hits, 0);
+}
+
+TEST_F(FaultEndToEndTest, StoreAppendFaultFailsTraining) {
+  FaultInjector::Instance().Arm("store.append");
+  Kamel fresh(MiniKamelOptions());
+  EXPECT_FALSE(fresh.Train(scenario_->train).ok());
+  FaultInjector::Instance().Reset();
+}
+
+TEST_F(FaultEndToEndTest, ImputeDeadlineFallsBackToStraightLines) {
+  KamelOptions options = MiniKamelOptions();
+  options.impute_deadline_seconds = 1e-12;  // expires immediately
+  Kamel restored(options);
+  ASSERT_TRUE(restored.LoadFromFile(*snapshot_path_).ok());
+  auto result = restored.Impute(SparseTest(1));
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->stats.segments, 0);
+  EXPECT_EQ(result->stats.deadline_segments, result->stats.segments);
+  EXPECT_EQ(result->stats.failed_segments, result->stats.segments);
+  EXPECT_EQ(result->stats.bert_calls, 0);
+  // Output is still dense-ish: linear fallback fills the gaps.
+  EXPECT_GT(result->trajectory.points.size(), SparseTest(1).points.size());
+}
+
+// ---- streaming limits ------------------------------------------------
+
+TEST_F(FaultEndToEndTest, StreamingRejectsGarbageReadings) {
+  StreamingSession session(system_, nullptr);
+  EXPECT_EQ(session.Push(1, {{std::nan(""), -93.0}, 1.0}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(session.Push(1, {{45.0, 400.0}, 1.0}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      session.Push(1, {{45.0, -93.0},
+                       std::numeric_limits<double>::infinity()})
+          .code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(session.open_trajectories(), 0u);
+}
+
+TEST_F(FaultEndToEndTest, StreamingPerObjectBackpressure) {
+  StreamingOptions limits;
+  limits.max_points_per_object = 4;
+  StreamingSession session(system_, nullptr, limits);
+  const Trajectory& dense = scenario_->test.trajectories[0];
+  ASSERT_GE(dense.points.size(), 5u);
+  for (size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(session.Push(1, dense.points[i]).ok());
+  }
+  EXPECT_EQ(session.Push(1, dense.points[4]).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(session.total_buffered_points(), 4u);
+  // Backpressure is recoverable: closing the object drains its buffer.
+  ASSERT_TRUE(session.EndTrajectory(1).ok());
+  EXPECT_EQ(session.total_buffered_points(), 0u);
+  EXPECT_TRUE(session.Push(1, dense.points[4]).ok());
+}
+
+TEST_F(FaultEndToEndTest, StreamingEvictsLeastRecentlyActiveObject) {
+  std::vector<int64_t> emitted;
+  StreamingOptions limits;
+  limits.max_open_objects = 2;
+  StreamingSession session(
+      system_,
+      [&](int64_t id, ImputedTrajectory) { emitted.push_back(id); }, limits);
+  const Trajectory sparse = SparseTest(0);
+  ASSERT_GE(sparse.points.size(), 4u);
+
+  ASSERT_TRUE(session.Push(1, sparse.points[0]).ok());
+  ASSERT_TRUE(session.Push(2, sparse.points[1]).ok());
+  // Touch object 1 so object 2 becomes the least recently active.
+  ASSERT_TRUE(session.Push(1, sparse.points[2]).ok());
+  // Admitting object 3 evicts object 2, not object 1.
+  ASSERT_TRUE(session.Push(3, sparse.points[3]).ok());
+  EXPECT_EQ(session.open_trajectories(), 2u);
+  EXPECT_EQ(session.evictions(), 1);
+  ASSERT_EQ(emitted.size(), 1u);
+  EXPECT_EQ(emitted[0], 2);
+}
+
+TEST_F(FaultEndToEndTest, StreamingTotalPointCapShedsOtherSessions) {
+  std::vector<int64_t> emitted;
+  StreamingOptions limits;
+  limits.max_total_points = 6;
+  StreamingSession session(
+      system_,
+      [&](int64_t id, ImputedTrajectory) { emitted.push_back(id); }, limits);
+  const Trajectory& dense = scenario_->test.trajectories[0];
+  ASSERT_GE(dense.points.size(), 7u);
+
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(session.Push(1, dense.points[i]).ok());
+  }
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(session.Push(2, dense.points[i + 4]).ok());
+  }
+  // Crossing the global cap evicted object 1 (imputed, not dropped).
+  ASSERT_EQ(emitted.size(), 1u);
+  EXPECT_EQ(emitted[0], 1);
+  EXPECT_EQ(session.open_trajectories(), 1u);
+  EXPECT_EQ(session.total_buffered_points(), 3u);
+}
+
+TEST_F(FaultEndToEndTest, StreamingTimeoutFlushWithOutOfOrderNoise) {
+  int imputed = 0;
+  StreamingSession session(
+      system_, [&](int64_t, ImputedTrajectory) { ++imputed; },
+      StreamingOptions{.session_timeout_seconds = 60.0});
+  const Trajectory sparse = SparseTest(3);
+  ASSERT_GE(sparse.points.size(), 3u);
+  ASSERT_TRUE(session.Push(5, sparse.points[0]).ok());
+  ASSERT_TRUE(session.Push(5, sparse.points[1]).ok());
+
+  // An out-of-order reading is refused without disturbing the buffer.
+  TrajPoint stale = sparse.points[0];
+  stale.time = sparse.points[0].time - 1.0;
+  EXPECT_EQ(session.Push(5, stale).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(session.open_trajectories(), 1u);
+
+  // A reading past the timeout closes the trip and starts the next one.
+  TrajPoint late = sparse.points[2];
+  late.time = sparse.points[1].time + 10000.0;
+  ASSERT_TRUE(session.Push(5, late).ok());
+  EXPECT_EQ(imputed, 1);
+  EXPECT_EQ(session.open_trajectories(), 1u);
+  EXPECT_EQ(session.total_buffered_points(), 1u);
+
+  ASSERT_TRUE(session.Flush().ok());
+  EXPECT_EQ(imputed, 2);
+  EXPECT_EQ(session.total_buffered_points(), 0u);
+}
+
+}  // namespace
+}  // namespace kamel

@@ -65,6 +65,21 @@ TEST(TrajectoryCsvTest, RejectsMalformedRows) {
   EXPECT_FALSE(io::ReadCsvString(header + "1,41.0,-481.0,0\n").ok());
 }
 
+TEST(TrajectoryCsvTest, RejectsNonFiniteValues) {
+  // strtod accepts these spellings; the reader must not (NaN coordinates
+  // would sail through every later range check).
+  const std::string header = "trajectory_id,lat,lng,time\n";
+  for (const char* row :
+       {"1,nan,-8.0,0\n", "1,41.0,inf,0\n", "1,41.0,-8.0,-inf\n",
+        "nan,41.0,-8.0,0\n"}) {
+    auto parsed = io::ReadCsvString(header + row);
+    ASSERT_FALSE(parsed.ok()) << row;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << row;
+    EXPECT_NE(parsed.status().message().find("line 2"), std::string::npos)
+        << row;
+  }
+}
+
 TEST(TrajectoryCsvTest, RejectsNonContiguousTrajectories) {
   const std::string text =
       "trajectory_id,lat,lng,time\n"

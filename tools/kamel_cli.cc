@@ -6,6 +6,7 @@
 //   kamel train    --data train.csv --model city.kamel [--steps N]
 //   kamel impute   --model city.kamel --data sparse.csv --out imputed.csv
 //   kamel evaluate --model city.kamel --data dense.csv --sparseness 1000
+//   kamel fsck     city.kamel                          verify a snapshot
 //
 // Trajectories are CSV (`trajectory_id,lat,lng,time`); `--geojson` adds a
 // GeoJSON export for map inspection.
@@ -85,7 +86,20 @@ KamelOptions OptionsFromFlags(const Flags& flags) {
   if (flags.Get("method") == "iterative") {
     options.method = ImputeMethod::kIterativeBert;
   }
+  options.impute_deadline_seconds =
+      flags.GetDouble("deadline", options.impute_deadline_seconds);
   return options;
+}
+
+int LoadOrFail(Kamel* system, const Flags& flags) {
+  LoadReport report;
+  const Status loaded = system->LoadFromFile(flags.Get("model"), &report);
+  if (!loaded.ok()) return Fail(loaded);
+  if (report.partial()) {
+    std::fprintf(stderr, "warning: partial snapshot load: %s\n",
+                 report.Summary().c_str());
+  }
+  return 0;
 }
 
 // ---- subcommands -----------------------------------------------------
@@ -156,8 +170,7 @@ int Train(const Flags& flags) {
 
 int Impute(const Flags& flags) {
   Kamel system(OptionsFromFlags(flags));
-  const Status loaded = system.LoadFromFile(flags.Get("model"));
-  if (!loaded.ok()) return Fail(loaded);
+  if (int rc = LoadOrFail(&system, flags); rc != 0) return rc;
   auto data = io::ReadCsvFile(flags.Get("data"));
   if (!data.ok()) return Fail(data.status());
 
@@ -187,8 +200,7 @@ int Impute(const Flags& flags) {
 
 int Evaluate(const Flags& flags) {
   Kamel system(OptionsFromFlags(flags));
-  const Status loaded = system.LoadFromFile(flags.Get("model"));
-  if (!loaded.ok()) return Fail(loaded);
+  if (int rc = LoadOrFail(&system, flags); rc != 0) return rc;
   auto dense = io::ReadCsvFile(flags.Get("data"));
   if (!dense.ok()) return Fail(dense.status());
 
@@ -211,6 +223,39 @@ int Evaluate(const Flags& flags) {
   return 0;
 }
 
+int Fsck(int argc, char** argv, const Flags& flags) {
+  // Accept the snapshot as a positional argument or via --model.
+  std::string path = flags.Get("model");
+  if (path.empty() && argc > 2 && std::strncmp(argv[2], "--", 2) != 0) {
+    path = argv[2];
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: kamel fsck <snapshot>\n");
+    return 2;
+  }
+  auto report = FsckSnapshot(path);
+  if (!report.ok()) return Fail(report.status());
+  std::printf("%s: snapshot version %u, %zu sections\n", path.c_str(),
+              report->version, report->sections.size());
+  std::printf("  %-12s %12s %12s  %s\n", "section", "offset", "bytes",
+              "crc");
+  for (const auto& section : report->sections) {
+    std::printf("  %-12s %12zu %12llu  %s\n", section.name.c_str(),
+                section.payload_offset,
+                static_cast<unsigned long long>(section.length),
+                section.crc_ok ? "ok" : "CORRUPT");
+  }
+  if (!report->truncation_error.empty()) {
+    std::printf("  TRUNCATED: %s\n", report->truncation_error.c_str());
+  }
+  if (!report->clean()) {
+    std::printf("%s: snapshot is DAMAGED\n", path.c_str());
+    return 1;
+  }
+  std::printf("%s: snapshot is clean\n", path.c_str());
+  return 0;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -226,7 +271,11 @@ int Usage() {
       "  impute    --model m.kamel --data sparse.csv --out imputed.csv\n"
       "            [--geojson] [--beam N] [--method beam|iterative]\n"
       "  evaluate  --model m.kamel --data dense.csv [--sparseness M]\n"
-      "            [--delta M]\n");
+      "            [--delta M]\n"
+      "  fsck      SNAPSHOT        verify framing and checksums; exits\n"
+      "            nonzero and names the damaged section on corruption\n"
+      "  (impute/evaluate: [--deadline SECONDS] bounds each Impute call;\n"
+      "   overruns fall back to straight lines instead of stalling)\n");
   return 2;
 }
 
@@ -239,6 +288,7 @@ int Main(int argc, char** argv) {
   if (command == "train") return Train(flags);
   if (command == "impute") return Impute(flags);
   if (command == "evaluate") return Evaluate(flags);
+  if (command == "fsck") return Fsck(argc, argv, flags);
   return Usage();
 }
 
