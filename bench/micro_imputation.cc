@@ -22,7 +22,7 @@ class StraightLineSource final : public CandidateSource {
 
   std::vector<Candidate> PredictMasked(const std::vector<CellId>& left,
                                        const std::vector<CellId>& right,
-                                       int top_k) override {
+                                       int top_k) const override {
     std::vector<Candidate> out;
     const Vec2 target = grid_->Centroid(right.front());
     std::vector<CellId> options = grid_->EdgeNeighbors(left.back());

@@ -1,0 +1,140 @@
+// Serving-engine throughput: ImputeBatch over one immutable KamelSnapshot
+// at 1/2/4/8 pool threads. Prints trajectories/second and speedup versus
+// the single-threaded engine, and fails (exit 1) if any thread count
+// produces output that is not byte-identical to the 1-thread reference —
+// the determinism bar the serving split guarantees.
+//
+// Speedup tracks the machine's core count: on a 1-core container every
+// row measures pool overhead (~1.0x); on an 8-core host the 8-thread row
+// is the scaling headline.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/kamel.h"
+#include "eval/scenario.h"
+#include "sim/datasets.h"
+#include "sim/sparsifier.h"
+
+namespace kamel::bench {
+namespace {
+
+KamelOptions ThroughputOptions() {
+  KamelOptions options;
+  options.pyramid_height = 0;
+  options.pyramid_levels = 1;
+  options.model_token_threshold = 100;
+  options.bert.encoder.d_model = 32;
+  options.bert.encoder.num_heads = 4;
+  options.bert.encoder.num_layers = 2;
+  options.bert.encoder.ffn_dim = 128;
+  options.bert.encoder.max_seq_len = 32;
+  options.bert.train.steps = 300;
+  options.bert.train.batch_size = 16;
+  options.bert.train.warmup_steps = 50;
+  options.beam_size = 4;
+  options.top_k = 6;
+  options.seed = 42;
+  return options;
+}
+
+// Batch size (trajectories) per timed run; $KAMEL_BENCH_BATCH overrides.
+size_t BatchSize() {
+  if (const char* env = std::getenv("KAMEL_BENCH_BATCH")) {
+    const long parsed = std::atol(env);
+    if (parsed > 0) return static_cast<size_t>(parsed);
+  }
+  return 64;
+}
+
+bool Identical(const ImputedTrajectory& a, const ImputedTrajectory& b) {
+  if (a.trajectory.points.size() != b.trajectory.points.size()) return false;
+  for (size_t i = 0; i < a.trajectory.points.size(); ++i) {
+    if (a.trajectory.points[i].pos.lat != b.trajectory.points[i].pos.lat ||
+        a.trajectory.points[i].pos.lng != b.trajectory.points[i].pos.lng ||
+        a.trajectory.points[i].time != b.trajectory.points[i].time) {
+      return false;
+    }
+  }
+  return a.stats.bert_calls == b.stats.bert_calls &&
+         a.stats.failed_segments == b.stats.failed_segments;
+}
+
+int Run() {
+  const SimScenario scenario = BuildScenario(MiniSpec());
+  Kamel system(ThroughputOptions());
+  if (const Status trained = system.Train(scenario.train); !trained.ok()) {
+    std::fprintf(stderr, "train failed: %s\n", trained.ToString().c_str());
+    return 1;
+  }
+  auto snapshot = system.Snapshot();
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "snapshot failed: %s\n",
+                 snapshot.status().ToString().c_str());
+    return 1;
+  }
+
+  // Cycle the sparsified test set up to the batch size.
+  TrajectoryDataset batch;
+  const size_t kBatch = BatchSize();
+  for (size_t i = 0; i < kBatch; ++i) {
+    batch.trajectories.push_back(Sparsify(
+        scenario.test.trajectories[i % scenario.test.trajectories.size()],
+        400.0));
+  }
+
+  Table table("Serving throughput: ImputeBatch vs pool threads",
+              {"threads", "seconds", "traj_per_sec", "speedup", "identical"});
+  std::vector<ImputedTrajectory> reference;
+  double base_seconds = 0.0;
+  bool all_identical = true;
+  for (const int threads : {1, 2, 4, 8}) {
+    ServingEngine engine(*snapshot, {.num_threads = threads});
+    // Untimed warmup so demand-loaded models and allocator state don't
+    // bias the 1-thread baseline.
+    if (threads == 1 && !engine.ImputeBatch(batch).ok()) return 1;
+
+    const auto start = std::chrono::steady_clock::now();
+    auto results = engine.ImputeBatch(batch);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    if (!results.ok()) {
+      std::fprintf(stderr, "ImputeBatch(%d threads) failed: %s\n", threads,
+                   results.status().ToString().c_str());
+      return 1;
+    }
+
+    bool identical = true;
+    if (threads == 1) {
+      reference = std::move(*results);
+      base_seconds = seconds;
+    } else {
+      identical = results->size() == reference.size();
+      for (size_t i = 0; identical && i < reference.size(); ++i) {
+        identical = Identical((*results)[i], reference[i]);
+      }
+      all_identical = all_identical && identical;
+    }
+    table.AddRow({std::to_string(threads), Table::Num(seconds, 3),
+                  Table::Num(batch.trajectories.size() / seconds, 1),
+                  Table::Num(base_seconds / seconds, 2),
+                  identical ? "yes" : "NO"});
+  }
+  Emit(table, "micro_throughput");
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: output differs across thread counts (determinism "
+                 "violation)\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace kamel::bench
+
+int main() { return kamel::bench::Run(); }

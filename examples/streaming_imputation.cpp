@@ -17,9 +17,17 @@ int main() {
     return 1;
   }
 
+  // The serving engine runs imputations on a thread pool; the session
+  // dispatches each closed trip to it and the sink serializes the output.
+  auto snapshot = systems->kamel->Snapshot();
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "snapshot failed: %s\n",
+                 snapshot.status().ToString().c_str());
+    return 1;
+  }
+  kamel::ServingEngine engine(*snapshot);
   int completed = 0;
-  kamel::StreamingSession session(
-      systems->kamel.get(),
+  kamel::FunctionSink sink(
       [&completed](int64_t object_id, kamel::ImputedTrajectory imputed) {
         ++completed;
         std::printf(
@@ -29,6 +37,7 @@ int main() {
             imputed.trajectory.points.size(), imputed.stats.segments,
             imputed.stats.failed_segments);
       });
+  kamel::StreamingSession session(&engine, &sink);
 
   // Simulate a live feed: sparse readings from 5 vehicles, interleaved by
   // timestamp, as a telematics gateway would deliver them.
@@ -64,6 +73,7 @@ int main() {
     std::fprintf(stderr, "flush failed: %s\n", flushed.ToString().c_str());
     return 1;
   }
+  session.Drain();  // wait for the pool to deliver every trip
   std::printf("stream closed: %d trips imputed\n", completed);
   return 0;
 }

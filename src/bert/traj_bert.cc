@@ -55,9 +55,9 @@ Result<std::unique_ptr<TrajBert>> TrajBert::Train(
 
 std::vector<Candidate> TrajBert::PredictMasked(
     const std::vector<CellId>& left, const std::vector<CellId>& right,
-    int top_k) {
+    int top_k) const {
   KAMEL_CHECK(top_k > 0, "top_k must be positive");
-  ++num_predict_calls_;
+  num_predict_calls_.fetch_add(1, std::memory_order_relaxed);
   // An armed `bert.forward` fault yields no candidates, which the imputers
   // treat as a failed segment — exactly the linear-fallback path a real
   // inference outage should take.
@@ -89,7 +89,7 @@ std::vector<Candidate> TrajBert::PredictMasked(
 
   const std::vector<float> key_mask(static_cast<size_t>(seq_len), 1.0f);
   nn::Tensor logits =
-      model_->Forward(ids, key_mask, /*batch=*/1, seq_len, /*train=*/false);
+      model_->ForwardInference(ids, key_mask, /*batch=*/1, seq_len);
   std::vector<float> probs = model_->PositionProbabilities(logits, mask_pos);
 
   // Keep content tokens only and renormalize.

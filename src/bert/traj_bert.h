@@ -1,6 +1,7 @@
 #ifndef KAMEL_BERT_TRAJ_BERT_H_
 #define KAMEL_BERT_TRAJ_BERT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -24,6 +25,11 @@ struct Candidate {
 /// The "BERT black box" interface of Figure 1: anything that can propose
 /// top-k candidates for one [MASK] between two cell contexts. TrajBert is
 /// the production implementation; tests plug in deterministic fakes.
+///
+/// PredictMasked is const and must be safe to call concurrently from many
+/// threads: the serving engine shares one frozen model across its whole
+/// pool. Fakes that keep call counters should mark them `mutable` (and make
+/// them atomic if the test itself is multi-threaded).
 class CandidateSource {
  public:
   virtual ~CandidateSource() = default;
@@ -32,7 +38,7 @@ class CandidateSource {
   /// first, at most `top_k` of them.
   virtual std::vector<Candidate> PredictMasked(
       const std::vector<CellId>& left, const std::vector<CellId>& right,
-      int top_k) = 0;
+      int top_k) const = 0;
 };
 
 /// Hyperparameters for one trajectory-BERT model.
@@ -66,7 +72,7 @@ class TrajBert final : public CandidateSource {
   /// renormalized over content tokens only.
   std::vector<Candidate> PredictMasked(const std::vector<CellId>& left,
                                        const std::vector<CellId>& right,
-                                       int top_k) override;
+                                       int top_k) const override;
 
   const Vocab& vocab() const { return vocab_; }
   const nn::BertConfig& config() const { return model_->config(); }
@@ -74,7 +80,9 @@ class TrajBert final : public CandidateSource {
 
   /// Total BERT forward calls served since construction (paper's "number
   /// of BERT calls" accounting in Section 6).
-  int64_t num_predict_calls() const { return num_predict_calls_; }
+  int64_t num_predict_calls() const {
+    return num_predict_calls_.load(std::memory_order_relaxed);
+  }
 
   void Save(BinaryWriter* writer) const;
   static Result<std::unique_ptr<TrajBert>> Load(BinaryReader* reader);
@@ -85,7 +93,9 @@ class TrajBert final : public CandidateSource {
   Vocab vocab_;
   std::unique_ptr<nn::BertModel> model_;
   nn::MlmTrainStats train_stats_;
-  int64_t num_predict_calls_ = 0;
+  // Serving statistic, not model state: atomic so the const inference path
+  // stays shareable across threads.
+  mutable std::atomic<int64_t> num_predict_calls_{0};
 };
 
 /// Converts a cell sequence into a model statement:

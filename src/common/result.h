@@ -15,6 +15,25 @@ namespace kamel {
 /// A Result is either a value of type T or a non-OK Status; it is never
 /// both and never an OK Status without a value. Accessing the value of an
 /// errored Result aborts (programming error).
+///
+/// Return conventions (project-wide, including the concurrent serving
+/// API):
+///  - An operation that produces a value returns Result<T>; one that only
+///    succeeds or fails returns Status. Exceptions are never thrown
+///    across public boundaries, and fallibility is never signalled with
+///    sentinel values, bool + out-param, or errno.
+///  - Asynchronous calls wrap the same types: ServingEngine::ImputeAsync
+///    returns std::future<Result<ImputedTrajectory>> — the future is
+///    always satisfied (never an exception), and the Result inside
+///    carries success or failure exactly as the synchronous call would.
+///  - Callback receivers (ImputedSink) get the value on success
+///    (OnImputed) and the Status on failure (OnImputeError); errors are
+///    delivered, not dropped, even on pool threads.
+///  - Batch calls (ServingEngine::ImputeBatch) return the Status of the
+///    lowest-index failing element, deterministically, regardless of the
+///    order in which parallel elements actually failed.
+///  - Propagate with KAMEL_ASSIGN_OR_RETURN / KAMEL_RETURN_NOT_OK below;
+///    KAMEL_CHECK is reserved for programming errors.
 template <typename T>
 class Result {
  public:

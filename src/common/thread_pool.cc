@@ -1,0 +1,97 @@
+#include "common/thread_pool.h"
+
+#include "common/check.h"
+
+namespace kamel {
+
+int ThreadPool::NumDefaultThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) num_threads = NumDefaultThreads();
+  queues_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stopping_.store(true, std::memory_order_release);
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Schedule(std::function<void()> task) {
+  KAMEL_CHECK(task != nullptr, "ThreadPool::Schedule on empty task");
+  size_t index = next_queue_.fetch_add(1, std::memory_order_relaxed) %
+                 queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[index]->mu);
+    queues_[index]->tasks.push_back(std::move(task));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  // The empty critical section fences against the lost-wakeup race: a worker
+  // that read pending_ == 0 under wake_mu_ is guaranteed to reach wait()
+  // before this notify, or to re-read pending_ > 0 and skip the wait.
+  { std::lock_guard<std::mutex> lock(wake_mu_); }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::TryPopLocal(int index, std::function<void()>* task) {
+  WorkerQueue& q = *queues_[index];
+  std::lock_guard<std::mutex> lock(q.mu);
+  if (q.tasks.empty()) return false;
+  *task = std::move(q.tasks.back());  // LIFO on the owner side: cache-warm.
+  q.tasks.pop_back();
+  return true;
+}
+
+bool ThreadPool::TrySteal(int thief, std::function<void()>* task) {
+  const int n = static_cast<int>(queues_.size());
+  for (int offset = 1; offset < n; ++offset) {
+    WorkerQueue& victim = *queues_[(thief + offset) % n];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (victim.tasks.empty()) continue;
+    *task = std::move(victim.tasks.front());  // FIFO on the thief side.
+    victim.tasks.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(int index) {
+  std::function<void()> task;
+  for (;;) {
+    if (TryPopLocal(index, &task) || TrySteal(index, &task)) {
+      // pending_ counts *queued* tasks, decremented at dequeue, so idle
+      // workers sleep instead of spinning while a long task runs elsewhere.
+      pending_.fetch_sub(1, std::memory_order_release);
+      task();
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    // Drain-before-exit: only stop once every queue is empty so futures
+    // handed out by Submit() are always fulfilled.
+    if (stopping_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) <= 0) {
+      return;
+    }
+    if (pending_.load(std::memory_order_acquire) > 0) continue;  // retry pop
+    wake_cv_.wait(lock, [this] {
+      return pending_.load(std::memory_order_acquire) > 0 ||
+             stopping_.load(std::memory_order_acquire);
+    });
+  }
+}
+
+}  // namespace kamel

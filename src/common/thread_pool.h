@@ -1,0 +1,82 @@
+#ifndef KAMEL_COMMON_THREAD_POOL_H_
+#define KAMEL_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace kamel {
+
+/// Work-stealing thread pool for CPU-bound serving work (one imputation per
+/// task). Each worker owns a deque: it pushes and pops its own work LIFO
+/// (cache-warm), and steals FIFO from the other end of a victim's deque when
+/// its own runs dry, so a burst of submissions spreads across cores without
+/// a single contended queue.
+///
+/// Tasks must not block waiting on other tasks in the same pool (no nested
+/// fan-out); serving imputations are independent, so this never arises.
+/// Destruction drains every queued task before joining, so futures obtained
+/// from Submit() are always fulfilled.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means NumDefaultThreads().
+  explicit ThreadPool(int num_threads = 0);
+
+  /// Drains all queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues fire-and-forget work. Thread-safe.
+  void Schedule(std::function<void()> task);
+
+  /// Enqueues `fn` and returns a future for its result. Thread-safe.
+  /// The future is fulfilled even if the pool is destroyed first (the
+  /// destructor drains). Exceptions propagate through the future.
+  template <typename F>
+  auto Submit(F fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> future = task->get_future();
+    Schedule([task]() { (*task)(); });
+    return future;
+  }
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static int NumDefaultThreads();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(int index);
+  bool TryPopLocal(int index, std::function<void()>* task);
+  bool TrySteal(int thief, std::function<void()>* task);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  // Submission round-robin cursor and sleep/wake machinery.
+  std::atomic<uint64_t> next_queue_{0};
+  std::atomic<int64_t> pending_{0};
+  std::atomic<bool> stopping_{false};
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+};
+
+}  // namespace kamel
+
+#endif  // KAMEL_COMMON_THREAD_POOL_H_

@@ -65,8 +65,8 @@ double NormalizedScore(double prob, size_t total_cells, double alpha) {
 
 }  // namespace
 
-ImputedSegment IterativeBertImputer::Impute(CandidateSource* model,
-                                            const SegmentContext& context) {
+ImputedSegment IterativeBertImputer::Impute(const CandidateSource* model,
+                                            const SegmentContext& context) const {
   // Algorithm 1. Segment starts as {S, D}; each iteration inserts the top
   // surviving candidate at the first gap until no gap remains.
   std::vector<CellId> cells = {context.s.cell, context.d.cell};
@@ -110,8 +110,8 @@ ImputedSegment IterativeBertImputer::Impute(CandidateSource* model,
   return out;
 }
 
-ImputedSegment BeamSearchImputer::Impute(CandidateSource* model,
-                                         const SegmentContext& context) {
+ImputedSegment BeamSearchImputer::Impute(const CandidateSource* model,
+                                         const SegmentContext& context) const {
   // Algorithm 2. A "gap item" is one partial segment plus one of its gap
   // pointers; every iteration expands all gap items with one BERT call
   // each, then keeps the top-B new segments overall.
@@ -215,8 +215,8 @@ ImputedSegment BeamSearchImputer::Impute(CandidateSource* model,
   return out;
 }
 
-ImputedSegment SinglePointImputer::Impute(CandidateSource* model,
-                                          const SegmentContext& context) {
+ImputedSegment SinglePointImputer::Impute(const CandidateSource* model,
+                                          const SegmentContext& context) const {
   std::vector<CellId> cells = {context.s.cell, context.d.cell};
   const int gap = FindFirstGap(cells);
   if (gap < 0) {

@@ -35,8 +35,10 @@ class Imputer {
 
   /// Fills the gap described by `context` using `model`. Never returns an
   /// empty cell list: on failure, cells = {S, D} with failed = true.
-  virtual ImputedSegment Impute(CandidateSource* model,
-                                const SegmentContext& context) = 0;
+  /// Const and stateless across calls: one imputer instance may be shared
+  /// by every serving thread.
+  virtual ImputedSegment Impute(const CandidateSource* model,
+                                const SegmentContext& context) const = 0;
 
   /// Gap threshold in grid steps: consecutive output tokens must be within
   /// this many cells of each other. Derived from max_gap_m, but never
@@ -63,8 +65,8 @@ class Imputer {
 class IterativeBertImputer final : public Imputer {
  public:
   using Imputer::Imputer;
-  ImputedSegment Impute(CandidateSource* model,
-                        const SegmentContext& context) override;
+  ImputedSegment Impute(const CandidateSource* model,
+                        const SegmentContext& context) const override;
 };
 
 /// Section 6.2: bidirectional beam search (Algorithm 2) with length
@@ -73,8 +75,8 @@ class IterativeBertImputer final : public Imputer {
 class BeamSearchImputer final : public Imputer {
  public:
   using Imputer::Imputer;
-  ImputedSegment Impute(CandidateSource* model,
-                        const SegmentContext& context) override;
+  ImputedSegment Impute(const CandidateSource* model,
+                        const SegmentContext& context) const override;
 };
 
 /// Ablation "No Multi." (Section 8.7): one BERT call per gap, one imputed
@@ -83,8 +85,8 @@ class BeamSearchImputer final : public Imputer {
 class SinglePointImputer final : public Imputer {
  public:
   using Imputer::Imputer;
-  ImputedSegment Impute(CandidateSource* model,
-                        const SegmentContext& context) override;
+  ImputedSegment Impute(const CandidateSource* model,
+                        const SegmentContext& context) const override;
 };
 
 }  // namespace kamel

@@ -1,282 +1,39 @@
 #include "core/kamel.h"
 
-#include <algorithm>
-#include <cmath>
+#include <functional>
+#include <utility>
 
-#include "common/logging.h"
-#include "common/stopwatch.h"
-#include "geo/polyline.h"
-#include "grid/hex_grid.h"
-#include "grid/square_grid.h"
+#include "common/binary_io.h"
 
 namespace kamel {
 
-Kamel::Kamel(const KamelOptions& options) : options_(options) {}
+Kamel::Kamel(const KamelOptions& options) : builder_(options) {}
 Kamel::~Kamel() = default;
 
-Status Kamel::InitializeGeometry(const TrajectoryDataset& data) {
-  // Anchor the projection at the batch's geographic center.
-  double min_lat = 90.0, max_lat = -90.0, min_lng = 180.0, max_lng = -180.0;
-  size_t points = 0;
-  for (const auto& trajectory : data.trajectories) {
-    for (const auto& point : trajectory.points) {
-      min_lat = std::min(min_lat, point.pos.lat);
-      max_lat = std::max(max_lat, point.pos.lat);
-      min_lng = std::min(min_lng, point.pos.lng);
-      max_lng = std::max(max_lng, point.pos.lng);
-      ++points;
-    }
-  }
-  if (points == 0) {
-    return Status::InvalidArgument("training dataset has no points");
-  }
-  projection_ = std::make_unique<LocalProjection>(
-      LatLng{(min_lat + max_lat) / 2.0, (min_lng + max_lng) / 2.0});
-
-  if (options_.grid_type == GridType::kHex) {
-    grid_ = std::make_unique<HexGrid>(options_.hex_edge_m);
-  } else {
-    const double edge =
-        options_.square_edge_m > 0.0
-            ? options_.square_edge_m
-            : SquareGrid::EdgeForEqualHexArea(options_.hex_edge_m);
-    grid_ = std::make_unique<SquareGrid>(edge);
-  }
-  tokenizer_ = std::make_unique<Tokenizer>(grid_.get(), projection_.get());
-  store_ = std::make_unique<TrajectoryStore>();
-
-  // Pyramid world: the batch MBR with 10% margin so later batches and the
-  // imputation ellipses stay in bounds.
-  BBox world = data.Mbr(*projection_);
-  const double margin =
-      0.1 * std::max({world.Width(), world.Height(), 100.0});
-  pyramid_ = std::make_unique<Pyramid>(world.Expanded(margin),
-                                       options_.pyramid_height,
-                                       options_.pyramid_levels);
-  repository_ =
-      std::make_unique<ModelRepository>(*pyramid_, options_, store_.get());
-  constraints_ =
-      std::make_unique<SpatialConstraints>(grid_.get(), options_);
-  detokenizer_ =
-      std::make_unique<Detokenizer>(grid_.get(), options_.dbscan);
-
-  if (!options_.enable_multipoint) {
-    imputer_ = std::make_unique<SinglePointImputer>(
-        grid_.get(), constraints_.get(), options_);
-  } else if (options_.method == ImputeMethod::kIterativeBert) {
-    imputer_ = std::make_unique<IterativeBertImputer>(
-        grid_.get(), constraints_.get(), options_);
-  } else {
-    imputer_ = std::make_unique<BeamSearchImputer>(
-        grid_.get(), constraints_.get(), options_);
-  }
-  return Status::OK();
-}
-
-void Kamel::UpdateSpeedBound(const TrajectoryDataset& data) {
-  if (options_.max_speed_mps > 0.0) {
-    constraints_->set_max_speed_mps(options_.max_speed_mps);
-    return;
-  }
-  std::vector<double> speeds;
-  for (const auto& trajectory : data.trajectories) {
-    for (size_t i = 1; i < trajectory.points.size(); ++i) {
-      const double dt =
-          trajectory.points[i].time - trajectory.points[i - 1].time;
-      if (dt <= 0.0) continue;
-      const double dist = HaversineMeters(trajectory.points[i - 1].pos,
-                                          trajectory.points[i].pos);
-      speeds.push_back(dist / dt);
-    }
-  }
-  if (speeds.empty()) return;
-  const size_t p95 = speeds.size() * 95 / 100;
-  std::nth_element(speeds.begin(), speeds.begin() + p95, speeds.end());
-  const double inferred = speeds[p95] * options_.speed_slack_factor;
-  // Across batches keep the largest bound seen.
-  inferred_speed_mps_ = std::max(inferred_speed_mps_, inferred);
-  constraints_->set_max_speed_mps(inferred_speed_mps_);
-}
-
 Status Kamel::Train(const TrajectoryDataset& data) {
-  Stopwatch watch;
-  // Validate before any geometry is derived: one NaN coordinate would
-  // otherwise poison the projection anchor and the pyramid world.
-  for (const auto& trajectory : data.trajectories) {
-    KAMEL_RETURN_NOT_OK(ValidateTrajectory(trajectory));
-  }
-  if (projection_ == nullptr) {
-    KAMEL_RETURN_NOT_OK(InitializeGeometry(data));
-  }
-
-  // Tokenization gateway (Section 3): everything passes through it first.
-  std::vector<size_t> new_indices;
-  new_indices.reserve(data.trajectories.size());
-  for (const auto& trajectory : data.trajectories) {
-    TokenizedTrajectory tokens = tokenizer_->Tokenize(trajectory);
-    if (tokens.size() < 2) continue;
-    size_t index = 0;
-    KAMEL_RETURN_NOT_OK(store_->Append(std::move(tokens), &index));
-    new_indices.push_back(index);
-    // Per-point observations feed detokenizer clustering (Section 7).
-    detokenizer_->AddObservations(tokenizer_->TokenizePerPoint(trajectory));
-  }
-  if (new_indices.empty()) {
-    return Status::InvalidArgument(
-        "training batch produced no usable trajectories");
-  }
-
-  UpdateSpeedBound(data);
-  KAMEL_RETURN_NOT_OK(repository_->AddTrainingBatch(new_indices));
-  if (repository_->num_models() == 0) {
-    KAMEL_LOG(Warning)
-        << "no BERT model met its token threshold; imputation will fall "
-           "back to straight lines until more data arrives";
-  }
-  detokenizer_->Refit();
-
-  trained_ = true;
-  total_train_seconds_ += watch.ElapsedSeconds();
-  KAMEL_LOG(Info) << "trained on " << new_indices.size()
-                  << " trajectories; models=" << repository_->num_models()
-                  << " speed_bound=" << constraints_->max_speed_mps()
-                  << " m/s";
-  return Status::OK();
+  snapshot_.reset();  // the cached serving state is stale after retraining
+  return builder_.Train(data);
 }
 
-double Kamel::max_speed_mps() const {
-  return constraints_ != nullptr ? constraints_->max_speed_mps() : 0.0;
+Result<const KamelSnapshot*> Kamel::EnsureSnapshot() {
+  if (snapshot_ == nullptr) {
+    KAMEL_ASSIGN_OR_RETURN(snapshot_, builder_.Snapshot());
+  }
+  return snapshot_.get();
 }
 
-void Kamel::AppendLinearFallback(const SegmentContext& context,
-                                 std::vector<TrajPoint>* out_points) const {
-  // Straight line with one point every max_gap_m (exclusive of endpoints).
-  const Vec2 s = context.s.position;
-  const Vec2 d = context.d.position;
-  const double dist = Distance(s, d);
-  const int steps = static_cast<int>(std::floor(dist / options_.max_gap_m));
-  for (int i = 1; i <= steps; ++i) {
-    const double t = static_cast<double>(i) / (steps + 1);
-    const Vec2 p = s + (d - s) * t;
-    out_points->push_back(
-        {projection_->Unproject(p),
-         context.s.time + t * (context.d.time - context.s.time)});
-  }
-}
-
-void Kamel::ImputeSegment(TrajBert* model, const SegmentContext& context,
-                          bool deadline_expired,
-                          std::vector<TrajPoint>* out_points,
-                          ImputeStats* stats) {
-  ++stats->segments;
-  stats->outcomes.push_back({context.s.time, context.d.time, false});
-  SegmentOutcome& outcome = stats->outcomes.back();
-  if (deadline_expired) {
-    // Deadline overrun: remaining gaps take the paper's linear-line
-    // failure path so the call returns promptly instead of piling up
-    // BERT work behind an already-late response.
-    ++stats->failed_segments;
-    ++stats->deadline_segments;
-    outcome.failed = true;
-    AppendLinearFallback(context, out_points);
-    return;
-  }
-  if (model == nullptr) {
-    // Section 4.1: segments no model covers are imputed by a straight
-    // line (and count as failures).
-    ++stats->failed_segments;
-    ++stats->no_model_segments;
-    outcome.failed = true;
-    AppendLinearFallback(context, out_points);
-    return;
-  }
-
-  ImputedSegment segment = imputer_->Impute(model, context);
-  stats->bert_calls += segment.bert_calls;
-  if (segment.failed) {
-    ++stats->failed_segments;
-    outcome.failed = true;
-    AppendLinearFallback(context, out_points);
-    return;
-  }
-
-  const std::vector<Vec2> interior = detokenizer_->DetokenizeInterior(
-      segment.cells, context.s.position, context.d.position);
-  if (interior.empty()) return;
-
-  // Timestamps: linear in arc length between the endpoint observations.
-  std::vector<Vec2> path = {context.s.position};
-  path.insert(path.end(), interior.begin(), interior.end());
-  path.push_back(context.d.position);
-  const double total_len = polyline::Length(path);
-  double walked = 0.0;
-  for (size_t i = 1; i + 1 < path.size(); ++i) {
-    walked += Distance(path[i - 1], path[i]);
-    const double fraction = total_len > 0.0 ? walked / total_len : 0.0;
-    out_points->push_back(
-        {projection_->Unproject(path[i]),
-         context.s.time + fraction * (context.d.time - context.s.time)});
-  }
+Result<std::shared_ptr<const KamelSnapshot>> Kamel::Snapshot() {
+  KAMEL_RETURN_NOT_OK(EnsureSnapshot().status());
+  return snapshot_;
 }
 
 Result<ImputedTrajectory> Kamel::Impute(const Trajectory& sparse) {
-  if (!trained_) {
+  if (!builder_.trained()) {
     return Status::FailedPrecondition(
         "Kamel::Impute called before a successful Train()");
   }
-  KAMEL_RETURN_NOT_OK(ValidateTrajectory(sparse));
-  Stopwatch watch;
-  ImputedTrajectory out;
-  out.trajectory.id = sparse.id;
-
-  const TokenizedTrajectory tokens = tokenizer_->Tokenize(sparse);
-  if (tokens.size() < 2) {
-    out.trajectory = sparse;
-    out.stats.seconds = watch.ElapsedSeconds();
-    return out;
-  }
-
-  std::vector<TrajPoint>* out_points = &out.trajectory.points;
-  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
-    // Original observation of the segment start.
-    out_points->push_back(
-        {projection_->Unproject(tokens[i].position), tokens[i].time});
-
-    if (grid_->GridDistance(tokens[i].cell, tokens[i + 1].cell) <=
-        imputer_->max_gap_cells()) {
-      continue;  // already dense here
-    }
-
-    SegmentContext context;
-    context.s = tokens[i];
-    context.d = tokens[i + 1];
-    if (i > 0) context.prev = tokens[i - 1];
-    if (i + 2 < tokens.size()) context.next = tokens[i + 2];
-
-    const bool deadline_expired =
-        options_.impute_deadline_seconds > 0.0 &&
-        watch.ElapsedSeconds() > options_.impute_deadline_seconds;
-
-    // Section 4.1 retrieval: the model for this segment's extent.
-    BBox mbr;
-    mbr.Extend(context.s.position);
-    mbr.Extend(context.d.position);
-    TrajBert* model =
-        deadline_expired ? nullptr : repository_->SelectModel(mbr);
-    ImputeSegment(model, context, deadline_expired, out_points, &out.stats);
-  }
-  out_points->push_back(
-      {projection_->Unproject(tokens.back().position), tokens.back().time});
-  // Tokenization collapses same-cell runs to their first observation; if
-  // the trajectory's final reading was collapsed away, restore it so the
-  // output spans the full observed time range.
-  if (!sparse.points.empty() &&
-      sparse.points.back().time > out_points->back().time) {
-    out_points->push_back(sparse.points.back());
-  }
-
-  out.stats.seconds = watch.ElapsedSeconds();
-  return out;
+  KAMEL_ASSIGN_OR_RETURN(const KamelSnapshot* snapshot, EnsureSnapshot());
+  return snapshot->Impute(sparse);
 }
 
 Result<std::vector<ImputedTrajectory>> Kamel::ImputeBatch(
@@ -290,133 +47,9 @@ Result<std::vector<ImputedTrajectory>> Kamel::ImputeBatch(
   return out;
 }
 
-Status Kamel::SaveToFile(const std::string& path) const {
-  if (!trained_) {
-    return Status::FailedPrecondition("cannot save an untrained system");
-  }
-  BinaryWriter writer;
-  writer.WriteMagicHeader();
-  writer.BeginSection("meta");
-  writer.WriteF64(projection_->origin().lat);
-  writer.WriteF64(projection_->origin().lng);
-  const BBox& world = pyramid_->world();
-  writer.WriteF64(world.min_x);
-  writer.WriteF64(world.min_y);
-  writer.WriteF64(world.max_x);
-  writer.WriteF64(world.max_y);
-  writer.WriteF64(inferred_speed_mps_);
-  writer.WriteF64(total_train_seconds_);
-  writer.EndSection();
-  // The outer "repo" frame is the recovery point for repository damage:
-  // its length lets the loader skip even an internally torn repository
-  // and still reach the detokenizer.
-  writer.BeginSection("repo");
-  repository_->Save(&writer);
-  writer.EndSection();
-  writer.BeginSection("detok");
-  detokenizer_->Save(&writer);
-  writer.EndSection();
-  return writer.FlushToFileAtomic(path);
-}
-
 Status Kamel::LoadFromFile(const std::string& path, LoadReport* report) {
-  LoadReport local_report;
-  if (report == nullptr) report = &local_report;
-  *report = LoadReport{};
-
-  KAMEL_ASSIGN_OR_RETURN(BinaryReader reader, BinaryReader::FromFile(path));
-  KAMEL_RETURN_NOT_OK(reader.ReadMagicHeader().status());
-
-  // Geometry is load-bearing for every module: damage here fails the
-  // whole load (there is nothing sensible to serve without it).
-  KAMEL_RETURN_NOT_OK(reader.EnterSection("meta"));
-  LatLng origin;
-  KAMEL_ASSIGN_OR_RETURN(origin.lat, reader.ReadF64());
-  KAMEL_ASSIGN_OR_RETURN(origin.lng, reader.ReadF64());
-  BBox world;
-  KAMEL_ASSIGN_OR_RETURN(world.min_x, reader.ReadF64());
-  KAMEL_ASSIGN_OR_RETURN(world.min_y, reader.ReadF64());
-  KAMEL_ASSIGN_OR_RETURN(world.max_x, reader.ReadF64());
-  KAMEL_ASSIGN_OR_RETURN(world.max_y, reader.ReadF64());
-  KAMEL_ASSIGN_OR_RETURN(inferred_speed_mps_, reader.ReadF64());
-  KAMEL_ASSIGN_OR_RETURN(total_train_seconds_, reader.ReadF64());
-  KAMEL_RETURN_NOT_OK(reader.LeaveSection());
-  if (!std::isfinite(origin.lat) || !std::isfinite(origin.lng) ||
-      origin.lat < -90.0 || origin.lat > 90.0 || origin.lng < -180.0 ||
-      origin.lng > 180.0) {
-    return Status::IOError("snapshot meta: invalid projection origin");
-  }
-  if (!std::isfinite(world.min_x) || !std::isfinite(world.min_y) ||
-      !std::isfinite(world.max_x) || !std::isfinite(world.max_y) ||
-      world.min_x > world.max_x || world.min_y > world.max_y) {
-    return Status::IOError("snapshot meta: invalid world box");
-  }
-  if (!std::isfinite(inferred_speed_mps_) || inferred_speed_mps_ < 0.0 ||
-      !std::isfinite(total_train_seconds_) || total_train_seconds_ < 0.0) {
-    return Status::IOError("snapshot meta: invalid scalar state");
-  }
-
-  // Rebuild the component graph around the restored geometry, then load
-  // the trained state into it. The trajectory store itself is not
-  // persisted (the paper's store is a separate system [18, 62]); loaded
-  // systems can impute but need original data to continue training.
-  TrajectoryDataset empty_geometry;
-  Trajectory anchor;
-  anchor.points.push_back({origin, 0.0});
-  empty_geometry.trajectories.push_back(anchor);
-  KAMEL_RETURN_NOT_OK(InitializeGeometry(empty_geometry));
-  pyramid_ = std::make_unique<Pyramid>(world, options_.pyramid_height,
-                                       options_.pyramid_levels);
-  repository_ =
-      std::make_unique<ModelRepository>(*pyramid_, options_, store_.get());
-
-  KAMEL_ASSIGN_OR_RETURN(SectionInfo repo_frame, reader.EnterSection());
-  if (repo_frame.name != "repo") {
-    return Status::IOError("snapshot: expected section 'repo', found '" +
-                           repo_frame.name + "'");
-  }
-  const Status repo_loaded = repository_->Load(&reader, report);
-  if (!repo_loaded.ok()) {
-    // The index was unreadable: quarantine the whole repository. The
-    // system still serves — every gap takes the linear fallback.
-    repository_ =
-        std::make_unique<ModelRepository>(*pyramid_, options_, store_.get());
-    report->repository_quarantined = true;
-    report->quarantined.push_back("model repository: " +
-                                  repo_loaded.message());
-  }
-  // Realigns the cursor past the repository no matter how the inner
-  // parse left it.
-  KAMEL_RETURN_NOT_OK(reader.LeaveSection());
-
-  const Status detok_entered = reader.EnterSection("detok");
-  if (detok_entered.ok()) {
-    const Status detok_loaded = detokenizer_->Load(&reader);
-    if (!detok_loaded.ok()) {
-      report->detokenizer_quarantined = true;
-      report->quarantined.push_back("detokenizer: " + detok_loaded.message());
-    }
-    KAMEL_RETURN_NOT_OK(reader.LeaveSection());
-  } else {
-    report->detokenizer_quarantined = true;
-    report->quarantined.push_back("detokenizer: " + detok_entered.message());
-  }
-  if (report->detokenizer_quarantined) {
-    // A fresh detokenizer serves cell centroids (Figure 8's unseen-token
-    // case) — degraded precision, never an abort.
-    detokenizer_ =
-        std::make_unique<Detokenizer>(grid_.get(), options_.dbscan);
-  }
-
-  constraints_->set_max_speed_mps(options_.max_speed_mps > 0.0
-                                      ? options_.max_speed_mps
-                                      : inferred_speed_mps_);
-  trained_ = true;
-  if (report->partial()) {
-    KAMEL_LOG(Warning) << "partial snapshot load from " << path << ": "
-                       << report->Summary();
-  }
-  return Status::OK();
+  snapshot_.reset();
+  return builder_.LoadFromFile(path, report);
 }
 
 Result<SnapshotFsckReport> FsckSnapshot(const std::string& path) {
@@ -444,134 +77,6 @@ Result<SnapshotFsckReport> FsckSnapshot(const std::string& path) {
   };
   walk(reader.Tell() + reader.remaining());
   return report;
-}
-
-StreamingSession::StreamingSession(Kamel* system, Callback on_imputed,
-                                   StreamingOptions options)
-    : system_(system),
-      on_imputed_(std::move(on_imputed)),
-      options_(options) {
-  KAMEL_CHECK(system != nullptr);
-}
-
-StreamingSession::StreamingSession(Kamel* system, Callback on_imputed,
-                                   double session_timeout_seconds)
-    : StreamingSession(system, std::move(on_imputed),
-                       StreamingOptions{.session_timeout_seconds =
-                                            session_timeout_seconds}) {}
-
-void StreamingSession::Touch(int64_t object_id, Buffer* buffer) {
-  (void)object_id;
-  lru_.splice(lru_.end(), lru_, buffer->lru_it);
-}
-
-Trajectory StreamingSession::Detach(
-    std::unordered_map<int64_t, Buffer>::iterator it) {
-  Trajectory out = std::move(it->second.trajectory);
-  total_points_ -= out.points.size();
-  lru_.erase(it->second.lru_it);
-  buffers_.erase(it);
-  return out;
-}
-
-Status StreamingSession::EvictOne(int64_t protect) {
-  for (int64_t victim : lru_) {
-    if (victim == protect) continue;
-    auto it = buffers_.find(victim);
-    KAMEL_CHECK(it != buffers_.end(), "LRU list out of sync with buffers");
-    Trajectory finished = Detach(it);
-    ++evictions_;
-    // The evicted trip is imputed and emitted, not dropped: overload
-    // trades session longevity for bounded memory.
-    return Emit(victim, std::move(finished));
-  }
-  return Status::ResourceExhausted("no evictable streaming session");
-}
-
-Status StreamingSession::Push(int64_t object_id, const TrajPoint& point) {
-  // Boundary validation: a malformed reading is refused here, before it
-  // can reach geometry code or be buffered.
-  if (!std::isfinite(point.pos.lat) || !std::isfinite(point.pos.lng) ||
-      !std::isfinite(point.time)) {
-    return Status::InvalidArgument("object " + std::to_string(object_id) +
-                                   ": non-finite reading");
-  }
-  if (point.pos.lat < -90.0 || point.pos.lat > 90.0 ||
-      point.pos.lng < -180.0 || point.pos.lng > 180.0) {
-    return Status::InvalidArgument("object " + std::to_string(object_id) +
-                                   ": coordinates out of range");
-  }
-
-  auto it = buffers_.find(object_id);
-  if (it == buffers_.end()) {
-    // Admitting a new object may evict the least-recently-active one.
-    while (buffers_.size() >= options_.max_open_objects) {
-      KAMEL_RETURN_NOT_OK(EvictOne(object_id));
-    }
-    it = buffers_.emplace(object_id, Buffer{}).first;
-    it->second.trajectory.id = object_id;
-    it->second.lru_it = lru_.insert(lru_.end(), object_id);
-  }
-  Buffer& buffer = it->second;
-  const std::vector<TrajPoint>& points = buffer.trajectory.points;
-
-  if (!points.empty() && point.time - points.back().time >
-                             options_.session_timeout_seconds) {
-    // The object went silent long enough to close its trip; the reading
-    // re-enters through the same admission and validation checks.
-    Trajectory finished = Detach(it);
-    KAMEL_RETURN_NOT_OK(Emit(object_id, std::move(finished)));
-    return Push(object_id, point);
-  }
-  if (!points.empty() && point.time < points.back().time) {
-    return Status::InvalidArgument(
-        "stream timestamps must be non-decreasing per object");
-  }
-  if (points.size() >= options_.max_points_per_object) {
-    return Status::ResourceExhausted(
-        "object " + std::to_string(object_id) + ": buffer full at " +
-        std::to_string(points.size()) +
-        " points; EndTrajectory it or raise max_points_per_object");
-  }
-  // Global backpressure: shed other sessions before refusing this feed.
-  while (total_points_ >= options_.max_total_points) {
-    const Status evicted = EvictOne(object_id);
-    if (!evicted.ok()) {
-      return Status::ResourceExhausted(
-          "stream buffer full (" + std::to_string(total_points_) +
-          " points) and nothing evictable");
-    }
-  }
-  buffer.trajectory.points.push_back(point);
-  ++total_points_;
-  Touch(object_id, &buffer);
-  return Status::OK();
-}
-
-Status StreamingSession::EndTrajectory(int64_t object_id) {
-  auto it = buffers_.find(object_id);
-  if (it == buffers_.end()) {
-    return Status::NotFound("no open trajectory for object " +
-                            std::to_string(object_id));
-  }
-  Trajectory finished = Detach(it);
-  return Emit(object_id, std::move(finished));
-}
-
-Status StreamingSession::Flush() {
-  std::vector<int64_t> ids;
-  ids.reserve(buffers_.size());
-  for (const auto& [id, unused] : buffers_) ids.push_back(id);
-  std::sort(ids.begin(), ids.end());
-  for (int64_t id : ids) KAMEL_RETURN_NOT_OK(EndTrajectory(id));
-  return Status::OK();
-}
-
-Status StreamingSession::Emit(int64_t object_id, Trajectory trajectory) {
-  KAMEL_ASSIGN_OR_RETURN(ImputedTrajectory imputed,
-                         system_->Impute(trajectory));
-  if (on_imputed_) on_imputed_(object_id, std::move(imputed));
-  return Status::OK();
 }
 
 }  // namespace kamel

@@ -1,52 +1,29 @@
 #ifndef KAMEL_CORE_KAMEL_H_
 #define KAMEL_CORE_KAMEL_H_
 
-#include <functional>
-#include <list>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
-#include "core/detokenizer.h"
-#include "core/imputer.h"
-#include "core/model_repository.h"
-#include "core/options.h"
-#include "core/tokenizer.h"
-#include "core/trajectory_store.h"
-#include "geo/trajectory.h"
+#include "core/kamel_snapshot.h"
+#include "core/serving_engine.h"
 
 namespace kamel {
 
-/// Outcome of one imputed segment, keyed by its endpoint observation
-/// times (the evaluation joins these with ground truth to compute per-
-/// road-type failure rates, Figure 12-I/II).
-struct SegmentOutcome {
-  double s_time = 0.0;
-  double d_time = 0.0;
-  bool failed = false;
-};
-
-/// Per-trajectory imputation accounting (Section 8 metrics need the
-/// failure rate and timing; Section 6 caps BERT calls).
-struct ImputeStats {
-  int segments = 0;          // sparse gaps that needed imputation
-  int failed_segments = 0;   // drawn as straight lines
-  int no_model_segments = 0; // failures caused by missing model coverage
-  int deadline_segments = 0; // failures caused by the per-call deadline
-  int64_t bert_calls = 0;
-  double seconds = 0.0;
-  std::vector<SegmentOutcome> outcomes;  // one per imputed segment
-};
-
-/// The imputed dense trajectory plus its accounting.
-struct ImputedTrajectory {
-  Trajectory trajectory;
-  ImputeStats stats;
-};
-
 /// KAMEL: the scalable BERT-based trajectory imputation system (Figure 1).
+///
+/// This is the single-threaded convenience facade over the builder /
+/// snapshot / engine split (see core/kamel_snapshot.h and
+/// core/serving_engine.h): it owns a KamelBuilder for offline training and
+/// lazily mints an immutable KamelSnapshot for its serving calls. Use the
+/// pieces directly when you need concurrency:
+///
+///   KamelBuilder builder(options);            // offline, single-threaded
+///   builder.Train(data);
+///   auto snapshot = builder.Snapshot();       // immutable, shareable
+///   ServingEngine engine(*snapshot, {.num_threads = 8});
+///   engine.ImputeBatch(batch);                // parallel across the pool
 ///
 /// Lifecycle: construct with options, feed training batches through
 /// Train() (offline, may be slow — it trains BERT models), then impute
@@ -54,7 +31,8 @@ struct ImputedTrajectory {
 /// trajectory data is scanned). The first Train() call anchors the local
 /// projection and the pyramid world from the batch's extent.
 ///
-/// Not thread-safe: one Kamel instance per thread.
+/// Not thread-safe: one Kamel instance per thread. (The KamelSnapshot it
+/// hands out via Snapshot() IS safe to share across threads.)
 class Kamel {
  public:
   explicit Kamel(const KamelOptions& options);
@@ -65,33 +43,43 @@ class Kamel {
 
   /// Offline training path of Figure 1: tokenize, store, infer the speed
   /// bound, maintain the model repository, refit the detokenizer.
-  /// Later batches enrich the system (Section 4.2).
+  /// Later batches enrich the system (Section 4.2). Invalidates any
+  /// snapshot cached by a previous serving call — subsequent Impute()s
+  /// see the new models (snapshots already handed out are unaffected).
   Status Train(const TrajectoryDataset& data);
 
   /// Online imputation of one sparse trajectory.
   /// FailedPrecondition if Train() has not succeeded yet.
   Result<ImputedTrajectory> Impute(const Trajectory& sparse);
 
-  /// Bulk offline mode: imputes every trajectory of the batch.
+  /// Bulk offline mode: imputes every trajectory of the batch on the
+  /// calling thread, in input order (ServingEngine::ImputeBatch is the
+  /// parallel equivalent and produces identical results).
   Result<std::vector<ImputedTrajectory>> ImputeBatch(
       const TrajectoryDataset& batch);
 
-  bool trained() const { return trained_; }
-  const KamelOptions& options() const { return options_; }
-  const GridSystem& grid() const { return *grid_; }
-  const LocalProjection& projection() const { return *projection_; }
-  const ModelRepository& repository() const { return *repository_; }
-  const Detokenizer& detokenizer() const { return *detokenizer_; }
-  const TrajectoryStore& store() const { return *store_; }
-  const Tokenizer& tokenizer() const { return *tokenizer_; }
+  /// The immutable serving snapshot of the current trained state (cached;
+  /// rebuilt after Train/LoadFromFile). FailedPrecondition if untrained.
+  Result<std::shared_ptr<const KamelSnapshot>> Snapshot();
+
+  bool trained() const { return builder_.trained(); }
+  const KamelOptions& options() const { return builder_.options(); }
+  const GridSystem& grid() const { return builder_.grid(); }
+  const LocalProjection& projection() const { return builder_.projection(); }
+  const ModelRepository& repository() const { return builder_.repository(); }
+  const Detokenizer& detokenizer() const { return builder_.detokenizer(); }
+  const TrajectoryStore& store() const { return builder_.store(); }
+  const Tokenizer& tokenizer() const { return builder_.tokenizer(); }
 
   /// Speed bound used by the ellipse constraint, m/s (inferred from
   /// training data unless fixed in the options).
-  double max_speed_mps() const;
+  double max_speed_mps() const { return builder_.max_speed_mps(); }
 
   /// Cumulative offline training time (tokenization + model building +
   /// clustering), seconds — Figure 11(a).
-  double total_train_seconds() const { return total_train_seconds_; }
+  double total_train_seconds() const {
+    return builder_.total_train_seconds();
+  }
 
   /// Persists the trained state (projection anchor, world box, speed,
   /// models, clusters). Options are not stored: load with a Kamel
@@ -100,7 +88,9 @@ class Kamel {
   /// The snapshot is crash-safe: bytes go to a temporary sibling file
   /// which is fsynced and atomically renamed over `path`, and every
   /// section carries a CRC32C so a later load detects damage.
-  Status SaveToFile(const std::string& path) const;
+  Status SaveToFile(const std::string& path) const {
+    return builder_.SaveToFile(path);
+  }
 
   /// Loads a snapshot. Corruption confined to one model (or to the
   /// detokenizer) is quarantined: the load succeeds, the damaged part is
@@ -108,123 +98,14 @@ class Kamel {
   /// degrades to the linear-line fallback for uncovered segments.
   /// Damage to the header or geometry section fails the whole load with
   /// a descriptive Status — never an abort.
-  Status LoadFromFile(const std::string& path,
-                      LoadReport* report = nullptr);
+  Status LoadFromFile(const std::string& path, LoadReport* report = nullptr);
 
  private:
-  /// Lazily builds projection, grid, pyramid, and all modules from the
-  /// first training batch's extent.
-  Status InitializeGeometry(const TrajectoryDataset& data);
+  /// Returns the cached snapshot, minting it on first use.
+  Result<const KamelSnapshot*> EnsureSnapshot();
 
-  /// 95th-percentile consecutive-point speed of the batch, slack-scaled
-  /// (Section 5.1: "fixed speed inferred from its training data").
-  void UpdateSpeedBound(const TrajectoryDataset& data);
-
-  /// Imputes one gap; appends interior points (or a straight line on
-  /// failure) to `out_points`. `deadline_expired` forces the linear
-  /// failure path without consulting the model.
-  void ImputeSegment(TrajBert* model, const SegmentContext& context,
-                     bool deadline_expired, std::vector<TrajPoint>* out_points,
-                     ImputeStats* stats);
-
-  void AppendLinearFallback(const SegmentContext& context,
-                            std::vector<TrajPoint>* out_points) const;
-
-  KamelOptions options_;
-  bool trained_ = false;
-  double total_train_seconds_ = 0.0;
-  double inferred_speed_mps_ = 0.0;
-
-  std::unique_ptr<LocalProjection> projection_;
-  std::unique_ptr<GridSystem> grid_;
-  std::unique_ptr<Tokenizer> tokenizer_;
-  std::unique_ptr<TrajectoryStore> store_;
-  std::unique_ptr<Pyramid> pyramid_;
-  std::unique_ptr<ModelRepository> repository_;
-  std::unique_ptr<SpatialConstraints> constraints_;
-  std::unique_ptr<Imputer> imputer_;
-  std::unique_ptr<Detokenizer> detokenizer_;
-};
-
-/// Resource limits for the streaming front-end. A public GPS feed is
-/// adversarial: objects that never close, bursts of new object ids, and
-/// garbage points must all degrade gracefully instead of growing buffers
-/// without bound or aborting the server.
-struct StreamingOptions {
-  /// A reading gap beyond this closes the object's trip (seconds).
-  double session_timeout_seconds = 300.0;
-  /// Per-object buffered-point cap; a Push beyond it is refused with
-  /// ResourceExhausted (backpressure: callers should EndTrajectory).
-  size_t max_points_per_object = 100000;
-  /// Total buffered-point cap across all objects; crossing it force-
-  /// closes (imputes and emits) least-recently-active objects first.
-  size_t max_total_points = 1000000;
-  /// Open-object cap; a new object beyond it evicts the least-recently-
-  /// active open object (its trajectory is imputed and emitted, not lost).
-  size_t max_open_objects = 10000;
-};
-
-/// Online streaming front-end (Figure 1's "Batch/Online Stream" input):
-/// GPS readings arrive one at a time per moving object; a trajectory is
-/// closed and imputed when EndTrajectory is called or when a reading gap
-/// exceeds the session timeout.
-///
-/// Hardened for untrusted feeds: every reading is validated (finite,
-/// in-range coordinates), buffers are bounded (see StreamingOptions), and
-/// overload evicts sessions in LRU order rather than failing the feed.
-class StreamingSession {
- public:
-  using Callback = std::function<void(int64_t object_id, ImputedTrajectory)>;
-
-  /// `system` is borrowed and must outlive the session and be trained.
-  StreamingSession(Kamel* system, Callback on_imputed,
-                   StreamingOptions options = {});
-
-  /// Back-compat convenience: default limits with a custom timeout.
-  StreamingSession(Kamel* system, Callback on_imputed,
-                   double session_timeout_seconds);
-
-  /// Feeds one reading; may trigger imputation of a timed-out trajectory
-  /// or LRU eviction of other objects. InvalidArgument on malformed
-  /// readings, ResourceExhausted when this object's buffer is full.
-  Status Push(int64_t object_id, const TrajPoint& point);
-
-  /// Closes one object's trajectory and imputes it.
-  Status EndTrajectory(int64_t object_id);
-
-  /// Closes all open trajectories.
-  Status Flush();
-
-  size_t open_trajectories() const { return buffers_.size(); }
-  size_t total_buffered_points() const { return total_points_; }
-  /// Objects force-closed by LRU eviction since construction.
-  int64_t evictions() const { return evictions_; }
-
- private:
-  struct Buffer {
-    Trajectory trajectory;
-    std::list<int64_t>::iterator lru_it;  // position in lru_ (front = LRU)
-  };
-
-  Status Emit(int64_t object_id, Trajectory trajectory);
-
-  /// Moves `object_id` to the most-recently-active end of the LRU list,
-  /// inserting it if new.
-  void Touch(int64_t object_id, Buffer* buffer);
-
-  /// Force-closes the least-recently-active object (skipping `protect`).
-  Status EvictOne(int64_t protect);
-
-  /// Removes the buffer and its LRU entry, returning the trajectory.
-  Trajectory Detach(std::unordered_map<int64_t, Buffer>::iterator it);
-
-  Kamel* system_;
-  Callback on_imputed_;
-  StreamingOptions options_;
-  std::unordered_map<int64_t, Buffer> buffers_;
-  std::list<int64_t> lru_;  // front = least recently active
-  size_t total_points_ = 0;
-  int64_t evictions_ = 0;
+  KamelBuilder builder_;
+  std::shared_ptr<const KamelSnapshot> snapshot_;  // serving cache
 };
 
 /// Integrity report of one snapshot file, produced without deserializing

@@ -1,0 +1,492 @@
+#include "core/kamel_snapshot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "geo/polyline.h"
+#include "grid/hex_grid.h"
+#include "grid/square_grid.h"
+
+namespace kamel {
+
+namespace {
+
+std::unique_ptr<Imputer> MakeImputer(const GridSystem* grid,
+                                     const SpatialConstraints* constraints,
+                                     const KamelOptions& options) {
+  if (!options.enable_multipoint) {
+    return std::make_unique<SinglePointImputer>(grid, constraints, options);
+  }
+  if (options.method == ImputeMethod::kIterativeBert) {
+    return std::make_unique<IterativeBertImputer>(grid, constraints, options);
+  }
+  return std::make_unique<BeamSearchImputer>(grid, constraints, options);
+}
+
+/// Shared by KamelBuilder::SaveToFile and KamelSnapshot::SaveToFile: both
+/// persist exactly the same framed sections, so a snapshot written during
+/// serving is indistinguishable from one written by the builder.
+Status SaveSnapshotFile(const LocalProjection& projection,
+                        const Pyramid& pyramid, double inferred_speed_mps,
+                        double total_train_seconds,
+                        const ModelRepository& repository,
+                        const Detokenizer& detokenizer,
+                        const std::string& path) {
+  BinaryWriter writer;
+  writer.WriteMagicHeader();
+  writer.BeginSection("meta");
+  writer.WriteF64(projection.origin().lat);
+  writer.WriteF64(projection.origin().lng);
+  const BBox& world = pyramid.world();
+  writer.WriteF64(world.min_x);
+  writer.WriteF64(world.min_y);
+  writer.WriteF64(world.max_x);
+  writer.WriteF64(world.max_y);
+  writer.WriteF64(inferred_speed_mps);
+  writer.WriteF64(total_train_seconds);
+  writer.EndSection();
+  // The outer "repo" frame is the recovery point for repository damage:
+  // its length lets the loader skip even an internally torn repository
+  // and still reach the detokenizer.
+  writer.BeginSection("repo");
+  KAMEL_RETURN_NOT_OK(repository.Save(&writer));
+  writer.EndSection();
+  writer.BeginSection("detok");
+  detokenizer.Save(&writer);
+  writer.EndSection();
+  return writer.FlushToFileAtomic(path);
+}
+
+}  // namespace
+
+ImputeStats AggregateBatchStats(const std::vector<ImputedTrajectory>& batch) {
+  ImputeStats total;
+  for (const ImputedTrajectory& imputed : batch) {
+    const ImputeStats& s = imputed.stats;
+    total.segments += s.segments;
+    total.failed_segments += s.failed_segments;
+    total.no_model_segments += s.no_model_segments;
+    total.deadline_segments += s.deadline_segments;
+    total.bert_calls += s.bert_calls;
+    total.seconds += s.seconds;
+    total.outcomes.insert(total.outcomes.end(), s.outcomes.begin(),
+                          s.outcomes.end());
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// KamelSnapshot
+// ---------------------------------------------------------------------------
+
+void KamelSnapshot::AppendLinearFallback(
+    const SegmentContext& context, std::vector<TrajPoint>* out_points) const {
+  // Straight line with one point every max_gap_m (exclusive of endpoints).
+  const Vec2 s = context.s.position;
+  const Vec2 d = context.d.position;
+  const double dist = Distance(s, d);
+  const int steps = static_cast<int>(std::floor(dist / options_.max_gap_m));
+  for (int i = 1; i <= steps; ++i) {
+    const double t = static_cast<double>(i) / (steps + 1);
+    const Vec2 p = s + (d - s) * t;
+    out_points->push_back(
+        {projection_->Unproject(p),
+         context.s.time + t * (context.d.time - context.s.time)});
+  }
+}
+
+void KamelSnapshot::ImputeSegment(const CandidateSource* model,
+                                  const SegmentContext& context,
+                                  bool deadline_expired,
+                                  std::vector<TrajPoint>* out_points,
+                                  ImputeStats* stats) const {
+  ++stats->segments;
+  stats->outcomes.push_back({context.s.time, context.d.time, false});
+  SegmentOutcome& outcome = stats->outcomes.back();
+  if (deadline_expired) {
+    // Deadline overrun: remaining gaps take the paper's linear-line
+    // failure path so the call returns promptly instead of piling up
+    // BERT work behind an already-late response.
+    ++stats->failed_segments;
+    ++stats->deadline_segments;
+    outcome.failed = true;
+    AppendLinearFallback(context, out_points);
+    return;
+  }
+  if (model == nullptr) {
+    // Section 4.1: segments no model covers are imputed by a straight
+    // line (and count as failures).
+    ++stats->failed_segments;
+    ++stats->no_model_segments;
+    outcome.failed = true;
+    AppendLinearFallback(context, out_points);
+    return;
+  }
+
+  ImputedSegment segment = imputer_->Impute(model, context);
+  stats->bert_calls += segment.bert_calls;
+  if (segment.failed) {
+    ++stats->failed_segments;
+    outcome.failed = true;
+    AppendLinearFallback(context, out_points);
+    return;
+  }
+
+  const std::vector<Vec2> interior = detokenizer_->DetokenizeInterior(
+      segment.cells, context.s.position, context.d.position);
+  if (interior.empty()) return;
+
+  // Timestamps: linear in arc length between the endpoint observations.
+  std::vector<Vec2> path = {context.s.position};
+  path.insert(path.end(), interior.begin(), interior.end());
+  path.push_back(context.d.position);
+  const double total_len = polyline::Length(path);
+  double walked = 0.0;
+  for (size_t i = 1; i + 1 < path.size(); ++i) {
+    walked += Distance(path[i - 1], path[i]);
+    const double fraction = total_len > 0.0 ? walked / total_len : 0.0;
+    out_points->push_back(
+        {projection_->Unproject(path[i]),
+         context.s.time + fraction * (context.d.time - context.s.time)});
+  }
+}
+
+Result<ImputedTrajectory> KamelSnapshot::Impute(
+    const Trajectory& sparse) const {
+  KAMEL_RETURN_NOT_OK(ValidateTrajectory(sparse));
+  Stopwatch watch;
+  ImputedTrajectory out;
+  out.trajectory.id = sparse.id;
+
+  const TokenizedTrajectory tokens = tokenizer_->Tokenize(sparse);
+  if (tokens.size() < 2) {
+    out.trajectory = sparse;
+    out.stats.seconds = watch.ElapsedSeconds();
+    return out;
+  }
+
+  std::vector<TrajPoint>* out_points = &out.trajectory.points;
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    // Original observation of the segment start.
+    out_points->push_back(
+        {projection_->Unproject(tokens[i].position), tokens[i].time});
+
+    if (grid_->GridDistance(tokens[i].cell, tokens[i + 1].cell) <=
+        imputer_->max_gap_cells()) {
+      continue;  // already dense here
+    }
+
+    SegmentContext context;
+    context.s = tokens[i];
+    context.d = tokens[i + 1];
+    if (i > 0) context.prev = tokens[i - 1];
+    if (i + 2 < tokens.size()) context.next = tokens[i + 2];
+
+    const bool deadline_expired =
+        options_.impute_deadline_seconds > 0.0 &&
+        watch.ElapsedSeconds() > options_.impute_deadline_seconds;
+
+    // Section 4.1 retrieval: the model for this segment's extent. The
+    // handle pins the model for the duration of the call even if the
+    // lazy cache evicts it concurrently.
+    BBox mbr;
+    mbr.Extend(context.s.position);
+    mbr.Extend(context.d.position);
+    ModelHandle model =
+        deadline_expired ? nullptr : repository_->SelectModel(mbr);
+    ImputeSegment(model.get(), context, deadline_expired, out_points,
+                  &out.stats);
+  }
+  out_points->push_back(
+      {projection_->Unproject(tokens.back().position), tokens.back().time});
+  // Tokenization collapses same-cell runs to their first observation; if
+  // the trajectory's final reading was collapsed away, restore it so the
+  // output spans the full observed time range.
+  if (!sparse.points.empty() &&
+      sparse.points.back().time > out_points->back().time) {
+    out_points->push_back(sparse.points.back());
+  }
+
+  out.stats.seconds = watch.ElapsedSeconds();
+  return out;
+}
+
+Status KamelSnapshot::SaveToFile(const std::string& path) const {
+  return SaveSnapshotFile(*projection_, *pyramid_, inferred_speed_mps_,
+                          total_train_seconds_, *repository_, *detokenizer_,
+                          path);
+}
+
+// ---------------------------------------------------------------------------
+// KamelBuilder
+// ---------------------------------------------------------------------------
+
+KamelBuilder::KamelBuilder(const KamelOptions& options) : options_(options) {}
+KamelBuilder::~KamelBuilder() = default;
+
+Status KamelBuilder::InitializeGeometry(const TrajectoryDataset& data) {
+  // Anchor the projection at the batch's geographic center.
+  double min_lat = 90.0, max_lat = -90.0, min_lng = 180.0, max_lng = -180.0;
+  size_t points = 0;
+  for (const auto& trajectory : data.trajectories) {
+    for (const auto& point : trajectory.points) {
+      min_lat = std::min(min_lat, point.pos.lat);
+      max_lat = std::max(max_lat, point.pos.lat);
+      min_lng = std::min(min_lng, point.pos.lng);
+      max_lng = std::max(max_lng, point.pos.lng);
+      ++points;
+    }
+  }
+  if (points == 0) {
+    return Status::InvalidArgument("training dataset has no points");
+  }
+  projection_ = std::make_shared<const LocalProjection>(
+      LatLng{(min_lat + max_lat) / 2.0, (min_lng + max_lng) / 2.0});
+
+  if (options_.grid_type == GridType::kHex) {
+    grid_ = std::make_shared<const HexGrid>(options_.hex_edge_m);
+  } else {
+    const double edge =
+        options_.square_edge_m > 0.0
+            ? options_.square_edge_m
+            : SquareGrid::EdgeForEqualHexArea(options_.hex_edge_m);
+    grid_ = std::make_shared<const SquareGrid>(edge);
+  }
+  tokenizer_ = std::make_unique<Tokenizer>(grid_.get(), projection_.get());
+  store_ = std::make_shared<TrajectoryStore>();
+
+  // Pyramid world: the batch MBR with 10% margin so later batches and the
+  // imputation ellipses stay in bounds.
+  BBox world = data.Mbr(*projection_);
+  const double margin =
+      0.1 * std::max({world.Width(), world.Height(), 100.0});
+  pyramid_ = std::make_shared<const Pyramid>(world.Expanded(margin),
+                                             options_.pyramid_height,
+                                             options_.pyramid_levels);
+  repository_ =
+      std::make_unique<ModelRepository>(*pyramid_, options_, store_);
+  constraints_ =
+      std::make_unique<SpatialConstraints>(grid_.get(), options_);
+  detokenizer_ =
+      std::make_unique<Detokenizer>(grid_.get(), options_.dbscan);
+  return Status::OK();
+}
+
+void KamelBuilder::UpdateSpeedBound(const TrajectoryDataset& data) {
+  if (options_.max_speed_mps > 0.0) {
+    constraints_->set_max_speed_mps(options_.max_speed_mps);
+    return;
+  }
+  std::vector<double> speeds;
+  for (const auto& trajectory : data.trajectories) {
+    for (size_t i = 1; i < trajectory.points.size(); ++i) {
+      const double dt =
+          trajectory.points[i].time - trajectory.points[i - 1].time;
+      if (dt <= 0.0) continue;
+      const double dist = HaversineMeters(trajectory.points[i - 1].pos,
+                                          trajectory.points[i].pos);
+      speeds.push_back(dist / dt);
+    }
+  }
+  if (speeds.empty()) return;
+  const size_t p95 = speeds.size() * 95 / 100;
+  std::nth_element(speeds.begin(), speeds.begin() + p95, speeds.end());
+  const double inferred = speeds[p95] * options_.speed_slack_factor;
+  // Across batches keep the largest bound seen.
+  inferred_speed_mps_ = std::max(inferred_speed_mps_, inferred);
+  constraints_->set_max_speed_mps(inferred_speed_mps_);
+}
+
+Status KamelBuilder::Train(const TrajectoryDataset& data) {
+  Stopwatch watch;
+  // Validate before any geometry is derived: one NaN coordinate would
+  // otherwise poison the projection anchor and the pyramid world.
+  for (const auto& trajectory : data.trajectories) {
+    KAMEL_RETURN_NOT_OK(ValidateTrajectory(trajectory));
+  }
+  if (projection_ == nullptr) {
+    KAMEL_RETURN_NOT_OK(InitializeGeometry(data));
+  }
+
+  // Tokenization gateway (Section 3): everything passes through it first.
+  std::vector<size_t> new_indices;
+  new_indices.reserve(data.trajectories.size());
+  for (const auto& trajectory : data.trajectories) {
+    TokenizedTrajectory tokens = tokenizer_->Tokenize(trajectory);
+    if (tokens.size() < 2) continue;
+    size_t index = 0;
+    KAMEL_RETURN_NOT_OK(store_->Append(std::move(tokens), &index));
+    new_indices.push_back(index);
+    // Per-point observations feed detokenizer clustering (Section 7).
+    detokenizer_->AddObservations(tokenizer_->TokenizePerPoint(trajectory));
+  }
+  if (new_indices.empty()) {
+    return Status::InvalidArgument(
+        "training batch produced no usable trajectories");
+  }
+
+  UpdateSpeedBound(data);
+  KAMEL_RETURN_NOT_OK(repository_->AddTrainingBatch(new_indices));
+  if (repository_->num_models() == 0) {
+    KAMEL_LOG(Warning)
+        << "no BERT model met its token threshold; imputation will fall "
+           "back to straight lines until more data arrives";
+  }
+  detokenizer_->Refit();
+
+  trained_ = true;
+  total_train_seconds_ += watch.ElapsedSeconds();
+  KAMEL_LOG(Info) << "trained on " << new_indices.size()
+                  << " trajectories; models=" << repository_->num_models()
+                  << " speed_bound=" << constraints_->max_speed_mps()
+                  << " m/s";
+  return Status::OK();
+}
+
+double KamelBuilder::max_speed_mps() const {
+  return constraints_ != nullptr ? constraints_->max_speed_mps() : 0.0;
+}
+
+Result<std::shared_ptr<const KamelSnapshot>> KamelBuilder::Snapshot() const {
+  if (!trained_) {
+    return Status::FailedPrecondition(
+        "KamelBuilder::Snapshot called before a successful Train() or "
+        "LoadFromFile()");
+  }
+  auto snap = std::shared_ptr<KamelSnapshot>(new KamelSnapshot());
+  snap->options_ = options_;
+  snap->total_train_seconds_ = total_train_seconds_;
+  snap->inferred_speed_mps_ = inferred_speed_mps_;
+  snap->projection_ = projection_;
+  snap->grid_ = grid_;
+  snap->pyramid_ = pyramid_;
+  snap->tokenizer_ =
+      std::make_unique<Tokenizer>(grid_.get(), projection_.get());
+  // Copying the repository shares the trained models (and the lazy cache)
+  // but duplicates the index, pinning this snapshot's model set.
+  snap->repository_ = std::make_unique<const ModelRepository>(*repository_);
+  auto constraints =
+      std::make_unique<SpatialConstraints>(grid_.get(), options_);
+  constraints->set_max_speed_mps(constraints_->max_speed_mps());
+  // The imputer must point at the snapshot's own constraints; a unique_ptr
+  // move never relocates the pointee.
+  snap->imputer_ = MakeImputer(grid_.get(), constraints.get(), options_);
+  snap->constraints_ = std::move(constraints);
+  snap->detokenizer_ = std::make_unique<const Detokenizer>(*detokenizer_);
+  return std::shared_ptr<const KamelSnapshot>(std::move(snap));
+}
+
+Status KamelBuilder::SaveToFile(const std::string& path) const {
+  if (!trained_) {
+    return Status::FailedPrecondition("cannot save an untrained system");
+  }
+  return SaveSnapshotFile(*projection_, *pyramid_, inferred_speed_mps_,
+                          total_train_seconds_, *repository_, *detokenizer_,
+                          path);
+}
+
+Status KamelBuilder::LoadFromFile(const std::string& path,
+                                  LoadReport* report) {
+  LoadReport local_report;
+  if (report == nullptr) report = &local_report;
+  *report = LoadReport{};
+
+  KAMEL_ASSIGN_OR_RETURN(BinaryReader reader, BinaryReader::FromFile(path));
+  KAMEL_RETURN_NOT_OK(reader.ReadMagicHeader().status());
+
+  // Geometry is load-bearing for every module: damage here fails the
+  // whole load (there is nothing sensible to serve without it).
+  KAMEL_RETURN_NOT_OK(reader.EnterSection("meta"));
+  LatLng origin;
+  KAMEL_ASSIGN_OR_RETURN(origin.lat, reader.ReadF64());
+  KAMEL_ASSIGN_OR_RETURN(origin.lng, reader.ReadF64());
+  BBox world;
+  KAMEL_ASSIGN_OR_RETURN(world.min_x, reader.ReadF64());
+  KAMEL_ASSIGN_OR_RETURN(world.min_y, reader.ReadF64());
+  KAMEL_ASSIGN_OR_RETURN(world.max_x, reader.ReadF64());
+  KAMEL_ASSIGN_OR_RETURN(world.max_y, reader.ReadF64());
+  KAMEL_ASSIGN_OR_RETURN(inferred_speed_mps_, reader.ReadF64());
+  KAMEL_ASSIGN_OR_RETURN(total_train_seconds_, reader.ReadF64());
+  KAMEL_RETURN_NOT_OK(reader.LeaveSection());
+  if (!std::isfinite(origin.lat) || !std::isfinite(origin.lng) ||
+      origin.lat < -90.0 || origin.lat > 90.0 || origin.lng < -180.0 ||
+      origin.lng > 180.0) {
+    return Status::IOError("snapshot meta: invalid projection origin");
+  }
+  if (!std::isfinite(world.min_x) || !std::isfinite(world.min_y) ||
+      !std::isfinite(world.max_x) || !std::isfinite(world.max_y) ||
+      world.min_x > world.max_x || world.min_y > world.max_y) {
+    return Status::IOError("snapshot meta: invalid world box");
+  }
+  if (!std::isfinite(inferred_speed_mps_) || inferred_speed_mps_ < 0.0 ||
+      !std::isfinite(total_train_seconds_) || total_train_seconds_ < 0.0) {
+    return Status::IOError("snapshot meta: invalid scalar state");
+  }
+
+  // Rebuild the component graph around the restored geometry, then load
+  // the trained state into it. The trajectory store itself is not
+  // persisted (the paper's store is a separate system [18, 62]); loaded
+  // systems can impute but need original data to continue training.
+  TrajectoryDataset empty_geometry;
+  Trajectory anchor;
+  anchor.points.push_back({origin, 0.0});
+  empty_geometry.trajectories.push_back(anchor);
+  KAMEL_RETURN_NOT_OK(InitializeGeometry(empty_geometry));
+  pyramid_ = std::make_shared<const Pyramid>(world, options_.pyramid_height,
+                                             options_.pyramid_levels);
+  repository_ =
+      std::make_unique<ModelRepository>(*pyramid_, options_, store_);
+
+  KAMEL_ASSIGN_OR_RETURN(SectionInfo repo_frame, reader.EnterSection());
+  if (repo_frame.name != "repo") {
+    return Status::IOError("snapshot: expected section 'repo', found '" +
+                           repo_frame.name + "'");
+  }
+  const Status repo_loaded = repository_->Load(&reader, report, &path);
+  if (!repo_loaded.ok()) {
+    // The index was unreadable: quarantine the whole repository. The
+    // system still serves — every gap takes the linear fallback.
+    repository_ =
+        std::make_unique<ModelRepository>(*pyramid_, options_, store_);
+    report->repository_quarantined = true;
+    report->quarantined.push_back("model repository: " +
+                                  repo_loaded.message());
+  }
+  // Realigns the cursor past the repository no matter how the inner
+  // parse left it.
+  KAMEL_RETURN_NOT_OK(reader.LeaveSection());
+
+  const Status detok_entered = reader.EnterSection("detok");
+  if (detok_entered.ok()) {
+    const Status detok_loaded = detokenizer_->Load(&reader);
+    if (!detok_loaded.ok()) {
+      report->detokenizer_quarantined = true;
+      report->quarantined.push_back("detokenizer: " + detok_loaded.message());
+    }
+    KAMEL_RETURN_NOT_OK(reader.LeaveSection());
+  } else {
+    report->detokenizer_quarantined = true;
+    report->quarantined.push_back("detokenizer: " + detok_entered.message());
+  }
+  if (report->detokenizer_quarantined) {
+    // A fresh detokenizer serves cell centroids (Figure 8's unseen-token
+    // case) — degraded precision, never an abort.
+    detokenizer_ =
+        std::make_unique<Detokenizer>(grid_.get(), options_.dbscan);
+  }
+
+  constraints_->set_max_speed_mps(options_.max_speed_mps > 0.0
+                                      ? options_.max_speed_mps
+                                      : inferred_speed_mps_);
+  trained_ = true;
+  if (report->partial()) {
+    KAMEL_LOG(Warning) << "partial snapshot load from " << path << ": "
+                       << report->Summary();
+  }
+  return Status::OK();
+}
+
+}  // namespace kamel

@@ -1,0 +1,219 @@
+#ifndef KAMEL_CORE_KAMEL_SNAPSHOT_H_
+#define KAMEL_CORE_KAMEL_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/detokenizer.h"
+#include "core/imputer.h"
+#include "core/model_repository.h"
+#include "core/options.h"
+#include "core/tokenizer.h"
+#include "core/trajectory_store.h"
+#include "geo/trajectory.h"
+
+namespace kamel {
+
+/// Outcome of one imputed segment, keyed by its endpoint observation
+/// times (the evaluation joins these with ground truth to compute per-
+/// road-type failure rates, Figure 12-I/II).
+struct SegmentOutcome {
+  double s_time = 0.0;
+  double d_time = 0.0;
+  bool failed = false;
+};
+
+/// Per-trajectory imputation accounting (Section 8 metrics need the
+/// failure rate and timing; Section 6 caps BERT calls).
+struct ImputeStats {
+  int segments = 0;          // sparse gaps that needed imputation
+  int failed_segments = 0;   // drawn as straight lines
+  int no_model_segments = 0; // failures caused by missing model coverage
+  int deadline_segments = 0; // failures caused by the per-call deadline
+  int64_t bert_calls = 0;
+  double seconds = 0.0;
+  std::vector<SegmentOutcome> outcomes;  // one per imputed segment
+};
+
+/// The imputed dense trajectory plus its accounting.
+struct ImputedTrajectory {
+  Trajectory trajectory;
+  ImputeStats stats;
+};
+
+/// Sums the counters of a batch of imputation results by walking them in
+/// index order. Because the inputs are positioned by trajectory index (not
+/// by completion order), the aggregate — including `bert_calls` and
+/// `seconds` — is identical no matter how many threads produced the batch
+/// or in what order they finished. Per-segment `outcomes` are likewise
+/// concatenated in index order.
+ImputeStats AggregateBatchStats(const std::vector<ImputedTrajectory>& batch);
+
+/// An immutable, shareable serving snapshot of a trained KAMEL system:
+/// projection, grid, pyramid, model repository, spatial constraints,
+/// detokenizer, and the inferred speed bound, all frozen at the moment
+/// KamelBuilder::Snapshot() was called.
+///
+/// Thread model: every public method is const and safe to call from any
+/// number of threads concurrently — nothing here is mutated after
+/// construction, model handles are shared immutable state, and the only
+/// internal synchronization is the repository's sharded LRU cache for
+/// demand-loaded models. Hold it by std::shared_ptr<const KamelSnapshot>;
+/// the ServingEngine pins one per in-flight imputation so a concurrent
+/// retrain + snapshot swap never changes results mid-trajectory.
+class KamelSnapshot {
+ public:
+  KamelSnapshot(const KamelSnapshot&) = delete;
+  KamelSnapshot& operator=(const KamelSnapshot&) = delete;
+
+  /// Online imputation of one sparse trajectory. Const and concurrency-
+  /// safe; deterministic for a given snapshot (same input -> same bytes).
+  Result<ImputedTrajectory> Impute(const Trajectory& sparse) const;
+
+  /// Persists this snapshot (projection anchor, world box, speed, models,
+  /// clusters) exactly like KamelBuilder::SaveToFile. Safe to call while
+  /// other threads impute from the same snapshot.
+  Status SaveToFile(const std::string& path) const;
+
+  const KamelOptions& options() const { return options_; }
+  const GridSystem& grid() const { return *grid_; }
+  const LocalProjection& projection() const { return *projection_; }
+  const ModelRepository& repository() const { return *repository_; }
+  const Detokenizer& detokenizer() const { return *detokenizer_; }
+  const Tokenizer& tokenizer() const { return *tokenizer_; }
+
+  /// Speed bound used by the ellipse constraint, m/s.
+  double max_speed_mps() const { return constraints_->max_speed_mps(); }
+
+  /// Cumulative offline training time at snapshot creation, seconds.
+  double total_train_seconds() const { return total_train_seconds_; }
+
+ private:
+  friend class KamelBuilder;
+  KamelSnapshot() = default;
+
+  /// Imputes one gap; appends interior points (or a straight line on
+  /// failure) to `out_points`. `deadline_expired` forces the linear
+  /// failure path without consulting the model.
+  void ImputeSegment(const CandidateSource* model,
+                     const SegmentContext& context, bool deadline_expired,
+                     std::vector<TrajPoint>* out_points,
+                     ImputeStats* stats) const;
+
+  void AppendLinearFallback(const SegmentContext& context,
+                            std::vector<TrajPoint>* out_points) const;
+
+  KamelOptions options_;
+  double total_train_seconds_ = 0.0;
+  double inferred_speed_mps_ = 0.0;
+
+  // Shared with the builder (and any sibling snapshots): these are never
+  // mutated after the builder constructs them.
+  std::shared_ptr<const LocalProjection> projection_;
+  std::shared_ptr<const GridSystem> grid_;
+  std::shared_ptr<const Pyramid> pyramid_;
+
+  // Owned copies pinned at snapshot time. The repository copy shares the
+  // (immutable) trained models with the builder but owns its index, so a
+  // later retrain in the builder cannot change what this snapshot serves.
+  std::unique_ptr<const Tokenizer> tokenizer_;
+  std::unique_ptr<const ModelRepository> repository_;
+  std::unique_ptr<const SpatialConstraints> constraints_;
+  std::unique_ptr<const Imputer> imputer_;
+  std::unique_ptr<const Detokenizer> detokenizer_;
+};
+
+/// The offline side of the builder/snapshot split: owns the mutable
+/// training state (trajectory store, repository under maintenance,
+/// detokenizer observations) and mints immutable KamelSnapshots for
+/// serving. Not thread-safe — train from one thread, then hand the
+/// snapshot to any number of serving threads.
+class KamelBuilder {
+ public:
+  explicit KamelBuilder(const KamelOptions& options);
+  ~KamelBuilder();
+
+  KamelBuilder(const KamelBuilder&) = delete;
+  KamelBuilder& operator=(const KamelBuilder&) = delete;
+
+  /// Offline training path of Figure 1: tokenize, store, infer the speed
+  /// bound, maintain the model repository, refit the detokenizer.
+  /// Later batches enrich the system (Section 4.2).
+  Status Train(const TrajectoryDataset& data);
+
+  /// Freezes the current trained state into an immutable serving
+  /// snapshot. FailedPrecondition before the first successful Train() or
+  /// LoadFromFile(). Cheap relative to training: models are shared, only
+  /// the repository index and detokenizer clusters are copied.
+  Result<std::shared_ptr<const KamelSnapshot>> Snapshot() const;
+
+  bool trained() const { return trained_; }
+  const KamelOptions& options() const { return options_; }
+  const GridSystem& grid() const { return *grid_; }
+  const LocalProjection& projection() const { return *projection_; }
+  const ModelRepository& repository() const { return *repository_; }
+  const Detokenizer& detokenizer() const { return *detokenizer_; }
+  const TrajectoryStore& store() const { return *store_; }
+  const Tokenizer& tokenizer() const { return *tokenizer_; }
+
+  /// Speed bound used by the ellipse constraint, m/s (inferred from
+  /// training data unless fixed in the options).
+  double max_speed_mps() const;
+
+  /// Cumulative offline training time (tokenization + model building +
+  /// clustering), seconds — Figure 11(a).
+  double total_train_seconds() const { return total_train_seconds_; }
+
+  /// Persists the trained state (projection anchor, world box, speed,
+  /// models, clusters). Options are not stored: load with a builder
+  /// constructed from the same options.
+  ///
+  /// The snapshot is crash-safe: bytes go to a temporary sibling file
+  /// which is fsynced and atomically renamed over `path`, and every
+  /// section carries a CRC32C so a later load detects damage.
+  Status SaveToFile(const std::string& path) const;
+
+  /// Loads a snapshot. Corruption confined to one model (or to the
+  /// detokenizer) is quarantined: the load succeeds, the damaged part is
+  /// dropped, `report` (optional) says what was lost, and serving
+  /// degrades to the linear-line fallback for uncovered segments.
+  /// Damage to the header or geometry section fails the whole load with
+  /// a descriptive Status — never an abort.
+  ///
+  /// With options.max_resident_models > 0, intact model sections are
+  /// indexed but not parsed: weights are demand-loaded from `path`
+  /// through a bounded sharded-LRU cache on first use.
+  Status LoadFromFile(const std::string& path,
+                      LoadReport* report = nullptr);
+
+ private:
+  /// Lazily builds projection, grid, pyramid, and all modules from the
+  /// first training batch's extent.
+  Status InitializeGeometry(const TrajectoryDataset& data);
+
+  /// 95th-percentile consecutive-point speed of the batch, slack-scaled
+  /// (Section 5.1: "fixed speed inferred from its training data").
+  void UpdateSpeedBound(const TrajectoryDataset& data);
+
+  KamelOptions options_;
+  bool trained_ = false;
+  double total_train_seconds_ = 0.0;
+  double inferred_speed_mps_ = 0.0;
+
+  // shared_ptr so snapshots can outlive the builder while borrowing its
+  // geometry objects.
+  std::shared_ptr<const LocalProjection> projection_;
+  std::shared_ptr<const GridSystem> grid_;
+  std::shared_ptr<const Pyramid> pyramid_;
+  std::shared_ptr<TrajectoryStore> store_;
+  std::unique_ptr<Tokenizer> tokenizer_;
+  std::unique_ptr<ModelRepository> repository_;
+  std::unique_ptr<SpatialConstraints> constraints_;
+  std::unique_ptr<Detokenizer> detokenizer_;
+};
+
+}  // namespace kamel
+
+#endif  // KAMEL_CORE_KAMEL_SNAPSHOT_H_

@@ -1,8 +1,10 @@
 #include "core/model_repository.h"
 
 #include <algorithm>
+#include <fstream>
 #include <unordered_set>
 
+#include "common/crc32c.h"
 #include "common/logging.h"
 
 namespace kamel {
@@ -19,17 +21,81 @@ uint64_t CellSalt(const PyramidCell& cell, uint64_t kind) {
 
 }  // namespace
 
-ModelRepository::ModelRepository(const Pyramid& pyramid,
-                                 const KamelOptions& options,
-                                 const TrajectoryStore* store)
-    : pyramid_(pyramid), options_(options), store_(store) {
-  KAMEL_CHECK(store != nullptr);
+ShardedModelCache::ShardedModelCache(std::string path, int max_resident,
+                                     int num_shards)
+    : path_(std::move(path)),
+      per_shard_capacity_(std::max<size_t>(
+          1, static_cast<size_t>(std::max(1, max_resident)) /
+                 static_cast<size_t>(std::max(1, num_shards)))) {
+  if (num_shards < 1) num_shards = 1;
+  shards_.reserve(static_cast<size_t>(num_shards));
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
 }
 
-std::unique_ptr<TrajBert> ModelRepository::TrainOn(const BBox& bounds,
-                                                   uint64_t salt,
-                                                   ModelInfo* info,
-                                                   const char* kind) {
+Result<ModelHandle> ShardedModelCache::LoadFromDisk(
+    const LazyModelRef& ref) const {
+  std::ifstream file(path_, std::ios::binary);
+  if (!file) {
+    return Status::IOError("cannot reopen snapshot for lazy model load: " +
+                           path_);
+  }
+  std::vector<uint8_t> payload(static_cast<size_t>(ref.length));
+  file.seekg(static_cast<std::streamoff>(ref.payload_offset));
+  file.read(reinterpret_cast<char*>(payload.data()),
+            static_cast<std::streamsize>(payload.size()));
+  if (static_cast<uint64_t>(file.gcount()) != ref.length) {
+    return Status::IOError("snapshot truncated under a lazy model load");
+  }
+  // The CRC recorded at index time guards against the file changing (or
+  // rotting) between the index load and this demand load.
+  if (Crc32c(payload.data(), payload.size()) != ref.stored_crc) {
+    return Status::IOError("lazy model section failed its checksum");
+  }
+  BinaryReader reader(std::move(payload));
+  // Section payload layout: kind, cell, TrajBert (verified at index time).
+  KAMEL_RETURN_NOT_OK(reader.ReadString().status());
+  KAMEL_RETURN_NOT_OK(reader.ReadI32().status());
+  KAMEL_RETURN_NOT_OK(reader.ReadI32().status());
+  KAMEL_RETURN_NOT_OK(reader.ReadI32().status());
+  KAMEL_ASSIGN_OR_RETURN(std::unique_ptr<TrajBert> model,
+                         TrajBert::Load(&reader));
+  return ModelHandle(std::move(model));
+}
+
+Result<ModelHandle> ShardedModelCache::GetOrLoad(const LazyModelRef& ref) {
+  const size_t key = ref.payload_offset;
+  Shard& shard = *shards_[key % shards_.size()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+    return it->second.model;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  // Load under the shard mutex: concurrent misses on other shards proceed
+  // in parallel, and a thundering herd on one model does a single load.
+  KAMEL_ASSIGN_OR_RETURN(ModelHandle model, LoadFromDisk(ref));
+  shard.lru.push_front(key);
+  shard.entries[key] = CacheEntry{model, shard.lru.begin()};
+  while (shard.entries.size() > per_shard_capacity_) {
+    shard.entries.erase(shard.lru.back());
+    shard.lru.pop_back();
+  }
+  return model;
+}
+
+ModelRepository::ModelRepository(
+    const Pyramid& pyramid, const KamelOptions& options,
+    std::shared_ptr<const TrajectoryStore> store)
+    : pyramid_(pyramid), options_(options), store_(std::move(store)) {}
+
+ModelHandle ModelRepository::TrainOn(const BBox& bounds, uint64_t salt,
+                                     ModelInfo* info, const char* kind) {
+  KAMEL_CHECK(store_ != nullptr,
+              "training on a serving-only repository copy");
   const std::vector<size_t> indices = store_->FullyEnclosed(bounds);
   std::vector<std::vector<CellId>> statements = store_->Statements(indices);
   // Statements with fewer than two tokens carry no transition signal.
@@ -57,7 +123,7 @@ std::unique_ptr<TrajBert> ModelRepository::TrainOn(const BBox& bounds,
                    << statements.size() << " statements, " << tokens
                    << " tokens, loss "
                    << (*result)->train_stats().final_loss;
-  return std::move(result).value();
+  return ModelHandle(std::move(result).value());
 }
 
 void ModelRepository::MaybeBuildSingle(const PyramidCell& cell) {
@@ -69,10 +135,11 @@ void ModelRepository::MaybeBuildSingle(const PyramidCell& cell) {
   }
   Entry& entry = entries_[cell];
   auto model =
-      TrainOn(bounds, CellSalt(cell, 1), &entry.single_info, "single");
+      TrainOn(bounds, CellSalt(cell, 1), &entry.single.info, "single");
   if (model != nullptr) {
-    if (entry.single == nullptr) ++num_single_;
-    entry.single = std::move(model);
+    if (!entry.single.present()) ++num_single_;
+    entry.single.model = std::move(model);
+    entry.single.lazy.reset();
   }
 }
 
@@ -98,21 +165,23 @@ void ModelRepository::MaybeBuildNeighbors(const PyramidCell& cell,
       const PyramidCell west = neighbor.x < cell.x ? neighbor : cell;
       if (!built->insert({west, /*south=*/false}).second) continue;
       Entry& entry = entries_[west];
-      auto model = TrainOn(pair_bounds, CellSalt(west, 2), &entry.east_info,
-                           "east-pair");
+      auto model = TrainOn(pair_bounds, CellSalt(west, 2),
+                           &entry.east_pair.info, "east-pair");
       if (model != nullptr) {
-        if (entry.east_pair == nullptr) ++num_neighbor_;
-        entry.east_pair = std::move(model);
+        if (!entry.east_pair.present()) ++num_neighbor_;
+        entry.east_pair.model = std::move(model);
+        entry.east_pair.lazy.reset();
       }
     } else {
       const PyramidCell north = neighbor.y > cell.y ? neighbor : cell;
       if (!built->insert({north, /*south=*/true}).second) continue;
       Entry& entry = entries_[north];
       auto model = TrainOn(pair_bounds, CellSalt(north, 3),
-                           &entry.south_info, "south-pair");
+                           &entry.south_pair.info, "south-pair");
       if (model != nullptr) {
-        if (entry.south_pair == nullptr) ++num_neighbor_;
-        entry.south_pair = std::move(model);
+        if (!entry.south_pair.present()) ++num_neighbor_;
+        entry.south_pair.model = std::move(model);
+        entry.south_pair.lazy.reset();
       }
     }
   }
@@ -123,12 +192,13 @@ Status ModelRepository::AddTrainingBatch(
   if (!options_.enable_partitioning) {
     // Ablation "No Part.": one BERT model for the entire data (Section 8.7).
     auto model = TrainOn(pyramid_.world().Expanded(1.0), /*salt=*/0xA11,
-                         &global_info_, "global");
+                         &global_.info, "global");
     if (model == nullptr) {
       return Status::InvalidArgument(
           "no trainable statements in the store for the global model");
     }
-    global_model_ = std::move(model);
+    global_.model = std::move(model);
+    global_.lazy.reset();
     return Status::OK();
   }
 
@@ -182,29 +252,42 @@ Status ModelRepository::AddTrainingBatch(
   return Status::OK();
 }
 
-TrajBert* ModelRepository::LookupSingle(const PyramidCell& cell) const {
-  auto it = entries_.find(cell);
-  return it == entries_.end() ? nullptr : it->second.single.get();
-}
-
-TrajBert* ModelRepository::LookupPair(const PyramidCell& a,
-                                      const PyramidCell& b) const {
-  if (a.level != b.level) return nullptr;
-  if (a.y == b.y && std::abs(a.x - b.x) == 1) {
-    const PyramidCell& west = a.x < b.x ? a : b;
-    auto it = entries_.find(west);
-    return it == entries_.end() ? nullptr : it->second.east_pair.get();
-  }
-  if (a.x == b.x && std::abs(a.y - b.y) == 1) {
-    const PyramidCell& north = a.y > b.y ? a : b;
-    auto it = entries_.find(north);
-    return it == entries_.end() ? nullptr : it->second.south_pair.get();
+ModelHandle ModelRepository::Resolve(const ModelSlot& slot) const {
+  if (slot.model != nullptr) return slot.model;
+  if (slot.lazy.has_value() && cache_ != nullptr) {
+    Result<ModelHandle> loaded = cache_->GetOrLoad(*slot.lazy);
+    if (loaded.ok()) return *std::move(loaded);
+    // A failed demand load serves like a missing model: the caller takes
+    // the same linear-fallback path as for an uncovered segment.
+    KAMEL_LOG(Warning) << "lazy model load failed: "
+                       << loaded.status().ToString();
   }
   return nullptr;
 }
 
-TrajBert* ModelRepository::SelectModel(const BBox& mbr) const {
-  if (!options_.enable_partitioning) return global_model_.get();
+ModelHandle ModelRepository::LookupSingle(const PyramidCell& cell) const {
+  auto it = entries_.find(cell);
+  return it == entries_.end() ? nullptr : Resolve(it->second.single);
+}
+
+ModelHandle ModelRepository::LookupPair(const PyramidCell& a,
+                                        const PyramidCell& b) const {
+  if (a.level != b.level) return nullptr;
+  if (a.y == b.y && std::abs(a.x - b.x) == 1) {
+    const PyramidCell& west = a.x < b.x ? a : b;
+    auto it = entries_.find(west);
+    return it == entries_.end() ? nullptr : Resolve(it->second.east_pair);
+  }
+  if (a.x == b.x && std::abs(a.y - b.y) == 1) {
+    const PyramidCell& north = a.y > b.y ? a : b;
+    auto it = entries_.find(north);
+    return it == entries_.end() ? nullptr : Resolve(it->second.south_pair);
+  }
+  return nullptr;
+}
+
+ModelHandle ModelRepository::SelectModel(const BBox& mbr) const {
+  if (!options_.enable_partitioning) return Resolve(global_);
   if (mbr.Empty()) return nullptr;
   for (int level = pyramid_.height();
        level >= pyramid_.lowest_maintained_level(); --level) {
@@ -212,29 +295,29 @@ TrajBert* ModelRepository::SelectModel(const BBox& mbr) const {
     const PyramidCell hi = pyramid_.CellAt(level, {mbr.max_x, mbr.max_y});
     if (lo == hi) {
       if (!pyramid_.CellBounds(lo).Contains(mbr)) continue;
-      if (TrajBert* model = LookupSingle(lo)) return model;
+      if (ModelHandle model = LookupSingle(lo)) return model;
     } else if ((lo.x == hi.x && std::abs(lo.y - hi.y) == 1) ||
                (lo.y == hi.y && std::abs(lo.x - hi.x) == 1)) {
       BBox pair = pyramid_.CellBounds(lo);
       pair.Extend(pyramid_.CellBounds(hi));
       if (!pair.Contains(mbr)) continue;
-      if (TrajBert* model = LookupPair(lo, hi)) return model;
+      if (ModelHandle model = LookupPair(lo, hi)) return model;
     }
   }
   return nullptr;
 }
 
 int ModelRepository::num_models() const {
-  return num_single_ + num_neighbor_ + (global_model_ != nullptr ? 1 : 0);
+  return num_single_ + num_neighbor_ + (global_.present() ? 1 : 0);
 }
 
 std::vector<ModelInfo> ModelRepository::ModelInfos() const {
   std::vector<ModelInfo> out;
-  if (global_model_ != nullptr) out.push_back(global_info_);
+  if (global_.present()) out.push_back(global_.info);
   for (const auto& [cell, entry] : entries_) {
-    if (entry.single != nullptr) out.push_back(entry.single_info);
-    if (entry.east_pair != nullptr) out.push_back(entry.east_info);
-    if (entry.south_pair != nullptr) out.push_back(entry.south_info);
+    if (entry.single.present()) out.push_back(entry.single.info);
+    if (entry.east_pair.present()) out.push_back(entry.east_pair.info);
+    if (entry.south_pair.present()) out.push_back(entry.south_pair.info);
   }
   return out;
 }
@@ -281,7 +364,18 @@ std::string Describe(const std::string& kind, const PyramidCell& cell,
 
 }  // namespace
 
-void ModelRepository::Save(BinaryWriter* writer) const {
+Result<ModelHandle> ModelRepository::ResolveForSave(
+    const ModelSlot& slot) const {
+  if (slot.model != nullptr) return slot.model;
+  KAMEL_CHECK(slot.lazy.has_value(), "saving an empty model slot");
+  if (cache_ == nullptr) {
+    return Status::FailedPrecondition(
+        "lazy model slot without a cache; cannot save");
+  }
+  return cache_->GetOrLoad(*slot.lazy);
+}
+
+Status ModelRepository::Save(BinaryWriter* writer) const {
   // Deterministic order, independent of hash-map iteration: the index and
   // the model sections that follow must agree.
   std::vector<std::pair<PyramidCell, const Entry*>> ordered;
@@ -297,55 +391,85 @@ void ModelRepository::Save(BinaryWriter* writer) const {
             });
 
   writer->BeginSection("repo.index");
-  writer->WriteU8(global_model_ != nullptr ? 1 : 0);
-  if (global_model_ != nullptr) SaveInfo(writer, global_info_);
+  writer->WriteU8(global_.present() ? 1 : 0);
+  if (global_.present()) SaveInfo(writer, global_.info);
   writer->WriteU32(static_cast<uint32_t>(ordered.size()));
   for (const auto& [cell, entry] : ordered) {
     writer->WriteI32(cell.level);
     writer->WriteI32(cell.x);
     writer->WriteI32(cell.y);
     uint8_t flags = 0;
-    if (entry->single != nullptr) flags |= 1;
-    if (entry->east_pair != nullptr) flags |= 2;
-    if (entry->south_pair != nullptr) flags |= 4;
+    if (entry->single.present()) flags |= 1;
+    if (entry->east_pair.present()) flags |= 2;
+    if (entry->south_pair.present()) flags |= 4;
     writer->WriteU8(flags);
-    if (entry->single != nullptr) SaveInfo(writer, entry->single_info);
-    if (entry->east_pair != nullptr) SaveInfo(writer, entry->east_info);
-    if (entry->south_pair != nullptr) SaveInfo(writer, entry->south_info);
+    if (entry->single.present()) SaveInfo(writer, entry->single.info);
+    if (entry->east_pair.present()) SaveInfo(writer, entry->east_pair.info);
+    if (entry->south_pair.present()) SaveInfo(writer, entry->south_pair.info);
   }
   writer->WriteF64(total_train_seconds_);
   writer->EndSection();
 
-  const auto save_model = [writer](const char* kind, const PyramidCell& cell,
-                                   const TrajBert& model) {
+  const auto save_model = [this, writer](const char* kind,
+                                         const PyramidCell& cell,
+                                         const ModelSlot& slot) -> Status {
+    KAMEL_ASSIGN_OR_RETURN(ModelHandle model, ResolveForSave(slot));
     writer->BeginSection("model");
     writer->WriteString(kind);
     writer->WriteI32(cell.level);
     writer->WriteI32(cell.x);
     writer->WriteI32(cell.y);
-    model.Save(writer);
+    model->Save(writer);
     writer->EndSection();
+    return Status::OK();
   };
-  if (global_model_ != nullptr) {
-    save_model("global", PyramidCell{}, *global_model_);
+  if (global_.present()) {
+    KAMEL_RETURN_NOT_OK(save_model("global", PyramidCell{}, global_));
   }
   for (const auto& [cell, entry] : ordered) {
-    if (entry->single != nullptr) save_model("single", cell, *entry->single);
-    if (entry->east_pair != nullptr) {
-      save_model("east-pair", cell, *entry->east_pair);
+    if (entry->single.present()) {
+      KAMEL_RETURN_NOT_OK(save_model("single", cell, entry->single));
     }
-    if (entry->south_pair != nullptr) {
-      save_model("south-pair", cell, *entry->south_pair);
+    if (entry->east_pair.present()) {
+      KAMEL_RETURN_NOT_OK(save_model("east-pair", cell, entry->east_pair));
     }
+    if (entry->south_pair.present()) {
+      KAMEL_RETURN_NOT_OK(save_model("south-pair", cell, entry->south_pair));
+    }
+  }
+  return Status::OK();
+}
+
+ModelRepository::ModelSlot* ModelRepository::SlotFor(
+    const ExpectedModel& expected) {
+  switch (expected.slot) {
+    case 0:
+      return &global_;
+    case 1:
+      return &entries_[expected.cell].single;
+    case 2:
+      return &entries_[expected.cell].east_pair;
+    case 4:
+      return &entries_[expected.cell].south_pair;
+    default:
+      return nullptr;
   }
 }
 
-Status ModelRepository::Load(BinaryReader* reader, LoadReport* report) {
+Status ModelRepository::Load(BinaryReader* reader, LoadReport* report,
+                             const std::string* source_path) {
   LoadReport local_report;
   if (report == nullptr) report = &local_report;
   entries_.clear();
   num_single_ = num_neighbor_ = 0;
-  global_model_.reset();
+  global_ = ModelSlot{};
+  cache_.reset();
+  const bool lazy =
+      options_.max_resident_models > 0 && source_path != nullptr;
+  if (lazy) {
+    cache_ = std::make_shared<ShardedModelCache>(
+        *source_path, options_.max_resident_models);
+  }
 
   // Without a readable index there is nothing to quarantine against:
   // the caller decides whether to fail or serve model-less.
@@ -388,6 +512,10 @@ Status ModelRepository::Load(BinaryReader* reader, LoadReport* report) {
     report->quarantined.push_back(who + ": " + why);
     KAMEL_LOG(Warning) << "quarantined " << who << ": " << why;
   };
+  const auto count_installed = [this](const ExpectedModel& e) {
+    if (e.slot == 1) ++num_single_;
+    if (e.slot == 2 || e.slot == 4) ++num_neighbor_;
+  };
 
   for (size_t i = 0; i < expected.size(); ++i) {
     const ExpectedModel& e = expected[i];
@@ -412,9 +540,42 @@ Status ModelRepository::Load(BinaryReader* reader, LoadReport* report) {
       KAMEL_RETURN_NOT_OK(reader->LeaveSection());
       continue;
     }
-    Status loaded = LoadOneModel(reader, e);
-    if (!loaded.ok()) quarantine(e, loaded.message());
-    else ++report->models_loaded;
+    if (lazy) {
+      // Verify the section matches the index promise, then record where it
+      // lives instead of parsing the weights; the cache faults it in on
+      // first SelectModel hit.
+      Status header_ok = [&]() -> Status {
+        KAMEL_ASSIGN_OR_RETURN(std::string kind, reader->ReadString());
+        PyramidCell cell;
+        KAMEL_ASSIGN_OR_RETURN(cell.level, reader->ReadI32());
+        KAMEL_ASSIGN_OR_RETURN(cell.x, reader->ReadI32());
+        KAMEL_ASSIGN_OR_RETURN(cell.y, reader->ReadI32());
+        if (kind != e.kind || (e.slot != 0 && !(cell == e.cell))) {
+          return Status::IOError(
+              "model section does not match the index (found " + kind + ")");
+        }
+        return Status::OK();
+      }();
+      if (!header_ok.ok()) {
+        quarantine(e, header_ok.message());
+      } else {
+        ModelSlot* slot = SlotFor(e);
+        if (slot == nullptr) {
+          quarantine(e, "bad model slot");
+        } else {
+          if (!slot->present()) count_installed(e);
+          slot->model = nullptr;
+          slot->lazy = LazyModelRef{section->payload_offset, section->length,
+                                    section->stored_crc};
+          slot->info = e.info;
+          ++report->models_loaded;
+        }
+      }
+    } else {
+      Status loaded = LoadOneModel(reader, e);
+      if (!loaded.ok()) quarantine(e, loaded.message());
+      else ++report->models_loaded;
+    }
     KAMEL_RETURN_NOT_OK(reader->LeaveSection());
   }
   return Status::OK();
@@ -434,34 +595,15 @@ Status ModelRepository::LoadOneModel(BinaryReader* reader,
   }
   KAMEL_ASSIGN_OR_RETURN(std::unique_ptr<TrajBert> model,
                          TrajBert::Load(reader));
-  switch (expected.slot) {
-    case 0:
-      global_model_ = std::move(model);
-      global_info_ = expected.info;
-      break;
-    case 1: {
-      Entry& entry = entries_[expected.cell];
-      entry.single = std::move(model);
-      entry.single_info = expected.info;
-      ++num_single_;
-      break;
-    }
-    case 2: {
-      Entry& entry = entries_[expected.cell];
-      entry.east_pair = std::move(model);
-      entry.east_info = expected.info;
-      ++num_neighbor_;
-      break;
-    }
-    case 4: {
-      Entry& entry = entries_[expected.cell];
-      entry.south_pair = std::move(model);
-      entry.south_info = expected.info;
-      ++num_neighbor_;
-      break;
-    }
-    default:
-      return Status::Internal("bad model slot");
+  ModelSlot* slot = SlotFor(expected);
+  if (slot == nullptr) return Status::Internal("bad model slot");
+  const bool was_present = slot->present();
+  slot->model = ModelHandle(std::move(model));
+  slot->lazy.reset();
+  slot->info = expected.info;
+  if (!was_present) {
+    if (expected.slot == 1) ++num_single_;
+    if (expected.slot == 2 || expected.slot == 4) ++num_neighbor_;
   }
   return Status::OK();
 }

@@ -2,7 +2,10 @@
 #define KAMEL_CORE_MODEL_REPOSITORY_H_
 
 #include <cstdint>
+#include <list>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -15,6 +18,12 @@
 #include "core/trajectory_store.h"
 
 namespace kamel {
+
+/// Shared, immutable handle to one trained model. Models are replaced (not
+/// mutated) on retrain, so a handle obtained from SelectModel stays valid
+/// and consistent for as long as the caller keeps it — even across cache
+/// eviction or a repository rebuild on another thread.
+using ModelHandle = std::shared_ptr<const TrajBert>;
 
 /// Bookkeeping for one trained model in the repository (the paper's
 /// per-model "metadata": statistics and last update, Section 4.1).
@@ -49,6 +58,54 @@ struct LoadReport {
   std::string Summary() const;
 };
 
+/// Where a lazily-loaded model's section lives in the snapshot file, plus
+/// the CRC recorded at index time (re-verified on every on-demand load).
+struct LazyModelRef {
+  size_t payload_offset = 0;
+  uint64_t length = 0;
+  uint32_t stored_crc = 0;
+};
+
+/// Sharded-mutex LRU cache of on-demand loaded models. The shard of a model
+/// is derived from its file offset, so concurrent misses on different
+/// models usually load in parallel; a hit takes exactly one shard mutex.
+/// Eviction only drops the cache's reference — serving threads holding a
+/// ModelHandle keep their model alive until they release it.
+class ShardedModelCache {
+ public:
+  /// `path` is the snapshot file models are demand-loaded from.
+  /// `max_resident` bounds the total cached models (split across shards,
+  /// at least one per shard).
+  ShardedModelCache(std::string path, int max_resident, int num_shards = 8);
+
+  /// Returns the cached model for `ref`, loading (and possibly evicting the
+  /// least-recently-used model of the same shard) on a miss.
+  Result<ModelHandle> GetOrLoad(const LazyModelRef& ref);
+
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  struct CacheEntry {
+    ModelHandle model;
+    std::list<size_t>::iterator lru_it;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::list<size_t> lru;  // most recently used first, keyed by offset
+    std::unordered_map<size_t, CacheEntry> entries;
+  };
+
+  /// Reads + CRC-verifies + parses the model section at `ref`.
+  Result<ModelHandle> LoadFromDisk(const LazyModelRef& ref) const;
+
+  const std::string path_;
+  const size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+};
+
 /// The model repository of the Partitioning module (Section 4): a pyramid
 /// of single-cell and neighbor-cells BERT models, built offline from the
 /// trajectory store and consulted online for imputation.
@@ -57,11 +114,19 @@ struct LoadReport {
 /// east-west pair is stored at the west cell; for a north-south pair at
 /// the north cell — the other cell conceptually holds a pointer to it
 /// (Section 4.1), which here is the lookup in SelectModel.
+///
+/// Thread model: AddTrainingBatch and Load are offline, single-threaded
+/// mutators. Once building is done, the entry index is never mutated, so
+/// any number of threads may call SelectModel concurrently; in lazy mode
+/// (max_resident_models > 0) misses go through the sharded-mutex LRU
+/// cache. The repository is copyable — a copy shares the (immutable)
+/// trained models and the lazy cache but owns its own index, which is how
+/// KamelSnapshot pins a consistent model set while the builder retrains.
 class ModelRepository {
  public:
-  /// `store` is borrowed and must outlive the repository.
+  /// `store` backs offline training; serving-only copies may pass nullptr.
   ModelRepository(const Pyramid& pyramid, const KamelOptions& options,
-                  const TrajectoryStore* store);
+                  std::shared_ptr<const TrajectoryStore> store);
 
   /// Section 4.2 maintenance: integrates a batch of newly stored training
   /// trajectories (given by store indices), building or refreshing every
@@ -72,10 +137,10 @@ class ModelRepository {
   /// Section 4.1 retrieval: the model of the smallest single cell or
   /// neighbor-cell pair fully enclosing `mbr`; nullptr when no maintained
   /// model covers it (callers then split the trajectory or fall back to a
-  /// straight line).
-  TrajBert* SelectModel(const BBox& mbr) const;
+  /// straight line). Thread-safe once building is done.
+  ModelHandle SelectModel(const BBox& mbr) const;
 
-  /// Number of trained models currently held.
+  /// Number of trained models currently indexed (resident or lazy).
   int num_models() const;
   int num_single_models() const { return num_single_; }
   int num_neighbor_models() const { return num_neighbor_; }
@@ -88,32 +153,48 @@ class ModelRepository {
 
   const Pyramid& pyramid() const { return pyramid_; }
 
+  /// The lazy cache, when loading used one (for stats); nullptr otherwise.
+  const ShardedModelCache* cache() const { return cache_.get(); }
+
   /// Writes the repository as framed sections: one "repo.index" section
   /// (cell list, flags, metadata) followed by one "model" section per
   /// trained model, each independently CRC-protected so a reader can
-  /// quarantine a single damaged model.
-  void Save(BinaryWriter* writer) const;
+  /// quarantine a single damaged model. Non-resident lazy models are
+  /// faulted in through the cache; an unreadable one fails the save.
+  Status Save(BinaryWriter* writer) const;
 
   /// Loads what Save wrote. An unreadable or checksum-failing index is a
   /// non-OK Status (nothing can be recovered without it); an individually
   /// damaged model section is quarantined — skipped via its frame, noted
   /// in `report` — and loading continues. `report` may be null.
-  Status Load(BinaryReader* reader, LoadReport* report = nullptr);
+  ///
+  /// When `options.max_resident_models > 0` and `source_path` is given,
+  /// model weights are NOT parsed up front: each intact section is indexed
+  /// by file offset and demand-loaded through a ShardedModelCache bounded
+  /// to that many resident models.
+  Status Load(BinaryReader* reader, LoadReport* report = nullptr,
+              const std::string* source_path = nullptr);
 
  private:
+  /// One model slot: resident handle, or a lazy file reference, or empty.
+  struct ModelSlot {
+    ModelHandle model;
+    std::optional<LazyModelRef> lazy;
+    ModelInfo info;
+
+    bool present() const { return model != nullptr || lazy.has_value(); }
+  };
+
   struct Entry {
-    std::unique_ptr<TrajBert> single;
-    ModelInfo single_info;
-    std::unique_ptr<TrajBert> east_pair;   // this cell + its east neighbor
-    ModelInfo east_info;
-    std::unique_ptr<TrajBert> south_pair;  // this cell + its south neighbor
-    ModelInfo south_info;
+    ModelSlot single;
+    ModelSlot east_pair;   // this cell + its east neighbor
+    ModelSlot south_pair;  // this cell + its south neighbor
   };
 
   /// Trains a TrajBert on all store trajectories fully enclosed in
   /// `bounds`; returns nullptr when the corpus is empty.
-  std::unique_ptr<TrajBert> TrainOn(const BBox& bounds, uint64_t salt,
-                                    ModelInfo* info, const char* kind);
+  ModelHandle TrainOn(const BBox& bounds, uint64_t salt, ModelInfo* info,
+                      const char* kind);
 
   /// Identifies one neighbor-pair model by its storage cell and axis.
   struct PairKey {
@@ -136,8 +217,13 @@ class ModelRepository {
   /// `built` dedupes pairs within one training batch.
   void MaybeBuildNeighbors(const PyramidCell& cell, PairSet* built);
 
-  TrajBert* LookupSingle(const PyramidCell& cell) const;
-  TrajBert* LookupPair(const PyramidCell& a, const PyramidCell& b) const;
+  /// Resolves a slot to a servable model: the resident handle, or a cache
+  /// load for a lazy reference (nullptr if the load fails — the caller
+  /// falls back exactly as for a missing model).
+  ModelHandle Resolve(const ModelSlot& slot) const;
+
+  ModelHandle LookupSingle(const PyramidCell& cell) const;
+  ModelHandle LookupPair(const PyramidCell& a, const PyramidCell& b) const;
 
   /// One model the snapshot index promises; `slot` selects the Entry
   /// member (0 global, 1 single, 2 east-pair, 4 south-pair).
@@ -148,15 +234,21 @@ class ModelRepository {
     int slot = 0;
   };
 
+  ModelSlot* SlotFor(const ExpectedModel& expected);
+
   /// Parses one CRC-verified "model" section payload and installs it.
   Status LoadOneModel(BinaryReader* reader, const ExpectedModel& expected);
 
+  /// Fetches the model for `slot`, faulting a lazy reference in through
+  /// the cache; non-OK when a lazy load fails.
+  Result<ModelHandle> ResolveForSave(const ModelSlot& slot) const;
+
   Pyramid pyramid_;
   KamelOptions options_;
-  const TrajectoryStore* store_;
+  std::shared_ptr<const TrajectoryStore> store_;
   std::unordered_map<PyramidCell, Entry, PyramidCellHash> entries_;
-  std::unique_ptr<TrajBert> global_model_;  // "No Part." ablation
-  ModelInfo global_info_;
+  ModelSlot global_;  // "No Part." ablation
+  std::shared_ptr<ShardedModelCache> cache_;  // set by lazy Load
   int num_single_ = 0;
   int num_neighbor_ = 0;
   double total_train_seconds_ = 0.0;

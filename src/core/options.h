@@ -45,6 +45,11 @@ struct KamelOptions {
   /// level l is k * 4^(H - l)); neighbor-cell models need double.
   /// Paper default 20,000.
   int64_t model_token_threshold = 20000;
+  /// Residency cap for snapshot loading: > 0 keeps at most this many
+  /// pyramid models in memory, demand-loading the rest from the snapshot
+  /// file through a sharded-mutex LRU cache (serving memory stays bounded
+  /// for city-scale pyramids); 0 loads every model eagerly.
+  int max_resident_models = 0;
 
   // -- Spatial constraints (Section 5) ------------------------------------
   bool enable_constraints = true;

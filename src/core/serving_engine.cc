@@ -1,0 +1,262 @@
+#include "core/serving_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace kamel {
+
+// ---------------------------------------------------------------------------
+// ServingEngine
+// ---------------------------------------------------------------------------
+
+ServingEngine::ServingEngine(std::shared_ptr<const KamelSnapshot> snapshot,
+                             ServingOptions options)
+    : snapshot_(std::move(snapshot)), pool_(options.num_threads) {
+  KAMEL_CHECK(snapshot_ != nullptr,
+              "ServingEngine needs a snapshot (KamelBuilder::Snapshot)");
+}
+
+std::shared_ptr<const KamelSnapshot> ServingEngine::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+void ServingEngine::UpdateSnapshot(
+    std::shared_ptr<const KamelSnapshot> snapshot) {
+  KAMEL_CHECK(snapshot != nullptr, "cannot serve a null snapshot");
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  snapshot_ = std::move(snapshot);
+}
+
+Result<ImputedTrajectory> ServingEngine::Impute(
+    const Trajectory& sparse) const {
+  return snapshot()->Impute(sparse);
+}
+
+std::future<Result<ImputedTrajectory>> ServingEngine::ImputeAsync(
+    Trajectory sparse) {
+  std::shared_ptr<const KamelSnapshot> snap = snapshot();
+  return pool_.Submit(
+      [snap = std::move(snap), sparse = std::move(sparse)]() {
+        return snap->Impute(sparse);
+      });
+}
+
+Result<std::vector<ImputedTrajectory>> ServingEngine::ImputeBatch(
+    const TrajectoryDataset& batch) {
+  // One snapshot for the whole batch: a concurrent UpdateSnapshot must
+  // not split the batch across two model generations.
+  std::shared_ptr<const KamelSnapshot> snap = snapshot();
+
+  std::vector<std::future<Result<ImputedTrajectory>>> futures;
+  futures.reserve(batch.trajectories.size());
+  for (const Trajectory& trajectory : batch.trajectories) {
+    futures.push_back(pool_.Submit([&snap, &trajectory]() {
+      return snap->Impute(trajectory);
+    }));
+  }
+
+  // Collect by input index: result order — and therefore every aggregate
+  // over the batch — is independent of which worker finished first. On
+  // failure the lowest-index error wins, again deterministically, but
+  // only after every future has been waited on (tasks reference locals).
+  std::vector<ImputedTrajectory> out;
+  out.reserve(futures.size());
+  Status first_error = Status::OK();
+  for (auto& future : futures) {
+    Result<ImputedTrajectory> result = future.get();
+    if (!result.ok()) {
+      if (first_error.ok()) first_error = result.status();
+      continue;
+    }
+    out.push_back(std::move(result).value());
+  }
+  KAMEL_RETURN_NOT_OK(first_error);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// StreamingSession
+// ---------------------------------------------------------------------------
+
+StreamingSession::StreamingSession(ServingEngine* engine, ImputedSink* sink,
+                                   StreamingOptions options)
+    : engine_(engine), sink_(sink), options_(options) {
+  KAMEL_CHECK(engine != nullptr);
+}
+
+StreamingSession::~StreamingSession() { Drain(); }
+
+size_t StreamingSession::open_trajectories() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buffers_.size();
+}
+
+size_t StreamingSession::total_buffered_points() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_points_;
+}
+
+int64_t StreamingSession::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+void StreamingSession::Touch(Buffer* buffer) {
+  lru_.splice(lru_.end(), lru_, buffer->lru_it);
+}
+
+Trajectory StreamingSession::Detach(
+    std::unordered_map<int64_t, Buffer>::iterator it) {
+  Trajectory out = std::move(it->second.trajectory);
+  total_points_ -= out.points.size();
+  lru_.erase(it->second.lru_it);
+  buffers_.erase(it);
+  return out;
+}
+
+void StreamingSession::Emit(int64_t object_id, Trajectory trajectory) {
+  // Pin the serving snapshot now, dispatch the BERT work to the pool:
+  // Push returns immediately and results reach the sink from a worker.
+  std::shared_ptr<const KamelSnapshot> snap = engine_->snapshot();
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    ++pending_emits_;
+  }
+  engine_->pool()->Schedule([this, object_id, snap = std::move(snap),
+                             trajectory = std::move(trajectory)]() {
+    Result<ImputedTrajectory> imputed = snap->Impute(trajectory);
+    if (sink_ != nullptr) {
+      if (imputed.ok()) {
+        sink_->OnImputed(object_id, std::move(imputed).value());
+      } else {
+        sink_->OnImputeError(object_id, imputed.status());
+      }
+    }
+    {
+      // Notify under the lock: once the waiter in Drain() observes zero
+      // it may destroy the session, so this task must not touch members
+      // after releasing pending_mu_.
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      --pending_emits_;
+      pending_cv_.notify_all();
+    }
+  });
+}
+
+void StreamingSession::Drain() {
+  std::unique_lock<std::mutex> lock(pending_mu_);
+  pending_cv_.wait(lock, [this] { return pending_emits_ == 0; });
+}
+
+Status StreamingSession::EvictOne(int64_t protect) {
+  for (int64_t victim : lru_) {
+    if (victim == protect) continue;
+    auto it = buffers_.find(victim);
+    KAMEL_CHECK(it != buffers_.end(), "LRU list out of sync with buffers");
+    Trajectory finished = Detach(it);
+    ++evictions_;
+    // The evicted trip is imputed and emitted, not dropped: overload
+    // trades session longevity for bounded memory.
+    Emit(victim, std::move(finished));
+    return Status::OK();
+  }
+  return Status::ResourceExhausted("no evictable streaming session");
+}
+
+Status StreamingSession::Push(int64_t object_id, const TrajPoint& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PushLocked(object_id, point);
+}
+
+Status StreamingSession::PushLocked(int64_t object_id,
+                                    const TrajPoint& point) {
+  // Boundary validation: a malformed reading is refused here, before it
+  // can reach geometry code or be buffered.
+  if (!std::isfinite(point.pos.lat) || !std::isfinite(point.pos.lng) ||
+      !std::isfinite(point.time)) {
+    return Status::InvalidArgument("object " + std::to_string(object_id) +
+                                   ": non-finite reading");
+  }
+  if (point.pos.lat < -90.0 || point.pos.lat > 90.0 ||
+      point.pos.lng < -180.0 || point.pos.lng > 180.0) {
+    return Status::InvalidArgument("object " + std::to_string(object_id) +
+                                   ": coordinates out of range");
+  }
+
+  auto it = buffers_.find(object_id);
+  if (it == buffers_.end()) {
+    // Admitting a new object may evict the least-recently-active one.
+    while (buffers_.size() >= options_.max_open_objects) {
+      KAMEL_RETURN_NOT_OK(EvictOne(object_id));
+    }
+    it = buffers_.emplace(object_id, Buffer{}).first;
+    it->second.trajectory.id = object_id;
+    it->second.lru_it = lru_.insert(lru_.end(), object_id);
+  }
+  Buffer& buffer = it->second;
+  const std::vector<TrajPoint>& points = buffer.trajectory.points;
+
+  if (!points.empty() && point.time - points.back().time >
+                             options_.session_timeout_seconds) {
+    // The object went silent long enough to close its trip; the reading
+    // re-enters through the same admission and validation checks.
+    Trajectory finished = Detach(it);
+    Emit(object_id, std::move(finished));
+    return PushLocked(object_id, point);
+  }
+  if (!points.empty() && point.time < points.back().time) {
+    return Status::InvalidArgument(
+        "stream timestamps must be non-decreasing per object");
+  }
+  if (points.size() >= options_.max_points_per_object) {
+    return Status::ResourceExhausted(
+        "object " + std::to_string(object_id) + ": buffer full at " +
+        std::to_string(points.size()) +
+        " points; EndTrajectory it or raise max_points_per_object");
+  }
+  // Global backpressure: shed other sessions before refusing this feed.
+  while (total_points_ >= options_.max_total_points) {
+    const Status evicted = EvictOne(object_id);
+    if (!evicted.ok()) {
+      return Status::ResourceExhausted(
+          "stream buffer full (" + std::to_string(total_points_) +
+          " points) and nothing evictable");
+    }
+  }
+  buffer.trajectory.points.push_back(point);
+  ++total_points_;
+  Touch(&buffer);
+  return Status::OK();
+}
+
+Status StreamingSession::EndTrajectory(int64_t object_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = buffers_.find(object_id);
+  if (it == buffers_.end()) {
+    return Status::NotFound("no open trajectory for object " +
+                            std::to_string(object_id));
+  }
+  Trajectory finished = Detach(it);
+  Emit(object_id, std::move(finished));
+  return Status::OK();
+}
+
+Status StreamingSession::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int64_t> ids;
+  ids.reserve(buffers_.size());
+  for (const auto& [id, unused] : buffers_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (int64_t id : ids) {
+    auto it = buffers_.find(id);
+    KAMEL_CHECK(it != buffers_.end());
+    Trajectory finished = Detach(it);
+    Emit(id, std::move(finished));
+  }
+  return Status::OK();
+}
+
+}  // namespace kamel

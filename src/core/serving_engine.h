@@ -1,0 +1,221 @@
+#ifndef KAMEL_CORE_SERVING_ENGINE_H_
+#define KAMEL_CORE_SERVING_ENGINE_H_
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/kamel_snapshot.h"
+#include "geo/trajectory.h"
+
+namespace kamel {
+
+/// Tunables of the concurrent serving engine.
+struct ServingOptions {
+  /// Worker threads in the imputation pool; 0 uses the hardware
+  /// concurrency (ThreadPool::NumDefaultThreads()).
+  int num_threads = 0;
+};
+
+/// Concurrent serving front-end over an immutable KamelSnapshot: a work-
+/// stealing thread pool runs Impute across trajectories in parallel.
+///
+/// Return conventions (see common/result.h): every serving call yields a
+/// Result<T> or Status; ImputeAsync wraps that Result in a future rather
+/// than throwing from pool threads.
+///
+/// Thread model: all public methods are thread-safe. Each in-flight
+/// imputation pins the snapshot that was current when it started
+/// (shared_ptr), so UpdateSnapshot — e.g. after an offline retrain —
+/// never changes results mid-trajectory and never blocks serving.
+class ServingEngine {
+ public:
+  explicit ServingEngine(std::shared_ptr<const KamelSnapshot> snapshot,
+                         ServingOptions options = {});
+
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// Imputes one trajectory synchronously on the calling thread (the pool
+  /// is not involved: a caller that is itself a pool task must not wait
+  /// on the pool).
+  Result<ImputedTrajectory> Impute(const Trajectory& sparse) const;
+
+  /// Dispatches one imputation to the pool; the future carries the
+  /// Result. Safe to drop the future — the task still runs.
+  std::future<Result<ImputedTrajectory>> ImputeAsync(Trajectory sparse);
+
+  /// Imputes every trajectory of the batch across the pool. Results are
+  /// positioned by input index regardless of completion order, so the
+  /// output — and any aggregate over it (AggregateBatchStats) — is
+  /// byte-identical whether the pool has 1 thread or 16. On failures the
+  /// Status of the lowest-index failing trajectory is returned.
+  Result<std::vector<ImputedTrajectory>> ImputeBatch(
+      const TrajectoryDataset& batch);
+
+  /// The snapshot new imputations will use.
+  std::shared_ptr<const KamelSnapshot> snapshot() const;
+
+  /// Atomically swaps the serving snapshot (hot model roll). In-flight
+  /// imputations finish on the snapshot they started with.
+  void UpdateSnapshot(std::shared_ptr<const KamelSnapshot> snapshot);
+
+  ThreadPool* pool() { return &pool_; }
+  int num_threads() const { return pool_.num_threads(); }
+
+ private:
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const KamelSnapshot> snapshot_;
+  ThreadPool pool_;
+};
+
+/// Receiver of streaming imputation results. Methods are invoked from
+/// serving-pool threads, possibly concurrently — implementations must be
+/// thread-safe (or serialize internally like FunctionSink).
+class ImputedSink {
+ public:
+  virtual ~ImputedSink() = default;
+
+  /// One closed trajectory, imputed.
+  virtual void OnImputed(int64_t object_id, ImputedTrajectory imputed) = 0;
+
+  /// Imputation of a closed trajectory failed; default drops the error.
+  virtual void OnImputeError(int64_t object_id, const Status& status) {
+    (void)object_id;
+    (void)status;
+  }
+};
+
+/// Adapts a plain callback into an ImputedSink, serializing invocations
+/// with a mutex so the callback itself need not be thread-safe.
+class FunctionSink final : public ImputedSink {
+ public:
+  using Callback = std::function<void(int64_t object_id, ImputedTrajectory)>;
+
+  explicit FunctionSink(Callback callback)
+      : callback_(std::move(callback)) {}
+
+  void OnImputed(int64_t object_id, ImputedTrajectory imputed) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (callback_) callback_(object_id, std::move(imputed));
+  }
+
+ private:
+  std::mutex mu_;
+  Callback callback_;
+};
+
+/// Resource limits for the streaming front-end. A public GPS feed is
+/// adversarial: objects that never close, bursts of new object ids, and
+/// garbage points must all degrade gracefully instead of growing buffers
+/// without bound or aborting the server.
+struct StreamingOptions {
+  /// A reading gap beyond this closes the object's trip (seconds).
+  double session_timeout_seconds = 300.0;
+  /// Per-object buffered-point cap; a Push beyond it is refused with
+  /// ResourceExhausted (backpressure: callers should EndTrajectory).
+  size_t max_points_per_object = 100000;
+  /// Total buffered-point cap across all objects; crossing it force-
+  /// closes (imputes and emits) least-recently-active objects first.
+  size_t max_total_points = 1000000;
+  /// Open-object cap; a new object beyond it evicts the least-recently-
+  /// active open object (its trajectory is imputed and emitted, not lost).
+  size_t max_open_objects = 10000;
+};
+
+/// Online streaming front-end (Figure 1's "Batch/Online Stream" input):
+/// GPS readings arrive one at a time per moving object; a trajectory is
+/// closed when EndTrajectory is called or when a reading gap exceeds the
+/// session timeout, and its imputation is dispatched to the engine's
+/// thread pool — Push never blocks on BERT inference.
+///
+/// Hardened for untrusted feeds: every reading is validated (finite,
+/// in-range coordinates), buffers are bounded (see StreamingOptions), and
+/// overload evicts sessions in LRU order rather than failing the feed.
+///
+/// Thread model: Push/EndTrajectory/Flush are thread-safe (one internal
+/// mutex over the buffers). Results reach `sink` from pool threads, in
+/// completion order; sink == nullptr discards imputations (useful when
+/// only the Status-returning control path is under test). The destructor
+/// drains outstanding imputations, so the sink must outlive the session.
+class StreamingSession {
+ public:
+  /// `engine` and `sink` are borrowed and must outlive the session; the
+  /// engine's snapshot must come from a trained system.
+  StreamingSession(ServingEngine* engine, ImputedSink* sink,
+                   StreamingOptions options = {});
+  ~StreamingSession();
+
+  StreamingSession(const StreamingSession&) = delete;
+  StreamingSession& operator=(const StreamingSession&) = delete;
+
+  /// Feeds one reading; may trigger imputation of a timed-out trajectory
+  /// or LRU eviction of other objects (dispatched, not awaited).
+  /// InvalidArgument on malformed readings, ResourceExhausted when this
+  /// object's buffer is full.
+  Status Push(int64_t object_id, const TrajPoint& point);
+
+  /// Closes one object's trajectory and dispatches its imputation.
+  Status EndTrajectory(int64_t object_id);
+
+  /// Closes all open trajectories (dispatched, not awaited).
+  Status Flush();
+
+  /// Blocks until every dispatched imputation has been delivered to the
+  /// sink. Flush() + Drain() is the deterministic shutdown sequence.
+  void Drain();
+
+  size_t open_trajectories() const;
+  size_t total_buffered_points() const;
+  /// Objects force-closed by LRU eviction since construction.
+  int64_t evictions() const;
+
+ private:
+  struct Buffer {
+    Trajectory trajectory;
+    std::list<int64_t>::iterator lru_it;  // position in lru_ (front = LRU)
+  };
+
+  /// Push body; `mu_` must be held (separate so the timeout path can
+  /// re-enter without recursive locking).
+  Status PushLocked(int64_t object_id, const TrajPoint& point);
+
+  /// Hands the closed trajectory to the pool; requires `mu_` held.
+  void Emit(int64_t object_id, Trajectory trajectory);
+
+  /// Moves `object_id` to the most-recently-active end of the LRU list.
+  void Touch(Buffer* buffer);
+
+  /// Force-closes the least-recently-active object (skipping `protect`).
+  Status EvictOne(int64_t protect);
+
+  /// Removes the buffer and its LRU entry, returning the trajectory.
+  Trajectory Detach(std::unordered_map<int64_t, Buffer>::iterator it);
+
+  ServingEngine* engine_;
+  ImputedSink* sink_;
+  StreamingOptions options_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<int64_t, Buffer> buffers_;
+  std::list<int64_t> lru_;  // front = least recently active
+  size_t total_points_ = 0;
+  int64_t evictions_ = 0;
+
+  // Outstanding pool dispatches, for Drain()/destruction.
+  std::mutex pending_mu_;
+  std::condition_variable pending_cv_;
+  int64_t pending_emits_ = 0;
+};
+
+}  // namespace kamel
+
+#endif  // KAMEL_CORE_SERVING_ENGINE_H_

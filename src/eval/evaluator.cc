@@ -13,6 +13,36 @@ Evaluator::Evaluator(const LocalProjection* projection)
   KAMEL_CHECK(projection != nullptr);
 }
 
+namespace {
+
+// Projects one (dense ground truth, sparsified input, imputed output)
+// triple into the local frame for scoring.
+TrajRun AssembleRun(const LocalProjection& projection,
+                    const Trajectory& dense, const Trajectory& sparse,
+                    const ImputedTrajectory& imputed) {
+  TrajRun run;
+  run.dense.reserve(dense.points.size());
+  run.dense_times.reserve(dense.points.size());
+  for (const TrajPoint& p : dense.points) {
+    run.dense.push_back(projection.Project(p.pos));
+    run.dense_times.push_back(p.time);
+  }
+  run.imputed.reserve(imputed.trajectory.points.size());
+  run.imputed_times.reserve(imputed.trajectory.points.size());
+  for (const TrajPoint& p : imputed.trajectory.points) {
+    run.imputed.push_back(projection.Project(p.pos));
+    run.imputed_times.push_back(p.time);
+  }
+  run.sparse_times.reserve(sparse.points.size());
+  for (const TrajPoint& p : sparse.points) {
+    run.sparse_times.push_back(p.time);
+  }
+  run.outcomes = imputed.stats.outcomes;
+  return run;
+}
+
+}  // namespace
+
 Result<RunOutput> Evaluator::RunMethod(ImputationMethod* method,
                                        const TrajectoryDataset& dense_test,
                                        double sparse_distance_m) const {
@@ -24,29 +54,39 @@ Result<RunOutput> Evaluator::RunMethod(ImputationMethod* method,
     KAMEL_ASSIGN_OR_RETURN(ImputedTrajectory imputed,
                            method->Impute(sparse));
 
-    TrajRun run;
-    run.dense.reserve(dense.points.size());
-    run.dense_times.reserve(dense.points.size());
-    for (const TrajPoint& p : dense.points) {
-      run.dense.push_back(projection_->Project(p.pos));
-      run.dense_times.push_back(p.time);
-    }
-    run.imputed.reserve(imputed.trajectory.points.size());
-    run.imputed_times.reserve(imputed.trajectory.points.size());
-    for (const TrajPoint& p : imputed.trajectory.points) {
-      run.imputed.push_back(projection_->Project(p.pos));
-      run.imputed_times.push_back(p.time);
-    }
-    run.sparse_times.reserve(sparse.points.size());
-    for (const TrajPoint& p : sparse.points) {
-      run.sparse_times.push_back(p.time);
-    }
-    run.outcomes = imputed.stats.outcomes;
-
     output.impute_seconds += imputed.stats.seconds;
     output.bert_calls += imputed.stats.bert_calls;
     ++output.trajectories;
-    output.runs.push_back(std::move(run));
+    output.runs.push_back(AssembleRun(*projection_, dense, sparse, imputed));
+  }
+  return output;
+}
+
+Result<RunOutput> Evaluator::RunEngine(ServingEngine* engine,
+                                       const TrajectoryDataset& dense_test,
+                                       double sparse_distance_m) const {
+  // Sparsify up front, impute the whole batch across the pool, then
+  // assemble runs in input order (ImputeBatch positions results by input
+  // index, so scoring is independent of the engine's thread count).
+  TrajectoryDataset sparse_batch;
+  std::vector<const Trajectory*> dense_kept;
+  for (const Trajectory& dense : dense_test.trajectories) {
+    if (dense.points.size() < 2) continue;
+    sparse_batch.trajectories.push_back(Sparsify(dense, sparse_distance_m));
+    dense_kept.push_back(&dense);
+  }
+  KAMEL_ASSIGN_OR_RETURN(std::vector<ImputedTrajectory> imputed,
+                         engine->ImputeBatch(sparse_batch));
+
+  RunOutput output;
+  output.runs.reserve(imputed.size());
+  for (size_t i = 0; i < imputed.size(); ++i) {
+    output.impute_seconds += imputed[i].stats.seconds;
+    output.bert_calls += imputed[i].stats.bert_calls;
+    ++output.trajectories;
+    output.runs.push_back(AssembleRun(*projection_, *dense_kept[i],
+                                      sparse_batch.trajectories[i],
+                                      imputed[i]));
   }
   return output;
 }

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "baselines/imputation_method.h"
+#include "core/serving_engine.h"
 #include "eval/metrics.h"
 #include "geo/projection.h"
 #include "geo/trajectory.h"
@@ -66,6 +67,14 @@ class Evaluator {
   /// Sparsifies every dense test trajectory at `sparse_distance_m`,
   /// imputes it with `method`, and stores everything needed for scoring.
   Result<RunOutput> RunMethod(ImputationMethod* method,
+                              const TrajectoryDataset& dense_test,
+                              double sparse_distance_m) const;
+
+  /// Like RunMethod, but imputes the sparsified test set through a
+  /// ServingEngine's thread pool (ImputeBatch). Results are assembled in
+  /// input order, so the stored run is identical to RunMethod over the
+  /// same snapshot regardless of the engine's thread count.
+  Result<RunOutput> RunEngine(ServingEngine* engine,
                               const TrajectoryDataset& dense_test,
                               double sparse_distance_m) const;
 

@@ -27,6 +27,12 @@ class MultiHeadAttention {
   Tensor Forward(const Tensor& x, const std::vector<float>& key_mask,
                  int64_t batch, int64_t seq_len);
 
+  /// Inference-only forward: identical math to Forward, but all scratch
+  /// lives on the stack — no caches, safe to call concurrently on a shared,
+  /// frozen layer.
+  Tensor Apply(const Tensor& x, const std::vector<float>& key_mask,
+               int64_t batch, int64_t seq_len) const;
+
   /// grad_out: [B*T, D] -> gradient w.r.t. x; accumulates weight grads.
   Tensor Backward(const Tensor& grad_out);
 

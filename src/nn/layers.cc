@@ -17,6 +17,12 @@ Linear::Linear(std::string name, int64_t in_features, int64_t out_features,
       bias_(name + ".bias", Tensor::Zeros({out_features})) {}
 
 Tensor Linear::Forward(const Tensor& x) {
+  Tensor y = Apply(x);
+  x_cache_ = x;
+  return y;
+}
+
+Tensor Linear::Apply(const Tensor& x) const {
   KAMEL_CHECK(x.rank() == 2 && x.dim(1) == in_features(),
               "Linear input shape mismatch: " + x.ShapeString());
   const int64_t n = x.dim(0);
@@ -27,7 +33,6 @@ Tensor Linear::Forward(const Tensor& x) {
   for (int64_t r = 0; r < n; ++r) {
     Saxpy(out, 1.0f, bias_.value.data(), y.data() + r * out);
   }
-  x_cache_ = x;
   return y;
 }
 
@@ -62,13 +67,21 @@ LayerNorm::LayerNorm(std::string name, int64_t dim, float eps)
       beta_(name + ".beta", Tensor::Zeros({dim})),
       eps_(eps) {}
 
-Tensor LayerNorm::Forward(const Tensor& x) {
-  const int64_t d = gamma_.value.dim(0);
+namespace {
+
+// Shared LayerNorm forward math. When `xhat_out`/`inv_std_out` are given the
+// normalized activations are cached for Backward; the inference path passes
+// nullptr so the same code runs cache-free (and byte-identical).
+Tensor LayerNormForward(const Tensor& x, const Param& gamma,
+                        const Param& beta, float eps, Tensor* xhat_out,
+                        std::vector<float>* inv_std_out) {
+  const int64_t d = gamma.value.dim(0);
   KAMEL_CHECK(x.rank() == 2 && x.dim(1) == d, "LayerNorm shape mismatch");
   const int64_t n = x.dim(0);
   Tensor y({n, d});
-  xhat_cache_ = Tensor({n, d});
-  inv_std_cache_.assign(static_cast<size_t>(n), 0.0f);
+  if (xhat_out != nullptr) *xhat_out = Tensor({n, d});
+  if (inv_std_out != nullptr) inv_std_out->assign(static_cast<size_t>(n), 0.0f);
+  std::vector<float> xhat_local(static_cast<size_t>(d));
   for (int64_t r = 0; r < n; ++r) {
     const float* xr = x.data() + r * d;
     double mean = 0.0;
@@ -80,17 +93,31 @@ Tensor LayerNorm::Forward(const Tensor& x) {
       var += diff * diff;
     }
     var /= static_cast<double>(d);
-    const float inv_std = static_cast<float>(1.0 / std::sqrt(var + eps_));
-    inv_std_cache_[static_cast<size_t>(r)] = inv_std;
-    float* xhat = xhat_cache_.data() + r * d;
+    const float inv_std = static_cast<float>(1.0 / std::sqrt(var + eps));
+    if (inv_std_out != nullptr) {
+      (*inv_std_out)[static_cast<size_t>(r)] = inv_std;
+    }
+    float* xhat =
+        xhat_out != nullptr ? xhat_out->data() + r * d : xhat_local.data();
     float* yr = y.data() + r * d;
     const float meanf = static_cast<float>(mean);
     for (int64_t c = 0; c < d; ++c) {
       xhat[c] = (xr[c] - meanf) * inv_std;
-      yr[c] = xhat[c] * gamma_.value[c] + beta_.value[c];
+      yr[c] = xhat[c] * gamma.value[c] + beta.value[c];
     }
   }
   return y;
+}
+
+}  // namespace
+
+Tensor LayerNorm::Forward(const Tensor& x) {
+  return LayerNormForward(x, gamma_, beta_, eps_, &xhat_cache_,
+                          &inv_std_cache_);
+}
+
+Tensor LayerNorm::Apply(const Tensor& x) const {
+  return LayerNormForward(x, gamma_, beta_, eps_, nullptr, nullptr);
 }
 
 Tensor LayerNorm::Backward(const Tensor& grad_out) {
@@ -162,6 +189,12 @@ Embedding::Embedding(std::string name, int64_t vocab, int64_t dim, Rng* rng)
     : table_(name + ".table", Tensor::Randn({vocab, dim}, rng, 0.02)) {}
 
 Tensor Embedding::Forward(const std::vector<int32_t>& ids) {
+  Tensor y = Lookup(ids);
+  ids_cache_ = ids;
+  return y;
+}
+
+Tensor Embedding::Lookup(const std::vector<int32_t>& ids) const {
   const int64_t d = dim();
   Tensor y({static_cast<int64_t>(ids.size()), d});
   for (size_t i = 0; i < ids.size(); ++i) {
@@ -171,7 +204,6 @@ Tensor Embedding::Forward(const std::vector<int32_t>& ids) {
                 table_.value.data() + static_cast<int64_t>(ids[i]) * d,
                 static_cast<size_t>(d) * sizeof(float));
   }
-  ids_cache_ = ids;
   return y;
 }
 

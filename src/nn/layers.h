@@ -35,6 +35,11 @@ class Linear {
   /// x: [N, in] -> [N, out].
   Tensor Forward(const Tensor& x);
 
+  /// Inference-only forward: same math as Forward but writes no caches, so
+  /// it is safe to call concurrently from many threads on a shared, frozen
+  /// layer. Every layer in this file pairs its Forward with such an Apply.
+  Tensor Apply(const Tensor& x) const;
+
   /// grad_out: [N, out] -> gradient w.r.t. x [N, in]; accumulates into
   /// the weight and bias gradients.
   Tensor Backward(const Tensor& grad_out);
@@ -56,6 +61,8 @@ class LayerNorm {
   LayerNorm(std::string name, int64_t dim, float eps = 1e-5f);
 
   Tensor Forward(const Tensor& x);
+  /// Cache-free, thread-safe inference forward.
+  Tensor Apply(const Tensor& x) const;
   Tensor Backward(const Tensor& grad_out);
   void CollectParams(std::vector<Param*>* out);
 
@@ -91,6 +98,9 @@ class Embedding {
 
   /// ids: N token indices -> [N, D].
   Tensor Forward(const std::vector<int32_t>& ids);
+
+  /// Cache-free, thread-safe inference lookup.
+  Tensor Lookup(const std::vector<int32_t>& ids) const;
 
   /// Accumulates row gradients; returns nothing (ids are not
   /// differentiable).

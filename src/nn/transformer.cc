@@ -52,6 +52,25 @@ Tensor EncoderBlock::Forward(const Tensor& x,
   return x2;
 }
 
+Tensor EncoderBlock::Apply(const Tensor& x,
+                           const std::vector<float>& key_mask, int64_t batch,
+                           int64_t seq_len) const {
+  // x1 = x + MHA(LN1(x))   (dropout is the identity in eval mode)
+  Tensor attn_out =
+      attention_.Apply(ln1_.Apply(x), key_mask, batch, seq_len);
+  Tensor x1(x.shape());
+  for (int64_t i = 0; i < x.size(); ++i) x1[i] = x[i] + attn_out[i];
+
+  // x2 = x1 + fc2(gelu(fc1(LN2(x1))))
+  Tensor gelu_in = fc1_.Apply(ln2_.Apply(x1));
+  Tensor gelu_out(gelu_in.shape());
+  GeluForward(gelu_in.data(), gelu_out.data(), gelu_out.size());
+  Tensor ffn_out = fc2_.Apply(gelu_out);
+  Tensor x2(x1.shape());
+  for (int64_t i = 0; i < x1.size(); ++i) x2[i] = x1[i] + ffn_out[i];
+  return x2;
+}
+
 Tensor EncoderBlock::Backward(const Tensor& grad_out) {
   // Through the FFN residual branch.
   Tensor g_ffn = ffn_dropout_.Backward(grad_out);
@@ -134,6 +153,41 @@ Tensor BertModel::Forward(const std::vector<int32_t>& ids,
   return mlm_head_.Forward(x);
 }
 
+Tensor BertModel::ForwardInference(
+    const std::vector<int32_t>& ids, const std::vector<float>& key_mask,
+    int64_t batch, int64_t seq_len,
+    const std::vector<int32_t>* position_offsets) const {
+  KAMEL_CHECK(static_cast<int64_t>(ids.size()) == batch * seq_len,
+              "ids size mismatch");
+  KAMEL_CHECK(seq_len <= config_.max_seq_len,
+              "sequence longer than max_seq_len");
+  if (position_offsets != nullptr) {
+    KAMEL_CHECK(static_cast<int64_t>(position_offsets->size()) == batch,
+                "one position offset per batch row required");
+  }
+
+  Tensor x = token_embedding_.Lookup(ids);
+  for (int64_t b = 0; b < batch; ++b) {
+    const int64_t offset =
+        position_offsets != nullptr
+            ? (*position_offsets)[static_cast<size_t>(b)]
+            : 0;
+    KAMEL_CHECK(offset >= 0 && offset + seq_len <= config_.max_seq_len,
+                "position offset out of range");
+    for (int64_t t = 0; t < seq_len; ++t) {
+      Saxpy(config_.d_model, 1.0f,
+            position_embedding_.value.data() +
+                (offset + t) * config_.d_model,
+            x.data() + (b * seq_len + t) * config_.d_model);
+    }
+  }
+  for (const auto& block : blocks_) {
+    x = block->Apply(x, key_mask, batch, seq_len);
+  }
+  x = final_ln_.Apply(x);
+  return mlm_head_.Apply(x);
+}
+
 double BertModel::LossAndBackward(const Tensor& logits,
                                   const std::vector<int32_t>& labels) {
   const int64_t n = logits.dim(0);
@@ -201,11 +255,20 @@ std::vector<Param*> BertModel::Params() {
   return out;
 }
 
+std::vector<const Param*> BertModel::Params() const {
+  // Const view over the same stable parameter order; used by the
+  // thread-safe snapshot save path.
+  std::vector<Param*> mutable_params =
+      const_cast<BertModel*>(this)->Params();
+  return std::vector<const Param*>(mutable_params.begin(),
+                                   mutable_params.end());
+}
+
 void BertModel::ZeroGrads() {
   for (Param* p : Params()) p->grad.SetZero();
 }
 
-void BertModel::Save(BinaryWriter* writer) {
+void BertModel::Save(BinaryWriter* writer) const {
   writer->WriteString("kamel-bert-v1");
   writer->WriteI64(config_.vocab_size);
   writer->WriteI64(config_.d_model);
@@ -214,7 +277,7 @@ void BertModel::Save(BinaryWriter* writer) {
   writer->WriteI64(config_.ffn_dim);
   writer->WriteI64(config_.max_seq_len);
   writer->WriteF64(config_.dropout);
-  for (Param* p : Params()) {
+  for (const Param* p : Params()) {
     writer->WriteString(p->name);
     writer->WriteF32Array(p->value.data(), static_cast<size_t>(
                                                p->value.size()));

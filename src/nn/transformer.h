@@ -48,6 +48,13 @@ class EncoderBlock {
 
   Tensor Forward(const Tensor& x, const std::vector<float>& key_mask,
                  int64_t batch, int64_t seq_len, bool train, Rng* rng);
+
+  /// Inference-only forward (eval mode: dropout is the identity): identical
+  /// math to Forward(train=false) with no cache writes, safe to call
+  /// concurrently on a shared, frozen block.
+  Tensor Apply(const Tensor& x, const std::vector<float>& key_mask,
+               int64_t batch, int64_t seq_len) const;
+
   Tensor Backward(const Tensor& grad_out);
   void CollectParams(std::vector<Param*>* out);
 
@@ -87,6 +94,15 @@ class BertModel {
                  int64_t seq_len, bool train,
                  const std::vector<int32_t>* position_offsets = nullptr);
 
+  /// Inference-only forward pass: identical math (and bytes) to
+  /// Forward(train=false), but writes no caches and never touches the
+  /// dropout RNG, so any number of threads may call it concurrently on one
+  /// frozen model. Serving paths must use this instead of Forward.
+  Tensor ForwardInference(
+      const std::vector<int32_t>& ids, const std::vector<float>& key_mask,
+      int64_t batch, int64_t seq_len,
+      const std::vector<int32_t>* position_offsets = nullptr) const;
+
   /// Masked-LM loss and full backward pass.
   /// labels: one per position; -1 means "not masked, ignore".
   /// Returns mean cross-entropy over the masked positions (0 if none) and
@@ -102,6 +118,7 @@ class BertModel {
   /// All trainable parameters (stable order; used by the optimizer and the
   /// serializer).
   std::vector<Param*> Params();
+  std::vector<const Param*> Params() const;
 
   /// Zeroes all parameter gradients.
   void ZeroGrads();
@@ -109,7 +126,7 @@ class BertModel {
   const BertConfig& config() const { return config_; }
 
   /// Serializes config + weights.
-  void Save(BinaryWriter* writer);
+  void Save(BinaryWriter* writer) const;
 
   /// Restores a model saved with Save().
   static Result<std::unique_ptr<BertModel>> Load(BinaryReader* reader);

@@ -1,0 +1,319 @@
+// Concurrency tests for the serving split: many threads hammering one
+// immutable KamelSnapshot, parallel ImputeBatch determinism, concurrent
+// streaming pushes, and snapshot persistence during serving. Labeled
+// "concurrency" so the TSan build can run exactly these:
+//   cmake -DKAMEL_SANITIZE=thread ... && ctest -L concurrency.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/kamel.h"
+#include "eval/scenario.h"
+#include "sim/datasets.h"
+#include "sim/sparsifier.h"
+
+namespace kamel {
+namespace {
+
+KamelOptions MiniKamelOptions() {
+  KamelOptions options;
+  options.pyramid_height = 0;
+  options.pyramid_levels = 1;
+  options.model_token_threshold = 100;
+  options.bert.encoder.d_model = 32;
+  options.bert.encoder.num_heads = 4;
+  options.bert.encoder.num_layers = 2;
+  options.bert.encoder.ffn_dim = 128;
+  options.bert.encoder.max_seq_len = 32;
+  options.bert.encoder.dropout = 0.1;
+  options.bert.train.steps = 300;
+  options.bert.train.batch_size = 16;
+  options.bert.train.peak_lr = 1e-3;
+  options.bert.train.warmup_steps = 50;
+  options.beam_size = 4;
+  options.top_k = 6;
+  options.max_bert_calls_per_segment = 200;
+  options.seed = 42;
+  return options;
+}
+
+// Exact (bitwise) equality of two imputation results: the acceptance bar
+// for thread-count independence is byte-identical trajectories.
+void ExpectIdentical(const ImputedTrajectory& a, const ImputedTrajectory& b) {
+  EXPECT_EQ(a.trajectory.id, b.trajectory.id);
+  ASSERT_EQ(a.trajectory.points.size(), b.trajectory.points.size());
+  for (size_t i = 0; i < a.trajectory.points.size(); ++i) {
+    EXPECT_EQ(a.trajectory.points[i].pos.lat, b.trajectory.points[i].pos.lat);
+    EXPECT_EQ(a.trajectory.points[i].pos.lng, b.trajectory.points[i].pos.lng);
+    EXPECT_EQ(a.trajectory.points[i].time, b.trajectory.points[i].time);
+  }
+  EXPECT_EQ(a.stats.segments, b.stats.segments);
+  EXPECT_EQ(a.stats.failed_segments, b.stats.failed_segments);
+  EXPECT_EQ(a.stats.no_model_segments, b.stats.no_model_segments);
+  EXPECT_EQ(a.stats.bert_calls, b.stats.bert_calls);
+}
+
+// One trained system shared by every test in this file.
+class ConcurrencyTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scenario_ = new SimScenario(BuildScenario(MiniSpec()));
+    Kamel system(MiniKamelOptions());
+    ASSERT_TRUE(system.Train(scenario_->train).ok());
+    auto snapshot = system.Snapshot();
+    ASSERT_TRUE(snapshot.ok());
+    snapshot_ = new std::shared_ptr<const KamelSnapshot>(*snapshot);
+  }
+  static void TearDownTestSuite() {
+    delete snapshot_;
+    delete scenario_;
+    snapshot_ = nullptr;
+    scenario_ = nullptr;
+  }
+
+  static Trajectory SparseTest(size_t i) {
+    return Sparsify(scenario_->test.trajectories[i], 400.0);
+  }
+
+  static TrajectoryDataset SparseBatch(size_t n) {
+    TrajectoryDataset batch;
+    for (size_t i = 0; i < n && i < scenario_->test.trajectories.size();
+         ++i) {
+      batch.trajectories.push_back(SparseTest(i));
+    }
+    return batch;
+  }
+
+  static SimScenario* scenario_;
+  static std::shared_ptr<const KamelSnapshot>* snapshot_;
+};
+
+SimScenario* ConcurrencyTest::scenario_ = nullptr;
+std::shared_ptr<const KamelSnapshot>* ConcurrencyTest::snapshot_ = nullptr;
+
+TEST(ThreadPoolTest, RunsEverythingAndDrainsOnDestruction) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.num_threads(), 4);
+    for (int i = 0; i < 500; ++i) {
+      pool.Schedule([&done] { done.fetch_add(1); });
+    }
+  }  // destructor drains the queue
+  EXPECT_EQ(done.load(), 500);
+}
+
+TEST(ThreadPoolTest, SubmitDeliversValuesThroughFutures) {
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futures;
+  futures.reserve(100);
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+}
+
+TEST_F(ConcurrencyTest, SharedSnapshotImputeIsThreadSafeAndDeterministic) {
+  const KamelSnapshot& snapshot = **snapshot_;
+  const int kThreads = 8;
+  const TrajectoryDataset batch = SparseBatch(4);
+
+  // Single-threaded reference results.
+  std::vector<ImputedTrajectory> reference;
+  for (const Trajectory& t : batch.trajectories) {
+    auto result = snapshot.Impute(t);
+    ASSERT_TRUE(result.ok());
+    reference.push_back(std::move(*result));
+  }
+
+  // N threads hammer the same snapshot with the same inputs.
+  std::vector<std::vector<ImputedTrajectory>> per_thread(kThreads);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (const Trajectory& trajectory : batch.trajectories) {
+        auto result = snapshot.Impute(trajectory);
+        if (!result.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        per_thread[static_cast<size_t>(t)].push_back(std::move(*result));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  ASSERT_EQ(failures.load(), 0);
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(per_thread[static_cast<size_t>(t)].size(), reference.size());
+    for (size_t i = 0; i < reference.size(); ++i) {
+      ExpectIdentical(per_thread[static_cast<size_t>(t)][i], reference[i]);
+    }
+  }
+}
+
+TEST_F(ConcurrencyTest, ImputeBatchIdenticalAcrossThreadCounts) {
+  const TrajectoryDataset batch = SparseBatch(6);
+
+  ServingEngine one(*snapshot_, {.num_threads = 1});
+  ServingEngine eight(*snapshot_, {.num_threads = 8});
+  auto serial = one.ImputeBatch(batch);
+  auto parallel = eight.ImputeBatch(batch);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_EQ(serial->size(), batch.trajectories.size());
+  ASSERT_EQ(parallel->size(), batch.trajectories.size());
+  for (size_t i = 0; i < serial->size(); ++i) {
+    ExpectIdentical((*serial)[i], (*parallel)[i]);
+  }
+
+  // Aggregation is positional, so the batch totals match too (seconds is
+  // wall time and excluded from the determinism contract).
+  const ImputeStats a = AggregateBatchStats(*serial);
+  const ImputeStats b = AggregateBatchStats(*parallel);
+  EXPECT_EQ(a.segments, b.segments);
+  EXPECT_EQ(a.failed_segments, b.failed_segments);
+  EXPECT_EQ(a.bert_calls, b.bert_calls);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].s_time, b.outcomes[i].s_time);
+    EXPECT_EQ(a.outcomes[i].failed, b.outcomes[i].failed);
+  }
+}
+
+TEST_F(ConcurrencyTest, ImputeAsyncDeliversSameResultAsInline) {
+  ServingEngine engine(*snapshot_, {.num_threads = 2});
+  const Trajectory sparse = SparseTest(2);
+  auto inline_result = engine.Impute(sparse);
+  auto async_result = engine.ImputeAsync(sparse).get();
+  ASSERT_TRUE(inline_result.ok());
+  ASSERT_TRUE(async_result.ok());
+  ExpectIdentical(*inline_result, *async_result);
+}
+
+TEST_F(ConcurrencyTest, ConcurrentStreamingPushesAllTripsDelivered) {
+  ServingEngine engine(*snapshot_, {.num_threads = 4});
+  std::atomic<int> delivered{0};
+  std::atomic<int> errors{0};
+
+  class CountingSink final : public ImputedSink {
+   public:
+    CountingSink(std::atomic<int>* delivered, std::atomic<int>* errors)
+        : delivered_(delivered), errors_(errors) {}
+    void OnImputed(int64_t, ImputedTrajectory) override {
+      delivered_->fetch_add(1);
+    }
+    void OnImputeError(int64_t, const Status&) override {
+      errors_->fetch_add(1);
+    }
+
+   private:
+    std::atomic<int>* delivered_;
+    std::atomic<int>* errors_;
+  };
+  CountingSink sink(&delivered, &errors);
+  StreamingSession session(&engine, &sink);
+
+  // 4 feeder threads, each driving 2 distinct vehicles end to end.
+  const int kFeeders = 4;
+  const int kVehiclesPerFeeder = 2;
+  std::atomic<int> push_failures{0};
+  std::vector<std::thread> feeders;
+  feeders.reserve(kFeeders);
+  for (int f = 0; f < kFeeders; ++f) {
+    feeders.emplace_back([&, f] {
+      for (int v = 0; v < kVehiclesPerFeeder; ++v) {
+        const int64_t id = f * kVehiclesPerFeeder + v;
+        const Trajectory sparse =
+            SparseTest(static_cast<size_t>(id) %
+                       scenario_->test.trajectories.size());
+        for (const TrajPoint& point : sparse.points) {
+          if (!session.Push(id, point).ok()) {
+            push_failures.fetch_add(1);
+            return;
+          }
+        }
+        if (!session.EndTrajectory(id).ok()) push_failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& feeder : feeders) feeder.join();
+  session.Drain();
+  EXPECT_EQ(push_failures.load(), 0);
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(delivered.load(), kFeeders * kVehiclesPerFeeder);
+  EXPECT_EQ(session.open_trajectories(), 0u);
+}
+
+TEST_F(ConcurrencyTest, SnapshotSavesConsistentlyDuringServing) {
+  const std::string path =
+      testing::TempDir() + "/concurrent_snapshot_save.bin";
+  const KamelSnapshot& snapshot = **snapshot_;
+  const Trajectory sparse = SparseTest(1);
+
+  // Serving threads hammer Impute while the main thread saves.
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> servers;
+  for (int t = 0; t < 4; ++t) {
+    servers.emplace_back([&] {
+      while (!stop.load()) {
+        if (!snapshot.Impute(sparse).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  const Status saved = snapshot.SaveToFile(path);
+  stop.store(true);
+  for (std::thread& server : servers) server.join();
+  ASSERT_TRUE(saved.ok()) << saved.ToString();
+  ASSERT_EQ(failures.load(), 0);
+
+  // The file written mid-serving loads clean and serves identically.
+  auto fsck = FsckSnapshot(path);
+  ASSERT_TRUE(fsck.ok());
+  EXPECT_TRUE(fsck->clean());
+  Kamel restored(MiniKamelOptions());
+  LoadReport report;
+  ASSERT_TRUE(restored.LoadFromFile(path, &report).ok());
+  EXPECT_FALSE(report.partial());
+  auto reference = snapshot.Impute(sparse);
+  auto reloaded = restored.Impute(sparse);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_TRUE(reloaded.ok());
+  ExpectIdentical(*reference, *reloaded);
+}
+
+TEST_F(ConcurrencyTest, UpdateSnapshotSwapsWithoutDisruption) {
+  ServingEngine engine(*snapshot_, {.num_threads = 2});
+  const Trajectory sparse = SparseTest(0);
+  auto before = engine.Impute(sparse);
+  ASSERT_TRUE(before.ok());
+
+  // Swap in the same snapshot object under concurrent imputations: the
+  // swap itself must be race-free and results unchanged.
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::thread swapper([&] {
+    while (!stop.load()) engine.UpdateSnapshot(*snapshot_);
+  });
+  for (int i = 0; i < 20; ++i) {
+    auto during = engine.Impute(sparse);
+    if (!during.ok()) {
+      failures.fetch_add(1);
+      continue;
+    }
+    ExpectIdentical(*before, *during);
+  }
+  stop.store(true);
+  swapper.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace kamel

@@ -544,7 +544,8 @@ TEST_F(FaultEndToEndTest, ImputeDeadlineFallsBackToStraightLines) {
 // ---- streaming limits ------------------------------------------------
 
 TEST_F(FaultEndToEndTest, StreamingRejectsGarbageReadings) {
-  StreamingSession session(system_, nullptr);
+  ServingEngine engine(*system_->Snapshot());
+  StreamingSession session(&engine, nullptr);
   EXPECT_EQ(session.Push(1, {{std::nan(""), -93.0}, 1.0}).code(),
             StatusCode::kInvalidArgument);
   EXPECT_EQ(session.Push(1, {{45.0, 400.0}, 1.0}).code(),
@@ -560,7 +561,8 @@ TEST_F(FaultEndToEndTest, StreamingRejectsGarbageReadings) {
 TEST_F(FaultEndToEndTest, StreamingPerObjectBackpressure) {
   StreamingOptions limits;
   limits.max_points_per_object = 4;
-  StreamingSession session(system_, nullptr, limits);
+  ServingEngine engine(*system_->Snapshot());
+  StreamingSession session(&engine, nullptr, limits);
   const Trajectory& dense = scenario_->test.trajectories[0];
   ASSERT_GE(dense.points.size(), 5u);
   for (size_t i = 0; i < 4; ++i) {
@@ -579,9 +581,10 @@ TEST_F(FaultEndToEndTest, StreamingEvictsLeastRecentlyActiveObject) {
   std::vector<int64_t> emitted;
   StreamingOptions limits;
   limits.max_open_objects = 2;
-  StreamingSession session(
-      system_,
-      [&](int64_t id, ImputedTrajectory) { emitted.push_back(id); }, limits);
+  ServingEngine engine(*system_->Snapshot());
+  FunctionSink sink(
+      [&](int64_t id, ImputedTrajectory) { emitted.push_back(id); });
+  StreamingSession session(&engine, &sink, limits);
   const Trajectory sparse = SparseTest(0);
   ASSERT_GE(sparse.points.size(), 4u);
 
@@ -593,6 +596,7 @@ TEST_F(FaultEndToEndTest, StreamingEvictsLeastRecentlyActiveObject) {
   ASSERT_TRUE(session.Push(3, sparse.points[3]).ok());
   EXPECT_EQ(session.open_trajectories(), 2u);
   EXPECT_EQ(session.evictions(), 1);
+  session.Drain();
   ASSERT_EQ(emitted.size(), 1u);
   EXPECT_EQ(emitted[0], 2);
 }
@@ -601,9 +605,10 @@ TEST_F(FaultEndToEndTest, StreamingTotalPointCapShedsOtherSessions) {
   std::vector<int64_t> emitted;
   StreamingOptions limits;
   limits.max_total_points = 6;
-  StreamingSession session(
-      system_,
-      [&](int64_t id, ImputedTrajectory) { emitted.push_back(id); }, limits);
+  ServingEngine engine(*system_->Snapshot());
+  FunctionSink sink(
+      [&](int64_t id, ImputedTrajectory) { emitted.push_back(id); });
+  StreamingSession session(&engine, &sink, limits);
   const Trajectory& dense = scenario_->test.trajectories[0];
   ASSERT_GE(dense.points.size(), 7u);
 
@@ -614,6 +619,7 @@ TEST_F(FaultEndToEndTest, StreamingTotalPointCapShedsOtherSessions) {
     ASSERT_TRUE(session.Push(2, dense.points[i + 4]).ok());
   }
   // Crossing the global cap evicted object 1 (imputed, not dropped).
+  session.Drain();
   ASSERT_EQ(emitted.size(), 1u);
   EXPECT_EQ(emitted[0], 1);
   EXPECT_EQ(session.open_trajectories(), 1u);
@@ -622,9 +628,10 @@ TEST_F(FaultEndToEndTest, StreamingTotalPointCapShedsOtherSessions) {
 
 TEST_F(FaultEndToEndTest, StreamingTimeoutFlushWithOutOfOrderNoise) {
   int imputed = 0;
+  ServingEngine engine(*system_->Snapshot());
+  FunctionSink sink([&](int64_t, ImputedTrajectory) { ++imputed; });
   StreamingSession session(
-      system_, [&](int64_t, ImputedTrajectory) { ++imputed; },
-      StreamingOptions{.session_timeout_seconds = 60.0});
+      &engine, &sink, StreamingOptions{.session_timeout_seconds = 60.0});
   const Trajectory sparse = SparseTest(3);
   ASSERT_GE(sparse.points.size(), 3u);
   ASSERT_TRUE(session.Push(5, sparse.points[0]).ok());
@@ -640,11 +647,13 @@ TEST_F(FaultEndToEndTest, StreamingTimeoutFlushWithOutOfOrderNoise) {
   TrajPoint late = sparse.points[2];
   late.time = sparse.points[1].time + 10000.0;
   ASSERT_TRUE(session.Push(5, late).ok());
+  session.Drain();
   EXPECT_EQ(imputed, 1);
   EXPECT_EQ(session.open_trajectories(), 1u);
   EXPECT_EQ(session.total_buffered_points(), 1u);
 
   ASSERT_TRUE(session.Flush().ok());
+  session.Drain();
   EXPECT_EQ(imputed, 2);
   EXPECT_EQ(session.total_buffered_points(), 0u);
 }

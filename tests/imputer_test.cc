@@ -18,7 +18,7 @@ class StraightSource final : public CandidateSource {
 
   std::vector<Candidate> PredictMasked(const std::vector<CellId>& left,
                                        const std::vector<CellId>& right,
-                                       int top_k) override {
+                                       int top_k) const override {
     ++calls;
     const Vec2 target = grid_->Centroid(right.front());
     std::vector<CellId> options = grid_->EdgeNeighbors(left.back());
@@ -36,7 +36,7 @@ class StraightSource final : public CandidateSource {
     return out;
   }
 
-  int calls = 0;
+  mutable int calls = 0;  // PredictMasked is const (see CandidateSource)
 
  private:
   const GridSystem* grid_;
@@ -48,7 +48,7 @@ class StuckSource final : public CandidateSource {
   explicit StuckSource(CellId cell) : cell_(cell) {}
   std::vector<Candidate> PredictMasked(const std::vector<CellId>&,
                                        const std::vector<CellId>&,
-                                       int) override {
+                                       int) const override {
     return {{cell_, 0.9}};
   }
 
@@ -61,7 +61,7 @@ class EmptySource final : public CandidateSource {
  public:
   std::vector<Candidate> PredictMasked(const std::vector<CellId>&,
                                        const std::vector<CellId>&,
-                                       int) override {
+                                       int) const override {
     return {};
   }
 };
@@ -243,7 +243,7 @@ class ForkTrapSource final : public CandidateSource {
 
   std::vector<Candidate> PredictMasked(const std::vector<CellId>& left,
                                        const std::vector<CellId>& right,
-                                       int top_k) override {
+                                       int top_k) const override {
     (void)right;
     const Vec2 here = grid_->Centroid(left.back());
     const Vec2 target = grid_->Centroid(destination_);

@@ -167,15 +167,18 @@ TEST_F(KamelEndToEndTest, SaveRequiresTraining) {
 }
 
 TEST_F(KamelEndToEndTest, StreamingSessionImputesOnTimeoutAndFlush) {
+  auto snapshot = system_->Snapshot();
+  ASSERT_TRUE(snapshot.ok());
+  ServingEngine engine(*snapshot, {.num_threads = 2});
   int imputed_count = 0;
   size_t last_points = 0;
+  FunctionSink sink([&](int64_t, ImputedTrajectory imputed) {
+    ++imputed_count;
+    last_points = imputed.trajectory.points.size();
+  });
   StreamingSession session(
-      system_,
-      [&](int64_t, ImputedTrajectory imputed) {
-        ++imputed_count;
-        last_points = imputed.trajectory.points.size();
-      },
-      /*session_timeout_seconds=*/60.0);
+      &engine, &sink,
+      StreamingOptions{.session_timeout_seconds = 60.0});
 
   const Trajectory sparse =
       Sparsify(scenario_->test.trajectories[3], 400.0);
@@ -183,22 +186,27 @@ TEST_F(KamelEndToEndTest, StreamingSessionImputesOnTimeoutAndFlush) {
     ASSERT_TRUE(session.Push(7, point).ok());
   }
   EXPECT_EQ(session.open_trajectories(), 1u);
-  EXPECT_EQ(imputed_count, 0);
 
-  // A reading far in the future closes the previous trip.
+  // A reading far in the future closes the previous trip; the imputation
+  // runs on the engine's pool, so Drain() before asserting delivery.
   TrajPoint late = sparse.points.back();
   late.time += 10000.0;
   ASSERT_TRUE(session.Push(7, late).ok());
+  session.Drain();
   EXPECT_EQ(imputed_count, 1);
   EXPECT_GE(last_points, sparse.points.size());
 
   ASSERT_TRUE(session.Flush().ok());
+  session.Drain();
   EXPECT_EQ(imputed_count, 2);
   EXPECT_EQ(session.open_trajectories(), 0u);
 }
 
 TEST_F(KamelEndToEndTest, StreamingRejectsTimeTravel) {
-  StreamingSession session(system_, nullptr);
+  auto snapshot = system_->Snapshot();
+  ASSERT_TRUE(snapshot.ok());
+  ServingEngine engine(*snapshot);
+  StreamingSession session(&engine, nullptr);
   ASSERT_TRUE(session.Push(1, {{45.0, -93.0}, 100.0}).ok());
   EXPECT_EQ(session.Push(1, {{45.0, -93.0}, 50.0}).code(),
             StatusCode::kInvalidArgument);

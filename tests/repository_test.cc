@@ -43,19 +43,20 @@ class RepositoryTest : public testing::Test {
       trajectory.push_back(
           {grid_.CellOf(p), static_cast<double>(i) * 10.0, p, 0.0});
     }
-    indices_.push_back(store_.Add(std::move(trajectory)));
+    indices_.push_back(store_->Add(std::move(trajectory)));
   }
 
   HexGrid grid_;
   BBox world_;
-  TrajectoryStore store_;
+  std::shared_ptr<TrajectoryStore> store_ =
+      std::make_shared<TrajectoryStore>();
   std::vector<size_t> indices_;
 };
 
 TEST_F(RepositoryTest, BuildsNothingBelowThreshold) {
   const KamelOptions options = TinyOptions();
   Pyramid pyramid(world_, options.pyramid_height, options.pyramid_levels);
-  ModelRepository repo(pyramid, options, &store_);
+  ModelRepository repo(pyramid, options, store_);
   AddTrajectory(100.0, 500.0, 5);  // 5 tokens << 40
   ASSERT_TRUE(repo.AddTrainingBatch(indices_).ok());
   EXPECT_EQ(repo.num_models(), 0);
@@ -66,7 +67,7 @@ TEST_F(RepositoryTest, BuildsNothingBelowThreshold) {
 TEST_F(RepositoryTest, BuildsSingleCellModelAboveThreshold) {
   const KamelOptions options = TinyOptions();
   Pyramid pyramid(world_, options.pyramid_height, options.pyramid_levels);
-  ModelRepository repo(pyramid, options, &store_);
+  ModelRepository repo(pyramid, options, store_);
   // 50 tokens confined to the south-west quadrant (level-1 cell (0,0),
   // bounds [0,1000)^2). Level-1 threshold = 40; level-0 needs 160.
   for (int t = 0; t < 10; ++t) {
@@ -77,7 +78,7 @@ TEST_F(RepositoryTest, BuildsSingleCellModelAboveThreshold) {
   EXPECT_EQ(repo.num_neighbor_models(), 0);
 
   // Retrieval: an MBR inside the quadrant finds it...
-  TrajBert* model =
+  const ModelHandle model =
       repo.SelectModel(BBox::FromCorners({100, 200}, {600, 700}));
   EXPECT_NE(model, nullptr);
   // ...but one spanning all quadrants does not (no root model: only 50
@@ -89,7 +90,7 @@ TEST_F(RepositoryTest, BuildsSingleCellModelAboveThreshold) {
 TEST_F(RepositoryTest, BuildsRootAndNeighborModels) {
   const KamelOptions options = TinyOptions();
   Pyramid pyramid(world_, options.pyramid_height, options.pyramid_levels);
-  ModelRepository repo(pyramid, options, &store_);
+  ModelRepository repo(pyramid, options, store_);
   // West half: 100 tokens in SW (cell (0,0)), 60 in NW (cell (0,1)).
   // Thresholds: single 40 at level 1, pair 80, root 160.
   for (int t = 0; t < 20; ++t) AddTrajectory(120.0, 150.0 + t * 40.0, 5);
@@ -103,16 +104,17 @@ TEST_F(RepositoryTest, BuildsRootAndNeighborModels) {
 
   // A segment crossing the SW/NW border retrieves the pair model, which
   // is smaller than the root.
-  TrajBert* pair =
+  const ModelHandle pair =
       repo.SelectModel(BBox::FromCorners({100, 800}, {400, 1200}));
   ASSERT_NE(pair, nullptr);
-  TrajBert* root =
+  const ModelHandle root =
       repo.SelectModel(BBox::FromCorners({100, 100}, {1900, 1900}));
   ASSERT_NE(root, nullptr);
   EXPECT_NE(pair, root);
 
   // Deepest-first: an MBR inside SW picks the SW single, not the root.
-  TrajBert* sw = repo.SelectModel(BBox::FromCorners({100, 150}, {500, 600}));
+  const ModelHandle sw =
+      repo.SelectModel(BBox::FromCorners({100, 150}, {500, 600}));
   ASSERT_NE(sw, nullptr);
   EXPECT_NE(sw, root);
 }
@@ -121,13 +123,14 @@ TEST_F(RepositoryTest, GlobalModelWhenPartitioningDisabled) {
   KamelOptions options = TinyOptions();
   options.enable_partitioning = false;
   Pyramid pyramid(world_, options.pyramid_height, options.pyramid_levels);
-  ModelRepository repo(pyramid, options, &store_);
+  ModelRepository repo(pyramid, options, store_);
   AddTrajectory(100.0, 500.0, 5);  // way below any threshold
   ASSERT_TRUE(repo.AddTrainingBatch(indices_).ok());
   EXPECT_EQ(repo.num_models(), 1);
   // Everything retrieves the single global model.
-  TrajBert* a = repo.SelectModel(BBox::FromCorners({0, 0}, {50, 50}));
-  TrajBert* b = repo.SelectModel(BBox::FromCorners({0, 0}, {1999, 1999}));
+  const ModelHandle a = repo.SelectModel(BBox::FromCorners({0, 0}, {50, 50}));
+  const ModelHandle b =
+      repo.SelectModel(BBox::FromCorners({0, 0}, {1999, 1999}));
   EXPECT_NE(a, nullptr);
   EXPECT_EQ(a, b);
 }
@@ -135,7 +138,7 @@ TEST_F(RepositoryTest, GlobalModelWhenPartitioningDisabled) {
 TEST_F(RepositoryTest, ModelInfosDescribeBuilds) {
   const KamelOptions options = TinyOptions();
   Pyramid pyramid(world_, options.pyramid_height, options.pyramid_levels);
-  ModelRepository repo(pyramid, options, &store_);
+  ModelRepository repo(pyramid, options, store_);
   for (int t = 0; t < 10; ++t) AddTrajectory(100.0, 200.0 + t * 60.0, 5);
   ASSERT_TRUE(repo.AddTrainingBatch(indices_).ok());
   const std::vector<ModelInfo> infos = repo.ModelInfos();
@@ -150,7 +153,7 @@ TEST_F(RepositoryTest, ModelInfosDescribeBuilds) {
 TEST_F(RepositoryTest, SecondBatchRefreshesModels) {
   const KamelOptions options = TinyOptions();
   Pyramid pyramid(world_, options.pyramid_height, options.pyramid_levels);
-  ModelRepository repo(pyramid, options, &store_);
+  ModelRepository repo(pyramid, options, store_);
   for (int t = 0; t < 10; ++t) AddTrajectory(100.0, 200.0 + t * 60.0, 5);
   ASSERT_TRUE(repo.AddTrainingBatch(indices_).ok());
   EXPECT_EQ(repo.num_single_models(), 1);
@@ -172,14 +175,14 @@ TEST_F(RepositoryTest, SecondBatchRefreshesModels) {
 TEST_F(RepositoryTest, SaveLoadRoundTrip) {
   const KamelOptions options = TinyOptions();
   Pyramid pyramid(world_, options.pyramid_height, options.pyramid_levels);
-  ModelRepository repo(pyramid, options, &store_);
+  ModelRepository repo(pyramid, options, store_);
   for (int t = 0; t < 20; ++t) AddTrajectory(120.0, 150.0 + t * 40.0, 5);
   for (int t = 0; t < 12; ++t) AddTrajectory(120.0, 1150.0 + t * 40.0, 5);
   ASSERT_TRUE(repo.AddTrainingBatch(indices_).ok());
 
   BinaryWriter writer;
-  repo.Save(&writer);
-  ModelRepository loaded(pyramid, options, &store_);
+  ASSERT_TRUE(repo.Save(&writer).ok());
+  ModelRepository loaded(pyramid, options, store_);
   BinaryReader reader(writer.buffer());
   ASSERT_TRUE(loaded.Load(&reader).ok());
   EXPECT_EQ(loaded.num_models(), repo.num_models());
@@ -190,8 +193,8 @@ TEST_F(RepositoryTest, SaveLoadRoundTrip) {
 
   // A model retrieved from the loaded repository predicts identically.
   const BBox query = BBox::FromCorners({100, 150}, {500, 600});
-  TrajBert* original = repo.SelectModel(query);
-  TrajBert* restored = loaded.SelectModel(query);
+  const ModelHandle original = repo.SelectModel(query);
+  const ModelHandle restored = loaded.SelectModel(query);
   ASSERT_NE(original, nullptr);
   ASSERT_NE(restored, nullptr);
   const CellId s = grid_.CellOf({120, 150});
@@ -204,10 +207,58 @@ TEST_F(RepositoryTest, SaveLoadRoundTrip) {
   }
 }
 
+TEST_F(RepositoryTest, LazyLoadServesFromBoundedCache) {
+  KamelOptions options = TinyOptions();
+  Pyramid pyramid(world_, options.pyramid_height, options.pyramid_levels);
+  ModelRepository repo(pyramid, options, store_);
+  for (int t = 0; t < 20; ++t) AddTrajectory(120.0, 150.0 + t * 40.0, 5);
+  for (int t = 0; t < 12; ++t) AddTrajectory(120.0, 1150.0 + t * 40.0, 5);
+  ASSERT_TRUE(repo.AddTrainingBatch(indices_).ok());
+  ASSERT_GE(repo.num_models(), 3);
+
+  BinaryWriter writer;
+  ASSERT_TRUE(repo.Save(&writer).ok());
+  const std::string path = testing::TempDir() + "/repo_lazy_test.bin";
+  ASSERT_TRUE(writer.FlushToFileAtomic(path).ok());
+
+  // Demand-loading mode: keep at most one resident model; the rest stay
+  // on disk and fault in through the sharded cache on SelectModel.
+  options.max_resident_models = 1;
+  ModelRepository lazy(pyramid, options, /*store=*/nullptr);
+  auto reader = BinaryReader::FromFile(path);
+  ASSERT_TRUE(reader.ok());
+  ASSERT_TRUE(lazy.Load(&*reader, nullptr, &path).ok());
+  EXPECT_EQ(lazy.num_models(), repo.num_models());
+  ASSERT_NE(lazy.cache(), nullptr);
+  EXPECT_EQ(lazy.cache()->misses(), 0);
+
+  // Alternate between two models so the 1-entry-per-shard cache churns;
+  // predictions must match the fully resident repository either way.
+  const BBox sw_query = BBox::FromCorners({100, 150}, {500, 600});
+  const BBox root_query = BBox::FromCorners({100, 100}, {1900, 1900});
+  const CellId s = grid_.CellOf({120, 150});
+  const CellId d = grid_.CellOf({380, 150});
+  for (int round = 0; round < 3; ++round) {
+    for (const BBox& query : {sw_query, root_query}) {
+      const ModelHandle eager = repo.SelectModel(query);
+      const ModelHandle demand = lazy.SelectModel(query);
+      ASSERT_NE(eager, nullptr);
+      ASSERT_NE(demand, nullptr);
+      const auto want = eager->PredictMasked({s}, {d}, 3);
+      const auto got = demand->PredictMasked({s}, {d}, 3);
+      ASSERT_EQ(want.size(), got.size());
+      for (size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(want[i].cell, got[i].cell);
+      }
+    }
+  }
+  EXPECT_GT(lazy.cache()->misses(), 0);
+}
+
 TEST_F(RepositoryTest, LoadRejectsGarbage) {
   const KamelOptions options = TinyOptions();
   Pyramid pyramid(world_, options.pyramid_height, options.pyramid_levels);
-  ModelRepository repo(pyramid, options, &store_);
+  ModelRepository repo(pyramid, options, store_);
   BinaryWriter writer;
   writer.WriteString("garbage");
   BinaryReader reader(writer.buffer());

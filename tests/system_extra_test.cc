@@ -79,10 +79,13 @@ TEST_F(SystemExtraTest, ImputeBatchProcessesWholeDataset) {
 }
 
 TEST_F(SystemExtraTest, StreamingInterleavesVehicles) {
+  auto snapshot = system_->Snapshot();
+  ASSERT_TRUE(snapshot.ok());
+  ServingEngine engine(*snapshot, {.num_threads = 2});
   std::vector<int64_t> finished;
-  StreamingSession session(
-      system_,
+  FunctionSink sink(
       [&finished](int64_t id, ImputedTrajectory) { finished.push_back(id); });
+  StreamingSession session(&engine, &sink);
   const Trajectory a = Sparsify(scenario_->test.trajectories[0], 400.0);
   const Trajectory b = Sparsify(scenario_->test.trajectories[1], 400.0);
   const size_t n = std::min(a.points.size(), b.points.size());
@@ -93,7 +96,11 @@ TEST_F(SystemExtraTest, StreamingInterleavesVehicles) {
   EXPECT_EQ(session.open_trajectories(), 2u);
   ASSERT_TRUE(session.EndTrajectory(1).ok());
   ASSERT_TRUE(session.Flush().ok());
+  session.Drain();
+  // Both vehicles were imputed; completion order across pool threads is
+  // unspecified, so compare as a set.
   ASSERT_EQ(finished.size(), 2u);
+  std::sort(finished.begin(), finished.end());
   EXPECT_EQ(finished[0], 1);
   EXPECT_EQ(finished[1], 2);
 }

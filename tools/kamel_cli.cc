@@ -13,7 +13,9 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "core/kamel.h"
 #include "eval/bootstrap.h"
@@ -168,13 +170,26 @@ int Train(const Flags& flags) {
   return 0;
 }
 
+// Builds the concurrent serving engine for impute/evaluate. `--threads 1`
+// (the default) serves on a single pool thread; outputs are byte-identical
+// at any thread count, so parallelism is purely a throughput knob.
+Result<std::unique_ptr<ServingEngine>> MakeEngine(Kamel* system,
+                                                  const Flags& flags) {
+  KAMEL_ASSIGN_OR_RETURN(auto snapshot, system->Snapshot());
+  ServingOptions serving;
+  serving.num_threads = static_cast<int>(flags.GetInt("threads", 1));
+  return std::make_unique<ServingEngine>(std::move(snapshot), serving);
+}
+
 int Impute(const Flags& flags) {
   Kamel system(OptionsFromFlags(flags));
   if (int rc = LoadOrFail(&system, flags); rc != 0) return rc;
   auto data = io::ReadCsvFile(flags.Get("data"));
   if (!data.ok()) return Fail(data.status());
 
-  auto results = system.ImputeBatch(*data);
+  auto engine = MakeEngine(&system, flags);
+  if (!engine.ok()) return Fail(engine.status());
+  auto results = (*engine)->ImputeBatch(*data);
   if (!results.ok()) return Fail(results.status());
   TrajectoryDataset imputed;
   int segments = 0;
@@ -205,8 +220,9 @@ int Evaluate(const Flags& flags) {
   if (!dense.ok()) return Fail(dense.status());
 
   const Evaluator evaluator(&system.projection());
-  KamelMethod method(&system);
-  auto run = evaluator.RunMethod(&method, *dense,
+  auto engine = MakeEngine(&system, flags);
+  if (!engine.ok()) return Fail(engine.status());
+  auto run = evaluator.RunEngine(engine->get(), *dense,
                                  flags.GetDouble("sparseness", 1000.0));
   if (!run.ok()) return Fail(run.status());
   ScoreConfig score;
@@ -274,8 +290,11 @@ int Usage() {
       "            [--delta M]\n"
       "  fsck      SNAPSHOT        verify framing and checksums; exits\n"
       "            nonzero and names the damaged section on corruption\n"
-      "  (impute/evaluate: [--deadline SECONDS] bounds each Impute call;\n"
-      "   overruns fall back to straight lines instead of stalling)\n");
+      "  (impute/evaluate: [--threads N] imputes trajectories in parallel\n"
+      "   on N pool threads (0 = hardware concurrency); outputs are\n"
+      "   byte-identical at any thread count.\n"
+      "   [--deadline SECONDS] bounds each Impute call; overruns fall\n"
+      "   back to straight lines instead of stalling)\n");
   return 2;
 }
 
