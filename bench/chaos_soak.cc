@@ -1,0 +1,345 @@
+// Chaos soak: drives >= 10k imputations (KAMEL_SOAK_IMPUTATIONS
+// overrides) through one ServingEngine from batch clients and a
+// streaming session while a chaos thread cycles injected faults through
+// `bert.forward`, `repo.model.load`, and `snapshot.read.section` and
+// hot-swaps the serving snapshot mid-traffic. Asserts that the system
+// bends instead of breaking:
+//
+//   * no crash, hang, or sanitizer report (run it under ASan/TSan too);
+//   * the admission queue never exceeds its bound (exit 3);
+//   * degradation is monotone: a request under fault slides down the
+//     ladder (ancestor model, then straight lines) but never fails with
+//     anything other than the advertised overload/drain codes (exit 1);
+//   * after the faults clear, the engine works back to full-model
+//     SERVING on its own (exit 1 if it does not).
+//
+// A watchdog aborts with exit 2 if global progress stalls — a deadlock
+// in admission, the breaker, or the pool would otherwise hang CI.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "core/kamel.h"
+#include "eval/scenario.h"
+#include "sim/datasets.h"
+#include "sim/sparsifier.h"
+
+namespace kamel::bench {
+namespace {
+
+long TargetImputations() {
+  if (const char* env = std::getenv("KAMEL_SOAK_IMPUTATIONS")) {
+    const long parsed = std::atol(env);
+    if (parsed > 0) return parsed;
+  }
+  return 10000;
+}
+
+// Real (if tiny) pyramid so the degradation ladder has rungs to fall
+// through: height 1, both levels maintained, root model guaranteed.
+KamelOptions SoakTrainOptions() {
+  KamelOptions options;
+  options.pyramid_height = 1;
+  options.pyramid_levels = 2;
+  options.model_token_threshold = 25;
+  options.bert.encoder.d_model = 32;
+  options.bert.encoder.num_heads = 4;
+  options.bert.encoder.num_layers = 2;
+  options.bert.encoder.ffn_dim = 128;
+  options.bert.encoder.max_seq_len = 32;
+  options.bert.train.steps = 150;
+  options.bert.train.batch_size = 16;
+  options.bert.train.peak_lr = 1e-3;
+  options.bert.train.warmup_steps = 50;
+  options.beam_size = 4;
+  options.top_k = 6;
+  options.max_bert_calls_per_segment = 200;
+  options.seed = 42;
+  return options;
+}
+
+// Lazy serving with a deliberately tiny residency so eviction/reload
+// churn keeps `repo.model.load` hot, a single retry, and a cooldown
+// short enough that breakers re-probe within the soak.
+KamelOptions SoakServeOptions() {
+  KamelOptions options = SoakTrainOptions();
+  options.max_resident_models = 4;
+  options.model_load_retries = 1;
+  options.model_load_backoff_ms = 0.01;
+  options.model_breaker_cooldown_s = 0.05;
+  return options;
+}
+
+struct SoakCounters {
+  std::atomic<long> served{0};     // successful imputations (the target)
+  std::atomic<long> completed{0};  // watchdog heartbeat (all sources)
+  std::atomic<long> ok{0};
+  std::atomic<long> shed{0};
+  std::atomic<long> unavailable{0};
+  std::atomic<long> unexpected{0};
+  std::atomic<long> streamed{0};
+  std::atomic<long> degraded_segments{0};
+  std::atomic<long> model_segments{0};
+  std::atomic<bool> bound_violated{false};
+};
+
+void ClientLoop(ServingEngine* engine, const std::vector<Trajectory>* inputs,
+                int seed, long target, SoakCounters* counters) {
+  const int bound = engine->serving_options().max_pending;
+  size_t next = static_cast<size_t>(seed);
+  std::vector<std::future<Result<ImputedTrajectory>>> burst;
+  while (counters->served.load(std::memory_order_relaxed) < target) {
+    burst.clear();
+    for (int i = 0; i < 8; ++i) {
+      burst.push_back(
+          engine->ImputeAsync((*inputs)[next++ % inputs->size()]));
+    }
+    if (engine->stats().peak_pending > bound) {
+      counters->bound_violated.store(true);
+    }
+    for (auto& future : burst) {
+      Result<ImputedTrajectory> result = future.get();
+      counters->completed.fetch_add(1, std::memory_order_relaxed);
+      if (result.ok()) {
+        counters->ok.fetch_add(1);
+        counters->served.fetch_add(1, std::memory_order_relaxed);
+        counters->degraded_segments.fetch_add(
+            result->stats.ancestor_segments +
+            result->stats.overload_segments +
+            result->stats.no_model_segments);
+        counters->model_segments.fetch_add(
+            result->stats.full_model_segments);
+      } else if (result.status().code() == StatusCode::kResourceExhausted) {
+        counters->shed.fetch_add(1);
+        // Do what the status message tells real clients to do.
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      } else if (result.status().code() == StatusCode::kUnavailable) {
+        counters->unavailable.fetch_add(1);
+      } else {
+        counters->unexpected.fetch_add(1);
+        std::fprintf(stderr, "unexpected imputation error: %s\n",
+                     result.status().ToString().c_str());
+      }
+    }
+  }
+}
+
+void StreamLoop(ServingEngine* engine, const std::vector<Trajectory>* inputs,
+                long target, SoakCounters* counters) {
+  FunctionSink sink([counters](int64_t, ImputedTrajectory) {
+    counters->streamed.fetch_add(1);
+    counters->served.fetch_add(1, std::memory_order_relaxed);
+    counters->completed.fetch_add(1, std::memory_order_relaxed);
+  });
+  StreamingSession session(engine, &sink);
+  int64_t object_id = 0;
+  size_t next = 0;
+  while (counters->served.load(std::memory_order_relaxed) < target) {
+    // Streaming bypasses the admission gate, so throttle here: never run
+    // more than a handful of emissions ahead of the pool, or the session
+    // floods the shared queue and starves the batch clients' futures.
+    while (object_id - counters->streamed.load(std::memory_order_relaxed) >
+           8) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const Trajectory& trajectory = (*inputs)[next++ % inputs->size()];
+    for (const TrajPoint& point : trajectory.points) {
+      // Push can only refuse with ResourceExhausted (its own buffer
+      // bounds), which the caps below make unreachable here.
+      if (!session.Push(object_id, point).ok()) break;
+    }
+    if (!session.EndTrajectory(object_id).ok()) break;
+    ++object_id;
+  }
+  session.Drain();
+}
+
+// Cycles fault phases and hot-swaps snapshots until told to stop. The
+// reload path runs with `snapshot.read.section` armed half the time, so
+// some swaps fail cleanly and some land mid-traffic.
+void ChaosLoop(ServingEngine* engine, const std::string& snapshot_path,
+               std::atomic<bool>* stop) {
+  FaultInjector& injector = FaultInjector::Instance();
+  Kamel reloader(SoakServeOptions());
+  int round = 0;
+  while (!stop->load()) {
+    const char* fault = (round % 3 == 0)   ? "bert.forward"
+                        : (round % 3 == 1) ? "repo.model.load"
+                                           : "snapshot.read.section";
+    {
+      ScopedFault armed(fault, 0, /*count=*/-1);
+      if (round % 3 == 2) {
+        // Reload under fault: must fail cleanly, never poison the
+        // engine's current snapshot.
+        if (reloader.LoadFromFile(snapshot_path).ok()) {
+          std::fprintf(stderr, "reload unexpectedly survived fault\n");
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    injector.Reset();
+    if (round % 3 == 2 && reloader.LoadFromFile(snapshot_path).ok()) {
+      if (auto fresh = reloader.Snapshot(); fresh.ok()) {
+        engine->UpdateSnapshot(*fresh);  // hot swap mid-traffic
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ++round;
+  }
+  injector.Reset();
+}
+
+int Run() {
+  const long target = TargetImputations();
+  const SimScenario scenario = BuildScenario(MiniSpec());
+  Kamel trained(SoakTrainOptions());
+  if (const Status status = trained.Train(scenario.train); !status.ok()) {
+    std::fprintf(stderr, "train failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  const std::string snapshot_path = "/tmp/kamel_chaos_soak_snapshot.bin";
+  if (const Status status = trained.SaveToFile(snapshot_path);
+      !status.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  Kamel serving(SoakServeOptions());
+  if (const Status status = serving.LoadFromFile(snapshot_path);
+      !status.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  auto snapshot = serving.Snapshot();
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "snapshot failed: %s\n",
+                 snapshot.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<Trajectory> inputs;
+  for (const Trajectory& trajectory : scenario.test.trajectories) {
+    inputs.push_back(Sparsify(trajectory, 400.0));
+  }
+
+  // Bound below the clients' combined burst width (3 x 8) so the soak
+  // actually drives the engine into shedding part of the time.
+  ServingEngine engine(*snapshot,
+                       {.num_threads = 4,
+                        .max_pending = 16,
+                        .overload_policy = OverloadPolicy::kShed});
+  SoakCounters counters;
+  std::atomic<bool> stop_chaos{false};
+
+  // Watchdog: a stall of 60 s with faults this small means a deadlock;
+  // _Exit skips destructors on purpose (they may be what is stuck).
+  std::atomic<bool> stop_watchdog{false};
+  std::thread watchdog([&] {
+    long last = -1;
+    int stalled_polls = 0;
+    while (!stop_watchdog.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(500));
+      const long now = counters.completed.load();
+      stalled_polls = (now == last) ? stalled_polls + 1 : 0;
+      last = now;
+      if (std::getenv("KAMEL_SOAK_PROGRESS") != nullptr) {
+        std::fprintf(stderr, "[soak] %ld/%ld served (%ld completed)\n",
+                     counters.served.load(), target, now);
+      }
+      if (stalled_polls >= 120) {
+        std::fprintf(stderr,
+                     "watchdog: no progress past %ld imputations in 60s "
+                     "-- deadlock\n",
+                     now);
+        std::_Exit(2);
+      }
+    }
+  });
+
+  std::thread chaos(ChaosLoop, &engine, snapshot_path, &stop_chaos);
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 3; ++i) {
+    clients.emplace_back(ClientLoop, &engine, &inputs, i * 7, target,
+                         &counters);
+  }
+  std::thread streamer(StreamLoop, &engine, &inputs, target, &counters);
+
+  for (std::thread& client : clients) client.join();
+  if (std::getenv("KAMEL_SOAK_PROGRESS") != nullptr) {
+    std::fprintf(stderr, "[soak] clients joined\n");
+  }
+  streamer.join();
+  if (std::getenv("KAMEL_SOAK_PROGRESS") != nullptr) {
+    std::fprintf(stderr, "[soak] streamer joined\n");
+  }
+  stop_chaos.store(true);
+  chaos.join();
+
+  // Faults are gone; after the breaker cooldown the engine must claw its
+  // way back to full-model SERVING unassisted. Imputing the whole input
+  // set re-probes (and re-closes) every breaker traffic can reach.
+  FaultInjector::Instance().Reset();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  bool recovered = false;
+  for (int attempt = 0; attempt < 50 && !recovered; ++attempt) {
+    bool all_full = true;
+    for (const Trajectory& trajectory : inputs) {
+      auto result = engine.Impute(trajectory);
+      if (!result.ok()) {
+        std::fprintf(stderr, "post-chaos imputation failed: %s\n",
+                     result.status().ToString().c_str());
+        stop_watchdog.store(true);
+        watchdog.join();
+        return 1;
+      }
+      all_full = all_full && result->stats.full_model_segments ==
+                                 result->stats.segments;
+    }
+    recovered = all_full && engine.health() == HealthState::kServing;
+    if (!recovered) std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  stop_watchdog.store(true);
+  watchdog.join();
+
+  std::printf(
+      "chaos soak: %ld served of %ld attempts (%ld ok, %ld shed, "
+      "%ld unavailable, %ld streamed) | segments: %ld full-model, "
+      "%ld degraded | peak_pending %d / bound %d\n",
+      counters.served.load(), counters.completed.load(), counters.ok.load(),
+      counters.shed.load(),
+      counters.unavailable.load(), counters.streamed.load(),
+      counters.model_segments.load(), counters.degraded_segments.load(),
+      engine.stats().peak_pending, engine.serving_options().max_pending);
+
+  if (counters.bound_violated.load() ||
+      engine.stats().peak_pending > engine.serving_options().max_pending) {
+    std::fprintf(stderr, "FAIL: admission queue exceeded its bound\n");
+    return 3;
+  }
+  if (counters.unexpected.load() > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %ld imputations failed outside the degradation "
+                 "ladder's advertised codes\n",
+                 counters.unexpected.load());
+    return 1;
+  }
+  if (!recovered) {
+    std::fprintf(stderr,
+                 "FAIL: engine did not return to full-model SERVING "
+                 "after faults cleared (health=%s)\n",
+                 ToString(engine.health()));
+    return 1;
+  }
+  std::printf("chaos soak: PASS (recovered to SERVING)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace kamel::bench
+
+int main() { return kamel::bench::Run(); }

@@ -13,13 +13,13 @@ void FaultInjector::Arm(const std::string& name, int skip, int count,
   auto [it, inserted] = armed_.insert_or_assign(
       name, Armed{skip, count < 0 ? -1 : count, code});
   (void)it;
-  if (inserted) armed_count_.fetch_add(1, std::memory_order_relaxed);
+  if (inserted) armed_count_.fetch_add(1, std::memory_order_release);
 }
 
 void FaultInjector::Disarm(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   if (armed_.erase(name) > 0) {
-    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+    armed_count_.fetch_sub(1, std::memory_order_release);
   }
 }
 
@@ -27,15 +27,22 @@ void FaultInjector::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   armed_.clear();
   hits_.clear();
-  armed_count_.store(0, std::memory_order_relaxed);
+  armed_count_.store(0, std::memory_order_release);
 }
 
 Status FaultInjector::Hit(const std::string& name) {
   // Fast path: nothing armed anywhere, skip the lock and the counter (the
   // counter is only meaningful during fault-injection runs).
-  if (armed_count_.load(std::memory_order_relaxed) == 0) return Status::OK();
+  if (armed_count_.load(std::memory_order_acquire) == 0) return Status::OK();
 
   std::lock_guard<std::mutex> lock(mu_);
+  // Re-validate under the lock: a Reset() that raced the fast-path load
+  // has already cleared the counters, and recording this hit against the
+  // fresh epoch would let it be observed without the arming it belongs
+  // to. The count and the armed-state decrement below form one critical
+  // section — a hit either lands entirely before a concurrent Reset()
+  // (counted, and fired if armed) or entirely after it (neither).
+  if (armed_count_.load(std::memory_order_relaxed) == 0) return Status::OK();
   ++hits_[name];
   auto it = armed_.find(name);
   if (it == armed_.end()) return Status::OK();

@@ -23,6 +23,9 @@ namespace kamel {
 ///   bert.forward            TrajBert::PredictMasked (yields no candidates,
 ///                           which drives the linear-fallback failure path)
 ///   store.append            TrajectoryStore::Append
+///   repo.model.load         ShardedModelCache demand load (each disk
+///                           attempt, including retries — drives the
+///                           retry/backoff path and the circuit breaker)
 ///
 /// When nothing is armed, Hit() is a single relaxed atomic load — cheap
 /// enough to leave in serving paths.
@@ -59,6 +62,28 @@ class FaultInjector {
   mutable std::mutex mu_;
   std::unordered_map<std::string, Armed> armed_;
   std::unordered_map<std::string, int64_t> hits_;
+};
+
+/// Arms one failpoint for the lifetime of a scope and disarms it on
+/// destruction, so an early return — or a test assertion failure — can
+/// never leak an armed fault into unrelated code that runs later. Tests
+/// should prefer this over raw Arm()/Reset() pairs.
+class ScopedFault {
+ public:
+  explicit ScopedFault(std::string name, int skip = 0, int count = 1,
+                       StatusCode code = StatusCode::kIOError)
+      : name_(std::move(name)) {
+    FaultInjector::Instance().Arm(name_, skip, count, code);
+  }
+  ~ScopedFault() { FaultInjector::Instance().Disarm(name_); }
+
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
 };
 
 /// Byte-level corruption harness for snapshot robustness tests: applies

@@ -21,6 +21,10 @@ enum class StatusCode {
   kIOError,
   kInternal,
   kUnimplemented,
+  /// Transiently refusing work: a circuit breaker is open or the serving
+  /// engine is draining. Safe to retry later (unlike kResourceExhausted,
+  /// which asks the caller to back off or shrink the request).
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -68,6 +72,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -70,6 +70,9 @@ ImputeStats AggregateBatchStats(const std::vector<ImputedTrajectory>& batch) {
     total.failed_segments += s.failed_segments;
     total.no_model_segments += s.no_model_segments;
     total.deadline_segments += s.deadline_segments;
+    total.overload_segments += s.overload_segments;
+    total.full_model_segments += s.full_model_segments;
+    total.ancestor_segments += s.ancestor_segments;
     total.bert_calls += s.bert_calls;
     total.seconds += s.seconds;
     total.outcomes.insert(total.outcomes.end(), s.outcomes.begin(),
@@ -154,8 +157,8 @@ void KamelSnapshot::ImputeSegment(const CandidateSource* model,
   }
 }
 
-Result<ImputedTrajectory> KamelSnapshot::Impute(
-    const Trajectory& sparse) const {
+Result<ImputedTrajectory> KamelSnapshot::Impute(const Trajectory& sparse,
+                                                ImputeMode mode) const {
   KAMEL_RETURN_NOT_OK(ValidateTrajectory(sparse));
   Stopwatch watch;
   ImputedTrajectory out;
@@ -185,20 +188,41 @@ Result<ImputedTrajectory> KamelSnapshot::Impute(
     if (i > 0) context.prev = tokens[i - 1];
     if (i + 2 < tokens.size()) context.next = tokens[i + 2];
 
+    if (mode == ImputeMode::kLinearOnly) {
+      // Bottom rung of the degradation ladder: the serving engine decided
+      // accuracy is the thing to sacrifice, so skip model selection (and
+      // any chance of a demand load) entirely.
+      ++out.stats.segments;
+      ++out.stats.failed_segments;
+      ++out.stats.overload_segments;
+      out.stats.outcomes.push_back({context.s.time, context.d.time, true});
+      AppendLinearFallback(context, out_points);
+      continue;
+    }
+
     const bool deadline_expired =
         options_.impute_deadline_seconds > 0.0 &&
         watch.ElapsedSeconds() > options_.impute_deadline_seconds;
 
-    // Section 4.1 retrieval: the model for this segment's extent. The
-    // handle pins the model for the duration of the call even if the
-    // lazy cache evicts it concurrently.
+    // Section 4.1 retrieval, ladder-aware: the finest covering model, or
+    // a coarser pyramid ancestor when the finest one cannot be served
+    // (open breaker, failed demand load). The handle pins the model for
+    // the duration of the call even if the lazy cache evicts it
+    // concurrently.
     BBox mbr;
     mbr.Extend(context.s.position);
     mbr.Extend(context.d.position);
-    ModelHandle model =
-        deadline_expired ? nullptr : repository_->SelectModel(mbr);
-    ImputeSegment(model.get(), context, deadline_expired, out_points,
-                  &out.stats);
+    ModelRepository::ModelSelection selection;
+    if (!deadline_expired) selection = repository_->SelectModelLadder(mbr);
+    if (selection.model != nullptr) {
+      if (selection.degraded()) {
+        ++out.stats.ancestor_segments;
+      } else {
+        ++out.stats.full_model_segments;
+      }
+    }
+    ImputeSegment(selection.model.get(), context, deadline_expired,
+                  out_points, &out.stats);
   }
   out_points->push_back(
       {projection_->Unproject(tokens.back().position), tokens.back().time});

@@ -27,11 +27,23 @@ struct SegmentOutcome {
 
 /// Per-trajectory imputation accounting (Section 8 metrics need the
 /// failure rate and timing; Section 6 caps BERT calls).
+///
+/// The degradation-ladder counters classify every segment by the level of
+/// service it got: full_model (the finest covering model served it),
+/// ancestor (a finer model exists but could not be served — open breaker,
+/// failed demand load — so a coarser pyramid ancestor stood in), and the
+/// linear failure paths (no_model / deadline / overload, all subsets of
+/// failed_segments). full_model_segments + ancestor_segments counts the
+/// model-served attempts; segments - that sum took a straight line
+/// without consulting any model.
 struct ImputeStats {
   int segments = 0;          // sparse gaps that needed imputation
   int failed_segments = 0;   // drawn as straight lines
   int no_model_segments = 0; // failures caused by missing model coverage
   int deadline_segments = 0; // failures caused by the per-call deadline
+  int overload_segments = 0; // forced linear by overload degrade/drain
+  int full_model_segments = 0;  // served by the finest covering model
+  int ancestor_segments = 0;    // served by a coarser pyramid ancestor
   int64_t bert_calls = 0;
   double seconds = 0.0;
   std::vector<SegmentOutcome> outcomes;  // one per imputed segment
@@ -50,6 +62,14 @@ struct ImputedTrajectory {
 /// or in what order they finished. Per-segment `outcomes` are likewise
 /// concatenated in index order.
 ImputeStats AggregateBatchStats(const std::vector<ImputedTrajectory>& batch);
+
+/// Service level requested from KamelSnapshot::Impute. kFull walks the
+/// degradation ladder (finest model -> pyramid ancestor -> straight
+/// line); kLinearOnly skips model selection entirely and imputes every
+/// gap with the paper's linear failure path — the bottom rung, used by
+/// the serving engine's degrade overload policy where bounded latency
+/// outranks accuracy.
+enum class ImputeMode { kFull, kLinearOnly };
 
 /// An immutable, shareable serving snapshot of a trained KAMEL system:
 /// projection, grid, pyramid, model repository, spatial constraints,
@@ -70,7 +90,19 @@ class KamelSnapshot {
 
   /// Online imputation of one sparse trajectory. Const and concurrency-
   /// safe; deterministic for a given snapshot (same input -> same bytes).
-  Result<ImputedTrajectory> Impute(const Trajectory& sparse) const;
+  Result<ImputedTrajectory> Impute(const Trajectory& sparse) const {
+    return Impute(sparse, ImputeMode::kFull);
+  }
+
+  /// Imputation at an explicit service level. kFull walks the degradation
+  /// ladder per segment: the finest covering model first, a coarser
+  /// pyramid ancestor when the finest one cannot be served (open circuit
+  /// breaker, failed demand load), and the linear failure path last.
+  /// kLinearOnly jumps straight to the bottom rung for every gap — the
+  /// serving engine uses it to bound latency under overload. Which rung
+  /// served each segment is recorded in the ImputeStats ladder counters.
+  Result<ImputedTrajectory> Impute(const Trajectory& sparse,
+                                   ImputeMode mode) const;
 
   /// Persists this snapshot (projection anchor, world box, speed, models,
   /// clusters) exactly like KamelBuilder::SaveToFile. Safe to call while

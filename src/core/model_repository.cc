@@ -1,11 +1,15 @@
 #include "core/model_repository.h"
 
 #include <algorithm>
+#include <chrono>
 #include <fstream>
+#include <thread>
 #include <unordered_set>
 
 #include "common/crc32c.h"
+#include "common/fault_injection.h"
 #include "common/logging.h"
+#include "common/rng.h"
 
 namespace kamel {
 
@@ -22,11 +26,12 @@ uint64_t CellSalt(const PyramidCell& cell, uint64_t kind) {
 }  // namespace
 
 ShardedModelCache::ShardedModelCache(std::string path, int max_resident,
-                                     int num_shards)
+                                     LoadRetryPolicy retry, int num_shards)
     : path_(std::move(path)),
       per_shard_capacity_(std::max<size_t>(
           1, static_cast<size_t>(std::max(1, max_resident)) /
-                 static_cast<size_t>(std::max(1, num_shards)))) {
+                 static_cast<size_t>(std::max(1, num_shards)))),
+      retry_(retry) {
   if (num_shards < 1) num_shards = 1;
   shards_.reserve(static_cast<size_t>(num_shards));
   for (int i = 0; i < num_shards; ++i) {
@@ -34,8 +39,15 @@ ShardedModelCache::ShardedModelCache(std::string path, int max_resident,
   }
 }
 
+double ShardedModelCache::NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 Result<ModelHandle> ShardedModelCache::LoadFromDisk(
     const LazyModelRef& ref) const {
+  KAMEL_RETURN_NOT_OK(FaultInjector::Instance().Hit("repo.model.load"));
   std::ifstream file(path_, std::ios::binary);
   if (!file) {
     return Status::IOError("cannot reopen snapshot for lazy model load: " +
@@ -64,9 +76,33 @@ Result<ModelHandle> ShardedModelCache::LoadFromDisk(
   return ModelHandle(std::move(model));
 }
 
+Result<ModelHandle> ShardedModelCache::LoadWithRetries(
+    const LazyModelRef& ref) const {
+  const int attempts = 1 + std::max(0, retry_.max_retries);
+  // Deterministic jitter stream per model: reproducible backoff schedules
+  // under test, decorrelated schedules across models in production.
+  Rng jitter(0xB4EA4E5u ^ static_cast<uint64_t>(ref.payload_offset));
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0 && retry_.backoff_ms > 0.0) {
+      // Exponential backoff with jitter in [0.5, 1.0) of the full delay,
+      // so concurrent retries against a struggling disk desynchronize.
+      const double full_ms =
+          retry_.backoff_ms * static_cast<double>(1 << (attempt - 1));
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          full_ms * jitter.NextDouble(0.5, 1.0)));
+    }
+    Result<ModelHandle> loaded = LoadFromDisk(ref);
+    if (loaded.ok()) return loaded;
+    last = loaded.status();
+  }
+  return Status(last.code(), last.message() + " (after " +
+                                 std::to_string(attempts) + " attempts)");
+}
+
 Result<ModelHandle> ShardedModelCache::GetOrLoad(const LazyModelRef& ref) {
   const size_t key = ref.payload_offset;
-  Shard& shard = *shards_[key % shards_.size()];
+  Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.entries.find(key);
   if (it != shard.entries.end()) {
@@ -74,10 +110,44 @@ Result<ModelHandle> ShardedModelCache::GetOrLoad(const LazyModelRef& ref) {
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
     return it->second.model;
   }
+
+  // Breaker check before any disk IO: an open breaker inside its cooldown
+  // refuses immediately; past the cooldown this request becomes the
+  // half-open probe and falls through to the load below.
+  auto breaker_it = shard.breakers.find(key);
+  if (breaker_it != shard.breakers.end() && breaker_it->second.open &&
+      NowSeconds() - breaker_it->second.open_since_s <
+          retry_.breaker_cooldown_s) {
+    breaker_short_circuits_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable(
+        "model load breaker open (offset " + std::to_string(key) +
+        "); serving falls through to a pyramid ancestor");
+  }
+
   misses_.fetch_add(1, std::memory_order_relaxed);
   // Load under the shard mutex: concurrent misses on other shards proceed
-  // in parallel, and a thundering herd on one model does a single load.
-  KAMEL_ASSIGN_OR_RETURN(ModelHandle model, LoadFromDisk(ref));
+  // in parallel, and a thundering herd on one model does a single retry
+  // sequence rather than N.
+  Result<ModelHandle> loaded = LoadWithRetries(ref);
+  if (!loaded.ok()) {
+    Breaker& breaker = shard.breakers[key];
+    if (!breaker.open) {
+      breaker.open = true;
+      open_breakers_.fetch_add(1, std::memory_order_relaxed);
+      breaker_opens_.fetch_add(1, std::memory_order_relaxed);
+      KAMEL_LOG(Warning) << "model load breaker opened (offset " << key
+                         << "): " << loaded.status().ToString();
+    }
+    breaker.open_since_s = NowSeconds();  // probe failure restarts cooldown
+    return loaded.status();
+  }
+  if (breaker_it != shard.breakers.end() && breaker_it->second.open) {
+    // Successful half-open probe: the breaker re-closes.
+    breaker_it->second.open = false;
+    open_breakers_.fetch_sub(1, std::memory_order_relaxed);
+    KAMEL_LOG(Info) << "model load breaker re-closed (offset " << key << ")";
+  }
+  ModelHandle model = *std::move(loaded);
   shard.lru.push_front(key);
   shard.entries[key] = CacheEntry{model, shard.lru.begin()};
   while (shard.entries.size() > per_shard_capacity_) {
@@ -85,6 +155,19 @@ Result<ModelHandle> ShardedModelCache::GetOrLoad(const LazyModelRef& ref) {
     shard.lru.pop_back();
   }
   return model;
+}
+
+BreakerState ShardedModelCache::breaker_state(const LazyModelRef& ref) const {
+  const size_t key = ref.payload_offset;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.breakers.find(key);
+  if (it == shard.breakers.end() || !it->second.open) {
+    return BreakerState::kClosed;
+  }
+  return NowSeconds() - it->second.open_since_s < retry_.breaker_cooldown_s
+             ? BreakerState::kOpen
+             : BreakerState::kHalfOpen;
 }
 
 ModelRepository::ModelRepository(
@@ -257,54 +340,98 @@ ModelHandle ModelRepository::Resolve(const ModelSlot& slot) const {
   if (slot.lazy.has_value() && cache_ != nullptr) {
     Result<ModelHandle> loaded = cache_->GetOrLoad(*slot.lazy);
     if (loaded.ok()) return *std::move(loaded);
-    // A failed demand load serves like a missing model: the caller takes
-    // the same linear-fallback path as for an uncovered segment.
-    KAMEL_LOG(Warning) << "lazy model load failed: "
+    // A failed demand load serves like a missing model: the caller walks
+    // down the degradation ladder to a pyramid ancestor or the linear
+    // fallback. Open-breaker refusals are the steady state of a damaged
+    // shard — keep them off the Warning channel (opening was logged once).
+    if (loaded.status().code() == StatusCode::kUnavailable) {
+      KAMEL_LOG(Debug) << "lazy model load short-circuited: "
                        << loaded.status().ToString();
+    } else {
+      KAMEL_LOG(Warning) << "lazy model load failed: "
+                         << loaded.status().ToString();
+    }
   }
   return nullptr;
 }
 
-ModelHandle ModelRepository::LookupSingle(const PyramidCell& cell) const {
+const ModelRepository::ModelSlot* ModelRepository::FindSingle(
+    const PyramidCell& cell) const {
   auto it = entries_.find(cell);
-  return it == entries_.end() ? nullptr : Resolve(it->second.single);
+  if (it == entries_.end() || !it->second.single.present()) return nullptr;
+  return &it->second.single;
+}
+
+const ModelRepository::ModelSlot* ModelRepository::FindPair(
+    const PyramidCell& a, const PyramidCell& b) const {
+  if (a.level != b.level) return nullptr;
+  const ModelSlot* slot = nullptr;
+  if (a.y == b.y && std::abs(a.x - b.x) == 1) {
+    const PyramidCell& west = a.x < b.x ? a : b;
+    auto it = entries_.find(west);
+    if (it != entries_.end()) slot = &it->second.east_pair;
+  } else if (a.x == b.x && std::abs(a.y - b.y) == 1) {
+    const PyramidCell& north = a.y > b.y ? a : b;
+    auto it = entries_.find(north);
+    if (it != entries_.end()) slot = &it->second.south_pair;
+  }
+  return slot != nullptr && slot->present() ? slot : nullptr;
+}
+
+ModelHandle ModelRepository::LookupSingle(const PyramidCell& cell) const {
+  const ModelSlot* slot = FindSingle(cell);
+  return slot == nullptr ? nullptr : Resolve(*slot);
 }
 
 ModelHandle ModelRepository::LookupPair(const PyramidCell& a,
                                         const PyramidCell& b) const {
-  if (a.level != b.level) return nullptr;
-  if (a.y == b.y && std::abs(a.x - b.x) == 1) {
-    const PyramidCell& west = a.x < b.x ? a : b;
-    auto it = entries_.find(west);
-    return it == entries_.end() ? nullptr : Resolve(it->second.east_pair);
-  }
-  if (a.x == b.x && std::abs(a.y - b.y) == 1) {
-    const PyramidCell& north = a.y > b.y ? a : b;
-    auto it = entries_.find(north);
-    return it == entries_.end() ? nullptr : Resolve(it->second.south_pair);
-  }
-  return nullptr;
+  const ModelSlot* slot = FindPair(a, b);
+  return slot == nullptr ? nullptr : Resolve(*slot);
 }
 
 ModelHandle ModelRepository::SelectModel(const BBox& mbr) const {
-  if (!options_.enable_partitioning) return Resolve(global_);
-  if (mbr.Empty()) return nullptr;
+  return SelectModelLadder(mbr).model;
+}
+
+ModelRepository::ModelSelection ModelRepository::SelectModelLadder(
+    const BBox& mbr) const {
+  ModelSelection selection;
+  if (!options_.enable_partitioning) {
+    if (global_.present()) {
+      selection.finest_level = 0;
+      selection.model = Resolve(global_);
+      if (selection.model != nullptr) selection.served_level = 0;
+    }
+    return selection;
+  }
+  if (mbr.Empty()) return selection;
   for (int level = pyramid_.height();
        level >= pyramid_.lowest_maintained_level(); --level) {
     const PyramidCell lo = pyramid_.CellAt(level, {mbr.min_x, mbr.min_y});
     const PyramidCell hi = pyramid_.CellAt(level, {mbr.max_x, mbr.max_y});
+    const ModelSlot* slot = nullptr;
     if (lo == hi) {
       if (!pyramid_.CellBounds(lo).Contains(mbr)) continue;
-      if (ModelHandle model = LookupSingle(lo)) return model;
+      slot = FindSingle(lo);
     } else if ((lo.x == hi.x && std::abs(lo.y - hi.y) == 1) ||
                (lo.y == hi.y && std::abs(lo.x - hi.x) == 1)) {
       BBox pair = pyramid_.CellBounds(lo);
       pair.Extend(pyramid_.CellBounds(hi));
       if (!pair.Contains(mbr)) continue;
-      if (ModelHandle model = LookupPair(lo, hi)) return model;
+      slot = FindPair(lo, hi);
+    }
+    if (slot == nullptr) continue;
+    // The index promises a model here even if it cannot be served right
+    // now (open breaker, failed demand load): the first such level is the
+    // ladder's reference point for "degraded".
+    if (selection.finest_level < 0) selection.finest_level = level;
+    selection.model = Resolve(*slot);
+    if (selection.model != nullptr) {
+      selection.served_level = level;
+      return selection;
     }
   }
-  return nullptr;
+  return selection;
 }
 
 int ModelRepository::num_models() const {
@@ -468,7 +595,10 @@ Status ModelRepository::Load(BinaryReader* reader, LoadReport* report,
       options_.max_resident_models > 0 && source_path != nullptr;
   if (lazy) {
     cache_ = std::make_shared<ShardedModelCache>(
-        *source_path, options_.max_resident_models);
+        *source_path, options_.max_resident_models,
+        LoadRetryPolicy{options_.model_load_retries,
+                        options_.model_load_backoff_ms,
+                        options_.model_breaker_cooldown_s});
   }
 
   // Without a readable index there is nothing to quarantine against:

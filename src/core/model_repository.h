@@ -66,44 +66,105 @@ struct LazyModelRef {
   uint32_t stored_crc = 0;
 };
 
+/// Retry and circuit-breaker tuning for demand loads (filled from the
+/// model_load_* / model_breaker_* fields of KamelOptions).
+struct LoadRetryPolicy {
+  /// Retries after the first failed attempt (total attempts = 1 + this).
+  int max_retries = 2;
+  /// Base backoff between attempts, ms (doubles per retry, jittered).
+  double backoff_ms = 1.0;
+  /// Open-breaker cooldown before one half-open probe is allowed, s.
+  double breaker_cooldown_s = 5.0;
+};
+
+/// Circuit-breaker state of one demand-loaded model (classic three-state
+/// machine). kClosed: loads go to disk. kOpen: every attempt within the
+/// cooldown is refused without touching the disk. kHalfOpen: the cooldown
+/// elapsed and the next request is the single probe that re-closes the
+/// breaker on success or re-opens it on failure.
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
 /// Sharded-mutex LRU cache of on-demand loaded models. The shard of a model
 /// is derived from its file offset, so concurrent misses on different
 /// models usually load in parallel; a hit takes exactly one shard mutex.
 /// Eviction only drops the cache's reference — serving threads holding a
 /// ModelHandle keep their model alive until they release it.
+///
+/// Every miss is retried with jittered exponential backoff; a model whose
+/// attempts are exhausted (disk rot, CRC mismatch) gets an open circuit
+/// breaker, so a persistently failing shard costs one refusal per request
+/// instead of a disk read + CRC pass — callers fall through the pyramid to
+/// an ancestor or neighbor model. Breakers are per model, keyed like the
+/// cache entries.
 class ShardedModelCache {
  public:
   /// `path` is the snapshot file models are demand-loaded from.
   /// `max_resident` bounds the total cached models (split across shards,
   /// at least one per shard).
-  ShardedModelCache(std::string path, int max_resident, int num_shards = 8);
+  ShardedModelCache(std::string path, int max_resident,
+                    LoadRetryPolicy retry = {}, int num_shards = 8);
 
   /// Returns the cached model for `ref`, loading (and possibly evicting the
-  /// least-recently-used model of the same shard) on a miss.
+  /// least-recently-used model of the same shard) on a miss. kUnavailable
+  /// without disk IO while the breaker is open.
   Result<ModelHandle> GetOrLoad(const LazyModelRef& ref);
+
+  /// Current breaker state of the model at `ref`.
+  BreakerState breaker_state(const LazyModelRef& ref) const;
 
   int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  /// Breakers currently open (or half-open awaiting their probe).
+  int open_breakers() const {
+    return open_breakers_.load(std::memory_order_relaxed);
+  }
+  /// Times any breaker transitioned closed -> open since construction.
+  int64_t breaker_opens() const {
+    return breaker_opens_.load(std::memory_order_relaxed);
+  }
+  /// Requests refused without disk IO because a breaker was open.
+  int64_t breaker_short_circuits() const {
+    return breaker_short_circuits_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct CacheEntry {
     ModelHandle model;
     std::list<size_t>::iterator lru_it;
   };
+  struct Breaker {
+    bool open = false;
+    double open_since_s = 0.0;  // steady-clock seconds at open time
+  };
   struct Shard {
-    std::mutex mu;
+    mutable std::mutex mu;
     std::list<size_t> lru;  // most recently used first, keyed by offset
     std::unordered_map<size_t, CacheEntry> entries;
+    std::unordered_map<size_t, Breaker> breakers;
   };
+
+  Shard& ShardFor(size_t key) const { return *shards_[key % shards_.size()]; }
 
   /// Reads + CRC-verifies + parses the model section at `ref`.
   Result<ModelHandle> LoadFromDisk(const LazyModelRef& ref) const;
 
+  /// LoadFromDisk with up to 1 + retry_.max_retries attempts, sleeping a
+  /// jittered exponential backoff between them. Called with the shard
+  /// mutex held so a thundering herd on one model does a single sequence.
+  Result<ModelHandle> LoadWithRetries(const LazyModelRef& ref) const;
+
+  /// Steady-clock seconds since an arbitrary epoch (for cooldowns).
+  static double NowSeconds();
+
   const std::string path_;
   const size_t per_shard_capacity_;
+  const LoadRetryPolicy retry_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};
+  std::atomic<int> open_breakers_{0};
+  std::atomic<int64_t> breaker_opens_{0};
+  std::atomic<int64_t> breaker_short_circuits_{0};
 };
 
 /// The model repository of the Partitioning module (Section 4): a pyramid
@@ -135,10 +196,30 @@ class ModelRepository {
   Status AddTrainingBatch(const std::vector<size_t>& new_indices);
 
   /// Section 4.1 retrieval: the model of the smallest single cell or
-  /// neighbor-cell pair fully enclosing `mbr`; nullptr when no maintained
+  /// neighbor-cells pair fully enclosing `mbr`; nullptr when no maintained
   /// model covers it (callers then split the trajectory or fall back to a
   /// straight line). Thread-safe once building is done.
   ModelHandle SelectModel(const BBox& mbr) const;
+
+  /// How one SelectModel lookup was satisfied, for the degradation
+  /// ladder: `finest_level` is the finest pyramid level whose index
+  /// promises a covering model (lazy or resident), `served_level` the
+  /// level that actually resolved. served_level < finest_level means a
+  /// finer model exists but could not be served (open breaker, failed
+  /// demand load) and the request degraded to a pyramid ancestor.
+  struct ModelSelection {
+    ModelHandle model;      // null: nothing resolved at any level
+    int served_level = -1;  // level of `model`, -1 when null
+    int finest_level = -1;  // finest indexed covering level, -1 if none
+
+    bool degraded() const {
+      return model != nullptr && served_level < finest_level;
+    }
+  };
+
+  /// SelectModel plus the ladder accounting above. The plain SelectModel
+  /// is a thin wrapper over this.
+  ModelSelection SelectModelLadder(const BBox& mbr) const;
 
   /// Number of trained models currently indexed (resident or lazy).
   int num_models() const;
@@ -221,6 +302,12 @@ class ModelRepository {
   /// load for a lazy reference (nullptr if the load fails — the caller
   /// falls back exactly as for a missing model).
   ModelHandle Resolve(const ModelSlot& slot) const;
+
+  /// The indexed slot (resident or lazy) for a single-cell / pair model;
+  /// nullptr when the index holds nothing there. Presence is judged on
+  /// the index alone — a present slot may still fail to Resolve.
+  const ModelSlot* FindSingle(const PyramidCell& cell) const;
+  const ModelSlot* FindPair(const PyramidCell& a, const PyramidCell& b) const;
 
   ModelHandle LookupSingle(const PyramidCell& cell) const;
   ModelHandle LookupPair(const PyramidCell& a, const PyramidCell& b) const;

@@ -50,6 +50,19 @@ struct KamelOptions {
   /// file through a sharded-mutex LRU cache (serving memory stays bounded
   /// for city-scale pyramids); 0 loads every model eagerly.
   int max_resident_models = 0;
+  /// Demand-load retries after the first failed attempt (IO error or CRC
+  /// mismatch), each preceded by a jittered exponential backoff. Once
+  /// 1 + model_load_retries attempts have failed, the model's circuit
+  /// breaker opens and requests fall through the pyramid to an ancestor
+  /// or neighbor model instead of touching the disk again.
+  int model_load_retries = 2;
+  /// Base delay of the jittered exponential backoff between demand-load
+  /// retries, milliseconds (doubles per attempt; jitter keeps concurrent
+  /// retries from synchronizing). <= 0 retries immediately.
+  double model_load_backoff_ms = 1.0;
+  /// Seconds an open circuit breaker waits before letting one half-open
+  /// probe reattempt the load (success re-closes it; failure re-opens).
+  double model_breaker_cooldown_s = 5.0;
 
   // -- Spatial constraints (Section 5) ------------------------------------
   bool enable_constraints = true;

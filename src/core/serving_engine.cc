@@ -7,13 +7,29 @@
 
 namespace kamel {
 
+const char* ToString(HealthState state) {
+  switch (state) {
+    case HealthState::kServing:
+      return "SERVING";
+    case HealthState::kDegraded:
+      return "DEGRADED";
+    case HealthState::kShedding:
+      return "SHEDDING";
+    case HealthState::kDraining:
+      return "DRAINING";
+  }
+  return "UNKNOWN";
+}
+
 // ---------------------------------------------------------------------------
 // ServingEngine
 // ---------------------------------------------------------------------------
 
 ServingEngine::ServingEngine(std::shared_ptr<const KamelSnapshot> snapshot,
                              ServingOptions options)
-    : snapshot_(std::move(snapshot)), pool_(options.num_threads) {
+    : options_(options),
+      snapshot_(std::move(snapshot)),
+      pool_(options.num_threads) {
   KAMEL_CHECK(snapshot_ != nullptr,
               "ServingEngine needs a snapshot (KamelBuilder::Snapshot)");
 }
@@ -30,17 +46,78 @@ void ServingEngine::UpdateSnapshot(
   snapshot_ = std::move(snapshot);
 }
 
+Result<ImputeMode> ServingEngine::AdmitOne() {
+  std::unique_lock<std::mutex> lock(admit_mu_);
+  if (draining_) {
+    return Status::Unavailable("serving engine is draining");
+  }
+  ImputeMode mode = ImputeMode::kFull;
+  if (options_.max_pending > 0 && pending_ >= options_.max_pending) {
+    switch (options_.overload_policy) {
+      case OverloadPolicy::kBlock:
+        admit_cv_.wait(lock, [this] {
+          return draining_ || pending_ < options_.max_pending;
+        });
+        if (draining_) {
+          return Status::Unavailable(
+              "serving engine began draining while this call was queued");
+        }
+        break;
+      case OverloadPolicy::kShed:
+        ++shed_;
+        return Status::ResourceExhausted(
+            "serving queue full (" + std::to_string(pending_) + "/" +
+            std::to_string(options_.max_pending) +
+            " pending imputations); retry with backoff");
+      case OverloadPolicy::kDegrade:
+        // Admit beyond the bound, but at the ladder's bottom rung: the
+        // excess work is straight-line interpolation, so the queue keeps
+        // moving instead of stacking BERT inference behind the bound.
+        ++degraded_;
+        mode = ImputeMode::kLinearOnly;
+        break;
+    }
+  }
+  ++pending_;
+  peak_pending_ = std::max(peak_pending_, pending_);
+  ++admitted_;
+  return mode;
+}
+
+void ServingEngine::ReleaseOne() {
+  std::lock_guard<std::mutex> lock(admit_mu_);
+  --pending_;
+  KAMEL_CHECK(pending_ >= 0, "admission release without admit");
+  // Wakes both kBlock waiters in AdmitOne and the drainer in Drain.
+  admit_cv_.notify_all();
+}
+
 Result<ImputedTrajectory> ServingEngine::Impute(
     const Trajectory& sparse) const {
+  if (draining()) {
+    return Status::Unavailable("serving engine is draining");
+  }
   return snapshot()->Impute(sparse);
 }
 
 std::future<Result<ImputedTrajectory>> ServingEngine::ImputeAsync(
     Trajectory sparse) {
+  Result<ImputeMode> admission = AdmitOne();
+  if (!admission.ok()) {
+    std::promise<Result<ImputedTrajectory>> refused;
+    refused.set_value(admission.status());
+    return refused.get_future();
+  }
+  const ImputeMode mode = admission.value();
   std::shared_ptr<const KamelSnapshot> snap = snapshot();
+  // `this` outlives the task: the pool is the engine's last member, so
+  // its destructor joins every queued task before the admission state
+  // (or anything else) is torn down.
   return pool_.Submit(
-      [snap = std::move(snap), sparse = std::move(sparse)]() {
-        return snap->Impute(sparse);
+      [this, mode, snap = std::move(snap), sparse = std::move(sparse)]() {
+        Result<ImputedTrajectory> result = snap->Impute(sparse, mode);
+        ReleaseOne();
+        return result;
       });
 }
 
@@ -50,11 +127,27 @@ Result<std::vector<ImputedTrajectory>> ServingEngine::ImputeBatch(
   // not split the batch across two model generations.
   std::shared_ptr<const KamelSnapshot> snap = snapshot();
 
+  // Each trajectory is admitted individually, so a bounded engine under
+  // kBlock backpressures this thread between submissions instead of
+  // dumping the whole batch on the queue at once.
   std::vector<std::future<Result<ImputedTrajectory>>> futures;
   futures.reserve(batch.trajectories.size());
+  Status admission_error = Status::OK();
   for (const Trajectory& trajectory : batch.trajectories) {
-    futures.push_back(pool_.Submit([&snap, &trajectory]() {
-      return snap->Impute(trajectory);
+    Result<ImputeMode> admission = AdmitOne();
+    if (!admission.ok()) {
+      // Remember the first refusal but keep admitting the rest: partial
+      // shedding of a batch must not silently drop its tail, and the
+      // futures already submitted reference locals, so we finish the
+      // loop either way.
+      if (admission_error.ok()) admission_error = admission.status();
+      continue;
+    }
+    const ImputeMode mode = admission.value();
+    futures.push_back(pool_.Submit([this, mode, &snap, &trajectory]() {
+      Result<ImputedTrajectory> result = snap->Impute(trajectory, mode);
+      ReleaseOne();
+      return result;
     }));
   }
 
@@ -74,7 +167,63 @@ Result<std::vector<ImputedTrajectory>> ServingEngine::ImputeBatch(
     out.push_back(std::move(result).value());
   }
   KAMEL_RETURN_NOT_OK(first_error);
+  KAMEL_RETURN_NOT_OK(admission_error);
   return out;
+}
+
+HealthState ServingEngine::health() const {
+  {
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    if (draining_) return HealthState::kDraining;
+    if (options_.max_pending > 0 && pending_ >= options_.max_pending) {
+      return options_.overload_policy == OverloadPolicy::kShed
+                 ? HealthState::kShedding
+                 : HealthState::kDegraded;
+    }
+  }
+  // An open model-load breaker means some segments are being served by a
+  // pyramid ancestor (or a straight line): degraded, not down.
+  const std::shared_ptr<const KamelSnapshot> snap = snapshot();
+  const ShardedModelCache* cache = snap->repository().cache();
+  if (cache != nullptr && cache->open_breakers() > 0) {
+    return HealthState::kDegraded;
+  }
+  return HealthState::kServing;
+}
+
+EngineStats ServingEngine::stats() const {
+  std::lock_guard<std::mutex> lock(admit_mu_);
+  EngineStats stats;
+  stats.admitted = admitted_;
+  stats.shed = shed_;
+  stats.degraded = degraded_;
+  stats.pending = pending_;
+  stats.peak_pending = peak_pending_;
+  return stats;
+}
+
+bool ServingEngine::draining() const {
+  std::lock_guard<std::mutex> lock(admit_mu_);
+  return draining_;
+}
+
+ImputeMode ServingEngine::BypassMode() const {
+  std::lock_guard<std::mutex> lock(admit_mu_);
+  if (draining_) return ImputeMode::kLinearOnly;
+  if (options_.overload_policy == OverloadPolicy::kDegrade &&
+      options_.max_pending > 0 && pending_ >= options_.max_pending) {
+    return ImputeMode::kLinearOnly;
+  }
+  return ImputeMode::kFull;
+}
+
+void ServingEngine::Drain() {
+  std::unique_lock<std::mutex> lock(admit_mu_);
+  draining_ = true;
+  // Wake kBlock callers parked in AdmitOne: they observe draining_ and
+  // return kUnavailable instead of a slot.
+  admit_cv_.notify_all();
+  admit_cv_.wait(lock, [this] { return pending_ == 0; });
 }
 
 // ---------------------------------------------------------------------------
@@ -120,14 +269,17 @@ Trajectory StreamingSession::Detach(
 void StreamingSession::Emit(int64_t object_id, Trajectory trajectory) {
   // Pin the serving snapshot now, dispatch the BERT work to the pool:
   // Push returns immediately and results reach the sink from a worker.
+  // The mode is also pinned here: a draining or degrade-saturated engine
+  // serves this trip at the ladder's bottom rung (kLinearOnly).
   std::shared_ptr<const KamelSnapshot> snap = engine_->snapshot();
+  const ImputeMode mode = engine_->BypassMode();
   {
     std::lock_guard<std::mutex> lock(pending_mu_);
     ++pending_emits_;
   }
-  engine_->pool()->Schedule([this, object_id, snap = std::move(snap),
+  engine_->pool()->Schedule([this, object_id, mode, snap = std::move(snap),
                              trajectory = std::move(trajectory)]() {
-    Result<ImputedTrajectory> imputed = snap->Impute(trajectory);
+    Result<ImputedTrajectory> imputed = snap->Impute(trajectory, mode);
     if (sink_ != nullptr) {
       if (imputed.ok()) {
         sink_->OnImputed(object_id, std::move(imputed).value());

@@ -18,19 +18,69 @@
 
 namespace kamel {
 
+/// What the engine does with new work once `max_pending` imputations are
+/// already queued or running (admission control).
+enum class OverloadPolicy {
+  /// Callers block until a slot frees (backpressure propagates upstream).
+  /// A Drain() wakes blocked callers with kUnavailable.
+  kBlock,
+  /// Refuse immediately with kResourceExhausted; pending never exceeds
+  /// max_pending. The client owns the retry.
+  kShed,
+  /// Admit, but serve the trajectory at ImputeMode::kLinearOnly — the
+  /// bottom rung of the degradation ladder. Latency stays bounded
+  /// because no BERT work is queued; accuracy is what degrades. Pending
+  /// may transiently exceed max_pending, but each excess admission is
+  /// cheap straight-line work.
+  kDegrade,
+};
+
+/// Coarse health of the serving engine, for load balancers and probes.
+/// Order is severity: anything past kServing means clients are getting
+/// less than full service.
+enum class HealthState {
+  kServing,   // full service
+  kDegraded,  // serving, but a breaker is open or degrade-mode is active
+  kShedding,  // at the admission bound with kShed: refusing new work
+  kDraining,  // terminal: finishing in-flight work, admitting nothing
+};
+
+const char* ToString(HealthState state);
+
+/// Point-in-time admission counters. Monotonic counters never reset;
+/// `pending` is instantaneous.
+struct EngineStats {
+  int64_t admitted = 0;   // work items accepted (incl. degraded)
+  int64_t shed = 0;       // refused with kResourceExhausted
+  int64_t degraded = 0;   // admitted at kLinearOnly under kDegrade
+  int pending = 0;        // queued or running right now
+  int peak_pending = 0;   // high-water mark of pending
+};
+
 /// Tunables of the concurrent serving engine.
 struct ServingOptions {
   /// Worker threads in the imputation pool; 0 uses the hardware
   /// concurrency (ThreadPool::NumDefaultThreads()).
   int num_threads = 0;
+  /// Admission bound: maximum imputations queued or running at once
+  /// across ImputeAsync and ImputeBatch; 0 disables admission control
+  /// (unbounded, the deterministic default — batch results are then
+  /// independent of thread count and arrival order).
+  int max_pending = 0;
+  /// What to do with work arriving beyond max_pending.
+  OverloadPolicy overload_policy = OverloadPolicy::kBlock;
 };
 
 /// Concurrent serving front-end over an immutable KamelSnapshot: a work-
-/// stealing thread pool runs Impute across trajectories in parallel.
+/// stealing thread pool runs Impute across trajectories in parallel,
+/// behind an admission gate that bounds queued work (ServingOptions::
+/// max_pending) and applies the configured OverloadPolicy beyond it.
 ///
 /// Return conventions (see common/result.h): every serving call yields a
 /// Result<T> or Status; ImputeAsync wraps that Result in a future rather
-/// than throwing from pool threads.
+/// than throwing from pool threads. kResourceExhausted means shed (back
+/// off or shrink the request); kUnavailable means the engine is draining
+/// (retry against a different replica).
 ///
 /// Thread model: all public methods are thread-safe. Each in-flight
 /// imputation pins the snapshot that was current when it started
@@ -46,18 +96,26 @@ class ServingEngine {
 
   /// Imputes one trajectory synchronously on the calling thread (the pool
   /// is not involved: a caller that is itself a pool task must not wait
-  /// on the pool).
+  /// on the pool). Exempt from the admission bound — it consumes the
+  /// caller's thread, not a pool slot — but refused with kUnavailable
+  /// once Drain() has been called.
   Result<ImputedTrajectory> Impute(const Trajectory& sparse) const;
 
   /// Dispatches one imputation to the pool; the future carries the
-  /// Result. Safe to drop the future — the task still runs.
+  /// Result. Safe to drop the future — the task still runs. Subject to
+  /// admission control: beyond max_pending the call blocks, sheds
+  /// (kResourceExhausted), or degrades per the overload policy, and a
+  /// draining engine refuses with kUnavailable.
   std::future<Result<ImputedTrajectory>> ImputeAsync(Trajectory sparse);
 
   /// Imputes every trajectory of the batch across the pool. Results are
-  /// positioned by input index regardless of completion order, so the
-  /// output — and any aggregate over it (AggregateBatchStats) — is
-  /// byte-identical whether the pool has 1 thread or 16. On failures the
-  /// Status of the lowest-index failing trajectory is returned.
+  /// positioned by input index regardless of completion order, so with
+  /// admission control off (max_pending == 0) the output — and any
+  /// aggregate over it (AggregateBatchStats) — is byte-identical whether
+  /// the pool has 1 thread or 16. On failures the Status of the lowest-
+  /// index failing trajectory is returned — including admission refusals
+  /// (each trajectory is admitted individually; under kBlock the calling
+  /// thread backpressures between submissions).
   Result<std::vector<ImputedTrajectory>> ImputeBatch(
       const TrajectoryDataset& batch);
 
@@ -68,13 +126,59 @@ class ServingEngine {
   /// imputations finish on the snapshot they started with.
   void UpdateSnapshot(std::shared_ptr<const KamelSnapshot> snapshot);
 
+  /// Coarse health for load balancers: kDraining after Drain();
+  /// kShedding at the admission bound under kShed; kDegraded while the
+  /// snapshot's model-load breakers are open or degrade-mode is active;
+  /// kServing otherwise. Recovers to kServing on its own once breakers
+  /// re-close and the queue drains (except kDraining, which is terminal).
+  HealthState health() const;
+
+  /// Admission counters; `pending`/`peak_pending` cover pool-dispatched
+  /// work (ImputeAsync, ImputeBatch).
+  EngineStats stats() const;
+
+  /// Stops admitting work (terminal) and blocks until every pending
+  /// imputation has finished. Blocked kBlock callers wake with
+  /// kUnavailable; subsequent calls to any Impute* return kUnavailable.
+  /// Idempotent and safe to call from multiple threads.
+  void Drain();
+
+  bool draining() const;
+
+  /// Service level for work that bypasses the admission gate (the
+  /// streaming front-end): kLinearOnly while draining or past the
+  /// admission bound under kDegrade, kFull otherwise.
+  ImputeMode BypassMode() const;
+
+  /// The pool is exposed for components that manage their own lifecycle
+  /// on it (StreamingSession bounds and drains its dispatches itself, so
+  /// its Emit path bypasses the engine's admission gate by design).
   ThreadPool* pool() { return &pool_; }
   int num_threads() const { return pool_.num_threads(); }
+  const ServingOptions& serving_options() const { return options_; }
 
  private:
+  /// Admission decision for one unit of pool work: the ImputeMode to run
+  /// it at, kResourceExhausted when shed, kUnavailable when draining.
+  /// Blocks under kBlock. On success the caller owes one ReleaseOne().
+  Result<ImputeMode> AdmitOne();
+  void ReleaseOne();
+
+  ServingOptions options_;
+
   mutable std::mutex snapshot_mu_;
   std::shared_ptr<const KamelSnapshot> snapshot_;
-  ThreadPool pool_;
+
+  mutable std::mutex admit_mu_;
+  std::condition_variable admit_cv_;  // slot freed or draining began
+  bool draining_ = false;
+  int pending_ = 0;
+  int peak_pending_ = 0;
+  int64_t admitted_ = 0;
+  int64_t shed_ = 0;
+  int64_t degraded_ = 0;
+
+  ThreadPool pool_;  // last member: destroyed (joined) first
 };
 
 /// Receiver of streaming imputation results. Methods are invoked from
@@ -146,6 +250,13 @@ struct StreamingOptions {
 /// completion order; sink == nullptr discards imputations (useful when
 /// only the Status-returning control path is under test). The destructor
 /// drains outstanding imputations, so the sink must outlive the session.
+///
+/// Overload: the session enforces its own bounds (StreamingOptions) and
+/// dispatches straight to the engine's pool, bypassing the engine's
+/// admission gate — its backpressure unit is buffered points, not queued
+/// imputations. It does honor the ladder: trajectories emitted while the
+/// engine is draining, or past its admission bound under kDegrade, run at
+/// ImputeMode::kLinearOnly (see ServingEngine::BypassMode).
 class StreamingSession {
  public:
   /// `engine` and `sink` are borrowed and must outlive the session; the

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/thread_pool.h"
 #include "core/kamel.h"
 #include "eval/scenario.h"
@@ -93,6 +94,47 @@ class ConcurrencyTest : public testing::Test {
 
 SimScenario* ConcurrencyTest::scenario_ = nullptr;
 std::shared_ptr<const KamelSnapshot>* ConcurrencyTest::snapshot_ = nullptr;
+
+// Regression for a race in FaultInjector::Hit: the hit-count update and
+// the armed-state check used to be separable from a concurrent Reset(),
+// so a hit could land against the post-Reset epoch and surface as a
+// nonzero HitCount on a freshly reset injector. Both must now happen in
+// one critical section; TSan (this file's sanitizer leg) checks the
+// synchronization and the final assertion checks the epoch invariant.
+TEST(FaultInjectorTest, ConcurrentHitAndResetKeepEpochsSeparate) {
+  FaultInjector& injector = FaultInjector::Instance();
+  injector.Reset();
+  constexpr int kHitters = 4;
+  constexpr int kRounds = 200;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> hitters;
+  hitters.reserve(kHitters);
+  for (int t = 0; t < kHitters; ++t) {
+    hitters.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        (void)injector.Hit("race.point");
+        (void)injector.HitCount("race.point");
+      }
+    });
+  }
+  for (int round = 0; round < kRounds; ++round) {
+    injector.Arm("race.point", 0, /*count=*/-1);
+    injector.Reset();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& hitter : hitters) hitter.join();
+  // The loop's last operation was Reset(): every hit counted before it
+  // was cleared by it, and every hit completing after it observes the
+  // disarmed epoch under the lock and is not counted. A nonzero count
+  // here is exactly the original bug — a racing hit recorded against
+  // the post-Reset epoch.
+  EXPECT_EQ(injector.HitCount("race.point"), 0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(injector.Hit("race.point").ok());  // disarmed: passes,
+  }
+  EXPECT_EQ(injector.HitCount("race.point"), 0);   // and uncounted
+  injector.Reset();
+}
 
 TEST(ThreadPoolTest, RunsEverythingAndDrainsOnDestruction) {
   std::atomic<int> done{0};
@@ -287,6 +329,48 @@ TEST_F(ConcurrencyTest, SnapshotSavesConsistentlyDuringServing) {
   ASSERT_TRUE(reference.ok());
   ASSERT_TRUE(reloaded.ok());
   ExpectIdentical(*reference, *reloaded);
+}
+
+// impute_deadline_seconds must compose with --threads N: the deadline is
+// per-Impute-call wall clock, so with a deadline that expires immediately
+// every segment deterministically takes the linear path no matter how
+// many pool threads carve up the batch — deadline_segments aggregates to
+// the same total and the output bytes are identical.
+TEST_F(ConcurrencyTest, ImputeDeadlineDeterministicAcrossThreadCounts) {
+  const std::string path =
+      testing::TempDir() + "/concurrency_deadline_snapshot.bin";
+  ASSERT_TRUE((*snapshot_)->SaveToFile(path).ok());
+  KamelOptions options = MiniKamelOptions();
+  options.impute_deadline_seconds = 1e-12;  // expires immediately
+  Kamel restored(options);
+  ASSERT_TRUE(restored.LoadFromFile(path).ok());
+  auto snapshot = restored.Snapshot();
+  ASSERT_TRUE(snapshot.ok());
+
+  const TrajectoryDataset batch = SparseBatch(6);
+  ServingEngine one(*snapshot, {.num_threads = 1});
+  ServingEngine eight(*snapshot, {.num_threads = 8});
+  auto serial = one.ImputeBatch(batch);
+  auto parallel = eight.ImputeBatch(batch);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_EQ(serial->size(), batch.trajectories.size());
+  for (size_t i = 0; i < serial->size(); ++i) {
+    ExpectIdentical((*serial)[i], (*parallel)[i]);
+    EXPECT_EQ((*serial)[i].stats.deadline_segments,
+              (*parallel)[i].stats.deadline_segments);
+  }
+  const ImputeStats a = AggregateBatchStats(*serial);
+  const ImputeStats b = AggregateBatchStats(*parallel);
+  EXPECT_EQ(a.deadline_segments, b.deadline_segments);
+  EXPECT_EQ(a.deadline_segments, a.segments);  // everything expired
+  EXPECT_GT(a.segments, 0);
+  EXPECT_EQ(a.failed_segments, a.segments);
+  EXPECT_EQ(a.bert_calls, 0);
+  // The ladder never engaged: deadline expiry skips model selection.
+  EXPECT_EQ(a.full_model_segments, 0);
+  EXPECT_EQ(a.ancestor_segments, 0);
+  EXPECT_EQ(a.overload_segments, 0);
 }
 
 TEST_F(ConcurrencyTest, UpdateSnapshotSwapsWithoutDisruption) {

@@ -343,9 +343,10 @@ TEST_F(FaultEndToEndTest, FailedSaveLeavesPreviousSnapshotIntact) {
   const std::string path = testing::TempDir() + "/kamel_atomic_test.bin";
   ASSERT_TRUE(system_->SaveToFile(path).ok());
 
-  FaultInjector::Instance().Arm("snapshot.write");
-  EXPECT_FALSE(system_->SaveToFile(path).ok());
-  FaultInjector::Instance().Reset();
+  {
+    ScopedFault fault("snapshot.write");
+    EXPECT_FALSE(system_->SaveToFile(path).ok());
+  }
 
   // The interrupted save must not have torn the previous good snapshot.
   Kamel restored(MiniKamelOptions());
@@ -508,11 +509,13 @@ TEST_F(FaultEndToEndTest, TrainRejectsGarbageTrajectories) {
 }
 
 TEST_F(FaultEndToEndTest, BertFaultDrivesLinearFallback) {
-  FaultInjector::Instance().Arm("bert.forward", 0, /*count=*/-1);
-  auto result = system_->Impute(SparseTest(1));
-  const int64_t forward_hits =
-      FaultInjector::Instance().HitCount("bert.forward");
-  FaultInjector::Instance().Reset();
+  Result<ImputedTrajectory> result = Status::Internal("not yet run");
+  int64_t forward_hits = 0;
+  {
+    ScopedFault fault("bert.forward", 0, /*count=*/-1);
+    result = system_->Impute(SparseTest(1));
+    forward_hits = FaultInjector::Instance().HitCount("bert.forward");
+  }
   ASSERT_TRUE(result.ok());
   EXPECT_GT(result->stats.segments, 0);
   EXPECT_EQ(result->stats.failed_segments, result->stats.segments);
@@ -520,10 +523,9 @@ TEST_F(FaultEndToEndTest, BertFaultDrivesLinearFallback) {
 }
 
 TEST_F(FaultEndToEndTest, StoreAppendFaultFailsTraining) {
-  FaultInjector::Instance().Arm("store.append");
+  ScopedFault fault("store.append");
   Kamel fresh(MiniKamelOptions());
   EXPECT_FALSE(fresh.Train(scenario_->train).ok());
-  FaultInjector::Instance().Reset();
 }
 
 TEST_F(FaultEndToEndTest, ImputeDeadlineFallsBackToStraightLines) {

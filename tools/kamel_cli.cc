@@ -170,24 +170,52 @@ int Train(const Flags& flags) {
   return 0;
 }
 
+// Parses `--overload-policy`. A bad value is a usage error (exit 2, like
+// any other invalid command line), not a runtime failure, so this runs
+// before the engine is built.
+int ParseOverloadPolicy(const Flags& flags, OverloadPolicy* policy) {
+  const std::string name = flags.Get("overload-policy", "block");
+  if (name == "block") {
+    *policy = OverloadPolicy::kBlock;
+  } else if (name == "shed") {
+    *policy = OverloadPolicy::kShed;
+  } else if (name == "degrade") {
+    *policy = OverloadPolicy::kDegrade;
+  } else {
+    std::fprintf(stderr,
+                 "unknown --overload-policy '%s' (block|shed|degrade)\n",
+                 name.c_str());
+    return 2;
+  }
+  return 0;
+}
+
 // Builds the concurrent serving engine for impute/evaluate. `--threads 1`
 // (the default) serves on a single pool thread; outputs are byte-identical
 // at any thread count, so parallelism is purely a throughput knob.
+// `--max-pending N` bounds queued imputations and `--overload-policy
+// block|shed|degrade` picks what happens beyond the bound (admission
+// control; the default 0 is unbounded and fully deterministic).
 Result<std::unique_ptr<ServingEngine>> MakeEngine(Kamel* system,
-                                                  const Flags& flags) {
+                                                  const Flags& flags,
+                                                  OverloadPolicy policy) {
   KAMEL_ASSIGN_OR_RETURN(auto snapshot, system->Snapshot());
   ServingOptions serving;
   serving.num_threads = static_cast<int>(flags.GetInt("threads", 1));
+  serving.max_pending = static_cast<int>(flags.GetInt("max-pending", 0));
+  serving.overload_policy = policy;
   return std::make_unique<ServingEngine>(std::move(snapshot), serving);
 }
 
 int Impute(const Flags& flags) {
+  OverloadPolicy policy;
+  if (int rc = ParseOverloadPolicy(flags, &policy); rc != 0) return rc;
   Kamel system(OptionsFromFlags(flags));
   if (int rc = LoadOrFail(&system, flags); rc != 0) return rc;
   auto data = io::ReadCsvFile(flags.Get("data"));
   if (!data.ok()) return Fail(data.status());
 
-  auto engine = MakeEngine(&system, flags);
+  auto engine = MakeEngine(&system, flags, policy);
   if (!engine.ok()) return Fail(engine.status());
   auto results = (*engine)->ImputeBatch(*data);
   if (!results.ok()) return Fail(results.status());
@@ -214,13 +242,15 @@ int Impute(const Flags& flags) {
 }
 
 int Evaluate(const Flags& flags) {
+  OverloadPolicy policy;
+  if (int rc = ParseOverloadPolicy(flags, &policy); rc != 0) return rc;
   Kamel system(OptionsFromFlags(flags));
   if (int rc = LoadOrFail(&system, flags); rc != 0) return rc;
   auto dense = io::ReadCsvFile(flags.Get("data"));
   if (!dense.ok()) return Fail(dense.status());
 
   const Evaluator evaluator(&system.projection());
-  auto engine = MakeEngine(&system, flags);
+  auto engine = MakeEngine(&system, flags, policy);
   if (!engine.ok()) return Fail(engine.status());
   auto run = evaluator.RunEngine(engine->get(), *dense,
                                  flags.GetDouble("sparseness", 1000.0));
@@ -288,13 +318,18 @@ int Usage() {
       "            [--geojson] [--beam N] [--method beam|iterative]\n"
       "  evaluate  --model m.kamel --data dense.csv [--sparseness M]\n"
       "            [--delta M]\n"
-      "  fsck      SNAPSHOT        verify framing and checksums; exits\n"
-      "            nonzero and names the damaged section on corruption\n"
+      "  fsck      SNAPSHOT        verify framing and checksums; exit 0 =\n"
+      "            clean, 1 = damaged or unreadable (the damaged section\n"
+      "            is named), 2 = usage error\n"
       "  (impute/evaluate: [--threads N] imputes trajectories in parallel\n"
       "   on N pool threads (0 = hardware concurrency); outputs are\n"
       "   byte-identical at any thread count.\n"
       "   [--deadline SECONDS] bounds each Impute call; overruns fall\n"
-      "   back to straight lines instead of stalling)\n");
+      "   back to straight lines instead of stalling.\n"
+      "   [--max-pending N] bounds queued imputations (0 = unbounded);\n"
+      "   [--overload-policy block|shed|degrade] picks what happens\n"
+      "   beyond the bound: callers wait, are refused, or get straight-\n"
+      "   line service)\n");
   return 2;
 }
 
