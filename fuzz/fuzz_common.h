@@ -1,0 +1,105 @@
+// Shared plumbing for the corpus-replay fuzz harnesses (built only under
+// -DKAMEL_FUZZ=ON): corpus loading, seed writing, and a deterministic
+// structure-unaware byte mutator. No libFuzzer dependency — each harness
+// is a plain binary that replays its checked-in corpus and then runs a
+// bounded number of mutation rounds from a fixed RNG seed, so a CI run
+// is reproducible and a failure names the exact (seed, round) to replay.
+#ifndef KAMEL_FUZZ_FUZZ_COMMON_H_
+#define KAMEL_FUZZ_FUZZ_COMMON_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace kamel::fuzz {
+
+inline long EnvLong(const char* name, long fallback) {
+  if (const char* env = std::getenv(name)) {
+    const long parsed = std::atol(env);
+    if (parsed > 0) return parsed;
+  }
+  return fallback;
+}
+
+/// Corpus entries in sorted-name order (directory iteration order is
+/// filesystem-dependent; the fuzz schedule must not be).
+inline std::vector<std::pair<std::string, std::vector<uint8_t>>> LoadCorpus(
+    const std::string& dir) {
+  std::vector<std::pair<std::string, std::vector<uint8_t>>> corpus;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                               std::istreambuf_iterator<char>());
+    corpus.emplace_back(entry.path().filename().string(),
+                        std::move(bytes));
+  }
+  std::sort(corpus.begin(), corpus.end());
+  return corpus;
+}
+
+inline bool WriteFileBytes(const std::string& path,
+                           const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return out.good();
+}
+
+/// 1..8 random edits: bit flips, byte overwrites, truncations, single
+/// insertions, and block duplications. Structure-unaware on purpose —
+/// the seeds supply structure, the mutator supplies damage.
+inline std::vector<uint8_t> Mutate(std::vector<uint8_t> data,
+                                   std::mt19937_64* rng) {
+  auto rand = [rng](uint64_t bound) -> uint64_t {
+    return bound == 0 ? 0 : (*rng)() % bound;
+  };
+  const int edits = 1 + static_cast<int>(rand(8));
+  for (int e = 0; e < edits; ++e) {
+    switch (rand(5)) {
+      case 0:
+        if (!data.empty()) {
+          data[rand(data.size())] ^= static_cast<uint8_t>(1u << rand(8));
+        }
+        break;
+      case 1:
+        if (!data.empty()) {
+          data[rand(data.size())] = static_cast<uint8_t>(rand(256));
+        }
+        break;
+      case 2:
+        data.resize(rand(data.size() + 1));  // truncate (possibly to 0)
+        break;
+      case 3:
+        data.insert(data.begin() + static_cast<long>(rand(data.size() + 1)),
+                    static_cast<uint8_t>(rand(256)));
+        break;
+      case 4:
+        if (data.size() >= 2) {
+          const size_t begin = rand(data.size() - 1);
+          const size_t len =
+              1 + rand(std::min<size_t>(64, data.size() - begin));
+          std::vector<uint8_t> block(data.begin() + begin,
+                                     data.begin() + begin + len);
+          const size_t at = rand(data.size() + 1);
+          data.insert(data.begin() + static_cast<long>(at), block.begin(),
+                      block.end());
+        }
+        break;
+    }
+  }
+  return data;
+}
+
+}  // namespace kamel::fuzz
+
+#endif  // KAMEL_FUZZ_FUZZ_COMMON_H_

@@ -1,0 +1,133 @@
+// Corpus-replay fuzz harness for the trajectory CSV parser. Each input
+// is fed to io::ReadCsvString as-is. Invariants, checked on every input:
+//
+//   * the parser never crashes — malformed text is refused with a
+//     Status, not an exception or a fault;
+//   * accepted input round-trips: re-serializing the parsed dataset and
+//     parsing that again must succeed and serialize identically (the
+//     writer is the canonical form, so write->read->write is a fixed
+//     point).
+//
+// Usage:
+//   trajectory_csv_fuzz <corpus-dir>          replay + KAMEL_FUZZ_ITERS
+//                                             mutation rounds (default
+//                                             2000; KAMEL_FUZZ_SEED
+//                                             picks the stream)
+//   trajectory_csv_fuzz --write-seeds <dir>   regenerate the seed corpus
+//
+// Exit 0 = all invariants held, 1 = violation, 2 = usage/setup error.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fuzz_common.h"
+#include "io/trajectory_csv.h"
+
+namespace kamel::fuzz {
+namespace {
+
+int RunOne(const std::vector<uint8_t>& bytes) {
+  const std::string text(bytes.begin(), bytes.end());
+  auto parsed = io::ReadCsvString(text);
+  if (!parsed.ok()) return 0;  // refusing malformed text is correct
+
+  const std::string canonical = io::WriteCsvString(*parsed);
+  auto reparsed = io::ReadCsvString(canonical);
+  if (!reparsed.ok()) {
+    std::fprintf(stderr,
+                 "VIOLATION: writer output does not reparse: %s\n",
+                 reparsed.status().ToString().c_str());
+    return 1;
+  }
+  if (io::WriteCsvString(*reparsed) != canonical) {
+    std::fprintf(stderr,
+                 "VIOLATION: write->read->write is not a fixed point\n");
+    return 1;
+  }
+  return 0;
+}
+
+int WriteSeeds(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::vector<std::pair<std::string, std::string>> seeds = {
+      {"valid.csv",
+       "trajectory_id,lat,lng,time\n"
+       "1,41.1579,-8.6291,0\n"
+       "1,41.1602,-8.6275,60\n"
+       "1,41.1625,-8.6259,120\n"
+       "2,41.1400,-8.6100,0\n"
+       "2,41.1410,-8.6090,30\n"},
+      {"comments.csv",
+       "# porto mini export\n"
+       "trajectory_id,lat,lng,time\n"
+       "\n"
+       "9,41.0,-8.0,0\n"
+       "# mid-file comment\n"
+       "9,41.1,-8.1,10\n"},
+      {"unordered.csv",
+       "trajectory_id,lat,lng,time\n"
+       "3,41.0,-8.0,100\n"
+       "3,41.1,-8.1,50\n"},
+      {"truncated.csv",
+       "trajectory_id,lat,lng,time\n"
+       "4,41.0,-8.0\n"},
+      {"garbage.csv", "\xff\xfenot,a,csv\n\x00\x01\x02"},
+  };
+  for (const auto& [name, text] : seeds) {
+    std::vector<uint8_t> bytes(text.begin(), text.end());
+    if (!WriteFileBytes(dir + "/" + name, bytes)) {
+      std::fprintf(stderr, "seed '%s': write failed\n", name.c_str());
+      return 2;
+    }
+  }
+  std::printf("wrote %zu seeds under %s\n", seeds.size(), dir.c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc == 3 && std::string(argv[1]) == "--write-seeds") {
+    return WriteSeeds(argv[2]);
+  }
+  if (argc != 2) {
+    std::fprintf(stderr,
+                 "usage: trajectory_csv_fuzz <corpus-dir> | --write-seeds "
+                 "<dir>\n");
+    return 2;
+  }
+  const auto corpus = LoadCorpus(argv[1]);
+  if (corpus.empty()) {
+    std::fprintf(stderr, "empty corpus at %s\n", argv[1]);
+    return 2;
+  }
+  for (const auto& [name, bytes] : corpus) {
+    if (const int rc = RunOne(bytes); rc != 0) {
+      std::fprintf(stderr, "corpus entry '%s' failed\n", name.c_str());
+      return rc;
+    }
+  }
+  const long iters = EnvLong("KAMEL_FUZZ_ITERS", 2000);
+  const uint64_t seed =
+      static_cast<uint64_t>(EnvLong("KAMEL_FUZZ_SEED", 0x5EED));
+  std::mt19937_64 rng(seed);
+  for (long i = 0; i < iters; ++i) {
+    const auto& base = corpus[rng() % corpus.size()];
+    if (const int rc = RunOne(Mutate(base.second, &rng)); rc != 0) {
+      std::fprintf(stderr,
+                   "mutation round %ld of '%s' failed (seed 0x%llx)\n", i,
+                   base.first.c_str(),
+                   static_cast<unsigned long long>(seed));
+      return rc;
+    }
+  }
+  std::printf(
+      "trajectory_csv_fuzz: %zu corpus entries + %ld mutants clean\n",
+      corpus.size(), iters);
+  return 0;
+}
+
+}  // namespace
+}  // namespace kamel::fuzz
+
+int main(int argc, char** argv) { return kamel::fuzz::Main(argc, argv); }

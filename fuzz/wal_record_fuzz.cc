@@ -1,0 +1,226 @@
+// Corpus-replay fuzz harness for the WAL record reader. Each input is
+// the byte image of one segment file; the harness materializes it as
+// `wal-0000000000000001.log` in a scratch directory and drives both
+// readers over it: FsckWal (pure scan) and WriteAheadLog::Open (replay +
+// torn-tail truncation). Invariants, checked on every input:
+//
+//   * neither reader crashes, hangs, or over-allocates (the 64 MB record
+//     bound must hold against hostile length fields);
+//   * FsckWal never fails on a readable directory — damage is reported,
+//     not thrown;
+//   * when Open accepts, every surviving record survives both payload
+//     decoders (they may refuse, they may not crash);
+//   * recovery is idempotent: reopening the directory Open just repaired
+//     succeeds, reports no torn tail, and yields the same record count.
+//
+// Usage:
+//   wal_record_fuzz <corpus-dir>          replay + KAMEL_FUZZ_ITERS
+//                                         mutation rounds (default 2000;
+//                                         KAMEL_FUZZ_SEED picks the
+//                                         stream, default 0x5EED)
+//   wal_record_fuzz --write-seeds <dir>   regenerate the seed corpus
+//
+// Exit 0 = all invariants held, 1 = violation (the offending round is
+// named), 2 = usage/setup error.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fuzz_common.h"
+#include "io/wal.h"
+
+namespace kamel::fuzz {
+namespace {
+
+namespace fs = std::filesystem;
+
+const char kScratch[] = "/tmp/kamel_wal_fuzz_scratch";
+
+int RunOne(const std::vector<uint8_t>& bytes) {
+  std::error_code ec;
+  fs::remove_all(kScratch, ec);
+  fs::create_directories(kScratch, ec);
+  const std::string segment =
+      std::string(kScratch) + "/wal-0000000000000001.log";
+  if (!WriteFileBytes(segment, bytes)) {
+    std::fprintf(stderr, "cannot write scratch segment\n");
+    return 2;
+  }
+
+  auto fsck = FsckWal(kScratch);
+  if (!fsck.ok()) {
+    std::fprintf(stderr, "VIOLATION: FsckWal failed on a readable dir: %s\n",
+                 fsck.status().ToString().c_str());
+    return 1;
+  }
+
+  WalOptions options;
+  options.dir = kScratch;
+  WalRecoveryReport report;
+  auto log = WriteAheadLog::Open(options, &report);
+  if (!log.ok()) return 0;  // refusing damaged input is correct behavior
+  log->reset();
+  for (const WalRecord& record : report.records) {
+    // The log is payload-agnostic, so any payload may sit under any
+    // type; both codecs must tolerate all of them.
+    (void)DecodeTrajectoryPayload(record.payload);
+    (void)DecodeLsnPayload(record.payload);
+  }
+
+  WalRecoveryReport second;
+  auto reopened = WriteAheadLog::Open(options, &second);
+  if (!reopened.ok()) {
+    std::fprintf(stderr,
+                 "VIOLATION: reopen after successful recovery failed: %s\n",
+                 reopened.status().ToString().c_str());
+    return 1;
+  }
+  reopened->reset();
+  if (second.torn_tail_bytes != 0) {
+    std::fprintf(stderr,
+                 "VIOLATION: recovery left a torn tail behind (%zu bytes)\n",
+                 second.torn_tail_bytes);
+    return 1;
+  }
+  if (second.records.size() != report.records.size()) {
+    std::fprintf(stderr,
+                 "VIOLATION: recovery not idempotent (%zu records, then "
+                 "%zu)\n",
+                 report.records.size(), second.records.size());
+    return 1;
+  }
+  return 0;
+}
+
+/// Reads back the first (only) segment the seed builder produced.
+std::vector<uint8_t> SegmentBytes(const std::string& dir) {
+  auto corpus = LoadCorpus(dir);
+  return corpus.empty() ? std::vector<uint8_t>{} : corpus.front().second;
+}
+
+int WriteSeeds(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  const std::string scratch = std::string(kScratch) + "_seed";
+
+  Trajectory trajectory;
+  trajectory.id = 7;
+  for (int i = 0; i < 5; ++i) {
+    trajectory.points.push_back(
+        {41.1 + 0.001 * i, -8.6 + 0.0005 * i, 60.0 * i});
+  }
+
+  const auto build = [&](const std::string& name, auto&& fill,
+                         size_t tear_bytes) -> int {
+    fs::remove_all(scratch, ec);
+    WalOptions options;
+    options.dir = scratch;
+    auto log = WriteAheadLog::Open(options);
+    if (!log.ok()) {
+      std::fprintf(stderr, "seed '%s': open failed: %s\n", name.c_str(),
+                   log.status().ToString().c_str());
+      return 2;
+    }
+    if (const Status status = fill(log->get()); !status.ok()) {
+      std::fprintf(stderr, "seed '%s': fill failed: %s\n", name.c_str(),
+                   status.ToString().c_str());
+      return 2;
+    }
+    log->reset();
+    std::vector<uint8_t> bytes = SegmentBytes(scratch);
+    if (tear_bytes > 0 && bytes.size() > tear_bytes) {
+      bytes.resize(bytes.size() - tear_bytes);
+    }
+    if (!WriteFileBytes(dir + "/" + name, bytes)) {
+      std::fprintf(stderr, "seed '%s': write failed\n", name.c_str());
+      return 2;
+    }
+    return 0;
+  };
+
+  const auto submits = [&](WriteAheadLog* log) -> Status {
+    for (int i = 0; i < 3; ++i) {
+      Trajectory one = trajectory;
+      one.id = trajectory.id + i;
+      KAMEL_ASSIGN_OR_RETURN(
+          uint64_t lsn,
+          log->Append(WalRecordType::kSubmit, EncodeTrajectoryPayload(one)));
+      (void)lsn;
+    }
+    return Status::OK();
+  };
+  const auto mixed = [&](WriteAheadLog* log) -> Status {
+    KAMEL_RETURN_NOT_OK(submits(log));
+    KAMEL_ASSIGN_OR_RETURN(
+        uint64_t store_lsn,
+        log->Append(WalRecordType::kStoreAppend,
+                    EncodeTrajectoryPayload(trajectory)));
+    (void)store_lsn;
+    KAMEL_ASSIGN_OR_RETURN(
+        uint64_t marker,
+        log->Append(WalRecordType::kBatchTrained, EncodeLsnPayload(3)));
+    (void)marker;
+    return log->Checkpoint(3);
+  };
+
+  int rc = 0;
+  rc = std::max(rc, build("empty.bin", [](WriteAheadLog*) {
+    return Status::OK();
+  }, 0));
+  rc = std::max(rc, build("submits.bin", submits, 0));
+  rc = std::max(rc, build("mixed.bin", mixed, 0));
+  rc = std::max(rc, build("torn.bin", submits, 7));
+  std::vector<uint8_t> garbage;
+  for (const char c : std::string("this is not a wal segment\n")) {
+    garbage.push_back(static_cast<uint8_t>(c));
+  }
+  if (!WriteFileBytes(dir + "/garbage.bin", garbage)) rc = 2;
+  if (rc == 0) std::printf("wrote 5 seeds under %s\n", dir.c_str());
+  return rc;
+}
+
+int Main(int argc, char** argv) {
+  if (argc == 3 && std::string(argv[1]) == "--write-seeds") {
+    return WriteSeeds(argv[2]);
+  }
+  if (argc != 2) {
+    std::fprintf(stderr,
+                 "usage: wal_record_fuzz <corpus-dir> | --write-seeds "
+                 "<dir>\n");
+    return 2;
+  }
+  const auto corpus = LoadCorpus(argv[1]);
+  if (corpus.empty()) {
+    std::fprintf(stderr, "empty corpus at %s\n", argv[1]);
+    return 2;
+  }
+  for (const auto& [name, bytes] : corpus) {
+    if (const int rc = RunOne(bytes); rc != 0) {
+      std::fprintf(stderr, "corpus entry '%s' failed\n", name.c_str());
+      return rc;
+    }
+  }
+  const long iters = EnvLong("KAMEL_FUZZ_ITERS", 2000);
+  const uint64_t seed =
+      static_cast<uint64_t>(EnvLong("KAMEL_FUZZ_SEED", 0x5EED));
+  std::mt19937_64 rng(seed);
+  for (long i = 0; i < iters; ++i) {
+    const auto& base = corpus[rng() % corpus.size()];
+    if (const int rc = RunOne(Mutate(base.second, &rng)); rc != 0) {
+      std::fprintf(stderr,
+                   "mutation round %ld of '%s' failed (seed 0x%llx)\n", i,
+                   base.first.c_str(),
+                   static_cast<unsigned long long>(seed));
+      return rc;
+    }
+  }
+  std::printf("wal_record_fuzz: %zu corpus entries + %ld mutants clean\n",
+              corpus.size(), iters);
+  return 0;
+}
+
+}  // namespace
+}  // namespace kamel::fuzz
+
+int main(int argc, char** argv) { return kamel::fuzz::Main(argc, argv); }

@@ -26,6 +26,15 @@ namespace kamel {
 ///   repo.model.load         ShardedModelCache demand load (each disk
 ///                           attempt, including retries — drives the
 ///                           retry/backoff path and the circuit breaker)
+///   wal.append              WriteAheadLog::Append, before any byte hits
+///                           the segment
+///   wal.append.torn         WriteAheadLog::Append: writes half a frame
+///                           then fails and poisons the log (simulates a
+///                           crash mid-write; reopen truncates the tear)
+///   wal.fsync               WriteAheadLog durability step (Sync/policy)
+///   wal.rotate              WriteAheadLog segment rollover
+///   wal.checkpoint          WriteAheadLog::Checkpoint, between the
+///                           checkpoint record and segment deletion
 ///
 /// When nothing is armed, Hit() is a single relaxed atomic load — cheap
 /// enough to leave in serving paths.

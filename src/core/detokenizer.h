@@ -39,6 +39,14 @@ class Detokenizer {
   /// TokenizePerPoint output). Call Refit() after adding batches.
   void AddObservations(const TokenizedTrajectory& per_point_tokens);
 
+  /// Drops the accumulated observation history (clusters are kept).
+  /// Used when the history is about to be replayed from a snapshot's
+  /// ingest log, so restored observations are not double-counted.
+  void ClearObservations() {
+    observations_.clear();
+    num_observations_ = 0;
+  }
+
   /// (Re)clusters all accumulated observations.
   void Refit();
 

@@ -100,6 +100,21 @@ class Kamel {
   /// a descriptive Status — never an abort.
   Status LoadFromFile(const std::string& path, LoadReport* report = nullptr);
 
+  /// Durable-ingestion plumbing (see core/maintenance.h): attaches a
+  /// write-ahead log to the training path and exposes the checkpoint
+  /// watermark the maintenance scheduler advances. Forwards to the
+  /// builder; serving snapshots are unaffected.
+  void AttachWal(WriteAheadLog* wal) { builder_.AttachWal(wal); }
+  uint64_t wal_applied_lsn() const { return builder_.wal_applied_lsn(); }
+  void set_wal_applied_lsn(uint64_t lsn) {
+    builder_.set_wal_applied_lsn(lsn);
+  }
+
+  /// Every raw trajectory that contributed to the store, in ingest order.
+  const std::vector<Trajectory>& ingested() const {
+    return builder_.ingested();
+  }
+
  private:
   /// Returns the cached snapshot, minting it on first use.
   Result<const KamelSnapshot*> EnsureSnapshot();

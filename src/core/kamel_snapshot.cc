@@ -34,7 +34,8 @@ Status SaveSnapshotFile(const LocalProjection& projection,
                         double total_train_seconds,
                         const ModelRepository& repository,
                         const Detokenizer& detokenizer,
-                        const std::string& path) {
+                        const std::vector<Trajectory>* ingest,
+                        uint64_t wal_applied_lsn, const std::string& path) {
   BinaryWriter writer;
   writer.WriteMagicHeader();
   writer.BeginSection("meta");
@@ -57,6 +58,28 @@ Status SaveSnapshotFile(const LocalProjection& projection,
   writer.BeginSection("detok");
   detokenizer.Save(&writer);
   writer.EndSection();
+  if (ingest != nullptr) {
+    // The ingest log turns a builder save into a durable checkpoint:
+    // restoring it rebuilds the trajectory store and the detokenizer's
+    // observation history, which is what makes WAL records at or below
+    // wal_applied_lsn safe to delete. Serving snapshots omit it (they
+    // never resume training), and old readers never reach it — the
+    // previous sections are framed, so trailing data is invisible to
+    // them.
+    writer.BeginSection("ingest");
+    writer.WriteU64(wal_applied_lsn);
+    writer.WriteU64(static_cast<uint64_t>(ingest->size()));
+    for (const Trajectory& trajectory : *ingest) {
+      writer.WriteI64(trajectory.id);
+      writer.WriteU32(static_cast<uint32_t>(trajectory.points.size()));
+      for (const TrajPoint& point : trajectory.points) {
+        writer.WriteF64(point.pos.lat);
+        writer.WriteF64(point.pos.lng);
+        writer.WriteF64(point.time);
+      }
+    }
+    writer.EndSection();
+  }
   return writer.FlushToFileAtomic(path);
 }
 
@@ -241,7 +264,7 @@ Result<ImputedTrajectory> KamelSnapshot::Impute(const Trajectory& sparse,
 Status KamelSnapshot::SaveToFile(const std::string& path) const {
   return SaveSnapshotFile(*projection_, *pyramid_, inferred_speed_mps_,
                           total_train_seconds_, *repository_, *detokenizer_,
-                          path);
+                          /*ingest=*/nullptr, /*wal_applied_lsn=*/0, path);
 }
 
 // ---------------------------------------------------------------------------
@@ -296,7 +319,13 @@ Status KamelBuilder::InitializeGeometry(const TrajectoryDataset& data) {
       std::make_unique<SpatialConstraints>(grid_.get(), options_);
   detokenizer_ =
       std::make_unique<Detokenizer>(grid_.get(), options_.dbscan);
+  store_->AttachWal(wal_);
   return Status::OK();
+}
+
+void KamelBuilder::AttachWal(WriteAheadLog* wal) {
+  wal_ = wal;
+  if (store_ != nullptr) store_->AttachWal(wal);
 }
 
 void KamelBuilder::UpdateSpeedBound(const TrajectoryDataset& data) {
@@ -344,6 +373,9 @@ Status KamelBuilder::Train(const TrajectoryDataset& data) {
     size_t index = 0;
     KAMEL_RETURN_NOT_OK(store_->Append(std::move(tokens), &index));
     new_indices.push_back(index);
+    // The raw trajectory rides along in the ingest log so a checkpoint
+    // save captures the store's full provenance (not just its tokens).
+    ingested_.push_back(trajectory);
     // Per-point observations feed detokenizer clustering (Section 7).
     detokenizer_->AddObservations(tokenizer_->TokenizePerPoint(trajectory));
   }
@@ -409,7 +441,7 @@ Status KamelBuilder::SaveToFile(const std::string& path) const {
   }
   return SaveSnapshotFile(*projection_, *pyramid_, inferred_speed_mps_,
                           total_train_seconds_, *repository_, *detokenizer_,
-                          path);
+                          &ingested_, wal_applied_lsn_, path);
 }
 
 Status KamelBuilder::LoadFromFile(const std::string& path,
@@ -451,9 +483,9 @@ Status KamelBuilder::LoadFromFile(const std::string& path,
   }
 
   // Rebuild the component graph around the restored geometry, then load
-  // the trained state into it. The trajectory store itself is not
-  // persisted (the paper's store is a separate system [18, 62]); loaded
-  // systems can impute but need original data to continue training.
+  // the trained state into it. Builder saves also carry the raw ingest
+  // log (restored below), from which the trajectory store is rebuilt;
+  // serving snapshots omit it and can impute but not continue training.
   TrajectoryDataset empty_geometry;
   Trajectory anchor;
   anchor.points.push_back({origin, 0.0});
@@ -500,6 +532,66 @@ Status KamelBuilder::LoadFromFile(const std::string& path,
     // case) — degraded precision, never an abort.
     detokenizer_ =
         std::make_unique<Detokenizer>(grid_.get(), options_.dbscan);
+  }
+
+  // Builder saves append an "ingest" section; restoring it rebuilds the
+  // trajectory store and the detokenizer's observation history through
+  // the normal tokenization gateway, so training resumes exactly where
+  // the saved process stopped. Parsed fully before anything is applied —
+  // a damaged section is quarantined atomically.
+  ingested_.clear();
+  wal_applied_lsn_ = 0;
+  if (!reader.AtEnd()) {
+    Status ingest_loaded = reader.EnterSection("ingest");
+    if (ingest_loaded.ok()) {
+      ingest_loaded = [&]() -> Status {
+        KAMEL_ASSIGN_OR_RETURN(uint64_t applied_lsn, reader.ReadU64());
+        KAMEL_ASSIGN_OR_RETURN(uint64_t count, reader.ReadU64());
+        std::vector<Trajectory> restored;
+        restored.reserve(count);
+        for (uint64_t i = 0; i < count; ++i) {
+          Trajectory trajectory;
+          KAMEL_ASSIGN_OR_RETURN(trajectory.id, reader.ReadI64());
+          KAMEL_ASSIGN_OR_RETURN(uint32_t num_points, reader.ReadU32());
+          trajectory.points.reserve(num_points);
+          for (uint32_t p = 0; p < num_points; ++p) {
+            TrajPoint point;
+            KAMEL_ASSIGN_OR_RETURN(point.pos.lat, reader.ReadF64());
+            KAMEL_ASSIGN_OR_RETURN(point.pos.lng, reader.ReadF64());
+            KAMEL_ASSIGN_OR_RETURN(point.time, reader.ReadF64());
+            trajectory.points.push_back(point);
+          }
+          KAMEL_RETURN_NOT_OK(ValidateTrajectory(trajectory));
+          restored.push_back(std::move(trajectory));
+        }
+        const bool rebuild_clusters = report->detokenizer_quarantined;
+        detokenizer_->ClearObservations();
+        for (const Trajectory& trajectory : restored) {
+          TokenizedTrajectory tokens = tokenizer_->Tokenize(trajectory);
+          if (tokens.size() >= 2) store_->Add(std::move(tokens));
+          detokenizer_->AddObservations(
+              tokenizer_->TokenizePerPoint(trajectory));
+        }
+        if (rebuild_clusters && !restored.empty()) {
+          // The saved clusters were damaged, but their inputs survived
+          // in the ingest log: refit instead of serving cell centroids.
+          detokenizer_->Refit();
+          report->detokenizer_quarantined = false;
+          report->notes.push_back(
+              "detokenizer clusters rebuilt from the ingest log");
+        }
+        ingested_ = std::move(restored);
+        wal_applied_lsn_ = applied_lsn;
+        return Status::OK();
+      }();
+      KAMEL_RETURN_NOT_OK(reader.LeaveSection());
+    }
+    if (!ingest_loaded.ok()) {
+      // Damage here costs training continuity, never serving: the store
+      // stays empty and imputation proceeds from the trained state.
+      report->ingest_quarantined = true;
+      report->quarantined.push_back("ingest log: " + ingest_loaded.message());
+    }
   }
 
   constraints_->set_max_speed_mps(options_.max_speed_mps > 0.0

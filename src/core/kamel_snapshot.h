@@ -199,12 +199,19 @@ class KamelBuilder {
   double total_train_seconds() const { return total_train_seconds_; }
 
   /// Persists the trained state (projection anchor, world box, speed,
-  /// models, clusters). Options are not stored: load with a builder
-  /// constructed from the same options.
+  /// models, clusters, raw ingest log). Options are not stored: load with
+  /// a builder constructed from the same options.
   ///
   /// The snapshot is crash-safe: bytes go to a temporary sibling file
   /// which is fsynced and atomically renamed over `path`, and every
   /// section carries a CRC32C so a later load detects damage.
+  ///
+  /// Unlike KamelSnapshot::SaveToFile, the builder's save includes the
+  /// "ingest" section — every raw trajectory behind the store — so a
+  /// reloaded builder resumes training (and WAL recovery re-trains) from
+  /// exactly the state a never-restarted process would have. This is the
+  /// checkpoint half of the durability protocol: a snapshot save makes
+  /// WAL records at or below wal_applied_lsn() deletable.
   Status SaveToFile(const std::string& path) const;
 
   /// Loads a snapshot. Corruption confined to one model (or to the
@@ -217,8 +224,31 @@ class KamelBuilder {
   /// With options.max_resident_models > 0, intact model sections are
   /// indexed but not parsed: weights are demand-loaded from `path`
   /// through a bounded sharded-LRU cache on first use.
+  ///
+  /// When the file carries an "ingest" section (builder saves do), the
+  /// trajectory store and the detokenizer's observation history are
+  /// rebuilt from it through the normal tokenization gateway, so training
+  /// can continue exactly where the saved process left off. A damaged
+  /// ingest section is quarantined like a model: serving is unaffected,
+  /// the store stays empty, and the report says so.
   Status LoadFromFile(const std::string& path,
                       LoadReport* report = nullptr);
+
+  /// Every raw trajectory that contributed to the store, in ingest order
+  /// (what the "ingest" snapshot section persists).
+  const std::vector<Trajectory>& ingested() const { return ingested_; }
+
+  /// Durability watermark: the highest WAL LSN whose effects are included
+  /// in the next SaveToFile. Set by the maintenance scheduler before each
+  /// checkpoint save; restored by LoadFromFile.
+  uint64_t wal_applied_lsn() const { return wal_applied_lsn_; }
+  void set_wal_applied_lsn(uint64_t lsn) { wal_applied_lsn_ = lsn; }
+
+  /// Attaches a write-ahead log (borrowed; null detaches) to the
+  /// trajectory store, so every Train() append is logged before it is
+  /// applied. Safe to call before the first Train(): the attachment is
+  /// remembered and applied when the store is created.
+  void AttachWal(WriteAheadLog* wal);
 
  private:
   /// Lazily builds projection, grid, pyramid, and all modules from the
@@ -233,6 +263,11 @@ class KamelBuilder {
   bool trained_ = false;
   double total_train_seconds_ = 0.0;
   double inferred_speed_mps_ = 0.0;
+  uint64_t wal_applied_lsn_ = 0;
+  WriteAheadLog* wal_ = nullptr;  // borrowed; forwarded to the store
+  /// Raw trajectories behind the store, in store order (the durable
+  /// ingest log persisted by SaveToFile).
+  std::vector<Trajectory> ingested_;
 
   // shared_ptr so snapshots can outlive the builder while borrowing its
   // geometry objects.

@@ -1,5 +1,9 @@
 #include "core/maintenance.h"
 
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+
 #include "common/check.h"
 
 namespace kamel {
@@ -12,24 +16,150 @@ MaintenanceScheduler::MaintenanceScheduler(Kamel* system,
               "batch threshold must be positive");
 }
 
+void MaintenanceScheduler::AttachWal(WriteAheadLog* wal,
+                                     std::string checkpoint_path) {
+  wal_ = wal;
+  checkpoint_path_ = std::move(checkpoint_path);
+  system_->AttachWal(wal);
+}
+
 Status MaintenanceScheduler::Submit(Trajectory trajectory) {
+  if (wal_ != nullptr) {
+    // Write-ahead: the submit must be durable (per the log's fsync
+    // policy) before it is buffered — an acknowledged trajectory that
+    // only lives in the pending batch would otherwise die with the
+    // process.
+    KAMEL_ASSIGN_OR_RETURN(
+        const uint64_t lsn,
+        wal_->Append(WalRecordType::kSubmit,
+                     EncodeTrajectoryPayload(trajectory)));
+    pending_max_lsn_ = std::max(pending_max_lsn_, lsn);
+  }
   pending_points_ += trajectory.points.size();
   pending_.trajectories.push_back(std::move(trajectory));
-  if (pending_.trajectories.size() >= options_.min_batch_trajectories ||
-      pending_points_ >= options_.min_batch_points) {
-    return Flush();
-  }
+  if (ThresholdMet()) return Flush();
+  return Status::OK();
+}
+
+void MaintenanceScheduler::RestorePending(Trajectory trajectory,
+                                          uint64_t lsn) {
+  pending_max_lsn_ = std::max(pending_max_lsn_, lsn);
+  pending_points_ += trajectory.points.size();
+  pending_.trajectories.push_back(std::move(trajectory));
+}
+
+Status MaintenanceScheduler::TrainPending() {
+  if (pending_.trajectories.empty()) return Status::OK();
+  // Train on the batch while retaining it: a failure (storage fault,
+  // invalid state) must leave the acknowledged trajectories queued for
+  // retry, not drop them on the floor.
+  KAMEL_RETURN_NOT_OK(system_->Train(pending_));
+  pending_.trajectories.clear();
+  pending_points_ = 0;
+  ++batches_trained_;
   return Status::OK();
 }
 
 Status MaintenanceScheduler::Flush() {
   if (pending_.trajectories.empty()) return Status::OK();
-  TrajectoryDataset batch;
-  batch.trajectories.swap(pending_.trajectories);
-  pending_points_ = 0;
-  KAMEL_RETURN_NOT_OK(system_->Train(batch));
-  ++batches_trained_;
+  const uint64_t upto = pending_max_lsn_;
+  KAMEL_RETURN_NOT_OK(TrainPending());
+  pending_max_lsn_ = 0;
+  if (wal_ == nullptr) return Status::OK();
+
+  // The marker makes the batch boundary durable: recovery re-trains
+  // exactly the submits up to `upto` when it sees one, instead of
+  // guessing at thresholds.
+  KAMEL_ASSIGN_OR_RETURN(
+      const uint64_t marker_lsn,
+      wal_->Append(WalRecordType::kBatchTrained, EncodeLsnPayload(upto)));
+  KAMEL_RETURN_NOT_OK(wal_->Sync());
+  if (checkpoint_path_.empty()) return Status::OK();
+
+  // Checkpoint: once the snapshot (trained state + ingest log) is
+  // durably on disk, every record at or below the marker is redundant
+  // and the log can drop fully-covered segments.
+  system_->set_wal_applied_lsn(marker_lsn);
+  KAMEL_RETURN_NOT_OK(system_->SaveToFile(checkpoint_path_));
+  return wal_->Checkpoint(marker_lsn);
+}
+
+Status MaintenanceScheduler::FlushRecovered() {
+  KAMEL_RETURN_NOT_OK(TrainPending());
+  pending_max_lsn_ = 0;
   return Status::OK();
+}
+
+Result<std::unique_ptr<WriteAheadLog>> OpenDurableIngestion(
+    Kamel* system, MaintenanceScheduler* scheduler,
+    const WalOptions& wal_options, const std::string& checkpoint_path,
+    IngestRecoveryReport* report) {
+  KAMEL_CHECK(system != nullptr);
+  KAMEL_CHECK(scheduler != nullptr);
+  IngestRecoveryReport local_report;
+  if (report == nullptr) report = &local_report;
+  *report = IngestRecoveryReport{};
+
+  std::error_code ec;
+  if (!checkpoint_path.empty() &&
+      std::filesystem::exists(checkpoint_path, ec)) {
+    KAMEL_RETURN_NOT_OK(
+        system->LoadFromFile(checkpoint_path, &report->snapshot));
+    report->snapshot_loaded = true;
+  }
+
+  KAMEL_ASSIGN_OR_RETURN(std::unique_ptr<WriteAheadLog> wal,
+                         WriteAheadLog::Open(wal_options, &report->wal));
+
+  // Replay the suffix the snapshot does not cover, in LSN order, through
+  // the NORMAL ingestion paths so the recovered in-memory state is the
+  // state a never-crashed process would hold. The log stays detached
+  // until the replay is done: re-executed training must not append fresh
+  // records (or advance the checkpoint) while older records are still
+  // unreplayed — a crash mid-recovery would then skip them forever.
+  const uint64_t applied = system->wal_applied_lsn();
+  for (const WalRecord& record : report->wal.records) {
+    if (record.lsn <= applied) {
+      ++report->records_skipped;
+      continue;
+    }
+    switch (record.type) {
+      case WalRecordType::kSubmit: {
+        KAMEL_ASSIGN_OR_RETURN(Trajectory trajectory,
+                               DecodeTrajectoryPayload(record.payload));
+        scheduler->RestorePending(std::move(trajectory), record.lsn);
+        ++report->submits_replayed;
+        break;
+      }
+      case WalRecordType::kBatchTrained: {
+        // The marker says every pending submit (all have lsn < marker)
+        // was consumed by one successful Train. Re-execute it; per-cell
+        // training is deterministically seeded, so the rebuilt models
+        // match the lost ones byte for byte.
+        if (scheduler->pending_trajectories() > 0) {
+          KAMEL_RETURN_NOT_OK(scheduler->FlushRecovered());
+          ++report->batches_retrained;
+        }
+        break;
+      }
+      case WalRecordType::kStoreAppend:
+        // Regenerated by the re-executed Train calls above; replaying it
+        // too would double-store. (Standalone stores that attach a WAL
+        // directly replay these via TrajectoryStore::ReplayWal instead.)
+        break;
+      case WalRecordType::kCheckpoint:
+        break;  // consumed by WriteAheadLog::Open as the GC watermark
+    }
+  }
+
+  // Go live, then run the one deferred threshold check on the restored
+  // tail. At this point every surviving record has been applied, so the
+  // checkpoint a threshold-triggered Flush() takes is safe.
+  scheduler->AttachWal(wal.get(), checkpoint_path);
+  if (scheduler->ThresholdMet()) {
+    KAMEL_RETURN_NOT_OK(scheduler->Flush());
+  }
+  return wal;
 }
 
 }  // namespace kamel

@@ -2,8 +2,12 @@
 #define KAMEL_CORE_MAINTENANCE_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
 
 #include "core/kamel.h"
+#include "io/wal.h"
 
 namespace kamel {
 
@@ -27,6 +31,20 @@ struct MaintenanceOptions {
 /// no-downtime property (in this single-threaded reproduction "background"
 /// becomes "deferred": training happens inside the Submit call that
 /// crosses the threshold).
+///
+/// Durability (ISSUE: durable ingestion): with a write-ahead log attached
+/// (AttachWal, normally via OpenDurableIngestion), every Submit appends a
+/// kSubmit record before buffering, so an acknowledged trajectory
+/// survives a crash even while it waits in the pending batch. A
+/// successful Flush appends a kBatchTrained marker recording which
+/// submits the batch consumed and — when a checkpoint path is configured
+/// — saves a snapshot and lets the log delete fully-checkpointed
+/// segments. A failed Flush retains the pending batch so nothing
+/// acknowledged is dropped (the caller may retry; note that a mid-batch
+/// Train failure can leave earlier trajectories of the batch already
+/// stored, so an in-process retry can double-store them — crash recovery
+/// does not have this problem because the partial in-memory effects die
+/// with the process).
 class MaintenanceScheduler {
  public:
   /// `system` is borrowed and must outlive the scheduler.
@@ -34,24 +52,99 @@ class MaintenanceScheduler {
 
   /// Buffers one training trajectory; triggers a training batch when a
   /// threshold is crossed. Returns the training status in that case.
+  /// With a WAL attached, the trajectory is logged (and made durable per
+  /// the log's fsync policy) before this call returns OK.
   Status Submit(Trajectory trajectory);
 
-  /// Trains on whatever is pending (no-op when nothing is).
+  /// Trains on whatever is pending (no-op when nothing is). On failure
+  /// the pending batch is retained, not dropped. On success, with a WAL
+  /// attached, appends the kBatchTrained marker and — with a checkpoint
+  /// path — saves a snapshot and garbage-collects the log.
   Status Flush();
+
+  /// Attaches a write-ahead log (borrowed; null detaches) and the
+  /// snapshot path used for checkpoints (empty = log but never
+  /// checkpoint). Also attaches the log to the system's trajectory
+  /// store, so Train() appends are logged too.
+  void AttachWal(WriteAheadLog* wal, std::string checkpoint_path);
+
+  /// Re-buffers one trajectory recovered from the log. Used only during
+  /// replay: no WAL append (the record already exists at `lsn`) and no
+  /// threshold check (recovery does a single threshold check at the
+  /// tail, matching the state a never-crashed process would hold).
+  void RestorePending(Trajectory trajectory, uint64_t lsn);
+
+  /// Recovery-only variant of Flush(): trains the pending batch without
+  /// emitting a kBatchTrained marker or advancing the checkpoint.
+  /// OpenDurableIngestion uses it while older WAL records are still
+  /// unreplayed — advancing the watermark mid-replay would orphan them.
+  Status FlushRecovered();
 
   size_t pending_trajectories() const {
     return pending_.trajectories.size();
   }
   size_t pending_points() const { return pending_points_; }
   int batches_trained() const { return batches_trained_; }
+  const MaintenanceOptions& options() const { return options_; }
+
+  /// Highest kSubmit LSN in the pending batch (0 when none is logged).
+  uint64_t pending_max_lsn() const { return pending_max_lsn_; }
+
+  bool ThresholdMet() const {
+    return pending_.trajectories.size() >= options_.min_batch_trajectories ||
+           pending_points_ >= options_.min_batch_points;
+  }
 
  private:
+  /// Shared core of Flush()/FlushRecovered(): trains the pending batch
+  /// and clears it on success only.
+  Status TrainPending();
+
   Kamel* system_;
   MaintenanceOptions options_;
   TrajectoryDataset pending_;
   size_t pending_points_ = 0;
+  uint64_t pending_max_lsn_ = 0;
   int batches_trained_ = 0;
+  WriteAheadLog* wal_ = nullptr;  // borrowed; null = non-durable
+  std::string checkpoint_path_;
 };
+
+/// What recovery found and did (OpenDurableIngestion).
+struct IngestRecoveryReport {
+  /// Log-level recovery: segments scanned, torn tail truncated, records
+  /// surviving the checkpoint watermark.
+  WalRecoveryReport wal;
+  /// Snapshot-level recovery (quarantines); only meaningful when
+  /// `snapshot_loaded` is set.
+  LoadReport snapshot;
+  bool snapshot_loaded = false;
+  /// kSubmit records re-buffered into the pending batch.
+  size_t submits_replayed = 0;
+  /// kBatchTrained markers re-executed through Kamel::Train.
+  size_t batches_retrained = 0;
+  /// Records skipped because the snapshot already contained their
+  /// effects (lsn <= the snapshot's wal_applied_lsn).
+  size_t records_skipped = 0;
+};
+
+/// Opens (or creates) the durable ingestion state for `system` +
+/// `scheduler`: loads the checkpoint snapshot if one exists, opens the
+/// write-ahead log (truncating a torn tail), replays every surviving
+/// record the snapshot does not already cover — kSubmit records are
+/// re-buffered, kBatchTrained markers re-train their batch through the
+/// normal Train path (deterministically seeded, so recovered models are
+/// byte-identical to the originals) — then attaches the log to both
+/// objects and runs the single deferred threshold check on the restored
+/// tail. On success the returned log is live: the caller owns it and
+/// must keep it alive for as long as the scheduler/system use it.
+///
+/// `checkpoint_path` may be empty: no snapshot is loaded or saved and
+/// the log is replayed from its beginning on every open.
+Result<std::unique_ptr<WriteAheadLog>> OpenDurableIngestion(
+    Kamel* system, MaintenanceScheduler* scheduler,
+    const WalOptions& wal_options, const std::string& checkpoint_path,
+    IngestRecoveryReport* report = nullptr);
 
 }  // namespace kamel
 

@@ -475,7 +475,9 @@ std::string LoadReport::Summary() const {
                     std::to_string(models_quarantined) + " quarantined";
   if (repository_quarantined) out += ", repository index quarantined";
   if (detokenizer_quarantined) out += ", detokenizer quarantined";
+  if (ingest_quarantined) out += ", ingest log quarantined";
   for (const std::string& note : quarantined) out += "; " + note;
+  for (const std::string& note : notes) out += "; " + note;
   return out;
 }
 

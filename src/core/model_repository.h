@@ -47,13 +47,20 @@ struct LoadReport {
   /// the system serves pure linear fallback (filled by Kamel).
   bool repository_quarantined = false;
   bool detokenizer_quarantined = false;  // filled by Kamel::LoadFromFile
+  /// The snapshot's ingest log (builder saves only) was unreadable:
+  /// serving is unaffected but the store stays empty, so training cannot
+  /// resume from this snapshot alone.
+  bool ingest_quarantined = false;
   /// One human-readable note per casualty, e.g.
   /// "single model at level 2 cell (3,4): checksum mismatch".
   std::vector<std::string> quarantined;
+  /// Non-fatal informational notes, e.g. state recovered from redundant
+  /// sections ("detokenizer clusters rebuilt from the ingest log").
+  std::vector<std::string> notes;
 
   bool partial() const {
     return models_quarantined > 0 || repository_quarantined ||
-           detokenizer_quarantined;
+           detokenizer_quarantined || ingest_quarantined;
   }
   std::string Summary() const;
 };

@@ -1,5 +1,6 @@
 #include "core/trajectory_store.h"
 
+#include "common/binary_io.h"
 #include "common/fault_injection.h"
 
 namespace kamel {
@@ -16,9 +17,61 @@ size_t TrajectoryStore::Add(TokenizedTrajectory trajectory) {
 Status TrajectoryStore::Append(TokenizedTrajectory trajectory,
                                size_t* index) {
   KAMEL_RETURN_NOT_OK(FaultInjector::Instance().Hit("store.append"));
+  if (wal_ != nullptr) {
+    // Write-ahead: the trajectory must be durable before it is applied
+    // (and before the caller sees an acknowledgement).
+    KAMEL_RETURN_NOT_OK(
+        wal_->Append(WalRecordType::kStoreAppend, EncodeWalPayload(trajectory))
+            .status());
+  }
   const size_t added = Add(std::move(trajectory));
   if (index != nullptr) *index = added;
   return Status::OK();
+}
+
+Status TrajectoryStore::ReplayWal(const std::vector<WalRecord>& records) {
+  for (const WalRecord& record : records) {
+    if (record.type != WalRecordType::kStoreAppend) continue;
+    KAMEL_ASSIGN_OR_RETURN(TokenizedTrajectory trajectory,
+                           DecodeWalPayload(record.payload));
+    Add(std::move(trajectory));
+  }
+  return Status::OK();
+}
+
+std::vector<uint8_t> TrajectoryStore::EncodeWalPayload(
+    const TokenizedTrajectory& trajectory) {
+  BinaryWriter writer;
+  writer.WriteU32(static_cast<uint32_t>(trajectory.size()));
+  for (const TokenPoint& token : trajectory) {
+    writer.WriteU64(token.cell);
+    writer.WriteF64(token.time);
+    writer.WriteF64(token.position.x);
+    writer.WriteF64(token.position.y);
+    writer.WriteF64(token.heading);
+  }
+  return writer.buffer();
+}
+
+Result<TokenizedTrajectory> TrajectoryStore::DecodeWalPayload(
+    const std::vector<uint8_t>& payload) {
+  BinaryReader reader(payload);
+  KAMEL_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
+  TokenizedTrajectory trajectory;
+  trajectory.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    TokenPoint token;
+    KAMEL_ASSIGN_OR_RETURN(token.cell, reader.ReadU64());
+    KAMEL_ASSIGN_OR_RETURN(token.time, reader.ReadF64());
+    KAMEL_ASSIGN_OR_RETURN(token.position.x, reader.ReadF64());
+    KAMEL_ASSIGN_OR_RETURN(token.position.y, reader.ReadF64());
+    KAMEL_ASSIGN_OR_RETURN(token.heading, reader.ReadF64());
+    trajectory.push_back(token);
+  }
+  if (!reader.AtEnd()) {
+    return Status::IOError("trailing bytes after tokenized payload");
+  }
+  return trajectory;
 }
 
 std::vector<size_t> TrajectoryStore::FullyEnclosed(const BBox& bounds) const {

@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "core/tokenizer.h"
 #include "geo/bbox.h"
+#include "io/wal.h"
 
 namespace kamel {
 
@@ -25,8 +26,27 @@ class TrajectoryStore {
 
   /// Fallible front-end of Add used by the training path: carries the
   /// `store.append` failpoint so tests can drive a storage-layer failure
-  /// through Kamel::Train. On success `*index` is the store index.
+  /// through Kamel::Train, and — with a WAL attached — writes the
+  /// trajectory through the log before it is applied, so a crash after a
+  /// successful Append can never lose it. On success `*index` is the
+  /// store index.
   Status Append(TokenizedTrajectory trajectory, size_t* index);
+
+  /// Attaches a write-ahead log (borrowed; may be null to detach). Every
+  /// subsequent Append emits a kStoreAppend record and is acknowledged
+  /// only once the log has (per its fsync policy) made it durable.
+  void AttachWal(WriteAheadLog* wal) { wal_ = wal; }
+
+  /// Re-applies the kStoreAppend records of a recovered log in LSN order
+  /// (other record types are skipped). Used on reopen, before AttachWal —
+  /// replayed appends must not be logged again.
+  Status ReplayWal(const std::vector<WalRecord>& records);
+
+  /// Payload codec for kStoreAppend records.
+  static std::vector<uint8_t> EncodeWalPayload(
+      const TokenizedTrajectory& trajectory);
+  static Result<TokenizedTrajectory> DecodeWalPayload(
+      const std::vector<uint8_t>& payload);
 
   size_t size() const { return trajectories_.size(); }
   int64_t total_tokens() const { return total_tokens_; }
@@ -50,6 +70,7 @@ class TrajectoryStore {
   std::vector<TokenizedTrajectory> trajectories_;
   std::vector<BBox> mbrs_;
   int64_t total_tokens_ = 0;
+  WriteAheadLog* wal_ = nullptr;  // borrowed; null = non-durable store
 };
 
 }  // namespace kamel

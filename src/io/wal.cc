@@ -1,0 +1,618 @@
+#include "io/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/binary_io.h"
+#include "common/crc32c.h"
+#include "common/fault_injection.h"
+
+namespace kamel {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// Frame layout after the per-segment header:
+//   u32 crc32c   over everything after this field
+//   u32 len      payload bytes
+//   u64 lsn
+//   u8  type
+//   payload[len]
+constexpr size_t kFrameHeaderBytes = 4 + 4 + 8 + 1;
+constexpr size_t kSegmentHeaderBytes = 4 + 4 + 8;  // magic, version, base lsn
+
+std::string ErrnoString() {
+  const int err = errno;
+  return err != 0 ? std::string(": ") + std::strerror(err) : std::string();
+}
+
+std::string SegmentName(uint64_t base_lsn) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%016" PRIx64 ".log", base_lsn);
+  return buf;
+}
+
+template <typename T>
+void AppendRaw(std::vector<uint8_t>* buffer, T value) {
+  uint8_t bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  buffer->insert(buffer->end(), bytes, bytes + sizeof(T));
+}
+
+template <typename T>
+T ReadRaw(const uint8_t* data) {
+  T value;
+  std::memcpy(&value, data, sizeof(T));
+  return value;
+}
+
+std::vector<uint8_t> BuildFrame(uint64_t lsn, WalRecordType type,
+                                const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  AppendRaw<uint32_t>(&frame, 0);  // crc, patched below
+  AppendRaw<uint32_t>(&frame, static_cast<uint32_t>(payload.size()));
+  AppendRaw<uint64_t>(&frame, lsn);
+  AppendRaw<uint8_t>(&frame, static_cast<uint8_t>(type));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  const uint32_t crc = Crc32c(frame.data() + 4, frame.size() - 4);
+  std::memcpy(frame.data(), &crc, sizeof(crc));
+  return frame;
+}
+
+Status WriteAll(int fd, const uint8_t* data, size_t size,
+                const std::string& path) {
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("wal write failed: " + path + ErrnoString());
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status FsyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IOError("cannot open wal dir: " + dir + ErrnoString());
+  }
+  ::fsync(fd);  // best-effort: some filesystems refuse dir fsync
+  ::close(fd);
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return Status::IOError("cannot open wal segment: " + path +
+                           ErrnoString());
+  }
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<uint8_t> data(static_cast<size_t>(size));
+  if (size > 0 && !in.read(reinterpret_cast<char*>(data.data()), size)) {
+    return Status::IOError("short read: " + path + ErrnoString());
+  }
+  return data;
+}
+
+/// One parsed frame, or a classification of why parsing stopped.
+struct FrameScan {
+  enum class Kind {
+    kRecord,   // valid record parsed
+    kEnd,      // clean end of segment
+    kTorn,     // file ends inside the frame (torn write)
+    kCorrupt,  // complete frame that fails validation (data loss)
+  };
+  Kind kind = Kind::kEnd;
+  WalRecord record;
+  size_t next_offset = 0;
+  std::string error;
+};
+
+/// Parses the frame at `offset`. Distinguishing rule: a frame the file is
+/// too short to hold is a torn write; a complete frame whose checksum or
+/// framing is wrong is corruption.
+FrameScan ScanFrame(const std::vector<uint8_t>& data, size_t offset) {
+  FrameScan scan;
+  const size_t remaining = data.size() - offset;
+  if (remaining == 0) {
+    scan.kind = FrameScan::Kind::kEnd;
+    return scan;
+  }
+  if (remaining < kFrameHeaderBytes) {
+    scan.kind = FrameScan::Kind::kTorn;
+    scan.error = "partial frame header (" + std::to_string(remaining) +
+                 " bytes) at offset " + std::to_string(offset);
+    return scan;
+  }
+  const uint8_t* frame = data.data() + offset;
+  const uint32_t stored_crc = ReadRaw<uint32_t>(frame);
+  const uint32_t len = ReadRaw<uint32_t>(frame + 4);
+  const uint64_t lsn = ReadRaw<uint64_t>(frame + 8);
+  const uint8_t type = ReadRaw<uint8_t>(frame + 16);
+  if (len > kMaxWalRecordBytes) {
+    // The length field is complete (the header fit), so an insane value
+    // is not the prefix a torn write leaves behind — it is corruption,
+    // and never an allocation request.
+    scan.kind = FrameScan::Kind::kCorrupt;
+    scan.error = "insane payload length " + std::to_string(len) +
+                 " at offset " + std::to_string(offset);
+    return scan;
+  }
+  if (remaining < kFrameHeaderBytes + len) {
+    scan.kind = FrameScan::Kind::kTorn;
+    scan.error = "frame claims " + std::to_string(len) +
+                 " payload bytes but only " +
+                 std::to_string(remaining - kFrameHeaderBytes) +
+                 " remain at offset " + std::to_string(offset);
+    return scan;
+  }
+  const uint32_t actual_crc =
+      Crc32c(frame + 4, kFrameHeaderBytes - 4 + len);
+  if (actual_crc != stored_crc) {
+    scan.kind = FrameScan::Kind::kCorrupt;
+    scan.error = "checksum mismatch on record lsn " + std::to_string(lsn) +
+                 " (" + std::to_string(len) + " payload bytes at offset " +
+                 std::to_string(offset) + ")";
+    return scan;
+  }
+  if (type < static_cast<uint8_t>(WalRecordType::kSubmit) ||
+      type > static_cast<uint8_t>(WalRecordType::kCheckpoint)) {
+    scan.kind = FrameScan::Kind::kCorrupt;
+    scan.error = "unknown record type " + std::to_string(type) +
+                 " at offset " + std::to_string(offset);
+    return scan;
+  }
+  scan.kind = FrameScan::Kind::kRecord;
+  scan.record.lsn = lsn;
+  scan.record.type = static_cast<WalRecordType>(type);
+  scan.record.payload.assign(frame + kFrameHeaderBytes,
+                             frame + kFrameHeaderBytes + len);
+  scan.next_offset = offset + kFrameHeaderBytes + len;
+  return scan;
+}
+
+Result<uint64_t> ParseSegmentHeader(const std::vector<uint8_t>& data,
+                                    const std::string& path) {
+  if (data.size() < kSegmentHeaderBytes) {
+    return Status::IOError("wal segment too short for header: " + path);
+  }
+  const uint32_t magic = ReadRaw<uint32_t>(data.data());
+  if (magic != kWalMagic) {
+    return Status::IOError("bad wal segment magic in " + path);
+  }
+  const uint32_t version = ReadRaw<uint32_t>(data.data() + 4);
+  if (version != kWalVersion) {
+    return Status::IOError("unsupported wal segment version " +
+                           std::to_string(version) + " in " + path);
+  }
+  return ReadRaw<uint64_t>(data.data() + 8);
+}
+
+Result<std::vector<std::pair<uint64_t, std::string>>> ListSegments(
+    const std::string& dir) {
+  std::vector<std::pair<uint64_t, std::string>> segments;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    uint64_t base = 0;
+    if (std::sscanf(name.c_str(), "wal-%16" SCNx64 ".log", &base) == 1) {
+      segments.emplace_back(base, entry.path().string());
+    }
+  }
+  if (ec) {
+    return Status::IOError("cannot list wal dir: " + dir + ": " +
+                           ec.message());
+  }
+  std::sort(segments.begin(), segments.end());
+  return segments;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WriteAheadLog
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    const WalOptions& options, WalRecoveryReport* report) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("WalOptions::dir must be set");
+  }
+  WalRecoveryReport local_report;
+  if (report == nullptr) report = &local_report;
+  *report = WalRecoveryReport{};
+
+  std::error_code ec;
+  fs::create_directories(options.dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create wal dir: " + options.dir + ": " +
+                           ec.message());
+  }
+  auto log =
+      std::unique_ptr<WriteAheadLog>(new WriteAheadLog(options));
+  KAMEL_ASSIGN_OR_RETURN(log->segments_, ListSegments(options.dir));
+
+  uint64_t expected_lsn = 1;
+  for (size_t i = 0; i < log->segments_.size(); ++i) {
+    const auto [base_lsn, path] = log->segments_[i];
+    const bool last_segment = i + 1 == log->segments_.size();
+    KAMEL_ASSIGN_OR_RETURN(std::vector<uint8_t> data, ReadWholeFile(path));
+    if (last_segment && data.size() < kSegmentHeaderBytes) {
+      // A crash during rotation can leave a successor whose header never
+      // finished: a torn tail in its purest form. Drop the empty shell.
+      report->torn_tail_bytes = data.size();
+      report->torn_tail_segment = path;
+      if (::unlink(path.c_str()) != 0) {
+        return Status::IOError("cannot delete torn wal segment: " + path +
+                               ErrnoString());
+      }
+      log->segments_.pop_back();
+      log->current_bytes_ = 0;
+      if (!log->segments_.empty()) {
+        std::error_code size_ec;
+        const auto size =
+            fs::file_size(log->segments_.back().second, size_ec);
+        if (size_ec) {
+          return Status::IOError("cannot stat wal segment: " +
+                                 log->segments_.back().second);
+        }
+        log->current_bytes_ = size;
+      }
+      break;
+    }
+    KAMEL_ASSIGN_OR_RETURN(uint64_t header_base,
+                           ParseSegmentHeader(data, path));
+    if (header_base != base_lsn) {
+      return Status::IOError("wal segment " + path +
+                             " header base lsn disagrees with its name");
+    }
+    ++report->segments_scanned;
+    // Checkpointing deletes whole prefixes of the log, so the surviving
+    // history starts at the first segment's base LSN, not at 1.
+    if (i == 0) expected_lsn = header_base;
+
+    size_t offset = kSegmentHeaderBytes;
+    while (true) {
+      FrameScan scan = ScanFrame(data, offset);
+      if (scan.kind == FrameScan::Kind::kEnd) break;
+      if (scan.kind == FrameScan::Kind::kTorn) {
+        if (!last_segment) {
+          // Rotation fsyncs a segment before its successor exists, so a
+          // closed segment can never legitimately end mid-frame.
+          return Status::IOError("mid-log corruption in " + path + ": " +
+                                 scan.error +
+                                 " (closed segment with a torn tail); "
+                                 "data past this point is lost");
+        }
+        report->torn_tail_bytes = data.size() - offset;
+        report->torn_tail_segment = path;
+        const int fd = ::open(path.c_str(), O_WRONLY);
+        if (fd < 0) {
+          return Status::IOError("cannot open for truncation: " + path +
+                                 ErrnoString());
+        }
+        Status truncated = Status::OK();
+        if (::ftruncate(fd, static_cast<off_t>(offset)) != 0) {
+          truncated = Status::IOError("ftruncate failed: " + path +
+                                      ErrnoString());
+        }
+        ::fsync(fd);
+        ::close(fd);
+        KAMEL_RETURN_NOT_OK(truncated);
+        data.resize(offset);
+        break;
+      }
+      if (scan.kind == FrameScan::Kind::kCorrupt) {
+        return Status::IOError(
+            "mid-log corruption in " + path + ": " + scan.error +
+            "; records past this point cannot be trusted (run `kamel fsck "
+            "--wal-dir` to map the damage)");
+      }
+      if (scan.record.lsn != expected_lsn) {
+        return Status::IOError(
+            "wal lsn discontinuity in " + path + ": expected " +
+            std::to_string(expected_lsn) + ", found " +
+            std::to_string(scan.record.lsn) + " at offset " +
+            std::to_string(offset));
+      }
+      expected_lsn = scan.record.lsn + 1;
+      ++report->records_scanned;
+      if (scan.record.type == WalRecordType::kCheckpoint) {
+        KAMEL_ASSIGN_OR_RETURN(uint64_t watermark,
+                               DecodeLsnPayload(scan.record.payload));
+        report->checkpoint_lsn =
+            std::max(report->checkpoint_lsn, watermark);
+      } else {
+        report->records.push_back(std::move(scan.record));
+      }
+      offset = scan.next_offset;
+    }
+
+    if (last_segment) log->current_bytes_ = data.size();
+  }
+
+  // Drop everything a checkpoint already covers.
+  if (report->checkpoint_lsn > 0) {
+    const uint64_t watermark = report->checkpoint_lsn;
+    const size_t before = report->records.size();
+    report->records.erase(
+        std::remove_if(report->records.begin(), report->records.end(),
+                       [watermark](const WalRecord& r) {
+                         return r.lsn <= watermark;
+                       }),
+        report->records.end());
+    report->records_skipped = before - report->records.size();
+  }
+
+  log->next_lsn_ = expected_lsn;
+  if (log->segments_.empty()) {
+    KAMEL_RETURN_NOT_OK(log->OpenSegmentForAppend(log->next_lsn_, true));
+  } else {
+    KAMEL_RETURN_NOT_OK(
+        log->OpenSegmentForAppend(log->segments_.back().first, false));
+  }
+  return log;
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  if (fd_ >= 0) {
+    if (!poisoned_) ::fsync(fd_);  // best-effort durability on clean close
+    ::close(fd_);
+  }
+}
+
+Status WriteAheadLog::OpenSegmentForAppend(uint64_t base_lsn, bool create) {
+  const std::string path = options_.dir + "/" + SegmentName(base_lsn);
+  const int flags =
+      create ? (O_WRONLY | O_CREAT | O_EXCL) : (O_WRONLY | O_APPEND);
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot open wal segment: " + path +
+                           ErrnoString());
+  }
+  if (create) {
+    std::vector<uint8_t> header;
+    AppendRaw<uint32_t>(&header, kWalMagic);
+    AppendRaw<uint32_t>(&header, kWalVersion);
+    AppendRaw<uint64_t>(&header, base_lsn);
+    Status written = WriteAll(fd, header.data(), header.size(), path);
+    if (written.ok() && ::fsync(fd) != 0) {
+      written = Status::IOError("fsync failed: " + path + ErrnoString());
+    }
+    if (!written.ok()) {
+      ::close(fd);
+      ::unlink(path.c_str());
+      return written;
+    }
+    segments_.emplace_back(base_lsn, path);
+    current_bytes_ = kSegmentHeaderBytes;
+    KAMEL_RETURN_NOT_OK(FsyncDir(options_.dir));
+  }
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+  unsynced_records_ = 0;
+  return Status::OK();
+}
+
+Status WriteAheadLog::Rotate() {
+  KAMEL_RETURN_NOT_OK(FaultInjector::Instance().Hit("wal.rotate"));
+  // The outgoing segment must be durable before its successor exists:
+  // recovery treats a torn tail on a closed segment as corruption.
+  KAMEL_RETURN_NOT_OK(SyncNow());
+  KAMEL_RETURN_NOT_OK(OpenSegmentForAppend(next_lsn_, true));
+  ++stats_.rotations;
+  return Status::OK();
+}
+
+Status WriteAheadLog::SyncNow() {
+  KAMEL_RETURN_NOT_OK(FaultInjector::Instance().Hit("wal.fsync"));
+  if (fd_ >= 0 && ::fsync(fd_) != 0) {
+    return Status::IOError("wal fsync failed: " +
+                           segments_.back().second + ErrnoString());
+  }
+  unsynced_records_ = 0;
+  ++stats_.fsyncs;
+  return Status::OK();
+}
+
+Status WriteAheadLog::Sync() {
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "wal poisoned by a torn write; reopen to recover");
+  }
+  return SyncNow();
+}
+
+Result<uint64_t> WriteAheadLog::Append(WalRecordType type,
+                                       const std::vector<uint8_t>& payload) {
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "wal poisoned by a torn write; reopen to recover");
+  }
+  KAMEL_RETURN_NOT_OK(FaultInjector::Instance().Hit("wal.append"));
+  if (payload.size() > kMaxWalRecordBytes) {
+    return Status::InvalidArgument("wal record payload too large: " +
+                                   std::to_string(payload.size()));
+  }
+  if (current_bytes_ >= options_.segment_bytes) {
+    KAMEL_RETURN_NOT_OK(Rotate());
+  }
+  const uint64_t lsn = next_lsn_;
+  const std::vector<uint8_t> frame = BuildFrame(lsn, type, payload);
+  const std::string& path = segments_.back().second;
+
+  const Status torn = FaultInjector::Instance().Hit("wal.append.torn");
+  if (!torn.ok()) {
+    // Crash simulation: half the frame reaches the disk, the process
+    // "dies". Whatever happens to this object afterwards must not write
+    // again — recovery on reopen truncates the tear.
+    (void)WriteAll(fd_, frame.data(), frame.size() / 2, path);
+    ::fsync(fd_);
+    poisoned_ = true;
+    return torn;
+  }
+
+  KAMEL_RETURN_NOT_OK(WriteAll(fd_, frame.data(), frame.size(), path));
+  current_bytes_ += frame.size();
+  next_lsn_ = lsn + 1;
+  ++stats_.appends;
+  stats_.bytes_appended += frame.size();
+  ++unsynced_records_;
+
+  switch (options_.fsync_policy) {
+    case FsyncPolicy::kEveryRecord:
+      KAMEL_RETURN_NOT_OK(SyncNow());
+      break;
+    case FsyncPolicy::kEveryN:
+      if (unsynced_records_ >= options_.fsync_every_n) {
+        KAMEL_RETURN_NOT_OK(SyncNow());
+      }
+      break;
+    case FsyncPolicy::kOnRotate:
+      break;
+  }
+  return lsn;
+}
+
+Status WriteAheadLog::Checkpoint(uint64_t upto_lsn) {
+  KAMEL_RETURN_NOT_OK(
+      Append(WalRecordType::kCheckpoint, EncodeLsnPayload(upto_lsn))
+          .status());
+  // The watermark must be durable before anything below it disappears.
+  KAMEL_RETURN_NOT_OK(Sync());
+  KAMEL_RETURN_NOT_OK(FaultInjector::Instance().Hit("wal.checkpoint"));
+  // A segment is deletable when every record it holds is at or below the
+  // watermark, i.e. its successor starts at or below upto_lsn + 1. The
+  // open segment (holding the checkpoint record itself) always survives.
+  bool deleted = false;
+  while (segments_.size() >= 2 && segments_[1].first <= upto_lsn + 1) {
+    const std::string path = segments_.front().second;
+    if (::unlink(path.c_str()) != 0) {
+      return Status::IOError("cannot delete checkpointed wal segment: " +
+                             path + ErrnoString());
+    }
+    segments_.erase(segments_.begin());
+    ++stats_.segments_deleted;
+    deleted = true;
+  }
+  if (deleted) KAMEL_RETURN_NOT_OK(FsyncDir(options_.dir));
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// FsckWal
+// ---------------------------------------------------------------------------
+
+Result<WalFsckReport> FsckWal(const std::string& dir) {
+  WalFsckReport report;
+  KAMEL_ASSIGN_OR_RETURN(auto segments, ListSegments(dir));
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const auto& [base_lsn, path] = segments[i];
+    const bool last_segment = i + 1 == segments.size();
+    KAMEL_ASSIGN_OR_RETURN(std::vector<uint8_t> data, ReadWholeFile(path));
+    ++report.segments;
+    report.bytes += data.size();
+
+    Result<uint64_t> header = ParseSegmentHeader(data, path);
+    if (!header.ok()) {
+      // An unfinished header is only survivable on the last segment (a
+      // crash during rotation); anywhere else the chain is broken.
+      const bool torn = last_segment && data.size() < kSegmentHeaderBytes;
+      report.damaged.push_back(
+          {path, 0, 0, torn, header.status().message()});
+      continue;
+    }
+    size_t offset = kSegmentHeaderBytes;
+    uint64_t record_index = 0;
+    while (true) {
+      FrameScan scan = ScanFrame(data, offset);
+      if (scan.kind == FrameScan::Kind::kEnd) break;
+      if (scan.kind != FrameScan::Kind::kRecord) {
+        const bool torn =
+            scan.kind == FrameScan::Kind::kTorn && last_segment;
+        report.damaged.push_back(
+            {path, offset, record_index, torn, scan.error});
+        break;  // framing is lost past the first bad record
+      }
+      ++report.records;
+      if (report.first_lsn == 0) report.first_lsn = scan.record.lsn;
+      report.last_lsn = scan.record.lsn;
+      if (scan.record.type == WalRecordType::kCheckpoint) {
+        if (auto watermark = DecodeLsnPayload(scan.record.payload);
+            watermark.ok()) {
+          report.checkpoint_lsn = std::max(report.checkpoint_lsn,
+                                           *watermark);
+        }
+      }
+      ++record_index;
+      offset = scan.next_offset;
+    }
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Payload codecs
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> EncodeTrajectoryPayload(const Trajectory& trajectory) {
+  BinaryWriter writer;
+  writer.WriteI64(trajectory.id);
+  writer.WriteU32(static_cast<uint32_t>(trajectory.points.size()));
+  for (const TrajPoint& point : trajectory.points) {
+    writer.WriteF64(point.pos.lat);
+    writer.WriteF64(point.pos.lng);
+    writer.WriteF64(point.time);
+  }
+  return writer.buffer();
+}
+
+Result<Trajectory> DecodeTrajectoryPayload(
+    const std::vector<uint8_t>& payload) {
+  BinaryReader reader(payload);
+  Trajectory trajectory;
+  KAMEL_ASSIGN_OR_RETURN(trajectory.id, reader.ReadI64());
+  KAMEL_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
+  trajectory.points.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    TrajPoint point;
+    KAMEL_ASSIGN_OR_RETURN(point.pos.lat, reader.ReadF64());
+    KAMEL_ASSIGN_OR_RETURN(point.pos.lng, reader.ReadF64());
+    KAMEL_ASSIGN_OR_RETURN(point.time, reader.ReadF64());
+    trajectory.points.push_back(point);
+  }
+  if (!reader.AtEnd()) {
+    return Status::IOError("trailing bytes after trajectory payload");
+  }
+  return trajectory;
+}
+
+std::vector<uint8_t> EncodeLsnPayload(uint64_t lsn) {
+  std::vector<uint8_t> payload;
+  AppendRaw<uint64_t>(&payload, lsn);
+  return payload;
+}
+
+Result<uint64_t> DecodeLsnPayload(const std::vector<uint8_t>& payload) {
+  if (payload.size() != sizeof(uint64_t)) {
+    return Status::IOError("lsn payload must be 8 bytes, got " +
+                           std::to_string(payload.size()));
+  }
+  return ReadRaw<uint64_t>(payload.data());
+}
+
+}  // namespace kamel

@@ -1,0 +1,216 @@
+#ifndef KAMEL_IO_WAL_H_
+#define KAMEL_IO_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "geo/trajectory.h"
+
+namespace kamel {
+
+/// Segment file header: 4 magic bytes, a format version, and the LSN of
+/// the first record the segment may contain (also encoded in the file
+/// name, `wal-<base-lsn, 16 hex digits>.log`).
+inline constexpr uint32_t kWalMagic = 0x4B4D574Cu;  // "KMWL"
+inline constexpr uint32_t kWalVersion = 1;
+
+/// Hard sanity bound on one record's payload. A length field above this is
+/// treated as corruption, never as an allocation request.
+inline constexpr uint64_t kMaxWalRecordBytes = 64ull << 20;
+
+/// When an Append is considered durable (acknowledged to the caller).
+enum class FsyncPolicy {
+  kEveryRecord,  ///< fsync after every record — strongest, slowest
+  kEveryN,       ///< fsync once per `fsync_every_n` records
+  kOnRotate,     ///< fsync only at rotation, checkpoint, and Sync()
+};
+
+struct WalOptions {
+  /// Directory holding the segment files; created if missing.
+  std::string dir;
+  FsyncPolicy fsync_policy = FsyncPolicy::kEveryRecord;
+  /// Records between fsyncs under FsyncPolicy::kEveryN.
+  int fsync_every_n = 32;
+  /// Rotation threshold: a segment at or above this size is closed (and
+  /// fsynced) and a fresh one started before the next append.
+  uint64_t segment_bytes = 4ull << 20;
+};
+
+/// What a WAL record describes. Payload encodings live next to their
+/// producers (raw trajectories below; tokenized trajectories with
+/// TrajectoryStore) so the log itself stays payload-agnostic.
+enum class WalRecordType : uint8_t {
+  /// A raw trajectory acknowledged into the pending maintenance batch
+  /// (MaintenanceScheduler::Submit). Payload: EncodeTrajectoryPayload.
+  kSubmit = 1,
+  /// A tokenized trajectory appended to a WAL-attached TrajectoryStore.
+  /// Payload: TrajectoryStore::EncodeWalPayload.
+  kStoreAppend = 2,
+  /// Marker: every kSubmit with lsn <= payload was consumed by a
+  /// successful training batch. Payload: EncodeLsnPayload.
+  kBatchTrained = 3,
+  /// Marker: all state with lsn <= payload is durably captured in a saved
+  /// snapshot; segments entirely below it are deletable. Payload:
+  /// EncodeLsnPayload.
+  kCheckpoint = 4,
+};
+
+struct WalRecord {
+  uint64_t lsn = 0;
+  WalRecordType type = WalRecordType::kSubmit;
+  std::vector<uint8_t> payload;
+};
+
+/// What WriteAheadLog::Open found and did. `records` carries every record
+/// newer than the last checkpoint watermark, in LSN order, ready for
+/// replay.
+struct WalRecoveryReport {
+  std::vector<WalRecord> records;
+  /// Highest kCheckpoint watermark seen; records at or below it are
+  /// already captured by a snapshot and were skipped.
+  uint64_t checkpoint_lsn = 0;
+  size_t segments_scanned = 0;
+  size_t records_scanned = 0;
+  size_t records_skipped = 0;  // at or below checkpoint_lsn
+  /// Bytes of torn tail truncated from the last segment (0 = clean).
+  size_t torn_tail_bytes = 0;
+  std::string torn_tail_segment;
+};
+
+/// Segmented write-ahead log: the durability gap-closer between
+/// "acknowledged" and "persisted" for trajectory ingestion. Records are
+/// CRC32C-framed (`u32 crc | u32 payload_len | u64 lsn | u8 type |
+/// payload`, crc covering everything after itself) inside append-only
+/// segment files, so recovery can tell a torn write (the file ends inside
+/// a frame — the expected crash shape, truncated silently) from mid-log
+/// corruption (a complete frame whose checksum fails — bit rot; Open
+/// refuses, data loss must be surfaced, never skipped).
+///
+/// Not thread-safe: one writer, external synchronization if shared (the
+/// MaintenanceScheduler that owns ingestion is itself single-threaded).
+///
+/// Failpoints (see common/fault_injection.h): `wal.append` fails before
+/// any byte is written; `wal.append.torn` writes half a frame then fails,
+/// poisoning the log object (crash simulation — reopen to recover);
+/// `wal.fsync` fails the durability step; `wal.rotate` fails segment
+/// rollover; `wal.checkpoint` fails between the checkpoint record and
+/// segment deletion.
+class WriteAheadLog {
+ public:
+  /// Opens (creating if needed) the log in `options.dir`: scans every
+  /// segment in LSN order, replays valid records into `report`, truncates
+  /// a torn tail on the last segment, and positions the writer after the
+  /// last durable record. Fails on mid-log corruption — by then the tail
+  /// of the log cannot be trusted; `FsckWal` names the damage.
+  static Result<std::unique_ptr<WriteAheadLog>> Open(
+      const WalOptions& options, WalRecoveryReport* report = nullptr);
+
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Appends one record and applies the fsync policy; the record is
+  /// acknowledged (and its LSN returned) only after both succeed.
+  Result<uint64_t> Append(WalRecordType type,
+                          const std::vector<uint8_t>& payload);
+
+  /// Forces an fsync of the current segment regardless of policy.
+  Status Sync();
+
+  /// Declares every record with lsn <= `upto_lsn` durably captured
+  /// elsewhere (a saved snapshot): writes a fsynced kCheckpoint record,
+  /// then deletes every closed segment whose records all fall at or below
+  /// the watermark. The current segment is never deleted.
+  Status Checkpoint(uint64_t upto_lsn);
+
+  uint64_t next_lsn() const { return next_lsn_; }
+  /// Live segment files, including the one being written.
+  size_t segment_count() const { return segments_.size(); }
+  const WalOptions& options() const { return options_; }
+
+  struct Stats {
+    int64_t appends = 0;
+    int64_t fsyncs = 0;
+    int64_t rotations = 0;
+    int64_t segments_deleted = 0;
+    uint64_t bytes_appended = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  explicit WriteAheadLog(WalOptions options)
+      : options_(std::move(options)) {}
+
+  Status OpenSegmentForAppend(uint64_t base_lsn, bool create);
+  Status Rotate();
+  Status SyncNow();
+
+  WalOptions options_;
+  int fd_ = -1;
+  uint64_t next_lsn_ = 1;
+  uint64_t current_bytes_ = 0;
+  int unsynced_records_ = 0;
+  /// A torn-write fault fired: the on-disk tail is mid-frame, so further
+  /// appends would interleave garbage. Every operation refuses until the
+  /// log is reopened (which truncates the tear).
+  bool poisoned_ = false;
+  /// base LSN -> path, ascending; the last entry is the open segment.
+  std::vector<std::pair<uint64_t, std::string>> segments_;
+  Stats stats_;
+};
+
+/// Integrity report of one WAL directory, produced without replaying
+/// anything (`kamel fsck --wal-dir`). Every damaged record is named with
+/// its segment, offset, and classification: a torn tail is recoverable
+/// (Open truncates it), mid-log corruption is data loss.
+struct WalFsckReport {
+  struct Damage {
+    std::string segment;
+    uint64_t offset = 0;
+    uint64_t record_index = 0;  // within its segment
+    /// True: file ends inside the frame (torn write, recoverable).
+    /// False: complete frame with a bad checksum or framing (data loss).
+    bool torn_tail = false;
+    std::string error;
+  };
+  size_t segments = 0;
+  uint64_t records = 0;        // records that verified clean
+  uint64_t bytes = 0;          // total bytes scanned
+  uint64_t first_lsn = 0;
+  uint64_t last_lsn = 0;
+  uint64_t checkpoint_lsn = 0;
+  std::vector<Damage> damaged;
+
+  bool clean() const { return damaged.empty(); }
+  /// Any damage that truncation cannot recover from.
+  bool data_loss() const {
+    for (const Damage& d : damaged) {
+      if (!d.torn_tail) return true;
+    }
+    return false;
+  }
+};
+
+/// Walks every segment of `dir` and CRC-checks every record. Returns
+/// non-OK only when the directory cannot be read; per-record damage is
+/// reported in the result.
+Result<WalFsckReport> FsckWal(const std::string& dir);
+
+/// Payload codec for kSubmit records: one raw trajectory.
+std::vector<uint8_t> EncodeTrajectoryPayload(const Trajectory& trajectory);
+Result<Trajectory> DecodeTrajectoryPayload(
+    const std::vector<uint8_t>& payload);
+
+/// Payload codec for the kBatchTrained / kCheckpoint LSN markers.
+std::vector<uint8_t> EncodeLsnPayload(uint64_t lsn);
+Result<uint64_t> DecodeLsnPayload(const std::vector<uint8_t>& payload);
+
+}  // namespace kamel
+
+#endif  // KAMEL_IO_WAL_H_

@@ -102,6 +102,69 @@ TEST(TrajectoryStoreTest, PartialOverlapIsNotEnclosed) {
       store.FullyEnclosed(BBox::FromCorners({-10, -10}, {100, 100})).empty());
 }
 
+TEST(TrajectoryStoreTest, EmptyTrajectoryAppendsWithEmptyMbr) {
+  // Tokenization never emits empty trajectories, but the store must not
+  // misbehave if handed one: it occupies an index, matches no query, and
+  // its empty MBR stays out of every enclosure result.
+  TrajectoryStore store;
+  size_t index = 77;
+  ASSERT_TRUE(store.Append(TokenizedTrajectory{}, &index).ok());
+  EXPECT_EQ(index, 0u);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.total_tokens(), 0);
+  EXPECT_TRUE(store.MbrOf(0).Empty());
+  const BBox everything = BBox::FromCorners({-1e9, -1e9}, {1e9, 1e9});
+  EXPECT_TRUE(store.FullyEnclosed(everything).empty());
+  EXPECT_EQ(store.CountTokensIn(everything), 0);
+  EXPECT_TRUE(store.Statements({0})[0].empty());
+}
+
+TEST(TrajectoryStoreTest, SinglePointMbrIsDegenerateButQueryable) {
+  TrajectoryStore store;
+  store.Add({{9, 0.0, {50, 60}, 0.0}});
+  const BBox& mbr = store.MbrOf(0);
+  EXPECT_FALSE(mbr.Empty());
+  EXPECT_EQ(mbr.Width(), 0.0);
+  EXPECT_EQ(mbr.Height(), 0.0);
+  // A zero-area MBR is still enclosed (and counted) by a box touching it.
+  EXPECT_EQ(store.FullyEnclosed(BBox::FromCorners({50, 60}, {70, 80})).size(),
+            1u);
+  EXPECT_EQ(store.CountTokensIn(BBox::FromCorners({0, 0}, {50, 60})), 1);
+  EXPECT_EQ(store.CountTokensIn(BBox::FromCorners({51, 60}, {70, 80})), 0);
+}
+
+TEST(TrajectoryStoreTest, CountTokensInIncludesBoundaryPoints) {
+  // BBox::Contains is inclusive on all four edges; the token count must
+  // agree so pyramid cell statistics do not drop edge-sitting points.
+  TrajectoryStore store;
+  store.Add({{1, 0.0, {0, 0}, 0.0},      // lower-left corner
+             {2, 1.0, {100, 0}, 0.0},    // bottom edge endpoint
+             {3, 2.0, {100, 100}, 0.0},  // upper-right corner
+             {4, 3.0, {50, 100}, 0.0},   // top edge interior
+             {5, 4.0, {100.0001, 50}, 0.0}});  // just outside
+  const BBox bounds = BBox::FromCorners({0, 0}, {100, 100});
+  EXPECT_EQ(store.CountTokensIn(bounds), 4);
+}
+
+TEST(TrajectoryStoreTest, FullyEnclosedHandlesDegenerateBounds) {
+  TrajectoryStore store;
+  store.Add({{1, 0.0, {10, 10}, 0.0}});                          // point MBR
+  store.Add({{2, 0.0, {0, 20}, 0.0}, {3, 1.0, {40, 20}, 0.0}});  // line MBR
+  // Zero-area query box exactly on the point trajectory: inclusive.
+  const std::vector<size_t> at_point =
+      store.FullyEnclosed(BBox::FromCorners({10, 10}, {10, 10}));
+  ASSERT_EQ(at_point.size(), 1u);
+  EXPECT_EQ(at_point[0], 0u);
+  // Zero-height query line covering the horizontal trajectory: inclusive.
+  const std::vector<size_t> on_line =
+      store.FullyEnclosed(BBox::FromCorners({0, 20}, {40, 20}));
+  ASSERT_EQ(on_line.size(), 1u);
+  EXPECT_EQ(on_line[0], 1u);
+  // An empty (default) query box encloses nothing, not everything.
+  EXPECT_TRUE(store.FullyEnclosed(BBox{}).empty());
+  EXPECT_EQ(store.CountTokensIn(BBox{}), 0);
+}
+
 class PyramidTest : public testing::Test {
  protected:
   PyramidTest()

@@ -1,0 +1,269 @@
+// Integration tests for durable ingestion: WAL-backed Submit, crash
+// recovery through OpenDurableIngestion, the retained-pending fix for
+// mid-batch training failures, and checkpoint-driven log trimming.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "common/fault_injection.h"
+#include "core/maintenance.h"
+#include "io/trajectory_csv.h"
+#include "sim/datasets.h"
+
+namespace kamel {
+namespace {
+
+namespace fs = std::filesystem;
+
+KamelOptions TinyOptions() {
+  KamelOptions options;
+  options.pyramid_height = 0;
+  options.pyramid_levels = 1;
+  options.model_token_threshold = 40;
+  options.bert.encoder.d_model = 8;
+  options.bert.encoder.num_heads = 2;
+  options.bert.encoder.num_layers = 1;
+  options.bert.encoder.ffn_dim = 16;
+  options.bert.encoder.max_seq_len = 16;
+  options.bert.train.steps = 30;
+  options.bert.train.batch_size = 4;
+  return options;
+}
+
+MaintenanceOptions TinyPolicy() {
+  MaintenanceOptions policy;
+  policy.min_batch_trajectories = 8;
+  policy.min_batch_points = 100000;
+  return policy;
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+/// Byte-level fingerprint of what the system would serve for `probes`.
+std::string ImputeFingerprint(Kamel* system,
+                              const TrajectoryDataset& probes) {
+  auto imputed = system->ImputeBatch(probes);
+  EXPECT_TRUE(imputed.ok()) << imputed.status().message();
+  if (!imputed.ok()) return "";
+  TrajectoryDataset out;
+  for (const ImputedTrajectory& one : *imputed) {
+    out.trajectories.push_back(one.trajectory);
+  }
+  return io::WriteCsvString(out);
+}
+
+TEST(DurabilityTest, PendingSubmitsSurviveACrash) {
+  const std::string dir = FreshDir("durability_pending");
+  const std::string checkpoint = dir + "/checkpoint.bin";
+  const WalOptions wal_options{.dir = dir + "/wal"};
+  const SimScenario scenario = BuildScenario(MiniSpec(51));
+
+  {
+    Kamel system(TinyOptions());
+    MaintenanceScheduler scheduler(&system, TinyPolicy());
+    auto wal = OpenDurableIngestion(&system, &scheduler, wal_options,
+                                    checkpoint);
+    ASSERT_TRUE(wal.ok()) << wal.status().message();
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(
+          scheduler.Submit(scenario.train.trajectories[i]).ok());
+    }
+    EXPECT_EQ(scheduler.pending_trajectories(), 5u);
+    // Crash: the objects die with five acknowledged submits still
+    // buffered, nothing trained, no checkpoint on disk.
+  }
+
+  Kamel system(TinyOptions());
+  MaintenanceScheduler scheduler(&system, TinyPolicy());
+  IngestRecoveryReport report;
+  auto wal = OpenDurableIngestion(&system, &scheduler, wal_options,
+                                  checkpoint, &report);
+  ASSERT_TRUE(wal.ok()) << wal.status().message();
+  EXPECT_FALSE(report.snapshot_loaded);
+  EXPECT_EQ(report.submits_replayed, 5u);
+  EXPECT_EQ(report.batches_retrained, 0u);
+  EXPECT_EQ(scheduler.pending_trajectories(), 5u);
+  EXPECT_FALSE(system.trained());
+
+  // The restored batch is live: three more submits cross the threshold
+  // and train exactly the eight acknowledged trajectories.
+  for (int i = 5; i < 8; ++i) {
+    ASSERT_TRUE(scheduler.Submit(scenario.train.trajectories[i]).ok());
+  }
+  EXPECT_TRUE(system.trained());
+  EXPECT_EQ(scheduler.batches_trained(), 1);
+  EXPECT_EQ(system.ingested().size(), system.store().size());
+}
+
+TEST(DurabilityTest, RecoveryReproducesImputationByteForByte) {
+  const SimScenario scenario = BuildScenario(MiniSpec(51));
+  TrajectoryDataset probes;
+  for (size_t i = 0; i < 4 && i < scenario.test.trajectories.size(); ++i) {
+    probes.trajectories.push_back(scenario.test.trajectories[i]);
+  }
+  ASSERT_FALSE(probes.trajectories.empty());
+
+  // Reference: a process that never crashes. No checkpoint path, so the
+  // whole history stays in the log.
+  std::string reference;
+  {
+    const std::string dir = FreshDir("durability_bytes_ref");
+    Kamel system(TinyOptions());
+    MaintenanceScheduler scheduler(&system, TinyPolicy());
+    auto wal = OpenDurableIngestion(&system, &scheduler,
+                                    {.dir = dir + "/wal"}, "");
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(
+          scheduler.Submit(scenario.train.trajectories[i]).ok());
+    }
+    ASSERT_TRUE(system.trained());
+    reference = ImputeFingerprint(&system, probes);
+    ASSERT_FALSE(reference.empty());
+  }
+
+  // Crashed twin: same submits, then the process dies after training
+  // (one marker and two pending submits in the log). Recovery re-trains
+  // the batch from the log through the normal Train path.
+  const std::string dir = FreshDir("durability_bytes_crash");
+  const WalOptions wal_options{.dir = dir + "/wal"};
+  {
+    Kamel system(TinyOptions());
+    MaintenanceScheduler scheduler(&system, TinyPolicy());
+    auto wal = OpenDurableIngestion(&system, &scheduler, wal_options, "");
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(
+          scheduler.Submit(scenario.train.trajectories[i]).ok());
+    }
+    ASSERT_TRUE(system.trained());
+  }
+  Kamel recovered(TinyOptions());
+  MaintenanceScheduler scheduler(&recovered, TinyPolicy());
+  IngestRecoveryReport report;
+  auto wal = OpenDurableIngestion(&recovered, &scheduler, wal_options, "",
+                                  &report);
+  ASSERT_TRUE(wal.ok()) << wal.status().message();
+  EXPECT_EQ(report.batches_retrained, 1u);
+  EXPECT_EQ(report.submits_replayed, 10u);
+  EXPECT_EQ(scheduler.pending_trajectories(), 2u);
+  ASSERT_TRUE(recovered.trained());
+  EXPECT_EQ(ImputeFingerprint(&recovered, probes), reference);
+}
+
+TEST(DurabilityTest, CheckpointShortensRecoveryAndPreservesOutput) {
+  const SimScenario scenario = BuildScenario(MiniSpec(51));
+  TrajectoryDataset probes;
+  for (size_t i = 0; i < 4 && i < scenario.test.trajectories.size(); ++i) {
+    probes.trajectories.push_back(scenario.test.trajectories[i]);
+  }
+
+  const std::string dir = FreshDir("durability_checkpoint");
+  const std::string checkpoint = dir + "/checkpoint.bin";
+  const WalOptions wal_options{.dir = dir + "/wal"};
+  std::string reference;
+  {
+    Kamel system(TinyOptions());
+    MaintenanceScheduler scheduler(&system, TinyPolicy());
+    auto wal = OpenDurableIngestion(&system, &scheduler, wal_options,
+                                    checkpoint);
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(
+          scheduler.Submit(scenario.train.trajectories[i]).ok());
+    }
+    ASSERT_TRUE(system.trained());
+    EXPECT_TRUE(fs::exists(checkpoint));
+    reference = ImputeFingerprint(&system, probes);
+  }
+
+  Kamel recovered(TinyOptions());
+  MaintenanceScheduler scheduler(&recovered, TinyPolicy());
+  IngestRecoveryReport report;
+  auto wal = OpenDurableIngestion(&recovered, &scheduler, wal_options,
+                                  checkpoint, &report);
+  ASSERT_TRUE(wal.ok()) << wal.status().message();
+  // The trained batch came back from the snapshot, not from re-training:
+  // only the two tail submits needed replay.
+  EXPECT_TRUE(report.snapshot_loaded);
+  EXPECT_EQ(report.batches_retrained, 0u);
+  EXPECT_EQ(report.submits_replayed, 2u);
+  EXPECT_EQ(scheduler.pending_trajectories(), 2u);
+  ASSERT_TRUE(recovered.trained());
+  EXPECT_EQ(recovered.ingested().size(), recovered.store().size());
+  EXPECT_EQ(ImputeFingerprint(&recovered, probes), reference);
+
+  // Training continues seamlessly after recovery: the restored tail plus
+  // fresh submits form the next batch.
+  for (int i = 10; i < 16; ++i) {
+    ASSERT_TRUE(scheduler.Submit(scenario.train.trajectories[i]).ok());
+  }
+  EXPECT_EQ(scheduler.batches_trained(), 1);
+  EXPECT_EQ(scheduler.pending_trajectories(), 0u);
+}
+
+TEST(DurabilityTest, TrainFailureRetainsPendingBatch) {
+  // Regression for the dropped-batch bug: Flush used to swap the pending
+  // batch out BEFORE Train, so a mid-batch failure silently discarded
+  // every acknowledged trajectory in it.
+  const SimScenario scenario = BuildScenario(MiniSpec(51));
+  Kamel system(TinyOptions());
+  MaintenanceScheduler scheduler(&system, TinyPolicy());
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(scheduler.Submit(scenario.train.trajectories[i]).ok());
+  }
+  {
+    ScopedFault fault("store.append");
+    const Status failed =
+        scheduler.Submit(scenario.train.trajectories[7]);
+    EXPECT_FALSE(failed.ok());
+  }
+  // Every acknowledged trajectory is still queued.
+  EXPECT_EQ(scheduler.pending_trajectories(), 8u);
+  EXPECT_EQ(scheduler.batches_trained(), 0);
+
+  // With the fault gone the retry trains the same batch.
+  ASSERT_TRUE(scheduler.Flush().ok());
+  EXPECT_EQ(scheduler.pending_trajectories(), 0u);
+  EXPECT_EQ(scheduler.batches_trained(), 1);
+  EXPECT_TRUE(system.trained());
+}
+
+TEST(DurabilityTest, CheckpointGarbageCollectsTheLog) {
+  const SimScenario scenario = BuildScenario(MiniSpec(51));
+  const std::string dir = FreshDir("durability_gc");
+  const std::string checkpoint = dir + "/checkpoint.bin";
+  WalOptions wal_options{.dir = dir + "/wal"};
+  wal_options.segment_bytes = 1024;  // rotate often
+
+  Kamel system(TinyOptions());
+  MaintenanceScheduler scheduler(&system, TinyPolicy());
+  auto wal = OpenDurableIngestion(&system, &scheduler, wal_options,
+                                  checkpoint);
+  ASSERT_TRUE(wal.ok());
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(scheduler.Submit(scenario.train.trajectories[i]).ok());
+  }
+  EXPECT_EQ(scheduler.batches_trained(), 2);
+  EXPECT_GT((*wal)->stats().segments_deleted, 0);
+  // Everything trained is checkpointed: recovery has nothing to replay.
+  (*wal).reset();
+  Kamel recovered(TinyOptions());
+  MaintenanceScheduler fresh(&recovered, TinyPolicy());
+  IngestRecoveryReport report;
+  ASSERT_TRUE(OpenDurableIngestion(&recovered, &fresh, wal_options,
+                                   checkpoint, &report)
+                  .ok());
+  EXPECT_EQ(report.submits_replayed, 0u);
+  EXPECT_EQ(report.batches_retrained, 0u);
+  EXPECT_EQ(recovered.store().size(), system.store().size());
+}
+
+}  // namespace
+}  // namespace kamel

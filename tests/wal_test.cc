@@ -1,0 +1,402 @@
+// Unit tests for the segmented write-ahead log: framing round-trips,
+// fsync policies, rotation, torn-tail truncation vs mid-log corruption,
+// checkpoint garbage collection, fsck classification, and the
+// TrajectoryStore write-through/replay path.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "core/trajectory_store.h"
+#include "io/wal.h"
+
+namespace kamel {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::vector<uint8_t> Bytes(const std::string& text) {
+  return std::vector<uint8_t>(text.begin(), text.end());
+}
+
+/// The single segment file of a fresh log (asserts there is exactly one).
+std::string OnlySegment(const std::string& dir) {
+  std::string found;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    EXPECT_TRUE(found.empty()) << "more than one segment in " << dir;
+    found = entry.path().string();
+  }
+  EXPECT_FALSE(found.empty()) << "no segment in " << dir;
+  return found;
+}
+
+TEST(WalTest, AppendsRoundTripThroughReopen) {
+  const std::string dir = FreshDir("wal_roundtrip");
+  {
+    auto log = WriteAheadLog::Open({.dir = dir});
+    ASSERT_TRUE(log.ok()) << log.status().message();
+    auto lsn1 = (*log)->Append(WalRecordType::kSubmit, Bytes("alpha"));
+    auto lsn2 = (*log)->Append(WalRecordType::kStoreAppend, Bytes("beta"));
+    ASSERT_TRUE(lsn1.ok() && lsn2.ok());
+    EXPECT_EQ(*lsn1, 1u);
+    EXPECT_EQ(*lsn2, 2u);
+  }
+  WalRecoveryReport report;
+  auto log = WriteAheadLog::Open({.dir = dir}, &report);
+  ASSERT_TRUE(log.ok()) << log.status().message();
+  ASSERT_EQ(report.records.size(), 2u);
+  EXPECT_EQ(report.records[0].lsn, 1u);
+  EXPECT_EQ(report.records[0].type, WalRecordType::kSubmit);
+  EXPECT_EQ(report.records[0].payload, Bytes("alpha"));
+  EXPECT_EQ(report.records[1].lsn, 2u);
+  EXPECT_EQ(report.records[1].payload, Bytes("beta"));
+  EXPECT_EQ(report.torn_tail_bytes, 0u);
+  EXPECT_EQ((*log)->next_lsn(), 3u);
+  // The reopened log keeps appending where the last run stopped.
+  auto lsn3 = (*log)->Append(WalRecordType::kSubmit, Bytes("gamma"));
+  ASSERT_TRUE(lsn3.ok());
+  EXPECT_EQ(*lsn3, 3u);
+}
+
+TEST(WalTest, FsyncPoliciesControlSyncFrequency) {
+  {
+    const std::string dir = FreshDir("wal_fsync_every");
+    auto log = WriteAheadLog::Open({.dir = dir});
+    ASSERT_TRUE(log.ok());
+    const int64_t baseline = (*log)->stats().fsyncs;
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE((*log)->Append(WalRecordType::kSubmit, Bytes("x")).ok());
+    }
+    EXPECT_EQ((*log)->stats().fsyncs - baseline, 5);
+  }
+  {
+    const std::string dir = FreshDir("wal_fsync_n");
+    WalOptions options{.dir = dir};
+    options.fsync_policy = FsyncPolicy::kEveryN;
+    options.fsync_every_n = 3;
+    auto log = WriteAheadLog::Open(options);
+    ASSERT_TRUE(log.ok());
+    const int64_t baseline = (*log)->stats().fsyncs;
+    for (int i = 0; i < 7; ++i) {
+      ASSERT_TRUE((*log)->Append(WalRecordType::kSubmit, Bytes("x")).ok());
+    }
+    EXPECT_EQ((*log)->stats().fsyncs - baseline, 2);  // after 3 and 6
+  }
+  {
+    const std::string dir = FreshDir("wal_fsync_rotate");
+    WalOptions options{.dir = dir};
+    options.fsync_policy = FsyncPolicy::kOnRotate;
+    auto log = WriteAheadLog::Open(options);
+    ASSERT_TRUE(log.ok());
+    const int64_t baseline = (*log)->stats().fsyncs;
+    for (int i = 0; i < 7; ++i) {
+      ASSERT_TRUE((*log)->Append(WalRecordType::kSubmit, Bytes("x")).ok());
+    }
+    EXPECT_EQ((*log)->stats().fsyncs - baseline, 0);
+    ASSERT_TRUE((*log)->Sync().ok());
+    EXPECT_EQ((*log)->stats().fsyncs - baseline, 1);
+  }
+}
+
+TEST(WalTest, RotatesAtSegmentThresholdAndRecoversAcrossSegments) {
+  const std::string dir = FreshDir("wal_rotate");
+  WalOptions options{.dir = dir};
+  options.segment_bytes = 128;  // a few records per segment
+  {
+    auto log = WriteAheadLog::Open(options);
+    ASSERT_TRUE(log.ok());
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(
+          (*log)->Append(WalRecordType::kSubmit, Bytes("payload")).ok());
+    }
+    EXPECT_GT((*log)->stats().rotations, 0);
+    EXPECT_GT((*log)->segment_count(), 1u);
+  }
+  WalRecoveryReport report;
+  auto log = WriteAheadLog::Open(options, &report);
+  ASSERT_TRUE(log.ok()) << log.status().message();
+  ASSERT_EQ(report.records.size(), 20u);
+  EXPECT_GT(report.segments_scanned, 1u);
+  for (size_t i = 0; i < report.records.size(); ++i) {
+    EXPECT_EQ(report.records[i].lsn, i + 1);
+  }
+}
+
+TEST(WalTest, TornTailIsTruncatedAndLogStaysUsable) {
+  const std::string dir = FreshDir("wal_torn");
+  {
+    auto log = WriteAheadLog::Open({.dir = dir});
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE((*log)->Append(WalRecordType::kSubmit, Bytes("keep1")).ok());
+    ASSERT_TRUE((*log)->Append(WalRecordType::kSubmit, Bytes("keep2")).ok());
+    ASSERT_TRUE(
+        (*log)->Append(WalRecordType::kSubmit, Bytes("torn-away")).ok());
+  }
+  // Simulate a crash mid-write: cut into the last frame.
+  const std::string segment = OnlySegment(dir);
+  const uintmax_t size = fs::file_size(segment);
+  fs::resize_file(segment, size - 4);
+
+  WalRecoveryReport report;
+  auto log = WriteAheadLog::Open({.dir = dir}, &report);
+  ASSERT_TRUE(log.ok()) << log.status().message();
+  ASSERT_EQ(report.records.size(), 2u);
+  EXPECT_EQ(report.records[1].payload, Bytes("keep2"));
+  EXPECT_GT(report.torn_tail_bytes, 0u);
+  EXPECT_EQ(report.torn_tail_segment, segment);
+  // The tear was truncated away: the next append lands cleanly and a
+  // further reopen sees all three records.
+  auto lsn = (*log)->Append(WalRecordType::kSubmit, Bytes("after"));
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_EQ(*lsn, 3u);
+  log->reset();
+  WalRecoveryReport second;
+  auto reopened = WriteAheadLog::Open({.dir = dir}, &second);
+  ASSERT_TRUE(reopened.ok());
+  ASSERT_EQ(second.records.size(), 3u);
+  EXPECT_EQ(second.records[2].payload, Bytes("after"));
+  EXPECT_EQ(second.torn_tail_bytes, 0u);
+}
+
+TEST(WalTest, MidLogCorruptionRefusesToOpen) {
+  const std::string dir = FreshDir("wal_corrupt");
+  {
+    auto log = WriteAheadLog::Open({.dir = dir});
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(
+        (*log)->Append(WalRecordType::kSubmit, Bytes("record-one")).ok());
+    ASSERT_TRUE(
+        (*log)->Append(WalRecordType::kSubmit, Bytes("record-two")).ok());
+  }
+  // Flip a payload byte of the FIRST record: a complete frame whose CRC
+  // fails is bit rot, not a torn write — recovery must refuse.
+  const std::string segment = OnlySegment(dir);
+  {
+    std::fstream file(segment,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.good());
+    file.seekp(16 + 17 + 2);  // segment header + frame header + 2
+    file.put('X');
+  }
+  auto log = WriteAheadLog::Open({.dir = dir});
+  EXPECT_FALSE(log.ok());
+  EXPECT_EQ(log.status().code(), StatusCode::kIOError);
+}
+
+TEST(WalTest, CheckpointDeletesCoveredSegmentsAndSkipsOnReplay) {
+  const std::string dir = FreshDir("wal_checkpoint");
+  WalOptions options{.dir = dir};
+  options.segment_bytes = 128;
+  auto log = WriteAheadLog::Open(options);
+  ASSERT_TRUE(log.ok());
+  uint64_t last_lsn = 0;
+  for (int i = 0; i < 20; ++i) {
+    auto lsn = (*log)->Append(WalRecordType::kSubmit, Bytes("payload"));
+    ASSERT_TRUE(lsn.ok());
+    last_lsn = *lsn;
+  }
+  const size_t before = (*log)->segment_count();
+  ASSERT_GT(before, 2u);
+  ASSERT_TRUE((*log)->Checkpoint(12).ok());
+  EXPECT_LT((*log)->segment_count(), before);
+  EXPECT_GT((*log)->stats().segments_deleted, 0);
+
+  // Records at or below the watermark are not replayed on reopen.
+  log->reset();
+  WalRecoveryReport report;
+  auto reopened = WriteAheadLog::Open(options, &report);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  EXPECT_EQ(report.checkpoint_lsn, 12u);
+  ASSERT_FALSE(report.records.empty());
+  for (const WalRecord& record : report.records) {
+    EXPECT_GT(record.lsn, 12u);
+    EXPECT_LE(record.lsn, last_lsn);
+  }
+  EXPECT_EQ(report.records.back().lsn, last_lsn);
+}
+
+TEST(WalTest, FsckClassifiesTornTailVsCorruption) {
+  // Clean log.
+  const std::string clean_dir = FreshDir("wal_fsck_clean");
+  {
+    auto log = WriteAheadLog::Open({.dir = clean_dir});
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE((*log)->Append(WalRecordType::kSubmit, Bytes("one")).ok());
+    ASSERT_TRUE((*log)->Append(WalRecordType::kSubmit, Bytes("two")).ok());
+  }
+  auto clean = FsckWal(clean_dir);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_TRUE(clean->clean());
+  EXPECT_FALSE(clean->data_loss());
+  EXPECT_EQ(clean->records, 2u);
+  EXPECT_EQ(clean->first_lsn, 1u);
+  EXPECT_EQ(clean->last_lsn, 2u);
+
+  // Torn tail: recoverable, not data loss.
+  const std::string segment = OnlySegment(clean_dir);
+  fs::resize_file(segment, fs::file_size(segment) - 3);
+  auto torn = FsckWal(clean_dir);
+  ASSERT_TRUE(torn.ok());
+  EXPECT_FALSE(torn->clean());
+  EXPECT_FALSE(torn->data_loss());
+  ASSERT_EQ(torn->damaged.size(), 1u);
+  EXPECT_TRUE(torn->damaged[0].torn_tail);
+  EXPECT_EQ(torn->damaged[0].segment, segment);
+
+  // Mid-log corruption: data loss, named with its record index.
+  const std::string rot_dir = FreshDir("wal_fsck_rot");
+  {
+    auto log = WriteAheadLog::Open({.dir = rot_dir});
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE((*log)->Append(WalRecordType::kSubmit, Bytes("aaaa")).ok());
+    ASSERT_TRUE((*log)->Append(WalRecordType::kSubmit, Bytes("bbbb")).ok());
+  }
+  const std::string rot_segment = OnlySegment(rot_dir);
+  {
+    std::fstream file(rot_segment,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(16 + 17 + 1);
+    file.put('!');
+  }
+  auto rotted = FsckWal(rot_dir);
+  ASSERT_TRUE(rotted.ok());
+  EXPECT_TRUE(rotted->data_loss());
+  ASSERT_FALSE(rotted->damaged.empty());
+  EXPECT_FALSE(rotted->damaged[0].torn_tail);
+  EXPECT_EQ(rotted->damaged[0].record_index, 0u);
+}
+
+TEST(WalTest, OversizedLengthFieldIsCorruptionNotAllocation) {
+  const std::string dir = FreshDir("wal_oversize");
+  {
+    auto log = WriteAheadLog::Open({.dir = dir});
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE((*log)->Append(WalRecordType::kSubmit, Bytes("ok")).ok());
+  }
+  // Overwrite the payload-length field with a huge value.
+  const std::string segment = OnlySegment(dir);
+  {
+    std::fstream file(segment,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(16 + 4);  // segment header + crc field
+    const uint32_t huge = 0xFFFFFFFFu;
+    file.write(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  }
+  auto fsck = FsckWal(dir);
+  ASSERT_TRUE(fsck.ok());
+  EXPECT_TRUE(fsck->data_loss());
+}
+
+TEST(WalTest, AppendFaultFailsCleanlyWithoutLoggingAnything) {
+  const std::string dir = FreshDir("wal_fault_append");
+  auto log = WriteAheadLog::Open({.dir = dir});
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE((*log)->Append(WalRecordType::kSubmit, Bytes("first")).ok());
+  {
+    ScopedFault fault("wal.append");
+    EXPECT_FALSE((*log)->Append(WalRecordType::kSubmit, Bytes("lost")).ok());
+  }
+  // The failed append consumed no LSN and wrote no bytes: the next one
+  // lands at LSN 2 and a reopen sees exactly two clean records.
+  auto lsn = (*log)->Append(WalRecordType::kSubmit, Bytes("second"));
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_EQ(*lsn, 2u);
+  log->reset();
+  WalRecoveryReport report;
+  ASSERT_TRUE(WriteAheadLog::Open({.dir = dir}, &report).ok());
+  ASSERT_EQ(report.records.size(), 2u);
+  EXPECT_EQ(report.records[1].payload, Bytes("second"));
+}
+
+TEST(WalTest, TornWriteFaultPoisonsLogUntilReopen) {
+  const std::string dir = FreshDir("wal_fault_torn");
+  auto log = WriteAheadLog::Open({.dir = dir});
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE((*log)->Append(WalRecordType::kSubmit, Bytes("durable")).ok());
+  {
+    ScopedFault fault("wal.append.torn");
+    EXPECT_FALSE((*log)->Append(WalRecordType::kSubmit, Bytes("half")).ok());
+  }
+  // The on-disk tail is now mid-frame; the poisoned object refuses to
+  // interleave more bytes after it.
+  EXPECT_FALSE((*log)->Append(WalRecordType::kSubmit, Bytes("no")).ok());
+  EXPECT_FALSE((*log)->Sync().ok());
+  log->reset();
+
+  // Reopen recovers: the tear is truncated, the durable record survives.
+  WalRecoveryReport report;
+  auto reopened = WriteAheadLog::Open({.dir = dir}, &report);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  ASSERT_EQ(report.records.size(), 1u);
+  EXPECT_EQ(report.records[0].payload, Bytes("durable"));
+  EXPECT_GT(report.torn_tail_bytes, 0u);
+  ASSERT_TRUE(
+      (*reopened)->Append(WalRecordType::kSubmit, Bytes("resumed")).ok());
+}
+
+TEST(WalTest, TrajectoryPayloadCodecRoundTrips) {
+  Trajectory trajectory;
+  trajectory.id = -42;
+  trajectory.points = {{{45.01, -93.02}, 10.0}, {{45.02, -93.03}, 20.0}};
+  auto decoded = DecodeTrajectoryPayload(EncodeTrajectoryPayload(trajectory));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->id, -42);
+  ASSERT_EQ(decoded->points.size(), 2u);
+  EXPECT_DOUBLE_EQ(decoded->points[0].pos.lat, 45.01);
+  EXPECT_DOUBLE_EQ(decoded->points[1].time, 20.0);
+
+  auto lsn = DecodeLsnPayload(EncodeLsnPayload(77));
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_EQ(*lsn, 77u);
+
+  // Trailing garbage is corruption, not silently ignored.
+  std::vector<uint8_t> padded = EncodeTrajectoryPayload(trajectory);
+  padded.push_back(0);
+  EXPECT_FALSE(DecodeTrajectoryPayload(padded).ok());
+}
+
+TEST(WalTest, StoreWritesThroughAndReplaysFromLog) {
+  const std::string dir = FreshDir("wal_store");
+  TokenizedTrajectory tokens;
+  tokens.push_back({.cell = 7, .time = 1.0, .position = {1.0, 2.0},
+                    .heading = 0.5});
+  tokens.push_back({.cell = 9, .time = 2.0, .position = {3.0, 4.0},
+                    .heading = 1.5});
+  {
+    auto log = WriteAheadLog::Open({.dir = dir});
+    ASSERT_TRUE(log.ok());
+    TrajectoryStore store;
+    store.AttachWal(log->get());
+    size_t index = 0;
+    ASSERT_TRUE(store.Append(tokens, &index).ok());
+    EXPECT_EQ(index, 0u);
+    // A WAL failure blocks the acknowledgement: nothing enters the store.
+    ScopedFault fault("wal.append");
+    EXPECT_FALSE(store.Append(tokens, &index).ok());
+    EXPECT_EQ(store.size(), 1u);
+  }
+  WalRecoveryReport report;
+  auto log = WriteAheadLog::Open({.dir = dir}, &report);
+  ASSERT_TRUE(log.ok());
+  TrajectoryStore recovered;
+  ASSERT_TRUE(recovered.ReplayWal(report.records).ok());
+  ASSERT_EQ(recovered.size(), 1u);
+  const TokenizedTrajectory& replayed = recovered.Get(0);
+  ASSERT_EQ(replayed.size(), 2u);
+  EXPECT_EQ(replayed[0].cell, 7u);
+  EXPECT_DOUBLE_EQ(replayed[1].position.y, 4.0);
+  EXPECT_EQ(recovered.total_tokens(), 2);
+}
+
+}  // namespace
+}  // namespace kamel

@@ -10,6 +10,7 @@
 //
 // Trajectories are CSV (`trajectory_id,lat,lng,time`); `--geojson` adds a
 // GeoJSON export for map inspection.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -18,6 +19,7 @@
 #include <utility>
 
 #include "core/kamel.h"
+#include "core/maintenance.h"
 #include "eval/bootstrap.h"
 #include "eval/evaluator.h"
 #include "eval/scenario.h"
@@ -152,13 +154,92 @@ int SparsifyCmd(const Flags& flags) {
   return 0;
 }
 
+// Parses `--fsync-policy` / `--fsync-every` into `options` (the WAL
+// directory itself comes from `--wal-dir`). A bad policy name is a usage
+// error (exit 2), caught before any file is touched.
+int ParseWalFlags(const Flags& flags, WalOptions* options) {
+  options->dir = flags.Get("wal-dir");
+  const std::string policy = flags.Get("fsync-policy", "every-record");
+  if (policy == "every-record") {
+    options->fsync_policy = FsyncPolicy::kEveryRecord;
+  } else if (policy == "every-n") {
+    options->fsync_policy = FsyncPolicy::kEveryN;
+  } else if (policy == "on-rotate") {
+    options->fsync_policy = FsyncPolicy::kOnRotate;
+  } else {
+    std::fprintf(
+        stderr,
+        "unknown --fsync-policy '%s' (every-record|every-n|on-rotate)\n",
+        policy.c_str());
+    return 2;
+  }
+  options->fsync_every_n =
+      static_cast<int>(flags.GetInt("fsync-every", options->fsync_every_n));
+  return 0;
+}
+
+// Durable training: every trajectory is write-ahead-logged before it is
+// acknowledged, batches train through the MaintenanceScheduler, and each
+// trained batch checkpoints the model file, letting old log segments be
+// deleted. Re-running after a crash resumes from the checkpoint plus the
+// log; nothing acknowledged is ever retrained from scratch or lost.
+int TrainDurable(const Flags& flags, Kamel* system,
+                 const TrajectoryDataset& data,
+                 const std::string& model_path) {
+  WalOptions wal_options;
+  if (const int rc = ParseWalFlags(flags, &wal_options); rc != 0) return rc;
+  MaintenanceOptions policy;
+  policy.min_batch_trajectories = static_cast<size_t>(
+      flags.GetInt("batch-trips", policy.min_batch_trajectories));
+  MaintenanceScheduler scheduler(system, policy);
+  IngestRecoveryReport recovery;
+  auto wal = OpenDurableIngestion(system, &scheduler, wal_options,
+                                  model_path, &recovery);
+  if (!wal.ok()) return Fail(wal.status());
+  if (recovery.snapshot_loaded || recovery.submits_replayed > 0 ||
+      recovery.batches_retrained > 0) {
+    std::printf(
+        "recovered: %s%zu submit(s) replayed, %zu batch(es) retrained, "
+        "%zu record(s) already checkpointed\n",
+        recovery.snapshot_loaded ? "checkpoint loaded, " : "",
+        recovery.submits_replayed, recovery.batches_retrained,
+        recovery.records_skipped);
+  }
+  for (const Trajectory& trajectory : data.trajectories) {
+    if (const Status status = scheduler.Submit(trajectory); !status.ok()) {
+      return Fail(status);
+    }
+  }
+  if (const Status status = scheduler.Flush(); !status.ok()) {
+    return Fail(status);
+  }
+  if (!system->trained()) {
+    return Fail(Status(StatusCode::kInvalidArgument,
+                       "no usable training trajectories (need >= 2 "
+                       "on-grid points each)"));
+  }
+  const WriteAheadLog::Stats& stats = (*wal)->stats();
+  std::printf(
+      "durably trained %zu trajectories in %d batch(es): %d models, "
+      "%.1fs | log: %lld append(s), %lld fsync(s), %zu live segment(s)\n",
+      system->ingested().size(), scheduler.batches_trained(),
+      system->repository().num_models(), system->total_train_seconds(),
+      static_cast<long long>(stats.appends),
+      static_cast<long long>(stats.fsyncs), (*wal)->segment_count());
+  return 0;
+}
+
 int Train(const Flags& flags) {
   auto data = io::ReadCsvFile(flags.Get("data"));
   if (!data.ok()) return Fail(data.status());
   Kamel system(OptionsFromFlags(flags));
+  const std::string model_path = flags.Get("model", "model.kamel");
+  if (flags.Has("wal-dir")) {
+    return TrainDurable(flags, &system, *data, model_path);
+  }
   const Status trained = system.Train(*data);
   if (!trained.ok()) return Fail(trained);
-  const Status saved = system.SaveToFile(flags.Get("model", "model.kamel"));
+  const Status saved = system.SaveToFile(model_path);
   if (!saved.ok()) return Fail(saved);
   std::printf(
       "trained on %zu trajectories: %d models (%d single, %d neighbor), "
@@ -269,16 +350,7 @@ int Evaluate(const Flags& flags) {
   return 0;
 }
 
-int Fsck(int argc, char** argv, const Flags& flags) {
-  // Accept the snapshot as a positional argument or via --model.
-  std::string path = flags.Get("model");
-  if (path.empty() && argc > 2 && std::strncmp(argv[2], "--", 2) != 0) {
-    path = argv[2];
-  }
-  if (path.empty()) {
-    std::fprintf(stderr, "usage: kamel fsck <snapshot>\n");
-    return 2;
-  }
+int FsckSnapshotFile(const std::string& path) {
   auto report = FsckSnapshot(path);
   if (!report.ok()) return Fail(report.status());
   std::printf("%s: snapshot version %u, %zu sections\n", path.c_str(),
@@ -302,6 +374,60 @@ int Fsck(int argc, char** argv, const Flags& flags) {
   return 0;
 }
 
+// CRC-checks every record of every WAL segment, naming each damaged one
+// and classifying it: a torn tail is what a crash leaves behind and
+// recovery truncates it silently; anything else is mid-log corruption —
+// data loss that Open will refuse to skip over.
+int FsckWalDir(const std::string& dir) {
+  auto report = FsckWal(dir);
+  if (!report.ok()) return Fail(report.status());
+  std::printf(
+      "%s: %zu segment(s), %llu clean record(s) (lsn %llu..%llu), "
+      "checkpoint at lsn %llu\n",
+      dir.c_str(), report->segments,
+      static_cast<unsigned long long>(report->records),
+      static_cast<unsigned long long>(report->first_lsn),
+      static_cast<unsigned long long>(report->last_lsn),
+      static_cast<unsigned long long>(report->checkpoint_lsn));
+  for (const auto& damage : report->damaged) {
+    std::printf("  %s: record %llu at offset %llu: %s\n    -> %s\n",
+                damage.segment.c_str(),
+                static_cast<unsigned long long>(damage.record_index),
+                static_cast<unsigned long long>(damage.offset),
+                damage.error.c_str(),
+                damage.torn_tail
+                    ? "torn tail (recoverable: reopening truncates it)"
+                    : "MID-LOG CORRUPTION (data loss: records after "
+                      "this point cannot be trusted)");
+  }
+  if (!report->clean()) {
+    std::printf("%s: log is DAMAGED (%s)\n", dir.c_str(),
+                report->data_loss() ? "unrecoverable" : "recoverable");
+    return 1;
+  }
+  std::printf("%s: log is clean\n", dir.c_str());
+  return 0;
+}
+
+int Fsck(int argc, char** argv, const Flags& flags) {
+  // Accept the snapshot as a positional argument or via --model; a WAL
+  // directory via --wal-dir. Either alone is fine; with both, the exit
+  // code is the worse of the two verdicts.
+  std::string path = flags.Get("model");
+  if (path.empty() && argc > 2 && std::strncmp(argv[2], "--", 2) != 0) {
+    path = argv[2];
+  }
+  const std::string wal_dir = flags.Get("wal-dir");
+  if (path.empty() && wal_dir.empty()) {
+    std::fprintf(stderr, "usage: kamel fsck <snapshot> [--wal-dir DIR]\n");
+    return 2;
+  }
+  int rc = 0;
+  if (!path.empty()) rc = std::max(rc, FsckSnapshotFile(path));
+  if (!wal_dir.empty()) rc = std::max(rc, FsckWalDir(wal_dir));
+  return rc;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -314,13 +440,23 @@ int Usage() {
       "            [--pyramid-height H] [--pyramid-levels L]\n"
       "            (small datasets: --pyramid-height 0 --pyramid-levels 1\n"
       "             trains one model over the whole area)\n"
+      "            [--wal-dir DIR] write-ahead-logs every trajectory\n"
+      "            before acknowledging it and checkpoints the model\n"
+      "            after each trained batch; re-running after a crash\n"
+      "            resumes from the checkpoint plus the log.\n"
+      "            [--fsync-policy every-record|every-n|on-rotate]\n"
+      "            [--fsync-every N] [--batch-trips N] tune durability\n"
+      "            vs throughput and the training batch size.\n"
       "  impute    --model m.kamel --data sparse.csv --out imputed.csv\n"
       "            [--geojson] [--beam N] [--method beam|iterative]\n"
       "  evaluate  --model m.kamel --data dense.csv [--sparseness M]\n"
       "            [--delta M]\n"
-      "  fsck      SNAPSHOT        verify framing and checksums; exit 0 =\n"
-      "            clean, 1 = damaged or unreadable (the damaged section\n"
-      "            is named), 2 = usage error\n"
+      "  fsck      SNAPSHOT [--wal-dir DIR]  verify framing and\n"
+      "            checksums of a snapshot and/or a write-ahead log;\n"
+      "            every damaged section or log record is named, and log\n"
+      "            damage is classified torn-tail (recoverable) vs\n"
+      "            mid-log corruption (data loss). exit 0 = clean, 1 =\n"
+      "            damaged or unreadable, 2 = usage error\n"
       "  (impute/evaluate: [--threads N] imputes trajectories in parallel\n"
       "   on N pool threads (0 = hardware concurrency); outputs are\n"
       "   byte-identical at any thread count.\n"
