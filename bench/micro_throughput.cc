@@ -7,9 +7,19 @@
 // Speedup tracks the machine's core count: on a 1-core container every
 // row measures pool overhead (~1.0x); on an 8-core host the 8-thread row
 // is the scaling headline.
+//
+// A second phase measures request latency: 1/4/8 client threads issue
+// single-trajectory Impute calls (synchronous, no pool) against one
+// shared engine and report p50/p99 per-request latency plus aggregate
+// imputations/second. Set KAMEL_BENCH_JSON to a file path to persist
+// both phases as JSON (the committed BENCH_serving.json baseline).
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -62,6 +72,109 @@ bool Identical(const ImputedTrajectory& a, const ImputedTrajectory& b) {
          a.stats.failed_segments == b.stats.failed_segments;
 }
 
+/// Nearest-rank percentile of an already sorted sample (q in [0, 1]).
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const size_t rank = static_cast<size_t>(q * (sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+struct ThroughputRow {
+  int threads = 0;
+  double seconds = 0.0;
+  double traj_per_sec = 0.0;
+  double speedup = 0.0;
+};
+
+struct LatencyRow {
+  int clients = 0;
+  size_t requests = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double imputations_per_sec = 0.0;
+};
+
+/// `clients` threads issue synchronous single-trajectory Impute calls,
+/// splitting `requests_per_client * clients` requests round-robin over
+/// the batch. Per-request wall times feed the percentile summary.
+Result<LatencyRow> MeasureLatency(const ServingEngine& engine,
+                                  const TrajectoryDataset& batch,
+                                  int clients, size_t requests_per_client) {
+  const size_t total = requests_per_client * clients;
+  std::vector<double> latencies_ms(total, 0.0);
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  for (int c = 0; c < clients; ++c) {
+    pool.emplace_back([&] {
+      size_t i;
+      while ((i = next.fetch_add(1)) < total && !failed.load()) {
+        const Trajectory& sparse =
+            batch.trajectories[i % batch.trajectories.size()];
+        const auto request_start = std::chrono::steady_clock::now();
+        if (!engine.Impute(sparse).ok()) failed.store(true);
+        latencies_ms[i] = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() -
+                              request_start)
+                              .count();
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (failed.load()) return Status::Internal("Impute failed during latency run");
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  LatencyRow row;
+  row.clients = clients;
+  row.requests = total;
+  row.p50_ms = Percentile(latencies_ms, 0.50);
+  row.p99_ms = Percentile(latencies_ms, 0.99);
+  row.imputations_per_sec = total / wall;
+  return row;
+}
+
+/// Persists both phases to $KAMEL_BENCH_JSON (the committed
+/// BENCH_serving.json perf baseline) when that variable is set.
+void EmitJson(const std::vector<ThroughputRow>& throughput,
+              const std::vector<LatencyRow>& latency, size_t batch_size) {
+  const char* path = std::getenv("KAMEL_BENCH_JSON");
+  if (path == nullptr || *path == '\0') return;
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"micro_throughput\",\n");
+  std::fprintf(out, "  \"batch_trajectories\": %zu,\n", batch_size);
+  std::fprintf(out, "  \"batch_throughput\": [\n");
+  for (size_t i = 0; i < throughput.size(); ++i) {
+    const ThroughputRow& r = throughput[i];
+    std::fprintf(out,
+                 "    {\"pool_threads\": %d, \"seconds\": %.4f, "
+                 "\"traj_per_sec\": %.2f, \"speedup\": %.2f}%s\n",
+                 r.threads, r.seconds, r.traj_per_sec, r.speedup,
+                 i + 1 < throughput.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"request_latency\": [\n");
+  for (size_t i = 0; i < latency.size(); ++i) {
+    const LatencyRow& r = latency[i];
+    std::fprintf(out,
+                 "    {\"client_threads\": %d, \"requests\": %zu, "
+                 "\"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+                 "\"imputations_per_sec\": %.2f}%s\n",
+                 r.clients, r.requests, r.p50_ms, r.p99_ms,
+                 r.imputations_per_sec, i + 1 < latency.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::fprintf(stderr, "wrote %s\n", path);
+}
+
 int Run() {
   const SimScenario scenario = BuildScenario(MiniSpec());
   Kamel system(ThroughputOptions());
@@ -87,6 +200,7 @@ int Run() {
 
   Table table("Serving throughput: ImputeBatch vs pool threads",
               {"threads", "seconds", "traj_per_sec", "speedup", "identical"});
+  std::vector<ThroughputRow> throughput_rows;
   std::vector<ImputedTrajectory> reference;
   double base_seconds = 0.0;
   bool all_identical = true;
@@ -123,6 +237,9 @@ int Run() {
                   Table::Num(batch.trajectories.size() / seconds, 1),
                   Table::Num(base_seconds / seconds, 2),
                   identical ? "yes" : "NO"});
+    throughput_rows.push_back({threads, seconds,
+                               batch.trajectories.size() / seconds,
+                               base_seconds / seconds});
   }
   Emit(table, "micro_throughput");
   if (!all_identical) {
@@ -131,6 +248,36 @@ int Run() {
                  "violation)\n");
     return 1;
   }
+
+  // Phase 2: request latency. Impute() is synchronous on the calling
+  // thread, so client threads ARE the concurrency axis; one shared
+  // engine serves them all. $KAMEL_BENCH_LATENCY_REQS scales the sample.
+  size_t requests_per_client = 32;
+  if (const char* env = std::getenv("KAMEL_BENCH_LATENCY_REQS")) {
+    const long parsed = std::atol(env);
+    if (parsed > 0) requests_per_client = static_cast<size_t>(parsed);
+  }
+  Table latency_table(
+      "Serving latency: synchronous Impute vs client threads",
+      {"clients", "requests", "p50_ms", "p99_ms", "imputations_per_sec"});
+  std::vector<LatencyRow> latency_rows;
+  ServingEngine latency_engine(*snapshot, {.num_threads = 1});
+  for (const int clients : {1, 4, 8}) {
+    auto row = MeasureLatency(latency_engine, batch, clients,
+                              requests_per_client);
+    if (!row.ok()) {
+      std::fprintf(stderr, "%s\n", row.status().ToString().c_str());
+      return 1;
+    }
+    latency_table.AddRow({std::to_string(row->clients),
+                          std::to_string(row->requests),
+                          Table::Num(row->p50_ms, 3),
+                          Table::Num(row->p99_ms, 3),
+                          Table::Num(row->imputations_per_sec, 1)});
+    latency_rows.push_back(*row);
+  }
+  Emit(latency_table, "micro_latency");
+  EmitJson(throughput_rows, latency_rows, batch.trajectories.size());
   return 0;
 }
 

@@ -1,0 +1,418 @@
+// Resource-exhaustion soak: drives the system through sustained disk,
+// memory, and IO-error pressure and requires it to bend, not break.
+// Two phases, both bounded by KAMEL_SOAK_IMPUTATIONS (default 2000):
+//
+//   1. Ingestion under a shrinking disk quota: durable ingestion
+//      (WAL + checkpoint) takes submits while the budget is ratcheted
+//      down and back up. Every submit must either be acknowledged or
+//      refused with the advertised kResourceExhausted — nothing else.
+//      Afterwards the pipeline is crashed (WAL dropped, state rebuilt
+//      via OpenDurableIngestion) and the gate is ZERO acked-data loss:
+//      the recovered system must impute byte-identically to the
+//      pre-crash one.
+//
+//   2. Serving under a memory ceiling and EIO bursts: a byte-budgeted
+//      model cache (half of what the working set needs) serves client
+//      threads while a chaos thread arms errno-level EIO on the model
+//      demand-load path in bursts. Requests must stay inside the
+//      degradation ladder's advertised codes; once the faults clear the
+//      engine must return to full-model SERVING on its own and produce
+//      output byte-identical to its own pre-chaos pass.
+//
+// Exit 0 pass, 1 resource-governance violation, 2 watchdog deadlock.
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/io_watchdog.h"
+#include "core/kamel.h"
+#include "core/maintenance.h"
+#include "eval/scenario.h"
+#include "io/trajectory_csv.h"
+#include "io/wal.h"
+#include "sim/datasets.h"
+#include "sim/sparsifier.h"
+
+namespace kamel::bench {
+namespace {
+
+long TargetImputations() {
+  if (const char* env = std::getenv("KAMEL_SOAK_IMPUTATIONS")) {
+    const long parsed = std::atol(env);
+    if (parsed > 0) return parsed;
+  }
+  return 2000;
+}
+
+bool Progress() { return std::getenv("KAMEL_SOAK_PROGRESS") != nullptr; }
+
+// Tiny ingestion-side models: submits retrain in tens of milliseconds,
+// so the soak cycles many train/checkpoint/GC rounds.
+KamelOptions IngestOptions() {
+  KamelOptions options;
+  options.pyramid_height = 0;
+  options.pyramid_levels = 1;
+  options.model_token_threshold = 40;
+  options.bert.encoder.d_model = 8;
+  options.bert.encoder.num_heads = 2;
+  options.bert.encoder.num_layers = 1;
+  options.bert.encoder.ffn_dim = 16;
+  options.bert.encoder.max_seq_len = 16;
+  options.bert.train.steps = 30;
+  options.bert.train.batch_size = 4;
+  options.seed = 42;
+  return options;
+}
+
+// Serving side: a real (if small) pyramid so the ladder has rungs.
+KamelOptions ServeTrainOptions() {
+  KamelOptions options = IngestOptions();
+  options.pyramid_height = 1;
+  options.pyramid_levels = 2;
+  options.model_token_threshold = 10;
+  return options;
+}
+
+std::string Fingerprint(Kamel* system, const TrajectoryDataset& probes) {
+  auto imputed = system->ImputeBatch(probes);
+  if (!imputed.ok()) return "";
+  TrajectoryDataset out;
+  for (const ImputedTrajectory& one : *imputed) {
+    out.trajectories.push_back(one.trajectory);
+  }
+  return io::WriteCsvString(out);
+}
+
+bool Identical(const ImputedTrajectory& a, const ImputedTrajectory& b) {
+  if (a.trajectory.points.size() != b.trajectory.points.size()) return false;
+  for (size_t i = 0; i < a.trajectory.points.size(); ++i) {
+    if (a.trajectory.points[i].pos.lat != b.trajectory.points[i].pos.lat ||
+        a.trajectory.points[i].pos.lng != b.trajectory.points[i].pos.lng ||
+        a.trajectory.points[i].time != b.trajectory.points[i].time) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---- phase 1: ingestion under a shrinking disk quota ------------------
+
+int IngestPhase(const SimScenario& scenario, long submits) {
+  const std::string dir = "/tmp/kamel_resource_soak";
+  std::filesystem::remove_all(dir);
+  const std::string checkpoint = dir + "/checkpoint.bin";
+
+  MaintenanceOptions policy;
+  policy.min_batch_trajectories = 8;  // thresholds fire during the soak
+
+  WalOptions wal_options{.dir = dir + "/wal"};
+  wal_options.segment_bytes = 8192;       // plenty of GC-able segments
+  wal_options.gc_pressure_fraction = 0.5;
+
+  Kamel system(IngestOptions());
+  MaintenanceScheduler scheduler(&system, policy);
+  auto wal = OpenDurableIngestion(&system, &scheduler, wal_options,
+                                  checkpoint);
+  if (!wal.ok()) {
+    std::fprintf(stderr, "ingest open failed: %s\n",
+                 wal.status().ToString().c_str());
+    return 1;
+  }
+
+  long acked = 0;
+  long shed = 0;
+  const auto& pool = scenario.train.trajectories;
+  for (long i = 0; i < submits; ++i) {
+    // Ratchet the quota: tighten to 2x the live footprint (pressure the
+    // proactive GC can flush away), then to a single spare byte (a full
+    // volume — submits must shed), then lift it — sustained pressure
+    // with recovery windows, the shape of a volume filling up while an
+    // operator frees space.
+    if (i % 64 == 16) {
+      (*wal)->set_disk_budget((*wal)->live_bytes() * 2);
+    } else if (i % 64 == 32) {
+      (*wal)->set_disk_budget((*wal)->live_bytes() + 1);
+    } else if (i % 64 == 48) {
+      (*wal)->set_disk_budget(0);
+    }
+    const Status status = scheduler.Submit(pool[i % pool.size()]);
+    if (status.ok()) {
+      ++acked;
+    } else if (status.code() == StatusCode::kResourceExhausted) {
+      ++shed;
+    } else {
+      std::fprintf(stderr,
+                   "FAIL: submit %ld failed outside the ladder: %s\n", i,
+                   status.ToString().c_str());
+      return 1;
+    }
+    if (Progress() && i % 100 == 0) {
+      std::fprintf(stderr, "[soak/ingest] %ld/%ld (%ld acked %ld shed)\n", i,
+                   submits, acked, shed);
+    }
+  }
+
+  // Pressure lifts; capture the pre-crash serving bytes.
+  (*wal)->set_disk_budget(0);
+  if (const Status status = scheduler.Flush(); !status.ok()) {
+    std::fprintf(stderr, "final flush failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  TrajectoryDataset probes;
+  for (size_t i = 0; i < 8 && i < scenario.test.trajectories.size(); ++i) {
+    probes.trajectories.push_back(scenario.test.trajectories[i]);
+  }
+  const std::string before = Fingerprint(&system, probes);
+  if (before.empty()) {
+    std::fprintf(stderr, "FAIL: pre-crash imputation failed\n");
+    return 1;
+  }
+
+  // Crash: drop the log object, rebuild everything from disk.
+  (*wal).reset();
+  Kamel recovered(IngestOptions());
+  MaintenanceScheduler recovered_scheduler(&recovered, policy);
+  IngestRecoveryReport report;
+  auto reopened = OpenDurableIngestion(&recovered, &recovered_scheduler,
+                                       wal_options, checkpoint, &report);
+  if (!reopened.ok()) {
+    std::fprintf(stderr, "recovery failed: %s\n",
+                 reopened.status().ToString().c_str());
+    return 1;
+  }
+  const std::string after = Fingerprint(&recovered, probes);
+  std::printf(
+      "resource soak (ingest): %ld acked, %ld shed of %ld submits | "
+      "%d batches trained, %lld pressure flushes | recovery: snapshot=%s "
+      "replayed=%zu retrained=%zu\n",
+      acked, shed, submits, scheduler.batches_trained(),
+      static_cast<long long>(scheduler.pressure_flushes()),
+      report.snapshot_loaded ? "yes" : "no", report.submits_replayed,
+      report.batches_retrained);
+  if (after != before) {
+    std::fprintf(stderr,
+                 "FAIL: recovered imputations differ from pre-crash "
+                 "imputations (acked-data loss)\n");
+    return 1;
+  }
+  if (shed == 0) {
+    std::fprintf(stderr,
+                 "FAIL: the quota never refused a submit — the soak did "
+                 "not exercise disk pressure\n");
+    return 1;
+  }
+  return 0;
+}
+
+// ---- phase 2: serving under a memory ceiling and EIO bursts -----------
+
+struct ServeCounters {
+  std::atomic<long> served{0};
+  std::atomic<long> completed{0};  // watchdog heartbeat
+  std::atomic<long> unexpected{0};
+};
+
+int ServePhase(const SimScenario& scenario, long target) {
+  const std::string snapshot_path = "/tmp/kamel_resource_soak_snapshot.bin";
+  Kamel trained(ServeTrainOptions());
+  if (const Status status = trained.Train(scenario.train); !status.ok()) {
+    std::fprintf(stderr, "train failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  if (const Status status = trained.SaveToFile(snapshot_path);
+      !status.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  std::vector<Trajectory> inputs;
+  for (const Trajectory& trajectory : scenario.test.trajectories) {
+    inputs.push_back(Sparsify(trajectory, 400.0));
+  }
+
+  // Measure the full working set, then ceiling the soak cache at half of
+  // it: every client pass must churn through eviction and demand reload.
+  uint64_t working_set = 0;
+  {
+    KamelOptions probe_options = ServeTrainOptions();
+    probe_options.max_resident_models = 64;
+    Kamel probe(probe_options);
+    if (!probe.LoadFromFile(snapshot_path).ok()) return 1;
+    auto snapshot = probe.Snapshot();
+    if (!snapshot.ok()) return 1;
+    ServingEngine engine(*snapshot, {.num_threads = 1});
+    for (const Trajectory& input : inputs) {
+      if (!engine.Impute(input).ok()) return 1;
+    }
+    working_set = (*snapshot)->repository().cache()->resident_bytes();
+  }
+  if (working_set == 0) {
+    std::fprintf(stderr, "FAIL: probe pass loaded no models\n");
+    return 1;
+  }
+
+  KamelOptions serve_options = ServeTrainOptions();
+  serve_options.max_resident_bytes = working_set / 2;
+  serve_options.model_load_retries = 1;
+  serve_options.model_load_backoff_ms = 0.01;
+  serve_options.model_breaker_cooldown_s = 0.05;
+  Kamel serving(serve_options);
+  if (!serving.LoadFromFile(snapshot_path).ok()) return 1;
+  auto snapshot = serving.Snapshot();
+  if (!snapshot.ok()) return 1;
+  ServingEngine engine(*snapshot, {.num_threads = 2});
+
+  // Clean reference pass: byte-budget churn alone must not change output.
+  std::vector<ImputedTrajectory> reference;
+  for (const Trajectory& input : inputs) {
+    auto result = engine.Impute(input);
+    if (!result.ok()) {
+      std::fprintf(stderr, "reference pass failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    reference.push_back(std::move(*result));
+  }
+
+  ServeCounters counters;
+  std::atomic<bool> stop_watchdog{false};
+  std::thread watchdog([&] {
+    long last = -1;
+    int stalled_polls = 0;
+    while (!stop_watchdog.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(500));
+      const long now = counters.completed.load();
+      stalled_polls = (now == last) ? stalled_polls + 1 : 0;
+      last = now;
+      if (Progress()) {
+        std::fprintf(stderr, "[soak/serve] %ld/%ld served\n",
+                     counters.served.load(), target);
+      }
+      if (stalled_polls >= 120) {
+        std::fprintf(stderr, "watchdog: no serving progress in 60s\n");
+        std::_Exit(2);
+      }
+    }
+  });
+
+  // Chaos: errno-level EIO bursts on the model demand-load seam, with
+  // clean gaps so breakers get to re-probe and close.
+  std::atomic<bool> stop_chaos{false};
+  std::thread chaos([&] {
+    while (!stop_chaos.load()) {
+      {
+        ScopedIoFault burst("model.io.read", EIO, /*skip=*/0, /*count=*/-1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    }
+    FaultInjector::Instance().Reset();
+  });
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&, c] {
+      size_t next = static_cast<size_t>(c) * 7;
+      while (counters.served.load(std::memory_order_relaxed) < target) {
+        auto result = engine.Impute(inputs[next++ % inputs.size()]);
+        counters.completed.fetch_add(1, std::memory_order_relaxed);
+        if (result.ok()) {
+          // Degraded (ancestor/linear) output is fine mid-burst; the
+          // ladder's whole point is that the request still completes.
+          counters.served.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          counters.unexpected.fetch_add(1);
+          std::fprintf(stderr, "unexpected serving error: %s\n",
+                       result.status().ToString().c_str());
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  stop_chaos.store(true);
+  chaos.join();
+
+  // Faults gone: the engine must claw back to full-model SERVING and
+  // reproduce the clean pass byte for byte.
+  FaultInjector::Instance().Reset();
+  bool recovered = false;
+  bool identical = true;
+  for (int attempt = 0; attempt < 50 && !recovered; ++attempt) {
+    bool all_full = true;
+    identical = true;
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      auto result = engine.Impute(inputs[i]);
+      counters.completed.fetch_add(1, std::memory_order_relaxed);
+      if (!result.ok()) {
+        all_full = false;
+        break;
+      }
+      all_full = all_full && result->stats.full_model_segments ==
+                                 result->stats.segments;
+      identical = identical && Identical(*result, reference[i]);
+    }
+    recovered = all_full && engine.health() == HealthState::kServing;
+    if (!recovered) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+  stop_watchdog.store(true);
+  watchdog.join();
+
+  const EngineStats stats = engine.stats();
+  std::printf(
+      "resource soak (serve): %ld served (%ld unexpected) | cache: "
+      "%llu/%llu bytes resident | io_stalls %lld | health %s\n",
+      counters.served.load(), counters.unexpected.load(),
+      static_cast<unsigned long long>(stats.cache_resident_bytes),
+      static_cast<unsigned long long>(working_set / 2),
+      static_cast<long long>(stats.io_stalls), ToString(engine.health()));
+
+  if (counters.unexpected.load() > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %ld requests failed outside the ladder's "
+                 "advertised codes\n",
+                 counters.unexpected.load());
+    return 1;
+  }
+  if (!recovered) {
+    std::fprintf(stderr,
+                 "FAIL: engine did not return to full-model SERVING "
+                 "(health=%s)\n",
+                 ToString(engine.health()));
+    return 1;
+  }
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL: post-recovery output differs from the pre-chaos "
+                 "pass\n");
+    return 1;
+  }
+  return 0;
+}
+
+int Run() {
+  const long target = TargetImputations();
+  const SimScenario scenario = BuildScenario(MiniSpec());
+  const long submits = std::max(64L, target / 8);
+
+  if (const int rc = IngestPhase(scenario, submits); rc != 0) return rc;
+  if (const int rc = ServePhase(scenario, target); rc != 0) return rc;
+  std::printf("resource soak: PASS (zero acked loss, recovered to "
+              "SERVING, byte-identical)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace kamel::bench
+
+int main() { return kamel::bench::Run(); }

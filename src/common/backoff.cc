@@ -1,0 +1,57 @@
+#include "common/backoff.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+
+namespace kamel {
+
+Backoff::Backoff(const RetryPolicy& policy, uint64_t jitter_seed)
+    : policy_(policy), jitter_(jitter_seed) {}
+
+double Backoff::NextDelayMs(int retry) {
+  if (policy_.base_backoff_ms <= 0.0 || retry < 1) return 0.0;
+  // Cap the shift: past ~2^52 doublings the delay is astronomically
+  // beyond any max_backoff_ms anyway and the shift would overflow.
+  const int doublings = std::min(retry - 1, 52);
+  double full_ms =
+      policy_.base_backoff_ms * static_cast<double>(1ull << doublings);
+  if (policy_.max_backoff_ms > 0.0) {
+    full_ms = std::min(full_ms, policy_.max_backoff_ms);
+  }
+  return full_ms * jitter_.NextDouble(policy_.jitter_lo, policy_.jitter_hi);
+}
+
+Status RetryWithBackoff(const RetryPolicy& policy, uint64_t jitter_seed,
+                        const std::function<Status()>& op) {
+  const int attempts = 1 + std::max(0, policy.max_retries);
+  Backoff backoff(policy, jitter_seed);
+  const auto start = std::chrono::steady_clock::now();
+  const auto elapsed_s = [&start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      const double delay_ms = backoff.NextDelayMs(attempt);
+      if (delay_ms > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(delay_ms));
+      }
+    }
+    last = op();
+    if (last.ok()) return last;
+    if (policy.deadline_s > 0.0 && elapsed_s() >= policy.deadline_s) {
+      return Status(last.code(),
+                    last.message() + " (deadline exceeded after " +
+                        std::to_string(attempt + 1) + " attempts)");
+    }
+  }
+  return Status(last.code(), last.message() + " (after " +
+                                 std::to_string(attempts) + " attempts)");
+}
+
+}  // namespace kamel

@@ -1,0 +1,63 @@
+#ifndef KAMEL_COMMON_BACKOFF_H_
+#define KAMEL_COMMON_BACKOFF_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace kamel {
+
+/// Tuning of one retry loop: jittered exponential backoff with an
+/// optional overall wall-clock deadline. This is THE retry policy of
+/// the codebase — model demand loads (and any IO path that retries)
+/// go through RetryWithBackoff below, so there is exactly one backoff
+/// implementation to reason about and to tune.
+struct RetryPolicy {
+  /// Retries after the first failed attempt (total attempts = 1 + this).
+  int max_retries = 2;
+  /// Full (pre-jitter) delay before the first retry, milliseconds;
+  /// doubles per retry. <= 0 retries immediately, consuming no jitter.
+  double base_backoff_ms = 1.0;
+  /// Ceiling on the full (pre-jitter) delay, milliseconds; <= 0 = none.
+  double max_backoff_ms = 1000.0;
+  /// Jitter band: the slept delay is uniform in
+  /// [jitter_lo, jitter_hi) * full delay, so concurrent retry
+  /// sequences against one struggling disk desynchronize.
+  double jitter_lo = 0.5;
+  double jitter_hi = 1.0;
+  /// Overall wall-clock budget across all attempts and sleeps, seconds.
+  /// Once exceeded the loop stops retrying even with retries left
+  /// (deadline-aware: a caller with a latency bound never waits out the
+  /// whole schedule). <= 0: no deadline.
+  double deadline_s = 0.0;
+};
+
+/// The delay schedule of one retry sequence. Deterministic per seed:
+/// equal seeds yield equal schedules (reproducible backoff under test),
+/// distinct seeds decorrelate (no thundering herd in production).
+class Backoff {
+ public:
+  Backoff(const RetryPolicy& policy, uint64_t jitter_seed);
+
+  /// Jittered delay before retry `retry` (1-based), milliseconds.
+  /// Advances the jitter stream; returns 0 without consuming jitter
+  /// when the policy retries immediately.
+  double NextDelayMs(int retry);
+
+ private:
+  RetryPolicy policy_;
+  Rng jitter_;
+};
+
+/// Runs `op` up to 1 + policy.max_retries times, sleeping a jittered
+/// exponential delay between attempts and honoring policy.deadline_s.
+/// Returns OK on the first success; otherwise the last error, annotated
+/// with the attempt count.
+Status RetryWithBackoff(const RetryPolicy& policy, uint64_t jitter_seed,
+                        const std::function<Status()>& op);
+
+}  // namespace kamel
+
+#endif  // KAMEL_COMMON_BACKOFF_H_

@@ -10,6 +10,8 @@
 
 #include "common/crc32c.h"
 #include "common/fault_injection.h"
+#include "common/io_env.h"
+#include "common/io_watchdog.h"
 
 namespace kamel {
 
@@ -19,6 +21,10 @@ std::string ErrnoString() {
   const int err = errno;
   return err != 0 ? std::string(": ") + std::strerror(err) : std::string();
 }
+
+// A snapshot save stalled past this is counted as an IoWatchdog stall and
+// surfaces as resource pressure while in flight.
+constexpr double kSnapshotStallBudgetS = 30.0;
 
 template <typename T>
 void AppendRaw(std::vector<uint8_t>* buffer, T value) {
@@ -32,21 +38,6 @@ void AppendRaw(std::vector<uint8_t>* buffer, T value) {
 template <typename T>
 void PatchRaw(std::vector<uint8_t>* buffer, size_t offset, T value) {
   std::memcpy(buffer->data() + offset, &value, sizeof(T));
-}
-
-// Writes all of `data` to `fd`, retrying on short writes and EINTR.
-Status WriteAll(int fd, const uint8_t* data, size_t size,
-                const std::string& path) {
-  size_t written = 0;
-  while (written < size) {
-    const ssize_t n = ::write(fd, data + written, size - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IOError("write failed: " + path + ErrnoString());
-    }
-    written += static_cast<size_t>(n);
-  }
-  return Status::OK();
 }
 
 }  // namespace
@@ -109,17 +100,18 @@ Status BinaryWriter::FlushToFile(const std::string& path) const {
 }
 
 Status BinaryWriter::FlushToFileAtomic(const std::string& path) const {
+  auto watch =
+      IoWatchdog::Instance().Watch("snapshot.save", kSnapshotStallBudgetS);
   const std::string tmp_path =
       path + ".tmp." + std::to_string(::getpid());
-  const int fd =
-      ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) {
-    return Status::IOError("cannot open for writing: " + tmp_path +
-                           ErrnoString());
-  }
-  Status status = WriteAll(fd, buffer_.data(), buffer_.size(), tmp_path);
-  if (status.ok() && ::fsync(fd) != 0) {
-    status = Status::IOError("fsync failed: " + tmp_path + ErrnoString());
+  auto opened = io::OpenFd(tmp_path, O_WRONLY | O_CREAT | O_TRUNC, 0644,
+                           "snapshot.io.open");
+  if (!opened.ok()) return opened.status();
+  const int fd = *opened;
+  Status status = io::WriteAll(fd, buffer_.data(), buffer_.size(),
+                               tmp_path, "snapshot.io.write");
+  if (status.ok()) {
+    status = io::Fsync(fd, tmp_path, "snapshot.io.fsync");
   }
   if (::close(fd) != 0 && status.ok()) {
     status = Status::IOError("close failed: " + tmp_path + ErrnoString());
@@ -127,40 +119,26 @@ Status BinaryWriter::FlushToFileAtomic(const std::string& path) const {
   if (status.ok()) {
     status = FaultInjector::Instance().Hit("snapshot.write");
   }
-  if (status.ok() && ::rename(tmp_path.c_str(), path.c_str()) != 0) {
-    status = Status::IOError("rename failed: " + tmp_path + " -> " + path +
-                             ErrnoString());
+  if (status.ok()) {
+    status = io::Rename(tmp_path, path, "snapshot.io.rename");
   }
   if (!status.ok()) {
     ::unlink(tmp_path.c_str());  // never leave a torn temp file behind
     return status;
   }
-  // Persist the rename itself: fsync the containing directory.
+  // Persist the rename itself: fsync the containing directory, or a
+  // crash after "save succeeded" can roll the file back to its previous
+  // contents (losing the renamed snapshot entirely on a fresh save).
   const size_t slash = path.find_last_of('/');
   const std::string dir = slash == std::string::npos
                               ? std::string(".")
                               : path.substr(0, slash + 1);
-  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (dir_fd >= 0) {
-    ::fsync(dir_fd);  // best-effort: some filesystems refuse dir fsync
-    ::close(dir_fd);
-  }
-  return Status::OK();
+  return io::FsyncDir(dir, "snapshot.io.dirsync");
 }
 
 Result<BinaryReader> BinaryReader::FromFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) {
-    return Status::IOError("cannot open for reading: " + path +
-                           ErrnoString());
-  }
-  const std::streamsize size = in.tellg();
-  in.seekg(0);
-  std::vector<uint8_t> data(static_cast<size_t>(size));
-  if (size > 0 &&
-      !in.read(reinterpret_cast<char*>(data.data()), size)) {
-    return Status::IOError("short read: " + path + ErrnoString());
-  }
+  KAMEL_ASSIGN_OR_RETURN(std::vector<uint8_t> data,
+                         io::ReadFile(path, "snapshot.io.read"));
   return BinaryReader(std::move(data));
 }
 

@@ -1,5 +1,7 @@
 #include "common/fault_injection.h"
 
+#include <cerrno>
+
 namespace kamel {
 
 FaultInjector& FaultInjector::Instance() {
@@ -12,6 +14,21 @@ void FaultInjector::Arm(const std::string& name, int skip, int count,
   std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = armed_.insert_or_assign(
       name, Armed{skip, count < 0 ? -1 : count, code});
+  (void)it;
+  if (inserted) armed_count_.fetch_add(1, std::memory_order_release);
+}
+
+void FaultInjector::ArmErrno(const std::string& name, int err, int skip,
+                             int count, bool short_write) {
+  // ENOSPC/EDQUOT are disk pressure (governors shed or GC); everything
+  // else is a plain IO failure. Mirrors io::ErrnoStatus so Hit() and
+  // HitIo() callers see consistent codes from one arming.
+  const StatusCode code = (err == ENOSPC || err == EDQUOT)
+                              ? StatusCode::kResourceExhausted
+                              : StatusCode::kIOError;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = armed_.insert_or_assign(
+      name, Armed{skip, count < 0 ? -1 : count, code, err, short_write});
   (void)it;
   if (inserted) armed_count_.fetch_add(1, std::memory_order_release);
 }
@@ -30,30 +47,48 @@ void FaultInjector::Reset() {
   armed_count_.store(0, std::memory_order_release);
 }
 
-Status FaultInjector::Hit(const std::string& name) {
-  // Fast path: nothing armed anywhere, skip the lock and the counter (the
-  // counter is only meaningful during fault-injection runs).
-  if (armed_count_.load(std::memory_order_acquire) == 0) return Status::OK();
-
-  std::lock_guard<std::mutex> lock(mu_);
+const FaultInjector::Armed* FaultInjector::FireLocked(
+    const std::string& name) {
   // Re-validate under the lock: a Reset() that raced the fast-path load
   // has already cleared the counters, and recording this hit against the
   // fresh epoch would let it be observed without the arming it belongs
   // to. The count and the armed-state decrement below form one critical
   // section — a hit either lands entirely before a concurrent Reset()
   // (counted, and fired if armed) or entirely after it (neither).
-  if (armed_count_.load(std::memory_order_relaxed) == 0) return Status::OK();
+  if (armed_count_.load(std::memory_order_relaxed) == 0) return nullptr;
   ++hits_[name];
   auto it = armed_.find(name);
-  if (it == armed_.end()) return Status::OK();
+  if (it == armed_.end()) return nullptr;
   Armed& armed = it->second;
   if (armed.skip > 0) {
     --armed.skip;
-    return Status::OK();
+    return nullptr;
   }
-  if (armed.remaining == 0) return Status::OK();
+  if (armed.remaining == 0) return nullptr;
   if (armed.remaining > 0) --armed.remaining;
-  return Status(armed.code, "injected fault at failpoint '" + name + "'");
+  return &armed;
+}
+
+Status FaultInjector::Hit(const std::string& name) {
+  // Fast path: nothing armed anywhere, skip the lock and the counter (the
+  // counter is only meaningful during fault-injection runs).
+  if (armed_count_.load(std::memory_order_acquire) == 0) return Status::OK();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const Armed* armed = FireLocked(name);
+  if (armed == nullptr) return Status::OK();
+  return Status(armed->code, "injected fault at failpoint '" + name + "'");
+}
+
+std::optional<IoFaultSpec> FaultInjector::HitIo(const std::string& name) {
+  if (armed_count_.load(std::memory_order_acquire) == 0) return std::nullopt;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const Armed* armed = FireLocked(name);
+  if (armed == nullptr) return std::nullopt;
+  // A plain Arm() reaching an errno seam simulates a generic IO error.
+  return IoFaultSpec{armed->err != 0 ? armed->err : EIO,
+                     armed->short_write};
 }
 
 int64_t FaultInjector::HitCount(const std::string& name) const {

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -11,6 +12,17 @@
 #include "common/status.h"
 
 namespace kamel {
+
+/// One errno-level fault to simulate at an IO seam (common/io_env.h).
+/// `err` is the errno the seam reports (ENOSPC, EIO, EMFILE, ...);
+/// `short_write` asks a write seam to land a partial prefix of the
+/// buffer on disk before failing — the torn shape a real disk-full
+/// produces, which is what forces callers to prove their torn-tail
+/// recovery instead of assuming all-or-nothing writes.
+struct IoFaultSpec {
+  int err = 0;
+  bool short_write = false;
+};
 
 /// Registry of named failpoints compiled into the production code so tests
 /// and benchmarks can exercise failure paths deterministically (the fault
@@ -35,6 +47,22 @@ namespace kamel {
 ///   wal.rotate              WriteAheadLog segment rollover
 ///   wal.checkpoint          WriteAheadLog::Checkpoint, between the
 ///                           checkpoint record and segment deletion
+///   model.load.slow         ShardedModelCache demand load: the load
+///                           succeeds but sleeps past its stall budget
+///                           (drives the slow-IO-trips-the-breaker path)
+///
+/// Errno-level IO failpoints (fired through HitIo by common/io_env.h;
+/// armed with ArmErrno to pick the errno and an optional short write):
+///   wal.io.open / wal.io.write / wal.io.fsync / wal.io.read /
+///   wal.io.unlink / wal.io.truncate / wal.io.dirsync
+///                           every syscall the WAL makes (segment
+///                           create/append/fsync, recovery reads, torn
+///                           truncation, checkpoint GC, dir durability)
+///   snapshot.io.open / snapshot.io.write / snapshot.io.fsync /
+///   snapshot.io.rename / snapshot.io.dirsync / snapshot.io.read
+///                           the atomic snapshot save pipeline and the
+///                           whole-file snapshot load
+///   model.io.read           lazy model section read (pread path)
 ///
 /// When nothing is armed, Hit() is a single relaxed atomic load — cheap
 /// enough to leave in serving paths.
@@ -47,6 +75,15 @@ class FaultInjector {
   void Arm(const std::string& name, int skip = 0, int count = 1,
            StatusCode code = StatusCode::kIOError);
 
+  /// Arms `name` as an errno-level fault for IO seams: the first `skip`
+  /// hits pass, then `count` hits fire (count < 0 = forever) with the
+  /// given errno; `short_write` additionally lands half the buffer
+  /// before failing (write seams only). A fault armed this way also
+  /// fires through Hit() (as kResourceExhausted for ENOSPC/EDQUOT,
+  /// kIOError otherwise), so one arming covers both seam styles.
+  void ArmErrno(const std::string& name, int err, int skip = 0,
+                int count = 1, bool short_write = false);
+
   void Disarm(const std::string& name);
 
   /// Disarms every failpoint and resets all hit counters.
@@ -54,6 +91,11 @@ class FaultInjector {
 
   /// Called at the failpoint. Returns non-OK when the armed fault fires.
   Status Hit(const std::string& name);
+
+  /// Errno-seam variant of Hit(): returns the fault to simulate when it
+  /// fires, nullopt otherwise. A failpoint armed with plain Arm() fires
+  /// here too (as EIO), so either arming style reaches either seam.
+  std::optional<IoFaultSpec> HitIo(const std::string& name);
 
   /// Times the failpoint was reached (armed or not) since the last Reset.
   int64_t HitCount(const std::string& name) const;
@@ -63,7 +105,13 @@ class FaultInjector {
     int skip = 0;
     int remaining = 0;  // < 0 = unlimited
     StatusCode code = StatusCode::kIOError;
+    int err = 0;  // errno for IO seams; 0 = not errno-armed (EIO there)
+    bool short_write = false;
   };
+
+  /// Shared skip/count bookkeeping of Hit/HitIo; mu_ must be held.
+  /// Returns the armed record when the fault fires this hit.
+  const Armed* FireLocked(const std::string& name);
 
   FaultInjector() = default;
 
@@ -71,6 +119,26 @@ class FaultInjector {
   mutable std::mutex mu_;
   std::unordered_map<std::string, Armed> armed_;
   std::unordered_map<std::string, int64_t> hits_;
+};
+
+/// ScopedFault for errno-level faults: arms through ArmErrno and
+/// disarms on destruction.
+class ScopedIoFault {
+ public:
+  explicit ScopedIoFault(std::string name, int err, int skip = 0,
+                         int count = 1, bool short_write = false)
+      : name_(std::move(name)) {
+    FaultInjector::Instance().ArmErrno(name_, err, skip, count, short_write);
+  }
+  ~ScopedIoFault() { FaultInjector::Instance().Disarm(name_); }
+
+  ScopedIoFault(const ScopedIoFault&) = delete;
+  ScopedIoFault& operator=(const ScopedIoFault&) = delete;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
 };
 
 /// Arms one failpoint for the lifetime of a scope and disarms it on

@@ -1,0 +1,206 @@
+#include "common/io_env.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/fault_injection.h"
+
+namespace kamel {
+namespace io {
+
+namespace {
+
+std::optional<IoFaultSpec> HitIo(const char* failpoint) {
+  if (failpoint == nullptr) return std::nullopt;  // unseamed call site
+  return FaultInjector::Instance().HitIo(failpoint);
+}
+
+}  // namespace
+
+Status ErrnoStatus(const std::string& what, const std::string& path,
+                   int err) {
+  const std::string message =
+      what + " failed: " + path +
+      (err != 0 ? std::string(": ") + std::strerror(err) : std::string());
+  if (err == ENOSPC || err == EDQUOT) {
+    return Status::ResourceExhausted(message);
+  }
+  return Status::IOError(message);
+}
+
+Result<int> OpenFd(const std::string& path, int flags, unsigned mode,
+                   const char* failpoint) {
+  if (auto fault = HitIo(failpoint)) {
+    return ErrnoStatus("open", path, fault->err);
+  }
+  const int fd = ::open(path.c_str(), flags, static_cast<mode_t>(mode));
+  if (fd < 0) return ErrnoStatus("open", path, errno);
+  return fd;
+}
+
+Status WriteAll(int fd, const uint8_t* data, size_t size,
+                const std::string& path, const char* failpoint,
+                size_t* bytes_written) {
+  size_t written = 0;
+  if (bytes_written != nullptr) *bytes_written = 0;
+  if (auto fault = HitIo(failpoint)) {
+    if (fault->short_write && size > 1) {
+      // Land a real partial prefix before failing: the shape a disk
+      // filling up mid-write leaves on media. The caller's torn-tail
+      // story (poison + truncate-on-reopen for the WAL) must absorb it.
+      const size_t half = size / 2;
+      while (written < half) {
+        const ssize_t n = ::write(fd, data + written, half - written);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          break;
+        }
+        written += static_cast<size_t>(n);
+      }
+    }
+    if (bytes_written != nullptr) *bytes_written = written;
+    return ErrnoStatus("write", path, fault->err);
+  }
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (bytes_written != nullptr) *bytes_written = written;
+      return ErrnoStatus("write", path, errno);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (bytes_written != nullptr) *bytes_written = written;
+  return Status::OK();
+}
+
+Status Fsync(int fd, const std::string& path, const char* failpoint) {
+  if (auto fault = HitIo(failpoint)) {
+    return ErrnoStatus("fsync", path, fault->err);
+  }
+  if (fd >= 0 && ::fsync(fd) != 0) {
+    return ErrnoStatus("fsync", path, errno);
+  }
+  return Status::OK();
+}
+
+Status FsyncDir(const std::string& dir, const char* failpoint) {
+  if (auto fault = HitIo(failpoint)) {
+    return ErrnoStatus("dir fsync", dir, fault->err);
+  }
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return ErrnoStatus("open dir", dir, errno);
+  }
+  ::fsync(fd);  // best-effort: some filesystems refuse dir fsync
+  ::close(fd);
+  return Status::OK();
+}
+
+Status Rename(const std::string& from, const std::string& to,
+              const char* failpoint) {
+  if (auto fault = HitIo(failpoint)) {
+    return ErrnoStatus("rename", from + " -> " + to, fault->err);
+  }
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return ErrnoStatus("rename", from + " -> " + to, errno);
+  }
+  return Status::OK();
+}
+
+Status Unlink(const std::string& path, const char* failpoint) {
+  if (auto fault = HitIo(failpoint)) {
+    return ErrnoStatus("unlink", path, fault->err);
+  }
+  if (::unlink(path.c_str()) != 0) {
+    return ErrnoStatus("unlink", path, errno);
+  }
+  return Status::OK();
+}
+
+Status Ftruncate(int fd, uint64_t size, const std::string& path,
+                 const char* failpoint) {
+  if (auto fault = HitIo(failpoint)) {
+    return ErrnoStatus("ftruncate", path, fault->err);
+  }
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    return ErrnoStatus("ftruncate", path, errno);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> ReadFile(const std::string& path,
+                                      const char* failpoint) {
+  if (auto fault = HitIo(failpoint)) {
+    return ErrnoStatus("read", path, fault->err);
+  }
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoStatus("open", path, errno);
+  const off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0) {
+    const int err = errno;
+    ::close(fd);
+    return ErrnoStatus("seek", path, err);
+  }
+  std::vector<uint8_t> data(static_cast<size_t>(end));
+  size_t read_total = 0;
+  while (read_total < data.size()) {
+    const ssize_t n =
+        ::pread(fd, data.data() + read_total, data.size() - read_total,
+                static_cast<off_t>(read_total));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      return ErrnoStatus("read", path, err);
+    }
+    if (n == 0) break;  // file shrank under us
+    read_total += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  if (read_total != data.size()) {
+    return Status::IOError("short read: " + path + " (" +
+                           std::to_string(read_total) + " of " +
+                           std::to_string(data.size()) + " bytes)");
+  }
+  return data;
+}
+
+Result<std::vector<uint8_t>> ReadAt(const std::string& path,
+                                    uint64_t offset, uint64_t length,
+                                    const char* failpoint) {
+  if (auto fault = HitIo(failpoint)) {
+    return ErrnoStatus("read", path, fault->err);
+  }
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoStatus("open", path, errno);
+  std::vector<uint8_t> data(static_cast<size_t>(length));
+  size_t read_total = 0;
+  while (read_total < data.size()) {
+    const ssize_t n =
+        ::pread(fd, data.data() + read_total, data.size() - read_total,
+                static_cast<off_t>(offset + read_total));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      return ErrnoStatus("read", path, err);
+    }
+    if (n == 0) break;
+    read_total += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  if (read_total != data.size()) {
+    return Status::IOError("short read: " + path + " at offset " +
+                           std::to_string(offset) + " (" +
+                           std::to_string(read_total) + " of " +
+                           std::to_string(length) + " bytes)");
+  }
+  return data;
+}
+
+}  // namespace io
+}  // namespace kamel

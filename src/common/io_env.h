@@ -1,0 +1,80 @@
+#ifndef KAMEL_COMMON_IO_ENV_H_
+#define KAMEL_COMMON_IO_ENV_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace kamel {
+namespace io {
+
+/// Errno-level IO seam: every syscall the durability stack makes (WAL
+/// appends and fsyncs, atomic snapshot saves, lazy model reads) goes
+/// through these wrappers instead of raw ::write/::fsync/::rename, so
+/// a test can inject ENOSPC, EIO, EMFILE, or a short write at any
+/// named call site (FaultInjector::ArmErrno + the failpoint names in
+/// common/fault_injection.h) and prove the caller returns a clean
+/// Status instead of corrupting state or crashing.
+///
+/// Real failures and injected ones take the same return path: callers
+/// cannot tell them apart, which is the point.
+
+/// Maps a failed syscall to the Status the IO layer reports: ENOSPC and
+/// EDQUOT become kResourceExhausted (disk pressure — the budget governor
+/// and ingestion shed path treat them as backpressure, not breakage),
+/// everything else kIOError. The message carries strerror(err).
+Status ErrnoStatus(const std::string& what, const std::string& path,
+                   int err);
+
+/// ::open. `failpoint` fires before the syscall; an injected fault
+/// (e.g. EMFILE) fails the open without touching the filesystem.
+Result<int> OpenFd(const std::string& path, int flags, unsigned mode,
+                   const char* failpoint);
+
+/// Writes all of `data`, retrying real short writes and EINTR. An
+/// injected short-write fault lands the first half of the buffer on
+/// disk for real, then fails with the armed errno — the torn prefix a
+/// disk filling up mid-write leaves behind. `bytes_written` (optional)
+/// reports how much reached the fd either way, so callers can tell
+/// "nothing happened" from "the tail is torn".
+Status WriteAll(int fd, const uint8_t* data, size_t size,
+                const std::string& path, const char* failpoint,
+                size_t* bytes_written = nullptr);
+
+/// ::fsync.
+Status Fsync(int fd, const std::string& path, const char* failpoint);
+
+/// Opens `dir` and fsyncs it, making preceding renames/creates/unlinks
+/// of its entries durable. A real fsync refusal is tolerated (some
+/// filesystems reject directory fsync); failure to open the directory,
+/// or an injected fault, is an error.
+Status FsyncDir(const std::string& dir, const char* failpoint);
+
+/// ::rename.
+Status Rename(const std::string& from, const std::string& to,
+              const char* failpoint);
+
+/// ::unlink.
+Status Unlink(const std::string& path, const char* failpoint);
+
+/// ::ftruncate.
+Status Ftruncate(int fd, uint64_t size, const std::string& path,
+                 const char* failpoint);
+
+/// Reads the whole file.
+Result<std::vector<uint8_t>> ReadFile(const std::string& path,
+                                      const char* failpoint);
+
+/// Reads exactly `length` bytes at `offset` (pread loop).
+Result<std::vector<uint8_t>> ReadAt(const std::string& path,
+                                    uint64_t offset, uint64_t length,
+                                    const char* failpoint);
+
+}  // namespace io
+}  // namespace kamel
+
+#endif  // KAMEL_COMMON_IO_ENV_H_

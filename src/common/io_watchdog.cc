@@ -1,0 +1,106 @@
+#include "common/io_watchdog.h"
+
+#include <chrono>
+#include <utility>
+
+namespace kamel {
+
+IoWatchdog& IoWatchdog::Instance() {
+  static IoWatchdog* instance = new IoWatchdog();
+  return *instance;
+}
+
+double IoWatchdog::NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+IoWatchdog::Scope::Scope(IoWatchdog* watchdog, const char* name,
+                         double budget_s)
+    : watchdog_(watchdog), start_s_(NowSeconds()), budget_s_(budget_s) {
+  if (budget_s > 0.0) {
+    id_ = watchdog->Begin(name, start_s_ + budget_s);
+  }
+}
+
+IoWatchdog::Scope::Scope(Scope&& other) noexcept
+    : watchdog_(other.watchdog_),
+      id_(other.id_),
+      start_s_(other.start_s_),
+      budget_s_(other.budget_s_) {
+  other.id_ = 0;
+}
+
+IoWatchdog::Scope::~Scope() {
+  if (id_ != 0) watchdog_->End(id_, stalled());
+}
+
+double IoWatchdog::Scope::elapsed_s() const {
+  return NowSeconds() - start_s_;
+}
+
+bool IoWatchdog::Scope::stalled() const {
+  return budget_s_ > 0.0 && elapsed_s() > budget_s_;
+}
+
+uint64_t IoWatchdog::Begin(const char* name, double deadline_s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = next_id_++;
+  active_[id] = Op{name, deadline_s, false};
+  return id;
+}
+
+void IoWatchdog::End(uint64_t id, bool stalled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = active_.find(id);
+  if (it == active_.end()) return;
+  // A stall is counted exactly once: here if completion is the first
+  // observation, or earlier by a stuck_now() scan that marked it.
+  if (stalled && !it->second.reported) ++stall_events_;
+  active_.erase(it);
+}
+
+int IoWatchdog::stuck_now() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const double now = NowSeconds();
+  int stuck = 0;
+  for (auto& [id, op] : active_) {
+    (void)id;
+    if (now > op.deadline_s) {
+      ++stuck;
+      if (!op.reported) {
+        op.reported = true;
+        ++stall_events_;
+      }
+    }
+  }
+  return stuck;
+}
+
+std::vector<std::string> IoWatchdog::StuckOps() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const double now = NowSeconds();
+  std::vector<std::string> names;
+  for (const auto& [id, op] : active_) {
+    (void)id;
+    if (now > op.deadline_s) names.push_back(op.name);
+  }
+  return names;
+}
+
+int64_t IoWatchdog::stall_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stall_events_;
+}
+
+void IoWatchdog::ResetCounters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stall_events_ = 0;
+  for (auto& [id, op] : active_) {
+    (void)id;
+    op.reported = false;
+  }
+}
+
+}  // namespace kamel

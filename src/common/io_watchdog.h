@@ -1,0 +1,101 @@
+#ifndef KAMEL_COMMON_IO_WATCHDOG_H_
+#define KAMEL_COMMON_IO_WATCHDOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace kamel {
+
+/// Stuck-IO watchdog: every blocking disk operation of consequence (WAL
+/// fsync, snapshot save, model demand load) registers itself with a
+/// wall-clock budget for its expected duration; any thread can then ask
+/// "is an IO operation hanging right now?" without a dedicated monitor
+/// thread. A kernel-level hang (dying disk, NFS stall) never returns to
+/// the caller, so detection must happen from OUTSIDE the stalled call:
+/// the serving engine's health probe calls stuck_now() and reports
+/// RESOURCE_PRESSURE / DEGRADED while anything is past its budget.
+///
+/// Two signals:
+///   stuck_now()     in-flight operations currently past their budget —
+///                   the live hang detector.
+///   stall_events()  total operations ever observed past their budget
+///                   (counted once per operation, whether caught
+///                   in-flight or at completion) — the monotonic
+///                   counter surfaced in EngineStats.
+///
+/// Thread-safe; one process-wide instance so call sites deep in the IO
+/// stack need no plumbing. Watching is cheap (one mutex + map insert
+/// per operation) relative to the disk work it brackets.
+class IoWatchdog {
+ public:
+  static IoWatchdog& Instance();
+
+  /// RAII registration of one blocking operation. A budget <= 0
+  /// disables watching (the scope is a no-op).
+  class Scope {
+   public:
+    Scope(IoWatchdog* watchdog, const char* name, double budget_s);
+    ~Scope();
+
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    Scope(Scope&& other) noexcept;
+
+    /// Seconds since this scope began.
+    double elapsed_s() const;
+    /// True once the operation has run past its budget.
+    bool stalled() const;
+
+   private:
+    IoWatchdog* watchdog_ = nullptr;
+    uint64_t id_ = 0;  // 0 = unwatched
+    double start_s_ = 0.0;
+    double budget_s_ = 0.0;
+  };
+
+  Scope Watch(const char* name, double budget_s) {
+    return Scope(this, name, budget_s);
+  }
+
+  /// In-flight operations currently past their budget. Scanning also
+  /// folds newly-observed stalls into stall_events().
+  int stuck_now();
+
+  /// Names of the in-flight operations past their budget (diagnostics).
+  std::vector<std::string> StuckOps();
+
+  /// Operations ever observed past their budget, once each.
+  int64_t stall_events() const;
+
+  /// Test hook: clears the stall counter (in-flight scopes keep their
+  /// registrations, but their prior stall observations are forgotten).
+  void ResetCounters();
+
+  /// Steady-clock seconds since an arbitrary epoch.
+  static double NowSeconds();
+
+ private:
+  friend class Scope;
+  struct Op {
+    std::string name;
+    double deadline_s = 0.0;
+    bool reported = false;  // already counted in stall_events_
+  };
+
+  IoWatchdog() = default;
+
+  uint64_t Begin(const char* name, double deadline_s);
+  void End(uint64_t id, bool stalled);
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, Op> active_;
+  uint64_t next_id_ = 1;
+  int64_t stall_events_ = 0;
+};
+
+}  // namespace kamel
+
+#endif  // KAMEL_COMMON_IO_WATCHDOG_H_

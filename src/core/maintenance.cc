@@ -25,15 +25,40 @@ void MaintenanceScheduler::AttachWal(WriteAheadLog* wal,
 
 Status MaintenanceScheduler::Submit(Trajectory trajectory) {
   if (wal_ != nullptr) {
+    const bool can_gc = !checkpoint_path_.empty();
+    if (can_gc && wal_->under_pressure() &&
+        !pending_.trajectories.empty()) {
+      // Proactive GC at the high-water mark: checkpoint now, while the
+      // budget still has headroom, so the log sheds fully-covered
+      // segments before appends start being refused.
+      ++pressure_flushes_;
+      KAMEL_RETURN_NOT_OK(Flush());
+    }
     // Write-ahead: the submit must be durable (per the log's fsync
     // policy) before it is buffered — an acknowledged trajectory that
     // only lives in the pending batch would otherwise die with the
     // process.
-    KAMEL_ASSIGN_OR_RETURN(
-        const uint64_t lsn,
-        wal_->Append(WalRecordType::kSubmit,
-                     EncodeTrajectoryPayload(trajectory)));
-    pending_max_lsn_ = std::max(pending_max_lsn_, lsn);
+    const std::vector<uint8_t> payload =
+        EncodeTrajectoryPayload(trajectory);
+    Result<uint64_t> appended = wal_->Append(WalRecordType::kSubmit, payload);
+    if (!appended.ok() &&
+        appended.status().code() == StatusCode::kResourceExhausted &&
+        can_gc && !pending_.trajectories.empty()) {
+      // The budget refused the append cleanly (nothing written).
+      // Emergency checkpoint: train + snapshot + GC reclaims every
+      // fully-covered segment, then retry the append once.
+      KAMEL_RETURN_NOT_OK(Flush());
+      appended = wal_->Append(WalRecordType::kSubmit, payload);
+    }
+    if (!appended.ok()) {
+      if (appended.status().code() == StatusCode::kResourceExhausted) {
+        // Shed: the trajectory was never acknowledged and no byte of it
+        // reached the log — the caller may retry later or drop it.
+        ++shed_submits_;
+      }
+      return appended.status();
+    }
+    pending_max_lsn_ = std::max(pending_max_lsn_, *appended);
   }
   pending_points_ += trajectory.points.size();
   pending_.trajectories.push_back(std::move(trajectory));
@@ -81,6 +106,12 @@ Status MaintenanceScheduler::Flush() {
   // and the log can drop fully-covered segments.
   system_->set_wal_applied_lsn(marker_lsn);
   KAMEL_RETURN_NOT_OK(system_->SaveToFile(checkpoint_path_));
+  // The snapshot shares the volume with the log: charge its size against
+  // the same disk budget (replacing the previous checkpoint's charge).
+  std::error_code size_ec;
+  const auto snapshot_bytes =
+      std::filesystem::file_size(checkpoint_path_, size_ec);
+  if (!size_ec) wal_->AccountExternalBytes(snapshot_bytes);
   return wal_->Checkpoint(marker_lsn);
 }
 

@@ -54,6 +54,13 @@ class MaintenanceScheduler {
   /// threshold is crossed. Returns the training status in that case.
   /// With a WAL attached, the trajectory is logged (and made durable per
   /// the log's fsync policy) before this call returns OK.
+  ///
+  /// Disk-budget governor (with a WAL + checkpoint path): when the log
+  /// reports under_pressure(), a proactive Flush checkpoints and GCs
+  /// segments before the append; a kResourceExhausted append triggers
+  /// one emergency Flush + retry; if even that fails, the submit is
+  /// SHED — refused with kResourceExhausted, never half-applied — and
+  /// counted in shed_submits(). Degradation, never corruption.
   Status Submit(Trajectory trajectory);
 
   /// Trains on whatever is pending (no-op when nothing is). On failure
@@ -85,6 +92,13 @@ class MaintenanceScheduler {
   }
   size_t pending_points() const { return pending_points_; }
   int batches_trained() const { return batches_trained_; }
+  /// Flushes triggered proactively by WAL disk-budget pressure (the log
+  /// crossed its gc_pressure_fraction high-water mark).
+  int64_t pressure_flushes() const { return pressure_flushes_; }
+  /// Submits refused with kResourceExhausted after the disk budget was
+  /// exhausted and an emergency checkpoint could not reclaim room. A
+  /// shed submit was never acknowledged — nothing durable is lost.
+  int64_t shed_submits() const { return shed_submits_; }
   const MaintenanceOptions& options() const { return options_; }
 
   /// Highest kSubmit LSN in the pending batch (0 when none is logged).
@@ -106,6 +120,8 @@ class MaintenanceScheduler {
   size_t pending_points_ = 0;
   uint64_t pending_max_lsn_ = 0;
   int batches_trained_ = 0;
+  int64_t pressure_flushes_ = 0;
+  int64_t shed_submits_ = 0;
   WriteAheadLog* wal_ = nullptr;  // borrowed; null = non-durable
   std::string checkpoint_path_;
 };

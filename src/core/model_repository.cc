@@ -2,14 +2,16 @@
 
 #include <algorithm>
 #include <chrono>
-#include <fstream>
+#include <limits>
 #include <thread>
 #include <unordered_set>
 
+#include "common/backoff.h"
 #include "common/crc32c.h"
 #include "common/fault_injection.h"
+#include "common/io_env.h"
+#include "common/io_watchdog.h"
 #include "common/logging.h"
-#include "common/rng.h"
 
 namespace kamel {
 
@@ -26,11 +28,18 @@ uint64_t CellSalt(const PyramidCell& cell, uint64_t kind) {
 }  // namespace
 
 ShardedModelCache::ShardedModelCache(std::string path, int max_resident,
+                                     uint64_t max_resident_bytes,
                                      LoadRetryPolicy retry, int num_shards)
     : path_(std::move(path)),
-      per_shard_capacity_(std::max<size_t>(
-          1, static_cast<size_t>(std::max(1, max_resident)) /
-                 static_cast<size_t>(std::max(1, num_shards)))),
+      // <= 0 models = no count cap (byte-only budgeting); otherwise split
+      // the count across shards, at least one per shard.
+      per_shard_capacity_(
+          max_resident <= 0
+              ? std::numeric_limits<size_t>::max()
+              : std::max<size_t>(
+                    1, static_cast<size_t>(max_resident) /
+                           static_cast<size_t>(std::max(1, num_shards)))),
+      max_bytes_(max_resident_bytes),
       retry_(retry) {
   if (num_shards < 1) num_shards = 1;
   shards_.reserve(static_cast<size_t>(num_shards));
@@ -48,18 +57,15 @@ double ShardedModelCache::NowSeconds() {
 Result<ModelHandle> ShardedModelCache::LoadFromDisk(
     const LazyModelRef& ref) const {
   KAMEL_RETURN_NOT_OK(FaultInjector::Instance().Hit("repo.model.load"));
-  std::ifstream file(path_, std::ios::binary);
-  if (!file) {
-    return Status::IOError("cannot reopen snapshot for lazy model load: " +
-                           path_);
+  if (!FaultInjector::Instance().Hit("model.load.slow").ok()) {
+    // Hang simulation: sleep just past the stall budget so the watchdog
+    // observes a stuck load; the load then completes normally.
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        std::min(0.25, std::max(0.0, retry_.stall_budget_s) + 0.05)));
   }
-  std::vector<uint8_t> payload(static_cast<size_t>(ref.length));
-  file.seekg(static_cast<std::streamoff>(ref.payload_offset));
-  file.read(reinterpret_cast<char*>(payload.data()),
-            static_cast<std::streamsize>(payload.size()));
-  if (static_cast<uint64_t>(file.gcount()) != ref.length) {
-    return Status::IOError("snapshot truncated under a lazy model load");
-  }
+  KAMEL_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> payload,
+      io::ReadAt(path_, ref.payload_offset, ref.length, "model.io.read"));
   // The CRC recorded at index time guards against the file changing (or
   // rotting) between the index load and this demand load.
   if (Crc32c(payload.data(), payload.size()) != ref.stored_crc) {
@@ -78,26 +84,65 @@ Result<ModelHandle> ShardedModelCache::LoadFromDisk(
 
 Result<ModelHandle> ShardedModelCache::LoadWithRetries(
     const LazyModelRef& ref) const {
-  const int attempts = 1 + std::max(0, retry_.max_retries);
-  // Deterministic jitter stream per model: reproducible backoff schedules
-  // under test, decorrelated schedules across models in production.
-  Rng jitter(0xB4EA4E5u ^ static_cast<uint64_t>(ref.payload_offset));
-  Status last = Status::OK();
-  for (int attempt = 0; attempt < attempts; ++attempt) {
-    if (attempt > 0 && retry_.backoff_ms > 0.0) {
-      // Exponential backoff with jitter in [0.5, 1.0) of the full delay,
-      // so concurrent retries against a struggling disk desynchronize.
-      const double full_ms =
-          retry_.backoff_ms * static_cast<double>(1 << (attempt - 1));
-      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
-          full_ms * jitter.NextDouble(0.5, 1.0)));
-    }
-    Result<ModelHandle> loaded = LoadFromDisk(ref);
-    if (loaded.ok()) return loaded;
-    last = loaded.status();
+  RetryPolicy policy;
+  policy.max_retries = retry_.max_retries;
+  policy.base_backoff_ms = retry_.backoff_ms;
+  ModelHandle model;
+  // Seed per model: reproducible backoff schedules under test,
+  // decorrelated schedules across models in production.
+  const Status status = RetryWithBackoff(
+      policy, 0xB4EA4E5u ^ static_cast<uint64_t>(ref.payload_offset),
+      [&]() -> Status {
+        Result<ModelHandle> loaded = LoadFromDisk(ref);
+        if (!loaded.ok()) return loaded.status();
+        model = *std::move(loaded);
+        return Status::OK();
+      });
+  KAMEL_RETURN_NOT_OK(status);
+  return model;
+}
+
+void ShardedModelCache::EvictLocked(Shard& shard) const {
+  // Count pressure first (the legacy per-shard cap): unconditional.
+  while (shard.entries.size() > per_shard_capacity_) {
+    auto victim = shard.entries.find(shard.lru.back());
+    resident_bytes_.fetch_sub(victim->second.bytes,
+                              std::memory_order_relaxed);
+    shard.entries.erase(victim);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
   }
-  return Status(last.code(), last.message() + " (after " +
-                                 std::to_string(attempts) + " attempts)");
+  if (max_bytes_ == 0) return;
+  // Byte pressure: walk this shard's LRU tail, skipping pinned models —
+  // a handle held by an in-flight imputation keeps the weights alive, so
+  // dropping the cache reference would lose the entry without reclaiming
+  // a single byte. Pinned entries are picked up by a later trim.
+  auto it = shard.lru.end();
+  while (resident_bytes_.load(std::memory_order_relaxed) > max_bytes_ &&
+         it != shard.lru.begin()) {
+    --it;
+    auto entry_it = shard.entries.find(*it);
+    if (entry_it->second.model.use_count() > 1) {
+      pinned_skips_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    resident_bytes_.fetch_sub(entry_it->second.bytes,
+                              std::memory_order_relaxed);
+    shard.entries.erase(entry_it);
+    it = shard.lru.erase(it);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ShardedModelCache::TrimToBudget() const {
+  if (max_bytes_ == 0) return;
+  for (const auto& shard : shards_) {
+    if (resident_bytes_.load(std::memory_order_relaxed) <= max_bytes_) {
+      return;
+    }
+    std::lock_guard<std::mutex> lock(shard->mu);
+    EvictLocked(*shard);
+  }
 }
 
 Result<ModelHandle> ShardedModelCache::GetOrLoad(const LazyModelRef& ref) {
@@ -127,19 +172,34 @@ Result<ModelHandle> ShardedModelCache::GetOrLoad(const LazyModelRef& ref) {
   misses_.fetch_add(1, std::memory_order_relaxed);
   // Load under the shard mutex: concurrent misses on other shards proceed
   // in parallel, and a thundering herd on one model does a single retry
-  // sequence rather than N.
-  Result<ModelHandle> loaded = LoadWithRetries(ref);
-  if (!loaded.ok()) {
+  // sequence rather than N. The watchdog scope brackets the whole retry
+  // sequence — a hung disk shows up in stuck_now() while this blocks.
+  bool stalled = false;
+  Result<ModelHandle> loaded = [&]() {
+    auto watch =
+        IoWatchdog::Instance().Watch("model.load", retry_.stall_budget_s);
+    Result<ModelHandle> result = LoadWithRetries(ref);
+    stalled = watch.stalled();
+    return result;
+  }();
+  if (!loaded.ok() || stalled) {
     Breaker& breaker = shard.breakers[key];
     if (!breaker.open) {
       breaker.open = true;
       open_breakers_.fetch_add(1, std::memory_order_relaxed);
       breaker_opens_.fetch_add(1, std::memory_order_relaxed);
-      KAMEL_LOG(Warning) << "model load breaker opened (offset " << key
-                         << "): " << loaded.status().ToString();
+      KAMEL_LOG(Warning)
+          << "model load breaker opened (offset " << key << "): "
+          << (loaded.ok() ? "load exceeded its stall budget"
+                          : loaded.status().ToString());
     }
     breaker.open_since_s = NowSeconds();  // probe failure restarts cooldown
-    return loaded.status();
+    if (!loaded.ok()) return loaded.status();
+    // Slow IO is failed IO for a latency-bounded serving path: the model
+    // did arrive, so serve this one request, but leave the breaker open
+    // and the model uncached — follow-ups fall through the pyramid
+    // instead of queueing behind a struggling disk.
+    return *std::move(loaded);
   }
   if (breaker_it != shard.breakers.end() && breaker_it->second.open) {
     // Successful half-open probe: the breaker re-closes.
@@ -148,12 +208,18 @@ Result<ModelHandle> ShardedModelCache::GetOrLoad(const LazyModelRef& ref) {
     KAMEL_LOG(Info) << "model load breaker re-closed (offset " << key << ")";
   }
   ModelHandle model = *std::move(loaded);
-  shard.lru.push_front(key);
-  shard.entries[key] = CacheEntry{model, shard.lru.begin()};
-  while (shard.entries.size() > per_shard_capacity_) {
-    shard.entries.erase(shard.lru.back());
-    shard.lru.pop_back();
+  const uint64_t charge = ref.length;
+  if (max_bytes_ > 0 && charge > max_bytes_) {
+    // Larger than the whole budget: caching it would wedge the cache in
+    // permanent over-budget. Serve it uncached — every request pays the
+    // load, but the byte bound holds.
+    uncacheable_loads_.fetch_add(1, std::memory_order_relaxed);
+    return model;
   }
+  shard.lru.push_front(key);
+  shard.entries[key] = CacheEntry{model, shard.lru.begin(), charge};
+  resident_bytes_.fetch_add(charge, std::memory_order_relaxed);
+  EvictLocked(shard);
   return model;
 }
 
@@ -593,14 +659,17 @@ Status ModelRepository::Load(BinaryReader* reader, LoadReport* report,
   num_single_ = num_neighbor_ = 0;
   global_ = ModelSlot{};
   cache_.reset();
-  const bool lazy =
-      options_.max_resident_models > 0 && source_path != nullptr;
+  const bool lazy = (options_.max_resident_models > 0 ||
+                     options_.max_resident_bytes > 0) &&
+                    source_path != nullptr;
   if (lazy) {
     cache_ = std::make_shared<ShardedModelCache>(
         *source_path, options_.max_resident_models,
+        options_.max_resident_bytes,
         LoadRetryPolicy{options_.model_load_retries,
                         options_.model_load_backoff_ms,
-                        options_.model_breaker_cooldown_s});
+                        options_.model_breaker_cooldown_s,
+                        options_.model_load_stall_budget_s});
   }
 
   // Without a readable index there is nothing to quarantine against:

@@ -82,6 +82,9 @@ struct LoadRetryPolicy {
   double backoff_ms = 1.0;
   /// Open-breaker cooldown before one half-open probe is allowed, s.
   double breaker_cooldown_s = 5.0;
+  /// Stuck-IO budget for one demand load, seconds (<= 0 unwatched). A
+  /// load finishing past it opens the breaker even on success.
+  double stall_budget_s = 5.0;
 };
 
 /// Circuit-breaker state of one demand-loaded model (classic three-state
@@ -97,18 +100,30 @@ enum class BreakerState { kClosed, kOpen, kHalfOpen };
 /// Eviction only drops the cache's reference — serving threads holding a
 /// ModelHandle keep their model alive until they release it.
 ///
-/// Every miss is retried with jittered exponential backoff; a model whose
-/// attempts are exhausted (disk rot, CRC mismatch) gets an open circuit
-/// breaker, so a persistently failing shard costs one refusal per request
-/// instead of a disk read + CRC pass — callers fall through the pyramid to
-/// an ancestor or neighbor model. Breakers are per model, keyed like the
-/// cache entries.
+/// Residency is byte-accounted: every cached model is charged its section
+/// size against `max_resident_bytes` (a global atomic), and an insert
+/// that pushes the total over budget trims the shard's LRU tail. A model
+/// pinned by an in-flight imputation (the cache is not the only handle
+/// owner) is skipped — dropping the cache reference would not reclaim
+/// its bytes — and evicted on the next pressure once released. A model
+/// larger than the entire budget is served uncached. The legacy model
+/// count cap (`max_resident`) still applies per shard when > 0.
+///
+/// Every miss is retried through the shared RetryWithBackoff helper; a
+/// model whose attempts are exhausted (disk rot, CRC mismatch) — or whose
+/// load blew the stuck-IO budget — gets an open circuit breaker, so a
+/// persistently failing shard costs one refusal per request instead of a
+/// disk read + CRC pass — callers fall through the pyramid to an ancestor
+/// or neighbor model. Breakers are per model, keyed like the cache
+/// entries.
 class ShardedModelCache {
  public:
   /// `path` is the snapshot file models are demand-loaded from.
-  /// `max_resident` bounds the total cached models (split across shards,
-  /// at least one per shard).
+  /// `max_resident` bounds cached model count (split across shards, at
+  /// least one per shard; <= 0 = unbounded count). `max_resident_bytes`
+  /// bounds their total section bytes (0 = unbounded).
   ShardedModelCache(std::string path, int max_resident,
+                    uint64_t max_resident_bytes = 0,
                     LoadRetryPolicy retry = {}, int num_shards = 8);
 
   /// Returns the cached model for `ref`, loading (and possibly evicting the
@@ -134,10 +149,43 @@ class ShardedModelCache {
     return breaker_short_circuits_.load(std::memory_order_relaxed);
   }
 
+  // -- Byte-accounted residency -------------------------------------------
+
+  /// Section bytes currently held by cached models.
+  uint64_t resident_bytes() const {
+    return resident_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t max_resident_bytes() const { return max_bytes_; }
+  /// True while the cache holds more bytes than its budget allows (every
+  /// over-budget entry is pinned by an in-flight imputation).
+  bool memory_pressure() const {
+    return max_bytes_ > 0 && resident_bytes() > max_bytes_;
+  }
+  /// Entries dropped by byte- or count-pressure eviction.
+  int64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  /// Eviction candidates skipped because an imputation pinned them.
+  int64_t pinned_skips() const {
+    return pinned_skips_.load(std::memory_order_relaxed);
+  }
+  /// Models served without caching (section larger than the budget).
+  int64_t uncacheable_loads() const {
+    return uncacheable_loads_.load(std::memory_order_relaxed);
+  }
+  /// Re-runs byte-pressure eviction across every shard, dropping entries
+  /// whose pins have been released. The serving engine calls it from its
+  /// health/stats probes so bytes freed by finished imputations are
+  /// reclaimed promptly instead of on the next insert; const because the
+  /// cache is internally synchronized and residency is not part of the
+  /// observable mapping.
+  void TrimToBudget() const;
+
  private:
   struct CacheEntry {
     ModelHandle model;
     std::list<size_t>::iterator lru_it;
+    uint64_t bytes = 0;  // budget charge (section size)
   };
   struct Breaker {
     bool open = false;
@@ -155,20 +203,30 @@ class ShardedModelCache {
   /// Reads + CRC-verifies + parses the model section at `ref`.
   Result<ModelHandle> LoadFromDisk(const LazyModelRef& ref) const;
 
-  /// LoadFromDisk with up to 1 + retry_.max_retries attempts, sleeping a
-  /// jittered exponential backoff between them. Called with the shard
-  /// mutex held so a thundering herd on one model does a single sequence.
+  /// LoadFromDisk with up to 1 + retry_.max_retries attempts via the
+  /// shared RetryWithBackoff helper. Called with the shard mutex held so
+  /// a thundering herd on one model does a single retry sequence.
   Result<ModelHandle> LoadWithRetries(const LazyModelRef& ref) const;
+
+  /// Drops unpinned LRU-tail entries of `shard` while the cache is over
+  /// its count or byte budget. Caller holds `shard.mu`.
+  void EvictLocked(Shard& shard) const;
 
   /// Steady-clock seconds since an arbitrary epoch (for cooldowns).
   static double NowSeconds();
 
   const std::string path_;
   const size_t per_shard_capacity_;
+  const uint64_t max_bytes_;
   const LoadRetryPolicy retry_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};
+  // Mutable: adjusted by const eviction (TrimToBudget / EvictLocked).
+  mutable std::atomic<uint64_t> resident_bytes_{0};
+  mutable std::atomic<int64_t> evictions_{0};
+  mutable std::atomic<int64_t> pinned_skips_{0};
+  std::atomic<int64_t> uncacheable_loads_{0};
   std::atomic<int> open_breakers_{0};
   std::atomic<int64_t> breaker_opens_{0};
   std::atomic<int64_t> breaker_short_circuits_{0};
@@ -256,10 +314,11 @@ class ModelRepository {
   /// damaged model section is quarantined — skipped via its frame, noted
   /// in `report` — and loading continues. `report` may be null.
   ///
-  /// When `options.max_resident_models > 0` and `source_path` is given,
-  /// model weights are NOT parsed up front: each intact section is indexed
-  /// by file offset and demand-loaded through a ShardedModelCache bounded
-  /// to that many resident models.
+  /// When `source_path` is given and either residency budget is set
+  /// (`options.max_resident_models > 0` or `options.max_resident_bytes >
+  /// 0`), model weights are NOT parsed up front: each intact section is
+  /// indexed by file offset and demand-loaded through a ShardedModelCache
+  /// bounded by those budgets.
   Status Load(BinaryReader* reader, LoadReport* report = nullptr,
               const std::string* source_path = nullptr);
 

@@ -50,6 +50,16 @@ struct KamelOptions {
   /// file through a sharded-mutex LRU cache (serving memory stays bounded
   /// for city-scale pyramids); 0 loads every model eagerly.
   int max_resident_models = 0;
+  /// Byte-accounted residency budget for the same demand-load cache:
+  /// > 0 bounds the total bytes of cached model sections (a far better
+  /// proxy for memory than a model count when cell corpora — and hence
+  /// model sizes — vary by orders of magnitude). Eviction walks each
+  /// shard's LRU tail but never drops a model pinned by an in-flight
+  /// imputation (its bytes cannot be reclaimed while a handle holds it).
+  /// A single model larger than the whole budget is served without being
+  /// cached at all. 0 = no byte bound. Either budget (> 0 here or in
+  /// max_resident_models) enables lazy loading.
+  uint64_t max_resident_bytes = 0;
   /// Demand-load retries after the first failed attempt (IO error or CRC
   /// mismatch), each preceded by a jittered exponential backoff. Once
   /// 1 + model_load_retries attempts have failed, the model's circuit
@@ -63,6 +73,11 @@ struct KamelOptions {
   /// Seconds an open circuit breaker waits before letting one half-open
   /// probe reattempt the load (success re-closes it; failure re-opens).
   double model_breaker_cooldown_s = 5.0;
+  /// Stuck-IO budget for one demand load (all retries included), seconds.
+  /// A load that completes past it counts an IoWatchdog stall and opens
+  /// the model's breaker even if it eventually succeeded — slow IO is
+  /// failed IO for a latency-bounded serving path. <= 0 disables.
+  double model_load_stall_budget_s = 5.0;
 
   // -- Spatial constraints (Section 5) ------------------------------------
   bool enable_constraints = true;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/io_watchdog.h"
 
 namespace kamel {
 
@@ -185,20 +186,46 @@ HealthState ServingEngine::health() const {
   // pyramid ancestor (or a straight line): degraded, not down.
   const std::shared_ptr<const KamelSnapshot> snap = snapshot();
   const ShardedModelCache* cache = snap->repository().cache();
-  if (cache != nullptr && cache->open_breakers() > 0) {
+  if (cache != nullptr) {
+    // Reclaim bytes whose pins were released before judging pressure:
+    // pressure that a trim cannot fix (every over-budget entry pinned by
+    // an in-flight imputation) is the real signal.
+    cache->TrimToBudget();
+    if (cache->open_breakers() > 0 || cache->memory_pressure()) {
+      return HealthState::kDegraded;
+    }
+  }
+  // A hung IO operation (WAL fsync, snapshot save, model load past its
+  // watchdog budget) is resource pressure: the engine still serves, but
+  // probes should steer load elsewhere until the stall clears.
+  if (IoWatchdog::Instance().stuck_now() > 0) {
     return HealthState::kDegraded;
   }
   return HealthState::kServing;
 }
 
 EngineStats ServingEngine::stats() const {
-  std::lock_guard<std::mutex> lock(admit_mu_);
   EngineStats stats;
-  stats.admitted = admitted_;
-  stats.shed = shed_;
-  stats.degraded = degraded_;
-  stats.pending = pending_;
-  stats.peak_pending = peak_pending_;
+  {
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    stats.admitted = admitted_;
+    stats.shed = shed_;
+    stats.degraded = degraded_;
+    stats.pending = pending_;
+    stats.peak_pending = peak_pending_;
+  }
+  // Resource signals, gathered outside admit_mu_ (snapshot() takes its
+  // own lock; the watchdog has its own).
+  stats.io_stalls = IoWatchdog::Instance().stall_events();
+  stats.io_stuck = IoWatchdog::Instance().stuck_now();
+  const std::shared_ptr<const KamelSnapshot> snap = snapshot();
+  const ShardedModelCache* cache = snap->repository().cache();
+  if (cache != nullptr) {
+    cache->TrimToBudget();
+    stats.cache_resident_bytes = cache->resident_bytes();
+    stats.resource_pressure = cache->memory_pressure();
+  }
+  stats.resource_pressure = stats.resource_pressure || stats.io_stuck > 0;
   return stats;
 }
 

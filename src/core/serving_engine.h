@@ -48,13 +48,27 @@ enum class HealthState {
 const char* ToString(HealthState state);
 
 /// Point-in-time admission counters. Monotonic counters never reset;
-/// `pending` is instantaneous.
+/// `pending`, `io_stuck`, `cache_resident_bytes`, and `resource_pressure`
+/// are instantaneous.
 struct EngineStats {
   int64_t admitted = 0;   // work items accepted (incl. degraded)
   int64_t shed = 0;       // refused with kResourceExhausted
   int64_t degraded = 0;   // admitted at kLinearOnly under kDegrade
   int pending = 0;        // queued or running right now
   int peak_pending = 0;   // high-water mark of pending
+
+  // -- RESOURCE_PRESSURE signal (resource-exhaustion hardening) ----------
+  /// Some resource governor is currently engaged: an IO operation is
+  /// hung past its watchdog budget, or the model cache is pinned over
+  /// its byte budget. health() reports kDegraded while this holds.
+  bool resource_pressure = false;
+  /// IO operations (WAL fsync, snapshot save, model load) ever observed
+  /// past their stall budget (IoWatchdog::stall_events, process-wide).
+  int64_t io_stalls = 0;
+  /// In-flight IO operations hung past their budget right now.
+  int io_stuck = 0;
+  /// Bytes held by the demand-load model cache (0 when eager-loaded).
+  uint64_t cache_resident_bytes = 0;
 };
 
 /// Tunables of the concurrent serving engine.
@@ -128,9 +142,11 @@ class ServingEngine {
 
   /// Coarse health for load balancers: kDraining after Drain();
   /// kShedding at the admission bound under kShed; kDegraded while the
-  /// snapshot's model-load breakers are open or degrade-mode is active;
-  /// kServing otherwise. Recovers to kServing on its own once breakers
-  /// re-close and the queue drains (except kDraining, which is terminal).
+  /// snapshot's model-load breakers are open, degrade-mode is active, or
+  /// resource pressure holds (model cache pinned over its byte budget,
+  /// or an IO operation hung past its watchdog budget); kServing
+  /// otherwise. Recovers to kServing on its own once breakers re-close,
+  /// pressure lifts, and the queue drains (except kDraining, terminal).
   HealthState health() const;
 
   /// Admission counters; `pending`/`peak_pending` cover pool-dispatched

@@ -14,6 +14,8 @@
 #include "common/binary_io.h"
 #include "common/crc32c.h"
 #include "common/fault_injection.h"
+#include "common/io_env.h"
+#include "common/io_watchdog.h"
 
 namespace kamel {
 
@@ -29,11 +31,6 @@ namespace fs = std::filesystem;
 //   payload[len]
 constexpr size_t kFrameHeaderBytes = 4 + 4 + 8 + 1;
 constexpr size_t kSegmentHeaderBytes = 4 + 4 + 8;  // magic, version, base lsn
-
-std::string ErrnoString() {
-  const int err = errno;
-  return err != 0 ? std::string(": ") + std::strerror(err) : std::string();
-}
 
 std::string SegmentName(uint64_t base_lsn) {
   char buf[32];
@@ -69,43 +66,8 @@ std::vector<uint8_t> BuildFrame(uint64_t lsn, WalRecordType type,
   return frame;
 }
 
-Status WriteAll(int fd, const uint8_t* data, size_t size,
-                const std::string& path) {
-  size_t written = 0;
-  while (written < size) {
-    const ssize_t n = ::write(fd, data + written, size - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IOError("wal write failed: " + path + ErrnoString());
-    }
-    written += static_cast<size_t>(n);
-  }
-  return Status::OK();
-}
-
-Status FsyncDir(const std::string& dir) {
-  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) {
-    return Status::IOError("cannot open wal dir: " + dir + ErrnoString());
-  }
-  ::fsync(fd);  // best-effort: some filesystems refuse dir fsync
-  ::close(fd);
-  return Status::OK();
-}
-
 Result<std::vector<uint8_t>> ReadWholeFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) {
-    return Status::IOError("cannot open wal segment: " + path +
-                           ErrnoString());
-  }
-  const std::streamsize size = in.tellg();
-  in.seekg(0);
-  std::vector<uint8_t> data(static_cast<size_t>(size));
-  if (size > 0 && !in.read(reinterpret_cast<char*>(data.data()), size)) {
-    return Status::IOError("short read: " + path + ErrnoString());
-  }
-  return data;
+  return io::ReadFile(path, "wal.io.read");
 }
 
 /// One parsed frame, or a classification of why parsing stopped.
@@ -244,34 +206,28 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
   }
   auto log =
       std::unique_ptr<WriteAheadLog>(new WriteAheadLog(options));
-  KAMEL_ASSIGN_OR_RETURN(log->segments_, ListSegments(options.dir));
+  KAMEL_ASSIGN_OR_RETURN(auto listed, ListSegments(options.dir));
+  log->segments_.reserve(listed.size());
+  for (const auto& [base_lsn, path] : listed) {
+    log->segments_.push_back(Segment{base_lsn, path, 0});
+  }
 
   uint64_t expected_lsn = 1;
   for (size_t i = 0; i < log->segments_.size(); ++i) {
-    const auto [base_lsn, path] = log->segments_[i];
+    const uint64_t base_lsn = log->segments_[i].base_lsn;
+    const std::string path = log->segments_[i].path;
     const bool last_segment = i + 1 == log->segments_.size();
     KAMEL_ASSIGN_OR_RETURN(std::vector<uint8_t> data, ReadWholeFile(path));
     if (last_segment && data.size() < kSegmentHeaderBytes) {
       // A crash during rotation can leave a successor whose header never
-      // finished: a torn tail in its purest form. Drop the empty shell.
+      // finished: a torn tail in its purest form. Drop the empty shell —
+      // and make the deletion durable with a directory fsync, or a crash
+      // right here could resurrect the shell and fail the next open.
       report->torn_tail_bytes = data.size();
       report->torn_tail_segment = path;
-      if (::unlink(path.c_str()) != 0) {
-        return Status::IOError("cannot delete torn wal segment: " + path +
-                               ErrnoString());
-      }
+      KAMEL_RETURN_NOT_OK(io::Unlink(path, "wal.io.unlink"));
+      KAMEL_RETURN_NOT_OK(io::FsyncDir(options.dir, "wal.io.dirsync"));
       log->segments_.pop_back();
-      log->current_bytes_ = 0;
-      if (!log->segments_.empty()) {
-        std::error_code size_ec;
-        const auto size =
-            fs::file_size(log->segments_.back().second, size_ec);
-        if (size_ec) {
-          return Status::IOError("cannot stat wal segment: " +
-                                 log->segments_.back().second);
-        }
-        log->current_bytes_ = size;
-      }
       break;
     }
     KAMEL_ASSIGN_OR_RETURN(uint64_t header_base,
@@ -300,16 +256,10 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
         }
         report->torn_tail_bytes = data.size() - offset;
         report->torn_tail_segment = path;
-        const int fd = ::open(path.c_str(), O_WRONLY);
-        if (fd < 0) {
-          return Status::IOError("cannot open for truncation: " + path +
-                                 ErrnoString());
-        }
-        Status truncated = Status::OK();
-        if (::ftruncate(fd, static_cast<off_t>(offset)) != 0) {
-          truncated = Status::IOError("ftruncate failed: " + path +
-                                      ErrnoString());
-        }
+        KAMEL_ASSIGN_OR_RETURN(
+            const int fd, io::OpenFd(path, O_WRONLY, 0, "wal.io.open"));
+        Status truncated =
+            io::Ftruncate(fd, offset, path, "wal.io.truncate");
         ::fsync(fd);
         ::close(fd);
         KAMEL_RETURN_NOT_OK(truncated);
@@ -342,8 +292,16 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
       offset = scan.next_offset;
     }
 
-    if (last_segment) log->current_bytes_ = data.size();
+    log->segments_[i].bytes = data.size();
   }
+
+  // Disk-budget accounting baseline: every surviving segment's bytes.
+  log->closed_bytes_ = 0;
+  for (size_t i = 0; i + 1 < log->segments_.size(); ++i) {
+    log->closed_bytes_ += log->segments_[i].bytes;
+  }
+  log->current_bytes_ =
+      log->segments_.empty() ? 0 : log->segments_.back().bytes;
 
   // Drop everything a checkpoint already covers.
   if (report->checkpoint_lsn > 0) {
@@ -363,9 +321,20 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
     KAMEL_RETURN_NOT_OK(log->OpenSegmentForAppend(log->next_lsn_, true));
   } else {
     KAMEL_RETURN_NOT_OK(
-        log->OpenSegmentForAppend(log->segments_.back().first, false));
+        log->OpenSegmentForAppend(log->segments_.back().base_lsn, false));
   }
   return log;
+}
+
+double WriteAheadLog::utilization() const {
+  if (options_.disk_budget_bytes == 0) return 0.0;
+  return static_cast<double>(live_bytes()) /
+         static_cast<double>(options_.disk_budget_bytes);
+}
+
+bool WriteAheadLog::under_pressure() const {
+  return options_.disk_budget_bytes > 0 &&
+         utilization() >= options_.gc_pressure_fraction;
 }
 
 WriteAheadLog::~WriteAheadLog() {
@@ -379,28 +348,29 @@ Status WriteAheadLog::OpenSegmentForAppend(uint64_t base_lsn, bool create) {
   const std::string path = options_.dir + "/" + SegmentName(base_lsn);
   const int flags =
       create ? (O_WRONLY | O_CREAT | O_EXCL) : (O_WRONLY | O_APPEND);
-  const int fd = ::open(path.c_str(), flags, 0644);
-  if (fd < 0) {
-    return Status::IOError("cannot open wal segment: " + path +
-                           ErrnoString());
-  }
+  KAMEL_ASSIGN_OR_RETURN(const int fd,
+                         io::OpenFd(path, flags, 0644, "wal.io.open"));
   if (create) {
     std::vector<uint8_t> header;
     AppendRaw<uint32_t>(&header, kWalMagic);
     AppendRaw<uint32_t>(&header, kWalVersion);
     AppendRaw<uint64_t>(&header, base_lsn);
-    Status written = WriteAll(fd, header.data(), header.size(), path);
-    if (written.ok() && ::fsync(fd) != 0) {
-      written = Status::IOError("fsync failed: " + path + ErrnoString());
+    Status written =
+        io::WriteAll(fd, header.data(), header.size(), path, "wal.io.write");
+    if (written.ok()) {
+      written = io::Fsync(fd, path, "wal.io.fsync");
     }
     if (!written.ok()) {
       ::close(fd);
       ::unlink(path.c_str());
       return written;
     }
-    segments_.emplace_back(base_lsn, path);
+    // The outgoing segment's bytes move from "current" to "closed"; the
+    // successor starts its budget charge at just the header.
+    closed_bytes_ += current_bytes_;
+    segments_.push_back(Segment{base_lsn, path, kSegmentHeaderBytes});
     current_bytes_ = kSegmentHeaderBytes;
-    KAMEL_RETURN_NOT_OK(FsyncDir(options_.dir));
+    KAMEL_RETURN_NOT_OK(io::FsyncDir(options_.dir, "wal.io.dirsync"));
   }
   if (fd_ >= 0) ::close(fd_);
   fd_ = fd;
@@ -420,10 +390,10 @@ Status WriteAheadLog::Rotate() {
 
 Status WriteAheadLog::SyncNow() {
   KAMEL_RETURN_NOT_OK(FaultInjector::Instance().Hit("wal.fsync"));
-  if (fd_ >= 0 && ::fsync(fd_) != 0) {
-    return Status::IOError("wal fsync failed: " +
-                           segments_.back().second + ErrnoString());
-  }
+  auto watch = IoWatchdog::Instance().Watch("wal.fsync",
+                                            options_.io_stall_budget_s);
+  KAMEL_RETURN_NOT_OK(
+      io::Fsync(fd_, segments_.back().path, "wal.io.fsync"));
   unsynced_records_ = 0;
   ++stats_.fsyncs;
   return Status::OK();
@@ -448,26 +418,66 @@ Result<uint64_t> WriteAheadLog::Append(WalRecordType type,
     return Status::InvalidArgument("wal record payload too large: " +
                                    std::to_string(payload.size()));
   }
+
+  const size_t frame_bytes = kFrameHeaderBytes + payload.size();
+  const bool is_data = type == WalRecordType::kSubmit ||
+                       type == WalRecordType::kStoreAppend;
+  if (is_data && options_.disk_budget_bytes > 0) {
+    // Refuse over-budget data appends before a single byte (or a
+    // rotation) happens: the caller gets a clean kResourceExhausted it
+    // can turn into checkpoint GC or shed. Markers stay exempt — they
+    // are what unlocks GC on a full log.
+    uint64_t reserve = frame_bytes;
+    if (current_bytes_ >= options_.segment_bytes) {
+      reserve += kSegmentHeaderBytes;  // the rotation's new header
+    }
+    if (live_bytes() + reserve > options_.disk_budget_bytes) {
+      ++stats_.budget_refusals;
+      return Status::ResourceExhausted(
+          "wal disk budget exhausted: " + std::to_string(live_bytes()) +
+          " live + " + std::to_string(reserve) + " requested > " +
+          std::to_string(options_.disk_budget_bytes) +
+          " budget; checkpoint to reclaim segments");
+    }
+  }
+
   if (current_bytes_ >= options_.segment_bytes) {
     KAMEL_RETURN_NOT_OK(Rotate());
   }
   const uint64_t lsn = next_lsn_;
   const std::vector<uint8_t> frame = BuildFrame(lsn, type, payload);
-  const std::string& path = segments_.back().second;
+  const std::string& path = segments_.back().path;
 
   const Status torn = FaultInjector::Instance().Hit("wal.append.torn");
   if (!torn.ok()) {
     // Crash simulation: half the frame reaches the disk, the process
     // "dies". Whatever happens to this object afterwards must not write
     // again — recovery on reopen truncates the tear.
-    (void)WriteAll(fd_, frame.data(), frame.size() / 2, path);
+    (void)io::WriteAll(fd_, frame.data(), frame.size() / 2, path, nullptr);
     ::fsync(fd_);
     poisoned_ = true;
     return torn;
   }
 
-  KAMEL_RETURN_NOT_OK(WriteAll(fd_, frame.data(), frame.size(), path));
+  size_t wrote = 0;
+  const Status written =
+      io::WriteAll(fd_, frame.data(), frame.size(), path, "wal.io.write",
+                   &wrote);
+  if (!written.ok()) {
+    if (wrote > 0) {
+      // Some of the frame reached the disk: the tail is torn, exactly
+      // the shape wal.append.torn simulates. Poison so no later append
+      // interleaves garbage after the tear; reopen truncates it. A
+      // zero-byte failure is a clean refusal — the log stays usable.
+      ::fsync(fd_);
+      poisoned_ = true;
+      current_bytes_ += wrote;
+      segments_.back().bytes = current_bytes_;
+    }
+    return written;
+  }
   current_bytes_ += frame.size();
+  segments_.back().bytes = current_bytes_;
   next_lsn_ = lsn + 1;
   ++stats_.appends;
   stats_.bytes_appended += frame.size();
@@ -499,17 +509,20 @@ Status WriteAheadLog::Checkpoint(uint64_t upto_lsn) {
   // watermark, i.e. its successor starts at or below upto_lsn + 1. The
   // open segment (holding the checkpoint record itself) always survives.
   bool deleted = false;
-  while (segments_.size() >= 2 && segments_[1].first <= upto_lsn + 1) {
-    const std::string path = segments_.front().second;
-    if (::unlink(path.c_str()) != 0) {
-      return Status::IOError("cannot delete checkpointed wal segment: " +
-                             path + ErrnoString());
-    }
+  while (segments_.size() >= 2 && segments_[1].base_lsn <= upto_lsn + 1) {
+    const Segment& victim = segments_.front();
+    KAMEL_RETURN_NOT_OK(io::Unlink(victim.path, "wal.io.unlink"));
+    closed_bytes_ -= std::min(closed_bytes_, victim.bytes);
     segments_.erase(segments_.begin());
     ++stats_.segments_deleted;
     deleted = true;
   }
-  if (deleted) KAMEL_RETURN_NOT_OK(FsyncDir(options_.dir));
+  // Make the deletions durable: without the directory fsync a crash here
+  // can resurrect a GC'd segment, whose records would then replay on top
+  // of the snapshot that already captured them.
+  if (deleted) {
+    KAMEL_RETURN_NOT_OK(io::FsyncDir(options_.dir, "wal.io.dirsync"));
+  }
   return Status::OK();
 }
 

@@ -39,6 +39,25 @@ struct WalOptions {
   /// Rotation threshold: a segment at or above this size is closed (and
   /// fsynced) and a fresh one started before the next append.
   uint64_t segment_bytes = 4ull << 20;
+  /// Disk budget governor: total live bytes (all segment files plus the
+  /// checkpoint snapshot accounted via AccountExternalBytes) the log may
+  /// hold; 0 = unlimited. A data append (kSubmit / kStoreAppend) that
+  /// would exceed it is refused with kResourceExhausted BEFORE any byte
+  /// is written — a clean refusal the ingestion layer turns into
+  /// proactive checkpoint GC, backpressure, or shed. Marker records
+  /// (kBatchTrained / kCheckpoint) are exempt: they are tiny and they
+  /// are precisely what unlocks segment GC, so refusing them would
+  /// wedge a full log permanently.
+  uint64_t disk_budget_bytes = 0;
+  /// Pressure high-water mark: utilization at or above this fraction of
+  /// the budget reports under_pressure(), inviting a proactive
+  /// checkpoint before appends start being refused.
+  double gc_pressure_fraction = 0.8;
+  /// Stuck-IO watchdog budget for one fsync, seconds (<= 0 unwatched).
+  /// A sync past it counts an IoWatchdog stall and — while in flight —
+  /// shows up in stuck_now(), which the serving engine surfaces as
+  /// RESOURCE_PRESSURE.
+  double io_stall_budget_s = 5.0;
 };
 
 /// What a WAL record describes. Payload encodings live next to their
@@ -99,7 +118,11 @@ struct WalRecoveryReport {
 /// poisoning the log object (crash simulation — reopen to recover);
 /// `wal.fsync` fails the durability step; `wal.rotate` fails segment
 /// rollover; `wal.checkpoint` fails between the checkpoint record and
-/// segment deletion.
+/// segment deletion. Every raw syscall additionally goes through the
+/// errno seam (common/io_env.h) under `wal.io.*` failpoints — an
+/// injected ENOSPC/EIO/short write mid-frame poisons the log exactly
+/// like `wal.append.torn`, so the on-disk tail stays truncatable and
+/// nothing acknowledged is lost.
 class WriteAheadLog {
  public:
   /// Opens (creating if needed) the log in `options.dir`: scans every
@@ -134,16 +157,47 @@ class WriteAheadLog {
   size_t segment_count() const { return segments_.size(); }
   const WalOptions& options() const { return options_; }
 
+  // -- Disk budget governor -------------------------------------------------
+
+  /// Bytes currently charged against the budget: every live segment file
+  /// plus the external (checkpoint snapshot) bytes.
+  uint64_t live_bytes() const {
+    return closed_bytes_ + current_bytes_ + external_bytes_;
+  }
+  uint64_t disk_budget() const { return options_.disk_budget_bytes; }
+  /// live_bytes / budget, 0 when unlimited.
+  double utilization() const;
+  /// True at or past the gc_pressure_fraction high-water mark: time for
+  /// a proactive checkpoint before appends start being refused.
+  bool under_pressure() const;
+  /// Adjusts the budget at runtime (operator intervention, or a soak
+  /// shrinking the volume under the log). 0 = unlimited.
+  void set_disk_budget(uint64_t bytes) {
+    options_.disk_budget_bytes = bytes;
+  }
+  /// Charges bytes held outside the segment files against the same
+  /// budget — the checkpoint snapshot, which shares the volume.
+  /// Replaces the previous external charge (checkpoints overwrite).
+  void AccountExternalBytes(uint64_t bytes) { external_bytes_ = bytes; }
+
   struct Stats {
     int64_t appends = 0;
     int64_t fsyncs = 0;
     int64_t rotations = 0;
     int64_t segments_deleted = 0;
     uint64_t bytes_appended = 0;
+    /// Data appends refused cleanly by the disk budget (nothing written).
+    int64_t budget_refusals = 0;
   };
   const Stats& stats() const { return stats_; }
 
  private:
+  struct Segment {
+    uint64_t base_lsn = 0;
+    std::string path;
+    uint64_t bytes = 0;  // on-disk size (tracked for the disk budget)
+  };
+
   explicit WriteAheadLog(WalOptions options)
       : options_(std::move(options)) {}
 
@@ -155,13 +209,17 @@ class WriteAheadLog {
   int fd_ = -1;
   uint64_t next_lsn_ = 1;
   uint64_t current_bytes_ = 0;
+  /// Sum of the sizes of every closed (non-last) segment.
+  uint64_t closed_bytes_ = 0;
+  /// Checkpoint snapshot bytes charged against the budget.
+  uint64_t external_bytes_ = 0;
   int unsynced_records_ = 0;
   /// A torn-write fault fired: the on-disk tail is mid-frame, so further
   /// appends would interleave garbage. Every operation refuses until the
   /// log is reopened (which truncates the tear).
   bool poisoned_ = false;
-  /// base LSN -> path, ascending; the last entry is the open segment.
-  std::vector<std::pair<uint64_t, std::string>> segments_;
+  /// Ascending by base LSN; the last entry is the open segment.
+  std::vector<Segment> segments_;
   Stats stats_;
 };
 

@@ -92,6 +92,10 @@ KamelOptions OptionsFromFlags(const Flags& flags) {
   }
   options.impute_deadline_seconds =
       flags.GetDouble("deadline", options.impute_deadline_seconds);
+  options.max_resident_models = static_cast<int>(
+      flags.GetInt("max-resident-models", options.max_resident_models));
+  options.max_resident_bytes = static_cast<uint64_t>(
+      flags.GetInt("max-resident-bytes", options.max_resident_bytes));
   return options;
 }
 
@@ -175,6 +179,10 @@ int ParseWalFlags(const Flags& flags, WalOptions* options) {
   }
   options->fsync_every_n =
       static_cast<int>(flags.GetInt("fsync-every", options->fsync_every_n));
+  options->disk_budget_bytes = static_cast<uint64_t>(
+      flags.GetInt("wal-disk-budget", options->disk_budget_bytes));
+  options->io_stall_budget_s =
+      flags.GetDouble("io-stall-budget", options->io_stall_budget_s);
   return 0;
 }
 
@@ -447,6 +455,11 @@ int Usage() {
       "            [--fsync-policy every-record|every-n|on-rotate]\n"
       "            [--fsync-every N] [--batch-trips N] tune durability\n"
       "            vs throughput and the training batch size.\n"
+      "            [--wal-disk-budget BYTES] caps live log + checkpoint\n"
+      "            bytes; at pressure the scheduler checkpoints\n"
+      "            proactively, then sheds submits cleanly (0 = off).\n"
+      "            [--io-stall-budget SECONDS] stuck-IO watchdog budget\n"
+      "            per WAL fsync (stalls surface as DEGRADED health).\n"
       "  impute    --model m.kamel --data sparse.csv --out imputed.csv\n"
       "            [--geojson] [--beam N] [--method beam|iterative]\n"
       "  evaluate  --model m.kamel --data dense.csv [--sparseness M]\n"
@@ -465,7 +478,11 @@ int Usage() {
       "   [--max-pending N] bounds queued imputations (0 = unbounded);\n"
       "   [--overload-policy block|shed|degrade] picks what happens\n"
       "   beyond the bound: callers wait, are refused, or get straight-\n"
-      "   line service)\n");
+      "   line service.\n"
+      "   [--max-resident-models N] / [--max-resident-bytes BYTES]\n"
+      "   bound the demand-load model cache by count / by bytes; either\n"
+      "   enables lazy snapshot loading, and byte pressure evicts\n"
+      "   unpinned LRU models)\n");
   return 2;
 }
 
