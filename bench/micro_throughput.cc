@@ -150,6 +150,11 @@ void EmitJson(const std::vector<ThroughputRow>& throughput,
     return;
   }
   std::fprintf(out, "{\n  \"bench\": \"micro_throughput\",\n");
+  // The scaling rows only mean something next to the core count they ran
+  // on: speedup ~1.0 at every thread count on host_threads=1 is the
+  // hardware ceiling, not a serialization bug in the engine.
+  std::fprintf(out, "  \"host_threads\": %u,\n",
+               std::thread::hardware_concurrency());
   std::fprintf(out, "  \"batch_trajectories\": %zu,\n", batch_size);
   std::fprintf(out, "  \"batch_throughput\": [\n");
   for (size_t i = 0; i < throughput.size(); ++i) {

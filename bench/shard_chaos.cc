@@ -1,0 +1,476 @@
+// Shard chaos harness: the multi-process extension of chaos_soak. A
+// supervisor trains once, saves the snapshot, forks 4 real worker
+// processes (this binary re-exec'd with --worker), and drives a
+// ShardRouter over them from concurrent client threads while a chaos
+// thread SIGKILLs a worker, restarts it on the same port, and cycles
+// `net.*` faults (refused connects, dropped frames, injected stragglers)
+// through the router's side of every connection. Gates:
+//
+//   * contract: a well-formed imputation NEVER fails — a dead or faulted
+//     shard degrades (failover to the surviving shard's replicated
+//     ancestors, then router-local straight lines), it does not error
+//     (exit 1 otherwise);
+//   * recovery: after every kill the restarted worker must probe back to
+//     SERVING within its budget (exit 1);
+//   * identity: with all shards healthy and no faults armed — before and
+//     after the chaos — routed output is byte-identical to single-process
+//     KamelSnapshot::Impute on the same snapshot (exit 1);
+//   * liveness: a watchdog aborts with exit 2 if global progress stalls
+//     (kill + restart must never wedge the router).
+//
+// Exit 0 pass, 1 contract/recovery/identity violation, 2 watchdog stall,
+// 3 harness error (fork/exec/bind/train failures — not a verdict).
+// $KAMEL_SOAK_IMPUTATIONS scales the chaos-phase load (default 2000);
+// $KAMEL_SHARD_PORT_BASE moves the fixed worker ports (default 38731).
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "core/kamel.h"
+#include "eval/scenario.h"
+#include "shard/router.h"
+#include "shard/worker.h"
+#include "sim/datasets.h"
+#include "sim/sparsifier.h"
+
+namespace kamel::bench {
+namespace {
+
+constexpr int kNumShards = 4;
+constexpr const char* kSnapshotPath = "/tmp/kamel_shard_chaos_snapshot.bin";
+
+long TargetImputations() {
+  if (const char* env = std::getenv("KAMEL_SOAK_IMPUTATIONS")) {
+    const long parsed = std::atol(env);
+    if (parsed > 0) return parsed;
+  }
+  return 2000;
+}
+
+uint16_t PortBase() {
+  if (const char* env = std::getenv("KAMEL_SHARD_PORT_BASE")) {
+    const long parsed = std::atol(env);
+    if (parsed > 0 && parsed < 65536 - kNumShards) {
+      return static_cast<uint16_t>(parsed);
+    }
+  }
+  return 38731;
+}
+
+bool Progress() { return std::getenv("KAMEL_SOAK_PROGRESS") != nullptr; }
+
+// Must match between the trainer, the router's local snapshot, and every
+// worker child (snapshots do not persist options). Same shape as the
+// chaos_soak fixture: a real height-1 pyramid so the partition has 4 key
+// cells — one per worker — and every leaf has a replicated root ancestor.
+KamelOptions ChaosKamelOptions() {
+  KamelOptions options;
+  options.pyramid_height = 1;
+  options.pyramid_levels = 2;
+  options.model_token_threshold = 25;
+  options.bert.encoder.d_model = 32;
+  options.bert.encoder.num_heads = 4;
+  options.bert.encoder.num_layers = 2;
+  options.bert.encoder.ffn_dim = 128;
+  options.bert.encoder.max_seq_len = 32;
+  options.bert.train.steps = 150;
+  options.bert.train.batch_size = 16;
+  options.bert.train.peak_lr = 1e-3;
+  options.bert.train.warmup_steps = 50;
+  options.beam_size = 4;
+  options.top_k = 6;
+  options.max_bert_calls_per_segment = 200;
+  options.seed = 42;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Worker child: --worker <shard> <num_shards> <port> <snapshot_path>
+// ---------------------------------------------------------------------------
+
+std::atomic<bool> g_worker_stop{false};
+void HandleWorkerStop(int) { g_worker_stop.store(true); }
+
+int RunWorker(int argc, char** argv) {
+  if (argc < 6) {
+    std::fprintf(stderr, "worker: bad argv\n");
+    return 3;
+  }
+  shard::WorkerOptions options;
+  options.shard = std::atoi(argv[2]);
+  options.num_shards = std::atoi(argv[3]);
+  options.port = static_cast<uint16_t>(std::atoi(argv[4]));
+  options.kamel = ChaosKamelOptions();
+  options.serving = {.num_threads = 2, .max_pending = 16,
+                     .overload_policy = OverloadPolicy::kShed};
+  shard::ShardWorker worker(options);
+  if (const Status status = worker.Start(argv[5]); !status.ok()) {
+    std::fprintf(stderr, "worker %d: start failed: %s\n", options.shard,
+                 status.ToString().c_str());
+    return 3;
+  }
+  // SIGTERM = clean drain at the end of the run; chaos kills use SIGKILL,
+  // which by design never reaches this handler.
+  signal(SIGTERM, HandleWorkerStop);
+  signal(SIGINT, HandleWorkerStop);
+  while (!g_worker_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  worker.Stop();
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor
+// ---------------------------------------------------------------------------
+
+// Child pids, shared with the watchdog (which must reap before _Exit).
+std::mutex g_children_mu;
+std::vector<pid_t> g_children(kNumShards, -1);
+
+void KillAllChildren(int sig) {
+  std::lock_guard<std::mutex> lock(g_children_mu);
+  for (pid_t& pid : g_children) {
+    if (pid > 0) {
+      kill(pid, sig);
+      waitpid(pid, nullptr, sig == SIGKILL ? 0 : WNOHANG);
+      if (sig == SIGKILL) pid = -1;
+    }
+  }
+}
+
+// Forks this binary back as one worker. Returns -1 on harness failure.
+pid_t SpawnWorker(const char* self, int shard, uint16_t port) {
+  const std::string shard_s = std::to_string(shard);
+  const std::string num_s = std::to_string(kNumShards);
+  const std::string port_s = std::to_string(port);
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("fork");
+    return -1;
+  }
+  if (pid == 0) {
+    const char* argv[] = {self,           "--worker",     shard_s.c_str(),
+                          num_s.c_str(),  port_s.c_str(), kSnapshotPath,
+                          nullptr};
+    execv(self, const_cast<char**>(argv));
+    std::perror("execv");
+    _exit(3);
+  }
+  std::lock_guard<std::mutex> lock(g_children_mu);
+  g_children[shard] = pid;
+  return pid;
+}
+
+struct ChaosCounters {
+  std::atomic<long> served{0};
+  std::atomic<long> completed{0};  // watchdog heartbeat
+  std::atomic<long> unexpected{0};
+  std::atomic<bool> recovery_failed{false};
+  std::atomic<int> kills{0};
+  std::atomic<int> restarts{0};
+  std::atomic<bool> chaos_done{false};
+};
+
+// Pushes imputations through the router until the target is reached AND
+// the chaos schedule has finished. Every error is a contract violation:
+// the router's ladder ends at router-local straight lines, never a
+// Status, for well-formed input.
+void ClientLoop(shard::ShardRouter* router,
+                const std::vector<Trajectory>* inputs, int seed, long target,
+                ChaosCounters* counters) {
+  size_t next = static_cast<size_t>(seed);
+  while (counters->served.load(std::memory_order_relaxed) < target ||
+         !counters->chaos_done.load(std::memory_order_relaxed)) {
+    Result<ImputedTrajectory> result =
+        router->Impute((*inputs)[next++ % inputs->size()]);
+    counters->completed.fetch_add(1, std::memory_order_relaxed);
+    if (result.ok()) {
+      counters->served.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      counters->unexpected.fetch_add(1);
+      std::fprintf(stderr, "contract violation: routed impute failed: %s\n",
+                   result.status().ToString().c_str());
+    }
+  }
+}
+
+bool WaitForServing(const shard::ShardRouter& router, int shard,
+                    double timeout_s) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (router.ShardHealth()[shard] == HealthState::kServing) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return false;
+}
+
+// One chaos round per worker: arm a net fault window against the live
+// fleet, clear it, SIGKILL the round's victim mid-load, let the router
+// degrade, restart the victim on its advertised port, and require it to
+// probe back to SERVING. Every worker gets killed at least once.
+void ChaosLoop(const char* self, shard::ShardRouter* router,
+               const std::vector<uint16_t>* ports, long target,
+               ChaosCounters* counters) {
+  FaultInjector& injector = FaultInjector::Instance();
+  const int rounds =
+      std::max(kNumShards, static_cast<int>(target / 500));
+  for (int round = 0; round < rounds; ++round) {
+    // Fault window against healthy workers: stragglers (drives hedging),
+    // dropped request frames (drives per-call deadlines + retries), and
+    // refused connects (drives the connect retry schedule + failover).
+    const char* fault = (round % 3 == 0)   ? "net.recv.delay"
+                        : (round % 3 == 1) ? "net.send.drop"
+                                           : "net.connect";
+    injector.Arm(fault, /*skip=*/0, /*count=*/round % 3 == 0 ? -1 : 8);
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    injector.Reset();
+
+    const int victim = round % kNumShards;
+    pid_t pid;
+    {
+      std::lock_guard<std::mutex> lock(g_children_mu);
+      pid = g_children[victim];
+    }
+    if (pid > 0) {
+      kill(pid, SIGKILL);
+      waitpid(pid, nullptr, 0);
+      {
+        std::lock_guard<std::mutex> lock(g_children_mu);
+        g_children[victim] = -1;
+      }
+      counters->kills.fetch_add(1);
+      if (Progress()) {
+        std::fprintf(stderr, "[chaos] round %d: killed worker %d\n", round,
+                     victim);
+      }
+    }
+    // Let clients run against the 3-shard fleet for a while.
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+
+    if (SpawnWorker(self, victim, (*ports)[victim]) < 0) {
+      counters->recovery_failed.store(true);
+      break;
+    }
+    counters->restarts.fetch_add(1);
+    if (!WaitForServing(*router, victim, 60.0)) {
+      std::fprintf(stderr,
+                   "FAIL: worker %d did not return to SERVING after "
+                   "restart (round %d)\n",
+                   victim, round);
+      counters->recovery_failed.store(true);
+      break;
+    }
+    if (Progress()) {
+      std::fprintf(stderr, "[chaos] round %d: worker %d back to SERVING\n",
+                   round, victim);
+    }
+  }
+  injector.Reset();
+  counters->chaos_done.store(true);
+}
+
+// Byte-identity sweep: every input imputed through the router must match
+// the single-process result bit for bit (stats.seconds excepted).
+bool IdenticalWhenHealthy(const KamelSnapshot& snapshot,
+                          shard::ShardRouter* router,
+                          const std::vector<Trajectory>& inputs,
+                          const char* phase) {
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    Result<ImputedTrajectory> direct = snapshot.Impute(inputs[i]);
+    Result<ImputedTrajectory> routed = router->Impute(inputs[i]);
+    if (!direct.ok() || !routed.ok()) {
+      std::fprintf(stderr, "FAIL(%s): impute error on input %zu: %s / %s\n",
+                   phase, i, direct.status().ToString().c_str(),
+                   routed.status().ToString().c_str());
+      return false;
+    }
+    const auto& a = direct->trajectory.points;
+    const auto& b = routed->trajectory.points;
+    bool same = a.size() == b.size() &&
+                direct->stats.bert_calls == routed->stats.bert_calls &&
+                direct->stats.full_model_segments ==
+                    routed->stats.full_model_segments &&
+                direct->stats.failed_segments == routed->stats.failed_segments;
+    for (size_t p = 0; same && p < a.size(); ++p) {
+      same = a[p].pos.lat == b[p].pos.lat && a[p].pos.lng == b[p].pos.lng &&
+             a[p].time == b[p].time;
+    }
+    if (!same) {
+      std::fprintf(stderr,
+                   "FAIL(%s): routed result differs from single-process "
+                   "on input %zu\n",
+                   phase, i);
+      return false;
+    }
+  }
+  return true;
+}
+
+int RunSupervisor(const char* self) {
+  const long target = TargetImputations();
+  const uint16_t port_base = PortBase();
+
+  // Train once, persist the snapshot all workers load.
+  const SimScenario scenario = BuildScenario(MiniSpec());
+  Kamel trained(ChaosKamelOptions());
+  if (const Status status = trained.Train(scenario.train); !status.ok()) {
+    std::fprintf(stderr, "train failed: %s\n", status.ToString().c_str());
+    return 3;
+  }
+  if (const Status status = trained.SaveToFile(kSnapshotPath);
+      !status.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", status.ToString().c_str());
+    return 3;
+  }
+  auto snapshot = trained.Snapshot();
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "snapshot failed: %s\n",
+                 snapshot.status().ToString().c_str());
+    return 3;
+  }
+
+  std::vector<Trajectory> inputs;
+  for (const Trajectory& trajectory : scenario.test.trajectories) {
+    inputs.push_back(Sparsify(trajectory, 400.0));
+  }
+
+  // Fleet on fixed ports (a restarted worker must come back on the port
+  // the router knows; SO_REUSEADDR makes the re-bind immediate).
+  std::vector<uint16_t> ports;
+  std::vector<shard::ShardEndpoint> endpoints;
+  for (int s = 0; s < kNumShards; ++s) {
+    ports.push_back(static_cast<uint16_t>(port_base + s));
+    endpoints.push_back({"127.0.0.1", ports.back()});
+    if (SpawnWorker(self, s, ports[s]) < 0) return 3;
+  }
+
+  shard::RouterOptions router_options;
+  router_options.call_deadline_s = 30.0;  // single-core host under load
+  shard::ShardRouter router(*snapshot, endpoints, router_options);
+  if (const Status status = router.WaitHealthy(120.0); !status.ok()) {
+    std::fprintf(stderr, "fleet never reached SERVING: %s\n",
+                 status.ToString().c_str());
+    KillAllChildren(SIGKILL);
+    return 3;
+  }
+  if (Progress()) std::fprintf(stderr, "[chaos] fleet SERVING\n");
+
+  // Gate 1: healthy fleet, byte-identical output.
+  if (!IdenticalWhenHealthy(**snapshot, &router, inputs, "pre-chaos")) {
+    KillAllChildren(SIGKILL);
+    return 1;
+  }
+
+  ChaosCounters counters;
+
+  // Watchdog: chaos rounds are seconds each; two minutes of global
+  // silence means the router wedged on a dead shard. _Exit skips
+  // destructors on purpose — they may be what is stuck.
+  std::atomic<bool> stop_watchdog{false};
+  std::thread watchdog([&] {
+    long last = -1;
+    int stalled_polls = 0;
+    while (!stop_watchdog.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(500));
+      const long now = counters.completed.load();
+      stalled_polls = (now == last) ? stalled_polls + 1 : 0;
+      last = now;
+      if (Progress()) {
+        std::fprintf(stderr, "[chaos] %ld/%ld served, %d kills\n",
+                     counters.served.load(), target, counters.kills.load());
+      }
+      if (stalled_polls >= 240) {
+        std::fprintf(stderr,
+                     "watchdog: no progress past %ld imputations in 120s\n",
+                     now);
+        KillAllChildren(SIGKILL);
+        std::_Exit(2);
+      }
+    }
+  });
+
+  std::thread chaos(ChaosLoop, self, &router, &ports, target, &counters);
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 2; ++i) {
+    clients.emplace_back(ClientLoop, &router, &inputs, i * 13, target,
+                         &counters);
+  }
+  for (std::thread& client : clients) client.join();
+  chaos.join();
+
+  // Gate 2 ran inside the chaos loop (SERVING after every restart).
+  // Gate 3: faults cleared, full fleet — byte-identical again.
+  FaultInjector::Instance().Reset();
+  bool identical = false;
+  if (router.WaitHealthy(60.0).ok()) {
+    identical = IdenticalWhenHealthy(**snapshot, &router, inputs,
+                                     "post-chaos");
+  } else {
+    std::fprintf(stderr, "FAIL: fleet not SERVING after chaos cleared\n");
+  }
+
+  stop_watchdog.store(true);
+  watchdog.join();
+  KillAllChildren(SIGTERM);
+  KillAllChildren(SIGKILL);
+
+  const shard::RouterStats stats = router.stats();
+  std::printf(
+      "shard chaos: %ld served of %ld attempts | %d kills, %d restarts | "
+      "router: %lld calls, %lld retries, %lld hedges (%lld won), "
+      "%lld failovers, %lld linear-fallback gaps\n",
+      counters.served.load(), counters.completed.load(),
+      counters.kills.load(), counters.restarts.load(),
+      static_cast<long long>(stats.remote_calls),
+      static_cast<long long>(stats.retries),
+      static_cast<long long>(stats.hedges),
+      static_cast<long long>(stats.hedge_wins),
+      static_cast<long long>(stats.failovers),
+      static_cast<long long>(stats.linear_fallback_gaps));
+
+  if (counters.unexpected.load() > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %ld imputations failed outside the degradation "
+                 "contract\n",
+                 counters.unexpected.load());
+    return 1;
+  }
+  if (counters.recovery_failed.load()) return 1;
+  if (!identical) return 1;
+  std::printf("shard chaos: PASS (%d kill/restart cycles survived)\n",
+              counters.kills.load());
+  return 0;
+}
+
+}  // namespace
+}  // namespace kamel::bench
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--worker") == 0) {
+    return kamel::bench::RunWorker(argc, argv);
+  }
+  // Re-exec through the stable self path, not argv[0] (which may be
+  // relative to a cwd the children do not share).
+  char self[4096];
+  const ssize_t n = readlink("/proc/self/exe", self, sizeof(self) - 1);
+  if (n <= 0) {
+    std::perror("readlink /proc/self/exe");
+    return 3;
+  }
+  self[n] = '\0';
+  return kamel::bench::RunSupervisor(self);
+}

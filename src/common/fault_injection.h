@@ -50,6 +50,19 @@ struct IoFaultSpec {
 ///   model.load.slow         ShardedModelCache demand load: the load
 ///                           succeeds but sleeps past its stall budget
 ///                           (drives the slow-IO-trips-the-breaker path)
+///   net.connect             net::ConnectTcp refuses before any syscall
+///                           (a dead or unreachable worker)
+///   net.send                net::SendFrame fails without writing (the
+///                           connection is broken mid-call)
+///   net.send.drop           net::SendFrame swallows the frame but
+///                           reports success — the peer never sees it,
+///                           so the receiver runs into its deadline
+///   net.frame.truncate      net::SendFrame writes a torn frame (header
+///                           promises the full payload, half arrives);
+///                           the receiver stalls into kDeadlineExceeded
+///   net.recv.delay          net::RecvFrame sleeps kInjectedDelaySeconds
+///                           before reading (a straggling worker —
+///                           drives the router's hedging budget)
 ///
 /// Errno-level IO failpoints (fired through HitIo by common/io_env.h;
 /// armed with ArmErrno to pick the errno and an optional short write):

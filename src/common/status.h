@@ -25,6 +25,10 @@ enum class StatusCode {
   /// engine is draining. Safe to retry later (unlike kResourceExhausted,
   /// which asks the caller to back off or shrink the request).
   kUnavailable,
+  /// A per-call deadline elapsed before the operation completed (RPC
+  /// timeouts, stalled reads). The work may still be running remotely, so
+  /// only idempotent operations are safe to retry.
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -75,6 +79,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -85,23 +85,38 @@ Status SaveSnapshotFile(const LocalProjection& projection,
 
 }  // namespace
 
+namespace {
+
+/// Folds `s` into `total` (counters summed, outcomes concatenated).
+void MergeStats(ImputeStats* total, const ImputeStats& s) {
+  total->segments += s.segments;
+  total->failed_segments += s.failed_segments;
+  total->no_model_segments += s.no_model_segments;
+  total->deadline_segments += s.deadline_segments;
+  total->overload_segments += s.overload_segments;
+  total->full_model_segments += s.full_model_segments;
+  total->ancestor_segments += s.ancestor_segments;
+  total->bert_calls += s.bert_calls;
+  total->seconds += s.seconds;
+  total->outcomes.insert(total->outcomes.end(), s.outcomes.begin(),
+                         s.outcomes.end());
+}
+
+}  // namespace
+
 ImputeStats AggregateBatchStats(const std::vector<ImputedTrajectory>& batch) {
   ImputeStats total;
   for (const ImputedTrajectory& imputed : batch) {
-    const ImputeStats& s = imputed.stats;
-    total.segments += s.segments;
-    total.failed_segments += s.failed_segments;
-    total.no_model_segments += s.no_model_segments;
-    total.deadline_segments += s.deadline_segments;
-    total.overload_segments += s.overload_segments;
-    total.full_model_segments += s.full_model_segments;
-    total.ancestor_segments += s.ancestor_segments;
-    total.bert_calls += s.bert_calls;
-    total.seconds += s.seconds;
-    total.outcomes.insert(total.outcomes.end(), s.outcomes.begin(),
-                          s.outcomes.end());
+    MergeStats(&total, imputed.stats);
   }
   return total;
+}
+
+BBox GapMbr(const SegmentContext& context) {
+  BBox mbr;
+  mbr.Extend(context.s.position);
+  mbr.Extend(context.d.position);
+  return mbr;
 }
 
 // ---------------------------------------------------------------------------
@@ -180,72 +195,89 @@ void KamelSnapshot::ImputeSegment(const CandidateSource* model,
   }
 }
 
-Result<ImputedTrajectory> KamelSnapshot::Impute(const Trajectory& sparse,
-                                                ImputeMode mode) const {
+Result<ImputePlan> KamelSnapshot::PlanImpute(const Trajectory& sparse) const {
   KAMEL_RETURN_NOT_OK(ValidateTrajectory(sparse));
-  Stopwatch watch;
-  ImputedTrajectory out;
-  out.trajectory.id = sparse.id;
-
-  const TokenizedTrajectory tokens = tokenizer_->Tokenize(sparse);
-  if (tokens.size() < 2) {
-    out.trajectory = sparse;
-    out.stats.seconds = watch.ElapsedSeconds();
-    return out;
-  }
-
-  std::vector<TrajPoint>* out_points = &out.trajectory.points;
+  ImputePlan plan;
+  plan.tokens = tokenizer_->Tokenize(sparse);
+  const TokenizedTrajectory& tokens = plan.tokens;
   for (size_t i = 0; i + 1 < tokens.size(); ++i) {
-    // Original observation of the segment start.
-    out_points->push_back(
-        {projection_->Unproject(tokens[i].position), tokens[i].time});
-
     if (grid_->GridDistance(tokens[i].cell, tokens[i + 1].cell) <=
         imputer_->max_gap_cells()) {
       continue;  // already dense here
     }
+    GapPlanEntry gap;
+    gap.token_index = i;
+    gap.context.s = tokens[i];
+    gap.context.d = tokens[i + 1];
+    if (i > 0) gap.context.prev = tokens[i - 1];
+    if (i + 2 < tokens.size()) gap.context.next = tokens[i + 2];
+    plan.gaps.push_back(std::move(gap));
+  }
+  return plan;
+}
 
-    SegmentContext context;
-    context.s = tokens[i];
-    context.d = tokens[i + 1];
-    if (i > 0) context.prev = tokens[i - 1];
-    if (i + 2 < tokens.size()) context.next = tokens[i + 2];
+ImputedGap KamelSnapshot::ImputeGap(const SegmentContext& context,
+                                    ImputeMode mode,
+                                    bool deadline_expired) const {
+  ImputedGap out;
+  if (mode == ImputeMode::kLinearOnly) {
+    // Bottom rung of the degradation ladder: the serving engine decided
+    // accuracy is the thing to sacrifice, so skip model selection (and
+    // any chance of a demand load) entirely.
+    ++out.stats.segments;
+    ++out.stats.failed_segments;
+    ++out.stats.overload_segments;
+    out.stats.outcomes.push_back({context.s.time, context.d.time, true});
+    AppendLinearFallback(context, &out.interior);
+    return out;
+  }
 
-    if (mode == ImputeMode::kLinearOnly) {
-      // Bottom rung of the degradation ladder: the serving engine decided
-      // accuracy is the thing to sacrifice, so skip model selection (and
-      // any chance of a demand load) entirely.
-      ++out.stats.segments;
-      ++out.stats.failed_segments;
-      ++out.stats.overload_segments;
-      out.stats.outcomes.push_back({context.s.time, context.d.time, true});
-      AppendLinearFallback(context, out_points);
-      continue;
+  // Section 4.1 retrieval, ladder-aware: the finest covering model, or
+  // a coarser pyramid ancestor when the finest one cannot be served
+  // (open breaker, failed demand load). The handle pins the model for
+  // the duration of the call even if the lazy cache evicts it
+  // concurrently.
+  ModelRepository::ModelSelection selection;
+  if (!deadline_expired) {
+    selection = repository_->SelectModelLadder(GapMbr(context));
+  }
+  if (selection.model != nullptr) {
+    if (selection.degraded()) {
+      ++out.stats.ancestor_segments;
+    } else {
+      ++out.stats.full_model_segments;
     }
+  }
+  ImputeSegment(selection.model.get(), context, deadline_expired,
+                &out.interior, &out.stats);
+  return out;
+}
 
-    const bool deadline_expired =
-        options_.impute_deadline_seconds > 0.0 &&
-        watch.ElapsedSeconds() > options_.impute_deadline_seconds;
+ImputedTrajectory KamelSnapshot::AssemblePlan(
+    const Trajectory& sparse, const ImputePlan& plan,
+    std::vector<ImputedGap> gaps) const {
+  ImputedTrajectory out;
+  out.trajectory.id = sparse.id;
+  const TokenizedTrajectory& tokens = plan.tokens;
+  if (tokens.size() < 2) {
+    out.trajectory = sparse;
+    return out;
+  }
 
-    // Section 4.1 retrieval, ladder-aware: the finest covering model, or
-    // a coarser pyramid ancestor when the finest one cannot be served
-    // (open breaker, failed demand load). The handle pins the model for
-    // the duration of the call even if the lazy cache evicts it
-    // concurrently.
-    BBox mbr;
-    mbr.Extend(context.s.position);
-    mbr.Extend(context.d.position);
-    ModelRepository::ModelSelection selection;
-    if (!deadline_expired) selection = repository_->SelectModelLadder(mbr);
-    if (selection.model != nullptr) {
-      if (selection.degraded()) {
-        ++out.stats.ancestor_segments;
-      } else {
-        ++out.stats.full_model_segments;
-      }
+  std::vector<TrajPoint>* out_points = &out.trajectory.points;
+  size_t next_gap = 0;
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    // Original observation of the segment start.
+    out_points->push_back(
+        {projection_->Unproject(tokens[i].position), tokens[i].time});
+    if (next_gap < plan.gaps.size() && next_gap < gaps.size() &&
+        plan.gaps[next_gap].token_index == i) {
+      ImputedGap& gap = gaps[next_gap];
+      out_points->insert(out_points->end(), gap.interior.begin(),
+                         gap.interior.end());
+      MergeStats(&out.stats, gap.stats);
+      ++next_gap;
     }
-    ImputeSegment(selection.model.get(), context, deadline_expired,
-                  out_points, &out.stats);
   }
   out_points->push_back(
       {projection_->Unproject(tokens.back().position), tokens.back().time});
@@ -256,7 +288,23 @@ Result<ImputedTrajectory> KamelSnapshot::Impute(const Trajectory& sparse,
       sparse.points.back().time > out_points->back().time) {
     out_points->push_back(sparse.points.back());
   }
+  return out;
+}
 
+Result<ImputedTrajectory> KamelSnapshot::Impute(const Trajectory& sparse,
+                                                ImputeMode mode) const {
+  Stopwatch watch;
+  KAMEL_ASSIGN_OR_RETURN(ImputePlan plan, PlanImpute(sparse));
+  std::vector<ImputedGap> gaps;
+  gaps.reserve(plan.gaps.size());
+  for (const GapPlanEntry& gap : plan.gaps) {
+    const bool deadline_expired =
+        mode == ImputeMode::kFull &&
+        options_.impute_deadline_seconds > 0.0 &&
+        watch.ElapsedSeconds() > options_.impute_deadline_seconds;
+    gaps.push_back(ImputeGap(gap.context, mode, deadline_expired));
+  }
+  ImputedTrajectory out = AssemblePlan(sparse, plan, std::move(gaps));
   out.stats.seconds = watch.ElapsedSeconds();
   return out;
 }

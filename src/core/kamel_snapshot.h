@@ -55,6 +55,36 @@ struct ImputedTrajectory {
   ImputeStats stats;
 };
 
+/// One sparse gap found by PlanImpute: the segment context Algorithm 1
+/// feeds the imputer, plus the index of the gap's start token (the gap
+/// lies between tokens[token_index] and tokens[token_index + 1]).
+struct GapPlanEntry {
+  size_t token_index = 0;
+  SegmentContext context;
+};
+
+/// The deterministic decomposition of one sparse trajectory: its token
+/// walk and every gap that needs imputation, in token order. A plan is
+/// pure geometry — no model was consulted to build it — so a router can
+/// compute it, ship each gap to the shard owning its MBR, and reassemble
+/// with AssemblePlan into exactly the bytes single-process Impute would
+/// have produced.
+struct ImputePlan {
+  TokenizedTrajectory tokens;
+  std::vector<GapPlanEntry> gaps;
+};
+
+/// Interior points (exclusive of both endpoint observations) and the
+/// per-gap slice of the ladder accounting for one imputed gap.
+struct ImputedGap {
+  std::vector<TrajPoint> interior;
+  ImputeStats stats;
+};
+
+/// The minimum bounding rectangle of a gap's endpoints — the key model
+/// retrieval (Section 4.1) and shard routing are both driven by.
+BBox GapMbr(const SegmentContext& context);
+
 /// Sums the counters of a batch of imputation results by walking them in
 /// index order. Because the inputs are positioned by trajectory index (not
 /// by completion order), the aggregate — including `bert_calls` and
@@ -103,6 +133,28 @@ class KamelSnapshot {
   /// served each segment is recorded in the ImputeStats ladder counters.
   Result<ImputedTrajectory> Impute(const Trajectory& sparse,
                                    ImputeMode mode) const;
+
+  /// Validates and tokenizes `sparse` and lists every gap that needs
+  /// imputation (pure geometry, no model access). Impute() is exactly
+  /// PlanImpute + ImputeGap per gap + AssemblePlan; the pieces are public
+  /// so the shard router can run the same pipeline with the middle step
+  /// remoted to workers and still produce byte-identical output.
+  Result<ImputePlan> PlanImpute(const Trajectory& sparse) const;
+
+  /// Imputes one gap through the degradation ladder (or straight to the
+  /// linear rung under kLinearOnly), returning its interior points and
+  /// per-gap accounting. `deadline_expired` forces the linear failure
+  /// path without consulting any model (the per-call deadline rung).
+  ImputedGap ImputeGap(const SegmentContext& context, ImputeMode mode,
+                       bool deadline_expired = false) const;
+
+  /// Stitches per-gap results back into the dense trajectory: emits the
+  /// token walk, splices each gap's interior at its token_index, merges
+  /// the per-gap counters in token order, and restores a collapsed final
+  /// observation. `gaps` must be positioned like `plan.gaps`.
+  ImputedTrajectory AssemblePlan(const Trajectory& sparse,
+                                 const ImputePlan& plan,
+                                 std::vector<ImputedGap> gaps) const;
 
   /// Persists this snapshot (projection anchor, world box, speed, models,
   /// clusters) exactly like KamelBuilder::SaveToFile. Safe to call while
@@ -186,6 +238,12 @@ class KamelBuilder {
   const GridSystem& grid() const { return *grid_; }
   const LocalProjection& projection() const { return *projection_; }
   const ModelRepository& repository() const { return *repository_; }
+
+  /// Mutable repository access for offline reshaping between
+  /// LoadFromFile and Snapshot — a shard worker prunes the index down to
+  /// its partition (ModelRepository::RetainModels) here. Null before the
+  /// first Train()/LoadFromFile.
+  ModelRepository* mutable_repository() { return repository_.get(); }
   const Detokenizer& detokenizer() const { return *detokenizer_; }
   const TrajectoryStore& store() const { return *store_; }
   const Tokenizer& tokenizer() const { return *tokenizer_; }

@@ -504,6 +504,56 @@ int ModelRepository::num_models() const {
   return num_single_ + num_neighbor_ + (global_.present() ? 1 : 0);
 }
 
+BBox ModelRepository::SingleBounds(const PyramidCell& cell) const {
+  return pyramid_.CellBounds(cell);
+}
+
+BBox ModelRepository::EastPairBounds(const PyramidCell& cell) const {
+  // An east-west pair is stored at its west cell (see
+  // MaybeBuildNeighbors), so the partner is the east neighbor.
+  BBox bounds = pyramid_.CellBounds(cell);
+  bounds.Extend(pyramid_.CellBounds({cell.level, cell.x + 1, cell.y}));
+  return bounds;
+}
+
+BBox ModelRepository::SouthPairBounds(const PyramidCell& cell) const {
+  // A north-south pair is stored at its north cell; y grows north, so
+  // the partner is at y - 1.
+  BBox bounds = pyramid_.CellBounds(cell);
+  bounds.Extend(pyramid_.CellBounds({cell.level, cell.x, cell.y - 1}));
+  return bounds;
+}
+
+int ModelRepository::RetainModels(
+    const std::function<bool(const BBox&)>& keep) {
+  int dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    Entry& entry = it->second;
+    const PyramidCell& cell = it->first;
+    const auto drop_if = [&](ModelSlot* slot, const BBox& bounds,
+                             bool pair) {
+      if (!slot->present() || keep(bounds)) return;
+      *slot = ModelSlot{};
+      if (pair) {
+        --num_neighbor_;
+      } else {
+        --num_single_;
+      }
+      ++dropped;
+    };
+    drop_if(&entry.single, SingleBounds(cell), /*pair=*/false);
+    drop_if(&entry.east_pair, EastPairBounds(cell), /*pair=*/true);
+    drop_if(&entry.south_pair, SouthPairBounds(cell), /*pair=*/true);
+    if (!entry.single.present() && !entry.east_pair.present() &&
+        !entry.south_pair.present()) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
 std::vector<ModelInfo> ModelRepository::ModelInfos() const {
   std::vector<ModelInfo> out;
   if (global_.present()) out.push_back(global_.info);

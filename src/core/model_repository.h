@@ -2,6 +2,7 @@
 #define KAMEL_CORE_MODEL_REPOSITORY_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -285,6 +286,21 @@ class ModelRepository {
   /// SelectModel plus the ladder accounting above. The plain SelectModel
   /// is a thin wrapper over this.
   ModelSelection SelectModelLadder(const BBox& mbr) const;
+
+  /// Drops every indexed model (single and pair) whose spatial bounds
+  /// fail `keep`; the "No Part." global model is always retained. An
+  /// offline mutator like AddTrainingBatch/Load — shard workers call it
+  /// once after loading a shipped snapshot to pin only their partition
+  /// (plus everything overlapping it, which is what keeps SelectModel
+  /// byte-identical for owned queries), before any serving thread runs.
+  /// Returns the number of models dropped.
+  int RetainModels(const std::function<bool(const BBox&)>& keep);
+
+  /// Spatial bounds of a model slot at `cell`: the cell itself for a
+  /// single model, the union with the east/south neighbor for a pair.
+  BBox SingleBounds(const PyramidCell& cell) const;
+  BBox EastPairBounds(const PyramidCell& cell) const;
+  BBox SouthPairBounds(const PyramidCell& cell) const;
 
   /// Number of trained models currently indexed (resident or lazy).
   int num_models() const;

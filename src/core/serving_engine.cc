@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "common/check.h"
 #include "common/io_watchdog.h"
@@ -20,6 +21,21 @@ const char* ToString(HealthState state) {
       return "DRAINING";
   }
   return "UNKNOWN";
+}
+
+std::string EngineStatsJson(const EngineStats& stats, HealthState health) {
+  std::ostringstream out;
+  out << "{\"health\":\"" << ToString(health) << "\""
+      << ",\"admitted\":" << stats.admitted << ",\"shed\":" << stats.shed
+      << ",\"degraded\":" << stats.degraded
+      << ",\"pending\":" << stats.pending
+      << ",\"peak_pending\":" << stats.peak_pending
+      << ",\"resource_pressure\":"
+      << (stats.resource_pressure ? "true" : "false")
+      << ",\"io_stalls\":" << stats.io_stalls
+      << ",\"io_stuck\":" << stats.io_stuck
+      << ",\"cache_resident_bytes\":" << stats.cache_resident_bytes << "}";
+  return out.str();
 }
 
 // ---------------------------------------------------------------------------
@@ -120,6 +136,21 @@ std::future<Result<ImputedTrajectory>> ServingEngine::ImputeAsync(
         ReleaseOne();
         return result;
       });
+}
+
+Result<std::vector<ImputedGap>> ServingEngine::ImputeGaps(
+    const std::vector<SegmentContext>& gaps) {
+  KAMEL_ASSIGN_OR_RETURN(ImputeMode mode, AdmitOne());
+  // Pin one snapshot for the whole slice: a concurrent UpdateSnapshot
+  // must not split the gaps of one request across model generations.
+  const std::shared_ptr<const KamelSnapshot> snap = snapshot();
+  std::vector<ImputedGap> out;
+  out.reserve(gaps.size());
+  for (const SegmentContext& context : gaps) {
+    out.push_back(snap->ImputeGap(context, mode));
+  }
+  ReleaseOne();
+  return out;
 }
 
 Result<std::vector<ImputedTrajectory>> ServingEngine::ImputeBatch(

@@ -7,6 +7,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -46,6 +47,14 @@ enum class HealthState {
 };
 
 const char* ToString(HealthState state);
+
+struct EngineStats;
+
+/// Renders stats + health as one JSON object (single line, stable key
+/// order) — the status schema shared by `kamel stats`, the shard
+/// worker's Stats RPC, and the router's per-shard aggregation, so every
+/// observer of an engine speaks the same dialect.
+std::string EngineStatsJson(const EngineStats& stats, HealthState health);
 
 /// Point-in-time admission counters. Monotonic counters never reset;
 /// `pending`, `io_stuck`, `cache_resident_bytes`, and `resource_pressure`
@@ -132,6 +141,17 @@ class ServingEngine {
   /// thread backpressures between submissions).
   Result<std::vector<ImputedTrajectory>> ImputeBatch(
       const TrajectoryDataset& batch);
+
+  /// Gap-granular serving entry for the shard worker: the whole request
+  /// passes the admission gate as ONE unit of work (a worker's unit is
+  /// the per-shard slice of a trajectory, not a trajectory), every gap is
+  /// imputed at the admitted mode on the calling thread, and the slot is
+  /// released before returning. kResourceExhausted when shed — the
+  /// router's cue to fail over — kUnavailable when draining; under
+  /// kDegrade beyond the bound every gap runs at kLinearOnly, the same
+  /// ladder rung a local caller would get.
+  Result<std::vector<ImputedGap>> ImputeGaps(
+      const std::vector<SegmentContext>& gaps);
 
   /// The snapshot new imputations will use.
   std::shared_ptr<const KamelSnapshot> snapshot() const;

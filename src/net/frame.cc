@@ -1,0 +1,299 @@
+#include "net/frame.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/crc32c.h"
+#include "common/fault_injection.h"
+
+namespace kamel::net {
+
+namespace {
+
+void PutU32(uint8_t* out, uint32_t v) {
+  out[0] = static_cast<uint8_t>(v);
+  out[1] = static_cast<uint8_t>(v >> 8);
+  out[2] = static_cast<uint8_t>(v >> 16);
+  out[3] = static_cast<uint8_t>(v >> 24);
+}
+
+uint32_t GetU32(const uint8_t* in) {
+  return static_cast<uint32_t>(in[0]) | (static_cast<uint32_t>(in[1]) << 8) |
+         (static_cast<uint32_t>(in[2]) << 16) |
+         (static_cast<uint32_t>(in[3]) << 24);
+}
+
+/// Remaining poll budget in whole milliseconds (>= 1 while any budget is
+/// left, so a sub-millisecond remainder still gets one poll).
+int PollTimeoutMs(double deadline_s) {
+  if (deadline_s <= 0.0) return 100;  // no deadline: wait in slices
+  const double remaining = deadline_s - NowSeconds();
+  if (remaining <= 0.0) return 0;
+  const double ms = remaining * 1000.0;
+  return ms < 1.0 ? 1 : (ms > 100.0 ? 100 : static_cast<int>(ms));
+}
+
+bool DeadlineExpired(double deadline_s) {
+  return deadline_s > 0.0 && NowSeconds() >= deadline_s;
+}
+
+/// Waits until `fd` is ready for `events` or the deadline elapses.
+Status WaitReady(int fd, short events, double deadline_s, const char* what) {
+  for (;;) {
+    if (DeadlineExpired(deadline_s)) {
+      return Status::DeadlineExceeded(std::string("net: ") + what +
+                                      " deadline exceeded");
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int rc = poll(&pfd, 1, PollTimeoutMs(deadline_s));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("net: poll: ") + strerror(errno));
+    }
+    if (rc > 0) return Status::OK();
+    if (deadline_s <= 0.0) continue;  // sliced "forever" wait
+  }
+}
+
+Status WriteAll(const Socket& socket, const uint8_t* data, size_t size,
+                double deadline_s) {
+  size_t sent = 0;
+  while (sent < size) {
+    KAMEL_RETURN_NOT_OK(WaitReady(socket.fd(), POLLOUT, deadline_s, "send"));
+    const ssize_t n =
+        send(socket.fd(), data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return Status::Unavailable(std::string("net: send: ") +
+                                 strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status ReadAll(const Socket& socket, uint8_t* data, size_t size,
+               double deadline_s) {
+  size_t received = 0;
+  while (received < size) {
+    KAMEL_RETURN_NOT_OK(WaitReady(socket.fd(), POLLIN, deadline_s, "recv"));
+    const ssize_t n = recv(socket.fd(), data + received, size - received, 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return Status::Unavailable(std::string("net: recv: ") +
+                                 strerror(errno));
+    }
+    if (n == 0) {
+      return Status::Unavailable("net: connection closed by peer");
+    }
+    received += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IOError(std::string("net: fcntl: ") + strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<struct sockaddr_in> ResolveV4(const std::string& host,
+                                     uint16_t port) {
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("net: not an IPv4 address: " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Socket> ConnectTcp(const std::string& host, uint16_t port,
+                          double deadline_s) {
+  // Injected refusals surface exactly like a dead peer, whatever code the
+  // failpoint was armed with — callers must not tell them apart.
+  if (!FaultInjector::Instance().Hit("net.connect").ok()) {
+    return Status::Unavailable("net: connect to " + host + ":" +
+                               std::to_string(port) + " refused (injected)");
+  }
+  KAMEL_ASSIGN_OR_RETURN(struct sockaddr_in addr, ResolveV4(host, port));
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid()) {
+    return Status::IOError(std::string("net: socket: ") + strerror(errno));
+  }
+  KAMEL_RETURN_NOT_OK(SetNonBlocking(socket.fd()));
+  const int one = 1;
+  setsockopt(socket.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (connect(socket.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+              sizeof(addr)) == 0) {
+    return socket;
+  }
+  if (errno != EINPROGRESS) {
+    return Status::Unavailable(std::string("net: connect ") + host + ":" +
+                               std::to_string(port) + ": " +
+                               strerror(errno));
+  }
+  KAMEL_RETURN_NOT_OK(
+      WaitReady(socket.fd(), POLLOUT, deadline_s, "connect"));
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (getsockopt(socket.fd(), SOL_SOCKET, SO_ERROR, &err, &len) < 0 ||
+      err != 0) {
+    return Status::Unavailable(std::string("net: connect ") + host + ":" +
+                               std::to_string(port) + ": " +
+                               strerror(err != 0 ? err : errno));
+  }
+  return socket;
+}
+
+Result<Socket> ListenTcp(const std::string& host, uint16_t port,
+                         uint16_t* bound_port) {
+  KAMEL_ASSIGN_OR_RETURN(struct sockaddr_in addr, ResolveV4(host, port));
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid()) {
+    return Status::IOError(std::string("net: socket: ") + strerror(errno));
+  }
+  const int one = 1;
+  setsockopt(socket.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (bind(socket.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+           sizeof(addr)) < 0) {
+    return Status::Unavailable(std::string("net: bind ") + host + ":" +
+                               std::to_string(port) + ": " +
+                               strerror(errno));
+  }
+  if (listen(socket.fd(), 64) < 0) {
+    return Status::IOError(std::string("net: listen: ") + strerror(errno));
+  }
+  KAMEL_RETURN_NOT_OK(SetNonBlocking(socket.fd()));
+  if (bound_port != nullptr) {
+    struct sockaddr_in bound;
+    socklen_t len = sizeof(bound);
+    if (getsockname(socket.fd(), reinterpret_cast<struct sockaddr*>(&bound),
+                    &len) < 0) {
+      return Status::IOError(std::string("net: getsockname: ") +
+                             strerror(errno));
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return socket;
+}
+
+Result<Socket> Accept(const Socket& listener, double deadline_s) {
+  for (;;) {
+    KAMEL_RETURN_NOT_OK(
+        WaitReady(listener.fd(), POLLIN, deadline_s, "accept"));
+    const int fd = accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      Socket conn(fd);
+      KAMEL_RETURN_NOT_OK(SetNonBlocking(conn.fd()));
+      const int one = 1;
+      setsockopt(conn.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return conn;
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return Status::IOError(std::string("net: accept: ") + strerror(errno));
+  }
+}
+
+Status SendFrame(const Socket& socket, const std::vector<uint8_t>& payload,
+                 double deadline_s) {
+  if (payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument("net: frame payload too large");
+  }
+  KAMEL_RETURN_NOT_OK(FaultInjector::Instance().Hit("net.send"));
+  if (!FaultInjector::Instance().Hit("net.send.drop").ok()) {
+    return Status::OK();  // injected drop: the peer never sees the frame
+  }
+  const bool truncate =
+      !FaultInjector::Instance().Hit("net.frame.truncate").ok();
+  uint8_t header[kFrameHeaderBytes];
+  PutU32(header, kFrameMagic);
+  PutU32(header + 4, static_cast<uint32_t>(payload.size()));
+  PutU32(header + 8,
+         payload.empty() ? 0 : Crc32c(payload.data(), payload.size()));
+  KAMEL_RETURN_NOT_OK(
+      WriteAll(socket, header, kFrameHeaderBytes, deadline_s));
+  const size_t body = truncate ? payload.size() / 2 : payload.size();
+  if (body > 0) {
+    KAMEL_RETURN_NOT_OK(WriteAll(socket, payload.data(), body, deadline_s));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> RecvFrame(const Socket& socket,
+                                       double deadline_s) {
+  if (!FaultInjector::Instance().Hit("net.recv.delay").ok()) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(kInjectedDelaySeconds));
+  }
+  uint8_t header[kFrameHeaderBytes];
+  KAMEL_RETURN_NOT_OK(
+      ReadAll(socket, header, kFrameHeaderBytes, deadline_s));
+  if (GetU32(header) != kFrameMagic) {
+    return Status::IOError("net: bad frame magic");
+  }
+  const uint32_t length = GetU32(header + 4);
+  const uint32_t stored_crc = GetU32(header + 8);
+  if (length > kMaxFramePayload) {
+    return Status::IOError("net: frame length " + std::to_string(length) +
+                           " exceeds the protocol bound");
+  }
+  std::vector<uint8_t> payload(length);
+  if (length > 0) {
+    KAMEL_RETURN_NOT_OK(
+        ReadAll(socket, payload.data(), length, deadline_s));
+  }
+  const uint32_t crc =
+      payload.empty() ? 0 : Crc32c(payload.data(), payload.size());
+  if (crc != stored_crc) {
+    return Status::IOError("net: frame CRC mismatch");
+  }
+  return payload;
+}
+
+}  // namespace kamel::net

@@ -1,0 +1,91 @@
+#ifndef KAMEL_NET_FRAME_H_
+#define KAMEL_NET_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace kamel::net {
+
+/// Wire frame: `magic u32 | payload_length u32 | crc32c u32 | payload`,
+/// little-endian — the same self-describing CRC-framed shape the snapshot
+/// format uses (common/binary_io), flattened to one frame per message.
+/// A receiver detects truncation (short read before `payload_length`
+/// bytes arrive -> deadline), corruption (CRC mismatch), and protocol
+/// confusion (bad magic) independently, so no network fault is ever
+/// mistaken for a well-formed message.
+inline constexpr uint32_t kFrameMagic = 0x4B4D5246u;  // "KMRF"
+inline constexpr size_t kFrameHeaderBytes = 12;
+/// Upper bound on one frame's payload; a length field beyond it is
+/// treated as corruption rather than an allocation request.
+inline constexpr uint32_t kMaxFramePayload = 64u << 20;
+/// Sleep injected by the `net.recv.delay` failpoint, seconds — long
+/// enough to trip a hedging budget, short enough to keep tests fast.
+inline constexpr double kInjectedDelaySeconds = 0.1;
+
+/// Steady-clock seconds since an arbitrary epoch; deadlines below are
+/// absolute values on this clock (<= 0 means "no deadline").
+double NowSeconds();
+
+/// Movable RAII wrapper over one socket fd.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connects to host:port (TCP, non-blocking connect bounded by
+/// `deadline_s` on the NowSeconds clock). kDeadlineExceeded when the
+/// deadline elapses first, kUnavailable when the peer refuses.
+/// Failpoint `net.connect` refuses before any syscall.
+Result<Socket> ConnectTcp(const std::string& host, uint16_t port,
+                          double deadline_s);
+
+/// Binds and listens on host:port; port 0 picks a free port. The bound
+/// port is reported through `bound_port` (may be null). SO_REUSEADDR is
+/// set so a restarted worker can re-bind its advertised port at once.
+Result<Socket> ListenTcp(const std::string& host, uint16_t port,
+                         uint16_t* bound_port);
+
+/// Accepts one connection, waiting until `deadline_s` (<= 0: wait
+/// "forever" in 100ms slices — callers poll a stop flag between calls).
+/// kDeadlineExceeded when the deadline elapses with nothing to accept.
+Result<Socket> Accept(const Socket& listener, double deadline_s);
+
+/// Writes one frame around `payload`, finishing before `deadline_s`.
+/// Failpoints: `net.send` fails without writing (the connection should
+/// be considered broken), `net.send.drop` swallows the frame but reports
+/// success (the peer never sees it — drives receiver timeouts), and
+/// `net.frame.truncate` writes a frame whose header promises the full
+/// payload but carries only half of it (a torn write; the receiver
+/// stalls into its deadline and the connection is poisoned).
+Status SendFrame(const Socket& socket, const std::vector<uint8_t>& payload,
+                 double deadline_s);
+
+/// Reads one frame, finishing before `deadline_s`. kDeadlineExceeded on
+/// timeout, kUnavailable when the peer closed cleanly between frames,
+/// kIOError on bad magic / insane length / CRC mismatch (the connection
+/// can no longer be trusted). Failpoint `net.recv.delay` sleeps
+/// kInjectedDelaySeconds before reading (drives hedging).
+Result<std::vector<uint8_t>> RecvFrame(const Socket& socket,
+                                       double deadline_s);
+
+}  // namespace kamel::net
+
+#endif  // KAMEL_NET_FRAME_H_

@@ -1,0 +1,202 @@
+#include "net/rpc.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+namespace kamel::net {
+
+namespace {
+
+/// How long a blocked server read waits before re-checking the stop flag.
+constexpr double kServeSliceSeconds = 0.2;
+/// Budget for writing one response frame back to a live client.
+constexpr double kResponseSendSeconds = 5.0;
+
+void AppendU32(std::vector<uint8_t>* out, uint32_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+  out->push_back(static_cast<uint8_t>(v >> 16));
+  out->push_back(static_cast<uint8_t>(v >> 24));
+}
+
+uint32_t ReadU32At(const std::vector<uint8_t>& data, size_t offset) {
+  return static_cast<uint32_t>(data[offset]) |
+         (static_cast<uint32_t>(data[offset + 1]) << 8) |
+         (static_cast<uint32_t>(data[offset + 2]) << 16) |
+         (static_cast<uint32_t>(data[offset + 3]) << 24);
+}
+
+std::vector<uint8_t> EncodeResponse(const Status& status,
+                                    const std::vector<uint8_t>& body) {
+  std::vector<uint8_t> out;
+  out.reserve(8 + status.message().size() + body.size());
+  AppendU32(&out, static_cast<uint32_t>(status.code()));
+  AppendU32(&out, static_cast<uint32_t>(status.message().size()));
+  out.insert(out.end(), status.message().begin(), status.message().end());
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+Result<std::vector<uint8_t>> DecodeResponse(std::vector<uint8_t> payload) {
+  if (payload.size() < 8) {
+    return Status::IOError("rpc: short response payload");
+  }
+  const uint32_t code = ReadU32At(payload, 0);
+  const uint32_t msg_len = ReadU32At(payload, 4);
+  if (payload.size() < 8 + static_cast<size_t>(msg_len)) {
+    return Status::IOError("rpc: truncated response message");
+  }
+  if (code != static_cast<uint32_t>(StatusCode::kOk)) {
+    return Status(static_cast<StatusCode>(code),
+                  std::string(payload.begin() + 8,
+                              payload.begin() + 8 + msg_len));
+  }
+  return std::vector<uint8_t>(payload.begin() + 8 + msg_len, payload.end());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RpcServer
+// ---------------------------------------------------------------------------
+
+RpcServer::RpcServer(std::string host) : host_(std::move(host)) {}
+
+RpcServer::~RpcServer() { Stop(); }
+
+void RpcServer::Register(MethodId method, Handler handler) {
+  handlers_[method] = std::move(handler);
+}
+
+Status RpcServer::Start(uint16_t port) {
+  KAMEL_ASSIGN_OR_RETURN(listener_, ListenTcp(host_, port, &port_));
+  stopping_.store(false);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void RpcServer::Stop() {
+  std::lock_guard<std::mutex> lock(stop_mu_);
+  stopping_.store(true);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> conn_lock(conn_mu_);
+    conns.swap(conn_threads_);
+  }
+  for (std::thread& t : conns) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void RpcServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    auto conn = Accept(listener_, NowSeconds() + kServeSliceSeconds);
+    if (!conn.ok()) continue;  // timeout slice or transient error
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_threads_.emplace_back(
+        [this, socket = std::move(*conn)]() mutable {
+          Serve(std::move(socket));
+        });
+  }
+}
+
+void RpcServer::Serve(Socket conn) {
+  while (!stopping_.load()) {
+    auto request = RecvFrame(conn, NowSeconds() + kServeSliceSeconds);
+    if (!request.ok()) {
+      if (request.status().code() == StatusCode::kDeadlineExceeded) {
+        continue;  // idle slice: re-check the stop flag
+      }
+      return;  // peer hung up or the stream is corrupt
+    }
+    if (request->size() < 4) return;  // protocol violation
+    const MethodId method = ReadU32At(*request, 0);
+    const std::vector<uint8_t> body(request->begin() + 4, request->end());
+
+    Status status;
+    std::vector<uint8_t> response_body;
+    const auto handler = handlers_.find(method);
+    if (handler == handlers_.end()) {
+      status = Status::Unimplemented("rpc: unknown method " +
+                                     std::to_string(method));
+    } else {
+      auto result = handler->second(body);
+      if (result.ok()) {
+        response_body = std::move(*result);
+      } else {
+        status = result.status();
+      }
+    }
+    if (!SendFrame(conn, EncodeResponse(status, response_body),
+                   NowSeconds() + kResponseSendSeconds)
+             .ok()) {
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RpcClient
+// ---------------------------------------------------------------------------
+
+RpcClient::RpcClient(std::string host, uint16_t port,
+                     RpcClientOptions options)
+    : host_(std::move(host)), port_(port), options_(std::move(options)) {}
+
+void RpcClient::Disconnect() {
+  std::lock_guard<std::mutex> lock(mu_);
+  conn_.Close();
+}
+
+Status RpcClient::EnsureConnected(double deadline_s) {
+  if (conn_.valid()) return Status::OK();
+  // Connection attempts retry on the shared jittered-backoff policy, but
+  // never past the caller's deadline: the policy's own deadline is set to
+  // the remaining call budget so the retry loop exits in time.
+  RetryPolicy policy = options_.connect_retry;
+  policy.deadline_s = deadline_s - NowSeconds();
+  if (policy.deadline_s <= 0.0) {
+    return Status::DeadlineExceeded("rpc: no budget left to connect");
+  }
+  return RetryWithBackoff(policy, options_.jitter_seed, [&]() -> Status {
+    const double attempt_deadline =
+        std::min(deadline_s, NowSeconds() + options_.connect_timeout_s);
+    auto socket = ConnectTcp(host_, port_, attempt_deadline);
+    if (!socket.ok()) return socket.status();
+    conn_ = std::move(*socket);
+    return Status::OK();
+  });
+}
+
+Result<std::vector<uint8_t>> RpcClient::Call(
+    MethodId method, const std::vector<uint8_t>& body, double deadline_s) {
+  const double deadline =
+      NowSeconds() +
+      (deadline_s > 0.0 ? deadline_s : options_.call_deadline_s);
+  std::lock_guard<std::mutex> lock(mu_);
+  KAMEL_RETURN_NOT_OK(EnsureConnected(deadline));
+
+  std::vector<uint8_t> request;
+  request.reserve(4 + body.size());
+  AppendU32(&request, method);
+  request.insert(request.end(), body.begin(), body.end());
+
+  const Status sent = SendFrame(conn_, request, deadline);
+  if (!sent.ok()) {
+    conn_.Close();
+    return sent;
+  }
+  auto response = RecvFrame(conn_, deadline);
+  if (!response.ok()) {
+    // Any receive failure poisons the connection: a late response to
+    // this call must never be read as the reply to the next one.
+    conn_.Close();
+    return response.status();
+  }
+  return DecodeResponse(std::move(*response));
+}
+
+}  // namespace kamel::net

@@ -1,0 +1,130 @@
+#ifndef KAMEL_NET_RPC_H_
+#define KAMEL_NET_RPC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/backoff.h"
+#include "common/result.h"
+#include "net/frame.h"
+
+namespace kamel::net {
+
+/// Method selector carried in every request frame. Ids are allocated by
+/// the application (src/shard/wire.h defines the worker protocol).
+using MethodId = uint32_t;
+
+/// Request payload: `u32 method | body bytes`.
+/// Response payload: `u32 status_code | u32 message_length | message |
+/// body bytes` — a handler error travels as a first-class Status, so the
+/// caller can tell "the shard shed" (kResourceExhausted) from "the wire
+/// broke" (kUnavailable / kIOError / kDeadlineExceeded).
+///
+/// One connection carries one call at a time (synchronous
+/// request/response); concurrency comes from multiple connections.
+class RpcServer {
+ public:
+  using Handler = std::function<Result<std::vector<uint8_t>>(
+      const std::vector<uint8_t>& body)>;
+
+  explicit RpcServer(std::string host = "127.0.0.1");
+  ~RpcServer();
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  /// Registers the handler for `method`; must precede Start().
+  void Register(MethodId method, Handler handler);
+
+  /// Binds (port 0 picks a free port) and spawns the accept loop.
+  Status Start(uint16_t port);
+
+  /// Stops accepting, closes the listener, and joins every connection
+  /// thread. Idempotent; also run by the destructor.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void Serve(Socket conn);
+
+  const std::string host_;
+  std::unordered_map<MethodId, Handler> handlers_;
+  Socket listener_;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::mutex stop_mu_;  // serializes Stop() so joins never race
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+};
+
+/// Client-side connection tuning.
+struct RpcClientOptions {
+  /// Budget for one connection attempt, seconds.
+  double connect_timeout_s = 1.0;
+  /// Default per-call deadline, seconds (Call's argument overrides).
+  double call_deadline_s = 2.0;
+  /// Retry schedule for establishing a connection (jittered exponential
+  /// via the shared common/backoff policy). Calls themselves are NOT
+  /// retried here — idempotency is the caller's knowledge, so retry
+  /// loops over Call live in the router.
+  RetryPolicy connect_retry{.max_retries = 2,
+                            .base_backoff_ms = 5.0,
+                            .max_backoff_ms = 200.0};
+  /// Seed for the connect-retry jitter stream.
+  uint64_t jitter_seed = 0;
+};
+
+/// One synchronous RPC connection. Call() lazily (re)connects with
+/// jittered-backoff retries, sends the request frame, and waits for the
+/// response frame within the per-call deadline. Any transport error
+/// poisons the connection — the next Call() reconnects from scratch, so
+/// a response to an abandoned (hedged / timed-out) call can never be
+/// mistaken for the reply to a new one.
+///
+/// Thread model: calls are serialized on an internal mutex (one frame in
+/// flight per connection). For parallel calls, use parallel clients.
+class RpcClient {
+ public:
+  RpcClient(std::string host, uint16_t port, RpcClientOptions options = {});
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  /// Calls `method` with `body`; `deadline_s` <= 0 uses the option
+  /// default. kDeadlineExceeded when the budget elapses first;
+  /// kUnavailable when the peer is unreachable or hung up; the handler's
+  /// own Status (e.g. kResourceExhausted) when the call reached the
+  /// server and was refused there.
+  Result<std::vector<uint8_t>> Call(MethodId method,
+                                    const std::vector<uint8_t>& body,
+                                    double deadline_s = 0.0);
+
+  /// Drops the current connection (the next Call reconnects).
+  void Disconnect();
+
+  const std::string& host() const { return host_; }
+  uint16_t port() const { return port_; }
+
+ private:
+  Status EnsureConnected(double deadline_s);
+
+  const std::string host_;
+  const uint16_t port_;
+  const RpcClientOptions options_;
+  std::mutex mu_;
+  Socket conn_;
+};
+
+}  // namespace kamel::net
+
+#endif  // KAMEL_NET_RPC_H_

@@ -1,0 +1,65 @@
+#include "shard/partition.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "core/kamel_snapshot.h"
+
+namespace kamel::shard {
+
+ShardPartition MakePartition(const Pyramid& pyramid, int num_shards) {
+  ShardPartition partition;
+  partition.num_shards = std::max(1, num_shards);
+  // Shallowest level with >= num_shards cells: 4^level >= num_shards.
+  int level = 0;
+  while (level < pyramid.height() &&
+         (int64_t{1} << (2 * level)) < partition.num_shards) {
+    ++level;
+  }
+  partition.level = level;
+  return partition;
+}
+
+int ShardOfCell(const ShardPartition& partition, const PyramidCell& cell) {
+  KAMEL_CHECK(cell.level == partition.level,
+              "shard key cell at the wrong pyramid level");
+  const int64_t dim = int64_t{1} << partition.level;
+  const int64_t index = static_cast<int64_t>(cell.y) * dim + cell.x;
+  // CellAt clamps into the world, so index is non-negative; the guard
+  // keeps a hand-built cell from producing a negative shard.
+  const int64_t shard = index % partition.num_shards;
+  return static_cast<int>(shard < 0 ? shard + partition.num_shards : shard);
+}
+
+int ShardOfGap(const ShardPartition& partition, const Pyramid& pyramid,
+               const SegmentContext& context) {
+  const Vec2 center = GapMbr(context).Center();
+  return ShardOfCell(partition, pyramid.CellAt(partition.level, center));
+}
+
+bool ShardOwns(const ShardPartition& partition, const Pyramid& pyramid,
+               int shard, const BBox& bounds) {
+  if (partition.num_shards <= 1) return true;
+  if (bounds.min_x > bounds.max_x || bounds.min_y > bounds.max_y) {
+    // The global model (and any other boundless slot) lives everywhere.
+    return true;
+  }
+  // Walk the key cells intersecting `bounds`. CellAt clamps both corners
+  // into the world, so the range is finite even for bounds that hang off
+  // the edge; touching a cell border over-includes the neighbor, which
+  // only ever retains an extra model.
+  const PyramidCell lo =
+      pyramid.CellAt(partition.level, {bounds.min_x, bounds.min_y});
+  const PyramidCell hi =
+      pyramid.CellAt(partition.level, {bounds.max_x, bounds.max_y});
+  for (int y = lo.y; y <= hi.y; ++y) {
+    for (int x = lo.x; x <= hi.x; ++x) {
+      if (ShardOfCell(partition, {partition.level, x, y}) == shard) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace kamel::shard

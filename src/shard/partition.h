@@ -1,0 +1,49 @@
+#ifndef KAMEL_SHARD_PARTITION_H_
+#define KAMEL_SHARD_PARTITION_H_
+
+#include "core/pyramid.h"
+#include "core/spatial_constraints.h"
+#include "geo/bbox.h"
+
+namespace kamel::shard {
+
+/// How the pyramid's space is split across worker processes: the cells of
+/// one pyramid level are the shard keys, assigned round-robin in row-major
+/// order. Every gap routes to the shard of the level-`level` cell holding
+/// its MBR center; every worker retains each model whose bounds intersect
+/// any cell it owns.
+///
+/// That retention rule is what makes sharding invisible in the output:
+/// any model SelectModelLadder can serve for a gap has bounds containing
+/// the gap's MBR — hence containing its center — hence intersecting the
+/// key cell the gap routed by. The owning worker therefore holds every
+/// candidate the single-process repository would have consulted, and the
+/// imputed bytes are identical. Coarse models (bounds spanning many key
+/// cells) are simply replicated on every shard they touch.
+struct ShardPartition {
+  int level = 0;       // pyramid level whose cells are the shard keys
+  int num_shards = 1;  // worker count; cell (x,y) -> (y*dim+x) % num_shards
+};
+
+/// Picks the shallowest pyramid level with at least `num_shards` cells
+/// (clamped to the pyramid height), so each shard owns at least one key
+/// cell whenever the pyramid is deep enough.
+ShardPartition MakePartition(const Pyramid& pyramid, int num_shards);
+
+/// Shard owning `cell` (which must be at partition.level).
+int ShardOfCell(const ShardPartition& partition, const PyramidCell& cell);
+
+/// Shard a gap routes to: the owner of the key cell containing the gap's
+/// MBR center. Deterministic — the router and every test agree on it.
+int ShardOfGap(const ShardPartition& partition, const Pyramid& pyramid,
+               const SegmentContext& context);
+
+/// True when `shard` must retain a model with spatial `bounds`: some key
+/// cell owned by `shard` intersects them. An empty/inverted box (e.g. the
+/// global "No Part." model) is owned by every shard.
+bool ShardOwns(const ShardPartition& partition, const Pyramid& pyramid,
+               int shard, const BBox& bounds);
+
+}  // namespace kamel::shard
+
+#endif  // KAMEL_SHARD_PARTITION_H_

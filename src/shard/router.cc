@@ -1,0 +1,461 @@
+#include "shard/router.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+
+namespace kamel::shard {
+
+namespace {
+
+/// Transport errors safe to retry against the same shard: imputation is
+/// pure and idempotent, so work that may already have run remotely can
+/// simply run again.
+bool IsRetryable(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kIOError:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::chrono::duration<double> Seconds(double s) {
+  return std::chrono::duration<double>(s);
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(std::shared_ptr<const KamelSnapshot> snapshot,
+                         std::vector<ShardEndpoint> endpoints,
+                         RouterOptions options)
+    : snapshot_(std::move(snapshot)), options_(options) {
+  KAMEL_CHECK(snapshot_ != nullptr, "ShardRouter needs a snapshot");
+  KAMEL_CHECK(!endpoints.empty(), "ShardRouter needs at least one shard");
+  partition_ = MakePartition(snapshot_->repository().pyramid(),
+                             static_cast<int>(endpoints.size()));
+  shards_.reserve(endpoints.size());
+  for (ShardEndpoint& endpoint : endpoints) {
+    auto shard = std::make_unique<Shard>();
+    shard->endpoint = std::move(endpoint);
+    shards_.push_back(std::move(shard));
+  }
+  prober_ = std::thread([this] { ProbeLoop(); });
+}
+
+ShardRouter::~ShardRouter() {
+  {
+    std::lock_guard<std::mutex> lock(probe_mu_);
+    stopping_ = true;
+  }
+  probe_cv_.notify_all();
+  if (prober_.joinable()) prober_.join();
+  // Wait out every detached attempt thread: they borrow `this` until the
+  // moment they decrement the (jointly owned) counter.
+  std::unique_lock<std::mutex> lock(outstanding_->mu);
+  outstanding_->cv.wait(lock, [&] { return outstanding_->count == 0; });
+}
+
+// ---------------------------------------------------------------------------
+// Connection pool + raw calls
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<net::RpcClient> ShardRouter::AcquireClient(Shard* shard) {
+  {
+    std::lock_guard<std::mutex> lock(shard->pool_mu);
+    if (!shard->pool.empty()) {
+      std::unique_ptr<net::RpcClient> client = std::move(shard->pool.back());
+      shard->pool.pop_back();
+      return client;
+    }
+  }
+  net::RpcClientOptions client_options;
+  client_options.call_deadline_s = options_.call_deadline_s;
+  client_options.connect_timeout_s =
+      std::min(0.5, options_.call_deadline_s / 2.0);
+  client_options.jitter_seed =
+      options_.jitter_seed ^ call_seq_.fetch_add(1, std::memory_order_relaxed);
+  return std::make_unique<net::RpcClient>(shard->endpoint.host,
+                                          shard->endpoint.port,
+                                          client_options);
+}
+
+void ShardRouter::ReleaseClient(Shard* shard,
+                                std::unique_ptr<net::RpcClient> client) {
+  std::lock_guard<std::mutex> lock(shard->pool_mu);
+  shard->pool.push_back(std::move(client));
+}
+
+Result<std::vector<uint8_t>> ShardRouter::CallShard(
+    int shard_index, net::MethodId method, const std::vector<uint8_t>& body,
+    double deadline_s) {
+  Shard* shard = shards_[shard_index].get();
+  std::unique_ptr<net::RpcClient> client = AcquireClient(shard);
+  remote_calls_.fetch_add(1, std::memory_order_relaxed);
+  const double start = net::NowSeconds();
+  Result<std::vector<uint8_t>> result =
+      client->Call(method, body, deadline_s);
+  if (result.ok()) {
+    RecordLatency(shard, net::NowSeconds() - start);
+  }
+  // A failed client is returned too: transport errors poison its
+  // connection and the next Call reconnects from scratch.
+  ReleaseClient(shard, std::move(client));
+  return result;
+}
+
+void ShardRouter::RecordLatency(Shard* shard, double seconds) {
+  const size_t window =
+      static_cast<size_t>(std::max(1, options_.latency_window));
+  std::lock_guard<std::mutex> lock(shard->lat_mu);
+  if (shard->lat.size() < window) {
+    shard->lat.push_back(seconds);
+  } else {
+    shard->lat[shard->lat_next] = seconds;
+  }
+  shard->lat_next = (shard->lat_next + 1) % window;
+}
+
+double ShardRouter::HedgeBudgetSeconds(Shard* shard) const {
+  std::vector<double> lat;
+  {
+    std::lock_guard<std::mutex> lock(shard->lat_mu);
+    lat = shard->lat;
+  }
+  double p99 = 0.0;
+  if (!lat.empty()) {
+    std::sort(lat.begin(), lat.end());
+    p99 = lat[static_cast<size_t>(
+        std::floor(0.99 * static_cast<double>(lat.size() - 1)))];
+  }
+  return std::max(options_.hedge_min_s, p99);
+}
+
+// ---------------------------------------------------------------------------
+// Hedging + retries
+// ---------------------------------------------------------------------------
+
+void ShardRouter::Spawn(std::function<void()> fn) {
+  std::shared_ptr<Outstanding> outstanding = outstanding_;
+  {
+    std::lock_guard<std::mutex> lock(outstanding->mu);
+    ++outstanding->count;
+  }
+  std::thread([outstanding, fn = std::move(fn)] {
+    fn();
+    // `fn` must not be the last thing touching the router: the destructor
+    // returns the moment count reaches zero, so only the jointly owned
+    // state may be used past this point.
+    std::lock_guard<std::mutex> lock(outstanding->mu);
+    --outstanding->count;
+    outstanding->cv.notify_all();
+  }).detach();
+}
+
+Result<std::vector<uint8_t>> ShardRouter::HedgedCall(
+    int shard_index, net::MethodId method,
+    std::shared_ptr<const std::vector<uint8_t>> body) {
+  struct CallState {
+    std::mutex mu;
+    std::condition_variable cv;
+    int outstanding = 0;
+    bool succeeded = false;
+    Result<std::vector<uint8_t>> result{
+        Status::Unavailable("rpc: no attempt completed")};
+  };
+  auto state = std::make_shared<CallState>();
+  const double deadline_s = options_.call_deadline_s;
+
+  auto attempt = [this, shard_index, method, body, state,
+                  deadline_s](bool is_hedge) {
+    Result<std::vector<uint8_t>> result =
+        CallShard(shard_index, method, *body, deadline_s);
+    std::lock_guard<std::mutex> lock(state->mu);
+    --state->outstanding;
+    if (!state->succeeded) {
+      // First success wins and freezes the result; until then the latest
+      // error stands in. Losers never overwrite a success.
+      if (result.ok()) {
+        state->succeeded = true;
+        if (is_hedge) hedge_wins_.fetch_add(1, std::memory_order_relaxed);
+      }
+      state->result = std::move(result);
+    }
+    state->cv.notify_all();
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->outstanding = 1;
+  }
+  Spawn([attempt] { attempt(false); });
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  if (options_.hedging) {
+    const double budget = HedgeBudgetSeconds(shards_[shard_index].get());
+    state->cv.wait_for(lock, Seconds(budget), [&] {
+      return state->succeeded || state->outstanding == 0;
+    });
+    if (!state->succeeded && state->outstanding > 0) {
+      ++state->outstanding;
+      hedges_.fetch_add(1, std::memory_order_relaxed);
+      Spawn([attempt] { attempt(true); });
+    }
+  }
+  state->cv.wait(lock, [&] {
+    return state->succeeded || state->outstanding == 0;
+  });
+  // Safe to move: once succeeded no attempt writes the result again, and
+  // with outstanding == 0 every writer has finished.
+  return std::move(state->result);
+}
+
+Result<std::vector<uint8_t>> ShardRouter::CallWithRetry(
+    int shard_index, net::MethodId method,
+    std::shared_ptr<const std::vector<uint8_t>> body) {
+  const uint64_t seed =
+      options_.jitter_seed ^
+      (call_seq_.fetch_add(1, std::memory_order_relaxed) * 0x9E3779B97F4A7C15ULL);
+  Backoff backoff(options_.call_retry, seed);
+  Result<std::vector<uint8_t>> result = HedgedCall(shard_index, method, body);
+  for (int retry = 1; retry <= options_.call_retry.max_retries; ++retry) {
+    if (result.ok() || !IsRetryable(result.status())) break;
+    const double delay_ms = backoff.NextDelayMs(retry);
+    if (delay_ms > 0.0) {
+      std::this_thread::sleep_for(Seconds(delay_ms / 1000.0));
+    }
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    result = HedgedCall(shard_index, method, body);
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------------
+
+std::vector<int> ShardRouter::RouteCandidates(int owner) const {
+  auto routable = [&](int s) {
+    const Shard& shard = *shards_[s];
+    if (!shard.reachable.load(std::memory_order_relaxed)) return false;
+    const auto health =
+        static_cast<HealthState>(shard.health.load(std::memory_order_relaxed));
+    return health == HealthState::kServing ||
+           health == HealthState::kDegraded;
+  };
+  std::vector<int> candidates;
+  candidates.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const int s = (owner + static_cast<int>(i)) %
+                  static_cast<int>(shards_.size());
+    if (routable(s)) candidates.push_back(s);
+  }
+  return candidates;
+}
+
+void ShardRouter::ImputeGroup(const KamelSnapshot& snapshot, int owner,
+                              const std::vector<size_t>& indices,
+                              const ImputePlan& plan,
+                              std::vector<ImputedGap>* out) {
+  std::vector<SegmentContext> contexts;
+  contexts.reserve(indices.size());
+  for (size_t index : indices) {
+    contexts.push_back(plan.gaps[index].context);
+  }
+  auto body = std::make_shared<const std::vector<uint8_t>>(
+      EncodeGapRequest(contexts));
+
+  for (int target : RouteCandidates(owner)) {
+    Result<std::vector<uint8_t>> response =
+        CallWithRetry(target, kMethodImputeGaps, body);
+    if (!response.ok()) continue;  // next candidate (failover)
+    auto gaps = DecodeGapResponse(*response);
+    if (!gaps.ok() || gaps->size() != indices.size()) continue;
+    if (target != owner) {
+      failovers_.fetch_add(1, std::memory_order_relaxed);
+    }
+    for (size_t i = 0; i < indices.size(); ++i) {
+      (*out)[indices[i]] = std::move((*gaps)[i]);
+    }
+    return;
+  }
+
+  // Bottom rung: every candidate refused, shed, or is dead — impute the
+  // group locally at kLinearOnly (no model access; counted as overload
+  // in the per-gap ladder accounting, which is exactly what it is).
+  linear_fallback_gaps_.fetch_add(static_cast<int64_t>(indices.size()),
+                                  std::memory_order_relaxed);
+  for (size_t index : indices) {
+    (*out)[index] =
+        snapshot.ImputeGap(plan.gaps[index].context, ImputeMode::kLinearOnly);
+  }
+}
+
+Result<ImputedTrajectory> ShardRouter::Impute(const Trajectory& sparse) {
+  imputations_.fetch_add(1, std::memory_order_relaxed);
+  Stopwatch watch;
+  // Pin the snapshot for the whole call, like ServingEngine does.
+  const std::shared_ptr<const KamelSnapshot> snapshot = snapshot_;
+  KAMEL_ASSIGN_OR_RETURN(ImputePlan plan, snapshot->PlanImpute(sparse));
+
+  std::vector<ImputedGap> gaps(plan.gaps.size());
+  std::vector<std::vector<size_t>> groups(shards_.size());
+  const Pyramid& pyramid = snapshot->repository().pyramid();
+  for (size_t i = 0; i < plan.gaps.size(); ++i) {
+    groups[ShardOfGap(partition_, pyramid, plan.gaps[i].context)]
+        .push_back(i);
+  }
+
+  // Fan out one joined thread per non-empty group; the last group runs
+  // on this thread (the single-shard case then spawns nothing).
+  std::vector<int> active;
+  for (size_t s = 0; s < groups.size(); ++s) {
+    if (!groups[s].empty()) active.push_back(static_cast<int>(s));
+  }
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i + 1 < active.size(); ++i) {
+    const int s = active[i];
+    threads.emplace_back([this, &snapshot, s, &groups, &plan, &gaps] {
+      ImputeGroup(*snapshot, s, groups[s], plan, &gaps);
+    });
+  }
+  if (!active.empty()) {
+    const int s = active.back();
+    ImputeGroup(*snapshot, s, groups[s], plan, &gaps);
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  ImputedTrajectory out =
+      snapshot->AssemblePlan(sparse, plan, std::move(gaps));
+  out.stats.seconds = watch.ElapsedSeconds();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Health probing + observers
+// ---------------------------------------------------------------------------
+
+void ShardRouter::ProbeOnce() {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Result<std::vector<uint8_t>> response = CallShard(
+        static_cast<int>(s), kMethodStats, {}, options_.probe_deadline_s);
+    Shard* shard = shards_[s].get();
+    if (!response.ok()) {
+      shard->reachable.store(false, std::memory_order_relaxed);
+      continue;
+    }
+    auto status = DecodeStatus(*response);
+    if (!status.ok()) {
+      shard->reachable.store(false, std::memory_order_relaxed);
+      continue;
+    }
+    shard->reachable.store(true, std::memory_order_relaxed);
+    shard->health.store(static_cast<int>(status->health),
+                        std::memory_order_relaxed);
+  }
+}
+
+void ShardRouter::ProbeLoop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(probe_mu_);
+      probe_cv_.wait_for(lock, Seconds(options_.probe_interval_s),
+                         [&] { return stopping_; });
+      if (stopping_) return;
+    }
+    ProbeOnce();
+  }
+}
+
+std::vector<HealthState> ShardRouter::ShardHealth() const {
+  std::vector<HealthState> health;
+  health.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    if (!shard->reachable.load(std::memory_order_relaxed)) {
+      health.push_back(HealthState::kDraining);
+    } else {
+      health.push_back(static_cast<HealthState>(
+          shard->health.load(std::memory_order_relaxed)));
+    }
+  }
+  return health;
+}
+
+Status ShardRouter::WaitHealthy(double timeout_s) {
+  const double deadline = net::NowSeconds() + timeout_s;
+  while (true) {
+    ProbeOnce();
+    const std::vector<HealthState> health = ShardHealth();
+    bool all_serving = true;
+    for (size_t s = 0; s < health.size(); ++s) {
+      if (!shards_[s]->reachable.load(std::memory_order_relaxed) ||
+          health[s] != HealthState::kServing) {
+        all_serving = false;
+        break;
+      }
+    }
+    if (all_serving) return Status::OK();
+    if (net::NowSeconds() >= deadline) {
+      return Status::DeadlineExceeded(
+          "router: shards did not all reach SERVING in time");
+    }
+    std::this_thread::sleep_for(Seconds(0.05));
+  }
+}
+
+std::vector<ShardRouter::ProbedStatus> ShardRouter::CollectStats() {
+  std::vector<ProbedStatus> statuses(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Result<std::vector<uint8_t>> response = CallShard(
+        static_cast<int>(s), kMethodStats, {}, options_.probe_deadline_s);
+    if (!response.ok()) {
+      statuses[s].error = response.status().ToString();
+      continue;
+    }
+    auto status = DecodeStatus(*response);
+    if (!status.ok()) {
+      statuses[s].error = status.status().ToString();
+      continue;
+    }
+    statuses[s].reachable = true;
+    statuses[s].status = std::move(*status);
+  }
+  return statuses;
+}
+
+Status ShardRouter::BroadcastSnapshot(const std::string& path) {
+  const std::vector<uint8_t> body = EncodeSnapshotPath(path);
+  Status first_error = Status::OK();
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    // Reloading a snapshot reads the whole file back in; give it a much
+    // larger budget than a serving call.
+    Result<std::vector<uint8_t>> response =
+        CallShard(static_cast<int>(s), kMethodUpdateSnapshot, body, 30.0);
+    if (!response.ok() && first_error.ok()) {
+      first_error = response.status();
+    }
+  }
+  return first_error;
+}
+
+RouterStats ShardRouter::stats() const {
+  RouterStats stats;
+  stats.imputations = imputations_.load(std::memory_order_relaxed);
+  stats.remote_calls = remote_calls_.load(std::memory_order_relaxed);
+  stats.retries = retries_.load(std::memory_order_relaxed);
+  stats.hedges = hedges_.load(std::memory_order_relaxed);
+  stats.hedge_wins = hedge_wins_.load(std::memory_order_relaxed);
+  stats.failovers = failovers_.load(std::memory_order_relaxed);
+  stats.linear_fallback_gaps =
+      linear_fallback_gaps_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace kamel::shard

@@ -1,0 +1,209 @@
+#ifndef KAMEL_SHARD_ROUTER_H_
+#define KAMEL_SHARD_ROUTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/backoff.h"
+#include "common/result.h"
+#include "core/kamel_snapshot.h"
+#include "core/serving_engine.h"
+#include "net/rpc.h"
+#include "shard/partition.h"
+#include "shard/wire.h"
+
+namespace kamel::shard {
+
+struct ShardEndpoint {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
+struct RouterOptions {
+  /// Per-attempt budget for one ImputeGaps RPC, seconds.
+  double call_deadline_s = 2.0;
+  /// Health prober cadence and per-probe budget, seconds.
+  double probe_interval_s = 0.25;
+  double probe_deadline_s = 0.5;
+  /// Retry schedule for idempotent calls against one shard (jittered
+  /// exponential via the shared common/backoff policy). kUnavailable,
+  /// kDeadlineExceeded, and kIOError retry — the imputation is pure, so
+  /// re-running work that may already have happened remotely is safe.
+  /// kResourceExhausted (the shard shed) fails over instead.
+  RetryPolicy call_retry{.max_retries = 2,
+                         .base_backoff_ms = 5.0,
+                         .max_backoff_ms = 100.0};
+  /// Hedge a straggling call after max(hedge_min_s, p99 of the shard's
+  /// observed call latencies): a second connection races the first and
+  /// the first success wins. Off: wait out the full deadline.
+  bool hedging = true;
+  double hedge_min_s = 0.02;
+  /// Per-shard latency observations kept for the p99 estimate.
+  int latency_window = 128;
+  uint64_t jitter_seed = 0;
+};
+
+/// Router-side counters (all monotonic).
+struct RouterStats {
+  int64_t imputations = 0;        // Impute() calls
+  int64_t remote_calls = 0;       // RPC attempts, incl. retries + hedges
+  int64_t retries = 0;            // same-shard re-attempts after backoff
+  int64_t hedges = 0;             // hedge calls launched
+  int64_t hedge_wins = 0;         // hedge finished first with a success
+  int64_t failovers = 0;          // gap groups served off their owner
+  int64_t linear_fallback_gaps = 0;  // gaps imputed router-local linear
+};
+
+/// Health-checked fan-out over a fleet of ShardWorkers. Impute() runs the
+/// exact single-process pipeline — PlanImpute, impute every gap, and
+/// AssemblePlan — with the middle step remoted: gaps group by the shard
+/// owning their MBR key cell and ship as one ImputeGaps call per shard,
+/// in parallel.
+///
+/// Failure ladder, applied per gap group:
+///   1. the owner shard, with jittered-backoff retries on transport
+///      errors and a hedged second connection past the p99 budget;
+///   2. failover to the next healthy shard — coarse pyramid models are
+///      replicated wherever their bounds reach, so a non-owner typically
+///      still serves a pyramid-ancestor rung rather than nothing;
+///   3. router-local linear imputation (ImputeMode::kLinearOnly), the
+///      bottom rung — never an error for a well-formed trajectory.
+/// A background prober keeps per-shard HealthState fresh; dead, SHEDDING,
+/// and DRAINING shards are routed around until they recover.
+///
+/// With every shard healthy the output is byte-identical to
+/// KamelSnapshot::Impute on the unsharded snapshot (`stats.seconds`
+/// excepted — wall clock is not part of the identity contract).
+///
+/// Thread model: Impute and the observers are thread-safe; the snapshot
+/// is pinned per call like ServingEngine does.
+class ShardRouter {
+ public:
+  /// `snapshot` is the router's geometry + linear-fallback source (the
+  /// same snapshot file the workers loaded; the router never consults
+  /// its models). One endpoint per shard, indexed by shard id.
+  ShardRouter(std::shared_ptr<const KamelSnapshot> snapshot,
+              std::vector<ShardEndpoint> endpoints,
+              RouterOptions options = {});
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  Result<ImputedTrajectory> Impute(const Trajectory& sparse);
+
+  /// Last probed health per shard (optimistically kServing before the
+  /// first probe answers; a dead shard reads kDraining).
+  std::vector<HealthState> ShardHealth() const;
+
+  /// Blocks until every shard probes reachable and SERVING, or the
+  /// timeout elapses (kDeadlineExceeded).
+  Status WaitHealthy(double timeout_s);
+
+  /// One Stats call per shard, unreachable shards reported in place.
+  struct ProbedStatus {
+    bool reachable = false;
+    ShardStatus status;  // valid when reachable
+    std::string error;   // set when not
+  };
+  std::vector<ProbedStatus> CollectStats();
+
+  /// Tells every worker to reload `path` and hot-swap it (UpdateSnapshot
+  /// fan-out). First failure wins; the rest are still attempted.
+  Status BroadcastSnapshot(const std::string& path);
+
+  RouterStats stats() const;
+  const ShardPartition& partition() const { return partition_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  /// Per-shard connection pool, probed health, and latency window.
+  struct Shard {
+    ShardEndpoint endpoint;
+    std::atomic<bool> reachable{true};  // optimistic until probed
+    std::atomic<int> health{static_cast<int>(HealthState::kServing)};
+    std::mutex pool_mu;
+    std::vector<std::unique_ptr<net::RpcClient>> pool;
+    std::mutex lat_mu;
+    std::vector<double> lat;  // ring buffer, seconds
+    size_t lat_next = 0;
+  };
+
+  /// Completion state shared by detached attempt threads (they must not
+  /// touch the router after it signals, so the state is jointly owned).
+  struct Outstanding {
+    std::mutex mu;
+    std::condition_variable cv;
+    int count = 0;
+  };
+
+  std::unique_ptr<net::RpcClient> AcquireClient(Shard* shard);
+  void ReleaseClient(Shard* shard, std::unique_ptr<net::RpcClient> client);
+
+  /// One RPC attempt (pooled connection); records latency on success.
+  Result<std::vector<uint8_t>> CallShard(int shard, net::MethodId method,
+                                         const std::vector<uint8_t>& body,
+                                         double deadline_s);
+
+  /// CallShard with a hedged second connection after the p99 budget.
+  Result<std::vector<uint8_t>> HedgedCall(
+      int shard, net::MethodId method,
+      std::shared_ptr<const std::vector<uint8_t>> body);
+
+  /// HedgedCall with jittered-backoff retries on transport errors.
+  Result<std::vector<uint8_t>> CallWithRetry(
+      int shard, net::MethodId method,
+      std::shared_ptr<const std::vector<uint8_t>> body);
+
+  /// Imputes one shard's gap group, walking the failure ladder; writes
+  /// results into `out` at the plan positions in `indices`.
+  void ImputeGroup(const KamelSnapshot& snapshot, int owner,
+                   const std::vector<size_t>& indices,
+                   const ImputePlan& plan, std::vector<ImputedGap>* out);
+
+  /// Owner-first candidate order, skipping dead/SHEDDING/DRAINING shards.
+  std::vector<int> RouteCandidates(int owner) const;
+
+  void RecordLatency(Shard* shard, double seconds);
+  double HedgeBudgetSeconds(Shard* shard) const;
+
+  /// Runs `fn` on a detached thread tracked by outstanding_ (the
+  /// destructor waits for all of them).
+  void Spawn(std::function<void()> fn);
+
+  void ProbeLoop();
+  /// One Stats round-trip against each shard, updating its health.
+  void ProbeOnce();
+
+  const std::shared_ptr<const KamelSnapshot> snapshot_;
+  const RouterOptions options_;
+  ShardPartition partition_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::shared_ptr<Outstanding> outstanding_ =
+      std::make_shared<Outstanding>();
+
+  std::atomic<int64_t> imputations_{0};
+  std::atomic<int64_t> remote_calls_{0};
+  std::atomic<int64_t> retries_{0};
+  std::atomic<int64_t> hedges_{0};
+  std::atomic<int64_t> hedge_wins_{0};
+  std::atomic<int64_t> failovers_{0};
+  std::atomic<int64_t> linear_fallback_gaps_{0};
+  std::atomic<uint64_t> call_seq_{0};  // decorrelates retry jitter streams
+
+  std::mutex probe_mu_;
+  std::condition_variable probe_cv_;
+  bool stopping_ = false;
+  std::thread prober_;
+};
+
+}  // namespace kamel::shard
+
+#endif  // KAMEL_SHARD_ROUTER_H_

@@ -1,0 +1,193 @@
+#include "shard/wire.h"
+
+#include <utility>
+
+#include "common/binary_io.h"
+
+namespace kamel::shard {
+
+namespace {
+
+void WriteToken(BinaryWriter* writer, const TokenPoint& token) {
+  writer->WriteU64(token.cell);
+  writer->WriteF64(token.time);
+  writer->WriteF64(token.position.x);
+  writer->WriteF64(token.position.y);
+  writer->WriteF64(token.heading);
+}
+
+Result<TokenPoint> ReadToken(BinaryReader* reader) {
+  TokenPoint token;
+  KAMEL_ASSIGN_OR_RETURN(token.cell, reader->ReadU64());
+  KAMEL_ASSIGN_OR_RETURN(token.time, reader->ReadF64());
+  KAMEL_ASSIGN_OR_RETURN(token.position.x, reader->ReadF64());
+  KAMEL_ASSIGN_OR_RETURN(token.position.y, reader->ReadF64());
+  KAMEL_ASSIGN_OR_RETURN(token.heading, reader->ReadF64());
+  return token;
+}
+
+void WriteStats(BinaryWriter* writer, const ImputeStats& stats) {
+  writer->WriteI32(stats.segments);
+  writer->WriteI32(stats.failed_segments);
+  writer->WriteI32(stats.no_model_segments);
+  writer->WriteI32(stats.deadline_segments);
+  writer->WriteI32(stats.overload_segments);
+  writer->WriteI32(stats.full_model_segments);
+  writer->WriteI32(stats.ancestor_segments);
+  writer->WriteI64(stats.bert_calls);
+  writer->WriteF64(stats.seconds);
+  writer->WriteU64(stats.outcomes.size());
+  for (const SegmentOutcome& outcome : stats.outcomes) {
+    writer->WriteF64(outcome.s_time);
+    writer->WriteF64(outcome.d_time);
+    writer->WriteU8(outcome.failed ? 1 : 0);
+  }
+}
+
+Result<ImputeStats> ReadStats(BinaryReader* reader) {
+  ImputeStats stats;
+  KAMEL_ASSIGN_OR_RETURN(stats.segments, reader->ReadI32());
+  KAMEL_ASSIGN_OR_RETURN(stats.failed_segments, reader->ReadI32());
+  KAMEL_ASSIGN_OR_RETURN(stats.no_model_segments, reader->ReadI32());
+  KAMEL_ASSIGN_OR_RETURN(stats.deadline_segments, reader->ReadI32());
+  KAMEL_ASSIGN_OR_RETURN(stats.overload_segments, reader->ReadI32());
+  KAMEL_ASSIGN_OR_RETURN(stats.full_model_segments, reader->ReadI32());
+  KAMEL_ASSIGN_OR_RETURN(stats.ancestor_segments, reader->ReadI32());
+  KAMEL_ASSIGN_OR_RETURN(stats.bert_calls, reader->ReadI64());
+  KAMEL_ASSIGN_OR_RETURN(stats.seconds, reader->ReadF64());
+  KAMEL_ASSIGN_OR_RETURN(uint64_t count, reader->ReadU64());
+  if (count > reader->remaining()) {
+    return Status::IOError("shard wire: outcome count exceeds body");
+  }
+  stats.outcomes.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    SegmentOutcome outcome;
+    KAMEL_ASSIGN_OR_RETURN(outcome.s_time, reader->ReadF64());
+    KAMEL_ASSIGN_OR_RETURN(outcome.d_time, reader->ReadF64());
+    KAMEL_ASSIGN_OR_RETURN(uint8_t failed, reader->ReadU8());
+    outcome.failed = failed != 0;
+    stats.outcomes.push_back(outcome);
+  }
+  return stats;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeGapRequest(
+    const std::vector<SegmentContext>& gaps) {
+  BinaryWriter writer;
+  writer.WriteU64(gaps.size());
+  for (const SegmentContext& gap : gaps) {
+    WriteToken(&writer, gap.s);
+    WriteToken(&writer, gap.d);
+    writer.WriteU8(gap.prev.has_value() ? 1 : 0);
+    if (gap.prev.has_value()) WriteToken(&writer, *gap.prev);
+    writer.WriteU8(gap.next.has_value() ? 1 : 0);
+    if (gap.next.has_value()) WriteToken(&writer, *gap.next);
+  }
+  return writer.buffer();
+}
+
+Result<std::vector<SegmentContext>> DecodeGapRequest(
+    const std::vector<uint8_t>& body) {
+  BinaryReader reader(body);
+  KAMEL_ASSIGN_OR_RETURN(uint64_t count, reader.ReadU64());
+  if (count > reader.remaining()) {
+    return Status::IOError("shard wire: gap count exceeds body");
+  }
+  std::vector<SegmentContext> gaps;
+  gaps.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    SegmentContext gap;
+    KAMEL_ASSIGN_OR_RETURN(gap.s, ReadToken(&reader));
+    KAMEL_ASSIGN_OR_RETURN(gap.d, ReadToken(&reader));
+    KAMEL_ASSIGN_OR_RETURN(uint8_t has_prev, reader.ReadU8());
+    if (has_prev != 0) {
+      KAMEL_ASSIGN_OR_RETURN(gap.prev, ReadToken(&reader));
+    }
+    KAMEL_ASSIGN_OR_RETURN(uint8_t has_next, reader.ReadU8());
+    if (has_next != 0) {
+      KAMEL_ASSIGN_OR_RETURN(gap.next, ReadToken(&reader));
+    }
+    gaps.push_back(std::move(gap));
+  }
+  return gaps;
+}
+
+std::vector<uint8_t> EncodeGapResponse(const std::vector<ImputedGap>& gaps) {
+  BinaryWriter writer;
+  writer.WriteU64(gaps.size());
+  for (const ImputedGap& gap : gaps) {
+    writer.WriteU64(gap.interior.size());
+    for (const TrajPoint& point : gap.interior) {
+      writer.WriteF64(point.pos.lat);
+      writer.WriteF64(point.pos.lng);
+      writer.WriteF64(point.time);
+    }
+    WriteStats(&writer, gap.stats);
+  }
+  return writer.buffer();
+}
+
+Result<std::vector<ImputedGap>> DecodeGapResponse(
+    const std::vector<uint8_t>& body) {
+  BinaryReader reader(body);
+  KAMEL_ASSIGN_OR_RETURN(uint64_t count, reader.ReadU64());
+  if (count > reader.remaining()) {
+    return Status::IOError("shard wire: gap count exceeds body");
+  }
+  std::vector<ImputedGap> gaps;
+  gaps.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    ImputedGap gap;
+    KAMEL_ASSIGN_OR_RETURN(uint64_t points, reader.ReadU64());
+    if (points > reader.remaining()) {
+      return Status::IOError("shard wire: point count exceeds body");
+    }
+    gap.interior.reserve(points);
+    for (uint64_t p = 0; p < points; ++p) {
+      TrajPoint point;
+      KAMEL_ASSIGN_OR_RETURN(point.pos.lat, reader.ReadF64());
+      KAMEL_ASSIGN_OR_RETURN(point.pos.lng, reader.ReadF64());
+      KAMEL_ASSIGN_OR_RETURN(point.time, reader.ReadF64());
+      gap.interior.push_back(point);
+    }
+    KAMEL_ASSIGN_OR_RETURN(gap.stats, ReadStats(&reader));
+    gaps.push_back(std::move(gap));
+  }
+  return gaps;
+}
+
+std::vector<uint8_t> EncodeStatus(const ShardStatus& status) {
+  BinaryWriter writer;
+  writer.WriteI32(status.shard);
+  writer.WriteU8(static_cast<uint8_t>(status.health));
+  writer.WriteString(status.json);
+  return writer.buffer();
+}
+
+Result<ShardStatus> DecodeStatus(const std::vector<uint8_t>& body) {
+  BinaryReader reader(body);
+  ShardStatus status;
+  KAMEL_ASSIGN_OR_RETURN(status.shard, reader.ReadI32());
+  KAMEL_ASSIGN_OR_RETURN(uint8_t health, reader.ReadU8());
+  if (health > static_cast<uint8_t>(HealthState::kDraining)) {
+    return Status::IOError("shard wire: unknown health state");
+  }
+  status.health = static_cast<HealthState>(health);
+  KAMEL_ASSIGN_OR_RETURN(status.json, reader.ReadString());
+  return status;
+}
+
+std::vector<uint8_t> EncodeSnapshotPath(const std::string& path) {
+  BinaryWriter writer;
+  writer.WriteString(path);
+  return writer.buffer();
+}
+
+Result<std::string> DecodeSnapshotPath(const std::vector<uint8_t>& body) {
+  BinaryReader reader(body);
+  return reader.ReadString();
+}
+
+}  // namespace kamel::shard

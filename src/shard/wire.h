@@ -1,0 +1,60 @@
+#ifndef KAMEL_SHARD_WIRE_H_
+#define KAMEL_SHARD_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/kamel_snapshot.h"
+#include "core/serving_engine.h"
+#include "core/spatial_constraints.h"
+#include "net/rpc.h"
+
+namespace kamel::shard {
+
+/// The worker RPC protocol, one method per concern. All bodies are
+/// little-endian via common/binary_io — the same codec the snapshot
+/// format uses, so a corrupted body surfaces as a descriptive Status,
+/// never an abort.
+inline constexpr net::MethodId kMethodPing = 1;
+inline constexpr net::MethodId kMethodStats = 2;
+inline constexpr net::MethodId kMethodImputeGaps = 3;
+inline constexpr net::MethodId kMethodUpdateSnapshot = 4;
+
+/// One worker's health + counters as reported by kMethodStats. `json`
+/// carries the EngineStatsJson schema verbatim — the same dialect
+/// `kamel stats` prints and the router aggregates, so every observer of
+/// an engine reads identical keys.
+struct ShardStatus {
+  int shard = 0;
+  HealthState health = HealthState::kServing;
+  std::string json;
+};
+
+/// kMethodImputeGaps request: the gaps of one trajectory that route to
+/// one shard. Tokens travel as exact TokenPoints (cell, time, projected
+/// position, heading) so the worker never re-tokenizes — byte-identity
+/// with single-process imputation depends on it.
+std::vector<uint8_t> EncodeGapRequest(const std::vector<SegmentContext>& gaps);
+Result<std::vector<SegmentContext>> DecodeGapRequest(
+    const std::vector<uint8_t>& body);
+
+/// kMethodImputeGaps response: one ImputedGap per requested gap, in
+/// request order (interior points + the per-gap ladder accounting).
+std::vector<uint8_t> EncodeGapResponse(const std::vector<ImputedGap>& gaps);
+Result<std::vector<ImputedGap>> DecodeGapResponse(
+    const std::vector<uint8_t>& body);
+
+/// kMethodStats response.
+std::vector<uint8_t> EncodeStatus(const ShardStatus& status);
+Result<ShardStatus> DecodeStatus(const std::vector<uint8_t>& body);
+
+/// kMethodUpdateSnapshot request: the snapshot file the worker should
+/// reload its partition from and hot-swap into its engine.
+std::vector<uint8_t> EncodeSnapshotPath(const std::string& path);
+Result<std::string> DecodeSnapshotPath(const std::vector<uint8_t>& body);
+
+}  // namespace kamel::shard
+
+#endif  // KAMEL_SHARD_WIRE_H_

@@ -1,0 +1,85 @@
+#include "shard/worker.h"
+
+#include <utility>
+#include <vector>
+
+namespace kamel::shard {
+
+ShardWorker::ShardWorker(WorkerOptions options)
+    : options_(std::move(options)), server_(options_.host) {}
+
+ShardWorker::~ShardWorker() { Stop(); }
+
+Result<std::shared_ptr<const KamelSnapshot>> ShardWorker::LoadPartition(
+    const std::string& path) {
+  KamelBuilder builder(options_.kamel);
+  KAMEL_RETURN_NOT_OK(builder.LoadFromFile(path));
+  // The partition depends only on the pyramid geometry (deterministic
+  // from the snapshot) and the shard count, so every worker and the
+  // router agree on it without any coordination.
+  const ShardPartition partition =
+      MakePartition(builder.repository().pyramid(), options_.num_shards);
+  if (options_.num_shards > 1) {
+    const Pyramid& pyramid = builder.repository().pyramid();
+    models_dropped_.store(builder.mutable_repository()->RetainModels(
+        [&](const BBox& bounds) {
+          return ShardOwns(partition, pyramid, options_.shard, bounds);
+        }));
+  }
+  return builder.Snapshot();
+}
+
+Status ShardWorker::Start(const std::string& snapshot_path) {
+  KAMEL_ASSIGN_OR_RETURN(auto snapshot, LoadPartition(snapshot_path));
+  // Set once here, never from the (concurrent) UpdateSnapshot handler:
+  // the partition is a pure function of the pyramid geometry and the
+  // shard count, both fixed for the life of the worker.
+  partition_ =
+      MakePartition(snapshot->repository().pyramid(), options_.num_shards);
+  engine_ = std::make_unique<ServingEngine>(std::move(snapshot),
+                                            options_.serving);
+
+  server_.Register(kMethodPing,
+                   [](const std::vector<uint8_t>&)
+                       -> Result<std::vector<uint8_t>> {
+                     return std::vector<uint8_t>{};
+                   });
+  server_.Register(kMethodStats,
+                   [this](const std::vector<uint8_t>&)
+                       -> Result<std::vector<uint8_t>> {
+                     ShardStatus status;
+                     status.shard = options_.shard;
+                     status.health = engine_->health();
+                     status.json =
+                         EngineStatsJson(engine_->stats(), status.health);
+                     return EncodeStatus(status);
+                   });
+  server_.Register(
+      kMethodImputeGaps,
+      [this](const std::vector<uint8_t>& body)
+          -> Result<std::vector<uint8_t>> {
+        KAMEL_ASSIGN_OR_RETURN(std::vector<SegmentContext> gaps,
+                               DecodeGapRequest(body));
+        KAMEL_ASSIGN_OR_RETURN(std::vector<ImputedGap> imputed,
+                               engine_->ImputeGaps(gaps));
+        return EncodeGapResponse(imputed);
+      });
+  server_.Register(
+      kMethodUpdateSnapshot,
+      [this](const std::vector<uint8_t>& body)
+          -> Result<std::vector<uint8_t>> {
+        KAMEL_ASSIGN_OR_RETURN(std::string path, DecodeSnapshotPath(body));
+        KAMEL_ASSIGN_OR_RETURN(auto snapshot, LoadPartition(path));
+        engine_->UpdateSnapshot(std::move(snapshot));
+        return std::vector<uint8_t>{};
+      });
+
+  return server_.Start(options_.port);
+}
+
+void ShardWorker::Stop() {
+  server_.Stop();
+  if (engine_ != nullptr) engine_->Drain();
+}
+
+}  // namespace kamel::shard

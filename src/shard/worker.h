@@ -1,0 +1,79 @@
+#ifndef KAMEL_SHARD_WORKER_H_
+#define KAMEL_SHARD_WORKER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "core/kamel_snapshot.h"
+#include "core/serving_engine.h"
+#include "net/rpc.h"
+#include "shard/partition.h"
+#include "shard/wire.h"
+
+namespace kamel::shard {
+
+struct WorkerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 picks a free port (see ShardWorker::port())
+  /// This worker's shard index in [0, num_shards).
+  int shard = 0;
+  int num_shards = 1;
+  /// Must match the options the snapshot was trained with (snapshots do
+  /// not persist options, same contract as KamelBuilder::LoadFromFile).
+  KamelOptions kamel;
+  ServingOptions serving;
+};
+
+/// One shard-serving process: a ServingEngine over the cell-prefix
+/// partition of the pyramid this worker owns, exposed over the RPC
+/// protocol of shard/wire.h.
+///
+/// Start() loads the shipped snapshot, prunes the model index down to the
+/// partition (ModelRepository::RetainModels — every model intersecting an
+/// owned key cell is kept, so owned gaps impute byte-identically to a
+/// single process), and begins serving. kMethodUpdateSnapshot reloads a
+/// new snapshot file the same way and hot-swaps it into the engine;
+/// in-flight imputations finish on the generation they started with.
+class ShardWorker {
+ public:
+  explicit ShardWorker(WorkerOptions options);
+  ~ShardWorker();
+
+  ShardWorker(const ShardWorker&) = delete;
+  ShardWorker& operator=(const ShardWorker&) = delete;
+
+  /// Loads `snapshot_path`, prunes to the partition, and starts serving.
+  Status Start(const std::string& snapshot_path);
+
+  /// Stops the RPC server and drains the engine (terminal).
+  void Stop();
+
+  /// The bound port (useful with options.port == 0).
+  uint16_t port() const { return server_.port(); }
+
+  const ShardPartition& partition() const { return partition_; }
+
+  /// Models dropped by the most recent partition prune.
+  int models_dropped() const { return models_dropped_.load(); }
+
+  /// The engine, for in-process tests; null before Start().
+  ServingEngine* engine() { return engine_.get(); }
+
+ private:
+  /// Loads a snapshot and prunes its model index to this partition.
+  Result<std::shared_ptr<const KamelSnapshot>> LoadPartition(
+      const std::string& path);
+
+  const WorkerOptions options_;
+  ShardPartition partition_;
+  std::atomic<int> models_dropped_{0};
+  std::unique_ptr<ServingEngine> engine_;
+  net::RpcServer server_;
+};
+
+}  // namespace kamel::shard
+
+#endif  // KAMEL_SHARD_WORKER_H_

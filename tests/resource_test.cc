@@ -79,6 +79,27 @@ TEST(BackoffTest, DelaysDoubleWithinTheJitterBandAndRespectTheCap) {
   }
 }
 
+TEST(BackoffTest, CustomJitterBandIsHalfOpen) {
+  // The router hedges based on these bounds: a delay at or above
+  // jitter_hi * full would push a retry past its deadline budget.
+  RetryPolicy policy;
+  policy.base_backoff_ms = 100.0;
+  policy.max_backoff_ms = 400.0;
+  policy.jitter_lo = 0.1;
+  policy.jitter_hi = 0.2;
+  for (uint64_t seed = 0; seed < 32; ++seed) {
+    Backoff backoff(policy, seed);
+    const double full[] = {100.0, 200.0, 400.0, 400.0};
+    for (int retry = 1; retry <= 4; ++retry) {
+      const double delay = backoff.NextDelayMs(retry);
+      EXPECT_GE(delay, policy.jitter_lo * full[retry - 1])
+          << "seed " << seed << " retry " << retry;
+      EXPECT_LT(delay, policy.jitter_hi * full[retry - 1])
+          << "seed " << seed << " retry " << retry;
+    }
+  }
+}
+
 TEST(BackoffTest, NonPositiveBaseRetriesImmediately) {
   RetryPolicy policy;
   policy.base_backoff_ms = 0.0;
@@ -141,6 +162,50 @@ TEST(RetryTest, DeadlineStopsTheScheduleEarly) {
   EXPECT_LE(attempts, 2);  // deadline-aware: nowhere near 51 attempts
   EXPECT_NE(status.message().find("deadline exceeded"), std::string::npos)
       << status.message();
+}
+
+TEST(RetryTest, BudgetSmallerThanFirstDelayNeverSleepsIt) {
+  // Deadline-edge contract: the budget is checked AFTER an attempt, so
+  // the operation always runs at least once — but a first delay larger
+  // than the whole budget is never slept. With a 60-second base delay,
+  // finishing fast proves the schedule was abandoned, not waited out.
+  RetryPolicy policy;
+  policy.max_retries = 5;
+  policy.base_backoff_ms = 60'000.0;
+  policy.deadline_s = 1e-3;
+  int attempts = 0;
+  const auto start = std::chrono::steady_clock::now();
+  const Status status = RetryWithBackoff(policy, 1, [&] {
+    ++attempts;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    return Status::Unavailable("peer down");
+  });
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(attempts, 1);
+  EXPECT_LT(elapsed_s, 5.0);  // nowhere near one 60 s backoff
+  // The annotation names the attempt count and keeps the original code —
+  // the router's is-this-retryable dispatch reads the code, not the text.
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(status.message().find("deadline exceeded after 1 attempts"),
+            std::string::npos)
+      << status.message();
+}
+
+TEST(RetryTest, DeadlineNeverTrumpsASuccess) {
+  // The deadline is only consulted after a FAILED attempt: work that
+  // succeeds just past the budget is still a success, never discarded.
+  RetryPolicy policy;
+  policy.deadline_s = 1e-9;  // already expired when the attempt returns
+  int attempts = 0;
+  const Status status = RetryWithBackoff(policy, 1, [&] {
+    ++attempts;
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(attempts, 1);
 }
 
 // ---- stuck-IO watchdog ------------------------------------------------

@@ -1,0 +1,782 @@
+// Sharded-serving tests: the socket frame codec (CRC, truncation,
+// deadlines), the RPC layer's error mapping (transport vs handler
+// status), the cell-prefix partition rules, the wire codecs, and the
+// router/worker fleet end to end — byte-identity with single-process
+// imputation while healthy, failover + recovery across a worker kill and
+// restart, and hedging under an injected straggler. The binary carries
+// "shard" for direct selection plus "robustness" (ASan/UBSan leg) and
+// "concurrency" (TSan leg): every fleet test mixes threads with sockets
+// and injected faults.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "core/kamel.h"
+#include "eval/scenario.h"
+#include "net/frame.h"
+#include "net/rpc.h"
+#include "shard/partition.h"
+#include "shard/router.h"
+#include "shard/wire.h"
+#include "shard/worker.h"
+#include "sim/datasets.h"
+#include "sim/sparsifier.h"
+
+namespace kamel {
+namespace {
+
+using shard::MakePartition;
+using shard::RouterOptions;
+using shard::ShardEndpoint;
+using shard::ShardOfCell;
+using shard::ShardOfGap;
+using shard::ShardOwns;
+using shard::ShardPartition;
+using shard::ShardRouter;
+using shard::ShardWorker;
+using shard::WorkerOptions;
+
+// ---------------------------------------------------------------------------
+// Frame layer
+
+// A connected loopback pair (plus the listener keeping the port open).
+class LoopbackPair {
+ public:
+  void Init() {
+    uint16_t port = 0;
+    Result<net::Socket> listener = net::ListenTcp("127.0.0.1", 0, &port);
+    ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+    listener_ = std::move(listener).value();
+    Result<net::Socket> client =
+        net::ConnectTcp("127.0.0.1", port, net::NowSeconds() + 2.0);
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    client_ = std::move(client).value();
+    Result<net::Socket> server = net::Accept(listener_, net::NowSeconds() + 2.0);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    server_ = std::move(server).value();
+  }
+
+  net::Socket listener_;
+  net::Socket client_;
+  net::Socket server_;
+};
+
+// Pushes raw bytes (not a well-formed frame) to exercise the receiver's
+// corruption checks.
+void SendRaw(const net::Socket& socket, const void* data, size_t size) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(socket.fd(), bytes + sent, size - sent, 0);
+    ASSERT_GT(n, 0);
+    sent += static_cast<size_t>(n);
+  }
+}
+
+class FrameTest : public testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+};
+
+TEST_F(FrameTest, RoundTripsPayload) {
+  LoopbackPair pair;
+  ASSERT_NO_FATAL_FAILURE(pair.Init());
+  const std::vector<uint8_t> payload = {0, 1, 2, 250, 251, 252};
+  ASSERT_TRUE(
+      net::SendFrame(pair.client_, payload, net::NowSeconds() + 2.0).ok());
+  Result<std::vector<uint8_t>> got =
+      net::RecvFrame(pair.server_, net::NowSeconds() + 2.0);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(*got, payload);
+}
+
+TEST_F(FrameTest, BadMagicIsIOError) {
+  LoopbackPair pair;
+  ASSERT_NO_FATAL_FAILURE(pair.Init());
+  uint8_t header[net::kFrameHeaderBytes] = {};
+  const uint32_t magic = 0xDEADBEEFu;
+  std::memcpy(header, &magic, sizeof(magic));
+  ASSERT_NO_FATAL_FAILURE(SendRaw(pair.client_, header, sizeof(header)));
+  Result<std::vector<uint8_t>> got =
+      net::RecvFrame(pair.server_, net::NowSeconds() + 2.0);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(FrameTest, CrcMismatchIsIOError) {
+  LoopbackPair pair;
+  ASSERT_NO_FATAL_FAILURE(pair.Init());
+  // Valid magic and length, garbage checksum.
+  uint8_t frame[net::kFrameHeaderBytes + 4] = {};
+  const uint32_t len = 4;
+  const uint32_t crc = 0;  // crc32c("abcd") is nonzero
+  std::memcpy(frame, &net::kFrameMagic, sizeof(uint32_t));
+  std::memcpy(frame + 4, &len, sizeof(uint32_t));
+  std::memcpy(frame + 8, &crc, sizeof(uint32_t));
+  std::memcpy(frame + 12, "abcd", 4);
+  ASSERT_NO_FATAL_FAILURE(SendRaw(pair.client_, frame, sizeof(frame)));
+  Result<std::vector<uint8_t>> got =
+      net::RecvFrame(pair.server_, net::NowSeconds() + 2.0);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(FrameTest, SilentWireIsDeadlineExceeded) {
+  LoopbackPair pair;
+  ASSERT_NO_FATAL_FAILURE(pair.Init());
+  Result<std::vector<uint8_t>> got =
+      net::RecvFrame(pair.server_, net::NowSeconds() + 0.05);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(FrameTest, PeerCloseIsUnavailable) {
+  LoopbackPair pair;
+  ASSERT_NO_FATAL_FAILURE(pair.Init());
+  pair.client_.Close();
+  Result<std::vector<uint8_t>> got =
+      net::RecvFrame(pair.server_, net::NowSeconds() + 2.0);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(FrameTest, TornFrameStallsReceiverIntoDeadline) {
+  LoopbackPair pair;
+  ASSERT_NO_FATAL_FAILURE(pair.Init());
+  ScopedFault torn("net.frame.truncate");
+  const std::vector<uint8_t> payload(64, 0xAB);
+  // The torn write itself reports success (the failure is the peer's to
+  // discover), exactly like a crash between two write() calls.
+  ASSERT_TRUE(
+      net::SendFrame(pair.client_, payload, net::NowSeconds() + 2.0).ok());
+  Result<std::vector<uint8_t>> got =
+      net::RecvFrame(pair.server_, net::NowSeconds() + 0.3);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(FrameTest, DroppedFrameNeverArrives) {
+  LoopbackPair pair;
+  ASSERT_NO_FATAL_FAILURE(pair.Init());
+  ScopedFault drop("net.send.drop");
+  const std::vector<uint8_t> payload = {1, 2, 3};
+  ASSERT_TRUE(
+      net::SendFrame(pair.client_, payload, net::NowSeconds() + 2.0).ok());
+  Result<std::vector<uint8_t>> got =
+      net::RecvFrame(pair.server_, net::NowSeconds() + 0.2);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(FrameTest, SendFailpointBreaksTheCall) {
+  LoopbackPair pair;
+  ASSERT_NO_FATAL_FAILURE(pair.Init());
+  ScopedFault broken("net.send");
+  const std::vector<uint8_t> payload = {1};
+  EXPECT_FALSE(
+      net::SendFrame(pair.client_, payload, net::NowSeconds() + 1.0).ok());
+}
+
+// ---------------------------------------------------------------------------
+// RPC layer
+
+class RpcTest : public testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+};
+
+TEST_F(RpcTest, EchoRoundTripAndHandlerStatus) {
+  net::RpcServer server;
+  server.Register(1, [](const std::vector<uint8_t>& body)
+                         -> Result<std::vector<uint8_t>> { return body; });
+  server.Register(2, [](const std::vector<uint8_t>&)
+                         -> Result<std::vector<uint8_t>> {
+    return Status::ResourceExhausted("shed by test handler");
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+
+  net::RpcClient client("127.0.0.1", server.port());
+  const std::vector<uint8_t> body = {9, 8, 7};
+  Result<std::vector<uint8_t>> echoed = client.Call(1, body);
+  ASSERT_TRUE(echoed.ok()) << echoed.status().ToString();
+  EXPECT_EQ(*echoed, body);
+
+  // A handler error travels as a first-class Status: same code, message
+  // intact — the router tells "the shard shed" apart from "the wire broke"
+  // by exactly this.
+  Result<std::vector<uint8_t>> shed = client.Call(2, body);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(shed.status().message().find("shed by test handler"),
+            std::string::npos);
+
+  Result<std::vector<uint8_t>> unknown = client.Call(99, body);
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(RpcTest, DeadPortIsUnavailableAfterConnectRetries) {
+  // Grab a free port, then close the listener so nothing serves it.
+  uint16_t port = 0;
+  {
+    Result<net::Socket> listener = net::ListenTcp("127.0.0.1", 0, &port);
+    ASSERT_TRUE(listener.ok());
+  }
+  net::RpcClientOptions options;
+  options.connect_timeout_s = 0.2;
+  options.call_deadline_s = 1.0;
+  options.connect_retry.max_retries = 1;
+  options.connect_retry.base_backoff_ms = 1.0;
+  net::RpcClient client("127.0.0.1", port, options);
+  Result<std::vector<uint8_t>> got = client.Call(1, {1});
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(RpcTest, CallDeadlinePoisonsConnectionThenRecovers) {
+  net::RpcServer server;
+  server.Register(1, [](const std::vector<uint8_t>& body)
+                         -> Result<std::vector<uint8_t>> {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    return body;
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+
+  net::RpcClient client("127.0.0.1", server.port());
+  Result<std::vector<uint8_t>> slow = client.Call(1, {1}, 0.05);
+  ASSERT_FALSE(slow.ok());
+  EXPECT_EQ(slow.status().code(), StatusCode::kDeadlineExceeded);
+  // The timed-out connection was poisoned; the next call reconnects, so
+  // the stale response can never be read as this call's reply.
+  Result<std::vector<uint8_t>> fresh = client.Call(1, {2}, 5.0);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  EXPECT_EQ(*fresh, std::vector<uint8_t>({2}));
+}
+
+TEST_F(RpcTest, ConnectFailpointMapsToUnavailable) {
+  net::RpcServer server;
+  server.Register(1, [](const std::vector<uint8_t>& body)
+                         -> Result<std::vector<uint8_t>> { return body; });
+  ASSERT_TRUE(server.Start(0).ok());
+
+  net::RpcClientOptions options;
+  options.connect_retry.max_retries = 1;
+  options.connect_retry.base_backoff_ms = 1.0;
+  net::RpcClient client("127.0.0.1", server.port(), options);
+  {
+    ScopedFault dead("net.connect", /*skip=*/0, /*count=*/-1);
+    Result<std::vector<uint8_t>> got = client.Call(1, {1});
+    ASSERT_FALSE(got.ok());
+    EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+  }
+  Result<std::vector<uint8_t>> got = client.Call(1, {1});
+  EXPECT_TRUE(got.ok()) << got.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Partition rules
+
+Pyramid TestPyramid(int height = 3) {
+  return Pyramid(BBox::FromCorners({0.0, 0.0}, {1000.0, 1000.0}), height,
+                 height + 1);
+}
+
+TEST(PartitionTest, MakePartitionPicksShallowestSufficientLevel) {
+  const Pyramid pyramid = TestPyramid();
+  EXPECT_EQ(MakePartition(pyramid, 1).level, 0);
+  EXPECT_EQ(MakePartition(pyramid, 2).level, 1);
+  EXPECT_EQ(MakePartition(pyramid, 4).level, 1);
+  EXPECT_EQ(MakePartition(pyramid, 5).level, 2);
+  EXPECT_EQ(MakePartition(pyramid, 16).level, 2);
+  EXPECT_EQ(MakePartition(pyramid, 17).level, 3);
+  // More shards than the deepest level has cells: clamp, some shards own
+  // nothing (and serve only as failover targets).
+  EXPECT_EQ(MakePartition(pyramid, 100).level, 3);
+  EXPECT_EQ(MakePartition(pyramid, 100).num_shards, 100);
+}
+
+TEST(PartitionTest, ShardOfCellCoversEveryShard) {
+  const Pyramid pyramid = TestPyramid();
+  for (int num_shards : {2, 3, 4}) {
+    const ShardPartition partition = MakePartition(pyramid, num_shards);
+    const int dim = 1 << partition.level;
+    std::vector<bool> covered(num_shards, false);
+    for (int y = 0; y < dim; ++y) {
+      for (int x = 0; x < dim; ++x) {
+        const int shard =
+            ShardOfCell(partition, PyramidCell{partition.level, x, y});
+        ASSERT_GE(shard, 0);
+        ASSERT_LT(shard, num_shards);
+        covered[shard] = true;
+      }
+    }
+    for (int s = 0; s < num_shards; ++s) {
+      EXPECT_TRUE(covered[s]) << "shard " << s << " owns no cell with "
+                              << num_shards << " shards";
+    }
+  }
+}
+
+TEST(PartitionTest, ShardOfGapFollowsTheMbrCenter) {
+  const Pyramid pyramid = TestPyramid();
+  const ShardPartition partition = MakePartition(pyramid, 2);
+  ASSERT_EQ(partition.level, 1);  // 2x2 key cells of 500m
+
+  SegmentContext gap;
+  gap.s.position = {100.0, 100.0};
+  gap.d.position = {200.0, 200.0};  // center (150, 150) -> cell (0, 0)
+  EXPECT_EQ(ShardOfGap(partition, pyramid, gap),
+            ShardOfCell(partition, PyramidCell{1, 0, 0}));
+
+  gap.s.position = {600.0, 100.0};
+  gap.d.position = {900.0, 300.0};  // center (750, 200) -> cell (1, 0)
+  EXPECT_EQ(ShardOfGap(partition, pyramid, gap),
+            ShardOfCell(partition, PyramidCell{1, 1, 0}));
+}
+
+TEST(PartitionTest, ShardOwnsFollowsIntersections) {
+  const Pyramid pyramid = TestPyramid();
+  const ShardPartition partition = MakePartition(pyramid, 2);
+  const int shard00 = ShardOfCell(partition, PyramidCell{1, 0, 0});
+  const int shard10 = ShardOfCell(partition, PyramidCell{1, 1, 0});
+  ASSERT_NE(shard00, shard10);
+
+  // A box inside one key cell belongs to that cell's shard only.
+  const BBox inner = BBox::FromCorners({10.0, 10.0}, {20.0, 20.0});
+  EXPECT_TRUE(ShardOwns(partition, pyramid, shard00, inner));
+  EXPECT_FALSE(ShardOwns(partition, pyramid, shard10, inner));
+
+  // A box straddling the west/east cell boundary is replicated on both.
+  const BBox straddling = BBox::FromCorners({400.0, 10.0}, {600.0, 20.0});
+  EXPECT_TRUE(ShardOwns(partition, pyramid, shard00, straddling));
+  EXPECT_TRUE(ShardOwns(partition, pyramid, shard10, straddling));
+
+  // The global model's empty bounds are owned everywhere.
+  EXPECT_TRUE(ShardOwns(partition, pyramid, shard00, BBox()));
+  EXPECT_TRUE(ShardOwns(partition, pyramid, shard10, BBox()));
+}
+
+// ---------------------------------------------------------------------------
+// Wire codecs
+
+TokenPoint MakeToken(uint64_t cell, double time, double x, double y,
+                     double heading) {
+  TokenPoint token;
+  token.cell = cell;
+  token.time = time;
+  token.position = {x, y};
+  token.heading = heading;
+  return token;
+}
+
+TEST(WireTest, GapRequestRoundTrips) {
+  std::vector<SegmentContext> gaps(2);
+  gaps[0].s = MakeToken(7, 10.0, 1.5, -2.5, 0.25);
+  gaps[0].d = MakeToken(9, 20.0, 3.5, 4.5, -0.5);
+  gaps[0].prev = MakeToken(5, 5.0, 0.5, 0.25, 1.0);
+  gaps[1].s = MakeToken(11, 30.0, 6.0, 7.0, 2.0);
+  gaps[1].d = MakeToken(13, 40.0, 8.0, 9.0, 3.0);
+  gaps[1].next = MakeToken(17, 50.0, 10.0, 11.0, -3.0);
+
+  Result<std::vector<SegmentContext>> decoded =
+      shard::DecodeGapRequest(shard::EncodeGapRequest(gaps));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->size(), 2u);
+  EXPECT_EQ((*decoded)[0].s.cell, 7u);
+  EXPECT_EQ((*decoded)[0].d.time, 20.0);
+  ASSERT_TRUE((*decoded)[0].prev.has_value());
+  EXPECT_EQ((*decoded)[0].prev->heading, 1.0);
+  EXPECT_FALSE((*decoded)[0].next.has_value());
+  EXPECT_FALSE((*decoded)[1].prev.has_value());
+  ASSERT_TRUE((*decoded)[1].next.has_value());
+  EXPECT_EQ((*decoded)[1].next->position.x, 10.0);
+  EXPECT_EQ((*decoded)[1].d.position.y, 9.0);
+}
+
+TEST(WireTest, GapResponseRoundTrips) {
+  std::vector<ImputedGap> gaps(1);
+  gaps[0].interior = {TrajPoint{{30.5, 31.25}, 12.0},
+                      TrajPoint{{30.625, 31.375}, 13.0}};
+  gaps[0].stats.segments = 1;
+  gaps[0].stats.full_model_segments = 1;
+  gaps[0].stats.bert_calls = 42;
+  gaps[0].stats.outcomes = {{12.0, 13.0, false}};
+
+  Result<std::vector<ImputedGap>> decoded =
+      shard::DecodeGapResponse(shard::EncodeGapResponse(gaps));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->size(), 1u);
+  ASSERT_EQ((*decoded)[0].interior.size(), 2u);
+  EXPECT_EQ((*decoded)[0].interior[0].pos.lat, 30.5);
+  EXPECT_EQ((*decoded)[0].interior[1].time, 13.0);
+  EXPECT_EQ((*decoded)[0].stats.segments, 1);
+  EXPECT_EQ((*decoded)[0].stats.full_model_segments, 1);
+  EXPECT_EQ((*decoded)[0].stats.bert_calls, 42);
+  ASSERT_EQ((*decoded)[0].stats.outcomes.size(), 1u);
+  EXPECT_EQ((*decoded)[0].stats.outcomes[0].d_time, 13.0);
+  EXPECT_FALSE((*decoded)[0].stats.outcomes[0].failed);
+}
+
+TEST(WireTest, StatusRoundTripsAndRejectsUnknownHealth) {
+  shard::ShardStatus status;
+  status.shard = 3;
+  status.health = HealthState::kShedding;
+  status.json = "{\"health\":\"SHEDDING\"}";
+  std::vector<uint8_t> body = shard::EncodeStatus(status);
+
+  Result<shard::ShardStatus> decoded = shard::DecodeStatus(body);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->shard, 3);
+  EXPECT_EQ(decoded->health, HealthState::kShedding);
+  EXPECT_EQ(decoded->json, status.json);
+
+  body[4] = 9;  // i32 shard, then the health byte
+  EXPECT_FALSE(shard::DecodeStatus(body).ok());
+}
+
+TEST(WireTest, TruncatedBodiesAreDescriptiveErrors) {
+  std::vector<SegmentContext> gaps(1);
+  gaps[0].s = MakeToken(1, 1.0, 1.0, 1.0, 1.0);
+  gaps[0].d = MakeToken(2, 2.0, 2.0, 2.0, 2.0);
+  std::vector<uint8_t> body = shard::EncodeGapRequest(gaps);
+  body.resize(body.size() / 2);
+  Result<std::vector<SegmentContext>> decoded = shard::DecodeGapRequest(body);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kIOError);
+
+  // A length prefix promising more than the body holds is corruption,
+  // not an allocation request.
+  std::vector<uint8_t> huge(8, 0xFF);
+  EXPECT_FALSE(shard::DecodeGapRequest(huge).ok());
+  EXPECT_FALSE(shard::DecodeGapResponse(huge).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Router + worker fleet
+
+// Same shape as the overload fixture: a real (height-1) pyramid with both
+// levels maintained, so the partition has 4 key cells to spread across
+// two workers and every leaf model has a replicated level-0 ancestor.
+KamelOptions ShardKamelOptions() {
+  KamelOptions options;
+  options.pyramid_height = 1;
+  options.pyramid_levels = 2;
+  options.model_token_threshold = 25;
+  options.bert.encoder.d_model = 32;
+  options.bert.encoder.num_heads = 4;
+  options.bert.encoder.num_layers = 2;
+  options.bert.encoder.ffn_dim = 128;
+  options.bert.encoder.max_seq_len = 32;
+  options.bert.train.steps = 150;
+  options.bert.train.batch_size = 16;
+  options.bert.train.peak_lr = 1e-3;
+  options.bert.train.warmup_steps = 50;
+  options.beam_size = 4;
+  options.top_k = 6;
+  options.max_bert_calls_per_segment = 200;
+  options.seed = 42;
+  return options;
+}
+
+// Everything except wall-clock time must match: points bitwise, every
+// ladder counter, and the per-segment outcomes.
+void ExpectSameImputation(const ImputedTrajectory& a,
+                          const ImputedTrajectory& b) {
+  ASSERT_EQ(a.trajectory.points.size(), b.trajectory.points.size());
+  for (size_t i = 0; i < a.trajectory.points.size(); ++i) {
+    EXPECT_EQ(a.trajectory.points[i].pos.lat, b.trajectory.points[i].pos.lat);
+    EXPECT_EQ(a.trajectory.points[i].pos.lng, b.trajectory.points[i].pos.lng);
+    EXPECT_EQ(a.trajectory.points[i].time, b.trajectory.points[i].time);
+  }
+  EXPECT_EQ(a.stats.segments, b.stats.segments);
+  EXPECT_EQ(a.stats.failed_segments, b.stats.failed_segments);
+  EXPECT_EQ(a.stats.no_model_segments, b.stats.no_model_segments);
+  EXPECT_EQ(a.stats.deadline_segments, b.stats.deadline_segments);
+  EXPECT_EQ(a.stats.overload_segments, b.stats.overload_segments);
+  EXPECT_EQ(a.stats.full_model_segments, b.stats.full_model_segments);
+  EXPECT_EQ(a.stats.ancestor_segments, b.stats.ancestor_segments);
+  EXPECT_EQ(a.stats.bert_calls, b.stats.bert_calls);
+  ASSERT_EQ(a.stats.outcomes.size(), b.stats.outcomes.size());
+  for (size_t i = 0; i < a.stats.outcomes.size(); ++i) {
+    EXPECT_EQ(a.stats.outcomes[i].s_time, b.stats.outcomes[i].s_time);
+    EXPECT_EQ(a.stats.outcomes[i].d_time, b.stats.outcomes[i].d_time);
+    EXPECT_EQ(a.stats.outcomes[i].failed, b.stats.outcomes[i].failed);
+  }
+}
+
+class ShardTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scenario_ = new SimScenario(BuildScenario(MiniSpec()));
+    Kamel system(ShardKamelOptions());
+    ASSERT_TRUE(system.Train(scenario_->train).ok());
+    snapshot_path_ =
+        new std::string(testing::TempDir() + "/kamel_shard_snapshot.bin");
+    ASSERT_TRUE(system.SaveToFile(*snapshot_path_).ok());
+    Result<std::shared_ptr<const KamelSnapshot>> snapshot = system.Snapshot();
+    ASSERT_TRUE(snapshot.ok());
+    snapshot_ = new std::shared_ptr<const KamelSnapshot>(*snapshot);
+  }
+  static void TearDownTestSuite() {
+    delete snapshot_;
+    delete snapshot_path_;
+    delete scenario_;
+    snapshot_ = nullptr;
+    snapshot_path_ = nullptr;
+    scenario_ = nullptr;
+  }
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+
+  static Trajectory SparseTest(size_t i) {
+    return Sparsify(scenario_->test.trajectories[i], 400.0);
+  }
+
+  // Starts one worker of a `num_shards` fleet; `port` 0 picks freely.
+  static std::unique_ptr<ShardWorker> StartWorker(int shard, int num_shards,
+                                                  uint16_t port = 0) {
+    WorkerOptions options;
+    options.port = port;
+    options.shard = shard;
+    options.num_shards = num_shards;
+    options.kamel = ShardKamelOptions();
+    auto worker = std::make_unique<ShardWorker>(options);
+    const Status started = worker->Start(*snapshot_path_);
+    EXPECT_TRUE(started.ok()) << started.ToString();
+    if (!started.ok()) return nullptr;
+    return worker;
+  }
+
+  static std::vector<ShardEndpoint> Endpoints(
+      const std::vector<const ShardWorker*>& workers) {
+    std::vector<ShardEndpoint> endpoints;
+    for (const ShardWorker* worker : workers) {
+      endpoints.push_back({"127.0.0.1", worker->port()});
+    }
+    return endpoints;
+  }
+
+  // Generous per-call budget: the CI host is single-core, so a gap group
+  // behind another test's worker can take a while without being "stuck".
+  static RouterOptions PatientRouterOptions() {
+    RouterOptions options;
+    options.call_deadline_s = 30.0;
+    return options;
+  }
+
+  static bool WaitForHealth(const ShardRouter& router, int shard,
+                            HealthState want, double timeout_s) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(timeout_s);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (router.ShardHealth()[shard] == want) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    return router.ShardHealth()[shard] == want;
+  }
+
+  static SimScenario* scenario_;
+  static std::string* snapshot_path_;
+  static std::shared_ptr<const KamelSnapshot>* snapshot_;
+};
+
+SimScenario* ShardTest::scenario_ = nullptr;
+std::string* ShardTest::snapshot_path_ = nullptr;
+std::shared_ptr<const KamelSnapshot>* ShardTest::snapshot_ = nullptr;
+
+TEST_F(ShardTest, WorkerServesWireProtocol) {
+  std::unique_ptr<ShardWorker> worker = StartWorker(0, 1);
+  ASSERT_NE(worker, nullptr);
+  // A single-shard fleet partitions at the root and prunes nothing.
+  EXPECT_EQ(worker->partition().level, 0);
+  EXPECT_EQ(worker->models_dropped(), 0);
+
+  net::RpcClient client("127.0.0.1", worker->port());
+  Result<std::vector<uint8_t>> pong =
+      client.Call(shard::kMethodPing, std::vector<uint8_t>());
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_TRUE(pong->empty());
+
+  Result<std::vector<uint8_t>> body =
+      client.Call(shard::kMethodStats, std::vector<uint8_t>(), 10.0);
+  ASSERT_TRUE(body.ok()) << body.status().ToString();
+  Result<shard::ShardStatus> status = shard::DecodeStatus(*body);
+  ASSERT_TRUE(status.ok()) << status.status().ToString();
+  EXPECT_EQ(status->shard, 0);
+  EXPECT_EQ(status->health, HealthState::kServing);
+  EXPECT_NE(status->json.find("\"health\":\"SERVING\""), std::string::npos);
+  EXPECT_NE(status->json.find("\"admitted\""), std::string::npos);
+
+  // Garbage bodies come back as a decode Status, not a dead connection.
+  Result<std::vector<uint8_t>> bad =
+      client.Call(shard::kMethodImputeGaps, std::vector<uint8_t>{1, 2, 3});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(ShardTest, RouterMatchesSingleProcessWhenHealthy) {
+  std::unique_ptr<ShardWorker> w0 = StartWorker(0, 2);
+  std::unique_ptr<ShardWorker> w1 = StartWorker(1, 2);
+  ASSERT_NE(w0, nullptr);
+  ASSERT_NE(w1, nullptr);
+
+  ShardRouter router(*snapshot_, Endpoints({w0.get(), w1.get()}),
+                     PatientRouterOptions());
+  EXPECT_EQ(router.num_shards(), 2);
+  ASSERT_TRUE(router.WaitHealthy(30.0).ok());
+
+  for (size_t i = 0; i < 6 && i < scenario_->test.trajectories.size(); ++i) {
+    const Trajectory sparse = SparseTest(i);
+    Result<ImputedTrajectory> direct = (*snapshot_)->Impute(sparse);
+    Result<ImputedTrajectory> routed = router.Impute(sparse);
+    ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+    ASSERT_TRUE(routed.ok()) << routed.status().ToString();
+    ExpectSameImputation(*direct, *routed);
+  }
+
+  const shard::RouterStats stats = router.stats();
+  EXPECT_GT(stats.imputations, 0);
+  EXPECT_GT(stats.remote_calls, 0);
+  EXPECT_EQ(stats.linear_fallback_gaps, 0);
+  EXPECT_EQ(stats.failovers, 0);
+}
+
+TEST_F(ShardTest, KillFailoverRestartRecover) {
+  std::unique_ptr<ShardWorker> w0 = StartWorker(0, 2);
+  std::unique_ptr<ShardWorker> w1 = StartWorker(1, 2);
+  ASSERT_NE(w0, nullptr);
+  ASSERT_NE(w1, nullptr);
+  const uint16_t port0 = w0->port();
+
+  ShardRouter router(*snapshot_, Endpoints({w0.get(), w1.get()}),
+                     PatientRouterOptions());
+  ASSERT_TRUE(router.WaitHealthy(30.0).ok());
+
+  // Several trajectories so the sample provably has gaps owned by the
+  // shard we are about to kill (asserted below, not assumed).
+  constexpr size_t kTrajectories = 4;
+  const Pyramid& pyramid = (*snapshot_)->repository().pyramid();
+  int victim_gaps = 0;
+  std::vector<ImputedTrajectory> baseline;
+  for (size_t i = 0; i < kTrajectories; ++i) {
+    const Trajectory sparse = SparseTest(i);
+    Result<ImputePlan> plan = (*snapshot_)->PlanImpute(sparse);
+    ASSERT_TRUE(plan.ok());
+    for (const GapPlanEntry& gap : plan->gaps) {
+      if (ShardOfGap(router.partition(), pyramid, gap.context) == 0) {
+        ++victim_gaps;
+      }
+    }
+    Result<ImputedTrajectory> routed = router.Impute(sparse);
+    ASSERT_TRUE(routed.ok()) << routed.status().ToString();
+    baseline.push_back(*routed);
+  }
+  ASSERT_GT(victim_gaps, 0) << "fixture routes no gap to shard 0";
+
+  // Kill shard 0 the hard way (connections die mid-fleet).
+  w0.reset();
+
+  // The router keeps answering: owned gaps fail over to the surviving
+  // shard (which replicates the coarse ancestors) or take the router-
+  // local linear rung — never an error.
+  for (size_t i = 0; i < kTrajectories; ++i) {
+    Result<ImputedTrajectory> degraded = router.Impute(SparseTest(i));
+    ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  }
+  const shard::RouterStats mid = router.stats();
+  EXPECT_GT(mid.failovers + mid.linear_fallback_gaps, 0);
+
+  // The prober marks the dead shard down.
+  EXPECT_TRUE(WaitForHealth(router, 0, HealthState::kDraining, 10.0));
+
+  // Restart on the same advertised port (SO_REUSEADDR makes the re-bind
+  // immediate); the fleet heals and results are byte-identical again.
+  w0 = StartWorker(0, 2, port0);
+  ASSERT_NE(w0, nullptr);
+  ASSERT_TRUE(router.WaitHealthy(30.0).ok());
+  for (size_t i = 0; i < kTrajectories; ++i) {
+    Result<ImputedTrajectory> recovered = router.Impute(SparseTest(i));
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    ExpectSameImputation(baseline[i], *recovered);
+  }
+}
+
+TEST_F(ShardTest, HedgingFiresOnInjectedStraggler) {
+  std::unique_ptr<ShardWorker> w0 = StartWorker(0, 2);
+  std::unique_ptr<ShardWorker> w1 = StartWorker(1, 2);
+  ASSERT_NE(w0, nullptr);
+  ASSERT_NE(w1, nullptr);
+
+  // Long probe interval: the initial (fast) probes seed the latency
+  // window, then the prober stays out of the way of the failpoint.
+  RouterOptions options = PatientRouterOptions();
+  options.probe_interval_s = 60.0;
+  ShardRouter router(*snapshot_, Endpoints({w0.get(), w1.get()}), options);
+  ASSERT_TRUE(router.WaitHealthy(30.0).ok());
+
+  // Every receive now sleeps past the hedge budget, so the primary call
+  // looks like a straggler and a second connection races it.
+  FaultInjector::Instance().Arm("net.recv.delay", /*skip=*/0, /*count=*/-1);
+  Result<ImputedTrajectory> routed = router.Impute(SparseTest(0));
+  FaultInjector::Instance().Disarm("net.recv.delay");
+  ASSERT_TRUE(routed.ok()) << routed.status().ToString();
+
+  const shard::RouterStats stats = router.stats();
+  EXPECT_GT(stats.hedges, 0);
+  // The delay slows both attempts equally but breaks neither, so the
+  // result is still the healthy-fleet result.
+  Result<ImputedTrajectory> direct = (*snapshot_)->Impute(SparseTest(0));
+  ASSERT_TRUE(direct.ok());
+  ExpectSameImputation(*direct, *routed);
+}
+
+TEST_F(ShardTest, CollectStatsAndBroadcastSnapshot) {
+  std::unique_ptr<ShardWorker> w0 = StartWorker(0, 2);
+  std::unique_ptr<ShardWorker> w1 = StartWorker(1, 2);
+  ASSERT_NE(w0, nullptr);
+  ASSERT_NE(w1, nullptr);
+
+  ShardRouter router(*snapshot_, Endpoints({w0.get(), w1.get()}),
+                     PatientRouterOptions());
+  ASSERT_TRUE(router.WaitHealthy(30.0).ok());
+
+  std::vector<ShardRouter::ProbedStatus> probed = router.CollectStats();
+  ASSERT_EQ(probed.size(), 2u);
+  for (int s = 0; s < 2; ++s) {
+    ASSERT_TRUE(probed[s].reachable) << probed[s].error;
+    EXPECT_EQ(probed[s].status.shard, s);
+    EXPECT_EQ(probed[s].status.health, HealthState::kServing);
+    EXPECT_NE(probed[s].status.json.find("\"health\":\"SERVING\""),
+              std::string::npos);
+  }
+
+  // A broken path propagates the workers' load error...
+  EXPECT_FALSE(
+      router.BroadcastSnapshot(testing::TempDir() + "/kamel_no_such.bin")
+          .ok());
+  // ...and a good one hot-swaps every worker without changing results.
+  ASSERT_TRUE(router.BroadcastSnapshot(*snapshot_path_).ok());
+  Result<ImputedTrajectory> direct = (*snapshot_)->Impute(SparseTest(0));
+  Result<ImputedTrajectory> routed = router.Impute(SparseTest(0));
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(routed.ok()) << routed.status().ToString();
+  ExpectSameImputation(*direct, *routed);
+
+  // Kill one worker: CollectStats reports it unreachable in place.
+  w1.reset();
+  probed = router.CollectStats();
+  ASSERT_EQ(probed.size(), 2u);
+  EXPECT_TRUE(probed[0].reachable);
+  EXPECT_FALSE(probed[1].reachable);
+  EXPECT_FALSE(probed[1].error.empty());
+}
+
+}  // namespace
+}  // namespace kamel

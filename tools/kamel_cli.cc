@@ -11,12 +11,17 @@
 // Trajectories are CSV (`trajectory_id,lat,lng,time`); `--geojson` adds a
 // GeoJSON export for map inspection.
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
+#include <vector>
 
 #include "core/kamel.h"
 #include "core/maintenance.h"
@@ -24,6 +29,8 @@
 #include "eval/evaluator.h"
 #include "eval/scenario.h"
 #include "io/trajectory_csv.h"
+#include "shard/router.h"
+#include "shard/worker.h"
 #include "sim/datasets.h"
 #include "sim/sparsifier.h"
 
@@ -436,6 +443,185 @@ int Fsck(int argc, char** argv, const Flags& flags) {
   return rc;
 }
 
+// ---- sharded serving -------------------------------------------------
+
+// Parses `--shards host:port,host:port,...` (bare `port` gets 127.0.0.1).
+// One endpoint per shard, ordered by shard index.
+Result<std::vector<shard::ShardEndpoint>> ParseEndpoints(
+    const std::string& spec) {
+  std::vector<shard::ShardEndpoint> endpoints;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string token = spec.substr(start, comma - start);
+    start = comma + 1;
+    if (token.empty()) continue;
+    shard::ShardEndpoint endpoint;
+    const size_t colon = token.rfind(':');
+    std::string port = token;
+    if (colon != std::string::npos) {
+      endpoint.host = token.substr(0, colon);
+      port = token.substr(colon + 1);
+    }
+    const long parsed = std::atol(port.c_str());
+    if (parsed <= 0 || parsed > 65535) {
+      return Status::InvalidArgument("bad shard endpoint '" + token + "'");
+    }
+    endpoint.port = static_cast<uint16_t>(parsed);
+    endpoints.push_back(std::move(endpoint));
+  }
+  if (endpoints.empty()) {
+    return Status::InvalidArgument(
+        "--shards needs at least one host:port endpoint");
+  }
+  return endpoints;
+}
+
+std::atomic<bool> g_worker_stop{false};
+void HandleStopSignal(int) { g_worker_stop.store(true); }
+
+// One shard-serving process: loads its partition of the snapshot and
+// serves the shard RPC protocol until SIGINT/SIGTERM.
+int Worker(const Flags& flags) {
+  OverloadPolicy policy;
+  if (int rc = ParseOverloadPolicy(flags, &policy); rc != 0) return rc;
+  shard::WorkerOptions options;
+  options.host = flags.Get("host", "127.0.0.1");
+  options.port = static_cast<uint16_t>(flags.GetInt("port", 0));
+  options.shard = static_cast<int>(flags.GetInt("shard", 0));
+  options.num_shards = static_cast<int>(flags.GetInt("num-shards", 1));
+  options.kamel = OptionsFromFlags(flags);
+  options.serving.num_threads =
+      static_cast<int>(flags.GetInt("threads", 1));
+  options.serving.max_pending =
+      static_cast<int>(flags.GetInt("max-pending", 0));
+  options.serving.overload_policy = policy;
+  if (options.shard < 0 || options.shard >= options.num_shards) {
+    std::fprintf(stderr, "--shard must be in [0, --num-shards)\n");
+    return 2;
+  }
+
+  g_worker_stop.store(false);
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+
+  shard::ShardWorker worker(options);
+  const Status started = worker.Start(flags.Get("model"));
+  if (!started.ok()) return Fail(started);
+  std::printf("shard %d/%d serving on %s:%u (key level %d, %d models "
+              "dropped by partition)\n",
+              options.shard, options.num_shards, options.host.c_str(),
+              worker.port(), worker.partition().level,
+              worker.models_dropped());
+  std::fflush(stdout);
+  while (!g_worker_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  worker.Stop();
+  return 0;
+}
+
+// Routed imputation: the sharded counterpart of `kamel impute`. With all
+// shards healthy the output is byte-identical to the single-process path.
+int Route(const Flags& flags) {
+  auto endpoints = ParseEndpoints(flags.Get("shards"));
+  if (!endpoints.ok()) return Fail(endpoints.status());
+  Kamel system(OptionsFromFlags(flags));
+  if (int rc = LoadOrFail(&system, flags); rc != 0) return rc;
+  auto data = io::ReadCsvFile(flags.Get("data"));
+  if (!data.ok()) return Fail(data.status());
+  auto snapshot = system.Snapshot();
+  if (!snapshot.ok()) return Fail(snapshot.status());
+
+  shard::RouterOptions options;
+  options.call_deadline_s = flags.GetDouble("call-deadline", 2.0);
+  options.hedging = flags.Get("hedging", "on") != "off";
+  shard::ShardRouter router(*snapshot, std::move(*endpoints), options);
+  const double wait_s = flags.GetDouble("wait-healthy", 10.0);
+  if (const Status healthy = router.WaitHealthy(wait_s); !healthy.ok()) {
+    std::fprintf(stderr, "warning: %s (degraded routing)\n",
+                 healthy.ToString().c_str());
+  }
+
+  TrajectoryDataset imputed;
+  int segments = 0;
+  int failed = 0;
+  for (const Trajectory& trajectory : data->trajectories) {
+    auto result = router.Impute(trajectory);
+    if (!result.ok()) return Fail(result.status());
+    segments += result->stats.segments;
+    failed += result->stats.failed_segments;
+    imputed.trajectories.push_back(std::move(result->trajectory));
+  }
+  const Status written =
+      io::WriteCsvFile(imputed, flags.Get("out", "imputed.csv"));
+  if (!written.ok()) return Fail(written);
+  const shard::RouterStats stats = router.stats();
+  std::printf(
+      "routed %zu trajectories across %d shards: %d gaps, %d failures | "
+      "%lld calls, %lld retries, %lld hedges (%lld won), %lld failovers, "
+      "%lld linear-fallback gaps\n",
+      imputed.trajectories.size(), router.num_shards(), segments, failed,
+      static_cast<long long>(stats.remote_calls),
+      static_cast<long long>(stats.retries),
+      static_cast<long long>(stats.hedges),
+      static_cast<long long>(stats.hedge_wins),
+      static_cast<long long>(stats.failovers),
+      static_cast<long long>(stats.linear_fallback_gaps));
+  return 0;
+}
+
+// Dumps EngineStats + HealthState as JSON, one object per line. With
+// --shards it asks each worker over RPC (the same Stats method and JSON
+// schema the router's health prober consumes); with --model it builds a
+// local engine and reports its stats directly.
+int StatsCmd(const Flags& flags) {
+  if (flags.Has("shards")) {
+    auto endpoints = ParseEndpoints(flags.Get("shards"));
+    if (!endpoints.ok()) return Fail(endpoints.status());
+    int rc = 0;
+    for (size_t s = 0; s < endpoints->size(); ++s) {
+      const shard::ShardEndpoint& endpoint = (*endpoints)[s];
+      net::RpcClientOptions client_options;
+      client_options.call_deadline_s = flags.GetDouble("call-deadline", 2.0);
+      net::RpcClient client(endpoint.host, endpoint.port, client_options);
+      auto response = client.Call(shard::kMethodStats, {});
+      if (response.ok()) {
+        auto status = shard::DecodeStatus(*response);
+        if (status.ok()) {
+          std::printf(
+              "{\"shard\":%d,\"endpoint\":\"%s:%u\",\"reachable\":true,"
+              "\"stats\":%s}\n",
+              status->shard, endpoint.host.c_str(), endpoint.port,
+              status->json.c_str());
+          continue;
+        }
+        response = status.status();
+      }
+      std::printf(
+          "{\"shard\":%zu,\"endpoint\":\"%s:%u\",\"reachable\":false,"
+          "\"error\":\"%s\"}\n",
+          s, endpoint.host.c_str(), endpoint.port,
+          response.status().ToString().c_str());
+      rc = 1;
+    }
+    return rc;
+  }
+  // Local mode: load the snapshot and report a fresh engine's view.
+  Kamel system(OptionsFromFlags(flags));
+  if (int rc = LoadOrFail(&system, flags); rc != 0) return rc;
+  OverloadPolicy policy;
+  if (int rc = ParseOverloadPolicy(flags, &policy); rc != 0) return rc;
+  auto engine = MakeEngine(&system, flags, policy);
+  if (!engine.ok()) return Fail(engine.status());
+  std::printf("{\"shard\":-1,\"endpoint\":\"local\",\"reachable\":true,"
+              "\"stats\":%s}\n",
+              EngineStatsJson((*engine)->stats(), (*engine)->health())
+                  .c_str());
+  return 0;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -464,6 +650,23 @@ int Usage() {
       "            [--geojson] [--beam N] [--method beam|iterative]\n"
       "  evaluate  --model m.kamel --data dense.csv [--sparseness M]\n"
       "            [--delta M]\n"
+      "  worker    --model m.kamel --shard I --num-shards N --port P\n"
+      "            [--host H] [--threads N] [--max-pending N]\n"
+      "            [--overload-policy block|shed|degrade]\n"
+      "            serve shard I's partition of the snapshot over RPC\n"
+      "            until SIGTERM (port 0 picks a free port)\n"
+      "  route     --model m.kamel --shards host:p,host:p,...\n"
+      "            --data sparse.csv --out imputed.csv\n"
+      "            [--call-deadline S] [--hedging on|off]\n"
+      "            [--wait-healthy S]\n"
+      "            impute through the shard fleet (health-checked\n"
+      "            fan-out with retries, hedging, and failover; output\n"
+      "            is byte-identical to `kamel impute` while every\n"
+      "            shard is healthy)\n"
+      "  stats     --shards host:p,... | --model m.kamel\n"
+      "            dump per-shard (or local-engine) EngineStats +\n"
+      "            HealthState as JSON, one object per line; exit 1 if\n"
+      "            any shard is unreachable\n"
       "  fsck      SNAPSHOT [--wal-dir DIR]  verify framing and\n"
       "            checksums of a snapshot and/or a write-ahead log;\n"
       "            every damaged section or log record is named, and log\n"
@@ -495,6 +698,9 @@ int Main(int argc, char** argv) {
   if (command == "train") return Train(flags);
   if (command == "impute") return Impute(flags);
   if (command == "evaluate") return Evaluate(flags);
+  if (command == "worker") return Worker(flags);
+  if (command == "route") return Route(flags);
+  if (command == "stats") return StatsCmd(flags);
   if (command == "fsck") return Fsck(argc, argv, flags);
   return Usage();
 }
