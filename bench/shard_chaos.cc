@@ -1,38 +1,62 @@
 // Shard chaos harness: the multi-process extension of chaos_soak. A
-// supervisor trains once, saves the snapshot, forks 4 real worker
+// supervisor trains once, saves the snapshot, forks real worker
 // processes (this binary re-exec'd with --worker), and drives a
-// ShardRouter over them from concurrent client threads while a chaos
-// thread SIGKILLs a worker, restarts it on the same port, and cycles
-// `net.*` faults (refused connects, dropped frames, injected stragglers)
-// through the router's side of every connection. Gates:
+// ShardRouter over them from open-loop Poisson clients (zipf-skewed
+// input selection, so some shards run hot) while a chaos thread kills
+// workers mid-load. Two modes:
 //
-//   * contract: a well-formed imputation NEVER fails — a dead or faulted
-//     shard degrades (failover to the surviving shard's replicated
-//     ancestors, then router-local straight lines), it does not error
-//     (exit 1 otherwise);
-//   * recovery: after every kill the restarted worker must probe back to
-//     SERVING within its budget (exit 1);
-//   * identity: with all shards healthy and no faults armed — before and
-//     after the chaos — routed output is byte-identical to single-process
-//     KamelSnapshot::Impute on the same snapshot (exit 1);
-//   * liveness: a watchdog aborts with exit 2 if global progress stalls
-//     (kill + restart must never wedge the router).
+//   * legacy (--replicas 0, the default): one worker per shard. Rounds
+//     cycle `net.*` fault windows (refused connects, dropped frames,
+//     injected stragglers) and SIGKILL + same-port restarts; the gate is
+//     the PR-6 degradation contract.
+//   * replicated (--replicas N): KAMEL_SHARD_GROUPS groups of (1 primary
+//     + N warm standbys) with WAL shipping (semi-sync, min_sync 1).
+//     Every round SIGKILLs a group's CURRENT primary during load,
+//     requires the router to promote a caught-up standby (bumped epoch),
+//     restarts the victim as a standby of the new primary, and requires
+//     it to catch back up. Submit clients run throughout; every acked
+//     submit must survive into the final primary's WAL (zero acked
+//     loss), and reads must never fall back to router-local linear
+//     imputation while a caught-up standby exists.
 //
-// Exit 0 pass, 1 contract/recovery/identity violation, 2 watchdog stall,
-// 3 harness error (fork/exec/bind/train failures — not a verdict).
+// Gates (exit 1):
+//   * contract: a well-formed imputation NEVER errors; Submit may only
+//     refuse with kUnavailable / kDeadlineExceeded / kFailedPrecondition
+//     inside a failover window;
+//   * recovery: every killed worker returns (SERVING in legacy mode;
+//     promoted-then-caught-up in replicated mode) within budget;
+//   * identity: with the fleet healthy — before and after the chaos —
+//     routed output is byte-identical to single-process Impute;
+//   * durability (replicated): the set of acked submit ids is a subset
+//     of the kSubmit records in the final primaries' WALs;
+//   * promotion (replicated): every kill round ends in a promotion, and
+//     linear_fallback_gaps stays 0;
+//   * latency: imputation p99 <= $KAMEL_SHARD_P99_S (default 20s) and
+//     p999 <= $KAMEL_SHARD_P999_S (default 60s) — generous bounds that
+//     catch wedges, not noise; p50/p99/p999 are always reported.
+//
+// Exit 0 pass, 1 gate violation, 2 watchdog stall, 3 harness error.
 // $KAMEL_SOAK_IMPUTATIONS scales the chaos-phase load (default 2000);
+// $KAMEL_SOAK_RATE is the Poisson arrival rate per second (default 40);
+// $KAMEL_SHARD_GROUPS sets the group count (default 4);
+// $KAMEL_SHARD_REPLICAS mirrors --replicas for CI wiring;
 // $KAMEL_SHARD_PORT_BASE moves the fixed worker ports (default 38731).
 #include <signal.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <mutex>
+#include <random>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -40,6 +64,8 @@
 #include "common/fault_injection.h"
 #include "core/kamel.h"
 #include "eval/scenario.h"
+#include "io/wal.h"
+#include "replication/replication.h"
 #include "shard/router.h"
 #include "shard/worker.h"
 #include "sim/datasets.h"
@@ -48,23 +74,33 @@
 namespace kamel::bench {
 namespace {
 
-constexpr int kNumShards = 4;
 constexpr const char* kSnapshotPath = "/tmp/kamel_shard_chaos_snapshot.bin";
 
-long TargetImputations() {
-  if (const char* env = std::getenv("KAMEL_SOAK_IMPUTATIONS")) {
+long EnvLong(const char* name, long fallback) {
+  if (const char* env = std::getenv(name)) {
     const long parsed = std::atol(env);
     if (parsed > 0) return parsed;
   }
-  return 2000;
+  return fallback;
 }
 
-uint16_t PortBase() {
-  if (const char* env = std::getenv("KAMEL_SHARD_PORT_BASE")) {
-    const long parsed = std::atol(env);
-    if (parsed > 0 && parsed < 65536 - kNumShards) {
-      return static_cast<uint16_t>(parsed);
-    }
+double EnvDouble(const char* name, double fallback) {
+  if (const char* env = std::getenv(name)) {
+    const double parsed = std::atof(env);
+    if (parsed > 0) return parsed;
+  }
+  return fallback;
+}
+
+long TargetImputations() { return EnvLong("KAMEL_SOAK_IMPUTATIONS", 2000); }
+int NumGroups() {
+  return static_cast<int>(std::max(1L, EnvLong("KAMEL_SHARD_GROUPS", 4)));
+}
+
+uint16_t PortBase(int num_workers) {
+  const long parsed = EnvLong("KAMEL_SHARD_PORT_BASE", 38731);
+  if (parsed > 0 && parsed < 65536 - num_workers) {
+    return static_cast<uint16_t>(parsed);
   }
   return 38731;
 }
@@ -74,7 +110,7 @@ bool Progress() { return std::getenv("KAMEL_SOAK_PROGRESS") != nullptr; }
 // Must match between the trainer, the router's local snapshot, and every
 // worker child (snapshots do not persist options). Same shape as the
 // chaos_soak fixture: a real height-1 pyramid so the partition has 4 key
-// cells — one per worker — and every leaf has a replicated root ancestor.
+// cells and every leaf has a replicated root ancestor.
 KamelOptions ChaosKamelOptions() {
   KamelOptions options;
   options.pyramid_height = 1;
@@ -97,14 +133,16 @@ KamelOptions ChaosKamelOptions() {
 }
 
 // ---------------------------------------------------------------------------
-// Worker child: --worker <shard> <num_shards> <port> <snapshot_path>
+// Worker child:
+//   --worker <shard> <num_shards> <port> <snapshot_path> <wal_dir|->
+//            <standby_of_port> <min_sync_standbys>
 // ---------------------------------------------------------------------------
 
 std::atomic<bool> g_worker_stop{false};
 void HandleWorkerStop(int) { g_worker_stop.store(true); }
 
 int RunWorker(int argc, char** argv) {
-  if (argc < 6) {
+  if (argc < 9) {
     std::fprintf(stderr, "worker: bad argv\n");
     return 3;
   }
@@ -115,6 +153,9 @@ int RunWorker(int argc, char** argv) {
   options.kamel = ChaosKamelOptions();
   options.serving = {.num_threads = 2, .max_pending = 16,
                      .overload_policy = OverloadPolicy::kShed};
+  if (std::strcmp(argv[6], "-") != 0) options.wal_dir = argv[6];
+  options.standby_of_port = static_cast<uint16_t>(std::atoi(argv[7]));
+  options.replication.min_sync_standbys = std::atoi(argv[8]);
   shard::ShardWorker worker(options);
   if (const Status status = worker.Start(argv[5]); !status.ok()) {
     std::fprintf(stderr, "worker %d: start failed: %s\n", options.shard,
@@ -136,9 +177,10 @@ int RunWorker(int argc, char** argv) {
 // Supervisor
 // ---------------------------------------------------------------------------
 
-// Child pids, shared with the watchdog (which must reap before _Exit).
+// Child pids by flat worker index, shared with the watchdog (which must
+// reap before _Exit).
 std::mutex g_children_mu;
-std::vector<pid_t> g_children(kNumShards, -1);
+std::vector<pid_t> g_children;
 
 void KillAllChildren(int sig) {
   std::lock_guard<std::mutex> lock(g_children_mu);
@@ -152,25 +194,31 @@ void KillAllChildren(int sig) {
 }
 
 // Forks this binary back as one worker. Returns -1 on harness failure.
-pid_t SpawnWorker(const char* self, int shard, uint16_t port) {
+pid_t SpawnWorker(const char* self, int flat, int shard, int num_shards,
+                  uint16_t port, const std::string& wal_dir,
+                  uint16_t standby_of_port, int min_sync) {
   const std::string shard_s = std::to_string(shard);
-  const std::string num_s = std::to_string(kNumShards);
+  const std::string num_s = std::to_string(num_shards);
   const std::string port_s = std::to_string(port);
+  const std::string wal_s = wal_dir.empty() ? "-" : wal_dir;
+  const std::string standby_s = std::to_string(standby_of_port);
+  const std::string sync_s = std::to_string(min_sync);
   const pid_t pid = fork();
   if (pid < 0) {
     std::perror("fork");
     return -1;
   }
   if (pid == 0) {
-    const char* argv[] = {self,           "--worker",     shard_s.c_str(),
-                          num_s.c_str(),  port_s.c_str(), kSnapshotPath,
+    const char* argv[] = {self,          "--worker",       shard_s.c_str(),
+                          num_s.c_str(), port_s.c_str(),   kSnapshotPath,
+                          wal_s.c_str(), standby_s.c_str(), sync_s.c_str(),
                           nullptr};
     execv(self, const_cast<char**>(argv));
     std::perror("execv");
     _exit(3);
   }
   std::lock_guard<std::mutex> lock(g_children_mu);
-  g_children[shard] = pid;
+  g_children[flat] = pid;
   return pid;
 }
 
@@ -178,24 +226,70 @@ struct ChaosCounters {
   std::atomic<long> served{0};
   std::atomic<long> completed{0};  // watchdog heartbeat
   std::atomic<long> unexpected{0};
+  std::atomic<long> submits_acked{0};
+  std::atomic<long> submits_refused{0};  // contract-allowed refusals
   std::atomic<bool> recovery_failed{false};
   std::atomic<int> kills{0};
   std::atomic<int> restarts{0};
+  std::atomic<int> promotions{0};
   std::atomic<bool> chaos_done{false};
 };
 
-// Pushes imputations through the router until the target is reached AND
-// the chaos schedule has finished. Every error is a contract violation:
-// the router's ladder ends at router-local straight lines, never a
-// Status, for well-formed input.
+// Imputation latencies from every client thread, merged for the
+// percentile report.
+struct LatencyLog {
+  std::mutex mu;
+  std::vector<double> samples;
+  void Merge(std::vector<double>&& batch) {
+    std::lock_guard<std::mutex> lock(mu);
+    samples.insert(samples.end(), batch.begin(), batch.end());
+  }
+};
+
+// Zipf(s=1.1) over the input set: rank 1 is the hotspot, so one shard
+// group runs hot while the tail keeps every group warm.
+std::vector<double> ZipfCdf(size_t n) {
+  std::vector<double> cdf(n);
+  double total = 0;
+  for (size_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), 1.1);
+    cdf[r] = total;
+  }
+  for (double& c : cdf) c /= total;
+  return cdf;
+}
+
+size_t ZipfDraw(const std::vector<double>& cdf, std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  const double u = unit(rng);
+  return std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin();
+}
+
+// Open-loop Poisson client: arrivals are scheduled by an exponential
+// clock that does NOT wait for the previous call, so a slow fleet eats
+// into the schedule instead of silently lowering the offered load (the
+// classic closed-loop coordination bug). With synchronous calls the
+// backlog bound is the thread itself: a late arrival fires immediately.
 void ClientLoop(shard::ShardRouter* router,
-                const std::vector<Trajectory>* inputs, int seed, long target,
-                ChaosCounters* counters) {
-  size_t next = static_cast<size_t>(seed);
+                const std::vector<Trajectory>* inputs,
+                const std::vector<double>* zipf_cdf, int seed,
+                double rate_per_s, long target, ChaosCounters* counters,
+                LatencyLog* latencies) {
+  std::mt19937_64 rng(0x9e3779b97f4a7c15ull * (seed + 1));
+  std::exponential_distribution<double> inter(rate_per_s);
+  std::vector<double> local;
+  auto next_arrival = std::chrono::steady_clock::now();
   while (counters->served.load(std::memory_order_relaxed) < target ||
          !counters->chaos_done.load(std::memory_order_relaxed)) {
-    Result<ImputedTrajectory> result =
-        router->Impute((*inputs)[next++ % inputs->size()]);
+    next_arrival += std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(inter(rng)));
+    std::this_thread::sleep_until(next_arrival);  // no-op when behind
+    const size_t pick = ZipfDraw(*zipf_cdf, rng);
+    const auto t0 = std::chrono::steady_clock::now();
+    Result<ImputedTrajectory> result = router->Impute((*inputs)[pick]);
+    const auto t1 = std::chrono::steady_clock::now();
+    local.push_back(std::chrono::duration<double>(t1 - t0).count());
     counters->completed.fetch_add(1, std::memory_order_relaxed);
     if (result.ok()) {
       counters->served.fetch_add(1, std::memory_order_relaxed);
@@ -205,29 +299,67 @@ void ClientLoop(shard::ShardRouter* router,
                    result.status().ToString().c_str());
     }
   }
+  latencies->Merge(std::move(local));
 }
 
-bool WaitForServing(const shard::ShardRouter& router, int shard,
+// Submit client (replicated mode): durable writes with unique ids under
+// the same Poisson discipline. Refusals inside a failover window are
+// part of the contract (the primary is dead, or semi-sync cover is gone
+// while the victim catches back up); anything else is a violation. Every
+// acked id is recorded for the post-run WAL audit.
+void SubmitLoop(shard::ShardRouter* router,
+                const std::vector<Trajectory>* inputs,
+                const std::vector<double>* zipf_cdf, int seed,
+                double rate_per_s, ChaosCounters* counters,
+                std::mutex* acked_mu, std::set<int64_t>* acked_ids) {
+  std::mt19937_64 rng(0xbf58476d1ce4e5b9ull * (seed + 1));
+  std::exponential_distribution<double> inter(rate_per_s);
+  int64_t seq = 0;
+  auto next_arrival = std::chrono::steady_clock::now();
+  while (!counters->chaos_done.load(std::memory_order_relaxed)) {
+    next_arrival += std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(inter(rng)));
+    std::this_thread::sleep_until(next_arrival);
+    Trajectory trajectory = (*inputs)[ZipfDraw(*zipf_cdf, rng)];
+    trajectory.id = 1'000'000 + seed * 100'000 + seq++;
+    Result<shard::SubmitAck> ack = router->Submit(trajectory);
+    counters->completed.fetch_add(1, std::memory_order_relaxed);
+    if (ack.ok()) {
+      counters->submits_acked.fetch_add(1);
+      std::lock_guard<std::mutex> lock(*acked_mu);
+      acked_ids->insert(trajectory.id);
+    } else if (ack.status().code() == StatusCode::kUnavailable ||
+               ack.status().code() == StatusCode::kDeadlineExceeded ||
+               ack.status().code() == StatusCode::kFailedPrecondition) {
+      counters->submits_refused.fetch_add(1);
+    } else {
+      counters->unexpected.fetch_add(1);
+      std::fprintf(stderr, "contract violation: submit failed: %s\n",
+                   ack.status().ToString().c_str());
+    }
+  }
+}
+
+bool WaitForServing(const shard::ShardRouter& router, int flat,
                     double timeout_s) {
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration<double>(timeout_s);
   while (std::chrono::steady_clock::now() < deadline) {
-    if (router.ShardHealth()[shard] == HealthState::kServing) return true;
+    if (router.ShardHealth()[flat] == HealthState::kServing) return true;
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   return false;
 }
 
-// One chaos round per worker: arm a net fault window against the live
-// fleet, clear it, SIGKILL the round's victim mid-load, let the router
-// degrade, restart the victim on its advertised port, and require it to
-// probe back to SERVING. Every worker gets killed at least once.
-void ChaosLoop(const char* self, shard::ShardRouter* router,
-               const std::vector<uint16_t>* ports, long target,
-               ChaosCounters* counters) {
+// Legacy chaos (one worker per shard, no replication): net fault windows
+// plus SIGKILL + same-port restart, gated on probing back to SERVING.
+void LegacyChaosLoop(const char* self, shard::ShardRouter* router,
+                     const std::vector<uint16_t>* ports, int num_groups,
+                     long target, ChaosCounters* counters) {
   FaultInjector& injector = FaultInjector::Instance();
   const int rounds =
-      std::max(kNumShards, static_cast<int>(target / 500));
+      std::max(num_groups, static_cast<int>(target / 500));
   for (int round = 0; round < rounds; ++round) {
     // Fault window against healthy workers: stragglers (drives hedging),
     // dropped request frames (drives per-call deadlines + retries), and
@@ -239,7 +371,7 @@ void ChaosLoop(const char* self, shard::ShardRouter* router,
     std::this_thread::sleep_for(std::chrono::milliseconds(300));
     injector.Reset();
 
-    const int victim = round % kNumShards;
+    const int victim = round % num_groups;
     pid_t pid;
     {
       std::lock_guard<std::mutex> lock(g_children_mu);
@@ -258,10 +390,11 @@ void ChaosLoop(const char* self, shard::ShardRouter* router,
                      victim);
       }
     }
-    // Let clients run against the 3-shard fleet for a while.
+    // Let clients run against the degraded fleet for a while.
     std::this_thread::sleep_for(std::chrono::milliseconds(500));
 
-    if (SpawnWorker(self, victim, (*ports)[victim]) < 0) {
+    if (SpawnWorker(self, victim, victim, num_groups, (*ports)[victim],
+                    "", 0, 0) < 0) {
       counters->recovery_failed.store(true);
       break;
     }
@@ -280,6 +413,144 @@ void ChaosLoop(const char* self, shard::ShardRouter* router,
     }
   }
   injector.Reset();
+  counters->chaos_done.store(true);
+}
+
+// Replicated chaos: every round SIGKILLs the CURRENT primary of one
+// group mid-load, requires the router's prober to promote a caught-up
+// standby (bumped epoch), restarts the victim as a standby of the new
+// primary, and requires it to catch back up — role STANDBY, the new
+// epoch adopted, lag within bounds. No net fault windows here: the gate
+// is the promotion ladder itself, and it must fire on every round.
+void ReplicaChaosLoop(const char* self, shard::ShardRouter* router,
+                      const std::vector<uint16_t>* ports,
+                      const std::vector<std::string>* wal_dirs,
+                      int num_groups, int replicas, long target,
+                      ChaosCounters* counters) {
+  const int group_size = replicas + 1;
+  const int rounds =
+      std::max(num_groups, static_cast<int>(target / 500));
+  for (int round = 0; round < rounds; ++round) {
+    const int group = round % num_groups;
+
+    // Find the group's current primary through the router's own view.
+    int victim_member = -1;
+    uint64_t old_epoch = 0;
+    for (const auto& view : router->ReplicaViews()) {
+      if (view.group == group && view.is_primary) {
+        victim_member = view.member;
+        old_epoch = view.epoch;
+      }
+    }
+    if (victim_member < 0) {
+      std::fprintf(stderr, "FAIL: group %d has no believed primary\n",
+                   group);
+      counters->recovery_failed.store(true);
+      break;
+    }
+    const int victim_flat = group * group_size + victim_member;
+    pid_t pid;
+    {
+      std::lock_guard<std::mutex> lock(g_children_mu);
+      pid = g_children[victim_flat];
+    }
+    if (pid <= 0) {
+      counters->recovery_failed.store(true);
+      break;
+    }
+    kill(pid, SIGKILL);
+    waitpid(pid, nullptr, 0);
+    {
+      std::lock_guard<std::mutex> lock(g_children_mu);
+      g_children[victim_flat] = -1;
+    }
+    counters->kills.fetch_add(1);
+    if (Progress()) {
+      std::fprintf(stderr,
+                   "[chaos] round %d: killed group %d primary (member %d, "
+                   "epoch %llu)\n",
+                   round, group, victim_member,
+                   static_cast<unsigned long long>(old_epoch));
+    }
+
+    // The promotion gate: a surviving standby must take over with a
+    // bumped epoch within budget, driven purely by the prober.
+    int new_member = -1;
+    uint64_t new_epoch = 0;
+    const auto promote_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (std::chrono::steady_clock::now() < promote_deadline) {
+      for (const auto& view : router->ReplicaViews()) {
+        if (view.group == group && view.is_primary &&
+            view.member != victim_member && view.epoch > old_epoch) {
+          new_member = view.member;
+          new_epoch = view.epoch;
+        }
+      }
+      if (new_member >= 0) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    if (new_member < 0) {
+      std::fprintf(stderr,
+                   "FAIL: group %d never promoted after primary kill "
+                   "(round %d)\n",
+                   group, round);
+      counters->recovery_failed.store(true);
+      break;
+    }
+    counters->promotions.fetch_add(1);
+    if (Progress()) {
+      std::fprintf(stderr,
+                   "[chaos] round %d: group %d promoted member %d at epoch "
+                   "%llu\n",
+                   round, group, new_member,
+                   static_cast<unsigned long long>(new_epoch));
+    }
+
+    // Rejoin the deposed worker as a standby of the new primary: its
+    // old-epoch pull is answered with reset + the new epoch, divergent
+    // history is wiped, and it must catch back up.
+    const int new_flat = group * group_size + new_member;
+    if (SpawnWorker(self, victim_flat, group, num_groups,
+                    (*ports)[victim_flat], (*wal_dirs)[victim_flat],
+                    (*ports)[new_flat], std::min(1, replicas)) < 0) {
+      counters->recovery_failed.store(true);
+      break;
+    }
+    counters->restarts.fetch_add(1);
+    bool caught_up = false;
+    const auto rejoin_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(120);
+    while (std::chrono::steady_clock::now() < rejoin_deadline) {
+      for (const auto& view : router->ReplicaViews()) {
+        if (view.group == group && view.member == victim_member) {
+          caught_up = view.reachable && !view.stale &&
+                      view.role == replication::ReplicaRole::kStandby &&
+                      view.epoch == new_epoch;
+        }
+      }
+      if (caught_up) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    if (!caught_up) {
+      std::fprintf(stderr,
+                   "FAIL: group %d member %d never caught up as a standby "
+                   "of epoch %llu (round %d)\n",
+                   group, victim_member,
+                   static_cast<unsigned long long>(new_epoch), round);
+      counters->recovery_failed.store(true);
+      break;
+    }
+    if (Progress()) {
+      std::fprintf(stderr,
+                   "[chaos] round %d: member %d rejoined group %d as "
+                   "standby\n",
+                   round, victim_member, group);
+    }
+    // Let load flow against the post-promotion fleet before the next
+    // round picks a victim.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  }
   counters->chaos_done.store(true);
 }
 
@@ -320,9 +591,58 @@ bool IdenticalWhenHealthy(const KamelSnapshot& snapshot,
   return true;
 }
 
-int RunSupervisor(const char* self) {
+// Durability audit: every acked submit id must appear as a kSubmit
+// record in the WAL of its group's FINAL primary — the member writes
+// were being routed to when the run ended. Semi-sync shipping is what
+// carries an ack across promotions; this is the gate that proves it.
+bool AuditAckedSubmits(const std::vector<std::string>& final_primary_dirs,
+                       const std::set<int64_t>& acked_ids) {
+  std::set<int64_t> found;
+  for (const std::string& dir : final_primary_dirs) {
+    WalOptions options;
+    options.dir = dir;
+    WalRecoveryReport report;
+    Result<std::unique_ptr<WriteAheadLog>> wal =
+        WriteAheadLog::Open(options, &report);
+    if (!wal.ok()) {
+      std::fprintf(stderr, "FAIL: audit open of %s: %s\n", dir.c_str(),
+                   wal.status().ToString().c_str());
+      return false;
+    }
+    for (const WalRecord& record : report.records) {
+      if (record.type != WalRecordType::kSubmit) continue;
+      Result<Trajectory> trajectory =
+          DecodeTrajectoryPayload(record.payload);
+      if (trajectory.ok()) found.insert(trajectory->id);
+    }
+  }
+  long missing = 0;
+  for (const int64_t id : acked_ids) {
+    if (found.count(id) == 0) {
+      ++missing;
+      std::fprintf(stderr,
+                   "FAIL: acked submit id %lld missing from every final "
+                   "primary WAL\n",
+                   static_cast<long long>(id));
+    }
+  }
+  return missing == 0;
+}
+
+double Percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const size_t index = std::min(
+      sorted.size() - 1, static_cast<size_t>(p * (sorted.size() - 1)));
+  return sorted[index];
+}
+
+int RunSupervisor(const char* self, int replicas) {
   const long target = TargetImputations();
-  const uint16_t port_base = PortBase();
+  const int num_groups = NumGroups();
+  const int group_size = replicas + 1;
+  const int num_workers = num_groups * group_size;
+  const uint16_t port_base = PortBase(num_workers);
+  const double rate = EnvDouble("KAMEL_SOAK_RATE", 40.0);
 
   // Train once, persist the snapshot all workers load.
   const SimScenario scenario = BuildScenario(MiniSpec());
@@ -347,19 +667,57 @@ int RunSupervisor(const char* self) {
   for (const Trajectory& trajectory : scenario.test.trajectories) {
     inputs.push_back(Sparsify(trajectory, 400.0));
   }
+  const std::vector<double> zipf_cdf = ZipfCdf(inputs.size());
 
   // Fleet on fixed ports (a restarted worker must come back on the port
-  // the router knows; SO_REUSEADDR makes the re-bind immediate).
-  std::vector<uint16_t> ports;
+  // the router knows; SO_REUSEADDR makes the re-bind immediate). Layout
+  // is group-major: group g member m at flat index g*group_size + m,
+  // member 0 the initial primary. WAL dirs are per-run (stale epochs
+  // from a previous run must not leak in).
+  const std::string wal_root =
+      "/tmp/kamel_shard_chaos_wal_" + std::to_string(::getpid());
+  std::error_code ec;
+  std::filesystem::remove_all(wal_root, ec);
+  std::vector<uint16_t> ports(num_workers);
+  std::vector<std::string> wal_dirs(num_workers);
   std::vector<shard::ShardEndpoint> endpoints;
-  for (int s = 0; s < kNumShards; ++s) {
-    ports.push_back(static_cast<uint16_t>(port_base + s));
-    endpoints.push_back({"127.0.0.1", ports.back()});
-    if (SpawnWorker(self, s, ports[s]) < 0) return 3;
+  {
+    std::lock_guard<std::mutex> lock(g_children_mu);
+    g_children.assign(num_workers, -1);
+  }
+  for (int flat = 0; flat < num_workers; ++flat) {
+    ports[flat] = static_cast<uint16_t>(port_base + flat);
+    endpoints.push_back({"127.0.0.1", ports[flat]});
+    if (replicas > 0) {
+      const int group = flat / group_size;
+      const int member = flat % group_size;
+      wal_dirs[flat] = wal_root + "/g" + std::to_string(group) + "m" +
+                       std::to_string(member);
+      std::filesystem::create_directories(wal_dirs[flat], ec);
+      if (ec) {
+        std::fprintf(stderr, "mkdir %s: %s\n", wal_dirs[flat].c_str(),
+                     ec.message().c_str());
+        return 3;
+      }
+    }
+  }
+  for (int flat = 0; flat < num_workers; ++flat) {
+    const int group = flat / group_size;
+    const int member = flat % group_size;
+    const uint16_t standby_of =
+        (replicas > 0 && member > 0) ? ports[group * group_size] : 0;
+    if (SpawnWorker(self, flat, group, num_groups, ports[flat],
+                    wal_dirs[flat], standby_of,
+                    std::min(1, replicas)) < 0) {
+      return 3;
+    }
   }
 
   shard::RouterOptions router_options;
   router_options.call_deadline_s = 30.0;  // single-core host under load
+  router_options.replicas = replicas;
+  router_options.probe_interval_s = replicas > 0 ? 0.1 : 0.25;
+  router_options.promote_deadline_s = 30.0;
   shard::ShardRouter router(*snapshot, endpoints, router_options);
   if (const Status status = router.WaitHealthy(120.0); !status.ok()) {
     std::fprintf(stderr, "fleet never reached SERVING: %s\n",
@@ -376,6 +734,9 @@ int RunSupervisor(const char* self) {
   }
 
   ChaosCounters counters;
+  LatencyLog latencies;
+  std::mutex acked_mu;
+  std::set<int64_t> acked_ids;
 
   // Watchdog: chaos rounds are seconds each; two minutes of global
   // silence means the router wedged on a dead shard. _Exit skips
@@ -390,8 +751,12 @@ int RunSupervisor(const char* self) {
       stalled_polls = (now == last) ? stalled_polls + 1 : 0;
       last = now;
       if (Progress()) {
-        std::fprintf(stderr, "[chaos] %ld/%ld served, %d kills\n",
-                     counters.served.load(), target, counters.kills.load());
+        std::fprintf(stderr,
+                     "[chaos] %ld/%ld served, %d kills, %d promotions, "
+                     "%ld acked submits\n",
+                     counters.served.load(), target, counters.kills.load(),
+                     counters.promotions.load(),
+                     counters.submits_acked.load());
       }
       if (stalled_polls >= 240) {
         std::fprintf(stderr,
@@ -403,16 +768,30 @@ int RunSupervisor(const char* self) {
     }
   });
 
-  std::thread chaos(ChaosLoop, self, &router, &ports, target, &counters);
+  std::thread chaos;
+  if (replicas > 0) {
+    chaos = std::thread(ReplicaChaosLoop, self, &router, &ports, &wal_dirs,
+                        num_groups, replicas, target, &counters);
+  } else {
+    chaos = std::thread(LegacyChaosLoop, self, &router, &ports, num_groups,
+                        target, &counters);
+  }
+  constexpr int kClients = 3;
   std::vector<std::thread> clients;
-  for (int i = 0; i < 2; ++i) {
-    clients.emplace_back(ClientLoop, &router, &inputs, i * 13, target,
-                         &counters);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back(ClientLoop, &router, &inputs, &zipf_cdf, i,
+                         rate / kClients, target, &counters, &latencies);
+  }
+  std::thread submitter;
+  if (replicas > 0) {
+    submitter = std::thread(SubmitLoop, &router, &inputs, &zipf_cdf, 7,
+                            rate / 8, &counters, &acked_mu, &acked_ids);
   }
   for (std::thread& client : clients) client.join();
   chaos.join();
+  if (submitter.joinable()) submitter.join();
 
-  // Gate 2 ran inside the chaos loop (SERVING after every restart).
+  // Gate 2 ran inside the chaos loop (recovery after every kill).
   // Gate 3: faults cleared, full fleet — byte-identical again.
   FaultInjector::Instance().Reset();
   bool identical = false;
@@ -423,36 +802,92 @@ int RunSupervisor(const char* self) {
     std::fprintf(stderr, "FAIL: fleet not SERVING after chaos cleared\n");
   }
 
+  // Capture each group's final primary before tearing the fleet down —
+  // the durability audit reads exactly those WAL directories.
+  std::vector<std::string> final_primary_dirs;
+  if (replicas > 0) {
+    for (const auto& view : router.ReplicaViews()) {
+      if (view.is_primary) {
+        final_primary_dirs.push_back(
+            wal_dirs[view.group * group_size + view.member]);
+      }
+    }
+  }
+
   stop_watchdog.store(true);
   watchdog.join();
   KillAllChildren(SIGTERM);
   KillAllChildren(SIGKILL);
 
+  std::vector<double> sorted;
+  {
+    std::lock_guard<std::mutex> lock(latencies.mu);
+    sorted = latencies.samples;
+  }
+  std::sort(sorted.begin(), sorted.end());
+  const double p50 = Percentile(sorted, 0.50);
+  const double p99 = Percentile(sorted, 0.99);
+  const double p999 = Percentile(sorted, 0.999);
+
   const shard::RouterStats stats = router.stats();
   std::printf(
-      "shard chaos: %ld served of %ld attempts | %d kills, %d restarts | "
-      "router: %lld calls, %lld retries, %lld hedges (%lld won), "
-      "%lld failovers, %lld linear-fallback gaps\n",
+      "shard chaos: %ld served of %ld attempts | %d kills, %d restarts, "
+      "%d promotions | %ld submits acked, %ld refused | latency p50 %.0f "
+      "ms p99 %.0f ms p999 %.0f ms | router: %lld calls, %lld retries, "
+      "%lld hedges (%lld won), %lld failovers, %lld linear-fallback gaps, "
+      "%lld stale primaries\n",
       counters.served.load(), counters.completed.load(),
       counters.kills.load(), counters.restarts.load(),
+      counters.promotions.load(), counters.submits_acked.load(),
+      counters.submits_refused.load(), p50 * 1e3, p99 * 1e3, p999 * 1e3,
       static_cast<long long>(stats.remote_calls),
       static_cast<long long>(stats.retries),
       static_cast<long long>(stats.hedges),
       static_cast<long long>(stats.hedge_wins),
       static_cast<long long>(stats.failovers),
-      static_cast<long long>(stats.linear_fallback_gaps));
+      static_cast<long long>(stats.linear_fallback_gaps),
+      static_cast<long long>(stats.stale_primaries));
 
+  bool failed = false;
   if (counters.unexpected.load() > 0) {
     std::fprintf(stderr,
-                 "FAIL: %ld imputations failed outside the degradation "
+                 "FAIL: %ld calls failed outside the degradation "
                  "contract\n",
                  counters.unexpected.load());
-    return 1;
+    failed = true;
   }
-  if (counters.recovery_failed.load()) return 1;
-  if (!identical) return 1;
-  std::printf("shard chaos: PASS (%d kill/restart cycles survived)\n",
-              counters.kills.load());
+  if (counters.recovery_failed.load()) failed = true;
+  if (!identical) failed = true;
+  const double p99_gate = EnvDouble("KAMEL_SHARD_P99_S", 20.0);
+  const double p999_gate = EnvDouble("KAMEL_SHARD_P999_S", 60.0);
+  if (p99 > p99_gate || p999 > p999_gate) {
+    std::fprintf(stderr,
+                 "FAIL: latency gate: p99 %.2fs (<= %.2fs) p999 %.2fs "
+                 "(<= %.2fs)\n",
+                 p99, p99_gate, p999, p999_gate);
+    failed = true;
+  }
+  if (replicas > 0) {
+    if (stats.linear_fallback_gaps != 0) {
+      std::fprintf(stderr,
+                   "FAIL: %lld gaps fell back to linear while a caught-up "
+                   "standby existed\n",
+                   static_cast<long long>(stats.linear_fallback_gaps));
+      failed = true;
+    }
+    if (counters.promotions.load() < counters.kills.load()) {
+      std::fprintf(stderr, "FAIL: %d kills but only %d promotions\n",
+                   counters.kills.load(), counters.promotions.load());
+      failed = true;
+    }
+    if (!AuditAckedSubmits(final_primary_dirs, acked_ids)) failed = true;
+  }
+  if (failed) return 1;
+  std::filesystem::remove_all(wal_root, ec);
+  std::printf(
+      "shard chaos: PASS (%d kill/restart cycles, %d promotions, %zu "
+      "acked submits audited)\n",
+      counters.kills.load(), counters.promotions.load(), acked_ids.size());
   return 0;
 }
 
@@ -463,6 +898,14 @@ int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "--worker") == 0) {
     return kamel::bench::RunWorker(argc, argv);
   }
+  int replicas = static_cast<int>(
+      kamel::bench::EnvLong("KAMEL_SHARD_REPLICAS", 0));
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--replicas") == 0 && i + 1 < argc) {
+      replicas = std::atoi(argv[++i]);
+    }
+  }
+  if (replicas < 0) replicas = 0;
   // Re-exec through the stable self path, not argv[0] (which may be
   // relative to a cwd the children do not share).
   char self[4096];
@@ -472,5 +915,5 @@ int main(int argc, char** argv) {
     return 3;
   }
   self[n] = '\0';
-  return kamel::bench::RunSupervisor(self);
+  return kamel::bench::RunSupervisor(self, replicas);
 }

@@ -55,6 +55,11 @@ void BinaryWriter::WriteString(const std::string& s) {
   buffer_.insert(buffer_.end(), s.begin(), s.end());
 }
 
+void BinaryWriter::WriteBytes(const std::vector<uint8_t>& bytes) {
+  WriteU64(bytes.size());
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
 void BinaryWriter::WriteF32Array(const float* data, size_t count) {
   WriteU64(count);
   const auto* bytes = reinterpret_cast<const uint8_t*>(data);
@@ -193,6 +198,15 @@ Result<std::string> BinaryReader::ReadString() {
   std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
   pos_ += len;
   return s;
+}
+
+Result<std::vector<uint8_t>> BinaryReader::ReadBytes() {
+  KAMEL_ASSIGN_OR_RETURN(uint64_t len, ReadU64());
+  KAMEL_RETURN_NOT_OK(Require(len));
+  std::vector<uint8_t> bytes(data_.begin() + static_cast<ptrdiff_t>(pos_),
+                             data_.begin() + static_cast<ptrdiff_t>(pos_ + len));
+  pos_ += len;
+  return bytes;
 }
 
 Status BinaryReader::ReadF32Array(float* out, size_t count) {

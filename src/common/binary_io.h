@@ -37,6 +37,9 @@ class BinaryWriter {
   void WriteF32(float v);
   void WriteF64(double v);
   void WriteString(const std::string& s);
+  /// Length-prefixed (u64) opaque byte blob — WAL chunk payloads and the
+  /// like, where the bytes are a foreign format, not this codec's.
+  void WriteBytes(const std::vector<uint8_t>& bytes);
   void WriteF32Array(const float* data, size_t count);
 
   /// Writes the snapshot magic + format version (call first).
@@ -92,6 +95,7 @@ class BinaryReader {
   Result<float> ReadF32();
   Result<double> ReadF64();
   Result<std::string> ReadString();
+  Result<std::vector<uint8_t>> ReadBytes();
   Status ReadF32Array(float* out, size_t count);
 
   /// Verifies the snapshot magic and that the version is supported;

@@ -76,6 +76,17 @@ struct IoFaultSpec {
 ///                           the atomic snapshot save pipeline and the
 ///                           whole-file snapshot load
 ///   model.io.read           lazy model section read (pread path)
+///   replica.io.open / replica.io.write / replica.io.fsync /
+///   replica.io.read / replica.io.unlink / replica.io.truncate /
+///   replica.io.dirsync
+///                           every syscall WalReplicaApplier makes
+///                           (chunk append/fsync, torn-tail truncate,
+///                           reset wipe, recovery scan) — distinct from
+///                           wal.io.* so a test can tear the standby's
+///                           tail without touching the primary
+///   epoch.io.open / epoch.io.write / epoch.io.fsync /
+///   epoch.io.rename / epoch.io.dirsync / epoch.io.read
+///                           the atomic fencing-epoch store
 ///
 /// When nothing is armed, Hit() is a single relaxed atomic load — cheap
 /// enough to leave in serving paths.

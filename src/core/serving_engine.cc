@@ -203,18 +203,36 @@ Result<std::vector<ImputedTrajectory>> ServingEngine::ImputeBatch(
   return out;
 }
 
-HealthState ServingEngine::health() const {
+HealthState ServingEngine::health() const { return status().health; }
+
+EngineStats ServingEngine::stats() const { return status().stats; }
+
+EngineStatus ServingEngine::status() const {
+  EngineStatus out;
   {
+    // ONE hold of the admission lock produces both the counters and the
+    // admission-derived health verdict, so the pair is consistent: a
+    // probe can never read kShedding next to pending < max_pending.
     std::lock_guard<std::mutex> lock(admit_mu_);
-    if (draining_) return HealthState::kDraining;
-    if (options_.max_pending > 0 && pending_ >= options_.max_pending) {
-      return options_.overload_policy == OverloadPolicy::kShed
-                 ? HealthState::kShedding
-                 : HealthState::kDegraded;
+    out.stats.admitted = admitted_;
+    out.stats.shed = shed_;
+    out.stats.degraded = degraded_;
+    out.stats.pending = pending_;
+    out.stats.peak_pending = peak_pending_;
+    if (draining_) {
+      out.health = HealthState::kDraining;
+    } else if (options_.max_pending > 0 && pending_ >= options_.max_pending) {
+      out.health = options_.overload_policy == OverloadPolicy::kShed
+                       ? HealthState::kShedding
+                       : HealthState::kDegraded;
     }
   }
-  // An open model-load breaker means some segments are being served by a
-  // pyramid ancestor (or a straight line): degraded, not down.
+  // Resource signals, gathered ONCE outside admit_mu_ (snapshot() takes
+  // its own lock; the watchdog has its own) and applied to counters and
+  // health alike.
+  out.stats.io_stalls = IoWatchdog::Instance().stall_events();
+  out.stats.io_stuck = IoWatchdog::Instance().stuck_now();
+  bool breaker_open = false;
   const std::shared_ptr<const KamelSnapshot> snap = snapshot();
   const ShardedModelCache* cache = snap->repository().cache();
   if (cache != nullptr) {
@@ -222,42 +240,21 @@ HealthState ServingEngine::health() const {
     // pressure that a trim cannot fix (every over-budget entry pinned by
     // an in-flight imputation) is the real signal.
     cache->TrimToBudget();
-    if (cache->open_breakers() > 0 || cache->memory_pressure()) {
-      return HealthState::kDegraded;
-    }
+    out.stats.cache_resident_bytes = cache->resident_bytes();
+    out.stats.resource_pressure = cache->memory_pressure();
+    breaker_open = cache->open_breakers() > 0;
   }
-  // A hung IO operation (WAL fsync, snapshot save, model load past its
-  // watchdog budget) is resource pressure: the engine still serves, but
-  // probes should steer load elsewhere until the stall clears.
-  if (IoWatchdog::Instance().stuck_now() > 0) {
-    return HealthState::kDegraded;
+  out.stats.resource_pressure =
+      out.stats.resource_pressure || out.stats.io_stuck > 0;
+  // An open model-load breaker means some segments are being served by a
+  // pyramid ancestor (or a straight line), and a hung IO operation means
+  // probes should steer load elsewhere: degraded, not down. Terminal and
+  // admission states take precedence.
+  if (out.health == HealthState::kServing &&
+      (breaker_open || out.stats.resource_pressure)) {
+    out.health = HealthState::kDegraded;
   }
-  return HealthState::kServing;
-}
-
-EngineStats ServingEngine::stats() const {
-  EngineStats stats;
-  {
-    std::lock_guard<std::mutex> lock(admit_mu_);
-    stats.admitted = admitted_;
-    stats.shed = shed_;
-    stats.degraded = degraded_;
-    stats.pending = pending_;
-    stats.peak_pending = peak_pending_;
-  }
-  // Resource signals, gathered outside admit_mu_ (snapshot() takes its
-  // own lock; the watchdog has its own).
-  stats.io_stalls = IoWatchdog::Instance().stall_events();
-  stats.io_stuck = IoWatchdog::Instance().stuck_now();
-  const std::shared_ptr<const KamelSnapshot> snap = snapshot();
-  const ShardedModelCache* cache = snap->repository().cache();
-  if (cache != nullptr) {
-    cache->TrimToBudget();
-    stats.cache_resident_bytes = cache->resident_bytes();
-    stats.resource_pressure = cache->memory_pressure();
-  }
-  stats.resource_pressure = stats.resource_pressure || stats.io_stuck > 0;
-  return stats;
+  return out;
 }
 
 bool ServingEngine::draining() const {

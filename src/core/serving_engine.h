@@ -80,6 +80,16 @@ struct EngineStats {
   uint64_t cache_resident_bytes = 0;
 };
 
+/// One mutually consistent observation of an engine: the counters and
+/// the health verdict are computed from the SAME locked read of the
+/// admission state and the SAME gather of the resource signals, so a
+/// probe can never see contradictory pairs (e.g. health SERVING next to
+/// resource_pressure=true, or pending > 0 with zero admitted).
+struct EngineStatus {
+  EngineStats stats;
+  HealthState health = HealthState::kServing;
+};
+
 /// Tunables of the concurrent serving engine.
 struct ServingOptions {
   /// Worker threads in the imputation pool; 0 uses the hardware
@@ -167,11 +177,19 @@ class ServingEngine {
   /// or an IO operation hung past its watchdog budget); kServing
   /// otherwise. Recovers to kServing on its own once breakers re-close,
   /// pressure lifts, and the queue drains (except kDraining, terminal).
+  /// Equivalent to status().health.
   HealthState health() const;
 
   /// Admission counters; `pending`/`peak_pending` cover pool-dispatched
-  /// work (ImputeAsync, ImputeBatch).
+  /// work (ImputeAsync, ImputeBatch). Equivalent to status().stats;
+  /// callers that also want health should take one status() snapshot
+  /// instead of separate stats()+health() calls, which can disagree.
   EngineStats stats() const;
+
+  /// Counters + health as ONE consistent snapshot (one hold of the
+  /// admission lock, one gather of the resource signals). This is what
+  /// the Stats RPC, `kamel stats`, and the router's prober report.
+  EngineStatus status() const;
 
   /// Stops admitting work (terminal) and blocks until every pending
   /// imputation has finished. Blocked kBlock callers wake with

@@ -323,6 +323,10 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
     KAMEL_RETURN_NOT_OK(
         log->OpenSegmentForAppend(log->segments_.back().base_lsn, false));
   }
+  // Everything on disk after recovery is durable (torn tails are gone),
+  // so the replication watermarks start at the recovered positions.
+  log->durable_bytes_ = log->current_bytes_;
+  log->durable_lsn_ = log->next_lsn_ - 1;
   return log;
 }
 
@@ -370,6 +374,7 @@ Status WriteAheadLog::OpenSegmentForAppend(uint64_t base_lsn, bool create) {
     closed_bytes_ += current_bytes_;
     segments_.push_back(Segment{base_lsn, path, kSegmentHeaderBytes});
     current_bytes_ = kSegmentHeaderBytes;
+    durable_bytes_ = kSegmentHeaderBytes;  // the header was just fsynced
     KAMEL_RETURN_NOT_OK(io::FsyncDir(options_.dir, "wal.io.dirsync"));
   }
   if (fd_ >= 0) ::close(fd_);
@@ -396,6 +401,9 @@ Status WriteAheadLog::SyncNow() {
       io::Fsync(fd_, segments_.back().path, "wal.io.fsync"));
   unsynced_records_ = 0;
   ++stats_.fsyncs;
+  // The whole written prefix is now durable; replication may ship it.
+  durable_bytes_ = current_bytes_;
+  durable_lsn_ = next_lsn_ - 1;
   return Status::OK();
 }
 
@@ -524,6 +532,356 @@ Status WriteAheadLog::Checkpoint(uint64_t upto_lsn) {
     KAMEL_RETURN_NOT_OK(io::FsyncDir(options_.dir, "wal.io.dirsync"));
   }
   return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// TailChunk (primary-side replication read)
+// ---------------------------------------------------------------------------
+
+Result<WalShipChunk> WriteAheadLog::TailChunk(uint64_t segment_base,
+                                              uint64_t offset,
+                                              uint64_t max_bytes) const {
+  WalShipChunk chunk;
+  chunk.segment_base = segment_base;
+  chunk.offset = offset;
+  chunk.durable_lsn = durable_lsn_;
+  if (segments_.empty()) {
+    return Status::FailedPrecondition("wal has no segments to tail");
+  }
+  size_t index = segments_.size();
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    if (segments_[i].base_lsn == segment_base) {
+      index = i;
+      break;
+    }
+  }
+  if (index == segments_.size()) {
+    // A fresh replica (base 0), a position below our GC'd history, or a
+    // base from a divergent history: either way the replica must start
+    // over from our earliest live segment.
+    chunk.kind = WalShipChunk::Kind::kReset;
+    chunk.next_segment_base = segments_.front().base_lsn;
+    return chunk;
+  }
+  const bool last_segment = index + 1 == segments_.size();
+  const uint64_t durable =
+      last_segment ? durable_bytes_ : segments_[index].bytes;
+  if (offset > durable) {
+    // The replica holds bytes past our durable size for this segment — a
+    // tail we never fsynced (and lost in a crash). It must shrink to the
+    // durable boundary before the histories re-converge.
+    chunk.kind = WalShipChunk::Kind::kTruncate;
+    chunk.truncate_to = durable;
+    return chunk;
+  }
+  if (offset == durable) {
+    if (!last_segment) {
+      chunk.kind = WalShipChunk::Kind::kRotate;
+      chunk.next_segment_base = segments_[index + 1].base_lsn;
+      return chunk;
+    }
+    chunk.kind = WalShipChunk::Kind::kData;  // caught up; bytes empty
+    return chunk;
+  }
+  const uint64_t want =
+      std::min<uint64_t>(max_bytes == 0 ? (64ull << 10) : max_bytes,
+                         durable - offset);
+  KAMEL_ASSIGN_OR_RETURN(
+      chunk.bytes,
+      io::ReadAt(segments_[index].path, offset, want, "wal.io.read"));
+  chunk.kind = WalShipChunk::Kind::kData;
+  return chunk;
+}
+
+// ---------------------------------------------------------------------------
+// WalReplicaApplier
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<WalReplicaApplier>> WalReplicaApplier::Open(
+    const std::string& dir, OpenReport* report) {
+  if (dir.empty()) {
+    return Status::InvalidArgument("replica wal dir must be set");
+  }
+  OpenReport local_report;
+  if (report == nullptr) report = &local_report;
+  *report = OpenReport{};
+
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create replica wal dir: " + dir + ": " +
+                           ec.message());
+  }
+  auto applier =
+      std::unique_ptr<WalReplicaApplier>(new WalReplicaApplier(dir));
+  KAMEL_ASSIGN_OR_RETURN(auto listed, ListSegments(dir));
+
+  uint64_t expected_lsn = 0;
+  for (size_t i = 0; i < listed.size(); ++i) {
+    const auto& [base_lsn, path] = listed[i];
+    const bool last_segment = i + 1 == listed.size();
+    KAMEL_ASSIGN_OR_RETURN(std::vector<uint8_t> data,
+                           io::ReadFile(path, "replica.io.read"));
+    if (last_segment && data.size() < kSegmentHeaderBytes) {
+      // A crash before the successor's shipped header finished: drop the
+      // shell, exactly like WriteAheadLog::Open does.
+      report->torn_tail_bytes = data.size();
+      report->torn_tail_segment = path;
+      KAMEL_RETURN_NOT_OK(io::Unlink(path, "replica.io.unlink"));
+      KAMEL_RETURN_NOT_OK(io::FsyncDir(dir, "replica.io.dirsync"));
+      break;
+    }
+    KAMEL_ASSIGN_OR_RETURN(uint64_t header_base,
+                           ParseSegmentHeader(data, path));
+    if (header_base != base_lsn) {
+      return Status::IOError("replica wal segment " + path +
+                             " header base lsn disagrees with its name");
+    }
+    if (i == 0) expected_lsn = base_lsn;
+
+    size_t offset = kSegmentHeaderBytes;
+    while (true) {
+      FrameScan scan = ScanFrame(data, offset);
+      if (scan.kind == FrameScan::Kind::kEnd) break;
+      if (scan.kind == FrameScan::Kind::kTorn) {
+        if (!last_segment) {
+          return Status::IOError("mid-log corruption in replica wal " +
+                                 path + ": " + scan.error +
+                                 " (closed segment with a torn tail)");
+        }
+        // The shape a SIGKILL mid-Apply leaves: truncate our own torn
+        // tail; the next pull resumes from the durable boundary.
+        report->torn_tail_bytes = data.size() - offset;
+        report->torn_tail_segment = path;
+        KAMEL_ASSIGN_OR_RETURN(
+            const int fd, io::OpenFd(path, O_WRONLY, 0, "replica.io.open"));
+        Status truncated =
+            io::Ftruncate(fd, offset, path, "replica.io.truncate");
+        ::fsync(fd);
+        ::close(fd);
+        KAMEL_RETURN_NOT_OK(truncated);
+        data.resize(offset);
+        break;
+      }
+      if (scan.kind == FrameScan::Kind::kCorrupt) {
+        return Status::IOError("mid-log corruption in replica wal " + path +
+                               ": " + scan.error);
+      }
+      if (scan.record.lsn != expected_lsn) {
+        return Status::IOError(
+            "replica wal lsn discontinuity in " + path + ": expected " +
+            std::to_string(expected_lsn) + ", found " +
+            std::to_string(scan.record.lsn));
+      }
+      expected_lsn = scan.record.lsn + 1;
+      offset = scan.next_offset;
+    }
+
+    applier->segment_base_ = base_lsn;
+    applier->offset_ = data.size();
+    applier->header_parsed_ = true;
+  }
+  // The first record of the first segment starts at its base LSN, so an
+  // empty (or header-only) history applies up to base - 1.
+  applier->applied_lsn_ = expected_lsn > 0 ? expected_lsn - 1 : 0;
+  return applier;
+}
+
+WalReplicaApplier::~WalReplicaApplier() { CloseFd(); }
+
+void WalReplicaApplier::CloseFd() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status WalReplicaApplier::ScanTail() {
+  if (!header_parsed_) {
+    if (tail_.size() < kSegmentHeaderBytes) return Status::OK();
+    KAMEL_ASSIGN_OR_RETURN(
+        uint64_t header_base,
+        ParseSegmentHeader(tail_, dir_ + "/" + SegmentName(segment_base_)));
+    if (header_base != segment_base_) {
+      return Status::IOError(
+          "replica stream shipped a header for segment " +
+          std::to_string(header_base) + " while applying segment " +
+          std::to_string(segment_base_));
+    }
+    tail_.erase(tail_.begin(), tail_.begin() + kSegmentHeaderBytes);
+    header_parsed_ = true;
+    // Records below this segment's base are not coming (fresh replica or
+    // reset past GC'd history): the watermark starts just under it.
+    applied_lsn_ = std::max(applied_lsn_, segment_base_ - 1);
+  }
+  size_t consumed = 0;
+  while (true) {
+    FrameScan scan = ScanFrame(tail_, consumed);
+    if (scan.kind == FrameScan::Kind::kEnd ||
+        scan.kind == FrameScan::Kind::kTorn) {
+      break;  // wait for more bytes
+    }
+    if (scan.kind == FrameScan::Kind::kCorrupt) {
+      return Status::IOError("replica stream corrupt: " + scan.error);
+    }
+    if (scan.record.lsn != applied_lsn_ + 1) {
+      return Status::IOError(
+          "replica stream lsn discontinuity: expected " +
+          std::to_string(applied_lsn_ + 1) + ", got " +
+          std::to_string(scan.record.lsn));
+    }
+    applied_lsn_ = scan.record.lsn;
+    consumed = scan.next_offset;
+  }
+  if (consumed > 0) {
+    tail_.erase(tail_.begin(),
+                tail_.begin() + static_cast<ptrdiff_t>(consumed));
+  }
+  return Status::OK();
+}
+
+Status WalReplicaApplier::ApplyData(const WalShipChunk& chunk) {
+  if (chunk.bytes.empty()) return Status::OK();  // caught up
+  const std::string path = dir_ + "/" + SegmentName(segment_base_);
+  if (fd_ < 0) {
+    KAMEL_ASSIGN_OR_RETURN(
+        fd_, io::OpenFd(path, O_WRONLY | O_CREAT | O_APPEND, 0644,
+                        "replica.io.open"));
+  }
+  size_t wrote = 0;
+  const Status written = io::WriteAll(fd_, chunk.bytes.data(),
+                                      chunk.bytes.size(), path,
+                                      "replica.io.write", &wrote);
+  if (!written.ok()) {
+    if (wrote > 0) {
+      // Our own torn tail: poison until reopened (Open truncates it),
+      // exactly the primary WAL's discipline.
+      ::fsync(fd_);
+      poisoned_ = true;
+    }
+    return written;
+  }
+  // Durability before acknowledgment: the applied watermark this chunk
+  // advances is what the primary's sync-ack waits on.
+  const Status synced = io::Fsync(fd_, path, "replica.io.fsync");
+  if (!synced.ok()) {
+    poisoned_ = true;  // unknown how much reached the platter
+    return synced;
+  }
+  offset_ += chunk.bytes.size();
+  tail_.insert(tail_.end(), chunk.bytes.begin(), chunk.bytes.end());
+  return ScanTail();
+}
+
+Status WalReplicaApplier::RescanCurrentSegment() {
+  const std::string path = dir_ + "/" + SegmentName(segment_base_);
+  KAMEL_ASSIGN_OR_RETURN(std::vector<uint8_t> data,
+                         io::ReadFile(path, "replica.io.read"));
+  KAMEL_ASSIGN_OR_RETURN(uint64_t header_base,
+                         ParseSegmentHeader(data, path));
+  if (header_base != segment_base_) {
+    return Status::IOError("replica wal segment " + path +
+                           " header disagrees after truncate");
+  }
+  // Recompute the watermark from scratch: a truncate can move it DOWN
+  // (the primary lost an unsynced tail we had already applied).
+  uint64_t applied = segment_base_ - 1;
+  size_t offset = kSegmentHeaderBytes;
+  while (true) {
+    FrameScan scan = ScanFrame(data, offset);
+    if (scan.kind == FrameScan::Kind::kEnd) break;
+    if (scan.kind != FrameScan::Kind::kRecord) {
+      return Status::IOError(
+          "replica wal " + path +
+          " does not end on a frame boundary after truncate: " + scan.error);
+    }
+    applied = scan.record.lsn;
+    offset = scan.next_offset;
+  }
+  // Earlier segments contribute the prefix below this segment's base, so
+  // the local maximum of this segment IS the global watermark.
+  applied_lsn_ = applied;
+  offset_ = data.size();
+  tail_.clear();
+  header_parsed_ = true;
+  return Status::OK();
+}
+
+Status WalReplicaApplier::Reset() {
+  CloseFd();
+  KAMEL_ASSIGN_OR_RETURN(auto listed, ListSegments(dir_));
+  for (const auto& [base_lsn, path] : listed) {
+    (void)base_lsn;
+    KAMEL_RETURN_NOT_OK(io::Unlink(path, "replica.io.unlink"));
+  }
+  if (!listed.empty()) {
+    KAMEL_RETURN_NOT_OK(io::FsyncDir(dir_, "replica.io.dirsync"));
+  }
+  segment_base_ = 0;
+  offset_ = 0;
+  applied_lsn_ = 0;
+  tail_.clear();
+  header_parsed_ = false;
+  poisoned_ = false;
+  return Status::OK();
+}
+
+Status WalReplicaApplier::Apply(const WalShipChunk& chunk) {
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "replica wal poisoned by a torn write; reopen to recover");
+  }
+  switch (chunk.kind) {
+    case WalShipChunk::Kind::kData:
+      if (chunk.segment_base != segment_base_ || chunk.offset != offset_) {
+        return Status::IOError(
+            "replica stream out of sync: chunk at segment " +
+            std::to_string(chunk.segment_base) + " offset " +
+            std::to_string(chunk.offset) + ", applier at segment " +
+            std::to_string(segment_base_) + " offset " +
+            std::to_string(offset_));
+      }
+      return ApplyData(chunk);
+    case WalShipChunk::Kind::kRotate:
+      if (chunk.segment_base != segment_base_) {
+        return Status::IOError("replica stream out of sync on rotate");
+      }
+      if (!tail_.empty()) {
+        return Status::IOError(
+            "rotate arrived mid-frame: the closed segment cannot end "
+            "inside a record");
+      }
+      CloseFd();
+      segment_base_ = chunk.next_segment_base;
+      offset_ = 0;
+      header_parsed_ = false;
+      return Status::OK();
+    case WalShipChunk::Kind::kTruncate: {
+      if (chunk.segment_base != segment_base_) {
+        return Status::IOError("replica stream out of sync on truncate");
+      }
+      if (chunk.truncate_to > offset_) {
+        return Status::IOError("truncate target beyond local size");
+      }
+      CloseFd();
+      const std::string path = dir_ + "/" + SegmentName(segment_base_);
+      KAMEL_ASSIGN_OR_RETURN(
+          const int fd, io::OpenFd(path, O_WRONLY, 0, "replica.io.open"));
+      Status truncated =
+          io::Ftruncate(fd, chunk.truncate_to, path, "replica.io.truncate");
+      ::fsync(fd);
+      ::close(fd);
+      KAMEL_RETURN_NOT_OK(truncated);
+      return RescanCurrentSegment();
+    }
+    case WalShipChunk::Kind::kReset:
+      KAMEL_RETURN_NOT_OK(Reset());
+      segment_base_ = chunk.next_segment_base;
+      offset_ = 0;
+      header_parsed_ = false;
+      return Status::OK();
+  }
+  return Status::InvalidArgument("unknown wal ship chunk kind");
 }
 
 // ---------------------------------------------------------------------------

@@ -101,6 +101,38 @@ struct WalRecoveryReport {
   std::string torn_tail_segment;
 };
 
+/// One unit of the WAL replication stream: the primary answers a pull at
+/// (`segment_base`, `offset`) with one of four instructions. Chunks carry
+/// raw segment bytes (headers included), so a replica that applies every
+/// chunk holds byte-identical segment files.
+struct WalShipChunk {
+  enum class Kind : uint8_t {
+    /// Append `bytes` at `offset` of segment `segment_base` (empty bytes
+    /// = caught up to the durable watermark; poll again later).
+    kData = 1,
+    /// The replica reached the durable end of a CLOSED segment: continue
+    /// at offset 0 of segment `next_segment_base`.
+    kRotate = 2,
+    /// The replica holds more bytes of this segment than the primary's
+    /// durable size (a diverged tail): truncate the local file to
+    /// `truncate_to` and pull again.
+    kTruncate = 3,
+    /// The replica's position predates the primary's history (checkpoint
+    /// GC, a fresh standby, or an epoch change): discard every local
+    /// segment and restart at offset 0 of segment `next_segment_base`.
+    kReset = 4,
+  };
+  Kind kind = Kind::kData;
+  uint64_t segment_base = 0;       ///< segment the pull addressed
+  uint64_t offset = 0;             ///< byte offset the pull addressed
+  std::vector<uint8_t> bytes;      ///< kData payload
+  uint64_t next_segment_base = 0;  ///< kRotate / kReset continuation
+  uint64_t truncate_to = 0;        ///< kTruncate target size
+  /// The primary's durable LSN watermark at read time — what the
+  /// replica's lag is measured against.
+  uint64_t durable_lsn = 0;
+};
+
 /// Segmented write-ahead log: the durability gap-closer between
 /// "acknowledged" and "persisted" for trajectory ingestion. Records are
 /// CRC32C-framed (`u32 crc | u32 payload_len | u64 lsn | u8 type |
@@ -157,6 +189,27 @@ class WriteAheadLog {
   size_t segment_count() const { return segments_.size(); }
   const WalOptions& options() const { return options_; }
 
+  // -- Replication (primary-side segment tailing) ---------------------------
+
+  /// Highest LSN known durable (fsynced). Under FsyncPolicy::kEveryRecord
+  /// this tracks next_lsn() - 1; under the lazier policies it lags until
+  /// the next sync. Replication ships only durable bytes, so a standby
+  /// can never hold a record the primary could still lose in a crash.
+  uint64_t durable_lsn() const { return durable_lsn_; }
+
+  /// Reads the next chunk a replica at (`segment_base`, `offset`) should
+  /// apply — raw segment bytes, so the replica's log is byte-identical to
+  /// the primary's by construction. See WalShipChunk for the protocol
+  /// (data / rotate / truncate / reset). `segment_base` 0 means "I have
+  /// nothing": the reply is a kReset pointing at the earliest live
+  /// segment. Only durable (fsynced) bytes are ever shipped, and the
+  /// durable prefix always ends on a frame boundary.
+  ///
+  /// Not thread-safe (like every other method): the replication layer
+  /// serializes tailing against appends.
+  Result<WalShipChunk> TailChunk(uint64_t segment_base, uint64_t offset,
+                                 uint64_t max_bytes) const;
+
   // -- Disk budget governor -------------------------------------------------
 
   /// Bytes currently charged against the budget: every live segment file
@@ -209,6 +262,11 @@ class WriteAheadLog {
   int fd_ = -1;
   uint64_t next_lsn_ = 1;
   uint64_t current_bytes_ = 0;
+  /// Fsynced prefix of the open segment / highest fsynced LSN. Only
+  /// these are visible to TailChunk: a torn or unsynced tail never
+  /// reaches a replica.
+  uint64_t durable_bytes_ = 0;
+  uint64_t durable_lsn_ = 0;
   /// Sum of the sizes of every closed (non-last) segment.
   uint64_t closed_bytes_ = 0;
   /// Checkpoint snapshot bytes charged against the budget.
@@ -221,6 +279,83 @@ class WriteAheadLog {
   /// Ascending by base LSN; the last entry is the open segment.
   std::vector<Segment> segments_;
   Stats stats_;
+};
+
+/// Replica-side byte applier: reconstructs a primary's WAL directory from
+/// the WalShipChunk stream, fsyncing every chunk before it is
+/// acknowledged and maintaining the applied-LSN watermark by scanning
+/// complete frames out of the received bytes (the replica computes its
+/// own watermark — it never trusts the primary's word for what it holds).
+///
+/// Torn-tail safe: Open() scans the local segments exactly like
+/// WriteAheadLog::Open — a torn tail on the last segment (the shape a
+/// SIGKILL mid-Apply leaves) is truncated, and the next pull resumes from
+/// the truncated durable position, re-converging to the primary's byte
+/// state. Mid-log corruption is refused.
+///
+/// Not thread-safe: one applier per stream, driven by one pull loop.
+///
+/// Failpoints: every syscall goes through the errno seam under
+/// `replica.io.*` (open/write/fsync/read/unlink/truncate/dirsync), so
+/// tests can tear the replica's own tail independently of the primary's.
+class WalReplicaApplier {
+ public:
+  struct OpenReport {
+    uint64_t torn_tail_bytes = 0;  ///< truncated from the last segment
+    std::string torn_tail_segment;
+  };
+
+  /// Opens (creating if needed) the replica directory and scans local
+  /// segments to recover position + applied watermark.
+  static Result<std::unique_ptr<WalReplicaApplier>> Open(
+      const std::string& dir, OpenReport* report = nullptr);
+
+  ~WalReplicaApplier();
+
+  WalReplicaApplier(const WalReplicaApplier&) = delete;
+  WalReplicaApplier& operator=(const WalReplicaApplier&) = delete;
+
+  /// Pull position: the segment being filled and its local byte size.
+  /// segment_base() == 0 means "nothing yet" (a fresh replica) — the
+  /// primary answers that with a kReset.
+  uint64_t segment_base() const { return segment_base_; }
+  uint64_t offset() const { return offset_; }
+  /// Highest LSN whose frame is completely and durably applied locally.
+  uint64_t applied_lsn() const { return applied_lsn_; }
+  const std::string& dir() const { return dir_; }
+
+  /// Applies one chunk (write + fsync before returning OK, so an OK here
+  /// is what backs the replica's ack). kIOError on byte streams that do
+  /// not parse as valid frames — the stream must restart (Reset).
+  Status Apply(const WalShipChunk& chunk);
+
+  /// Discards every local segment (epoch change / kReset): the next pull
+  /// starts over from the primary's earliest segment.
+  Status Reset();
+
+ private:
+  explicit WalReplicaApplier(std::string dir) : dir_(std::move(dir)) {}
+
+  Status ApplyData(const WalShipChunk& chunk);
+  /// Scans complete frames out of tail_, advancing applied_lsn_.
+  Status ScanTail();
+  /// Rebuilds parse state (tail_, applied_lsn_) by re-reading the
+  /// current segment from disk (after a truncate).
+  Status RescanCurrentSegment();
+  void CloseFd();
+
+  std::string dir_;
+  int fd_ = -1;
+  uint64_t segment_base_ = 0;
+  uint64_t offset_ = 0;
+  uint64_t applied_lsn_ = 0;
+  /// Received bytes of the current segment past the last complete frame
+  /// (includes the 16-byte segment header until it parses).
+  std::vector<uint8_t> tail_;
+  bool header_parsed_ = false;
+  /// Set after a partial write or failed fsync: further Apply calls are
+  /// refused until the applier is reopened (Open truncates the torn tail).
+  bool poisoned_ = false;
 };
 
 /// Integrity report of one WAL directory, produced without replaying

@@ -1,0 +1,148 @@
+#include "replication/primary.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace kamel::replication {
+
+PrimaryReplication::PrimaryReplication(std::unique_ptr<WriteAheadLog> wal,
+                                       uint64_t epoch,
+                                       ReplicationOptions options)
+    : epoch_(epoch), options_(options), wal_(std::move(wal)) {}
+
+Result<uint64_t> PrimaryReplication::Append(
+    WalRecordType type, const std::vector<uint8_t>& payload) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (fenced_) {
+    return Status::FailedPrecondition(
+        "primary fenced at epoch " + std::to_string(epoch_) +
+        ": a newer primary exists");
+  }
+  KAMEL_ASSIGN_OR_RETURN(const uint64_t lsn, wal_->Append(type, payload));
+  if (wal_->durable_lsn() < lsn) {
+    // The fsync policy may batch; a replicated ack must not.
+    KAMEL_RETURN_NOT_OK(wal_->Sync());
+  }
+  lock.unlock();
+  data_cv_.notify_all();
+  return lsn;
+}
+
+Status PrimaryReplication::WaitReplicated(uint64_t lsn) {
+  if (options_.min_sync_standbys <= 0) return Status::OK();
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(options_.ack_timeout_s));
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto acked = [&] {
+    int count = 0;
+    for (const auto& [id, state] : standbys_) {
+      (void)id;
+      if (state.acked_lsn >= lsn) ++count;
+    }
+    return count >= options_.min_sync_standbys;
+  };
+  while (!acked()) {
+    if (fenced_) {
+      return Status::FailedPrecondition(
+          "primary fenced while waiting for replication acks");
+    }
+    if (ack_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      if (acked()) break;
+      return Status::Unavailable(
+          "replication ack timeout: fewer than " +
+          std::to_string(options_.min_sync_standbys) +
+          " standbys caught up to lsn " + std::to_string(lsn));
+    }
+  }
+  return Status::OK();
+}
+
+Result<PullResponse> PrimaryReplication::HandlePull(
+    const PullRequest& request) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (request.epoch > epoch_) {
+    // Proof a newer primary was promoted while we were alive (or we are
+    // the resurrected old primary): fence permanently. Submits start
+    // refusing; the router's Role probe sees FENCED and stops routing.
+    fenced_ = true;
+    lock.unlock();
+    ack_cv_.notify_all();
+    data_cv_.notify_all();
+    return Status::FailedPrecondition(
+        "fenced: pull carried epoch " + std::to_string(request.epoch) +
+        " > local epoch " + std::to_string(epoch_));
+  }
+  if (fenced_) {
+    return Status::FailedPrecondition("primary is fenced");
+  }
+  PullResponse response;
+  response.epoch = epoch_;
+  if (request.epoch < epoch_) {
+    // A follower from an older epoch: its history may contain records
+    // ours never acked. Answer kReset + our epoch; it wipes, adopts,
+    // and resyncs from our earliest segment (TailChunk at base 0 is
+    // always a kReset — no segment has base 0).
+    KAMEL_ASSIGN_OR_RETURN(response.chunk, wal_->TailChunk(0, 0, 0));
+    return response;
+  }
+  auto& standby = standbys_[request.standby_id];
+  standby.acked_lsn = std::max(standby.acked_lsn, request.applied_lsn);
+  standby.last_seen = std::chrono::steady_clock::now();
+  lock.unlock();
+  ack_cv_.notify_all();
+  lock.lock();
+
+  const uint64_t max_bytes = request.max_bytes == 0
+                                 ? options_.pull_chunk_bytes
+                                 : std::min(request.max_bytes,
+                                            options_.pull_chunk_bytes);
+  KAMEL_ASSIGN_OR_RETURN(
+      response.chunk,
+      wal_->TailChunk(request.segment_base, request.offset, max_bytes));
+  if (response.chunk.kind == WalShipChunk::Kind::kData &&
+      response.chunk.bytes.empty() && options_.pull_long_poll_s > 0) {
+    // Caught up: park until an append lands or the long-poll budget
+    // runs out, then re-read once. Turns the pull loop into push-like
+    // shipping without a second protocol.
+    data_cv_.wait_for(
+        lock, std::chrono::duration<double>(options_.pull_long_poll_s),
+        [&] { return fenced_ || wal_->durable_lsn() > request.applied_lsn; });
+    if (fenced_) return Status::FailedPrecondition("primary is fenced");
+    KAMEL_ASSIGN_OR_RETURN(
+        response.chunk,
+        wal_->TailChunk(request.segment_base, request.offset, max_bytes));
+  }
+  response.chunk.durable_lsn = wal_->durable_lsn();
+  return response;
+}
+
+bool PrimaryReplication::fenced() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fenced_;
+}
+
+uint64_t PrimaryReplication::durable_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_->durable_lsn();
+}
+
+std::vector<PrimaryReplication::StandbyView> PrimaryReplication::standbys()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<StandbyView> views;
+  views.reserve(standbys_.size());
+  const auto now = std::chrono::steady_clock::now();
+  for (const auto& [id, state] : standbys_) {
+    StandbyView view;
+    view.id = id;
+    view.acked_lsn = state.acked_lsn;
+    view.age_s =
+        std::chrono::duration<double>(now - state.last_seen).count();
+    views.push_back(std::move(view));
+  }
+  return views;
+}
+
+}  // namespace kamel::replication

@@ -1,0 +1,84 @@
+#ifndef KAMEL_REPLICATION_PRIMARY_H_
+#define KAMEL_REPLICATION_PRIMARY_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "io/wal.h"
+#include "replication/replication.h"
+
+namespace kamel::replication {
+
+/// The primary's half of WAL shipping: owns the ingest WAL, serves
+/// kMethodWalPull (TailChunk under one lock with the appends), tracks
+/// each standby's acked watermark for semi-sync Submit, and self-fences
+/// the moment any pull proves a higher epoch exists.
+///
+/// Thread-safe: appends come from the Submit handler, pulls from one
+/// connection thread per standby, stats probes from anywhere.
+class PrimaryReplication {
+ public:
+  /// One standby as the primary last saw it (for stats and tests).
+  struct StandbyView {
+    std::string id;
+    uint64_t acked_lsn = 0;
+    double age_s = 0.0;  ///< seconds since its last pull
+  };
+
+  /// Takes ownership of an opened WAL. `epoch` is the fencing epoch this
+  /// primary serves at (persist it with StoreEpoch before constructing).
+  PrimaryReplication(std::unique_ptr<WriteAheadLog> wal, uint64_t epoch,
+                     ReplicationOptions options);
+
+  PrimaryReplication(const PrimaryReplication&) = delete;
+  PrimaryReplication& operator=(const PrimaryReplication&) = delete;
+
+  /// Appends one record, forces it durable (Submit acks ride on this),
+  /// wakes parked pulls, and returns its LSN. kFailedPrecondition once
+  /// fenced.
+  Result<uint64_t> Append(WalRecordType type,
+                          const std::vector<uint8_t>& payload);
+
+  /// Blocks until `min_sync_standbys` standbys have acked `lsn`, the ack
+  /// timeout elapses (kUnavailable — replication cover is gone), or the
+  /// primary fences. Immediate OK when min_sync_standbys == 0.
+  Status WaitReplicated(uint64_t lsn);
+
+  /// Serves one kMethodWalPull. Fencing happens here: a request carrying
+  /// a higher epoch fences this primary permanently; a lower-epoch
+  /// request is answered with kReset + our epoch so the stale follower
+  /// wipes and adopts. Caught-up equal-epoch pulls park up to
+  /// `pull_long_poll_s` waiting for fresh bytes.
+  Result<PullResponse> HandlePull(const PullRequest& request);
+
+  uint64_t epoch() const { return epoch_; }
+  bool fenced() const;
+  uint64_t durable_lsn() const;
+  std::vector<StandbyView> standbys() const;
+  const ReplicationOptions& options() const { return options_; }
+
+ private:
+  struct StandbyState {
+    uint64_t acked_lsn = 0;
+    std::chrono::steady_clock::time_point last_seen;
+  };
+
+  const uint64_t epoch_;
+  const ReplicationOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable ack_cv_;   ///< WaitReplicated sleeps here
+  std::condition_variable data_cv_;  ///< parked long-poll pulls sleep here
+  std::unique_ptr<WriteAheadLog> wal_;
+  bool fenced_ = false;
+  std::map<std::string, StandbyState> standbys_;
+};
+
+}  // namespace kamel::replication
+
+#endif  // KAMEL_REPLICATION_PRIMARY_H_

@@ -1,0 +1,142 @@
+#include "replication/replication.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/binary_io.h"
+#include "common/io_env.h"
+
+namespace kamel::replication {
+
+const char* ToString(ReplicaRole role) {
+  switch (role) {
+    case ReplicaRole::kNone:
+      return "NONE";
+    case ReplicaRole::kPrimary:
+      return "PRIMARY";
+    case ReplicaRole::kStandby:
+      return "STANDBY";
+    case ReplicaRole::kCatchingUp:
+      return "CATCHING_UP";
+    case ReplicaRole::kFenced:
+      return "FENCED";
+  }
+  return "UNKNOWN";
+}
+
+namespace {
+constexpr char kEpochFile[] = "EPOCH";
+constexpr uint32_t kEpochMagic = 0x4B4D4550;  // "KMEP"
+}  // namespace
+
+Result<uint64_t> LoadEpoch(const std::string& dir) {
+  const std::string path = dir + "/" + kEpochFile;
+  if (::access(path.c_str(), F_OK) != 0) return 0;
+  KAMEL_ASSIGN_OR_RETURN(std::vector<uint8_t> data,
+                         io::ReadFile(path, "epoch.io.read"));
+  BinaryReader reader(std::move(data));
+  KAMEL_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
+  if (magic != kEpochMagic) {
+    return Status::IOError("epoch file " + path + " has a bad magic");
+  }
+  KAMEL_ASSIGN_OR_RETURN(uint64_t epoch, reader.ReadU64());
+  return epoch;
+}
+
+Status StoreEpoch(const std::string& dir, uint64_t epoch) {
+  BinaryWriter writer;
+  writer.WriteU32(kEpochMagic);
+  writer.WriteU64(epoch);
+  const std::string path = dir + "/" + kEpochFile;
+  const std::string tmp = path + ".tmp";
+  KAMEL_ASSIGN_OR_RETURN(
+      const int fd,
+      io::OpenFd(tmp, O_WRONLY | O_CREAT | O_TRUNC, 0644, "epoch.io.open"));
+  Status status = io::WriteAll(fd, writer.buffer().data(),
+                               writer.buffer().size(), tmp, "epoch.io.write");
+  if (status.ok()) status = io::Fsync(fd, tmp, "epoch.io.fsync");
+  ::close(fd);
+  if (!status.ok()) {
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  // Rename-over is what makes a crash leave either the old epoch or the
+  // new one, never a torn file — fencing depends on that.
+  KAMEL_RETURN_NOT_OK(io::Rename(tmp, path, "epoch.io.rename"));
+  return io::FsyncDir(dir, "epoch.io.dirsync");
+}
+
+namespace {
+
+void WriteChunk(BinaryWriter* writer, const WalShipChunk& chunk) {
+  writer->WriteU8(static_cast<uint8_t>(chunk.kind));
+  writer->WriteU64(chunk.segment_base);
+  writer->WriteU64(chunk.offset);
+  writer->WriteU64(chunk.next_segment_base);
+  writer->WriteU64(chunk.truncate_to);
+  writer->WriteU64(chunk.durable_lsn);
+  writer->WriteBytes(chunk.bytes);
+}
+
+Result<WalShipChunk> ReadChunk(BinaryReader* reader) {
+  WalShipChunk chunk;
+  KAMEL_ASSIGN_OR_RETURN(uint8_t kind, reader->ReadU8());
+  if (kind < static_cast<uint8_t>(WalShipChunk::Kind::kData) ||
+      kind > static_cast<uint8_t>(WalShipChunk::Kind::kReset)) {
+    return Status::IOError("replication wire: unknown chunk kind " +
+                           std::to_string(kind));
+  }
+  chunk.kind = static_cast<WalShipChunk::Kind>(kind);
+  KAMEL_ASSIGN_OR_RETURN(chunk.segment_base, reader->ReadU64());
+  KAMEL_ASSIGN_OR_RETURN(chunk.offset, reader->ReadU64());
+  KAMEL_ASSIGN_OR_RETURN(chunk.next_segment_base, reader->ReadU64());
+  KAMEL_ASSIGN_OR_RETURN(chunk.truncate_to, reader->ReadU64());
+  KAMEL_ASSIGN_OR_RETURN(chunk.durable_lsn, reader->ReadU64());
+  KAMEL_ASSIGN_OR_RETURN(chunk.bytes, reader->ReadBytes());
+  return chunk;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodePullRequest(const PullRequest& request) {
+  BinaryWriter writer;
+  writer.WriteString(request.standby_id);
+  writer.WriteU64(request.epoch);
+  writer.WriteU64(request.applied_lsn);
+  writer.WriteU64(request.segment_base);
+  writer.WriteU64(request.offset);
+  writer.WriteU64(request.max_bytes);
+  return writer.buffer();
+}
+
+Result<PullRequest> DecodePullRequest(const std::vector<uint8_t>& body) {
+  BinaryReader reader(body);
+  PullRequest request;
+  KAMEL_ASSIGN_OR_RETURN(request.standby_id, reader.ReadString());
+  KAMEL_ASSIGN_OR_RETURN(request.epoch, reader.ReadU64());
+  KAMEL_ASSIGN_OR_RETURN(request.applied_lsn, reader.ReadU64());
+  KAMEL_ASSIGN_OR_RETURN(request.segment_base, reader.ReadU64());
+  KAMEL_ASSIGN_OR_RETURN(request.offset, reader.ReadU64());
+  KAMEL_ASSIGN_OR_RETURN(request.max_bytes, reader.ReadU64());
+  return request;
+}
+
+std::vector<uint8_t> EncodePullResponse(const PullResponse& response) {
+  BinaryWriter writer;
+  writer.WriteU64(response.epoch);
+  WriteChunk(&writer, response.chunk);
+  return writer.buffer();
+}
+
+Result<PullResponse> DecodePullResponse(const std::vector<uint8_t>& body) {
+  BinaryReader reader(body);
+  PullResponse response;
+  KAMEL_ASSIGN_OR_RETURN(response.epoch, reader.ReadU64());
+  KAMEL_ASSIGN_OR_RETURN(response.chunk, ReadChunk(&reader));
+  return response;
+}
+
+}  // namespace kamel::replication

@@ -1,0 +1,90 @@
+#ifndef KAMEL_REPLICATION_REPLICATION_H_
+#define KAMEL_REPLICATION_REPLICATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "io/wal.h"
+#include "net/rpc.h"
+
+namespace kamel::replication {
+
+/// What a worker is, replication-wise. The router's prober reads this
+/// from kMethodRole and gates routing on it: reads go to kPrimary and
+/// caught-up kStandby replicas, never kCatchingUp or kFenced; writes
+/// (Submit) go only to kPrimary.
+enum class ReplicaRole : uint8_t {
+  kNone = 0,        ///< replication not configured (plain PR-6 worker)
+  kPrimary = 1,     ///< owns the ingest WAL, serves Submit, ships chunks
+  kStandby = 2,     ///< warm replica within the configured lag bound
+  kCatchingUp = 3,  ///< replica replaying history; lag above the bound
+  kFenced = 4,      ///< ex-primary that saw a higher epoch; refuses writes
+};
+
+const char* ToString(ReplicaRole role);
+
+/// Tuning for the primary→standby WAL stream and the semi-sync ack.
+struct ReplicationOptions {
+  /// Max bytes of WAL shipped per pull response.
+  uint64_t pull_chunk_bytes = 256 * 1024;
+  /// Standby sleep between pulls once caught up (the long poll below
+  /// usually answers sooner).
+  double pull_poll_interval_s = 0.05;
+  /// How long a caught-up pull parks server-side waiting for new data
+  /// before answering "empty" — turns polling into near-push shipping.
+  double pull_long_poll_s = 0.2;
+  /// A standby whose applied watermark trails the primary's durable LSN
+  /// by more than this reports kCatchingUp and is excluded from reads.
+  uint64_t max_lag_records = 64;
+  /// How long Submit waits for standby acks before refusing with
+  /// kUnavailable (the submit is durable locally either way; the refusal
+  /// tells the client replication cover is gone).
+  double ack_timeout_s = 2.0;
+  /// Standbys that must have acked a record before its Submit returns.
+  /// 0 = asynchronous replication (ack on local fsync alone).
+  int min_sync_standbys = 0;
+};
+
+/// WAL-pull RPC, served by primaries. Defined here rather than in
+/// shard/wire.h because the standby side links replication without the
+/// shard layer. Ids continue the sequence from shard/wire.h (1..4).
+inline constexpr net::MethodId kMethodWalPull = 5;
+
+/// The fencing epoch, persisted as a tiny sidecar file (`EPOCH`) next to
+/// the WAL segments via the same atomic tmp+fsync+rename discipline as
+/// snapshots. Monotonic: every promotion bumps it, and every pull frame
+/// carries it, so a resurrected old primary is refused by anyone who has
+/// seen the newer epoch. LoadEpoch returns 0 when no file exists yet.
+Result<uint64_t> LoadEpoch(const std::string& dir);
+Status StoreEpoch(const std::string& dir, uint64_t epoch);
+
+/// kMethodWalPull request: the standby names itself, proves its epoch,
+/// and states its local stream position. `applied_lsn` doubles as the
+/// replication ack the primary's semi-sync Submit waits on.
+struct PullRequest {
+  std::string standby_id;
+  uint64_t epoch = 0;
+  uint64_t applied_lsn = 0;
+  uint64_t segment_base = 0;
+  uint64_t offset = 0;
+  uint64_t max_bytes = 0;
+};
+
+/// kMethodWalPull response: the primary's epoch plus one chunk of the
+/// stream (data / rotate / truncate / reset — see WalShipChunk).
+struct PullResponse {
+  uint64_t epoch = 0;
+  WalShipChunk chunk;
+};
+
+std::vector<uint8_t> EncodePullRequest(const PullRequest& request);
+Result<PullRequest> DecodePullRequest(const std::vector<uint8_t>& body);
+
+std::vector<uint8_t> EncodePullResponse(const PullResponse& response);
+Result<PullResponse> DecodePullResponse(const std::vector<uint8_t>& body);
+
+}  // namespace kamel::replication
+
+#endif  // KAMEL_REPLICATION_REPLICATION_H_

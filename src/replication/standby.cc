@@ -1,0 +1,155 @@
+#include "replication/standby.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace kamel::replication {
+
+Result<std::unique_ptr<StandbyReplication>> StandbyReplication::Start(
+    Options options) {
+  if (options.wal_dir.empty()) {
+    return Status::InvalidArgument("standby wal_dir must be set");
+  }
+  if (options.primary_port == 0) {
+    return Status::InvalidArgument("standby primary_port must be set");
+  }
+  auto standby =
+      std::unique_ptr<StandbyReplication>(new StandbyReplication(options));
+  KAMEL_ASSIGN_OR_RETURN(standby->applier_,
+                         WalReplicaApplier::Open(options.wal_dir));
+  KAMEL_ASSIGN_OR_RETURN(standby->epoch_, LoadEpoch(options.wal_dir));
+  net::RpcClientOptions client_options;
+  client_options.call_deadline_s = options.pull_deadline_s;
+  client_options.jitter_seed = options.jitter_seed;
+  // The loop is its own retry schedule; don't stack connect retries
+  // under it or a dead primary stalls each pull for the full ladder.
+  client_options.connect_retry.max_retries = 0;
+  standby->client_ = std::make_unique<net::RpcClient>(
+      options.primary_host, options.primary_port, client_options);
+  standby->puller_ = std::thread([s = standby.get()] { s->PullLoop(); });
+  return standby;
+}
+
+StandbyReplication::~StandbyReplication() { Stop(); }
+
+void StandbyReplication::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      // Already stopped (StopForPromotion ran); the thread is joined.
+      return;
+    }
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  if (puller_.joinable()) puller_.join();
+}
+
+uint64_t StandbyReplication::StopForPromotion() {
+  Stop();
+  std::lock_guard<std::mutex> lock(mu_);
+  return applier_->applied_lsn();
+}
+
+void StandbyReplication::InterruptibleSleep(double seconds) {
+  std::unique_lock<std::mutex> lock(mu_);
+  stop_cv_.wait_for(lock, std::chrono::duration<double>(seconds),
+                    [&] { return stopping_; });
+}
+
+void StandbyReplication::PullLoop() {
+  while (true) {
+    PullRequest request;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+      request.standby_id = options_.standby_id;
+      request.epoch = epoch_;
+      request.applied_lsn = applier_->applied_lsn();
+      request.segment_base = applier_->segment_base();
+      request.offset = applier_->offset();
+      request.max_bytes = options_.replication.pull_chunk_bytes;
+    }
+    auto wire = client_->Call(kMethodWalPull, EncodePullRequest(request),
+                              options_.pull_deadline_s);
+    if (!wire.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      connected_ = false;
+      last_error_ = wire.status().ToString();
+      // Fall through to the sleep below; the primary may be restarting.
+    } else {
+      auto decoded = DecodePullResponse(*wire);
+      std::unique_lock<std::mutex> lock(mu_);
+      ++pulls_;
+      if (!decoded.ok()) {
+        connected_ = false;
+        last_error_ = decoded.status().ToString();
+      } else if (decoded->epoch < epoch_) {
+        // THE fence: whoever answered is a primary from a deposed
+        // epoch. Refuse its bytes — applying them could fork history —
+        // and keep trying; the router will point us elsewhere or this
+        // process gets promoted itself.
+        connected_ = false;
+        ++stale_primary_refusals_;
+        last_error_ = "refused pull from stale primary epoch " +
+                      std::to_string(decoded->epoch) + " < local epoch " +
+                      std::to_string(epoch_);
+      } else {
+        if (decoded->epoch > epoch_) {
+          // Persist before following: crash-then-reopen must never fall
+          // back to trusting the old epoch.
+          Status stored = StoreEpoch(options_.wal_dir, decoded->epoch);
+          if (!stored.ok()) {
+            last_error_ = stored.ToString();
+            lock.unlock();
+            InterruptibleSleep(options_.replication.pull_poll_interval_s);
+            continue;
+          }
+          epoch_ = decoded->epoch;
+        }
+        Status applied = applier_->Apply(decoded->chunk);
+        if (!applied.ok()) {
+          last_error_ = applied.ToString();
+          if (applied.code() == StatusCode::kFailedPrecondition) {
+            // Poisoned by a torn local write: reopen truncates the tail
+            // and recovers the position; the stream resumes from there.
+            auto reopened = WalReplicaApplier::Open(options_.wal_dir);
+            if (reopened.ok()) applier_ = std::move(*reopened);
+          } else {
+            // Stream desync or corrupt bytes: wipe and resync from the
+            // primary's earliest segment. Replica state is disposable —
+            // correctness lives on the primary.
+            (void)applier_->Reset();
+          }
+        } else {
+          connected_ = true;
+          primary_durable_lsn_ =
+              std::max(primary_durable_lsn_, decoded->chunk.durable_lsn);
+          const bool caught_up =
+              decoded->chunk.kind == WalShipChunk::Kind::kData &&
+              decoded->chunk.bytes.empty();
+          if (!caught_up) continue;  // more to pull, no sleep
+        }
+      }
+    }
+    InterruptibleSleep(options_.replication.pull_poll_interval_s);
+  }
+}
+
+StandbyReplication::StatusView StandbyReplication::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StatusView view;
+  view.epoch = epoch_;
+  view.applied_lsn = applier_->applied_lsn();
+  view.primary_durable_lsn = primary_durable_lsn_;
+  view.lag = view.primary_durable_lsn > view.applied_lsn
+                 ? view.primary_durable_lsn - view.applied_lsn
+                 : 0;
+  view.connected = connected_;
+  view.pulls = pulls_;
+  view.stale_primary_refusals = stale_primary_refusals_;
+  view.last_error = last_error_;
+  return view;
+}
+
+}  // namespace kamel::replication

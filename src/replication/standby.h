@@ -1,0 +1,100 @@
+#ifndef KAMEL_REPLICATION_STANDBY_H_
+#define KAMEL_REPLICATION_STANDBY_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+#include "io/wal.h"
+#include "net/rpc.h"
+#include "replication/replication.h"
+
+namespace kamel::replication {
+
+/// The standby's half of WAL shipping: a pull thread that streams chunks
+/// from the primary into a WalReplicaApplier, persisting the fencing
+/// epoch it follows. Byte-identical replica segments by construction —
+/// the stream ships raw durable segment bytes, never re-encoded records.
+///
+/// Self-healing: a torn local tail (crash mid-apply) is truncated on
+/// reopen; an out-of-sync stream resets and resyncs; a poisoned applier
+/// (failed write/fsync) is reopened in place. A response from a LOWER
+/// epoch than ours is refused and counted — that is the stale-primary
+/// fence. A HIGHER epoch is adopted (persisted first), and the primary's
+/// accompanying kReset wipes any divergent local history.
+class StandbyReplication {
+ public:
+  struct Options {
+    std::string wal_dir;      ///< replica segment directory
+    std::string standby_id;   ///< name reported to the primary
+    std::string primary_host = "127.0.0.1";
+    uint16_t primary_port = 0;
+    ReplicationOptions replication;
+    /// Per-pull RPC deadline, seconds; must exceed pull_long_poll_s.
+    double pull_deadline_s = 2.0;
+    uint64_t jitter_seed = 0;
+  };
+
+  struct StatusView {
+    uint64_t epoch = 0;
+    uint64_t applied_lsn = 0;
+    /// The primary's durable watermark as of the last good pull.
+    uint64_t primary_durable_lsn = 0;
+    /// max(primary_durable_lsn - applied_lsn, 0) — records behind.
+    uint64_t lag = 0;
+    bool connected = false;
+    uint64_t pulls = 0;
+    uint64_t stale_primary_refusals = 0;
+    std::string last_error;
+  };
+
+  /// Opens the replica WAL dir (recovering any torn tail), loads the
+  /// persisted epoch, and starts the pull thread.
+  static Result<std::unique_ptr<StandbyReplication>> Start(Options options);
+
+  ~StandbyReplication();
+
+  StandbyReplication(const StandbyReplication&) = delete;
+  StandbyReplication& operator=(const StandbyReplication&) = delete;
+
+  StatusView status() const;
+  const std::string& wal_dir() const { return options_.wal_dir; }
+
+  /// Stops the pull thread and returns the final applied watermark. The
+  /// caller (promotion) then reopens the directory as a WriteAheadLog —
+  /// the replica segments ARE a valid log — and serves as primary.
+  uint64_t StopForPromotion();
+
+ private:
+  explicit StandbyReplication(Options options)
+      : options_(std::move(options)) {}
+
+  void PullLoop();
+  /// Sleeps up to `seconds` but wakes immediately on Stop.
+  void InterruptibleSleep(double seconds);
+  void Stop();
+
+  const Options options_;
+  std::unique_ptr<net::RpcClient> client_;
+  std::thread puller_;
+
+  mutable std::mutex mu_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  std::unique_ptr<WalReplicaApplier> applier_;
+  uint64_t epoch_ = 0;
+  uint64_t primary_durable_lsn_ = 0;
+  bool connected_ = false;
+  uint64_t pulls_ = 0;
+  uint64_t stale_primary_refusals_ = 0;
+  std::string last_error_;
+};
+
+}  // namespace kamel::replication
+
+#endif  // KAMEL_REPLICATION_STANDBY_H_

@@ -31,10 +31,14 @@ int ShardOfCell(const ShardPartition& partition, const PyramidCell& cell) {
   return static_cast<int>(shard < 0 ? shard + partition.num_shards : shard);
 }
 
+int ShardOfPoint(const ShardPartition& partition, const Pyramid& pyramid,
+                 const Vec2& point) {
+  return ShardOfCell(partition, pyramid.CellAt(partition.level, point));
+}
+
 int ShardOfGap(const ShardPartition& partition, const Pyramid& pyramid,
                const SegmentContext& context) {
-  const Vec2 center = GapMbr(context).Center();
-  return ShardOfCell(partition, pyramid.CellAt(partition.level, center));
+  return ShardOfPoint(partition, pyramid, GapMbr(context).Center());
 }
 
 bool ShardOwns(const ShardPartition& partition, const Pyramid& pyramid,

@@ -33,6 +33,12 @@ ShardPartition MakePartition(const Pyramid& pyramid, int num_shards);
 /// Shard owning `cell` (which must be at partition.level).
 int ShardOfCell(const ShardPartition& partition, const PyramidCell& cell);
 
+/// Shard owning the key cell containing `point` (projected local-frame
+/// coordinates). The routing primitive both ShardOfGap and the router's
+/// Submit path reduce to.
+int ShardOfPoint(const ShardPartition& partition, const Pyramid& pyramid,
+                 const Vec2& point);
+
 /// Shard a gap routes to: the owner of the key cell containing the gap's
 /// MBR center. Deterministic — the router and every test agree on it.
 int ShardOfGap(const ShardPartition& partition, const Pyramid& pyramid,

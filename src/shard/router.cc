@@ -8,12 +8,13 @@
 
 #include "common/check.h"
 #include "common/stopwatch.h"
+#include "io/wal.h"
 
 namespace kamel::shard {
 
 namespace {
 
-/// Transport errors safe to retry against the same shard: imputation is
+/// Transport errors safe to retry against the same replica: imputation is
 /// pure and idempotent, so work that may already have run remotely can
 /// simply run again.
 bool IsRetryable(const Status& status) {
@@ -31,6 +32,21 @@ std::chrono::duration<double> Seconds(double s) {
   return std::chrono::duration<double>(s);
 }
 
+/// splitmix64: the repo's standard cheap deterministic stream (same
+/// constants as common/backoff's jitter).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Uniform double in (0, 1] from a mixed seed (never 0: it feeds a log).
+double UnitOpen(uint64_t seed) {
+  const uint64_t bits = Mix64(seed) >> 11;  // 53 significant bits
+  return (static_cast<double>(bits) + 1.0) / 9007199254740993.0;  // 2^53+1
+}
+
 }  // namespace
 
 ShardRouter::ShardRouter(std::shared_ptr<const KamelSnapshot> snapshot,
@@ -39,13 +55,29 @@ ShardRouter::ShardRouter(std::shared_ptr<const KamelSnapshot> snapshot,
     : snapshot_(std::move(snapshot)), options_(options) {
   KAMEL_CHECK(snapshot_ != nullptr, "ShardRouter needs a snapshot");
   KAMEL_CHECK(!endpoints.empty(), "ShardRouter needs at least one shard");
-  partition_ = MakePartition(snapshot_->repository().pyramid(),
-                             static_cast<int>(endpoints.size()));
-  shards_.reserve(endpoints.size());
-  for (ShardEndpoint& endpoint : endpoints) {
-    auto shard = std::make_unique<Shard>();
-    shard->endpoint = std::move(endpoint);
-    shards_.push_back(std::move(shard));
+  const int group_size = std::max(0, options_.replicas) + 1;
+  KAMEL_CHECK(endpoints.size() % static_cast<size_t>(group_size) == 0,
+              "endpoint count must be a multiple of replicas + 1");
+  const int num_groups = static_cast<int>(endpoints.size()) / group_size;
+  partition_ =
+      MakePartition(snapshot_->repository().pyramid(), num_groups);
+  replicas_.reserve(endpoints.size());
+  groups_.reserve(static_cast<size_t>(num_groups));
+  for (int g = 0; g < num_groups; ++g) {
+    auto group = std::make_unique<Group>();
+    for (int m = 0; m < group_size; ++m) {
+      const int flat = g * group_size + m;
+      auto replica = std::make_unique<Replica>();
+      replica->endpoint = std::move(endpoints[flat]);
+      replica->group = g;
+      replica->member = m;
+      group->members.push_back(flat);
+      replicas_.push_back(std::move(replica));
+    }
+    // Until the prober learns better, member 0 (the initial primary by
+    // the endpoint-layout contract) takes the group's writes.
+    group->primary.store(group->members.front(), std::memory_order_relaxed);
+    groups_.push_back(std::move(group));
   }
   prober_ = std::thread([this] { ProbeLoop(); });
 }
@@ -67,12 +99,13 @@ ShardRouter::~ShardRouter() {
 // Connection pool + raw calls
 // ---------------------------------------------------------------------------
 
-std::unique_ptr<net::RpcClient> ShardRouter::AcquireClient(Shard* shard) {
+std::unique_ptr<net::RpcClient> ShardRouter::AcquireClient(Replica* replica) {
   {
-    std::lock_guard<std::mutex> lock(shard->pool_mu);
-    if (!shard->pool.empty()) {
-      std::unique_ptr<net::RpcClient> client = std::move(shard->pool.back());
-      shard->pool.pop_back();
+    std::lock_guard<std::mutex> lock(replica->pool_mu);
+    if (!replica->pool.empty()) {
+      std::unique_ptr<net::RpcClient> client =
+          std::move(replica->pool.back());
+      replica->pool.pop_back();
       return client;
     }
   }
@@ -82,52 +115,60 @@ std::unique_ptr<net::RpcClient> ShardRouter::AcquireClient(Shard* shard) {
       std::min(0.5, options_.call_deadline_s / 2.0);
   client_options.jitter_seed =
       options_.jitter_seed ^ call_seq_.fetch_add(1, std::memory_order_relaxed);
-  return std::make_unique<net::RpcClient>(shard->endpoint.host,
-                                          shard->endpoint.port,
+  return std::make_unique<net::RpcClient>(replica->endpoint.host,
+                                          replica->endpoint.port,
                                           client_options);
 }
 
-void ShardRouter::ReleaseClient(Shard* shard,
+void ShardRouter::ReleaseClient(Replica* replica,
                                 std::unique_ptr<net::RpcClient> client) {
-  std::lock_guard<std::mutex> lock(shard->pool_mu);
-  shard->pool.push_back(std::move(client));
+  std::lock_guard<std::mutex> lock(replica->pool_mu);
+  replica->pool.push_back(std::move(client));
 }
 
 Result<std::vector<uint8_t>> ShardRouter::CallShard(
-    int shard_index, net::MethodId method, const std::vector<uint8_t>& body,
-    double deadline_s) {
-  Shard* shard = shards_[shard_index].get();
-  std::unique_ptr<net::RpcClient> client = AcquireClient(shard);
-  remote_calls_.fetch_add(1, std::memory_order_relaxed);
+    int replica_index, net::MethodId method, const std::vector<uint8_t>& body,
+    double deadline_s, bool is_hedge, bool is_retry) {
+  Replica* replica = replicas_[replica_index].get();
+  std::unique_ptr<net::RpcClient> client = AcquireClient(replica);
+  {
+    // The attempt and its kind are counted in ONE critical section: a
+    // stats() snapshot can never see a hedge or retry whose attempt is
+    // not yet in remote_calls.
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++counters_.remote_calls;
+    if (is_hedge) ++counters_.hedges;
+    if (is_retry) ++counters_.retries;
+  }
   const double start = net::NowSeconds();
   Result<std::vector<uint8_t>> result =
       client->Call(method, body, deadline_s);
   if (result.ok()) {
-    RecordLatency(shard, net::NowSeconds() - start);
+    RecordLatency(replica, net::NowSeconds() - start);
   }
   // A failed client is returned too: transport errors poison its
   // connection and the next Call reconnects from scratch.
-  ReleaseClient(shard, std::move(client));
+  ReleaseClient(replica, std::move(client));
   return result;
 }
 
-void ShardRouter::RecordLatency(Shard* shard, double seconds) {
+void ShardRouter::RecordLatency(Replica* replica, double seconds) {
   const size_t window =
       static_cast<size_t>(std::max(1, options_.latency_window));
-  std::lock_guard<std::mutex> lock(shard->lat_mu);
-  if (shard->lat.size() < window) {
-    shard->lat.push_back(seconds);
+  std::lock_guard<std::mutex> lock(replica->lat_mu);
+  if (replica->lat.size() < window) {
+    replica->lat.push_back(seconds);
   } else {
-    shard->lat[shard->lat_next] = seconds;
+    replica->lat[replica->lat_next] = seconds;
   }
-  shard->lat_next = (shard->lat_next + 1) % window;
+  replica->lat_next = (replica->lat_next + 1) % window;
 }
 
-double ShardRouter::HedgeBudgetSeconds(Shard* shard) const {
+double ShardRouter::HedgeBudgetSeconds(Replica* replica) const {
   std::vector<double> lat;
   {
-    std::lock_guard<std::mutex> lock(shard->lat_mu);
-    lat = shard->lat;
+    std::lock_guard<std::mutex> lock(replica->lat_mu);
+    lat = replica->lat;
   }
   double p99 = 0.0;
   if (!lat.empty()) {
@@ -136,6 +177,14 @@ double ShardRouter::HedgeBudgetSeconds(Shard* shard) const {
         std::floor(0.99 * static_cast<double>(lat.size() - 1)))];
   }
   return std::max(options_.hedge_min_s, p99);
+}
+
+double ShardRouter::MeanLatencySeconds(Replica* replica) const {
+  std::lock_guard<std::mutex> lock(replica->lat_mu);
+  if (replica->lat.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : replica->lat) sum += s;
+  return sum / static_cast<double>(replica->lat.size());
 }
 
 // ---------------------------------------------------------------------------
@@ -160,23 +209,24 @@ void ShardRouter::Spawn(std::function<void()> fn) {
 }
 
 Result<std::vector<uint8_t>> ShardRouter::HedgedCall(
-    int shard_index, net::MethodId method,
-    std::shared_ptr<const std::vector<uint8_t>> body) {
+    int replica_index, net::MethodId method,
+    std::shared_ptr<const std::vector<uint8_t>> body, bool is_retry) {
   struct CallState {
     std::mutex mu;
     std::condition_variable cv;
     int outstanding = 0;
     bool succeeded = false;
+    bool hedge_won = false;
     Result<std::vector<uint8_t>> result{
         Status::Unavailable("rpc: no attempt completed")};
   };
   auto state = std::make_shared<CallState>();
   const double deadline_s = options_.call_deadline_s;
 
-  auto attempt = [this, shard_index, method, body, state,
-                  deadline_s](bool is_hedge) {
-    Result<std::vector<uint8_t>> result =
-        CallShard(shard_index, method, *body, deadline_s);
+  auto attempt = [this, replica_index, method, body, state, deadline_s,
+                  is_retry](bool is_hedge) {
+    Result<std::vector<uint8_t>> result = CallShard(
+        replica_index, method, *body, deadline_s, is_hedge, is_retry);
     std::lock_guard<std::mutex> lock(state->mu);
     --state->outstanding;
     if (!state->succeeded) {
@@ -184,7 +234,7 @@ Result<std::vector<uint8_t>> ShardRouter::HedgedCall(
       // error stands in. Losers never overwrite a success.
       if (result.ok()) {
         state->succeeded = true;
-        if (is_hedge) hedge_wins_.fetch_add(1, std::memory_order_relaxed);
+        state->hedge_won = is_hedge;
       }
       state->result = std::move(result);
     }
@@ -199,40 +249,45 @@ Result<std::vector<uint8_t>> ShardRouter::HedgedCall(
 
   std::unique_lock<std::mutex> lock(state->mu);
   if (options_.hedging) {
-    const double budget = HedgeBudgetSeconds(shards_[shard_index].get());
+    const double budget =
+        HedgeBudgetSeconds(replicas_[replica_index].get());
     state->cv.wait_for(lock, Seconds(budget), [&] {
       return state->succeeded || state->outstanding == 0;
     });
     if (!state->succeeded && state->outstanding > 0) {
       ++state->outstanding;
-      hedges_.fetch_add(1, std::memory_order_relaxed);
       Spawn([attempt] { attempt(true); });
     }
   }
   state->cv.wait(lock, [&] {
     return state->succeeded || state->outstanding == 0;
   });
+  if (state->hedge_won) {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++counters_.hedge_wins;
+  }
   // Safe to move: once succeeded no attempt writes the result again, and
   // with outstanding == 0 every writer has finished.
   return std::move(state->result);
 }
 
 Result<std::vector<uint8_t>> ShardRouter::CallWithRetry(
-    int shard_index, net::MethodId method,
+    int replica_index, net::MethodId method,
     std::shared_ptr<const std::vector<uint8_t>> body) {
   const uint64_t seed =
       options_.jitter_seed ^
-      (call_seq_.fetch_add(1, std::memory_order_relaxed) * 0x9E3779B97F4A7C15ULL);
+      (call_seq_.fetch_add(1, std::memory_order_relaxed) *
+       0x9E3779B97F4A7C15ULL);
   Backoff backoff(options_.call_retry, seed);
-  Result<std::vector<uint8_t>> result = HedgedCall(shard_index, method, body);
+  Result<std::vector<uint8_t>> result =
+      HedgedCall(replica_index, method, body, /*is_retry=*/false);
   for (int retry = 1; retry <= options_.call_retry.max_retries; ++retry) {
     if (result.ok() || !IsRetryable(result.status())) break;
     const double delay_ms = backoff.NextDelayMs(retry);
     if (delay_ms > 0.0) {
       std::this_thread::sleep_for(Seconds(delay_ms / 1000.0));
     }
-    retries_.fetch_add(1, std::memory_order_relaxed);
-    result = HedgedCall(shard_index, method, body);
+    result = HedgedCall(replica_index, method, body, /*is_retry=*/true);
   }
   return result;
 }
@@ -241,26 +296,113 @@ Result<std::vector<uint8_t>> ShardRouter::CallWithRetry(
 // Routing
 // ---------------------------------------------------------------------------
 
-std::vector<int> ShardRouter::RouteCandidates(int owner) const {
-  auto routable = [&](int s) {
-    const Shard& shard = *shards_[s];
-    if (!shard.reachable.load(std::memory_order_relaxed)) return false;
-    const auto health =
-        static_cast<HealthState>(shard.health.load(std::memory_order_relaxed));
-    return health == HealthState::kServing ||
-           health == HealthState::kDegraded;
-  };
+bool ShardRouter::ReadReady(int replica_index) const {
+  const Replica& replica = *replicas_[replica_index];
+  if (!replica.reachable.load(std::memory_order_relaxed)) return false;
+  if (replica.stale.load(std::memory_order_relaxed)) return false;
+  const auto health = static_cast<HealthState>(
+      replica.health.load(std::memory_order_relaxed));
+  if (health != HealthState::kServing && health != HealthState::kDegraded) {
+    return false;
+  }
+  switch (static_cast<replication::ReplicaRole>(
+      replica.role.load(std::memory_order_relaxed))) {
+    case replication::ReplicaRole::kNone:
+    case replication::ReplicaRole::kPrimary:
+    case replication::ReplicaRole::kStandby:
+      return true;
+    // CATCHING_UP replicas hold the right models but an incomplete ingest
+    // history; FENCED primaries are deposed. Neither serves reads.
+    case replication::ReplicaRole::kCatchingUp:
+    case replication::ReplicaRole::kFenced:
+      return false;
+  }
+  return false;
+}
+
+std::vector<int> ShardRouter::RouteCandidates(int owner_group) {
   std::vector<int> candidates;
-  candidates.reserve(shards_.size());
-  for (size_t i = 0; i < shards_.size(); ++i) {
-    const int s = (owner + static_cast<int>(i)) %
-                  static_cast<int>(shards_.size());
-    if (routable(s)) candidates.push_back(s);
+  candidates.reserve(replicas_.size());
+
+  // Owner group first. With balance_reads, order its ready members by
+  // Efraimidis–Spirakis weighted sampling without replacement: each gets
+  // key u^(1/w) with weight w = 1 / (mean latency + 1ms floor), sorted
+  // descending — faster replicas win proportionally more often, slow ones
+  // still see occasional traffic so their latency window stays fresh.
+  // The u-stream is seeded from jitter_seed + a call counter, so tests
+  // fixing jitter_seed get a reproducible routing sequence.
+  const Group& owner = *groups_[owner_group];
+  const int believed_primary =
+      owner.primary.load(std::memory_order_relaxed);
+  std::vector<int> ready;
+  for (int member : owner.members) {
+    if (ReadReady(member)) ready.push_back(member);
+  }
+  if (options_.balance_reads && ready.size() > 1) {
+    const uint64_t draw_seed =
+        options_.jitter_seed ^
+        call_seq_.fetch_add(1, std::memory_order_relaxed);
+    std::vector<std::pair<double, int>> keyed;
+    keyed.reserve(ready.size());
+    for (size_t i = 0; i < ready.size(); ++i) {
+      const double mean =
+          MeanLatencySeconds(replicas_[ready[i]].get());
+      const double weight = 1.0 / (mean + 0.001);
+      const double u = UnitOpen(draw_seed + i);
+      keyed.emplace_back(std::pow(u, 1.0 / weight), ready[i]);
+    }
+    std::sort(keyed.begin(), keyed.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (const auto& [key, member] : keyed) candidates.push_back(member);
+  } else {
+    // Primary-first: deterministic order for balance_reads == false and
+    // for the single-ready-member case.
+    std::sort(ready.begin(), ready.end(), [&](int a, int b) {
+      return (a == believed_primary) > (b == believed_primary);
+    });
+    for (int member : ready) candidates.push_back(member);
+  }
+
+  // Then the other groups in owner-first rotation, primary before
+  // standbys: a non-owner typically still serves a pyramid-ancestor rung
+  // (coarse models replicate wherever their bounds reach).
+  const int num_groups = static_cast<int>(groups_.size());
+  for (int i = 1; i < num_groups; ++i) {
+    const int g = (owner_group + i) % num_groups;
+    const Group& group = *groups_[g];
+    const int primary = group.primary.load(std::memory_order_relaxed);
+    if (ReadReady(primary)) candidates.push_back(primary);
+    for (int member : group.members) {
+      if (member != primary && ReadReady(member)) {
+        candidates.push_back(member);
+      }
+    }
   }
   return candidates;
 }
 
-void ShardRouter::ImputeGroup(const KamelSnapshot& snapshot, int owner,
+std::vector<int> ShardRouter::WriteCandidates(int owner_group) const {
+  const Group& group = *groups_[owner_group];
+  const int primary = group.primary.load(std::memory_order_relaxed);
+  std::vector<int> candidates;
+  candidates.reserve(group.members.size());
+  auto writable = [&](int member) {
+    const Replica& replica = *replicas_[member];
+    return replica.reachable.load(std::memory_order_relaxed) &&
+           !replica.stale.load(std::memory_order_relaxed);
+  };
+  if (writable(primary)) candidates.push_back(primary);
+  // The rest of the group in member order: mid-failover the router's
+  // believed primary can trail reality, and the sweep finds the worker
+  // that actually holds the latest epoch (everyone else refuses with
+  // kFailedPrecondition, which is cheap).
+  for (int member : group.members) {
+    if (member != primary && writable(member)) candidates.push_back(member);
+  }
+  return candidates;
+}
+
+void ShardRouter::ImputeGroup(const KamelSnapshot& snapshot, int owner_group,
                               const std::vector<size_t>& indices,
                               const ImputePlan& plan,
                               std::vector<ImputedGap>* out) {
@@ -272,14 +414,15 @@ void ShardRouter::ImputeGroup(const KamelSnapshot& snapshot, int owner,
   auto body = std::make_shared<const std::vector<uint8_t>>(
       EncodeGapRequest(contexts));
 
-  for (int target : RouteCandidates(owner)) {
+  for (int target : RouteCandidates(owner_group)) {
     Result<std::vector<uint8_t>> response =
         CallWithRetry(target, kMethodImputeGaps, body);
     if (!response.ok()) continue;  // next candidate (failover)
     auto gaps = DecodeGapResponse(*response);
     if (!gaps.ok() || gaps->size() != indices.size()) continue;
-    if (target != owner) {
-      failovers_.fetch_add(1, std::memory_order_relaxed);
+    if (replicas_[target]->group != owner_group) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++counters_.failovers;
     }
     for (size_t i = 0; i < indices.size(); ++i) {
       (*out)[indices[i]] = std::move((*gaps)[i]);
@@ -290,8 +433,11 @@ void ShardRouter::ImputeGroup(const KamelSnapshot& snapshot, int owner,
   // Bottom rung: every candidate refused, shed, or is dead — impute the
   // group locally at kLinearOnly (no model access; counted as overload
   // in the per-gap ladder accounting, which is exactly what it is).
-  linear_fallback_gaps_.fetch_add(static_cast<int64_t>(indices.size()),
-                                  std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    counters_.linear_fallback_gaps +=
+        static_cast<int64_t>(indices.size());
+  }
   for (size_t index : indices) {
     (*out)[index] =
         snapshot.ImputeGap(plan.gaps[index].context, ImputeMode::kLinearOnly);
@@ -299,14 +445,17 @@ void ShardRouter::ImputeGroup(const KamelSnapshot& snapshot, int owner,
 }
 
 Result<ImputedTrajectory> ShardRouter::Impute(const Trajectory& sparse) {
-  imputations_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++counters_.imputations;
+  }
   Stopwatch watch;
   // Pin the snapshot for the whole call, like ServingEngine does.
   const std::shared_ptr<const KamelSnapshot> snapshot = snapshot_;
   KAMEL_ASSIGN_OR_RETURN(ImputePlan plan, snapshot->PlanImpute(sparse));
 
   std::vector<ImputedGap> gaps(plan.gaps.size());
-  std::vector<std::vector<size_t>> groups(shards_.size());
+  std::vector<std::vector<size_t>> groups(groups_.size());
   const Pyramid& pyramid = snapshot->repository().pyramid();
   for (size_t i = 0; i < plan.gaps.size(); ++i) {
     groups[ShardOfGap(partition_, pyramid, plan.gaps[i].context)]
@@ -338,27 +487,207 @@ Result<ImputedTrajectory> ShardRouter::Impute(const Trajectory& sparse) {
   return out;
 }
 
+Result<SubmitAck> ShardRouter::Submit(const Trajectory& trajectory) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++counters_.submits;
+  }
+  const std::shared_ptr<const KamelSnapshot> snapshot = snapshot_;
+  KAMEL_RETURN_NOT_OK(ValidateTrajectory(trajectory));
+  if (trajectory.empty()) {
+    return Status::InvalidArgument("submit: empty trajectory");
+  }
+  const Vec2 center =
+      trajectory.Mbr(snapshot->projection()).Center();
+  const int owner_group = ShardOfPoint(
+      partition_, snapshot->repository().pyramid(), center);
+  const std::vector<uint8_t> body = EncodeTrajectoryPayload(trajectory);
+
+  const Group& group = *groups_[owner_group];
+  const int believed_primary =
+      group.primary.load(std::memory_order_relaxed);
+  Status last{Status::Unavailable("submit: no writable replica in group " +
+                                  std::to_string(owner_group))};
+  for (int target : WriteCandidates(owner_group)) {
+    // No blind same-member retry and no hedging: a Submit that appends
+    // twice duplicates the record. One attempt per member; transport
+    // errors move the sweep along (an un-acked submit is the caller's
+    // ambiguity, never counted as acked).
+    Result<std::vector<uint8_t>> response =
+        CallShard(target, kMethodSubmit, body, options_.call_deadline_s);
+    if (response.ok()) {
+      KAMEL_ASSIGN_OR_RETURN(SubmitAck ack, DecodeSubmitAck(*response));
+      if (target != believed_primary) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++counters_.submit_failovers;
+      }
+      return ack;
+    }
+    last = response.status();
+    // kFailedPrecondition = "not a primary" / fenced: sweep on. Transport
+    // errors sweep on too. Anything else (bad payload, shed) is final.
+    if (last.code() != StatusCode::kFailedPrecondition &&
+        !IsRetryable(last)) {
+      return last;
+    }
+  }
+  return last;
+}
+
 // ---------------------------------------------------------------------------
-// Health probing + observers
+// Health + role probing, promotion
 // ---------------------------------------------------------------------------
 
-void ShardRouter::ProbeOnce() {
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    Result<std::vector<uint8_t>> response = CallShard(
-        static_cast<int>(s), kMethodStats, {}, options_.probe_deadline_s);
-    Shard* shard = shards_[s].get();
-    if (!response.ok()) {
-      shard->reachable.store(false, std::memory_order_relaxed);
-      continue;
+void ShardRouter::ProbeReplica(int replica_index) {
+  Replica* replica = replicas_[replica_index].get();
+  Result<std::vector<uint8_t>> response = CallShard(
+      replica_index, kMethodRole, {}, options_.probe_deadline_s);
+  if (response.ok()) {
+    auto info = DecodeRoleInfo(*response);
+    if (!info.ok()) {
+      replica->reachable.store(false, std::memory_order_relaxed);
+      return;
     }
-    auto status = DecodeStatus(*response);
-    if (!status.ok()) {
-      shard->reachable.store(false, std::memory_order_relaxed);
-      continue;
-    }
-    shard->reachable.store(true, std::memory_order_relaxed);
-    shard->health.store(static_cast<int>(status->health),
+    replica->reachable.store(true, std::memory_order_relaxed);
+    replica->health.store(static_cast<int>(info->health),
+                          std::memory_order_relaxed);
+    replica->role.store(static_cast<uint8_t>(info->role),
                         std::memory_order_relaxed);
+    replica->epoch.store(info->epoch, std::memory_order_relaxed);
+    replica->durable_lsn.store(info->durable_lsn, std::memory_order_relaxed);
+    replica->applied_lsn.store(info->applied_lsn, std::memory_order_relaxed);
+    replica->lag.store(info->lag, std::memory_order_relaxed);
+    return;
+  }
+  if (response.status().code() == StatusCode::kUnimplemented) {
+    // Pre-replication worker: fall back to the Stats probe it does speak.
+    Result<std::vector<uint8_t>> stats_response = CallShard(
+        replica_index, kMethodStats, {}, options_.probe_deadline_s);
+    if (stats_response.ok()) {
+      auto status = DecodeStatus(*stats_response);
+      if (status.ok()) {
+        replica->reachable.store(true, std::memory_order_relaxed);
+        replica->health.store(static_cast<int>(status->health),
+                              std::memory_order_relaxed);
+        replica->role.store(
+            static_cast<uint8_t>(replication::ReplicaRole::kNone),
+            std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+  replica->reachable.store(false, std::memory_order_relaxed);
+}
+
+void ShardRouter::ReconcileGroup(int group_index) {
+  Group* group = groups_[group_index].get();
+  if (group->members.size() < 2) return;  // nothing to promote to
+
+  // Track the highest epoch any member reports; primaries below it are
+  // deposed leftovers. (max_epoch only ever rises — a refused stale
+  // probe can never un-fence anyone.)
+  uint64_t max_epoch = group->max_epoch.load(std::memory_order_relaxed);
+  for (int member : group->members) {
+    const Replica& replica = *replicas_[member];
+    if (!replica.reachable.load(std::memory_order_relaxed)) continue;
+    max_epoch =
+        std::max(max_epoch, replica.epoch.load(std::memory_order_relaxed));
+  }
+  group->max_epoch.store(max_epoch, std::memory_order_relaxed);
+
+  int current_primary = group->primary.load(std::memory_order_relaxed);
+  for (int member : group->members) {
+    Replica& replica = *replicas_[member];
+    if (!replica.reachable.load(std::memory_order_relaxed)) continue;
+    const auto role = static_cast<replication::ReplicaRole>(
+        replica.role.load(std::memory_order_relaxed));
+    const uint64_t epoch = replica.epoch.load(std::memory_order_relaxed);
+    const bool claims_primary =
+        role == replication::ReplicaRole::kPrimary;
+    if (claims_primary && epoch < max_epoch) {
+      // A resurrected old primary. Mark it stale — excluded from reads
+      // and writes — until it reports a current epoch again (it will:
+      // re-started as a standby, or self-fenced).
+      if (!replica.stale.exchange(true, std::memory_order_relaxed)) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++counters_.stale_primaries;
+      }
+      continue;
+    }
+    replica.stale.store(false, std::memory_order_relaxed);
+    if (claims_primary && member != current_primary) {
+      // Adopt a promotion we did not drive (another router, an operator,
+      // or our own promote whose ack got lost).
+      group->primary.store(member, std::memory_order_relaxed);
+      current_primary = member;
+    }
+  }
+
+  // Promotion ladder: primary unreachable for N consecutive probes →
+  // promote the most caught-up reachable member, preferring STANDBY over
+  // CATCHING_UP (bounded lag beats raw LSN recency only across that
+  // boundary; within a class the higher applied watermark wins, so the
+  // promoted history is the longest one available).
+  Replica& primary = *replicas_[current_primary];
+  if (primary.reachable.load(std::memory_order_relaxed)) {
+    group->failed_primary_probes = 0;
+    return;
+  }
+  if (++group->failed_primary_probes < options_.promote_after_failed_probes) {
+    return;
+  }
+  int best = -1;
+  bool best_standby = false;
+  uint64_t best_applied = 0;
+  for (int member : group->members) {
+    if (member == current_primary) continue;
+    const Replica& replica = *replicas_[member];
+    if (!replica.reachable.load(std::memory_order_relaxed)) continue;
+    if (replica.stale.load(std::memory_order_relaxed)) continue;
+    const auto role = static_cast<replication::ReplicaRole>(
+        replica.role.load(std::memory_order_relaxed));
+    if (role != replication::ReplicaRole::kStandby &&
+        role != replication::ReplicaRole::kCatchingUp) {
+      continue;
+    }
+    const bool is_standby = role == replication::ReplicaRole::kStandby;
+    const uint64_t applied =
+        replica.applied_lsn.load(std::memory_order_relaxed);
+    if (best < 0 || (is_standby && !best_standby) ||
+        (is_standby == best_standby && applied > best_applied)) {
+      best = member;
+      best_standby = is_standby;
+      best_applied = applied;
+    }
+  }
+  if (best < 0) return;  // nobody promotable; keep counting probes
+
+  const uint64_t new_epoch = max_epoch + 1;
+  Result<std::vector<uint8_t>> response =
+      CallShard(best, kMethodPromote, EncodePromoteRequest(new_epoch),
+                options_.promote_deadline_s);
+  if (!response.ok()) return;  // next probe round tries again
+  auto ack = DecodePromoteAck(*response);
+  if (!ack.ok()) return;
+  group->primary.store(best, std::memory_order_relaxed);
+  group->max_epoch.store(ack->epoch, std::memory_order_relaxed);
+  group->failed_primary_probes = 0;
+  Replica& promoted = *replicas_[best];
+  promoted.role.store(static_cast<uint8_t>(replication::ReplicaRole::kPrimary),
+                      std::memory_order_relaxed);
+  promoted.epoch.store(ack->epoch, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++counters_.promotions;
+  }
+}
+
+void ShardRouter::ProbeOnce() {
+  for (size_t r = 0; r < replicas_.size(); ++r) {
+    ProbeReplica(static_cast<int>(r));
+  }
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    ReconcileGroup(static_cast<int>(g));
   }
 }
 
@@ -374,15 +703,19 @@ void ShardRouter::ProbeLoop() {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Observers
+// ---------------------------------------------------------------------------
+
 std::vector<HealthState> ShardRouter::ShardHealth() const {
   std::vector<HealthState> health;
-  health.reserve(shards_.size());
-  for (const auto& shard : shards_) {
-    if (!shard->reachable.load(std::memory_order_relaxed)) {
+  health.reserve(replicas_.size());
+  for (const auto& replica : replicas_) {
+    if (!replica->reachable.load(std::memory_order_relaxed)) {
       health.push_back(HealthState::kDraining);
     } else {
       health.push_back(static_cast<HealthState>(
-          shard->health.load(std::memory_order_relaxed)));
+          replica->health.load(std::memory_order_relaxed)));
     }
   }
   return health;
@@ -394,9 +727,9 @@ Status ShardRouter::WaitHealthy(double timeout_s) {
     ProbeOnce();
     const std::vector<HealthState> health = ShardHealth();
     bool all_serving = true;
-    for (size_t s = 0; s < health.size(); ++s) {
-      if (!shards_[s]->reachable.load(std::memory_order_relaxed) ||
-          health[s] != HealthState::kServing) {
+    for (size_t r = 0; r < health.size(); ++r) {
+      if (!replicas_[r]->reachable.load(std::memory_order_relaxed) ||
+          health[r] != HealthState::kServing) {
         all_serving = false;
         break;
       }
@@ -411,33 +744,60 @@ Status ShardRouter::WaitHealthy(double timeout_s) {
 }
 
 std::vector<ShardRouter::ProbedStatus> ShardRouter::CollectStats() {
-  std::vector<ProbedStatus> statuses(shards_.size());
-  for (size_t s = 0; s < shards_.size(); ++s) {
+  std::vector<ProbedStatus> statuses(replicas_.size());
+  for (size_t r = 0; r < replicas_.size(); ++r) {
     Result<std::vector<uint8_t>> response = CallShard(
-        static_cast<int>(s), kMethodStats, {}, options_.probe_deadline_s);
+        static_cast<int>(r), kMethodStats, {}, options_.probe_deadline_s);
     if (!response.ok()) {
-      statuses[s].error = response.status().ToString();
+      statuses[r].error = response.status().ToString();
       continue;
     }
     auto status = DecodeStatus(*response);
     if (!status.ok()) {
-      statuses[s].error = status.status().ToString();
+      statuses[r].error = status.status().ToString();
       continue;
     }
-    statuses[s].reachable = true;
-    statuses[s].status = std::move(*status);
+    statuses[r].reachable = true;
+    statuses[r].status = std::move(*status);
   }
   return statuses;
+}
+
+std::vector<ShardRouter::ReplicaView> ShardRouter::ReplicaViews() const {
+  std::vector<ReplicaView> views;
+  views.reserve(replicas_.size());
+  for (size_t r = 0; r < replicas_.size(); ++r) {
+    const Replica& replica = *replicas_[r];
+    ReplicaView view;
+    view.group = replica.group;
+    view.member = replica.member;
+    view.endpoint = replica.endpoint;
+    view.reachable = replica.reachable.load(std::memory_order_relaxed);
+    view.health = static_cast<HealthState>(
+        replica.health.load(std::memory_order_relaxed));
+    view.role = static_cast<replication::ReplicaRole>(
+        replica.role.load(std::memory_order_relaxed));
+    view.epoch = replica.epoch.load(std::memory_order_relaxed);
+    view.durable_lsn = replica.durable_lsn.load(std::memory_order_relaxed);
+    view.applied_lsn = replica.applied_lsn.load(std::memory_order_relaxed);
+    view.lag = replica.lag.load(std::memory_order_relaxed);
+    view.stale = replica.stale.load(std::memory_order_relaxed);
+    view.is_primary =
+        groups_[replica.group]->primary.load(std::memory_order_relaxed) ==
+        static_cast<int>(r);
+    views.push_back(view);
+  }
+  return views;
 }
 
 Status ShardRouter::BroadcastSnapshot(const std::string& path) {
   const std::vector<uint8_t> body = EncodeSnapshotPath(path);
   Status first_error = Status::OK();
-  for (size_t s = 0; s < shards_.size(); ++s) {
+  for (size_t r = 0; r < replicas_.size(); ++r) {
     // Reloading a snapshot reads the whole file back in; give it a much
     // larger budget than a serving call.
     Result<std::vector<uint8_t>> response =
-        CallShard(static_cast<int>(s), kMethodUpdateSnapshot, body, 30.0);
+        CallShard(static_cast<int>(r), kMethodUpdateSnapshot, body, 30.0);
     if (!response.ok() && first_error.ok()) {
       first_error = response.status();
     }
@@ -446,16 +806,8 @@ Status ShardRouter::BroadcastSnapshot(const std::string& path) {
 }
 
 RouterStats ShardRouter::stats() const {
-  RouterStats stats;
-  stats.imputations = imputations_.load(std::memory_order_relaxed);
-  stats.remote_calls = remote_calls_.load(std::memory_order_relaxed);
-  stats.retries = retries_.load(std::memory_order_relaxed);
-  stats.hedges = hedges_.load(std::memory_order_relaxed);
-  stats.hedge_wins = hedge_wins_.load(std::memory_order_relaxed);
-  stats.failovers = failovers_.load(std::memory_order_relaxed);
-  stats.linear_fallback_gaps =
-      linear_fallback_gaps_.load(std::memory_order_relaxed);
-  return stats;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return counters_;
 }
 
 }  // namespace kamel::shard

@@ -15,6 +15,7 @@
 #include "core/kamel_snapshot.h"
 #include "core/serving_engine.h"
 #include "net/rpc.h"
+#include "replication/replication.h"
 #include "shard/partition.h"
 #include "shard/wire.h"
 
@@ -31,63 +32,104 @@ struct RouterOptions {
   /// Health prober cadence and per-probe budget, seconds.
   double probe_interval_s = 0.25;
   double probe_deadline_s = 0.5;
-  /// Retry schedule for idempotent calls against one shard (jittered
+  /// Retry schedule for idempotent calls against one replica (jittered
   /// exponential via the shared common/backoff policy). kUnavailable,
   /// kDeadlineExceeded, and kIOError retry — the imputation is pure, so
   /// re-running work that may already have happened remotely is safe.
-  /// kResourceExhausted (the shard shed) fails over instead.
+  /// kResourceExhausted (the shard shed) fails over instead. Submit is
+  /// NOT retried this way: appending twice duplicates the record, so the
+  /// ambiguity belongs to the caller.
   RetryPolicy call_retry{.max_retries = 2,
                          .base_backoff_ms = 5.0,
                          .max_backoff_ms = 100.0};
-  /// Hedge a straggling call after max(hedge_min_s, p99 of the shard's
+  /// Hedge a straggling call after max(hedge_min_s, p99 of the replica's
   /// observed call latencies): a second connection races the first and
   /// the first success wins. Off: wait out the full deadline.
   bool hedging = true;
   double hedge_min_s = 0.02;
-  /// Per-shard latency observations kept for the p99 estimate.
+  /// Per-replica latency observations kept for the p99 estimate and the
+  /// latency-weighted read balancing.
   int latency_window = 128;
   uint64_t jitter_seed = 0;
+
+  // -- Replication -----------------------------------------------------------
+  /// Warm standbys per shard group. endpoints.size() must equal
+  /// num_groups * (replicas + 1), laid out group-major with each group's
+  /// initial PRIMARY first, its standbys after. 0 = the PR-6 layout (one
+  /// worker per shard, no roles).
+  int replicas = 0;
+  /// Consecutive failed probes of a group's primary before the prober
+  /// promotes its best caught-up standby (fencing the old primary via a
+  /// bumped epoch).
+  int promote_after_failed_probes = 3;
+  /// Per-promotion RPC budget, seconds (WAL reopen + epoch persist).
+  double promote_deadline_s = 5.0;
+  /// Spread reads across the owner group's caught-up replicas, weighted
+  /// by each replica's observed mean latency (Efraimidis–Spirakis
+  /// sampling, deterministic under jitter_seed). Off: primary first,
+  /// standbys only as failover.
+  bool balance_reads = true;
 };
 
-/// Router-side counters (all monotonic).
+/// Router-side counters (all monotonic). Snapshots taken via stats()
+/// are mutually consistent: every counter is incremented under one
+/// internal mutex, and a hedge/retry is counted in the same critical
+/// section as its remote_calls increment — a reader can never observe
+/// hedges > remote_calls or retries > remote_calls, even mid-burst.
 struct RouterStats {
   int64_t imputations = 0;        // Impute() calls
   int64_t remote_calls = 0;       // RPC attempts, incl. retries + hedges
-  int64_t retries = 0;            // same-shard re-attempts after backoff
+  int64_t retries = 0;            // same-replica re-attempts after backoff
   int64_t hedges = 0;             // hedge calls launched
   int64_t hedge_wins = 0;         // hedge finished first with a success
-  int64_t failovers = 0;          // gap groups served off their owner
+  int64_t failovers = 0;          // gap groups served off their owner group
   int64_t linear_fallback_gaps = 0;  // gaps imputed router-local linear
+  int64_t submits = 0;            // Submit() calls
+  int64_t submit_failovers = 0;   // submits served off the believed primary
+  int64_t promotions = 0;         // standby promotions the prober drove
+  int64_t stale_primaries = 0;    // old-epoch primaries detected and fenced
 };
 
 /// Health-checked fan-out over a fleet of ShardWorkers. Impute() runs the
 /// exact single-process pipeline — PlanImpute, impute every gap, and
 /// AssemblePlan — with the middle step remoted: gaps group by the shard
-/// owning their MBR key cell and ship as one ImputeGaps call per shard,
-/// in parallel.
+/// group owning their MBR key cell and ship as one ImputeGaps call per
+/// group, in parallel.
 ///
 /// Failure ladder, applied per gap group:
-///   1. the owner shard, with jittered-backoff retries on transport
-///      errors and a hedged second connection past the p99 budget;
-///   2. failover to the next healthy shard — coarse pyramid models are
-///      replicated wherever their bounds reach, so a non-owner typically
-///      still serves a pyramid-ancestor rung rather than nothing;
+///   1. the owner group's caught-up replicas (latency-weighted order
+///      under balance_reads, primary-first otherwise), each with
+///      jittered-backoff retries on transport errors and a hedged second
+///      connection past the p99 budget;
+///   2. failover to another group's healthy replicas — coarse pyramid
+///      models are replicated wherever their bounds reach, so a
+///      non-owner typically still serves a pyramid-ancestor rung;
 ///   3. router-local linear imputation (ImputeMode::kLinearOnly), the
 ///      bottom rung — never an error for a well-formed trajectory.
-/// A background prober keeps per-shard HealthState fresh; dead, SHEDDING,
-/// and DRAINING shards are routed around until they recover.
+///
+/// Replication awareness (options.replicas > 0): the background prober
+/// speaks kMethodRole, learning each replica's role, fencing epoch, and
+/// replication lag. When a group's primary stays unreachable for
+/// promote_after_failed_probes probes, the prober promotes the group's
+/// most-caught-up standby with epoch max_epoch+1; the old primary, if it
+/// resurrects, reports a lower epoch, is marked stale, excluded from all
+/// routing, and every standby refuses its stream (see
+/// replication/standby.h) — split-brain cannot serve. Submit() routes a
+/// durable trajectory ingest to the owner group's primary, sweeping the
+/// group on "not primary" refusals.
 ///
 /// With every shard healthy the output is byte-identical to
 /// KamelSnapshot::Impute on the unsharded snapshot (`stats.seconds`
 /// excepted — wall clock is not part of the identity contract).
 ///
-/// Thread model: Impute and the observers are thread-safe; the snapshot
-/// is pinned per call like ServingEngine does.
+/// Thread model: Impute/Submit and the observers are thread-safe; the
+/// snapshot is pinned per call like ServingEngine does.
 class ShardRouter {
  public:
   /// `snapshot` is the router's geometry + linear-fallback source (the
   /// same snapshot file the workers loaded; the router never consults
-  /// its models). One endpoint per shard, indexed by shard id.
+  /// its models). Endpoints are group-major (see RouterOptions::replicas);
+  /// with replicas == 0, one endpoint per shard, indexed by shard id.
   ShardRouter(std::shared_ptr<const KamelSnapshot> snapshot,
               std::vector<ShardEndpoint> endpoints,
               RouterOptions options = {});
@@ -98,15 +140,25 @@ class ShardRouter {
 
   Result<ImputedTrajectory> Impute(const Trajectory& sparse);
 
-  /// Last probed health per shard (optimistically kServing before the
-  /// first probe answers; a dead shard reads kDraining).
+  /// Durably ingests one trajectory via the owner group's primary (WAL
+  /// append + fsync + min_sync_standbys acks before the ack returns).
+  /// Not blindly retried on transport errors — a lost ack is the
+  /// caller's ambiguity to resolve (re-submitting duplicates a record,
+  /// which the WAL tolerates but never hides). kFailedPrecondition
+  /// sweeps the group looking for the real primary; kUnavailable when
+  /// no member will take writes right now (e.g. mid-failover).
+  Result<SubmitAck> Submit(const Trajectory& trajectory);
+
+  /// Last probed health per replica, flat-indexed like the endpoint list
+  /// (optimistically kServing before the first probe answers; a dead
+  /// replica reads kDraining).
   std::vector<HealthState> ShardHealth() const;
 
-  /// Blocks until every shard probes reachable and SERVING, or the
+  /// Blocks until every replica probes reachable and SERVING, or the
   /// timeout elapses (kDeadlineExceeded).
   Status WaitHealthy(double timeout_s);
 
-  /// One Stats call per shard, unreachable shards reported in place.
+  /// One Stats call per replica, unreachable replicas reported in place.
   struct ProbedStatus {
     bool reachable = false;
     ShardStatus status;  // valid when reachable
@@ -114,25 +166,66 @@ class ShardRouter {
   };
   std::vector<ProbedStatus> CollectStats();
 
+  /// The router's replication view of one replica (prober-maintained).
+  struct ReplicaView {
+    int group = 0;
+    int member = 0;  ///< index within the group (0 = initial primary)
+    ShardEndpoint endpoint;
+    bool reachable = false;
+    HealthState health = HealthState::kServing;
+    replication::ReplicaRole role = replication::ReplicaRole::kNone;
+    uint64_t epoch = 0;
+    uint64_t durable_lsn = 0;
+    uint64_t applied_lsn = 0;
+    uint64_t lag = 0;
+    /// Detected primary of a deposed epoch: excluded from all routing.
+    bool stale = false;
+    /// The router currently routes this group's writes here.
+    bool is_primary = false;
+  };
+  std::vector<ReplicaView> ReplicaViews() const;
+
   /// Tells every worker to reload `path` and hot-swap it (UpdateSnapshot
   /// fan-out). First failure wins; the rest are still attempted.
   Status BroadcastSnapshot(const std::string& path);
 
   RouterStats stats() const;
   const ShardPartition& partition() const { return partition_; }
-  int num_shards() const { return static_cast<int>(shards_.size()); }
+  /// Shard groups (the partition's shard count).
+  int num_shards() const { return static_cast<int>(groups_.size()); }
+  /// Total worker processes (groups × (replicas + 1)).
+  int num_replicas() const { return static_cast<int>(replicas_.size()); }
 
  private:
-  /// Per-shard connection pool, probed health, and latency window.
-  struct Shard {
+  /// Per-replica connection pool, probed health + role, latency window.
+  struct Replica {
     ShardEndpoint endpoint;
+    int group = 0;
+    int member = 0;
     std::atomic<bool> reachable{true};  // optimistic until probed
     std::atomic<int> health{static_cast<int>(HealthState::kServing)};
+    std::atomic<uint8_t> role{
+        static_cast<uint8_t>(replication::ReplicaRole::kNone)};
+    std::atomic<uint64_t> epoch{0};
+    std::atomic<uint64_t> durable_lsn{0};
+    std::atomic<uint64_t> applied_lsn{0};
+    std::atomic<uint64_t> lag{0};
+    std::atomic<bool> stale{false};
     std::mutex pool_mu;
     std::vector<std::unique_ptr<net::RpcClient>> pool;
     std::mutex lat_mu;
     std::vector<double> lat;  // ring buffer, seconds
     size_t lat_next = 0;
+  };
+
+  /// One shard group: its member replicas (flat indices) and the member
+  /// the router currently believes is primary.
+  struct Group {
+    std::vector<int> members;
+    std::atomic<int> primary{0};  ///< flat replica index
+    std::atomic<uint64_t> max_epoch{0};
+    /// Consecutive probes the primary has failed (prober thread only).
+    int failed_primary_probes = 0;
   };
 
   /// Completion state shared by detached attempt threads (they must not
@@ -143,59 +236,75 @@ class ShardRouter {
     int count = 0;
   };
 
-  std::unique_ptr<net::RpcClient> AcquireClient(Shard* shard);
-  void ReleaseClient(Shard* shard, std::unique_ptr<net::RpcClient> client);
+  std::unique_ptr<net::RpcClient> AcquireClient(Replica* replica);
+  void ReleaseClient(Replica* replica,
+                     std::unique_ptr<net::RpcClient> client);
 
   /// One RPC attempt (pooled connection); records latency on success.
-  Result<std::vector<uint8_t>> CallShard(int shard, net::MethodId method,
+  /// `is_hedge`/`is_retry` are counted in the same critical section as
+  /// the remote_calls increment (consistent stats snapshots).
+  Result<std::vector<uint8_t>> CallShard(int replica, net::MethodId method,
                                          const std::vector<uint8_t>& body,
-                                         double deadline_s);
+                                         double deadline_s,
+                                         bool is_hedge = false,
+                                         bool is_retry = false);
 
   /// CallShard with a hedged second connection after the p99 budget.
   Result<std::vector<uint8_t>> HedgedCall(
-      int shard, net::MethodId method,
-      std::shared_ptr<const std::vector<uint8_t>> body);
+      int replica, net::MethodId method,
+      std::shared_ptr<const std::vector<uint8_t>> body, bool is_retry);
 
   /// HedgedCall with jittered-backoff retries on transport errors.
   Result<std::vector<uint8_t>> CallWithRetry(
-      int shard, net::MethodId method,
+      int replica, net::MethodId method,
       std::shared_ptr<const std::vector<uint8_t>> body);
 
-  /// Imputes one shard's gap group, walking the failure ladder; writes
+  /// Imputes one group's gap batch, walking the failure ladder; writes
   /// results into `out` at the plan positions in `indices`.
-  void ImputeGroup(const KamelSnapshot& snapshot, int owner,
+  void ImputeGroup(const KamelSnapshot& snapshot, int owner_group,
                    const std::vector<size_t>& indices,
                    const ImputePlan& plan, std::vector<ImputedGap>* out);
 
-  /// Owner-first candidate order, skipping dead/SHEDDING/DRAINING shards.
-  std::vector<int> RouteCandidates(int owner) const;
+  /// True when reads may route to this replica right now.
+  bool ReadReady(int replica) const;
+  /// The owner group's read-ready members, latency-weighted (or
+  /// primary-first), followed by other groups' read-ready members in
+  /// owner-first rotation.
+  std::vector<int> RouteCandidates(int owner_group);
+  /// Owner group's members ordered for a write sweep: believed primary
+  /// first, then the rest (reachable, non-stale).
+  std::vector<int> WriteCandidates(int owner_group) const;
 
-  void RecordLatency(Shard* shard, double seconds);
-  double HedgeBudgetSeconds(Shard* shard) const;
+  void RecordLatency(Replica* replica, double seconds);
+  double HedgeBudgetSeconds(Replica* replica) const;
+  double MeanLatencySeconds(Replica* replica) const;
 
   /// Runs `fn` on a detached thread tracked by outstanding_ (the
   /// destructor waits for all of them).
   void Spawn(std::function<void()> fn);
 
   void ProbeLoop();
-  /// One Stats round-trip against each shard, updating its health.
+  /// One Role round-trip against each replica, updating health, role,
+  /// epoch, and lag; then the promotion ladder per group.
   void ProbeOnce();
+  void ProbeReplica(int replica);
+  /// Detects primary loss / stale primaries and drives promotion.
+  void ReconcileGroup(int group);
 
   const std::shared_ptr<const KamelSnapshot> snapshot_;
   const RouterOptions options_;
   ShardPartition partition_;
-  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  std::vector<std::unique_ptr<Group>> groups_;
 
   std::shared_ptr<Outstanding> outstanding_ =
       std::make_shared<Outstanding>();
 
-  std::atomic<int64_t> imputations_{0};
-  std::atomic<int64_t> remote_calls_{0};
-  std::atomic<int64_t> retries_{0};
-  std::atomic<int64_t> hedges_{0};
-  std::atomic<int64_t> hedge_wins_{0};
-  std::atomic<int64_t> failovers_{0};
-  std::atomic<int64_t> linear_fallback_gaps_{0};
+  /// Satellite of the replication PR: ONE mutex over every counter, so
+  /// stats() is a consistent snapshot (see RouterStats).
+  mutable std::mutex stats_mu_;
+  RouterStats counters_;
+
   std::atomic<uint64_t> call_seq_{0};  // decorrelates retry jitter streams
 
   std::mutex probe_mu_;

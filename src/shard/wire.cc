@@ -158,11 +158,36 @@ Result<std::vector<ImputedGap>> DecodeGapResponse(
   return gaps;
 }
 
+namespace {
+
+Result<HealthState> ReadHealth(BinaryReader* reader) {
+  KAMEL_ASSIGN_OR_RETURN(uint8_t health, reader->ReadU8());
+  if (health > static_cast<uint8_t>(HealthState::kDraining)) {
+    return Status::IOError("shard wire: unknown health state");
+  }
+  return static_cast<HealthState>(health);
+}
+
+Result<replication::ReplicaRole> ReadRole(BinaryReader* reader) {
+  KAMEL_ASSIGN_OR_RETURN(uint8_t role, reader->ReadU8());
+  if (role > static_cast<uint8_t>(replication::ReplicaRole::kFenced)) {
+    return Status::IOError("shard wire: unknown replica role");
+  }
+  return static_cast<replication::ReplicaRole>(role);
+}
+
+}  // namespace
+
 std::vector<uint8_t> EncodeStatus(const ShardStatus& status) {
   BinaryWriter writer;
   writer.WriteI32(status.shard);
   writer.WriteU8(static_cast<uint8_t>(status.health));
   writer.WriteString(status.json);
+  writer.WriteU8(static_cast<uint8_t>(status.role));
+  writer.WriteU64(status.epoch);
+  writer.WriteU64(status.durable_lsn);
+  writer.WriteU64(status.applied_lsn);
+  writer.WriteU64(status.replication_lag);
   return writer.buffer();
 }
 
@@ -170,13 +195,80 @@ Result<ShardStatus> DecodeStatus(const std::vector<uint8_t>& body) {
   BinaryReader reader(body);
   ShardStatus status;
   KAMEL_ASSIGN_OR_RETURN(status.shard, reader.ReadI32());
-  KAMEL_ASSIGN_OR_RETURN(uint8_t health, reader.ReadU8());
-  if (health > static_cast<uint8_t>(HealthState::kDraining)) {
-    return Status::IOError("shard wire: unknown health state");
-  }
-  status.health = static_cast<HealthState>(health);
+  KAMEL_ASSIGN_OR_RETURN(status.health, ReadHealth(&reader));
   KAMEL_ASSIGN_OR_RETURN(status.json, reader.ReadString());
+  KAMEL_ASSIGN_OR_RETURN(status.role, ReadRole(&reader));
+  KAMEL_ASSIGN_OR_RETURN(status.epoch, reader.ReadU64());
+  KAMEL_ASSIGN_OR_RETURN(status.durable_lsn, reader.ReadU64());
+  KAMEL_ASSIGN_OR_RETURN(status.applied_lsn, reader.ReadU64());
+  KAMEL_ASSIGN_OR_RETURN(status.replication_lag, reader.ReadU64());
   return status;
+}
+
+std::vector<uint8_t> EncodeRoleInfo(const RoleInfo& info) {
+  BinaryWriter writer;
+  writer.WriteI32(info.shard);
+  writer.WriteU8(static_cast<uint8_t>(info.role));
+  writer.WriteU64(info.epoch);
+  writer.WriteU64(info.durable_lsn);
+  writer.WriteU64(info.applied_lsn);
+  writer.WriteU64(info.lag);
+  writer.WriteU8(static_cast<uint8_t>(info.health));
+  return writer.buffer();
+}
+
+Result<RoleInfo> DecodeRoleInfo(const std::vector<uint8_t>& body) {
+  BinaryReader reader(body);
+  RoleInfo info;
+  KAMEL_ASSIGN_OR_RETURN(info.shard, reader.ReadI32());
+  KAMEL_ASSIGN_OR_RETURN(info.role, ReadRole(&reader));
+  KAMEL_ASSIGN_OR_RETURN(info.epoch, reader.ReadU64());
+  KAMEL_ASSIGN_OR_RETURN(info.durable_lsn, reader.ReadU64());
+  KAMEL_ASSIGN_OR_RETURN(info.applied_lsn, reader.ReadU64());
+  KAMEL_ASSIGN_OR_RETURN(info.lag, reader.ReadU64());
+  KAMEL_ASSIGN_OR_RETURN(info.health, ReadHealth(&reader));
+  return info;
+}
+
+std::vector<uint8_t> EncodeSubmitAck(const SubmitAck& ack) {
+  BinaryWriter writer;
+  writer.WriteU64(ack.lsn);
+  writer.WriteU64(ack.epoch);
+  return writer.buffer();
+}
+
+Result<SubmitAck> DecodeSubmitAck(const std::vector<uint8_t>& body) {
+  BinaryReader reader(body);
+  SubmitAck ack;
+  KAMEL_ASSIGN_OR_RETURN(ack.lsn, reader.ReadU64());
+  KAMEL_ASSIGN_OR_RETURN(ack.epoch, reader.ReadU64());
+  return ack;
+}
+
+std::vector<uint8_t> EncodePromoteRequest(uint64_t new_epoch) {
+  BinaryWriter writer;
+  writer.WriteU64(new_epoch);
+  return writer.buffer();
+}
+
+Result<uint64_t> DecodePromoteRequest(const std::vector<uint8_t>& body) {
+  BinaryReader reader(body);
+  return reader.ReadU64();
+}
+
+std::vector<uint8_t> EncodePromoteAck(const PromoteAck& ack) {
+  BinaryWriter writer;
+  writer.WriteU64(ack.epoch);
+  writer.WriteU64(ack.applied_lsn);
+  return writer.buffer();
+}
+
+Result<PromoteAck> DecodePromoteAck(const std::vector<uint8_t>& body) {
+  BinaryReader reader(body);
+  PromoteAck ack;
+  KAMEL_ASSIGN_OR_RETURN(ack.epoch, reader.ReadU64());
+  KAMEL_ASSIGN_OR_RETURN(ack.applied_lsn, reader.ReadU64());
+  return ack;
 }
 
 std::vector<uint8_t> EncodeSnapshotPath(const std::string& path) {

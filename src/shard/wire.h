@@ -10,26 +10,77 @@
 #include "core/serving_engine.h"
 #include "core/spatial_constraints.h"
 #include "net/rpc.h"
+#include "replication/replication.h"
 
 namespace kamel::shard {
 
 /// The worker RPC protocol, one method per concern. All bodies are
 /// little-endian via common/binary_io — the same codec the snapshot
 /// format uses, so a corrupted body surfaces as a descriptive Status,
-/// never an abort.
+/// never an abort. (Method 5, kMethodWalPull, lives in
+/// replication/replication.h — the standby side speaks it without
+/// linking the shard layer.)
 inline constexpr net::MethodId kMethodPing = 1;
 inline constexpr net::MethodId kMethodStats = 2;
 inline constexpr net::MethodId kMethodImputeGaps = 3;
 inline constexpr net::MethodId kMethodUpdateSnapshot = 4;
+/// Durable trajectory ingest (primaries only). Request body: the raw
+/// EncodeTrajectoryPayload bytes (io/wal.h) — exactly what lands in the
+/// WAL, so the router ships what the log stores. Response: SubmitAck.
+inline constexpr net::MethodId kMethodSubmit = 6;
+/// Promotion (standbys only): request body EncodePromoteRequest with the
+/// new fencing epoch, response PromoteAck. Idempotent when the worker is
+/// already primary at exactly that epoch.
+inline constexpr net::MethodId kMethodPromote = 7;
+/// Cheap role probe every worker answers (role NONE when replication is
+/// not configured). Response: RoleInfo.
+inline constexpr net::MethodId kMethodRole = 8;
 
 /// One worker's health + counters as reported by kMethodStats. `json`
 /// carries the EngineStatsJson schema verbatim — the same dialect
 /// `kamel stats` prints and the router aggregates, so every observer of
-/// an engine reads identical keys.
+/// an engine reads identical keys. The replication fields mirror
+/// RoleInfo at the same instant.
 struct ShardStatus {
   int shard = 0;
   HealthState health = HealthState::kServing;
   std::string json;
+  replication::ReplicaRole role = replication::ReplicaRole::kNone;
+  uint64_t epoch = 0;
+  uint64_t durable_lsn = 0;
+  uint64_t applied_lsn = 0;
+  uint64_t replication_lag = 0;
+};
+
+/// kMethodRole response: what the router's prober needs to route —
+/// who is primary, at which epoch, and how far behind each standby is.
+struct RoleInfo {
+  int shard = 0;
+  replication::ReplicaRole role = replication::ReplicaRole::kNone;
+  uint64_t epoch = 0;
+  /// Primary: its durable watermark. Standby: the primary's durable
+  /// watermark as of its last good pull.
+  uint64_t durable_lsn = 0;
+  /// Standby: its applied watermark. Primary: == durable_lsn.
+  uint64_t applied_lsn = 0;
+  /// Records the standby trails the primary by (0 on a primary).
+  uint64_t lag = 0;
+  HealthState health = HealthState::kServing;
+};
+
+/// kMethodSubmit response: the record is durable on the primary (and on
+/// min_sync_standbys standbys) at `lsn`, under fencing epoch `epoch`.
+struct SubmitAck {
+  uint64_t lsn = 0;
+  uint64_t epoch = 0;
+};
+
+/// kMethodPromote response.
+struct PromoteAck {
+  uint64_t epoch = 0;
+  /// The promoted worker's applied watermark at takeover — every record
+  /// at or below it survived the failover.
+  uint64_t applied_lsn = 0;
 };
 
 /// kMethodImputeGaps request: the gaps of one trajectory that route to
@@ -54,6 +105,20 @@ Result<ShardStatus> DecodeStatus(const std::vector<uint8_t>& body);
 /// reload its partition from and hot-swap into its engine.
 std::vector<uint8_t> EncodeSnapshotPath(const std::string& path);
 Result<std::string> DecodeSnapshotPath(const std::vector<uint8_t>& body);
+
+/// kMethodRole response.
+std::vector<uint8_t> EncodeRoleInfo(const RoleInfo& info);
+Result<RoleInfo> DecodeRoleInfo(const std::vector<uint8_t>& body);
+
+/// kMethodSubmit response.
+std::vector<uint8_t> EncodeSubmitAck(const SubmitAck& ack);
+Result<SubmitAck> DecodeSubmitAck(const std::vector<uint8_t>& body);
+
+/// kMethodPromote request / response.
+std::vector<uint8_t> EncodePromoteRequest(uint64_t new_epoch);
+Result<uint64_t> DecodePromoteRequest(const std::vector<uint8_t>& body);
+std::vector<uint8_t> EncodePromoteAck(const PromoteAck& ack);
+Result<PromoteAck> DecodePromoteAck(const std::vector<uint8_t>& body);
 
 }  // namespace kamel::shard
 

@@ -3,7 +3,11 @@
 #include <utility>
 #include <vector>
 
+#include "io/wal.h"
+
 namespace kamel::shard {
+
+namespace repl = ::kamel::replication;
 
 ShardWorker::ShardWorker(WorkerOptions options)
     : options_(std::move(options)), server_(options_.host) {}
@@ -29,6 +33,122 @@ Result<std::shared_ptr<const KamelSnapshot>> ShardWorker::LoadPartition(
   return builder.Snapshot();
 }
 
+Status ShardWorker::StartReplication() {
+  if (options_.wal_dir.empty()) return Status::OK();
+  std::lock_guard<std::mutex> lock(repl_mu_);
+  if (options_.standby_of_port == 0) {
+    // Primary: reuse a persisted epoch (a restarted primary that was
+    // never deposed keeps serving its epoch; a deposed one gets fenced
+    // by the first pull or probe that carries the newer epoch).
+    KAMEL_ASSIGN_OR_RETURN(uint64_t epoch,
+                           repl::LoadEpoch(options_.wal_dir));
+    if (epoch == 0) {
+      epoch = 1;
+      KAMEL_RETURN_NOT_OK(repl::StoreEpoch(options_.wal_dir, epoch));
+    }
+    WalOptions wal_options;
+    wal_options.dir = options_.wal_dir;
+    // Submit acks require durability per record; batching policies would
+    // let an acked record die with the primary before it ever shipped.
+    wal_options.fsync_policy = FsyncPolicy::kEveryRecord;
+    KAMEL_ASSIGN_OR_RETURN(auto wal, WriteAheadLog::Open(wal_options));
+    primary_ = std::make_shared<repl::PrimaryReplication>(
+        std::move(wal), epoch, options_.replication);
+    return Status::OK();
+  }
+  repl::StandbyReplication::Options standby_options;
+  standby_options.wal_dir = options_.wal_dir;
+  standby_options.standby_id =
+      options_.replica_id.empty()
+          ? options_.host + ":" + std::to_string(options_.port)
+          : options_.replica_id;
+  standby_options.primary_host = options_.standby_of_host;
+  standby_options.primary_port = options_.standby_of_port;
+  standby_options.replication = options_.replication;
+  KAMEL_ASSIGN_OR_RETURN(standby_,
+                         repl::StandbyReplication::Start(standby_options));
+  return Status::OK();
+}
+
+RoleInfo ShardWorker::BuildRoleInfo(HealthState health) const {
+  RoleInfo info;
+  info.shard = options_.shard;
+  info.health = health;
+  std::lock_guard<std::mutex> lock(repl_mu_);
+  if (primary_ != nullptr) {
+    info.role = primary_->fenced() ? repl::ReplicaRole::kFenced
+                                   : repl::ReplicaRole::kPrimary;
+    info.epoch = primary_->epoch();
+    info.durable_lsn = primary_->durable_lsn();
+    info.applied_lsn = info.durable_lsn;
+    info.lag = 0;
+  } else if (standby_ != nullptr) {
+    const auto view = standby_->status();
+    // Never-pulled standbys report CATCHING_UP: with no observation of
+    // the primary's watermark a zero lag proves nothing.
+    info.role = (view.pulls > 0 &&
+                 view.lag <= options_.replication.max_lag_records)
+                    ? repl::ReplicaRole::kStandby
+                    : repl::ReplicaRole::kCatchingUp;
+    info.epoch = view.epoch;
+    info.durable_lsn = view.primary_durable_lsn;
+    info.applied_lsn = view.applied_lsn;
+    info.lag = view.lag;
+  }
+  return info;
+}
+
+RoleInfo ShardWorker::role_info() const {
+  return BuildRoleInfo(engine_ != nullptr ? engine_->health()
+                                          : HealthState::kServing);
+}
+
+Result<PromoteAck> ShardWorker::Promote(uint64_t new_epoch) {
+  std::lock_guard<std::mutex> lock(repl_mu_);
+  if (primary_ != nullptr) {
+    if (primary_->epoch() == new_epoch && !primary_->fenced()) {
+      // The router's promote retried after a lost ack: same answer.
+      PromoteAck ack;
+      ack.epoch = new_epoch;
+      ack.applied_lsn = primary_->durable_lsn();
+      return ack;
+    }
+    return Status::FailedPrecondition(
+        "already primary at epoch " + std::to_string(primary_->epoch()) +
+        (primary_->fenced() ? " (fenced)" : "") + "; cannot promote to " +
+        std::to_string(new_epoch));
+  }
+  if (standby_ == nullptr) {
+    return Status::FailedPrecondition(
+        "not a standby: replication is not configured");
+  }
+  const auto view = standby_->status();
+  if (new_epoch <= view.epoch) {
+    return Status::FailedPrecondition(
+        "stale promotion to epoch " + std::to_string(new_epoch) +
+        ": standby already follows epoch " + std::to_string(view.epoch));
+  }
+  const uint64_t applied = standby_->StopForPromotion();
+  // Epoch first: a crash after this point reopens as a primary (or
+  // re-standby) of the NEW epoch — never as a promotable copy of the
+  // old one.
+  KAMEL_RETURN_NOT_OK(repl::StoreEpoch(options_.wal_dir, new_epoch));
+  standby_.reset();
+  WalOptions wal_options;
+  wal_options.dir = options_.wal_dir;
+  wal_options.fsync_policy = FsyncPolicy::kEveryRecord;
+  // The replica segments ARE a valid log (byte-identical shipping);
+  // Open truncates any torn tail and positions the writer after the
+  // last durable record, which is exactly the applied watermark.
+  KAMEL_ASSIGN_OR_RETURN(auto wal, WriteAheadLog::Open(wal_options));
+  primary_ = std::make_shared<repl::PrimaryReplication>(
+      std::move(wal), new_epoch, options_.replication);
+  PromoteAck ack;
+  ack.epoch = new_epoch;
+  ack.applied_lsn = applied;
+  return ack;
+}
+
 Status ShardWorker::Start(const std::string& snapshot_path) {
   KAMEL_ASSIGN_OR_RETURN(auto snapshot, LoadPartition(snapshot_path));
   // Set once here, never from the (concurrent) UpdateSnapshot handler:
@@ -38,6 +158,7 @@ Status ShardWorker::Start(const std::string& snapshot_path) {
       MakePartition(snapshot->repository().pyramid(), options_.num_shards);
   engine_ = std::make_unique<ServingEngine>(std::move(snapshot),
                                             options_.serving);
+  KAMEL_RETURN_NOT_OK(StartReplication());
 
   server_.Register(kMethodPing,
                    [](const std::vector<uint8_t>&)
@@ -47,11 +168,21 @@ Status ShardWorker::Start(const std::string& snapshot_path) {
   server_.Register(kMethodStats,
                    [this](const std::vector<uint8_t>&)
                        -> Result<std::vector<uint8_t>> {
+                     // ONE engine snapshot feeds health, json, and the
+                     // role fields — no self-contradictory lines.
+                     const EngineStatus engine_status = engine_->status();
+                     const RoleInfo info =
+                         BuildRoleInfo(engine_status.health);
                      ShardStatus status;
                      status.shard = options_.shard;
-                     status.health = engine_->health();
-                     status.json =
-                         EngineStatsJson(engine_->stats(), status.health);
+                     status.health = engine_status.health;
+                     status.json = EngineStatsJson(engine_status.stats,
+                                                   engine_status.health);
+                     status.role = info.role;
+                     status.epoch = info.epoch;
+                     status.durable_lsn = info.durable_lsn;
+                     status.applied_lsn = info.applied_lsn;
+                     status.replication_lag = info.lag;
                      return EncodeStatus(status);
                    });
   server_.Register(
@@ -73,12 +204,82 @@ Status ShardWorker::Start(const std::string& snapshot_path) {
         engine_->UpdateSnapshot(std::move(snapshot));
         return std::vector<uint8_t>{};
       });
+  server_.Register(
+      kMethodRole,
+      [this](const std::vector<uint8_t>&) -> Result<std::vector<uint8_t>> {
+        return EncodeRoleInfo(role_info());
+      });
+  server_.Register(
+      kMethodSubmit,
+      [this](const std::vector<uint8_t>& body)
+          -> Result<std::vector<uint8_t>> {
+        // Pin the primary outside repl_mu_ for the blocking parts, so a
+        // concurrent promotion never deadlocks on a parked Submit.
+        std::shared_ptr<repl::PrimaryReplication> primary;
+        {
+          std::lock_guard<std::mutex> lock(repl_mu_);
+          primary = primary_;
+        }
+        if (primary == nullptr) {
+          return Status::FailedPrecondition(
+              "not a primary: submit refused (shard " +
+              std::to_string(options_.shard) + ")");
+        }
+        // Validate before logging: the body is the exact WAL payload,
+        // and the log must never hold bytes that do not decode.
+        KAMEL_ASSIGN_OR_RETURN(Trajectory trajectory,
+                               DecodeTrajectoryPayload(body));
+        (void)trajectory;
+        KAMEL_ASSIGN_OR_RETURN(
+            const uint64_t lsn,
+            primary->Append(WalRecordType::kSubmit, body));
+        KAMEL_RETURN_NOT_OK(primary->WaitReplicated(lsn));
+        SubmitAck ack;
+        ack.lsn = lsn;
+        ack.epoch = primary->epoch();
+        return EncodeSubmitAck(ack);
+      });
+  server_.Register(
+      replication::kMethodWalPull,
+      [this](const std::vector<uint8_t>& body)
+          -> Result<std::vector<uint8_t>> {
+        std::shared_ptr<repl::PrimaryReplication> primary;
+        {
+          std::lock_guard<std::mutex> lock(repl_mu_);
+          primary = primary_;
+        }
+        if (primary == nullptr) {
+          return Status::FailedPrecondition(
+              "not a primary: nothing to pull");
+        }
+        KAMEL_ASSIGN_OR_RETURN(const repl::PullRequest request,
+                               repl::DecodePullRequest(body));
+        KAMEL_ASSIGN_OR_RETURN(const repl::PullResponse response,
+                               primary->HandlePull(request));
+        return repl::EncodePullResponse(response);
+      });
+  server_.Register(
+      kMethodPromote,
+      [this](const std::vector<uint8_t>& body)
+          -> Result<std::vector<uint8_t>> {
+        KAMEL_ASSIGN_OR_RETURN(const uint64_t new_epoch,
+                               DecodePromoteRequest(body));
+        KAMEL_ASSIGN_OR_RETURN(const PromoteAck ack, Promote(new_epoch));
+        return EncodePromoteAck(ack);
+      });
 
   return server_.Start(options_.port);
 }
 
 void ShardWorker::Stop() {
   server_.Stop();
+  {
+    // After the server joins its connection threads nothing can race the
+    // role state; stop the pull thread before draining the engine.
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    standby_.reset();
+    primary_.reset();
+  }
   if (engine_ != nullptr) engine_->Drain();
 }
 

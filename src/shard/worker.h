@@ -4,12 +4,15 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/result.h"
 #include "core/kamel_snapshot.h"
 #include "core/serving_engine.h"
 #include "net/rpc.h"
+#include "replication/primary.h"
+#include "replication/standby.h"
 #include "shard/partition.h"
 #include "shard/wire.h"
 
@@ -25,6 +28,19 @@ struct WorkerOptions {
   /// not persist options, same contract as KamelBuilder::LoadFromFile).
   KamelOptions kamel;
   ServingOptions serving;
+
+  // -- Replication -----------------------------------------------------------
+  /// Ingest WAL directory. Empty = replication off (role NONE, Submit
+  /// refused). Set + standby_of_port == 0: start as PRIMARY (open/create
+  /// the WAL here, serve Submit and WalPull). Set + standby_of_port != 0:
+  /// start as a warm STANDBY replicating that primary's WAL into this
+  /// directory, promotable via kMethodPromote.
+  std::string wal_dir;
+  std::string standby_of_host = "127.0.0.1";
+  uint16_t standby_of_port = 0;
+  /// Name reported on pulls (stats attribution); default "<host>:<port>".
+  std::string replica_id;
+  replication::ReplicationOptions replication;
 };
 
 /// One shard-serving process: a ServingEngine over the cell-prefix
@@ -37,6 +53,16 @@ struct WorkerOptions {
 /// single process), and begins serving. kMethodUpdateSnapshot reloads a
 /// new snapshot file the same way and hot-swaps it into the engine;
 /// in-flight imputations finish on the generation they started with.
+///
+/// Replication (WorkerOptions::wal_dir): a primary owns the ingest WAL
+/// and serves kMethodSubmit (durable append + semi-sync standby acks)
+/// and kMethodWalPull; a standby pulls that WAL into a byte-identical
+/// local copy and can be promoted in place — kMethodPromote stops the
+/// pull, persists the new fencing epoch, and reopens the replica
+/// segments as this worker's own WAL. Roles are dynamic: a primary that
+/// sees a higher epoch fences itself (Submit starts refusing, role
+/// FENCED); a standby reports CATCHING_UP until its lag is within
+/// ReplicationOptions::max_lag_records.
 class ShardWorker {
  public:
   explicit ShardWorker(WorkerOptions options);
@@ -45,10 +71,11 @@ class ShardWorker {
   ShardWorker(const ShardWorker&) = delete;
   ShardWorker& operator=(const ShardWorker&) = delete;
 
-  /// Loads `snapshot_path`, prunes to the partition, and starts serving.
+  /// Loads `snapshot_path`, prunes to the partition, starts replication
+  /// per the options, and starts serving.
   Status Start(const std::string& snapshot_path);
 
-  /// Stops the RPC server and drains the engine (terminal).
+  /// Stops the RPC server, replication, and drains the engine (terminal).
   void Stop();
 
   /// The bound port (useful with options.port == 0).
@@ -62,15 +89,31 @@ class ShardWorker {
   /// The engine, for in-process tests; null before Start().
   ServingEngine* engine() { return engine_.get(); }
 
+  /// This worker's replication view right now (role NONE when
+  /// replication is off). Same data kMethodRole serves.
+  RoleInfo role_info() const;
+
  private:
   /// Loads a snapshot and prunes its model index to this partition.
   Result<std::shared_ptr<const KamelSnapshot>> LoadPartition(
       const std::string& path);
 
+  Status StartReplication();
+  Result<PromoteAck> Promote(uint64_t new_epoch);
+  RoleInfo BuildRoleInfo(HealthState health) const;
+
   const WorkerOptions options_;
   ShardPartition partition_;
   std::atomic<int> models_dropped_{0};
   std::unique_ptr<ServingEngine> engine_;
+
+  /// Guards the role state machine. shared_ptr so a handler can pin the
+  /// current primary/standby outside the lock for the duration of a
+  /// blocking call (HandlePull long-poll, WaitReplicated).
+  mutable std::mutex repl_mu_;
+  std::shared_ptr<replication::PrimaryReplication> primary_;
+  std::shared_ptr<replication::StandbyReplication> standby_;
+
   net::RpcServer server_;
 };
 

@@ -1,0 +1,931 @@
+// Replication tests: the WAL chunk stream (TailChunk), the replica-side
+// byte applier with its torn-tail recovery (replica.io.* fault sweeps),
+// epoch fencing on both ends of the stream — a standby refusing a stale
+// primary, a primary self-fencing on proof of a newer epoch — semi-sync
+// Submit acks, the new wire codecs, and the router's promotion ladder
+// end to end: kill the primary under load, watch the standby get
+// promoted with a bumped epoch, resurrect the old primary and watch it
+// be refused, then rejoin it as a standby of the new epoch. The binary
+// carries "replication" for the CI smoke leg, plus "robustness"
+// (ASan/UBSan leg) and "concurrency" (TSan leg): the fleet tests mix
+// threads, sockets, and injected faults.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "core/kamel.h"
+#include "core/serving_engine.h"
+#include "eval/scenario.h"
+#include "io/wal.h"
+#include "net/rpc.h"
+#include "replication/primary.h"
+#include "replication/replication.h"
+#include "replication/standby.h"
+#include "shard/router.h"
+#include "shard/wire.h"
+#include "shard/worker.h"
+#include "sim/datasets.h"
+#include "sim/sparsifier.h"
+
+namespace kamel {
+namespace {
+
+namespace repl = ::kamel::replication;
+
+using shard::RouterOptions;
+using shard::ShardEndpoint;
+using shard::ShardRouter;
+using shard::ShardWorker;
+using shard::WorkerOptions;
+
+std::string MakeTempDir(const std::string& tag) {
+  static std::atomic<int> counter{0};
+  const std::string dir = testing::TempDir() + "/kamel_repl_" + tag + "_" +
+                          std::to_string(::getpid()) + "_" +
+                          std::to_string(counter.fetch_add(1));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// Raw bytes of every wal-*.log segment, keyed by file name — the unit the
+// byte-identity assertions compare (EPOCH sidecars are compared where a
+// test cares about them, not here).
+std::map<std::string, std::vector<uint8_t>> SegmentBytes(
+    const std::string& dir) {
+  std::map<std::string, std::vector<uint8_t>> out;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("wal-", 0) != 0) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    out[name] = std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                                     std::istreambuf_iterator<char>());
+  }
+  return out;
+}
+
+std::vector<uint8_t> Blob(int i, size_t size = 64) {
+  return std::vector<uint8_t>(size, static_cast<uint8_t>(i));
+}
+
+// Polls `pred` every 20ms until it holds or `timeout_s` elapses.
+bool WaitFor(const std::function<bool()>& pred, double timeout_s) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return pred();
+}
+
+WalOptions SmallSegmentOptions(const std::string& dir) {
+  WalOptions options;
+  options.dir = dir;
+  options.segment_bytes = 512;  // rotate every handful of records
+  return options;
+}
+
+class ReplicationTest : public testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+};
+
+// ---------------------------------------------------------------------------
+// Epoch sidecar
+
+TEST_F(ReplicationTest, EpochStoreRoundTripsAndFailsAtomically) {
+  const std::string dir = MakeTempDir("epoch");
+  Result<uint64_t> none = repl::LoadEpoch(dir);
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(*none, 0u);
+
+  ASSERT_TRUE(repl::StoreEpoch(dir, 7).ok());
+  Result<uint64_t> seven = repl::LoadEpoch(dir);
+  ASSERT_TRUE(seven.ok());
+  EXPECT_EQ(*seven, 7u);
+
+  // A failed store must leave the old epoch readable (atomic rename).
+  {
+    ScopedIoFault fault("epoch.io.rename", EIO);
+    EXPECT_FALSE(repl::StoreEpoch(dir, 9).ok());
+  }
+  Result<uint64_t> still = repl::LoadEpoch(dir);
+  ASSERT_TRUE(still.ok());
+  EXPECT_EQ(*still, 7u);
+}
+
+// ---------------------------------------------------------------------------
+// TailChunk: the primary's half of the byte stream
+
+TEST_F(ReplicationTest, TailChunkWalksResetDataRotateAndTruncate) {
+  const std::string dir = MakeTempDir("tailchunk");
+  Result<std::unique_ptr<WriteAheadLog>> wal =
+      WriteAheadLog::Open(SmallSegmentOptions(dir));
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE((*wal)->Append(WalRecordType::kSubmit, Blob(i)).ok());
+  }
+  ASSERT_GT((*wal)->segment_count(), 1u) << "test needs a rotation";
+
+  // A fresh replica (position 0/0) is told where history starts.
+  Result<WalShipChunk> reset = (*wal)->TailChunk(0, 0, 0);
+  ASSERT_TRUE(reset.ok()) << reset.status().ToString();
+  ASSERT_EQ(reset->kind, WalShipChunk::Kind::kReset);
+  EXPECT_EQ(reset->next_segment_base, 1u);  // first LSN is 1
+
+  // Walk the stream: kData bytes until each closed segment's durable
+  // end, kRotate across the boundary, empty kData at the live tip.
+  uint64_t base = reset->next_segment_base;
+  uint64_t offset = 0;
+  int rotations = 0;
+  uint64_t data_bytes = 0;
+  for (int hops = 0; hops < 1000; ++hops) {
+    Result<WalShipChunk> chunk = (*wal)->TailChunk(base, offset, 100);
+    ASSERT_TRUE(chunk.ok()) << chunk.status().ToString();
+    if (chunk->kind == WalShipChunk::Kind::kRotate) {
+      base = chunk->next_segment_base;
+      offset = 0;
+      ++rotations;
+      continue;
+    }
+    ASSERT_EQ(chunk->kind, WalShipChunk::Kind::kData);
+    if (chunk->bytes.empty()) break;  // caught up
+    offset += chunk->bytes.size();
+    data_bytes += chunk->bytes.size();
+  }
+  EXPECT_EQ(rotations + 1, static_cast<int>((*wal)->segment_count()));
+  uint64_t on_disk = 0;
+  for (const auto& [name, bytes] : SegmentBytes(dir)) {
+    on_disk += bytes.size();
+  }
+  EXPECT_EQ(data_bytes, on_disk);
+
+  // Claiming more bytes than the primary's durable size is a diverged
+  // tail: truncate down to the durable watermark.
+  Result<WalShipChunk> truncate = (*wal)->TailChunk(base, offset + 100, 0);
+  ASSERT_TRUE(truncate.ok());
+  ASSERT_EQ(truncate->kind, WalShipChunk::Kind::kTruncate);
+  EXPECT_EQ(truncate->truncate_to, offset);
+  EXPECT_EQ(truncate->durable_lsn, 20u);
+}
+
+// ---------------------------------------------------------------------------
+// WalReplicaApplier: the standby's half
+
+// Pulls `wal`'s stream into `applier` until caught up. Returns false on
+// the first Apply failure (the caller decides how to recover).
+bool PumpStream(const WriteAheadLog& wal, WalReplicaApplier* applier,
+                uint64_t max_bytes = 100) {
+  for (int hops = 0; hops < 10000; ++hops) {
+    Result<WalShipChunk> chunk =
+        wal.TailChunk(applier->segment_base(), applier->offset(), max_bytes);
+    if (!chunk.ok()) return false;
+    if (chunk->kind == WalShipChunk::Kind::kData && chunk->bytes.empty()) {
+      return true;  // caught up
+    }
+    if (!applier->Apply(*chunk).ok()) return false;
+  }
+  return false;
+}
+
+TEST_F(ReplicationTest, ApplierReconstructsByteIdenticalSegments) {
+  const std::string primary_dir = MakeTempDir("applier_p");
+  const std::string replica_dir = MakeTempDir("applier_r");
+  Result<std::unique_ptr<WriteAheadLog>> wal =
+      WriteAheadLog::Open(SmallSegmentOptions(primary_dir));
+  ASSERT_TRUE(wal.ok());
+  Result<std::unique_ptr<WalReplicaApplier>> applier =
+      WalReplicaApplier::Open(replica_dir);
+  ASSERT_TRUE(applier.ok()) << applier.status().ToString();
+
+  // Interleave appends and pulls so the stream sees live tips, rotations
+  // mid-pull, and catch-up from behind.
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(
+          (*wal)->Append(WalRecordType::kSubmit, Blob(round * 8 + i)).ok());
+    }
+    ASSERT_TRUE(PumpStream(**wal, applier->get()));
+  }
+  EXPECT_EQ((*applier)->applied_lsn(), (*wal)->durable_lsn());
+  EXPECT_EQ(SegmentBytes(replica_dir), SegmentBytes(primary_dir));
+}
+
+// The satellite sweep: a replica whose own disk write tears mid-chunk —
+// the shape a SIGKILL leaves while the primary keeps shipping — must
+// refuse further applies (poisoned), truncate the torn tail on reopen,
+// and re-converge to the primary's exact bytes. The skip parameter moves
+// the tear across chunk boundaries, segment headers, and record frames.
+TEST_F(ReplicationTest, ApplierTornTailSweepTruncatesAndReconverges) {
+  for (int skip = 0; skip < 5; ++skip) {
+    SCOPED_TRACE("skip=" + std::to_string(skip));
+    const std::string primary_dir =
+        MakeTempDir("torn_p" + std::to_string(skip));
+    const std::string replica_dir =
+        MakeTempDir("torn_r" + std::to_string(skip));
+    Result<std::unique_ptr<WriteAheadLog>> wal =
+        WriteAheadLog::Open(SmallSegmentOptions(primary_dir));
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 24; ++i) {
+      ASSERT_TRUE((*wal)->Append(WalRecordType::kSubmit, Blob(i)).ok());
+    }
+
+    Result<std::unique_ptr<WalReplicaApplier>> applier =
+        WalReplicaApplier::Open(replica_dir);
+    ASSERT_TRUE(applier.ok());
+    {
+      // Half the buffer lands, then EIO: a torn replica tail on disk.
+      ScopedIoFault fault("replica.io.write", EIO, skip, 1,
+                          /*short_write=*/true);
+      EXPECT_FALSE(PumpStream(**wal, applier->get()));
+    }
+    // The applier knows its file no longer matches its parse state.
+    WalShipChunk noop;
+    noop.kind = WalShipChunk::Kind::kData;
+    noop.segment_base = (*applier)->segment_base();
+    noop.offset = (*applier)->offset();
+    Status poisoned = (*applier)->Apply(noop);
+    EXPECT_EQ(poisoned.code(), StatusCode::kFailedPrecondition)
+        << poisoned.ToString();
+
+    // "Restart" the standby: reopen scans local segments, truncates the
+    // tear, and the next pulls re-converge byte-identically.
+    applier->reset();
+    WalReplicaApplier::OpenReport report;
+    Result<std::unique_ptr<WalReplicaApplier>> reopened =
+        WalReplicaApplier::Open(replica_dir, &report);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    ASSERT_TRUE(PumpStream(**wal, reopened->get()));
+    EXPECT_EQ((*reopened)->applied_lsn(), (*wal)->durable_lsn());
+    EXPECT_EQ(SegmentBytes(replica_dir), SegmentBytes(primary_dir));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Wire codecs
+
+TEST_F(ReplicationTest, PullCodecsRoundTrip) {
+  repl::PullRequest request;
+  request.standby_id = "standby-a";
+  request.epoch = 3;
+  request.applied_lsn = 41;
+  request.segment_base = 17;
+  request.offset = 512;
+  request.max_bytes = 65536;
+  Result<repl::PullRequest> req =
+      repl::DecodePullRequest(repl::EncodePullRequest(request));
+  ASSERT_TRUE(req.ok()) << req.status().ToString();
+  EXPECT_EQ(req->standby_id, "standby-a");
+  EXPECT_EQ(req->epoch, 3u);
+  EXPECT_EQ(req->applied_lsn, 41u);
+  EXPECT_EQ(req->segment_base, 17u);
+  EXPECT_EQ(req->offset, 512u);
+  EXPECT_EQ(req->max_bytes, 65536u);
+
+  repl::PullResponse response;
+  response.epoch = 4;
+  response.chunk.kind = WalShipChunk::Kind::kRotate;
+  response.chunk.segment_base = 17;
+  response.chunk.offset = 1024;
+  response.chunk.bytes = {1, 2, 3};
+  response.chunk.next_segment_base = 99;
+  response.chunk.durable_lsn = 55;
+  Result<repl::PullResponse> resp =
+      repl::DecodePullResponse(repl::EncodePullResponse(response));
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->epoch, 4u);
+  EXPECT_EQ(resp->chunk.kind, WalShipChunk::Kind::kRotate);
+  EXPECT_EQ(resp->chunk.next_segment_base, 99u);
+  EXPECT_EQ(resp->chunk.bytes, (std::vector<uint8_t>{1, 2, 3}));
+  EXPECT_EQ(resp->chunk.durable_lsn, 55u);
+
+  // A chunk kind outside 1..4 is corruption, not UB.
+  std::vector<uint8_t> body = repl::EncodePullResponse(response);
+  body[8] = 9;  // u64 epoch, then the kind byte
+  EXPECT_FALSE(repl::DecodePullResponse(body).ok());
+}
+
+TEST_F(ReplicationTest, ShardWireCodecsCoverReplicationFields) {
+  shard::RoleInfo info;
+  info.shard = 2;
+  info.role = repl::ReplicaRole::kCatchingUp;
+  info.epoch = 6;
+  info.durable_lsn = 100;
+  info.applied_lsn = 90;
+  info.lag = 10;
+  info.health = HealthState::kDegraded;
+  Result<shard::RoleInfo> role =
+      shard::DecodeRoleInfo(shard::EncodeRoleInfo(info));
+  ASSERT_TRUE(role.ok()) << role.status().ToString();
+  EXPECT_EQ(role->shard, 2);
+  EXPECT_EQ(role->role, repl::ReplicaRole::kCatchingUp);
+  EXPECT_EQ(role->epoch, 6u);
+  EXPECT_EQ(role->lag, 10u);
+  EXPECT_EQ(role->health, HealthState::kDegraded);
+
+  shard::SubmitAck ack;
+  ack.lsn = 12;
+  ack.epoch = 3;
+  Result<shard::SubmitAck> decoded_ack =
+      shard::DecodeSubmitAck(shard::EncodeSubmitAck(ack));
+  ASSERT_TRUE(decoded_ack.ok());
+  EXPECT_EQ(decoded_ack->lsn, 12u);
+  EXPECT_EQ(decoded_ack->epoch, 3u);
+
+  Result<uint64_t> promote =
+      shard::DecodePromoteRequest(shard::EncodePromoteRequest(5));
+  ASSERT_TRUE(promote.ok());
+  EXPECT_EQ(*promote, 5u);
+
+  shard::PromoteAck promote_ack;
+  promote_ack.epoch = 5;
+  promote_ack.applied_lsn = 77;
+  Result<shard::PromoteAck> decoded_promote =
+      shard::DecodePromoteAck(shard::EncodePromoteAck(promote_ack));
+  ASSERT_TRUE(decoded_promote.ok());
+  EXPECT_EQ(decoded_promote->epoch, 5u);
+  EXPECT_EQ(decoded_promote->applied_lsn, 77u);
+
+  shard::ShardStatus status;
+  status.shard = 1;
+  status.health = HealthState::kServing;
+  status.json = "{}";
+  status.role = repl::ReplicaRole::kStandby;
+  status.epoch = 4;
+  status.durable_lsn = 9;
+  status.applied_lsn = 9;
+  status.replication_lag = 0;
+  Result<shard::ShardStatus> decoded_status =
+      shard::DecodeStatus(shard::EncodeStatus(status));
+  ASSERT_TRUE(decoded_status.ok());
+  EXPECT_EQ(decoded_status->role, repl::ReplicaRole::kStandby);
+  EXPECT_EQ(decoded_status->epoch, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Primary + standby over real sockets (no models involved)
+
+// A primary's replication stack minus the serving engine: WAL +
+// PrimaryReplication + an RpcServer speaking only kMethodWalPull.
+class MiniPrimary {
+ public:
+  void Start(const std::string& dir, uint64_t epoch, uint16_t port = 0,
+             repl::ReplicationOptions options = {}) {
+    ASSERT_TRUE(repl::StoreEpoch(dir, epoch).ok());
+    Result<std::unique_ptr<WriteAheadLog>> wal =
+        WriteAheadLog::Open(SmallSegmentOptions(dir));
+    ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+    repl_ = std::make_shared<repl::PrimaryReplication>(std::move(*wal),
+                                                       epoch, options);
+    server_ = std::make_unique<net::RpcServer>("127.0.0.1");
+    std::shared_ptr<repl::PrimaryReplication> pinned = repl_;
+    server_->Register(
+        repl::kMethodWalPull,
+        [pinned](const std::vector<uint8_t>& body)
+            -> Result<std::vector<uint8_t>> {
+          KAMEL_ASSIGN_OR_RETURN(const repl::PullRequest request,
+                                 repl::DecodePullRequest(body));
+          KAMEL_ASSIGN_OR_RETURN(const repl::PullResponse response,
+                                 pinned->HandlePull(request));
+          return repl::EncodePullResponse(response);
+        });
+    ASSERT_TRUE(server_->Start(port).ok());
+    port_ = server_->port();
+  }
+
+  // The whole process dies: the server stops mid-stream, nothing is
+  // flushed or handed over.
+  void Kill() {
+    if (server_ != nullptr) server_->Stop();
+    server_.reset();
+    repl_.reset();
+  }
+
+  repl::PrimaryReplication* repl() { return repl_.get(); }
+  uint16_t port() const { return port_; }
+
+ private:
+  std::shared_ptr<repl::PrimaryReplication> repl_;
+  std::unique_ptr<net::RpcServer> server_;
+  uint16_t port_ = 0;
+};
+
+repl::ReplicationOptions FastReplication() {
+  repl::ReplicationOptions options;
+  options.pull_poll_interval_s = 0.01;
+  options.pull_long_poll_s = 0.05;
+  return options;
+}
+
+std::unique_ptr<repl::StandbyReplication> StartStandby(
+    const std::string& dir, uint16_t primary_port,
+    repl::ReplicationOptions options = FastReplication()) {
+  repl::StandbyReplication::Options standby_options;
+  standby_options.wal_dir = dir;
+  standby_options.standby_id = "test-standby";
+  standby_options.primary_port = primary_port;
+  standby_options.replication = options;
+  standby_options.pull_deadline_s = 1.0;
+  Result<std::unique_ptr<repl::StandbyReplication>> standby =
+      repl::StandbyReplication::Start(std::move(standby_options));
+  EXPECT_TRUE(standby.ok()) << standby.status().ToString();
+  return standby.ok() ? std::move(*standby) : nullptr;
+}
+
+TEST_F(ReplicationTest, StandbyCatchesUpAndHoldsIdenticalBytes) {
+  const std::string primary_dir = MakeTempDir("ship_p");
+  const std::string replica_dir = MakeTempDir("ship_r");
+  MiniPrimary primary;
+  ASSERT_NO_FATAL_FAILURE(primary.Start(primary_dir, 1, 0,
+                                        FastReplication()));
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        primary.repl()->Append(WalRecordType::kSubmit, Blob(i)).ok());
+  }
+  std::unique_ptr<repl::StandbyReplication> standby =
+      StartStandby(replica_dir, primary.port());
+  ASSERT_NE(standby, nullptr);
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        const auto view = standby->status();
+        return view.applied_lsn == 10 && view.lag == 0;
+      },
+      10.0))
+      << "applied=" << standby->status().applied_lsn;
+  // Live appends ship through the long poll, not just catch-up reads.
+  for (int i = 10; i < 14; ++i) {
+    ASSERT_TRUE(
+        primary.repl()->Append(WalRecordType::kSubmit, Blob(i)).ok());
+  }
+  ASSERT_TRUE(
+      WaitFor([&] { return standby->status().applied_lsn == 14; }, 10.0));
+  EXPECT_EQ(standby->status().epoch, 1u);  // adopted from the stream
+  standby.reset();  // stop pulling before comparing bytes
+  EXPECT_EQ(SegmentBytes(replica_dir), SegmentBytes(primary_dir));
+}
+
+// Satellite sweep, end to end: the primary process dies at every
+// ship-path failpoint — the append itself, a torn local frame, the
+// durability step, the response frame on the wire — restarts from its
+// own recovered WAL, and the standby re-converges to byte-identical
+// state without losing anything durable.
+TEST_F(ReplicationTest, PrimaryDeathSweepStandbyReconverges) {
+  const struct {
+    const char* failpoint;
+    bool errno_style;
+  } kFaults[] = {
+      {"wal.append", false},
+      {"wal.append.torn", false},
+      {"wal.io.fsync", true},
+      {"net.send.drop", false},
+  };
+  for (const auto& fault : kFaults) {
+    SCOPED_TRACE(fault.failpoint);
+    const std::string primary_dir =
+        MakeTempDir(std::string("death_p_") + fault.failpoint);
+    const std::string replica_dir =
+        MakeTempDir(std::string("death_r_") + fault.failpoint);
+    MiniPrimary primary;
+    ASSERT_NO_FATAL_FAILURE(
+        primary.Start(primary_dir, 1, 0, FastReplication()));
+    std::unique_ptr<repl::StandbyReplication> standby =
+        StartStandby(replica_dir, primary.port());
+    ASSERT_NE(standby, nullptr);
+    for (int i = 0; i < 6; ++i) {
+      ASSERT_TRUE(
+          primary.repl()->Append(WalRecordType::kSubmit, Blob(i)).ok());
+    }
+    ASSERT_TRUE(
+        WaitFor([&] { return standby->status().applied_lsn == 6; }, 10.0));
+
+    // The fault fires mid-ship; then the primary dies where it stood.
+    if (fault.errno_style) {
+      FaultInjector::Instance().ArmErrno(fault.failpoint, EIO);
+    } else {
+      FaultInjector::Instance().Arm(fault.failpoint);
+    }
+    const Result<uint64_t> doomed =
+        primary.repl()->Append(WalRecordType::kSubmit, Blob(6));
+    if (std::string(fault.failpoint) == "net.send.drop") {
+      // The wire fault hits the pull stream, not the append.
+      ASSERT_TRUE(doomed.ok());
+    } else {
+      ASSERT_FALSE(doomed.ok());
+    }
+    const uint16_t port = primary.port();
+    primary.Kill();
+    FaultInjector::Instance().Reset();
+
+    // Restart on the same port from the same directory: recovery
+    // truncates whatever the crash tore, the epoch is unchanged (this
+    // primary was never deposed), and the standby just keeps pulling.
+    MiniPrimary restarted;
+    ASSERT_NO_FATAL_FAILURE(
+        restarted.Start(primary_dir, 1, port, FastReplication()));
+    const uint64_t recovered = restarted.repl()->durable_lsn();
+    EXPECT_GE(recovered, 6u);
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(
+          restarted.repl()->Append(WalRecordType::kSubmit, Blob(100 + i))
+              .ok());
+    }
+    const uint64_t final_lsn = restarted.repl()->durable_lsn();
+    ASSERT_TRUE(WaitFor(
+        [&] { return standby->status().applied_lsn == final_lsn; }, 15.0))
+        << "applied=" << standby->status().applied_lsn
+        << " want=" << final_lsn
+        << " last_error=" << standby->status().last_error;
+    standby.reset();
+    restarted.Kill();
+    EXPECT_EQ(SegmentBytes(replica_dir), SegmentBytes(primary_dir));
+  }
+}
+
+// The dedicated fencing test: both directions of the epoch handshake.
+TEST_F(ReplicationTest, StalePrimaryIsRefusedAndNewerEpochFences) {
+  // (a) A standby that has seen epoch 5 refuses a primary stuck at 1 —
+  // even one that ignores the fencing protocol entirely. The fake
+  // primary answers every pull with epoch 1 and fresh-looking data.
+  const std::string replica_dir = MakeTempDir("fence_r");
+  ASSERT_TRUE(repl::StoreEpoch(replica_dir, 5).ok());
+  net::RpcServer fake_stale("127.0.0.1");
+  fake_stale.Register(
+      repl::kMethodWalPull,
+      [](const std::vector<uint8_t>& body) -> Result<std::vector<uint8_t>> {
+        KAMEL_ASSIGN_OR_RETURN(const repl::PullRequest request,
+                               repl::DecodePullRequest(body));
+        (void)request;
+        repl::PullResponse response;
+        response.epoch = 1;  // deposed epoch, still claiming to serve
+        response.chunk.kind = WalShipChunk::Kind::kReset;
+        response.chunk.next_segment_base = 1;
+        return repl::EncodePullResponse(response);
+      });
+  ASSERT_TRUE(fake_stale.Start(0).ok());
+  std::unique_ptr<repl::StandbyReplication> standby =
+      StartStandby(replica_dir, fake_stale.port());
+  ASSERT_NE(standby, nullptr);
+  ASSERT_TRUE(WaitFor(
+      [&] { return standby->status().stale_primary_refusals >= 2; }, 10.0));
+  EXPECT_EQ(standby->status().applied_lsn, 0u);  // nothing was believed
+  EXPECT_EQ(standby->status().epoch, 5u);        // and nothing adopted
+  standby.reset();
+  fake_stale.Stop();
+
+  // (b) A primary that sees proof of a higher epoch fences itself,
+  // permanently: the pull errors, appends refuse, the role turns FENCED.
+  const std::string primary_dir = MakeTempDir("fence_p");
+  ASSERT_TRUE(repl::StoreEpoch(primary_dir, 3).ok());
+  Result<std::unique_ptr<WriteAheadLog>> wal =
+      WriteAheadLog::Open(SmallSegmentOptions(primary_dir));
+  ASSERT_TRUE(wal.ok());
+  repl::PrimaryReplication primary(std::move(*wal), 3, FastReplication());
+  ASSERT_TRUE(primary.Append(WalRecordType::kSubmit, Blob(0)).ok());
+
+  repl::PullRequest newer;
+  newer.standby_id = "from-the-future";
+  newer.epoch = 7;
+  Result<repl::PullResponse> fenced = primary.HandlePull(newer);
+  ASSERT_FALSE(fenced.ok());
+  EXPECT_EQ(fenced.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(primary.fenced());
+  Result<uint64_t> refused = primary.Append(WalRecordType::kSubmit, Blob(1));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition);
+
+  // (c) A follower still on a LOWER epoch is not an error: it gets our
+  // epoch plus a reset so it can wipe divergent history and rejoin.
+  const std::string primary2_dir = MakeTempDir("fence_p2");
+  Result<std::unique_ptr<WriteAheadLog>> wal2 =
+      WriteAheadLog::Open(SmallSegmentOptions(primary2_dir));
+  ASSERT_TRUE(wal2.ok());
+  repl::PrimaryReplication primary2(std::move(*wal2), 3, FastReplication());
+  ASSERT_TRUE(primary2.Append(WalRecordType::kSubmit, Blob(2)).ok());
+  repl::PullRequest older;
+  older.standby_id = "deposed";
+  older.epoch = 1;
+  older.segment_base = 42;  // divergent position; must not matter
+  older.offset = 999;
+  Result<repl::PullResponse> reset = primary2.HandlePull(older);
+  ASSERT_TRUE(reset.ok()) << reset.status().ToString();
+  EXPECT_EQ(reset->epoch, 3u);
+  EXPECT_EQ(reset->chunk.kind, WalShipChunk::Kind::kReset);
+}
+
+TEST_F(ReplicationTest, SemiSyncSubmitNeedsAStandbyAck) {
+  const std::string primary_dir = MakeTempDir("semisync_p");
+  const std::string replica_dir = MakeTempDir("semisync_r");
+  repl::ReplicationOptions options = FastReplication();
+  options.min_sync_standbys = 1;
+  options.ack_timeout_s = 0.3;
+  MiniPrimary primary;
+  ASSERT_NO_FATAL_FAILURE(primary.Start(primary_dir, 1, 0, options));
+
+  // Durable locally, but replication cover is absent: the ack times out.
+  Result<uint64_t> lsn =
+      primary.repl()->Append(WalRecordType::kSubmit, Blob(0));
+  ASSERT_TRUE(lsn.ok());
+  Status uncovered = primary.repl()->WaitReplicated(*lsn);
+  ASSERT_FALSE(uncovered.ok());
+  EXPECT_EQ(uncovered.code(), StatusCode::kUnavailable);
+
+  // With a standby pulling, the same wait succeeds (acks ride pulls).
+  std::unique_ptr<repl::StandbyReplication> standby =
+      StartStandby(replica_dir, primary.port());
+  ASSERT_NE(standby, nullptr);
+  ASSERT_TRUE(WaitFor(
+      [&] { return primary.repl()->WaitReplicated(*lsn).ok(); }, 10.0));
+}
+
+// ---------------------------------------------------------------------------
+// Engine + router observation consistency (the stats satellite)
+
+KamelOptions ReplKamelOptions() {
+  KamelOptions options;
+  options.pyramid_height = 1;
+  options.pyramid_levels = 2;
+  options.model_token_threshold = 25;
+  options.bert.encoder.d_model = 32;
+  options.bert.encoder.num_heads = 4;
+  options.bert.encoder.num_layers = 2;
+  options.bert.encoder.ffn_dim = 128;
+  options.bert.encoder.max_seq_len = 32;
+  options.bert.train.steps = 150;
+  options.bert.train.batch_size = 16;
+  options.bert.train.peak_lr = 1e-3;
+  options.bert.train.warmup_steps = 50;
+  options.beam_size = 4;
+  options.top_k = 6;
+  options.max_bert_calls_per_segment = 200;
+  options.seed = 42;
+  return options;
+}
+
+class ReplicatedFleetTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scenario_ = new SimScenario(BuildScenario(MiniSpec()));
+    Kamel system(ReplKamelOptions());
+    ASSERT_TRUE(system.Train(scenario_->train).ok());
+    snapshot_path_ =
+        new std::string(testing::TempDir() + "/kamel_repl_snapshot.bin");
+    ASSERT_TRUE(system.SaveToFile(*snapshot_path_).ok());
+    Result<std::shared_ptr<const KamelSnapshot>> snapshot = system.Snapshot();
+    ASSERT_TRUE(snapshot.ok());
+    snapshot_ = new std::shared_ptr<const KamelSnapshot>(*snapshot);
+  }
+  static void TearDownTestSuite() {
+    delete snapshot_;
+    delete snapshot_path_;
+    delete scenario_;
+    snapshot_ = nullptr;
+    snapshot_path_ = nullptr;
+    scenario_ = nullptr;
+  }
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+
+  static Trajectory SparseTest(size_t i) {
+    return Sparsify(scenario_->test.trajectories[i], 400.0);
+  }
+
+  // One worker of a replicated group: wal_dir turns replication on;
+  // standby_of_port != 0 makes it a standby of that primary.
+  static std::unique_ptr<ShardWorker> StartWorker(
+      const std::string& wal_dir, uint16_t port = 0,
+      uint16_t standby_of_port = 0) {
+    WorkerOptions options;
+    options.port = port;
+    options.shard = 0;
+    options.num_shards = 1;
+    options.kamel = ReplKamelOptions();
+    options.wal_dir = wal_dir;
+    options.standby_of_port = standby_of_port;
+    options.replication.pull_poll_interval_s = 0.01;
+    options.replication.pull_long_poll_s = 0.05;
+    auto worker = std::make_unique<ShardWorker>(options);
+    const Status started = worker->Start(*snapshot_path_);
+    EXPECT_TRUE(started.ok()) << started.ToString();
+    if (!started.ok()) return nullptr;
+    return worker;
+  }
+
+  // Generous call budget (single-core CI), fast probing so promotion
+  // rounds complete in test time.
+  static RouterOptions ReplicatedRouterOptions() {
+    RouterOptions options;
+    options.call_deadline_s = 30.0;
+    options.replicas = 1;
+    options.probe_interval_s = 0.1;
+    options.promote_deadline_s = 30.0;
+    return options;
+  }
+
+  static void ExpectSameImputation(const ImputedTrajectory& a,
+                                   const ImputedTrajectory& b) {
+    ASSERT_EQ(a.trajectory.points.size(), b.trajectory.points.size());
+    for (size_t i = 0; i < a.trajectory.points.size(); ++i) {
+      EXPECT_EQ(a.trajectory.points[i].pos.lat,
+                b.trajectory.points[i].pos.lat);
+      EXPECT_EQ(a.trajectory.points[i].pos.lng,
+                b.trajectory.points[i].pos.lng);
+      EXPECT_EQ(a.trajectory.points[i].time, b.trajectory.points[i].time);
+    }
+    EXPECT_EQ(a.stats.segments, b.stats.segments);
+    EXPECT_EQ(a.stats.failed_segments, b.stats.failed_segments);
+    EXPECT_EQ(a.stats.bert_calls, b.stats.bert_calls);
+  }
+
+  static SimScenario* scenario_;
+  static std::string* snapshot_path_;
+  static std::shared_ptr<const KamelSnapshot>* snapshot_;
+};
+
+SimScenario* ReplicatedFleetTest::scenario_ = nullptr;
+std::string* ReplicatedFleetTest::snapshot_path_ = nullptr;
+std::shared_ptr<const KamelSnapshot>* ReplicatedFleetTest::snapshot_ =
+    nullptr;
+
+TEST_F(ReplicatedFleetTest, EngineStatusIsOneConsistentObservation) {
+  ServingEngine engine(*snapshot_, {});
+  const EngineStatus status = engine.status();
+  EXPECT_EQ(status.health, HealthState::kServing);
+  EXPECT_EQ(engine.health(), status.health);
+  EXPECT_EQ(engine.stats().admitted, status.stats.admitted);
+  engine.Drain();
+  const EngineStatus drained = engine.status();
+  EXPECT_EQ(drained.health, HealthState::kDraining);
+  EXPECT_EQ(engine.health(), HealthState::kDraining);
+}
+
+// The full promotion story, one fleet: serve → kill the primary →
+// automatic promotion with a bumped epoch → the resurrected old primary
+// is marked stale and refused → it rejoins as a standby of the new
+// epoch and catches up.
+TEST_F(ReplicatedFleetTest, PromotionFencingAndRejoin) {
+  const std::string primary_dir = MakeTempDir("fleet_p");
+  const std::string standby_dir = MakeTempDir("fleet_s");
+  std::unique_ptr<ShardWorker> w0 = StartWorker(primary_dir);
+  ASSERT_NE(w0, nullptr);
+  const uint16_t w0_port = w0->port();
+  std::unique_ptr<ShardWorker> w1 =
+      StartWorker(standby_dir, 0, w0_port);
+  ASSERT_NE(w1, nullptr);
+  const uint16_t w1_port = w1->port();
+
+  ShardRouter router(*snapshot_,
+                     {{"127.0.0.1", w0_port}, {"127.0.0.1", w1_port}},
+                     ReplicatedRouterOptions());
+  EXPECT_EQ(router.num_shards(), 1);   // one group...
+  EXPECT_EQ(router.num_replicas(), 2);  // ...of two workers
+  ASSERT_TRUE(router.WaitHealthy(30.0).ok());
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        const auto views = router.ReplicaViews();
+        return views[0].role == repl::ReplicaRole::kPrimary &&
+               views[1].role == repl::ReplicaRole::kStandby;
+      },
+      15.0));
+
+  // Reads are byte-identical to single-process imputation no matter
+  // which group member serves them.
+  for (size_t i = 0; i < 3 && i < scenario_->test.trajectories.size(); ++i) {
+    const Trajectory sparse = SparseTest(i);
+    Result<ImputedTrajectory> direct = (*snapshot_)->Impute(sparse);
+    Result<ImputedTrajectory> routed = router.Impute(sparse);
+    ASSERT_TRUE(direct.ok());
+    ASSERT_TRUE(routed.ok()) << routed.status().ToString();
+    ExpectSameImputation(*direct, *routed);
+  }
+
+  // A durable submit through the epoch-1 primary, replicated to the
+  // standby before we pull the trigger.
+  Result<shard::SubmitAck> ack =
+      router.Submit(scenario_->test.trajectories[0]);
+  ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  EXPECT_EQ(ack->epoch, 1u);
+  EXPECT_GE(ack->lsn, 1u);
+  ASSERT_TRUE(WaitFor(
+      [&] { return router.ReplicaViews()[1].applied_lsn >= ack->lsn; },
+      15.0));
+
+  // Kill the primary. The prober notices, promotes the standby at epoch
+  // 2, and writes keep flowing — to the survivor.
+  w0->Stop();
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        const auto views = router.ReplicaViews();
+        return views[1].is_primary &&
+               views[1].role == repl::ReplicaRole::kPrimary &&
+               views[1].epoch == 2;
+      },
+      30.0));
+  EXPECT_GE(router.stats().promotions, 1);
+  Result<shard::SubmitAck> ack2 =
+      router.Submit(scenario_->test.trajectories[1]);
+  ASSERT_TRUE(ack2.ok()) << ack2.status().ToString();
+  EXPECT_EQ(ack2->epoch, 2u);
+  EXPECT_GT(ack2->lsn, ack->lsn);  // history continued, nothing rewound
+
+  // Reads survive the failover too (the promoted member serves them).
+  Result<ImputedTrajectory> direct = (*snapshot_)->Impute(SparseTest(0));
+  Result<ImputedTrajectory> routed = router.Impute(SparseTest(0));
+  ASSERT_TRUE(routed.ok()) << routed.status().ToString();
+  ExpectSameImputation(*direct, *routed);
+
+  // Resurrect the old primary exactly as it died: same port, same WAL
+  // dir, epoch 1 on disk. The router must mark it stale and keep routing
+  // writes to the epoch-2 primary.
+  w0.reset();
+  w0 = StartWorker(primary_dir, w0_port);
+  ASSERT_NE(w0, nullptr);
+  EXPECT_EQ(w0->role_info().epoch, 1u);
+  ASSERT_TRUE(WaitFor(
+      [&] { return router.ReplicaViews()[0].stale; }, 15.0));
+  EXPECT_GE(router.stats().stale_primaries, 1);
+  Result<shard::SubmitAck> ack3 =
+      router.Submit(scenario_->test.trajectories[2]);
+  ASSERT_TRUE(ack3.ok()) << ack3.status().ToString();
+  EXPECT_EQ(ack3->epoch, 2u);  // never the resurrected epoch-1 worker
+
+  // Rejoin: restart the deposed worker as a standby of the new primary.
+  // Its pull carries epoch 1; the primary answers reset + epoch 2; it
+  // wipes the divergent history and catches up.
+  w0->Stop();
+  w0.reset();
+  w0 = StartWorker(primary_dir, w0_port, w1_port);
+  ASSERT_NE(w0, nullptr);
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        const auto views = router.ReplicaViews();
+        return views[0].role == repl::ReplicaRole::kStandby &&
+               views[0].epoch == 2 && !views[0].stale &&
+               views[0].applied_lsn >= ack3->lsn;
+      },
+      30.0));
+
+  w0->Stop();
+  w1->Stop();
+}
+
+// The RouterStats satellite: snapshots must be mutually consistent while
+// calls, retries, and hedges are being counted from many threads. A tiny
+// hedge budget makes hedges fire constantly; the reader asserts the
+// cross-counter invariants at every observation.
+TEST_F(ReplicatedFleetTest, RouterStatsSnapshotsAreMutuallyConsistent) {
+  const std::string wal_dir = MakeTempDir("stats_w");
+  std::unique_ptr<ShardWorker> worker = StartWorker(wal_dir);
+  ASSERT_NE(worker, nullptr);
+  RouterOptions options;
+  options.call_deadline_s = 30.0;
+  options.hedge_min_s = 0.0001;  // hedge almost every call
+  ShardRouter router(*snapshot_, {{"127.0.0.1", worker->port()}}, options);
+  ASSERT_TRUE(router.WaitHealthy(30.0).ok());
+
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load()) {
+      const shard::RouterStats stats = router.stats();
+      // Single mutex, single snapshot: a hedge or retry can never be
+      // visible before the remote call it rode on.
+      EXPECT_LE(stats.hedges, stats.remote_calls);
+      EXPECT_LE(stats.retries, stats.remote_calls);
+      EXPECT_LE(stats.hedge_wins, stats.hedges);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < 4; ++i) {
+        Result<ImputedTrajectory> result =
+            router.Impute(SparseTest((t + i) % 4));
+        EXPECT_TRUE(result.ok()) << result.status().ToString();
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  done.store(true);
+  reader.join();
+  const shard::RouterStats stats = router.stats();
+  EXPECT_EQ(stats.imputations, 12);
+  EXPECT_LE(stats.hedges, stats.remote_calls);
+  worker->Stop();
+}
+
+}  // namespace
+}  // namespace kamel

@@ -501,6 +501,30 @@ int Worker(const Flags& flags) {
     std::fprintf(stderr, "--shard must be in [0, --num-shards)\n");
     return 2;
   }
+  // Replication: --wal-dir turns the ingest WAL on; --standby-of makes
+  // this worker a warm standby of that primary instead of a primary
+  // itself (same parser as --shards endpoints, single entry).
+  options.wal_dir = flags.Get("wal-dir");
+  if (flags.Has("standby-of")) {
+    if (options.wal_dir.empty()) {
+      std::fprintf(stderr, "--standby-of requires --wal-dir\n");
+      return 2;
+    }
+    auto primary = ParseEndpoints(flags.Get("standby-of"));
+    if (!primary.ok() || primary->size() != 1) {
+      std::fprintf(stderr, "--standby-of needs one host:port endpoint\n");
+      return 2;
+    }
+    options.standby_of_host = primary->front().host;
+    options.standby_of_port = primary->front().port;
+  }
+  options.replica_id = flags.Get("replica-id");
+  options.replication.min_sync_standbys =
+      static_cast<int>(flags.GetInt("min-sync-standbys", 0));
+  options.replication.max_lag_records = static_cast<uint64_t>(
+      flags.GetInt("max-lag-records",
+                   static_cast<int64_t>(
+                       options.replication.max_lag_records)));
 
   g_worker_stop.store(false);
   std::signal(SIGINT, HandleStopSignal);
@@ -509,11 +533,13 @@ int Worker(const Flags& flags) {
   shard::ShardWorker worker(options);
   const Status started = worker.Start(flags.Get("model"));
   if (!started.ok()) return Fail(started);
+  const shard::RoleInfo role = worker.role_info();
   std::printf("shard %d/%d serving on %s:%u (key level %d, %d models "
-              "dropped by partition)\n",
+              "dropped by partition, role %s epoch %llu)\n",
               options.shard, options.num_shards, options.host.c_str(),
               worker.port(), worker.partition().level,
-              worker.models_dropped());
+              worker.models_dropped(), replication::ToString(role.role),
+              static_cast<unsigned long long>(role.epoch));
   std::fflush(stdout);
   while (!g_worker_stop.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
@@ -537,6 +563,16 @@ int Route(const Flags& flags) {
   shard::RouterOptions options;
   options.call_deadline_s = flags.GetDouble("call-deadline", 2.0);
   options.hedging = flags.Get("hedging", "on") != "off";
+  options.replicas = static_cast<int>(flags.GetInt("replicas", 0));
+  options.balance_reads = flags.Get("balance-reads", "on") != "off";
+  const int group_size = std::max(0, options.replicas) + 1;
+  if (endpoints->size() % static_cast<size_t>(group_size) != 0) {
+    std::fprintf(stderr,
+                 "--shards must list a multiple of %d endpoints "
+                 "(groups of primary + %d standby(s), primary first)\n",
+                 group_size, options.replicas);
+    return 2;
+  }
   shard::ShardRouter router(*snapshot, std::move(*endpoints), options);
   const double wait_s = flags.GetDouble("wait-healthy", 10.0);
   if (const Status healthy = router.WaitHealthy(wait_s); !healthy.ok()) {
@@ -590,10 +626,21 @@ int StatsCmd(const Flags& flags) {
       if (response.ok()) {
         auto status = shard::DecodeStatus(*response);
         if (status.ok()) {
+          // One JSON object per shard (schema in README): identity +
+          // replication posture at the top level, engine counters nested
+          // under "stats". role/epoch/lag mirror kMethodRole at the same
+          // instant the engine snapshot was taken.
           std::printf(
               "{\"shard\":%d,\"endpoint\":\"%s:%u\",\"reachable\":true,"
+              "\"role\":\"%s\",\"epoch\":%llu,\"durable_lsn\":%llu,"
+              "\"applied_lsn\":%llu,\"replication_lag\":%llu,"
               "\"stats\":%s}\n",
               status->shard, endpoint.host.c_str(), endpoint.port,
+              replication::ToString(status->role),
+              static_cast<unsigned long long>(status->epoch),
+              static_cast<unsigned long long>(status->durable_lsn),
+              static_cast<unsigned long long>(status->applied_lsn),
+              static_cast<unsigned long long>(status->replication_lag),
               status->json.c_str());
           continue;
         }
@@ -655,17 +702,32 @@ int Usage() {
       "            [--overload-policy block|shed|degrade]\n"
       "            serve shard I's partition of the snapshot over RPC\n"
       "            until SIGTERM (port 0 picks a free port)\n"
+      "            [--wal-dir DIR] own a durable ingest WAL and serve\n"
+      "            Submit as a replication PRIMARY (epoch persisted\n"
+      "            beside the log); add [--standby-of host:port] to run\n"
+      "            as a warm STANDBY instead, pulling that primary's\n"
+      "            WAL into DIR and promotable in place.\n"
+      "            [--replica-id NAME] [--min-sync-standbys N]\n"
+      "            [--max-lag-records N] tune ack durability and the\n"
+      "            caught-up threshold.\n"
       "  route     --model m.kamel --shards host:p,host:p,...\n"
       "            --data sparse.csv --out imputed.csv\n"
       "            [--call-deadline S] [--hedging on|off]\n"
       "            [--wait-healthy S]\n"
+      "            [--replicas N] endpoints are groups of 1 primary +\n"
+      "            N standbys (primary first, group-major); the router\n"
+      "            probes roles, promotes on primary death, and\n"
+      "            [--balance-reads on|off] spreads reads across\n"
+      "            caught-up replicas by observed latency\n"
       "            impute through the shard fleet (health-checked\n"
       "            fan-out with retries, hedging, and failover; output\n"
       "            is byte-identical to `kamel impute` while every\n"
       "            shard is healthy)\n"
       "  stats     --shards host:p,... | --model m.kamel\n"
       "            dump per-shard (or local-engine) EngineStats +\n"
-      "            HealthState as JSON, one object per line; exit 1 if\n"
+      "            HealthState as JSON, one object per line, with\n"
+      "            role/epoch/durable_lsn/applied_lsn/replication_lag\n"
+      "            at the top level (schema in README); exit 1 if\n"
       "            any shard is unreachable\n"
       "  fsck      SNAPSHOT [--wal-dir DIR]  verify framing and\n"
       "            checksums of a snapshot and/or a write-ahead log;\n"
