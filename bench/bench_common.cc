@@ -1,6 +1,8 @@
 #include "bench/bench_common.h"
 
+#include <cstdio>
 #include <cstdlib>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -73,6 +75,133 @@ void Emit(const Table& table, const std::string& slug) {
       KAMEL_LOG(Warning) << "csv write failed: " << status.ToString();
     }
   }
+}
+
+// ---- bench JSON baselines --------------------------------------------
+
+Json Json::Str(std::string v) {
+  Json j;
+  j.kind_ = Kind::kStr;
+  j.str_ = std::move(v);
+  return j;
+}
+
+Json Json::Int(int64_t v) {
+  Json j;
+  j.kind_ = Kind::kInt;
+  j.int_ = v;
+  return j;
+}
+
+Json Json::Num(double v, int decimals) {
+  Json j;
+  j.kind_ = Kind::kNum;
+  j.num_ = v;
+  j.decimals_ = decimals;
+  return j;
+}
+
+Json Json::Bool(bool v) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+Json Json::Object(std::vector<std::pair<std::string, Json>> fields) {
+  Json j;
+  j.kind_ = Kind::kObject;
+  j.fields_ = std::move(fields);
+  return j;
+}
+
+Json Json::Array(std::vector<Json> items) {
+  Json j;
+  j.kind_ = Kind::kArray;
+  j.items_ = std::move(items);
+  return j;
+}
+
+namespace {
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+}  // namespace
+
+// depth 0 = the document object, depth 1 = its field values (arrays get
+// one entry per line), depth >= 2 = inline. That reproduces the
+// committed-baseline layout: short diffs, one measurement row per line.
+void Json::Append(std::string* out, int depth) const {
+  char buf[64];
+  switch (kind_) {
+    case Kind::kStr:
+      AppendEscaped(out, str_);
+      break;
+    case Kind::kInt:
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(int_));
+      out->append(buf);
+      break;
+    case Kind::kNum:
+      std::snprintf(buf, sizeof(buf), "%.*f", decimals_, num_);
+      out->append(buf);
+      break;
+    case Kind::kBool:
+      out->append(bool_ ? "true" : "false");
+      break;
+    case Kind::kObject: {
+      const bool multiline = depth == 0;
+      out->push_back('{');
+      for (size_t i = 0; i < fields_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        out->append(multiline ? "\n  " : (i > 0 ? " " : ""));
+        AppendEscaped(out, fields_[i].first);
+        out->append(": ");
+        fields_[i].second.Append(out, depth + 1);
+      }
+      if (multiline) out->push_back('\n');
+      out->push_back('}');
+      break;
+    }
+    case Kind::kArray: {
+      const bool multiline = depth <= 1;
+      out->push_back('[');
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        out->append(multiline ? "\n    " : (i > 0 ? " " : ""));
+        items_[i].Append(out, depth + 1);
+      }
+      if (multiline) out->append("\n  ");
+      out->push_back(']');
+      break;
+    }
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  Append(&out, 0);
+  out.push_back('\n');
+  return out;
+}
+
+void EmitBenchJson(const Json& doc) {
+  const char* path = std::getenv("KAMEL_BENCH_JSON");
+  if (path == nullptr || *path == '\0') return;
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  const std::string text = doc.Dump();
+  std::fwrite(text.data(), 1, text.size(), out);
+  std::fclose(out);
+  std::fprintf(stderr, "wrote %s\n", path);
 }
 
 }  // namespace kamel::bench

@@ -44,6 +44,47 @@ KamelOptions BenchOptionsFor(const ScenarioSpec& spec);
 /// $KAMEL_BENCH_CSV_DIR/<slug>.csv when that directory is set.
 void Emit(const Table& table, const std::string& slug);
 
+// ---- bench JSON baselines --------------------------------------------
+
+/// Minimal JSON value for the committed BENCH_*.json perf baselines.
+/// Build a document with the static factories and hand it to
+/// EmitBenchJson(); object fields keep insertion order. The dump style
+/// matches the committed baselines: the top-level object and its array
+/// fields are one-entry-per-line, everything nested deeper is inline.
+class Json {
+ public:
+  static Json Str(std::string v);
+  static Json Int(int64_t v);
+  /// Fixed-point number printed with `decimals` fractional digits (the
+  /// baselines are diffed as text, so formatting must be stable).
+  static Json Num(double v, int decimals);
+  static Json Bool(bool v);
+  static Json Object(std::vector<std::pair<std::string, Json>> fields);
+  static Json Array(std::vector<Json> items);
+
+  std::string Dump() const;
+
+ private:
+  enum class Kind { kStr, kInt, kNum, kBool, kObject, kArray };
+
+  void Append(std::string* out, int depth) const;
+
+  Kind kind_ = Kind::kInt;
+  std::string str_;
+  int64_t int_ = 0;
+  double num_ = 0.0;
+  int decimals_ = 2;
+  bool bool_ = false;
+  std::vector<std::pair<std::string, Json>> fields_;
+  std::vector<Json> items_;
+};
+
+/// Writes `doc` to the path in $KAMEL_BENCH_JSON when that variable is
+/// set — the shared emission hook behind every committed BENCH_*.json
+/// baseline (micro_throughput -> BENCH_serving.json, micro_nn ->
+/// BENCH_nn.json). No-op when the variable is unset or empty.
+void EmitBenchJson(const Json& doc);
+
 }  // namespace kamel::bench
 
 #endif  // KAMEL_BENCH_BENCH_COMMON_H_

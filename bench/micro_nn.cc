@@ -1,46 +1,157 @@
-// Microbenchmarks of the neural substrate: SGEMM kernels, transformer
-// forward/backward, and one full MLM training step, at the shapes KAMEL's
-// bench models actually use.
-#include <benchmark/benchmark.h>
+// Microbenchmarks of the neural substrate across compute backends and
+// weight formats, at the shapes KAMEL's bench models actually use.
+//
+// Three phases:
+//   1. GEMM: scalar vs optimized backend at n = 64/128/256, GFLOP/s and
+//      the optimized/scalar speedup (the headline the blocked/SIMD
+//      kernels are gated on: >= 2x at n = 256).
+//   2. LinearForward: the fused bias+activation path at the bench
+//      model's fc1/fc2 shapes, per backend x weight format, plus the
+//      encoded weight bytes (q8_0 must be <= ~30% of fp32).
+//   3. End-to-end BertModel::ForwardInference per backend x format, and
+//      one scalar fp32 MLM train step (training is pinned to scalar).
+//
+// Set KAMEL_BENCH_JSON to a path to persist the run as JSON (the
+// committed BENCH_nn.json baseline). KAMEL_BENCH_SMOKE=1 shrinks the
+// timing windows so CI can run the harness in seconds; smoke numbers are
+// noisy and never committed.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
 
+#include "bench/bench_common.h"
+#include "common/binary_io.h"
+#include "common/logging.h"
 #include "common/rng.h"
-#include "nn/blas.h"
+#include "nn/backend/backend.h"
+#include "nn/backend/quant.h"
 #include "nn/mlm_trainer.h"
 #include "nn/tensor.h"
 #include "nn/transformer.h"
 
-namespace kamel::nn {
+namespace kamel::bench {
 namespace {
 
-void BM_SgemmNN(benchmark::State& state) {
-  const int64_t n = state.range(0);
-  Rng rng(1);
-  Tensor a = Tensor::Randn({n, n}, &rng);
-  Tensor b = Tensor::Randn({n, n}, &rng);
-  Tensor c({n, n});
-  for (auto _ : state) {
-    Sgemm(false, false, n, n, n, 1.0f, a.data(), n, b.data(), n, 0.0f,
-          c.data(), n);
-    benchmark::DoNotOptimize(c.data());
-  }
-  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
-}
-BENCHMARK(BM_SgemmNN)->Arg(64)->Arg(128)->Arg(256);
+using nn::Activation;
+using nn::Backend;
+using nn::BertConfig;
+using nn::BertModel;
+using nn::OptimizedBackend;
+using nn::QuantMatrix;
+using nn::ScalarBackend;
+using nn::Tensor;
+using nn::WeightFormat;
+using nn::WeightView;
 
-void BM_SgemmTransposed(benchmark::State& state) {
-  const int64_t n = state.range(0);
-  Rng rng(1);
-  Tensor a = Tensor::Randn({n, n}, &rng);
-  Tensor b = Tensor::Randn({n, n}, &rng);
-  Tensor c({n, n});
-  for (auto _ : state) {
-    Sgemm(true, false, n, n, n, 1.0f, a.data(), n, b.data(), n, 0.0f,
-          c.data(), n);
-    benchmark::DoNotOptimize(c.data());
-  }
-  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+bool Smoke() {
+  const char* env = std::getenv("KAMEL_BENCH_SMOKE");
+  return env != nullptr && *env != '\0' && *env != '0';
 }
-BENCHMARK(BM_SgemmTransposed)->Arg(64)->Arg(128);
+
+/// Seconds per call: one untimed warmup, then doubling batches until a
+/// batch fills the timing window (0.2 s, or 5 ms under smoke).
+template <typename Fn>
+double SecondsPerCall(const Fn& fn) {
+  fn();
+  const double window = Smoke() ? 0.005 : 0.2;
+  int64_t iters = 1;
+  for (;;) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int64_t i = 0; i < iters; ++i) fn();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    if (seconds >= window) return seconds / iters;
+    iters *= 2;
+  }
+}
+
+// ---- phase 1: GEMM -----------------------------------------------------
+
+struct GemmRow {
+  int64_t n = 0;
+  double scalar_gflops = 0.0;
+  double optimized_gflops = 0.0;
+  double speedup = 0.0;
+};
+
+GemmRow MeasureGemm(int64_t n) {
+  Rng rng(1);
+  const Tensor a = Tensor::Randn({n, n}, &rng);
+  const Tensor b = Tensor::Randn({n, n}, &rng);
+  Tensor c({n, n});
+  const double flops = 2.0 * n * n * n;
+  GemmRow row;
+  row.n = n;
+  const double scalar_s = SecondsPerCall([&] {
+    ScalarBackend::Instance().Gemm(false, false, n, n, n, 1.0f, a.data(), n,
+                                   b.data(), n, 0.0f, c.data(), n);
+  });
+  const double optimized_s = SecondsPerCall([&] {
+    OptimizedBackend::Instance().Gemm(false, false, n, n, n, 1.0f, a.data(),
+                                      n, b.data(), n, 0.0f, c.data(), n);
+  });
+  row.scalar_gflops = flops / scalar_s / 1e9;
+  row.optimized_gflops = flops / optimized_s / 1e9;
+  row.speedup = scalar_s / optimized_s;
+  return row;
+}
+
+// ---- phase 2: LinearForward across weight formats ----------------------
+
+struct LinearRow {
+  int64_t rows = 0, in = 0, out = 0;
+  WeightFormat format = WeightFormat::kF32;
+  double scalar_us = 0.0;
+  double optimized_us = 0.0;
+  int64_t weight_bytes = 0;
+  double bytes_vs_f32 = 1.0;
+};
+
+LinearRow MeasureLinear(int64_t rows, int64_t in, int64_t out,
+                        Activation act, WeightFormat format) {
+  Rng rng(2);
+  const Tensor x = Tensor::Randn({rows, in}, &rng);
+  const Tensor w = Tensor::Randn({in, out}, &rng);
+  const Tensor bias = Tensor::Randn({out}, &rng);
+  Tensor y({rows, out});
+
+  LinearRow row;
+  row.rows = rows;
+  row.in = in;
+  row.out = out;
+  row.format = format;
+
+  QuantMatrix quant;
+  WeightView view = WeightView::Dense(w.data());
+  row.weight_bytes = in * out * static_cast<int64_t>(sizeof(float));
+  if (format != WeightFormat::kF32) {
+    auto quantized = QuantMatrix::Quantize(format, w.data(), in, out);
+    KAMEL_CHECK(quantized.ok(), "quantize failed");
+    quant = std::move(*quantized);
+    view = WeightView::Quant(&quant);
+    row.weight_bytes = quant.byte_size();
+  }
+  row.bytes_vs_f32 =
+      static_cast<double>(row.weight_bytes) /
+      static_cast<double>(in * out * static_cast<int64_t>(sizeof(float)));
+
+  row.scalar_us = 1e6 * SecondsPerCall([&] {
+    ScalarBackend::Instance().LinearForward(rows, in, out, x.data(), view,
+                                            bias.data(), act, y.data());
+  });
+  row.optimized_us = 1e6 * SecondsPerCall([&] {
+    OptimizedBackend::Instance().LinearForward(rows, in, out, x.data(), view,
+                                               bias.data(), act, y.data());
+  });
+  return row;
+}
+
+// ---- phase 3: end-to-end model forward ---------------------------------
 
 BertConfig BenchConfig(int64_t vocab) {
   BertConfig config;
@@ -54,22 +165,42 @@ BertConfig BenchConfig(int64_t vocab) {
   return config;
 }
 
-void BM_BertForward(benchmark::State& state) {
-  const int64_t vocab = state.range(0);
-  BertModel model(BenchConfig(vocab), /*seed=*/3);
-  const int64_t seq = 32;
+/// Serializes `model` at `format` and loads it back: the exact serving
+/// artifact a quantized snapshot would demand-load.
+std::unique_ptr<BertModel> Requantized(const BertModel& model,
+                                       WeightFormat format) {
+  BinaryWriter writer;
+  const Status saved = model.Save(&writer, format);
+  KAMEL_CHECK(saved.ok(), "quantized save failed");
+  BinaryReader reader(writer.buffer());
+  auto loaded = BertModel::Load(&reader);
+  KAMEL_CHECK(loaded.ok(), "quantized load failed");
+  return std::move(*loaded);
+}
+
+struct ForwardRow {
+  const char* backend = "";
+  WeightFormat format = WeightFormat::kF32;
+  double ms = 0.0;
+};
+
+double MeasureForward(const BertModel& model, const Backend* backend,
+                      int64_t seq) {
   std::vector<int32_t> ids(static_cast<size_t>(seq), 7);
   ids[10] = 4;  // a mask token
   const std::vector<float> mask(static_cast<size_t>(seq), 1.0f);
-  for (auto _ : state) {
-    Tensor logits = model.Forward(ids, mask, 1, seq, /*train=*/false);
-    benchmark::DoNotOptimize(logits.data());
-  }
+  // ForwardInference reads the process-wide backend, like serving does.
+  const Status set = nn::SetActiveBackend(backend->name());
+  KAMEL_CHECK(set.ok(), "SetActiveBackend failed");
+  const double seconds = SecondsPerCall([&] {
+    Tensor logits = model.ForwardInference(ids, mask, 1, seq);
+    (void)logits;
+  });
+  return 1e3 * seconds;
 }
-BENCHMARK(BM_BertForward)->Arg(300)->Arg(1000)->Arg(2000);
 
-void BM_MlmTrainStep(benchmark::State& state) {
-  const int64_t vocab = state.range(0);
+double MeasureTrainStep() {
+  const int64_t vocab = 300;
   BertModel model(BenchConfig(vocab), /*seed=*/3);
   Rng rng(5);
   std::vector<std::vector<int32_t>> corpus;
@@ -81,25 +212,142 @@ void BM_MlmTrainStep(benchmark::State& state) {
     }
     corpus.push_back(std::move(seq));
   }
-  MlmTrainOptions options;
+  nn::MlmTrainOptions options;
   options.batch_size = 16;
-  MlmTokenLayout layout{0, 4, 5};
-  AdamOptimizer optimizer(model.Params());
-  for (auto _ : state) {
-    MlmBatch batch = BuildMlmBatch(corpus, layout, options,
-                                   model.config().max_seq_len, vocab, &rng);
+  nn::MlmTokenLayout layout{0, 4, 5};
+  nn::AdamOptimizer optimizer(model.Params());
+  return 1e3 * SecondsPerCall([&] {
+    nn::MlmBatch batch =
+        nn::BuildMlmBatch(corpus, layout, options, model.config().max_seq_len,
+                          vocab, &rng);
     model.ZeroGrads();
-    Tensor logits =
-        model.Forward(batch.ids, batch.key_mask, batch.batch, batch.seq_len,
-                      /*train=*/true);
+    Tensor logits = model.Forward(batch.ids, batch.key_mask, batch.batch,
+                                  batch.seq_len, /*train=*/true);
     const double loss = model.LossAndBackward(logits, batch.labels);
     optimizer.Step(1e-3);
-    benchmark::DoNotOptimize(loss);
-  }
+    (void)loss;
+  });
 }
-BENCHMARK(BM_MlmTrainStep)->Arg(300)->Arg(1000);
+
+int Run() {
+  // Phase 1: GEMM.
+  Table gemm_table("GEMM: scalar vs optimized backend (square n)",
+                   {"n", "scalar_gflops", "optimized_gflops", "speedup"});
+  std::vector<GemmRow> gemm_rows;
+  for (const int64_t n : {64, 128, 256}) {
+    gemm_rows.push_back(MeasureGemm(n));
+    const GemmRow& r = gemm_rows.back();
+    gemm_table.AddRow({std::to_string(r.n), Table::Num(r.scalar_gflops, 2),
+                       Table::Num(r.optimized_gflops, 2),
+                       Table::Num(r.speedup, 2)});
+  }
+  Emit(gemm_table, "micro_nn_gemm");
+
+  // Phase 2: LinearForward at the bench model's fc1 (48 -> 192, GELU)
+  // and fc2 (192 -> 48) shapes, one statement (48 tokens) per call.
+  Table linear_table(
+      "LinearForward: backend x weight format (48-token statement)",
+      {"in", "out", "format", "scalar_us", "optimized_us", "weight_bytes",
+       "bytes_vs_f32"});
+  std::vector<LinearRow> linear_rows;
+  const WeightFormat kFormats[] = {WeightFormat::kF32, WeightFormat::kQ8_0,
+                                   WeightFormat::kQ4_0};
+  for (const WeightFormat format : kFormats) {
+    linear_rows.push_back(MeasureLinear(48, 48, 192, Activation::kGelu,
+                                        format));
+    linear_rows.push_back(MeasureLinear(48, 192, 48, Activation::kNone,
+                                        format));
+  }
+  for (const LinearRow& r : linear_rows) {
+    linear_table.AddRow({std::to_string(r.in), std::to_string(r.out),
+                         nn::ToString(r.format), Table::Num(r.scalar_us, 2),
+                         Table::Num(r.optimized_us, 2),
+                         std::to_string(r.weight_bytes),
+                         Table::Num(r.bytes_vs_f32, 3)});
+  }
+  Emit(linear_table, "micro_nn_linear");
+
+  // Phase 3: whole-model inference per backend x format, plus the scalar
+  // fp32 training step (training never uses the optimized backend).
+  const int64_t vocab = 1000;
+  const int64_t seq = 32;
+  BertModel model(BenchConfig(vocab), /*seed=*/3);
+  const std::unique_ptr<BertModel> q8 =
+      Requantized(model, WeightFormat::kQ8_0);
+  const std::unique_ptr<BertModel> q4 =
+      Requantized(model, WeightFormat::kQ4_0);
+  const struct {
+    const BertModel* model;
+    WeightFormat format;
+  } kVariants[] = {{&model, WeightFormat::kF32},
+                   {q8.get(), WeightFormat::kQ8_0},
+                   {q4.get(), WeightFormat::kQ4_0}};
+
+  Table forward_table("BertModel::ForwardInference (batch 1, seq 32)",
+                      {"backend", "format", "ms_per_forward"});
+  std::vector<ForwardRow> forward_rows;
+  for (const Backend* backend : nn::AllBackends()) {
+    for (const auto& variant : kVariants) {
+      ForwardRow row;
+      row.backend = backend->name();
+      row.format = variant.format;
+      row.ms = MeasureForward(*variant.model, backend, seq);
+      forward_rows.push_back(row);
+      forward_table.AddRow({row.backend, nn::ToString(row.format),
+                            Table::Num(row.ms, 3)});
+    }
+  }
+  KAMEL_CHECK(nn::SetActiveBackend("scalar").ok(), "restore backend");
+  Emit(forward_table, "micro_nn_forward");
+
+  const double train_step_ms = MeasureTrainStep();
+  std::printf("MLM train step (scalar fp32, batch 16): %.2f ms\n\n",
+              train_step_ms);
+
+  // JSON baseline (BENCH_nn.json when KAMEL_BENCH_JSON is set).
+  std::vector<Json> gemm_json;
+  for (const GemmRow& r : gemm_rows) {
+    gemm_json.push_back(Json::Object({
+        {"n", Json::Int(r.n)},
+        {"scalar_gflops", Json::Num(r.scalar_gflops, 2)},
+        {"optimized_gflops", Json::Num(r.optimized_gflops, 2)},
+        {"speedup", Json::Num(r.speedup, 2)},
+    }));
+  }
+  std::vector<Json> linear_json;
+  for (const LinearRow& r : linear_rows) {
+    linear_json.push_back(Json::Object({
+        {"rows", Json::Int(r.rows)},
+        {"in", Json::Int(r.in)},
+        {"out", Json::Int(r.out)},
+        {"format", Json::Str(nn::ToString(r.format))},
+        {"scalar_us", Json::Num(r.scalar_us, 2)},
+        {"optimized_us", Json::Num(r.optimized_us, 2)},
+        {"weight_bytes", Json::Int(r.weight_bytes)},
+        {"bytes_vs_f32", Json::Num(r.bytes_vs_f32, 3)},
+    }));
+  }
+  std::vector<Json> forward_json;
+  for (const ForwardRow& r : forward_rows) {
+    forward_json.push_back(Json::Object({
+        {"backend", Json::Str(r.backend)},
+        {"format", Json::Str(nn::ToString(r.format))},
+        {"ms_per_forward", Json::Num(r.ms, 3)},
+    }));
+  }
+  EmitBenchJson(Json::Object({
+      {"bench", Json::Str("micro_nn")},
+      {"host_threads", Json::Int(std::thread::hardware_concurrency())},
+      {"smoke", Json::Bool(Smoke())},
+      {"gemm", Json::Array(std::move(gemm_json))},
+      {"linear_forward", Json::Array(std::move(linear_json))},
+      {"bert_forward", Json::Array(std::move(forward_json))},
+      {"mlm_train_step_ms", Json::Num(train_step_ms, 2)},
+  }));
+  return 0;
+}
 
 }  // namespace
-}  // namespace kamel::nn
+}  // namespace kamel::bench
 
-BENCHMARK_MAIN();
+int main() { return kamel::bench::Run(); }

@@ -142,42 +142,35 @@ Result<LatencyRow> MeasureLatency(const ServingEngine& engine,
 /// BENCH_serving.json perf baseline) when that variable is set.
 void EmitJson(const std::vector<ThroughputRow>& throughput,
               const std::vector<LatencyRow>& latency, size_t batch_size) {
-  const char* path = std::getenv("KAMEL_BENCH_JSON");
-  if (path == nullptr || *path == '\0') return;
-  std::FILE* out = std::fopen(path, "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path);
-    return;
+  std::vector<Json> throughput_json;
+  for (const ThroughputRow& r : throughput) {
+    throughput_json.push_back(Json::Object({
+        {"pool_threads", Json::Int(r.threads)},
+        {"seconds", Json::Num(r.seconds, 4)},
+        {"traj_per_sec", Json::Num(r.traj_per_sec, 2)},
+        {"speedup", Json::Num(r.speedup, 2)},
+    }));
   }
-  std::fprintf(out, "{\n  \"bench\": \"micro_throughput\",\n");
+  std::vector<Json> latency_json;
+  for (const LatencyRow& r : latency) {
+    latency_json.push_back(Json::Object({
+        {"client_threads", Json::Int(r.clients)},
+        {"requests", Json::Int(static_cast<int64_t>(r.requests))},
+        {"p50_ms", Json::Num(r.p50_ms, 3)},
+        {"p99_ms", Json::Num(r.p99_ms, 3)},
+        {"imputations_per_sec", Json::Num(r.imputations_per_sec, 2)},
+    }));
+  }
   // The scaling rows only mean something next to the core count they ran
   // on: speedup ~1.0 at every thread count on host_threads=1 is the
   // hardware ceiling, not a serialization bug in the engine.
-  std::fprintf(out, "  \"host_threads\": %u,\n",
-               std::thread::hardware_concurrency());
-  std::fprintf(out, "  \"batch_trajectories\": %zu,\n", batch_size);
-  std::fprintf(out, "  \"batch_throughput\": [\n");
-  for (size_t i = 0; i < throughput.size(); ++i) {
-    const ThroughputRow& r = throughput[i];
-    std::fprintf(out,
-                 "    {\"pool_threads\": %d, \"seconds\": %.4f, "
-                 "\"traj_per_sec\": %.2f, \"speedup\": %.2f}%s\n",
-                 r.threads, r.seconds, r.traj_per_sec, r.speedup,
-                 i + 1 < throughput.size() ? "," : "");
-  }
-  std::fprintf(out, "  ],\n  \"request_latency\": [\n");
-  for (size_t i = 0; i < latency.size(); ++i) {
-    const LatencyRow& r = latency[i];
-    std::fprintf(out,
-                 "    {\"client_threads\": %d, \"requests\": %zu, "
-                 "\"p50_ms\": %.3f, \"p99_ms\": %.3f, "
-                 "\"imputations_per_sec\": %.2f}%s\n",
-                 r.clients, r.requests, r.p50_ms, r.p99_ms,
-                 r.imputations_per_sec, i + 1 < latency.size() ? "," : "");
-  }
-  std::fprintf(out, "  ]\n}\n");
-  std::fclose(out);
-  std::fprintf(stderr, "wrote %s\n", path);
+  EmitBenchJson(Json::Object({
+      {"bench", Json::Str("micro_throughput")},
+      {"host_threads", Json::Int(std::thread::hardware_concurrency())},
+      {"batch_trajectories", Json::Int(static_cast<int64_t>(batch_size))},
+      {"batch_throughput", Json::Array(std::move(throughput_json))},
+      {"request_latency", Json::Array(std::move(latency_json))},
+  }));
 }
 
 int Run() {

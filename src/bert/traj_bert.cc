@@ -120,13 +120,19 @@ std::vector<Candidate> TrajBert::PredictMasked(
   return out;
 }
 
-void TrajBert::Save(BinaryWriter* writer) const {
+Status TrajBert::Save(BinaryWriter* writer,
+                      nn::WeightFormat format) const {
   writer->WriteString("kamel-trajbert-v1");
   vocab_.Save(writer);
   writer->WriteF64(train_stats_.seconds);
   writer->WriteF64(train_stats_.final_loss);
   writer->WriteI64(train_stats_.steps);
-  model_->Save(writer);
+  return model_->Save(writer, format);
+}
+
+void TrajBert::Save(BinaryWriter* writer) const {
+  const Status status = Save(writer, nn::WeightFormat::kF32);
+  KAMEL_CHECK(status.ok(), status.ToString());
 }
 
 Result<std::unique_ptr<TrajBert>> TrajBert::Load(BinaryReader* reader) {

@@ -84,6 +84,16 @@ class TrajBert final : public CandidateSource {
     return num_predict_calls_.load(std::memory_order_relaxed);
   }
 
+  /// Serving weight format (kF32 unless loaded from a quantized snapshot)
+  /// and resident weight bytes in that storage.
+  nn::WeightFormat weight_format() const { return model_->weight_format(); }
+  int64_t WeightBytes() const { return model_->WeightBytes(); }
+
+  /// Saves with the given serving weight format; kF32 keeps the
+  /// historical byte layout. InvalidArgument on non-finite weights when
+  /// quantizing.
+  Status Save(BinaryWriter* writer, nn::WeightFormat format) const;
+  /// fp32 save — cannot fail.
   void Save(BinaryWriter* writer) const;
   static Result<std::unique_ptr<TrajBert>> Load(BinaryReader* reader);
 

@@ -239,10 +239,11 @@ Result<uint32_t> BinaryReader::ReadMagicHeader() {
     }());
   }
   KAMEL_ASSIGN_OR_RETURN(uint32_t version, ReadU32());
-  if (version != kSnapshotVersion) {
+  if (version != kSnapshotVersion && version != kSnapshotVersionQuant) {
     return Status::IOError("unsupported snapshot version " +
                            std::to_string(version) + " (expected " +
-                           std::to_string(kSnapshotVersion) + ")");
+                           std::to_string(kSnapshotVersion) + " or " +
+                           std::to_string(kSnapshotVersionQuant) + ")");
   }
   return version;
 }

@@ -17,6 +17,10 @@ namespace kamel {
 /// error.
 inline constexpr uint32_t kSnapshotMagic = 0x4B4D534Eu;  // "KMSN"
 inline constexpr uint32_t kSnapshotVersion = 2;
+/// Version 3 adds block-quantized serving weight sections (q8_0/q4_0).
+/// Snapshots holding only fp32 weights are still written as version 2,
+/// so files from builds that never quantize stay byte-identical.
+inline constexpr uint32_t kSnapshotVersionQuant = 3;
 
 /// Little-endian binary serializer used for model files (the disk-based
 /// model repository of Section 4 stores BERT weights and detokenizer

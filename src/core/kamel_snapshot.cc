@@ -35,9 +35,16 @@ Status SaveSnapshotFile(const LocalProjection& projection,
                         const ModelRepository& repository,
                         const Detokenizer& detokenizer,
                         const std::vector<Trajectory>* ingest,
-                        uint64_t wal_applied_lsn, const std::string& path) {
+                        uint64_t wal_applied_lsn,
+                        nn::WeightFormat weight_format,
+                        const std::string& path) {
   BinaryWriter writer;
-  writer.WriteMagicHeader();
+  // fp32 snapshots keep the version-2 header (and stay byte-identical to
+  // pre-quantization builds); quantized weight sections bump the file to
+  // version 3 so old readers refuse it cleanly instead of mis-parsing.
+  writer.WriteMagicHeader(weight_format == nn::WeightFormat::kF32
+                              ? kSnapshotVersion
+                              : kSnapshotVersionQuant);
   writer.BeginSection("meta");
   writer.WriteF64(projection.origin().lat);
   writer.WriteF64(projection.origin().lng);
@@ -53,7 +60,7 @@ Status SaveSnapshotFile(const LocalProjection& projection,
   // its length lets the loader skip even an internally torn repository
   // and still reach the detokenizer.
   writer.BeginSection("repo");
-  KAMEL_RETURN_NOT_OK(repository.Save(&writer));
+  KAMEL_RETURN_NOT_OK(repository.Save(&writer, weight_format));
   writer.EndSection();
   writer.BeginSection("detok");
   detokenizer.Save(&writer);
@@ -312,7 +319,8 @@ Result<ImputedTrajectory> KamelSnapshot::Impute(const Trajectory& sparse,
 Status KamelSnapshot::SaveToFile(const std::string& path) const {
   return SaveSnapshotFile(*projection_, *pyramid_, inferred_speed_mps_,
                           total_train_seconds_, *repository_, *detokenizer_,
-                          /*ingest=*/nullptr, /*wal_applied_lsn=*/0, path);
+                          /*ingest=*/nullptr, /*wal_applied_lsn=*/0,
+                          options_.serving_weight_format, path);
 }
 
 // ---------------------------------------------------------------------------
@@ -489,7 +497,8 @@ Status KamelBuilder::SaveToFile(const std::string& path) const {
   }
   return SaveSnapshotFile(*projection_, *pyramid_, inferred_speed_mps_,
                           total_train_seconds_, *repository_, *detokenizer_,
-                          &ingested_, wal_applied_lsn_, path);
+                          &ingested_, wal_applied_lsn_,
+                          options_.serving_weight_format, path);
 }
 
 Status KamelBuilder::LoadFromFile(const std::string& path,

@@ -145,6 +145,16 @@ void ShardedModelCache::TrimToBudget() const {
   }
 }
 
+void ShardedModelCache::ForEachResident(
+    const std::function<void(const TrajBert&)>& fn) const {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [key, entry] : shard->entries) {
+      fn(*entry.model);
+    }
+  }
+}
+
 Result<ModelHandle> ShardedModelCache::GetOrLoad(const LazyModelRef& ref) {
   const size_t key = ref.payload_offset;
   Shard& shard = ShardFor(key);
@@ -620,7 +630,8 @@ Result<ModelHandle> ModelRepository::ResolveForSave(
   return cache_->GetOrLoad(*slot.lazy);
 }
 
-Status ModelRepository::Save(BinaryWriter* writer) const {
+Status ModelRepository::Save(BinaryWriter* writer,
+                             nn::WeightFormat format) const {
   // Deterministic order, independent of hash-map iteration: the index and
   // the model sections that follow must agree.
   std::vector<std::pair<PyramidCell, const Entry*>> ordered;
@@ -655,16 +666,17 @@ Status ModelRepository::Save(BinaryWriter* writer) const {
   writer->WriteF64(total_train_seconds_);
   writer->EndSection();
 
-  const auto save_model = [this, writer](const char* kind,
-                                         const PyramidCell& cell,
-                                         const ModelSlot& slot) -> Status {
+  const auto save_model = [this, writer, format](const char* kind,
+                                                 const PyramidCell& cell,
+                                                 const ModelSlot& slot)
+      -> Status {
     KAMEL_ASSIGN_OR_RETURN(ModelHandle model, ResolveForSave(slot));
     writer->BeginSection("model");
     writer->WriteString(kind);
     writer->WriteI32(cell.level);
     writer->WriteI32(cell.x);
     writer->WriteI32(cell.y);
-    model->Save(writer);
+    KAMEL_RETURN_NOT_OK(model->Save(writer, format));
     writer->EndSection();
     return Status::OK();
   };
@@ -683,6 +695,32 @@ Status ModelRepository::Save(BinaryWriter* writer) const {
     }
   }
   return Status::OK();
+}
+
+ModelRepository::WeightResidency ModelRepository::GetWeightResidency() const {
+  WeightResidency residency;
+  const auto tally = [&residency](const TrajBert& model) {
+    if (model.weight_format() == nn::WeightFormat::kF32) {
+      ++residency.models_f32;
+      residency.f32_bytes += model.WeightBytes();
+    } else {
+      ++residency.models_quant;
+      residency.quant_bytes += model.WeightBytes();
+    }
+  };
+  const auto tally_slot = [&tally](const ModelSlot& slot) {
+    if (slot.model != nullptr) tally(*slot.model);
+  };
+  tally_slot(global_);
+  for (const auto& [cell, entry] : entries_) {
+    tally_slot(entry.single);
+    tally_slot(entry.east_pair);
+    tally_slot(entry.south_pair);
+  }
+  // Lazy slots hold no weights; whatever the cache currently has resident
+  // is the demand-loaded share.
+  if (cache_ != nullptr) cache_->ForEachResident(tally);
+  return residency;
 }
 
 ModelRepository::ModelSlot* ModelRepository::SlotFor(

@@ -182,6 +182,11 @@ class ShardedModelCache {
   /// observable mapping.
   void TrimToBudget() const;
 
+  /// Invokes `fn` on every currently cached model, one shard at a time
+  /// (each shard's mutex is held during its entries' callbacks — keep
+  /// `fn` cheap). Stats/observability only; does not touch LRU order.
+  void ForEachResident(const std::function<void(const TrajBert&)>& fn) const;
+
  private:
   struct CacheEntry {
     ModelHandle model;
@@ -323,7 +328,24 @@ class ModelRepository {
   /// trained model, each independently CRC-protected so a reader can
   /// quarantine a single damaged model. Non-resident lazy models are
   /// faulted in through the cache; an unreadable one fails the save.
-  Status Save(BinaryWriter* writer) const;
+  /// `format` selects the serving weight storage of every saved model:
+  /// kF32 (the default) keeps the historical byte layout, a quantized
+  /// format block-encodes the big weight matrices (serving-only
+  /// snapshot).
+  Status Save(BinaryWriter* writer,
+              nn::WeightFormat format = nn::WeightFormat::kF32) const;
+
+  /// Resident weight storage, split by format (for `kamel stats`).
+  struct WeightResidency {
+    int64_t f32_bytes = 0;    // weight bytes of resident fp32 models
+    int64_t quant_bytes = 0;  // weight bytes of resident quantized models
+    int models_f32 = 0;
+    int models_quant = 0;
+  };
+
+  /// Tallies every resident model (eagerly loaded slots plus the lazy
+  /// cache's current entries). Thread-safe once building is done.
+  WeightResidency GetWeightResidency() const;
 
   /// Loads what Save wrote. An unreadable or checksum-failing index is a
   /// non-OK Status (nothing can be recovered without it); an individually

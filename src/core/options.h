@@ -116,6 +116,13 @@ struct KamelOptions {
 
   // -- BERT encoder and training ------------------------------------------
   TrajBertOptions bert;
+  /// Serving weight format written by snapshot saves (`kamel train
+  /// --quantize`). Training always runs fp32; with a quantized format the
+  /// builder block-encodes every big weight matrix at save time, so the
+  /// snapshot (and the demand-load cache bytes) shrink to ~28% (q8_0) or
+  /// ~16% (q4_0) of fp32 while accuracy stays within the conformance
+  /// tolerances. kF32 keeps the historical snapshot bytes exactly.
+  nn::WeightFormat serving_weight_format = nn::WeightFormat::kF32;
 
   // -- Detokenization (Section 7) -----------------------------------------
   DbscanOptions dbscan;

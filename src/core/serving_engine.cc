@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/io_watchdog.h"
+#include "nn/backend/backend.h"
 
 namespace kamel {
 
@@ -34,7 +35,11 @@ std::string EngineStatsJson(const EngineStats& stats, HealthState health) {
       << (stats.resource_pressure ? "true" : "false")
       << ",\"io_stalls\":" << stats.io_stalls
       << ",\"io_stuck\":" << stats.io_stuck
-      << ",\"cache_resident_bytes\":" << stats.cache_resident_bytes << "}";
+      << ",\"cache_resident_bytes\":" << stats.cache_resident_bytes
+      << ",\"backend\":\"" << stats.backend << "\""
+      << ",\"quantized_models\":" << stats.quantized_models
+      << ",\"model_bytes_f32\":" << stats.model_bytes_f32
+      << ",\"model_bytes_quant\":" << stats.model_bytes_quant << "}";
   return out.str();
 }
 
@@ -246,6 +251,12 @@ EngineStatus ServingEngine::status() const {
   }
   out.stats.resource_pressure =
       out.stats.resource_pressure || out.stats.io_stuck > 0;
+  out.stats.backend = nn::ActiveBackend()->name();
+  const ModelRepository::WeightResidency residency =
+      snap->repository().GetWeightResidency();
+  out.stats.quantized_models = residency.models_quant;
+  out.stats.model_bytes_f32 = residency.f32_bytes;
+  out.stats.model_bytes_quant = residency.quant_bytes;
   // An open model-load breaker means some segments are being served by a
   // pyramid ancestor (or a straight line), and a hung IO operation means
   // probes should steer load elsewhere: degraded, not down. Terminal and

@@ -78,6 +78,16 @@ struct EngineStats {
   int io_stuck = 0;
   /// Bytes held by the demand-load model cache (0 when eager-loaded).
   uint64_t cache_resident_bytes = 0;
+
+  // -- Compute backend & weight storage (instantaneous) -------------------
+  /// Name of the process-wide NN compute backend ("scalar"/"optimized").
+  std::string backend;
+  /// Resident models serving block-quantized weights.
+  int quantized_models = 0;
+  /// Weight bytes of resident fp32 models vs. quantized models — the
+  /// fp32-vs-quantized memory split `kamel stats` reports.
+  int64_t model_bytes_f32 = 0;
+  int64_t model_bytes_quant = 0;
 };
 
 /// One mutually consistent observation of an engine: the counters and

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "nn/backend/backend.h"
 #include "nn/blas.h"
 #include "nn/ops.h"
 
@@ -40,67 +41,6 @@ void ScatterHeadAdd(const float* src, int64_t t_len, int64_t head_dim,
   }
 }
 
-// Shared scaled-dot-product core: computes the per-head contexts from a
-// precomputed QKV matrix. When `probs_cache` is non-null the attention
-// probabilities are written there (Backward needs them); the inference path
-// passes nullptr and the probabilities stay in a stack-local scratch buffer.
-Tensor AttentionContext(const float* qkv, const std::vector<float>& key_mask,
-                        int64_t batch, int64_t seq_len, int64_t d_model,
-                        int64_t num_heads, int64_t head_dim,
-                        float* probs_cache) {
-  Tensor ctx({batch * seq_len, d_model});
-  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
-
-  std::vector<float> q(static_cast<size_t>(seq_len * head_dim));
-  std::vector<float> k(q.size());
-  std::vector<float> v(q.size());
-  std::vector<float> scores(static_cast<size_t>(seq_len * seq_len));
-  std::vector<float> head_ctx(q.size());
-  std::vector<float> probs_local;
-  if (probs_cache == nullptr) {
-    probs_local.assign(static_cast<size_t>(seq_len * seq_len), 0.0f);
-  }
-
-  for (int64_t b = 0; b < batch; ++b) {
-    for (int64_t h = 0; h < num_heads; ++h) {
-      const int64_t col = h * head_dim;
-      GatherHead(qkv, 3 * d_model, b, seq_len, col, head_dim, q.data());
-      GatherHead(qkv, 3 * d_model, b, seq_len, d_model + col, head_dim,
-                 k.data());
-      GatherHead(qkv, 3 * d_model, b, seq_len, 2 * d_model + col, head_dim,
-                 v.data());
-
-      // scores = Q K^T * scale
-      Sgemm(false, true, seq_len, seq_len, head_dim, scale, q.data(),
-            head_dim, k.data(), head_dim, 0.0f, scores.data(), seq_len);
-
-      float* probs = probs_cache != nullptr
-                         ? probs_cache + ((b * num_heads + h) * seq_len) *
-                                             seq_len
-                         : probs_local.data();
-      for (int64_t t = 0; t < seq_len; ++t) {
-        float* row = scores.data() + t * seq_len;
-        for (int64_t u = 0; u < seq_len; ++u) {
-          if (key_mask[static_cast<size_t>(b * seq_len + u)] == 0.0f) {
-            row[u] = -1e9f;
-          }
-        }
-        SoftmaxRow(row, probs + t * seq_len, seq_len);
-      }
-
-      // ctx_h = P V
-      Sgemm(false, false, seq_len, head_dim, seq_len, 1.0f, probs, seq_len,
-            v.data(), head_dim, 0.0f, head_ctx.data(), head_dim);
-      for (int64_t t = 0; t < seq_len; ++t) {
-        float* dst = ctx.data() + (b * seq_len + t) * d_model + col;
-        const float* src = head_ctx.data() + t * head_dim;
-        for (int64_t c = 0; c < head_dim; ++c) dst[c] = src[c];
-      }
-    }
-  }
-  return ctx;
-}
-
 }  // namespace
 
 Tensor MultiHeadAttention::Forward(const Tensor& x,
@@ -116,9 +56,12 @@ Tensor MultiHeadAttention::Forward(const Tensor& x,
 
   qkv_cache_ = qkv_.Forward(x);  // [B*T, 3D]
   probs_cache_ = Tensor({batch * num_heads_ * seq_len_ * seq_len_});
-  Tensor ctx =
-      AttentionContext(qkv_cache_.data(), key_mask, batch, seq_len, d_model_,
-                       num_heads_, head_dim_, probs_cache_.data());
+  // Training is pinned to the scalar reference backend regardless of what
+  // serving selects, so training numerics never depend on --backend.
+  Tensor ctx({batch * seq_len, d_model_});
+  ScalarBackend::Instance().AttentionContext(
+      qkv_cache_.data(), key_mask.data(), batch, seq_len, d_model_,
+      num_heads_, probs_cache_.data(), ctx.data());
   return proj_.Forward(ctx);
 }
 
@@ -131,8 +74,14 @@ Tensor MultiHeadAttention::Apply(const Tensor& x,
   KAMEL_CHECK(static_cast<int64_t>(key_mask.size()) == batch * seq_len,
               "attention mask size mismatch");
   const Tensor qkv = qkv_.Apply(x);  // [B*T, 3D]
-  Tensor ctx = AttentionContext(qkv.data(), key_mask, batch, seq_len,
-                                d_model_, num_heads_, head_dim_, nullptr);
+  // The backend's batched attention reads Q/K/V as strided views of the
+  // fused qkv matrix — no per-head gather copies. The scalar backend's
+  // GEMMs accumulate each output element in the same order as the packed
+  // formulation, so default serving output is byte-identical to Forward.
+  Tensor ctx({batch * seq_len, d_model_});
+  ActiveBackend()->AttentionContext(qkv.data(), key_mask.data(), batch,
+                                    seq_len, d_model_, num_heads_,
+                                    /*probs_out=*/nullptr, ctx.data());
   return proj_.Apply(ctx);
 }
 

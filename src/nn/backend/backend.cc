@@ -1,0 +1,107 @@
+#include "nn/backend/backend.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace kamel::nn {
+
+void Backend::AttentionContext(const float* qkv, const float* key_mask,
+                               int64_t batch, int64_t seq_len,
+                               int64_t d_model, int64_t num_heads,
+                               float* probs_out, float* ctx) const {
+  const int64_t head_dim = d_model / num_heads;
+  const int64_t qkv_stride = 3 * d_model;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
+
+  std::vector<float> scores(static_cast<size_t>(seq_len * seq_len));
+  std::vector<float> probs_local;
+  if (probs_out == nullptr) {
+    probs_local.resize(static_cast<size_t>(seq_len * seq_len));
+  }
+
+  for (int64_t b = 0; b < batch; ++b) {
+    const float* qkv_b = qkv + b * seq_len * qkv_stride;
+    const float* mask_b = key_mask + b * seq_len;
+    for (int64_t h = 0; h < num_heads; ++h) {
+      const int64_t col = h * head_dim;
+      // Q, K, V are strided column slices of the fused qkv matrix; the
+      // GEMMs read them in place (lda = 3*d_model), so the per-head
+      // gather copies of the training Backward path never happen here.
+      const float* q = qkv_b + col;
+      const float* k = qkv_b + d_model + col;
+      const float* v = qkv_b + 2 * d_model + col;
+
+      // scores = Q K^T * scale
+      Gemm(false, true, seq_len, seq_len, head_dim, scale, q, qkv_stride, k,
+           qkv_stride, 0.0f, scores.data(), seq_len);
+
+      float* probs = probs_out != nullptr
+                         ? probs_out + ((b * num_heads + h) * seq_len) *
+                                           seq_len
+                         : probs_local.data();
+      for (int64_t t = 0; t < seq_len; ++t) {
+        float* row = scores.data() + t * seq_len;
+        for (int64_t u = 0; u < seq_len; ++u) {
+          if (mask_b[u] == 0.0f) row[u] = -1e9f;
+        }
+      }
+      SoftmaxRows(seq_len, seq_len, scores.data(), probs);
+
+      // ctx_head = P V, written straight into the head's column slice.
+      Gemm(false, false, seq_len, head_dim, seq_len, 1.0f, probs, seq_len,
+           v, qkv_stride, 0.0f, ctx + b * seq_len * d_model + col, d_model);
+    }
+  }
+}
+
+std::vector<const Backend*> AllBackends() {
+  return {&ScalarBackend::Instance(), &OptimizedBackend::Instance()};
+}
+
+const Backend* FindBackend(std::string_view name) {
+  for (const Backend* backend : AllBackends()) {
+    if (name == backend->name()) return backend;
+  }
+  return nullptr;
+}
+
+namespace {
+
+const Backend* InitialBackend() {
+  if (const char* env = std::getenv("KAMEL_NN_BACKEND");
+      env != nullptr && *env != '\0') {
+    if (const Backend* backend = FindBackend(env)) return backend;
+    KAMEL_CHECK(false, std::string("KAMEL_NN_BACKEND names an unknown "
+                                   "backend: ") +
+                           env);
+  }
+  return &ScalarBackend::Instance();
+}
+
+std::atomic<const Backend*>& ActiveSlot() {
+  static std::atomic<const Backend*> slot{InitialBackend()};
+  return slot;
+}
+
+}  // namespace
+
+const Backend* ActiveBackend() {
+  return ActiveSlot().load(std::memory_order_relaxed);
+}
+
+Status SetActiveBackend(std::string_view name) {
+  const Backend* backend = FindBackend(name);
+  if (backend == nullptr) {
+    return Status::InvalidArgument("unknown backend '" + std::string(name) +
+                                   "' (scalar|optimized)");
+  }
+  ActiveSlot().store(backend, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+}  // namespace kamel::nn

@@ -1,0 +1,161 @@
+#ifndef KAMEL_NN_BACKEND_BACKEND_H_
+#define KAMEL_NN_BACKEND_BACKEND_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/backend/quant.h"
+
+namespace kamel::nn {
+
+/// Pointwise activation fused into LinearForward.
+enum class Activation { kNone, kGelu };
+
+/// One serving-path weight matrix: exactly one of `dense` (row-major fp32
+/// [rows, cols]) or `quant` is set. A view, not an owner.
+struct WeightView {
+  const float* dense = nullptr;
+  const QuantMatrix* quant = nullptr;
+
+  static WeightView Dense(const float* w) { return {w, nullptr}; }
+  static WeightView Quant(const QuantMatrix* q) { return {nullptr, q}; }
+  bool quantized() const { return quant != nullptr; }
+};
+
+/// The compute interface behind every inference op in the nn library.
+///
+/// Two implementations exist: ScalarBackend is the numerical reference —
+/// the original straightforward kernels, kept byte-for-byte compatible
+/// with historical serving output — and OptimizedBackend is the
+/// cache-blocked, SIMD-vectorized rewrite. Every op of every backend is
+/// gated against the scalar fp32 reference by an NMSE tolerance in
+/// tests/backend_conformance_test.cc (the ggml test-backend-ops idea).
+///
+/// All methods are const and stateless: any number of threads may push
+/// work through one backend concurrently. The serving determinism
+/// contract (ImputeBatch byte-identical at any thread count) holds per
+/// fixed backend + weight format; switching backends may legally change
+/// low-order output bits.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual const char* name() const = 0;
+
+  /// C = alpha * op(A) * op(B) + beta * C; op(A) m x k, op(B) k x n,
+  /// row-major with leading dimensions (row strides) lda/ldb/ldc.
+  virtual void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n,
+                    int64_t k, float alpha, const float* a, int64_t lda,
+                    const float* b, int64_t ldb, float beta, float* c,
+                    int64_t ldc) const = 0;
+
+  /// y += alpha * x, both of length n.
+  virtual void Axpy(int64_t n, float alpha, const float* x,
+                    float* y) const = 0;
+
+  /// Elementwise GELU (tanh approximation), y may alias x.
+  virtual void Gelu(const float* x, float* y, int64_t n) const = 0;
+
+  /// Row-batched numerically-stable softmax over [rows, n]; y may alias x.
+  virtual void SoftmaxRows(int64_t rows, int64_t n, const float* x,
+                           float* y) const = 0;
+
+  /// Row-batched LayerNorm over [rows, dim] with fp32 gamma/beta.
+  virtual void LayerNormRows(int64_t rows, int64_t dim, const float* x,
+                             const float* gamma, const float* beta,
+                             float eps, float* y) const = 0;
+
+  /// y[rows, out] = act(x[rows, in] * W[in, out] + bias). The weight may
+  /// be dense fp32 or block-quantized; activations are always fp32
+  /// (weights-only quantization). bias may be null (no bias).
+  virtual void LinearForward(int64_t rows, int64_t in, int64_t out,
+                             const float* x, const WeightView& w,
+                             const float* bias, Activation act,
+                             float* y) const = 0;
+
+  /// Batched scaled-dot-product attention over every (batch, head) pair.
+  /// `qkv` is [batch*seq_len, 3*d_model] (Q | K | V column blocks);
+  /// `key_mask` has batch*seq_len entries, 0 marking padded keys (their
+  /// scores are forced to -1e9 before the softmax). Writes per-head
+  /// contexts into `ctx` [batch*seq_len, d_model]. When `probs_out` is
+  /// non-null the attention probabilities are stored there
+  /// ([batch*num_heads*seq_len, seq_len]; the training path caches them
+  /// for Backward) — inference passes nullptr and scratch stays local.
+  ///
+  /// The base implementation reads Q/K/V as strided views of `qkv` (no
+  /// gather/scatter copies) and runs on this backend's Gemm/SoftmaxRows,
+  /// so both backends share one batched attention path whose speed
+  /// follows their GEMM.
+  virtual void AttentionContext(const float* qkv, const float* key_mask,
+                                int64_t batch, int64_t seq_len,
+                                int64_t d_model, int64_t num_heads,
+                                float* probs_out, float* ctx) const;
+};
+
+/// The reference backend: the original scalar kernels.
+class ScalarBackend final : public Backend {
+ public:
+  const char* name() const override { return "scalar"; }
+  void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+            float alpha, const float* a, int64_t lda, const float* b,
+            int64_t ldb, float beta, float* c, int64_t ldc) const override;
+  void Axpy(int64_t n, float alpha, const float* x, float* y) const override;
+  void Gelu(const float* x, float* y, int64_t n) const override;
+  void SoftmaxRows(int64_t rows, int64_t n, const float* x,
+                   float* y) const override;
+  void LayerNormRows(int64_t rows, int64_t dim, const float* x,
+                     const float* gamma, const float* beta, float eps,
+                     float* y) const override;
+  void LinearForward(int64_t rows, int64_t in, int64_t out, const float* x,
+                     const WeightView& w, const float* bias, Activation act,
+                     float* y) const override;
+
+  static const ScalarBackend& Instance();
+};
+
+/// The fast backend: register-tiled, L1-blocked GEMM (accumulators live
+/// in registers across the whole k loop; B is walked in L1-resident
+/// column panels), fused bias+activation epilogues, and block-at-a-time
+/// dequantization fused into the quantized GEMM panel loop.
+class OptimizedBackend final : public Backend {
+ public:
+  const char* name() const override { return "optimized"; }
+  void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+            float alpha, const float* a, int64_t lda, const float* b,
+            int64_t ldb, float beta, float* c, int64_t ldc) const override;
+  void Axpy(int64_t n, float alpha, const float* x, float* y) const override;
+  void Gelu(const float* x, float* y, int64_t n) const override;
+  void SoftmaxRows(int64_t rows, int64_t n, const float* x,
+                   float* y) const override;
+  void LayerNormRows(int64_t rows, int64_t dim, const float* x,
+                     const float* gamma, const float* beta, float eps,
+                     float* y) const override;
+  void LinearForward(int64_t rows, int64_t in, int64_t out, const float* x,
+                     const WeightView& w, const float* bias, Activation act,
+                     float* y) const override;
+
+  static const OptimizedBackend& Instance();
+};
+
+/// All registered backends (scalar first).
+std::vector<const Backend*> AllBackends();
+
+/// Backend by name ("scalar" | "optimized"); nullptr if unknown.
+const Backend* FindBackend(std::string_view name);
+
+/// The process-wide backend used by every inference path (Linear::Apply,
+/// MultiHeadAttention::Apply, BertModel::ForwardInference, ...). Defaults
+/// to scalar — the reference — unless $KAMEL_NN_BACKEND names another;
+/// `kamel --backend` and tests override it via SetActiveBackend. Read
+/// with a relaxed atomic load: set it once at startup, before serving
+/// threads exist, to keep outputs deterministic.
+const Backend* ActiveBackend();
+
+/// Selects the process-wide backend; InvalidArgument on an unknown name.
+Status SetActiveBackend(std::string_view name);
+
+}  // namespace kamel::nn
+
+#endif  // KAMEL_NN_BACKEND_BACKEND_H_

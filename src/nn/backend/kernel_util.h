@@ -1,0 +1,38 @@
+#ifndef KAMEL_NN_BACKEND_KERNEL_UTIL_H_
+#define KAMEL_NN_BACKEND_KERNEL_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace kamel::nn::internal {
+
+/// The one beta-handling implementation shared by every GEMM path (both
+/// backends, all transpose variants): C_row = beta * C_row before the
+/// products accumulate. beta == 0 must WRITE zeros (not multiply), so an
+/// uninitialized C never contaminates the result with NaNs.
+inline void ScaleRow(float* row, int64_t n, float beta) {
+  if (beta == 0.0f) {
+    for (int64_t j = 0; j < n; ++j) row[j] = 0.0f;
+  } else if (beta != 1.0f) {
+    for (int64_t j = 0; j < n; ++j) row[j] *= beta;
+  }
+}
+
+/// Materializes op(X) = X^T as a packed row-major matrix of shape
+/// rows x cols (rows/cols describe the *output* shape): out(r, c) =
+/// X(c, r). Transposed GEMM operands are packed through this so the hot
+/// kernels only ever walk contiguous rows.
+inline std::vector<float> PackTransposed(const float* x, int64_t rows,
+                                         int64_t cols, int64_t ldx) {
+  std::vector<float> out(static_cast<size_t>(rows * cols));
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      out[static_cast<size_t>(r * cols + c)] = x[c * ldx + r];
+    }
+  }
+  return out;
+}
+
+}  // namespace kamel::nn::internal
+
+#endif  // KAMEL_NN_BACKEND_KERNEL_UTIL_H_

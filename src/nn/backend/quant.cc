@@ -1,0 +1,226 @@
+#include "nn/backend/quant.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace kamel::nn {
+
+namespace {
+
+// q8_0: fp32 scale + 32 int8 quants. q = round(v / scale) with
+// scale = absmax / 127, so the largest-magnitude weight maps to ±127
+// exactly and an all-zero block stores scale 0 (decoding to exact zeros
+// without a division anywhere).
+constexpr int64_t kQ8BlockBytes = 4 + kQuantBlock;
+// q4_0: fp32 scale + 16 bytes of packed nibbles. q = round(v / scale) in
+// [-7, 7] stored biased as q + 8 (1..15); scale = absmax / 7.
+constexpr int64_t kQ4BlockBytes = 4 + kQuantBlock / 2;
+
+void StoreF32(uint8_t* dst, float v) { std::memcpy(dst, &v, sizeof(v)); }
+
+float LoadF32(const uint8_t* src) {
+  float v;
+  std::memcpy(&v, src, sizeof(v));
+  return v;
+}
+
+int QuantizeValue(float v, float inv_scale, int bound) {
+  const int q = static_cast<int>(std::lrintf(v * inv_scale));
+  return q < -bound ? -bound : (q > bound ? bound : q);
+}
+
+// `src` holds exactly 32 values (callers pad tail blocks with zeros).
+void EncodeBlockQ8(const float* src, uint8_t* dst) {
+  float absmax = 0.0f;
+  for (int64_t i = 0; i < kQuantBlock; ++i) {
+    absmax = std::max(absmax, std::fabs(src[i]));
+  }
+  const float scale = absmax / 127.0f;
+  StoreF32(dst, scale);
+  const float inv_scale = scale > 0.0f ? 1.0f / scale : 0.0f;
+  int8_t* q = reinterpret_cast<int8_t*>(dst + 4);
+  for (int64_t i = 0; i < kQuantBlock; ++i) {
+    q[i] = static_cast<int8_t>(QuantizeValue(src[i], inv_scale, 127));
+  }
+}
+
+void EncodeBlockQ4(const float* src, uint8_t* dst) {
+  float absmax = 0.0f;
+  for (int64_t i = 0; i < kQuantBlock; ++i) {
+    absmax = std::max(absmax, std::fabs(src[i]));
+  }
+  const float scale = absmax / 7.0f;
+  StoreF32(dst, scale);
+  const float inv_scale = scale > 0.0f ? 1.0f / scale : 0.0f;
+  uint8_t* packed = dst + 4;
+  for (int64_t i = 0; i < kQuantBlock / 2; ++i) {
+    const int lo = QuantizeValue(src[2 * i], inv_scale, 7) + 8;
+    const int hi = QuantizeValue(src[2 * i + 1], inv_scale, 7) + 8;
+    packed[i] = static_cast<uint8_t>(lo | (hi << 4));
+  }
+}
+
+void DecodeBlockQ8(const uint8_t* src, float* dst) {
+  const float scale = LoadF32(src);
+  const int8_t* q = reinterpret_cast<const int8_t*>(src + 4);
+  for (int64_t i = 0; i < kQuantBlock; ++i) {
+    dst[i] = scale * static_cast<float>(q[i]);
+  }
+}
+
+void DecodeBlockQ4(const uint8_t* src, float* dst) {
+  const float scale = LoadF32(src);
+  const uint8_t* packed = src + 4;
+  for (int64_t i = 0; i < kQuantBlock / 2; ++i) {
+    const int byte = packed[i];
+    dst[2 * i] = scale * static_cast<float>((byte & 0x0F) - 8);
+    dst[2 * i + 1] = scale * static_cast<float>((byte >> 4) - 8);
+  }
+}
+
+}  // namespace
+
+const char* ToString(WeightFormat format) {
+  switch (format) {
+    case WeightFormat::kF32:
+      return "f32";
+    case WeightFormat::kQ8_0:
+      return "q8_0";
+    case WeightFormat::kQ4_0:
+      return "q4_0";
+  }
+  return "unknown";
+}
+
+Result<WeightFormat> ParseWeightFormat(std::string_view name) {
+  if (name == "none" || name == "f32" || name == "fp32") {
+    return WeightFormat::kF32;
+  }
+  if (name == "q8_0") return WeightFormat::kQ8_0;
+  if (name == "q4_0") return WeightFormat::kQ4_0;
+  return Status::InvalidArgument("unknown weight format '" +
+                                 std::string(name) +
+                                 "' (none|q8_0|q4_0)");
+}
+
+int64_t QuantBlockBytes(WeightFormat format) {
+  KAMEL_CHECK(format != WeightFormat::kF32,
+              "fp32 weights are not block-encoded");
+  return format == WeightFormat::kQ8_0 ? kQ8BlockBytes : kQ4BlockBytes;
+}
+
+int64_t QuantRowBytes(WeightFormat format, int64_t cols) {
+  const int64_t blocks = (cols + kQuantBlock - 1) / kQuantBlock;
+  return blocks * QuantBlockBytes(format);
+}
+
+Result<QuantMatrix> QuantMatrix::Quantize(WeightFormat format,
+                                          const float* src, int64_t rows,
+                                          int64_t cols) {
+  KAMEL_CHECK(rows > 0 && cols > 0, "quantizing an empty matrix");
+  KAMEL_CHECK(format != WeightFormat::kF32,
+              "QuantMatrix cannot hold fp32 weights");
+  for (int64_t i = 0; i < rows * cols; ++i) {
+    if (!std::isfinite(src[i])) {
+      return Status::InvalidArgument(
+          "non-finite weight at flat index " + std::to_string(i) +
+          "; refusing to quantize a poisoned model");
+    }
+  }
+  QuantMatrix out;
+  out.format_ = format;
+  out.rows_ = rows;
+  out.cols_ = cols;
+  const int64_t row_bytes = out.row_bytes();
+  const int64_t block_bytes = QuantBlockBytes(format);
+  out.data_.resize(static_cast<size_t>(rows * row_bytes));
+  float padded[kQuantBlock];
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* src_row = src + r * cols;
+    uint8_t* dst = out.data_.data() + r * row_bytes;
+    for (int64_t c = 0; c < cols; c += kQuantBlock) {
+      const float* block_src = src_row + c;
+      const int64_t have = std::min(kQuantBlock, cols - c);
+      if (have < kQuantBlock) {
+        // Tail block: pad with zeros so decode always runs a full block.
+        std::memcpy(padded, block_src, static_cast<size_t>(have) *
+                                           sizeof(float));
+        std::memset(padded + have, 0,
+                    static_cast<size_t>(kQuantBlock - have) * sizeof(float));
+        block_src = padded;
+      }
+      if (format == WeightFormat::kQ8_0) {
+        EncodeBlockQ8(block_src, dst);
+      } else {
+        EncodeBlockQ4(block_src, dst);
+      }
+      dst += block_bytes;
+    }
+  }
+  return out;
+}
+
+void QuantMatrix::DequantizeRow(int64_t row, float* dst) const {
+  KAMEL_DCHECK(row >= 0 && row < rows_, "quant row out of range");
+  const uint8_t* src = row_data(row);
+  const int64_t block_bytes = QuantBlockBytes(format_);
+  float block[kQuantBlock];
+  for (int64_t c = 0; c < cols_; c += kQuantBlock) {
+    const int64_t want = std::min(kQuantBlock, cols_ - c);
+    if (want == kQuantBlock) {
+      DequantizeBlock(format_, src, dst + c);
+    } else {
+      DequantizeBlock(format_, src, block);
+      std::memcpy(dst + c, block, static_cast<size_t>(want) * sizeof(float));
+    }
+    src += block_bytes;
+  }
+}
+
+void QuantMatrix::Dequantize(float* dst) const {
+  for (int64_t r = 0; r < rows_; ++r) DequantizeRow(r, dst + r * cols_);
+}
+
+void QuantMatrix::Save(BinaryWriter* writer) const {
+  writer->WriteU8(static_cast<uint8_t>(format_));
+  writer->WriteI64(rows_);
+  writer->WriteI64(cols_);
+  writer->WriteBytes(data_);
+}
+
+Result<QuantMatrix> QuantMatrix::Load(BinaryReader* reader) {
+  KAMEL_ASSIGN_OR_RETURN(uint8_t format_byte, reader->ReadU8());
+  if (format_byte != static_cast<uint8_t>(WeightFormat::kQ8_0) &&
+      format_byte != static_cast<uint8_t>(WeightFormat::kQ4_0)) {
+    return Status::IOError("bad quantized weight format tag " +
+                           std::to_string(format_byte));
+  }
+  QuantMatrix out;
+  out.format_ = static_cast<WeightFormat>(format_byte);
+  KAMEL_ASSIGN_OR_RETURN(out.rows_, reader->ReadI64());
+  KAMEL_ASSIGN_OR_RETURN(out.cols_, reader->ReadI64());
+  if (out.rows_ <= 0 || out.cols_ <= 0) {
+    return Status::IOError("bad quantized weight shape");
+  }
+  KAMEL_ASSIGN_OR_RETURN(out.data_, reader->ReadBytes());
+  const int64_t expected = out.rows_ * out.row_bytes();
+  if (static_cast<int64_t>(out.data_.size()) != expected) {
+    return Status::IOError(
+        "quantized weight payload size mismatch: expected " +
+        std::to_string(expected) + " bytes, found " +
+        std::to_string(out.data_.size()));
+  }
+  return out;
+}
+
+void DequantizeBlock(WeightFormat format, const uint8_t* block, float* dst) {
+  if (format == WeightFormat::kQ8_0) {
+    DecodeBlockQ8(block, dst);
+  } else {
+    DecodeBlockQ4(block, dst);
+  }
+}
+
+}  // namespace kamel::nn

@@ -1,0 +1,94 @@
+#ifndef KAMEL_NN_BACKEND_QUANT_H_
+#define KAMEL_NN_BACKEND_QUANT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace kamel::nn {
+
+/// Storage format of one weight matrix. fp32 is the training format and
+/// the serving default; the quantized formats are ggml-style block codes
+/// used for *serving only* — KamelBuilder quantizes at snapshot-save time
+/// and a quantized model can never be trained further (it is replaced
+/// wholesale on retrain, like every model in the repository).
+enum class WeightFormat : uint8_t {
+  kF32 = 0,
+  /// Blocks of 32 weights, each stored as one fp32 scale + 32 int8
+  /// quants: 36 bytes per block, 28.1% of fp32.
+  kQ8_0 = 1,
+  /// Blocks of 32 weights, each stored as one fp32 scale + 16 bytes of
+  /// packed 4-bit quants: 20 bytes per block, 15.6% of fp32.
+  kQ4_0 = 2,
+};
+
+/// Weights per quantization block (both quantized formats).
+inline constexpr int64_t kQuantBlock = 32;
+
+const char* ToString(WeightFormat format);
+
+/// Parses "none"/"f32"/"fp32" -> kF32, "q8_0" -> kQ8_0, "q4_0" -> kQ4_0.
+Result<WeightFormat> ParseWeightFormat(std::string_view name);
+
+/// Bytes of one encoded block of `format` (must be a quantized format).
+int64_t QuantBlockBytes(WeightFormat format);
+
+/// Encoded bytes of one row of `cols` weights: the row is covered by
+/// ceil(cols / 32) blocks; a short tail block is zero-padded to full size
+/// so every row decodes with the same block loop.
+int64_t QuantRowBytes(WeightFormat format, int64_t cols);
+
+/// A row-major [rows, cols] weight matrix held in a block-quantized
+/// format. Rows are quantized independently (each row is a whole number
+/// of blocks), so a single row — an embedding-table entry, one k-slice of
+/// a GEMM — can be decoded without touching its neighbors.
+class QuantMatrix {
+ public:
+  QuantMatrix() = default;
+
+  /// Quantizes a dense row-major [rows, cols] fp32 matrix. Returns
+  /// InvalidArgument if any weight is NaN or Inf — a model with poisoned
+  /// weights must be rejected at snapshot-save time, not discovered as
+  /// garbage predictions after a demand load.
+  static Result<QuantMatrix> Quantize(WeightFormat format, const float* src,
+                                      int64_t rows, int64_t cols);
+
+  bool empty() const { return rows_ == 0; }
+  WeightFormat format() const { return format_; }
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t row_bytes() const { return QuantRowBytes(format_, cols_); }
+  int64_t byte_size() const { return static_cast<int64_t>(data_.size()); }
+  const uint8_t* row_data(int64_t row) const {
+    return data_.data() + row * row_bytes();
+  }
+
+  /// Decodes one row into `dst` (cols floats).
+  void DequantizeRow(int64_t row, float* dst) const;
+
+  /// Decodes the whole matrix into `dst` (rows * cols floats).
+  void Dequantize(float* dst) const;
+
+  /// Serializes format + shape + encoded bytes.
+  void Save(BinaryWriter* writer) const;
+  static Result<QuantMatrix> Load(BinaryReader* reader);
+
+ private:
+  WeightFormat format_ = WeightFormat::kQ8_0;
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<uint8_t> data_;
+};
+
+/// Decodes one encoded block into 32 floats (`dst` must hold 32). Exposed
+/// for kernels that fuse decoding into a GEMM inner loop.
+void DequantizeBlock(WeightFormat format, const uint8_t* block, float* dst);
+
+}  // namespace kamel::nn
+
+#endif  // KAMEL_NN_BACKEND_QUANT_H_

@@ -1,0 +1,170 @@
+// The reference backend: the nn library's original kernels, verbatim.
+// Every other backend is conformance-tested against this one, and the
+// serving default stays here so historical snapshots keep producing
+// byte-identical imputations.
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "nn/backend/backend.h"
+#include "nn/backend/kernel_util.h"
+#include "nn/ops.h"
+
+namespace kamel::nn {
+
+namespace {
+
+// C[m,n] (+)= alpha * A[m,k] * B[k,n], all row-major, no transposes.
+// Four C rows are produced together so each B row is loaded once per four
+// rows of output (register blocking); the contiguous j loops vectorize to
+// FMA under -O3 -march=native.
+void GemmNN(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+            int64_t lda, const float* b, int64_t ldb, float beta, float* c,
+            int64_t ldc) {
+  int64_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    float* __restrict c0 = c + i * ldc;
+    float* __restrict c1 = c0 + ldc;
+    float* __restrict c2 = c1 + ldc;
+    float* __restrict c3 = c2 + ldc;
+    internal::ScaleRow(c0, n, beta);
+    internal::ScaleRow(c1, n, beta);
+    internal::ScaleRow(c2, n, beta);
+    internal::ScaleRow(c3, n, beta);
+    const float* a0 = a + i * lda;
+    const float* a1 = a0 + lda;
+    const float* a2 = a1 + lda;
+    const float* a3 = a2 + lda;
+    for (int64_t p = 0; p < k; ++p) {
+      const float v0 = alpha * a0[p];
+      const float v1 = alpha * a1[p];
+      const float v2 = alpha * a2[p];
+      const float v3 = alpha * a3[p];
+      const float* __restrict b_row = b + p * ldb;
+      for (int64_t j = 0; j < n; ++j) {
+        const float bv = b_row[j];
+        c0[j] += v0 * bv;
+        c1[j] += v1 * bv;
+        c2[j] += v2 * bv;
+        c3[j] += v3 * bv;
+      }
+    }
+  }
+  for (; i < m; ++i) {
+    float* __restrict c_row = c + i * ldc;
+    internal::ScaleRow(c_row, n, beta);
+    const float* a_row = a + i * lda;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = alpha * a_row[p];
+      const float* __restrict b_row = b + p * ldb;
+      for (int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+    }
+  }
+}
+
+}  // namespace
+
+void ScalarBackend::Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n,
+                         int64_t k, float alpha, const float* a, int64_t lda,
+                         const float* b, int64_t ldb, float beta, float* c,
+                         int64_t ldc) const {
+  KAMEL_DCHECK(m >= 0 && n >= 0 && k >= 0);
+  if (m == 0 || n == 0) return;
+  // Transposed operands are packed into temporaries so the hot kernel
+  // stays a single well-vectorized NN loop. The packs are O(m*k)/O(k*n)
+  // and small compared to the O(m*k*n) multiply.
+  if (!trans_a && !trans_b) {
+    GemmNN(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+    return;
+  }
+  std::vector<float> a_packed;
+  std::vector<float> b_packed;
+  const float* a_eff = a;
+  int64_t lda_eff = lda;
+  if (trans_a) {
+    a_packed = internal::PackTransposed(a, m, k, lda);
+    a_eff = a_packed.data();
+    lda_eff = k;
+  }
+  const float* b_eff = b;
+  int64_t ldb_eff = ldb;
+  if (trans_b) {
+    b_packed = internal::PackTransposed(b, k, n, ldb);
+    b_eff = b_packed.data();
+    ldb_eff = n;
+  }
+  GemmNN(m, n, k, alpha, a_eff, lda_eff, b_eff, ldb_eff, beta, c, ldc);
+}
+
+void ScalarBackend::Axpy(int64_t n, float alpha, const float* x,
+                         float* y) const {
+  for (int64_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void ScalarBackend::Gelu(const float* x, float* y, int64_t n) const {
+  GeluForward(x, y, n);
+}
+
+void ScalarBackend::SoftmaxRows(int64_t rows, int64_t n, const float* x,
+                                float* y) const {
+  for (int64_t r = 0; r < rows; ++r) {
+    SoftmaxRow(x + r * n, y + r * n, n);
+  }
+}
+
+void ScalarBackend::LayerNormRows(int64_t rows, int64_t dim, const float* x,
+                                  const float* gamma, const float* beta,
+                                  float eps, float* y) const {
+  // Double-precision mean/variance accumulators, exactly as the training
+  // forward computes them — LayerNorm::Apply must stay byte-identical to
+  // LayerNorm::Forward.
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = x + r * dim;
+    float* yr = y + r * dim;
+    double mean = 0.0;
+    for (int64_t c = 0; c < dim; ++c) mean += xr[c];
+    mean /= static_cast<double>(dim);
+    double var = 0.0;
+    for (int64_t c = 0; c < dim; ++c) {
+      const double diff = xr[c] - mean;
+      var += diff * diff;
+    }
+    var /= static_cast<double>(dim);
+    const float inv_std = static_cast<float>(1.0 / std::sqrt(var + eps));
+    const float meanf = static_cast<float>(mean);
+    for (int64_t c = 0; c < dim; ++c) {
+      yr[c] = (xr[c] - meanf) * inv_std * gamma[c] + beta[c];
+    }
+  }
+}
+
+void ScalarBackend::LinearForward(int64_t rows, int64_t in, int64_t out,
+                                  const float* x, const WeightView& w,
+                                  const float* bias, Activation act,
+                                  float* y) const {
+  std::vector<float> dequant;
+  const float* weight = w.dense;
+  if (w.quantized()) {
+    // Reference semantics for quantized weights: decode the whole matrix,
+    // then run the unmodified fp32 kernel. The only error versus fp32 is
+    // the weight rounding itself — which is what the conformance
+    // tolerances quantify.
+    KAMEL_DCHECK(w.quant->rows() == in && w.quant->cols() == out,
+                 "quantized weight shape mismatch");
+    dequant.resize(static_cast<size_t>(in * out));
+    w.quant->Dequantize(dequant.data());
+    weight = dequant.data();
+  }
+  Gemm(false, false, rows, out, in, 1.0f, x, in, weight, out, 0.0f, y, out);
+  if (bias != nullptr) {
+    for (int64_t r = 0; r < rows; ++r) Axpy(out, 1.0f, bias, y + r * out);
+  }
+  if (act == Activation::kGelu) Gelu(y, y, rows * out);
+}
+
+const ScalarBackend& ScalarBackend::Instance() {
+  static const ScalarBackend instance;
+  return instance;
+}
+
+}  // namespace kamel::nn

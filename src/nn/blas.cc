@@ -1,117 +1,23 @@
 #include "nn/blas.h"
 
-#include <vector>
-
-#include "common/check.h"
+#include "nn/backend/backend.h"
 
 namespace kamel::nn {
 
-namespace {
-
-// C[m,n] (+)= alpha * A[m,k] * B[k,n], all row-major, no transposes.
-// Four C rows are produced together so each B row is loaded once per four
-// rows of output (register blocking); the contiguous j loops vectorize to
-// FMA under -O3 -march=native.
-void GemmNN(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
-            int64_t lda, const float* b, int64_t ldb, float beta, float* c,
-            int64_t ldc) {
-  auto scale_row = [&](float* row) {
-    if (beta == 0.0f) {
-      for (int64_t j = 0; j < n; ++j) row[j] = 0.0f;
-    } else if (beta != 1.0f) {
-      for (int64_t j = 0; j < n; ++j) row[j] *= beta;
-    }
-  };
-
-  int64_t i = 0;
-  for (; i + 4 <= m; i += 4) {
-    float* __restrict c0 = c + i * ldc;
-    float* __restrict c1 = c0 + ldc;
-    float* __restrict c2 = c1 + ldc;
-    float* __restrict c3 = c2 + ldc;
-    scale_row(c0);
-    scale_row(c1);
-    scale_row(c2);
-    scale_row(c3);
-    const float* a0 = a + i * lda;
-    const float* a1 = a0 + lda;
-    const float* a2 = a1 + lda;
-    const float* a3 = a2 + lda;
-    for (int64_t p = 0; p < k; ++p) {
-      const float v0 = alpha * a0[p];
-      const float v1 = alpha * a1[p];
-      const float v2 = alpha * a2[p];
-      const float v3 = alpha * a3[p];
-      const float* __restrict b_row = b + p * ldb;
-      for (int64_t j = 0; j < n; ++j) {
-        const float bv = b_row[j];
-        c0[j] += v0 * bv;
-        c1[j] += v1 * bv;
-        c2[j] += v2 * bv;
-        c3[j] += v3 * bv;
-      }
-    }
-  }
-  for (; i < m; ++i) {
-    float* __restrict c_row = c + i * ldc;
-    scale_row(c_row);
-    const float* a_row = a + i * lda;
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = alpha * a_row[p];
-      const float* __restrict b_row = b + p * ldb;
-      for (int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
-    }
-  }
-}
-
-// Materializes op(X) as a packed row-major matrix of shape rows x cols.
-std::vector<float> PackTransposed(const float* x, int64_t rows, int64_t cols,
-                                  int64_t ldx) {
-  // Output (r, c) = X(c, r); rows/cols describe the *output* shape.
-  std::vector<float> out(static_cast<size_t>(rows * cols));
-  for (int64_t r = 0; r < rows; ++r) {
-    for (int64_t c = 0; c < cols; ++c) {
-      out[static_cast<size_t>(r * cols + c)] = x[c * ldx + r];
-    }
-  }
-  return out;
-}
-
-}  // namespace
-
+// The kernels behind these live in the backend subsystem now
+// (backend/scalar_backend.cc holds the reference implementations); the
+// free functions forward to the scalar backend so training and legacy
+// call sites keep their exact historical numerics regardless of which
+// backend serving selects.
 void Sgemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
            float alpha, const float* a, int64_t lda, const float* b,
            int64_t ldb, float beta, float* c, int64_t ldc) {
-  KAMEL_DCHECK(m >= 0 && n >= 0 && k >= 0);
-  if (m == 0 || n == 0) return;
-  // Transposed operands are packed into temporaries so the hot kernel stays
-  // a single well-vectorized NN loop. The packs are O(m*k)/O(k*n) and small
-  // compared to the O(m*k*n) multiply.
-  if (!trans_a && !trans_b) {
-    GemmNN(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
-    return;
-  }
-  std::vector<float> a_packed;
-  std::vector<float> b_packed;
-  const float* a_eff = a;
-  int64_t lda_eff = lda;
-  if (trans_a) {
-    a_packed = PackTransposed(a, m, k, lda);
-    a_eff = a_packed.data();
-    lda_eff = k;
-  }
-  const float* b_eff = b;
-  int64_t ldb_eff = ldb;
-  if (trans_b) {
-    b_packed = PackTransposed(b, k, n, ldb);
-    b_eff = b_packed.data();
-    ldb_eff = n;
-  }
-  GemmNN(m, n, k, alpha, a_eff, lda_eff, b_eff, ldb_eff, beta, c, ldc);
+  ScalarBackend::Instance().Gemm(trans_a, trans_b, m, n, k, alpha, a, lda, b,
+                                 ldb, beta, c, ldc);
 }
 
 void Saxpy(int64_t n, float alpha, const float* x, float* y) {
-  for (int64_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+  ScalarBackend::Instance().Axpy(n, alpha, x, y);
 }
 
 }  // namespace kamel::nn

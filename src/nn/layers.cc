@@ -17,26 +17,30 @@ Linear::Linear(std::string name, int64_t in_features, int64_t out_features,
       bias_(name + ".bias", Tensor::Zeros({out_features})) {}
 
 Tensor Linear::Forward(const Tensor& x) {
+  KAMEL_CHECK(!weight_.quantized(),
+              "cannot train a layer with quantized (serving-only) weights");
   Tensor y = Apply(x);
   x_cache_ = x;
   return y;
 }
 
-Tensor Linear::Apply(const Tensor& x) const {
+Tensor Linear::Apply(const Tensor& x, Activation act) const {
   KAMEL_CHECK(x.rank() == 2 && x.dim(1) == in_features(),
               "Linear input shape mismatch: " + x.ShapeString());
   const int64_t n = x.dim(0);
   const int64_t out = out_features();
   Tensor y({n, out});
-  Sgemm(false, false, n, out, in_features(), 1.0f, x.data(), in_features(),
-        weight_.value.data(), out, 0.0f, y.data(), out);
-  for (int64_t r = 0; r < n; ++r) {
-    Saxpy(out, 1.0f, bias_.value.data(), y.data() + r * out);
-  }
+  const WeightView w = weight_.quantized()
+                           ? WeightView::Quant(&weight_.quant)
+                           : WeightView::Dense(weight_.value.data());
+  ActiveBackend()->LinearForward(n, in_features(), out, x.data(), w,
+                                 bias_.value.data(), act, y.data());
   return y;
 }
 
 Tensor Linear::Backward(const Tensor& grad_out) {
+  KAMEL_CHECK(!weight_.quantized(),
+              "cannot train a layer with quantized (serving-only) weights");
   const int64_t n = x_cache_.dim(0);
   const int64_t in = in_features();
   const int64_t out = out_features();
@@ -117,7 +121,15 @@ Tensor LayerNorm::Forward(const Tensor& x) {
 }
 
 Tensor LayerNorm::Apply(const Tensor& x) const {
-  return LayerNormForward(x, gamma_, beta_, eps_, nullptr, nullptr);
+  const int64_t d = gamma_.value.dim(0);
+  KAMEL_CHECK(x.rank() == 2 && x.dim(1) == d, "LayerNorm shape mismatch");
+  Tensor y({x.dim(0), d});
+  // The scalar backend's LayerNormRows carries the same double-precision
+  // mean/variance math as LayerNormForward, so the default serving path
+  // stays byte-identical to training's forward.
+  ActiveBackend()->LayerNormRows(x.dim(0), d, x.data(), gamma_.value.data(),
+                                 beta_.value.data(), eps_, y.data());
+  return y;
 }
 
 Tensor LayerNorm::Backward(const Tensor& grad_out) {
@@ -189,6 +201,8 @@ Embedding::Embedding(std::string name, int64_t vocab, int64_t dim, Rng* rng)
     : table_(name + ".table", Tensor::Randn({vocab, dim}, rng, 0.02)) {}
 
 Tensor Embedding::Forward(const std::vector<int32_t>& ids) {
+  KAMEL_CHECK(!table_.quantized(),
+              "cannot train an embedding with quantized weights");
   Tensor y = Lookup(ids);
   ids_cache_ = ids;
   return y;
@@ -200,9 +214,16 @@ Tensor Embedding::Lookup(const std::vector<int32_t>& ids) const {
   for (size_t i = 0; i < ids.size(); ++i) {
     KAMEL_DCHECK(ids[i] >= 0 && ids[i] < vocab_size(),
                  "embedding id out of range");
-    std::memcpy(y.data() + static_cast<int64_t>(i) * d,
-                table_.value.data() + static_cast<int64_t>(ids[i]) * d,
-                static_cast<size_t>(d) * sizeof(float));
+    if (table_.quantized()) {
+      // Rows are quantized independently, so one lookup decodes exactly
+      // one row's blocks — no neighbor rows are touched.
+      table_.quant.DequantizeRow(ids[i],
+                                 y.data() + static_cast<int64_t>(i) * d);
+    } else {
+      std::memcpy(y.data() + static_cast<int64_t>(i) * d,
+                  table_.value.data() + static_cast<int64_t>(ids[i]) * d,
+                  static_cast<size_t>(d) * sizeof(float));
+    }
   }
   return y;
 }

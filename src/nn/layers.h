@@ -6,19 +6,36 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "nn/backend/backend.h"
+#include "nn/backend/quant.h"
 #include "nn/tensor.h"
 
 namespace kamel::nn {
 
 /// A trainable tensor with its gradient accumulator.
+///
+/// A param loaded from a quantized (serving-only) snapshot holds its
+/// weights in `quant` instead; `value` and `grad` are then empty, so the
+/// training entry points (Forward/Backward) refuse to touch it — a
+/// quantized model can only serve.
 struct Param {
   std::string name;
   Tensor value;
   Tensor grad;
+  QuantMatrix quant;
 
   Param() = default;
   Param(std::string n, Tensor v)
       : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+
+  bool quantized() const { return !quant.empty(); }
+
+  /// Replaces the fp32 storage with quantized storage (serving only).
+  void SetQuantized(QuantMatrix q) {
+    quant = std::move(q);
+    value = Tensor();
+    grad = Tensor();
+  }
 };
 
 /// Affine map y = x W + b on rank-2 inputs [N, in] -> [N, out].
@@ -32,13 +49,15 @@ class Linear {
   Linear(std::string name, int64_t in_features, int64_t out_features,
          Rng* rng);
 
-  /// x: [N, in] -> [N, out].
+  /// x: [N, in] -> [N, out]. Training-only: refuses quantized weights.
   Tensor Forward(const Tensor& x);
 
   /// Inference-only forward: same math as Forward but writes no caches, so
   /// it is safe to call concurrently from many threads on a shared, frozen
   /// layer. Every layer in this file pairs its Forward with such an Apply.
-  Tensor Apply(const Tensor& x) const;
+  /// Runs on the process-wide active backend; `act` fuses an activation
+  /// into the output write (the backend may do it in-register).
+  Tensor Apply(const Tensor& x, Activation act = Activation::kNone) const;
 
   /// grad_out: [N, out] -> gradient w.r.t. x [N, in]; accumulates into
   /// the weight and bias gradients.
@@ -46,8 +65,12 @@ class Linear {
 
   void CollectParams(std::vector<Param*>* out);
 
-  int64_t in_features() const { return weight_.value.dim(0); }
-  int64_t out_features() const { return weight_.value.dim(1); }
+  int64_t in_features() const {
+    return weight_.quantized() ? weight_.quant.rows() : weight_.value.dim(0);
+  }
+  int64_t out_features() const {
+    return weight_.quantized() ? weight_.quant.cols() : weight_.value.dim(1);
+  }
 
  private:
   Param weight_;  // [in, out]
@@ -108,8 +131,12 @@ class Embedding {
 
   void CollectParams(std::vector<Param*>* out);
 
-  int64_t vocab_size() const { return table_.value.dim(0); }
-  int64_t dim() const { return table_.value.dim(1); }
+  int64_t vocab_size() const {
+    return table_.quantized() ? table_.quant.rows() : table_.value.dim(0);
+  }
+  int64_t dim() const {
+    return table_.quantized() ? table_.quant.cols() : table_.value.dim(1);
+  }
 
  private:
   Param table_;  // [vocab, D]

@@ -10,11 +10,7 @@ constexpr float kGeluA = 0.044715f;
 }  // namespace
 
 void GeluForward(const float* x, float* y, int64_t n) {
-  for (int64_t i = 0; i < n; ++i) {
-    const float v = x[i];
-    const float u = kGeluC * (v + kGeluA * v * v * v);
-    y[i] = 0.5f * v * (1.0f + std::tanh(u));
-  }
+  for (int64_t i = 0; i < n; ++i) y[i] = GeluOne(x[i]);
 }
 
 void GeluBackward(const float* x, const float* dy, float* dx, int64_t n) {

@@ -1,12 +1,22 @@
 #ifndef KAMEL_NN_OPS_H_
 #define KAMEL_NN_OPS_H_
 
+#include <cmath>
 #include <cstdint>
 
 namespace kamel::nn {
 
-/// GELU activation (tanh approximation, as in the original BERT release),
-/// applied elementwise: y[i] = gelu(x[i]).
+/// GELU of one value (tanh approximation, as in the original BERT
+/// release). The single definition behind GeluForward and every fused
+/// backend epilogue, so "gelu" means the same bits everywhere.
+inline float GeluOne(float v) {
+  constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+  constexpr float kGeluA = 0.044715f;
+  const float u = kGeluC * (v + kGeluA * v * v * v);
+  return 0.5f * v * (1.0f + std::tanh(u));
+}
+
+/// GELU activation applied elementwise: y[i] = gelu(x[i]).
 void GeluForward(const float* x, float* y, int64_t n);
 
 /// Elementwise GELU gradient: dx[i] = dy[i] * gelu'(x[i]).

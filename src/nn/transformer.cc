@@ -61,10 +61,10 @@ Tensor EncoderBlock::Apply(const Tensor& x,
   Tensor x1(x.shape());
   for (int64_t i = 0; i < x.size(); ++i) x1[i] = x[i] + attn_out[i];
 
-  // x2 = x1 + fc2(gelu(fc1(LN2(x1))))
-  Tensor gelu_in = fc1_.Apply(ln2_.Apply(x1));
-  Tensor gelu_out(gelu_in.shape());
-  GeluForward(gelu_in.data(), gelu_out.data(), gelu_out.size());
+  // x2 = x1 + fc2(gelu(fc1(LN2(x1)))), with the GELU fused into fc1's
+  // output write (byte-identical on the scalar backend: gemm, bias, gelu
+  // in the same order as the unfused training path).
+  Tensor gelu_out = fc1_.Apply(ln2_.Apply(x1), Activation::kGelu);
   Tensor ffn_out = fc2_.Apply(gelu_out);
   Tensor x2(x1.shape());
   for (int64_t i = 0; i < x1.size(); ++i) x2[i] = x1[i] + ffn_out[i];
@@ -268,8 +268,48 @@ void BertModel::ZeroGrads() {
   for (Param* p : Params()) p->grad.SetZero();
 }
 
-void BertModel::Save(BinaryWriter* writer) const {
-  writer->WriteString("kamel-bert-v1");
+namespace {
+
+// Which params a quantized save block-encodes: the big rank-2 weight
+// matrices. Rank-1 params (biases, LayerNorm gamma/beta) are a rounding
+// error in bytes, and the position table stays fp32 because the
+// inference path adds its rows directly with Saxpy.
+bool ShouldQuantize(const Param& p) {
+  return p.value.rank() == 2 && p.name != "embed.position";
+}
+
+}  // namespace
+
+WeightFormat BertModel::weight_format() const {
+  for (const Param* p : Params()) {
+    if (p->quantized()) return p->quant.format();
+  }
+  return WeightFormat::kF32;
+}
+
+int64_t BertModel::WeightBytes() const {
+  int64_t bytes = 0;
+  for (const Param* p : Params()) {
+    bytes += p->quantized()
+                 ? p->quant.byte_size()
+                 : p->value.size() * static_cast<int64_t>(sizeof(float));
+  }
+  return bytes;
+}
+
+Status BertModel::Save(BinaryWriter* writer, WeightFormat format) const {
+  const std::vector<const Param*> params = Params();
+  bool any_quant = false;
+  for (const Param* p : params) {
+    if (p->quantized() ||
+        (format != WeightFormat::kF32 && ShouldQuantize(*p))) {
+      any_quant = true;
+      break;
+    }
+  }
+  // All-fp32 saves keep the exact v1 byte layout, so snapshots from builds
+  // that never quantize stay byte-identical to historical files.
+  writer->WriteString(any_quant ? "kamel-bert-v2" : "kamel-bert-v1");
   writer->WriteI64(config_.vocab_size);
   writer->WriteI64(config_.d_model);
   writer->WriteI64(config_.num_heads);
@@ -277,16 +317,38 @@ void BertModel::Save(BinaryWriter* writer) const {
   writer->WriteI64(config_.ffn_dim);
   writer->WriteI64(config_.max_seq_len);
   writer->WriteF64(config_.dropout);
-  for (const Param* p : Params()) {
+  for (const Param* p : params) {
     writer->WriteString(p->name);
-    writer->WriteF32Array(p->value.data(), static_cast<size_t>(
-                                               p->value.size()));
+    if (p->quantized()) {
+      writer->WriteU8(1);
+      p->quant.Save(writer);
+      continue;
+    }
+    if (any_quant && format != WeightFormat::kF32 && ShouldQuantize(*p)) {
+      KAMEL_ASSIGN_OR_RETURN(
+          QuantMatrix q,
+          QuantMatrix::Quantize(format, p->value.data(), p->value.dim(0),
+                                p->value.dim(1)));
+      writer->WriteU8(1);
+      q.Save(writer);
+      continue;
+    }
+    if (any_quant) writer->WriteU8(0);  // v2 tags every param's storage
+    writer->WriteF32Array(p->value.data(),
+                          static_cast<size_t>(p->value.size()));
   }
+  return Status::OK();
+}
+
+void BertModel::Save(BinaryWriter* writer) const {
+  const Status status = Save(writer, WeightFormat::kF32);
+  KAMEL_CHECK(status.ok(), status.ToString());
 }
 
 Result<std::unique_ptr<BertModel>> BertModel::Load(BinaryReader* reader) {
   KAMEL_ASSIGN_OR_RETURN(std::string magic, reader->ReadString());
-  if (magic != "kamel-bert-v1") {
+  const bool v2 = magic == "kamel-bert-v2";
+  if (magic != "kamel-bert-v1" && !v2) {
     return Status::IOError("bad model magic: " + magic);
   }
   BertConfig config;
@@ -304,8 +366,23 @@ Result<std::unique_ptr<BertModel>> BertModel::Load(BinaryReader* reader) {
       return Status::IOError("parameter order mismatch: expected " +
                              p->name + ", found " + name);
     }
-    KAMEL_RETURN_NOT_OK(reader->ReadF32Array(
-        p->value.data(), static_cast<size_t>(p->value.size())));
+    uint8_t storage = 0;
+    if (v2) {
+      KAMEL_ASSIGN_OR_RETURN(storage, reader->ReadU8());
+    }
+    if (storage == 0) {
+      KAMEL_RETURN_NOT_OK(reader->ReadF32Array(
+          p->value.data(), static_cast<size_t>(p->value.size())));
+      continue;
+    }
+    if (storage != 1) {
+      return Status::IOError("bad weight storage tag for " + p->name);
+    }
+    KAMEL_ASSIGN_OR_RETURN(QuantMatrix q, QuantMatrix::Load(reader));
+    if (q.rows() != p->value.dim(0) || q.cols() != p->value.dim(1)) {
+      return Status::IOError("quantized shape mismatch for " + p->name);
+    }
+    p->SetQuantized(std::move(q));
   }
   return model;
 }

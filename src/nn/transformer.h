@@ -125,10 +125,28 @@ class BertModel {
 
   const BertConfig& config() const { return config_; }
 
-  /// Serializes config + weights.
+  /// Serving weight format: kF32 for a trainable fp32 model, the block
+  /// format if this model was loaded from a quantized snapshot.
+  WeightFormat weight_format() const;
+
+  /// Resident bytes of all weights in their current storage (quantized
+  /// matrices count their encoded size, fp32 tensors 4 bytes/element).
+  int64_t WeightBytes() const;
+
+  /// Serializes config + weights. `format` picks the *serving* storage:
+  /// kF32 writes the historical "kamel-bert-v1" layout byte-for-byte; a
+  /// quantized format writes "kamel-bert-v2" where every rank-2 weight
+  /// matrix except the position table is stored as ggml-style blocks
+  /// (rank-1 biases/LayerNorm params are tiny and stay fp32). Params that
+  /// are already quantized are written as-is under either format. Returns
+  /// InvalidArgument if quantization meets a non-finite weight.
+  Status Save(BinaryWriter* writer, WeightFormat format) const;
+
+  /// fp32 save — cannot fail; kept for the training and test paths.
   void Save(BinaryWriter* writer) const;
 
-  /// Restores a model saved with Save().
+  /// Restores a model saved with Save(); v2 files may hand back a
+  /// serving-only model (quantized params refuse Forward/Backward).
   static Result<std::unique_ptr<BertModel>> Load(BinaryReader* reader);
 
  private:

@@ -1,0 +1,245 @@
+// Per-op conformance harness for the pluggable NN compute backends (the
+// ggml test-backend-ops idea): every op of every registered backend, at
+// deliberately awkward shapes, is gated against the scalar fp32
+// reference by normalized mean squared error. f32 backends may differ
+// only by FMA/reassociation rounding (NMSE <= 1e-10); the quantized
+// weight formats carry their codec error budgets (q8_0 <= 1e-3,
+// q4_0 <= 2e-2).
+#include <cmath>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/backend/backend.h"
+#include "nn/backend/quant.h"
+#include "nn/tensor.h"
+
+namespace kamel::nn {
+namespace {
+
+// NMSE tolerances per comparison class.
+constexpr double kF32Tol = 1e-10;
+constexpr double kQ8Tol = 1e-3;
+constexpr double kQ4Tol = 2e-2;
+
+double Nmse(const float* ref, const float* got, int64_t n) {
+  double err = 0.0, norm = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(ref[i]) - got[i];
+    err += d * d;
+    norm += static_cast<double>(ref[i]) * ref[i];
+  }
+  return err / (norm + 1e-30);
+}
+
+// Odd sizes on purpose: m and k avoid the 4-row register tile, n = 33
+// forces one full 32-column panel plus a 1-column tail.
+constexpr int64_t kM = 5, kN = 33, kK = 17;
+
+class BackendConformanceTest : public ::testing::TestWithParam<const Backend*> {
+ protected:
+  const Backend& backend() const { return *GetParam(); }
+  const Backend& reference() const { return ScalarBackend::Instance(); }
+};
+
+std::string BackendName(const ::testing::TestParamInfo<const Backend*>& info) {
+  return info.param->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BackendConformanceTest,
+                         ::testing::ValuesIn(AllBackends()), BackendName);
+
+TEST_P(BackendConformanceTest, GemmAllTransposesAndBetas) {
+  Rng rng(11);
+  for (const bool trans_a : {false, true}) {
+    for (const bool trans_b : {false, true}) {
+      // Stored shapes honoring the transpose flags.
+      const int64_t a_rows = trans_a ? kK : kM, a_cols = trans_a ? kM : kK;
+      const int64_t b_rows = trans_b ? kN : kK, b_cols = trans_b ? kK : kN;
+      const Tensor a = Tensor::Randn({a_rows, a_cols}, &rng);
+      const Tensor b = Tensor::Randn({b_rows, b_cols}, &rng);
+      const Tensor c0 = Tensor::Randn({kM, kN}, &rng);
+      for (const float beta : {0.0f, 1.0f, 0.7f}) {
+        const float alpha = 1.3f;
+        Tensor want = c0, got = c0;
+        reference().Gemm(trans_a, trans_b, kM, kN, kK, alpha, a.data(),
+                         a_cols, b.data(), b_cols, beta, want.data(), kN);
+        backend().Gemm(trans_a, trans_b, kM, kN, kK, alpha, a.data(), a_cols,
+                       b.data(), b_cols, beta, got.data(), kN);
+        EXPECT_LE(Nmse(want.data(), got.data(), kM * kN), kF32Tol)
+            << "trans_a=" << trans_a << " trans_b=" << trans_b
+            << " beta=" << beta << " backend=" << backend().name();
+      }
+    }
+  }
+}
+
+TEST_P(BackendConformanceTest, Axpy) {
+  Rng rng(12);
+  const Tensor x = Tensor::Randn({101}, &rng);
+  Tensor want = Tensor::Randn({101}, &rng);
+  Tensor got = want;
+  reference().Axpy(101, 0.37f, x.data(), want.data());
+  backend().Axpy(101, 0.37f, x.data(), got.data());
+  EXPECT_LE(Nmse(want.data(), got.data(), 101), kF32Tol);
+}
+
+TEST_P(BackendConformanceTest, Gelu) {
+  Rng rng(13);
+  const Tensor x = Tensor::Randn({257}, &rng);
+  Tensor want({257}), got({257});
+  reference().Gelu(x.data(), want.data(), 257);
+  backend().Gelu(x.data(), got.data(), 257);
+  EXPECT_LE(Nmse(want.data(), got.data(), 257), kF32Tol);
+}
+
+TEST_P(BackendConformanceTest, SoftmaxRows) {
+  Rng rng(14);
+  const Tensor x = Tensor::Randn({7, 19}, &rng);
+  Tensor want({7, 19}), got({7, 19});
+  reference().SoftmaxRows(7, 19, x.data(), want.data());
+  backend().SoftmaxRows(7, 19, x.data(), got.data());
+  EXPECT_LE(Nmse(want.data(), got.data(), 7 * 19), kF32Tol);
+}
+
+TEST_P(BackendConformanceTest, LayerNormRows) {
+  Rng rng(15);
+  const Tensor x = Tensor::Randn({9, 48}, &rng);
+  const Tensor gamma = Tensor::Randn({48}, &rng);
+  const Tensor beta = Tensor::Randn({48}, &rng);
+  Tensor want({9, 48}), got({9, 48});
+  reference().LayerNormRows(9, 48, x.data(), gamma.data(), beta.data(),
+                            1e-5f, want.data());
+  backend().LayerNormRows(9, 48, x.data(), gamma.data(), beta.data(), 1e-5f,
+                          got.data());
+  EXPECT_LE(Nmse(want.data(), got.data(), 9 * 48), kF32Tol);
+}
+
+// LinearForward across every weight format, with and without bias/GELU.
+// The reference is always the scalar backend on the dense fp32 weight;
+// quantized runs are budgeted by their codec's tolerance.
+TEST_P(BackendConformanceTest, LinearForwardAllFormats) {
+  Rng rng(16);
+  const int64_t rows = kM, in = kK, out = kN;
+  const Tensor x = Tensor::Randn({rows, in}, &rng);
+  const Tensor w = Tensor::Randn({in, out}, &rng);
+  const Tensor bias = Tensor::Randn({out}, &rng);
+
+  const struct {
+    WeightFormat format;
+    double tol;
+  } kCases[] = {{WeightFormat::kF32, kF32Tol},
+                {WeightFormat::kQ8_0, kQ8Tol},
+                {WeightFormat::kQ4_0, kQ4Tol}};
+  for (const auto& c : kCases) {
+    QuantMatrix quant;
+    WeightView view = WeightView::Dense(w.data());
+    if (c.format != WeightFormat::kF32) {
+      auto q = QuantMatrix::Quantize(c.format, w.data(), in, out);
+      ASSERT_TRUE(q.ok()) << q.status().ToString();
+      quant = std::move(*q);
+      view = WeightView::Quant(&quant);
+    }
+    for (const bool with_bias : {false, true}) {
+      for (const Activation act : {Activation::kNone, Activation::kGelu}) {
+        Tensor want({rows, out}), got({rows, out});
+        reference().LinearForward(rows, in, out, x.data(),
+                                  WeightView::Dense(w.data()),
+                                  with_bias ? bias.data() : nullptr, act,
+                                  want.data());
+        backend().LinearForward(rows, in, out, x.data(), view,
+                                with_bias ? bias.data() : nullptr, act,
+                                got.data());
+        EXPECT_LE(Nmse(want.data(), got.data(), rows * out), c.tol)
+            << "format=" << ToString(c.format) << " bias=" << with_bias
+            << " gelu=" << (act == Activation::kGelu)
+            << " backend=" << backend().name();
+      }
+    }
+  }
+}
+
+TEST_P(BackendConformanceTest, AttentionContextWithPadding) {
+  Rng rng(17);
+  const int64_t batch = 2, seq = 7, d_model = 48, heads = 4;
+  const Tensor qkv = Tensor::Randn({batch * seq, 3 * d_model}, &rng);
+  std::vector<float> key_mask(static_cast<size_t>(batch * seq), 1.0f);
+  // Pad the tail of the second sequence.
+  key_mask[static_cast<size_t>(batch * seq) - 1] = 0.0f;
+  key_mask[static_cast<size_t>(batch * seq) - 2] = 0.0f;
+
+  Tensor want({batch * seq, d_model}), got({batch * seq, d_model});
+  reference().AttentionContext(qkv.data(), key_mask.data(), batch, seq,
+                               d_model, heads, nullptr, want.data());
+  backend().AttentionContext(qkv.data(), key_mask.data(), batch, seq,
+                             d_model, heads, nullptr, got.data());
+  EXPECT_LE(Nmse(want.data(), got.data(), batch * seq * d_model), kF32Tol);
+}
+
+// Backends are stateless: a repeated call must be byte-identical, and
+// concurrent callers sharing one backend + one quantized weight must each
+// get exactly the single-threaded answer (the serving determinism
+// contract; the TSan leg runs this via the concurrency label).
+TEST_P(BackendConformanceTest, DeterministicAndConcurrentlyReusable) {
+  Rng rng(18);
+  const int64_t rows = 24, in = 48, out = 48;
+  const Tensor x = Tensor::Randn({rows, in}, &rng);
+  const Tensor w = Tensor::Randn({in, out}, &rng);
+  auto q = QuantMatrix::Quantize(WeightFormat::kQ8_0, w.data(), in, out);
+  ASSERT_TRUE(q.ok());
+  const QuantMatrix quant = std::move(*q);
+  const WeightView view = WeightView::Quant(&quant);
+
+  Tensor expected({rows, out});
+  backend().LinearForward(rows, in, out, x.data(), view, nullptr,
+                          Activation::kGelu, expected.data());
+  Tensor again({rows, out});
+  backend().LinearForward(rows, in, out, x.data(), view, nullptr,
+                          Activation::kGelu, again.data());
+  ASSERT_EQ(0, std::memcmp(expected.data(), again.data(),
+                           static_cast<size_t>(rows * out) * sizeof(float)));
+
+  constexpr int kThreads = 4;
+  std::vector<Tensor> outs;
+  for (int t = 0; t < kThreads; ++t) outs.emplace_back(Tensor({rows, out}));
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      for (int iter = 0; iter < 8; ++iter) {
+        backend().LinearForward(rows, in, out, x.data(), view, nullptr,
+                                Activation::kGelu, outs[t].data());
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(0,
+              std::memcmp(expected.data(), outs[t].data(),
+                          static_cast<size_t>(rows * out) * sizeof(float)))
+        << "thread " << t;
+  }
+}
+
+// Registry sanity: scalar is first (the reference), lookups work, and
+// the active-backend override round-trips.
+TEST(BackendRegistryTest, LookupAndActivation) {
+  const std::vector<const Backend*> all = AllBackends();
+  ASSERT_GE(all.size(), 2u);
+  EXPECT_STREQ("scalar", all[0]->name());
+  EXPECT_EQ(&ScalarBackend::Instance(), FindBackend("scalar"));
+  EXPECT_EQ(&OptimizedBackend::Instance(), FindBackend("optimized"));
+  EXPECT_EQ(nullptr, FindBackend("tpu"));
+
+  const Backend* before = ActiveBackend();
+  ASSERT_TRUE(SetActiveBackend("optimized").ok());
+  EXPECT_STREQ("optimized", ActiveBackend()->name());
+  EXPECT_FALSE(SetActiveBackend("tpu").ok());
+  EXPECT_STREQ("optimized", ActiveBackend()->name());  // unchanged on error
+  ASSERT_TRUE(SetActiveBackend(before->name()).ok());
+}
+
+}  // namespace
+}  // namespace kamel::nn

@@ -1,0 +1,379 @@
+// Block-quantized serving weights: codec round trips at the edge cases
+// (all-zero blocks, max-magnitude values, tail blocks, poisoned weights),
+// snapshot compatibility (fp32 saves stay byte-identical to the
+// pre-quantization format), and the quantized model/repository serving
+// path end to end, including the demand-load cache.
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/binary_io.h"
+#include "common/rng.h"
+#include "core/model_repository.h"
+#include "grid/hex_grid.h"
+#include "nn/backend/quant.h"
+#include "nn/tensor.h"
+#include "nn/transformer.h"
+
+namespace kamel::nn {
+namespace {
+
+double Nmse(const float* ref, const float* got, int64_t n) {
+  double err = 0.0, norm = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(ref[i]) - got[i];
+    err += d * d;
+    norm += static_cast<double>(ref[i]) * ref[i];
+  }
+  return err / (norm + 1e-30);
+}
+
+TEST(QuantCodecTest, RowBytesMath) {
+  // q8_0: 36 bytes per 32-weight block; q4_0: 20.
+  EXPECT_EQ(QuantRowBytes(WeightFormat::kQ8_0, 32), 36);
+  EXPECT_EQ(QuantRowBytes(WeightFormat::kQ8_0, 33), 72);
+  EXPECT_EQ(QuantRowBytes(WeightFormat::kQ8_0, 64), 72);
+  EXPECT_EQ(QuantRowBytes(WeightFormat::kQ4_0, 32), 20);
+  EXPECT_EQ(QuantRowBytes(WeightFormat::kQ4_0, 37), 40);
+}
+
+TEST(QuantCodecTest, ParseAndToString) {
+  EXPECT_EQ(*ParseWeightFormat("none"), WeightFormat::kF32);
+  EXPECT_EQ(*ParseWeightFormat("f32"), WeightFormat::kF32);
+  EXPECT_EQ(*ParseWeightFormat("q8_0"), WeightFormat::kQ8_0);
+  EXPECT_EQ(*ParseWeightFormat("q4_0"), WeightFormat::kQ4_0);
+  EXPECT_FALSE(ParseWeightFormat("q5_1").ok());
+  EXPECT_STREQ(ToString(WeightFormat::kQ8_0), "q8_0");
+}
+
+TEST(QuantCodecTest, AllZeroRowsDecodeToExactZero) {
+  const std::vector<float> zeros(3 * 40, 0.0f);
+  for (const WeightFormat format : {WeightFormat::kQ8_0, WeightFormat::kQ4_0}) {
+    auto q = QuantMatrix::Quantize(format, zeros.data(), 3, 40);
+    ASSERT_TRUE(q.ok());
+    std::vector<float> out(3 * 40, 1.0f);
+    q->Dequantize(out.data());
+    for (const float v : out) EXPECT_EQ(v, 0.0f);
+  }
+}
+
+TEST(QuantCodecTest, MaxMagnitudeRoundTrip) {
+  // The absmax element of each block maps to the top quant level and must
+  // decode to (nearly) itself; everything else stays within half a step.
+  Rng rng(7);
+  std::vector<float> src(64);
+  for (float& v : src) v = static_cast<float>(rng.NextGaussian());
+  src[5] = 100.0f;    // block 0 absmax
+  src[40] = -100.0f;  // block 1 absmax
+
+  auto q8 = QuantMatrix::Quantize(WeightFormat::kQ8_0, src.data(), 1, 64);
+  ASSERT_TRUE(q8.ok());
+  std::vector<float> out(64);
+  q8->DequantizeRow(0, out.data());
+  EXPECT_NEAR(out[5], 100.0f, 100.0f / 127.0f);
+  EXPECT_NEAR(out[40], -100.0f, 100.0f / 127.0f);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_NEAR(out[i], src[i], 0.5f * 100.0f / 127.0f + 1e-4f) << i;
+  }
+
+  auto q4 = QuantMatrix::Quantize(WeightFormat::kQ4_0, src.data(), 1, 64);
+  ASSERT_TRUE(q4.ok());
+  q4->DequantizeRow(0, out.data());
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_NEAR(out[i], src[i], 0.5f * 100.0f / 7.0f + 1e-4f) << i;
+  }
+}
+
+TEST(QuantCodecTest, GaussianNmseWithinFormatBudget) {
+  Rng rng(8);
+  const int64_t rows = 6, cols = 96;
+  Tensor w = Tensor::Randn({rows, cols}, &rng);
+  std::vector<float> out(static_cast<size_t>(rows * cols));
+
+  auto q8 = QuantMatrix::Quantize(WeightFormat::kQ8_0, w.data(), rows, cols);
+  ASSERT_TRUE(q8.ok());
+  q8->Dequantize(out.data());
+  EXPECT_LE(Nmse(w.data(), out.data(), rows * cols), 1e-4);
+
+  auto q4 = QuantMatrix::Quantize(WeightFormat::kQ4_0, w.data(), rows, cols);
+  ASSERT_TRUE(q4.ok());
+  q4->Dequantize(out.data());
+  EXPECT_LE(Nmse(w.data(), out.data(), rows * cols), 2e-2);
+}
+
+TEST(QuantCodecTest, TailBlockDecodesExactWidth) {
+  // cols = 37: one full block + a 5-wide tail. DequantizeRow must write
+  // exactly 37 floats — the canary beyond stays untouched.
+  Rng rng(9);
+  Tensor w = Tensor::Randn({2, 37}, &rng);
+  for (const WeightFormat format : {WeightFormat::kQ8_0, WeightFormat::kQ4_0}) {
+    auto q = QuantMatrix::Quantize(format, w.data(), 2, 37);
+    ASSERT_TRUE(q.ok());
+    EXPECT_EQ(q->row_bytes(), 2 * QuantBlockBytes(format));
+    std::vector<float> out(64, -777.0f);
+    q->DequantizeRow(1, out.data());
+    for (int i = 37; i < 64; ++i) EXPECT_EQ(out[i], -777.0f) << i;
+    EXPECT_LE(Nmse(w.data() + 37, out.data(), 37),
+              format == WeightFormat::kQ8_0 ? 1e-4 : 2e-2);
+  }
+}
+
+TEST(QuantCodecTest, RejectsNonFiniteWeights) {
+  std::vector<float> src(32, 1.0f);
+  src[13] = std::nanf("");
+  EXPECT_FALSE(
+      QuantMatrix::Quantize(WeightFormat::kQ8_0, src.data(), 1, 32).ok());
+  src[13] = std::numeric_limits<float>::infinity();
+  EXPECT_FALSE(
+      QuantMatrix::Quantize(WeightFormat::kQ4_0, src.data(), 1, 32).ok());
+}
+
+TEST(QuantCodecTest, SaveLoadRoundTripAndCorruptTag) {
+  Rng rng(10);
+  Tensor w = Tensor::Randn({5, 33}, &rng);
+  auto q = QuantMatrix::Quantize(WeightFormat::kQ4_0, w.data(), 5, 33);
+  ASSERT_TRUE(q.ok());
+
+  BinaryWriter writer;
+  q->Save(&writer);
+  BinaryReader reader(writer.buffer());
+  auto loaded = QuantMatrix::Load(&reader);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->rows(), 5);
+  ASSERT_EQ(loaded->cols(), 33);
+  ASSERT_EQ(loaded->byte_size(), q->byte_size());
+  EXPECT_EQ(0, std::memcmp(loaded->row_data(0), q->row_data(0),
+                           static_cast<size_t>(q->byte_size())));
+
+  // Corrupt the format tag: Load must fail cleanly, not crash.
+  std::vector<uint8_t> bytes = writer.buffer();
+  bytes[0] = 0x7f;
+  BinaryReader corrupt(std::move(bytes));
+  EXPECT_FALSE(QuantMatrix::Load(&corrupt).ok());
+}
+
+// ---- model-level compatibility ----------------------------------------
+
+BertConfig TinyConfig() {
+  BertConfig config;
+  config.vocab_size = 200;
+  config.d_model = 32;
+  config.num_heads = 4;
+  config.num_layers = 2;
+  config.ffn_dim = 64;
+  config.max_seq_len = 16;
+  config.dropout = 0.0;
+  return config;
+}
+
+TEST(QuantSnapshotTest, Fp32SaveBytesUnchangedByTheQuantPath) {
+  // The void Save (historical) and Save(kF32) must produce identical
+  // bytes — a pure-fp32 snapshot is indistinguishable from one written
+  // before quantization existed, so old snapshots keep loading and new
+  // fp32 snapshots keep opening in old builds.
+  BertModel model(TinyConfig(), /*seed=*/21);
+  BinaryWriter legacy, explicit_f32;
+  model.Save(&legacy);
+  ASSERT_TRUE(model.Save(&explicit_f32, WeightFormat::kF32).ok());
+  ASSERT_EQ(legacy.buffer().size(), explicit_f32.buffer().size());
+  EXPECT_EQ(0, std::memcmp(legacy.buffer().data(),
+                           explicit_f32.buffer().data(),
+                           legacy.buffer().size()));
+  // And it carries the v1 model magic (length-prefixed), not the
+  // quant-aware v2.
+  const std::string head(legacy.buffer().begin() + 4,
+                         legacy.buffer().begin() + 4 + 13);
+  EXPECT_EQ(head, "kamel-bert-v1");
+
+  BinaryReader reader(legacy.buffer());
+  auto loaded = BertModel::Load(&reader);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->weight_format(), WeightFormat::kF32);
+}
+
+TEST(QuantSnapshotTest, QuantizedModelRoundTripServesWithinBudget) {
+  BertModel model(TinyConfig(), /*seed=*/22);
+  const int64_t seq = 12;
+  std::vector<int32_t> ids(static_cast<size_t>(seq), 7);
+  ids[4] = 4;
+  const std::vector<float> mask(static_cast<size_t>(seq), 1.0f);
+  const Tensor want = model.ForwardInference(ids, mask, 1, seq);
+
+  const struct {
+    WeightFormat format;
+    double tol;
+    double max_bytes_ratio;
+  } kCases[] = {
+      // End-to-end logits budgets: looser than per-op (error compounds
+      // across layers) but tight enough to catch a broken codec.
+      {WeightFormat::kQ8_0, 2e-3, 0.45},
+      {WeightFormat::kQ4_0, 5e-2, 0.35},
+  };
+  for (const auto& c : kCases) {
+    BinaryWriter writer;
+    ASSERT_TRUE(model.Save(&writer, c.format).ok());
+    const std::string head(writer.buffer().begin() + 4,
+                           writer.buffer().begin() + 4 + 13);
+    EXPECT_EQ(head, "kamel-bert-v2");
+
+    BinaryReader reader(writer.buffer());
+    auto loaded = BertModel::Load(&reader);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ((*loaded)->weight_format(), c.format);
+    // WeightBytes includes the rank-1 params kept fp32, so the whole-model
+    // ratio sits above the raw block ratio (28.1% / 15.6%).
+    EXPECT_LT(static_cast<double>((*loaded)->WeightBytes()),
+              c.max_bytes_ratio * static_cast<double>(model.WeightBytes()))
+        << ToString(c.format);
+
+    const Tensor got = (*loaded)->ForwardInference(ids, mask, 1, seq);
+    ASSERT_EQ(got.size(), want.size());
+    EXPECT_LE(Nmse(want.data(), got.data(), want.size()), c.tol)
+        << ToString(c.format);
+
+    // Re-saving a loaded quantized model (even "as fp32") keeps the
+    // quantized params as-is: serving-only weights never invent precision.
+    BinaryWriter resave;
+    ASSERT_TRUE((*loaded)->Save(&resave, WeightFormat::kF32).ok());
+    const std::string resave_head(resave.buffer().begin() + 4,
+                                  resave.buffer().begin() + 4 + 13);
+    EXPECT_EQ(resave_head, "kamel-bert-v2");
+    BinaryReader reread(resave.buffer());
+    auto reloaded = BertModel::Load(&reread);
+    ASSERT_TRUE(reloaded.ok());
+    EXPECT_EQ((*reloaded)->weight_format(), c.format);
+  }
+}
+
+// ---- repository-level serving -----------------------------------------
+
+class QuantRepositoryTest : public testing::Test {
+ protected:
+  QuantRepositoryTest()
+      : grid_(75.0), world_(BBox::FromCorners({0, 0}, {2000, 2000})) {}
+
+  static KamelOptions TinyOptions() {
+    KamelOptions options;
+    options.pyramid_height = 1;
+    options.pyramid_levels = 2;
+    options.model_token_threshold = 40;
+    options.bert.encoder.d_model = 8;
+    options.bert.encoder.num_heads = 2;
+    options.bert.encoder.num_layers = 1;
+    options.bert.encoder.ffn_dim = 16;
+    options.bert.encoder.max_seq_len = 16;
+    options.bert.encoder.dropout = 0.0;
+    options.bert.train.steps = 30;
+    options.bert.train.batch_size = 4;
+    options.seed = 5;
+    return options;
+  }
+
+  void AddTrajectory(double x0, double y, int tokens) {
+    TokenizedTrajectory trajectory;
+    for (int i = 0; i < tokens; ++i) {
+      const Vec2 p{x0 + i * 130.0, y};
+      trajectory.push_back(
+          {grid_.CellOf(p), static_cast<double>(i) * 10.0, p, 0.0});
+    }
+    indices_.push_back(store_->Add(std::move(trajectory)));
+  }
+
+  HexGrid grid_;
+  BBox world_;
+  std::shared_ptr<TrajectoryStore> store_ =
+      std::make_shared<TrajectoryStore>();
+  std::vector<size_t> indices_;
+};
+
+TEST_F(QuantRepositoryTest, QuantizedSaveLoadServesAndAccountsBytes) {
+  const KamelOptions options = TinyOptions();
+  Pyramid pyramid(world_, options.pyramid_height, options.pyramid_levels);
+  ModelRepository repo(pyramid, options, store_);
+  for (int t = 0; t < 10; ++t) AddTrajectory(100.0, 200.0 + t * 60.0, 5);
+  ASSERT_TRUE(repo.AddTrainingBatch(indices_).ok());
+  ASSERT_GE(repo.num_models(), 1);
+
+  const ModelRepository::WeightResidency before = repo.GetWeightResidency();
+  EXPECT_EQ(before.models_quant, 0);
+  EXPECT_GT(before.f32_bytes, 0);
+
+  BinaryWriter writer;
+  ASSERT_TRUE(repo.Save(&writer, WeightFormat::kQ8_0).ok());
+  ModelRepository loaded(pyramid, options, store_);
+  BinaryReader reader(writer.buffer());
+  ASSERT_TRUE(loaded.Load(&reader).ok());
+  EXPECT_EQ(loaded.num_models(), repo.num_models());
+
+  const ModelRepository::WeightResidency after = loaded.GetWeightResidency();
+  EXPECT_EQ(after.models_f32, 0);
+  EXPECT_EQ(after.models_quant, loaded.num_models());
+  EXPECT_GT(after.quant_bytes, 0);
+  // At this test's tiny d_model=8 the 32-wide block padding dominates, so
+  // the shrink is modest; the real ~28% ratio is asserted at model level
+  // (QuantizedModelRoundTripServesWithinBudget) where dims fill blocks.
+  EXPECT_LT(after.quant_bytes, before.f32_bytes);
+
+  // A quantized model serves predictions.
+  const ModelHandle model =
+      loaded.SelectModel(BBox::FromCorners({100, 150}, {500, 600}));
+  ASSERT_NE(model, nullptr);
+  const CellId s = grid_.CellOf({120, 200});
+  const CellId d = grid_.CellOf({380, 200});
+  const auto predictions = model->PredictMasked({s}, {d}, 3);
+  EXPECT_FALSE(predictions.empty());
+}
+
+TEST_F(QuantRepositoryTest, QuantizedDemandLoadMatchesEagerLoad) {
+  KamelOptions options = TinyOptions();
+  Pyramid pyramid(world_, options.pyramid_height, options.pyramid_levels);
+  ModelRepository repo(pyramid, options, store_);
+  for (int t = 0; t < 20; ++t) AddTrajectory(120.0, 150.0 + t * 40.0, 5);
+  for (int t = 0; t < 12; ++t) AddTrajectory(120.0, 1150.0 + t * 40.0, 5);
+  ASSERT_TRUE(repo.AddTrainingBatch(indices_).ok());
+  ASSERT_GE(repo.num_models(), 3);
+
+  BinaryWriter writer;
+  ASSERT_TRUE(repo.Save(&writer, WeightFormat::kQ4_0).ok());
+  const std::string path = testing::TempDir() + "/quant_repo_lazy.bin";
+  ASSERT_TRUE(writer.FlushToFileAtomic(path).ok());
+
+  // Eagerly loaded quantized repo = the reference.
+  ModelRepository eager(pyramid, options, store_);
+  BinaryReader eager_reader(writer.buffer());
+  ASSERT_TRUE(eager.Load(&eager_reader).ok());
+
+  // Demand-loading quantized repo: decoded sections must serve the same
+  // bytes, so predictions agree exactly.
+  options.max_resident_models = 1;
+  ModelRepository lazy(pyramid, options, /*store=*/nullptr);
+  auto reader = BinaryReader::FromFile(path);
+  ASSERT_TRUE(reader.ok());
+  ASSERT_TRUE(lazy.Load(&*reader, nullptr, &path).ok());
+  EXPECT_EQ(lazy.num_models(), eager.num_models());
+
+  const BBox sw_query = BBox::FromCorners({100, 150}, {500, 600});
+  const BBox root_query = BBox::FromCorners({100, 100}, {1900, 1900});
+  const CellId s = grid_.CellOf({120, 150});
+  const CellId dst = grid_.CellOf({380, 150});
+  for (int round = 0; round < 3; ++round) {
+    for (const BBox& query : {sw_query, root_query}) {
+      const ModelHandle want = eager.SelectModel(query);
+      const ModelHandle got = lazy.SelectModel(query);
+      ASSERT_NE(want, nullptr);
+      ASSERT_NE(got, nullptr);
+      const auto a = want->PredictMasked({s}, {dst}, 3);
+      const auto b = got->PredictMasked({s}, {dst}, 3);
+      ASSERT_EQ(a.size(), b.size());
+      for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].cell, b[i].cell);
+        EXPECT_DOUBLE_EQ(a[i].prob, b[i].prob);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kamel::nn

@@ -29,6 +29,8 @@
 #include "eval/evaluator.h"
 #include "eval/scenario.h"
 #include "io/trajectory_csv.h"
+#include "nn/backend/backend.h"
+#include "nn/backend/quant.h"
 #include "shard/router.h"
 #include "shard/worker.h"
 #include "sim/datasets.h"
@@ -76,6 +78,33 @@ class Flags {
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+// Applies `--backend scalar|optimized` for the whole process. Every
+// serving path (impute/evaluate/worker/route/stats) reads the active
+// backend; training is pinned to the scalar reference regardless.
+int ApplyBackendFlag(const Flags& flags) {
+  if (!flags.Has("backend")) return 0;
+  const Status set = nn::SetActiveBackend(flags.Get("backend"));
+  if (!set.ok()) {
+    std::fprintf(stderr, "%s\n", set.ToString().c_str());
+    return 2;
+  }
+  return 0;
+}
+
+// Parses `--quantize q8_0|q4_0|none` into the snapshot serving weight
+// format. A bad value is a usage error (exit 2), like --overload-policy.
+int ParseQuantizeFlag(const Flags& flags, KamelOptions* options) {
+  if (!flags.Has("quantize")) return 0;
+  const auto format = nn::ParseWeightFormat(flags.Get("quantize"));
+  if (!format.ok()) {
+    std::fprintf(stderr, "bad --quantize: %s\n",
+                 format.status().ToString().c_str());
+    return 2;
+  }
+  options->serving_weight_format = *format;
+  return 0;
 }
 
 KamelOptions OptionsFromFlags(const Flags& flags) {
@@ -245,9 +274,11 @@ int TrainDurable(const Flags& flags, Kamel* system,
 }
 
 int Train(const Flags& flags) {
+  KamelOptions options = OptionsFromFlags(flags);
+  if (int rc = ParseQuantizeFlag(flags, &options); rc != 0) return rc;
   auto data = io::ReadCsvFile(flags.Get("data"));
   if (!data.ok()) return Fail(data.status());
-  Kamel system(OptionsFromFlags(flags));
+  Kamel system(options);
   const std::string model_path = flags.Get("model", "model.kamel");
   if (flags.Has("wal-dir")) {
     return TrainDurable(flags, &system, *data, model_path);
@@ -677,6 +708,10 @@ int Usage() {
       "            [--geojson] [--seed N]\n"
       "  sparsify  --data in.csv --distance METERS --out out.csv\n"
       "  train     --data train.csv --model out.kamel [--steps N]\n"
+      "            [--quantize q8_0|q4_0|none] block-quantize every big\n"
+      "            weight matrix in the saved snapshot (q8_0 ~28%%, q4_0\n"
+      "            ~16%% of fp32 bytes); training itself always runs fp32\n"
+      "            and `none` keeps the historical snapshot bytes exactly\n"
       "            [--hex-edge M] [--grid hex|square] [--model-threshold N]\n"
       "            [--pyramid-height H] [--pyramid-levels L]\n"
       "            (small datasets: --pyramid-height 0 --pyramid-levels 1\n"
@@ -747,7 +782,12 @@ int Usage() {
       "   [--max-resident-models N] / [--max-resident-bytes BYTES]\n"
       "   bound the demand-load model cache by count / by bytes; either\n"
       "   enables lazy snapshot loading, and byte pressure evicts\n"
-      "   unpinned LRU models)\n");
+      "   unpinned LRU models)\n"
+      "  (any command: [--backend scalar|optimized] picks the NN compute\n"
+      "   backend for serving — scalar is the bit-exact reference,\n"
+      "   optimized uses cache-blocked SIMD kernels; KAMEL_NN_BACKEND in\n"
+      "   the environment sets the same default. Training always runs on\n"
+      "   the scalar reference regardless.)\n");
   return 2;
 }
 
@@ -755,6 +795,7 @@ int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   const Flags flags(argc, argv, 2);
+  if (int rc = ApplyBackendFlag(flags); rc != 0) return rc;
   if (command == "generate") return Generate(flags);
   if (command == "sparsify") return SparsifyCmd(flags);
   if (command == "train") return Train(flags);
